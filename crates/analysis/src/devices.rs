@@ -1,0 +1,137 @@
+//! §3.1's "hardware illusion": mobile access bandwidth *appears*
+//! positively correlated with device-hardware tier, but conditioning on
+//! the Android version collapses the effect — "the standard deviation
+//! for the same access technology is ≤23 Mbps". Higher-end phones are
+//! faster only because they run newer OSes.
+
+use crate::Render;
+use mbw_dataset::{AccessTech, DeviceTier, TestRecord};
+use mbw_stats::descriptive::{mean, std_dev};
+use std::fmt::Write as _;
+
+/// The hardware-vs-software decomposition for one technology.
+#[derive(Debug, Clone)]
+pub struct HardwareIllusion {
+    /// Technology analysed.
+    pub tech: AccessTech,
+    /// Unconditional per-tier means `(low, mid, high)` — the "illusion".
+    pub unconditional: (f64, f64, f64),
+    /// For each Android version with enough data: the standard
+    /// deviation of the per-tier means *within* that version.
+    pub within_version_std: Vec<(u8, f64)>,
+    /// The largest within-version std (paper: ≤ 23 Mbps).
+    pub max_within_std: f64,
+}
+
+/// Minimum tests per (version, tier) stratum to include it.
+const MIN_STRATUM: usize = 80;
+
+/// Decompose the hardware effect for one technology.
+pub fn hardware_illusion(records: &[TestRecord], tech: AccessTech) -> HardwareIllusion {
+    let of_tier = |tier: DeviceTier| {
+        let bw: Vec<f64> = records
+            .iter()
+            .filter(|r| r.tech == tech && r.device_tier == tier)
+            .map(|r| r.bandwidth_mbps)
+            .collect();
+        mean(&bw)
+    };
+    let unconditional = (of_tier(DeviceTier::Low), of_tier(DeviceTier::Mid), of_tier(DeviceTier::High));
+
+    let mut within = Vec::new();
+    for version in 5u8..=12 {
+        let tier_means: Vec<f64> = DeviceTier::ALL
+            .iter()
+            .filter_map(|&tier| {
+                let bw: Vec<f64> = records
+                    .iter()
+                    .filter(|r| {
+                        r.tech == tech
+                            && r.android_version == version
+                            && r.device_tier == tier
+                    })
+                    .map(|r| r.bandwidth_mbps)
+                    .collect();
+                (bw.len() >= MIN_STRATUM).then(|| mean(&bw))
+            })
+            .collect();
+        if tier_means.len() == 3 {
+            within.push((version, std_dev(&tier_means)));
+        }
+    }
+    let max_within_std = within.iter().map(|(_, s)| *s).fold(0.0, f64::max);
+    HardwareIllusion { tech, unconditional, within_version_std: within, max_within_std }
+}
+
+impl Render for HardwareIllusion {
+    fn render(&self) -> String {
+        let (low, mid, high) = self.unconditional;
+        let mut out = format!(
+            "Hardware illusion, {}: unconditional tier means {:.1} / {:.1} / {:.1} Mbps\n",
+            self.tech.name(),
+            low,
+            mid,
+            high
+        );
+        for (v, s) in &self.within_version_std {
+            let _ = writeln!(out, "  Android {v}: within-version tier std {s:.1} Mbps");
+        }
+        let _ = writeln!(
+            out,
+            "  max within-version std: {:.1} Mbps (paper: <= 23 Mbps)",
+            self.max_within_std
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbw_dataset::{DatasetConfig, Generator, Year};
+
+    fn records() -> Vec<TestRecord> {
+        Generator::new(DatasetConfig { seed: 601, tests: 600_000, year: Year::Y2021 })
+            .generate()
+    }
+
+    #[test]
+    fn high_end_devices_look_faster_unconditionally() {
+        let recs = records();
+        for tech in [AccessTech::Cellular5g, AccessTech::Wifi] {
+            let h = hardware_illusion(&recs, tech);
+            let (low, _, high) = h.unconditional;
+            assert!(
+                high > low * 1.02,
+                "{tech:?}: high {high} should look faster than low {low}"
+            );
+        }
+    }
+
+    #[test]
+    fn conditioning_on_android_collapses_the_effect() {
+        let recs = records();
+        for tech in [AccessTech::Cellular4g, AccessTech::Cellular5g, AccessTech::Wifi] {
+            let h = hardware_illusion(&recs, tech);
+            assert!(
+                !h.within_version_std.is_empty(),
+                "{tech:?}: need populated version strata"
+            );
+            // §3.1: "the standard deviation for the same access
+            // technology is ≤ 23 Mbps".
+            assert!(
+                h.max_within_std <= 23.0,
+                "{tech:?}: within-version std {}",
+                h.max_within_std
+            );
+        }
+    }
+
+    #[test]
+    fn render_shows_the_comparison() {
+        let recs = records();
+        let text = hardware_illusion(&recs, AccessTech::Wifi).render();
+        assert!(text.contains("unconditional"));
+        assert!(text.contains("23 Mbps"));
+    }
+}

@@ -1,0 +1,438 @@
+//! §3.1 prose statistics: spatial disparity, urban/rural gaps, and the
+//! same-user-group declines that do not get their own figure but anchor
+//! the paper's narrative.
+
+use crate::Render;
+use mbw_dataset::{AccessTech, TestRecord};
+use mbw_stats::descriptive::mean;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Per-city mean bandwidth ranges (§3.1: 4G 28–119 Mbps, 5G 113–428,
+/// WiFi 83–256 across 326 cities).
+#[derive(Debug, Clone)]
+pub struct SpatialDisparity {
+    /// `(tech, min city mean, max city mean, #cities with ≥min_n tests)`.
+    pub ranges: Vec<(AccessTech, f64, f64, usize)>,
+    /// Fraction of cities with unbalanced 4G/5G development (one above
+    /// the national mean, the other below; paper: 41%).
+    pub unbalanced_share: f64,
+}
+
+/// Minimum per-city sample size for a city to count in the ranges.
+const MIN_CITY_TESTS: usize = 50;
+
+/// Compute the spatial-disparity summary.
+pub fn spatial_disparity(records: &[TestRecord]) -> SpatialDisparity {
+    let mut per_city: HashMap<(u16, AccessTech), Vec<f64>> = HashMap::new();
+    for r in records {
+        per_city.entry((r.city_id, r.tech)).or_default().push(r.bandwidth_mbps);
+    }
+    let techs = [AccessTech::Cellular4g, AccessTech::Cellular5g, AccessTech::Wifi];
+    let mut ranges = Vec::new();
+    let mut city_means: HashMap<AccessTech, HashMap<u16, f64>> = HashMap::new();
+    for &tech in &techs {
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        let mut count = 0usize;
+        for ((city, t), bw) in &per_city {
+            if *t != tech || bw.len() < MIN_CITY_TESTS {
+                continue;
+            }
+            let m = mean(bw);
+            city_means.entry(tech).or_default().insert(*city, m);
+            lo = lo.min(m);
+            hi = hi.max(m);
+            count += 1;
+        }
+        if count == 0 {
+            lo = 0.0;
+        }
+        ranges.push((tech, lo, hi, count));
+    }
+
+    // Unbalanced development: city above national 4G mean but below
+    // national 5G mean, or vice versa.
+    let nat4 = mean(&crate::tech_bandwidths(records, AccessTech::Cellular4g));
+    let nat5 = mean(&crate::tech_bandwidths(records, AccessTech::Cellular5g));
+    let empty = HashMap::new();
+    let m4 = city_means.get(&AccessTech::Cellular4g).unwrap_or(&empty);
+    let m5 = city_means.get(&AccessTech::Cellular5g).unwrap_or(&empty);
+    let mut both = 0usize;
+    let mut unbalanced = 0usize;
+    for (city, &c4) in m4 {
+        if let Some(&c5) = m5.get(city) {
+            both += 1;
+            if (c4 > nat4) != (c5 > nat5) {
+                unbalanced += 1;
+            }
+        }
+    }
+    SpatialDisparity {
+        ranges,
+        unbalanced_share: if both == 0 { 0.0 } else { unbalanced as f64 / both as f64 },
+    }
+}
+
+impl Render for SpatialDisparity {
+    fn render(&self) -> String {
+        let mut out = String::from("Spatial disparity across cities (per-city means, Mbps)\n");
+        for (tech, lo, hi, n) in &self.ranges {
+            let _ = writeln!(out, "{:<6} {:>7.1} – {:>7.1}  ({} cities)", tech.name(), lo, hi, n);
+        }
+        let _ = writeln!(
+            out,
+            "cities with unbalanced 4G/5G development: {:.0}%",
+            self.unbalanced_share * 100.0
+        );
+        out
+    }
+}
+
+/// Urban vs rural gaps (§3.1: urban 4G +24%, urban 5G +33%).
+#[derive(Debug, Clone, Copy)]
+pub struct UrbanRuralGap {
+    /// Urban-over-rural ratio for 4G.
+    pub lte_ratio: f64,
+    /// Urban-over-rural ratio for 5G.
+    pub nr_ratio: f64,
+}
+
+/// Compute the urban/rural comparison.
+pub fn urban_rural_gap(records: &[TestRecord]) -> UrbanRuralGap {
+    let of = |tech: AccessTech, urban: bool| {
+        let bw: Vec<f64> = records
+            .iter()
+            .filter(|r| r.tech == tech && r.urban == urban)
+            .map(|r| r.bandwidth_mbps)
+            .collect();
+        mean(&bw)
+    };
+    UrbanRuralGap {
+        lte_ratio: of(AccessTech::Cellular4g, true) / of(AccessTech::Cellular4g, false),
+        nr_ratio: of(AccessTech::Cellular5g, true) / of(AccessTech::Cellular5g, false),
+    }
+}
+
+impl Render for UrbanRuralGap {
+    fn render(&self) -> String {
+        format!(
+            "Urban vs rural mean bandwidth: 4G {:+.0}%  5G {:+.0}%\n",
+            (self.lte_ratio - 1.0) * 100.0,
+            (self.nr_ratio - 1.0) * 100.0
+        )
+    }
+}
+
+/// Same-user-group year-over-year decline (§3.1: 12–31% for 4G, 5–23%
+/// for 5G among big-ISP mega-city user groups).
+#[derive(Debug, Clone)]
+pub struct SameGroupDecline {
+    /// `(isp index, city id, 4G decline fraction, 5G decline fraction)`
+    /// for groups with enough tests in both years.
+    pub groups: Vec<(usize, u16, f64, f64)>,
+}
+
+/// Compare fixed (ISP, mega-city) groups across the two populations.
+pub fn same_group_decline(
+    records_2020: &[TestRecord],
+    records_2021: &[TestRecord],
+) -> SameGroupDecline {
+    use mbw_dataset::CityTier;
+    let group_mean = |records: &[TestRecord], isp: mbw_dataset::Isp, city: u16, tech: AccessTech| {
+        let bw: Vec<f64> = records
+            .iter()
+            .filter(|r| r.isp == isp && r.city_id == city && r.tech == tech)
+            .map(|r| r.bandwidth_mbps)
+            .collect();
+        if bw.len() < 30 {
+            None
+        } else {
+            Some(mean(&bw))
+        }
+    };
+    let mega_cities: Vec<u16> = {
+        let mut seen = std::collections::BTreeSet::new();
+        for r in records_2021 {
+            if r.city_tier == CityTier::Mega {
+                seen.insert(r.city_id);
+            }
+        }
+        seen.into_iter().collect()
+    };
+    let mut groups = Vec::new();
+    for (i, &isp) in mbw_dataset::Isp::ALL[..3].iter().enumerate() {
+        for &city in &mega_cities {
+            let d4 = match (
+                group_mean(records_2020, isp, city, AccessTech::Cellular4g),
+                group_mean(records_2021, isp, city, AccessTech::Cellular4g),
+            ) {
+                (Some(a), Some(b)) => 1.0 - b / a,
+                _ => continue,
+            };
+            let d5 = match (
+                group_mean(records_2020, isp, city, AccessTech::Cellular5g),
+                group_mean(records_2021, isp, city, AccessTech::Cellular5g),
+            ) {
+                (Some(a), Some(b)) => 1.0 - b / a,
+                _ => continue,
+            };
+            groups.push((i + 1, city, d4, d5));
+        }
+    }
+    SameGroupDecline { groups }
+}
+
+impl Render for SameGroupDecline {
+    fn render(&self) -> String {
+        let mut out = String::from("Same-user-group decline 2020→2021 (ISP × mega-city)\n");
+        let d4: Vec<f64> = self.groups.iter().map(|g| g.2).collect();
+        let d5: Vec<f64> = self.groups.iter().map(|g| g.3).collect();
+        let _ = writeln!(
+            out,
+            "groups: {}   mean 4G decline {:.0}%   mean 5G decline {:.0}%",
+            self.groups.len(),
+            mean(&d4) * 100.0,
+            mean(&d5) * 100.0
+        );
+        out
+    }
+}
+
+/// §3.1's opening statistics: test counts per technology, distinct
+/// infrastructure elements, ISP and city coverage.
+#[derive(Debug, Clone)]
+pub struct DatasetSummary {
+    /// `(tech, test count)` in the paper's order.
+    pub tech_counts: Vec<(AccessTech, usize)>,
+    /// Distinct base stations observed.
+    pub distinct_bs: usize,
+    /// Distinct WiFi APs observed.
+    pub distinct_aps: usize,
+    /// Distinct cities observed.
+    pub distinct_cities: usize,
+    /// `(isp, share of tests)`.
+    pub isp_shares: Vec<(mbw_dataset::Isp, f64)>,
+}
+
+/// Compute the §3.1 summary.
+pub fn dataset_summary(records: &[TestRecord]) -> DatasetSummary {
+    use std::collections::HashSet;
+    let techs = [
+        AccessTech::Cellular3g,
+        AccessTech::Cellular4g,
+        AccessTech::Cellular5g,
+        AccessTech::Wifi,
+    ];
+    let tech_counts = techs
+        .iter()
+        .map(|&t| (t, records.iter().filter(|r| r.tech == t).count()))
+        .collect();
+    let distinct_bs: HashSet<u32> =
+        records.iter().filter_map(|r| r.cell().map(|c| c.bs_id)).collect();
+    let distinct_aps: HashSet<u32> =
+        records.iter().filter_map(|r| r.wifi().map(|w| w.ap_id)).collect();
+    let distinct_cities: HashSet<u16> = records.iter().map(|r| r.city_id).collect();
+    let isp_shares = mbw_dataset::Isp::ALL
+        .iter()
+        .map(|&isp| {
+            (isp, records.iter().filter(|r| r.isp == isp).count() as f64
+                / records.len().max(1) as f64)
+        })
+        .collect();
+    DatasetSummary {
+        tech_counts,
+        distinct_bs: distinct_bs.len(),
+        distinct_aps: distinct_aps.len(),
+        distinct_cities: distinct_cities.len(),
+        isp_shares,
+    }
+}
+
+impl Render for DatasetSummary {
+    fn render(&self) -> String {
+        let mut out = String::from("Dataset summary (§3.1)\n");
+        for (tech, n) in &self.tech_counts {
+            let _ = writeln!(out, "  {:<5} tests: {n}", tech.name());
+        }
+        let _ = writeln!(
+            out,
+            "  distinct BSes: {}   distinct APs: {}   cities: {}",
+            self.distinct_bs, self.distinct_aps, self.distinct_cities
+        );
+        for (isp, share) in &self.isp_shares {
+            let _ = writeln!(out, "  {} share: {:.1}%", isp.name(), share * 100.0);
+        }
+        out
+    }
+}
+
+/// Correlation summary backing the §3 prose: RSS↔SNR positive
+/// everywhere; RSS↔bandwidth positive for 4G but broken at level 5 for
+/// 5G; 5G hourly bandwidth anticorrelated with test volume while 4G's
+/// is positively correlated.
+#[derive(Debug, Clone, Copy)]
+pub struct Correlations {
+    /// Pearson r between RSS level and SNR over 5G tests.
+    pub rss_snr_5g: f64,
+    /// Pearson r between RSS level and bandwidth over non-LTE-A 4G tests.
+    pub rss_bw_4g: f64,
+    /// Pearson r between hourly test volume and hourly mean bandwidth, 5G.
+    pub hourly_volume_bw_5g: f64,
+    /// Same for 4G.
+    pub hourly_volume_bw_4g: f64,
+}
+
+/// Compute the §3 correlation summary.
+pub fn correlations(records: &[TestRecord]) -> Correlations {
+    use mbw_stats::descriptive::pearson;
+    let cell_xy = |tech: AccessTech, skip_ltea: bool| {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for r in records.iter().filter(|r| r.tech == tech) {
+            if let Some(c) = r.cell() {
+                if skip_ltea && c.lte_advanced {
+                    continue;
+                }
+                xs.push(c.rss_level as f64);
+                ys.push(r.bandwidth_mbps);
+            }
+        }
+        (xs, ys)
+    };
+    let (x5, _) = cell_xy(AccessTech::Cellular5g, false);
+    let snr5: Vec<f64> = records
+        .iter()
+        .filter(|r| r.tech == AccessTech::Cellular5g)
+        .filter_map(|r| r.cell().map(|c| c.snr_db))
+        .collect();
+    let rss_snr_5g = mean_pearson(&x5, &snr5);
+
+    let (x4, y4) = cell_xy(AccessTech::Cellular4g, true);
+    let rss_bw_4g = mean_pearson(&x4, &y4);
+
+    let hourly = |tech: AccessTech| {
+        let mut volume = Vec::new();
+        let mut bw = Vec::new();
+        for h in 0u8..24 {
+            let v: Vec<f64> = records
+                .iter()
+                .filter(|r| r.tech == tech && r.hour == h)
+                .map(|r| r.bandwidth_mbps)
+                .collect();
+            if !v.is_empty() {
+                volume.push(v.len() as f64);
+                bw.push(mean(&v));
+            }
+        }
+        pearson(&volume, &bw).unwrap_or(0.0)
+    };
+    Correlations {
+        rss_snr_5g,
+        rss_bw_4g,
+        hourly_volume_bw_5g: hourly(AccessTech::Cellular5g),
+        hourly_volume_bw_4g: hourly(AccessTech::Cellular4g),
+    }
+}
+
+fn mean_pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    mbw_stats::descriptive::pearson(xs, ys).unwrap_or(0.0)
+}
+
+impl Render for Correlations {
+    fn render(&self) -> String {
+        format!(
+            "Correlations: RSS~SNR(5G) r={:.2}  RSS~bw(4G) r={:.2}  \
+             hourly volume~bw: 5G r={:.2}, 4G r={:.2}\n",
+            self.rss_snr_5g, self.rss_bw_4g, self.hourly_volume_bw_5g, self.hourly_volume_bw_4g
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbw_dataset::{DatasetConfig, Generator, Year};
+
+    fn pop(year: Year, tests: usize, seed: u64) -> Vec<TestRecord> {
+        Generator::new(DatasetConfig { seed, tests, year }).generate()
+    }
+
+    #[test]
+    fn spatial_ranges_are_wide() {
+        let records = pop(Year::Y2021, 600_000, 501);
+        let sd = spatial_disparity(&records);
+        for (tech, lo, hi, n) in &sd.ranges {
+            assert!(*n > 50, "{tech:?}: only {n} cities qualified");
+            assert!(hi / lo > 2.0, "{tech:?}: range too narrow {lo}–{hi}");
+        }
+        // §3.1: ~41% unbalanced (tolerant band).
+        assert!(
+            (0.2..=0.6).contains(&sd.unbalanced_share),
+            "unbalanced {}",
+            sd.unbalanced_share
+        );
+    }
+
+    #[test]
+    fn urban_gaps_near_paper_values() {
+        let records = pop(Year::Y2021, 400_000, 503);
+        let gap = urban_rural_gap(&records);
+        assert!((gap.lte_ratio - 1.24).abs() < 0.10, "4G {}", gap.lte_ratio);
+        assert!((gap.nr_ratio - 1.33).abs() < 0.12, "5G {}", gap.nr_ratio);
+    }
+
+    #[test]
+    fn same_groups_decline_in_both_technologies() {
+        let y20 = pop(Year::Y2020, 500_000, 505);
+        let y21 = pop(Year::Y2021, 500_000, 505);
+        let decline = same_group_decline(&y20, &y21);
+        assert!(decline.groups.len() >= 10, "groups {}", decline.groups.len());
+        let d4: Vec<f64> = decline.groups.iter().map(|g| g.2).collect();
+        let d5: Vec<f64> = decline.groups.iter().map(|g| g.3).collect();
+        // §3.1: declines of 12–31% (4G) and 5–23% (5G); check means land
+        // inside generous versions of those bands.
+        assert!((0.08..=0.40).contains(&mean(&d4)), "4G decline {}", mean(&d4));
+        assert!((0.02..=0.30).contains(&mean(&d5)), "5G decline {}", mean(&d5));
+    }
+
+    #[test]
+    fn dataset_summary_proportions() {
+        let records = pop(Year::Y2021, 150_000, 511);
+        let s = dataset_summary(&records);
+        let total: usize = s.tech_counts.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, records.len());
+        // §3.1 proportions: WiFi ≈ 89%, 4G ≈ 6.9%, 5G ≈ 3.8%, 3G tiny.
+        let share = |tech: AccessTech| {
+            s.tech_counts.iter().find(|(t, _)| *t == tech).unwrap().1 as f64 / total as f64
+        };
+        assert!((share(AccessTech::Wifi) - 0.892).abs() < 0.01);
+        assert!((share(AccessTech::Cellular4g) - 0.069).abs() < 0.01);
+        assert!(share(AccessTech::Cellular3g) < 0.002);
+        assert!(s.distinct_cities > 300, "cities {}", s.distinct_cities);
+        assert!(s.distinct_aps > 50_000, "APs {}", s.distinct_aps);
+        let isp1 = s.isp_shares.iter().find(|(i, _)| *i == mbw_dataset::Isp::Isp1).unwrap().1;
+        assert!((0.3..0.5).contains(&isp1), "ISP-1 share {isp1}");
+    }
+
+    #[test]
+    fn correlation_signs_match_the_paper() {
+        let records = pop(Year::Y2021, 700_000, 509);
+        let c = correlations(&records);
+        // Fig 11: RSS and SNR strongly positive.
+        assert!(c.rss_snr_5g > 0.5, "rss~snr {}", c.rss_snr_5g);
+        // §3.3: 4G RSS and bandwidth positively correlated.
+        assert!(c.rss_bw_4g > 0.15, "rss~bw 4G {}", c.rss_bw_4g);
+        // Fig 10: 5G bandwidth anticorrelated with test volume; 4G the
+        // opposite.
+        assert!(c.hourly_volume_bw_5g < -0.2, "5G hourly r {}", c.hourly_volume_bw_5g);
+        assert!(c.hourly_volume_bw_4g > 0.2, "4G hourly r {}", c.hourly_volume_bw_4g);
+    }
+
+    #[test]
+    fn renders_mention_percentages() {
+        let records = pop(Year::Y2021, 100_000, 507);
+        assert!(spatial_disparity(&records).render().contains('%'));
+        assert!(urban_rural_gap(&records).render().contains('%'));
+    }
+}

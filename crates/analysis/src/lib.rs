@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! Analysis pipeline: every measurement figure and table of the paper.
+//!
+//! Each function takes `&[TestRecord]` (plus a second population where
+//! the figure compares years) and returns a typed result carrying exactly
+//! the rows/series the paper plots, with a `render()` method producing
+//! the text table the `figures` binary prints. The module names follow
+//! the paper's figure numbers:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`overview`] | Fig 1 (year-over-year means), Fig 2 (Android version), Fig 3 (ISP) |
+//! | [`cellular`] | Fig 4–6 (4G CDF + LTE bands), Fig 7–9 (5G CDF + NR bands), Fig 10 (diurnal), Fig 11–12 (RSS) |
+//! | [`wifi`] | Fig 13–15 (WiFi CDFs by standard and radio band) |
+//! | [`pdfs`] | Fig 16 / 18 / 19 (multi-modal PDFs + GMM fits) |
+//! | [`general`] | §3.1 prose statistics (spatial disparity, urban/rural gaps) |
+//! | [`tables`] | Tables 1–2 rendering |
+
+pub mod cellular;
+pub mod devices;
+pub mod general;
+pub mod overview;
+pub mod pdfs;
+pub mod tables;
+pub mod wifi;
+
+use mbw_dataset::{AccessTech, TestRecord};
+
+/// Bandwidths of all records matching a predicate.
+pub fn bandwidths<'a, F>(records: &'a [TestRecord], pred: F) -> Vec<f64>
+where
+    F: Fn(&TestRecord) -> bool + 'a,
+{
+    records.iter().filter(|r| pred(r)).map(|r| r.bandwidth_mbps).collect()
+}
+
+/// Bandwidths of one access technology.
+pub fn tech_bandwidths(records: &[TestRecord], tech: AccessTech) -> Vec<f64> {
+    bandwidths(records, |r| r.tech == tech)
+}
+
+/// A rendered text table: the common output shape of every figure.
+pub trait Render {
+    /// Human-readable rows, in the paper's plotting order.
+    fn render(&self) -> String;
+}

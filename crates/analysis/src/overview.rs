@@ -1,0 +1,236 @@
+//! Figures 1–3: the headline averages.
+//!
+//! - **Fig 1** — average 4G/5G/WiFi bandwidth, 2020 vs 2021: the paper's
+//!   central surprise (4G 68→53, 5G 343→305, WiFi 132→137 Mbps).
+//! - **Fig 2** — average bandwidth per Android version: the OS, not the
+//!   hardware tier, statistically determines access bandwidth.
+//! - **Fig 3** — average bandwidth per ISP: similar 4G everywhere,
+//!   spread-out 5G (ISP-4's 700 MHz economy band; ISP-3's favourable N78
+//!   range and wired investment).
+
+use crate::{tech_bandwidths, Render};
+use mbw_dataset::{AccessTech, Isp, TestRecord};
+use mbw_stats::descriptive::mean;
+use std::fmt::Write as _;
+
+/// Fig 1: year-over-year technology means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig01 {
+    /// `(tech, mean 2020, mean 2021)` for 4G, 5G, WiFi.
+    pub rows: Vec<(AccessTech, f64, f64)>,
+    /// Overall cellular mean (2G–5G pooled) per year — §3.1's consolation
+    /// statistic (117 → 135 Mbps).
+    pub overall_cellular: (f64, f64),
+}
+
+/// Compute Fig 1 from the two yearly populations.
+pub fn fig01(records_2020: &[TestRecord], records_2021: &[TestRecord]) -> Fig01 {
+    let techs = [AccessTech::Cellular4g, AccessTech::Cellular5g, AccessTech::Wifi];
+    let rows = techs
+        .iter()
+        .map(|&t| {
+            (
+                t,
+                mean(&tech_bandwidths(records_2020, t)),
+                mean(&tech_bandwidths(records_2021, t)),
+            )
+        })
+        .collect();
+    let cellular = |records: &[TestRecord]| {
+        let bw: Vec<f64> = records
+            .iter()
+            .filter(|r| r.tech != AccessTech::Wifi)
+            .map(|r| r.bandwidth_mbps)
+            .collect();
+        mean(&bw)
+    };
+    Fig01 { rows, overall_cellular: (cellular(records_2020), cellular(records_2021)) }
+}
+
+impl Render for Fig01 {
+    fn render(&self) -> String {
+        let mut out = String::from("Fig 1: average bandwidth by technology and year (Mbps)\n");
+        let _ = writeln!(out, "{:<6} {:>8} {:>8}", "tech", "2020", "2021");
+        for (tech, y20, y21) in &self.rows {
+            let _ = writeln!(out, "{:<6} {:>8.1} {:>8.1}", tech.name(), y20, y21);
+        }
+        let _ = writeln!(
+            out,
+            "{:<6} {:>8.1} {:>8.1}   (2G-5G pooled)",
+            "cell", self.overall_cellular.0, self.overall_cellular.1
+        );
+        out
+    }
+}
+
+/// Fig 2: mean bandwidth per Android version, per technology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig02 {
+    /// `(android_version, mean_4g, mean_5g, mean_wifi)` for versions 5–12.
+    pub rows: Vec<(u8, f64, f64, f64)>,
+}
+
+/// Compute Fig 2.
+pub fn fig02(records: &[TestRecord]) -> Fig02 {
+    let rows = (5u8..=12)
+        .map(|v| {
+            let of = |tech: AccessTech| {
+                let bw: Vec<f64> = records
+                    .iter()
+                    .filter(|r| r.tech == tech && r.android_version == v)
+                    .map(|r| r.bandwidth_mbps)
+                    .collect();
+                mean(&bw)
+            };
+            (
+                v,
+                of(AccessTech::Cellular4g),
+                of(AccessTech::Cellular5g),
+                of(AccessTech::Wifi),
+            )
+        })
+        .collect();
+    Fig02 { rows }
+}
+
+impl Render for Fig02 {
+    fn render(&self) -> String {
+        let mut out =
+            String::from("Fig 2: average bandwidth by Android version (Mbps)\n");
+        let _ = writeln!(out, "{:<8} {:>8} {:>8} {:>8}", "version", "4G", "5G", "WiFi");
+        for (v, g4, g5, wifi) in &self.rows {
+            let _ = writeln!(out, "{:<8} {:>8.1} {:>8.1} {:>8.1}", v, g4, g5, wifi);
+        }
+        out
+    }
+}
+
+/// Fig 3: mean bandwidth per ISP, per technology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig03 {
+    /// `(isp, mean_4g, mean_5g, mean_wifi)`.
+    pub rows: Vec<(Isp, f64, f64, f64)>,
+}
+
+/// Compute Fig 3.
+pub fn fig03(records: &[TestRecord]) -> Fig03 {
+    let rows = Isp::ALL
+        .iter()
+        .map(|&isp| {
+            let of = |tech: AccessTech| {
+                let bw: Vec<f64> = records
+                    .iter()
+                    .filter(|r| r.tech == tech && r.isp == isp)
+                    .map(|r| r.bandwidth_mbps)
+                    .collect();
+                mean(&bw)
+            };
+            (
+                isp,
+                of(AccessTech::Cellular4g),
+                of(AccessTech::Cellular5g),
+                of(AccessTech::Wifi),
+            )
+        })
+        .collect();
+    Fig03 { rows }
+}
+
+impl Render for Fig03 {
+    fn render(&self) -> String {
+        let mut out = String::from("Fig 3: average bandwidth by ISP (Mbps)\n");
+        let _ = writeln!(out, "{:<6} {:>8} {:>8} {:>8}", "ISP", "4G", "5G", "WiFi");
+        for (isp, g4, g5, wifi) in &self.rows {
+            let _ = writeln!(out, "{:<6} {:>8.1} {:>8.1} {:>8.1}", isp.name(), g4, g5, wifi);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbw_dataset::{DatasetConfig, Generator, Year};
+
+    fn populations() -> (Vec<TestRecord>, Vec<TestRecord>) {
+        let y20 =
+            Generator::new(DatasetConfig { seed: 101, tests: 150_000, year: Year::Y2020 })
+                .generate();
+        let y21 =
+            Generator::new(DatasetConfig { seed: 101, tests: 150_000, year: Year::Y2021 })
+                .generate();
+        (y20, y21)
+    }
+
+    #[test]
+    fn fig01_reproduces_the_counterintuitive_decline() {
+        let (y20, y21) = populations();
+        let fig = fig01(&y20, &y21);
+        let row = |t: AccessTech| fig.rows.iter().find(|(x, _, _)| *x == t).unwrap();
+        let (_, g4_20, g4_21) = row(AccessTech::Cellular4g);
+        assert!(g4_20 > g4_21, "4G must decline: {g4_20} vs {g4_21}");
+        assert!((g4_20 - 68.0).abs() < 12.0, "4G 2020 {g4_20}");
+        assert!((g4_21 - 53.0).abs() < 8.0, "4G 2021 {g4_21}");
+        let (_, g5_20, g5_21) = row(AccessTech::Cellular5g);
+        assert!(g5_20 > g5_21, "5G must decline: {g5_20} vs {g5_21}");
+        let (_, w20, w21) = row(AccessTech::Wifi);
+        assert!((w21 / w20 - 1.0).abs() < 0.12, "WiFi ~flat: {w20} vs {w21}");
+        // The consolation: overall cellular mean *rises* (117 → 135) as
+        // the 5G user share doubles.
+        assert!(
+            fig.overall_cellular.1 > fig.overall_cellular.0,
+            "overall cellular should rise: {:?}",
+            fig.overall_cellular
+        );
+    }
+
+    #[test]
+    fn fig02_bandwidth_rises_with_android_version() {
+        let (_, y21) = populations();
+        let fig = fig02(&y21);
+        assert_eq!(fig.rows.len(), 8);
+        // Compare v8 vs v12 for each technology (v5 strata are thin).
+        let v8 = fig.rows.iter().find(|r| r.0 == 8).unwrap();
+        let v12 = fig.rows.iter().find(|r| r.0 == 12).unwrap();
+        assert!(v12.1 > v8.1, "4G: {} vs {}", v12.1, v8.1);
+        assert!(v12.2 > v8.2, "5G: {} vs {}", v12.2, v8.2);
+        assert!(v12.3 > v8.3, "WiFi: {} vs {}", v12.3, v8.3);
+    }
+
+    #[test]
+    fn fig03_isp_structure() {
+        let (_, y21) = populations();
+        let fig = fig03(&y21);
+        let row = |i: Isp| *fig.rows.iter().find(|(x, _, _, _)| *x == i).unwrap();
+        let (_, _, isp4_5g, _) = row(Isp::Isp4);
+        let (_, _, isp3_5g, isp3_wifi) = row(Isp::Isp3);
+        let (_, _, isp1_5g, isp1_wifi) = row(Isp::Isp1);
+        let (_, _, isp2_5g, isp2_wifi) = row(Isp::Isp2);
+        // ISP-4's 700 MHz band gives obviously lower 5G bandwidth.
+        assert!(isp4_5g < isp1_5g.min(isp2_5g).min(isp3_5g) * 0.6, "ISP-4 {isp4_5g}");
+        // ISP-3 leads both 5G and WiFi (§3.1).
+        assert!(isp3_5g > isp1_5g && isp3_5g > isp2_5g);
+        assert!(isp3_wifi > isp1_wifi && isp3_wifi > isp2_wifi);
+        // 4G means are similar across the big three (mature infra).
+        let g4: Vec<f64> = [Isp::Isp1, Isp::Isp2, Isp::Isp3]
+            .iter()
+            .map(|&i| row(i).1)
+            .collect();
+        let spread = (g4.iter().cloned().fold(0.0, f64::max)
+            - g4.iter().cloned().fold(f64::INFINITY, f64::min))
+            / mean(&g4);
+        assert!(spread < 0.35, "4G spread {spread}");
+    }
+
+    #[test]
+    fn renders_are_nonempty_tables() {
+        let (y20, y21) = populations();
+        for text in [
+            fig01(&y20, &y21).render(),
+            fig02(&y21).render(),
+            fig03(&y21).render(),
+        ] {
+            assert!(text.lines().count() >= 4, "{text}");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Figures 16, 18, 19: the multi-modal bandwidth PDFs.
+//!
+//! These three figures motivate Swiftest's data-driven probing (§5.1):
+//! for a given access technology, the bandwidth population "follows a
+//! multi-modal Gaussian distribution" that is stable over weeks. This
+//! module produces the histogram PDF and the GMM fitted from samples —
+//! the exact model Swiftest loads.
+
+use crate::{tech_bandwidths, Render};
+use mbw_dataset::{AccessTech, TestRecord, WifiStandard};
+use mbw_stats::{Gmm, Histogram};
+use std::fmt::Write as _;
+
+/// A PDF figure: histogram density plus the fitted mixture.
+#[derive(Debug, Clone)]
+pub struct PdfFigure {
+    /// Figure title.
+    pub title: &'static str,
+    /// Histogram over the plotted range.
+    pub histogram: Histogram,
+    /// GMM fitted from the same samples (BIC-selected k ≤ 5).
+    pub fit: Option<Gmm>,
+    /// Number of samples.
+    pub n: usize,
+}
+
+fn pdf_figure(title: &'static str, bw: Vec<f64>, hi: f64, seed: u64) -> PdfFigure {
+    let histogram = Histogram::from_values(0.0, hi, 50, &bw);
+    // Fitting millions of points is wasteful; the mixture stabilises with
+    // a few tens of thousands.
+    let sample: Vec<f64> =
+        if bw.len() > 40_000 { bw.iter().step_by(bw.len() / 40_000).copied().collect() } else { bw.clone() };
+    let fit = Gmm::fit_auto(&sample, 5, seed).ok();
+    PdfFigure { title, histogram, fit, n: bw.len() }
+}
+
+/// Fig 16: WiFi 5 bandwidth PDF (modes at the 100/300/500 Mbps plans).
+pub fn fig16(records: &[TestRecord]) -> PdfFigure {
+    let bw: Vec<f64> = records
+        .iter()
+        .filter(|r| r.wifi().map(|w| w.standard) == Some(WifiStandard::Wifi5))
+        .map(|r| r.bandwidth_mbps)
+        .collect();
+    pdf_figure("Fig 16: WiFi 5 bandwidth PDF", bw, 1000.0, 16)
+}
+
+/// Fig 18: 4G bandwidth PDF.
+pub fn fig18(records: &[TestRecord]) -> PdfFigure {
+    let bw = tech_bandwidths(records, AccessTech::Cellular4g);
+    pdf_figure("Fig 18: 4G bandwidth PDF", bw, 500.0, 18)
+}
+
+/// Fig 19: 5G bandwidth PDF.
+pub fn fig19(records: &[TestRecord]) -> PdfFigure {
+    let bw = tech_bandwidths(records, AccessTech::Cellular5g);
+    pdf_figure("Fig 19: 5G bandwidth PDF", bw, 1000.0, 19)
+}
+
+impl Render for PdfFigure {
+    fn render(&self) -> String {
+        let mut out = format!("{} (n = {})\n", self.title, self.n);
+        if let Some(fit) = &self.fit {
+            let _ = writeln!(out, "fitted mixture (k = {}):", fit.k());
+            let mut comps: Vec<_> = fit.components().to_vec();
+            comps.sort_by(|a, b| a.mean.partial_cmp(&b.mean).expect("finite"));
+            for c in comps {
+                let _ = writeln!(
+                    out,
+                    "  w = {:.2}  mu = {:>7.1} Mbps  sigma = {:>6.1}",
+                    c.weight, c.mean, c.std_dev
+                );
+            }
+        }
+        for (x, d) in self.histogram.pdf() {
+            let _ = writeln!(out, "{:>8.1} Mbps  pdf {:>9.6}", x, d);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbw_dataset::{DatasetConfig, Generator, Year};
+
+    fn y2021(tests: usize, seed: u64) -> Vec<TestRecord> {
+        Generator::new(DatasetConfig { seed, tests, year: Year::Y2021 }).generate()
+    }
+
+    #[test]
+    fn fig16_wifi5_is_multimodal_at_plan_values() {
+        let records = y2021(300_000, 401);
+        let fig = fig16(&records);
+        let fit = fig.fit.as_ref().expect("fit succeeds");
+        assert!(fit.k() >= 3, "k = {}", fit.k());
+        // At least one mode near each of 100 and 300 Mbps (the dominant
+        // plan tiers of Fig 16).
+        let modes = fit.modes();
+        assert!(
+            modes.iter().any(|&m| (m - 100.0).abs() < 40.0),
+            "no ~100 mode in {modes:?}"
+        );
+        assert!(
+            modes.iter().any(|&m| (m - 300.0).abs() < 60.0),
+            "no ~300 mode in {modes:?}"
+        );
+    }
+
+    #[test]
+    fn fig18_and_19_fit_multimodal_models() {
+        let records = y2021(400_000, 403);
+        let f18 = fig18(&records);
+        let f19 = fig19(&records);
+        assert!(f18.fit.as_ref().unwrap().k() >= 2);
+        assert!(f19.fit.as_ref().unwrap().k() >= 2);
+        // 5G dominant mode sits in the few-hundred-Mbps region.
+        let dom = f19.fit.as_ref().unwrap().dominant_mode();
+        assert!((100.0..=450.0).contains(&dom), "dominant {dom}");
+    }
+
+    #[test]
+    fn histogram_mass_is_normalised() {
+        let records = y2021(100_000, 405);
+        let fig = fig16(&records);
+        let mass: f64 =
+            fig.histogram.pdf().iter().map(|(_, d)| d * fig.histogram.bin_width()).sum();
+        assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_mixture_block() {
+        let records = y2021(60_000, 407);
+        let text = fig19(&records).render();
+        assert!(text.contains("fitted mixture"));
+        assert!(text.contains("Mbps"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Figures 13–15: WiFi bandwidth by standard and radio band.
+//!
+//! The headline (Fig 13) is the generational ladder 59 → 208 → 345 Mbps;
+//! the insight (Figs 14–15) is that WiFi 4 and WiFi 5 are nearly equal
+//! *over 5 GHz* (195 vs 208 Mbps) — the generation gap in the aggregate
+//! comes from WiFi 4 users sitting on 2.4 GHz, and the remaining gap to
+//! advertised speeds comes from the wired plans behind the APs.
+
+use crate::Render;
+use mbw_dataset::{TestRecord, WifiStandard};
+use mbw_stats::Ecdf;
+use std::fmt::Write as _;
+
+/// One CDF per WiFi standard (Figs 13, 14, 15 are this over different
+/// radio-band filters).
+#[derive(Debug, Clone)]
+pub struct WifiCdfFigure {
+    /// Figure title.
+    pub title: &'static str,
+    /// `(standard, cdf)` for the standards present in the filter.
+    pub series: Vec<(WifiStandard, CdfSummary)>,
+}
+
+/// CDF + annotations for one standard.
+#[derive(Debug, Clone)]
+pub struct CdfSummary {
+    /// The empirical CDF.
+    pub ecdf: Ecdf,
+    /// Mean, Mbps.
+    pub mean: f64,
+    /// Median, Mbps.
+    pub median: f64,
+    /// Max, Mbps.
+    pub max: f64,
+    /// Share of this standard among the figure's tests.
+    pub share: f64,
+}
+
+fn wifi_series(
+    title: &'static str,
+    records: &[TestRecord],
+    band_filter: Option<bool>, // Some(true)=5 GHz only, Some(false)=2.4 only
+) -> WifiCdfFigure {
+    let total: usize = records
+        .iter()
+        .filter(|r| {
+            r.wifi().map_or(false, |w| band_filter.map_or(true, |g5| w.on_5ghz == g5))
+        })
+        .count();
+    let mut series = Vec::new();
+    for std in WifiStandard::ALL {
+        if band_filter == Some(false) && !std.supports_24ghz() {
+            continue; // WiFi 5 has no 2.4 GHz presence
+        }
+        let bw: Vec<f64> = records
+            .iter()
+            .filter(|r| {
+                r.wifi().map_or(false, |w| {
+                    w.standard == std && band_filter.map_or(true, |g5| w.on_5ghz == g5)
+                })
+            })
+            .map(|r| r.bandwidth_mbps)
+            .collect();
+        if bw.is_empty() {
+            continue;
+        }
+        let ecdf = Ecdf::new(&bw);
+        series.push((
+            std,
+            CdfSummary {
+                mean: ecdf.mean(),
+                median: ecdf.median(),
+                max: ecdf.max(),
+                share: bw.len() as f64 / total.max(1) as f64,
+                ecdf,
+            },
+        ));
+    }
+    WifiCdfFigure { title, series }
+}
+
+/// Fig 13: all WiFi tests, per standard.
+pub fn fig13(records: &[TestRecord]) -> WifiCdfFigure {
+    wifi_series("Fig 13: WiFi bandwidth distribution (all bands)", records, None)
+}
+
+/// Fig 14: the 2.4 GHz subset (WiFi 4 and 6 only).
+pub fn fig14(records: &[TestRecord]) -> WifiCdfFigure {
+    wifi_series("Fig 14: WiFi bandwidth distribution (2.4 GHz)", records, Some(false))
+}
+
+/// Fig 15: the 5 GHz subset.
+pub fn fig15(records: &[TestRecord]) -> WifiCdfFigure {
+    wifi_series("Fig 15: WiFi bandwidth distribution (5 GHz)", records, Some(true))
+}
+
+impl WifiCdfFigure {
+    /// Summary for one standard, if present.
+    pub fn of(&self, std: WifiStandard) -> Option<&CdfSummary> {
+        self.series.iter().find(|(s, _)| *s == std).map(|(_, c)| c)
+    }
+}
+
+impl Render for WifiCdfFigure {
+    fn render(&self) -> String {
+        let mut out = format!("{}\n", self.title);
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8} {:>8} {:>8} {:>8} {:>9}",
+            "std", "mean", "median", "max", "share%", "tests"
+        );
+        for (std, c) in &self.series {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>8.1} {:>8.1} {:>8.0} {:>8.1} {:>9}",
+                std.name(),
+                c.mean,
+                c.median,
+                c.max,
+                c.share * 100.0,
+                c.ecdf.len()
+            );
+        }
+        out
+    }
+}
+
+/// §3.4's wired-bottleneck statistic: share of WiFi users on plans
+/// ≤ 200 Mbps, overall and for WiFi 6.
+pub fn slow_plan_shares(records: &[TestRecord]) -> (f64, f64) {
+    let wifi: Vec<_> = records.iter().filter_map(|r| r.wifi()).collect();
+    let overall = wifi.iter().filter(|w| w.plan_mbps <= 200.0).count() as f64
+        / wifi.len().max(1) as f64;
+    let w6: Vec<_> =
+        wifi.iter().filter(|w| w.standard == WifiStandard::Wifi6).collect();
+    let w6_slow =
+        w6.iter().filter(|w| w.plan_mbps <= 200.0).count() as f64 / w6.len().max(1) as f64;
+    (overall, w6_slow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbw_dataset::{DatasetConfig, Generator, Year};
+
+    fn y2021(tests: usize, seed: u64) -> Vec<TestRecord> {
+        Generator::new(DatasetConfig { seed, tests, year: Year::Y2021 }).generate()
+    }
+
+    #[test]
+    fn fig13_generational_ladder() {
+        let records = y2021(400_000, 301);
+        let fig = fig13(&records);
+        let m4 = fig.of(WifiStandard::Wifi4).unwrap().mean;
+        let m5 = fig.of(WifiStandard::Wifi5).unwrap().mean;
+        let m6 = fig.of(WifiStandard::Wifi6).unwrap().mean;
+        assert!((m4 - 59.0).abs() < 12.0, "W4 {m4}");
+        assert!((m5 - 208.0).abs() < 28.0, "W5 {m5}");
+        assert!((m6 - 345.0).abs() < 45.0, "W6 {m6}");
+        // Standard shares 57.2 / 31.3 / 11.5%.
+        let s4 = fig.of(WifiStandard::Wifi4).unwrap().share;
+        assert!((s4 - 0.572).abs() < 0.02, "share {s4}");
+    }
+
+    #[test]
+    fn fig14_24ghz_subset() {
+        let records = y2021(400_000, 303);
+        let fig = fig14(&records);
+        assert!(fig.of(WifiStandard::Wifi5).is_none(), "WiFi 5 has no 2.4 GHz");
+        let m4 = fig.of(WifiStandard::Wifi4).unwrap().mean;
+        let m6 = fig.of(WifiStandard::Wifi6).unwrap().mean;
+        assert!((m4 - 39.0).abs() < 8.0, "W4@2.4 {m4}");
+        assert!((m6 - 83.0).abs() < 20.0, "W6@2.4 {m6}");
+    }
+
+    #[test]
+    fn fig15_wifi4_nearly_matches_wifi5_on_5ghz() {
+        let records = y2021(500_000, 307);
+        let fig = fig15(&records);
+        let m4 = fig.of(WifiStandard::Wifi4).unwrap().mean;
+        let m5 = fig.of(WifiStandard::Wifi5).unwrap().mean;
+        let m6 = fig.of(WifiStandard::Wifi6).unwrap().mean;
+        // §3.4: "fairly close over the 5 GHz band — 195 vs 208 Mbps".
+        assert!((m4 - 195.0).abs() < 30.0, "W4@5 {m4}");
+        assert!((m5 - 208.0).abs() < 28.0, "W5@5 {m5}");
+        assert!((m4 - m5).abs() / m5 < 0.18, "W4≈W5 over 5 GHz: {m4} vs {m5}");
+        assert!((m6 - 351.0).abs() < 50.0, "W6@5 {m6}");
+    }
+
+    #[test]
+    fn slow_plans_dominate_except_wifi6() {
+        let records = y2021(300_000, 311);
+        let (overall, w6) = slow_plan_shares(&records);
+        assert!((overall - 0.64).abs() < 0.06, "overall {overall}");
+        assert!((w6 - 0.39).abs() < 0.06, "wifi6 {w6}");
+    }
+
+    #[test]
+    fn render_lists_all_standards() {
+        let records = y2021(60_000, 313);
+        let text = fig13(&records).render();
+        for std in WifiStandard::ALL {
+            assert!(text.contains(std.name()), "{text}");
+        }
+    }
+}

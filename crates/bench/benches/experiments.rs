@@ -1,0 +1,182 @@
+//! One Criterion benchmark per paper table and figure.
+//!
+//! Each benchmark regenerates its experiment end-to-end at a CI-sized
+//! scale (the `figures` binary produces the full-size reports). The
+//! point of benching the regeneration is twofold: it keeps every
+//! experiment exercised under `cargo bench --workspace`, and it tracks
+//! the cost of the pipelines themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbw_analysis::{cellular, overview, pdfs, tables, wifi, Render};
+use mbw_bench::{ablation, bts_eval, deploy_eval, fig17, measurement};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+/// Shared small populations so dataset generation cost isn't re-paid in
+/// every measurement benchmark's iteration loop.
+fn pops() -> &'static measurement::Populations {
+    static POPS: OnceLock<measurement::Populations> = OnceLock::new();
+    POPS.get_or_init(|| measurement::populations(25_000, 0xBE11C))
+}
+
+macro_rules! measurement_bench {
+    ($fn_name:ident, $id:literal, $body:expr) => {
+        fn $fn_name(c: &mut Criterion) {
+            let p = pops();
+            let mut group = c.benchmark_group("tables_and_figures");
+            group.sample_size(10);
+            group.bench_function($id, |b| b.iter(|| black_box($body(p))));
+            group.finish();
+        }
+    };
+}
+
+measurement_bench!(bench_table1, "table1", |_p| tables::Table1.render());
+measurement_bench!(bench_table2, "table2", |_p| tables::Table2.render());
+measurement_bench!(bench_fig01, "fig01", |p: &measurement::Populations| overview::fig01(
+    &p.y2020, &p.y2021
+));
+measurement_bench!(bench_fig02, "fig02", |p: &measurement::Populations| overview::fig02(
+    &p.y2021
+));
+measurement_bench!(bench_fig03, "fig03", |p: &measurement::Populations| overview::fig03(
+    &p.y2021
+));
+measurement_bench!(bench_fig04, "fig04", |p: &measurement::Populations| cellular::fig04(
+    &p.y2021
+));
+measurement_bench!(bench_fig05, "fig05", |p: &measurement::Populations| {
+    cellular::fig05_06(&p.y2021)
+});
+measurement_bench!(bench_fig06, "fig06", |p: &measurement::Populations| {
+    cellular::fig05_06(&p.y2021)
+});
+measurement_bench!(bench_fig07, "fig07", |p: &measurement::Populations| cellular::fig07(
+    &p.y2021
+));
+measurement_bench!(bench_fig08, "fig08", |p: &measurement::Populations| {
+    cellular::fig08_09(&p.y2021)
+});
+measurement_bench!(bench_fig09, "fig09", |p: &measurement::Populations| {
+    cellular::fig08_09(&p.y2021)
+});
+measurement_bench!(bench_fig10, "fig10", |p: &measurement::Populations| cellular::fig10(
+    &p.y2021
+));
+measurement_bench!(bench_fig11, "fig11", |p: &measurement::Populations| {
+    cellular::fig11_12(&p.y2021)
+});
+measurement_bench!(bench_fig12, "fig12", |p: &measurement::Populations| {
+    cellular::fig11_12(&p.y2021)
+});
+measurement_bench!(bench_fig13, "fig13", |p: &measurement::Populations| wifi::fig13(
+    &p.y2021
+));
+measurement_bench!(bench_fig14, "fig14", |p: &measurement::Populations| wifi::fig14(
+    &p.y2021
+));
+measurement_bench!(bench_fig15, "fig15", |p: &measurement::Populations| wifi::fig15(
+    &p.y2021
+));
+measurement_bench!(bench_fig16, "fig16", |p: &measurement::Populations| pdfs::fig16(
+    &p.y2021
+));
+measurement_bench!(bench_fig18, "fig18", |p: &measurement::Populations| pdfs::fig18(
+    &p.y2021
+));
+measurement_bench!(bench_fig19, "fig19", |p: &measurement::Populations| pdfs::fig19(
+    &p.y2021
+));
+
+fn bench_fig17(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables_and_figures");
+    group.sample_size(10);
+    group.bench_function("fig17", |b| b.iter(|| black_box(fig17::fig17(2, 0x17))));
+    group.finish();
+}
+
+fn bench_fig20(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables_and_figures");
+    group.sample_size(10);
+    group.bench_function("fig20", |b| b.iter(|| black_box(bts_eval::fig20(5, 0x20))));
+    group.finish();
+}
+
+fn bench_fig21(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables_and_figures");
+    group.sample_size(10);
+    group.bench_function("fig21", |b| b.iter(|| black_box(bts_eval::fig21(3, 0x21))));
+    group.finish();
+}
+
+fn bench_fig22(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables_and_figures");
+    group.sample_size(10);
+    group.bench_function("fig22", |b| b.iter(|| black_box(bts_eval::fig22(3, 0x22))));
+    group.finish();
+}
+
+fn bench_fig23_25(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables_and_figures");
+    group.sample_size(10);
+    for id in ["fig23", "fig24", "fig25"] {
+        group.bench_function(id, |b| b.iter(|| black_box(bts_eval::fig23_25(2, 0x23))));
+    }
+    group.finish();
+}
+
+fn bench_fig26(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables_and_figures");
+    group.sample_size(10);
+    group.bench_function("fig26", |b| b.iter(|| black_box(deploy_eval::fig26(2, 0x26))));
+    group.finish();
+}
+
+fn bench_cost_and_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables_and_figures");
+    group.sample_size(10);
+    group.bench_function("cost", |b| b.iter(|| black_box(deploy_eval::cost_report(0xC0))));
+    group.bench_function("ablation_ilp", |b| {
+        b.iter(|| black_box(ablation::ablation_ilp(0xAB4)))
+    });
+    group.bench_function("ablation_init", |b| {
+        b.iter(|| black_box(ablation::ablation_init(4, 0xAB1)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets =
+    bench_table1,
+    bench_table2,
+    bench_fig01,
+    bench_fig02,
+    bench_fig03,
+    bench_fig04,
+    bench_fig05,
+    bench_fig06,
+    bench_fig07,
+    bench_fig08,
+    bench_fig09,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14,
+    bench_fig15,
+    bench_fig16,
+    bench_fig17,
+    bench_fig18,
+    bench_fig19,
+    bench_fig20,
+    bench_fig21,
+    bench_fig22,
+    bench_fig23_25,
+    bench_fig26,
+    bench_cost_and_ablation,
+}
+criterion_main!(experiments);

@@ -1,0 +1,145 @@
+//! Micro-benchmarks for the substrate layers: how expensive the pieces
+//! every experiment leans on are (GMM fitting/sampling, estimators,
+//! simulator rounds, dataset generation).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mbw_congestion::{CcAlgorithm, MultiFlowConfig, MultiFlowSim};
+use mbw_core::estimator::{BandwidthEstimator, ConvergenceEstimator, CrucialIntervalEstimator, GroupedTrimmedMean};
+use mbw_dataset::{DatasetConfig, Generator, Year};
+use mbw_netsim::{Link, LinkConfig, PathConfig, PathModel, SimTime};
+use mbw_stats::{Gmm, GmmFitConfig, SeededRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_gmm(c: &mut Criterion) {
+    let truth =
+        Gmm::from_triples(&[(0.5, 100.0, 20.0), (0.3, 300.0, 30.0), (0.2, 500.0, 40.0)])
+            .expect("valid");
+    let mut rng = SeededRng::new(7);
+    let data = truth.sample_n(&mut rng, 5_000);
+
+    let mut group = c.benchmark_group("gmm");
+    group.sample_size(10);
+    group.bench_function("fit_k3_5000pts", |b| {
+        b.iter(|| {
+            Gmm::fit(black_box(&data), &GmmFitConfig { components: 3, ..Default::default() })
+                .expect("fits")
+        })
+    });
+    group.bench_function("sample_10k", |b| {
+        let mut rng = SeededRng::new(9);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += truth.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("pdf_eval_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..10_000 {
+                acc += truth.pdf(i as f64 / 10.0);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..200).map(|i| 100.0 + (i as f64 * 0.7).sin() * 10.0).collect();
+    let mut group = c.benchmark_group("estimators");
+    group.sample_size(20);
+    group.bench_function("grouped_trimmed_200", |b| {
+        b.iter_batched(
+            GroupedTrimmedMean::bts_app,
+            |mut est| {
+                for &s in &samples {
+                    black_box(est.push(s));
+                }
+                est.finalize()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("convergence_200", |b| {
+        b.iter_batched(
+            ConvergenceEstimator::swiftest,
+            |mut est| {
+                for &s in &samples {
+                    black_box(est.push(s));
+                }
+                est.finalize()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("crucial_interval_200", |b| {
+        b.iter_batched(
+            CrucialIntervalEstimator::fastbts,
+            |mut est| {
+                for &s in &samples {
+                    black_box(est.push(s));
+                }
+                est.finalize()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim");
+    group.sample_size(20);
+    group.bench_function("link_send_10k_packets", |b| {
+        b.iter_batched(
+            || Link::new(LinkConfig::default()),
+            |mut link| {
+                for i in 0..10_000u64 {
+                    black_box(link.send(SimTime::from_micros(i), 1500));
+                }
+                link.stats()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("multiflow_10s_cubic", |b| {
+        b.iter(|| {
+            let path =
+                PathModel::new(PathConfig::constant(100e6, Duration::from_millis(40)));
+            let mut sim = MultiFlowSim::new(path, MultiFlowConfig::default());
+            sim.add_flow(CcAlgorithm::Cubic);
+            sim.run_until(Duration::from_secs(10));
+            black_box(sim.totals())
+        })
+    });
+    group.finish();
+}
+
+fn bench_dataset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset");
+    group.sample_size(10);
+    group.bench_function("generate_10k_records", |b| {
+        b.iter(|| {
+            let mut generator = Generator::new(DatasetConfig {
+                seed: 0xBE7,
+                tests: 10_000,
+                year: Year::Y2021,
+            });
+            black_box(generator.generate().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_gmm, bench_estimators, bench_netsim, bench_dataset
+}
+criterion_main!(benches);

@@ -1,0 +1,218 @@
+//! Design-choice ablations (listed in DESIGN.md).
+//!
+//! Each ablation swaps one element of Swiftest's design for an obvious
+//! alternative and measures what the paper's metrics (duration, data,
+//! accuracy) lose:
+//!
+//! 1. **Initial probing rate** — GMM dominant mode vs "start from
+//!    1 Mbps and grow" (slow-start-like) vs "start from the population
+//!    mean" (single-Gaussian model).
+//! 2. **Convergence rule** — the 10-sample/3% window vs looser and
+//!    tighter variants.
+//! 3. **Escalation** — jump to the next most probable larger mode vs a
+//!    fixed 1.25× multiplicative increase.
+//! 4. **Purchase optimiser** — branch-and-bound ILP vs the greedy
+//!    cost-per-bit heuristic.
+
+use mbw_core::estimator::ConvergenceEstimator;
+use mbw_core::probe::{run_swiftest, SwiftestConfig};
+use mbw_core::{AccessScenario, TechClass};
+use mbw_deploy::{solve_greedy, solve_ilp, synthetic_catalog, PurchaseProblem};
+use mbw_stats::{descriptive, Gmm};
+use std::fmt::Write as _;
+
+/// Outcome of one Swiftest variant over a batch of drawn links.
+#[derive(Debug, Clone)]
+pub struct VariantOutcome {
+    /// Variant label.
+    pub label: String,
+    /// Mean probing time, seconds.
+    pub mean_duration_s: f64,
+    /// Mean data usage, MB.
+    pub mean_data_mb: f64,
+    /// Mean accuracy against the drawn link's true capacity.
+    pub mean_accuracy: f64,
+}
+
+fn run_variant(
+    label: &str,
+    tech: TechClass,
+    model: &Gmm,
+    estimator_factory: &dyn Fn() -> ConvergenceEstimator,
+    config: &SwiftestConfig,
+    n: usize,
+    seed: u64,
+) -> VariantOutcome {
+    let scenario = AccessScenario::default_for(tech);
+    let mut durations = Vec::new();
+    let mut data = Vec::new();
+    let mut acc = Vec::new();
+    for i in 0..n {
+        let drawn = scenario.draw(seed.wrapping_add(i as u64 * 37));
+        let mut est = estimator_factory();
+        let r = run_swiftest(drawn.build(), model, &mut est, config, seed ^ i as u64);
+        durations.push(r.duration.as_secs_f64());
+        data.push(r.data_bytes / 1e6);
+        acc.push(
+            (1.0 - descriptive::relative_deviation(r.estimate_mbps, drawn.truth_mbps)).max(0.0),
+        );
+    }
+    VariantOutcome {
+        label: label.to_string(),
+        mean_duration_s: descriptive::mean(&durations),
+        mean_data_mb: descriptive::mean(&data),
+        mean_accuracy: descriptive::mean(&acc),
+    }
+}
+
+/// Ablation 1: initial probing rate.
+pub fn ablation_init(n: usize, seed: u64) -> Vec<VariantOutcome> {
+    let tech = TechClass::Nr;
+    let full = tech.default_model();
+    // "No prior": start at 1 Mbps with nothing but multiplicative growth
+    // — probing degenerates to an application-layer slow start.
+    let blind = Gmm::from_triples(&[(1.0, 1.0, 0.2)]).expect("valid");
+    // "Mean prior": a single Gaussian at the population mean.
+    let mean_only =
+        Gmm::from_triples(&[(1.0, full.mean(), full.variance().sqrt())]).expect("valid");
+    let cfg = SwiftestConfig::default();
+    let est = || ConvergenceEstimator::swiftest();
+    vec![
+        run_variant("gmm-dominant-mode", tech, &full, &est, &cfg, n, seed),
+        run_variant("population-mean", tech, &mean_only, &est, &cfg, n, seed),
+        run_variant("blind-rampup", tech, &blind, &est, &cfg, n, seed),
+    ]
+}
+
+/// Ablation 2: convergence rule.
+pub fn ablation_converge(n: usize, seed: u64) -> Vec<VariantOutcome> {
+    let tech = TechClass::Nr;
+    let model = tech.default_model();
+    let cfg = SwiftestConfig::default();
+    let mk = |label: &str, window: usize, tol: f64, n: usize, seed: u64| {
+        run_variant(
+            label,
+            tech,
+            &model,
+            &move || ConvergenceEstimator::new(window, tol, 0),
+            &cfg,
+            n,
+            seed,
+        )
+    };
+    vec![
+        mk("w10-t3% (paper)", 10, 0.03, n, seed),
+        mk("w5-t5% (loose)", 5, 0.05, n, seed),
+        mk("w20-t1% (strict)", 20, 0.01, n, seed),
+    ]
+}
+
+/// Ablation 3: escalation policy.
+pub fn ablation_escalate(n: usize, seed: u64) -> Vec<VariantOutcome> {
+    let tech = TechClass::Nr;
+    let model = tech.default_model();
+    let est = || ConvergenceEstimator::swiftest();
+    let modal = SwiftestConfig::default();
+    // Fixed multiplicative growth: ignore the larger modes; always ×1.25.
+    let single_mode =
+        Gmm::from_triples(&[(1.0, model.dominant_mode(), 1.0)]).expect("valid");
+    let fixed = SwiftestConfig { beyond_mode_growth: 1.25, ..SwiftestConfig::default() };
+    vec![
+        run_variant("modal-jumps (paper)", tech, &model, &est, &modal, n, seed),
+        run_variant("fixed-1.25x", tech, &single_mode, &est, &fixed, n, seed),
+    ]
+}
+
+/// Render a variant table.
+pub fn render_variants(title: &str, variants: &[VariantOutcome]) -> String {
+    let mut out = format!("{title}\n");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>9} {:>9} {:>9}",
+        "variant", "time s", "data MB", "accuracy"
+    );
+    for v in variants {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>9.2} {:>9.1} {:>9.3}",
+            v.label, v.mean_duration_s, v.mean_data_mb, v.mean_accuracy
+        );
+    }
+    out
+}
+
+/// Ablation 4: ILP vs greedy purchase, over a sweep of demands.
+/// Returns `(demand Mbps, greedy cost, ilp cost)`.
+pub fn ablation_ilp(seed: u64) -> Vec<(f64, f64, f64)> {
+    let catalog = synthetic_catalog(seed);
+    [900.0, 1_900.0, 4_700.0, 11_300.0, 23_500.0]
+        .iter()
+        .map(|&demand| {
+            let p = PurchaseProblem { offers: catalog.clone(), demand_mbps: demand, margin: 0.08 };
+            let greedy = solve_greedy(&p).expect("greedy feasible");
+            let ilp = solve_ilp(&p).expect("ilp feasible");
+            (demand, greedy.total_cost, ilp.total_cost)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmm_prior_beats_blind_rampup_on_time() {
+        let variants = ablation_init(25, 4000);
+        let gmm = &variants[0];
+        let blind = &variants[2];
+        assert!(
+            gmm.mean_duration_s < blind.mean_duration_s,
+            "gmm {} !< blind {}",
+            gmm.mean_duration_s,
+            blind.mean_duration_s
+        );
+        // All variants stay reasonably accurate — the prior buys time,
+        // not correctness.
+        for v in &variants {
+            assert!(v.mean_accuracy > 0.75, "{}: {}", v.label, v.mean_accuracy);
+        }
+    }
+
+    #[test]
+    fn strict_convergence_costs_time() {
+        let variants = ablation_converge(25, 4100);
+        let paper = &variants[0];
+        let strict = &variants[2];
+        assert!(strict.mean_duration_s > paper.mean_duration_s);
+        let loose = &variants[1];
+        assert!(loose.mean_duration_s <= paper.mean_duration_s + 0.05);
+    }
+
+    #[test]
+    fn modal_escalation_is_no_slower_than_fixed_growth() {
+        let variants = ablation_escalate(25, 4200);
+        let modal = &variants[0];
+        let fixed = &variants[1];
+        assert!(
+            modal.mean_duration_s <= fixed.mean_duration_s * 1.1,
+            "modal {} vs fixed {}",
+            modal.mean_duration_s,
+            fixed.mean_duration_s
+        );
+        assert!(modal.mean_accuracy >= fixed.mean_accuracy - 0.05);
+    }
+
+    #[test]
+    fn ilp_never_loses_to_greedy() {
+        for (demand, greedy, ilp) in ablation_ilp(4300) {
+            assert!(ilp <= greedy + 1e-6, "demand {demand}: ilp {ilp} > greedy {greedy}");
+        }
+    }
+
+    #[test]
+    fn variant_rendering() {
+        let text = render_variants("test", &ablation_escalate(3, 1));
+        assert!(text.contains("accuracy"));
+        assert!(text.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,128 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! figures               # everything, full-size populations
+//! figures fig04 fig17   # selected experiments
+//! figures --quick       # everything, small populations (CI-sized)
+//! ```
+//!
+//! Each experiment's text report is printed and written to
+//! `results/<id>.txt`.
+
+use mbw_bench::{ablation, bts_eval, deploy_eval, fig17, measurement};
+use std::fs;
+use std::path::Path;
+
+struct Sizes {
+    dataset: usize,
+    fig17_paths: usize,
+    bts_tests: usize,
+    replay_days: u32,
+}
+
+const FULL: Sizes =
+    Sizes { dataset: 400_000, fig17_paths: 24, bts_tests: 150, replay_days: 30 };
+const QUICK: Sizes =
+    Sizes { dataset: 60_000, fig17_paths: 6, bts_tests: 30, replay_days: 5 };
+
+/// Every experiment id, in paper order.
+const ALL_IDS: [&str; 28] = [
+    "table1", "table2", "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
+    "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25",
+    "fig26",
+];
+
+/// Extra (non-figure) reports.
+const EXTRA_IDS: [&str; 10] = [
+    "general",
+    "summary",
+    "devices",
+    "cost",
+    "ablation_init",
+    "ablation_converge",
+    "ablation_escalate",
+    "tcp_variant",
+    "mmwave",
+    "export_csv",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let sizes = if quick { QUICK } else { FULL };
+    let selected: Vec<String> =
+        args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let ids: Vec<String> = if selected.is_empty() {
+        ALL_IDS.iter().chain(EXTRA_IDS.iter()).map(|s| s.to_string()).collect()
+    } else {
+        selected
+    };
+
+    let out_dir = Path::new("results");
+    fs::create_dir_all(out_dir).expect("create results/");
+
+    // The measurement populations are shared by figs 1–16/18–19.
+    let needs_dataset = ids.iter().any(|id| {
+        measurement::MEASUREMENT_IDS.contains(&id.as_str())
+            || measurement::PDF_IDS.contains(&id.as_str())
+            || matches!(id.as_str(), "devices" | "export_csv" | "summary")
+    });
+    let pops = needs_dataset.then(|| {
+        eprintln!("generating {} records per year...", sizes.dataset);
+        measurement::populations(sizes.dataset, 0xDA7A)
+    });
+
+    // Figs 23–25 share one run.
+    let mut fig23_25_cache: Option<bts_eval::Fig23to25> = None;
+
+    for id in &ids {
+        let text = match id.as_str() {
+            m if measurement::MEASUREMENT_IDS.contains(&m)
+                || measurement::PDF_IDS.contains(&m)
+                || matches!(m, "devices" | "export_csv" | "summary") =>
+            {
+                measurement::render_measurement(m, pops.as_ref().expect("generated above"))
+                    .expect("known measurement id")
+            }
+            "fig17" => fig17::fig17(sizes.fig17_paths, 0x17).render(),
+            "fig20" => bts_eval::fig20(sizes.bts_tests, 0x20).render(),
+            "fig21" => bts_eval::fig21(sizes.bts_tests, 0x21).render(),
+            "fig22" => bts_eval::fig22(sizes.bts_tests, 0x22).render(),
+            "fig23" | "fig24" | "fig25" => fig23_25_cache
+                .get_or_insert_with(|| bts_eval::fig23_25(sizes.bts_tests.min(80), 0x23))
+                .render(),
+            "fig26" => deploy_eval::fig26(sizes.replay_days, 0x26).render(),
+            "cost" => deploy_eval::cost_report(0xC0).render(),
+            "ablation_init" => ablation::render_variants(
+                "Ablation: initial probing rate",
+                &ablation::ablation_init(sizes.bts_tests.min(60), 0xAB1),
+            ),
+            "ablation_converge" => ablation::render_variants(
+                "Ablation: convergence rule",
+                &ablation::ablation_converge(sizes.bts_tests.min(60), 0xAB2),
+            ),
+            "ablation_escalate" => ablation::render_variants(
+                "Ablation: escalation policy",
+                &ablation::ablation_escalate(sizes.bts_tests.min(60), 0xAB3),
+            ),
+            "tcp_variant" => {
+                bts_eval::tcp_variant_comparison(sizes.bts_tests.min(60), 0x7C9).render()
+            }
+            "mmwave" => bts_eval::mmwave_report(sizes.bts_tests.min(80), 0x33A),
+            other => {
+                eprintln!("unknown experiment id: {other}");
+                std::process::exit(2);
+            }
+        };
+        let ext = if id == "export_csv" { "csv" } else { "txt" };
+        let path = out_dir.join(format!("{id}.{ext}"));
+        fs::write(&path, &text).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        println!("──── {id} ─────────────────────────────────────────");
+        if id == "export_csv" {
+            println!("({} rows written to {path:?})", text.lines().count() - 1);
+        } else {
+            println!("{text}");
+        }
+    }
+}

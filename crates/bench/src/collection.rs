@@ -1,0 +1,140 @@
+//! The closed measurement loop: the §2 data-collection plugin, end to
+//! end.
+//!
+//! The paper's pipeline is circular: the BTS app runs tests and the
+//! plugin collects cross-layer context → the analysis fits per-technology
+//! bandwidth models → Swiftest probes with those models → its results
+//! (with context) feed the next model refresh ("updating the statistical
+//! model periodically", §5.1). This module closes that loop inside the
+//! simulation: run real (simulated) Swiftest tests over drawn links,
+//! emit proper [`TestRecord`]s with the context a plugin would capture,
+//! and refresh the model from them.
+
+use mbw_core::estimator::ConvergenceEstimator;
+use mbw_core::probe::{run_swiftest, SwiftestConfig};
+use mbw_core::{AccessScenario, TechClass};
+use mbw_dataset::types::CellBand;
+use mbw_dataset::{
+    AccessTech, CellInfo, CityTier, DeviceTier, Isp, LinkInfo, NrBandId, TestRecord, Year,
+};
+use mbw_stats::{Gmm, SeededRng};
+
+/// Run `n` simulated Swiftest tests with the given model and wrap each
+/// result in the record the collection plugin would upload.
+///
+/// The cellular context is synthesised to be *consistent with the drawn
+/// link* (a faster draw reports better RSS/SNR), which is all the model
+/// refresh consumes.
+pub fn collect_records(
+    tech: TechClass,
+    model: &Gmm,
+    n: usize,
+    seed: u64,
+) -> Vec<TestRecord> {
+    let scenario = AccessScenario { model: model.clone(), ..AccessScenario::default_for(tech) };
+    let mut rng = SeededRng::new(seed ^ 0xC011EC7);
+    let mut records = Vec::with_capacity(n);
+    for i in 0..n {
+        let drawn = scenario.draw(seed.wrapping_add(i as u64 * 53));
+        let mut est = ConvergenceEstimator::swiftest();
+        let result = run_swiftest(
+            drawn.build(),
+            model,
+            &mut est,
+            &SwiftestConfig::default(),
+            seed ^ i as u64,
+        );
+        // Context a plugin would read off the modem: RSS consistent with
+        // the link quality (quantile of truth within the population).
+        let q = model.cdf(drawn.truth_mbps);
+        let rss_level = (1.0 + q * 4.0).round().clamp(1.0, 5.0) as u8;
+        let band = if drawn.truth_mbps < 150.0 { NrBandId::N1 } else { NrBandId::N78 };
+        records.push(TestRecord {
+            bandwidth_mbps: result.estimate_mbps,
+            tech: match tech {
+                TechClass::Lte => AccessTech::Cellular4g,
+                TechClass::Nr => AccessTech::Cellular5g,
+                TechClass::Wifi => AccessTech::Wifi,
+            },
+            isp: *rng.choose(&[Isp::Isp1, Isp::Isp2, Isp::Isp3]),
+            year: Year::Y2021,
+            city_id: rng.index(326) as u16,
+            city_tier: *rng.choose(&[CityTier::Mega, CityTier::Medium, CityTier::Small]),
+            urban: rng.chance(0.7),
+            hour: rng.index(24) as u8,
+            android_version: 9 + rng.index(4) as u8,
+            device_model: rng.index(2381) as u16,
+            device_tier: *rng.choose(&[DeviceTier::Low, DeviceTier::Mid, DeviceTier::High]),
+            link: LinkInfo::Cell(CellInfo {
+                band: CellBand::Nr(band),
+                rss_level,
+                rss_dbm: -115.0 + 10.0 * rss_level as f64,
+                snr_db: 5.0 + 7.5 * (rss_level as f64 - 1.0),
+                bs_id: rng.index(2_041_586) as u32,
+                arfcn: 33_000 + rng.index(5000) as u32,
+                lte_advanced: false,
+            }),
+        });
+    }
+    records
+}
+
+/// One model-refresh iteration: collect → fit → return the new model.
+pub fn refresh_model(tech: TechClass, model: &Gmm, n: usize, seed: u64) -> Option<Gmm> {
+    let records = collect_records(tech, model, n, seed);
+    let bw: Vec<f64> = records.iter().map(|r| r.bandwidth_mbps).filter(|&b| b > 0.0).collect();
+    Gmm::fit_auto(&bw, 5, seed ^ 0xF17).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbw_stats::descriptive;
+
+    #[test]
+    fn collected_records_carry_consistent_context() {
+        let model = TechClass::Nr.default_model();
+        let records = collect_records(TechClass::Nr, &model, 60, 9001);
+        assert_eq!(records.len(), 60);
+        // RSS should correlate with the measured bandwidth (the plugin's
+        // whole point: context that explains the result).
+        let xs: Vec<f64> = records
+            .iter()
+            .map(|r| r.cell().expect("cellular record").rss_level as f64)
+            .collect();
+        let ys: Vec<f64> = records.iter().map(|r| r.bandwidth_mbps).collect();
+        let r = descriptive::pearson(&xs, &ys).expect("correlation defined");
+        assert!(r > 0.4, "RSS~bandwidth r = {r}");
+    }
+
+    #[test]
+    fn model_refresh_loop_is_stable() {
+        // §5.1: distributions are stable on a moderate time scale, so
+        // refreshing the model from its own measurements must not drift:
+        // two refresh generations keep the population mean within 15%.
+        let initial = TechClass::Nr.default_model();
+        let gen1 = refresh_model(TechClass::Nr, &initial, 400, 42).expect("fit 1");
+        let gen2 = refresh_model(TechClass::Nr, &gen1, 400, 43).expect("fit 2");
+        let drift1 = (gen1.mean() - initial.mean()).abs() / initial.mean();
+        let drift2 = (gen2.mean() - gen1.mean()).abs() / gen1.mean();
+        assert!(drift1 < 0.15, "generation 1 drift {drift1}");
+        assert!(drift2 < 0.15, "generation 2 drift {drift2}");
+        // And the refreshed model still probes well.
+        let scenario = AccessScenario {
+            model: gen2.clone(),
+            ..AccessScenario::default_for(TechClass::Nr)
+        };
+        let drawn = scenario.draw(7);
+        let mut est = ConvergenceEstimator::swiftest();
+        let r = run_swiftest(drawn.build(), &gen2, &mut est, &SwiftestConfig::default(), 7);
+        assert!(r.estimate_mbps > 0.0);
+        assert!(r.duration.as_secs_f64() < 4.6);
+    }
+
+    #[test]
+    fn refreshed_model_is_multimodal_like_the_population() {
+        let initial = TechClass::Nr.default_model();
+        let refreshed = refresh_model(TechClass::Nr, &initial, 600, 77).expect("fit");
+        assert!(refreshed.k() >= 2, "k = {}", refreshed.k());
+    }
+}

@@ -1,0 +1,126 @@
+//! Fig 26 and the §5.3 infrastructure-cost comparison.
+
+use mbw_deploy::utilization::{cost_comparison, ReplayConfig};
+use mbw_deploy::{replay_month, solve_ilp, synthetic_catalog, PurchaseProblem, WorkloadEstimate};
+use std::fmt::Write as _;
+
+/// Fig 26 output: the utilisation CDF annotations plus the cost result.
+#[derive(Debug, Clone)]
+pub struct Fig26 {
+    /// `(median, mean, p99, p999, max)` busy-second utilisation, %.
+    pub summary: (f64, f64, f64, f64, f64),
+    /// Fraction of seconds with any load at all.
+    pub busy_fraction: f64,
+    /// `(x%, CDF)` series over busy seconds.
+    pub series: Vec<(f64, f64)>,
+}
+
+/// Run the month-long replay (scaled to `days`).
+pub fn fig26(days: u32, seed: u64) -> Fig26 {
+    let mut config = ReplayConfig::swiftest_paper(seed);
+    config.days = days;
+    let report = replay_month(&config);
+    let ecdf = report.ecdf();
+    let series = ecdf
+        .series(40)
+        .into_iter()
+        .map(|(x, f)| (x * 100.0, f))
+        .collect();
+    Fig26 { summary: report.summary_percent(), busy_fraction: report.busy_fraction, series }
+}
+
+impl Fig26 {
+    /// Text report.
+    pub fn render(&self) -> String {
+        let (median, mean, p99, p999, max) = self.summary;
+        let mut out = String::from("Fig 26: Swiftest server bandwidth utilisation (busy seconds)\n");
+        let _ = writeln!(
+            out,
+            "median = {median:.1}%  mean = {mean:.1}%  P99 = {p99:.1}%  P999 = {p999:.1}%  max = {max:.1}%"
+        );
+        let _ = writeln!(out, "busy seconds: {:.1}% of the month", self.busy_fraction * 100.0);
+        for (x, f) in &self.series {
+            let _ = writeln!(out, "{:>7.1}%  CDF {:>6.3}", x, f);
+        }
+        out
+    }
+}
+
+/// The §5.3 cost table: BTS-APP's 50 × 1 Gbps allocation vs Swiftest's
+/// ILP purchase, plus the plan details.
+#[derive(Debug, Clone)]
+pub struct CostReport {
+    /// BTS-APP's monthly spend, USD.
+    pub bts_app_cost: f64,
+    /// Swiftest's monthly spend, USD.
+    pub swiftest_cost: f64,
+    /// Reduction factor.
+    pub ratio: f64,
+    /// Swiftest's fleet: `(offer id, units)`.
+    pub plan: Vec<(u32, u32)>,
+    /// Swiftest's fleet capacity, Mbps.
+    pub fleet_mbps: f64,
+}
+
+/// Compute the cost comparison and the underlying plan.
+pub fn cost_report(seed: u64) -> CostReport {
+    let (bts, swift) = cost_comparison(seed);
+    let catalog: Vec<_> = synthetic_catalog(seed)
+        .into_iter()
+        .filter(|o| o.bandwidth_mbps <= 300.0)
+        .collect();
+    let demand = WorkloadEstimate::swiftest_paper().provisioning_demand_mbps();
+    let plan = solve_ilp(&PurchaseProblem { offers: catalog, demand_mbps: demand, margin: 0.08 })
+        .expect("paper workload is purchasable");
+    CostReport {
+        bts_app_cost: bts,
+        swiftest_cost: swift,
+        ratio: bts / swift,
+        plan: plan.purchases.clone(),
+        fleet_mbps: plan.total_bandwidth_mbps,
+    }
+}
+
+impl CostReport {
+    /// Text report.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Infrastructure cost (per month, §5.3)\n");
+        let _ = writeln!(out, "BTS-APP  (50 × 1 Gbps):  ${:>8.2}", self.bts_app_cost);
+        let _ = writeln!(
+            out,
+            "Swiftest (ILP, {:.0} Mbps): ${:>8.2}",
+            self.fleet_mbps, self.swiftest_cost
+        );
+        let _ = writeln!(out, "reduction: {:.1}x", self.ratio);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig26_annotations_have_fig_shape() {
+        let fig = fig26(10, 42);
+        let (median, mean, p99, _p999, max) = fig.summary;
+        assert!(median < mean, "skewed right: {median} vs {mean}");
+        assert!(mean < p99 && p99 < max);
+        assert!((1.0..=15.0).contains(&median), "median {median}");
+        assert!(p99 < 80.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn cost_reduction_matches_paper_scale() {
+        let report = cost_report(7);
+        assert!((8.0..=30.0).contains(&report.ratio), "ratio {}", report.ratio);
+        assert!(report.fleet_mbps >= 1_900.0);
+        assert!(!report.plan.is_empty());
+    }
+
+    #[test]
+    fn renders() {
+        assert!(fig26(3, 1).render().contains("P99"));
+        assert!(cost_report(2).render().contains("reduction"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Fig 17: TCP slow-start / ramp-up time per congestion controller.
+//!
+//! The paper configured Cubic / Reno / BBR on production servers and
+//! measured slow-start duration with `tcp_probe` across access
+//! bandwidths. Here each data point runs the round-based flow simulation
+//! over paths drawn with realistic RTTs, spurious wireless loss, and a
+//! radio-scheduler ramp; the metric is the time until the 50 ms goodput
+//! samples first reach 90% of the link's nominal rate.
+
+use mbw_congestion::{CcAlgorithm, FlowConfig, FlowSim};
+use mbw_netsim::{ConstantCapacity, PathConfig, PathModel, RampUpCapacity};
+use mbw_stats::{descriptive, SeededRng};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// The paper's x-axis bins (Mbps).
+pub const BANDWIDTH_BINS: [f64; 6] = [100.0, 300.0, 500.0, 700.0, 900.0, 1100.0];
+
+/// Fig 17 data.
+#[derive(Debug, Clone)]
+pub struct Fig17 {
+    /// `(bandwidth bin Mbps, algorithm, mean ramp-up seconds)`.
+    pub rows: Vec<(f64, CcAlgorithm, f64)>,
+}
+
+impl Fig17 {
+    /// Mean ramp time for one `(bin, algorithm)` cell.
+    pub fn cell(&self, bin: f64, alg: CcAlgorithm) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|(b, a, _)| *b == bin && *a == alg)
+            .map(|(_, _, t)| *t)
+    }
+
+    /// Text report.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Fig 17: TCP ramp-up time to 90% of capacity (seconds)\n",
+        );
+        let _ = writeln!(out, "{:<10} {:>8} {:>8} {:>8}", "Mbps", "Cubic", "Reno", "BBR");
+        for &bin in &BANDWIDTH_BINS {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8.2} {:>8.2} {:>8.2}",
+                bin,
+                self.cell(bin, CcAlgorithm::Cubic).unwrap_or(f64::NAN),
+                self.cell(bin, CcAlgorithm::Reno).unwrap_or(f64::NAN),
+                self.cell(bin, CcAlgorithm::Bbr).unwrap_or(f64::NAN),
+            );
+        }
+        out
+    }
+}
+
+/// Time for one flow to first reach `frac` of nominal on a drawn path;
+/// `cap_secs` when it never does within the run.
+fn ramp_time(alg: CcAlgorithm, mbps: f64, seed: u64, cap_secs: f64) -> f64 {
+    let mut rng = SeededRng::new(seed);
+    // Cellular-test path: tens-of-ms RTT, spurious loss, radio ramp.
+    let rtt = rng.uniform_range(0.025, 0.075);
+    // Cellular link-layer retransmission hides most wireless corruption
+    // from TCP; the residual spurious-loss rate is tiny but non-zero.
+    let loss = 10f64.powf(rng.uniform_range(-6.0, -4.6));
+    // The per-UE scheduler grant ramps in rate steps: reaching a 1 Gbps
+    // grant takes longer than a 100 Mbps one (CQI/AMC adaptation + BSR
+    // ramp), so the ramp duration scales sub-linearly with rate.
+    let ramp = rng.uniform_range(0.5, 1.1) * (mbps / 300.0).powf(0.4);
+    let capacity =
+        RampUpCapacity::new(ConstantCapacity(mbps * 1e6), ramp, 0.15);
+    let path = PathModel::new(PathConfig {
+        capacity: Box::new(capacity),
+        base_rtt: Duration::from_secs_f64(rtt),
+        loss_prob: loss,
+        buffer_bdp: 1.0,
+        seed,
+    });
+    let trace = FlowSim::run(
+        path,
+        alg.build(),
+        FlowConfig {
+            max_duration: Duration::from_secs_f64(cap_secs),
+            seed: seed ^ 0xF16,
+            ..Default::default()
+        },
+    );
+    trace
+        .time_to_fraction(mbps * 1e6, 0.90)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(cap_secs)
+}
+
+/// Run the full sweep with `paths_per_point` drawn paths per cell.
+pub fn fig17(paths_per_point: usize, seed: u64) -> Fig17 {
+    let cap = 12.0;
+    let mut rows = Vec::new();
+    for &bin in &BANDWIDTH_BINS {
+        for alg in CcAlgorithm::ALL {
+            let times: Vec<f64> = (0..paths_per_point)
+                .map(|i| ramp_time(alg, bin, seed.wrapping_add(i as u64 * 131), cap))
+                .collect();
+            rows.push((bin, alg, descriptive::mean(&times)));
+        }
+    }
+    Fig17 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig17_shape_matches_paper() {
+        let fig = fig17(12, 1700);
+        // 1. Ramp time grows with bandwidth for every algorithm.
+        for alg in CcAlgorithm::ALL {
+            let low = fig.cell(100.0, alg).unwrap();
+            let high = fig.cell(1100.0, alg).unwrap();
+            assert!(high > low, "{alg}: {low} !< {high}");
+        }
+        // 2. Cubic is obviously the slowest; BBR beats Reno (§5.1).
+        for &bin in &[300.0, 700.0, 1100.0] {
+            let cubic = fig.cell(bin, CcAlgorithm::Cubic).unwrap();
+            let reno = fig.cell(bin, CcAlgorithm::Reno).unwrap();
+            let bbr = fig.cell(bin, CcAlgorithm::Bbr).unwrap();
+            assert!(cubic > reno, "{bin}: cubic {cubic} !> reno {reno}");
+            assert!(reno > bbr, "{bin}: reno {reno} !> bbr {bbr}");
+        }
+        // 3. Magnitudes are whole seconds, eating a large fraction of a
+        //    10 s flooding test (the §5.1 argument for dropping TCP).
+        let bbr_100 = fig.cell(100.0, CcAlgorithm::Bbr).unwrap();
+        assert!((0.3..=4.0).contains(&bbr_100), "BBR@100 {bbr_100}");
+        let cubic_1100 = fig.cell(1100.0, CcAlgorithm::Cubic).unwrap();
+        assert!((2.0..=12.0).contains(&cubic_1100), "Cubic@1100 {cubic_1100}");
+    }
+
+    #[test]
+    fn render_mentions_all_algorithms() {
+        let fig = fig17(3, 3);
+        let text = fig.render();
+        for name in ["Cubic", "Reno", "BBR"] {
+            assert!(text.contains(name));
+        }
+        assert!(text.lines().count() >= BANDWIDTH_BINS.len() + 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = fig17(4, 9);
+        let b = fig17(4, 9);
+        assert_eq!(a.rows.len(), b.rows.len());
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(x.2, y.2);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Tables 1–2 and Figs 1–16 over the synthetic measurement dataset.
+//!
+//! A thin orchestration layer: generate the two yearly populations once
+//! and hand them to the `mbw-analysis` figure functions.
+
+use mbw_analysis::{cellular, devices, general, overview, pdfs, tables, wifi, Render};
+use mbw_dataset::{DatasetConfig, Generator, TestRecord, Year};
+
+/// The two yearly populations every measurement figure consumes.
+pub struct Populations {
+    /// 2020 records (BTS-APP's earlier measurement reports).
+    pub y2020: Vec<TestRecord>,
+    /// The paper's main Aug–Nov 2021 population.
+    pub y2021: Vec<TestRecord>,
+}
+
+/// Generate both populations with `tests` records each.
+pub fn populations(tests: usize, seed: u64) -> Populations {
+    Populations {
+        y2020: Generator::new(DatasetConfig { seed, tests, year: Year::Y2020 }).generate(),
+        y2021: Generator::new(DatasetConfig { seed, tests, year: Year::Y2021 }).generate(),
+    }
+}
+
+/// Render one measurement experiment by id (`table1`, `table2`,
+/// `fig01` … `fig16`, `general`). Returns `None` for unknown ids.
+pub fn render_measurement(id: &str, pops: &Populations) -> Option<String> {
+    let y20 = &pops.y2020;
+    let y21 = &pops.y2021;
+    Some(match id {
+        "table1" => tables::Table1.render(),
+        "table2" => tables::Table2.render(),
+        "fig01" => overview::fig01(y20, y21).render(),
+        "fig02" => overview::fig02(y21).render(),
+        "fig03" => overview::fig03(y21).render(),
+        "fig04" => cellular::fig04(y21).render(),
+        "fig05" | "fig06" => cellular::fig05_06(y21).render(),
+        "fig07" => cellular::fig07(y21).render(),
+        "fig08" | "fig09" => cellular::fig08_09(y21).render(),
+        "fig10" => cellular::fig10(y21).render(),
+        "fig11" | "fig12" => cellular::fig11_12(y21).render(),
+        "fig13" => wifi::fig13(y21).render(),
+        "fig14" => wifi::fig14(y21).render(),
+        "fig15" => wifi::fig15(y21).render(),
+        "fig16" => pdfs::fig16(y21).render(),
+        "fig18" => pdfs::fig18(y21).render(),
+        "fig19" => pdfs::fig19(y21).render(),
+        "general" => {
+            let mut s = general::spatial_disparity(y21).render();
+            s.push_str(&general::urban_rural_gap(y21).render());
+            s.push_str(&general::same_group_decline(y20, y21).render());
+            s.push_str(&general::correlations(y21).render());
+            s
+        }
+        "devices" => {
+            let mut s = String::new();
+            for tech in [
+                mbw_dataset::AccessTech::Cellular4g,
+                mbw_dataset::AccessTech::Cellular5g,
+                mbw_dataset::AccessTech::Wifi,
+            ] {
+                s.push_str(&devices::hardware_illusion(y21, tech).render());
+            }
+            s
+        }
+        "export_csv" => mbw_dataset::csv::to_csv(&y21[..y21.len().min(10_000)]),
+        "summary" => general::dataset_summary(y21).render(),
+        _ => return None,
+    })
+}
+
+/// All measurement experiment ids, in paper order.
+pub const MEASUREMENT_IDS: [&str; 19] = [
+    "table1", "table2", "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
+    "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "general",
+];
+
+/// The cellular-PDF ids rendered from the 2021 population (Figs 18–19
+/// live in §5 but are measurement figures).
+pub const PDF_IDS: [&str; 2] = ["fig18", "fig19"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_measurement_id_renders() {
+        let pops = populations(40_000, 77);
+        for id in MEASUREMENT_IDS.iter().chain(PDF_IDS.iter()) {
+            let text = render_measurement(id, &pops)
+                .unwrap_or_else(|| panic!("unknown id {id}"));
+            assert!(text.len() > 40, "{id} rendered almost nothing");
+        }
+        assert!(render_measurement("fig99", &pops).is_none());
+    }
+
+    #[test]
+    fn populations_have_both_years() {
+        let pops = populations(2_000, 78);
+        assert_eq!(pops.y2020.len(), 2_000);
+        assert_eq!(pops.y2021.len(), 2_000);
+        assert!(pops.y2020.iter().all(|r| r.year == Year::Y2020));
+        assert!(pops.y2021.iter().all(|r| r.year == Year::Y2021));
+    }
+}

@@ -1,0 +1,311 @@
+//! CUBIC congestion control (RFC 8312) with HyStart.
+//!
+//! CUBIC is the default in Linux and therefore the algorithm most of the
+//! paper's TCP tests ran against. Two behaviours matter for Fig 17:
+//!
+//! 1. **HyStart** exits slow start on a delay increase rather than on
+//!    loss. On jittery cellular/WiFi paths HyStart is well known to fire
+//!    *spuriously* — long before the pipe is full — leaving the flow to
+//!    climb the remaining distance with the (slow) cubic polynomial.
+//!    That is the mechanism behind CUBIC's visibly longer ramp-up in the
+//!    paper's measurement.
+//! 2. After a loss, the window is reduced by `β = 0.7` and regrows along
+//!    `W(t) = C·(t − K)³ + W_max`.
+//!
+//! The implementation follows RFC 8312's equations, including the
+//! TCP-friendly region and fast convergence.
+
+use crate::control::{CongestionControl, RoundInput};
+use crate::INITIAL_WINDOW;
+use mbw_stats::SeededRng;
+use std::time::Duration;
+
+/// RFC 8312 constant `C` (segments/s³).
+const CUBIC_C: f64 = 0.4;
+/// RFC 8312 multiplicative decrease factor.
+const BETA: f64 = 0.7;
+
+/// CUBIC state.
+#[derive(Debug, Clone)]
+pub struct Cubic {
+    cwnd: f64,
+    ssthresh: f64,
+    w_max: f64,
+    /// Time at which the current cubic epoch started.
+    epoch_start: Option<Duration>,
+    /// `K` for the current epoch.
+    k: f64,
+    /// Estimate for the TCP-friendly region.
+    w_est: f64,
+    in_slow_start: bool,
+    /// Delayed-ACK slow-start growth per round.
+    ss_growth: f64,
+    /// HyStart: η threshold on RTT increase (fraction of min RTT).
+    hystart_eta: f64,
+    /// Std-dev of simulated wireless RTT jitter (ms) that can trip
+    /// HyStart early; 0 disables spurious exits.
+    hystart_jitter_ms: f64,
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cubic {
+    /// CUBIC with HyStart and the jitter sensitivity of a wireless path.
+    pub fn new() -> Self {
+        Self {
+            cwnd: INITIAL_WINDOW,
+            ssthresh: f64::INFINITY,
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+            w_est: 0.0,
+            in_slow_start: true,
+            ss_growth: 1.5,
+            hystart_eta: 0.125,
+            hystart_jitter_ms: 3.0,
+        }
+    }
+
+    /// Disable the jitter-induced spurious HyStart exits (wired path).
+    pub fn without_jitter(mut self) -> Self {
+        self.hystart_jitter_ms = 0.0;
+        self
+    }
+
+    /// Override HyStart jitter (ms std-dev) — ablation knob.
+    pub fn with_jitter_ms(mut self, jitter: f64) -> Self {
+        assert!(jitter >= 0.0);
+        self.hystart_jitter_ms = jitter;
+        self
+    }
+
+    fn enter_avoidance(&mut self, now: Duration) {
+        self.in_slow_start = false;
+        self.ssthresh = self.cwnd;
+        // HyStart exit without loss: current window becomes the epoch
+        // anchor; growth continues from here along the cubic convex branch.
+        self.w_max = self.cwnd;
+        self.k = 0.0;
+        self.epoch_start = Some(now);
+        self.w_est = self.cwnd;
+    }
+
+    fn on_loss(&mut self, now: Duration) {
+        // Fast convergence (RFC 8312 §4.6).
+        if self.cwnd < self.w_max {
+            self.w_max = self.cwnd * (1.0 + BETA) / 2.0;
+        } else {
+            self.w_max = self.cwnd;
+        }
+        self.cwnd = (self.cwnd * BETA).max(2.0);
+        self.ssthresh = self.cwnd;
+        self.k = ((self.w_max * (1.0 - BETA)) / CUBIC_C).cbrt();
+        self.epoch_start = Some(now);
+        self.w_est = self.cwnd;
+        self.in_slow_start = false;
+    }
+
+    /// The cubic window at epoch time `t` (seconds).
+    fn w_cubic(&self, t: f64) -> f64 {
+        CUBIC_C * (t - self.k).powi(3) + self.w_max
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn window_pkts(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn pacing_rate_pps(&self) -> Option<f64> {
+        None
+    }
+
+    fn on_round(&mut self, input: &RoundInput, rng: &mut SeededRng) {
+        if input.saw_loss() {
+            self.on_loss(input.now);
+            return;
+        }
+
+        if self.in_slow_start {
+            // HyStart delay-based exit: the measured RTT (plus wireless
+            // jitter) exceeding minRTT·(1 + η) signals queue build-up.
+            let jitter = if self.hystart_jitter_ms > 0.0 {
+                rng.normal(0.0, self.hystart_jitter_ms / 1e3).abs()
+            } else {
+                0.0
+            };
+            let measured = input.rtt.as_secs_f64() + jitter;
+            let threshold = input.min_rtt.as_secs_f64() * (1.0 + self.hystart_eta);
+            // HyStart only arms once the window is past 16 segments
+            // (below that, exiting early would cripple every short flow).
+            if self.cwnd >= 16.0 && measured > threshold {
+                self.enter_avoidance(input.now);
+                return;
+            }
+            let ack_frac = (input.delivered_pkts / self.cwnd).clamp(0.0, 1.0);
+            self.cwnd *= 1.0 + (self.ss_growth - 1.0) * ack_frac;
+            if self.cwnd >= self.ssthresh {
+                self.in_slow_start = false;
+                self.enter_avoidance(input.now);
+            }
+            return;
+        }
+
+        // Congestion avoidance: target from the cubic polynomial one RTT
+        // ahead, limited below by the TCP-friendly window.
+        let epoch = self.epoch_start.get_or_insert(input.now);
+        let t = (input.now.saturating_sub(*epoch)).as_secs_f64();
+        let rtt = input.rtt.as_secs_f64().max(1e-6);
+        let target = self.w_cubic(t + rtt);
+
+        // TCP-friendly region (RFC 8312 §4.2).
+        let rounds = t / rtt;
+        self.w_est = self.w_est.max(
+            self.cwnd * BETA + 3.0 * (1.0 - BETA) / (1.0 + BETA) * rounds,
+        );
+        let target = target.max(self.w_est);
+
+        if target > self.cwnd {
+            // RFC 8312 §4.1: increase by (target − cwnd)/cwnd per ACK —
+            // over a whole round that approaches the target directly.
+            self.cwnd += (target - self.cwnd).min(self.cwnd * 0.5);
+        }
+        // In the concave/plateau region CUBIC holds rather than shrinks.
+    }
+
+    fn in_slow_start(&self) -> bool {
+        self.in_slow_start
+    }
+
+    fn name(&self) -> &'static str {
+        "Cubic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(cwnd: f64, rtt_ms: u64, min_rtt_ms: u64, now_ms: u64) -> RoundInput {
+        RoundInput {
+            now: Duration::from_millis(now_ms),
+            rtt: Duration::from_millis(rtt_ms),
+            min_rtt: Duration::from_millis(min_rtt_ms),
+            delivered_pkts: cwnd,
+            lost_pkts: 0.0,
+            delivery_rate_pps: cwnd / (rtt_ms as f64 / 1e3),
+        }
+    }
+
+    #[test]
+    fn slow_start_grows_until_hystart_delay_signal() {
+        let mut cc = Cubic::new().without_jitter();
+        let mut rng = SeededRng::new(0);
+        // No queueing: rtt == min_rtt → stays in slow start.
+        for i in 0..5 {
+            let w = cc.window_pkts();
+            cc.on_round(&round(w, 40, 40, 40 * (i + 1)), &mut rng);
+        }
+        assert!(cc.in_slow_start());
+        let w = cc.window_pkts();
+        assert!(w > INITIAL_WINDOW * 5.0);
+        // Queue builds: RTT 40 → 50 ms (> 12.5% inflation) → exit.
+        cc.on_round(&round(w, 50, 40, 240), &mut rng);
+        assert!(!cc.in_slow_start());
+    }
+
+    #[test]
+    fn hystart_does_not_arm_below_16_segments() {
+        let mut cc = Cubic::new().without_jitter();
+        let mut rng = SeededRng::new(0);
+        // Huge delay signal but tiny window: must stay in slow start.
+        cc.on_round(&round(10.0, 100, 40, 40), &mut rng);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn loss_applies_beta_and_fast_convergence() {
+        let mut cc = Cubic::new().without_jitter();
+        let mut rng = SeededRng::new(0);
+        // Grow a bit, then lose.
+        for i in 0..8 {
+            let w = cc.window_pkts();
+            cc.on_round(&round(w, 40, 40, 40 * (i + 1)), &mut rng);
+        }
+        let before = cc.window_pkts();
+        let lossy = RoundInput { lost_pkts: 2.0, ..round(before, 40, 40, 400) };
+        cc.on_round(&lossy, &mut rng);
+        assert!((cc.window_pkts() - before * BETA).abs() < 1e-9);
+
+        // Second loss below the previous w_max triggers fast convergence:
+        // the recorded w_max shrinks below the window at loss time.
+        let before2 = cc.window_pkts();
+        let lossy2 = RoundInput { lost_pkts: 1.0, ..round(before2, 40, 40, 440) };
+        cc.on_round(&lossy2, &mut rng);
+        assert!(cc.w_max < before2 * (1.0 + BETA) / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn cubic_growth_recovers_toward_w_max() {
+        let mut cc = Cubic::new().without_jitter();
+        let mut rng = SeededRng::new(0);
+        for i in 0..10 {
+            let w = cc.window_pkts();
+            cc.on_round(&round(w, 40, 40, 40 * (i + 1)), &mut rng);
+        }
+        let lossy = RoundInput { lost_pkts: 1.0, ..round(cc.window_pkts(), 40, 40, 440) };
+        cc.on_round(&lossy, &mut rng);
+        let w_after_loss = cc.window_pkts();
+        // Simulate many clean rounds; window must regrow past w_max
+        // eventually (convex region).
+        let mut now = 440;
+        for _ in 0..1000 {
+            now += 40;
+            let w = cc.window_pkts();
+            cc.on_round(&round(w, 40, 40, now), &mut rng);
+        }
+        assert!(cc.window_pkts() > w_after_loss * 1.3, "w = {}", cc.window_pkts());
+    }
+
+    #[test]
+    fn growth_near_w_max_is_slower_than_far_from_it() {
+        // The concave approach to w_max is CUBIC's signature.
+        let mut cc = Cubic::new().without_jitter();
+        cc.w_max = 1000.0;
+        cc.cwnd = 300.0;
+        cc.in_slow_start = false;
+        cc.k = ((cc.w_max * (1.0 - BETA)) / CUBIC_C).cbrt();
+        cc.epoch_start = Some(Duration::ZERO);
+        cc.w_est = 0.0;
+        let early = cc.w_cubic(1.0) - cc.w_cubic(0.0);
+        let late = cc.w_cubic(cc.k) - cc.w_cubic(cc.k - 1.0);
+        assert!(late < early, "late {late} early {early}");
+    }
+
+    #[test]
+    fn jitter_makes_exit_time_stochastic_but_bounded() {
+        let mut exits = Vec::new();
+        for seed in 0..20 {
+            let mut cc = Cubic::new().with_jitter_ms(4.0);
+            let mut rng = SeededRng::new(seed);
+            let mut now = 0;
+            let mut rounds = 0;
+            while cc.in_slow_start() && rounds < 60 {
+                now += 40;
+                rounds += 1;
+                let w = cc.window_pkts();
+                cc.on_round(&round(w, 40, 40, now), &mut rng);
+            }
+            exits.push(rounds);
+        }
+        // With 4 ms jitter on a 40 ms path some runs exit early; spread
+        // across seeds shows the stochastic exit.
+        let min = exits.iter().min().unwrap();
+        let max = exits.iter().max().unwrap();
+        assert!(min < max, "exits {exits:?}");
+    }
+}

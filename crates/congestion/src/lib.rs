@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! TCP congestion-control models over simulated paths.
+//!
+//! §5.1 of the paper measures how long TCP slow start takes on three
+//! mainstream congestion-control algorithms (Cubic, Reno, BBR) and finds
+//! it eats a large fraction of a flooding-style bandwidth test — the key
+//! motivation for Swiftest's UDP design. The kernel implementations and
+//! `tcp_probe` are not available here, so this crate models the
+//! algorithms' window dynamics directly:
+//!
+//! - [`reno`] — NewReno: slow start, AIMD congestion avoidance.
+//! - [`cubic`] — RFC 8312: cubic window growth, fast convergence, the
+//!   TCP-friendly region, and HyStart delay-based slow-start exit.
+//! - [`bbr`] — BBR v1: startup/drain/probe-bandwidth state machine over
+//!   windowed bottleneck-bandwidth and min-RTT estimates.
+//! - [`flow`] — a round-based (one iteration per RTT) fluid flow
+//!   simulation coupling any [`CongestionControl`] to a
+//!   [`mbw_netsim::PathModel`]: queue build-up, buffer overflow, random
+//!   wireless loss, and 50 ms throughput sampling exactly like the BTS
+//!   client's sampler.
+//! - [`multi`] — several flows sharing one path, with progressive
+//!   connection addition (how BTS-APP and Speedtest saturate fast links).
+//!
+//! The model purposefully works in rounds rather than per-packet events:
+//! one bandwidth test is a handful of thousands of rounds instead of
+//! millions of packets, which is what lets the benches replay thousands
+//! of simulated tests.
+
+pub mod bbr;
+pub mod control;
+pub mod cubic;
+pub mod flow;
+pub mod multi;
+pub mod packet;
+pub mod reno;
+
+pub use bbr::Bbr;
+pub use control::{CcAlgorithm, CongestionControl, RoundInput};
+pub use cubic::Cubic;
+pub use flow::{FlowConfig, FlowSim, FlowTrace, ThroughputSample};
+pub use multi::{MultiFlowConfig, MultiFlowSim};
+pub use packet::{run_packet_tcp, PacketTcpConfig, PacketTcpTrace};
+pub use reno::Reno;
+
+/// Maximum segment size used throughout the models (bytes).
+pub const MSS: f64 = 1500.0;
+
+/// Initial congestion window in segments (RFC 6928).
+pub const INITIAL_WINDOW: f64 = 10.0;

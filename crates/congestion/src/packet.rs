@@ -1,0 +1,523 @@
+//! Packet-level TCP simulation.
+//!
+//! The round-based fluid model in [`crate::flow`] is what the evaluation
+//! figures run on (thousands of simulated tests); this module is the
+//! high-fidelity cross-check: an event-driven, per-packet, per-ACK TCP
+//! over a [`mbw_netsim::Link`] — sequence numbers, cumulative ACKs,
+//! duplicate-ACK fast retransmit, retransmission timeouts, and the
+//! classic NewReno window rules evaluated on every ACK rather than once
+//! per round.
+//!
+//! The integration tests assert that both models agree on goodput over
+//! their shared domain, which is what licenses using the cheap model for
+//! the paper's figures.
+
+use mbw_netsim::{EventQueue, Link, LinkConfig, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+/// Segment size (bytes), matching the fluid model's [`crate::MSS`].
+const SEG: u64 = 1500;
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A data segment reaches the receiver.
+    Deliver {
+        /// Sequence number (in segments).
+        seq: u64,
+    },
+    /// An ACK reaches the sender.
+    Ack {
+        /// Cumulative ACK: all segments below this are received.
+        cum: u64,
+        /// Whether this ACK was a duplicate when generated.
+        dup: bool,
+        /// Highest sequence number received plus one. With a FIFO
+        /// bottleneck this gives the sender exact loss knowledge
+        /// (FACK/RFC 6675 semantics): any older original transmission
+        /// that has not arrived was dropped. Modern stacks get the same
+        /// information from SACK blocks; without it a burst loss
+        /// recovers one hole per RTT.
+        high: u64,
+    },
+    /// Retransmission timer.
+    Rto {
+        /// The epoch the timer was armed in (stale timers are ignored).
+        epoch: u64,
+    },
+    /// Sampling tick for the throughput series.
+    Sample,
+}
+
+/// Configuration of a packet-level run.
+#[derive(Debug, Clone, Copy)]
+pub struct PacketTcpConfig {
+    /// Bottleneck rate, bits/second.
+    pub rate_bps: f64,
+    /// One-way propagation delay (RTT = 2 × this + queueing).
+    pub one_way: Duration,
+    /// Bottleneck queue, bytes.
+    pub queue_bytes: u64,
+    /// Random per-packet loss probability.
+    pub loss: f64,
+    /// How long to run.
+    pub duration: Duration,
+    /// Throughput sample interval.
+    pub sample_interval: Duration,
+    /// Seed for the link's loss process.
+    pub seed: u64,
+    /// Emit per-event debug lines (diagnostics only).
+    pub debug: bool,
+}
+
+impl Default for PacketTcpConfig {
+    fn default() -> Self {
+        Self {
+            rate_bps: 100e6,
+            one_way: Duration::from_millis(20),
+            queue_bytes: 256 * 1024,
+            loss: 0.0,
+            duration: Duration::from_secs(10),
+            sample_interval: Duration::from_millis(50),
+            seed: 0,
+            debug: false,
+        }
+    }
+}
+
+/// Result of a packet-level run.
+#[derive(Debug, Clone)]
+pub struct PacketTcpTrace {
+    /// Goodput samples `(end-of-interval, bits/second)`.
+    pub samples: Vec<(Duration, f64)>,
+    /// Segments delivered in order (goodput).
+    pub delivered_segments: u64,
+    /// Retransmissions sent.
+    pub retransmissions: u64,
+    /// Fast-retransmit events.
+    pub fast_retransmits: u64,
+    /// Timeout events.
+    pub timeouts: u64,
+}
+
+impl PacketTcpTrace {
+    /// Mean goodput over samples at or after `after`.
+    pub fn mean_bps_after(&self, after: Duration) -> f64 {
+        let late: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|(t, _)| *t >= after)
+            .map(|(_, b)| *b)
+            .collect();
+        if late.is_empty() {
+            0.0
+        } else {
+            late.iter().sum::<f64>() / late.len() as f64
+        }
+    }
+}
+
+/// Sender state: NewReno evaluated per ACK.
+struct Sender {
+    cwnd: f64,     // segments
+    ssthresh: f64, // segments
+    next_seq: u64,
+    /// Highest cumulative ACK received.
+    acked: u64,
+    /// Duplicate-ACK counter.
+    dup_acks: u32,
+    /// In fast recovery until `recover` is ACKed.
+    recover: Option<u64>,
+    /// Scoreboard: known-lost segments not yet retransmitted.
+    lost: BTreeSet<u64>,
+    /// Retransmissions in flight: hole → `next_seq` when retransmitted.
+    /// Once the receiver's `high` passes that mark without the hole
+    /// filling, the retransmission itself was dropped (FIFO) — retry.
+    retx_outstanding: BTreeMap<u64, u64>,
+    /// Segments known received-but-unacknowledged (the receiver's
+    /// out-of-order buffer, as SACK would report it). Out of the pipe.
+    sacked: BTreeSet<u64>,
+    /// Retransmission epoch (invalidates stale RTO timers).
+    epoch: u64,
+    /// Segments in flight (sent, not cumulatively acked), for cwnd gating.
+    inflight: BTreeSet<u64>,
+    rto: Duration,
+}
+
+impl Sender {
+    fn new() -> Self {
+        Self {
+            cwnd: 10.0,
+            ssthresh: f64::INFINITY,
+            next_seq: 0,
+            acked: 0,
+            dup_acks: 0,
+            recover: None,
+            lost: BTreeSet::new(),
+            retx_outstanding: BTreeMap::new(),
+            sacked: BTreeSet::new(),
+            epoch: 0,
+            inflight: BTreeSet::new(),
+            rto: Duration::from_millis(300),
+        }
+    }
+
+    fn can_send(&self) -> bool {
+        self.pipe() < self.cwnd
+    }
+
+    /// The pipe estimate (RFC 6675): segments actually in the network —
+    /// everything unacknowledged minus what the scoreboard knows is lost
+    /// or already sitting in the receiver's buffer.
+    fn pipe(&self) -> f64 {
+        let gone = (self.lost.len() + self.sacked.len()).min(self.inflight.len());
+        (self.inflight.len() - gone) as f64
+    }
+}
+
+/// Run one packet-level NewReno flow.
+pub fn run_packet_tcp(config: &PacketTcpConfig) -> PacketTcpTrace {
+    let mut link = Link::new(LinkConfig {
+        rate_bps: config.rate_bps,
+        propagation: config.one_way,
+        queue_limit_bytes: config.queue_bytes,
+        loss_prob: config.loss,
+        seed: config.seed,
+    });
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut sender = Sender::new();
+    let mut trace = PacketTcpTrace {
+        samples: Vec::new(),
+        delivered_segments: 0,
+        retransmissions: 0,
+        fast_retransmits: 0,
+        timeouts: 0,
+    };
+
+    // Receiver state: cumulative + out-of-order buffer.
+    let mut rcv_next: u64 = 0;
+    let mut ooo: BTreeSet<u64> = BTreeSet::new();
+    let mut window_segments: u64 = 0;
+
+    let end = SimTime::ZERO + config.duration;
+    let one_way = config.one_way;
+
+    // Helper: transmit a segment through the link, scheduling delivery.
+    // Drops (queue or loss) schedule nothing — recovery handles them.
+    let send_segment =
+        |link: &mut Link, queue: &mut EventQueue<Event>, now: SimTime, seq: u64| {
+            if let mbw_netsim::link::SendOutcome::Delivered(at) = link.send(now, SEG) {
+                queue.schedule(at, Event::Deliver { seq });
+            }
+        };
+
+    // Prime the first window, the first sample tick, and the first RTO.
+    {
+        let now = SimTime::ZERO;
+        while sender.can_send() {
+            let seq = sender.next_seq;
+            sender.next_seq += 1;
+            sender.inflight.insert(seq);
+            send_segment(&mut link, &mut queue, now, seq);
+        }
+        queue.schedule(now + config.sample_interval, Event::Sample);
+        queue.schedule(now + sender.rto, Event::Rto { epoch: sender.epoch });
+    }
+
+    queue.run_until(end, |now, event, queue| match event {
+        Event::Deliver { seq } => {
+            // Receiver: update cumulative state, generate an ACK that
+            // travels back one propagation delay (the reverse path is
+            // uncongested, as in the fluid model).
+            let dup = if seq == rcv_next {
+                rcv_next += 1;
+                while ooo.remove(&rcv_next) {
+                    rcv_next += 1;
+                }
+                window_segments += 1;
+                trace.delivered_segments += 1;
+                false
+            } else if seq > rcv_next {
+                if ooo.insert(seq) {
+                    window_segments += 1;
+                    trace.delivered_segments += 1;
+                }
+                true
+            } else {
+                true // spurious retransmission
+            };
+            let high = ooo.iter().next_back().map_or(rcv_next, |&m| m + 1).max(rcv_next);
+            queue.schedule(now + one_way, Event::Ack { cum: rcv_next, dup, high });
+        }
+        Event::Ack { cum, dup, high } => {
+            if config.debug {
+                eprintln!(
+                    "{:>8.4} ACK cum={cum} dup={dup} acked={} cwnd={:.1} inflight={} lost={} recover={:?} dupacks={}",
+                    now.as_secs_f64(), sender.acked, sender.cwnd, sender.inflight.len(),
+                    sender.lost.len(), sender.recover, sender.dup_acks
+                );
+            }
+            // Scoreboard maintenance. The inference below consults the
+            // receiver's *current* state (what SACK blocks would have
+            // conveyed by now): using the stale event-time view would
+            // re-mark holes that have just filled.
+            let rcv_now = rcv_next;
+            let high_now = ooo.iter().next_back().map_or(rcv_now, |&m| m + 1).max(rcv_now);
+            let _ = high;
+            sender.lost.retain(|&h| h >= rcv_now);
+            sender.retx_outstanding.retain(|&h, _| h >= rcv_now);
+            sender.sacked.retain(|&h| h >= rcv_now);
+            // FIFO loss inference: an original transmission older than
+            // the receiver's highest arrival either arrived (it is in
+            // the out-of-order buffer) or was dropped. Real stacks learn
+            // the received set from SACK blocks; the simulation reads
+            // the receiver's buffer directly, which is the same
+            // information without the option-encoding ceremony.
+            if high_now > rcv_now {
+                for h in sender.inflight.range(rcv_now..high_now).copied().collect::<Vec<_>>() {
+                    if ooo.contains(&h) {
+                        sender.sacked.insert(h);
+                        sender.lost.remove(&h);
+                    } else if !sender.retx_outstanding.contains_key(&h) {
+                        sender.lost.insert(h);
+                    }
+                }
+                // Dropped retransmissions: later-sent data has arrived
+                // (high passed the retransmission's send mark) yet the
+                // hole is still open — the retransmission was lost too.
+                let retry: Vec<u64> = sender
+                    .retx_outstanding
+                    .iter()
+                    .filter(|&(&h, &mark)| h >= rcv_now && high_now > mark && !ooo.contains(&h))
+                    .map(|(&h, _)| h)
+                    .collect();
+                for h in retry {
+                    sender.retx_outstanding.remove(&h);
+                    sender.lost.insert(h);
+                }
+            }
+            if cum > sender.acked {
+                // New data acknowledged.
+                let newly = cum - sender.acked;
+                let acked_upto = cum;
+                sender.inflight.retain(|&s| s >= acked_upto);
+                sender.acked = cum;
+                sender.dup_acks = 0;
+
+                match sender.recover {
+                    Some(rec) if cum > rec => {
+                        // Full recovery: deflate and leave fast recovery.
+                        sender.recover = None;
+                        sender.lost.clear();
+                        sender.retx_outstanding.clear();
+                        sender.sacked.clear();
+                        sender.cwnd = sender.ssthresh;
+                    }
+                    Some(_) => {
+                        // Partial ACK: progress within recovery; the
+                        // scoreboard above already marked the holes.
+                    }
+                    None => {
+                        if sender.cwnd < sender.ssthresh {
+                            sender.cwnd += newly as f64; // slow start
+                        } else {
+                            sender.cwnd += newly as f64 / sender.cwnd; // AIMD
+                        }
+                    }
+                }
+                // Re-arm the RTO on forward progress.
+                sender.epoch += 1;
+                queue.schedule(now + sender.rto, Event::Rto { epoch: sender.epoch });
+            } else if dup && sender.recover.is_none() {
+                sender.dup_acks += 1;
+                if sender.dup_acks == 3 {
+                    // Fast retransmit + fast recovery (scoreboard-based).
+                    trace.fast_retransmits += 1;
+                    sender.ssthresh = (sender.cwnd / 2.0).max(2.0);
+                    sender.cwnd = sender.ssthresh;
+                    sender.recover = Some(sender.next_seq.saturating_sub(1));
+                    sender.lost.insert(cum);
+                }
+            }
+            // Retransmit scoreboard holes, then new data, as the pipe
+            // allows (RFC 6675 recovery) — ACK-clocked: at most two
+            // segments per ACK, so a freshly-opened window drains into
+            // the bottleneck at twice the service rate instead of as a
+            // queue-smashing burst.
+            let mut budget = 2u32;
+            while budget > 0 && sender.recover.is_some() && sender.can_send() {
+                let Some(&hole) = sender.lost.iter().next() else { break };
+                sender.lost.remove(&hole);
+                sender.retx_outstanding.insert(hole, sender.next_seq);
+                trace.retransmissions += 1;
+                budget -= 1;
+                send_segment(&mut link, queue, now, hole);
+            }
+            while budget > 0 && sender.can_send() && now < end {
+                let seq = sender.next_seq;
+                sender.next_seq += 1;
+                sender.inflight.insert(seq);
+                budget -= 1;
+                send_segment(&mut link, queue, now, seq);
+            }
+        }
+        Event::Rto { epoch } => {
+            if epoch != sender.epoch {
+                return; // stale timer
+            }
+            if sender.inflight.is_empty() {
+                return;
+            }
+            // Timeout: collapse to one segment, retransmit the hole.
+            trace.timeouts += 1;
+            trace.retransmissions += 1;
+            sender.ssthresh = (sender.cwnd / 2.0).max(2.0);
+            sender.cwnd = 1.0;
+            sender.recover = None;
+            sender.lost.clear();
+            sender.retx_outstanding.clear();
+            sender.sacked.clear();
+            sender.dup_acks = 0;
+            send_segment(&mut link, queue, now, sender.acked);
+            sender.epoch += 1;
+            sender.rto = (sender.rto * 2).min(Duration::from_secs(3)); // backoff
+            queue.schedule(now + sender.rto, Event::Rto { epoch: sender.epoch });
+        }
+        Event::Sample => {
+            let bps =
+                window_segments as f64 * SEG as f64 * 8.0 / config.sample_interval.as_secs_f64();
+            trace
+                .samples
+                .push((now.saturating_since(SimTime::ZERO), bps));
+            window_segments = 0;
+            if now + config.sample_interval <= end {
+                queue.schedule(now + config.sample_interval, Event::Sample);
+            }
+        }
+    });
+
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_a_clean_link() {
+        let trace = run_packet_tcp(&PacketTcpConfig {
+            rate_bps: 50e6,
+            duration: Duration::from_secs(8),
+            ..Default::default()
+        });
+        let late = trace.mean_bps_after(Duration::from_secs(4));
+        assert!(late > 45e6, "late goodput {:.1} Mbps", late / 1e6);
+        assert_eq!(trace.timeouts, 0, "clean link should not time out");
+    }
+
+    #[test]
+    fn goodput_bounded_by_capacity() {
+        let trace = run_packet_tcp(&PacketTcpConfig {
+            rate_bps: 20e6,
+            duration: Duration::from_secs(6),
+            ..Default::default()
+        });
+        for &(t, bps) in &trace.samples {
+            assert!(bps <= 20e6 * 1.05, "{:.1} Mbps at {t:?}", bps / 1e6);
+        }
+    }
+
+    #[test]
+    fn buffer_overflow_triggers_fast_retransmit_not_timeout() {
+        // Deep flow into a shallow buffer: overflow losses recovered by
+        // dup-ACKs.
+        let trace = run_packet_tcp(&PacketTcpConfig {
+            rate_bps: 50e6,
+            queue_bytes: 32 * 1024,
+            duration: Duration::from_secs(8),
+            ..Default::default()
+        });
+        assert!(trace.fast_retransmits > 0, "no fast retransmits");
+        // Goodput still healthy (sawtooth, not collapse).
+        let late = trace.mean_bps_after(Duration::from_secs(4));
+        assert!(late > 30e6, "late {:.1} Mbps", late / 1e6);
+    }
+
+    #[test]
+    fn random_loss_costs_goodput() {
+        let clean = run_packet_tcp(&PacketTcpConfig {
+            rate_bps: 50e6,
+            duration: Duration::from_secs(8),
+            ..Default::default()
+        });
+        let lossy = run_packet_tcp(&PacketTcpConfig {
+            rate_bps: 50e6,
+            loss: 0.005,
+            duration: Duration::from_secs(8),
+            seed: 3,
+            ..Default::default()
+        });
+        assert!(
+            lossy.mean_bps_after(Duration::from_secs(4))
+                < clean.mean_bps_after(Duration::from_secs(4)),
+            "loss must hurt"
+        );
+        assert!(lossy.retransmissions > 0);
+    }
+
+    #[test]
+    fn slow_start_doubles_early_goodput() {
+        let trace = run_packet_tcp(&PacketTcpConfig {
+            rate_bps: 400e6,
+            duration: Duration::from_secs(3),
+            ..Default::default()
+        });
+        // Early samples ramp: the 10th sample should far exceed the 2nd.
+        let early = trace.samples[1].1;
+        let later = trace.samples[9].1;
+        assert!(
+            later > early * 3.0,
+            "no exponential ramp: {:.1} -> {:.1} Mbps",
+            early / 1e6,
+            later / 1e6
+        );
+    }
+
+    #[test]
+    fn agrees_with_the_fluid_model_at_steady_state() {
+        // The whole point of this module: same path, both models, same
+        // steady-state goodput within 15%.
+        let rate = 80e6;
+        let packet = run_packet_tcp(&PacketTcpConfig {
+            rate_bps: rate,
+            one_way: Duration::from_millis(20),
+            duration: Duration::from_secs(10),
+            ..Default::default()
+        });
+        let fluid = crate::flow::FlowSim::run(
+            mbw_netsim::PathModel::new(mbw_netsim::PathConfig::constant(
+                rate,
+                Duration::from_millis(40),
+            )),
+            crate::control::CcAlgorithm::Reno.build(),
+            crate::flow::FlowConfig {
+                max_duration: Duration::from_secs(10),
+                ..Default::default()
+            },
+        );
+        let p = packet.mean_bps_after(Duration::from_secs(5));
+        let f = fluid.mean_bps_after(Duration::from_secs(5));
+        let diff = (p - f).abs() / f;
+        assert!(diff < 0.15, "packet {:.1} vs fluid {:.1} Mbps", p / 1e6, f / 1e6);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = PacketTcpConfig { loss: 0.003, seed: 9, ..Default::default() };
+        let a = run_packet_tcp(&cfg);
+        let b = run_packet_tcp(&cfg);
+        assert_eq!(a.delivered_segments, b.delivered_segments);
+        assert_eq!(a.retransmissions, b.retransmissions);
+    }
+}

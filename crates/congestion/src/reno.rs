@@ -1,0 +1,164 @@
+//! NewReno congestion control.
+//!
+//! The reference AIMD algorithm: exponential slow start up to `ssthresh`,
+//! additive increase (one segment per RTT) afterwards, multiplicative
+//! decrease (halving) on loss. Modelled with the delayed-ACK growth factor
+//! real stacks exhibit (cwnd multiplies by ~1.5 per RTT during slow start
+//! when every other segment is ACKed).
+
+use crate::control::{CongestionControl, RoundInput};
+use crate::INITIAL_WINDOW;
+use mbw_stats::SeededRng;
+
+/// NewReno state.
+#[derive(Debug, Clone)]
+pub struct Reno {
+    cwnd: f64,
+    ssthresh: f64,
+    /// Slow-start growth multiplier per round; 2.0 without delayed ACKs,
+    /// ≈1.5 with them (the default, matching deployed stacks).
+    ss_growth: f64,
+}
+
+impl Default for Reno {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Reno {
+    /// Reno with the delayed-ACK slow-start growth factor (1.5×/RTT).
+    pub fn new() -> Self {
+        Self { cwnd: INITIAL_WINDOW, ssthresh: f64::INFINITY, ss_growth: 1.5 }
+    }
+
+    /// Override the slow-start growth factor (used by ablations).
+    pub fn with_ss_growth(mut self, growth: f64) -> Self {
+        assert!(growth > 1.0, "slow start must grow");
+        self.ss_growth = growth;
+        self
+    }
+
+    /// Current slow-start threshold (for tests).
+    pub fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+impl CongestionControl for Reno {
+    fn window_pkts(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn pacing_rate_pps(&self) -> Option<f64> {
+        None
+    }
+
+    fn on_round(&mut self, input: &RoundInput, _rng: &mut SeededRng) {
+        if input.saw_loss() {
+            // Fast recovery, abstracted to one round: halve and move to
+            // congestion avoidance.
+            self.ssthresh = (self.cwnd / 2.0).max(2.0);
+            self.cwnd = self.ssthresh;
+            return;
+        }
+        if self.in_slow_start() {
+            // Growth is ACK-clocked: scale with the fraction of the window
+            // actually delivered, so a thin round cannot inflate cwnd.
+            let ack_frac = (input.delivered_pkts / self.cwnd).clamp(0.0, 1.0);
+            self.cwnd *= 1.0 + (self.ss_growth - 1.0) * ack_frac;
+            if self.cwnd >= self.ssthresh {
+                self.cwnd = self.ssthresh;
+            }
+        } else {
+            // Additive increase: +1 segment per fully-delivered window.
+            self.cwnd += (input.delivered_pkts / self.cwnd).clamp(0.0, 1.0);
+        }
+    }
+
+    fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    fn name(&self) -> &'static str {
+        "Reno"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn clean_round(cwnd: f64) -> RoundInput {
+        RoundInput {
+            now: Duration::from_millis(100),
+            rtt: Duration::from_millis(40),
+            min_rtt: Duration::from_millis(40),
+            delivered_pkts: cwnd,
+            lost_pkts: 0.0,
+            delivery_rate_pps: cwnd / 0.04,
+        }
+    }
+
+    fn lossy_round(cwnd: f64) -> RoundInput {
+        RoundInput { lost_pkts: 1.0, ..clean_round(cwnd) }
+    }
+
+    #[test]
+    fn slow_start_grows_multiplicatively() {
+        let mut cc = Reno::new();
+        let mut rng = SeededRng::new(0);
+        let w0 = cc.window_pkts();
+        let input = clean_round(w0);
+        cc.on_round(&input, &mut rng);
+        assert!((cc.window_pkts() - w0 * 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_halves_and_exits_slow_start() {
+        let mut cc = Reno::new();
+        let mut rng = SeededRng::new(0);
+        for _ in 0..10 {
+            let w = cc.window_pkts();
+            cc.on_round(&clean_round(w), &mut rng);
+        }
+        let before = cc.window_pkts();
+        cc.on_round(&lossy_round(before), &mut rng);
+        assert!((cc.window_pkts() - before / 2.0).abs() < 1e-9);
+        assert!(!cc.in_slow_start());
+    }
+
+    #[test]
+    fn congestion_avoidance_is_additive() {
+        let mut cc = Reno::new();
+        let mut rng = SeededRng::new(0);
+        cc.on_round(&lossy_round(10.0), &mut rng); // force CA
+        let w = cc.window_pkts();
+        cc.on_round(&clean_round(w), &mut rng);
+        assert!((cc.window_pkts() - (w + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_never_collapses_below_two() {
+        let mut cc = Reno::new();
+        let mut rng = SeededRng::new(0);
+        for _ in 0..20 {
+            let w = cc.window_pkts();
+            cc.on_round(&lossy_round(w), &mut rng);
+        }
+        assert!(cc.window_pkts() >= 2.0);
+    }
+
+    #[test]
+    fn partial_delivery_slows_growth() {
+        let mut full = Reno::new();
+        let mut starved = Reno::new();
+        let mut rng = SeededRng::new(0);
+        let w = full.window_pkts();
+        full.on_round(&clean_round(w), &mut rng);
+        let thin = RoundInput { delivered_pkts: w / 2.0, ..clean_round(w) };
+        starved.on_round(&thin, &mut rng);
+        assert!(starved.window_pkts() < full.window_pkts());
+    }
+}

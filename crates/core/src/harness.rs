@@ -1,0 +1,272 @@
+//! One-call test execution and back-to-back comparisons.
+//!
+//! The harness glues scenario → server selection → prober → estimator
+//! into the paper's evaluation protocol (§5.3): draw an access link,
+//! run one (or two back-to-back) BTS tests on it, and report duration,
+//! data usage, and accuracy against BTS-APP's result (the approximate
+//! ground truth).
+
+use crate::estimator::{ConvergenceEstimator, CrucialIntervalEstimator, GroupedTrimmedMean};
+use crate::model::TechClass;
+use crate::probe::{self, BtsKind, FloodingConfig, SwiftestConfig};
+use crate::scenario::{AccessScenario, DrawnPath};
+use crate::server::ServerPool;
+use mbw_stats::{descriptive, SeededRng};
+use std::time::Duration;
+
+/// The outcome of one simulated bandwidth test.
+#[derive(Debug, Clone)]
+pub struct TestOutcome {
+    /// Which service ran.
+    pub kind: BtsKind,
+    /// Technology class of the access link.
+    pub tech: TechClass,
+    /// Probing time (excluding server selection).
+    pub duration: Duration,
+    /// Server-selection (PING) overhead.
+    pub ping_overhead: Duration,
+    /// Bytes pulled through the access link.
+    pub data_bytes: f64,
+    /// The reported bandwidth, Mbps.
+    pub estimate_mbps: f64,
+    /// The drawn link's nominal capacity, Mbps.
+    pub truth_mbps: f64,
+}
+
+impl TestOutcome {
+    /// Probing plus selection time — the user-visible test duration.
+    pub fn total_duration(&self) -> Duration {
+        self.duration + self.ping_overhead
+    }
+
+    /// Relative deviation from another outcome's estimate (the paper's
+    /// §5.3 metric).
+    pub fn deviation_from(&self, other: &TestOutcome) -> f64 {
+        descriptive::relative_deviation(self.estimate_mbps, other.estimate_mbps)
+    }
+
+    /// Accuracy against a reference estimate: `1 − deviation`.
+    pub fn accuracy_vs(&self, reference_mbps: f64) -> f64 {
+        1.0 - descriptive::relative_deviation(self.estimate_mbps, reference_mbps)
+    }
+}
+
+/// A back-to-back test pair on the same drawn link (§5.3's evaluation
+/// protocol, with a one-second cooldown between runs).
+#[derive(Debug, Clone)]
+pub struct BackToBack {
+    /// First service's outcome.
+    pub first: TestOutcome,
+    /// Second service's outcome.
+    pub second: TestOutcome,
+}
+
+impl BackToBack {
+    /// Relative deviation between the two results.
+    pub fn deviation(&self) -> f64 {
+        self.first.deviation_from(&self.second)
+    }
+}
+
+/// Test harness for one technology class.
+pub struct TestHarness {
+    scenario: AccessScenario,
+    bts_pool: ServerPool,
+    swiftest_pool: ServerPool,
+}
+
+impl TestHarness {
+    /// Harness with the default calibrated scenario and the paper's two
+    /// server fleets.
+    pub fn new(tech: TechClass) -> Self {
+        Self::with_scenario(AccessScenario::default_for(tech))
+    }
+
+    /// Harness over a custom scenario.
+    pub fn with_scenario(scenario: AccessScenario) -> Self {
+        Self {
+            scenario,
+            bts_pool: ServerPool::bts_app_production(0xB75),
+            swiftest_pool: ServerPool::swiftest_budget(20, 100.0, 0x5F7),
+        }
+    }
+
+    /// The underlying scenario.
+    pub fn scenario(&self) -> &AccessScenario {
+        &self.scenario
+    }
+
+    /// Run one test on a freshly drawn link.
+    pub fn run(&self, kind: BtsKind, seed: u64) -> TestOutcome {
+        let drawn = self.scenario.draw(seed);
+        self.run_on(kind, &drawn, seed ^ 0x51AB)
+    }
+
+    /// Run one test on an explicit drawn link.
+    pub fn run_on(&self, kind: BtsKind, drawn: &DrawnPath, run_seed: u64) -> TestOutcome {
+        let mut rng = SeededRng::new(run_seed);
+        let client_domain = rng.index(crate::server::IXP_DOMAINS) as u8;
+
+        // Server selection: BTS-APP pings 5 of 352; Swiftest pings all
+        // of its 10-per-test candidates (§2, §5.3).
+        let (pool, k) = match kind {
+            BtsKind::Swiftest => (&self.swiftest_pool, 10),
+            _ => (&self.bts_pool, 5),
+        };
+        let (_idx, _rtt, ping_overhead) = pool.ping_select(client_domain, k, &mut rng);
+
+        let path = drawn.build();
+        let result = match kind {
+            BtsKind::BtsApp => {
+                let mut est = GroupedTrimmedMean::bts_app();
+                probe::run_flooding(path, &mut est, &FloodingConfig::bts_app(), run_seed)
+            }
+            BtsKind::Fast => {
+                let mut est = ConvergenceEstimator::fast();
+                probe::run_flooding(path, &mut est, &FloodingConfig::fast(), run_seed)
+            }
+            BtsKind::FastBts => {
+                let mut est = CrucialIntervalEstimator::fastbts();
+                probe::run_flooding(path, &mut est, &FloodingConfig::fastbts(), run_seed)
+            }
+            BtsKind::Swiftest => {
+                let mut est = ConvergenceEstimator::swiftest();
+                probe::run_swiftest(
+                    path,
+                    &self.scenario.model,
+                    &mut est,
+                    &SwiftestConfig::default(),
+                    run_seed,
+                )
+            }
+        };
+
+        TestOutcome {
+            kind,
+            tech: self.scenario.tech,
+            duration: result.duration,
+            ping_overhead,
+            data_bytes: result.data_bytes,
+            estimate_mbps: result.estimate_mbps,
+            truth_mbps: drawn.truth_mbps,
+        }
+    }
+
+    /// Run a back-to-back pair on the same drawn link, in randomised
+    /// order with distinct run seeds (the cooldown means the two runs
+    /// see independently evolving — but statistically identical —
+    /// capacity noise).
+    pub fn back_to_back(&self, a: BtsKind, b: BtsKind, seed: u64) -> BackToBack {
+        let drawn = self.scenario.draw(seed);
+        let mut rng = SeededRng::new(seed ^ 0x0DD);
+        let flip = rng.chance(0.5);
+        let (first_kind, second_kind) = if flip { (b, a) } else { (a, b) };
+        // Distinct run seeds: the second run starts after a cooldown, so
+        // its noise process is a different draw on the same link.
+        let mut first = self.run_on(first_kind, &drawn, seed ^ 0xF157);
+        let mut second =
+            self.run_on(second_kind, &DrawnPath { seed: drawn.seed ^ 0x2ED, ..drawn }, seed ^ 0x5EC);
+        if first.kind != a {
+            std::mem::swap(&mut first, &mut second);
+        }
+        BackToBack { first, second }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swiftest_is_fast_and_light_across_technologies() {
+        for tech in TechClass::ALL {
+            let h = TestHarness::new(tech);
+            let mut durations = Vec::new();
+            let mut usage = Vec::new();
+            for seed in 0..30 {
+                let o = h.run(BtsKind::Swiftest, seed);
+                durations.push(o.duration.as_secs_f64());
+                usage.push(o.data_bytes);
+                assert!(o.total_duration() < Duration::from_secs(5));
+            }
+            let mean_dur = descriptive::mean(&durations);
+            assert!(
+                (0.4..=2.0).contains(&mean_dur),
+                "{tech}: mean duration {mean_dur}"
+            );
+            // §5.3: even 5G tests average ~32 MB.
+            assert!(descriptive::mean(&usage) < 80e6, "{tech}: usage {}", descriptive::mean(&usage));
+        }
+    }
+
+    #[test]
+    fn bts_app_takes_ten_seconds() {
+        let h = TestHarness::new(TechClass::Wifi);
+        let o = h.run(BtsKind::BtsApp, 42);
+        assert!(o.duration >= Duration::from_millis(9_900));
+        assert!(o.estimate_mbps > 0.0);
+    }
+
+    #[test]
+    fn swiftest_tracks_bts_app_closely_on_average() {
+        let h = TestHarness::new(TechClass::Wifi);
+        let mut devs = Vec::new();
+        for seed in 0..40 {
+            let pair = h.back_to_back(BtsKind::Swiftest, BtsKind::BtsApp, seed);
+            devs.push(pair.deviation());
+        }
+        let mean_dev = descriptive::mean(&devs);
+        // §5.3: average deviation ≈ 5%; give head-room for small n.
+        assert!(mean_dev < 0.12, "mean deviation {mean_dev}");
+    }
+
+    #[test]
+    fn back_to_back_randomises_order_but_reports_in_argument_order() {
+        let h = TestHarness::new(TechClass::Lte);
+        for seed in 0..10 {
+            let pair = h.back_to_back(BtsKind::Swiftest, BtsKind::BtsApp, seed);
+            assert_eq!(pair.first.kind, BtsKind::Swiftest);
+            assert_eq!(pair.second.kind, BtsKind::BtsApp);
+            assert_eq!(pair.first.truth_mbps, pair.second.truth_mbps);
+        }
+    }
+
+    #[test]
+    fn data_usage_ratio_matches_the_paper_scale() {
+        // §5.3 / Fig 21: BTS-APP uses ~8–9× the data of Swiftest.
+        let h = TestHarness::new(TechClass::Nr);
+        let mut ratio = Vec::new();
+        for seed in 0..20 {
+            let pair = h.back_to_back(BtsKind::BtsApp, BtsKind::Swiftest, seed);
+            if pair.second.data_bytes > 0.0 {
+                ratio.push(pair.first.data_bytes / pair.second.data_bytes);
+            }
+        }
+        let mean_ratio = descriptive::mean(&ratio);
+        assert!(mean_ratio > 4.0, "ratio {mean_ratio}");
+    }
+
+    #[test]
+    fn outcome_metrics() {
+        let o = TestOutcome {
+            kind: BtsKind::Swiftest,
+            tech: TechClass::Wifi,
+            duration: Duration::from_millis(900),
+            ping_overhead: Duration::from_millis(200),
+            data_bytes: 1e7,
+            estimate_mbps: 95.0,
+            truth_mbps: 100.0,
+        };
+        assert_eq!(o.total_duration(), Duration::from_millis(1100));
+        assert!((o.accuracy_vs(100.0) - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let h = TestHarness::new(TechClass::Nr);
+        let a = h.run(BtsKind::Swiftest, 7);
+        let b = h.run(BtsKind::Swiftest, 7);
+        assert_eq!(a.estimate_mbps, b.estimate_mbps);
+        assert_eq!(a.duration, b.duration);
+    }
+}

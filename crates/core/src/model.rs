@@ -1,0 +1,122 @@
+//! Per-technology bandwidth models.
+//!
+//! Swiftest's probing is "data-driven" (§5.1): it loads a multi-modal
+//! Gaussian model of the client's access technology, fitted periodically
+//! from recent measurement data, and probes at the modal bandwidths.
+//! This module defines the technology classes and the default calibrated
+//! models (the same shapes `mbw-dataset` generates and Figs 16/18/19
+//! exhibit). Production deployments refresh these with
+//! [`mbw_stats::Gmm::fit_auto`] over fresh samples.
+
+use mbw_stats::Gmm;
+
+/// Access-technology class, as coarse as the model selection needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechClass {
+    /// 4G LTE.
+    Lte,
+    /// 5G NR.
+    Nr,
+    /// WiFi (any generation).
+    Wifi,
+}
+
+impl TechClass {
+    /// All classes in the order the paper's evaluation plots them.
+    pub const ALL: [TechClass; 3] = [TechClass::Lte, TechClass::Nr, TechClass::Wifi];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TechClass::Lte => "4G",
+            TechClass::Nr => "5G",
+            TechClass::Wifi => "WiFi",
+        }
+    }
+
+    /// The default calibrated population model (Mbps), matching the
+    /// paper's Figs 18 (4G), 19 (5G) and 16 (WiFi, pooled across
+    /// standards — dominated by the broadband-plan modes).
+    pub fn default_model(self) -> Gmm {
+        let triples: &[(f64, f64, f64)] = match self {
+            // Fig 18: heavy low-rate mass, a mid mode, and the
+            // LTE-Advanced tail.
+            TechClass::Lte => &[
+                (0.30, 8.0, 4.0),
+                (0.45, 35.0, 16.0),
+                (0.18, 90.0, 35.0),
+                (0.07, 400.0, 95.0),
+            ],
+            // Fig 19: thin-refarmed-band mode near 100, main modes near
+            // 280 and 420.
+            TechClass::Nr => &[
+                (0.14, 105.0, 30.0),
+                (0.50, 280.0, 65.0),
+                (0.36, 430.0, 95.0),
+            ],
+            // Fig 16-style plan modes at 100/300/500, plus the 2.4 GHz
+            // WiFi-4 mass at ~40.
+            TechClass::Wifi => &[
+                (0.40, 40.0, 18.0),
+                (0.30, 100.0, 25.0),
+                (0.20, 300.0, 55.0),
+                (0.10, 500.0, 80.0),
+            ],
+        };
+        Gmm::from_triples(triples).expect("static models are valid")
+    }
+}
+
+impl std::fmt::Display for TechClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_models_are_multimodal() {
+        for tech in TechClass::ALL {
+            let m = tech.default_model();
+            assert!(m.k() >= 3, "{tech}: k = {}", m.k());
+            // Modes strictly increasing and positive.
+            let modes = m.modes();
+            assert!(modes[0] > 0.0);
+            for w in modes.windows(2) {
+                assert!(w[1] > w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn model_means_match_population_scale() {
+        // 4G mean ~53, 5G ~303, WiFi ~137 (§3).
+        let lte = TechClass::Lte.default_model().mean();
+        assert!((lte - 53.0).abs() < 15.0, "4G {lte}");
+        let nr = TechClass::Nr.default_model().mean();
+        assert!((nr - 303.0).abs() < 40.0, "5G {nr}");
+        let wifi = TechClass::Wifi.default_model().mean();
+        assert!((wifi - 137.0).abs() < 30.0, "WiFi {wifi}");
+    }
+
+    #[test]
+    fn probing_ladder_is_usable() {
+        for tech in TechClass::ALL {
+            let m = tech.default_model();
+            let start = m.dominant_mode();
+            assert!(start > 0.0);
+            // Escalation terminates.
+            let mut rate = start;
+            let mut steps = 0;
+            while let Some(next) = m.next_larger_mode(rate) {
+                assert!(next > rate);
+                rate = next;
+                steps += 1;
+                assert!(steps < 10);
+            }
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Bandwidth probers: TCP flooding and Swiftest's paced UDP probing.
+//!
+//! A prober owns the traffic pattern; the estimator (see
+//! [`crate::estimator`]) owns the stop rule and the final number. The
+//! flooding prober reproduces BTS-APP/Speedtest behaviour over the
+//! round-based TCP simulation; the Swiftest prober implements §5.1's
+//! model-guided UDP pacing over the fluid path.
+
+use crate::estimator::{BandwidthEstimator, EstimatorDecision};
+use mbw_congestion::{CcAlgorithm, MultiFlowConfig, MultiFlowSim};
+use mbw_netsim::{PathModel, SimTime};
+use mbw_stats::Gmm;
+use std::time::Duration;
+
+/// Which bandwidth testing service a run emulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BtsKind {
+    /// The production BTS-APP (Speedtest-like, §2).
+    BtsApp,
+    /// Netflix FAST (§5.1).
+    Fast,
+    /// FastBTS (§5.1).
+    FastBts,
+    /// The paper's system (§5).
+    Swiftest,
+}
+
+impl BtsKind {
+    /// All four services.
+    pub const ALL: [BtsKind; 4] =
+        [BtsKind::BtsApp, BtsKind::Fast, BtsKind::FastBts, BtsKind::Swiftest];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BtsKind::BtsApp => "BTS-APP",
+            BtsKind::Fast => "FAST",
+            BtsKind::FastBts => "FastBTS",
+            BtsKind::Swiftest => "Swiftest",
+        }
+    }
+}
+
+impl std::fmt::Display for BtsKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Raw result of one probing run (before server-selection overhead).
+#[derive(Debug, Clone)]
+pub struct ProbeResult {
+    /// Probing wall time.
+    pub duration: Duration,
+    /// Bytes the client pulled through the access link (its data usage).
+    pub data_bytes: f64,
+    /// The estimator's final number, Mbps.
+    pub estimate_mbps: f64,
+    /// The 50 ms samples the client saw.
+    pub samples: Vec<f64>,
+}
+
+/// Configuration of the TCP flooding prober.
+#[derive(Debug, Clone)]
+pub struct FloodingConfig {
+    /// Hard stop (10 s for BTS-APP; FAST/FastBTS rely on their
+    /// estimators but carry a safety cap).
+    pub max_duration: Duration,
+    /// Bandwidth thresholds (Mbps) at which another connection is added
+    /// (§2: "25 Mbps, 35 Mbps, and so on, following Speedtest's design").
+    pub thresholds: Vec<f64>,
+    /// Congestion control of the server-side TCP stacks.
+    pub cc: CcAlgorithm,
+    /// Upper bound on parallel connections.
+    pub max_connections: usize,
+}
+
+impl FloodingConfig {
+    /// BTS-APP's configuration.
+    pub fn bts_app() -> Self {
+        Self {
+            max_duration: Duration::from_secs(10),
+            thresholds: speedtest_thresholds(),
+            cc: CcAlgorithm::Cubic,
+            max_connections: 8,
+        }
+    }
+
+    /// FAST's configuration (converges via its estimator; 20 s cap).
+    pub fn fast() -> Self {
+        Self { max_duration: Duration::from_secs(20), ..Self::bts_app() }
+    }
+
+    /// FastBTS's configuration (30 s cap, rarely reached).
+    pub fn fastbts() -> Self {
+        Self { max_duration: Duration::from_secs(30), ..Self::bts_app() }
+    }
+}
+
+/// Speedtest's connection-addition ladder: 25, 35, then ~1.35× growth.
+pub fn speedtest_thresholds() -> Vec<f64> {
+    let mut t = vec![25.0, 35.0];
+    while *t.last().expect("non-empty") < 1200.0 {
+        let next = t.last().unwrap() * 1.35;
+        t.push(next);
+    }
+    t
+}
+
+/// Run a TCP flooding test: flood through `MultiFlowSim`, push each
+/// complete 50 ms sample into `estimator`, add connections at the
+/// configured thresholds, stop when the estimator converges or the cap
+/// fires.
+pub fn run_flooding(
+    path: PathModel,
+    estimator: &mut dyn BandwidthEstimator,
+    config: &FloodingConfig,
+    seed: u64,
+) -> ProbeResult {
+    let mut sim = MultiFlowSim::new(
+        path,
+        MultiFlowConfig { sample_interval: Duration::from_millis(50), seed },
+    );
+    sim.add_flow(config.cc);
+
+    let mut pushed = 0usize;
+    let mut next_threshold = 0usize;
+    let mut samples = Vec::new();
+    let mut final_estimate = None;
+    let mut end = config.max_duration;
+
+    'outer: while sim.now() < config.max_duration {
+        sim.step_round();
+        let all = sim.samples();
+        while pushed < all.len() {
+            let s = all[pushed];
+            pushed += 1;
+            let mbps = s.bps / 1e6;
+            samples.push(mbps);
+            // Progressive connection addition (§2).
+            while next_threshold < config.thresholds.len()
+                && mbps >= config.thresholds[next_threshold]
+            {
+                next_threshold += 1;
+                if sim.flow_count() < config.max_connections {
+                    sim.add_flow(config.cc);
+                }
+            }
+            match estimator.push(mbps) {
+                EstimatorDecision::Continue => {}
+                EstimatorDecision::Done(v) => {
+                    final_estimate = Some(v);
+                    end = s.at;
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    let (_, delivered, _) = sim.totals();
+    let estimate = final_estimate
+        .or_else(|| estimator.finalize())
+        .unwrap_or(0.0);
+    ProbeResult {
+        duration: end.min(sim.now()),
+        data_bytes: delivered,
+        estimate_mbps: estimate,
+        samples,
+    }
+}
+
+/// Configuration of Swiftest's UDP prober.
+#[derive(Debug, Clone, Copy)]
+pub struct SwiftestConfig {
+    /// Hard cap (the paper's worst observed test was 4.49 s).
+    pub max_duration: Duration,
+    /// A sample at or above `saturation_margin × probing rate` means the
+    /// link is *not* saturated — escalate.
+    pub saturation_margin: f64,
+    /// Multiplicative rate growth once above the model's largest mode.
+    pub beyond_mode_growth: f64,
+}
+
+impl Default for SwiftestConfig {
+    fn default() -> Self {
+        Self {
+            max_duration: Duration::from_millis(4500),
+            saturation_margin: 0.96,
+            beyond_mode_growth: 1.5,
+        }
+    }
+}
+
+/// Run a Swiftest UDP test (§5.1):
+///
+/// 1. start pacing at the model's most probable mode;
+/// 2. after each 50 ms sample, escalate to the most probable larger mode
+///    (or grow multiplicatively past the largest) while unsaturated;
+/// 3. stop when the estimator converges (ten samples within 3%).
+pub fn run_swiftest(
+    mut path: PathModel,
+    model: &Gmm,
+    estimator: &mut dyn BandwidthEstimator,
+    config: &SwiftestConfig,
+    _seed: u64,
+) -> ProbeResult {
+    let step = Duration::from_millis(50);
+    // Initial control handshake: one RTT before data flows.
+    let handshake = path.base_rtt();
+    let mut t = SimTime::ZERO + handshake;
+    let mut rate_mbps = model.dominant_mode().max(1.0);
+    let mut data_bytes = 0.0;
+    let mut samples = Vec::new();
+    let mut estimate = None;
+    let deadline = SimTime::ZERO + config.max_duration;
+
+    while t < deadline {
+        let fs = path.integrate_paced(t, step, step, rate_mbps * 1e6);
+        t += step;
+        let delivered: f64 = fs.iter().map(|s| s.delivered_bytes).sum();
+        // Data usage: bytes that reach the client. Overshoot beyond the
+        // bottleneck is dropped upstream of the metered access link, so
+        // it does not bill the user (which is how the paper's 32 MB per
+        // 5G test comes out of a ~1 s test at ~300 Mbps).
+        data_bytes += delivered;
+        let mbps = delivered * 8.0 / step.as_secs_f64() / 1e6;
+        samples.push(mbps);
+
+        match estimator.push(mbps) {
+            EstimatorDecision::Done(v) => {
+                estimate = Some(v);
+                break;
+            }
+            EstimatorDecision::Continue => {}
+        }
+        // Saturation check (§5.1): the latest sample *not* falling below
+        // the probing rate means there is headroom — tune the rate to
+        // the most probable larger modal bandwidth.
+        if mbps >= rate_mbps * config.saturation_margin {
+            rate_mbps = model
+                .next_larger_mode(rate_mbps)
+                .unwrap_or(rate_mbps * config.beyond_mode_growth);
+        }
+    }
+
+    ProbeResult {
+        duration: t.saturating_since(SimTime::ZERO),
+        data_bytes,
+        estimate_mbps: estimate.or_else(|| estimator.finalize()).unwrap_or(0.0),
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{ConvergenceEstimator, CrucialIntervalEstimator, GroupedTrimmedMean};
+    use crate::model::TechClass;
+    use mbw_netsim::PathConfig;
+
+    fn flat_path(mbps: f64, rtt_ms: u64) -> PathModel {
+        PathModel::new(PathConfig::constant(mbps * 1e6, Duration::from_millis(rtt_ms)))
+    }
+
+    #[test]
+    fn thresholds_start_as_the_paper_says() {
+        let t = speedtest_thresholds();
+        assert_eq!(t[0], 25.0);
+        assert_eq!(t[1], 35.0);
+        assert!(t.len() > 8);
+        for w in t.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn bts_app_runs_the_full_ten_seconds() {
+        let mut est = GroupedTrimmedMean::bts_app();
+        let r = run_flooding(flat_path(100.0, 25), &mut est, &FloodingConfig::bts_app(), 1);
+        // 200 samples × 50 ms = 10 s.
+        assert!(r.duration >= Duration::from_millis(9_900), "{:?}", r.duration);
+        assert!((r.estimate_mbps - 100.0).abs() < 8.0, "estimate {}", r.estimate_mbps);
+        assert!(r.samples.len() >= 200);
+        // Data usage ≈ 10 s at ~100 Mbps ≈ 125 MB (ramp loses a little).
+        assert!(r.data_bytes > 80e6 && r.data_bytes < 130e6, "{}", r.data_bytes);
+    }
+
+    #[test]
+    fn fast_converges_before_its_cap_on_a_stable_path() {
+        let mut est = ConvergenceEstimator::fast();
+        let r = run_flooding(flat_path(100.0, 25), &mut est, &FloodingConfig::fast(), 2);
+        assert!(r.duration < Duration::from_secs(20));
+        assert!(r.estimate_mbps > 60.0, "estimate {}", r.estimate_mbps);
+    }
+
+    #[test]
+    fn fastbts_is_quick_but_can_lowball() {
+        let mut est = CrucialIntervalEstimator::fastbts();
+        let r = run_flooding(flat_path(300.0, 30), &mut est, &FloodingConfig::fastbts(), 3);
+        assert!(r.duration < Duration::from_secs(10), "{:?}", r.duration);
+        assert!(r.estimate_mbps > 0.0);
+    }
+
+    #[test]
+    fn flooding_adds_connections_past_thresholds() {
+        // On a fast path the first samples exceed 25/35 Mbps quickly, so
+        // multiple connections must have been spawned; their aggregate
+        // saturates the link faster than a single Cubic flow would.
+        let mut est = GroupedTrimmedMean::bts_app();
+        let r = run_flooding(flat_path(500.0, 25), &mut est, &FloodingConfig::bts_app(), 4);
+        assert!((r.estimate_mbps - 500.0).abs() < 50.0, "estimate {}", r.estimate_mbps);
+    }
+
+    #[test]
+    fn swiftest_converges_fast_on_a_flat_path() {
+        let model = TechClass::Nr.default_model();
+        let mut est = ConvergenceEstimator::swiftest();
+        let r = run_swiftest(
+            flat_path(300.0, 20),
+            &model,
+            &mut est,
+            &SwiftestConfig::default(),
+            5,
+        );
+        assert!(
+            r.duration < Duration::from_millis(2_000),
+            "duration {:?}",
+            r.duration
+        );
+        assert!((r.estimate_mbps - 300.0).abs() < 15.0, "estimate {}", r.estimate_mbps);
+        // Data usage around rate × duration: tens of MB at most.
+        assert!(r.data_bytes < 100e6, "{}", r.data_bytes);
+    }
+
+    #[test]
+    fn swiftest_escalates_above_the_largest_mode() {
+        let model = Gmm::from_triples(&[(0.7, 50.0, 10.0), (0.3, 100.0, 20.0)]).unwrap();
+        let mut est = ConvergenceEstimator::swiftest();
+        let r = run_swiftest(
+            flat_path(400.0, 20),
+            &model,
+            &mut est,
+            &SwiftestConfig::default(),
+            6,
+        );
+        assert!((r.estimate_mbps - 400.0).abs() < 30.0, "estimate {}", r.estimate_mbps);
+    }
+
+    #[test]
+    fn swiftest_does_not_overshoot_below_the_first_mode() {
+        // Link slower than the dominant mode: the first sample already
+        // shows saturation; the test settles at the true rate.
+        let model = TechClass::Nr.default_model();
+        let mut est = ConvergenceEstimator::swiftest();
+        let r = run_swiftest(
+            flat_path(50.0, 20),
+            &model,
+            &mut est,
+            &SwiftestConfig::default(),
+            7,
+        );
+        assert!((r.estimate_mbps - 50.0).abs() < 5.0, "estimate {}", r.estimate_mbps);
+        assert!(r.duration < Duration::from_millis(1_500));
+    }
+
+    #[test]
+    fn swiftest_uses_an_order_of_magnitude_less_data_than_flooding() {
+        let model = TechClass::Nr.default_model();
+        let mut se = ConvergenceEstimator::swiftest();
+        let swift = run_swiftest(
+            flat_path(300.0, 20),
+            &model,
+            &mut se,
+            &SwiftestConfig::default(),
+            8,
+        );
+        let mut be = GroupedTrimmedMean::bts_app();
+        let bts = run_flooding(flat_path(300.0, 20), &mut be, &FloodingConfig::bts_app(), 8);
+        assert!(
+            bts.data_bytes / swift.data_bytes > 5.0,
+            "flooding {} vs swiftest {}",
+            bts.data_bytes,
+            swift.data_bytes
+        );
+    }
+
+    #[test]
+    fn probe_durations_respect_caps() {
+        let model = TechClass::Wifi.default_model();
+        // A wildly fluctuating path may never converge; the cap must hold.
+        let mut path_cfg = PathConfig::constant(80e6, Duration::from_millis(20));
+        path_cfg.capacity =
+            Box::new(mbw_netsim::OuCapacity::new(80e6, 0.5, 0.5, 42).with_bounds(0.2, 1.8));
+        let mut est = ConvergenceEstimator::swiftest();
+        let r = run_swiftest(
+            PathModel::new(path_cfg),
+            &model,
+            &mut est,
+            &SwiftestConfig::default(),
+            9,
+        );
+        assert!(r.duration <= Duration::from_millis(4_600), "{:?}", r.duration);
+        assert!(r.estimate_mbps > 0.0, "finalize fallback fires");
+    }
+}

@@ -1,0 +1,209 @@
+//! Test-server pool and PING-based server selection.
+//!
+//! BTS-APP operates 352 servers (1–10 Gbps, 62 of them ISP-provided and
+//! especially close to the backbone IXPs) and PINGs 5 geographically
+//! nearby ones per test; Swiftest runs 20 budget 100 Mbps servers spread
+//! over the eight China-mainland IXP domains and PINGs all of them
+//! (§2, §5.2, §5.3).
+
+use mbw_stats::SeededRng;
+use std::time::Duration;
+
+/// Number of core IXP domains in mainland China (§5.2: Beijing,
+/// Shanghai, Guangzhou, Nanjing, Shenyang, Wuhan, Chengdu, Xi'an).
+pub const IXP_DOMAINS: usize = 8;
+
+/// One test server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestServer {
+    /// Stable identifier.
+    pub id: u32,
+    /// IXP domain the server lives in (0–7).
+    pub domain: u8,
+    /// Egress bandwidth, bits/second.
+    pub uplink_bps: f64,
+    /// Intra-domain base RTT to a client in the same domain.
+    pub base_rtt: Duration,
+}
+
+/// A pool of test servers.
+#[derive(Debug, Clone)]
+pub struct ServerPool {
+    servers: Vec<TestServer>,
+}
+
+/// Extra RTT per hop between IXP domains.
+const INTER_DOMAIN_RTT_MS: f64 = 8.0;
+
+impl ServerPool {
+    /// Build a pool from explicit servers.
+    pub fn new(servers: Vec<TestServer>) -> Self {
+        assert!(!servers.is_empty(), "pool must have servers");
+        Self { servers }
+    }
+
+    /// BTS-APP's production-like pool: 352 servers, 1–10 Gbps, 62 of
+    /// them ISP-backed with very low base RTT (§2).
+    pub fn bts_app_production(seed: u64) -> Self {
+        let mut rng = SeededRng::new(seed);
+        let mut servers = Vec::with_capacity(352);
+        for id in 0..352u32 {
+            let isp_backed = id < 62;
+            let uplink_gbps = if isp_backed {
+                rng.uniform_range(5.0, 10.0)
+            } else {
+                rng.uniform_range(1.0, 5.0)
+            };
+            let base_ms = if isp_backed {
+                rng.uniform_range(2.0, 6.0)
+            } else {
+                rng.uniform_range(5.0, 15.0)
+            };
+            servers.push(TestServer {
+                id,
+                domain: (id as usize % IXP_DOMAINS) as u8,
+                uplink_bps: uplink_gbps * 1e9,
+                base_rtt: Duration::from_secs_f64(base_ms / 1e3),
+            });
+        }
+        Self::new(servers)
+    }
+
+    /// Swiftest's budget pool: `count` servers of `mbps` each, placed
+    /// evenly across the IXP domains, as close to the core IXPs as the
+    /// VM market allows (§5.2).
+    pub fn swiftest_budget(count: usize, mbps: f64, seed: u64) -> Self {
+        assert!(count > 0);
+        let mut rng = SeededRng::new(seed);
+        let servers = (0..count as u32)
+            .map(|id| TestServer {
+                id,
+                domain: (id as usize % IXP_DOMAINS) as u8,
+                uplink_bps: mbps * 1e6,
+                base_rtt: Duration::from_secs_f64(rng.uniform_range(3.0, 10.0) / 1e3),
+            })
+            .collect();
+        Self::new(servers)
+    }
+
+    /// All servers.
+    pub fn servers(&self) -> &[TestServer] {
+        &self.servers
+    }
+
+    /// Total pool egress capacity, bits/second.
+    pub fn total_uplink_bps(&self) -> f64 {
+        self.servers.iter().map(|s| s.uplink_bps).sum()
+    }
+
+    /// RTT between a client in `client_domain` and a server, including
+    /// inter-domain distance and measurement jitter.
+    pub fn rtt_to(&self, server: &TestServer, client_domain: u8, rng: &mut SeededRng) -> Duration {
+        let hops = domain_distance(client_domain, server.domain) as f64;
+        let jitter = rng.uniform_range(0.0, 2.0);
+        Duration::from_secs_f64(
+            server.base_rtt.as_secs_f64() + (hops * INTER_DOMAIN_RTT_MS + jitter) / 1e3,
+        )
+    }
+
+    /// PING-based selection (§2): probe `k` candidate servers nearest to
+    /// the client's domain (by id-ordering within domain distance) and
+    /// return `(chosen index, chosen RTT, selection overhead)`.
+    ///
+    /// PINGs run concurrently, so the overhead is one worst-case PING
+    /// round plus client-side processing — the ~0.2 s the paper charges
+    /// Swiftest for PINGing all 10 of its servers (§5.3).
+    pub fn ping_select(
+        &self,
+        client_domain: u8,
+        k: usize,
+        rng: &mut SeededRng,
+    ) -> (usize, Duration, Duration) {
+        let k = k.min(self.servers.len());
+        // Candidates: servers sorted by domain distance (the "geographic
+        // proximity by IP address" heuristic).
+        let mut order: Vec<usize> = (0..self.servers.len()).collect();
+        order.sort_by_key(|&i| {
+            (domain_distance(client_domain, self.servers[i].domain), self.servers[i].id)
+        });
+        let mut best: Option<(usize, Duration)> = None;
+        let mut worst_ping = Duration::ZERO;
+        for &i in order.iter().take(k) {
+            let rtt = self.rtt_to(&self.servers[i], client_domain, rng);
+            worst_ping = worst_ping.max(rtt);
+            if best.map_or(true, |(_, b)| rtt < b) {
+                best = Some((i, rtt));
+            }
+        }
+        let (idx, rtt) = best.expect("k >= 1");
+        // Overhead: concurrent PING round + ~150 ms client bookkeeping.
+        let overhead = worst_ping + Duration::from_millis(150);
+        (idx, rtt, overhead)
+    }
+}
+
+fn domain_distance(a: u8, b: u8) -> u8 {
+    // Domains sit on a logical ring of IXPs; distance is ring distance.
+    let d = (a as i16 - b as i16).unsigned_abs() as u8;
+    d.min(IXP_DOMAINS as u8 - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_pool_shape() {
+        let pool = ServerPool::bts_app_production(1);
+        assert_eq!(pool.servers().len(), 352);
+        let fast = pool.servers().iter().filter(|s| s.uplink_bps >= 5e9).count();
+        assert!(fast >= 62, "ISP-backed servers present");
+        // Total capacity in the hundreds of Gbps–Tbps range.
+        assert!(pool.total_uplink_bps() > 352.0 * 1e9);
+    }
+
+    #[test]
+    fn budget_pool_matches_paper_deployment() {
+        let pool = ServerPool::swiftest_budget(20, 100.0, 2);
+        assert_eq!(pool.servers().len(), 20);
+        assert!((pool.total_uplink_bps() - 2e9).abs() < 1.0, "20 × 100 Mbps = 2 Gbps");
+        // Evenly spread: at most ⌈20/8⌉ per domain.
+        for d in 0..IXP_DOMAINS as u8 {
+            let n = pool.servers().iter().filter(|s| s.domain == d).count();
+            assert!(n <= 3, "domain {d} has {n}");
+        }
+    }
+
+    #[test]
+    fn ping_select_prefers_same_domain() {
+        let pool = ServerPool::bts_app_production(3);
+        let mut rng = SeededRng::new(4);
+        let (idx, rtt, overhead) = pool.ping_select(2, 5, &mut rng);
+        assert_eq!(pool.servers()[idx].domain, 2, "nearest domain wins");
+        assert!(rtt < Duration::from_millis(30));
+        assert!(overhead >= Duration::from_millis(150));
+        assert!(overhead < Duration::from_millis(400));
+    }
+
+    #[test]
+    fn ping_select_handles_k_larger_than_pool() {
+        let pool = ServerPool::swiftest_budget(3, 100.0, 5);
+        let mut rng = SeededRng::new(6);
+        let (idx, _, _) = pool.ping_select(0, 10, &mut rng);
+        assert!(idx < 3);
+    }
+
+    #[test]
+    fn domain_distance_is_ring_metric() {
+        assert_eq!(domain_distance(0, 0), 0);
+        assert_eq!(domain_distance(0, 4), 4);
+        assert_eq!(domain_distance(0, 7), 1);
+        assert_eq!(domain_distance(6, 1), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool must have servers")]
+    fn empty_pool_rejected() {
+        ServerPool::new(vec![]);
+    }
+}

@@ -1,0 +1,282 @@
+//! Static band data: Tables 1 and 2 of the paper.
+//!
+//! Every number here is copied from the paper (which in turn follows the
+//! 3GPP band definitions): downlink spectrum, maximum channel bandwidth,
+//! owning ISPs, and the 2021 refarming facts from §3.2/§3.3.
+
+use crate::types::{Isp, LteBandId, NrBandId};
+
+/// One row of Table 1 (the nine LTE bands used in China).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LteBandInfo {
+    /// Band identifier.
+    pub id: LteBandId,
+    /// Downlink spectrum, MHz (inclusive lower, exclusive upper edge).
+    pub dl_mhz: (f64, f64),
+    /// Maximum supported channel bandwidth, MHz.
+    pub max_channel_mhz: f64,
+    /// ISPs multiplexing the band.
+    pub isps: &'static [Isp],
+    /// Refarmed (partially) for 5G use in early 2021 (§3.2).
+    pub refarmed_2021: bool,
+}
+
+impl LteBandInfo {
+    /// H-Band: supports the 20 MHz channel needed for LTE's theoretical
+    /// peak (§3.2); the rest are L-Bands.
+    pub fn is_h_band(&self) -> bool {
+        self.max_channel_mhz >= 20.0
+    }
+
+    /// Total downlink spectrum width, MHz.
+    pub fn dl_width_mhz(&self) -> f64 {
+        self.dl_mhz.1 - self.dl_mhz.0
+    }
+}
+
+/// Table 1, ordered by downlink spectrum.
+pub const LTE_BANDS: [LteBandInfo; 9] = [
+    LteBandInfo {
+        id: LteBandId::B28,
+        dl_mhz: (758.0, 803.0),
+        max_channel_mhz: 20.0,
+        isps: &[Isp::Isp4],
+        refarmed_2021: true,
+    },
+    LteBandInfo {
+        id: LteBandId::B5,
+        dl_mhz: (869.0, 894.0),
+        max_channel_mhz: 10.0,
+        isps: &[Isp::Isp3],
+        refarmed_2021: false,
+    },
+    LteBandInfo {
+        id: LteBandId::B8,
+        dl_mhz: (925.0, 960.0),
+        max_channel_mhz: 10.0,
+        isps: &[Isp::Isp1, Isp::Isp2],
+        refarmed_2021: false,
+    },
+    LteBandInfo {
+        id: LteBandId::B3,
+        dl_mhz: (1805.0, 1880.0),
+        max_channel_mhz: 20.0,
+        isps: &[Isp::Isp1, Isp::Isp2, Isp::Isp3],
+        refarmed_2021: false,
+    },
+    LteBandInfo {
+        id: LteBandId::B39,
+        dl_mhz: (1880.0, 1920.0),
+        max_channel_mhz: 20.0,
+        isps: &[Isp::Isp1],
+        refarmed_2021: false,
+    },
+    LteBandInfo {
+        id: LteBandId::B34,
+        dl_mhz: (2010.0, 2025.0),
+        max_channel_mhz: 15.0,
+        isps: &[Isp::Isp1],
+        refarmed_2021: false,
+    },
+    LteBandInfo {
+        id: LteBandId::B1,
+        dl_mhz: (2110.0, 2170.0),
+        max_channel_mhz: 20.0,
+        isps: &[Isp::Isp2, Isp::Isp3],
+        refarmed_2021: true,
+    },
+    LteBandInfo {
+        id: LteBandId::B40,
+        dl_mhz: (2300.0, 2400.0),
+        max_channel_mhz: 20.0,
+        isps: &[Isp::Isp1],
+        refarmed_2021: false,
+    },
+    LteBandInfo {
+        id: LteBandId::B41,
+        dl_mhz: (2496.0, 2690.0),
+        max_channel_mhz: 20.0,
+        isps: &[Isp::Isp1],
+        refarmed_2021: true,
+    },
+];
+
+/// One row of Table 2 (the five NR bands used in China).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NrBandInfo {
+    /// Band identifier.
+    pub id: NrBandId,
+    /// Downlink spectrum, MHz.
+    pub dl_mhz: (f64, f64),
+    /// Maximum supported channel bandwidth, MHz.
+    pub max_channel_mhz: f64,
+    /// ISPs using the band for 5G.
+    pub isps: &'static [Isp],
+    /// The LTE band this NR band was refarmed from, if any (§3.3).
+    pub refarmed_from: Option<LteBandId>,
+    /// Contiguous refarmed/available spectrum actually usable for NR, MHz
+    /// (§3.3: 100 MHz for N41, 60 MHz for N1, 45 MHz for N28).
+    pub contiguous_mhz: f64,
+}
+
+/// Table 2, ordered by downlink spectrum.
+pub const NR_BANDS: [NrBandInfo; 5] = [
+    NrBandInfo {
+        id: NrBandId::N28,
+        dl_mhz: (758.0, 803.0),
+        max_channel_mhz: 20.0,
+        isps: &[Isp::Isp4],
+        refarmed_from: Some(LteBandId::B28),
+        contiguous_mhz: 45.0,
+    },
+    NrBandInfo {
+        id: NrBandId::N1,
+        dl_mhz: (2110.0, 2170.0),
+        max_channel_mhz: 20.0,
+        isps: &[Isp::Isp2, Isp::Isp3],
+        refarmed_from: Some(LteBandId::B1),
+        contiguous_mhz: 60.0,
+    },
+    NrBandInfo {
+        id: NrBandId::N41,
+        dl_mhz: (2496.0, 2690.0),
+        max_channel_mhz: 100.0,
+        isps: &[Isp::Isp1],
+        refarmed_from: Some(LteBandId::B41),
+        contiguous_mhz: 100.0,
+    },
+    NrBandInfo {
+        id: NrBandId::N78,
+        dl_mhz: (3300.0, 3800.0),
+        max_channel_mhz: 100.0,
+        isps: &[Isp::Isp2, Isp::Isp3],
+        refarmed_from: None,
+        contiguous_mhz: 100.0,
+    },
+    NrBandInfo {
+        id: NrBandId::N79,
+        dl_mhz: (4400.0, 5000.0),
+        max_channel_mhz: 100.0,
+        isps: &[Isp::Isp1, Isp::Isp4],
+        refarmed_from: None,
+        contiguous_mhz: 100.0,
+    },
+];
+
+/// Look up Table 1 by band id.
+pub fn lte_band(id: LteBandId) -> &'static LteBandInfo {
+    LTE_BANDS.iter().find(|b| b.id == id).expect("all LTE bands tabulated")
+}
+
+/// Look up Table 2 by band id.
+pub fn nr_band(id: NrBandId) -> &'static NrBandInfo {
+    NR_BANDS.iter().find(|b| b.id == id).expect("all NR bands tabulated")
+}
+
+/// Fraction of the total LTE *H-Band* downlink spectrum occupied by the
+/// three refarmed bands. The paper reports 58.2% (§1, §3.2).
+pub fn refarmed_h_band_spectrum_fraction() -> f64 {
+    let h_total: f64 =
+        LTE_BANDS.iter().filter(|b| b.is_h_band()).map(|b| b.dl_width_mhz()).sum();
+    let refarmed: f64 = LTE_BANDS
+        .iter()
+        .filter(|b| b.is_h_band() && b.refarmed_2021)
+        .map(|b| b.dl_width_mhz())
+        .sum();
+    refarmed / h_total
+}
+
+/// LTE bands deployed by a given ISP.
+pub fn lte_bands_of(isp: Isp) -> Vec<&'static LteBandInfo> {
+    LTE_BANDS.iter().filter(|b| b.isps.contains(&isp)).collect()
+}
+
+/// NR bands deployed by a given ISP.
+pub fn nr_bands_of(isp: Isp) -> Vec<&'static NrBandInfo> {
+    NR_BANDS.iter().filter(|b| b.isps.contains(&isp)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        assert_eq!(LTE_BANDS.len(), 9);
+        let b3 = lte_band(LteBandId::B3);
+        assert_eq!(b3.dl_mhz, (1805.0, 1880.0));
+        assert_eq!(b3.max_channel_mhz, 20.0);
+        assert_eq!(b3.isps, &[Isp::Isp1, Isp::Isp2, Isp::Isp3]);
+        let b5 = lte_band(LteBandId::B5);
+        assert!(!b5.is_h_band());
+        assert_eq!(b5.max_channel_mhz, 10.0);
+    }
+
+    #[test]
+    fn h_band_classification_matches_paper() {
+        // H-Bands: 28, 3, 39, 1, 40, 41 (20 MHz); L-Bands: 5, 8, 34.
+        let h: Vec<LteBandId> =
+            LTE_BANDS.iter().filter(|b| b.is_h_band()).map(|b| b.id).collect();
+        assert_eq!(
+            h,
+            vec![
+                LteBandId::B28,
+                LteBandId::B3,
+                LteBandId::B39,
+                LteBandId::B1,
+                LteBandId::B40,
+                LteBandId::B41
+            ]
+        );
+    }
+
+    #[test]
+    fn refarmed_spectrum_fraction_is_58_percent() {
+        // §1: Bands 1, 28 and 41 "occupy 58.2% of the entire
+        // high-bandwidth LTE spectrum".
+        let frac = refarmed_h_band_spectrum_fraction();
+        assert!((frac - 0.582).abs() < 0.01, "fraction {frac}");
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        assert_eq!(NR_BANDS.len(), 5);
+        let n41 = nr_band(NrBandId::N41);
+        assert_eq!(n41.refarmed_from, Some(LteBandId::B41));
+        assert_eq!(n41.contiguous_mhz, 100.0);
+        let n1 = nr_band(NrBandId::N1);
+        assert_eq!(n1.contiguous_mhz, 60.0);
+        let n28 = nr_band(NrBandId::N28);
+        assert_eq!(n28.contiguous_mhz, 45.0);
+        let n78 = nr_band(NrBandId::N78);
+        assert_eq!(n78.refarmed_from, None);
+        assert_eq!(n78.dl_mhz, (3300.0, 3800.0));
+    }
+
+    #[test]
+    fn refarmed_nr_bands_share_spectrum_with_their_lte_origin() {
+        for nr in NR_BANDS.iter().filter(|b| b.refarmed_from.is_some()) {
+            let origin = lte_band(nr.refarmed_from.unwrap());
+            assert_eq!(nr.dl_mhz, origin.dl_mhz, "{:?}", nr.id);
+        }
+    }
+
+    #[test]
+    fn per_isp_band_lookups() {
+        let isp1_lte: Vec<LteBandId> =
+            lte_bands_of(Isp::Isp1).iter().map(|b| b.id).collect();
+        assert_eq!(
+            isp1_lte,
+            vec![LteBandId::B8, LteBandId::B3, LteBandId::B39, LteBandId::B34, LteBandId::B40, LteBandId::B41]
+        );
+        let isp4_nr: Vec<NrBandId> = nr_bands_of(Isp::Isp4).iter().map(|b| b.id).collect();
+        assert_eq!(isp4_nr, vec![NrBandId::N28, NrBandId::N79]);
+    }
+
+    #[test]
+    fn every_isp_has_at_least_one_nr_band() {
+        for isp in Isp::ALL {
+            assert!(!nr_bands_of(isp).is_empty(), "{isp:?}");
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Plain-text CSV export/import of [`TestRecord`]s.
+//!
+//! The paper's artifact releases its evaluation data as flat files; this
+//! module does the same for the synthetic population, with no
+//! serialisation dependency: one header line, one row per record, cell
+//! and WiFi context flattened into a sparse column set.
+
+use crate::types::*;
+
+/// The CSV header, in column order.
+pub const HEADER: &str = "bandwidth_mbps,tech,isp,year,city_id,city_tier,urban,hour,\
+android_version,device_model,device_tier,link_kind,band,rss_level,rss_dbm,snr_db,bs_id,\
+arfcn,lte_advanced,wifi_standard,on_5ghz,plan_mbps,ap_id,mac_rate_mbps,neighbor_aps";
+
+/// Errors from CSV parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsvError {
+    /// The header line did not match [`HEADER`].
+    BadHeader,
+    /// A row had the wrong number of columns.
+    ColumnCount {
+        /// 1-based line number.
+        line: usize,
+        /// Columns found on the line.
+        got: usize,
+    },
+    /// A field failed to parse.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// The offending column.
+        column: &'static str,
+        /// The raw field value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::BadHeader => write!(f, "unrecognised CSV header"),
+            CsvError::ColumnCount { line, got } => {
+                write!(f, "line {line}: expected 25 columns, got {got}")
+            }
+            CsvError::BadField { line, column, value } => {
+                write!(f, "line {line}: bad {column}: {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn tech_str(t: AccessTech) -> &'static str {
+    match t {
+        AccessTech::Cellular3g => "3g",
+        AccessTech::Cellular4g => "4g",
+        AccessTech::Cellular5g => "5g",
+        AccessTech::Wifi => "wifi",
+    }
+}
+
+fn isp_str(i: Isp) -> &'static str {
+    match i {
+        Isp::Isp1 => "isp1",
+        Isp::Isp2 => "isp2",
+        Isp::Isp3 => "isp3",
+        Isp::Isp4 => "isp4",
+    }
+}
+
+fn band_str(b: CellBand) -> &'static str {
+    match b {
+        CellBand::Lte(l) => l.name(),
+        CellBand::Nr(n) => n.name(),
+    }
+}
+
+/// Serialise records to CSV (header included).
+pub fn to_csv(records: &[TestRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 96 + HEADER.len() + 1);
+    out.push_str(HEADER);
+    out.push('\n');
+    for r in records {
+        let tier = match r.city_tier {
+            CityTier::Mega => "mega",
+            CityTier::Medium => "medium",
+            CityTier::Small => "small",
+        };
+        let dtier = match r.device_tier {
+            DeviceTier::Low => "low",
+            DeviceTier::Mid => "mid",
+            DeviceTier::High => "high",
+        };
+        let year = match r.year {
+            Year::Y2020 => "2020",
+            Year::Y2021 => "2021",
+        };
+        let common = format!(
+            "{:.3},{},{},{},{},{},{},{},{},{},{}",
+            r.bandwidth_mbps,
+            tech_str(r.tech),
+            isp_str(r.isp),
+            year,
+            r.city_id,
+            tier,
+            r.urban as u8,
+            r.hour,
+            r.android_version,
+            r.device_model,
+            dtier
+        );
+        match &r.link {
+            LinkInfo::Cell(c) => {
+                out.push_str(&format!(
+                    "{common},cell,{},{},{:.1},{:.1},{},{},{},,,,,,\n",
+                    band_str(c.band),
+                    c.rss_level,
+                    c.rss_dbm,
+                    c.snr_db,
+                    c.bs_id,
+                    c.arfcn,
+                    c.lte_advanced as u8
+                ));
+            }
+            LinkInfo::Wifi(w) => {
+                let std = match w.standard {
+                    WifiStandard::Wifi4 => "wifi4",
+                    WifiStandard::Wifi5 => "wifi5",
+                    WifiStandard::Wifi6 => "wifi6",
+                };
+                out.push_str(&format!(
+                    "{common},wifi,,,,,,,,{},{},{:.0},{},{:.1},{}\n",
+                    std, w.on_5ghz as u8, w.plan_mbps, w.ap_id, w.mac_rate_mbps, w.neighbor_aps
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn parse<T: std::str::FromStr>(
+    s: &str,
+    line: usize,
+    column: &'static str,
+) -> Result<T, CsvError> {
+    s.parse().map_err(|_| CsvError::BadField { line, column, value: s.to_string() })
+}
+
+fn parse_lte_band(s: &str) -> Option<LteBandId> {
+    LteBandId::ALL.into_iter().find(|b| b.name() == s)
+}
+
+fn parse_nr_band(s: &str) -> Option<NrBandId> {
+    NrBandId::ALL.into_iter().find(|b| b.name() == s)
+}
+
+/// Parse a CSV document produced by [`to_csv`].
+pub fn from_csv(text: &str) -> Result<Vec<TestRecord>, CsvError> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some(HEADER) {
+        return Err(CsvError::BadHeader);
+    }
+    let mut records = Vec::new();
+    for (idx, raw) in lines.enumerate() {
+        let line = idx + 2; // 1-based, after the header
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = raw.split(',').collect();
+        if cols.len() != 25 {
+            return Err(CsvError::ColumnCount { line, got: cols.len() });
+        }
+        let tech = match cols[1] {
+            "3g" => AccessTech::Cellular3g,
+            "4g" => AccessTech::Cellular4g,
+            "5g" => AccessTech::Cellular5g,
+            "wifi" => AccessTech::Wifi,
+            other => {
+                return Err(CsvError::BadField { line, column: "tech", value: other.into() })
+            }
+        };
+        let isp = match cols[2] {
+            "isp1" => Isp::Isp1,
+            "isp2" => Isp::Isp2,
+            "isp3" => Isp::Isp3,
+            "isp4" => Isp::Isp4,
+            other => {
+                return Err(CsvError::BadField { line, column: "isp", value: other.into() })
+            }
+        };
+        let year = match cols[3] {
+            "2020" => Year::Y2020,
+            "2021" => Year::Y2021,
+            other => {
+                return Err(CsvError::BadField { line, column: "year", value: other.into() })
+            }
+        };
+        let city_tier = match cols[5] {
+            "mega" => CityTier::Mega,
+            "medium" => CityTier::Medium,
+            "small" => CityTier::Small,
+            other => {
+                return Err(CsvError::BadField { line, column: "city_tier", value: other.into() })
+            }
+        };
+        let device_tier = match cols[10] {
+            "low" => DeviceTier::Low,
+            "mid" => DeviceTier::Mid,
+            "high" => DeviceTier::High,
+            other => {
+                return Err(CsvError::BadField { line, column: "device_tier", value: other.into() })
+            }
+        };
+        let link = match cols[11] {
+            "cell" => {
+                let band_name = cols[12];
+                let band = parse_lte_band(band_name)
+                    .map(CellBand::Lte)
+                    .or_else(|| parse_nr_band(band_name).map(CellBand::Nr))
+                    .ok_or_else(|| CsvError::BadField {
+                        line,
+                        column: "band",
+                        value: band_name.into(),
+                    })?;
+                LinkInfo::Cell(CellInfo {
+                    band,
+                    rss_level: parse(cols[13], line, "rss_level")?,
+                    rss_dbm: parse(cols[14], line, "rss_dbm")?,
+                    snr_db: parse(cols[15], line, "snr_db")?,
+                    bs_id: parse(cols[16], line, "bs_id")?,
+                    arfcn: parse(cols[17], line, "arfcn")?,
+                    lte_advanced: cols[18] == "1",
+                })
+            }
+            "wifi" => {
+                let standard = match cols[19] {
+                    "wifi4" => WifiStandard::Wifi4,
+                    "wifi5" => WifiStandard::Wifi5,
+                    "wifi6" => WifiStandard::Wifi6,
+                    other => {
+                        return Err(CsvError::BadField {
+                            line,
+                            column: "wifi_standard",
+                            value: other.into(),
+                        })
+                    }
+                };
+                LinkInfo::Wifi(WifiInfo {
+                    standard,
+                    on_5ghz: cols[20] == "1",
+                    plan_mbps: parse(cols[21], line, "plan_mbps")?,
+                    ap_id: parse(cols[22], line, "ap_id")?,
+                    mac_rate_mbps: parse(cols[23], line, "mac_rate_mbps")?,
+                    neighbor_aps: parse(cols[24], line, "neighbor_aps")?,
+                })
+            }
+            other => {
+                return Err(CsvError::BadField { line, column: "link_kind", value: other.into() })
+            }
+        };
+        records.push(TestRecord {
+            bandwidth_mbps: parse(cols[0], line, "bandwidth_mbps")?,
+            tech,
+            isp,
+            year,
+            city_id: parse(cols[4], line, "city_id")?,
+            city_tier,
+            urban: cols[6] == "1",
+            hour: parse(cols[7], line, "hour")?,
+            android_version: parse(cols[8], line, "android_version")?,
+            device_model: parse(cols[9], line, "device_model")?,
+            device_tier,
+            link,
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{DatasetConfig, Generator};
+    use mbw_stats::descriptive;
+
+    fn sample(tests: usize) -> Vec<TestRecord> {
+        Generator::new(DatasetConfig { seed: 0xC57, tests, year: Year::Y2021 }).generate()
+    }
+
+    #[test]
+    fn roundtrip_preserves_population_statistics() {
+        let records = sample(5_000);
+        let parsed = from_csv(&to_csv(&records)).expect("roundtrip parses");
+        assert_eq!(parsed.len(), records.len());
+        // Float columns are rounded in the CSV, so compare aggregates.
+        let m1 = descriptive::mean(
+            &records.iter().map(|r| r.bandwidth_mbps).collect::<Vec<_>>(),
+        );
+        let m2 =
+            descriptive::mean(&parsed.iter().map(|r| r.bandwidth_mbps).collect::<Vec<_>>());
+        assert!((m1 - m2).abs() < 0.01);
+        // Categorical columns roundtrip exactly.
+        for (a, b) in records.iter().zip(&parsed) {
+            assert_eq!(a.tech, b.tech);
+            assert_eq!(a.isp, b.isp);
+            assert_eq!(a.city_id, b.city_id);
+            assert_eq!(a.device_tier, b.device_tier);
+            assert_eq!(a.urban, b.urban);
+            match (&a.link, &b.link) {
+                (LinkInfo::Cell(x), LinkInfo::Cell(y)) => {
+                    assert_eq!(x.band, y.band);
+                    assert_eq!(x.rss_level, y.rss_level);
+                    assert_eq!(x.arfcn, y.arfcn);
+                }
+                (LinkInfo::Wifi(x), LinkInfo::Wifi(y)) => {
+                    assert_eq!(x.standard, y.standard);
+                    assert_eq!(x.on_5ghz, y.on_5ghz);
+                    assert_eq!(x.plan_mbps, y.plan_mbps);
+                    assert_eq!(x.neighbor_aps, y.neighbor_aps);
+                }
+                _ => panic!("link kind changed in roundtrip"),
+            }
+        }
+    }
+
+    #[test]
+    fn header_mismatch_is_an_error() {
+        assert_eq!(from_csv("foo,bar\n1,2\n"), Err(CsvError::BadHeader));
+    }
+
+    #[test]
+    fn column_count_is_checked() {
+        let doc = format!("{HEADER}\n1,2,3\n");
+        assert!(matches!(from_csv(&doc), Err(CsvError::ColumnCount { line: 2, got: 3 })));
+    }
+
+    #[test]
+    fn bad_fields_are_located() {
+        let records = sample(1);
+        let doc = to_csv(&records);
+        // Corrupt the ISP column on the data row, not the header.
+        let (header, body) = doc.split_once('\n').expect("header line");
+        let doc = format!("{header}\n{}", body.replacen("isp", "xsp", 1));
+        match from_csv(&doc) {
+            Err(CsvError::BadField { line: 2, column, .. }) => {
+                assert_eq!(column, "isp");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let records = sample(3);
+        let doc = format!("{}\n\n", to_csv(&records));
+        assert_eq!(from_csv(&doc).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn csv_has_one_line_per_record_plus_header() {
+        let records = sample(100);
+        let doc = to_csv(&records);
+        assert_eq!(doc.lines().count(), 101);
+    }
+}

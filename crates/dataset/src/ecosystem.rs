@@ -1,0 +1,384 @@
+//! Ecosystem-level distributions: who tests, where, when, on what.
+//!
+//! These tables parameterise the generator. Each is calibrated to a
+//! number the paper reports; the comment on each constant cites the
+//! claim it reproduces.
+
+use crate::types::{CityTier, Isp, WifiStandard, Year};
+use mbw_stats::SeededRng;
+
+/// Technology mix of the 23.6M tests (§3.1: 21,051 3G / 1,632,616 4G /
+/// 905,471 5G / 21,077,214 WiFi).
+pub const TECH_WEIGHTS: [(crate::types::AccessTech, f64); 4] = [
+    (crate::types::AccessTech::Cellular3g, 21_051.0),
+    (crate::types::AccessTech::Cellular4g, 1_632_616.0),
+    (crate::types::AccessTech::Cellular5g, 905_471.0),
+    (crate::types::AccessTech::Wifi, 21_077_214.0),
+];
+
+/// Cellular subscriber share per ISP (approximate Chinese market shares;
+/// ISP-4 launched in 2021 with a negligible base).
+pub fn isp_weights(year: Year) -> [(Isp, f64); 4] {
+    match year {
+        Year::Y2020 => [(Isp::Isp1, 0.52), (Isp::Isp2, 0.20), (Isp::Isp3, 0.28), (Isp::Isp4, 0.0)],
+        Year::Y2021 => {
+            [(Isp::Isp1, 0.515), (Isp::Isp2, 0.20), (Isp::Isp3, 0.28), (Isp::Isp4, 0.005)]
+        }
+    }
+}
+
+/// WiFi-standard mix (§3.4: WiFi 4/5/6 account for 57.2% / 31.3% / 11.5%
+/// of WiFi tests in 2021).
+pub fn wifi_standard_weights(year: Year) -> [(WifiStandard, f64); 3] {
+    match year {
+        // 2021 mix from the paper.
+        Year::Y2021 => [
+            (WifiStandard::Wifi4, 0.572),
+            (WifiStandard::Wifi5, 0.313),
+            (WifiStandard::Wifi6, 0.115),
+        ],
+        // 2020: WiFi 6 commercial prosperity had just commenced — its
+        // 2021 users were mostly still on (premium) WiFi 5, and BTS-APP's
+        // 2021 user growth skewed toward lower-tier (WiFi 4) households.
+        Year::Y2020 => [
+            (WifiStandard::Wifi4, 0.55),
+            (WifiStandard::Wifi5, 0.41),
+            (WifiStandard::Wifi6, 0.04),
+        ],
+    }
+}
+
+/// 5G user share of cellular tests (§3.1: 17% in 2020, 33% in 2021) —
+/// used when a caller fixes the cellular split instead of the global
+/// technology mix.
+pub fn five_g_share(year: Year) -> f64 {
+    match year {
+        Year::Y2020 => 0.17,
+        Year::Y2021 => 0.33,
+    }
+}
+
+/// City counts per tier (§3.1: 21 mega, 51 medium, 254 small).
+pub const CITY_COUNTS: [(CityTier, u16); 3] =
+    [(CityTier::Mega, 21), (CityTier::Medium, 51), (CityTier::Small, 254)];
+
+/// Test volume weight per city tier: mega cities generate
+/// disproportionately many tests (denser population, more BTS-APP users).
+pub const CITY_TIER_TEST_WEIGHTS: [(CityTier, f64); 3] =
+    [(CityTier::Mega, 0.45), (CityTier::Medium, 0.30), (CityTier::Small, 0.25)];
+
+/// Probability a test runs in the urban core, per tier.
+pub fn urban_probability(tier: CityTier) -> f64 {
+    match tier {
+        CityTier::Mega => 0.85,
+        CityTier::Medium => 0.70,
+        CityTier::Small => 0.55,
+    }
+}
+
+/// A city with its per-city random effects, drawn once per dataset so
+/// the same city stays coherent across records (spatial disparity, §3.1).
+#[derive(Debug, Clone, Copy)]
+pub struct City {
+    /// Index into the dataset's city table.
+    pub id: u16,
+    /// Size tier.
+    pub tier: CityTier,
+    /// Multiplier on 4G bandwidth (log-normal around tier mean).
+    pub lte_factor: f64,
+    /// Multiplier on 5G bandwidth.
+    pub nr_factor: f64,
+    /// Multiplier on WiFi bandwidth (wired infrastructure quality).
+    pub wifi_factor: f64,
+}
+
+/// Build the 326-city table with per-city random effects.
+///
+/// Tier means are tuned so the per-city average ranges match §3.1
+/// (4G 28–119 Mbps, 5G 113–428 Mbps, WiFi 83–256 Mbps) and so that
+/// "41% of cities show unbalanced 4G/5G development" — the LTE and NR
+/// factors are drawn independently, which produces exactly that
+/// imbalance.
+pub fn build_cities(rng: &mut SeededRng) -> Vec<City> {
+    let mut cities = Vec::new();
+    let mut id = 0u16;
+    for (tier, count) in CITY_COUNTS {
+        // Mega cities have dense deployment but heavy contention; small
+        // cities have thin deployment. Net tier means are mild.
+        let (lte_mu, nr_mu, wifi_mu) = match tier {
+            CityTier::Mega => (1.02, 1.05, 1.10),
+            CityTier::Medium => (1.00, 1.00, 1.00),
+            CityTier::Small => (0.92, 0.88, 0.85),
+        };
+        for _ in 0..count {
+            cities.push(City {
+                id,
+                tier,
+                lte_factor: (rng.log_normal(0.0, 0.28) * lte_mu).clamp(0.45, 2.4),
+                nr_factor: (rng.log_normal(0.0, 0.25) * nr_mu).clamp(0.37, 1.45),
+                wifi_factor: (rng.log_normal(0.0, 0.32) * wifi_mu).clamp(0.45, 2.2),
+            });
+            id += 1;
+        }
+    }
+    cities
+}
+
+/// Android-version distribution (versions 5–12) per year. Newer versions
+/// dominate in 2021; version share shifts by one year's adoption.
+pub fn android_version_weights(year: Year) -> [(u8, f64); 8] {
+    match year {
+        Year::Y2021 => [
+            (5, 0.01),
+            (6, 0.02),
+            (7, 0.04),
+            (8, 0.08),
+            (9, 0.14),
+            (10, 0.27),
+            (11, 0.33),
+            (12, 0.11),
+        ],
+        Year::Y2020 => [
+            (5, 0.02),
+            (6, 0.04),
+            (7, 0.08),
+            (8, 0.14),
+            (9, 0.24),
+            (10, 0.34),
+            (11, 0.14),
+            (12, 0.00),
+        ],
+    }
+}
+
+/// Bandwidth multiplier per Android version (Fig 2: the OS version, via
+/// its cellular/WiFi management modules, statistically determines access
+/// bandwidth; hardware tier adds ≤ 23 Mbps of spread).
+pub fn android_version_factor(version: u8) -> f64 {
+    match version {
+        0..=5 => 0.55,
+        6 => 0.62,
+        7 => 0.70,
+        8 => 0.78,
+        9 => 0.86,
+        10 => 0.94,
+        11 => 1.02,
+        _ => 1.08,
+    }
+}
+
+/// Number of distinct device models (§3.1: 2,381 models from 191
+/// vendors).
+pub const DEVICE_MODELS: u16 = 2381;
+
+/// Device hardware-tier mix (low / mid / high end).
+pub const DEVICE_TIER_WEIGHTS: [f64; 3] = [0.30, 0.45, 0.25];
+
+/// Hourly 5G test-volume profile (tests per hour in a typical day,
+/// Fig 10): trough of ~46 tests/hour at 03:00–05:00, evening peak around
+/// 20:00, 362/hour at 21:00–23:00, and ~25% more tests at 15:00–17:00
+/// than 21:00–23:00.
+pub const HOURLY_TEST_VOLUME: [f64; 24] = [
+    150.0, 90.0, 60.0, 46.0, 46.0, 60.0, 110.0, 200.0, 290.0, 360.0, 420.0, 470.0, //
+    430.0, 400.0, 440.0, 452.0, 452.0, 480.0, 520.0, 580.0, 540.0, 362.0, 362.0, 250.0,
+];
+
+/// 5G capacity multiplier per hour (Fig 10): base stations sleep
+/// (antenna units off) 21:00–09:00, cutting peak capacity; load further
+/// modulates within the day. The trough (21:00–23:00, sleeping *and*
+/// still-busy) and the peak (03:00–05:00, sleeping but idle) both come
+/// from the combination of this profile with the load factor below.
+pub const NR_HOURLY_CAPACITY: [f64; 24] = [
+    0.92, 0.92, 0.92, 0.92, 0.92, 0.92, 0.92, 0.92, 0.92, 1.0, 1.0, 1.0, //
+    1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.92, 0.92, 0.92,
+];
+
+/// Contention factor from concurrent load: more simultaneous users means
+/// a smaller per-user share. Normalised so the daily mean is ≈ 1.
+pub fn load_factor(hour: u8) -> f64 {
+    let volume = HOURLY_TEST_VOLUME[hour as usize % 24];
+    let mean: f64 = HOURLY_TEST_VOLUME.iter().sum::<f64>() / 24.0;
+    // Sub-linear: doubling users does not halve each test's result
+    // because tests rarely overlap perfectly.
+    (mean / volume).powf(0.18)
+}
+
+/// RSS level distribution for cellular tests (levels 1–5). Urban tests
+/// skew high (dense gNodeBs ⇒ strong signal), rural tests skew low.
+pub fn rss_level_weights(urban: bool) -> [f64; 5] {
+    if urban {
+        [0.04, 0.10, 0.22, 0.34, 0.30]
+    } else {
+        [0.10, 0.22, 0.30, 0.26, 0.12]
+    }
+}
+
+/// Mean SNR (dB) per RSS level (Fig 11: monotone, ~5 dB at level 1 to
+/// ~35 dB at level 5).
+pub const SNR_BY_RSS: [f64; 5] = [5.0, 13.0, 20.0, 28.0, 35.0];
+
+/// Fixed-broadband plan tiers (Mbps) sold by the ISPs (§3.4: WiFi
+/// bandwidths cluster at 100× values matching these plans).
+pub const BROADBAND_PLANS: [f64; 6] = [50.0, 100.0, 200.0, 300.0, 500.0, 1000.0];
+
+/// Plan-mix per WiFi standard. Calibrated so that ~64% of all WiFi users
+/// sit on ≤ 200 Mbps plans while only ~39% of WiFi 6 users do (§3.4),
+/// and so the resulting means/medians track Figs 13–15.
+pub fn broadband_plan_weights(standard: WifiStandard, year: Year) -> [f64; 6] {
+    let w2021 = match standard {
+        WifiStandard::Wifi4 => [0.26, 0.28, 0.18, 0.14, 0.10, 0.04],
+        WifiStandard::Wifi5 => [0.05, 0.20, 0.26, 0.22, 0.18, 0.09],
+        WifiStandard::Wifi6 => [0.02, 0.13, 0.24, 0.20, 0.20, 0.21],
+    };
+    match year {
+        Year::Y2021 => w2021,
+        // 2020: the future WiFi 6 adopters (rich plans) were still WiFi 5
+        // users, so the 2020 WiFi 5 plan mix blends in the WiFi 6 tail —
+        // this is what keeps the overall WiFi average nearly flat across
+        // the two years (132 vs 137 Mbps, §3.1) despite the mix shift.
+        Year::Y2020 => match standard {
+            WifiStandard::Wifi5 => {
+                let w6 = [0.02, 0.13, 0.24, 0.20, 0.20, 0.21];
+                let mut w = [0.0; 6];
+                for i in 0..6 {
+                    w[i] = 0.75 * w2021[i] + 0.25 * w6[i];
+                }
+                w
+            }
+            _ => w2021,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tech_weights_match_paper_counts() {
+        let total: f64 = TECH_WEIGHTS.iter().map(|(_, w)| w).sum();
+        assert!((total - 23_636_352.0).abs() < 1.0);
+        let wifi_share = TECH_WEIGHTS[3].1 / total;
+        assert!((wifi_share - 0.8917).abs() < 0.001, "{wifi_share}");
+    }
+
+    #[test]
+    fn wifi_standard_mix_2021() {
+        let w = wifi_standard_weights(Year::Y2021);
+        let total: f64 = w.iter().map(|(_, x)| x).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(w[0].1, 0.572);
+    }
+
+    #[test]
+    fn city_table_has_326_cities() {
+        let mut rng = SeededRng::new(1);
+        let cities = build_cities(&mut rng);
+        assert_eq!(cities.len(), 326);
+        assert_eq!(cities.iter().filter(|c| c.tier == CityTier::Mega).count(), 21);
+        assert_eq!(cities.iter().filter(|c| c.tier == CityTier::Small).count(), 254);
+        // Ids are dense and unique.
+        for (i, c) in cities.iter().enumerate() {
+            assert_eq!(c.id as usize, i);
+        }
+    }
+
+    #[test]
+    fn city_factors_span_a_wide_range() {
+        let mut rng = SeededRng::new(2);
+        let cities = build_cities(&mut rng);
+        let lte: Vec<f64> = cities.iter().map(|c| c.lte_factor).collect();
+        let min = lte.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = lte.iter().cloned().fold(0.0, f64::max);
+        // §3.1 reports 28–119 Mbps around a 53 Mbps mean ⇒ ratio > 3.
+        assert!(max / min > 2.5, "range {min}..{max}");
+    }
+
+    #[test]
+    fn unbalanced_city_development_emerges() {
+        // §3.1: 41% of cities have unbalanced 4G/5G development. With
+        // independent factors, a large minority of cities should have
+        // one factor above 1 and the other below.
+        let mut rng = SeededRng::new(3);
+        let cities = build_cities(&mut rng);
+        let unbalanced = cities
+            .iter()
+            .filter(|c| (c.lte_factor > 1.0) != (c.nr_factor > 1.0))
+            .count() as f64
+            / cities.len() as f64;
+        assert!((0.2..=0.6).contains(&unbalanced), "unbalanced {unbalanced}");
+    }
+
+    #[test]
+    fn android_weights_sum_to_one() {
+        for year in [Year::Y2020, Year::Y2021] {
+            let total: f64 = android_version_weights(year).iter().map(|(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{year:?}");
+        }
+    }
+
+    #[test]
+    fn android_factor_is_monotone() {
+        for v in 5..12 {
+            assert!(android_version_factor(v) < android_version_factor(v + 1));
+        }
+    }
+
+    #[test]
+    fn hourly_volume_matches_fig10_anchors() {
+        // Trough at 03–05 h.
+        assert_eq!(HOURLY_TEST_VOLUME[3], 46.0);
+        assert_eq!(HOURLY_TEST_VOLUME[4], 46.0);
+        // 362/hour at 21:00–23:00; 15–17 h is ~25% higher.
+        assert_eq!(HOURLY_TEST_VOLUME[21], 362.0);
+        let ratio = HOURLY_TEST_VOLUME[15] / HOURLY_TEST_VOLUME[21];
+        assert!((ratio - 1.25).abs() < 0.01, "{ratio}");
+    }
+
+    #[test]
+    fn nr_sleeping_window_is_21_to_9() {
+        for h in 0..24usize {
+            let sleeping = h >= 21 || h < 9;
+            assert_eq!(NR_HOURLY_CAPACITY[h] < 1.0, sleeping, "hour {h}");
+        }
+    }
+
+    #[test]
+    fn load_factor_high_when_idle() {
+        assert!(load_factor(4) > load_factor(20));
+        // Mean over the day stays near 1.
+        let mean: f64 = (0..24).map(|h| load_factor(h)).sum::<f64>() / 24.0;
+        assert!((mean - 1.0).abs() < 0.1, "{mean}");
+    }
+
+    #[test]
+    fn rss_weights_are_distributions() {
+        for urban in [true, false] {
+            let w = rss_level_weights(urban);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        // Urban skews to stronger signal.
+        assert!(rss_level_weights(true)[4] > rss_level_weights(false)[4]);
+    }
+
+    #[test]
+    fn snr_by_rss_is_monotone() {
+        for i in 0..4 {
+            assert!(SNR_BY_RSS[i] < SNR_BY_RSS[i + 1]);
+        }
+    }
+
+    #[test]
+    fn plan_weights_encode_the_64_vs_39_percent_split() {
+        // Fraction of users on ≤200 Mbps plans: high for WiFi 4/5,
+        // ~0.39 for WiFi 6.
+        let le200 = |w: [f64; 6]| w[0] + w[1] + w[2];
+        let w4 = le200(broadband_plan_weights(WifiStandard::Wifi4, Year::Y2021));
+        let w5 = le200(broadband_plan_weights(WifiStandard::Wifi5, Year::Y2021));
+        let w6 = le200(broadband_plan_weights(WifiStandard::Wifi6, Year::Y2021));
+        let mix = wifi_standard_weights(Year::Y2021);
+        let overall = w4 * mix[0].1 + w5 * mix[1].1 + w6 * mix[2].1;
+        assert!((overall - 0.64).abs() < 0.05, "overall {overall}");
+        assert!((w6 - 0.39).abs() < 0.05, "wifi6 {w6}");
+    }
+}

@@ -1,0 +1,557 @@
+//! The seeded record generator.
+//!
+//! Draws [`TestRecord`]s from the ecosystem and bandwidth models. The
+//! pipeline per record mirrors how a real test acquires its context:
+//! pick *who* (ISP, device, OS), *where* (city, urban/rural), *when*
+//! (hour of a typical day), *what* (technology, band / WiFi standard and
+//! plan), then *how fast* (the calibrated bandwidth draw with contextual
+//! multipliers).
+
+use crate::ecosystem::{self, City};
+use crate::models;
+use crate::types::*;
+use mbw_stats::sampling::WeightedIndex;
+use mbw_stats::SeededRng;
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetConfig {
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Number of records to generate.
+    pub tests: usize,
+    /// Measurement year being simulated.
+    pub year: Year,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self { seed: 0xDA7A, tests: 100_000, year: Year::Y2021 }
+    }
+}
+
+/// Number of distinct base stations (§3.1: 2,041,586) and WiFi APs
+/// (4,473,362) for id anonymisation.
+const BS_POPULATION: u32 = 2_041_586;
+const AP_POPULATION: u32 = 4_473_362;
+
+/// Share of cellular tests still on 3G (§3.1: 21,051 of ~2.56M).
+const THREE_G_SHARE: f64 = 0.0082;
+
+/// WiFi share of all tests (§3.1: 21,077,214 / 23,636,352).
+const WIFI_SHARE: f64 = 0.8917;
+
+/// Fixed-broadband (WiFi) ISP market shares; ISP-3's wireline arm is
+/// strong, ISP-4 has almost no fixed footprint.
+const WIFI_ISP_WEIGHTS: [f64; 4] = [0.38, 0.24, 0.36, 0.02];
+
+/// The dataset generator. Construction precomputes every categorical
+/// sampler so each record is O(1).
+pub struct Generator {
+    config: DatasetConfig,
+    rng: SeededRng,
+    cities: Vec<City>,
+    city_tier_sampler: WeightedIndex,
+    tier_ranges: [(usize, usize); 3],
+    hour_sampler: WeightedIndex,
+    android_sampler: WeightedIndex,
+    android_versions: Vec<u8>,
+    cellular_isp_sampler: WeightedIndex,
+    wifi_isp_sampler: WeightedIndex,
+    wifi_standard_sampler: WeightedIndex,
+    plan_samplers: [WeightedIndex; 3],
+    lte_band_tables: Vec<(Isp, Vec<LteBandId>, WeightedIndex)>,
+    nr_band_tables: Vec<(Isp, Vec<NrBandId>, WeightedIndex)>,
+}
+
+impl Generator {
+    /// Build a generator for the given configuration.
+    pub fn new(config: DatasetConfig) -> Self {
+        let mut rng = SeededRng::new(config.seed);
+        let cities = ecosystem::build_cities(&mut rng.fork(1));
+
+        let mut tier_ranges = [(0usize, 0usize); 3];
+        let mut start = 0usize;
+        for (i, (_, count)) in ecosystem::CITY_COUNTS.iter().enumerate() {
+            tier_ranges[i] = (start, start + *count as usize);
+            start += *count as usize;
+        }
+
+        let city_tier_sampler = WeightedIndex::new(
+            &ecosystem::CITY_TIER_TEST_WEIGHTS.map(|(_, w)| w),
+        )
+        .expect("static weights valid");
+        let hour_sampler =
+            WeightedIndex::new(&ecosystem::HOURLY_TEST_VOLUME).expect("static weights valid");
+
+        let android = ecosystem::android_version_weights(config.year);
+        let android_sampler =
+            WeightedIndex::new(&android.map(|(_, w)| w)).expect("static weights valid");
+        let android_versions = android.map(|(v, _)| v).to_vec();
+
+        let cellular_isp_sampler =
+            WeightedIndex::new(&ecosystem::isp_weights(config.year).map(|(_, w)| w.max(1e-9)))
+                .expect("static weights valid");
+        let wifi_isp_sampler =
+            WeightedIndex::new(&WIFI_ISP_WEIGHTS).expect("static weights valid");
+        let wifi_standard_sampler = WeightedIndex::new(
+            &ecosystem::wifi_standard_weights(config.year).map(|(_, w)| w),
+        )
+        .expect("static weights valid");
+
+        let plan_samplers = WifiStandard::ALL.map(|s| {
+            WeightedIndex::new(&ecosystem::broadband_plan_weights(s, config.year))
+                .expect("static weights valid")
+        });
+
+        let lte_band_tables = Isp::ALL
+            .iter()
+            .map(|&isp| {
+                let weights = models::lte_band_weights(isp, config.year);
+                let bands: Vec<LteBandId> = weights.iter().map(|(b, _)| *b).collect();
+                let ws: Vec<f64> = weights.iter().map(|(_, w)| *w).collect();
+                (isp, bands, WeightedIndex::new(&ws).expect("static weights valid"))
+            })
+            .collect();
+        let nr_band_tables = Isp::ALL
+            .iter()
+            .map(|&isp| {
+                let weights = models::nr_band_weights(isp, config.year);
+                let bands: Vec<NrBandId> = weights.iter().map(|(b, _)| *b).collect();
+                let ws: Vec<f64> = weights.iter().map(|(_, w)| *w).collect();
+                (isp, bands, WeightedIndex::new(&ws).expect("static weights valid"))
+            })
+            .collect();
+
+        Self {
+            config,
+            rng: rng.fork(2),
+            cities,
+            city_tier_sampler,
+            tier_ranges,
+            hour_sampler,
+            android_sampler,
+            android_versions,
+            cellular_isp_sampler,
+            wifi_isp_sampler,
+            wifi_standard_sampler,
+            plan_samplers,
+            lte_band_tables,
+            nr_band_tables,
+        }
+    }
+
+    /// The per-city random-effects table (ids match `TestRecord.city_id`).
+    pub fn cities(&self) -> &[City] {
+        &self.cities
+    }
+
+    /// Generate the configured number of records.
+    pub fn generate(&mut self) -> Vec<TestRecord> {
+        (0..self.config.tests).map(|_| self.generate_one()).collect()
+    }
+
+    /// Generate a single record.
+    pub fn generate_one(&mut self) -> TestRecord {
+        let year = self.config.year;
+        let rng = &mut self.rng;
+
+        // Where.
+        let tier_idx = self.city_tier_sampler.sample(rng);
+        let (lo, hi) = self.tier_ranges[tier_idx];
+        let city = self.cities[lo + rng.index(hi - lo)];
+        let urban = rng.chance(ecosystem::urban_probability(city.tier));
+
+        // When / on what device.
+        let hour = self.hour_sampler.sample(rng) as u8;
+        // Device tier first; the Android version is tier-conditioned —
+        // high-end devices ship (and get updated to) newer versions,
+        // which is the mechanism behind §3.1's "hardware illusion".
+        let mut tier_u = rng.uniform();
+        let device_tier = {
+            let w = ecosystem::DEVICE_TIER_WEIGHTS;
+            if tier_u < w[0] {
+                DeviceTier::Low
+            } else if {
+                tier_u -= w[0];
+                tier_u < w[1]
+            } {
+                DeviceTier::Mid
+            } else {
+                DeviceTier::High
+            }
+        };
+        let d1 = self.android_versions[self.android_sampler.sample(rng)];
+        let d2 = self.android_versions[self.android_sampler.sample(rng)];
+        let android_version = match device_tier {
+            DeviceTier::Low => d1.min(d2),
+            DeviceTier::Mid => d1,
+            DeviceTier::High => d1.max(d2),
+        };
+        let device_model = rng.index(ecosystem::DEVICE_MODELS as usize) as u16;
+
+        // What.
+        let is_wifi = rng.chance(WIFI_SHARE);
+        let (tech, isp, link, bandwidth) = if is_wifi {
+            let isp = Isp::ALL[self.wifi_isp_sampler.sample(rng)];
+            let (info, bw) =
+                self.draw_wifi(isp, &city, urban, android_version, device_tier, year);
+            (AccessTech::Wifi, isp, LinkInfo::Wifi(info), bw)
+        } else {
+            let isp = Isp::ALL[self.cellular_isp_sampler.sample(rng)];
+            if self.rng.chance(THREE_G_SHARE) && isp != Isp::Isp4 {
+                let bw = models::cellular_3g_draw(&mut self.rng);
+                let info = self.cell_context_3g(urban);
+                (AccessTech::Cellular3g, isp, LinkInfo::Cell(info), bw)
+            } else if self.rng.chance(models::nr_share_of_cellular(isp, year)) {
+                let (info, bw) =
+                    self.draw_5g(isp, &city, urban, hour, android_version, device_tier, year);
+                (AccessTech::Cellular5g, isp, LinkInfo::Cell(info), bw)
+            } else {
+                let (info, bw) =
+                    self.draw_4g(isp, &city, urban, hour, android_version, device_tier, year);
+                (AccessTech::Cellular4g, isp, LinkInfo::Cell(info), bw)
+            }
+        };
+
+        TestRecord {
+            bandwidth_mbps: bandwidth,
+            tech,
+            isp,
+            year,
+            city_id: city.id,
+            city_tier: city.tier,
+            urban,
+            hour,
+            android_version,
+            device_model,
+            device_tier,
+            link,
+        }
+    }
+
+    fn draw_rss(&mut self, urban: bool) -> u8 {
+        let w = ecosystem::rss_level_weights(urban);
+        let mut u = self.rng.uniform();
+        for (i, &p) in w.iter().enumerate() {
+            u -= p;
+            if u < 0.0 {
+                return (i + 1) as u8;
+            }
+        }
+        5
+    }
+
+    fn cell_context_3g(&mut self, urban: bool) -> CellInfo {
+        let level = self.draw_rss(urban);
+        let info = crate::bands::lte_band(LteBandId::B8);
+        CellInfo {
+            band: CellBand::Lte(LteBandId::B8), // legacy carriers ride low bands
+            rss_level: level,
+            rss_dbm: models::dbm_for_rss(level, &mut self.rng),
+            snr_db: models::snr_for_rss(level, &mut self.rng),
+            bs_id: (self.rng.next_u64() % BS_POPULATION as u64) as u32,
+            arfcn: models::arfcn_for(info.dl_mhz, info.max_channel_mhz, &mut self.rng),
+            lte_advanced: false,
+        }
+    }
+
+    fn draw_4g(
+        &mut self,
+        isp: Isp,
+        city: &City,
+        urban: bool,
+        hour: u8,
+        android: u8,
+        tier: DeviceTier,
+        year: Year,
+    ) -> (CellInfo, f64) {
+        let (bands, sampler) = self
+            .lte_band_tables
+            .iter()
+            .find(|(i, _, _)| *i == isp)
+            .map(|(_, b, s)| (b, s))
+            .expect("every ISP tabulated");
+        let band = bands[sampler.sample(&mut self.rng)];
+        let level = self.draw_rss(urban);
+        let lte_advanced = self.rng.chance(models::lte_advanced_prob(band, urban));
+
+        let bw = if lte_advanced {
+            // Carrier aggregation dominates every other effect (§3.2).
+            models::lte_advanced_draw(&mut self.rng) * models::measurement_noise(&mut self.rng)
+        } else if self.rng.chance(models::LTE_DEGRADED.0) {
+            // Cell-edge / congested sessions collapse regardless of band —
+            // the 26.3%-below-10-Mbps tail of Fig 4.
+            models::lte_degraded_draw(&mut self.rng) * models::measurement_noise(&mut self.rng)
+        } else {
+            let base = models::lte_band_base(band, year).sample(&mut self.rng)
+                * models::lte_year_factor(year);
+            base * city.lte_factor
+                * models::urban_factor(false, urban)
+                * models::lte_hour_factor(hour)
+                * ecosystem::android_version_factor(android)
+                * models::device_tier_factor(tier)
+                * models::LTE_RSS_FACTOR[(level as usize - 1).min(4)]
+                * models::measurement_noise(&mut self.rng)
+        };
+        let band_info = crate::bands::lte_band(band);
+        let info = CellInfo {
+            band: CellBand::Lte(band),
+            rss_level: level,
+            rss_dbm: models::dbm_for_rss(level, &mut self.rng),
+            snr_db: models::snr_for_rss(level, &mut self.rng),
+            bs_id: (self.rng.next_u64() % BS_POPULATION as u64) as u32,
+            arfcn: models::arfcn_for(band_info.dl_mhz, band_info.max_channel_mhz, &mut self.rng),
+            lte_advanced,
+        };
+        (info, bw.clamp(0.1, models::LTE_MAX_MBPS))
+    }
+
+    fn draw_5g(
+        &mut self,
+        isp: Isp,
+        city: &City,
+        urban: bool,
+        hour: u8,
+        android: u8,
+        tier: DeviceTier,
+        year: Year,
+    ) -> (CellInfo, f64) {
+        let (bands, sampler) = self
+            .nr_band_tables
+            .iter()
+            .find(|(i, _, _)| *i == isp)
+            .map(|(_, b, s)| (b, s))
+            .expect("every ISP tabulated");
+        let band = bands[sampler.sample(&mut self.rng)];
+        let level = self.draw_rss(urban);
+
+        let base = models::nr_band_model(band, year).sample_at_least(&mut self.rng, 5.0);
+        let mut rss_factor = models::NR_RSS_FACTOR[(level as usize - 1).min(4)];
+        // §3.3: excellent-RSS tests cluster in crowded urban areas where
+        // dense gNodeBs suffer cross-region coverage, interference, load
+        // balancing and handover pathologies.
+        let (p_interf, interf_mult) = models::NR_URBAN_INTERFERENCE;
+        if level == 5 && urban && self.rng.chance(p_interf) {
+            rss_factor *= interf_mult;
+        }
+        let bw = base
+            * city.nr_factor
+            * models::urban_factor(true, urban)
+            * models::nr_hour_factor(hour)
+            * ecosystem::android_version_factor(android)
+            * models::device_tier_factor(tier)
+            * models::nr_isp_factor(isp)
+            * rss_factor
+            * models::measurement_noise(&mut self.rng);
+
+        let band_info = crate::bands::nr_band(band);
+        let info = CellInfo {
+            band: CellBand::Nr(band),
+            rss_level: level,
+            rss_dbm: models::dbm_for_rss(level, &mut self.rng),
+            snr_db: models::snr_for_rss(level, &mut self.rng),
+            bs_id: (self.rng.next_u64() % BS_POPULATION as u64) as u32,
+            arfcn: models::arfcn_for(
+                band_info.dl_mhz,
+                band_info.contiguous_mhz.min(band_info.max_channel_mhz),
+                &mut self.rng,
+            ),
+            lte_advanced: false,
+        };
+        (info, bw.clamp(1.0, models::NR_MAX_MBPS))
+    }
+
+    fn draw_wifi(
+        &mut self,
+        isp: Isp,
+        city: &City,
+        urban: bool,
+        android: u8,
+        tier: DeviceTier,
+        year: Year,
+    ) -> (WifiInfo, f64) {
+        let std_idx = self.wifi_standard_sampler.sample(&mut self.rng);
+        let standard = WifiStandard::ALL[std_idx];
+        let plan_idx = self.plan_samplers[std_idx].sample(&mut self.rng);
+        let plan = ecosystem::BROADBAND_PLANS[plan_idx];
+        let on_5ghz = self.rng.chance(models::p_5ghz(standard, plan));
+
+        let link = models::wifi_link_model(standard, on_5ghz).sample(&mut self.rng);
+        // The wired side: plan × delivery efficiency × infrastructure
+        // quality (ISP investment, city wiring).
+        let infra = (models::wifi_isp_factor(isp) * city.wifi_factor).clamp(0.50, 1.40);
+        let wired = plan * models::plan_efficiency(&mut self.rng) * infra;
+        let bw = link.min(wired)
+            * ecosystem::android_version_factor(android)
+            * models::device_tier_factor(tier)
+            * models::measurement_noise(&mut self.rng);
+
+        let info = WifiInfo {
+            standard,
+            on_5ghz,
+            plan_mbps: plan,
+            ap_id: (self.rng.next_u64() % AP_POPULATION as u64) as u32,
+            mac_rate_mbps: models::wifi_mac_rate(standard, on_5ghz, link, &mut self.rng),
+            neighbor_aps: models::neighbor_ap_count(city.tier, urban, &mut self.rng),
+        };
+        let _ = year;
+        (info, bw.clamp(0.5, models::WIFI_MAX_MBPS))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbw_stats::descriptive;
+
+    fn dataset(tests: usize, year: Year, seed: u64) -> Vec<TestRecord> {
+        Generator::new(DatasetConfig { seed, tests, year }).generate()
+    }
+
+    fn bw_of<'a>(
+        records: impl Iterator<Item = &'a TestRecord>,
+    ) -> Vec<f64> {
+        records.map(|r| r.bandwidth_mbps).collect()
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = dataset(500, Year::Y2021, 42);
+        let b = dataset(500, Year::Y2021, 42);
+        assert_eq!(a, b);
+        let c = dataset(500, Year::Y2021, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn technology_mix_matches_paper() {
+        let records = dataset(120_000, Year::Y2021, 7);
+        let frac = |t: AccessTech| {
+            records.iter().filter(|r| r.tech == t).count() as f64 / records.len() as f64
+        };
+        assert!((frac(AccessTech::Wifi) - 0.8917).abs() < 0.01);
+        // 5G ≈ 33% of cellular in 2021 (§3.1).
+        let cell: Vec<_> =
+            records.iter().filter(|r| r.tech != AccessTech::Wifi).collect();
+        let five_g = cell.iter().filter(|r| r.tech == AccessTech::Cellular5g).count() as f64
+            / cell.len() as f64;
+        assert!((five_g - 0.33).abs() < 0.04, "5G share {five_g}");
+    }
+
+    #[test]
+    fn four_g_population_matches_fig4() {
+        let records = dataset(400_000, Year::Y2021, 11);
+        let bw = bw_of(records.iter().filter(|r| r.tech == AccessTech::Cellular4g));
+        assert!(bw.len() > 10_000);
+        let mean = descriptive::mean(&bw);
+        let median = descriptive::median(&bw);
+        assert!((mean - 53.0).abs() < 8.0, "mean {mean}");
+        assert!((median - 22.0).abs() < 6.0, "median {median}");
+        // 26.3% below 10 Mbps, 6.8% above 300 Mbps (§3.2).
+        let below10 = descriptive::fraction_below(&bw, 10.0);
+        let above300 = descriptive::fraction_above(&bw, 300.0);
+        assert!((below10 - 0.263).abs() < 0.06, "below10 {below10}");
+        assert!((above300 - 0.068).abs() < 0.02, "above300 {above300}");
+    }
+
+    #[test]
+    fn five_g_population_matches_fig7() {
+        let records = dataset(400_000, Year::Y2021, 13);
+        let bw = bw_of(records.iter().filter(|r| r.tech == AccessTech::Cellular5g));
+        let mean = descriptive::mean(&bw);
+        let median = descriptive::median(&bw);
+        assert!((mean - 303.0).abs() < 30.0, "mean {mean}");
+        assert!((median - 273.0).abs() < 35.0, "median {median}");
+    }
+
+    #[test]
+    fn wifi_population_matches_fig13() {
+        let records = dataset(300_000, Year::Y2021, 17);
+        let of_std = |s: WifiStandard| {
+            bw_of(
+                records
+                    .iter()
+                    .filter(|r| r.wifi().map(|w| w.standard) == Some(s)),
+            )
+        };
+        let m4 = descriptive::mean(&of_std(WifiStandard::Wifi4));
+        let m5 = descriptive::mean(&of_std(WifiStandard::Wifi5));
+        let m6 = descriptive::mean(&of_std(WifiStandard::Wifi6));
+        assert!((m4 - 59.0).abs() < 12.0, "wifi4 {m4}");
+        assert!((m5 - 208.0).abs() < 30.0, "wifi5 {m5}");
+        assert!((m6 - 345.0).abs() < 45.0, "wifi6 {m6}");
+    }
+
+    #[test]
+    fn year_over_year_decline_in_cellular() {
+        // §3.1: 4G 68 → 53 Mbps, 5G 343 → 305 Mbps, WiFi ~flat.
+        let y20 = dataset(250_000, Year::Y2020, 19);
+        let y21 = dataset(250_000, Year::Y2021, 19);
+        let mean_of = |rs: &[TestRecord], t: AccessTech| {
+            descriptive::mean(&bw_of(rs.iter().filter(|r| r.tech == t)))
+        };
+        let g4_20 = mean_of(&y20, AccessTech::Cellular4g);
+        let g4_21 = mean_of(&y21, AccessTech::Cellular4g);
+        assert!(g4_20 > g4_21 * 1.10, "4G {g4_20} vs {g4_21}");
+        let g5_20 = mean_of(&y20, AccessTech::Cellular5g);
+        let g5_21 = mean_of(&y21, AccessTech::Cellular5g);
+        assert!(g5_20 > g5_21 * 1.05, "5G {g5_20} vs {g5_21}");
+        let w20 = mean_of(&y20, AccessTech::Wifi);
+        let w21 = mean_of(&y21, AccessTech::Wifi);
+        assert!((w21 / w20 - 1.0).abs() < 0.12, "WiFi {w20} vs {w21}");
+    }
+
+    #[test]
+    fn band3_carries_most_lte_tests() {
+        let records = dataset(200_000, Year::Y2021, 23);
+        let lte: Vec<_> = records.iter().filter_map(|r| r.lte_band()).collect();
+        let b3 = lte.iter().filter(|&&b| b == LteBandId::B3).count() as f64 / lte.len() as f64;
+        assert!((b3 - 0.55).abs() < 0.08, "B3 share {b3}");
+    }
+
+    #[test]
+    fn rss_level5_5g_dips_below_level4() {
+        let records = dataset(500_000, Year::Y2021, 29);
+        let mean_at = |lvl: u8| {
+            descriptive::mean(&bw_of(records.iter().filter(|r| {
+                r.tech == AccessTech::Cellular5g
+                    && r.cell().map(|c| c.rss_level) == Some(lvl)
+            })))
+        };
+        let l3 = mean_at(3);
+        let l4 = mean_at(4);
+        let l5 = mean_at(5);
+        assert!(l4 > l3, "l4 {l4} l3 {l3}");
+        assert!(l5 < l4, "level-5 dip missing: l5 {l5} l4 {l4}");
+    }
+
+    #[test]
+    fn wifi_bandwidth_never_exceeds_cap_and_respects_plan_shape() {
+        let records = dataset(100_000, Year::Y2021, 31);
+        for r in records.iter().filter(|r| r.tech == AccessTech::Wifi) {
+            assert!(r.bandwidth_mbps <= models::WIFI_MAX_MBPS);
+            let w = r.wifi().unwrap();
+            // A test cannot meaningfully exceed plan × generous slack
+            // (efficiency 1.10 × infra 1.40 × Android 1.08 × noise 1.3).
+            assert!(
+                r.bandwidth_mbps <= w.plan_mbps * 2.20,
+                "bw {} plan {}",
+                r.bandwidth_mbps,
+                w.plan_mbps
+            );
+        }
+    }
+
+    #[test]
+    fn hours_and_versions_in_range() {
+        let records = dataset(20_000, Year::Y2021, 37);
+        for r in &records {
+            assert!(r.hour < 24);
+            assert!((5..=12).contains(&r.android_version));
+            if let Some(c) = r.cell() {
+                assert!((1..=5).contains(&c.rss_level));
+            }
+        }
+    }
+}

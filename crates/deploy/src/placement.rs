@@ -1,0 +1,114 @@
+//! IXP-domain placement (§5.2).
+//!
+//! "China Mainland consists of eight domains, each containing a core
+//! IXP … the servers should be evenly placed in these domains and as
+//! close to the core IXPs as possible." Placement is round-robin over
+//! domains in descending server size, so capacity (not just count)
+//! spreads evenly.
+
+/// The eight core IXP cities in the paper's order.
+pub const IXP_CITIES: [&str; 8] = [
+    "Beijing", "Shanghai", "Guangzhou", "Nanjing", "Shenyang", "Wuhan", "Chengdu", "Xi'an",
+];
+
+/// A placement of purchased servers onto IXP domains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// `assignments[i] = (bandwidth_mbps, domain)` per server.
+    pub assignments: Vec<(f64, u8)>,
+}
+
+impl Placement {
+    /// Total bandwidth placed in a domain, Mbps.
+    pub fn domain_capacity(&self, domain: u8) -> f64 {
+        self.assignments
+            .iter()
+            .filter(|(_, d)| *d == domain)
+            .map(|(bw, _)| bw)
+            .sum()
+    }
+
+    /// Ratio of the best- to worst-provisioned domain (1.0 = perfectly
+    /// even).
+    pub fn imbalance(&self) -> f64 {
+        let caps: Vec<f64> = (0..IXP_CITIES.len() as u8)
+            .map(|d| self.domain_capacity(d))
+            .filter(|&c| c > 0.0)
+            .collect();
+        if caps.is_empty() {
+            return 1.0;
+        }
+        let max = caps.iter().cloned().fold(0.0, f64::max);
+        let min = caps.iter().cloned().fold(f64::INFINITY, f64::min);
+        max / min
+    }
+}
+
+/// Place a purchased fleet (a list of per-server bandwidths, Mbps)
+/// evenly across the eight domains: sort descending, always assign to
+/// the currently least-provisioned domain (greedy makespan balancing).
+pub fn place(server_bandwidths_mbps: &[f64]) -> Placement {
+    let mut order: Vec<f64> = server_bandwidths_mbps.to_vec();
+    order.sort_by(|a, b| b.partial_cmp(a).expect("finite bandwidths"));
+    let mut caps = [0.0f64; 8];
+    let mut assignments = Vec::with_capacity(order.len());
+    for bw in order {
+        let (domain, _) = caps
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("eight domains");
+        assignments.push((bw, domain as u8));
+        caps[domain] += bw;
+    }
+    Placement { assignments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_fleet_spreads_evenly() {
+        // 20 equal servers over 8 domains: counts 3/3/3/3/2/2/2/2.
+        let placement = place(&vec![100.0; 20]);
+        let counts: Vec<usize> = (0..8u8)
+            .map(|d| placement.assignments.iter().filter(|(_, x)| *x == d).count())
+            .collect();
+        assert!(counts.iter().all(|&c| c == 2 || c == 3), "{counts:?}");
+        assert!(placement.imbalance() <= 1.5);
+    }
+
+    #[test]
+    fn mixed_fleet_balances_capacity_not_count() {
+        let mut fleet = vec![1000.0];
+        fleet.extend(vec![100.0; 10]);
+        let placement = place(&fleet);
+        // The 1 Gbps box lands alone; the small ones fill other domains.
+        let big_domain = placement
+            .assignments
+            .iter()
+            .find(|(bw, _)| *bw == 1000.0)
+            .map(|(_, d)| *d)
+            .unwrap();
+        let small_in_big = placement
+            .assignments
+            .iter()
+            .filter(|(bw, d)| *d == big_domain && *bw == 100.0)
+            .count();
+        assert_eq!(small_in_big, 0);
+    }
+
+    #[test]
+    fn empty_fleet_is_fine() {
+        let placement = place(&[]);
+        assert!(placement.assignments.is_empty());
+        assert_eq!(placement.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn eight_cities_named() {
+        assert_eq!(IXP_CITIES.len(), 8);
+        assert_eq!(IXP_CITIES[0], "Beijing");
+    }
+}

@@ -1,0 +1,151 @@
+//! Expected-workload estimation (§5.2).
+//!
+//! The workload a BTS fleet must absorb is the *aggregate bandwidth of
+//! concurrently running tests*. It is "practically estimated by jointly
+//! considering recent user scale and their access bandwidths reflected
+//! in our data": arrival rate × test duration gives expected concurrency
+//! (Little's law), the bandwidth population gives the per-test demand,
+//! and a peak factor covers the diurnal concentration of tests.
+
+/// A workload estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadEstimate {
+    /// Tests per day the fleet must serve.
+    pub tests_per_day: f64,
+    /// Mean test duration, seconds.
+    pub mean_duration_s: f64,
+    /// Mean per-test bandwidth demand, Mbps.
+    pub mean_bandwidth_mbps: f64,
+    /// Peak-hour arrival rate relative to the daily mean.
+    pub peak_factor: f64,
+    /// Burst multiplier on concurrency (short-timescale Poisson
+    /// clumping; ~3σ above the peak-hour mean).
+    pub burst_factor: f64,
+    /// 95th-percentile per-test bandwidth, Mbps — the fleet must absorb
+    /// bursts of *fast* clients, not average ones (a single 5G test can
+    /// pull 500+ Mbps on its own).
+    pub p95_bandwidth_mbps: f64,
+}
+
+impl WorkloadEstimate {
+    /// The paper's Swiftest deployment: ~10K tests/day, ~1 s tests,
+    /// a bandwidth population averaging ~150 Mbps across 4G/5G/WiFi,
+    /// evening peak ≈ 2× the daily mean.
+    pub fn swiftest_paper() -> Self {
+        Self {
+            tests_per_day: 10_000.0,
+            mean_duration_s: 1.2,
+            mean_bandwidth_mbps: 150.0,
+            peak_factor: 2.0,
+            burst_factor: 6.0,
+            p95_bandwidth_mbps: 550.0,
+        }
+    }
+
+    /// Build the estimate directly from a fitted bandwidth population —
+    /// "jointly considering recent user scale and their access
+    /// bandwidths reflected in our data" (§5.2).
+    pub fn from_population(
+        tests_per_day: f64,
+        mean_duration_s: f64,
+        population: &mbw_stats::Gmm,
+    ) -> Self {
+        Self {
+            tests_per_day,
+            mean_duration_s,
+            mean_bandwidth_mbps: population.mean(),
+            peak_factor: 2.0,
+            burst_factor: 6.0,
+            p95_bandwidth_mbps: population.quantile(0.95),
+        }
+    }
+
+    /// Mean number of concurrently running tests (Little's law).
+    pub fn mean_concurrency(&self) -> f64 {
+        self.tests_per_day / 86_400.0 * self.mean_duration_s
+    }
+
+    /// Average aggregate demand, Mbps.
+    pub fn mean_demand_mbps(&self) -> f64 {
+        self.mean_concurrency() * self.mean_bandwidth_mbps
+    }
+
+    /// The demand the fleet should be provisioned for: peak-hour
+    /// concurrency with burst head-room, each concurrent test billed at
+    /// the fast-client (p95) bandwidth — the number handed to the
+    /// purchase ILP.
+    pub fn provisioning_demand_mbps(&self) -> f64 {
+        // Poisson clumping: with mean concurrency m, bursts reach about
+        // m + burst_factor·√m concurrent tests.
+        let m = self.mean_concurrency() * self.peak_factor;
+        let burst_concurrency = m + self.burst_factor * m.sqrt();
+        burst_concurrency.max(1.0) * self.p95_bandwidth_mbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn littles_law() {
+        let w = WorkloadEstimate {
+            tests_per_day: 86_400.0,
+            mean_duration_s: 2.0,
+            mean_bandwidth_mbps: 100.0,
+            peak_factor: 1.0,
+            burst_factor: 0.0,
+            p95_bandwidth_mbps: 100.0,
+        };
+        assert!((w.mean_concurrency() - 2.0).abs() < 1e-12);
+        assert!((w.mean_demand_mbps() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_workload_fits_a_2gbps_fleet() {
+        // §5.3: 20 × 100 Mbps (2 Gbps) suffices "with considerable
+        // margins" for ~10K tests/day.
+        let w = WorkloadEstimate::swiftest_paper();
+        let demand = w.provisioning_demand_mbps();
+        assert!(demand < 2_000.0, "provisioning demand {demand}");
+        assert!(demand > 400.0, "demand too small to justify 20 servers: {demand}");
+    }
+
+    #[test]
+    fn provisioning_scales_with_volume() {
+        let mut w = WorkloadEstimate::swiftest_paper();
+        let d1 = w.provisioning_demand_mbps();
+        w.tests_per_day *= 20.0; // BTS-APP's full 0.2M/day
+        let d2 = w.provisioning_demand_mbps();
+        assert!(d2 > d1 * 4.0, "{d1} -> {d2}");
+    }
+
+    #[test]
+    fn burst_headroom_is_positive() {
+        let w = WorkloadEstimate::swiftest_paper();
+        assert!(w.provisioning_demand_mbps() > w.mean_demand_mbps() * w.peak_factor);
+    }
+
+    #[test]
+    fn population_derived_estimate_matches_hand_tuned_one() {
+        // Fitting the workload from the pooled bandwidth mixture should
+        // land near the paper-calibrated constants.
+        let population = mbw_stats::Gmm::from_triples(&[
+            (0.45, 60.0, 25.0),
+            (0.33, 200.0, 60.0),
+            (0.17, 380.0, 90.0),
+            (0.05, 750.0, 150.0),
+        ])
+        .expect("valid mixture");
+        let w = WorkloadEstimate::from_population(10_000.0, 1.2, &population);
+        let hand = WorkloadEstimate::swiftest_paper();
+        assert!((w.mean_bandwidth_mbps - hand.mean_bandwidth_mbps).abs() < 60.0);
+        assert!(
+            (w.p95_bandwidth_mbps - hand.p95_bandwidth_mbps).abs() < 150.0,
+            "p95 {}",
+            w.p95_bandwidth_mbps
+        );
+        // The derived demand still fits the 2 Gbps fleet.
+        assert!(w.provisioning_demand_mbps() < 2_600.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Token-bucket rate control.
+//!
+//! Two users in this repository:
+//!
+//! 1. **Traffic shaping emulation** — §5.3 attributes the worst 0.7% of
+//!    Swiftest-vs-BTS-APP deviations to "traffic shaping exerted by certain
+//!    BSes or WiFi APs"; a token bucket in front of the access link
+//!    reproduces that pattern.
+//! 2. **Paced probing** — Swiftest's UDP server sends at a target data
+//!    rate; the wire implementation (`mbw-wire`) and the simulated prober
+//!    both pace through this bucket.
+
+use crate::time::SimTime;
+
+/// A classic token bucket: `rate_bps` bits/second refill, `burst_bytes`
+/// capacity.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_bps: f64,
+    burst_bytes: f64,
+    tokens: f64,
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    /// Create a bucket that starts full.
+    ///
+    /// # Panics
+    /// Panics if `rate_bps` or `burst_bytes` is not positive-finite.
+    pub fn new(rate_bps: f64, burst_bytes: f64) -> Self {
+        assert!(rate_bps.is_finite() && rate_bps > 0.0, "rate must be positive");
+        assert!(burst_bytes.is_finite() && burst_bytes > 0.0, "burst must be positive");
+        Self { rate_bps, burst_bytes, tokens: burst_bytes, last_refill: SimTime::ZERO }
+    }
+
+    /// Configured refill rate in bits/second.
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    /// Change the refill rate (tokens accrued so far are kept). Used by
+    /// probers when escalating to a larger modal bandwidth mid-test.
+    pub fn set_rate(&mut self, now: SimTime, rate_bps: f64) {
+        assert!(rate_bps.is_finite() && rate_bps > 0.0, "rate must be positive");
+        self.refill(now);
+        self.rate_bps = rate_bps;
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if now > self.last_refill {
+            let dt = (now - self.last_refill).as_secs_f64();
+            self.tokens = (self.tokens + self.rate_bps * dt / 8.0).min(self.burst_bytes);
+            self.last_refill = now;
+        }
+    }
+
+    /// Tokens (bytes) available at `now`.
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    /// Try to consume `bytes` immediately. Returns `true` on success.
+    pub fn try_consume(&mut self, now: SimTime, bytes: f64) -> bool {
+        self.refill(now);
+        if self.tokens >= bytes {
+            self.tokens -= bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume `bytes`, going into debt if needed, and return the earliest
+    /// time the consumption is "paid for" — i.e. when the packet may be
+    /// released by a pacer. This is the natural primitive for paced
+    /// sending: call once per packet and schedule the send at the returned
+    /// time.
+    pub fn consume_paced(&mut self, now: SimTime, bytes: f64) -> SimTime {
+        self.refill(now);
+        self.tokens -= bytes;
+        if self.tokens >= 0.0 {
+            now
+        } else {
+            let deficit_secs = -self.tokens * 8.0 / self.rate_bps;
+            now + std::time::Duration::from_secs_f64(deficit_secs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_consumes() {
+        let mut b = TokenBucket::new(8e6, 1000.0); // 1 MB/s refill, 1 KB burst
+        assert!(b.try_consume(SimTime::ZERO, 1000.0));
+        assert!(!b.try_consume(SimTime::ZERO, 1.0));
+    }
+
+    #[test]
+    fn refills_at_rate() {
+        let mut b = TokenBucket::new(8e6, 10_000.0); // 1e6 bytes/sec
+        assert!(b.try_consume(SimTime::ZERO, 10_000.0));
+        // After 5 ms, 5000 bytes should be back.
+        let t = SimTime::from_millis(5);
+        assert!((b.available(t) - 5000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut b = TokenBucket::new(8e6, 1000.0);
+        let t = SimTime::from_secs(100);
+        assert!((b.available(t) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paced_consumption_spaces_packets_at_rate() {
+        // 1250 bytes at 1 Mbps = 10 ms per packet.
+        let mut b = TokenBucket::new(1e6, 1250.0);
+        let mut t = SimTime::ZERO;
+        let mut releases = Vec::new();
+        for _ in 0..5 {
+            t = b.consume_paced(t, 1250.0);
+            releases.push(t.as_millis_f64());
+        }
+        // First is free (full bucket); then 10 ms spacing.
+        assert_eq!(releases[0], 0.0);
+        for w in releases.windows(2) {
+            assert!((w[1] - w[0] - 10.0).abs() < 1e-6, "{releases:?}");
+        }
+    }
+
+    #[test]
+    fn long_term_paced_rate_matches_config() {
+        let rate = 50e6; // 50 Mbps
+        let pkt = 1250.0;
+        let mut b = TokenBucket::new(rate, 64_000.0);
+        let mut t = SimTime::ZERO;
+        let n = 10_000;
+        for _ in 0..n {
+            t = b.consume_paced(t, pkt);
+        }
+        let achieved = n as f64 * pkt * 8.0 / t.as_secs_f64();
+        assert!((achieved - rate).abs() / rate < 0.02, "achieved {achieved}");
+    }
+
+    #[test]
+    fn set_rate_takes_effect() {
+        let mut b = TokenBucket::new(1e6, 1250.0);
+        let mut t = SimTime::ZERO;
+        t = b.consume_paced(t, 1250.0);
+        b.set_rate(t, 2e6);
+        let t1 = b.consume_paced(t, 1250.0);
+        let t2 = b.consume_paced(t1, 1250.0);
+        // 1250 B at 2 Mbps = 5 ms spacing.
+        assert!(((t2 - t1).as_secs_f64() - 0.005).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn rejects_zero_rate() {
+        TokenBucket::new(0.0, 100.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Deterministic event queue.
+//!
+//! A thin priority queue keyed by [`SimTime`] with FIFO tie-breaking:
+//! events scheduled for the same instant pop in the order they were
+//! pushed. That property keeps simulations bit-reproducible regardless of
+//! how the caller interleaves scheduling.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Priority queue of `(SimTime, E)` events, earliest first.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: SimTime,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+    }
+
+    /// The time of the most recently popped event (the simulation "now").
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — scheduling into the past is always
+    /// a simulation bug and silently reordering it would corrupt results.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "scheduled event in the past");
+        self.heap.push(Reverse(Entry { at, seq: self.seq, event }));
+        self.seq += 1;
+    }
+
+    /// Schedule `event` after a delay relative to `now`.
+    pub fn schedule_in(&mut self, delay: std::time::Duration, event: E) {
+        let at = self.now + delay;
+        self.schedule(at, event);
+    }
+
+    /// Pop the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| {
+            self.now = e.at;
+            (e.at, e.event)
+        })
+    }
+
+    /// Time of the next event, if any, without popping.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drive the simulation until the queue drains or the clock passes
+    /// `deadline`, calling `handler(now, event, queue)` for each event.
+    /// Events already scheduled at a time past the deadline remain queued.
+    pub fn run_until<F>(&mut self, deadline: SimTime, mut handler: F)
+    where
+        F: FnMut(SimTime, E, &mut EventQueue<E>),
+    {
+        while let Some(at) = self.peek_time() {
+            if at > deadline {
+                break;
+            }
+            let (now, event) = self.pop().expect("peeked event exists");
+            // `handler` may schedule follow-up events; hand it the queue.
+            handler(now, event, self);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), "c");
+        q.schedule(SimTime::from_millis(10), "a");
+        q.schedule(SimTime::from_millis(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled event in the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 0);
+        q.pop();
+        q.schedule_in(Duration::from_secs(2), 1);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn run_until_respects_deadline_and_allows_rescheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), 0u32);
+        let mut fired = Vec::new();
+        q.run_until(SimTime::from_millis(100), |now, ev, q| {
+            fired.push((now.as_millis_f64(), ev));
+            if ev < 5 {
+                q.schedule(now + Duration::from_millis(30), ev + 1);
+            }
+        });
+        // Fired at 10, 40, 70, 100; event 4 lands at 130 > deadline.
+        assert_eq!(fired.len(), 4);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(130)));
+    }
+}

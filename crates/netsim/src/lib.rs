@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! Discrete-event network simulator substrate.
+//!
+//! The paper's systems run against real 4G/5G/WiFi access links and a pool
+//! of wired test servers; neither is available here, so this crate builds
+//! the closest synthetic equivalent: an event-driven simulator in the
+//! spirit of small, robust stacks — explicit virtual time, no hidden
+//! global state, deterministic for a given seed.
+//!
+//! A bandwidth test only ever observes end-to-end packet behaviour
+//! (when bytes arrive, what got lost, how latency moves), so the simulator
+//! models exactly those observables:
+//!
+//! - [`time`] — virtual clock types ([`SimTime`], nanosecond resolution).
+//! - [`event`] — a deterministic event queue with FIFO tie-breaking.
+//! - [`link`] — a store-and-forward link: serialisation at a configurable
+//!   rate, propagation delay, a finite drop-tail queue, and random loss.
+//! - [`bucket`] — token-bucket shaping, both for emulating ISP traffic
+//!   shaping and for the probers' paced sending.
+//! - [`capacity`] — time-varying capacity processes (constant,
+//!   Ornstein–Uhlenbeck fluctuation, diurnal profiles, and on/off traffic
+//!   shaping), the mechanism behind the paper's network-dynamics findings.
+//! - [`path`] — the end-to-end path model (access bottleneck + base RTT +
+//!   loss) consumed by the congestion-control and BTS layers.
+
+pub mod bucket;
+pub mod capacity;
+pub mod event;
+pub mod link;
+pub mod path;
+pub mod time;
+
+pub use bucket::TokenBucket;
+pub use capacity::{
+    CapacityProcess, ConstantCapacity, DiurnalCapacity, OuCapacity, RampUpCapacity,
+    ShapedCapacity,
+};
+pub use event::EventQueue;
+pub use link::{Link, LinkConfig, LinkStats};
+pub use path::{PathConfig, PathModel};
+pub use time::SimTime;

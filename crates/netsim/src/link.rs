@@ -1,0 +1,269 @@
+//! A single store-and-forward link.
+//!
+//! The packet-level primitive: serialisation at a fixed rate, a finite
+//! drop-tail queue, propagation delay, and independent random loss. The
+//! end-to-end [`crate::path::PathModel`] composes this with a time-varying
+//! capacity; this type is also used directly by packet-level unit tests
+//! and by the wire-protocol emulation.
+
+use crate::time::{transmission_time, SimTime};
+use mbw_stats::SeededRng;
+
+/// Link construction parameters.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Serialisation rate, bits/second.
+    pub rate_bps: f64,
+    /// One-way propagation delay.
+    pub propagation: std::time::Duration,
+    /// Maximum bytes the drop-tail queue may hold (bytes not yet
+    /// serialised).
+    pub queue_limit_bytes: u64,
+    /// Per-packet independent loss probability applied after queueing
+    /// (models wireless corruption, not congestion).
+    pub loss_prob: f64,
+    /// Seed for the loss process.
+    pub seed: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self {
+            rate_bps: 100e6,
+            propagation: std::time::Duration::from_millis(10),
+            queue_limit_bytes: 256 * 1024,
+            loss_prob: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of offering one packet to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Packet will be fully delivered at the contained time.
+    Delivered(SimTime),
+    /// Queue was full; packet dropped at the sender side.
+    DroppedQueue,
+    /// Random (wireless) loss; the transmission slot is consumed but the
+    /// packet never arrives.
+    DroppedLoss,
+}
+
+/// Counters exposed by a link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets fully delivered.
+    pub delivered: u64,
+    /// Packets dropped by the full queue.
+    pub dropped_queue: u64,
+    /// Packets dropped by random loss.
+    pub dropped_loss: u64,
+    /// Bytes delivered.
+    pub delivered_bytes: u64,
+}
+
+/// A fixed-rate store-and-forward link. Deterministic per seed.
+#[derive(Debug, Clone)]
+pub struct Link {
+    config: LinkConfig,
+    /// Time at which the transmitter becomes idle.
+    next_free: SimTime,
+    rng: SeededRng,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Build a link from its configuration.
+    ///
+    /// # Panics
+    /// Panics on a non-positive rate or a loss probability outside [0, 1].
+    pub fn new(config: LinkConfig) -> Self {
+        assert!(config.rate_bps > 0.0, "link rate must be positive");
+        assert!(
+            (0.0..=1.0).contains(&config.loss_prob),
+            "loss probability out of range"
+        );
+        let rng = SeededRng::new(config.seed);
+        Self { config, next_free: SimTime::ZERO, rng, stats: LinkStats::default() }
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Observed counters.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Bytes currently awaiting serialisation at time `now`.
+    pub fn queued_bytes(&self, now: SimTime) -> f64 {
+        let backlog = self.next_free.saturating_since(now).as_secs_f64();
+        backlog * self.config.rate_bps / 8.0
+    }
+
+    /// Queueing delay a packet offered at `now` would currently face.
+    pub fn queueing_delay(&self, now: SimTime) -> std::time::Duration {
+        self.next_free.saturating_since(now)
+    }
+
+    /// Offer one packet of `bytes` to the link at time `now`.
+    pub fn send(&mut self, now: SimTime, bytes: u64) -> SendOutcome {
+        if self.queued_bytes(now) + bytes as f64 > self.config.queue_limit_bytes as f64 {
+            self.stats.dropped_queue += 1;
+            return SendOutcome::DroppedQueue;
+        }
+        let start = self.next_free.max(now);
+        let done = start + transmission_time(bytes, self.config.rate_bps);
+        self.next_free = done;
+        if self.rng.chance(self.config.loss_prob) {
+            self.stats.dropped_loss += 1;
+            return SendOutcome::DroppedLoss;
+        }
+        self.stats.delivered += 1;
+        self.stats.delivered_bytes += bytes;
+        SendOutcome::Delivered(done + self.config.propagation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn quiet_link(rate_bps: f64) -> Link {
+        Link::new(LinkConfig {
+            rate_bps,
+            propagation: Duration::from_millis(5),
+            queue_limit_bytes: 100_000_000,
+            loss_prob: 0.0,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn delivery_time_is_serialisation_plus_propagation() {
+        let mut l = quiet_link(8e6); // 1 MB/s
+        match l.send(SimTime::ZERO, 1000) {
+            SendOutcome::Delivered(t) => {
+                // 1000 B at 1 MB/s = 1 ms, + 5 ms propagation.
+                assert!((t.as_millis_f64() - 6.0).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_behind_each_other() {
+        let mut l = quiet_link(8e6);
+        let t1 = match l.send(SimTime::ZERO, 1000) {
+            SendOutcome::Delivered(t) => t,
+            o => panic!("{o:?}"),
+        };
+        let t2 = match l.send(SimTime::ZERO, 1000) {
+            SendOutcome::Delivered(t) => t,
+            o => panic!("{o:?}"),
+        };
+        assert!((t2 - t1).as_secs_f64() - 0.001 < 1e-9);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn throughput_matches_rate() {
+        let mut l = quiet_link(80e6); // 10 MB/s
+        let mut last = SimTime::ZERO;
+        let n = 1000u64;
+        for _ in 0..n {
+            if let SendOutcome::Delivered(t) = l.send(SimTime::ZERO, 1500) {
+                last = t;
+            }
+        }
+        let secs = last.as_secs_f64() - 0.005; // subtract propagation
+        let achieved = n as f64 * 1500.0 * 8.0 / secs;
+        assert!((achieved - 80e6).abs() / 80e6 < 0.01, "achieved {achieved}");
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut l = Link::new(LinkConfig {
+            rate_bps: 8e6,
+            propagation: Duration::ZERO,
+            queue_limit_bytes: 3000,
+            loss_prob: 0.0,
+            seed: 1,
+        });
+        let mut dropped = 0;
+        for _ in 0..10 {
+            if l.send(SimTime::ZERO, 1000) == SendOutcome::DroppedQueue {
+                dropped += 1;
+            }
+        }
+        assert!(dropped >= 6, "dropped {dropped}");
+        assert_eq!(l.stats().dropped_queue, dropped);
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let mut l = Link::new(LinkConfig {
+            rate_bps: 8e6, // 1 MB/s → 1 ms per 1000 B
+            propagation: Duration::ZERO,
+            queue_limit_bytes: 2000,
+            loss_prob: 0.0,
+            seed: 1,
+        });
+        // Bytes still being serialised count against the queue limit, so
+        // only two 1000-byte packets fit a 2000-byte queue at t = 0.
+        assert!(matches!(l.send(SimTime::ZERO, 1000), SendOutcome::Delivered(_)));
+        assert!(matches!(l.send(SimTime::ZERO, 1000), SendOutcome::Delivered(_)));
+        assert_eq!(l.send(SimTime::ZERO, 1000), SendOutcome::DroppedQueue);
+        // After 1 ms one packet has serialised; room again.
+        assert!(matches!(
+            l.send(SimTime::from_millis(1), 1000),
+            SendOutcome::Delivered(_)
+        ));
+    }
+
+    #[test]
+    fn random_loss_rate_is_respected() {
+        let mut l = Link::new(LinkConfig {
+            rate_bps: 1e9,
+            propagation: Duration::ZERO,
+            queue_limit_bytes: u64::MAX,
+            loss_prob: 0.1,
+            seed: 99,
+        });
+        let n = 50_000;
+        for _ in 0..n {
+            l.send(SimTime::ZERO, 100);
+        }
+        let loss = l.stats().dropped_loss as f64 / n as f64;
+        assert!((loss - 0.1).abs() < 0.01, "loss {loss}");
+        assert_eq!(l.stats().delivered + l.stats().dropped_loss, n);
+    }
+
+    #[test]
+    fn queued_bytes_reflects_backlog() {
+        let mut l = quiet_link(8e6);
+        for _ in 0..5 {
+            l.send(SimTime::ZERO, 1000);
+        }
+        // 5000 bytes offered; backlog at t=0 is everything not yet out.
+        let q = l.queued_bytes(SimTime::ZERO);
+        assert!((q - 5000.0).abs() < 1.0, "q {q}");
+        let q_later = l.queued_bytes(SimTime::from_millis(3));
+        assert!((q_later - 2000.0).abs() < 1.0, "q_later {q_later}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = LinkConfig { loss_prob: 0.5, seed: 5, ..Default::default() };
+        let mut a = Link::new(cfg.clone());
+        let mut b = Link::new(cfg);
+        for i in 0..200 {
+            let t = SimTime::from_micros(i * 10);
+            assert_eq!(a.send(t, 500), b.send(t, 500));
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Virtual time.
+//!
+//! The simulator keeps time as integer nanoseconds since the start of the
+//! simulation. Integer time makes event ordering exact and keeps long
+//! simulations free of floating-point drift; conversions to `f64` seconds
+//! exist only at the measurement boundary.
+
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in virtual time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds (saturating at zero for negative
+    /// input, which can arise from float noise in callers).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating difference (`self - earlier`, or zero if `earlier` is
+    /// later).
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.as_nanos() as u64)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_nanos() as u64;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration::from_nanos(self.0.checked_sub(rhs.0).expect("time went backwards"))
+    }
+}
+
+/// Duration required to serialise `bytes` onto a link running at
+/// `rate_bps` bits/second. Returns a large sentinel (1 hour) for a
+/// non-positive rate so a stalled link parks packets rather than panicking.
+pub fn transmission_time(bytes: u64, rate_bps: f64) -> Duration {
+    if rate_bps <= 0.0 {
+        return Duration::from_secs(3600);
+    }
+    Duration::from_secs_f64(bytes as f64 * 8.0 / rate_bps)
+}
+
+/// Bytes transferable at `rate_bps` within `dur`.
+pub fn bytes_in(rate_bps: f64, dur: Duration) -> f64 {
+    (rate_bps.max(0.0) * dur.as_secs_f64()) / 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(SimTime::from_millis(1500).as_nanos(), 1_500_000_000);
+        assert_eq!(SimTime::from_secs(2).as_secs_f64(), 2.0);
+        assert_eq!(SimTime::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(SimTime::from_secs_f64(0.25).as_millis_f64(), 250.0);
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(10) + Duration::from_millis(5);
+        assert_eq!(t.as_millis_f64(), 15.0);
+        assert_eq!(t - SimTime::from_millis(10), Duration::from_millis(5));
+        let mut u = SimTime::ZERO;
+        u += Duration::from_secs(1);
+        assert_eq!(u, SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn subtraction_underflow_panics() {
+        let _ = SimTime::ZERO - SimTime::from_secs(1);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        assert_eq!(
+            SimTime::ZERO.saturating_since(SimTime::from_secs(1)),
+            Duration::ZERO
+        );
+        assert_eq!(
+            SimTime::from_secs(3).saturating_since(SimTime::from_secs(1)),
+            Duration::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn transmission_time_math() {
+        // 1250 bytes at 10 Mbps = 1 ms.
+        let t = transmission_time(1250, 10e6);
+        assert!((t.as_secs_f64() - 0.001).abs() < 1e-12);
+        // Zero-rate link parks the packet.
+        assert_eq!(transmission_time(1, 0.0), Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn bytes_in_inverse_of_transmission() {
+        let b = bytes_in(10e6, Duration::from_millis(1));
+        assert!((b - 1250.0).abs() < 1e-9);
+        assert_eq!(bytes_in(-5.0, Duration::from_secs(1)), 0.0);
+    }
+}

@@ -1,0 +1,657 @@
+//! One-dimensional Gaussian mixture models.
+//!
+//! §5.1 of the paper models the access bandwidth `X` of a technology as
+//!
+//! ```text
+//! P(X) = Σᵢ wᵢ · N(X | μᵢ, σᵢ)
+//! ```
+//!
+//! and drives Swiftest's probing from the fitted modes: the initial probing
+//! rate is the most probable mode, and escalation jumps to the most
+//! probable *larger* mode. This module provides the full lifecycle:
+//!
+//! - construction from known parameters (the dataset generator's ground
+//!   truth models),
+//! - density/CDF evaluation and seeded sampling,
+//! - EM fitting from raw samples with k-means++ initialisation,
+//! - BIC-based selection of the number of components
+//!   ([`Gmm::fit_auto`]), used when refreshing the model from fresh
+//!   measurement data "periodically" as the paper prescribes.
+
+use crate::rng::SeededRng;
+use crate::special::{log_sum_exp, standard_normal_cdf};
+
+/// One Gaussian component of a mixture.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GmmComponent {
+    /// Mixing weight `wᵢ` (weights of a valid mixture sum to 1).
+    pub weight: f64,
+    /// Mean `μᵢ` — a "modal" bandwidth in Mbps in the BTS use case.
+    pub mean: f64,
+    /// Standard deviation `σᵢ` (> 0).
+    pub std_dev: f64,
+}
+
+impl GmmComponent {
+    /// Component log-density at `x`.
+    fn log_pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        -0.5 * z * z - self.std_dev.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+}
+
+/// Configuration for EM fitting.
+#[derive(Debug, Clone, Copy)]
+pub struct GmmFitConfig {
+    /// Number of mixture components to fit.
+    pub components: usize,
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the per-sample log-likelihood improvement.
+    pub tolerance: f64,
+    /// Seed for the k-means++ initialisation.
+    pub seed: u64,
+    /// Floor on component standard deviations, as a fraction of the data
+    /// range; prevents components collapsing onto single points.
+    pub min_std_frac: f64,
+}
+
+impl Default for GmmFitConfig {
+    fn default() -> Self {
+        Self {
+            components: 3,
+            max_iters: 200,
+            tolerance: 1e-7,
+            seed: 0x5EED,
+            min_std_frac: 0.005,
+        }
+    }
+}
+
+/// Errors from mixture construction or fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GmmError {
+    /// No components supplied / requested.
+    NoComponents,
+    /// Component parameters invalid (σ ≤ 0, non-finite, weight < 0, or
+    /// weights summing to zero).
+    InvalidParameters,
+    /// Not enough data points to fit the requested number of components.
+    NotEnoughData {
+        /// Minimum samples the requested fit needs.
+        needed: usize,
+        /// Samples actually supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for GmmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GmmError::NoComponents => write!(f, "mixture must have at least one component"),
+            GmmError::InvalidParameters => write!(f, "invalid mixture parameters"),
+            GmmError::NotEnoughData { needed, got } => {
+                write!(f, "need at least {needed} samples, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GmmError {}
+
+/// A 1-D Gaussian mixture.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Gmm {
+    components: Vec<GmmComponent>,
+}
+
+impl Gmm {
+    /// Build a mixture from explicit components. Weights are normalised to
+    /// sum to 1.
+    pub fn new(components: Vec<GmmComponent>) -> Result<Self, GmmError> {
+        if components.is_empty() {
+            return Err(GmmError::NoComponents);
+        }
+        let total: f64 = components.iter().map(|c| c.weight).sum();
+        if !total.is_finite() || total <= 0.0 {
+            return Err(GmmError::InvalidParameters);
+        }
+        for c in &components {
+            if !(c.weight >= 0.0) || !c.mean.is_finite() || !(c.std_dev > 0.0) {
+                return Err(GmmError::InvalidParameters);
+            }
+        }
+        let components = components
+            .into_iter()
+            .map(|c| GmmComponent { weight: c.weight / total, ..c })
+            .collect();
+        Ok(Self { components })
+    }
+
+    /// Convenience constructor from `(weight, mean, std_dev)` triples.
+    pub fn from_triples(triples: &[(f64, f64, f64)]) -> Result<Self, GmmError> {
+        Self::new(
+            triples
+                .iter()
+                .map(|&(weight, mean, std_dev)| GmmComponent { weight, mean, std_dev })
+                .collect(),
+        )
+    }
+
+    /// The components, in unspecified order.
+    pub fn components(&self) -> &[GmmComponent] {
+        &self.components
+    }
+
+    /// Number of components.
+    pub fn k(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Mixture density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        self.log_pdf(x).exp()
+    }
+
+    /// Mixture log-density at `x` (numerically stable).
+    pub fn log_pdf(&self, x: f64) -> f64 {
+        let terms: Vec<f64> = self
+            .components
+            .iter()
+            .map(|c| c.weight.max(f64::MIN_POSITIVE).ln() + c.log_pdf(x))
+            .collect();
+        log_sum_exp(&terms)
+    }
+
+    /// Mixture CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.weight * standard_normal_cdf((x - c.mean) / c.std_dev))
+            .sum()
+    }
+
+    /// Mixture mean `Σ wᵢ μᵢ`.
+    pub fn mean(&self) -> f64 {
+        self.components.iter().map(|c| c.weight * c.mean).sum()
+    }
+
+    /// Mixture variance via the law of total variance.
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.components
+            .iter()
+            .map(|c| c.weight * (c.std_dev * c.std_dev + (c.mean - m).powi(2)))
+            .sum()
+    }
+
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut SeededRng) -> f64 {
+        let u = rng.uniform();
+        let mut acc = 0.0;
+        for c in &self.components {
+            acc += c.weight;
+            if u < acc {
+                return rng.normal(c.mean, c.std_dev);
+            }
+        }
+        // Floating-point slack: fall through to the last component.
+        let c = self.components.last().expect("non-empty mixture");
+        rng.normal(c.mean, c.std_dev)
+    }
+
+    /// Draw one sample truncated to be ≥ `floor` (resampling; used for
+    /// bandwidths which cannot be negative).
+    pub fn sample_at_least(&self, rng: &mut SeededRng, floor: f64) -> f64 {
+        for _ in 0..1000 {
+            let x = self.sample(rng);
+            if x >= floor {
+                return x;
+            }
+        }
+        floor
+    }
+
+    /// Draw `n` samples.
+    pub fn sample_n(&self, rng: &mut SeededRng, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// The component means ("modal" bandwidths), sorted ascending.
+    pub fn modes(&self) -> Vec<f64> {
+        let mut m: Vec<f64> = self.components.iter().map(|c| c.mean).collect();
+        m.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+        m
+    }
+
+    /// The most probable mode: the mean of the component with the largest
+    /// weight. This is Swiftest's *initial probing data rate* (§5.1).
+    pub fn dominant_mode(&self) -> f64 {
+        self.components
+            .iter()
+            .max_by(|a, b| a.weight.partial_cmp(&b.weight).expect("finite weights"))
+            .expect("non-empty mixture")
+            .mean
+    }
+
+    /// Among the modes strictly greater than `current`, the one whose
+    /// component has the largest weight. This is Swiftest's escalation
+    /// rule: "we use the most probable one among these larger modal
+    /// bandwidth values as the next probing data rate" (§5.1).
+    pub fn next_larger_mode(&self, current: f64) -> Option<f64> {
+        self.components
+            .iter()
+            .filter(|c| c.mean > current)
+            .max_by(|a, b| a.weight.partial_cmp(&b.weight).expect("finite weights"))
+            .map(|c| c.mean)
+    }
+
+    /// Inverse CDF by bisection: the smallest `x` with `CDF(x) ≥ q`.
+    /// Used e.g. to provision server fleets for the fast-client tail
+    /// (`q = 0.95`) rather than the average client.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        // Bracket: ±8σ around the extreme component means.
+        let lo_c = self
+            .components
+            .iter()
+            .map(|c| c.mean - 8.0 * c.std_dev)
+            .fold(f64::INFINITY, f64::min);
+        let hi_c = self
+            .components
+            .iter()
+            .map(|c| c.mean + 8.0 * c.std_dev)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let (mut lo, mut hi) = (lo_c, hi_c);
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < q {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Mean per-sample log-likelihood of `data` under the mixture.
+    pub fn mean_log_likelihood(&self, data: &[f64]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        data.iter().map(|&x| self.log_pdf(x)).sum::<f64>() / data.len() as f64
+    }
+
+    /// Bayesian information criterion for this mixture on `data`
+    /// (lower is better). A k-component 1-D mixture has `3k - 1` free
+    /// parameters.
+    pub fn bic(&self, data: &[f64]) -> f64 {
+        let n = data.len().max(1) as f64;
+        let ll = self.mean_log_likelihood(data) * n;
+        let params = (3 * self.k() - 1) as f64;
+        params * n.ln() - 2.0 * ll
+    }
+
+    /// Fit a mixture with EM.
+    ///
+    /// Initialisation is k-means++ on the sample followed by one hard
+    /// assignment pass; EM then iterates soft E/M steps until the mean
+    /// log-likelihood improves by less than `config.tolerance` or
+    /// `config.max_iters` is reached.
+    pub fn fit(data: &[f64], config: &GmmFitConfig) -> Result<Self, GmmError> {
+        let k = config.components;
+        if k == 0 {
+            return Err(GmmError::NoComponents);
+        }
+        // Heuristic: at least 5 points per component for a meaningful fit.
+        let needed = (5 * k).max(2);
+        if data.len() < needed {
+            return Err(GmmError::NotEnoughData { needed, got: data.len() });
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err(GmmError::InvalidParameters);
+        }
+
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let range = (hi - lo).max(f64::MIN_POSITIVE);
+        let min_std = range * config.min_std_frac;
+
+        let mut rng = SeededRng::new(config.seed);
+        let centers = kmeans_pp_centers(data, k, &mut rng);
+        let mut mix = initial_mixture_from_centers(data, &centers, min_std);
+
+        let n = data.len();
+        let mut resp = vec![0.0f64; n * k]; // responsibilities, row-major
+        let mut prev_ll = f64::NEG_INFINITY;
+        for _ in 0..config.max_iters {
+            // E-step.
+            let mut ll_sum = 0.0;
+            for (i, &x) in data.iter().enumerate() {
+                let logs: Vec<f64> = mix
+                    .components
+                    .iter()
+                    .map(|c| c.weight.max(f64::MIN_POSITIVE).ln() + c.log_pdf(x))
+                    .collect();
+                let norm = log_sum_exp(&logs);
+                ll_sum += norm;
+                for (j, &l) in logs.iter().enumerate() {
+                    resp[i * k + j] = (l - norm).exp();
+                }
+            }
+            let ll = ll_sum / n as f64;
+
+            // M-step.
+            for j in 0..k {
+                let nj: f64 = (0..n).map(|i| resp[i * k + j]).sum();
+                let nj = nj.max(1e-12);
+                let mean = (0..n).map(|i| resp[i * k + j] * data[i]).sum::<f64>() / nj;
+                let var = (0..n)
+                    .map(|i| resp[i * k + j] * (data[i] - mean).powi(2))
+                    .sum::<f64>()
+                    / nj;
+                mix.components[j] = GmmComponent {
+                    weight: nj / n as f64,
+                    mean,
+                    std_dev: var.sqrt().max(min_std),
+                };
+            }
+
+            if (ll - prev_ll).abs() < config.tolerance {
+                break;
+            }
+            prev_ll = ll;
+        }
+        // Renormalise weights (guards against drift from the nj floor).
+        Gmm::new(mix.components)
+    }
+
+    /// Fit mixtures with `1..=max_components` components and return the one
+    /// with the lowest BIC — the "update the statistical model
+    /// periodically" step of §5.1, where the right number of modes is not
+    /// known a priori.
+    pub fn fit_auto(data: &[f64], max_components: usize, seed: u64) -> Result<Self, GmmError> {
+        if max_components == 0 {
+            return Err(GmmError::NoComponents);
+        }
+        let mut best: Option<(f64, Gmm)> = None;
+        let mut last_err = GmmError::NoComponents;
+        for k in 1..=max_components {
+            let config = GmmFitConfig { components: k, seed, ..Default::default() };
+            match Gmm::fit(data, &config) {
+                Ok(g) => {
+                    let bic = g.bic(data);
+                    if best.as_ref().map_or(true, |(b, _)| bic < *b) {
+                        best = Some((bic, g));
+                    }
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        best.map(|(_, g)| g).ok_or(last_err)
+    }
+}
+
+/// k-means++ seeding: first centre uniform, subsequent centres sampled
+/// proportionally to squared distance from the nearest chosen centre.
+fn kmeans_pp_centers(data: &[f64], k: usize, rng: &mut SeededRng) -> Vec<f64> {
+    let mut centers = Vec::with_capacity(k);
+    centers.push(data[rng.index(data.len())]);
+    while centers.len() < k {
+        let d2: Vec<f64> = data
+            .iter()
+            .map(|&x| {
+                centers
+                    .iter()
+                    .map(|&c| (x - c).powi(2))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with existing centres; duplicate one.
+            centers.push(centers[0]);
+            continue;
+        }
+        let mut target = rng.uniform() * total;
+        let mut chosen = data.len() - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            target -= d;
+            if target <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centers.push(data[chosen]);
+    }
+    centers
+}
+
+/// Hard-assign points to the nearest centre and build the initial mixture.
+fn initial_mixture_from_centers(data: &[f64], centers: &[f64], min_std: f64) -> Gmm {
+    let k = centers.len();
+    let mut sums = vec![0.0; k];
+    let mut sqs = vec![0.0; k];
+    let mut counts = vec![0usize; k];
+    for &x in data {
+        let (j, _) = centers
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| (j, (x - c).abs()))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .expect("at least one centre");
+        sums[j] += x;
+        sqs[j] += x * x;
+        counts[j] += 1;
+    }
+    let n = data.len() as f64;
+    let components = (0..k)
+        .map(|j| {
+            let cnt = counts[j].max(1) as f64;
+            let mean = if counts[j] == 0 { centers[j] } else { sums[j] / cnt };
+            let var = (sqs[j] / cnt - mean * mean).max(0.0);
+            GmmComponent {
+                weight: (counts[j] as f64 / n).max(1e-6),
+                mean,
+                std_dev: var.sqrt().max(min_std),
+            }
+        })
+        .collect();
+    Gmm::new(components).expect("initial mixture is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri_modal() -> Gmm {
+        // Shaped like the paper's WiFi 5 distribution (Fig 16): modes near
+        // the 100/300/500 Mbps broadband plan tiers.
+        Gmm::from_triples(&[(0.5, 100.0, 20.0), (0.3, 300.0, 30.0), (0.2, 500.0, 40.0)])
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(Gmm::new(vec![]).unwrap_err(), GmmError::NoComponents);
+        assert!(Gmm::from_triples(&[(1.0, 0.0, 0.0)]).is_err()); // σ = 0
+        assert!(Gmm::from_triples(&[(-1.0, 0.0, 1.0)]).is_err()); // w < 0
+        assert!(Gmm::from_triples(&[(0.0, 0.0, 1.0)]).is_err()); // Σw = 0
+    }
+
+    #[test]
+    fn weights_are_normalised() {
+        let g = Gmm::from_triples(&[(2.0, 0.0, 1.0), (6.0, 5.0, 1.0)]).unwrap();
+        let total: f64 = g.components().iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((g.components()[0].weight - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let g = tri_modal();
+        let (lo, hi, n) = (-200.0, 900.0, 11000);
+        let h = (hi - lo) / n as f64;
+        let integral: f64 = (0..=n)
+            .map(|i| {
+                let x = lo + i as f64 * h;
+                let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+                w * g.pdf(x)
+            })
+            .sum::<f64>()
+            * h;
+        assert!((integral - 1.0).abs() < 1e-6, "{integral}");
+    }
+
+    #[test]
+    fn cdf_limits_and_monotonicity() {
+        let g = tri_modal();
+        assert!(g.cdf(-1000.0) < 1e-9);
+        assert!((g.cdf(2000.0) - 1.0).abs() < 1e-9);
+        let mut prev = 0.0;
+        for i in 0..200 {
+            let x = -100.0 + i as f64 * 5.0;
+            let c = g.cdf(x);
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn analytic_moments() {
+        let g = tri_modal();
+        // mean = .5*100 + .3*300 + .2*500 = 240
+        assert!((g.mean() - 240.0).abs() < 1e-9);
+        let want_var = 0.5 * (400.0 + 140.0f64.powi(2))
+            + 0.3 * (900.0 + 60.0f64.powi(2))
+            + 0.2 * (1600.0 + 260.0f64.powi(2));
+        assert!((g.variance() - want_var).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampling_matches_moments() {
+        let g = tri_modal();
+        let mut rng = SeededRng::new(101);
+        let samples = g.sample_n(&mut rng, 200_000);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - g.mean()).abs() < 2.0, "mean {mean}");
+        let var =
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((var - g.variance()).abs() / g.variance() < 0.03);
+    }
+
+    #[test]
+    fn sample_at_least_respects_floor() {
+        let g = Gmm::from_triples(&[(1.0, 1.0, 5.0)]).unwrap();
+        let mut rng = SeededRng::new(3);
+        for _ in 0..1000 {
+            assert!(g.sample_at_least(&mut rng, 0.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn dominant_and_next_modes_drive_probing() {
+        let g = tri_modal();
+        assert_eq!(g.dominant_mode(), 100.0);
+        assert_eq!(g.next_larger_mode(100.0), Some(300.0));
+        assert_eq!(g.next_larger_mode(300.0), Some(500.0));
+        assert_eq!(g.next_larger_mode(500.0), None);
+        assert_eq!(g.modes(), vec![100.0, 300.0, 500.0]);
+    }
+
+    #[test]
+    fn next_larger_mode_picks_most_probable_not_nearest() {
+        // Two larger modes; the farther one has the bigger weight.
+        let g = Gmm::from_triples(&[(0.5, 10.0, 1.0), (0.1, 20.0, 1.0), (0.4, 50.0, 1.0)])
+            .unwrap();
+        assert_eq!(g.next_larger_mode(10.0), Some(50.0));
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let g = tri_modal();
+        for q in [0.05, 0.25, 0.5, 0.75, 0.95, 0.99] {
+            let x = g.quantile(q);
+            assert!((g.cdf(x) - q).abs() < 1e-6, "q={q}: cdf({x}) = {}", g.cdf(x));
+        }
+        // Monotone.
+        assert!(g.quantile(0.95) > g.quantile(0.5));
+        // The p95 of the WiFi-plan-like mixture sits in the top mode.
+        assert!(g.quantile(0.95) > 400.0);
+    }
+
+    #[test]
+    fn em_recovers_two_well_separated_components() {
+        let truth = Gmm::from_triples(&[(0.6, 50.0, 5.0), (0.4, 200.0, 10.0)]).unwrap();
+        let mut rng = SeededRng::new(42);
+        let data = truth.sample_n(&mut rng, 5000);
+        let fit = Gmm::fit(&data, &GmmFitConfig { components: 2, ..Default::default() }).unwrap();
+        let mut means = fit.modes();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((means[0] - 50.0).abs() < 2.0, "{means:?}");
+        assert!((means[1] - 200.0).abs() < 4.0, "{means:?}");
+        // Weight of the lower component ≈ 0.6.
+        let low = fit
+            .components()
+            .iter()
+            .min_by(|a, b| a.mean.partial_cmp(&b.mean).unwrap())
+            .unwrap();
+        assert!((low.weight - 0.6).abs() < 0.05, "{}", low.weight);
+    }
+
+    #[test]
+    fn em_increases_likelihood_over_single_gaussian() {
+        let truth = tri_modal();
+        let mut rng = SeededRng::new(7);
+        let data = truth.sample_n(&mut rng, 4000);
+        let k1 = Gmm::fit(&data, &GmmFitConfig { components: 1, ..Default::default() }).unwrap();
+        let k3 = Gmm::fit(&data, &GmmFitConfig { components: 3, ..Default::default() }).unwrap();
+        assert!(k3.mean_log_likelihood(&data) > k1.mean_log_likelihood(&data));
+    }
+
+    #[test]
+    fn fit_auto_selects_multimodal_over_unimodal() {
+        let truth = tri_modal();
+        let mut rng = SeededRng::new(13);
+        let data = truth.sample_n(&mut rng, 6000);
+        let fit = Gmm::fit_auto(&data, 5, 99).unwrap();
+        assert!(fit.k() >= 3, "selected k = {}", fit.k());
+        // The dominant fitted mode should be near the true dominant mode.
+        assert!((fit.dominant_mode() - 100.0).abs() < 15.0, "{}", fit.dominant_mode());
+    }
+
+    #[test]
+    fn fit_rejects_insufficient_data() {
+        let err = Gmm::fit(&[1.0, 2.0], &GmmFitConfig { components: 3, ..Default::default() })
+            .unwrap_err();
+        assert!(matches!(err, GmmError::NotEnoughData { .. }));
+    }
+
+    #[test]
+    fn fit_rejects_non_finite_data() {
+        let mut data = vec![1.0; 50];
+        data[10] = f64::NAN;
+        let err =
+            Gmm::fit(&data, &GmmFitConfig { components: 2, ..Default::default() }).unwrap_err();
+        assert_eq!(err, GmmError::InvalidParameters);
+    }
+
+    #[test]
+    fn fit_is_deterministic_for_seed() {
+        let truth = tri_modal();
+        let mut rng = SeededRng::new(5);
+        let data = truth.sample_n(&mut rng, 2000);
+        let cfg = GmmFitConfig { components: 3, seed: 11, ..Default::default() };
+        let a = Gmm::fit(&data, &cfg).unwrap();
+        let b = Gmm::fit(&data, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fit_handles_identical_points() {
+        let data = vec![5.0; 100];
+        let fit =
+            Gmm::fit(&data, &GmmFitConfig { components: 2, ..Default::default() }).unwrap();
+        assert!((fit.mean() - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Statistics substrate for the mobile-bandwidth reproduction.
+//!
+//! The paper's central statistical observation (§5.1) is that, for a given
+//! access technology, the population of access bandwidths follows a
+//! *multi-modal Gaussian distribution*:
+//!
+//! ```text
+//! P(X) = Σᵢ wᵢ · N(X | μᵢ, σᵢ)
+//! ```
+//!
+//! Swiftest uses the fitted mixture to pick the initial probing data rate
+//! and the escalation ladder. This crate provides everything required for
+//! that pipeline, implemented from scratch:
+//!
+//! - [`gmm`] — 1-D Gaussian mixture models: density/CDF evaluation,
+//!   sampling, mode extraction, EM fitting with k-means++ initialisation,
+//!   and BIC-based selection of the number of components.
+//! - [`descriptive`] — means, medians, percentiles, trimmed means, and the
+//!   [`descriptive::Summary`] used throughout the analysis pipeline.
+//! - [`histogram`] — fixed-bin histograms, normalised PDFs, and empirical
+//!   CDFs matching the paper's figure style.
+//! - [`sampling`] — seeded random draws (normal, log-normal, categorical)
+//!   built on a deterministic [`rng`] so every experiment is reproducible.
+//! - [`special`] — the special functions (erf, log-sum-exp) the rest of the
+//!   crate needs.
+
+pub mod descriptive;
+pub mod gmm;
+pub mod histogram;
+pub mod rng;
+pub mod sampling;
+pub mod special;
+
+pub use descriptive::Summary;
+pub use gmm::{Gmm, GmmComponent, GmmFitConfig};
+pub use histogram::{Ecdf, Histogram};
+pub use rng::SeededRng;

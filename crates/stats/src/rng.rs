@@ -1,0 +1,264 @@
+//! Deterministic random number generation.
+//!
+//! Every experiment in this repository takes an explicit `u64` seed so that
+//! figures and tests are exactly reproducible. [`SeededRng`] wraps a
+//! splitmix64-seeded xoshiro256++ generator implemented here rather than
+//! relying on `StdRng`'s unspecified algorithm, which may change across
+//! `rand` releases and silently alter every calibrated figure.
+
+/// A small, fast, deterministic PRNG (xoshiro256++) with convenience
+/// methods for the distributions the simulator needs.
+///
+/// The stream is a pure function of the seed: the same seed always yields
+/// the same sequence, on every platform and every release of this crate.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    state: [u64; 4],
+}
+
+/// splitmix64 step, used to expand a single `u64` seed into the four words
+/// of xoshiro state (the construction recommended by the xoshiro authors).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeededRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { state }
+    }
+
+    /// Derive an independent child generator. Used to give each simulated
+    /// entity (a link, a flow, a user) its own stream so that adding one
+    /// entity does not perturb the draws of the others.
+    pub fn fork(&mut self, tag: u64) -> Self {
+        let mixed = self.next_u64() ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self::new(mixed)
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)`, using the top 53 bits for a full-precision f64.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`. `lo` must be `<= hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi, "uniform_range: lo > hi");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index: empty range");
+        // Rejection-free multiply-shift; bias is < 2^-64 * n, negligible
+        // for the population sizes used here.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal draw via the Marsaglia polar method.
+    pub fn standard_normal(&mut self) -> f64 {
+        loop {
+            let u = 2.0 * self.uniform() - 1.0;
+            let v = 2.0 * self.uniform() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        debug_assert!(std_dev >= 0.0, "normal: negative std dev");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Log-normal draw parameterised by the mean/σ of the underlying
+    /// normal (i.e. `exp(N(mu, sigma))`).
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Exponential draw with the given rate `lambda` (mean `1/lambda`).
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        debug_assert!(lambda > 0.0, "exponential: non-positive rate");
+        -self.uniform().max(f64::MIN_POSITIVE).ln() / lambda
+    }
+
+    /// Poisson draw (Knuth's method; adequate for the small means used by
+    /// the workload generators).
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        debug_assert!(mean >= 0.0);
+        if mean <= 0.0 {
+            return 0;
+        }
+        if mean > 30.0 {
+            // Normal approximation for large means keeps this O(1).
+            return self.normal(mean, mean.sqrt()).round().max(0.0) as u64;
+        }
+        let limit = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.uniform();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Pick a uniformly random element. Panics on an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = SeededRng::new(7);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut rng = SeededRng::new(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SeededRng::new(9);
+        let n = 200_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 3.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.05, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = SeededRng::new(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut rng = SeededRng::new(13);
+        for target in [0.5, 4.0, 50.0] {
+            let n = 50_000;
+            let mean: f64 =
+                (0..n).map(|_| rng.poisson(target) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - target).abs() < target.max(1.0) * 0.05,
+                "target {target} mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_bounds_and_coverage() {
+        let mut rng = SeededRng::new(17);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.index(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = SeededRng::new(21);
+        let mut a = parent.fork(1);
+        let mut b = parent.fork(2);
+        let matches = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SeededRng::new(23);
+        let mut items: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SeededRng::new(29);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+}

@@ -1,0 +1,184 @@
+//! Weighted categorical sampling.
+//!
+//! The dataset generator constantly draws from weighted categories (which
+//! ISP, which band, which city tier, which broadband plan…). The
+//! [`WeightedIndex`] here uses the alias method so each draw is O(1), which
+//! matters when generating millions of records.
+
+use crate::rng::SeededRng;
+
+/// O(1) weighted categorical sampler (Walker/Vose alias method).
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+    weights: Vec<f64>,
+}
+
+/// Error building a [`WeightedIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightError {
+    /// The weight slice was empty.
+    Empty,
+    /// A weight was negative, NaN, or the total was not positive-finite.
+    Invalid,
+}
+
+impl std::fmt::Display for WeightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightError::Empty => write!(f, "no weights supplied"),
+            WeightError::Invalid => write!(f, "weights must be finite, non-negative, with positive sum"),
+        }
+    }
+}
+
+impl std::error::Error for WeightError {}
+
+impl WeightedIndex {
+    /// Build a sampler over the given (unnormalised) weights.
+    pub fn new(weights: &[f64]) -> Result<Self, WeightError> {
+        if weights.is_empty() {
+            return Err(WeightError::Empty);
+        }
+        let total: f64 = weights.iter().sum();
+        if !total.is_finite() || total <= 0.0 || weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
+            return Err(WeightError::Invalid);
+        }
+        let n = weights.len();
+        // Vose's alias construction.
+        let scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        let mut work = scaled.clone();
+        for (i, &p) in work.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[s] = work[s];
+            alias[s] = l;
+            work[l] = (work[l] + work[s]) - 1.0;
+            if work[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        Ok(Self { prob, alias, weights: weights.to_vec() })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether there are zero categories (never true for a built sampler).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Normalised probability of category `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        let total: f64 = self.weights.iter().sum();
+        self.weights[i] / total
+    }
+
+    /// Draw one category index.
+    pub fn sample(&self, rng: &mut SeededRng) -> usize {
+        let i = rng.index(self.prob.len());
+        if rng.uniform() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Convenience: draw one of `items` with the paired weights.
+pub fn weighted_choice<'a, T>(
+    rng: &mut SeededRng,
+    items: &'a [T],
+    weights: &[f64],
+) -> Result<&'a T, WeightError> {
+    if items.len() != weights.len() {
+        return Err(WeightError::Invalid);
+    }
+    let idx = WeightedIndex::new(weights)?.sample(rng);
+    Ok(&items[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert_eq!(WeightedIndex::new(&[]).unwrap_err(), WeightError::Empty);
+        assert_eq!(WeightedIndex::new(&[0.0, 0.0]).unwrap_err(), WeightError::Invalid);
+        assert_eq!(WeightedIndex::new(&[1.0, -1.0]).unwrap_err(), WeightError::Invalid);
+        assert_eq!(WeightedIndex::new(&[f64::NAN]).unwrap_err(), WeightError::Invalid);
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let w = WeightedIndex::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = SeededRng::new(5);
+        for _ in 0..10_000 {
+            assert_ne!(w.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let weights = [0.1, 0.2, 0.3, 0.4];
+        let w = WeightedIndex::new(&weights).unwrap();
+        let mut rng = SeededRng::new(77);
+        let n = 200_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..n {
+            counts[w.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!(
+                (freq - weights[i]).abs() < 0.005,
+                "cat {i}: freq {freq} vs weight {}",
+                weights[i]
+            );
+        }
+    }
+
+    #[test]
+    fn single_category_always_zero() {
+        let w = WeightedIndex::new(&[3.5]).unwrap();
+        let mut rng = SeededRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(w.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn probability_is_normalised() {
+        let w = WeightedIndex::new(&[2.0, 6.0]).unwrap();
+        assert!((w.probability(0) - 0.25).abs() < 1e-12);
+        assert!((w.probability(1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_choice_length_mismatch() {
+        let mut rng = SeededRng::new(2);
+        let err = weighted_choice(&mut rng, &["a", "b"], &[1.0]).unwrap_err();
+        assert_eq!(err, WeightError::Invalid);
+    }
+}

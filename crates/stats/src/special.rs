@@ -1,0 +1,120 @@
+//! Special functions needed by the Gaussian machinery.
+
+/// Error function, Abramowitz & Stegun 7.1.26 rational approximation.
+///
+/// Maximum absolute error ≤ 1.5e-7, which is far below the tolerance of
+/// anything in the bandwidth-modelling pipeline.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF.
+pub fn standard_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal PDF.
+pub fn standard_normal_pdf(z: f64) -> f64 {
+    (-(z * z) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Numerically stable `ln(Σ exp(xᵢ))`.
+///
+/// Returns `-inf` for an empty slice, matching the sum-of-zero-terms
+/// convention.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f64 = xs.iter().map(|x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from tables of erf.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204999),
+            (1.0, 0.8427008),
+            (2.0, 0.9953223),
+            (-1.0, -0.8427008),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 2e-7, "erf({x}) = {}", erf(x));
+        }
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded() {
+        for i in -40..=40 {
+            let x = i as f64 / 10.0;
+            // The approximation is odd up to its own ~1e-7 accuracy (the
+            // residual at x = 0 is the polynomial's truncation error).
+            assert!((erf(x) + erf(-x)).abs() < 1e-7);
+            assert!(erf(x).abs() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        for i in 1..30 {
+            let z = i as f64 / 10.0;
+            let s = standard_normal_cdf(z) + standard_normal_cdf(-z);
+            assert!((s - 1.0).abs() < 1e-9, "z={z}");
+        }
+    }
+
+    #[test]
+    fn normal_cdf_monotone() {
+        let mut prev = standard_normal_cdf(-5.0);
+        for i in -49..=50 {
+            let cur = standard_normal_cdf(i as f64 / 10.0);
+            assert!(cur >= prev - 1e-12);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        // Trapezoid over [-8, 8].
+        let n = 4000;
+        let h = 16.0 / n as f64;
+        let integral: f64 = (0..=n)
+            .map(|i| {
+                let z = -8.0 + i as f64 * h;
+                let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+                w * standard_normal_pdf(z)
+            })
+            .sum::<f64>()
+            * h;
+        assert!((integral - 1.0).abs() < 1e-6, "{integral}");
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_and_is_stable() {
+        let xs = [1.0f64, 2.0, 3.0];
+        let naive = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-12);
+        // Stability: huge values must not overflow.
+        let big = [1000.0, 1000.0];
+        assert!((log_sum_exp(&big) - (1000.0 + 2f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! Real-socket implementation of the Swiftest protocol (tokio).
+//!
+//! Everything else in this repository simulates the network; this crate
+//! runs the actual wire protocol the paper describes (§5.1, §5.3):
+//! a **UDP-based probing protocol allowing customized bandwidth
+//! probing**, implemented "from scratch at the application layer without
+//! tampering the kernel network stack". The paper's Android/Linux
+//! user-space modules are ~1,200 lines; this is the Rust equivalent:
+//!
+//! - [`proto`] — the wire format: ping/pong, rate requests, paced data
+//!   packets, client feedback, stop. Hand-rolled framing over `bytes`,
+//!   no serialisation framework on the hot path.
+//! - [`server`] — the tokio UDP test server: answers pings, runs one
+//!   paced sender task per test session, applies mid-test rate changes
+//!   (Swiftest's modal escalation), and can emulate a bottleneck via a
+//!   token-bucket cap (standing in for the client's access link, which
+//!   on localhost does not otherwise exist).
+//! - [`client`] — the Swiftest client: PING-based server selection,
+//!   model-guided rate escalation, 50 ms sampling, convergence stop —
+//!   the same logic as `mbw-core`'s simulated prober, but over sockets.
+//! - [`tcp`] — the flooding baseline over real TCP (a BTS-APP-style
+//!   server that writes forever and a sampling client), used to compare
+//!   against Swiftest on the same emulated link.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod tcp;
+
+pub use client::{SwiftestClient, WireTestConfig, WireTestReport};
+
+/// Serialises bulk-traffic tests within this crate's test binary:
+/// several loopback floods running in parallel distort each other's
+/// 50 ms sampling windows.
+#[doc(hidden)]
+pub fn net_test_lock() -> &'static tokio::sync::Mutex<()> {
+    static LOCK: std::sync::OnceLock<tokio::sync::Mutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(|| tokio::sync::Mutex::new(()))
+}
+pub use proto::{Message, ProtoError};
+pub use server::{ServerConfig, UdpTestServer};
+pub use tcp::{FloodClientConfig, FloodReport, TcpFloodServer};

@@ -1,0 +1,249 @@
+//! The Swiftest wire format.
+//!
+//! One datagram = one message. Layout: a magic byte (`0xB7`), a type
+//! tag, then fixed-width big-endian fields; `Data` carries an opaque
+//! payload that pads the packet to the probing packet size. The format
+//! is deliberately trivial — the protocol's value is in *when* packets
+//! are sent, not what they say.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Protocol magic byte.
+pub const MAGIC: u8 = 0xB7;
+
+/// Payload bytes carried by each [`Message::Data`] packet; with headers
+/// this keeps datagrams comfortably under a 1500-byte MTU.
+pub const DATA_PAYLOAD: usize = 1200;
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Latency probe (client → server).
+    Ping {
+        /// Echo token.
+        nonce: u64,
+    },
+    /// Latency reply (server → client).
+    Pong {
+        /// The probe's token.
+        nonce: u64,
+    },
+    /// Start probing, or change the probing rate mid-session
+    /// (client → server).
+    RateRequest {
+        /// Client-chosen session identifier.
+        session: u64,
+        /// Requested downlink pacing rate, bits/second.
+        rate_bps: u64,
+    },
+    /// One paced payload packet (server → client).
+    Data {
+        /// Session the packet belongs to.
+        session: u64,
+        /// Monotonic sequence number within the session.
+        seq: u64,
+        /// Padding payload.
+        payload: Bytes,
+    },
+    /// Periodic client feedback: how much arrived (client → server).
+    Feedback {
+        /// Session.
+        session: u64,
+        /// Total bytes received so far.
+        received_bytes: u64,
+    },
+    /// End the session (client → server).
+    Stop {
+        /// Session.
+        session: u64,
+    },
+}
+
+/// Decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Datagram shorter than its declared layout.
+    Truncated,
+    /// First byte is not [`MAGIC`].
+    BadMagic(u8),
+    /// Unknown message tag.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "truncated datagram"),
+            ProtoError::BadMagic(b) => write!(f, "bad magic byte 0x{b:02x}"),
+            ProtoError::BadTag(t) => write!(f, "unknown message tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+const TAG_PING: u8 = 1;
+const TAG_PONG: u8 = 2;
+const TAG_RATE: u8 = 3;
+const TAG_DATA: u8 = 4;
+const TAG_FEEDBACK: u8 = 5;
+const TAG_STOP: u8 = 6;
+
+impl Message {
+    /// Serialise into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(DATA_PAYLOAD + 32);
+        buf.put_u8(MAGIC);
+        match self {
+            Message::Ping { nonce } => {
+                buf.put_u8(TAG_PING);
+                buf.put_u64(*nonce);
+            }
+            Message::Pong { nonce } => {
+                buf.put_u8(TAG_PONG);
+                buf.put_u64(*nonce);
+            }
+            Message::RateRequest { session, rate_bps } => {
+                buf.put_u8(TAG_RATE);
+                buf.put_u64(*session);
+                buf.put_u64(*rate_bps);
+            }
+            Message::Data { session, seq, payload } => {
+                buf.put_u8(TAG_DATA);
+                buf.put_u64(*session);
+                buf.put_u64(*seq);
+                buf.put_slice(payload);
+            }
+            Message::Feedback { session, received_bytes } => {
+                buf.put_u8(TAG_FEEDBACK);
+                buf.put_u64(*session);
+                buf.put_u64(*received_bytes);
+            }
+            Message::Stop { session } => {
+                buf.put_u8(TAG_STOP);
+                buf.put_u64(*session);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Parse one datagram.
+    pub fn decode(mut buf: Bytes) -> Result<Message, ProtoError> {
+        if buf.remaining() < 2 {
+            return Err(ProtoError::Truncated);
+        }
+        let magic = buf.get_u8();
+        if magic != MAGIC {
+            return Err(ProtoError::BadMagic(magic));
+        }
+        let tag = buf.get_u8();
+        let need = |buf: &Bytes, n: usize| {
+            if buf.remaining() < n {
+                Err(ProtoError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+        match tag {
+            TAG_PING => {
+                need(&buf, 8)?;
+                Ok(Message::Ping { nonce: buf.get_u64() })
+            }
+            TAG_PONG => {
+                need(&buf, 8)?;
+                Ok(Message::Pong { nonce: buf.get_u64() })
+            }
+            TAG_RATE => {
+                need(&buf, 16)?;
+                Ok(Message::RateRequest { session: buf.get_u64(), rate_bps: buf.get_u64() })
+            }
+            TAG_DATA => {
+                need(&buf, 16)?;
+                let session = buf.get_u64();
+                let seq = buf.get_u64();
+                Ok(Message::Data { session, seq, payload: buf })
+            }
+            TAG_FEEDBACK => {
+                need(&buf, 16)?;
+                Ok(Message::Feedback { session: buf.get_u64(), received_bytes: buf.get_u64() })
+            }
+            TAG_STOP => {
+                need(&buf, 8)?;
+                Ok(Message::Stop { session: buf.get_u64() })
+            }
+            other => Err(ProtoError::BadTag(other)),
+        }
+    }
+
+    /// A standard-size data packet.
+    pub fn data_packet(session: u64, seq: u64) -> Message {
+        Message::Data { session, seq, payload: Bytes::from_static(&[0u8; DATA_PAYLOAD]) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_variant() {
+        let msgs = vec![
+            Message::Ping { nonce: 42 },
+            Message::Pong { nonce: u64::MAX },
+            Message::RateRequest { session: 7, rate_bps: 300_000_000 },
+            Message::data_packet(7, 12345),
+            Message::Feedback { session: 7, received_bytes: 1 << 30 },
+            Message::Stop { session: 7 },
+        ];
+        for msg in msgs {
+            let decoded = Message::decode(msg.encode()).expect("roundtrip");
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn data_packet_fits_in_an_mtu() {
+        let wire = Message::data_packet(1, 1).encode();
+        assert!(wire.len() <= 1500 - 28, "len {}", wire.len());
+        assert!(wire.len() >= DATA_PAYLOAD);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(0x00);
+        raw.put_u8(TAG_PING);
+        raw.put_u64(1);
+        assert_eq!(Message::decode(raw.freeze()), Err(ProtoError::BadMagic(0)));
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(MAGIC);
+        raw.put_u8(99);
+        assert_eq!(Message::decode(raw.freeze()), Err(ProtoError::BadTag(99)));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let full = Message::RateRequest { session: 1, rate_bps: 2 }.encode();
+        for cut in 0..full.len() {
+            let sliced = full.slice(0..cut);
+            assert!(
+                Message::decode(sliced).is_err(),
+                "decode succeeded at cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn data_payload_survives() {
+        let payload = Bytes::from(vec![0xAB; 300]);
+        let msg = Message::Data { session: 1, seq: 2, payload: payload.clone() };
+        match Message::decode(msg.encode()).unwrap() {
+            Message::Data { payload: p, .. } => assert_eq!(p, payload),
+            other => panic!("{other:?}"),
+        }
+    }
+}

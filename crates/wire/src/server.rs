@@ -1,0 +1,413 @@
+//! The tokio UDP test server.
+//!
+//! One socket, one receive loop, one paced sender task per active test
+//! session. A session starts on [`Message::RateRequest`], changes rate
+//! on subsequent requests (Swiftest's modal escalation), and ends on
+//! [`Message::Stop`] or an idle timeout. Pings are answered inline.
+//!
+//! Pacing runs on a 5 ms tick: each tick releases the bytes a token
+//! bucket refilled since the last one, in `DATA_PAYLOAD`-sized packets.
+//! An optional `emulated_capacity_bps` cap models the client's access
+//! link, which localhost does not otherwise provide — it is the wire
+//! analogue of `mbw-netsim`'s bottleneck.
+
+use crate::proto::Message;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::net::UdpSocket;
+use tokio::task::JoinHandle;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (use port 0 for an ephemeral port in tests).
+    pub bind: SocketAddr,
+    /// Hard cap applied on top of every requested rate, emulating the
+    /// client's access-link capacity. `None` = uncapped.
+    pub emulated_capacity_bps: Option<u64>,
+    /// Sessions idle longer than this are reaped.
+    pub session_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            bind: "127.0.0.1:0".parse().expect("static addr"),
+            emulated_capacity_bps: None,
+            session_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+struct Session {
+    rate_bps: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    task: JoinHandle<()>,
+}
+
+/// A running UDP test server.
+pub struct UdpTestServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_task: JoinHandle<()>,
+}
+
+impl UdpTestServer {
+    /// Bind and start serving. Returns once the socket is live.
+    pub async fn start(config: ServerConfig) -> std::io::Result<Self> {
+        let socket = Arc::new(UdpSocket::bind(config.bind).await?);
+        let local_addr = socket.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_task =
+            tokio::spawn(serve_loop(socket, config.clone(), Arc::clone(&stop)));
+        Ok(Self { local_addr, stop, accept_task })
+    }
+
+    /// The bound address (connect clients here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop the server and all its sessions.
+    pub async fn shutdown(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.accept_task.abort();
+        let _ = self.accept_task.await;
+    }
+}
+
+async fn serve_loop(socket: Arc<UdpSocket>, config: ServerConfig, stop: Arc<AtomicBool>) {
+    let sessions: Arc<Mutex<HashMap<(SocketAddr, u64), Session>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    let mut buf = vec![0u8; 2048];
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let (len, peer) = match socket.recv_from(&mut buf).await {
+            Ok(x) => x,
+            Err(_) => break,
+        };
+        let msg = match Message::decode(bytes::Bytes::copy_from_slice(&buf[..len])) {
+            Ok(m) => m,
+            Err(_) => continue, // garbage datagrams are dropped silently
+        };
+        match msg {
+            Message::Ping { nonce } => {
+                let _ = socket.send_to(&Message::Pong { nonce }.encode(), peer).await;
+            }
+            Message::RateRequest { session, rate_bps } => {
+                let capped = config
+                    .emulated_capacity_bps
+                    .map_or(rate_bps, |cap| rate_bps.min(cap));
+                let mut map = sessions.lock();
+                if let Some(existing) = map.get(&(peer, session)) {
+                    // Mid-test escalation: only the pacing rate changes.
+                    existing.rate_bps.store(capped, Ordering::Relaxed);
+                } else {
+                    let rate = Arc::new(AtomicU64::new(capped));
+                    let s_stop = Arc::new(AtomicBool::new(false));
+                    let task = tokio::spawn(pace_session(
+                        Arc::clone(&socket),
+                        peer,
+                        session,
+                        Arc::clone(&rate),
+                        Arc::clone(&s_stop),
+                        config.session_timeout,
+                    ));
+                    map.insert((peer, session), Session { rate_bps: rate, stop: s_stop, task });
+                }
+            }
+            Message::Stop { session } => {
+                if let Some(s) = sessions.lock().remove(&(peer, session)) {
+                    s.stop.store(true, Ordering::Relaxed);
+                    s.task.abort();
+                }
+            }
+            // Feedback is informational in this implementation: the
+            // client steers by sending RateRequests.
+            Message::Feedback { .. } | Message::Pong { .. } | Message::Data { .. } => {}
+        }
+    }
+    for (_, s) in sessions.lock().drain() {
+        s.stop.store(true, Ordering::Relaxed);
+        s.task.abort();
+    }
+}
+
+/// The paced sender: a 5 ms token-bucket tick emitting data packets.
+async fn pace_session(
+    socket: Arc<UdpSocket>,
+    peer: SocketAddr,
+    session: u64,
+    rate_bps: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    timeout: Duration,
+) {
+    const TICK: Duration = Duration::from_millis(5);
+    let mut interval = tokio::time::interval(TICK);
+    interval.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Skip);
+    let mut seq = 0u64;
+    let mut credit_bytes = 0.0f64;
+    let started = tokio::time::Instant::now();
+    let template = Message::data_packet(session, 0);
+    // Encode once; patch the seq field (bytes 10..18) per packet.
+    let base = template.encode().to_vec();
+    loop {
+        interval.tick().await;
+        if stop.load(Ordering::Relaxed) || started.elapsed() > timeout {
+            break;
+        }
+        let rate = rate_bps.load(Ordering::Relaxed) as f64;
+        credit_bytes += rate * TICK.as_secs_f64() / 8.0;
+        // Cap the burst at two ticks' worth so a stalled task cannot
+        // flood the loopback.
+        let packet_len = base.len() as f64;
+        credit_bytes = credit_bytes.min(2.0 * rate * TICK.as_secs_f64() / 8.0 + packet_len);
+        while credit_bytes >= packet_len {
+            let mut pkt = base.clone();
+            pkt[10..18].copy_from_slice(&seq.to_be_bytes());
+            seq += 1;
+            credit_bytes -= packet_len;
+            if socket.send_to(&pkt, peer).await.is_err() {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    async fn recv_msg(socket: &UdpSocket) -> Message {
+        let mut buf = vec![0u8; 2048];
+        let (len, _) = socket.recv_from(&mut buf).await.expect("recv");
+        Message::decode(Bytes::copy_from_slice(&buf[..len])).expect("valid message")
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn ping_pong() {
+        let server = UdpTestServer::start(ServerConfig::default()).await.unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        client
+            .send_to(&Message::Ping { nonce: 99 }.encode(), server.local_addr())
+            .await
+            .unwrap();
+        let reply = recv_msg(&client).await;
+        assert_eq!(reply, Message::Pong { nonce: 99 });
+        server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn paced_rate_is_close_to_requested() {
+        let _net = crate::net_test_lock().lock().await;
+        let server = UdpTestServer::start(ServerConfig::default()).await.unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let rate = 20_000_000u64; // 20 Mbps
+        client
+            .send_to(
+                &Message::RateRequest { session: 1, rate_bps: rate }.encode(),
+                server.local_addr(),
+            )
+            .await
+            .unwrap();
+        let mut bytes = 0u64;
+        let deadline = tokio::time::Instant::now() + Duration::from_millis(600);
+        let mut buf = vec![0u8; 2048];
+        loop {
+            let left = deadline.saturating_duration_since(tokio::time::Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match tokio::time::timeout(left, client.recv_from(&mut buf)).await {
+                Ok(Ok((len, _))) => bytes += len as u64,
+                _ => break,
+            }
+        }
+        client
+            .send_to(&Message::Stop { session: 1 }.encode(), server.local_addr())
+            .await
+            .unwrap();
+        let achieved = bytes as f64 * 8.0 / 0.6;
+        assert!(
+            (achieved / rate as f64 - 1.0).abs() < 0.25,
+            "achieved {:.1} Mbps",
+            achieved / 1e6
+        );
+        server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn emulated_capacity_caps_the_rate() {
+        let _net = crate::net_test_lock().lock().await;
+        let server = UdpTestServer::start(ServerConfig {
+            emulated_capacity_bps: Some(10_000_000),
+            ..Default::default()
+        })
+        .await
+        .unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        client
+            .send_to(
+                &Message::RateRequest { session: 2, rate_bps: 100_000_000 }.encode(),
+                server.local_addr(),
+            )
+            .await
+            .unwrap();
+        let mut bytes = 0u64;
+        let deadline = tokio::time::Instant::now() + Duration::from_millis(500);
+        let mut buf = vec![0u8; 2048];
+        loop {
+            let left = deadline.saturating_duration_since(tokio::time::Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match tokio::time::timeout(left, client.recv_from(&mut buf)).await {
+                Ok(Ok((len, _))) => bytes += len as u64,
+                _ => break,
+            }
+        }
+        let achieved = bytes as f64 * 8.0 / 0.5;
+        assert!(achieved < 14e6, "achieved {:.1} Mbps", achieved / 1e6);
+        server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn stop_ends_the_stream() {
+        let server = UdpTestServer::start(ServerConfig::default()).await.unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        client
+            .send_to(
+                &Message::RateRequest { session: 3, rate_bps: 5_000_000 }.encode(),
+                server.local_addr(),
+            )
+            .await
+            .unwrap();
+        // Receive something, then stop.
+        let _ = recv_msg(&client).await;
+        client
+            .send_to(&Message::Stop { session: 3 }.encode(), server.local_addr())
+            .await
+            .unwrap();
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        // Drain whatever was in flight, then expect silence.
+        let mut buf = vec![0u8; 2048];
+        while tokio::time::timeout(Duration::from_millis(50), client.recv_from(&mut buf))
+            .await
+            .is_ok()
+        {}
+        let quiet =
+            tokio::time::timeout(Duration::from_millis(200), client.recv_from(&mut buf)).await;
+        assert!(quiet.is_err(), "stream kept flowing after Stop");
+        server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn garbage_datagrams_are_ignored() {
+        let server = UdpTestServer::start(ServerConfig::default()).await.unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        // Assorted junk: empty, bad magic, truncated, unknown tag.
+        for junk in [&[][..], &[0x00, 0x01][..], &[0xB7][..], &[0xB7, 0x99, 1, 2][..]] {
+            client.send_to(junk, server.local_addr()).await.unwrap();
+        }
+        // The server must still answer a well-formed ping afterwards.
+        client
+            .send_to(&Message::Ping { nonce: 7 }.encode(), server.local_addr())
+            .await
+            .unwrap();
+        let reply = tokio::time::timeout(
+            Duration::from_millis(500),
+            recv_msg(&client),
+        )
+        .await
+        .expect("server alive after junk");
+        assert_eq!(reply, Message::Pong { nonce: 7 });
+        server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn mid_test_escalation_raises_the_rate() {
+        let _net = crate::net_test_lock().lock().await;
+        let server = UdpTestServer::start(ServerConfig::default()).await.unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        async fn measure(client: &UdpSocket, window_ms: u64) -> f64 {
+            let mut buf = vec![0u8; 2048];
+            let mut bytes = 0u64;
+            let deadline = tokio::time::Instant::now() + Duration::from_millis(window_ms);
+            loop {
+                let left = deadline.saturating_duration_since(tokio::time::Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                match tokio::time::timeout(left, client.recv_from(&mut buf)).await {
+                    Ok(Ok((len, _))) => bytes += len as u64,
+                    _ => break,
+                }
+            }
+            bytes as f64 * 8.0 / (window_ms as f64 / 1e3)
+        }
+        client
+            .send_to(
+                &Message::RateRequest { session: 9, rate_bps: 5_000_000 }.encode(),
+                server.local_addr(),
+            )
+            .await
+            .unwrap();
+        let low = measure(&client, 400).await;
+        // Escalate the same session to 20 Mbps.
+        client
+            .send_to(
+                &Message::RateRequest { session: 9, rate_bps: 20_000_000 }.encode(),
+                server.local_addr(),
+            )
+            .await
+            .unwrap();
+        tokio::time::sleep(Duration::from_millis(50)).await;
+        let high = measure(&client, 400).await;
+        client
+            .send_to(&Message::Stop { session: 9 }.encode(), server.local_addr())
+            .await
+            .unwrap();
+        assert!(
+            high > low * 2.0,
+            "escalation not applied: {:.1} -> {:.1} Mbps",
+            low / 1e6,
+            high / 1e6
+        );
+        server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn data_packets_carry_increasing_seq() {
+        let server = UdpTestServer::start(ServerConfig::default()).await.unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        client
+            .send_to(
+                &Message::RateRequest { session: 4, rate_bps: 8_000_000 }.encode(),
+                server.local_addr(),
+            )
+            .await
+            .unwrap();
+        let mut last = None;
+        for _ in 0..20 {
+            if let Message::Data { session, seq, .. } = recv_msg(&client).await {
+                assert_eq!(session, 4);
+                if let Some(prev) = last {
+                    assert!(seq > prev, "seq {seq} after {prev}");
+                }
+                last = Some(seq);
+            }
+        }
+        client
+            .send_to(&Message::Stop { session: 4 }.encode(), server.local_addr())
+            .await
+            .unwrap();
+        server.shutdown().await;
+    }
+}

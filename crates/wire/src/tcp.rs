@@ -1,0 +1,381 @@
+//! The TCP flooding baseline over real sockets.
+//!
+//! A BTS-APP-style server that writes a byte stream as fast as the
+//! (optionally token-bucket-capped) connection allows, and a client that
+//! reads for a fixed window, samples goodput every 50 ms, and feeds the
+//! grouped-trimmed-mean estimator — the wire twin of the simulated
+//! flooding prober, used to compare TCP flooding and Swiftest UDP on the
+//! same emulated link.
+
+use mbw_core::estimator::{BandwidthEstimator, EstimatorDecision, GroupedTrimmedMean};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::task::JoinHandle;
+
+/// A running flood server.
+pub struct TcpFloodServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_task: JoinHandle<()>,
+}
+
+/// Chunk written per send.
+const CHUNK: usize = 16 * 1024;
+
+impl TcpFloodServer {
+    /// Start a flood server; `rate_cap_bps` emulates the access link.
+    pub async fn start(rate_cap_bps: Option<u64>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0").await?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_task = tokio::spawn(async move {
+            loop {
+                let (stream, _) = match listener.accept().await {
+                    Ok(x) => x,
+                    Err(_) => break,
+                };
+                if stop2.load(Ordering::Relaxed) {
+                    break;
+                }
+                let stop3 = Arc::clone(&stop2);
+                tokio::spawn(flood_connection(stream, rate_cap_bps, stop3));
+            }
+        });
+        Ok(Self { local_addr, stop, accept_task })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting and flooding.
+    pub async fn shutdown(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.accept_task.abort();
+        let _ = self.accept_task.await;
+    }
+}
+
+async fn flood_connection(
+    mut stream: TcpStream,
+    rate_cap_bps: Option<u64>,
+    stop: Arc<AtomicBool>,
+) {
+    let chunk = vec![0u8; CHUNK];
+    match rate_cap_bps {
+        None => {
+            while !stop.load(Ordering::Relaxed) {
+                if stream.write_all(&chunk).await.is_err() {
+                    return;
+                }
+            }
+        }
+        Some(rate) => {
+            // Token-bucket pacing on a 5 ms tick.
+            const TICK: Duration = Duration::from_millis(5);
+            let mut interval = tokio::time::interval(TICK);
+            interval.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Skip);
+            let mut credit = 0.0f64;
+            while !stop.load(Ordering::Relaxed) {
+                interval.tick().await;
+                credit += rate as f64 * TICK.as_secs_f64() / 8.0;
+                credit = credit.min(2.0 * rate as f64 * TICK.as_secs_f64() / 8.0 + CHUNK as f64);
+                while credit >= CHUNK as f64 {
+                    if stream.write_all(&chunk).await.is_err() {
+                        return;
+                    }
+                    credit -= CHUNK as f64;
+                }
+            }
+        }
+    }
+}
+
+/// Flood-client configuration.
+#[derive(Debug, Clone)]
+pub struct FloodClientConfig {
+    /// How long to flood. The production BTS-APP floods 10 s with a
+    /// 20 × 10 estimator; tests shrink both proportionally.
+    pub duration: Duration,
+    /// Sampling interval.
+    pub sample_interval: Duration,
+    /// Estimator grouping `(groups, group_size, drop_low, drop_high)`.
+    pub grouping: (usize, usize, usize, usize),
+}
+
+impl Default for FloodClientConfig {
+    fn default() -> Self {
+        Self {
+            duration: Duration::from_secs(10),
+            sample_interval: Duration::from_millis(50),
+            grouping: (20, 10, 5, 2),
+        }
+    }
+}
+
+impl FloodClientConfig {
+    /// A shortened configuration for CI: 2 s, 8 × 5 samples, drop 2 + 1.
+    pub fn quick() -> Self {
+        Self {
+            duration: Duration::from_secs(2),
+            sample_interval: Duration::from_millis(50),
+            grouping: (8, 5, 2, 1),
+        }
+    }
+}
+
+/// Result of one TCP flood test.
+#[derive(Debug, Clone)]
+pub struct FloodReport {
+    /// Trimmed-mean estimate, Mbps.
+    pub estimate_mbps: f64,
+    /// Wall time spent flooding.
+    pub duration: Duration,
+    /// Bytes downloaded.
+    pub data_bytes: u64,
+    /// 50 ms samples, Mbps.
+    pub samples: Vec<f64>,
+}
+
+/// Run one flood test against `server`.
+pub async fn run_flood_test(
+    server: SocketAddr,
+    config: &FloodClientConfig,
+) -> std::io::Result<FloodReport> {
+    let mut stream = TcpStream::connect(server).await?;
+    let (g, gs, dl, dh) = config.grouping;
+    let mut estimator = GroupedTrimmedMean::new(g, gs, dl, dh);
+    let started = tokio::time::Instant::now();
+    let mut tick = tokio::time::interval(config.sample_interval);
+    tick.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Skip);
+    tick.tick().await;
+
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut total = 0u64;
+    let mut window = 0u64;
+    let mut samples = Vec::new();
+    let mut estimate = None;
+
+    'outer: while started.elapsed() < config.duration {
+        tokio::select! {
+            biased;
+            _ = tick.tick() => {
+                let mbps = window as f64 * 8.0 / config.sample_interval.as_secs_f64() / 1e6;
+                window = 0;
+                samples.push(mbps);
+                if let EstimatorDecision::Done(v) = estimator.push(mbps) {
+                    estimate = Some(v);
+                    break 'outer;
+                }
+            }
+            read = stream.read(&mut buf) => {
+                let n = read?;
+                if n == 0 {
+                    break 'outer;
+                }
+                total += n as u64;
+                window += n as u64;
+            }
+        }
+    }
+    Ok(FloodReport {
+        estimate_mbps: estimate.or_else(|| estimator.finalize()).unwrap_or(0.0),
+        duration: started.elapsed(),
+        data_bytes: total,
+        samples,
+    })
+}
+
+/// Multi-connection flooding (§2): start one connection, add another
+/// every time the aggregate sample crosses the next threshold (25, 35,
+/// … Mbps), exactly like BTS-APP/Speedtest saturating a fast link.
+pub async fn run_flood_test_multi(
+    server: SocketAddr,
+    config: &FloodClientConfig,
+    thresholds_mbps: &[f64],
+    max_connections: usize,
+) -> std::io::Result<FloodReport> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let window = Arc::new(AtomicU64::new(0));
+    let total = Arc::new(AtomicU64::new(0));
+    let mut readers: Vec<tokio::task::JoinHandle<()>> = Vec::new();
+
+    let spawn_reader = |window: Arc<AtomicU64>, total: Arc<AtomicU64>| async move {
+        let Ok(mut stream) = TcpStream::connect(server).await else { return };
+        let mut buf = vec![0u8; 64 * 1024];
+        loop {
+            match stream.read(&mut buf).await {
+                Ok(0) | Err(_) => return,
+                Ok(n) => {
+                    window.fetch_add(n as u64, Ordering::Relaxed);
+                    total.fetch_add(n as u64, Ordering::Relaxed);
+                }
+            }
+        }
+    };
+    readers.push(tokio::spawn(spawn_reader(Arc::clone(&window), Arc::clone(&total))));
+
+    let (g, gs, dl, dh) = config.grouping;
+    let mut estimator = GroupedTrimmedMean::new(g, gs, dl, dh);
+    let started = tokio::time::Instant::now();
+    let mut tick = tokio::time::interval(config.sample_interval);
+    tick.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Skip);
+    tick.tick().await;
+
+    let mut samples = Vec::new();
+    let mut estimate = None;
+    let mut next_threshold = 0usize;
+    while started.elapsed() < config.duration {
+        tick.tick().await;
+        let bytes = window.swap(0, std::sync::atomic::Ordering::Relaxed);
+        let mbps = bytes as f64 * 8.0 / config.sample_interval.as_secs_f64() / 1e6;
+        samples.push(mbps);
+        while next_threshold < thresholds_mbps.len() && mbps >= thresholds_mbps[next_threshold] {
+            next_threshold += 1;
+            if readers.len() < max_connections {
+                readers
+                    .push(tokio::spawn(spawn_reader(Arc::clone(&window), Arc::clone(&total))));
+            }
+        }
+        if let EstimatorDecision::Done(v) = estimator.push(mbps) {
+            estimate = Some(v);
+            break;
+        }
+    }
+    for r in &readers {
+        r.abort();
+    }
+    Ok(FloodReport {
+        estimate_mbps: estimate.or_else(|| estimator.finalize()).unwrap_or(0.0),
+        duration: started.elapsed(),
+        data_bytes: total.load(std::sync::atomic::Ordering::Relaxed),
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn multi_connection_flood_measures_and_scales() {
+        let _net = crate::net_test_lock().lock().await;
+        // Per-connection cap 10 Mbps: a single connection reads ~10, the
+        // threshold ladder spawns more until the aggregate passes 25.
+        let server = TcpFloodServer::start(Some(10_000_000)).await.unwrap();
+        let report = run_flood_test_multi(
+            server.local_addr(),
+            &FloodClientConfig { duration: std::time::Duration::from_secs(3), ..FloodClientConfig::quick() },
+            &[8.0, 16.0, 24.0],
+            4,
+        )
+        .await
+        .unwrap();
+        // 4 connections × 10 Mbps cap ⇒ aggregate well above a single
+        // connection's 10.
+        assert!(
+            report.estimate_mbps > 16.0,
+            "aggregate {:.1} Mbps",
+            report.estimate_mbps
+        );
+        server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn flood_measures_a_capped_link() {
+        let _net = crate::net_test_lock().lock().await;
+        let cap = 30_000_000u64; // 30 Mbps
+        let server = TcpFloodServer::start(Some(cap)).await.unwrap();
+        let report = run_flood_test(server.local_addr(), &FloodClientConfig::quick())
+            .await
+            .unwrap();
+        assert!(
+            (report.estimate_mbps - 30.0).abs() < 8.0,
+            "estimate {:.1} Mbps",
+            report.estimate_mbps
+        );
+        assert!(report.samples.len() >= 20);
+        server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn flood_downloads_duration_times_rate() {
+        let _net = crate::net_test_lock().lock().await;
+        let cap = 16_000_000u64;
+        let server = TcpFloodServer::start(Some(cap)).await.unwrap();
+        let report = run_flood_test(server.local_addr(), &FloodClientConfig::quick())
+            .await
+            .unwrap();
+        // 2 s at 16 Mbps ≈ 4 MB.
+        assert!(
+            (report.data_bytes as f64 - 4e6).abs() < 2e6,
+            "bytes {}",
+            report.data_bytes
+        );
+        server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn uncapped_flood_is_fast_on_loopback() {
+        let _net = crate::net_test_lock().lock().await;
+        let server = TcpFloodServer::start(None).await.unwrap();
+        let report = run_flood_test(
+            server.local_addr(),
+            &FloodClientConfig { duration: Duration::from_millis(500), ..FloodClientConfig::quick() },
+        )
+        .await
+        .unwrap();
+        assert!(report.estimate_mbps > 100.0, "loopback {:.0}", report.estimate_mbps);
+        server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn udp_swiftest_uses_less_data_than_tcp_flooding_on_same_link() {
+        let _net = crate::net_test_lock().lock().await;
+        // The headline §5.3 comparison, on real sockets: same 20 Mbps
+        // emulated link, Swiftest UDP vs TCP flooding.
+        let cap = 20_000_000u64;
+        let tcp = TcpFloodServer::start(Some(cap)).await.unwrap();
+        let (udp_servers, udp_addrs) =
+            crate::client::spawn_local_fleet(1, Some(cap)).await.unwrap();
+
+        // Production-length flooding (10 s): the comparison the paper
+        // makes. Swiftest is hard-capped at 4.5 s, so even a
+        // non-converging run uses less than half the data.
+        let flood = run_flood_test(tcp.local_addr(), &FloodClientConfig::default())
+            .await
+            .unwrap();
+        let model =
+            mbw_stats::Gmm::from_triples(&[(0.6, 10.0, 2.0), (0.4, 30.0, 5.0)]).unwrap();
+        let swift = crate::client::SwiftestClient::new(
+            model,
+            crate::client::WireTestConfig::default(),
+        )
+        .measure(&udp_addrs)
+        .await
+        .unwrap();
+
+        assert!(
+            swift.data_bytes < flood.data_bytes,
+            "swiftest {} vs flooding {}",
+            swift.data_bytes,
+            flood.data_bytes
+        );
+        // Both land near the link rate.
+        assert!((flood.estimate_mbps - 20.0).abs() < 7.0, "{}", flood.estimate_mbps);
+        assert!((swift.estimate_mbps - 20.0).abs() < 7.0, "{}", swift.estimate_mbps);
+
+        tcp.shutdown().await;
+        for s in udp_servers {
+            s.shutdown().await;
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! The §5.3 benchmark study in miniature: run BTS-APP, FAST, FastBTS
+//! and Swiftest in back-to-back test groups across 4G / 5G / WiFi and
+//! print the Fig 23–25 style comparison.
+//!
+//! ```text
+//! cargo run --release --example compare_bts [groups-per-tech]
+//! ```
+
+use mobile_bandwidth::core::{BtsKind, TechClass, TestHarness};
+use mobile_bandwidth::stats::descriptive;
+
+fn main() {
+    let groups: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+
+    println!("{groups} test groups per technology; BTS-APP is the reference.\n");
+    println!(
+        "{:<6} {:<9} {:>9} {:>10} {:>10}",
+        "tech", "service", "time s", "data MB", "accuracy"
+    );
+
+    for tech in TechClass::ALL {
+        let harness = TestHarness::new(tech);
+        let contenders = [BtsKind::Fast, BtsKind::FastBts, BtsKind::Swiftest];
+        let mut time = vec![Vec::new(); contenders.len()];
+        let mut data = vec![Vec::new(); contenders.len()];
+        let mut acc = vec![Vec::new(); contenders.len()];
+        let mut ref_time = Vec::new();
+        let mut ref_data = Vec::new();
+
+        for i in 0..groups {
+            let seed = 0xC0DE + i as u64 * 13;
+            let drawn = harness.scenario().draw(seed);
+            let reference = harness.run_on(BtsKind::BtsApp, &drawn, seed ^ 1);
+            ref_time.push(reference.duration.as_secs_f64());
+            ref_data.push(reference.data_bytes / 1e6);
+            for (k, &kind) in contenders.iter().enumerate() {
+                let o = harness.run_on(kind, &drawn, seed ^ (2 + k as u64));
+                time[k].push(o.duration.as_secs_f64());
+                data[k].push(o.data_bytes / 1e6);
+                acc[k].push(o.accuracy_vs(reference.estimate_mbps).max(0.0));
+            }
+        }
+
+        println!(
+            "{:<6} {:<9} {:>9.2} {:>10.1} {:>10}",
+            tech.name(),
+            "BTS-APP",
+            descriptive::mean(&ref_time),
+            descriptive::mean(&ref_data),
+            "(ref)"
+        );
+        for (k, &kind) in contenders.iter().enumerate() {
+            println!(
+                "{:<6} {:<9} {:>9.2} {:>10.1} {:>10.3}",
+                tech.name(),
+                kind.name(),
+                descriptive::mean(&time[k]),
+                descriptive::mean(&data[k]),
+                descriptive::mean(&acc[k])
+            );
+        }
+        println!();
+    }
+}

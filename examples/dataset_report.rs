@@ -1,0 +1,38 @@
+//! Generate the synthetic measurement dataset and print the headline
+//! findings of the paper's §3 — the year-over-year decline, the 4G/5G
+//! distributions, the refarmed-band story, and the WiFi plan bottleneck.
+//!
+//! ```text
+//! cargo run --release --example dataset_report [records-per-year]
+//! ```
+
+use mobile_bandwidth::analysis::{cellular, overview, wifi, Render};
+use mobile_bandwidth::dataset::{DatasetConfig, Generator, Year};
+
+fn main() {
+    let tests: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+
+    eprintln!("generating {tests} records per year...");
+    let y2020 =
+        Generator::new(DatasetConfig { seed: 0xD5, tests, year: Year::Y2020 }).generate();
+    let y2021 =
+        Generator::new(DatasetConfig { seed: 0xD5, tests, year: Year::Y2021 }).generate();
+
+    println!("{}", overview::fig01(&y2020, &y2021).render());
+    println!("{}", cellular::fig04(&y2021).render());
+    println!("{}", cellular::fig05_06(&y2021).render());
+    println!("{}", cellular::fig08_09(&y2021).render());
+    println!("{}", cellular::fig11_12(&y2021).render());
+    println!("{}", wifi::fig13(&y2021).render());
+    println!("{}", wifi::fig15(&y2021).render());
+
+    let (overall, w6) = wifi::slow_plan_shares(&y2021);
+    println!(
+        "fixed broadband: {:.0}% of WiFi users on <=200 Mbps plans ({:.0}% of WiFi 6 users)",
+        overall * 100.0,
+        w6 * 100.0
+    );
+}

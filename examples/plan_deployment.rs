@@ -1,0 +1,87 @@
+//! Cost-effective server deployment, end to end (§5.2–§5.3):
+//! estimate the workload, solve the purchase ILP over the VM market,
+//! place the fleet across the eight IXP domains, replay a month of
+//! tests, and compare the bill against BTS-APP's allocation.
+//!
+//! ```text
+//! cargo run --release --example plan_deployment [tests-per-day]
+//! ```
+
+use mobile_bandwidth::deploy::placement::IXP_CITIES;
+use mobile_bandwidth::deploy::utilization::{cost_comparison, ReplayConfig};
+use mobile_bandwidth::deploy::{
+    place, replay_month, solve_greedy, solve_ilp, synthetic_catalog, PurchaseProblem,
+    WorkloadEstimate,
+};
+
+fn main() {
+    let tests_per_day: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000.0);
+
+    // 1. Workload estimation.
+    let mut workload = WorkloadEstimate::swiftest_paper();
+    workload.tests_per_day = tests_per_day;
+    let demand = workload.provisioning_demand_mbps();
+    println!("workload: {tests_per_day:.0} tests/day");
+    println!(
+        "  mean concurrency {:.2} tests, provisioning demand {:.0} Mbps\n",
+        workload.mean_concurrency(),
+        demand
+    );
+
+    // 2. Purchase: ILP over the budget tier vs the greedy heuristic.
+    let catalog: Vec<_> = synthetic_catalog(0x3A1E)
+        .into_iter()
+        .filter(|o| o.bandwidth_mbps <= 300.0)
+        .collect();
+    let problem = PurchaseProblem { offers: catalog, demand_mbps: demand, margin: 0.08 };
+    let greedy = solve_greedy(&problem).expect("market covers demand");
+    let plan = solve_ilp(&problem).expect("market covers demand");
+    println!("purchase plan (branch-and-bound ILP):");
+    println!(
+        "  {} servers, {:.0} Mbps total, ${:.2}/month (greedy: ${:.2})",
+        plan.server_count(),
+        plan.total_bandwidth_mbps,
+        plan.total_cost,
+        greedy.total_cost
+    );
+
+    // 3. Placement across the IXP domains.
+    let fleet: Vec<f64> = plan
+        .purchases
+        .iter()
+        .flat_map(|&(id, n)| {
+            let bw = synthetic_catalog(0x3A1E)
+                .into_iter()
+                .find(|o| o.id == id)
+                .expect("offer exists")
+                .bandwidth_mbps;
+            std::iter::repeat(bw).take(n as usize)
+        })
+        .collect();
+    let placement = place(&fleet);
+    println!("\nplacement (capacity per IXP domain):");
+    for (d, city) in IXP_CITIES.iter().enumerate() {
+        println!("  {:<10} {:>7.0} Mbps", city, placement.domain_capacity(d as u8).max(0.0));
+    }
+
+    // 4. Utilisation replay.
+    let mut replay = ReplayConfig::swiftest_paper(0x3A1E);
+    replay.tests_per_day = tests_per_day;
+    replay.fleet_mbps = plan.total_bandwidth_mbps;
+    let report = replay_month(&replay);
+    let (median, mean, p99, p999, max) = report.summary_percent();
+    println!("\none-month utilisation replay (busy seconds):");
+    println!(
+        "  median {median:.1}%  mean {mean:.1}%  P99 {p99:.1}%  P999 {p999:.1}%  max {max:.1}%"
+    );
+
+    // 5. The bill vs BTS-APP.
+    let (bts, swift) = cost_comparison(0x3A1E);
+    println!(
+        "\ninfrastructure cost: BTS-APP ${bts:.0}/mo vs Swiftest ${swift:.0}/mo  ({:.1}x cheaper)",
+        bts / swift
+    );
+}

@@ -1,0 +1,46 @@
+//! Quickstart: one Swiftest bandwidth test on a simulated 5G link.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Draws a 5G access link from the calibrated population, runs the
+//! paper's Swiftest probing logic against it, and prints what a user
+//! would see — plus the same link measured by the production 10-second
+//! BTS-APP for contrast.
+
+use mobile_bandwidth::core::{BtsKind, TechClass, TestHarness};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+
+    let harness = TestHarness::new(TechClass::Nr);
+    println!("Drawing a 5G access link (seed {seed})...\n");
+
+    let swift = harness.run(BtsKind::Swiftest, seed);
+    println!("Swiftest:");
+    println!("  bandwidth   {:>8.1} Mbps", swift.estimate_mbps);
+    println!(
+        "  test time   {:>8.2} s  ({:.2} s probing + {:.2} s server selection)",
+        swift.total_duration().as_secs_f64(),
+        swift.duration.as_secs_f64(),
+        swift.ping_overhead.as_secs_f64()
+    );
+    println!("  data usage  {:>8.1} MB", swift.data_bytes / 1e6);
+
+    let bts = harness.run(BtsKind::BtsApp, seed);
+    println!("\nBTS-APP (production flooding) on the same population:");
+    println!("  bandwidth   {:>8.1} Mbps", bts.estimate_mbps);
+    println!("  test time   {:>8.2} s", bts.total_duration().as_secs_f64());
+    println!("  data usage  {:>8.1} MB", bts.data_bytes / 1e6);
+
+    println!(
+        "\nlink ground truth: {:.1} Mbps  |  Swiftest used {:.1}x less data, {:.1}x less time",
+        swift.truth_mbps,
+        bts.data_bytes / swift.data_bytes.max(1.0),
+        bts.total_duration().as_secs_f64() / swift.total_duration().as_secs_f64()
+    );
+}

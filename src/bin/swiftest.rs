@@ -1,0 +1,144 @@
+//! `swiftest` — the bandwidth-testing CLI.
+//!
+//! ```text
+//! swiftest serve [--capacity <mbps>] [--port <port>]   run a UDP test server
+//! swiftest measure <host:port> [<host:port>...]        run a real test against servers
+//! swiftest simulate [4g|5g|wifi] [seed]                run a simulated test
+//! swiftest bench [4g|5g|wifi] [n]                      simulated Swiftest-vs-BTS-APP summary
+//! ```
+
+use mobile_bandwidth::core::{BtsKind, TechClass, TestHarness};
+use mobile_bandwidth::stats::descriptive;
+use mobile_bandwidth::wire::server::{ServerConfig, UdpTestServer};
+use mobile_bandwidth::wire::{SwiftestClient, WireTestConfig};
+use std::net::SocketAddr;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  swiftest serve [--capacity <mbps>] [--port <port>]\n  \
+         swiftest measure <host:port> [<host:port>...]\n  \
+         swiftest simulate [4g|5g|wifi] [seed]\n  \
+         swiftest bench [4g|5g|wifi] [n]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_tech(s: Option<&String>) -> TechClass {
+    match s.map(String::as_str) {
+        Some("4g") => TechClass::Lte,
+        Some("5g") | None => TechClass::Nr,
+        Some("wifi") => TechClass::Wifi,
+        Some(_) => usage(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("measure") => measure(&args[1..]),
+        Some("simulate") => simulate(&args[1..]),
+        Some("bench") => bench(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn serve(args: &[String]) {
+    let mut capacity: Option<u64> = None;
+    let mut port: u16 = 7777;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--capacity" => {
+                let v: f64 = it.next().map(|s| s.parse().ok()).flatten().unwrap_or_else(|| usage());
+                capacity = Some((v * 1e6) as u64);
+            }
+            "--port" => {
+                port = it.next().map(|s| s.parse().ok()).flatten().unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    let runtime = tokio::runtime::Runtime::new().expect("tokio runtime");
+    runtime.block_on(async {
+        let server = UdpTestServer::start(ServerConfig {
+            bind: format!("0.0.0.0:{port}").parse().expect("valid bind"),
+            emulated_capacity_bps: capacity,
+            session_timeout: std::time::Duration::from_secs(30),
+        })
+        .await
+        .expect("bind server");
+        println!("swiftest server on {}", server.local_addr());
+        if let Some(cap) = capacity {
+            println!("emulated access capacity: {:.0} Mbps", cap as f64 / 1e6);
+        }
+        println!("press Ctrl-C to stop");
+        tokio::signal::ctrl_c().await.ok();
+        server.shutdown().await;
+    });
+}
+
+fn measure(args: &[String]) {
+    if args.is_empty() {
+        usage();
+    }
+    let addrs: Vec<SocketAddr> = args
+        .iter()
+        .map(|a| a.parse().unwrap_or_else(|_| usage()))
+        .collect();
+    let model = TechClass::Wifi.default_model();
+    let runtime = tokio::runtime::Runtime::new().expect("tokio runtime");
+    runtime.block_on(async {
+        let client = SwiftestClient::new(model, WireTestConfig::default());
+        match client.measure(&addrs).await {
+            Ok(report) => {
+                println!("bandwidth   {:>8.1} Mbps", report.estimate_mbps);
+                println!(
+                    "test time   {:>8.2} s (+{:.2} s server selection)",
+                    report.duration.as_secs_f64(),
+                    report.ping_time.as_secs_f64()
+                );
+                println!("data usage  {:>8.2} MB", report.data_bytes as f64 / 1e6);
+                println!("server      {}", report.server);
+            }
+            Err(e) => {
+                eprintln!("test failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
+}
+
+fn simulate(args: &[String]) {
+    let tech = parse_tech(args.first());
+    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let harness = TestHarness::new(tech);
+    let o = harness.run(BtsKind::Swiftest, seed);
+    println!("{} link (simulated, seed {seed})", tech.name());
+    println!("bandwidth   {:>8.1} Mbps (ground truth {:.1})", o.estimate_mbps, o.truth_mbps);
+    println!("test time   {:>8.2} s", o.total_duration().as_secs_f64());
+    println!("data usage  {:>8.2} MB", o.data_bytes / 1e6);
+}
+
+fn bench(args: &[String]) {
+    let tech = parse_tech(args.first());
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let harness = TestHarness::new(tech);
+    let mut durations = Vec::new();
+    let mut ratios = Vec::new();
+    let mut deviations = Vec::new();
+    for i in 0..n {
+        let pair = harness.back_to_back(BtsKind::Swiftest, BtsKind::BtsApp, i as u64);
+        durations.push(pair.first.total_duration().as_secs_f64());
+        ratios.push(pair.second.data_bytes / pair.first.data_bytes.max(1.0));
+        deviations.push(pair.deviation());
+    }
+    println!("{} × {n} back-to-back pairs (Swiftest vs BTS-APP)", tech.name());
+    println!("mean test time      {:.2} s (BTS-APP: ~10.2 s)", descriptive::mean(&durations));
+    println!("mean data reduction {:.1}x", descriptive::mean(&ratios));
+    println!(
+        "deviation           mean {:.1}%  median {:.1}%",
+        descriptive::mean(&deviations) * 100.0,
+        descriptive::median(&deviations) * 100.0
+    );
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! # mobile-bandwidth
+//!
+//! A from-scratch Rust reproduction of *"Mobile Access Bandwidth in
+//! Practice: Measurement, Analysis, and Implications"* (SIGCOMM 2022):
+//! the 23.6M-test measurement study of 4G / 5G / WiFi access bandwidth
+//! in China, and **Swiftest**, the ultra-fast ultra-light bandwidth
+//! testing service the paper builds from its findings.
+//!
+//! This crate is the facade: it re-exports the workspace's crates under
+//! one roof and hosts the runnable examples and the cross-crate
+//! integration tests.
+//!
+//! ## Layout
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`stats`] | `mbw-stats` | Gaussian mixtures (EM/BIC), descriptive stats, histograms/CDFs |
+//! | [`netsim`] | `mbw-netsim` | discrete-event links, token buckets, time-varying capacity, paths |
+//! | [`congestion`] | `mbw-congestion` | Reno / Cubic / BBR models + round-based flow simulation |
+//! | [`dataset`] | `mbw-dataset` | the calibrated synthetic measurement dataset (Tables 1–2 included) |
+//! | [`analysis`] | `mbw-analysis` | every measurement figure (Figs 1–16) as a typed computation |
+//! | [`core`] | `mbw-core` | **Swiftest** + BTS-APP / FAST / FastBTS, probers, estimators, harness |
+//! | [`deploy`] | `mbw-deploy` | ILP server purchasing, IXP placement, Fig 26 utilisation replay |
+//! | [`wire`] | `mbw-wire` | the real tokio UDP probing protocol + TCP flooding baseline |
+//!
+//! ## Quickstart
+//!
+//! Run one simulated Swiftest test on a drawn 5G link:
+//!
+//! ```
+//! use mobile_bandwidth::core::{BtsKind, TechClass, TestHarness};
+//!
+//! let harness = TestHarness::new(TechClass::Nr);
+//! let outcome = harness.run(BtsKind::Swiftest, 42);
+//! assert!(outcome.total_duration().as_secs_f64() < 5.0);
+//! assert!(outcome.estimate_mbps > 0.0);
+//! ```
+//!
+//! See `examples/` for the full tours (BTS comparison, deployment
+//! planning, dataset analysis, and a live localhost UDP test).
+
+pub use mbw_analysis as analysis;
+pub use mbw_congestion as congestion;
+pub use mbw_core as core;
+pub use mbw_dataset as dataset;
+pub use mbw_deploy as deploy;
+pub use mbw_netsim as netsim;
+pub use mbw_stats as stats;
+pub use mbw_wire as wire;

@@ -1,0 +1,101 @@
+//! The full Swiftest pipeline, crossing every crate boundary:
+//! generate measurement data → fit the multi-modal bandwidth model →
+//! probe simulated links with it → verify the paper's speed/accuracy
+//! claims hold with the *fitted* (not hand-written) model.
+//!
+//! This is exactly the production loop §5.1 describes: "by updating the
+//! statistical model periodically, we can leverage it to guide the
+//! selection of the initial data rate".
+
+use mobile_bandwidth::core::estimator::ConvergenceEstimator;
+use mobile_bandwidth::core::probe::{run_swiftest, SwiftestConfig};
+use mobile_bandwidth::core::{AccessScenario, BtsKind, TechClass, TestHarness};
+use mobile_bandwidth::dataset::{AccessTech, DatasetConfig, Generator, Year};
+use mobile_bandwidth::stats::{descriptive, Gmm};
+use std::time::Duration;
+
+/// Fit a 5G bandwidth model from generated measurement records.
+fn fitted_5g_model() -> Gmm {
+    let records = Generator::new(DatasetConfig {
+        seed: 0xE2E,
+        tests: 200_000,
+        year: Year::Y2021,
+    })
+    .generate();
+    let bw: Vec<f64> = records
+        .iter()
+        .filter(|r| r.tech == AccessTech::Cellular5g)
+        .map(|r| r.bandwidth_mbps)
+        .collect();
+    assert!(bw.len() > 5_000, "enough 5G records to fit from");
+    Gmm::fit_auto(&bw, 5, 0xF17).expect("model fits")
+}
+
+#[test]
+fn dataset_fitted_model_drives_fast_accurate_probing() {
+    let model = fitted_5g_model();
+    assert!(model.k() >= 2, "5G population is multi-modal (Fig 19)");
+
+    // Probe fresh simulated 5G links with the fitted model.
+    let scenario = AccessScenario {
+        model: model.clone(),
+        ..AccessScenario::default_for(TechClass::Nr)
+    };
+    let mut durations = Vec::new();
+    let mut accuracy = Vec::new();
+    for i in 0..40u64 {
+        let drawn = scenario.draw(0xAB0 + i * 7);
+        let mut est = ConvergenceEstimator::swiftest();
+        let r = run_swiftest(
+            drawn.build(),
+            &model,
+            &mut est,
+            &SwiftestConfig::default(),
+            i,
+        );
+        durations.push(r.duration.as_secs_f64());
+        accuracy
+            .push(1.0 - descriptive::relative_deviation(r.estimate_mbps, drawn.truth_mbps));
+    }
+    let mean_duration = descriptive::mean(&durations);
+    let mean_accuracy = descriptive::mean(&accuracy);
+    assert!(
+        mean_duration < 2.0,
+        "fitted model keeps tests around a second: {mean_duration}"
+    );
+    assert!(mean_accuracy > 0.85, "fitted model stays accurate: {mean_accuracy}");
+}
+
+#[test]
+fn headline_claims_hold_per_technology() {
+    // §5.3's three headline numbers, checked end to end on the default
+    // harness: ~1 s tests, ~8x data reduction, ~5% deviation.
+    for tech in TechClass::ALL {
+        let harness = TestHarness::new(tech);
+        let mut durations = Vec::new();
+        let mut ratios = Vec::new();
+        let mut deviations = Vec::new();
+        for i in 0..25u64 {
+            let pair = harness.back_to_back(BtsKind::Swiftest, BtsKind::BtsApp, 0xE20 + i);
+            durations.push(pair.first.total_duration().as_secs_f64());
+            ratios.push(pair.second.data_bytes / pair.first.data_bytes.max(1.0));
+            deviations.push(pair.deviation());
+        }
+        let dur = descriptive::mean(&durations);
+        let ratio = descriptive::mean(&ratios);
+        let dev = descriptive::mean(&deviations);
+        assert!(dur < 2.5, "{tech}: Swiftest total duration {dur}");
+        assert!(ratio > 3.0, "{tech}: data reduction {ratio}");
+        assert!(dev < 0.15, "{tech}: deviation {dev}");
+    }
+}
+
+#[test]
+fn bts_app_remains_the_ten_second_reference() {
+    let harness = TestHarness::new(TechClass::Wifi);
+    for seed in [1u64, 2, 3] {
+        let o = harness.run(BtsKind::BtsApp, seed);
+        assert!(o.duration >= Duration::from_millis(9_900));
+        assert!(o.duration < Duration::from_millis(11_000));
+    }
+}

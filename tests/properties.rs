@@ -1,0 +1,178 @@
+//! Property-based tests over the public API (proptest).
+//!
+//! Invariants that must hold for *any* input, not just the calibrated
+//! configurations: estimator results stay within the sample range,
+//! mixtures integrate to one, ILP plans always cover demand within
+//! stock, ECDFs are monotone, token buckets never exceed their rate.
+
+use mobile_bandwidth::core::estimator::{
+    BandwidthEstimator, ConvergenceEstimator, EstimatorDecision, GroupedTrimmedMean,
+};
+use mobile_bandwidth::deploy::{solve_greedy, solve_ilp, PurchaseProblem, ServerOffer};
+use mobile_bandwidth::netsim::{SimTime, TokenBucket};
+use mobile_bandwidth::stats::{descriptive, Ecdf, Gmm, SeededRng};
+use proptest::prelude::*;
+
+fn positive_samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.1f64..2000.0, 1..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn estimators_stay_within_sample_range(samples in positive_samples()) {
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(0.0, f64::max);
+        let mut estimators: Vec<Box<dyn BandwidthEstimator>> = vec![
+            Box::new(GroupedTrimmedMean::bts_app()),
+            Box::new(ConvergenceEstimator::swiftest()),
+        ];
+        for est in &mut estimators {
+            let mut result = None;
+            for &s in &samples {
+                if let EstimatorDecision::Done(v) = est.push(s) {
+                    result = Some(v);
+                    break;
+                }
+            }
+            let v = result.or_else(|| est.finalize()).expect("non-empty input");
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9,
+                "{}: {v} outside [{lo}, {hi}]", est.name());
+        }
+    }
+
+    #[test]
+    fn convergence_done_means_tail_really_converged(
+        samples in prop::collection::vec(1.0f64..500.0, 10..100)
+    ) {
+        let mut est = ConvergenceEstimator::swiftest();
+        for &s in &samples {
+            if let EstimatorDecision::Done(v) = est.push(s) {
+                // The last 10 samples must genuinely sit within 3%.
+                let n = est.len();
+                let tail = &samples[n - 10..n];
+                let max = tail.iter().cloned().fold(0.0, f64::max);
+                let min = tail.iter().cloned().fold(f64::INFINITY, f64::min);
+                prop_assert!((max - min) / max <= 0.03 + 1e-12);
+                prop_assert!((v - descriptive::mean(tail)).abs() < 1e-9);
+                return Ok(());
+            }
+        }
+    }
+
+    #[test]
+    fn gmm_sampling_matches_cdf(
+        w1 in 0.1f64..0.9,
+        mu1 in 10.0f64..200.0,
+        mu2 in 250.0f64..900.0,
+        sigma in 5.0f64..50.0,
+        seed in 0u64..1000,
+    ) {
+        let g = Gmm::from_triples(&[(w1, mu1, sigma), (1.0 - w1, mu2, sigma)]).unwrap();
+        let mut rng = SeededRng::new(seed);
+        let samples = g.sample_n(&mut rng, 4000);
+        // Empirical CDF tracks the analytic CDF at the midpoint.
+        let mid = (mu1 + mu2) / 2.0;
+        let empirical = samples.iter().filter(|&&x| x <= mid).count() as f64 / 4000.0;
+        let analytic = g.cdf(mid);
+        prop_assert!((empirical - analytic).abs() < 0.05,
+            "empirical {empirical} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn gmm_mean_is_weighted_mode_mean(
+        triples in prop::collection::vec(
+            (0.05f64..1.0, 1.0f64..1000.0, 1.0f64..100.0), 1..5)
+    ) {
+        let g = Gmm::from_triples(&triples).unwrap();
+        let total_w: f64 = triples.iter().map(|t| t.0).sum();
+        let want: f64 = triples.iter().map(|t| t.0 / total_w * t.1).sum();
+        prop_assert!((g.mean() - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_and_bounded(samples in positive_samples()) {
+        let e = Ecdf::new(&samples);
+        let mut prev = 0.0;
+        for i in 0..50 {
+            let x = i as f64 * 40.0;
+            let f = e.eval(x);
+            prop_assert!(f >= prev - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics(samples in positive_samples()) {
+        let p50 = descriptive::percentile(&samples, 50.0);
+        let p90 = descriptive::percentile(&samples, 90.0);
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(p50 <= p90 + 1e-12);
+        prop_assert!(p50 >= lo - 1e-12 && p90 <= hi + 1e-12);
+    }
+
+    #[test]
+    fn ilp_plans_cover_demand_within_stock(
+        offers in prop::collection::vec(
+            (50u32..2000, 5.0f64..500.0, 1u32..20), 1..12),
+        demand in 100.0f64..5000.0,
+    ) {
+        let offers: Vec<ServerOffer> = offers
+            .iter()
+            .enumerate()
+            .map(|(i, &(bw, price, avail))| ServerOffer {
+                id: i as u32,
+                bandwidth_mbps: bw as f64,
+                price,
+                available: avail,
+            })
+            .collect();
+        let problem = PurchaseProblem { offers: offers.clone(), demand_mbps: demand, margin: 0.05 };
+        match (solve_ilp(&problem), solve_greedy(&problem)) {
+            (Ok(ilp), Ok(greedy)) => {
+                prop_assert!(ilp.total_bandwidth_mbps >= demand * 1.05 - 1e-6);
+                prop_assert!(ilp.total_cost <= greedy.total_cost + 1e-6);
+                for (id, n) in &ilp.purchases {
+                    let offer = offers.iter().find(|o| o.id == *id).unwrap();
+                    prop_assert!(*n <= offer.available);
+                }
+            }
+            (Err(_), Err(_)) => {} // both agree the market is too small
+            (a, b) => prop_assert!(false, "solver disagreement: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn token_bucket_never_exceeds_long_run_rate(
+        rate in 1e6f64..1e9,
+        burst in 1500.0f64..1e6,
+        packets in 100usize..2000,
+    ) {
+        let mut bucket = TokenBucket::new(rate, burst);
+        let mut t = SimTime::ZERO;
+        for _ in 0..packets {
+            t = bucket.consume_paced(t, 1500.0);
+        }
+        let elapsed = t.as_secs_f64();
+        if elapsed > 0.0 {
+            let achieved = packets as f64 * 1500.0 * 8.0 / elapsed;
+            // Long-run rate ≤ configured rate + the burst allowance.
+            let slack = burst * 8.0 / elapsed;
+            // 1% relative headroom: the bound is exactly tight when the
+            // initial burst covers most of the packets.
+            prop_assert!(achieved <= (rate + slack) * 1.01,
+                "achieved {achieved} vs rate {rate} (+{slack})");
+        }
+    }
+
+    #[test]
+    fn relative_deviation_is_symmetric_bounded(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let d1 = descriptive::relative_deviation(a, b);
+        let d2 = descriptive::relative_deviation(b, a);
+        prop_assert!((d1 - d2).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&d1));
+    }
+}

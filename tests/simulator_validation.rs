@@ -1,0 +1,103 @@
+//! Cross-validation of the two network-model layers.
+//!
+//! The BTS layer runs on the *fluid* path model (`integrate_paced`,
+//! round-based flows); the packet-level [`Link`] is the ground-truth
+//! primitive. These tests check the two agree where their domains
+//! overlap, which is what licenses using the cheap fluid model for the
+//! evaluation figures.
+
+use mobile_bandwidth::netsim::{
+    Link, LinkConfig, PathConfig, PathModel, SimTime, TokenBucket,
+};
+use std::time::Duration;
+
+/// Send a paced stream through the packet-level link and measure
+/// delivered goodput.
+fn packet_level_goodput(rate_bps: f64, cap_bps: f64, secs: f64, loss: f64, seed: u64) -> f64 {
+    let mut link = Link::new(LinkConfig {
+        rate_bps: cap_bps,
+        propagation: Duration::from_millis(5),
+        queue_limit_bytes: 256 * 1024,
+        loss_prob: loss,
+        seed,
+    });
+    let mut pacer = TokenBucket::new(rate_bps, 3_000.0);
+    let pkt = 1500u64;
+    let mut t = SimTime::ZERO;
+    let end = SimTime::from_secs_f64(secs);
+    while t < end {
+        t = pacer.consume_paced(t, pkt as f64);
+        if t >= end {
+            break;
+        }
+        link.send(t, pkt);
+    }
+    link.stats().delivered_bytes as f64 * 8.0 / secs
+}
+
+/// The fluid model's answer to the same question.
+fn fluid_goodput(rate_bps: f64, cap_bps: f64, secs: f64, loss: f64) -> f64 {
+    let mut cfg = PathConfig::constant(cap_bps, Duration::from_millis(10));
+    cfg.loss_prob = loss;
+    let mut path = PathModel::new(cfg);
+    let samples = path.integrate_paced(
+        SimTime::ZERO,
+        Duration::from_secs_f64(secs),
+        Duration::from_millis(50),
+        rate_bps,
+    );
+    samples.iter().map(|s| s.delivered_bytes).sum::<f64>() * 8.0 / secs
+}
+
+#[test]
+fn fluid_and_packet_models_agree_below_capacity() {
+    for &(rate, cap) in &[(20e6, 100e6), (50e6, 100e6), (90e6, 100e6)] {
+        let pkt = packet_level_goodput(rate, cap, 5.0, 0.0, 1);
+        let fluid = fluid_goodput(rate, cap, 5.0, 0.0);
+        let diff = (pkt - fluid).abs() / fluid;
+        assert!(diff < 0.03, "rate {rate}: packet {pkt} vs fluid {fluid}");
+    }
+}
+
+#[test]
+fn fluid_and_packet_models_agree_at_saturation() {
+    // Offered 200 Mbps into a 100 Mbps link: both models should deliver
+    // ~100 Mbps (packet model loses a little to queue-drop granularity).
+    let pkt = packet_level_goodput(200e6, 100e6, 5.0, 0.0, 2);
+    let fluid = fluid_goodput(200e6, 100e6, 5.0, 0.0);
+    assert!((fluid - 100e6).abs() / 100e6 < 0.01, "fluid {fluid}");
+    assert!((pkt - 100e6).abs() / 100e6 < 0.05, "packet {pkt}");
+}
+
+#[test]
+fn loss_discounts_both_models_equally() {
+    let loss = 0.02;
+    let pkt = packet_level_goodput(50e6, 100e6, 5.0, loss, 3);
+    let fluid = fluid_goodput(50e6, 100e6, 5.0, loss);
+    let diff = (pkt - fluid).abs() / fluid;
+    assert!(diff < 0.04, "packet {pkt} vs fluid {fluid}");
+}
+
+#[test]
+fn packet_model_shows_queueing_delay_the_fluid_model_abstracts() {
+    // At saturation the drop-tail queue fills: the packet model must
+    // report a standing queueing delay close to the configured limit.
+    let mut link = Link::new(LinkConfig {
+        rate_bps: 50e6,
+        propagation: Duration::ZERO,
+        queue_limit_bytes: 64 * 1024,
+        loss_prob: 0.0,
+        seed: 4,
+    });
+    let mut t = SimTime::ZERO;
+    for _ in 0..10_000 {
+        link.send(t, 1500);
+        t = t + Duration::from_micros(100); // 120 Mbps offered
+    }
+    let delay = link.queueing_delay(t);
+    let expected = 64.0 * 1024.0 * 8.0 / 50e6; // ≈ 10.5 ms
+    assert!(
+        (delay.as_secs_f64() - expected).abs() < expected * 0.25,
+        "queueing delay {delay:?} vs expected {expected}s"
+    );
+}

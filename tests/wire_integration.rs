@@ -1,0 +1,70 @@
+//! Cross-crate wire integration: the dataset-fitted model driving a
+//! *real* UDP test over localhost, and protocol behaviour under load.
+
+use mobile_bandwidth::stats::Gmm;
+use mobile_bandwidth::wire::client::spawn_local_fleet;
+use mobile_bandwidth::wire::{SwiftestClient, WireTestConfig};
+use std::time::Duration;
+
+/// A modal ladder like a fitted model would produce, scaled down so
+/// loopback pacing is robust in CI.
+fn ladder() -> Gmm {
+    Gmm::from_triples(&[(0.55, 8.0, 1.5), (0.30, 24.0, 4.0), (0.15, 48.0, 6.0)])
+        .expect("valid model")
+}
+
+#[tokio::test(flavor = "multi_thread")]
+async fn wire_test_measures_emulated_link_within_tolerance() {
+    let cap_bps = 16_000_000u64;
+    let (servers, addrs) = spawn_local_fleet(3, Some(cap_bps)).await.expect("fleet");
+    let client = SwiftestClient::new(ladder(), WireTestConfig::default());
+    let report = client.measure(&addrs).await.expect("test runs");
+    assert!(
+        (report.estimate_mbps - 16.0).abs() < 5.0,
+        "estimate {:.1} Mbps",
+        report.estimate_mbps
+    );
+    assert!(report.duration < Duration::from_secs(5));
+    assert!(!report.samples.is_empty());
+    for s in servers {
+        s.shutdown().await;
+    }
+}
+
+#[tokio::test(flavor = "multi_thread")]
+async fn two_sequential_tests_agree() {
+    // The wire analogue of the paper's back-to-back protocol: the same
+    // emulated link measured twice should deviate little.
+    let cap_bps = 12_000_000u64;
+    let (servers, addrs) = spawn_local_fleet(2, Some(cap_bps)).await.expect("fleet");
+    let client = SwiftestClient::new(ladder(), WireTestConfig::default());
+    let a = client.measure(&addrs).await.expect("first test");
+    tokio::time::sleep(Duration::from_millis(200)).await;
+    let b = client.measure(&addrs).await.expect("second test");
+    let dev = (a.estimate_mbps - b.estimate_mbps).abs() / a.estimate_mbps.max(b.estimate_mbps);
+    assert!(dev < 0.25, "deviation {dev:.2} ({} vs {})", a.estimate_mbps, b.estimate_mbps);
+    for s in servers {
+        s.shutdown().await;
+    }
+}
+
+#[tokio::test(flavor = "multi_thread")]
+async fn concurrent_clients_share_one_server() {
+    let (servers, addrs) = spawn_local_fleet(1, Some(30_000_000)).await.expect("fleet");
+    let addr = addrs[0];
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        let addrs = vec![addr];
+        handles.push(tokio::spawn(async move {
+            let client = SwiftestClient::new(ladder(), WireTestConfig::default());
+            client.measure(&addrs).await
+        }));
+    }
+    for h in handles {
+        let report = h.await.expect("join").expect("test runs");
+        assert!(report.estimate_mbps > 1.0);
+    }
+    for s in servers {
+        s.shutdown().await;
+    }
+}
