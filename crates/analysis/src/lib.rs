@@ -15,12 +15,14 @@
 //! | [`pdfs`] | Fig 16 / 18 / 19 (multi-modal PDFs + GMM fits) |
 //! | [`general`] | §3.1 prose statistics (spatial disparity, urban/rural gaps) |
 //! | [`tables`] | Tables 1–2 rendering |
+//! | [`robustness`] | test-outcome (complete/degraded/failed) rates per technology |
 
 pub mod cellular;
 pub mod devices;
 pub mod general;
 pub mod overview;
 pub mod pdfs;
+pub mod robustness;
 pub mod tables;
 pub mod wifi;
 

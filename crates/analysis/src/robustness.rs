@@ -1,0 +1,141 @@
+//! Test-outcome rates: how often crowdsourced tests complete cleanly.
+//!
+//! The paper's dataset is implicitly survivorship-filtered — a test that
+//! dies mid-stream uploads nothing. With the resilience layer the
+//! collection plugin *does* upload degraded and failed attempts (tagged
+//! via [`OutcomeClass`]), so the analysis side can report failure rates
+//! per technology and the modelling side can decide what to exclude.
+
+use crate::Render;
+use mbw_dataset::{AccessTech, OutcomeClass, TestRecord};
+use std::fmt::Write as _;
+
+/// Per-technology outcome tallies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutcomeRow {
+    /// Technology the row describes.
+    pub tech: AccessTech,
+    /// Total records observed.
+    pub total: u64,
+    /// Fraction that completed cleanly.
+    pub complete: f64,
+    /// Fraction that finished with a degraded estimate.
+    pub degraded: f64,
+    /// Fraction that failed outright (no usable estimate).
+    pub failed: f64,
+}
+
+/// Outcome-rate table across all technologies, plus the pooled rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeRates {
+    /// One row per technology present in the population.
+    pub rows: Vec<OutcomeRow>,
+    /// Pooled rates over the whole population.
+    pub overall: OutcomeRow,
+}
+
+fn tally(records: &[TestRecord], tech: Option<AccessTech>) -> OutcomeRow {
+    let mut counts = [0u64; 3];
+    let mut total = 0u64;
+    for r in records {
+        if tech.is_some_and(|t| r.tech != t) {
+            continue;
+        }
+        total += 1;
+        let slot = match r.outcome {
+            OutcomeClass::Complete => 0,
+            OutcomeClass::Degraded => 1,
+            OutcomeClass::Failed => 2,
+        };
+        counts[slot] += 1;
+    }
+    let frac = |c: u64| if total == 0 { 0.0 } else { c as f64 / total as f64 };
+    OutcomeRow {
+        tech: tech.unwrap_or(AccessTech::Wifi),
+        total,
+        complete: frac(counts[0]),
+        degraded: frac(counts[1]),
+        failed: frac(counts[2]),
+    }
+}
+
+/// Compute outcome rates per technology and pooled.
+pub fn outcome_rates(records: &[TestRecord]) -> OutcomeRates {
+    let techs = [AccessTech::Cellular4g, AccessTech::Cellular5g, AccessTech::Wifi];
+    let rows = techs
+        .iter()
+        .map(|&t| tally(records, Some(t)))
+        .filter(|row| row.total > 0)
+        .collect();
+    OutcomeRates { rows, overall: tally(records, None) }
+}
+
+impl Render for OutcomeRates {
+    fn render(&self) -> String {
+        let mut out = String::from("Test outcomes by technology (fractions)\n");
+        let _ = writeln!(
+            out,
+            "{:<6} {:>9} {:>9} {:>9} {:>9}",
+            "tech", "total", "complete", "degraded", "failed"
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<6} {:>9} {:>9.4} {:>9.4} {:>9.4}",
+                row.tech.name(), row.total, row.complete, row.degraded, row.failed
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<6} {:>9} {:>9.4} {:>9.4} {:>9.4}",
+            "all",
+            self.overall.total,
+            self.overall.complete,
+            self.overall.degraded,
+            self.overall.failed
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbw_dataset::{DatasetConfig, Generator, Year};
+
+    #[test]
+    fn outcome_rates_reflect_the_generator_fault_model() {
+        let records =
+            Generator::new(DatasetConfig { seed: 0x0C0, tests: 120_000, year: Year::Y2021 })
+                .generate();
+        let rates = outcome_rates(&records);
+        assert_eq!(rates.overall.total, records.len() as u64);
+        // Every technology present, fractions sum to one.
+        assert_eq!(rates.rows.len(), 3);
+        for row in &rates.rows {
+            let sum = row.complete + row.degraded + row.failed;
+            assert!((sum - 1.0).abs() < 1e-9, "{}: {sum}", row.tech.name());
+            assert!(row.complete > 0.9, "{}: complete {}", row.tech.name(), row.complete);
+            assert!(row.failed < 0.02, "{}: failed {}", row.tech.name(), row.failed);
+        }
+        // Cellular tests fail more often than WiFi (the generator's fault
+        // model mirrors the flakier radio path).
+        let of = |t: AccessTech| *rates.rows.iter().find(|r| r.tech == t).unwrap();
+        assert!(
+            of(AccessTech::Cellular5g).failed > of(AccessTech::Wifi).failed,
+            "cellular should fail more than wifi"
+        );
+        let text = rates.render();
+        assert!(text.contains("complete"), "{text}");
+        assert!(text.lines().count() >= 5, "{text}");
+    }
+
+    #[test]
+    fn an_empty_population_renders_without_panicking() {
+        let rates = outcome_rates(&[]);
+        assert!(rates.rows.is_empty());
+        assert_eq!(rates.overall.total, 0);
+        assert_eq!(rates.overall.complete, 0.0);
+        let _ = rates.render();
+    }
+}

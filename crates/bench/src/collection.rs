@@ -11,11 +11,13 @@
 //! and refresh the model from them.
 
 use mbw_core::estimator::ConvergenceEstimator;
+use mbw_core::outcome::TestStatus;
 use mbw_core::probe::{run_swiftest, SwiftestConfig};
 use mbw_core::{AccessScenario, TechClass};
 use mbw_dataset::types::CellBand;
 use mbw_dataset::{
-    AccessTech, CellInfo, CityTier, DeviceTier, Isp, LinkInfo, NrBandId, TestRecord, Year,
+    AccessTech, CellInfo, CityTier, DeviceTier, Isp, LinkInfo, NrBandId, OutcomeClass,
+    TestRecord, Year,
 };
 use mbw_stats::{Gmm, SeededRng};
 
@@ -51,6 +53,11 @@ pub fn collect_records(
         let band = if drawn.truth_mbps < 150.0 { NrBandId::N1 } else { NrBandId::N78 };
         records.push(TestRecord {
             bandwidth_mbps: result.estimate_mbps,
+            outcome: match result.status {
+                TestStatus::Complete => OutcomeClass::Complete,
+                TestStatus::Degraded(_) => OutcomeClass::Degraded,
+                TestStatus::Failed(_) => OutcomeClass::Failed,
+            },
             tech: match tech {
                 TechClass::Lte => AccessTech::Cellular4g,
                 TechClass::Nr => AccessTech::Cellular5g,

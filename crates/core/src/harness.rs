@@ -8,6 +8,7 @@
 
 use crate::estimator::{ConvergenceEstimator, CrucialIntervalEstimator, GroupedTrimmedMean};
 use crate::model::TechClass;
+use crate::outcome::TestStatus;
 use crate::probe::{self, BtsKind, FloodingConfig, SwiftestConfig};
 use crate::scenario::{AccessScenario, DrawnPath};
 use crate::server::ServerPool;
@@ -31,6 +32,8 @@ pub struct TestOutcome {
     pub estimate_mbps: f64,
     /// The drawn link's nominal capacity, Mbps.
     pub truth_mbps: f64,
+    /// How the test completed (converged / partial / nothing usable).
+    pub status: TestStatus,
 }
 
 impl TestOutcome {
@@ -149,6 +152,7 @@ impl TestHarness {
             data_bytes: result.data_bytes,
             estimate_mbps: result.estimate_mbps,
             truth_mbps: drawn.truth_mbps,
+            status: result.status,
         }
     }
 
@@ -256,9 +260,11 @@ mod tests {
             data_bytes: 1e7,
             estimate_mbps: 95.0,
             truth_mbps: 100.0,
+            status: TestStatus::Complete,
         };
         assert_eq!(o.total_duration(), Duration::from_millis(1100));
         assert!((o.accuracy_vs(100.0) - 0.95).abs() < 1e-9);
+        assert!(o.status.is_complete());
     }
 
     #[test]

@@ -27,6 +27,8 @@
 //!   services, as pluggable [`estimator::BandwidthEstimator`]s.
 //! - [`model`] — the per-technology bandwidth models (multi-modal GMMs)
 //!   Swiftest probes from, and the default calibrated instances.
+//! - [`outcome`] — the Complete / Degraded / Failed completion taxonomy
+//!   every probe result and harness outcome carries.
 //! - [`scenario`] — access-link scenario generation: drawing a concrete
 //!   simulated path (capacity, RTT, loss, fluctuation class) per test.
 //! - [`probe`] — the probers: TCP flooding (with progressive connection
@@ -39,6 +41,7 @@
 pub mod estimator;
 pub mod harness;
 pub mod model;
+pub mod outcome;
 pub mod probe;
 pub mod scenario;
 pub mod server;
@@ -50,8 +53,9 @@ pub use estimator::{
 };
 pub use harness::{BackToBack, TestHarness, TestOutcome};
 pub use model::TechClass;
+pub use outcome::{DegradeReason, FailReason, TestStatus};
 pub use probe::{BtsKind, FloodingConfig, SwiftestConfig};
-pub use scenario::{AccessScenario, DrawnPath, FluctuationClass};
+pub use scenario::{AccessScenario, DrawnPath, FaultInjection, FluctuationClass};
 pub use server::{ServerPool, TestServer};
 pub use tcp_variant::{run_swiftest_tcp, ModelGuidedCc};
 

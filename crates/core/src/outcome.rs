@@ -1,0 +1,124 @@
+//! Test completion taxonomy.
+//!
+//! A crowdsourced bandwidth test over a real radio does not simply
+//! succeed or fail: handover blackouts, server stalls, and deadline
+//! expiry all yield *partial* measurements that are still worth
+//! reporting — with a confidence flag — rather than discarding. The
+//! [`TestStatus`] carried by every probe result and harness outcome
+//! records which of those happened, so the analysis pipeline can
+//! report failure and degradation rates alongside the estimates.
+
+/// Why a test's estimate is only partial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradeReason {
+    /// Delivery gaps (link blackout windows) interrupted probing; the
+    /// estimate is built from the samples outside the gaps.
+    Blackout,
+    /// The deadline fired before the estimator's stop rule was met; the
+    /// fallback (finalize) estimate was used.
+    Convergence,
+    /// The server stopped responding mid-test; the estimate covers only
+    /// the samples received before the stall.
+    Stall,
+    /// The client failed over to a backup server mid-measurement, so the
+    /// estimate mixes observations against two servers.
+    ServerSwitch,
+}
+
+/// Why a test produced no usable estimate at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailReason {
+    /// Nothing was delivered for the whole test window.
+    NoData,
+    /// No test server was reachable during selection.
+    NoServer,
+    /// A transport error aborted the test.
+    Transport,
+}
+
+/// Completion status of one bandwidth test.
+///
+/// `Complete` means the estimator's own stop rule fired on an
+/// uninterrupted sample stream. `Degraded` means an estimate exists but
+/// with reduced confidence. `Failed` means the reported estimate (if
+/// any) should not be used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TestStatus {
+    /// The test ran to convergence without interference.
+    #[default]
+    Complete,
+    /// A partial estimate with reduced confidence.
+    Degraded(DegradeReason),
+    /// No usable estimate.
+    Failed(FailReason),
+}
+
+impl TestStatus {
+    /// Whether the test converged cleanly.
+    pub fn is_complete(self) -> bool {
+        matches!(self, TestStatus::Complete)
+    }
+
+    /// Whether the test produced a reduced-confidence estimate.
+    pub fn is_degraded(self) -> bool {
+        matches!(self, TestStatus::Degraded(_))
+    }
+
+    /// Whether the test produced nothing usable.
+    pub fn is_failed(self) -> bool {
+        matches!(self, TestStatus::Failed(_))
+    }
+
+    /// Whether the estimate may be consumed (complete or degraded).
+    pub fn is_usable(self) -> bool {
+        !self.is_failed()
+    }
+
+    /// Coarse label: `"complete"`, `"degraded"`, or `"failed"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            TestStatus::Complete => "complete",
+            TestStatus::Degraded(_) => "degraded",
+            TestStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+impl std::fmt::Display for TestStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestStatus::Complete => f.write_str("complete"),
+            TestStatus::Degraded(r) => write!(f, "degraded ({r:?})"),
+            TestStatus::Failed(r) => write!(f, "failed ({r:?})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_partition_the_states() {
+        let c = TestStatus::Complete;
+        let d = TestStatus::Degraded(DegradeReason::Blackout);
+        let f = TestStatus::Failed(FailReason::NoData);
+        assert!(c.is_complete() && c.is_usable() && !c.is_degraded() && !c.is_failed());
+        assert!(d.is_degraded() && d.is_usable() && !d.is_complete());
+        assert!(f.is_failed() && !f.is_usable());
+    }
+
+    #[test]
+    fn labels_are_coarse() {
+        assert_eq!(TestStatus::Complete.label(), "complete");
+        assert_eq!(TestStatus::Degraded(DegradeReason::Stall).label(), "degraded");
+        assert_eq!(TestStatus::Failed(FailReason::NoServer).label(), "failed");
+        assert_eq!(TestStatus::default(), TestStatus::Complete);
+    }
+
+    #[test]
+    fn display_names_the_reason() {
+        let s = format!("{}", TestStatus::Degraded(DegradeReason::ServerSwitch));
+        assert!(s.contains("degraded") && s.contains("ServerSwitch"));
+    }
+}

@@ -7,6 +7,7 @@
 //! model-guided UDP pacing over the fluid path.
 
 use crate::estimator::{BandwidthEstimator, EstimatorDecision};
+use crate::outcome::{DegradeReason, FailReason, TestStatus};
 use mbw_congestion::{CcAlgorithm, MultiFlowConfig, MultiFlowSim};
 use mbw_netsim::{PathModel, SimTime};
 use mbw_stats::Gmm;
@@ -58,6 +59,8 @@ pub struct ProbeResult {
     pub estimate_mbps: f64,
     /// The 50 ms samples the client saw.
     pub samples: Vec<f64>,
+    /// How the run completed (converged / partial / nothing usable).
+    pub status: TestStatus,
 }
 
 /// Configuration of the TCP flooding prober.
@@ -161,11 +164,21 @@ pub fn run_flooding(
     let estimate = final_estimate
         .or_else(|| estimator.finalize())
         .unwrap_or(0.0);
+    let status = if estimate <= 0.0 || samples.is_empty() {
+        TestStatus::Failed(FailReason::NoData)
+    } else if final_estimate.is_some() {
+        TestStatus::Complete
+    } else {
+        // The cap fired before the stop rule; the finalize() fallback is
+        // an estimate over whatever was observed.
+        TestStatus::Degraded(DegradeReason::Convergence)
+    };
     ProbeResult {
         duration: end.min(sim.now()),
         data_bytes: delivered,
         estimate_mbps: estimate,
         samples,
+        status,
     }
 }
 
@@ -212,6 +225,7 @@ pub fn run_swiftest(
     let mut data_bytes = 0.0;
     let mut samples = Vec::new();
     let mut estimate = None;
+    let mut gap_windows = 0usize;
     let deadline = SimTime::ZERO + config.max_duration;
 
     while t < deadline {
@@ -225,6 +239,15 @@ pub fn run_swiftest(
         data_bytes += delivered;
         let mbps = delivered * 8.0 / step.as_secs_f64() / 1e6;
         samples.push(mbps);
+
+        if delivered <= 0.0 {
+            // Delivery gap (link blackout): feeding the zero into the
+            // estimator would converge it toward a bandwidth the link
+            // does not have. Count the gap and keep probing so the test
+            // resumes when the radio comes back.
+            gap_windows += 1;
+            continue;
+        }
 
         match estimator.push(mbps) {
             EstimatorDecision::Done(v) => {
@@ -243,11 +266,22 @@ pub fn run_swiftest(
         }
     }
 
+    let estimate_mbps = estimate.or_else(|| estimator.finalize()).unwrap_or(0.0);
+    let status = if estimate_mbps <= 0.0 {
+        TestStatus::Failed(FailReason::NoData)
+    } else if gap_windows > 0 {
+        TestStatus::Degraded(DegradeReason::Blackout)
+    } else if estimate.is_none() {
+        TestStatus::Degraded(DegradeReason::Convergence)
+    } else {
+        TestStatus::Complete
+    };
     ProbeResult {
         duration: t.saturating_since(SimTime::ZERO),
         data_bytes,
-        estimate_mbps: estimate.or_else(|| estimator.finalize()).unwrap_or(0.0),
+        estimate_mbps,
         samples,
+        status,
     }
 }
 
@@ -382,6 +416,45 @@ mod tests {
             bts.data_bytes,
             swift.data_bytes
         );
+    }
+
+    #[test]
+    fn swiftest_survives_a_mid_test_blackout() {
+        use mbw_netsim::FaultPlan;
+        let model = TechClass::Wifi.default_model();
+        let mut est = ConvergenceEstimator::swiftest();
+        let path = flat_path(80.0, 20).with_faults(FaultPlan::blackout(
+            SimTime::from_millis(200),
+            Duration::from_millis(400),
+        ));
+        let r = run_swiftest(path, &model, &mut est, &SwiftestConfig::default(), 11);
+        // Bounded, degraded, and not wildly mis-estimated: the zero
+        // windows must not drag the estimate toward zero.
+        assert!(r.duration <= Duration::from_millis(4_600), "{:?}", r.duration);
+        assert!(r.status.is_degraded(), "status {:?}", r.status);
+        assert!((r.estimate_mbps - 80.0).abs() < 12.0, "estimate {}", r.estimate_mbps);
+    }
+
+    #[test]
+    fn swiftest_fails_cleanly_when_the_link_never_comes_up() {
+        use mbw_netsim::FaultPlan;
+        let model = TechClass::Wifi.default_model();
+        let mut est = ConvergenceEstimator::swiftest();
+        // Blackout covering the whole test horizon.
+        let path = flat_path(80.0, 20)
+            .with_faults(FaultPlan::blackout(SimTime::ZERO, Duration::from_secs(10)));
+        let r = run_swiftest(path, &model, &mut est, &SwiftestConfig::default(), 12);
+        assert!(r.duration <= Duration::from_millis(4_600), "{:?}", r.duration);
+        assert!(r.status.is_failed(), "status {:?}", r.status);
+        assert_eq!(r.estimate_mbps, 0.0);
+    }
+
+    #[test]
+    fn clean_runs_report_complete() {
+        let model = TechClass::Nr.default_model();
+        let mut est = ConvergenceEstimator::swiftest();
+        let r = run_swiftest(flat_path(300.0, 20), &model, &mut est, &SwiftestConfig::default(), 13);
+        assert!(r.status.is_complete(), "status {:?}", r.status);
     }
 
     #[test]

@@ -9,9 +9,17 @@
 //! (the >30% outliers).
 
 use crate::model::TechClass;
-use mbw_netsim::{CapacityProcess, ConstantCapacity, OuCapacity, PathConfig, PathModel, ShapedCapacity};
+use mbw_netsim::{
+    CapacityProcess, ConstantCapacity, FaultPlan, FaultProfile, OuCapacity, PathConfig, PathModel,
+    ShapedCapacity, SimTime,
+};
 use mbw_stats::{Gmm, SeededRng};
 use std::time::Duration;
+
+/// Horizon over which a drawn path's random fault plan is laid out. A
+/// hair beyond Swiftest's 4.5 s cap so faults can land anywhere in a
+/// test's lifetime.
+const FAULT_HORIZON: Duration = Duration::from_secs(5);
 
 /// How a drawn link's capacity behaves over a test's lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +49,10 @@ pub struct AccessScenario {
     /// Probability of each fluctuation class: `(stable, fluctuating,
     /// shaped)`; remainder is constant.
     pub class_mix: (f64, f64, f64),
+    /// Probability that a drawn path carries a transient-fault episode
+    /// mix (handover blackout, deep fade, burst loss, delay spike).
+    /// Zero in the calibrated defaults; chaos suites raise it.
+    pub fault_rate: f64,
 }
 
 impl AccessScenario {
@@ -59,7 +71,15 @@ impl AccessScenario {
             rtt_range,
             loss_range,
             class_mix: (0.84, 0.15, 0.01),
+            fault_rate: 0.0,
         }
+    }
+
+    /// The same scenario with a given transient-fault probability.
+    pub fn with_fault_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "fault rate out of range");
+        self.fault_rate = rate;
+        self
     }
 
     /// An mmWave 5G scenario (§7, "Global Applicability"): contiguous
@@ -79,6 +99,7 @@ impl AccessScenario {
             rtt_range: (0.004, 0.015),
             loss_range: (1e-5, 5e-4),
             class_mix: (0.55, 0.42, 0.02),
+            fault_rate: 0.0,
         }
     }
 
@@ -102,7 +123,51 @@ impl AccessScenario {
         } else {
             FluctuationClass::Constant
         };
-        DrawnPath { truth_mbps, rtt, loss, class, seed }
+        // Drawn last so scenarios with fault_rate == 0 reproduce the
+        // exact paths they drew before faults existed.
+        let faults = if self.fault_rate > 0.0 && rng.chance(self.fault_rate) {
+            FaultInjection::Seeded { seed: seed ^ 0xFA17 }
+        } else {
+            FaultInjection::None
+        };
+        DrawnPath { truth_mbps, rtt, loss, class, seed, faults }
+    }
+}
+
+/// Transient-fault injection mode of one drawn path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultInjection {
+    /// Clean link: steady-state impairments only.
+    None,
+    /// A deterministic episode mix ([`FaultProfile::mobile`]) drawn from
+    /// the contained seed over the test horizon.
+    Seeded {
+        /// Seed of the episode draw.
+        seed: u64,
+    },
+    /// One scripted total outage — the worst single fault a radio
+    /// handover produces, and the easiest to reason about in tests.
+    Blackout {
+        /// Outage start, milliseconds into the test.
+        start_ms: u64,
+        /// Outage length, milliseconds.
+        duration_ms: u64,
+    },
+}
+
+impl FaultInjection {
+    /// Materialise the concrete fault plan this injection mode denotes.
+    pub fn plan(self) -> FaultPlan {
+        match self {
+            FaultInjection::None => FaultPlan::none(),
+            FaultInjection::Seeded { seed } => {
+                FaultPlan::seeded_random(seed, FAULT_HORIZON, &FaultProfile::mobile())
+            }
+            FaultInjection::Blackout { start_ms, duration_ms } => FaultPlan::blackout(
+                SimTime::from_millis(start_ms),
+                Duration::from_millis(duration_ms),
+            ),
+        }
     }
 }
 
@@ -122,6 +187,8 @@ pub struct DrawnPath {
     pub class: FluctuationClass,
     /// Seed for the path's stochastic processes.
     pub seed: u64,
+    /// Transient faults the path carries (none for clean links).
+    pub faults: FaultInjection,
 }
 
 impl DrawnPath {
@@ -150,6 +217,13 @@ impl DrawnPath {
             buffer_bdp: 1.0,
             seed: self.seed ^ 0xBEEF,
         })
+        .with_faults(self.faults.plan())
+    }
+
+    /// The same drawn link carrying a different fault injection — how
+    /// chaos tests script an outage onto an otherwise-clean draw.
+    pub fn with_faults(self, faults: FaultInjection) -> Self {
+        Self { faults, ..self }
     }
 }
 
@@ -278,6 +352,57 @@ mod tests {
     }
 
     #[test]
+    fn fault_rate_controls_fault_frequency() {
+        let s = AccessScenario::default_for(TechClass::Lte).with_fault_rate(0.5);
+        let n = 2000;
+        let faulted =
+            (0..n).filter(|&seed| s.draw(seed).faults != FaultInjection::None).count();
+        assert!((faulted as f64 / n as f64 - 0.5).abs() < 0.05, "faulted {faulted}/{n}");
+        // Zero-rate scenarios never fault.
+        let clean = AccessScenario::default_for(TechClass::Lte);
+        assert!((0..200).all(|seed| clean.draw(seed).faults == FaultInjection::None));
+    }
+
+    #[test]
+    fn fault_draw_does_not_perturb_the_path_draw() {
+        // The fault decision is drawn last, so the same seed yields the
+        // same link whether or not the scenario injects faults.
+        let clean = AccessScenario::default_for(TechClass::Nr);
+        let chaotic = clean.clone().with_fault_rate(1.0);
+        for seed in 0..50 {
+            let a = clean.draw(seed);
+            let b = chaotic.draw(seed);
+            assert_eq!(a.truth_mbps, b.truth_mbps);
+            assert_eq!(a.rtt, b.rtt);
+            assert_eq!(a.loss, b.loss);
+            assert_eq!(a.class, b.class);
+            assert_ne!(b.faults, FaultInjection::None);
+        }
+    }
+
+    #[test]
+    fn scripted_blackout_kills_capacity_inside_the_window() {
+        let s = AccessScenario::default_for(TechClass::Wifi);
+        let d = s
+            .draw(3)
+            .with_faults(FaultInjection::Blackout { start_ms: 500, duration_ms: 300 });
+        let mut p = d.build();
+        assert_eq!(p.capacity_bps(SimTime::from_millis(600)), 0.0);
+        assert!(p.capacity_bps(SimTime::from_millis(100)) > 0.0);
+        assert!(p.capacity_bps(SimTime::from_millis(900)) > 0.0);
+    }
+
+    #[test]
+    fn seeded_fault_plans_are_reproducible_across_builds() {
+        let s = AccessScenario::default_for(TechClass::Lte).with_fault_rate(1.0);
+        let d = s.draw(12);
+        let p1 = d.build();
+        let p2 = d.build();
+        assert_eq!(p1.faults(), p2.faults());
+        assert!(!p1.faults().is_empty());
+    }
+
+    #[test]
     fn shaped_paths_alternate() {
         let d = DrawnPath {
             truth_mbps: 100.0,
@@ -285,6 +410,7 @@ mod tests {
             loss: 0.0,
             class: FluctuationClass::Shaped,
             seed: 1,
+            faults: FaultInjection::None,
         };
         let mut p = d.build();
         let caps: Vec<f64> =

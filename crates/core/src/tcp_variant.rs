@@ -21,6 +21,7 @@
 //! ours, so the modification is a module.
 
 use crate::estimator::{BandwidthEstimator, ConvergenceEstimator, EstimatorDecision};
+use crate::outcome::{DegradeReason, FailReason, TestStatus};
 use crate::probe::{ProbeResult, SwiftestConfig};
 use mbw_congestion::{CongestionControl, MultiFlowConfig, MultiFlowSim, RoundInput, MSS};
 use mbw_netsim::PathModel;
@@ -160,11 +161,20 @@ pub fn run_swiftest_tcp(
         }
     }
     let (_, delivered, _) = sim.totals();
+    let estimate_mbps = estimate.or_else(|| estimator.finalize()).unwrap_or(0.0);
+    let status = if estimate_mbps <= 0.0 || samples.is_empty() {
+        TestStatus::Failed(FailReason::NoData)
+    } else if estimate.is_some() {
+        TestStatus::Complete
+    } else {
+        TestStatus::Degraded(DegradeReason::Convergence)
+    };
     ProbeResult {
         duration: end.min(sim.now()),
         data_bytes: delivered,
-        estimate_mbps: estimate.or_else(|| estimator.finalize()).unwrap_or(0.0),
+        estimate_mbps,
         samples,
+        status,
     }
 }
 

@@ -10,7 +10,10 @@ use crate::types::*;
 /// The CSV header, in column order.
 pub const HEADER: &str = "bandwidth_mbps,tech,isp,year,city_id,city_tier,urban,hour,\
 android_version,device_model,device_tier,link_kind,band,rss_level,rss_dbm,snr_db,bs_id,\
-arfcn,lte_advanced,wifi_standard,on_5ghz,plan_mbps,ap_id,mac_rate_mbps,neighbor_aps";
+arfcn,lte_advanced,wifi_standard,on_5ghz,plan_mbps,ap_id,mac_rate_mbps,neighbor_aps,outcome";
+
+/// Number of columns in [`HEADER`].
+pub const COLUMNS: usize = 26;
 
 /// Errors from CSV parsing.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,7 +43,7 @@ impl std::fmt::Display for CsvError {
         match self {
             CsvError::BadHeader => write!(f, "unrecognised CSV header"),
             CsvError::ColumnCount { line, got } => {
-                write!(f, "line {line}: expected 25 columns, got {got}")
+                write!(f, "line {line}: expected {COLUMNS} columns, got {got}")
             }
             CsvError::BadField { line, column, value } => {
                 write!(f, "line {line}: bad {column}: {value:?}")
@@ -110,10 +113,11 @@ pub fn to_csv(records: &[TestRecord]) -> String {
             r.device_model,
             dtier
         );
+        let outcome = r.outcome.label();
         match &r.link {
             LinkInfo::Cell(c) => {
                 out.push_str(&format!(
-                    "{common},cell,{},{},{:.1},{:.1},{},{},{},,,,,,\n",
+                    "{common},cell,{},{},{:.1},{:.1},{},{},{},,,,,,,{outcome}\n",
                     band_str(c.band),
                     c.rss_level,
                     c.rss_dbm,
@@ -130,7 +134,7 @@ pub fn to_csv(records: &[TestRecord]) -> String {
                     WifiStandard::Wifi6 => "wifi6",
                 };
                 out.push_str(&format!(
-                    "{common},wifi,,,,,,,,{},{},{:.0},{},{:.1},{}\n",
+                    "{common},wifi,,,,,,,,{},{},{:.0},{},{:.1},{},{outcome}\n",
                     std, w.on_5ghz as u8, w.plan_mbps, w.ap_id, w.mac_rate_mbps, w.neighbor_aps
                 ));
             }
@@ -168,7 +172,7 @@ pub fn from_csv(text: &str) -> Result<Vec<TestRecord>, CsvError> {
             continue;
         }
         let cols: Vec<&str> = raw.split(',').collect();
-        if cols.len() != 25 {
+        if cols.len() != COLUMNS {
             return Err(CsvError::ColumnCount { line, got: cols.len() });
         }
         let tech = match cols[1] {
@@ -259,6 +263,11 @@ pub fn from_csv(text: &str) -> Result<Vec<TestRecord>, CsvError> {
                 return Err(CsvError::BadField { line, column: "link_kind", value: other.into() })
             }
         };
+        let outcome = OutcomeClass::from_label(cols[25]).ok_or_else(|| CsvError::BadField {
+            line,
+            column: "outcome",
+            value: cols[25].into(),
+        })?;
         records.push(TestRecord {
             bandwidth_mbps: parse(cols[0], line, "bandwidth_mbps")?,
             tech,
@@ -272,6 +281,7 @@ pub fn from_csv(text: &str) -> Result<Vec<TestRecord>, CsvError> {
             device_model: parse(cols[9], line, "device_model")?,
             device_tier,
             link,
+            outcome,
         });
     }
     Ok(records)
@@ -306,6 +316,7 @@ mod tests {
             assert_eq!(a.city_id, b.city_id);
             assert_eq!(a.device_tier, b.device_tier);
             assert_eq!(a.urban, b.urban);
+            assert_eq!(a.outcome, b.outcome);
             match (&a.link, &b.link) {
                 (LinkInfo::Cell(x), LinkInfo::Cell(y)) => {
                     assert_eq!(x.band, y.band);

@@ -41,6 +41,12 @@ const THREE_G_SHARE: f64 = 0.0082;
 /// WiFi share of all tests (§3.1: 21,077,214 / 23,636,352).
 const WIFI_SHARE: f64 = 0.8917;
 
+/// Test-outcome rates `(failed, degraded)` per access family. Indoor
+/// WiFi tests rarely die; cellular campaigns lose a visible slice to
+/// radio blackouts, handovers, and mid-test stalls.
+const WIFI_OUTCOME_RATES: (f64, f64) = (0.002, 0.012);
+const CELL_OUTCOME_RATES: (f64, f64) = (0.005, 0.030);
+
 /// Fixed-broadband (WiFi) ISP market shares; ISP-3's wireline arm is
 /// strong, ISP-4 has almost no fixed footprint.
 const WIFI_ISP_WEIGHTS: [f64; 4] = [0.38, 0.24, 0.36, 0.02];
@@ -50,6 +56,9 @@ const WIFI_ISP_WEIGHTS: [f64; 4] = [0.38, 0.24, 0.36, 0.02];
 pub struct Generator {
     config: DatasetConfig,
     rng: SeededRng,
+    /// Independent stream for test-outcome draws: re-rating outcomes can
+    /// never perturb the calibrated bandwidth/context draws in `rng`.
+    outcome_rng: SeededRng,
     cities: Vec<City>,
     city_tier_sampler: WeightedIndex,
     tier_ranges: [(usize, usize); 3],
@@ -126,6 +135,7 @@ impl Generator {
         Self {
             config,
             rng: rng.fork(2),
+            outcome_rng: rng.fork(3),
             cities,
             city_tier_sampler,
             tier_ranges,
@@ -214,6 +224,29 @@ impl Generator {
             }
         };
 
+        // How the test ended — drawn from the independent outcome
+        // stream. A failed test reports no bandwidth; a degraded test
+        // terminated early, so its partial estimate sits below truth.
+        let (p_fail, p_degrade) = match tech {
+            AccessTech::Wifi => WIFI_OUTCOME_RATES,
+            _ => CELL_OUTCOME_RATES,
+        };
+        let u = self.outcome_rng.uniform();
+        let outcome = if u < p_fail {
+            OutcomeClass::Failed
+        } else if u < p_fail + p_degrade {
+            OutcomeClass::Degraded
+        } else {
+            OutcomeClass::Complete
+        };
+        let bandwidth = match outcome {
+            OutcomeClass::Failed => 0.0,
+            OutcomeClass::Degraded => {
+                bandwidth * self.outcome_rng.uniform_range(0.60, 0.95)
+            }
+            OutcomeClass::Complete => bandwidth,
+        };
+
         TestRecord {
             bandwidth_mbps: bandwidth,
             tech,
@@ -227,6 +260,7 @@ impl Generator {
             device_model,
             device_tier,
             link,
+            outcome,
         }
     }
 
@@ -540,6 +574,29 @@ mod tests {
                 r.bandwidth_mbps,
                 w.plan_mbps
             );
+        }
+    }
+
+    #[test]
+    fn outcome_rates_match_their_targets() {
+        let records = dataset(200_000, Year::Y2021, 41);
+        let rate = |t: fn(&TestRecord) -> bool, o: OutcomeClass| {
+            let of_kind: Vec<_> = records.iter().filter(|r| t(r)).collect();
+            of_kind.iter().filter(|r| r.outcome == o).count() as f64 / of_kind.len() as f64
+        };
+        let is_wifi = |r: &TestRecord| r.tech == AccessTech::Wifi;
+        let is_cell = |r: &TestRecord| r.tech != AccessTech::Wifi;
+        assert!((rate(is_wifi, OutcomeClass::Failed) - 0.002).abs() < 0.002);
+        assert!((rate(is_wifi, OutcomeClass::Degraded) - 0.012).abs() < 0.004);
+        assert!((rate(is_cell, OutcomeClass::Failed) - 0.005).abs() < 0.004);
+        assert!((rate(is_cell, OutcomeClass::Degraded) - 0.030).abs() < 0.008);
+        // Failed tests carry no bandwidth; everything else does.
+        for r in &records {
+            if r.outcome == OutcomeClass::Failed {
+                assert_eq!(r.bandwidth_mbps, 0.0);
+            } else {
+                assert!(r.bandwidth_mbps > 0.0);
+            }
         }
     }
 

@@ -42,6 +42,6 @@ pub mod types;
 pub use bands::{LteBandInfo, NrBandInfo, LTE_BANDS, NR_BANDS};
 pub use generator::{DatasetConfig, Generator};
 pub use types::{
-    AccessTech, CellInfo, CityTier, DeviceTier, Isp, LinkInfo, LteBandId, NrBandId, TestRecord,
-    WifiInfo, WifiStandard, Year,
+    AccessTech, CellInfo, CityTier, DeviceTier, Isp, LinkInfo, LteBandId, NrBandId, OutcomeClass,
+    TestRecord, WifiInfo, WifiStandard, Year,
 };

@@ -292,6 +292,48 @@ impl DeviceTier {
     }
 }
 
+/// How a bandwidth test ended. Real crowdsourced campaigns lose a
+/// slice of tests to radio blackouts, server faults, and app kills;
+/// the schema records that instead of silently dropping the rows, so
+/// the analysis layer can report failure rates per technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum OutcomeClass {
+    /// The test converged normally.
+    #[default]
+    Complete,
+    /// The test ended early or recovered from a fault; the bandwidth
+    /// value is a usable partial estimate.
+    Degraded,
+    /// The test produced no usable estimate (`bandwidth_mbps` is 0).
+    Failed,
+}
+
+impl OutcomeClass {
+    /// Stable lowercase label (used by the CSV codec).
+    pub fn label(self) -> &'static str {
+        match self {
+            OutcomeClass::Complete => "complete",
+            OutcomeClass::Degraded => "degraded",
+            OutcomeClass::Failed => "failed",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "complete" => Some(OutcomeClass::Complete),
+            "degraded" => Some(OutcomeClass::Degraded),
+            "failed" => Some(OutcomeClass::Failed),
+            _ => None,
+        }
+    }
+
+    /// Whether the record's bandwidth value is meaningful.
+    pub fn is_usable(self) -> bool {
+        !matches!(self, OutcomeClass::Failed)
+    }
+}
+
 /// One access-bandwidth test with its full cross-layer context.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TestRecord {
@@ -319,6 +361,8 @@ pub struct TestRecord {
     pub device_tier: DeviceTier,
     /// Link-layer context.
     pub link: LinkInfo,
+    /// How the test ended.
+    pub outcome: OutcomeClass,
 }
 
 impl TestRecord {
@@ -380,6 +424,7 @@ mod tests {
                 mac_rate_mbps: 433.0,
                 neighbor_aps: 12,
             }),
+            outcome: OutcomeClass::Complete,
         }
     }
 
@@ -432,5 +477,15 @@ mod tests {
         let a = wifi_record();
         let b = a; // Copy
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn outcome_labels_roundtrip() {
+        for o in [OutcomeClass::Complete, OutcomeClass::Degraded, OutcomeClass::Failed] {
+            assert_eq!(OutcomeClass::from_label(o.label()), Some(o));
+        }
+        assert_eq!(OutcomeClass::from_label("bogus"), None);
+        assert!(OutcomeClass::Degraded.is_usable());
+        assert!(!OutcomeClass::Failed.is_usable());
     }
 }

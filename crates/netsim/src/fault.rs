@@ -1,0 +1,403 @@
+//! Transient fault injection for links and paths.
+//!
+//! The steady-state impairment models ([`crate::capacity`], random loss)
+//! describe a link that is *degraded but working*. Real mobile radios
+//! additionally suffer transient failures — handover blackouts, deep
+//! fades that collapse capacity, burst-loss episodes, scheduler stalls
+//! that spike delay (MONROE-Nettest and ERRANT both measure exactly
+//! these). A [`FaultPlan`] scripts such episodes onto the virtual-time
+//! axis so every estimator can be exercised under them, either from an
+//! explicit scripted window list or drawn deterministically from a seed.
+//!
+//! The plan is purely declarative: it answers point queries
+//! (`capacity_multiplier_at`, `extra_loss_at`, `extra_delay_at`,
+//! `in_blackout`) that [`crate::path::PathModel`] and
+//! [`crate::link::Link`] fold into their existing arithmetic. Overlapping
+//! windows compose: capacity multipliers multiply, loss probabilities
+//! combine as independent events, delays add.
+
+use crate::time::SimTime;
+use mbw_stats::SeededRng;
+use std::time::Duration;
+
+/// One class of transient fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Total outage: nothing is delivered while the window is open
+    /// (radio handover gap, RRC re-establishment, tunnel re-route).
+    Blackout,
+    /// Capacity collapses to `factor` × nominal (deep fade, cell-edge
+    /// drift, sudden contention). `factor` must lie in `(0, 1)`.
+    CapacityCollapse {
+        /// Fraction of capacity that survives the collapse.
+        factor: f64,
+    },
+    /// A burst-loss episode adds `loss_prob` of independent per-packet
+    /// loss on top of the link's baseline loss.
+    BurstLoss {
+        /// Additional loss probability during the window.
+        loss_prob: f64,
+    },
+    /// Extra one-way delay (scheduler stall, bufferbloat transient).
+    DelaySpike {
+        /// Delay added to every delivery in the window.
+        extra: Duration,
+    },
+}
+
+/// A fault active over `[start, start + duration)` in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// When the fault begins.
+    pub start: SimTime,
+    /// How long it lasts.
+    pub duration: Duration,
+    /// What it does.
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end()
+    }
+
+    /// First instant after the fault.
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+}
+
+/// Intensity profile for [`FaultPlan::seeded_random`]: how many windows
+/// of each class to draw and from which parameter ranges.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultProfile {
+    /// Number of blackout windows.
+    pub blackouts: usize,
+    /// Blackout duration range, milliseconds.
+    pub blackout_ms: (u64, u64),
+    /// Number of capacity-collapse windows.
+    pub collapses: usize,
+    /// Collapse duration range, milliseconds.
+    pub collapse_ms: (u64, u64),
+    /// Surviving-capacity factor range.
+    pub collapse_factor: (f64, f64),
+    /// Number of burst-loss windows.
+    pub bursts: usize,
+    /// Burst duration range, milliseconds.
+    pub burst_ms: (u64, u64),
+    /// Additional loss-probability range.
+    pub burst_loss: (f64, f64),
+    /// Number of delay-spike windows.
+    pub spikes: usize,
+    /// Spike duration range, milliseconds.
+    pub spike_ms: (u64, u64),
+    /// Extra delay range, milliseconds.
+    pub spike_extra_ms: (u64, u64),
+}
+
+impl FaultProfile {
+    /// A lossy mobile radio under motion: one of each episode class per
+    /// horizon, sized after MONROE-style field observations (hundreds of
+    /// milliseconds each).
+    pub fn mobile() -> Self {
+        Self {
+            blackouts: 1,
+            blackout_ms: (200, 600),
+            collapses: 1,
+            collapse_ms: (300, 900),
+            collapse_factor: (0.10, 0.50),
+            bursts: 1,
+            burst_ms: (150, 500),
+            burst_loss: (0.10, 0.40),
+            spikes: 1,
+            spike_ms: (100, 400),
+            spike_extra_ms: (30, 150),
+        }
+    }
+
+    /// A mostly-stationary client: rare, short episodes.
+    pub fn calm() -> Self {
+        Self {
+            blackouts: 0,
+            bursts: 1,
+            burst_ms: (100, 250),
+            burst_loss: (0.05, 0.15),
+            collapses: 0,
+            spikes: 1,
+            spike_ms: (80, 200),
+            spike_extra_ms: (10, 60),
+            ..Self::mobile()
+        }
+    }
+}
+
+/// A schedule of transient faults on one link or path.
+///
+/// Empty by default (no faults). Windows are kept sorted by start time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// The no-fault plan.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan from an explicit window list.
+    pub fn scripted(mut windows: Vec<FaultWindow>) -> Self {
+        windows.sort_by_key(|w| w.start);
+        Self { windows }
+    }
+
+    /// Convenience: a single blackout window.
+    pub fn blackout(start: SimTime, duration: Duration) -> Self {
+        Self::scripted(vec![FaultWindow { start, duration, kind: FaultKind::Blackout }])
+    }
+
+    /// Draw a deterministic plan over `[0, horizon)` from a seed.
+    ///
+    /// Window starts are uniform over the horizon (minus the window's own
+    /// duration, so every window fits); parameters are uniform over the
+    /// profile's ranges. The same `(seed, horizon, profile)` triple always
+    /// yields the same plan.
+    pub fn seeded_random(seed: u64, horizon: Duration, profile: &FaultProfile) -> Self {
+        let mut rng = SeededRng::new(seed);
+        let horizon_ms = (horizon.as_secs_f64() * 1e3).max(1.0);
+        let mut windows = Vec::new();
+        let mut draw = |rng: &mut SeededRng,
+                        count: usize,
+                        dur_ms: (u64, u64),
+                        mut kind_of: Box<dyn FnMut(&mut SeededRng) -> FaultKind>| {
+            for _ in 0..count {
+                let dur = rng.uniform_range(dur_ms.0 as f64, dur_ms.1 as f64);
+                let latest = (horizon_ms - dur).max(0.0);
+                let start = rng.uniform_range(0.0, latest.max(1e-9));
+                windows.push(FaultWindow {
+                    start: SimTime::from_secs_f64(start / 1e3),
+                    duration: Duration::from_secs_f64(dur / 1e3),
+                    kind: kind_of(rng),
+                });
+            }
+        };
+        draw(
+            &mut rng,
+            profile.blackouts,
+            profile.blackout_ms,
+            Box::new(|_| FaultKind::Blackout),
+        );
+        let (flo, fhi) = profile.collapse_factor;
+        draw(
+            &mut rng,
+            profile.collapses,
+            profile.collapse_ms,
+            Box::new(move |r| FaultKind::CapacityCollapse {
+                factor: r.uniform_range(flo, fhi),
+            }),
+        );
+        let (llo, lhi) = profile.burst_loss;
+        draw(
+            &mut rng,
+            profile.bursts,
+            profile.burst_ms,
+            Box::new(move |r| FaultKind::BurstLoss { loss_prob: r.uniform_range(llo, lhi) }),
+        );
+        let (elo, ehi) = profile.spike_extra_ms;
+        draw(
+            &mut rng,
+            profile.spikes,
+            profile.spike_ms,
+            Box::new(move |r| FaultKind::DelaySpike {
+                extra: Duration::from_secs_f64(r.uniform_range(elo as f64, ehi as f64) / 1e3),
+            }),
+        );
+        Self::scripted(windows)
+    }
+
+    /// Whether the plan contains no windows.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The scheduled windows, sorted by start.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// Start of the earliest window, if any.
+    pub fn first_fault_at(&self) -> Option<SimTime> {
+        self.windows.first().map(|w| w.start)
+    }
+
+    /// Whether a blackout is open at `t`.
+    pub fn in_blackout(&self, t: SimTime) -> bool {
+        self.windows
+            .iter()
+            .any(|w| matches!(w.kind, FaultKind::Blackout) && w.contains(t))
+    }
+
+    /// Multiplier on capacity at `t`: `0` inside a blackout, the product
+    /// of all open collapse factors otherwise, `1` when nothing is open.
+    pub fn capacity_multiplier_at(&self, t: SimTime) -> f64 {
+        let mut mult = 1.0;
+        for w in &self.windows {
+            if !w.contains(t) {
+                continue;
+            }
+            match w.kind {
+                FaultKind::Blackout => return 0.0,
+                FaultKind::CapacityCollapse { factor } => mult *= factor.clamp(0.0, 1.0),
+                FaultKind::BurstLoss { .. } | FaultKind::DelaySpike { .. } => {}
+            }
+        }
+        mult
+    }
+
+    /// Additional independent per-packet loss probability at `t`
+    /// (overlapping bursts compose as independent events).
+    pub fn extra_loss_at(&self, t: SimTime) -> f64 {
+        let mut keep = 1.0;
+        for w in &self.windows {
+            if let FaultKind::BurstLoss { loss_prob } = w.kind {
+                if w.contains(t) {
+                    keep *= 1.0 - loss_prob.clamp(0.0, 1.0);
+                }
+            }
+        }
+        1.0 - keep
+    }
+
+    /// Additional one-way delay at `t` (overlapping spikes add).
+    pub fn extra_delay_at(&self, t: SimTime) -> Duration {
+        let mut extra = Duration::ZERO;
+        for w in &self.windows {
+            if let FaultKind::DelaySpike { extra: e } = w.kind {
+                if w.contains(t) {
+                    extra += e;
+                }
+            }
+        }
+        extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(!p.in_blackout(ms(100)));
+        assert_eq!(p.capacity_multiplier_at(ms(100)), 1.0);
+        assert_eq!(p.extra_loss_at(ms(100)), 0.0);
+        assert_eq!(p.extra_delay_at(ms(100)), Duration::ZERO);
+    }
+
+    #[test]
+    fn blackout_window_boundaries() {
+        let p = FaultPlan::blackout(ms(1000), Duration::from_millis(500));
+        assert!(!p.in_blackout(ms(999)));
+        assert!(p.in_blackout(ms(1000)));
+        assert!(p.in_blackout(ms(1499)));
+        assert!(!p.in_blackout(ms(1500)));
+        assert_eq!(p.capacity_multiplier_at(ms(1200)), 0.0);
+        assert_eq!(p.first_fault_at(), Some(ms(1000)));
+    }
+
+    #[test]
+    fn collapse_factors_multiply_when_overlapping() {
+        let p = FaultPlan::scripted(vec![
+            FaultWindow {
+                start: ms(0),
+                duration: Duration::from_secs(1),
+                kind: FaultKind::CapacityCollapse { factor: 0.5 },
+            },
+            FaultWindow {
+                start: ms(500),
+                duration: Duration::from_secs(1),
+                kind: FaultKind::CapacityCollapse { factor: 0.4 },
+            },
+        ]);
+        assert!((p.capacity_multiplier_at(ms(100)) - 0.5).abs() < 1e-12);
+        assert!((p.capacity_multiplier_at(ms(700)) - 0.2).abs() < 1e-12);
+        assert!((p.capacity_multiplier_at(ms(1200)) - 0.4).abs() < 1e-12);
+        assert_eq!(p.capacity_multiplier_at(ms(2000)), 1.0);
+    }
+
+    #[test]
+    fn burst_loss_composes_independently() {
+        let p = FaultPlan::scripted(vec![
+            FaultWindow {
+                start: ms(0),
+                duration: Duration::from_secs(1),
+                kind: FaultKind::BurstLoss { loss_prob: 0.5 },
+            },
+            FaultWindow {
+                start: ms(0),
+                duration: Duration::from_secs(1),
+                kind: FaultKind::BurstLoss { loss_prob: 0.5 },
+            },
+        ]);
+        assert!((p.extra_loss_at(ms(100)) - 0.75).abs() < 1e-12);
+        assert_eq!(p.extra_loss_at(ms(1500)), 0.0);
+    }
+
+    #[test]
+    fn delay_spikes_add() {
+        let p = FaultPlan::scripted(vec![
+            FaultWindow {
+                start: ms(0),
+                duration: Duration::from_secs(1),
+                kind: FaultKind::DelaySpike { extra: Duration::from_millis(40) },
+            },
+            FaultWindow {
+                start: ms(500),
+                duration: Duration::from_secs(1),
+                kind: FaultKind::DelaySpike { extra: Duration::from_millis(60) },
+            },
+        ]);
+        assert_eq!(p.extra_delay_at(ms(100)), Duration::from_millis(40));
+        assert_eq!(p.extra_delay_at(ms(700)), Duration::from_millis(100));
+        assert_eq!(p.extra_delay_at(ms(1800)), Duration::ZERO);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_fit_horizon() {
+        let horizon = Duration::from_secs(5);
+        let a = FaultPlan::seeded_random(42, horizon, &FaultProfile::mobile());
+        let b = FaultPlan::seeded_random(42, horizon, &FaultProfile::mobile());
+        assert_eq!(a, b);
+        assert_eq!(a.windows().len(), 4);
+        for w in a.windows() {
+            assert!(w.end() <= SimTime::ZERO + horizon + Duration::from_millis(1));
+        }
+        let c = FaultPlan::seeded_random(43, horizon, &FaultProfile::mobile());
+        assert_ne!(a, c, "different seeds give different plans");
+    }
+
+    #[test]
+    fn scripted_windows_are_sorted() {
+        let p = FaultPlan::scripted(vec![
+            FaultWindow {
+                start: ms(900),
+                duration: Duration::from_millis(10),
+                kind: FaultKind::Blackout,
+            },
+            FaultWindow {
+                start: ms(100),
+                duration: Duration::from_millis(10),
+                kind: FaultKind::Blackout,
+            },
+        ]);
+        assert_eq!(p.first_fault_at(), Some(ms(100)));
+        assert!(p.windows().windows(2).all(|w| w[0].start <= w[1].start));
+    }
+}

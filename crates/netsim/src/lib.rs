@@ -20,12 +20,16 @@
 //! - [`capacity`] — time-varying capacity processes (constant,
 //!   Ornstein–Uhlenbeck fluctuation, diurnal profiles, and on/off traffic
 //!   shaping), the mechanism behind the paper's network-dynamics findings.
+//! - [`fault`] — transient fault injection (blackouts, capacity
+//!   collapses, burst loss, delay spikes) that links and paths can carry,
+//!   for exercising estimators under handover gaps and deep fades.
 //! - [`path`] — the end-to-end path model (access bottleneck + base RTT +
 //!   loss) consumed by the congestion-control and BTS layers.
 
 pub mod bucket;
 pub mod capacity;
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod path;
 pub mod time;
@@ -36,6 +40,7 @@ pub use capacity::{
     ShapedCapacity,
 };
 pub use event::EventQueue;
+pub use fault::{FaultKind, FaultPlan, FaultProfile, FaultWindow};
 pub use link::{Link, LinkConfig, LinkStats};
 pub use path::{PathConfig, PathModel};
 pub use time::SimTime;

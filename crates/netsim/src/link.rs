@@ -6,6 +6,7 @@
 //! capacity; this type is also used directly by packet-level unit tests
 //! and by the wire-protocol emulation.
 
+use crate::fault::FaultPlan;
 use crate::time::{transmission_time, SimTime};
 use mbw_stats::SeededRng;
 
@@ -48,6 +49,9 @@ pub enum SendOutcome {
     /// Random (wireless) loss; the transmission slot is consumed but the
     /// packet never arrives.
     DroppedLoss,
+    /// Dropped by an injected fault (blackout window on the link's
+    /// [`FaultPlan`]); nothing is serialised.
+    DroppedFault,
 }
 
 /// Counters exposed by a link.
@@ -59,6 +63,8 @@ pub struct LinkStats {
     pub dropped_queue: u64,
     /// Packets dropped by random loss.
     pub dropped_loss: u64,
+    /// Packets dropped by injected faults (blackouts).
+    pub dropped_fault: u64,
     /// Bytes delivered.
     pub delivered_bytes: u64,
 }
@@ -71,6 +77,7 @@ pub struct Link {
     next_free: SimTime,
     rng: SeededRng,
     stats: LinkStats,
+    faults: FaultPlan,
 }
 
 impl Link {
@@ -85,7 +92,25 @@ impl Link {
             "loss probability out of range"
         );
         let rng = SeededRng::new(config.seed);
-        Self { config, next_free: SimTime::ZERO, rng, stats: LinkStats::default() }
+        Self {
+            config,
+            next_free: SimTime::ZERO,
+            rng,
+            stats: LinkStats::default(),
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Attach a fault plan; transient windows modulate every subsequent
+    /// [`Link::send`].
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The attached fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Current configuration.
@@ -111,20 +136,28 @@ impl Link {
 
     /// Offer one packet of `bytes` to the link at time `now`.
     pub fn send(&mut self, now: SimTime, bytes: u64) -> SendOutcome {
+        let mult = self.faults.capacity_multiplier_at(now);
+        if mult <= 0.0 {
+            // Blackout: the radio is gone; nothing enters the queue.
+            self.stats.dropped_fault += 1;
+            return SendOutcome::DroppedFault;
+        }
         if self.queued_bytes(now) + bytes as f64 > self.config.queue_limit_bytes as f64 {
             self.stats.dropped_queue += 1;
             return SendOutcome::DroppedQueue;
         }
         let start = self.next_free.max(now);
-        let done = start + transmission_time(bytes, self.config.rate_bps);
+        let done = start + transmission_time(bytes, self.config.rate_bps * mult);
         self.next_free = done;
-        if self.rng.chance(self.config.loss_prob) {
+        let extra_loss = self.faults.extra_loss_at(now);
+        let loss = 1.0 - (1.0 - self.config.loss_prob) * (1.0 - extra_loss);
+        if self.rng.chance(loss) {
             self.stats.dropped_loss += 1;
             return SendOutcome::DroppedLoss;
         }
         self.stats.delivered += 1;
         self.stats.delivered_bytes += bytes;
-        SendOutcome::Delivered(done + self.config.propagation)
+        SendOutcome::Delivered(done + self.config.propagation + self.faults.extra_delay_at(now))
     }
 }
 
@@ -254,6 +287,74 @@ mod tests {
         assert!((q - 5000.0).abs() < 1.0, "q {q}");
         let q_later = l.queued_bytes(SimTime::from_millis(3));
         assert!((q_later - 2000.0).abs() < 1.0, "q_later {q_later}");
+    }
+
+    #[test]
+    fn blackout_window_drops_everything() {
+        use crate::fault::FaultPlan;
+        let mut l = quiet_link(8e6)
+            .with_faults(FaultPlan::blackout(SimTime::from_millis(10), Duration::from_millis(20)));
+        assert!(matches!(l.send(SimTime::from_millis(5), 1000), SendOutcome::Delivered(_)));
+        assert_eq!(l.send(SimTime::from_millis(15), 1000), SendOutcome::DroppedFault);
+        assert_eq!(l.send(SimTime::from_millis(29), 1000), SendOutcome::DroppedFault);
+        assert!(matches!(l.send(SimTime::from_millis(31), 1000), SendOutcome::Delivered(_)));
+        assert_eq!(l.stats().dropped_fault, 2);
+    }
+
+    #[test]
+    fn collapse_window_slows_serialisation() {
+        use crate::fault::{FaultKind, FaultPlan, FaultWindow};
+        let plan = FaultPlan::scripted(vec![FaultWindow {
+            start: SimTime::ZERO,
+            duration: Duration::from_secs(1),
+            kind: FaultKind::CapacityCollapse { factor: 0.5 },
+        }]);
+        let mut l = quiet_link(8e6).with_faults(plan);
+        match l.send(SimTime::ZERO, 1000) {
+            // 1000 B at 0.5 MB/s = 2 ms, + 5 ms propagation.
+            SendOutcome::Delivered(t) => assert!((t.as_millis_f64() - 7.0).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delay_spike_postpones_delivery() {
+        use crate::fault::{FaultKind, FaultPlan, FaultWindow};
+        let plan = FaultPlan::scripted(vec![FaultWindow {
+            start: SimTime::ZERO,
+            duration: Duration::from_secs(1),
+            kind: FaultKind::DelaySpike { extra: Duration::from_millis(40) },
+        }]);
+        let mut l = quiet_link(8e6).with_faults(plan);
+        match l.send(SimTime::ZERO, 1000) {
+            // 1 ms serialisation + 5 ms propagation + 40 ms spike.
+            SendOutcome::Delivered(t) => assert!((t.as_millis_f64() - 46.0).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn burst_loss_window_raises_loss_rate() {
+        use crate::fault::{FaultKind, FaultPlan, FaultWindow};
+        let plan = FaultPlan::scripted(vec![FaultWindow {
+            start: SimTime::ZERO,
+            duration: Duration::from_secs(3600),
+            kind: FaultKind::BurstLoss { loss_prob: 0.5 },
+        }]);
+        let mut l = Link::new(LinkConfig {
+            rate_bps: 1e9,
+            propagation: Duration::ZERO,
+            queue_limit_bytes: u64::MAX,
+            loss_prob: 0.0,
+            seed: 7,
+        })
+        .with_faults(plan);
+        let n = 20_000;
+        for _ in 0..n {
+            l.send(SimTime::ZERO, 100);
+        }
+        let loss = l.stats().dropped_loss as f64 / n as f64;
+        assert!((loss - 0.5).abs() < 0.02, "loss {loss}");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //!   round-based TCP models in `mbw-congestion`.
 
 use crate::capacity::CapacityProcess;
+use crate::fault::FaultPlan;
 use crate::time::SimTime;
 use mbw_stats::SeededRng;
 use std::time::Duration;
@@ -64,6 +65,7 @@ pub struct PathModel {
     loss_prob: f64,
     buffer_bdp: f64,
     rng: SeededRng,
+    faults: FaultPlan,
 }
 
 impl PathModel {
@@ -80,7 +82,20 @@ impl PathModel {
             loss_prob: config.loss_prob,
             buffer_bdp: config.buffer_bdp,
             rng: SeededRng::new(config.seed),
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// Attach a fault plan; transient windows modulate capacity, loss,
+    /// and delay in every subsequent query and integration.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The attached fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Base round-trip time.
@@ -93,9 +108,15 @@ impl PathModel {
         self.loss_prob
     }
 
-    /// Bottleneck capacity at `t`, bits/second.
+    /// Bottleneck capacity at `t`, bits/second (zero during an injected
+    /// blackout, scaled by any open collapse windows).
     pub fn capacity_bps(&mut self, t: SimTime) -> f64 {
-        self.capacity.capacity_at(t)
+        self.capacity.capacity_at(t) * self.faults.capacity_multiplier_at(t)
+    }
+
+    /// One-way delay surcharge from injected delay spikes at `t`.
+    pub fn extra_delay_at(&self, t: SimTime) -> Duration {
+        self.faults.extra_delay_at(t)
     }
 
     /// Long-run nominal capacity of the bottleneck.
@@ -144,8 +165,9 @@ impl PathModel {
         let end = start + duration;
         while t < end {
             let dt = step.min(end - t);
-            let cap = self.capacity.capacity_at(t);
-            let delivered_rate = send_rate_bps.min(cap) * (1.0 - self.loss_prob);
+            let cap = self.capacity.capacity_at(t) * self.faults.capacity_multiplier_at(t);
+            let loss = 1.0 - (1.0 - self.loss_prob) * (1.0 - self.faults.extra_loss_at(t));
+            let delivered_rate = send_rate_bps.min(cap) * (1.0 - loss);
             let sent = send_rate_bps * dt.as_secs_f64() / 8.0;
             let delivered = delivered_rate * dt.as_secs_f64() / 8.0;
             out.push(FluidSample {
@@ -265,6 +287,48 @@ mod tests {
         let delivered: f64 = samples.iter().map(|s| s.delivered_bytes).sum();
         let want = 80e6 * 0.125 / 8.0;
         assert!((delivered - want).abs() < 1.0);
+    }
+
+    #[test]
+    fn blackout_zeroes_goodput_only_inside_window() {
+        use crate::fault::FaultPlan;
+        let mut p = flat_path(100e6)
+            .with_faults(FaultPlan::blackout(SimTime::from_millis(400), Duration::from_millis(200)));
+        let samples = p.integrate_paced(
+            SimTime::ZERO,
+            Duration::from_secs(1),
+            Duration::from_millis(100),
+            50e6,
+        );
+        for s in &samples {
+            let ms = s.at.as_millis_f64();
+            if (400.0..600.0).contains(&ms) {
+                assert_eq!(s.delivered_bytes, 0.0, "blackout at {ms} ms");
+                assert!(s.lost_bytes > 0.0);
+            } else {
+                assert!(s.delivered_bytes > 0.0, "clear air at {ms} ms");
+            }
+        }
+    }
+
+    #[test]
+    fn burst_loss_discounts_goodput_inside_window() {
+        use crate::fault::{FaultKind, FaultPlan, FaultWindow};
+        let plan = FaultPlan::scripted(vec![FaultWindow {
+            start: SimTime::ZERO,
+            duration: Duration::from_millis(500),
+            kind: FaultKind::BurstLoss { loss_prob: 0.5 },
+        }]);
+        let mut p = flat_path(100e6).with_faults(plan);
+        let samples = p.integrate_paced(
+            SimTime::ZERO,
+            Duration::from_secs(1),
+            Duration::from_millis(100),
+            80e6,
+        );
+        let in_burst: f64 = samples[..5].iter().map(|s| s.delivered_bytes).sum();
+        let clear: f64 = samples[5..].iter().map(|s| s.delivered_bytes).sum();
+        assert!((in_burst - clear / 2.0).abs() / clear < 1e-9);
     }
 
     #[test]

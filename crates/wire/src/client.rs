@@ -5,10 +5,19 @@
 //! model's most probable modal rate, sample goodput every 50 ms,
 //! escalate to the next larger mode while unsaturated, and stop when the
 //! last ten samples agree within 3% (§5.1, §5.3).
+//!
+//! Resilience: the PING phase retries with bounded exponential backoff
+//! and returns a typed error when the whole fleet is dead; the probe
+//! phase detects a server that goes quiet (`stall_timeout`) and either
+//! fails over to the next-best server (nothing received yet) or returns
+//! the partial estimate flagged Degraded; feedback losses are tolerated
+//! outright. Every report carries a [`TestStatus`] confidence flag.
 
+use crate::error::{RetryPolicy, WireError};
 use crate::proto::Message;
 use crate::server::UdpTestServer;
 use mbw_core::estimator::{BandwidthEstimator, ConvergenceEstimator, EstimatorDecision};
+use mbw_core::outcome::{DegradeReason, FailReason, TestStatus};
 use mbw_stats::Gmm;
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -33,6 +42,12 @@ pub struct WireTestConfig {
     /// 50 ms window to whole packets (±1 packet ≈ 4% at 5 Mbps), so the
     /// wire default is 5%.
     pub convergence_tolerance: f64,
+    /// Backoff schedule for dead PING rounds.
+    pub retry: RetryPolicy,
+    /// How long the probe phase tolerates total silence before declaring
+    /// the server stalled. Shorter than ten sample windows, so a silent
+    /// stream can never satisfy the convergence rule first.
+    pub stall_timeout: Duration,
 }
 
 impl Default for WireTestConfig {
@@ -44,6 +59,8 @@ impl Default for WireTestConfig {
             beyond_mode_growth: 1.5,
             ping_timeout: Duration::from_millis(500),
             convergence_tolerance: 0.05,
+            retry: RetryPolicy::default(),
+            stall_timeout: Duration::from_millis(400),
         }
     }
 }
@@ -63,33 +80,11 @@ pub struct WireTestReport {
     pub samples: Vec<f64>,
     /// The server that served the test.
     pub server: SocketAddr,
+    /// How the test completed (converged / partial / nothing usable).
+    pub status: TestStatus,
+    /// How many ranked servers were abandoned before this one answered.
+    pub failovers: u32,
 }
-
-/// Errors a wire test can hit.
-#[derive(Debug)]
-pub enum WireError {
-    /// Socket-level failure.
-    Io(std::io::Error),
-    /// No server answered the PING round.
-    NoServerReachable,
-}
-
-impl From<std::io::Error> for WireError {
-    fn from(e: std::io::Error) -> Self {
-        WireError::Io(e)
-    }
-}
-
-impl std::fmt::Display for WireError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            WireError::Io(e) => write!(f, "socket error: {e}"),
-            WireError::NoServerReachable => write!(f, "no test server answered PING"),
-        }
-    }
-}
-
-impl std::error::Error for WireError {}
 
 /// The Swiftest client.
 pub struct SwiftestClient {
@@ -103,13 +98,9 @@ impl SwiftestClient {
         Self { model, config }
     }
 
-    /// PING every candidate concurrently; return `(fastest server,
-    /// its RTT, total selection time)`.
-    pub async fn select_server(
-        &self,
-        candidates: &[SocketAddr],
-    ) -> Result<(SocketAddr, Duration, Duration), WireError> {
-        let started = tokio::time::Instant::now();
+    /// One concurrent PING round over every candidate; returns the
+    /// servers that answered, unsorted.
+    async fn ping_round(&self, candidates: &[SocketAddr]) -> Vec<(SocketAddr, Duration)> {
         let mut tasks = Vec::new();
         for (i, &addr) in candidates.iter().enumerate() {
             let timeout = self.config.ping_timeout;
@@ -127,16 +118,47 @@ impl SwiftestClient {
                 }
             }));
         }
-        let mut best: Option<(SocketAddr, Duration)> = None;
+        let mut live = Vec::new();
         for t in tasks {
-            if let Ok(Some((addr, rtt))) = t.await {
-                if best.map_or(true, |(_, b)| rtt < b) {
-                    best = Some((addr, rtt));
-                }
+            if let Ok(Some(hit)) = t.await {
+                live.push(hit);
             }
         }
-        let (addr, rtt) = best.ok_or(WireError::NoServerReachable)?;
-        Ok((addr, rtt, started.elapsed()))
+        live
+    }
+
+    /// PING every candidate concurrently, retrying dead rounds per the
+    /// configured [`RetryPolicy`]; return the responders sorted fastest
+    /// first plus the total selection time. A fleet where *nobody*
+    /// answers any round yields [`WireError::NoServerReachable`].
+    pub async fn rank_servers(
+        &self,
+        candidates: &[SocketAddr],
+    ) -> Result<(Vec<(SocketAddr, Duration)>, Duration), WireError> {
+        let started = tokio::time::Instant::now();
+        let rounds = self.config.retry.attempts.max(1);
+        for round in 0..rounds {
+            if round > 0 {
+                tokio::time::sleep(self.config.retry.delay(round - 1)).await;
+            }
+            let mut live = self.ping_round(candidates).await;
+            if !live.is_empty() {
+                live.sort_by_key(|&(_, rtt)| rtt);
+                return Ok((live, started.elapsed()));
+            }
+        }
+        Err(WireError::NoServerReachable { attempted: candidates.len(), rounds })
+    }
+
+    /// PING every candidate concurrently; return `(fastest server,
+    /// its RTT, total selection time)`.
+    pub async fn select_server(
+        &self,
+        candidates: &[SocketAddr],
+    ) -> Result<(SocketAddr, Duration, Duration), WireError> {
+        let (ranked, elapsed) = self.rank_servers(candidates).await?;
+        let (addr, rtt) = ranked[0];
+        Ok((addr, rtt, elapsed))
     }
 
     /// Run one full test against the chosen server.
@@ -161,21 +183,46 @@ impl SwiftestClient {
         let mut window_bytes = 0u64;
         let mut samples = Vec::new();
         let mut estimate = None;
+        let mut gap_windows = 0u32;
+        let mut degraded: Option<DegradeReason> = None;
+        let mut last_rx = tokio::time::Instant::now();
         let mut buf = vec![0u8; 2048];
 
         'outer: while started.elapsed() < self.config.max_duration {
             tokio::select! {
                 biased;
                 _ = tick.tick() => {
-                    let mbps = window_bytes as f64 * 8.0
-                        / self.config.sample_interval.as_secs_f64() / 1e6;
+                    let bytes_this_window = window_bytes;
                     window_bytes = 0;
+                    let mbps = bytes_this_window as f64 * 8.0
+                        / self.config.sample_interval.as_secs_f64() / 1e6;
                     samples.push(mbps);
+                    // Stall watchdog: total silence for longer than the
+                    // threshold means the server is gone, not slow.
+                    if last_rx.elapsed() >= self.config.stall_timeout {
+                        if total_bytes == 0 {
+                            return Err(WireError::ServerStalled {
+                                server,
+                                idle: last_rx.elapsed(),
+                            });
+                        }
+                        degraded = Some(DegradeReason::Stall);
+                        break 'outer;
+                    }
                     // Feedback keeps the server informed (and exercises
-                    // the protocol's reverse path).
+                    // the protocol's reverse path); its loss is harmless.
                     let _ = socket
                         .send(&Message::Feedback { session, received_bytes: total_bytes }.encode())
                         .await;
+                    if bytes_this_window == 0 {
+                        // Empty windows (startup, or a transient outage)
+                        // never feed the estimator: a run of zeros must
+                        // not converge to a zero estimate.
+                        if total_bytes > 0 {
+                            gap_windows += 1;
+                        }
+                        continue;
+                    }
                     if let EstimatorDecision::Done(v) = estimator.push(mbps) {
                         estimate = Some(v);
                         break 'outer;
@@ -197,34 +244,97 @@ impl SwiftestClient {
                     }
                 }
                 received = socket.recv(&mut buf) => {
-                    let len = received?;
-                    total_bytes += len as u64;
-                    window_bytes += len as u64;
+                    match received {
+                        Ok(len) => {
+                            total_bytes += len as u64;
+                            window_bytes += len as u64;
+                            last_rx = tokio::time::Instant::now();
+                        }
+                        Err(_) => {
+                            // Transient socket errors (e.g. a connected
+                            // UDP socket surfacing ICMP refusals) are not
+                            // fatal by themselves — the stall watchdog
+                            // bounds how long we tolerate them. Yield
+                            // briefly so an erroring socket cannot spin
+                            // the loop hot.
+                            tokio::time::sleep(Duration::from_millis(2)).await;
+                        }
+                    }
                 }
             }
         }
         let _ = socket.send(&Message::Stop { session }.encode()).await;
 
+        let estimate_mbps = estimate.or_else(|| estimator.finalize()).unwrap_or(0.0);
+        let status = if estimate_mbps <= 0.0 {
+            TestStatus::Failed(FailReason::NoData)
+        } else if let Some(reason) = degraded {
+            TestStatus::Degraded(reason)
+        } else if gap_windows > 0 {
+            TestStatus::Degraded(DegradeReason::Blackout)
+        } else if estimate.is_none() {
+            TestStatus::Degraded(DegradeReason::Convergence)
+        } else {
+            TestStatus::Complete
+        };
         Ok(WireTestReport {
-            estimate_mbps: estimate.or_else(|| estimator.finalize()).unwrap_or(0.0),
+            estimate_mbps,
             duration: started.elapsed(),
             ping_time: Duration::ZERO,
             data_bytes: total_bytes,
             samples,
             server,
+            status,
+            failovers: 0,
         })
     }
 
+    /// Run the test against servers in the given preference order,
+    /// failing over to the next one when a server stalls or errors.
+    /// Exposed so chaos tests can script the order deterministically;
+    /// [`measure`](Self::measure) ranks by PING first.
+    pub async fn measure_ranked(
+        &self,
+        ranked: &[SocketAddr],
+        ping_time: Duration,
+    ) -> Result<WireTestReport, WireError> {
+        let mut last_err = None;
+        let mut failovers = 0u32;
+        for &server in ranked {
+            match self.run_test(server).await {
+                Ok(mut report) => {
+                    report.ping_time = ping_time;
+                    report.failovers = failovers;
+                    if failovers > 0 && report.status.is_complete() {
+                        report.status = TestStatus::Degraded(DegradeReason::ServerSwitch);
+                    }
+                    return Ok(report);
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    failovers += 1;
+                }
+            }
+        }
+        // More than one server tried: summarise; one: keep the specific
+        // error (e.g. ServerStalled) so the caller sees the real cause.
+        if ranked.len() > 1 {
+            Err(WireError::AllServersFailed { attempted: ranked.len() })
+        } else {
+            Err(last_err.unwrap_or(WireError::AllServersFailed { attempted: 0 }))
+        }
+    }
+
     /// Select a server among `candidates` and run the test — the whole
-    /// user-visible flow.
+    /// user-visible flow, with failover to the next-best server if the
+    /// chosen one dies mid-test.
     pub async fn measure(
         &self,
         candidates: &[SocketAddr],
     ) -> Result<WireTestReport, WireError> {
-        let (server, _rtt, ping_time) = self.select_server(candidates).await?;
-        let mut report = self.run_test(server).await?;
-        report.ping_time = ping_time;
-        Ok(report)
+        let (ranked, ping_time) = self.rank_servers(candidates).await?;
+        let order: Vec<SocketAddr> = ranked.iter().map(|&(addr, _)| addr).collect();
+        self.measure_ranked(&order, ping_time).await
     }
 }
 
@@ -276,7 +386,87 @@ mod tests {
         let client = SwiftestClient::new(low_rate_model(), WireTestConfig::default());
         let dead: SocketAddr = "127.0.0.1:1".parse().unwrap();
         let err = client.select_server(&[dead]).await.unwrap_err();
-        assert!(matches!(err, WireError::NoServerReachable));
+        assert!(matches!(err, WireError::NoServerReachable { .. }));
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn an_all_dead_fleet_errors_promptly() {
+        // Three dead candidates, two ping rounds with backoff: the typed
+        // error must arrive well inside (rounds × ping_timeout + backoff),
+        // not hang until some outer deadline.
+        let client = SwiftestClient::new(low_rate_model(), WireTestConfig::default());
+        let fleet: Vec<SocketAddr> = vec![
+            "127.0.0.1:1".parse().unwrap(),
+            "127.0.0.1:2".parse().unwrap(),
+            "127.0.0.1:3".parse().unwrap(),
+        ];
+        let t0 = tokio::time::Instant::now();
+        let err = client.measure(&fleet).await.unwrap_err();
+        let elapsed = t0.elapsed();
+        match err {
+            WireError::NoServerReachable { attempted, rounds } => {
+                assert_eq!(attempted, 3);
+                assert_eq!(rounds, 2);
+            }
+            other => panic!("expected NoServerReachable, got {other}"),
+        }
+        assert!(elapsed < Duration::from_secs(3), "took {elapsed:?}");
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn a_partially_dead_fleet_still_selects_the_live_server() {
+        let (servers, mut addrs) = spawn_local_fleet(1, None).await.unwrap();
+        let live = addrs[0];
+        addrs.insert(0, "127.0.0.1:1".parse().unwrap());
+        addrs.push("127.0.0.1:2".parse().unwrap());
+        let client = SwiftestClient::new(low_rate_model(), WireTestConfig::default());
+        let (chosen, _rtt, _total) = client.select_server(&addrs).await.unwrap();
+        assert_eq!(chosen, live);
+        for s in servers {
+            s.shutdown().await;
+        }
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn a_stalled_server_yields_a_typed_error() {
+        // The stall server answers the PING, then never paces a byte: the
+        // client must bail with ServerStalled soon after stall_timeout,
+        // not wait out max_duration.
+        let stall = crate::faulty::StallServer::start().await.unwrap();
+        let client = SwiftestClient::new(low_rate_model(), WireTestConfig::default());
+        let t0 = tokio::time::Instant::now();
+        let err = client.measure(&[stall.local_addr()]).await.unwrap_err();
+        let elapsed = t0.elapsed();
+        assert!(
+            matches!(err, WireError::ServerStalled { .. }),
+            "expected ServerStalled, got {err}"
+        );
+        assert!(elapsed < Duration::from_secs(2), "took {elapsed:?}");
+        stall.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn fails_over_to_the_next_best_server() {
+        let _net = crate::net_test_lock().lock().await;
+        let stall = crate::faulty::StallServer::start().await.unwrap();
+        let (servers, addrs) = spawn_local_fleet(1, Some(10_000_000)).await.unwrap();
+        let client = SwiftestClient::new(low_rate_model(), WireTestConfig::default());
+        // Scripted preference order: the stalling server first, the live
+        // one second — measure_ranked must abandon the first and succeed.
+        let order = vec![stall.local_addr(), addrs[0]];
+        let report = client.measure_ranked(&order, Duration::ZERO).await.unwrap();
+        assert_eq!(report.failovers, 1);
+        assert_eq!(report.server, addrs[0]);
+        assert!(report.status.is_degraded(), "status {:?}", report.status);
+        assert!(
+            (report.estimate_mbps - 10.0).abs() < 4.0,
+            "estimate {:.1}",
+            report.estimate_mbps
+        );
+        stall.shutdown().await;
+        for s in servers {
+            s.shutdown().await;
+        }
     }
 
     #[tokio::test(flavor = "multi_thread")]

@@ -1,0 +1,194 @@
+//! Typed wire-stack errors and the retry policy.
+//!
+//! The wire client and server never `unwrap` on the hot path: every
+//! failure either maps to a [`WireError`] variant the caller can act on
+//! (retry, fail over, report a Failed outcome) or is counted and
+//! dropped. The taxonomy distinguishes the *phase* that failed, because
+//! the recovery differs: a dead PING round retries with backoff, a
+//! mid-probe stall fails over to the next-best server, a feedback loss
+//! is tolerated outright.
+
+use crate::proto::ProtoError;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// The protocol phase an error occurred in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestPhase {
+    /// Server selection (PING / PONG).
+    Ping,
+    /// Paced data probing.
+    Probe,
+    /// Client feedback on the reverse path.
+    Feedback,
+}
+
+impl std::fmt::Display for TestPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TestPhase::Ping => "ping",
+            TestPhase::Probe => "probe",
+            TestPhase::Feedback => "feedback",
+        })
+    }
+}
+
+/// Errors a wire test can hit.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// A malformed datagram where a well-formed one was required.
+    Proto(ProtoError),
+    /// No server answered any PING round, including retries.
+    NoServerReachable {
+        /// How many candidate servers were pinged per round.
+        attempted: usize,
+        /// How many ping rounds ran before giving up.
+        rounds: u32,
+    },
+    /// The selected server stopped sending mid-phase.
+    ServerStalled {
+        /// The server that went quiet.
+        server: SocketAddr,
+        /// How long the client waited without receiving anything.
+        idle: Duration,
+    },
+    /// Every ranked server was tried and each one failed.
+    AllServersFailed {
+        /// How many servers the client attempted a test against.
+        attempted: usize,
+    },
+    /// A phase overran its deadline.
+    Deadline {
+        /// The phase that timed out.
+        phase: TestPhase,
+        /// The deadline that was exceeded.
+        after: Duration,
+    },
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<ProtoError> for WireError {
+    fn from(e: ProtoError) -> Self {
+        WireError::Proto(e)
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Proto(e) => write!(f, "protocol error: {e}"),
+            WireError::NoServerReachable { attempted, rounds } => write!(
+                f,
+                "no test server answered PING ({attempted} candidates, {rounds} rounds)"
+            ),
+            WireError::ServerStalled { server, idle } => {
+                write!(f, "server {server} went quiet for {idle:?} mid-test")
+            }
+            WireError::AllServersFailed { attempted } => {
+                write!(f, "all {attempted} ranked servers failed")
+            }
+            WireError::Deadline { phase, after } => {
+                write!(f, "{phase} phase exceeded its {after:?} deadline")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            WireError::Proto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Bounded exponential backoff for retryable phases.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` means no retry.
+    pub attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single delay.
+    pub max_delay: Duration,
+    /// Growth factor between consecutive delays.
+    pub multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 2,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(1),
+            multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn no_retry() -> Self {
+        Self { attempts: 1, ..Self::default() }
+    }
+
+    /// Backoff before retry number `retry` (0-based): `base × mult^retry`,
+    /// clamped to `max_delay`.
+    pub fn delay(&self, retry: u32) -> Duration {
+        let scaled = self.base_delay.as_secs_f64() * self.multiplier.powi(retry as i32);
+        Duration::from_secs_f64(scaled.min(self.max_delay.as_secs_f64()))
+    }
+
+    /// Worst-case total time spent sleeping between attempts.
+    pub fn total_backoff(&self) -> Duration {
+        (0..self.attempts.saturating_sub(1)).map(|i| self.delay(i)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_clamps() {
+        let p = RetryPolicy {
+            attempts: 6,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_millis(500),
+            multiplier: 2.0,
+        };
+        assert_eq!(p.delay(0), Duration::from_millis(100));
+        assert_eq!(p.delay(1), Duration::from_millis(200));
+        assert_eq!(p.delay(2), Duration::from_millis(400));
+        assert_eq!(p.delay(3), Duration::from_millis(500), "clamped");
+        assert_eq!(p.delay(10), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn no_retry_has_no_backoff() {
+        let p = RetryPolicy::no_retry();
+        assert_eq!(p.attempts, 1);
+        assert_eq!(p.total_backoff(), Duration::ZERO);
+    }
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = WireError::NoServerReachable { attempted: 3, rounds: 2 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('2'), "{s}");
+        let e = WireError::AllServersFailed { attempted: 4 };
+        assert!(e.to_string().contains('4'));
+        let e: WireError = ProtoError::Truncated.into();
+        assert!(matches!(e, WireError::Proto(ProtoError::Truncated)));
+    }
+}

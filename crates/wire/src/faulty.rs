@@ -1,0 +1,482 @@
+//! Chaos-testing helpers for the real-socket stack.
+//!
+//! [`FaultyLink`] is a UDP proxy that sits between a client and a
+//! [`crate::server::UdpTestServer`] and impairs traffic the way a bad
+//! radio does: seeded-deterministic drop, duplication, reordering,
+//! corruption, and delay, plus a runtime blackout toggle that swallows
+//! everything (the wire analogue of `mbw-netsim`'s blackout windows,
+//! and a faithful model of a server stalling mid-test). [`StallServer`]
+//! is the pathological peer that looks healthy at selection time —
+//! it answers PINGs — but never paces any data.
+//!
+//! Both run entirely on loopback and are deterministic for a given seed
+//! *per direction*: each direction's impairment decisions are an
+//! independent seeded stream, so OS-level interleaving of the two
+//! directions cannot perturb either one.
+
+use crate::proto::Message;
+use mbw_stats::SeededRng;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::net::UdpSocket;
+use tokio::task::JoinHandle;
+
+/// Impairment parameters of a [`FaultyLink`].
+#[derive(Debug, Clone, Copy)]
+pub struct FaultyLinkConfig {
+    /// Probability a packet is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a packet is delivered twice.
+    pub duplicate_prob: f64,
+    /// Probability a packet is held back and released after its
+    /// successor (one-packet reorder).
+    pub reorder_prob: f64,
+    /// Probability a packet's first byte is flipped — which breaks the
+    /// protocol magic, so the receiver sees a malformed datagram.
+    pub corrupt_prob: f64,
+    /// Probability a packet is delivered late.
+    pub delay_prob: f64,
+    /// How late a delayed packet arrives.
+    pub delay: Duration,
+    /// Seed of the impairment decisions.
+    pub seed: u64,
+}
+
+impl Default for FaultyLinkConfig {
+    fn default() -> Self {
+        Self {
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            reorder_prob: 0.0,
+            corrupt_prob: 0.0,
+            delay_prob: 0.0,
+            delay: Duration::from_millis(30),
+            seed: 0,
+        }
+    }
+}
+
+impl FaultyLinkConfig {
+    /// A lossy radio: a few percent of everything at once.
+    pub fn lossy(seed: u64) -> Self {
+        Self {
+            drop_prob: 0.05,
+            duplicate_prob: 0.02,
+            reorder_prob: 0.03,
+            corrupt_prob: 0.02,
+            delay_prob: 0.02,
+            delay: Duration::from_millis(20),
+            seed,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    forwarded: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    reordered: AtomicU64,
+    corrupted: AtomicU64,
+    delayed: AtomicU64,
+    blackout_dropped: AtomicU64,
+}
+
+/// Counters observed by a [`FaultyLink`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultyLinkStats {
+    /// Packets relayed (including duplicates and delayed ones).
+    pub forwarded: u64,
+    /// Packets dropped by the loss process.
+    pub dropped: u64,
+    /// Extra copies injected by duplication.
+    pub duplicated: u64,
+    /// Packets held back for reordering.
+    pub reordered: u64,
+    /// Packets with a flipped leading byte.
+    pub corrupted: u64,
+    /// Packets delivered late.
+    pub delayed: u64,
+    /// Packets swallowed by the blackout toggle.
+    pub blackout_dropped: u64,
+}
+
+/// Per-direction impairment pipeline. Owns its own RNG so the two
+/// directions are independent deterministic streams.
+struct Shaper {
+    config: FaultyLinkConfig,
+    rng: SeededRng,
+    held: Option<Vec<u8>>,
+    stats: Arc<StatsInner>,
+}
+
+impl Shaper {
+    fn new(config: FaultyLinkConfig, tag: u64, stats: Arc<StatsInner>) -> Self {
+        Self {
+            config,
+            rng: SeededRng::new(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(tag)),
+            held: None,
+            stats,
+        }
+    }
+
+    /// Decide what to emit for one arriving packet: `(payload, delay)`
+    /// pairs, in order. May emit zero (drop / held for reorder), one, or
+    /// several (duplicate, plus a flushed held packet).
+    fn shape(&mut self, pkt: &[u8]) -> Vec<(Vec<u8>, Option<Duration>)> {
+        let mut out: Vec<(Vec<u8>, Option<Duration>)> = Vec::new();
+        if self.rng.chance(self.config.drop_prob) {
+            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            // A drop still releases a previously held packet, otherwise a
+            // tail-end reorder could park it forever.
+            if let Some(h) = self.held.take() {
+                out.push((h, None));
+            }
+            self.count_forwarded(&out);
+            return out;
+        }
+        let mut p = pkt.to_vec();
+        if !p.is_empty() && self.rng.chance(self.config.corrupt_prob) {
+            p[0] ^= 0xFF;
+            self.stats.corrupted.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.held.is_none() && self.rng.chance(self.config.reorder_prob) {
+            self.stats.reordered.fetch_add(1, Ordering::Relaxed);
+            self.held = Some(p);
+            return out;
+        }
+        let delay = if self.rng.chance(self.config.delay_prob) {
+            self.stats.delayed.fetch_add(1, Ordering::Relaxed);
+            Some(self.config.delay)
+        } else {
+            None
+        };
+        if self.rng.chance(self.config.duplicate_prob) {
+            self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+            out.push((p.clone(), delay));
+        }
+        out.push((p, delay));
+        if let Some(h) = self.held.take() {
+            out.push((h, None));
+        }
+        self.count_forwarded(&out);
+        out
+    }
+
+    fn count_forwarded(&self, out: &[(Vec<u8>, Option<Duration>)]) {
+        self.stats.forwarded.fetch_add(out.len() as u64, Ordering::Relaxed);
+    }
+}
+
+/// A chaos UDP proxy: clients talk to [`FaultyLink::local_addr`], the
+/// proxy relays to the upstream server through the impairment pipeline.
+pub struct FaultyLink {
+    local_addr: SocketAddr,
+    blackout: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
+    task: JoinHandle<()>,
+}
+
+impl FaultyLink {
+    /// Start a proxy in front of `upstream` with the given impairments.
+    pub async fn start(
+        upstream: SocketAddr,
+        config: FaultyLinkConfig,
+    ) -> std::io::Result<Self> {
+        let client_sock = Arc::new(UdpSocket::bind("127.0.0.1:0").await?);
+        let upstream_sock = Arc::new(UdpSocket::bind("127.0.0.1:0").await?);
+        upstream_sock.connect(upstream).await?;
+        let local_addr = client_sock.local_addr()?;
+        let blackout = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(StatsInner::default());
+        let up_shaper = Shaper::new(config, 1, Arc::clone(&stats));
+        let down_shaper = Shaper::new(config, 2, Arc::clone(&stats));
+        let task = tokio::spawn(relay(
+            client_sock,
+            upstream_sock,
+            Arc::clone(&blackout),
+            Arc::clone(&stats),
+            up_shaper,
+            down_shaper,
+        ));
+        Ok(Self { local_addr, blackout, stats, task })
+    }
+
+    /// The address clients should use as their "server".
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Toggle a total outage: while on, nothing crosses in either
+    /// direction. Models both a radio blackout and a stalled server.
+    pub fn set_blackout(&self, on: bool) {
+        self.blackout.store(on, Ordering::Relaxed);
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> FaultyLinkStats {
+        FaultyLinkStats {
+            forwarded: self.stats.forwarded.load(Ordering::Relaxed),
+            dropped: self.stats.dropped.load(Ordering::Relaxed),
+            duplicated: self.stats.duplicated.load(Ordering::Relaxed),
+            reordered: self.stats.reordered.load(Ordering::Relaxed),
+            corrupted: self.stats.corrupted.load(Ordering::Relaxed),
+            delayed: self.stats.delayed.load(Ordering::Relaxed),
+            blackout_dropped: self.stats.blackout_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop relaying.
+    pub async fn shutdown(self) {
+        self.task.abort();
+        let _ = self.task.await;
+    }
+}
+
+async fn relay(
+    client_sock: Arc<UdpSocket>,
+    upstream_sock: Arc<UdpSocket>,
+    blackout: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
+    mut up_shaper: Shaper,
+    mut down_shaper: Shaper,
+) {
+    let mut cbuf = vec![0u8; 2048];
+    let mut ubuf = vec![0u8; 2048];
+    let mut client_peer: Option<SocketAddr> = None;
+    loop {
+        tokio::select! {
+            r = client_sock.recv_from(&mut cbuf) => {
+                let (len, peer) = match r {
+                    Ok(x) => x,
+                    Err(_) => {
+                        // Transient loopback error; don't spin.
+                        tokio::time::sleep(Duration::from_millis(5)).await;
+                        continue;
+                    }
+                };
+                client_peer = Some(peer);
+                if blackout.load(Ordering::Relaxed) {
+                    stats.blackout_dropped.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                for (pkt, delay) in up_shaper.shape(&cbuf[..len]) {
+                    emit(&upstream_sock, None, pkt, delay).await;
+                }
+            }
+            r = upstream_sock.recv(&mut ubuf) => {
+                let len = match r {
+                    Ok(x) => x,
+                    Err(_) => {
+                        tokio::time::sleep(Duration::from_millis(5)).await;
+                        continue;
+                    }
+                };
+                if blackout.load(Ordering::Relaxed) {
+                    stats.blackout_dropped.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let Some(peer) = client_peer else { continue };
+                for (pkt, delay) in down_shaper.shape(&ubuf[..len]) {
+                    emit(&client_sock, Some(peer), pkt, delay).await;
+                }
+            }
+        }
+    }
+}
+
+/// Send now, or spawn a timer to send late. `peer` is `None` for the
+/// connected upstream socket.
+async fn emit(
+    sock: &Arc<UdpSocket>,
+    peer: Option<SocketAddr>,
+    pkt: Vec<u8>,
+    delay: Option<Duration>,
+) {
+    match delay {
+        None => {
+            let _ = match peer {
+                Some(p) => sock.send_to(&pkt, p).await,
+                None => sock.send(&pkt).await,
+            };
+        }
+        Some(d) => {
+            let sock = Arc::clone(sock);
+            tokio::spawn(async move {
+                tokio::time::sleep(d).await;
+                let _ = match peer {
+                    Some(p) => sock.send_to(&pkt, p).await,
+                    None => sock.send(&pkt).await,
+                };
+            });
+        }
+    }
+}
+
+/// A server that passes selection but never serves: PINGs are answered,
+/// every other message is swallowed. The worst kind of fleet member —
+/// exactly what client-side stall detection and failover must survive.
+pub struct StallServer {
+    local_addr: SocketAddr,
+    task: JoinHandle<()>,
+}
+
+impl StallServer {
+    /// Bind and start answering pings (and nothing else).
+    pub async fn start() -> std::io::Result<Self> {
+        let socket = UdpSocket::bind("127.0.0.1:0").await?;
+        let local_addr = socket.local_addr()?;
+        let task = tokio::spawn(async move {
+            let mut buf = vec![0u8; 2048];
+            loop {
+                let Ok((len, peer)) = socket.recv_from(&mut buf).await else {
+                    tokio::time::sleep(Duration::from_millis(5)).await;
+                    continue;
+                };
+                if let Ok(Message::Ping { nonce }) =
+                    Message::decode(bytes::Bytes::copy_from_slice(&buf[..len]))
+                {
+                    let _ = socket.send_to(&Message::Pong { nonce }.encode(), peer).await;
+                }
+            }
+        });
+        Ok(Self { local_addr, task })
+    }
+
+    /// The address to hand to a client as a candidate server.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop the server.
+    pub async fn shutdown(self) {
+        self.task.abort();
+        let _ = self.task.await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServerConfig, UdpTestServer};
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn transparent_proxy_relays_ping_pong() {
+        let server = UdpTestServer::start(ServerConfig::default()).await.unwrap();
+        let link = FaultyLink::start(server.local_addr(), FaultyLinkConfig::default())
+            .await
+            .unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        client
+            .send_to(&Message::Ping { nonce: 5 }.encode(), link.local_addr())
+            .await
+            .unwrap();
+        let mut buf = [0u8; 64];
+        let (len, _) = tokio::time::timeout(Duration::from_secs(1), client.recv_from(&mut buf))
+            .await
+            .expect("pong within a second")
+            .unwrap();
+        let msg = Message::decode(bytes::Bytes::copy_from_slice(&buf[..len])).unwrap();
+        assert_eq!(msg, Message::Pong { nonce: 5 });
+        assert!(link.stats().forwarded >= 2);
+        link.shutdown().await;
+        server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn blackout_swallows_everything() {
+        let server = UdpTestServer::start(ServerConfig::default()).await.unwrap();
+        let link = FaultyLink::start(server.local_addr(), FaultyLinkConfig::default())
+            .await
+            .unwrap();
+        link.set_blackout(true);
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        client
+            .send_to(&Message::Ping { nonce: 6 }.encode(), link.local_addr())
+            .await
+            .unwrap();
+        let mut buf = [0u8; 64];
+        let quiet =
+            tokio::time::timeout(Duration::from_millis(300), client.recv_from(&mut buf)).await;
+        assert!(quiet.is_err(), "blackout leaked a packet");
+        assert!(link.stats().blackout_dropped >= 1);
+        link.shutdown().await;
+        server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn corruption_breaks_the_magic_byte() {
+        // A corrupting one-way pipe: everything client→server corrupts.
+        let mut shaper = Shaper::new(
+            FaultyLinkConfig { corrupt_prob: 1.0, ..Default::default() },
+            1,
+            Arc::new(StatsInner::default()),
+        );
+        let wire = Message::Ping { nonce: 1 }.encode();
+        let out = shaper.shape(&wire);
+        assert_eq!(out.len(), 1);
+        let decoded = Message::decode(bytes::Bytes::from(out[0].0.clone()));
+        assert!(decoded.is_err(), "corrupted packet still decoded");
+    }
+
+    #[test]
+    fn shaping_is_deterministic_per_seed() {
+        let cfg = FaultyLinkConfig::lossy(42);
+        let mut a = Shaper::new(cfg, 1, Arc::new(StatsInner::default()));
+        let mut b = Shaper::new(cfg, 1, Arc::new(StatsInner::default()));
+        let pkt = vec![0xB7u8; 100];
+        for _ in 0..500 {
+            let oa: Vec<_> = a.shape(&pkt);
+            let ob: Vec<_> = b.shape(&pkt);
+            assert_eq!(oa, ob);
+        }
+    }
+
+    #[test]
+    fn reorder_holds_then_releases() {
+        let mut shaper = Shaper::new(
+            FaultyLinkConfig { reorder_prob: 1.0, ..Default::default() },
+            1,
+            Arc::new(StatsInner::default()),
+        );
+        let first = shaper.shape(&[0xB7, 1]);
+        assert!(first.is_empty(), "first packet should be held");
+        let second = shaper.shape(&[0xB7, 2]);
+        // Held slot is occupied, so packet 2 goes out followed by 1.
+        assert_eq!(second.len(), 2);
+        assert_eq!(second[0].0[1], 2);
+        assert_eq!(second[1].0[1], 1);
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn stall_server_answers_pings_only() {
+        let stall = StallServer::start().await.unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        client
+            .send_to(&Message::Ping { nonce: 9 }.encode(), stall.local_addr())
+            .await
+            .unwrap();
+        let mut buf = [0u8; 64];
+        let (len, _) = tokio::time::timeout(Duration::from_secs(1), client.recv_from(&mut buf))
+            .await
+            .expect("stall server answers pings")
+            .unwrap();
+        assert_eq!(
+            Message::decode(bytes::Bytes::copy_from_slice(&buf[..len])).unwrap(),
+            Message::Pong { nonce: 9 }
+        );
+        client
+            .send_to(
+                &Message::RateRequest { session: 1, rate_bps: 1_000_000 }.encode(),
+                stall.local_addr(),
+            )
+            .await
+            .unwrap();
+        let quiet =
+            tokio::time::timeout(Duration::from_millis(300), client.recv_from(&mut buf)).await;
+        assert!(quiet.is_err(), "stall server must never send data");
+        stall.shutdown().await;
+    }
+}

@@ -22,13 +22,24 @@
 //! - [`tcp`] — the flooding baseline over real TCP (a BTS-APP-style
 //!   server that writes forever and a sampling client), used to compare
 //!   against Swiftest on the same emulated link.
+//! - [`error`] — the typed failure taxonomy ([`WireError`]) and the
+//!   bounded-backoff [`RetryPolicy`]: no `unwrap` on the hot path,
+//!   every failure is actionable (retry, fail over, report Degraded).
+//! - [`faulty`] — chaos-testing helpers: [`faulty::FaultyLink`] (a
+//!   seeded UDP impairment proxy: drop / duplicate / reorder / corrupt /
+//!   delay / blackout) and [`faulty::StallServer`] (answers pings,
+//!   never paces data).
 
 pub mod client;
+pub mod error;
+pub mod faulty;
 pub mod proto;
 pub mod server;
 pub mod tcp;
 
 pub use client::{SwiftestClient, WireTestConfig, WireTestReport};
+pub use error::{RetryPolicy, TestPhase, WireError};
+pub use faulty::{FaultyLink, FaultyLinkConfig, FaultyLinkStats, StallServer};
 
 /// Serialises bulk-traffic tests within this crate's test binary:
 /// several loopback floods running in parallel distort each other's
@@ -39,5 +50,5 @@ pub fn net_test_lock() -> &'static tokio::sync::Mutex<()> {
     LOCK.get_or_init(|| tokio::sync::Mutex::new(()))
 }
 pub use proto::{Message, ProtoError};
-pub use server::{ServerConfig, UdpTestServer};
+pub use server::{ServerConfig, ServerStats, UdpTestServer};
 pub use tcp::{FloodClientConfig, FloodReport, TcpFloodServer};

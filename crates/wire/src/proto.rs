@@ -247,3 +247,84 @@ mod tests {
         }
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    //! Decode-robustness properties: `decode` is the server's first
+    //! contact with untrusted bytes, so it must never panic — only
+    //! return `Ok` or a typed `ProtoError` — for *any* input.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Arbitrary datagrams (including empty and oversized) never
+        /// panic the decoder.
+        #[test]
+        fn decode_never_panics_on_arbitrary_bytes(raw in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let _ = Message::decode(Bytes::from(raw));
+        }
+
+        /// Arbitrary bytes behind a valid header never panic either —
+        /// this forces the fuzzer past the magic/tag checks into the
+        /// per-variant field parsing.
+        #[test]
+        fn decode_never_panics_past_a_valid_header(
+            tag in 0u8..=8,
+            body in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let mut raw = Vec::with_capacity(2 + body.len());
+            raw.push(MAGIC);
+            raw.push(tag);
+            raw.extend_from_slice(&body);
+            let _ = Message::decode(Bytes::from(raw));
+        }
+
+        /// Every truncation of every variant's valid encoding fails
+        /// cleanly with `Truncated` (or a header error), never a panic
+        /// and never a bogus `Ok`.
+        #[test]
+        fn truncations_of_valid_encodings_fail_cleanly(
+            which in 0usize..6,
+            session in any::<u64>(),
+            value in any::<u64>(),
+        ) {
+            let msg = match which {
+                0 => Message::Ping { nonce: value },
+                1 => Message::Pong { nonce: value },
+                2 => Message::RateRequest { session, rate_bps: value },
+                3 => Message::Data {
+                    session,
+                    seq: value,
+                    payload: Bytes::from(vec![0u8; 32]),
+                },
+                4 => Message::Feedback { session, received_bytes: value },
+                _ => Message::Stop { session },
+            };
+            let wire = msg.encode();
+            // `Data` accepts any payload length (it is opaque padding),
+            // so truncations inside the payload still decode; cut before
+            // the payload starts for it, everywhere for the rest.
+            let cut_end = if matches!(msg, Message::Data { .. }) { 18 } else { wire.len() };
+            for cut in 0..cut_end {
+                prop_assert!(
+                    Message::decode(wire.slice(0..cut)).is_err(),
+                    "variant {which} decoded at cut {cut}"
+                );
+            }
+        }
+
+        /// Encode→decode is the identity for fuzzed field values.
+        #[test]
+        fn roundtrip_holds_for_fuzzed_fields(session in any::<u64>(), value in any::<u64>()) {
+            for msg in [
+                Message::Ping { nonce: value },
+                Message::RateRequest { session, rate_bps: value },
+                Message::Feedback { session, received_bytes: value },
+                Message::Stop { session },
+            ] {
+                prop_assert_eq!(Message::decode(msg.encode()), Ok(msg));
+            }
+        }
+    }
+}

@@ -10,6 +10,14 @@
 //! An optional `emulated_capacity_bps` cap models the client's access
 //! link, which localhost does not otherwise provide — it is the wire
 //! analogue of `mbw-netsim`'s bottleneck.
+//!
+//! The receive loop is hardened against a hostile or flaky network:
+//! malformed, truncated, and oversized datagrams are counted and
+//! dropped (never panic the loop), transient `recv_from` errors are
+//! tolerated with a bounded retry, the session table is capped, and a
+//! client that vanishes mid-session is reaped after `idle_timeout`
+//! rather than being paced at until `session_timeout`. Every dropped or
+//! reaped event is visible in [`ServerStats`].
 
 use crate::proto::Message;
 use parking_lot::Mutex;
@@ -21,6 +29,14 @@ use std::time::Duration;
 use tokio::net::UdpSocket;
 use tokio::task::JoinHandle;
 
+/// Hard cap on concurrently active sessions: beyond this, new
+/// RateRequests are refused (and counted) instead of spawning tasks.
+const MAX_SESSIONS: usize = 256;
+
+/// Consecutive `recv_from` failures after which the serve loop declares
+/// the socket dead and exits instead of spinning.
+const MAX_CONSECUTIVE_RECV_ERRORS: u32 = 16;
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -29,8 +45,11 @@ pub struct ServerConfig {
     /// Hard cap applied on top of every requested rate, emulating the
     /// client's access-link capacity. `None` = uncapped.
     pub emulated_capacity_bps: Option<u64>,
-    /// Sessions idle longer than this are reaped.
+    /// Hard ceiling on any single session's lifetime.
     pub session_timeout: Duration,
+    /// A session whose client has sent nothing (no feedback, no rate
+    /// request) for this long is presumed gone and reaped.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -39,20 +58,56 @@ impl Default for ServerConfig {
             bind: "127.0.0.1:0".parse().expect("static addr"),
             emulated_capacity_bps: None,
             session_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(2),
         }
     }
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    pings: AtomicU64,
+    malformed: AtomicU64,
+    oversized: AtomicU64,
+    recv_errors: AtomicU64,
+    sessions_started: AtomicU64,
+    sessions_reaped: AtomicU64,
+    sessions_refused: AtomicU64,
+}
+
+/// Counters the server keeps instead of panicking or logging: every
+/// hostile or broken input lands in one of these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Well-formed PINGs answered.
+    pub pings: u64,
+    /// Datagrams that failed to decode (bad magic / tag / truncated).
+    pub malformed: u64,
+    /// Datagrams at or beyond the receive buffer size, dropped unread.
+    pub oversized: u64,
+    /// `recv_from` errors tolerated.
+    pub recv_errors: u64,
+    /// Sessions spawned.
+    pub sessions_started: u64,
+    /// Sessions reaped because their client went silent.
+    pub sessions_reaped: u64,
+    /// Sessions refused because the table was full.
+    pub sessions_refused: u64,
 }
 
 struct Session {
     rate_bps: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
+    last_seen_ms: Arc<AtomicU64>,
     task: JoinHandle<()>,
 }
+
+type SessionMap = Arc<Mutex<HashMap<(SocketAddr, u64), Session>>>;
 
 /// A running UDP test server.
 pub struct UdpTestServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
     accept_task: JoinHandle<()>,
 }
 
@@ -62,14 +117,32 @@ impl UdpTestServer {
         let socket = Arc::new(UdpSocket::bind(config.bind).await?);
         let local_addr = socket.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let accept_task =
-            tokio::spawn(serve_loop(socket, config.clone(), Arc::clone(&stop)));
-        Ok(Self { local_addr, stop, accept_task })
+        let stats = Arc::new(StatsInner::default());
+        let accept_task = tokio::spawn(serve_loop(
+            socket,
+            config.clone(),
+            Arc::clone(&stop),
+            Arc::clone(&stats),
+        ));
+        Ok(Self { local_addr, stop, stats, accept_task })
     }
 
     /// The bound address (connect clients here).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Snapshot of the hardening counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            pings: self.stats.pings.load(Ordering::Relaxed),
+            malformed: self.stats.malformed.load(Ordering::Relaxed),
+            oversized: self.stats.oversized.load(Ordering::Relaxed),
+            recv_errors: self.stats.recv_errors.load(Ordering::Relaxed),
+            sessions_started: self.stats.sessions_started.load(Ordering::Relaxed),
+            sessions_reaped: self.stats.sessions_reaped.load(Ordering::Relaxed),
+            sessions_refused: self.stats.sessions_refused.load(Ordering::Relaxed),
+        }
     }
 
     /// Stop the server and all its sessions.
@@ -80,47 +153,97 @@ impl UdpTestServer {
     }
 }
 
-async fn serve_loop(socket: Arc<UdpSocket>, config: ServerConfig, stop: Arc<AtomicBool>) {
-    let sessions: Arc<Mutex<HashMap<(SocketAddr, u64), Session>>> =
-        Arc::new(Mutex::new(HashMap::new()));
+async fn serve_loop(
+    socket: Arc<UdpSocket>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
+) {
+    let sessions: SessionMap = Arc::new(Mutex::new(HashMap::new()));
+    let epoch = tokio::time::Instant::now();
     let mut buf = vec![0u8; 2048];
+    let mut consecutive_errors = 0u32;
     loop {
         if stop.load(Ordering::Relaxed) {
             break;
         }
         let (len, peer) = match socket.recv_from(&mut buf).await {
-            Ok(x) => x,
-            Err(_) => break,
+            Ok(x) => {
+                consecutive_errors = 0;
+                x
+            }
+            Err(_) => {
+                // Transient failure (ICMP-surfaced refusals and the
+                // like): count it and keep serving. Only a socket that
+                // does nothing but error is declared dead.
+                stats.recv_errors.fetch_add(1, Ordering::Relaxed);
+                consecutive_errors += 1;
+                if consecutive_errors >= MAX_CONSECUTIVE_RECV_ERRORS {
+                    break;
+                }
+                tokio::time::sleep(Duration::from_millis(10)).await;
+                continue;
+            }
         };
+        if len >= buf.len() {
+            // A datagram that fills the whole buffer was truncated by
+            // the kernel; the largest legal message is far smaller.
+            stats.oversized.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
         let msg = match Message::decode(bytes::Bytes::copy_from_slice(&buf[..len])) {
             Ok(m) => m,
-            Err(_) => continue, // garbage datagrams are dropped silently
+            Err(_) => {
+                stats.malformed.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
         };
         match msg {
             Message::Ping { nonce } => {
+                stats.pings.fetch_add(1, Ordering::Relaxed);
                 let _ = socket.send_to(&Message::Pong { nonce }.encode(), peer).await;
             }
             Message::RateRequest { session, rate_bps } => {
                 let capped = config
                     .emulated_capacity_bps
                     .map_or(rate_bps, |cap| rate_bps.min(cap));
+                let now_ms = epoch.elapsed().as_millis() as u64;
                 let mut map = sessions.lock();
                 if let Some(existing) = map.get(&(peer, session)) {
                     // Mid-test escalation: only the pacing rate changes.
                     existing.rate_bps.store(capped, Ordering::Relaxed);
+                    existing.last_seen_ms.store(now_ms, Ordering::Relaxed);
+                } else if map.len() >= MAX_SESSIONS {
+                    stats.sessions_refused.fetch_add(1, Ordering::Relaxed);
                 } else {
                     let rate = Arc::new(AtomicU64::new(capped));
                     let s_stop = Arc::new(AtomicBool::new(false));
-                    let task = tokio::spawn(pace_session(
-                        Arc::clone(&socket),
+                    let last_seen_ms = Arc::new(AtomicU64::new(now_ms));
+                    let task = tokio::spawn(pace_session(PaceParams {
+                        socket: Arc::clone(&socket),
                         peer,
                         session,
-                        Arc::clone(&rate),
-                        Arc::clone(&s_stop),
-                        config.session_timeout,
-                    ));
-                    map.insert((peer, session), Session { rate_bps: rate, stop: s_stop, task });
+                        rate_bps: Arc::clone(&rate),
+                        stop: Arc::clone(&s_stop),
+                        last_seen_ms: Arc::clone(&last_seen_ms),
+                        epoch,
+                        session_timeout: config.session_timeout,
+                        idle_timeout: config.idle_timeout,
+                        sessions: Arc::clone(&sessions),
+                        stats: Arc::clone(&stats),
+                    }));
+                    stats.sessions_started.fetch_add(1, Ordering::Relaxed);
+                    map.insert(
+                        (peer, session),
+                        Session { rate_bps: rate, stop: s_stop, last_seen_ms, task },
+                    );
                 }
+            }
+            Message::Feedback { session, .. } => {
+                // Feedback is informational for rate control, but it is
+                // the session's liveness signal: a client that stops
+                // sending it is presumed gone.
+                touch(&sessions, peer, session, epoch.elapsed().as_millis() as u64);
             }
             Message::Stop { session } => {
                 if let Some(s) = sessions.lock().remove(&(peer, session)) {
@@ -128,9 +251,8 @@ async fn serve_loop(socket: Arc<UdpSocket>, config: ServerConfig, stop: Arc<Atom
                     s.task.abort();
                 }
             }
-            // Feedback is informational in this implementation: the
-            // client steers by sending RateRequests.
-            Message::Feedback { .. } | Message::Pong { .. } | Message::Data { .. } => {}
+            // Unexpected on the server side; ignore.
+            Message::Pong { .. } | Message::Data { .. } => {}
         }
     }
     for (_, s) in sessions.lock().drain() {
@@ -139,30 +261,56 @@ async fn serve_loop(socket: Arc<UdpSocket>, config: ServerConfig, stop: Arc<Atom
     }
 }
 
-/// The paced sender: a 5 ms token-bucket tick emitting data packets.
-async fn pace_session(
+/// Record client liveness for a session, if it exists.
+fn touch(sessions: &SessionMap, peer: SocketAddr, session: u64, now_ms: u64) {
+    if let Some(s) = sessions.lock().get(&(peer, session)) {
+        s.last_seen_ms.store(now_ms, Ordering::Relaxed);
+    }
+}
+
+/// Everything one paced sender needs, bundled to keep the spawn site
+/// readable.
+struct PaceParams {
     socket: Arc<UdpSocket>,
     peer: SocketAddr,
     session: u64,
     rate_bps: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
-    timeout: Duration,
-) {
+    last_seen_ms: Arc<AtomicU64>,
+    epoch: tokio::time::Instant,
+    session_timeout: Duration,
+    idle_timeout: Duration,
+    sessions: SessionMap,
+    stats: Arc<StatsInner>,
+}
+
+/// The paced sender: a 5 ms token-bucket tick emitting data packets.
+/// Exits on Stop, on the session-lifetime ceiling, or when the client
+/// goes silent past `idle_timeout`; always removes itself from the
+/// session table on the way out.
+async fn pace_session(p: PaceParams) {
     const TICK: Duration = Duration::from_millis(5);
     let mut interval = tokio::time::interval(TICK);
     interval.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Skip);
     let mut seq = 0u64;
     let mut credit_bytes = 0.0f64;
     let started = tokio::time::Instant::now();
-    let template = Message::data_packet(session, 0);
+    let template = Message::data_packet(p.session, 0);
     // Encode once; patch the seq field (bytes 10..18) per packet.
     let base = template.encode().to_vec();
+    let idle_ms = p.idle_timeout.as_millis() as u64;
     loop {
         interval.tick().await;
-        if stop.load(Ordering::Relaxed) || started.elapsed() > timeout {
+        if p.stop.load(Ordering::Relaxed) || started.elapsed() > p.session_timeout {
             break;
         }
-        let rate = rate_bps.load(Ordering::Relaxed) as f64;
+        let now_ms = p.epoch.elapsed().as_millis() as u64;
+        if now_ms.saturating_sub(p.last_seen_ms.load(Ordering::Relaxed)) > idle_ms {
+            // The client vanished mid-session: stop pacing at a ghost.
+            p.stats.sessions_reaped.fetch_add(1, Ordering::Relaxed);
+            break;
+        }
+        let rate = p.rate_bps.load(Ordering::Relaxed) as f64;
         credit_bytes += rate * TICK.as_secs_f64() / 8.0;
         // Cap the burst at two ticks' worth so a stalled task cannot
         // flood the loopback.
@@ -173,11 +321,14 @@ async fn pace_session(
             pkt[10..18].copy_from_slice(&seq.to_be_bytes());
             seq += 1;
             credit_bytes -= packet_len;
-            if socket.send_to(&pkt, peer).await.is_err() {
-                return;
+            if p.socket.send_to(&pkt, p.peer).await.is_err() {
+                break;
             }
         }
     }
+    // Self-removal keeps the table bounded when sessions end without a
+    // Stop (timeout / reap). A no-op if Stop already removed us.
+    p.sessions.lock().remove(&(p.peer, p.session));
 }
 
 #[cfg(test)]
@@ -328,6 +479,61 @@ mod tests {
         .await
         .expect("server alive after junk");
         assert_eq!(reply, Message::Pong { nonce: 7 });
+        let stats = server.stats();
+        assert!(stats.malformed >= 4, "malformed {}", stats.malformed);
+        assert_eq!(stats.pings, 1);
+        server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn oversized_datagrams_are_counted_and_dropped() {
+        let server = UdpTestServer::start(ServerConfig::default()).await.unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        // 4 KiB of valid-looking magic: overflows the 2 KiB receive
+        // buffer, so the kernel truncates it and the server drops it.
+        let huge = vec![0xB7u8; 4096];
+        client.send_to(&huge, server.local_addr()).await.unwrap();
+        client
+            .send_to(&Message::Ping { nonce: 11 }.encode(), server.local_addr())
+            .await
+            .unwrap();
+        let reply = tokio::time::timeout(Duration::from_millis(500), recv_msg(&client))
+            .await
+            .expect("server alive after oversized datagram");
+        assert_eq!(reply, Message::Pong { nonce: 11 });
+        assert_eq!(server.stats().oversized, 1);
+        server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn a_vanished_client_is_reaped() {
+        let server = UdpTestServer::start(ServerConfig {
+            idle_timeout: Duration::from_millis(250),
+            ..Default::default()
+        })
+        .await
+        .unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        client
+            .send_to(
+                &Message::RateRequest { session: 12, rate_bps: 2_000_000 }.encode(),
+                server.local_addr(),
+            )
+            .await
+            .unwrap();
+        // Prove the stream started, then "vanish": no feedback, no stop.
+        let _ = recv_msg(&client).await;
+        tokio::time::sleep(Duration::from_millis(600)).await;
+        assert_eq!(server.stats().sessions_reaped, 1, "{:?}", server.stats());
+        // After reaping, the stream must be quiet (drain in-flight first).
+        let mut buf = vec![0u8; 2048];
+        while tokio::time::timeout(Duration::from_millis(50), client.recv_from(&mut buf))
+            .await
+            .is_ok()
+        {}
+        let quiet =
+            tokio::time::timeout(Duration::from_millis(300), client.recv_from(&mut buf)).await;
+        assert!(quiet.is_err(), "reaped session kept pacing");
         server.shutdown().await;
     }
 

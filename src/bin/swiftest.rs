@@ -50,11 +50,11 @@ fn serve(args: &[String]) {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--capacity" => {
-                let v: f64 = it.next().map(|s| s.parse().ok()).flatten().unwrap_or_else(|| usage());
+                let v: f64 = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
                 capacity = Some((v * 1e6) as u64);
             }
             "--port" => {
-                port = it.next().map(|s| s.parse().ok()).flatten().unwrap_or_else(|| usage());
+                port = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
             _ => usage(),
         }
@@ -65,6 +65,7 @@ fn serve(args: &[String]) {
             bind: format!("0.0.0.0:{port}").parse().expect("valid bind"),
             emulated_capacity_bps: capacity,
             session_timeout: std::time::Duration::from_secs(30),
+            ..Default::default()
         })
         .await
         .expect("bind server");
@@ -100,6 +101,10 @@ fn measure(args: &[String]) {
                 );
                 println!("data usage  {:>8.2} MB", report.data_bytes as f64 / 1e6);
                 println!("server      {}", report.server);
+                println!("status      {}", report.status);
+                if report.failovers > 0 {
+                    println!("failovers   {:>8}", report.failovers);
+                }
             }
             Err(e) => {
                 eprintln!("test failed: {e}");

@@ -1,0 +1,317 @@
+//! Chaos suite: fault injection against both the simulated harness and
+//! the real-socket wire stack.
+//!
+//! Four fault classes, each exercised end to end:
+//!
+//! 1. **Blackout** — `FaultPlan`/`FaultInjection` windows in the
+//!    simulator; `FaultyLink::set_blackout` on real sockets.
+//! 2. **Burst loss** — `FaultKind::BurstLoss` windows in the simulator;
+//!    a lossy `FaultyLink` on real sockets.
+//! 3. **Server stall** — `StallServer`, the fleet member that answers
+//!    PINGs but never paces a byte.
+//! 4. **Malformed datagrams** — garbage, truncated, and oversized frames
+//!    blasted at a serving `UdpTestServer` mid-test.
+//!
+//! Every test is deadline-bounded (nothing may hang), nothing may panic,
+//! and the simulated campaigns are bit-deterministic under a fixed seed.
+
+use mobile_bandwidth::core::estimator::ConvergenceEstimator;
+use mobile_bandwidth::core::probe::{run_swiftest, SwiftestConfig};
+use mobile_bandwidth::core::{AccessScenario, FaultInjection, FluctuationClass, TechClass};
+use mobile_bandwidth::netsim::{
+    FaultKind, FaultPlan, FaultWindow, PathConfig, PathModel, SimTime,
+};
+use mobile_bandwidth::stats::Gmm;
+use mobile_bandwidth::wire::{
+    FaultyLink, FaultyLinkConfig, ServerConfig, StallServer, SwiftestClient, UdpTestServer,
+    WireTestConfig,
+};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Hard ceiling on one simulated Swiftest run (the 4.5 s cap + slack).
+const SIM_DEADLINE: Duration = Duration::from_millis(4_600);
+/// Hard ceiling on one real-socket test, selection included.
+const WIRE_DEADLINE: Duration = Duration::from_secs(8);
+
+/// Serialises the loopback bulk-traffic tests so their pacing does not
+/// contend (the test harness runs this binary's tests in parallel).
+fn net_lock() -> &'static tokio::sync::Mutex<()> {
+    static LOCK: OnceLock<tokio::sync::Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| tokio::sync::Mutex::new(()))
+}
+
+fn flat_path(mbps: f64, rtt_ms: u64) -> PathModel {
+    PathModel::new(PathConfig::constant(mbps * 1e6, Duration::from_millis(rtt_ms)))
+}
+
+/// Low modal ladder (8 → 24 → 48 Mbps) so loopback pacing is reliable.
+fn wire_model() -> Gmm {
+    Gmm::from_triples(&[(0.55, 8.0, 1.5), (0.30, 24.0, 4.0), (0.15, 48.0, 6.0)])
+        .expect("valid model")
+}
+
+// ---------------------------------------------------------------------
+// Fault class 1: blackout, simulated.
+// ---------------------------------------------------------------------
+
+#[test]
+fn sim_mid_test_blackout_terminates_degraded_within_deadline() {
+    let scenario = AccessScenario::default_for(TechClass::Wifi);
+    let drawn = (0..100)
+        .map(|seed| scenario.draw(seed))
+        .find(|d| d.class == FluctuationClass::Stable)
+        .expect("stable draws dominate the mix")
+        .with_faults(FaultInjection::Blackout { start_ms: 300, duration_ms: 500 });
+    let mut est = ConvergenceEstimator::swiftest();
+    let r = run_swiftest(drawn.build(), &scenario.model, &mut est, &SwiftestConfig::default(), 1);
+    assert!(r.duration <= SIM_DEADLINE, "blackout run overran: {:?}", r.duration);
+    assert!(r.status.is_degraded(), "status {:?}", r.status);
+    // The partial estimate must not be wildly off: zero windows are
+    // excluded from convergence, so the estimate tracks the live phases.
+    let dev = (r.estimate_mbps - drawn.truth_mbps).abs() / drawn.truth_mbps;
+    assert!(dev < 0.3, "estimate {:.1} vs truth {:.1}", r.estimate_mbps, drawn.truth_mbps);
+}
+
+// ---------------------------------------------------------------------
+// Fault class 2: burst loss (and friends), simulated.
+// ---------------------------------------------------------------------
+
+#[test]
+fn sim_burst_loss_keeps_the_estimate_usable() {
+    let model = TechClass::Wifi.default_model();
+    let path = flat_path(100.0, 20).with_faults(FaultPlan::scripted(vec![FaultWindow {
+        start: SimTime::from_millis(300),
+        duration: Duration::from_millis(400),
+        kind: FaultKind::BurstLoss { loss_prob: 0.25 },
+    }]));
+    let mut est = ConvergenceEstimator::swiftest();
+    let r = run_swiftest(path, &model, &mut est, &SwiftestConfig::default(), 2);
+    assert!(r.duration <= SIM_DEADLINE, "{:?}", r.duration);
+    assert!(r.status.is_usable(), "status {:?}", r.status);
+    assert!((r.estimate_mbps - 100.0).abs() < 25.0, "estimate {:.1}", r.estimate_mbps);
+}
+
+#[test]
+fn sim_capacity_collapse_recovers() {
+    let model = TechClass::Wifi.default_model();
+    // 300 ms = six sample windows, too few for the stop rule to converge
+    // *inside* the collapse — the estimate must reflect the recovery.
+    let path = flat_path(80.0, 20).with_faults(FaultPlan::scripted(vec![FaultWindow {
+        start: SimTime::from_millis(400),
+        duration: Duration::from_millis(300),
+        kind: FaultKind::CapacityCollapse { factor: 0.25 },
+    }]));
+    let mut est = ConvergenceEstimator::swiftest();
+    let r = run_swiftest(path, &model, &mut est, &SwiftestConfig::default(), 3);
+    assert!(r.duration <= SIM_DEADLINE, "{:?}", r.duration);
+    assert!(r.status.is_usable(), "status {:?}", r.status);
+    assert!((r.estimate_mbps - 80.0).abs() < 20.0, "estimate {:.1}", r.estimate_mbps);
+}
+
+// ---------------------------------------------------------------------
+// Seeded chaos campaign: mixed fault episodes, deterministic.
+// ---------------------------------------------------------------------
+
+#[test]
+fn sim_chaos_campaign_is_bounded_and_deterministic() {
+    let scenario = AccessScenario::default_for(TechClass::Nr).with_fault_rate(1.0);
+    let run = |seed: u64| {
+        let drawn = scenario.draw(seed);
+        let mut est = ConvergenceEstimator::swiftest();
+        run_swiftest(drawn.build(), &scenario.model, &mut est, &SwiftestConfig::default(), seed)
+    };
+    let mut imperfect = 0;
+    for seed in 0..25u64 {
+        let a = run(seed);
+        let b = run(seed);
+        assert!(a.duration <= SIM_DEADLINE, "seed {seed}: {:?}", a.duration);
+        assert_eq!(a.estimate_mbps, b.estimate_mbps, "seed {seed} not deterministic");
+        assert_eq!(a.status, b.status, "seed {seed} status not deterministic");
+        assert_eq!(a.duration, b.duration, "seed {seed} duration not deterministic");
+        if !a.status.is_complete() {
+            imperfect += 1;
+        }
+    }
+    // Every path carries a mobile fault-episode mix; some runs must have
+    // visibly felt it (otherwise the injection is not reaching the path).
+    assert!(imperfect > 0, "no run was affected by injected faults");
+}
+
+// ---------------------------------------------------------------------
+// Fault class 1 again: blackout, real sockets.
+// ---------------------------------------------------------------------
+
+#[tokio::test(flavor = "multi_thread")]
+async fn wire_mid_test_blackout_terminates_degraded_within_deadline() {
+    let _net = net_lock().lock().await;
+    let server = UdpTestServer::start(ServerConfig {
+        emulated_capacity_bps: Some(10_000_000),
+        ..Default::default()
+    })
+    .await
+    .expect("server");
+    let link = FaultyLink::start(server.local_addr(), FaultyLinkConfig::default())
+        .await
+        .expect("proxy");
+    let addr = link.local_addr();
+    let task = tokio::spawn(async move {
+        let client = SwiftestClient::new(wire_model(), WireTestConfig::default());
+        client.measure(&[addr]).await
+    });
+    // Let the probe get going, then pull the plug for 250 ms — shorter
+    // than the client's stall timeout, so the test resumes afterwards.
+    tokio::time::sleep(Duration::from_millis(300)).await;
+    link.set_blackout(true);
+    tokio::time::sleep(Duration::from_millis(250)).await;
+    link.set_blackout(false);
+
+    let report = tokio::time::timeout(WIRE_DEADLINE, task)
+        .await
+        .expect("test must finish inside the deadline")
+        .expect("join")
+        .expect("a transient blackout must not fail the test");
+    assert!(report.status.is_degraded(), "status {:?}", report.status);
+    assert!(report.estimate_mbps > 0.0, "partial estimate expected");
+    assert!(link.stats().blackout_dropped > 0, "blackout never engaged");
+    link.shutdown().await;
+    server.shutdown().await;
+}
+
+// ---------------------------------------------------------------------
+// Fault class 2 again: burst loss, real sockets.
+// ---------------------------------------------------------------------
+
+#[tokio::test(flavor = "multi_thread")]
+async fn wire_lossy_link_still_measures() {
+    let _net = net_lock().lock().await;
+    let server = UdpTestServer::start(ServerConfig {
+        emulated_capacity_bps: Some(10_000_000),
+        ..Default::default()
+    })
+    .await
+    .expect("server");
+    // Seeded chaos: drop/dup/reorder/corrupt/delay a few percent of
+    // everything, each link an independent deterministic stream. Three
+    // lossy paths to the same server serve as failover candidates: the
+    // initial RateRequest has no retransmission, so a seed whose first
+    // upstream draw is a drop stalls that path — failover (itself under
+    // test) moves to the next, and three independent streams make a
+    // total wipe-out astronomically unlikely.
+    let mut links = Vec::new();
+    let mut order = Vec::new();
+    for seed in [9u64, 10, 11] {
+        let link = FaultyLink::start(server.local_addr(), FaultyLinkConfig::lossy(seed))
+            .await
+            .expect("proxy");
+        order.push(link.local_addr());
+        links.push(link);
+    }
+    let client = SwiftestClient::new(wire_model(), WireTestConfig::default());
+    let report =
+        tokio::time::timeout(WIRE_DEADLINE, client.measure_ranked(&order, Duration::ZERO))
+            .await
+            .expect("test must finish inside the deadline")
+            .expect("a lossy link must not fail the test");
+    assert!(
+        report.estimate_mbps > 2.0 && report.estimate_mbps < 20.0,
+        "estimate {:.1} Mbps through a lossy link",
+        report.estimate_mbps
+    );
+    let total: u64 = links
+        .iter()
+        .map(|l| {
+            let s = l.stats();
+            s.dropped + s.corrupted + s.duplicated
+        })
+        .sum();
+    assert!(total > 0, "chaos never engaged");
+    for link in links {
+        link.shutdown().await;
+    }
+    server.shutdown().await;
+}
+
+// ---------------------------------------------------------------------
+// Fault class 3: server stall + failover, real sockets.
+// ---------------------------------------------------------------------
+
+#[tokio::test(flavor = "multi_thread")]
+async fn wire_stalling_server_fails_over_and_flags_degraded() {
+    let _net = net_lock().lock().await;
+    let stall = StallServer::start().await.expect("stall server");
+    let live = UdpTestServer::start(ServerConfig {
+        emulated_capacity_bps: Some(10_000_000),
+        ..Default::default()
+    })
+    .await
+    .expect("server");
+    let client = SwiftestClient::new(wire_model(), WireTestConfig::default());
+    // Scripted preference order: the stalling server ranks first.
+    let order = vec![stall.local_addr(), live.local_addr()];
+    let report = tokio::time::timeout(WIRE_DEADLINE, client.measure_ranked(&order, Duration::ZERO))
+        .await
+        .expect("failover must finish inside the deadline")
+        .expect("the live server should rescue the test");
+    assert_eq!(report.failovers, 1);
+    assert_eq!(report.server, live.local_addr());
+    assert!(report.status.is_degraded(), "status {:?}", report.status);
+    assert!(report.estimate_mbps > 2.0, "estimate {:.1}", report.estimate_mbps);
+    stall.shutdown().await;
+    live.shutdown().await;
+}
+
+// ---------------------------------------------------------------------
+// Fault class 4: malformed datagrams, real sockets.
+// ---------------------------------------------------------------------
+
+#[tokio::test(flavor = "multi_thread")]
+async fn wire_garbage_blast_does_not_disturb_a_running_test() {
+    let _net = net_lock().lock().await;
+    let server = UdpTestServer::start(ServerConfig {
+        emulated_capacity_bps: Some(10_000_000),
+        ..Default::default()
+    })
+    .await
+    .expect("server");
+    let addr = server.local_addr();
+    let task = tokio::spawn(async move {
+        let client = SwiftestClient::new(wire_model(), WireTestConfig::default());
+        client.measure(&[addr]).await
+    });
+    tokio::time::sleep(Duration::from_millis(100)).await;
+
+    // Attack traffic: wrong magic, bare magic, bad tag, truncated PING,
+    // and an oversized frame — all while the legitimate test runs.
+    let attacker = tokio::net::UdpSocket::bind("127.0.0.1:0").await.expect("bind");
+    let wrong_magic = [0x00u8, 0x01, 0x02];
+    let bare_magic = [0xB7u8];
+    let bad_tag = [0xB7u8, 0xFF, 0, 0];
+    let truncated_ping = [0xB7u8, 0x01];
+    let oversized = [0xB7u8; 4096];
+    let frames: [&[u8]; 5] =
+        [&wrong_magic, &bare_magic, &bad_tag, &truncated_ping, &oversized];
+    for _ in 0..40 {
+        for f in frames {
+            let _ = attacker.send_to(f, addr).await;
+        }
+        // Pace the blast so the server's receive queue drains between
+        // rounds — the point is malformed input, not queue overflow.
+        tokio::time::sleep(Duration::from_millis(2)).await;
+    }
+
+    let report = tokio::time::timeout(WIRE_DEADLINE, task)
+        .await
+        .expect("test must finish inside the deadline")
+        .expect("join")
+        .expect("garbage at the server must not fail a legitimate test");
+    assert!(
+        report.estimate_mbps > 2.0 && report.estimate_mbps < 20.0,
+        "estimate {:.1} Mbps under attack",
+        report.estimate_mbps
+    );
+    let stats = server.stats();
+    assert!(stats.malformed >= 50, "malformed counted: {}", stats.malformed);
+    assert!(stats.oversized >= 10, "oversized counted: {}", stats.oversized);
+    server.shutdown().await;
+}

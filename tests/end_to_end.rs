@@ -24,7 +24,7 @@ fn fitted_5g_model() -> Gmm {
     .generate();
     let bw: Vec<f64> = records
         .iter()
-        .filter(|r| r.tech == AccessTech::Cellular5g)
+        .filter(|r| r.tech == AccessTech::Cellular5g && r.outcome.is_usable())
         .map(|r| r.bandwidth_mbps)
         .collect();
     assert!(bw.len() > 5_000, "enough 5G records to fit from");
