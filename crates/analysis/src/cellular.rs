@@ -30,7 +30,13 @@ pub struct CdfFigure {
 impl CdfFigure {
     fn new(title: &'static str, bw: &[f64]) -> Self {
         let ecdf = Ecdf::new(bw);
-        Self { title, mean: ecdf.mean(), median: ecdf.median(), max: ecdf.max(), ecdf }
+        Self {
+            title,
+            mean: ecdf.mean(),
+            median: ecdf.median(),
+            max: ecdf.max(),
+            ecdf,
+        }
     }
 }
 
@@ -123,16 +129,27 @@ pub fn fig05_06(records: &[TestRecord]) -> LteBandFigure {
     }
     LteBandFigure {
         rows,
-        h_band_share: if total == 0 { 0.0 } else { h_count as f64 / total as f64 },
-        band3_share: if total == 0 { 0.0 } else { b3_count as f64 / total as f64 },
+        h_band_share: if total == 0 {
+            0.0
+        } else {
+            h_count as f64 / total as f64
+        },
+        band3_share: if total == 0 {
+            0.0
+        } else {
+            b3_count as f64 / total as f64
+        },
     }
 }
 
 impl Render for LteBandFigure {
     fn render(&self) -> String {
-        let mut out =
-            String::from("Figs 5-6: LTE bands - mean bandwidth and test counts\n");
-        let _ = writeln!(out, "{:<6} {:<7} {:>10} {:>10}", "band", "class", "mean Mbps", "tests");
+        let mut out = String::from("Figs 5-6: LTE bands - mean bandwidth and test counts\n");
+        let _ = writeln!(
+            out,
+            "{:<6} {:<7} {:>10} {:>10}",
+            "band", "class", "mean Mbps", "tests"
+        );
         for (band, h, m, n) in &self.rows {
             let _ = writeln!(
                 out,
@@ -186,7 +203,11 @@ pub fn fig08_09(records: &[TestRecord]) -> NrBandFigure {
 impl Render for NrBandFigure {
     fn render(&self) -> String {
         let mut out = String::from("Figs 8-9: NR bands - mean bandwidth and test counts\n");
-        let _ = writeln!(out, "{:<6} {:<10} {:>10} {:>10}", "band", "origin", "mean Mbps", "tests");
+        let _ = writeln!(
+            out,
+            "{:<6} {:<10} {:>10} {:>10}",
+            "band", "origin", "mean Mbps", "tests"
+        );
         for (band, refarmed, m, n) in &self.rows {
             let _ = writeln!(
                 out,
@@ -226,8 +247,11 @@ pub fn fig10(records: &[TestRecord]) -> Fig10 {
 impl Fig10 {
     /// Mean bandwidth over an inclusive hour window.
     pub fn mean_over(&self, from: u8, to: u8) -> f64 {
-        let rows: Vec<&(u8, usize, f64)> =
-            self.rows.iter().filter(|(h, n, _)| *h >= from && *h <= to && *n > 0).collect();
+        let rows: Vec<&(u8, usize, f64)> = self
+            .rows
+            .iter()
+            .filter(|(h, n, _)| *h >= from && *h <= to && *n > 0)
+            .collect();
         if rows.is_empty() {
             return 0.0;
         }
@@ -237,7 +261,11 @@ impl Fig10 {
 
     /// Test volume over an inclusive hour window.
     pub fn tests_over(&self, from: u8, to: u8) -> usize {
-        self.rows.iter().filter(|(h, _, _)| *h >= from && *h <= to).map(|(_, n, _)| n).sum()
+        self.rows
+            .iter()
+            .filter(|(h, _, _)| *h >= from && *h <= to)
+            .map(|(_, n, _)| n)
+            .sum()
     }
 }
 
@@ -266,8 +294,7 @@ pub fn fig11_12(records: &[TestRecord]) -> RssFigure {
             let tests: Vec<&TestRecord> = records
                 .iter()
                 .filter(|r| {
-                    r.tech == AccessTech::Cellular5g
-                        && r.cell().map(|c| c.rss_level) == Some(level)
+                    r.tech == AccessTech::Cellular5g && r.cell().map(|c| c.rss_level) == Some(level)
                 })
                 .collect();
             let snr: Vec<f64> = tests.iter().map(|r| r.cell().unwrap().snr_db).collect();
@@ -318,7 +345,12 @@ mod tests {
     use mbw_dataset::{DatasetConfig, Generator, Year};
 
     fn y2021(tests: usize, seed: u64) -> Vec<TestRecord> {
-        Generator::new(DatasetConfig { seed, tests, year: Year::Y2021 }).generate()
+        Generator::new(DatasetConfig {
+            seed,
+            tests,
+            year: Year::Y2021,
+        })
+        .generate()
     }
 
     #[test]
@@ -326,26 +358,59 @@ mod tests {
         let records = y2021(400_000, 201);
         let fig = fig04(&records);
         assert!((fig.cdf.mean - 53.0).abs() < 8.0, "mean {}", fig.cdf.mean);
-        assert!((fig.cdf.median - 22.0).abs() < 7.0, "median {}", fig.cdf.median);
+        assert!(
+            (fig.cdf.median - 22.0).abs() < 7.0,
+            "median {}",
+            fig.cdf.median
+        );
         assert!(fig.cdf.max <= 813.0);
-        assert!((fig.below_10 - 0.263).abs() < 0.07, "below10 {}", fig.below_10);
-        assert!((fig.above_300 - 0.068).abs() < 0.025, "above300 {}", fig.above_300);
-        assert!((fig.mean_above_300 - 403.0).abs() < 40.0, "fast mean {}", fig.mean_above_300);
+        assert!(
+            (fig.below_10 - 0.263).abs() < 0.07,
+            "below10 {}",
+            fig.below_10
+        );
+        assert!(
+            (fig.above_300 - 0.068).abs() < 0.025,
+            "above300 {}",
+            fig.above_300
+        );
+        assert!(
+            (fig.mean_above_300 - 403.0).abs() < 40.0,
+            "fast mean {}",
+            fig.mean_above_300
+        );
     }
 
     #[test]
     fn fig05_06_band_structure() {
         let records = y2021(400_000, 203);
         let fig = fig05_06(&records);
-        assert!((fig.h_band_share - 0.856).abs() < 0.06, "H share {}", fig.h_band_share);
-        assert!((fig.band3_share - 0.55).abs() < 0.08, "B3 share {}", fig.band3_share);
-        let mean_of = |id: LteBandId| {
-            fig.rows.iter().find(|(b, _, _, _)| *b == id).unwrap().2
-        };
+        assert!(
+            (fig.h_band_share - 0.856).abs() < 0.06,
+            "H share {}",
+            fig.h_band_share
+        );
+        assert!(
+            (fig.band3_share - 0.55).abs() < 0.08,
+            "B3 share {}",
+            fig.band3_share
+        );
+        let mean_of = |id: LteBandId| fig.rows.iter().find(|(b, _, _, _)| *b == id).unwrap().2;
         // Fig 5 anchors (±35%): B3 55, B1 63, B41 58, B8 28-ish.
-        assert!((mean_of(LteBandId::B3) - 55.0).abs() < 12.0, "B3 {}", mean_of(LteBandId::B3));
-        assert!((mean_of(LteBandId::B1) - 63.0).abs() < 15.0, "B1 {}", mean_of(LteBandId::B1));
-        assert!(mean_of(LteBandId::B8) < mean_of(LteBandId::B3), "L-band below workhorse");
+        assert!(
+            (mean_of(LteBandId::B3) - 55.0).abs() < 12.0,
+            "B3 {}",
+            mean_of(LteBandId::B3)
+        );
+        assert!(
+            (mean_of(LteBandId::B1) - 63.0).abs() < 15.0,
+            "B1 {}",
+            mean_of(LteBandId::B1)
+        );
+        assert!(
+            mean_of(LteBandId::B8) < mean_of(LteBandId::B3),
+            "L-band below workhorse"
+        );
     }
 
     #[test]
@@ -384,12 +449,19 @@ mod tests {
         let trough = fig.mean_over(21, 22);
         let peak = fig.mean_over(3, 4);
         let afternoon = fig.mean_over(15, 16);
-        assert!(trough < afternoon, "trough {trough} vs afternoon {afternoon}");
+        assert!(
+            trough < afternoon,
+            "trough {trough} vs afternoon {afternoon}"
+        );
         assert!(peak > afternoon, "peak {peak} vs afternoon {afternoon}");
         // Volume: 15–17 h has ~25% more tests than 21–23 h.
         let v_pm = fig.tests_over(15, 16) as f64;
         let v_night = fig.tests_over(21, 22) as f64;
-        assert!((v_pm / v_night - 1.25).abs() < 0.2, "volume ratio {}", v_pm / v_night);
+        assert!(
+            (v_pm / v_night - 1.25).abs() < 0.2,
+            "volume ratio {}",
+            v_pm / v_night
+        );
     }
 
     #[test]
@@ -422,7 +494,10 @@ mod tests {
         let records = y2021(600_000, 217);
         let rows = lte_rss_means(&records);
         for w in rows.windows(2) {
-            assert!(w[1].1 > w[0].1, "4G RSS-bandwidth must stay positive: {rows:?}");
+            assert!(
+                w[1].1 > w[0].1,
+                "4G RSS-bandwidth must stay positive: {rows:?}"
+            );
         }
     }
 

@@ -36,7 +36,11 @@ pub fn hardware_illusion(records: &[TestRecord], tech: AccessTech) -> HardwareIl
             .collect();
         mean(&bw)
     };
-    let unconditional = (of_tier(DeviceTier::Low), of_tier(DeviceTier::Mid), of_tier(DeviceTier::High));
+    let unconditional = (
+        of_tier(DeviceTier::Low),
+        of_tier(DeviceTier::Mid),
+        of_tier(DeviceTier::High),
+    );
 
     let mut within = Vec::new();
     for version in 5u8..=12 {
@@ -46,9 +50,7 @@ pub fn hardware_illusion(records: &[TestRecord], tech: AccessTech) -> HardwareIl
                 let bw: Vec<f64> = records
                     .iter()
                     .filter(|r| {
-                        r.tech == tech
-                            && r.android_version == version
-                            && r.device_tier == tier
+                        r.tech == tech && r.android_version == version && r.device_tier == tier
                     })
                     .map(|r| r.bandwidth_mbps)
                     .collect();
@@ -60,7 +62,12 @@ pub fn hardware_illusion(records: &[TestRecord], tech: AccessTech) -> HardwareIl
         }
     }
     let max_within_std = within.iter().map(|(_, s)| *s).fold(0.0, f64::max);
-    HardwareIllusion { tech, unconditional, within_version_std: within, max_within_std }
+    HardwareIllusion {
+        tech,
+        unconditional,
+        within_version_std: within,
+        max_within_std,
+    }
 }
 
 impl Render for HardwareIllusion {
@@ -91,8 +98,12 @@ mod tests {
     use mbw_dataset::{DatasetConfig, Generator, Year};
 
     fn records() -> Vec<TestRecord> {
-        Generator::new(DatasetConfig { seed: 601, tests: 600_000, year: Year::Y2021 })
-            .generate()
+        Generator::new(DatasetConfig {
+            seed: 601,
+            tests: 600_000,
+            year: Year::Y2021,
+        })
+        .generate()
     }
 
     #[test]
@@ -111,7 +122,11 @@ mod tests {
     #[test]
     fn conditioning_on_android_collapses_the_effect() {
         let recs = records();
-        for tech in [AccessTech::Cellular4g, AccessTech::Cellular5g, AccessTech::Wifi] {
+        for tech in [
+            AccessTech::Cellular4g,
+            AccessTech::Cellular5g,
+            AccessTech::Wifi,
+        ] {
             let h = hardware_illusion(&recs, tech);
             assert!(
                 !h.within_version_std.is_empty(),

@@ -26,9 +26,16 @@ const MIN_CITY_TESTS: usize = 50;
 pub fn spatial_disparity(records: &[TestRecord]) -> SpatialDisparity {
     let mut per_city: HashMap<(u16, AccessTech), Vec<f64>> = HashMap::new();
     for r in records {
-        per_city.entry((r.city_id, r.tech)).or_default().push(r.bandwidth_mbps);
+        per_city
+            .entry((r.city_id, r.tech))
+            .or_default()
+            .push(r.bandwidth_mbps);
     }
-    let techs = [AccessTech::Cellular4g, AccessTech::Cellular5g, AccessTech::Wifi];
+    let techs = [
+        AccessTech::Cellular4g,
+        AccessTech::Cellular5g,
+        AccessTech::Wifi,
+    ];
     let mut ranges = Vec::new();
     let mut city_means: HashMap<AccessTech, HashMap<u16, f64>> = HashMap::new();
     for &tech in &techs {
@@ -70,7 +77,11 @@ pub fn spatial_disparity(records: &[TestRecord]) -> SpatialDisparity {
     }
     SpatialDisparity {
         ranges,
-        unbalanced_share: if both == 0 { 0.0 } else { unbalanced as f64 / both as f64 },
+        unbalanced_share: if both == 0 {
+            0.0
+        } else {
+            unbalanced as f64 / both as f64
+        },
     }
 }
 
@@ -78,7 +89,14 @@ impl Render for SpatialDisparity {
     fn render(&self) -> String {
         let mut out = String::from("Spatial disparity across cities (per-city means, Mbps)\n");
         for (tech, lo, hi, n) in &self.ranges {
-            let _ = writeln!(out, "{:<6} {:>7.1} – {:>7.1}  ({} cities)", tech.name(), lo, hi, n);
+            let _ = writeln!(
+                out,
+                "{:<6} {:>7.1} – {:>7.1}  ({} cities)",
+                tech.name(),
+                lo,
+                hi,
+                n
+            );
         }
         let _ = writeln!(
             out,
@@ -139,18 +157,19 @@ pub fn same_group_decline(
     records_2021: &[TestRecord],
 ) -> SameGroupDecline {
     use mbw_dataset::CityTier;
-    let group_mean = |records: &[TestRecord], isp: mbw_dataset::Isp, city: u16, tech: AccessTech| {
-        let bw: Vec<f64> = records
-            .iter()
-            .filter(|r| r.isp == isp && r.city_id == city && r.tech == tech)
-            .map(|r| r.bandwidth_mbps)
-            .collect();
-        if bw.len() < 30 {
-            None
-        } else {
-            Some(mean(&bw))
-        }
-    };
+    let group_mean =
+        |records: &[TestRecord], isp: mbw_dataset::Isp, city: u16, tech: AccessTech| {
+            let bw: Vec<f64> = records
+                .iter()
+                .filter(|r| r.isp == isp && r.city_id == city && r.tech == tech)
+                .map(|r| r.bandwidth_mbps)
+                .collect();
+            if bw.len() < 30 {
+                None
+            } else {
+                Some(mean(&bw))
+            }
+        };
     let mega_cities: Vec<u16> = {
         let mut seen = std::collections::BTreeSet::new();
         for r in records_2021 {
@@ -228,16 +247,23 @@ pub fn dataset_summary(records: &[TestRecord]) -> DatasetSummary {
         .iter()
         .map(|&t| (t, records.iter().filter(|r| r.tech == t).count()))
         .collect();
-    let distinct_bs: HashSet<u32> =
-        records.iter().filter_map(|r| r.cell().map(|c| c.bs_id)).collect();
-    let distinct_aps: HashSet<u32> =
-        records.iter().filter_map(|r| r.wifi().map(|w| w.ap_id)).collect();
+    let distinct_bs: HashSet<u32> = records
+        .iter()
+        .filter_map(|r| r.cell().map(|c| c.bs_id))
+        .collect();
+    let distinct_aps: HashSet<u32> = records
+        .iter()
+        .filter_map(|r| r.wifi().map(|w| w.ap_id))
+        .collect();
     let distinct_cities: HashSet<u16> = records.iter().map(|r| r.city_id).collect();
     let isp_shares = mbw_dataset::Isp::ALL
         .iter()
         .map(|&isp| {
-            (isp, records.iter().filter(|r| r.isp == isp).count() as f64
-                / records.len().max(1) as f64)
+            (
+                isp,
+                records.iter().filter(|r| r.isp == isp).count() as f64
+                    / records.len().max(1) as f64,
+            )
         })
         .collect();
     DatasetSummary {
@@ -387,13 +413,25 @@ mod tests {
         let y20 = pop(Year::Y2020, 500_000, 505);
         let y21 = pop(Year::Y2021, 500_000, 505);
         let decline = same_group_decline(&y20, &y21);
-        assert!(decline.groups.len() >= 10, "groups {}", decline.groups.len());
+        assert!(
+            decline.groups.len() >= 10,
+            "groups {}",
+            decline.groups.len()
+        );
         let d4: Vec<f64> = decline.groups.iter().map(|g| g.2).collect();
         let d5: Vec<f64> = decline.groups.iter().map(|g| g.3).collect();
         // §3.1: declines of 12–31% (4G) and 5–23% (5G); check means land
         // inside generous versions of those bands.
-        assert!((0.08..=0.40).contains(&mean(&d4)), "4G decline {}", mean(&d4));
-        assert!((0.02..=0.30).contains(&mean(&d5)), "5G decline {}", mean(&d5));
+        assert!(
+            (0.08..=0.40).contains(&mean(&d4)),
+            "4G decline {}",
+            mean(&d4)
+        );
+        assert!(
+            (0.02..=0.30).contains(&mean(&d5)),
+            "5G decline {}",
+            mean(&d5)
+        );
     }
 
     #[test]
@@ -411,7 +449,12 @@ mod tests {
         assert!(share(AccessTech::Cellular3g) < 0.002);
         assert!(s.distinct_cities > 300, "cities {}", s.distinct_cities);
         assert!(s.distinct_aps > 50_000, "APs {}", s.distinct_aps);
-        let isp1 = s.isp_shares.iter().find(|(i, _)| *i == mbw_dataset::Isp::Isp1).unwrap().1;
+        let isp1 = s
+            .isp_shares
+            .iter()
+            .find(|(i, _)| *i == mbw_dataset::Isp::Isp1)
+            .unwrap()
+            .1;
         assert!((0.3..0.5).contains(&isp1), "ISP-1 share {isp1}");
     }
 
@@ -425,8 +468,16 @@ mod tests {
         assert!(c.rss_bw_4g > 0.15, "rss~bw 4G {}", c.rss_bw_4g);
         // Fig 10: 5G bandwidth anticorrelated with test volume; 4G the
         // opposite.
-        assert!(c.hourly_volume_bw_5g < -0.2, "5G hourly r {}", c.hourly_volume_bw_5g);
-        assert!(c.hourly_volume_bw_4g > 0.2, "4G hourly r {}", c.hourly_volume_bw_4g);
+        assert!(
+            c.hourly_volume_bw_5g < -0.2,
+            "5G hourly r {}",
+            c.hourly_volume_bw_5g
+        );
+        assert!(
+            c.hourly_volume_bw_4g > 0.2,
+            "4G hourly r {}",
+            c.hourly_volume_bw_4g
+        );
     }
 
     #[test]

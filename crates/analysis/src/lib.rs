@@ -33,7 +33,11 @@ pub fn bandwidths<'a, F>(records: &'a [TestRecord], pred: F) -> Vec<f64>
 where
     F: Fn(&TestRecord) -> bool + 'a,
 {
-    records.iter().filter(|r| pred(r)).map(|r| r.bandwidth_mbps).collect()
+    records
+        .iter()
+        .filter(|r| pred(r))
+        .map(|r| r.bandwidth_mbps)
+        .collect()
 }
 
 /// Bandwidths of one access technology.

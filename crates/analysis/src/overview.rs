@@ -25,7 +25,11 @@ pub struct Fig01 {
 
 /// Compute Fig 1 from the two yearly populations.
 pub fn fig01(records_2020: &[TestRecord], records_2021: &[TestRecord]) -> Fig01 {
-    let techs = [AccessTech::Cellular4g, AccessTech::Cellular5g, AccessTech::Wifi];
+    let techs = [
+        AccessTech::Cellular4g,
+        AccessTech::Cellular5g,
+        AccessTech::Wifi,
+    ];
     let rows = techs
         .iter()
         .map(|&t| {
@@ -44,7 +48,10 @@ pub fn fig01(records_2020: &[TestRecord], records_2021: &[TestRecord]) -> Fig01 
             .collect();
         mean(&bw)
     };
-    Fig01 { rows, overall_cellular: (cellular(records_2020), cellular(records_2021)) }
+    Fig01 {
+        rows,
+        overall_cellular: (cellular(records_2020), cellular(records_2021)),
+    }
 }
 
 impl Render for Fig01 {
@@ -95,9 +102,12 @@ pub fn fig02(records: &[TestRecord]) -> Fig02 {
 
 impl Render for Fig02 {
     fn render(&self) -> String {
-        let mut out =
-            String::from("Fig 2: average bandwidth by Android version (Mbps)\n");
-        let _ = writeln!(out, "{:<8} {:>8} {:>8} {:>8}", "version", "4G", "5G", "WiFi");
+        let mut out = String::from("Fig 2: average bandwidth by Android version (Mbps)\n");
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8} {:>8} {:>8}",
+            "version", "4G", "5G", "WiFi"
+        );
         for (v, g4, g5, wifi) in &self.rows {
             let _ = writeln!(out, "{:<8} {:>8.1} {:>8.1} {:>8.1}", v, g4, g5, wifi);
         }
@@ -141,7 +151,14 @@ impl Render for Fig03 {
         let mut out = String::from("Fig 3: average bandwidth by ISP (Mbps)\n");
         let _ = writeln!(out, "{:<6} {:>8} {:>8} {:>8}", "ISP", "4G", "5G", "WiFi");
         for (isp, g4, g5, wifi) in &self.rows {
-            let _ = writeln!(out, "{:<6} {:>8.1} {:>8.1} {:>8.1}", isp.name(), g4, g5, wifi);
+            let _ = writeln!(
+                out,
+                "{:<6} {:>8.1} {:>8.1} {:>8.1}",
+                isp.name(),
+                g4,
+                g5,
+                wifi
+            );
         }
         out
     }
@@ -153,12 +170,18 @@ mod tests {
     use mbw_dataset::{DatasetConfig, Generator, Year};
 
     fn populations() -> (Vec<TestRecord>, Vec<TestRecord>) {
-        let y20 =
-            Generator::new(DatasetConfig { seed: 101, tests: 150_000, year: Year::Y2020 })
-                .generate();
-        let y21 =
-            Generator::new(DatasetConfig { seed: 101, tests: 150_000, year: Year::Y2021 })
-                .generate();
+        let y20 = Generator::new(DatasetConfig {
+            seed: 101,
+            tests: 150_000,
+            year: Year::Y2020,
+        })
+        .generate();
+        let y21 = Generator::new(DatasetConfig {
+            seed: 101,
+            tests: 150_000,
+            year: Year::Y2021,
+        })
+        .generate();
         (y20, y21)
     }
 
@@ -207,7 +230,10 @@ mod tests {
         let (_, _, isp1_5g, isp1_wifi) = row(Isp::Isp1);
         let (_, _, isp2_5g, isp2_wifi) = row(Isp::Isp2);
         // ISP-4's 700 MHz band gives obviously lower 5G bandwidth.
-        assert!(isp4_5g < isp1_5g.min(isp2_5g).min(isp3_5g) * 0.6, "ISP-4 {isp4_5g}");
+        assert!(
+            isp4_5g < isp1_5g.min(isp2_5g).min(isp3_5g) * 0.6,
+            "ISP-4 {isp4_5g}"
+        );
         // ISP-3 leads both 5G and WiFi (§3.1).
         assert!(isp3_5g > isp1_5g && isp3_5g > isp2_5g);
         assert!(isp3_wifi > isp1_wifi && isp3_wifi > isp2_wifi);

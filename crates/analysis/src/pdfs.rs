@@ -28,10 +28,18 @@ fn pdf_figure(title: &'static str, bw: Vec<f64>, hi: f64, seed: u64) -> PdfFigur
     let histogram = Histogram::from_values(0.0, hi, 50, &bw);
     // Fitting millions of points is wasteful; the mixture stabilises with
     // a few tens of thousands.
-    let sample: Vec<f64> =
-        if bw.len() > 40_000 { bw.iter().step_by(bw.len() / 40_000).copied().collect() } else { bw.clone() };
+    let sample: Vec<f64> = if bw.len() > 40_000 {
+        bw.iter().step_by(bw.len() / 40_000).copied().collect()
+    } else {
+        bw.clone()
+    };
     let fit = Gmm::fit_auto(&sample, 5, seed).ok();
-    PdfFigure { title, histogram, fit, n: bw.len() }
+    PdfFigure {
+        title,
+        histogram,
+        fit,
+        n: bw.len(),
+    }
 }
 
 /// Fig 16: WiFi 5 bandwidth PDF (modes at the 100/300/500 Mbps plans).
@@ -84,7 +92,12 @@ mod tests {
     use mbw_dataset::{DatasetConfig, Generator, Year};
 
     fn y2021(tests: usize, seed: u64) -> Vec<TestRecord> {
-        Generator::new(DatasetConfig { seed, tests, year: Year::Y2021 }).generate()
+        Generator::new(DatasetConfig {
+            seed,
+            tests,
+            year: Year::Y2021,
+        })
+        .generate()
     }
 
     #[test]
@@ -122,8 +135,12 @@ mod tests {
     fn histogram_mass_is_normalised() {
         let records = y2021(100_000, 405);
         let fig = fig16(&records);
-        let mass: f64 =
-            fig.histogram.pdf().iter().map(|(_, d)| d * fig.histogram.bin_width()).sum();
+        let mass: f64 = fig
+            .histogram
+            .pdf()
+            .iter()
+            .map(|(_, d)| d * fig.histogram.bin_width())
+            .sum();
         assert!((mass - 1.0).abs() < 1e-9);
     }
 

@@ -49,7 +49,13 @@ fn tally(records: &[TestRecord], tech: Option<AccessTech>) -> OutcomeRow {
         };
         counts[slot] += 1;
     }
-    let frac = |c: u64| if total == 0 { 0.0 } else { c as f64 / total as f64 };
+    let frac = |c: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            c as f64 / total as f64
+        }
+    };
     OutcomeRow {
         tech: tech.unwrap_or(AccessTech::Wifi),
         total,
@@ -61,13 +67,20 @@ fn tally(records: &[TestRecord], tech: Option<AccessTech>) -> OutcomeRow {
 
 /// Compute outcome rates per technology and pooled.
 pub fn outcome_rates(records: &[TestRecord]) -> OutcomeRates {
-    let techs = [AccessTech::Cellular4g, AccessTech::Cellular5g, AccessTech::Wifi];
+    let techs = [
+        AccessTech::Cellular4g,
+        AccessTech::Cellular5g,
+        AccessTech::Wifi,
+    ];
     let rows = techs
         .iter()
         .map(|&t| tally(records, Some(t)))
         .filter(|row| row.total > 0)
         .collect();
-    OutcomeRates { rows, overall: tally(records, None) }
+    OutcomeRates {
+        rows,
+        overall: tally(records, None),
+    }
 }
 
 impl Render for OutcomeRates {
@@ -82,7 +95,11 @@ impl Render for OutcomeRates {
             let _ = writeln!(
                 out,
                 "{:<6} {:>9} {:>9.4} {:>9.4} {:>9.4}",
-                row.tech.name(), row.total, row.complete, row.degraded, row.failed
+                row.tech.name(),
+                row.total,
+                row.complete,
+                row.degraded,
+                row.failed
             );
         }
         let _ = writeln!(
@@ -105,9 +122,12 @@ mod tests {
 
     #[test]
     fn outcome_rates_reflect_the_generator_fault_model() {
-        let records =
-            Generator::new(DatasetConfig { seed: 0x0C0, tests: 120_000, year: Year::Y2021 })
-                .generate();
+        let records = Generator::new(DatasetConfig {
+            seed: 0x0C0,
+            tests: 120_000,
+            year: Year::Y2021,
+        })
+        .generate();
         let rates = outcome_rates(&records);
         assert_eq!(rates.overall.total, records.len() as u64);
         // Every technology present, fractions sum to one.
@@ -115,8 +135,18 @@ mod tests {
         for row in &rates.rows {
             let sum = row.complete + row.degraded + row.failed;
             assert!((sum - 1.0).abs() < 1e-9, "{}: {sum}", row.tech.name());
-            assert!(row.complete > 0.9, "{}: complete {}", row.tech.name(), row.complete);
-            assert!(row.failed < 0.02, "{}: failed {}", row.tech.name(), row.failed);
+            assert!(
+                row.complete > 0.9,
+                "{}: complete {}",
+                row.tech.name(),
+                row.complete
+            );
+            assert!(
+                row.failed < 0.02,
+                "{}: failed {}",
+                row.tech.name(),
+                row.failed
+            );
         }
         // Cellular tests fail more often than WiFi (the generator's fault
         // model mirrors the flakier radio path).

@@ -10,9 +10,7 @@ pub struct Table1;
 
 impl Render for Table1 {
     fn render(&self) -> String {
-        let mut out = String::from(
-            "Table 1: the nine LTE bands, ordered by downlink spectrum\n",
-        );
+        let mut out = String::from("Table 1: the nine LTE bands, ordered by downlink spectrum\n");
         let _ = writeln!(
             out,
             "{:<6} {:<18} {:<14} {:<20} {}",
@@ -40,8 +38,7 @@ pub struct Table2;
 
 impl Render for Table2 {
     fn render(&self) -> String {
-        let mut out =
-            String::from("Table 2: the five NR bands, ordered by downlink spectrum\n");
+        let mut out = String::from("Table 2: the five NR bands, ordered by downlink spectrum\n");
         let _ = writeln!(
             out,
             "{:<6} {:<18} {:<14} {:<20} {:<12} {}",

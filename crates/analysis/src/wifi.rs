@@ -44,7 +44,8 @@ fn wifi_series(
     let total: usize = records
         .iter()
         .filter(|r| {
-            r.wifi().map_or(false, |w| band_filter.map_or(true, |g5| w.on_5ghz == g5))
+            r.wifi()
+                .map_or(false, |w| band_filter.map_or(true, |g5| w.on_5ghz == g5))
         })
         .count();
     let mut series = Vec::new();
@@ -81,17 +82,29 @@ fn wifi_series(
 
 /// Fig 13: all WiFi tests, per standard.
 pub fn fig13(records: &[TestRecord]) -> WifiCdfFigure {
-    wifi_series("Fig 13: WiFi bandwidth distribution (all bands)", records, None)
+    wifi_series(
+        "Fig 13: WiFi bandwidth distribution (all bands)",
+        records,
+        None,
+    )
 }
 
 /// Fig 14: the 2.4 GHz subset (WiFi 4 and 6 only).
 pub fn fig14(records: &[TestRecord]) -> WifiCdfFigure {
-    wifi_series("Fig 14: WiFi bandwidth distribution (2.4 GHz)", records, Some(false))
+    wifi_series(
+        "Fig 14: WiFi bandwidth distribution (2.4 GHz)",
+        records,
+        Some(false),
+    )
 }
 
 /// Fig 15: the 5 GHz subset.
 pub fn fig15(records: &[TestRecord]) -> WifiCdfFigure {
-    wifi_series("Fig 15: WiFi bandwidth distribution (5 GHz)", records, Some(true))
+    wifi_series(
+        "Fig 15: WiFi bandwidth distribution (5 GHz)",
+        records,
+        Some(true),
+    )
 }
 
 impl WifiCdfFigure {
@@ -129,10 +142,12 @@ impl Render for WifiCdfFigure {
 /// ≤ 200 Mbps, overall and for WiFi 6.
 pub fn slow_plan_shares(records: &[TestRecord]) -> (f64, f64) {
     let wifi: Vec<_> = records.iter().filter_map(|r| r.wifi()).collect();
-    let overall = wifi.iter().filter(|w| w.plan_mbps <= 200.0).count() as f64
-        / wifi.len().max(1) as f64;
-    let w6: Vec<_> =
-        wifi.iter().filter(|w| w.standard == WifiStandard::Wifi6).collect();
+    let overall =
+        wifi.iter().filter(|w| w.plan_mbps <= 200.0).count() as f64 / wifi.len().max(1) as f64;
+    let w6: Vec<_> = wifi
+        .iter()
+        .filter(|w| w.standard == WifiStandard::Wifi6)
+        .collect();
     let w6_slow =
         w6.iter().filter(|w| w.plan_mbps <= 200.0).count() as f64 / w6.len().max(1) as f64;
     (overall, w6_slow)
@@ -144,7 +159,12 @@ mod tests {
     use mbw_dataset::{DatasetConfig, Generator, Year};
 
     fn y2021(tests: usize, seed: u64) -> Vec<TestRecord> {
-        Generator::new(DatasetConfig { seed, tests, year: Year::Y2021 }).generate()
+        Generator::new(DatasetConfig {
+            seed,
+            tests,
+            year: Year::Y2021,
+        })
+        .generate()
     }
 
     #[test]
@@ -166,7 +186,10 @@ mod tests {
     fn fig14_24ghz_subset() {
         let records = y2021(400_000, 303);
         let fig = fig14(&records);
-        assert!(fig.of(WifiStandard::Wifi5).is_none(), "WiFi 5 has no 2.4 GHz");
+        assert!(
+            fig.of(WifiStandard::Wifi5).is_none(),
+            "WiFi 5 has no 2.4 GHz"
+        );
         let m4 = fig.of(WifiStandard::Wifi4).unwrap().mean;
         let m6 = fig.of(WifiStandard::Wifi6).unwrap().mean;
         assert!((m4 - 39.0).abs() < 8.0, "W4@2.4 {m4}");
@@ -183,7 +206,10 @@ mod tests {
         // §3.4: "fairly close over the 5 GHz band — 195 vs 208 Mbps".
         assert!((m4 - 195.0).abs() < 30.0, "W4@5 {m4}");
         assert!((m5 - 208.0).abs() < 28.0, "W5@5 {m5}");
-        assert!((m4 - m5).abs() / m5 < 0.18, "W4≈W5 over 5 GHz: {m4} vs {m5}");
+        assert!(
+            (m4 - m5).abs() / m5 < 0.18,
+            "W4≈W5 over 5 GHz: {m4} vs {m5}"
+        );
         assert!((m6 - 351.0).abs() < 50.0, "W6@5 {m6}");
     }
 

@@ -33,60 +33,60 @@ macro_rules! measurement_bench {
 
 measurement_bench!(bench_table1, "table1", |_p| tables::Table1.render());
 measurement_bench!(bench_table2, "table2", |_p| tables::Table2.render());
-measurement_bench!(bench_fig01, "fig01", |p: &measurement::Populations| overview::fig01(
-    &p.y2020, &p.y2021
-));
-measurement_bench!(bench_fig02, "fig02", |p: &measurement::Populations| overview::fig02(
-    &p.y2021
-));
-measurement_bench!(bench_fig03, "fig03", |p: &measurement::Populations| overview::fig03(
-    &p.y2021
-));
-measurement_bench!(bench_fig04, "fig04", |p: &measurement::Populations| cellular::fig04(
-    &p.y2021
-));
+measurement_bench!(bench_fig01, "fig01", |p: &measurement::Populations| {
+    overview::fig01(&p.y2020, &p.y2021)
+});
+measurement_bench!(bench_fig02, "fig02", |p: &measurement::Populations| {
+    overview::fig02(&p.y2021)
+});
+measurement_bench!(bench_fig03, "fig03", |p: &measurement::Populations| {
+    overview::fig03(&p.y2021)
+});
+measurement_bench!(bench_fig04, "fig04", |p: &measurement::Populations| {
+    cellular::fig04(&p.y2021)
+});
 measurement_bench!(bench_fig05, "fig05", |p: &measurement::Populations| {
     cellular::fig05_06(&p.y2021)
 });
 measurement_bench!(bench_fig06, "fig06", |p: &measurement::Populations| {
     cellular::fig05_06(&p.y2021)
 });
-measurement_bench!(bench_fig07, "fig07", |p: &measurement::Populations| cellular::fig07(
-    &p.y2021
-));
+measurement_bench!(bench_fig07, "fig07", |p: &measurement::Populations| {
+    cellular::fig07(&p.y2021)
+});
 measurement_bench!(bench_fig08, "fig08", |p: &measurement::Populations| {
     cellular::fig08_09(&p.y2021)
 });
 measurement_bench!(bench_fig09, "fig09", |p: &measurement::Populations| {
     cellular::fig08_09(&p.y2021)
 });
-measurement_bench!(bench_fig10, "fig10", |p: &measurement::Populations| cellular::fig10(
-    &p.y2021
-));
+measurement_bench!(bench_fig10, "fig10", |p: &measurement::Populations| {
+    cellular::fig10(&p.y2021)
+});
 measurement_bench!(bench_fig11, "fig11", |p: &measurement::Populations| {
     cellular::fig11_12(&p.y2021)
 });
 measurement_bench!(bench_fig12, "fig12", |p: &measurement::Populations| {
     cellular::fig11_12(&p.y2021)
 });
-measurement_bench!(bench_fig13, "fig13", |p: &measurement::Populations| wifi::fig13(
-    &p.y2021
-));
-measurement_bench!(bench_fig14, "fig14", |p: &measurement::Populations| wifi::fig14(
-    &p.y2021
-));
-measurement_bench!(bench_fig15, "fig15", |p: &measurement::Populations| wifi::fig15(
-    &p.y2021
-));
-measurement_bench!(bench_fig16, "fig16", |p: &measurement::Populations| pdfs::fig16(
-    &p.y2021
-));
-measurement_bench!(bench_fig18, "fig18", |p: &measurement::Populations| pdfs::fig18(
-    &p.y2021
-));
-measurement_bench!(bench_fig19, "fig19", |p: &measurement::Populations| pdfs::fig19(
-    &p.y2021
-));
+measurement_bench!(bench_fig13, "fig13", |p: &measurement::Populations| {
+    wifi::fig13(&p.y2021)
+});
+measurement_bench!(bench_fig14, "fig14", |p: &measurement::Populations| {
+    wifi::fig14(&p.y2021)
+});
+measurement_bench!(bench_fig15, "fig15", |p: &measurement::Populations| {
+    wifi::fig15(&p.y2021)
+});
+measurement_bench!(bench_fig16, "fig16", |p: &measurement::Populations| {
+    pdfs::fig16(&p.y2021)
+});
+measurement_bench!(bench_fig18, "fig18", |p: &measurement::Populations| {
+    pdfs::fig18(&p.y2021)
+});
+measurement_bench!(bench_fig19, "fig19", |p: &measurement::Populations| {
+    pdfs::fig19(&p.y2021)
+});
 
 fn bench_fig17(c: &mut Criterion) {
     let mut group = c.benchmark_group("tables_and_figures");
@@ -128,14 +128,18 @@ fn bench_fig23_25(c: &mut Criterion) {
 fn bench_fig26(c: &mut Criterion) {
     let mut group = c.benchmark_group("tables_and_figures");
     group.sample_size(10);
-    group.bench_function("fig26", |b| b.iter(|| black_box(deploy_eval::fig26(2, 0x26))));
+    group.bench_function("fig26", |b| {
+        b.iter(|| black_box(deploy_eval::fig26(2, 0x26)))
+    });
     group.finish();
 }
 
 fn bench_cost_and_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("tables_and_figures");
     group.sample_size(10);
-    group.bench_function("cost", |b| b.iter(|| black_box(deploy_eval::cost_report(0xC0))));
+    group.bench_function("cost", |b| {
+        b.iter(|| black_box(deploy_eval::cost_report(0xC0)))
+    });
     group.bench_function("ablation_ilp", |b| {
         b.iter(|| black_box(ablation::ablation_ilp(0xAB4)))
     });

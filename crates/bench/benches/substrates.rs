@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mbw_congestion::{CcAlgorithm, MultiFlowConfig, MultiFlowSim};
-use mbw_core::estimator::{BandwidthEstimator, ConvergenceEstimator, CrucialIntervalEstimator, GroupedTrimmedMean};
+use mbw_core::estimator::{
+    BandwidthEstimator, ConvergenceEstimator, CrucialIntervalEstimator, GroupedTrimmedMean,
+};
 use mbw_dataset::{DatasetConfig, Generator, Year};
 use mbw_netsim::{Link, LinkConfig, PathConfig, PathModel, SimTime};
 use mbw_stats::{Gmm, GmmFitConfig, SeededRng};
@@ -12,9 +14,8 @@ use std::hint::black_box;
 use std::time::Duration;
 
 fn bench_gmm(c: &mut Criterion) {
-    let truth =
-        Gmm::from_triples(&[(0.5, 100.0, 20.0), (0.3, 300.0, 30.0), (0.2, 500.0, 40.0)])
-            .expect("valid");
+    let truth = Gmm::from_triples(&[(0.5, 100.0, 20.0), (0.3, 300.0, 30.0), (0.2, 500.0, 40.0)])
+        .expect("valid");
     let mut rng = SeededRng::new(7);
     let data = truth.sample_n(&mut rng, 5_000);
 
@@ -22,8 +23,14 @@ fn bench_gmm(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("fit_k3_5000pts", |b| {
         b.iter(|| {
-            Gmm::fit(black_box(&data), &GmmFitConfig { components: 3, ..Default::default() })
-                .expect("fits")
+            Gmm::fit(
+                black_box(&data),
+                &GmmFitConfig {
+                    components: 3,
+                    ..Default::default()
+                },
+            )
+            .expect("fits")
         })
     });
     group.bench_function("sample_10k", |b| {
@@ -49,7 +56,9 @@ fn bench_gmm(c: &mut Criterion) {
 }
 
 fn bench_estimators(c: &mut Criterion) {
-    let samples: Vec<f64> = (0..200).map(|i| 100.0 + (i as f64 * 0.7).sin() * 10.0).collect();
+    let samples: Vec<f64> = (0..200)
+        .map(|i| 100.0 + (i as f64 * 0.7).sin() * 10.0)
+        .collect();
     let mut group = c.benchmark_group("estimators");
     group.sample_size(20);
     group.bench_function("grouped_trimmed_200", |b| {
@@ -108,8 +117,7 @@ fn bench_netsim(c: &mut Criterion) {
     });
     group.bench_function("multiflow_10s_cubic", |b| {
         b.iter(|| {
-            let path =
-                PathModel::new(PathConfig::constant(100e6, Duration::from_millis(40)));
+            let path = PathModel::new(PathConfig::constant(100e6, Duration::from_millis(40)));
             let mut sim = MultiFlowSim::new(path, MultiFlowConfig::default());
             sim.add_flow(CcAlgorithm::Cubic);
             sim.run_until(Duration::from_secs(10));

@@ -114,9 +114,11 @@ pub fn ablation_escalate(n: usize, seed: u64) -> Vec<VariantOutcome> {
     let est = || ConvergenceEstimator::swiftest();
     let modal = SwiftestConfig::default();
     // Fixed multiplicative growth: ignore the larger modes; always ×1.25.
-    let single_mode =
-        Gmm::from_triples(&[(1.0, model.dominant_mode(), 1.0)]).expect("valid");
-    let fixed = SwiftestConfig { beyond_mode_growth: 1.25, ..SwiftestConfig::default() };
+    let single_mode = Gmm::from_triples(&[(1.0, model.dominant_mode(), 1.0)]).expect("valid");
+    let fixed = SwiftestConfig {
+        beyond_mode_growth: 1.25,
+        ..SwiftestConfig::default()
+    };
     vec![
         run_variant("modal-jumps (paper)", tech, &model, &est, &modal, n, seed),
         run_variant("fixed-1.25x", tech, &single_mode, &est, &fixed, n, seed),
@@ -148,7 +150,11 @@ pub fn ablation_ilp(seed: u64) -> Vec<(f64, f64, f64)> {
     [900.0, 1_900.0, 4_700.0, 11_300.0, 23_500.0]
         .iter()
         .map(|&demand| {
-            let p = PurchaseProblem { offers: catalog.clone(), demand_mbps: demand, margin: 0.08 };
+            let p = PurchaseProblem {
+                offers: catalog.clone(),
+                demand_mbps: demand,
+                margin: 0.08,
+            };
             let greedy = solve_greedy(&p).expect("greedy feasible");
             let ilp = solve_ilp(&p).expect("ilp feasible");
             (demand, greedy.total_cost, ilp.total_cost)
@@ -205,7 +211,10 @@ mod tests {
     #[test]
     fn ilp_never_loses_to_greedy() {
         for (demand, greedy, ilp) in ablation_ilp(4300) {
-            assert!(ilp <= greedy + 1e-6, "demand {demand}: ilp {ilp} > greedy {greedy}");
+            assert!(
+                ilp <= greedy + 1e-6,
+                "demand {demand}: ilp {ilp} > greedy {greedy}"
+            );
         }
     }
 

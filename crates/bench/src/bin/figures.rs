@@ -20,17 +20,24 @@ struct Sizes {
     replay_days: u32,
 }
 
-const FULL: Sizes =
-    Sizes { dataset: 400_000, fig17_paths: 24, bts_tests: 150, replay_days: 30 };
-const QUICK: Sizes =
-    Sizes { dataset: 60_000, fig17_paths: 6, bts_tests: 30, replay_days: 5 };
+const FULL: Sizes = Sizes {
+    dataset: 400_000,
+    fig17_paths: 24,
+    bts_tests: 150,
+    replay_days: 30,
+};
+const QUICK: Sizes = Sizes {
+    dataset: 60_000,
+    fig17_paths: 6,
+    bts_tests: 30,
+    replay_days: 5,
+};
 
 /// Every experiment id, in paper order.
 const ALL_IDS: [&str; 28] = [
-    "table1", "table2", "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
-    "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25",
-    "fig26",
+    "table1", "table2", "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
+    "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+    "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "fig26",
 ];
 
 /// Extra (non-figure) reports.
@@ -51,10 +58,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let sizes = if quick { QUICK } else { FULL };
-    let selected: Vec<String> =
-        args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
     let ids: Vec<String> = if selected.is_empty() {
-        ALL_IDS.iter().chain(EXTRA_IDS.iter()).map(|s| s.to_string()).collect()
+        ALL_IDS
+            .iter()
+            .chain(EXTRA_IDS.iter())
+            .map(|s| s.to_string())
+            .collect()
     } else {
         selected
     };

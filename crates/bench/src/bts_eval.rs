@@ -38,7 +38,10 @@ pub fn fig20(n: usize, seed: u64) -> Fig20 {
         let mean_total = descriptive::mean(&totals);
         series.push((tech, Ecdf::new(&durations), mean_total));
     }
-    Fig20 { series, within_one_second: fast_count as f64 / total_count.max(1) as f64 }
+    Fig20 {
+        series,
+        within_one_second: fast_count as f64 / total_count.max(1) as f64,
+    }
 }
 
 impl Fig20 {
@@ -106,9 +109,20 @@ impl Fig21 {
     /// Text report.
     pub fn render(&self) -> String {
         let mut out = String::from("Fig 21: average data usage per test (MB)\n");
-        let _ = writeln!(out, "{:<6} {:>10} {:>10} {:>7}", "tech", "BTS-APP", "Swiftest", "ratio");
+        let _ = writeln!(
+            out,
+            "{:<6} {:>10} {:>10} {:>7}",
+            "tech", "BTS-APP", "Swiftest", "ratio"
+        );
         for (tech, b, s, r) in &self.rows {
-            let _ = writeln!(out, "{:<6} {:>10.1} {:>10.1} {:>6.1}x", tech.name(), b, s, r);
+            let _ = writeln!(
+                out,
+                "{:<6} {:>10.1} {:>10.1} {:>6.1}x",
+                tech.name(),
+                b,
+                s,
+                r
+            );
         }
         out
     }
@@ -149,15 +163,23 @@ pub fn fig22(n: usize, seed: u64) -> Fig22 {
     }
     let above_10pct = descriptive::fraction_above(&pooled, 0.10);
     let above_30pct = descriptive::fraction_above(&pooled, 0.30);
-    Fig22 { series, overall: Ecdf::new(&pooled), above_10pct, above_30pct }
+    Fig22 {
+        series,
+        overall: Ecdf::new(&pooled),
+        above_10pct,
+        above_30pct,
+    }
 }
 
 impl Fig22 {
     /// Text report.
     pub fn render(&self) -> String {
-        let mut out =
-            String::from("Fig 22: result deviation between Swiftest and BTS-APP (%)\n");
-        let _ = writeln!(out, "{:<8} {:>8} {:>8} {:>8}", "tech", "mean", "median", "max");
+        let mut out = String::from("Fig 22: result deviation between Swiftest and BTS-APP (%)\n");
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8} {:>8} {:>8}",
+            "tech", "mean", "median", "max"
+        );
         for (tech, e) in &self.series {
             let _ = writeln!(
                 out,
@@ -241,9 +263,8 @@ impl Fig23to25 {
 
     /// Text report.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Figs 23-25: FAST vs FastBTS vs Swiftest (time s / data MB / accuracy)\n",
-        );
+        let mut out =
+            String::from("Figs 23-25: FAST vs FastBTS vs Swiftest (time s / data MB / accuracy)\n");
         let _ = writeln!(
             out,
             "{:<6} {:<9} {:>8} {:>9} {:>9}",
@@ -361,7 +382,10 @@ pub fn mmwave_report(n: usize, seed: u64) -> String {
     for i in 0..n {
         let o = harness.run(BtsKind::Swiftest, seed.wrapping_add(i as u64 * 43));
         durations.push(o.duration.as_secs_f64());
-        acc.push((1.0 - mbw_stats::descriptive::relative_deviation(o.estimate_mbps, o.truth_mbps)).max(0.0));
+        acc.push(
+            (1.0 - mbw_stats::descriptive::relative_deviation(o.estimate_mbps, o.truth_mbps))
+                .max(0.0),
+        );
     }
     format!(
         "Swiftest on mmWave 5G (§7): mean test time {:.2}s, mean accuracy {:.3} over {n} links\n\
@@ -411,7 +435,11 @@ mod tests {
         let fig = fig22(50, 2200);
         // §5.3: mean 5.1%, median 3.0%; a small fraction exceeds 10%.
         assert!(fig.overall.mean() < 0.12, "mean {}", fig.overall.mean());
-        assert!(fig.overall.median() < 0.08, "median {}", fig.overall.median());
+        assert!(
+            fig.overall.median() < 0.08,
+            "median {}",
+            fig.overall.median()
+        );
         assert!(fig.above_10pct < 0.35, "{}", fig.above_10pct);
         assert!(fig.above_30pct < fig.above_10pct);
     }
@@ -424,15 +452,30 @@ mod tests {
             let (t_fbts, d_fbts, a_fbts) = fig.cell(tech, BtsKind::FastBts).unwrap();
             let (t_swift, d_swift, a_swift) = fig.cell(tech, BtsKind::Swiftest).unwrap();
             // Fig 23: Swiftest is fastest.
-            assert!(t_swift < t_fast && t_swift < t_fbts, "{tech}: times {t_fast} {t_fbts} {t_swift}");
+            assert!(
+                t_swift < t_fast && t_swift < t_fbts,
+                "{tech}: times {t_fast} {t_fbts} {t_swift}"
+            );
             // Fig 24: Swiftest uses the least data.
-            assert!(d_swift < d_fast && d_swift < d_fbts, "{tech}: data {d_fast} {d_fbts} {d_swift}");
+            assert!(
+                d_swift < d_fast && d_swift < d_fbts,
+                "{tech}: data {d_fast} {d_fbts} {d_swift}"
+            );
             // Fig 25: Swiftest at least matches FAST per technology
             // (on stable low-BDP 4G links the two tie) and clearly beats
             // FastBTS, which is the worst everywhere.
-            assert!(a_swift > a_fast - 0.02, "{tech}: acc {a_swift} !≳ FAST {a_fast}");
-            assert!(a_swift > a_fbts, "{tech}: acc {a_swift} !> FastBTS {a_fbts}");
-            assert!(a_fbts < a_fast, "{tech}: FastBTS should be worst ({a_fbts} vs {a_fast})");
+            assert!(
+                a_swift > a_fast - 0.02,
+                "{tech}: acc {a_swift} !≳ FAST {a_fast}"
+            );
+            assert!(
+                a_swift > a_fbts,
+                "{tech}: acc {a_swift} !> FastBTS {a_fbts}"
+            );
+            assert!(
+                a_fbts < a_fast,
+                "{tech}: FastBTS should be worst ({a_fbts} vs {a_fast})"
+            );
         }
         // Pooled across technologies Swiftest at least matches FAST (the
         // paper's 8–12% gap over FAST comes from real-world TCP noise

@@ -16,8 +16,8 @@ use mbw_core::probe::{run_swiftest, SwiftestConfig};
 use mbw_core::{AccessScenario, TechClass};
 use mbw_dataset::types::CellBand;
 use mbw_dataset::{
-    AccessTech, CellInfo, CityTier, DeviceTier, Isp, LinkInfo, NrBandId, OutcomeClass,
-    TestRecord, Year,
+    AccessTech, CellInfo, CityTier, DeviceTier, Isp, LinkInfo, NrBandId, OutcomeClass, TestRecord,
+    Year,
 };
 use mbw_stats::{Gmm, SeededRng};
 
@@ -27,13 +27,11 @@ use mbw_stats::{Gmm, SeededRng};
 /// The cellular context is synthesised to be *consistent with the drawn
 /// link* (a faster draw reports better RSS/SNR), which is all the model
 /// refresh consumes.
-pub fn collect_records(
-    tech: TechClass,
-    model: &Gmm,
-    n: usize,
-    seed: u64,
-) -> Vec<TestRecord> {
-    let scenario = AccessScenario { model: model.clone(), ..AccessScenario::default_for(tech) };
+pub fn collect_records(tech: TechClass, model: &Gmm, n: usize, seed: u64) -> Vec<TestRecord> {
+    let scenario = AccessScenario {
+        model: model.clone(),
+        ..AccessScenario::default_for(tech)
+    };
     let mut rng = SeededRng::new(seed ^ 0xC011EC7);
     let mut records = Vec::with_capacity(n);
     for i in 0..n {
@@ -50,7 +48,11 @@ pub fn collect_records(
         // the link quality (quantile of truth within the population).
         let q = model.cdf(drawn.truth_mbps);
         let rss_level = (1.0 + q * 4.0).round().clamp(1.0, 5.0) as u8;
-        let band = if drawn.truth_mbps < 150.0 { NrBandId::N1 } else { NrBandId::N78 };
+        let band = if drawn.truth_mbps < 150.0 {
+            NrBandId::N1
+        } else {
+            NrBandId::N78
+        };
         records.push(TestRecord {
             bandwidth_mbps: result.estimate_mbps,
             outcome: match result.status {
@@ -89,7 +91,11 @@ pub fn collect_records(
 /// One model-refresh iteration: collect → fit → return the new model.
 pub fn refresh_model(tech: TechClass, model: &Gmm, n: usize, seed: u64) -> Option<Gmm> {
     let records = collect_records(tech, model, n, seed);
-    let bw: Vec<f64> = records.iter().map(|r| r.bandwidth_mbps).filter(|&b| b > 0.0).collect();
+    let bw: Vec<f64> = records
+        .iter()
+        .map(|r| r.bandwidth_mbps)
+        .filter(|&b| b > 0.0)
+        .collect();
     Gmm::fit_auto(&bw, 5, seed ^ 0xF17).ok()
 }
 
@@ -133,7 +139,13 @@ mod tests {
         };
         let drawn = scenario.draw(7);
         let mut est = ConvergenceEstimator::swiftest();
-        let r = run_swiftest(drawn.build(), &gen2, &mut est, &SwiftestConfig::default(), 7);
+        let r = run_swiftest(
+            drawn.build(),
+            &gen2,
+            &mut est,
+            &SwiftestConfig::default(),
+            7,
+        );
         assert!(r.estimate_mbps > 0.0);
         assert!(r.duration.as_secs_f64() < 4.6);
     }

@@ -26,19 +26,28 @@ pub fn fig26(days: u32, seed: u64) -> Fig26 {
         .into_iter()
         .map(|(x, f)| (x * 100.0, f))
         .collect();
-    Fig26 { summary: report.summary_percent(), busy_fraction: report.busy_fraction, series }
+    Fig26 {
+        summary: report.summary_percent(),
+        busy_fraction: report.busy_fraction,
+        series,
+    }
 }
 
 impl Fig26 {
     /// Text report.
     pub fn render(&self) -> String {
         let (median, mean, p99, p999, max) = self.summary;
-        let mut out = String::from("Fig 26: Swiftest server bandwidth utilisation (busy seconds)\n");
+        let mut out =
+            String::from("Fig 26: Swiftest server bandwidth utilisation (busy seconds)\n");
         let _ = writeln!(
             out,
             "median = {median:.1}%  mean = {mean:.1}%  P99 = {p99:.1}%  P999 = {p999:.1}%  max = {max:.1}%"
         );
-        let _ = writeln!(out, "busy seconds: {:.1}% of the month", self.busy_fraction * 100.0);
+        let _ = writeln!(
+            out,
+            "busy seconds: {:.1}% of the month",
+            self.busy_fraction * 100.0
+        );
         for (x, f) in &self.series {
             let _ = writeln!(out, "{:>7.1}%  CDF {:>6.3}", x, f);
         }
@@ -70,8 +79,12 @@ pub fn cost_report(seed: u64) -> CostReport {
         .filter(|o| o.bandwidth_mbps <= 300.0)
         .collect();
     let demand = WorkloadEstimate::swiftest_paper().provisioning_demand_mbps();
-    let plan = solve_ilp(&PurchaseProblem { offers: catalog, demand_mbps: demand, margin: 0.08 })
-        .expect("paper workload is purchasable");
+    let plan = solve_ilp(&PurchaseProblem {
+        offers: catalog,
+        demand_mbps: demand,
+        margin: 0.08,
+    })
+    .expect("paper workload is purchasable");
     CostReport {
         bts_app_cost: bts,
         swiftest_cost: swift,
@@ -113,7 +126,11 @@ mod tests {
     #[test]
     fn cost_reduction_matches_paper_scale() {
         let report = cost_report(7);
-        assert!((8.0..=30.0).contains(&report.ratio), "ratio {}", report.ratio);
+        assert!(
+            (8.0..=30.0).contains(&report.ratio),
+            "ratio {}",
+            report.ratio
+        );
         assert!(report.fleet_mbps >= 1_900.0);
         assert!(!report.plan.is_empty());
     }

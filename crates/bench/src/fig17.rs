@@ -34,10 +34,12 @@ impl Fig17 {
 
     /// Text report.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Fig 17: TCP ramp-up time to 90% of capacity (seconds)\n",
+        let mut out = String::from("Fig 17: TCP ramp-up time to 90% of capacity (seconds)\n");
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>8} {:>8}",
+            "Mbps", "Cubic", "Reno", "BBR"
         );
-        let _ = writeln!(out, "{:<10} {:>8} {:>8} {:>8}", "Mbps", "Cubic", "Reno", "BBR");
         for &bin in &BANDWIDTH_BINS {
             let _ = writeln!(
                 out,
@@ -65,8 +67,7 @@ fn ramp_time(alg: CcAlgorithm, mbps: f64, seed: u64, cap_secs: f64) -> f64 {
     // grant takes longer than a 100 Mbps one (CQI/AMC adaptation + BSR
     // ramp), so the ramp duration scales sub-linearly with rate.
     let ramp = rng.uniform_range(0.5, 1.1) * (mbps / 300.0).powf(0.4);
-    let capacity =
-        RampUpCapacity::new(ConstantCapacity(mbps * 1e6), ramp, 0.15);
+    let capacity = RampUpCapacity::new(ConstantCapacity(mbps * 1e6), ramp, 0.15);
     let path = PathModel::new(PathConfig {
         capacity: Box::new(capacity),
         base_rtt: Duration::from_secs_f64(rtt),
@@ -130,7 +131,10 @@ mod tests {
         let bbr_100 = fig.cell(100.0, CcAlgorithm::Bbr).unwrap();
         assert!((0.3..=4.0).contains(&bbr_100), "BBR@100 {bbr_100}");
         let cubic_1100 = fig.cell(1100.0, CcAlgorithm::Cubic).unwrap();
-        assert!((2.0..=12.0).contains(&cubic_1100), "Cubic@1100 {cubic_1100}");
+        assert!(
+            (2.0..=12.0).contains(&cubic_1100),
+            "Cubic@1100 {cubic_1100}"
+        );
     }
 
     #[test]

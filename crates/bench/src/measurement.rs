@@ -17,8 +17,18 @@ pub struct Populations {
 /// Generate both populations with `tests` records each.
 pub fn populations(tests: usize, seed: u64) -> Populations {
     Populations {
-        y2020: Generator::new(DatasetConfig { seed, tests, year: Year::Y2020 }).generate(),
-        y2021: Generator::new(DatasetConfig { seed, tests, year: Year::Y2021 }).generate(),
+        y2020: Generator::new(DatasetConfig {
+            seed,
+            tests,
+            year: Year::Y2020,
+        })
+        .generate(),
+        y2021: Generator::new(DatasetConfig {
+            seed,
+            tests,
+            year: Year::Y2021,
+        })
+        .generate(),
     }
 }
 
@@ -71,9 +81,8 @@ pub fn render_measurement(id: &str, pops: &Populations) -> Option<String> {
 
 /// All measurement experiment ids, in paper order.
 pub const MEASUREMENT_IDS: [&str; 19] = [
-    "table1", "table2", "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
-    "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "general",
+    "table1", "table2", "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
+    "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "general",
 ];
 
 /// The cellular-PDF ids rendered from the 2021 population (Figs 18–19
@@ -88,8 +97,7 @@ mod tests {
     fn every_measurement_id_renders() {
         let pops = populations(40_000, 77);
         for id in MEASUREMENT_IDS.iter().chain(PDF_IDS.iter()) {
-            let text = render_measurement(id, &pops)
-                .unwrap_or_else(|| panic!("unknown id {id}"));
+            let text = render_measurement(id, &pops).unwrap_or_else(|| panic!("unknown id {id}"));
             assert!(text.len() > 40, "{id} rendered almost nothing");
         }
         assert!(render_measurement("fig99", &pops).is_none());

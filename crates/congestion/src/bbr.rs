@@ -148,7 +148,9 @@ impl CongestionControl for Bbr {
             }
             State::ProbeBw { phase } => {
                 self.cwnd = (2.0 * bdp).max(INITIAL_WINDOW);
-                self.state = State::ProbeBw { phase: (phase + 1) % CYCLE.len() };
+                self.state = State::ProbeBw {
+                    phase: (phase + 1) % CYCLE.len(),
+                };
             }
         }
     }
@@ -268,6 +270,9 @@ mod tests {
             delivery_rate_pps: 1000.0,
         };
         cc.on_round(&lossy, &mut rng);
-        assert!(cc.window_pkts() > before * 0.5, "BBR must not halve on loss");
+        assert!(
+            cc.window_pkts() > before * 0.5,
+            "BBR must not halve on loss"
+        );
     }
 }

@@ -164,9 +164,9 @@ impl CongestionControl for Cubic {
 
         // TCP-friendly region (RFC 8312 §4.2).
         let rounds = t / rtt;
-        self.w_est = self.w_est.max(
-            self.cwnd * BETA + 3.0 * (1.0 - BETA) / (1.0 + BETA) * rounds,
-        );
+        self.w_est = self
+            .w_est
+            .max(self.cwnd * BETA + 3.0 * (1.0 - BETA) / (1.0 + BETA) * rounds);
         let target = target.max(self.w_est);
 
         if target > self.cwnd {
@@ -237,14 +237,20 @@ mod tests {
             cc.on_round(&round(w, 40, 40, 40 * (i + 1)), &mut rng);
         }
         let before = cc.window_pkts();
-        let lossy = RoundInput { lost_pkts: 2.0, ..round(before, 40, 40, 400) };
+        let lossy = RoundInput {
+            lost_pkts: 2.0,
+            ..round(before, 40, 40, 400)
+        };
         cc.on_round(&lossy, &mut rng);
         assert!((cc.window_pkts() - before * BETA).abs() < 1e-9);
 
         // Second loss below the previous w_max triggers fast convergence:
         // the recorded w_max shrinks below the window at loss time.
         let before2 = cc.window_pkts();
-        let lossy2 = RoundInput { lost_pkts: 1.0, ..round(before2, 40, 40, 440) };
+        let lossy2 = RoundInput {
+            lost_pkts: 1.0,
+            ..round(before2, 40, 40, 440)
+        };
         cc.on_round(&lossy2, &mut rng);
         assert!(cc.w_max < before2 * (1.0 + BETA) / 2.0 + 1e-9);
     }
@@ -257,7 +263,10 @@ mod tests {
             let w = cc.window_pkts();
             cc.on_round(&round(w, 40, 40, 40 * (i + 1)), &mut rng);
         }
-        let lossy = RoundInput { lost_pkts: 1.0, ..round(cc.window_pkts(), 40, 40, 440) };
+        let lossy = RoundInput {
+            lost_pkts: 1.0,
+            ..round(cc.window_pkts(), 40, 40, 440)
+        };
         cc.on_round(&lossy, &mut rng);
         let w_after_loss = cc.window_pkts();
         // Simulate many clean rounds; window must regrow past w_max
@@ -268,7 +277,11 @@ mod tests {
             let w = cc.window_pkts();
             cc.on_round(&round(w, 40, 40, now), &mut rng);
         }
-        assert!(cc.window_pkts() > w_after_loss * 1.3, "w = {}", cc.window_pkts());
+        assert!(
+            cc.window_pkts() > w_after_loss * 1.3,
+            "w = {}",
+            cc.window_pkts()
+        );
     }
 
     #[test]

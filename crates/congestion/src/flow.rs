@@ -69,8 +69,12 @@ impl FlowTrace {
 
     /// Mean goodput over samples at or after `after`.
     pub fn mean_bps_after(&self, after: Duration) -> f64 {
-        let late: Vec<f64> =
-            self.samples.iter().filter(|s| s.at >= after).map(|s| s.bps).collect();
+        let late: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|s| s.at >= after)
+            .map(|s| s.bps)
+            .collect();
         if late.is_empty() {
             0.0
         } else {
@@ -89,11 +93,7 @@ pub struct FlowSim;
 
 impl FlowSim {
     /// Run `cc` over `path` until `config.max_duration`.
-    pub fn run(
-        path: PathModel,
-        cc: Box<dyn CongestionControl>,
-        config: FlowConfig,
-    ) -> FlowTrace {
+    pub fn run(path: PathModel, cc: Box<dyn CongestionControl>, config: FlowConfig) -> FlowTrace {
         let mut sim = MultiFlowSim::new(
             path,
             MultiFlowConfig {
@@ -134,7 +134,11 @@ mod tests {
         FlowSim::run(
             path(rate_bps, rtt_ms, 0.0, 1),
             alg.build(),
-            FlowConfig { max_duration: Duration::from_secs(20), seed: 2, ..Default::default() },
+            FlowConfig {
+                max_duration: Duration::from_secs(20),
+                seed: 2,
+                ..Default::default()
+            },
         )
     }
 
@@ -143,11 +147,7 @@ mod tests {
         for alg in CcAlgorithm::ALL {
             let trace = run(alg, 100e6, 40);
             let late = trace.mean_bps_after(Duration::from_secs(10));
-            assert!(
-                late > 85e6,
-                "{alg}: late mean {:.1} Mbps",
-                late / 1e6
-            );
+            assert!(late > 85e6, "{alg}: late mean {:.1} Mbps", late / 1e6);
         }
     }
 
@@ -171,7 +171,10 @@ mod tests {
         for alg in CcAlgorithm::ALL {
             let trace = run(alg, 100e6, 40);
             let exit = trace.slow_start_exit.expect("must exit slow start");
-            assert!(exit > Duration::ZERO && exit < Duration::from_secs(20), "{alg}: {exit:?}");
+            assert!(
+                exit > Duration::ZERO && exit < Duration::from_secs(20),
+                "{alg}: {exit:?}"
+            );
         }
     }
 
@@ -204,13 +207,19 @@ mod tests {
         let trace = FlowSim::run(
             path(100e6, 40, 0.003, 3),
             CcAlgorithm::Reno.build(),
-            FlowConfig { max_duration: Duration::from_secs(10), seed: 4, ..Default::default() },
+            FlowConfig {
+                max_duration: Duration::from_secs(10),
+                seed: 4,
+                ..Default::default()
+            },
         );
         assert!(trace.loss_rounds > 0);
         // Random loss keeps Reno below a clean run's goodput.
         let clean = run(CcAlgorithm::Reno, 100e6, 40);
-        assert!(trace.mean_bps_after(Duration::from_secs(5))
-            < clean.mean_bps_after(Duration::from_secs(5)));
+        assert!(
+            trace.mean_bps_after(Duration::from_secs(5))
+                < clean.mean_bps_after(Duration::from_secs(5))
+        );
     }
 
     #[test]
@@ -219,12 +228,20 @@ mod tests {
         let bbr = FlowSim::run(
             path(100e6, 40, loss, 5),
             CcAlgorithm::Bbr.build(),
-            FlowConfig { max_duration: Duration::from_secs(10), seed: 6, ..Default::default() },
+            FlowConfig {
+                max_duration: Duration::from_secs(10),
+                seed: 6,
+                ..Default::default()
+            },
         );
         let reno = FlowSim::run(
             path(100e6, 40, loss, 5),
             CcAlgorithm::Reno.build(),
-            FlowConfig { max_duration: Duration::from_secs(10), seed: 6, ..Default::default() },
+            FlowConfig {
+                max_duration: Duration::from_secs(10),
+                seed: 6,
+                ..Default::default()
+            },
         );
         let b = bbr.mean_bps_after(Duration::from_secs(3));
         let r = reno.mean_bps_after(Duration::from_secs(3));
@@ -244,11 +261,7 @@ mod tests {
     #[test]
     fn trace_accounting_consistent_with_samples() {
         let trace = run(CcAlgorithm::Bbr, 100e6, 40);
-        let from_samples: f64 = trace
-            .samples
-            .iter()
-            .map(|s| s.bps * 0.05 / 8.0)
-            .sum();
+        let from_samples: f64 = trace.samples.iter().map(|s| s.bps * 0.05 / 8.0).sum();
         // Sample bins cover delivered bytes (within the final partial bin).
         let diff = (from_samples - trace.bytes_delivered).abs();
         assert!(

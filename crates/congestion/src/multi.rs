@@ -24,7 +24,10 @@ pub struct MultiFlowConfig {
 
 impl Default for MultiFlowConfig {
     fn default() -> Self {
-        Self { sample_interval: Duration::from_millis(50), seed: 0 }
+        Self {
+            sample_interval: Duration::from_millis(50),
+            seed: 0,
+        }
     }
 }
 
@@ -85,7 +88,11 @@ impl MultiFlowSim {
 
     /// Add a flow with a pre-built controller.
     pub fn add_flow_boxed(&mut self, cc: Box<dyn CongestionControl>) {
-        self.flows.push(FlowState { cc, started_at: self.now, slow_start_exit: None });
+        self.flows.push(FlowState {
+            cc,
+            started_at: self.now,
+            slow_start_exit: None,
+        });
     }
 
     /// When flow `idx` left slow start, if it has.
@@ -104,7 +111,9 @@ impl MultiFlowSim {
     /// Panics if no flows have been added.
     pub fn step_round(&mut self) -> Duration {
         assert!(!self.flows.is_empty(), "step_round with no flows");
-        let cap_bps = self.path.capacity_bps(SimTime::from_nanos(self.now.as_nanos() as u64));
+        let cap_bps = self
+            .path
+            .capacity_bps(SimTime::from_nanos(self.now.as_nanos() as u64));
         let cap_pps = (cap_bps / (8.0 * MSS)).max(1.0);
         let base_rtt = self.path.base_rtt().as_secs_f64();
         let rtt_secs = base_rtt + self.queue_pkts / cap_pps;
@@ -139,7 +148,11 @@ impl MultiFlowSim {
         let mut round_delivered = 0.0;
         let mut any_loss = false;
         for (i, f) in self.flows.iter_mut().enumerate() {
-            let share = if total_sent > 0.0 { sent[i] / total_sent } else { 0.0 };
+            let share = if total_sent > 0.0 {
+                sent[i] / total_sent
+            } else {
+                0.0
+            };
             let overflow = overflow_total * share;
             let after_queue = (delivered_total * share).max(0.0);
             // Wireless loss: at-least-one-loss probability for the round,
@@ -242,8 +255,17 @@ mod tests {
     use mbw_netsim::PathConfig;
 
     fn sim(rate_bps: f64, rtt_ms: u64) -> MultiFlowSim {
-        let path = PathModel::new(PathConfig::constant(rate_bps, Duration::from_millis(rtt_ms)));
-        MultiFlowSim::new(path, MultiFlowConfig { seed: 9, ..Default::default() })
+        let path = PathModel::new(PathConfig::constant(
+            rate_bps,
+            Duration::from_millis(rtt_ms),
+        ));
+        MultiFlowSim::new(
+            path,
+            MultiFlowConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -285,7 +307,9 @@ mod tests {
             let xs: Vec<f64> = s
                 .samples()
                 .iter()
-                .filter(|x| x.at >= Duration::from_millis(300) && x.at <= Duration::from_millis(600))
+                .filter(|x| {
+                    x.at >= Duration::from_millis(300) && x.at <= Duration::from_millis(600)
+                })
                 .map(|x| x.bps)
                 .collect();
             xs.iter().sum::<f64>() / xs.len() as f64

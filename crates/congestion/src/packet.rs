@@ -205,12 +205,11 @@ pub fn run_packet_tcp(config: &PacketTcpConfig) -> PacketTcpTrace {
 
     // Helper: transmit a segment through the link, scheduling delivery.
     // Drops (queue or loss) schedule nothing — recovery handles them.
-    let send_segment =
-        |link: &mut Link, queue: &mut EventQueue<Event>, now: SimTime, seq: u64| {
-            if let mbw_netsim::link::SendOutcome::Delivered(at) = link.send(now, SEG) {
-                queue.schedule(at, Event::Deliver { seq });
-            }
-        };
+    let send_segment = |link: &mut Link, queue: &mut EventQueue<Event>, now: SimTime, seq: u64| {
+        if let mbw_netsim::link::SendOutcome::Delivered(at) = link.send(now, SEG) {
+            queue.schedule(at, Event::Deliver { seq });
+        }
+    };
 
     // Prime the first window, the first sample tick, and the first RTO.
     {
@@ -222,7 +221,12 @@ pub fn run_packet_tcp(config: &PacketTcpConfig) -> PacketTcpTrace {
             send_segment(&mut link, &mut queue, now, seq);
         }
         queue.schedule(now + config.sample_interval, Event::Sample);
-        queue.schedule(now + sender.rto, Event::Rto { epoch: sender.epoch });
+        queue.schedule(
+            now + sender.rto,
+            Event::Rto {
+                epoch: sender.epoch,
+            },
+        );
     }
 
     queue.run_until(end, |now, event, queue| match event {
@@ -509,12 +513,21 @@ mod tests {
         let p = packet.mean_bps_after(Duration::from_secs(5));
         let f = fluid.mean_bps_after(Duration::from_secs(5));
         let diff = (p - f).abs() / f;
-        assert!(diff < 0.15, "packet {:.1} vs fluid {:.1} Mbps", p / 1e6, f / 1e6);
+        assert!(
+            diff < 0.15,
+            "packet {:.1} vs fluid {:.1} Mbps",
+            p / 1e6,
+            f / 1e6
+        );
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = PacketTcpConfig { loss: 0.003, seed: 9, ..Default::default() };
+        let cfg = PacketTcpConfig {
+            loss: 0.003,
+            seed: 9,
+            ..Default::default()
+        };
         let a = run_packet_tcp(&cfg);
         let b = run_packet_tcp(&cfg);
         assert_eq!(a.delivered_segments, b.delivered_segments);

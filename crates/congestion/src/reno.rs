@@ -29,7 +29,11 @@ impl Default for Reno {
 impl Reno {
     /// Reno with the delayed-ACK slow-start growth factor (1.5×/RTT).
     pub fn new() -> Self {
-        Self { cwnd: INITIAL_WINDOW, ssthresh: f64::INFINITY, ss_growth: 1.5 }
+        Self {
+            cwnd: INITIAL_WINDOW,
+            ssthresh: f64::INFINITY,
+            ss_growth: 1.5,
+        }
     }
 
     /// Override the slow-start growth factor (used by ablations).
@@ -102,7 +106,10 @@ mod tests {
     }
 
     fn lossy_round(cwnd: f64) -> RoundInput {
-        RoundInput { lost_pkts: 1.0, ..clean_round(cwnd) }
+        RoundInput {
+            lost_pkts: 1.0,
+            ..clean_round(cwnd)
+        }
     }
 
     #[test]
@@ -157,7 +164,10 @@ mod tests {
         let mut rng = SeededRng::new(0);
         let w = full.window_pkts();
         full.on_round(&clean_round(w), &mut rng);
-        let thin = RoundInput { delivered_pkts: w / 2.0, ..clean_round(w) };
+        let thin = RoundInput {
+            delivered_pkts: w / 2.0,
+            ..clean_round(w)
+        };
         starved.on_round(&thin, &mut rng);
         assert!(starved.window_pkts() < full.window_pkts());
     }

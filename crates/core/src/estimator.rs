@@ -71,7 +71,13 @@ impl GroupedTrimmedMean {
     pub fn new(groups: usize, group_size: usize, drop_low: usize, drop_high: usize) -> Self {
         assert!(groups > 0 && group_size > 0);
         assert!(drop_low + drop_high < groups, "trim discards all groups");
-        Self { samples: Vec::new(), groups, group_size, drop_low, drop_high }
+        Self {
+            samples: Vec::new(),
+            groups,
+            group_size,
+            drop_low,
+            drop_high,
+        }
     }
 
     /// Total samples this estimator wants.
@@ -93,8 +99,7 @@ impl GroupedTrimmedMean {
         let scale = means.len() as f64 / self.groups as f64;
         let low = (self.drop_low as f64 * scale).floor() as usize;
         let high = (self.drop_high as f64 * scale).floor() as usize;
-        descriptive::trimmed_mean(&means, low, high)
-            .or_else(|| Some(descriptive::mean(&means)))
+        descriptive::trimmed_mean(&means, low, high).or_else(|| Some(descriptive::mean(&means)))
     }
 }
 
@@ -142,7 +147,10 @@ impl SpeedtestTrim {
     /// Panics if `target` is zero.
     pub fn new(target: usize) -> Self {
         assert!(target > 0);
-        Self { samples: Vec::new(), target }
+        Self {
+            samples: Vec::new(),
+            target,
+        }
     }
 }
 
@@ -209,7 +217,12 @@ impl ConvergenceEstimator {
     pub fn new(window: usize, tolerance: f64, warmup: usize) -> Self {
         assert!(window >= 2, "need at least two samples to compare");
         assert!(tolerance > 0.0);
-        Self { samples: Vec::new(), window, tolerance, warmup }
+        Self {
+            samples: Vec::new(),
+            window,
+            tolerance,
+            warmup,
+        }
     }
 
     fn tail(&self) -> Option<&[f64]> {
@@ -276,7 +289,14 @@ impl CrucialIntervalEstimator {
     /// across connections before trusting it; the evidence floor here
     /// (24 samples ≈ 1.2 s) plays that role.
     pub fn fastbts() -> Self {
-        Self { samples: Vec::new(), min_samples: 24, stability: 0.05, stable_needed: 5, stable_count: 0, last_mean: None }
+        Self {
+            samples: Vec::new(),
+            min_samples: 24,
+            stability: 0.05,
+            stable_needed: 5,
+            stable_count: 0,
+            last_mean: None,
+        }
     }
 
     /// The crucial interval over the current samples:
@@ -434,8 +454,9 @@ mod tests {
     fn convergence_tolerates_3_percent() {
         let mut est = ConvergenceEstimator::swiftest();
         // Samples alternating within 3%: 100 and 102.9.
-        let samples: Vec<f64> =
-            (0..10).map(|i| if i % 2 == 0 { 100.0 } else { 102.9 }).collect();
+        let samples: Vec<f64> = (0..10)
+            .map(|i| if i % 2 == 0 { 100.0 } else { 102.9 })
+            .collect();
         let v = feed(&mut est, &samples).expect("3% band converges");
         assert!((v - 101.45).abs() < 0.1);
     }
@@ -443,8 +464,9 @@ mod tests {
     #[test]
     fn convergence_rejects_4_percent_band() {
         let mut est = ConvergenceEstimator::swiftest();
-        let samples: Vec<f64> =
-            (0..40).map(|i| if i % 2 == 0 { 100.0 } else { 104.2 }).collect();
+        let samples: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 100.0 } else { 104.2 })
+            .collect();
         assert_eq!(feed(&mut est, &samples), None);
     }
 

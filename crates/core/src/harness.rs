@@ -13,6 +13,7 @@ use crate::probe::{self, BtsKind, FloodingConfig, SwiftestConfig};
 use crate::scenario::{AccessScenario, DrawnPath};
 use crate::server::ServerPool;
 use mbw_stats::{descriptive, SeededRng};
+use mbw_telemetry::ProbeTimeline;
 use std::time::Duration;
 
 /// The outcome of one simulated bandwidth test.
@@ -34,6 +35,9 @@ pub struct TestOutcome {
     pub truth_mbps: f64,
     /// How the test completed (converged / partial / nothing usable).
     pub status: TestStatus,
+    /// The prober's per-event record, annotated with the run's kind,
+    /// technology, and seed. Deterministic for a fixed seed.
+    pub timeline: ProbeTimeline,
 }
 
 impl TestOutcome {
@@ -144,6 +148,12 @@ impl TestHarness {
             }
         };
 
+        let mut timeline = result.timeline;
+        timeline.annotate("kind", kind.name());
+        timeline.annotate("tech", self.scenario.tech.name());
+        timeline.annotate("run_seed", &run_seed.to_string());
+        timeline.annotate("truth_mbps", &format!("{}", drawn.truth_mbps));
+
         TestOutcome {
             kind,
             tech: self.scenario.tech,
@@ -153,6 +163,7 @@ impl TestHarness {
             estimate_mbps: result.estimate_mbps,
             truth_mbps: drawn.truth_mbps,
             status: result.status,
+            timeline,
         }
     }
 
@@ -168,8 +179,14 @@ impl TestHarness {
         // Distinct run seeds: the second run starts after a cooldown, so
         // its noise process is a different draw on the same link.
         let mut first = self.run_on(first_kind, &drawn, seed ^ 0xF157);
-        let mut second =
-            self.run_on(second_kind, &DrawnPath { seed: drawn.seed ^ 0x2ED, ..drawn }, seed ^ 0x5EC);
+        let mut second = self.run_on(
+            second_kind,
+            &DrawnPath {
+                seed: drawn.seed ^ 0x2ED,
+                ..drawn
+            },
+            seed ^ 0x5EC,
+        );
         if first.kind != a {
             std::mem::swap(&mut first, &mut second);
         }
@@ -199,7 +216,11 @@ mod tests {
                 "{tech}: mean duration {mean_dur}"
             );
             // §5.3: even 5G tests average ~32 MB.
-            assert!(descriptive::mean(&usage) < 80e6, "{tech}: usage {}", descriptive::mean(&usage));
+            assert!(
+                descriptive::mean(&usage) < 80e6,
+                "{tech}: usage {}",
+                descriptive::mean(&usage)
+            );
         }
     }
 
@@ -261,6 +282,7 @@ mod tests {
             estimate_mbps: 95.0,
             truth_mbps: 100.0,
             status: TestStatus::Complete,
+            timeline: ProbeTimeline::new(),
         };
         assert_eq!(o.total_duration(), Duration::from_millis(1100));
         assert!((o.accuracy_vs(100.0) - 0.95).abs() < 1e-9);
@@ -274,5 +296,36 @@ mod tests {
         let b = h.run(BtsKind::Swiftest, 7);
         assert_eq!(a.estimate_mbps, b.estimate_mbps);
         assert_eq!(a.duration, b.duration);
+    }
+
+    #[test]
+    fn timelines_are_byte_identical_for_a_fixed_seed() {
+        let h = TestHarness::new(TechClass::Nr);
+        let a = h.run(BtsKind::Swiftest, 7);
+        let b = h.run(BtsKind::Swiftest, 7);
+        let ja = a.timeline.to_json();
+        assert_eq!(ja, b.timeline.to_json());
+        // The timeline carries the run's identity and real content.
+        assert_eq!(
+            a.timeline.meta().get("kind").map(String::as_str),
+            Some("Swiftest")
+        );
+        assert!(!a.timeline.trajectory().is_empty());
+        assert!(a.timeline.summary().is_some());
+        // A different seed tells a different story.
+        let c = h.run(BtsKind::Swiftest, 8);
+        assert_ne!(ja, c.timeline.to_json());
+    }
+
+    #[test]
+    fn flooding_runs_carry_timelines_too() {
+        let h = TestHarness::new(TechClass::Wifi);
+        let o = h.run(BtsKind::BtsApp, 3);
+        assert_eq!(
+            o.timeline.meta().get("prober").map(String::as_str),
+            Some("flooding")
+        );
+        // 10 s at 50 ms sampling: the trajectory is the full sample set.
+        assert!(o.timeline.trajectory().len() >= 200);
     }
 }

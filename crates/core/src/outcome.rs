@@ -111,7 +111,10 @@ mod tests {
     #[test]
     fn labels_are_coarse() {
         assert_eq!(TestStatus::Complete.label(), "complete");
-        assert_eq!(TestStatus::Degraded(DegradeReason::Stall).label(), "degraded");
+        assert_eq!(
+            TestStatus::Degraded(DegradeReason::Stall).label(),
+            "degraded"
+        );
         assert_eq!(TestStatus::Failed(FailReason::NoServer).label(), "failed");
         assert_eq!(TestStatus::default(), TestStatus::Complete);
     }

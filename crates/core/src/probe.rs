@@ -11,6 +11,7 @@ use crate::outcome::{DegradeReason, FailReason, TestStatus};
 use mbw_congestion::{CcAlgorithm, MultiFlowConfig, MultiFlowSim};
 use mbw_netsim::{PathModel, SimTime};
 use mbw_stats::Gmm;
+use mbw_telemetry::{ProbeTimeline, TimelineEvent};
 use std::time::Duration;
 
 /// Which bandwidth testing service a run emulates.
@@ -28,8 +29,12 @@ pub enum BtsKind {
 
 impl BtsKind {
     /// All four services.
-    pub const ALL: [BtsKind; 4] =
-        [BtsKind::BtsApp, BtsKind::Fast, BtsKind::FastBts, BtsKind::Swiftest];
+    pub const ALL: [BtsKind; 4] = [
+        BtsKind::BtsApp,
+        BtsKind::Fast,
+        BtsKind::FastBts,
+        BtsKind::Swiftest,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -61,6 +66,9 @@ pub struct ProbeResult {
     pub samples: Vec<f64>,
     /// How the run completed (converged / partial / nothing usable).
     pub status: TestStatus,
+    /// The full per-event record of the run, stamped in virtual time —
+    /// deterministic (byte-identical JSON) for a fixed seed.
+    pub timeline: ProbeTimeline,
 }
 
 /// Configuration of the TCP flooding prober.
@@ -91,12 +99,18 @@ impl FloodingConfig {
 
     /// FAST's configuration (converges via its estimator; 20 s cap).
     pub fn fast() -> Self {
-        Self { max_duration: Duration::from_secs(20), ..Self::bts_app() }
+        Self {
+            max_duration: Duration::from_secs(20),
+            ..Self::bts_app()
+        }
     }
 
     /// FastBTS's configuration (30 s cap, rarely reached).
     pub fn fastbts() -> Self {
-        Self { max_duration: Duration::from_secs(30), ..Self::bts_app() }
+        Self {
+            max_duration: Duration::from_secs(30),
+            ..Self::bts_app()
+        }
     }
 }
 
@@ -122,9 +136,17 @@ pub fn run_flooding(
 ) -> ProbeResult {
     let mut sim = MultiFlowSim::new(
         path,
-        MultiFlowConfig { sample_interval: Duration::from_millis(50), seed },
+        MultiFlowConfig {
+            sample_interval: Duration::from_millis(50),
+            seed,
+        },
     );
     sim.add_flow(config.cc);
+
+    let mut timeline = ProbeTimeline::new();
+    timeline.annotate("prober", "flooding");
+    timeline.annotate("estimator", estimator.name());
+    timeline.record_phase(0, "probe");
 
     let mut pushed = 0usize;
     let mut next_threshold = 0usize;
@@ -140,6 +162,8 @@ pub fn run_flooding(
             pushed += 1;
             let mbps = s.bps / 1e6;
             samples.push(mbps);
+            let at_ns = s.at.as_nanos() as u64;
+            timeline.record_sample(at_ns, mbps);
             // Progressive connection addition (§2).
             while next_threshold < config.thresholds.len()
                 && mbps >= config.thresholds[next_threshold]
@@ -147,6 +171,7 @@ pub fn run_flooding(
                 next_threshold += 1;
                 if sim.flow_count() < config.max_connections {
                     sim.add_flow(config.cc);
+                    timeline.record_phase(at_ns, &format!("flows={}", sim.flow_count()));
                 }
             }
             match estimator.push(mbps) {
@@ -154,6 +179,7 @@ pub fn run_flooding(
                 EstimatorDecision::Done(v) => {
                     final_estimate = Some(v);
                     end = s.at;
+                    timeline.record(at_ns, TimelineEvent::Converged { estimate_mbps: v });
                     break 'outer;
                 }
             }
@@ -173,12 +199,15 @@ pub fn run_flooding(
         // an estimate over whatever was observed.
         TestStatus::Degraded(DegradeReason::Convergence)
     };
+    let duration = end.min(sim.now());
+    timeline.finish(duration.as_nanos() as u64, estimate, &status.to_string());
     ProbeResult {
-        duration: end.min(sim.now()),
+        duration,
         data_bytes: delivered,
         estimate_mbps: estimate,
         samples,
         status,
+        timeline,
     }
 }
 
@@ -228,7 +257,14 @@ pub fn run_swiftest(
     let mut gap_windows = 0usize;
     let deadline = SimTime::ZERO + config.max_duration;
 
+    let mut timeline = ProbeTimeline::new();
+    timeline.annotate("prober", "swiftest-udp");
+    timeline.annotate("estimator", estimator.name());
+    timeline.record_phase(t.as_nanos(), "probe");
+    timeline.record_rate(t.as_nanos(), rate_mbps);
+
     while t < deadline {
+        let window_start = t;
         let fs = path.integrate_paced(t, step, step, rate_mbps * 1e6);
         t += step;
         let delivered: f64 = fs.iter().map(|s| s.delivered_bytes).sum();
@@ -239,6 +275,8 @@ pub fn run_swiftest(
         data_bytes += delivered;
         let mbps = delivered * 8.0 / step.as_secs_f64() / 1e6;
         samples.push(mbps);
+        timeline.record_chunk(window_start.as_nanos(), delivered as u64);
+        timeline.record_sample(t.as_nanos(), mbps);
 
         if delivered <= 0.0 {
             // Delivery gap (link blackout): feeding the zero into the
@@ -246,12 +284,14 @@ pub fn run_swiftest(
             // does not have. Count the gap and keep probing so the test
             // resumes when the radio comes back.
             gap_windows += 1;
+            timeline.record(t.as_nanos(), TimelineEvent::Stall);
             continue;
         }
 
         match estimator.push(mbps) {
             EstimatorDecision::Done(v) => {
                 estimate = Some(v);
+                timeline.record(t.as_nanos(), TimelineEvent::Converged { estimate_mbps: v });
                 break;
             }
             EstimatorDecision::Continue => {}
@@ -263,6 +303,7 @@ pub fn run_swiftest(
             rate_mbps = model
                 .next_larger_mode(rate_mbps)
                 .unwrap_or(rate_mbps * config.beyond_mode_growth);
+            timeline.record_rate(t.as_nanos(), rate_mbps);
         }
     }
 
@@ -276,12 +317,19 @@ pub fn run_swiftest(
     } else {
         TestStatus::Complete
     };
+    let duration = t.saturating_since(SimTime::ZERO);
+    timeline.finish(
+        duration.as_nanos() as u64,
+        estimate_mbps,
+        &status.to_string(),
+    );
     ProbeResult {
-        duration: t.saturating_since(SimTime::ZERO),
+        duration,
         data_bytes,
         estimate_mbps,
         samples,
         status,
+        timeline,
     }
 }
 
@@ -293,7 +341,10 @@ mod tests {
     use mbw_netsim::PathConfig;
 
     fn flat_path(mbps: f64, rtt_ms: u64) -> PathModel {
-        PathModel::new(PathConfig::constant(mbps * 1e6, Duration::from_millis(rtt_ms)))
+        PathModel::new(PathConfig::constant(
+            mbps * 1e6,
+            Duration::from_millis(rtt_ms),
+        ))
     }
 
     #[test]
@@ -310,13 +361,30 @@ mod tests {
     #[test]
     fn bts_app_runs_the_full_ten_seconds() {
         let mut est = GroupedTrimmedMean::bts_app();
-        let r = run_flooding(flat_path(100.0, 25), &mut est, &FloodingConfig::bts_app(), 1);
+        let r = run_flooding(
+            flat_path(100.0, 25),
+            &mut est,
+            &FloodingConfig::bts_app(),
+            1,
+        );
         // 200 samples × 50 ms = 10 s.
-        assert!(r.duration >= Duration::from_millis(9_900), "{:?}", r.duration);
-        assert!((r.estimate_mbps - 100.0).abs() < 8.0, "estimate {}", r.estimate_mbps);
+        assert!(
+            r.duration >= Duration::from_millis(9_900),
+            "{:?}",
+            r.duration
+        );
+        assert!(
+            (r.estimate_mbps - 100.0).abs() < 8.0,
+            "estimate {}",
+            r.estimate_mbps
+        );
         assert!(r.samples.len() >= 200);
         // Data usage ≈ 10 s at ~100 Mbps ≈ 125 MB (ramp loses a little).
-        assert!(r.data_bytes > 80e6 && r.data_bytes < 130e6, "{}", r.data_bytes);
+        assert!(
+            r.data_bytes > 80e6 && r.data_bytes < 130e6,
+            "{}",
+            r.data_bytes
+        );
     }
 
     #[test]
@@ -330,7 +398,12 @@ mod tests {
     #[test]
     fn fastbts_is_quick_but_can_lowball() {
         let mut est = CrucialIntervalEstimator::fastbts();
-        let r = run_flooding(flat_path(300.0, 30), &mut est, &FloodingConfig::fastbts(), 3);
+        let r = run_flooding(
+            flat_path(300.0, 30),
+            &mut est,
+            &FloodingConfig::fastbts(),
+            3,
+        );
         assert!(r.duration < Duration::from_secs(10), "{:?}", r.duration);
         assert!(r.estimate_mbps > 0.0);
     }
@@ -341,8 +414,17 @@ mod tests {
         // multiple connections must have been spawned; their aggregate
         // saturates the link faster than a single Cubic flow would.
         let mut est = GroupedTrimmedMean::bts_app();
-        let r = run_flooding(flat_path(500.0, 25), &mut est, &FloodingConfig::bts_app(), 4);
-        assert!((r.estimate_mbps - 500.0).abs() < 50.0, "estimate {}", r.estimate_mbps);
+        let r = run_flooding(
+            flat_path(500.0, 25),
+            &mut est,
+            &FloodingConfig::bts_app(),
+            4,
+        );
+        assert!(
+            (r.estimate_mbps - 500.0).abs() < 50.0,
+            "estimate {}",
+            r.estimate_mbps
+        );
     }
 
     #[test]
@@ -361,7 +443,11 @@ mod tests {
             "duration {:?}",
             r.duration
         );
-        assert!((r.estimate_mbps - 300.0).abs() < 15.0, "estimate {}", r.estimate_mbps);
+        assert!(
+            (r.estimate_mbps - 300.0).abs() < 15.0,
+            "estimate {}",
+            r.estimate_mbps
+        );
         // Data usage around rate × duration: tens of MB at most.
         assert!(r.data_bytes < 100e6, "{}", r.data_bytes);
     }
@@ -377,7 +463,11 @@ mod tests {
             &SwiftestConfig::default(),
             6,
         );
-        assert!((r.estimate_mbps - 400.0).abs() < 30.0, "estimate {}", r.estimate_mbps);
+        assert!(
+            (r.estimate_mbps - 400.0).abs() < 30.0,
+            "estimate {}",
+            r.estimate_mbps
+        );
     }
 
     #[test]
@@ -393,7 +483,11 @@ mod tests {
             &SwiftestConfig::default(),
             7,
         );
-        assert!((r.estimate_mbps - 50.0).abs() < 5.0, "estimate {}", r.estimate_mbps);
+        assert!(
+            (r.estimate_mbps - 50.0).abs() < 5.0,
+            "estimate {}",
+            r.estimate_mbps
+        );
         assert!(r.duration < Duration::from_millis(1_500));
     }
 
@@ -430,9 +524,17 @@ mod tests {
         let r = run_swiftest(path, &model, &mut est, &SwiftestConfig::default(), 11);
         // Bounded, degraded, and not wildly mis-estimated: the zero
         // windows must not drag the estimate toward zero.
-        assert!(r.duration <= Duration::from_millis(4_600), "{:?}", r.duration);
+        assert!(
+            r.duration <= Duration::from_millis(4_600),
+            "{:?}",
+            r.duration
+        );
         assert!(r.status.is_degraded(), "status {:?}", r.status);
-        assert!((r.estimate_mbps - 80.0).abs() < 12.0, "estimate {}", r.estimate_mbps);
+        assert!(
+            (r.estimate_mbps - 80.0).abs() < 12.0,
+            "estimate {}",
+            r.estimate_mbps
+        );
     }
 
     #[test]
@@ -444,7 +546,11 @@ mod tests {
         let path = flat_path(80.0, 20)
             .with_faults(FaultPlan::blackout(SimTime::ZERO, Duration::from_secs(10)));
         let r = run_swiftest(path, &model, &mut est, &SwiftestConfig::default(), 12);
-        assert!(r.duration <= Duration::from_millis(4_600), "{:?}", r.duration);
+        assert!(
+            r.duration <= Duration::from_millis(4_600),
+            "{:?}",
+            r.duration
+        );
         assert!(r.status.is_failed(), "status {:?}", r.status);
         assert_eq!(r.estimate_mbps, 0.0);
     }
@@ -453,7 +559,13 @@ mod tests {
     fn clean_runs_report_complete() {
         let model = TechClass::Nr.default_model();
         let mut est = ConvergenceEstimator::swiftest();
-        let r = run_swiftest(flat_path(300.0, 20), &model, &mut est, &SwiftestConfig::default(), 13);
+        let r = run_swiftest(
+            flat_path(300.0, 20),
+            &model,
+            &mut est,
+            &SwiftestConfig::default(),
+            13,
+        );
         assert!(r.status.is_complete(), "status {:?}", r.status);
     }
 
@@ -472,7 +584,11 @@ mod tests {
             &SwiftestConfig::default(),
             9,
         );
-        assert!(r.duration <= Duration::from_millis(4_600), "{:?}", r.duration);
+        assert!(
+            r.duration <= Duration::from_millis(4_600),
+            "{:?}",
+            r.duration
+        );
         assert!(r.estimate_mbps > 0.0, "finalize fallback fires");
     }
 }

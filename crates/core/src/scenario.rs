@@ -126,11 +126,20 @@ impl AccessScenario {
         // Drawn last so scenarios with fault_rate == 0 reproduce the
         // exact paths they drew before faults existed.
         let faults = if self.fault_rate > 0.0 && rng.chance(self.fault_rate) {
-            FaultInjection::Seeded { seed: seed ^ 0xFA17 }
+            FaultInjection::Seeded {
+                seed: seed ^ 0xFA17,
+            }
         } else {
             FaultInjection::None
         };
-        DrawnPath { truth_mbps, rtt, loss, class, seed, faults }
+        DrawnPath {
+            truth_mbps,
+            rtt,
+            loss,
+            class,
+            seed,
+            faults,
+        }
     }
 }
 
@@ -163,7 +172,10 @@ impl FaultInjection {
             FaultInjection::Seeded { seed } => {
                 FaultPlan::seeded_random(seed, FAULT_HORIZON, &FaultProfile::mobile())
             }
-            FaultInjection::Blackout { start_ms, duration_ms } => FaultPlan::blackout(
+            FaultInjection::Blackout {
+                start_ms,
+                duration_ms,
+            } => FaultPlan::blackout(
                 SimTime::from_millis(start_ms),
                 Duration::from_millis(duration_ms),
             ),
@@ -253,7 +265,11 @@ mod tests {
             let s = AccessScenario::default_for(tech);
             for seed in 0..200 {
                 let d = s.draw(seed);
-                assert!(d.rtt >= s.rtt_range.0 && d.rtt <= s.rtt_range.1, "{tech}: {}", d.rtt);
+                assert!(
+                    d.rtt >= s.rtt_range.0 && d.rtt <= s.rtt_range.1,
+                    "{tech}: {}",
+                    d.rtt
+                );
                 assert!(d.loss >= s.loss_range.0 && d.loss <= s.loss_range.1);
                 assert!(d.truth_mbps >= 1.0);
             }
@@ -304,7 +320,12 @@ mod tests {
         let nominal = d.truth_mbps * 1e6;
         for i in 0..100 {
             let cap = p.capacity_bps(SimTime::from_millis(i * 50));
-            assert!((cap / nominal - 1.0).abs() < 0.12, "cap {} vs {}", cap, nominal);
+            assert!(
+                (cap / nominal - 1.0).abs() < 0.12,
+                "cap {} vs {}",
+                cap,
+                nominal
+            );
         }
     }
 
@@ -347,7 +368,12 @@ mod tests {
             9,
         );
         let dev = (r.estimate_mbps - drawn.truth_mbps).abs() / drawn.truth_mbps;
-        assert!(dev < 0.08, "estimate {} vs truth {}", r.estimate_mbps, drawn.truth_mbps);
+        assert!(
+            dev < 0.08,
+            "estimate {} vs truth {}",
+            r.estimate_mbps,
+            drawn.truth_mbps
+        );
         assert!(r.duration < std::time::Duration::from_secs(3));
     }
 
@@ -355,9 +381,13 @@ mod tests {
     fn fault_rate_controls_fault_frequency() {
         let s = AccessScenario::default_for(TechClass::Lte).with_fault_rate(0.5);
         let n = 2000;
-        let faulted =
-            (0..n).filter(|&seed| s.draw(seed).faults != FaultInjection::None).count();
-        assert!((faulted as f64 / n as f64 - 0.5).abs() < 0.05, "faulted {faulted}/{n}");
+        let faulted = (0..n)
+            .filter(|&seed| s.draw(seed).faults != FaultInjection::None)
+            .count();
+        assert!(
+            (faulted as f64 / n as f64 - 0.5).abs() < 0.05,
+            "faulted {faulted}/{n}"
+        );
         // Zero-rate scenarios never fault.
         let clean = AccessScenario::default_for(TechClass::Lte);
         assert!((0..200).all(|seed| clean.draw(seed).faults == FaultInjection::None));
@@ -383,9 +413,10 @@ mod tests {
     #[test]
     fn scripted_blackout_kills_capacity_inside_the_window() {
         let s = AccessScenario::default_for(TechClass::Wifi);
-        let d = s
-            .draw(3)
-            .with_faults(FaultInjection::Blackout { start_ms: 500, duration_ms: 300 });
+        let d = s.draw(3).with_faults(FaultInjection::Blackout {
+            start_ms: 500,
+            duration_ms: 300,
+        });
         let mut p = d.build();
         assert_eq!(p.capacity_bps(SimTime::from_millis(600)), 0.0);
         assert!(p.capacity_bps(SimTime::from_millis(100)) > 0.0);
@@ -413,8 +444,9 @@ mod tests {
             faults: FaultInjection::None,
         };
         let mut p = d.build();
-        let caps: Vec<f64> =
-            (0..100).map(|i| p.capacity_bps(SimTime::from_millis(i * 100))).collect();
+        let caps: Vec<f64> = (0..100)
+            .map(|i| p.capacity_bps(SimTime::from_millis(i * 100)))
+            .collect();
         let hi = caps.iter().cloned().fold(0.0, f64::max);
         let lo = caps.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(hi / lo > 2.0, "{lo}..{hi}");

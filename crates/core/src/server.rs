@@ -124,7 +124,10 @@ impl ServerPool {
         // proximity by IP address" heuristic).
         let mut order: Vec<usize> = (0..self.servers.len()).collect();
         order.sort_by_key(|&i| {
-            (domain_distance(client_domain, self.servers[i].domain), self.servers[i].id)
+            (
+                domain_distance(client_domain, self.servers[i].domain),
+                self.servers[i].id,
+            )
         });
         let mut best: Option<(usize, Duration)> = None;
         let mut worst_ping = Duration::ZERO;
@@ -156,7 +159,11 @@ mod tests {
     fn production_pool_shape() {
         let pool = ServerPool::bts_app_production(1);
         assert_eq!(pool.servers().len(), 352);
-        let fast = pool.servers().iter().filter(|s| s.uplink_bps >= 5e9).count();
+        let fast = pool
+            .servers()
+            .iter()
+            .filter(|s| s.uplink_bps >= 5e9)
+            .count();
         assert!(fast >= 62, "ISP-backed servers present");
         // Total capacity in the hundreds of Gbps–Tbps range.
         assert!(pool.total_uplink_bps() > 352.0 * 1e9);
@@ -166,7 +173,10 @@ mod tests {
     fn budget_pool_matches_paper_deployment() {
         let pool = ServerPool::swiftest_budget(20, 100.0, 2);
         assert_eq!(pool.servers().len(), 20);
-        assert!((pool.total_uplink_bps() - 2e9).abs() < 1.0, "20 × 100 Mbps = 2 Gbps");
+        assert!(
+            (pool.total_uplink_bps() - 2e9).abs() < 1.0,
+            "20 × 100 Mbps = 2 Gbps"
+        );
         // Evenly spread: at most ⌈20/8⌉ per domain.
         for d in 0..IXP_DOMAINS as u8 {
             let n = pool.servers().iter().filter(|s| s.domain == d).count();

@@ -94,8 +94,9 @@ impl CongestionControl for ModelGuidedCc {
         if input.saw_loss() {
             // TCP-friendliness: multiplicative decrease toward what the
             // path proved it can deliver.
-            self.target_pps =
-                (self.target_pps * 0.85).max(self.delivered_ewma * 0.9).max(mbps_to_pps(1.0));
+            self.target_pps = (self.target_pps * 0.85)
+                .max(self.delivered_ewma * 0.9)
+                .max(mbps_to_pps(1.0));
         } else if input.delivery_rate_pps >= self.target_pps * self.margin {
             // Not saturated: escalate to the next most probable larger
             // modal bandwidth, exactly like the UDP prober.
@@ -136,9 +137,17 @@ pub fn run_swiftest_tcp(
 ) -> ProbeResult {
     let mut sim = MultiFlowSim::new(
         path,
-        MultiFlowConfig { sample_interval: Duration::from_millis(50), seed },
+        MultiFlowConfig {
+            sample_interval: Duration::from_millis(50),
+            seed,
+        },
     );
     sim.add_flow_boxed(Box::new(ModelGuidedCc::new(model.clone(), config)));
+
+    let mut timeline = mbw_telemetry::ProbeTimeline::new();
+    timeline.annotate("prober", "swiftest-tcp");
+    timeline.annotate("estimator", estimator.name());
+    timeline.record_phase(0, "probe");
 
     let mut pushed = 0usize;
     let mut samples = Vec::new();
@@ -153,9 +162,14 @@ pub fn run_swiftest_tcp(
             pushed += 1;
             let mbps = s.bps / 1e6;
             samples.push(mbps);
+            timeline.record_sample(s.at.as_nanos() as u64, mbps);
             if let EstimatorDecision::Done(v) = estimator.push(mbps) {
                 estimate = Some(v);
                 end = s.at;
+                timeline.record(
+                    s.at.as_nanos() as u64,
+                    mbw_telemetry::TimelineEvent::Converged { estimate_mbps: v },
+                );
                 break 'outer;
             }
         }
@@ -169,12 +183,19 @@ pub fn run_swiftest_tcp(
     } else {
         TestStatus::Degraded(DegradeReason::Convergence)
     };
+    let duration = end.min(sim.now());
+    timeline.finish(
+        duration.as_nanos() as u64,
+        estimate_mbps,
+        &status.to_string(),
+    );
     ProbeResult {
-        duration: end.min(sim.now()),
+        duration,
         data_bytes: delivered,
         estimate_mbps,
         samples,
         status,
+        timeline,
     }
 }
 
@@ -187,13 +208,16 @@ pub fn run_swiftest_tcp_default(path: PathModel, model: &Gmm, seed: u64) -> Prob
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::estimator::GroupedTrimmedMean;
     use crate::model::TechClass;
     use crate::probe::{run_flooding, FloodingConfig};
-    use crate::estimator::GroupedTrimmedMean;
     use mbw_netsim::PathConfig;
 
     fn flat_path(mbps: f64, rtt_ms: u64) -> PathModel {
-        PathModel::new(PathConfig::constant(mbps * 1e6, Duration::from_millis(rtt_ms)))
+        PathModel::new(PathConfig::constant(
+            mbps * 1e6,
+            Duration::from_millis(rtt_ms),
+        ))
     }
 
     #[test]
@@ -213,7 +237,11 @@ mod tests {
             "duration {:?}",
             r.duration
         );
-        assert!((r.estimate_mbps - 300.0).abs() < 20.0, "estimate {}", r.estimate_mbps);
+        assert!(
+            (r.estimate_mbps - 300.0).abs() < 20.0,
+            "estimate {}",
+            r.estimate_mbps
+        );
     }
 
     #[test]
@@ -221,8 +249,12 @@ mod tests {
         let model = TechClass::Nr.default_model();
         let tcp_swift = run_swiftest_tcp_default(flat_path(400.0, 30), &model, 2);
         let mut est = GroupedTrimmedMean::bts_app();
-        let flooding =
-            run_flooding(flat_path(400.0, 30), &mut est, &FloodingConfig::bts_app(), 2);
+        let flooding = run_flooding(
+            flat_path(400.0, 30),
+            &mut est,
+            &FloodingConfig::bts_app(),
+            2,
+        );
         assert!(tcp_swift.duration < flooding.duration / 3);
         assert!(tcp_swift.data_bytes < flooding.data_bytes / 3.0);
     }
@@ -231,7 +263,11 @@ mod tests {
     fn escalates_through_modes_to_reach_fast_links() {
         let model = Gmm::from_triples(&[(0.7, 50.0, 8.0), (0.3, 150.0, 20.0)]).unwrap();
         let r = run_swiftest_tcp_default(flat_path(600.0, 20), &model, 3);
-        assert!((r.estimate_mbps - 600.0).abs() < 60.0, "estimate {}", r.estimate_mbps);
+        assert!(
+            (r.estimate_mbps - 600.0).abs() < 60.0,
+            "estimate {}",
+            r.estimate_mbps
+        );
     }
 
     #[test]
@@ -250,9 +286,16 @@ mod tests {
         };
         cc.on_round(&clean, &mut rng);
         let before = cc.target_mbps();
-        let lossy = RoundInput { lost_pkts: 5.0, ..clean };
+        let lossy = RoundInput {
+            lost_pkts: 5.0,
+            ..clean
+        };
         cc.on_round(&lossy, &mut rng);
-        assert!(cc.target_mbps() < before, "{} !< {before}", cc.target_mbps());
+        assert!(
+            cc.target_mbps() < before,
+            "{} !< {before}",
+            cc.target_mbps()
+        );
     }
 
     #[test]
@@ -268,7 +311,11 @@ mod tests {
             &SwiftestConfig::default(),
             4,
         );
-        assert!((r.estimate_mbps - 80.0).abs() < 8.0, "estimate {}", r.estimate_mbps);
+        assert!(
+            (r.estimate_mbps - 80.0).abs() < 8.0,
+            "estimate {}",
+            r.estimate_mbps
+        );
         // Goodput samples never exceed the link.
         for &s in &r.samples {
             assert!(s <= 80.0 * 1.02, "sample {s}");

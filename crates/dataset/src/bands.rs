@@ -165,19 +165,28 @@ pub const NR_BANDS: [NrBandInfo; 5] = [
 
 /// Look up Table 1 by band id.
 pub fn lte_band(id: LteBandId) -> &'static LteBandInfo {
-    LTE_BANDS.iter().find(|b| b.id == id).expect("all LTE bands tabulated")
+    LTE_BANDS
+        .iter()
+        .find(|b| b.id == id)
+        .expect("all LTE bands tabulated")
 }
 
 /// Look up Table 2 by band id.
 pub fn nr_band(id: NrBandId) -> &'static NrBandInfo {
-    NR_BANDS.iter().find(|b| b.id == id).expect("all NR bands tabulated")
+    NR_BANDS
+        .iter()
+        .find(|b| b.id == id)
+        .expect("all NR bands tabulated")
 }
 
 /// Fraction of the total LTE *H-Band* downlink spectrum occupied by the
 /// three refarmed bands. The paper reports 58.2% (§1, §3.2).
 pub fn refarmed_h_band_spectrum_fraction() -> f64 {
-    let h_total: f64 =
-        LTE_BANDS.iter().filter(|b| b.is_h_band()).map(|b| b.dl_width_mhz()).sum();
+    let h_total: f64 = LTE_BANDS
+        .iter()
+        .filter(|b| b.is_h_band())
+        .map(|b| b.dl_width_mhz())
+        .sum();
     let refarmed: f64 = LTE_BANDS
         .iter()
         .filter(|b| b.is_h_band() && b.refarmed_2021)
@@ -215,8 +224,11 @@ mod tests {
     #[test]
     fn h_band_classification_matches_paper() {
         // H-Bands: 28, 3, 39, 1, 40, 41 (20 MHz); L-Bands: 5, 8, 34.
-        let h: Vec<LteBandId> =
-            LTE_BANDS.iter().filter(|b| b.is_h_band()).map(|b| b.id).collect();
+        let h: Vec<LteBandId> = LTE_BANDS
+            .iter()
+            .filter(|b| b.is_h_band())
+            .map(|b| b.id)
+            .collect();
         assert_eq!(
             h,
             vec![
@@ -263,11 +275,17 @@ mod tests {
 
     #[test]
     fn per_isp_band_lookups() {
-        let isp1_lte: Vec<LteBandId> =
-            lte_bands_of(Isp::Isp1).iter().map(|b| b.id).collect();
+        let isp1_lte: Vec<LteBandId> = lte_bands_of(Isp::Isp1).iter().map(|b| b.id).collect();
         assert_eq!(
             isp1_lte,
-            vec![LteBandId::B8, LteBandId::B3, LteBandId::B39, LteBandId::B34, LteBandId::B40, LteBandId::B41]
+            vec![
+                LteBandId::B8,
+                LteBandId::B3,
+                LteBandId::B39,
+                LteBandId::B34,
+                LteBandId::B40,
+                LteBandId::B41
+            ]
         );
         let isp4_nr: Vec<NrBandId> = nr_bands_of(Isp::Isp4).iter().map(|b| b.id).collect();
         assert_eq!(isp4_nr, vec![NrBandId::N28, NrBandId::N79]);

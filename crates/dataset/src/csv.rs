@@ -45,7 +45,11 @@ impl std::fmt::Display for CsvError {
             CsvError::ColumnCount { line, got } => {
                 write!(f, "line {line}: expected {COLUMNS} columns, got {got}")
             }
-            CsvError::BadField { line, column, value } => {
+            CsvError::BadField {
+                line,
+                column,
+                value,
+            } => {
                 write!(f, "line {line}: bad {column}: {value:?}")
             }
         }
@@ -143,12 +147,12 @@ pub fn to_csv(records: &[TestRecord]) -> String {
     out
 }
 
-fn parse<T: std::str::FromStr>(
-    s: &str,
-    line: usize,
-    column: &'static str,
-) -> Result<T, CsvError> {
-    s.parse().map_err(|_| CsvError::BadField { line, column, value: s.to_string() })
+fn parse<T: std::str::FromStr>(s: &str, line: usize, column: &'static str) -> Result<T, CsvError> {
+    s.parse().map_err(|_| CsvError::BadField {
+        line,
+        column,
+        value: s.to_string(),
+    })
 }
 
 fn parse_lte_band(s: &str) -> Option<LteBandId> {
@@ -173,7 +177,10 @@ pub fn from_csv(text: &str) -> Result<Vec<TestRecord>, CsvError> {
         }
         let cols: Vec<&str> = raw.split(',').collect();
         if cols.len() != COLUMNS {
-            return Err(CsvError::ColumnCount { line, got: cols.len() });
+            return Err(CsvError::ColumnCount {
+                line,
+                got: cols.len(),
+            });
         }
         let tech = match cols[1] {
             "3g" => AccessTech::Cellular3g,
@@ -181,7 +188,11 @@ pub fn from_csv(text: &str) -> Result<Vec<TestRecord>, CsvError> {
             "5g" => AccessTech::Cellular5g,
             "wifi" => AccessTech::Wifi,
             other => {
-                return Err(CsvError::BadField { line, column: "tech", value: other.into() })
+                return Err(CsvError::BadField {
+                    line,
+                    column: "tech",
+                    value: other.into(),
+                })
             }
         };
         let isp = match cols[2] {
@@ -190,14 +201,22 @@ pub fn from_csv(text: &str) -> Result<Vec<TestRecord>, CsvError> {
             "isp3" => Isp::Isp3,
             "isp4" => Isp::Isp4,
             other => {
-                return Err(CsvError::BadField { line, column: "isp", value: other.into() })
+                return Err(CsvError::BadField {
+                    line,
+                    column: "isp",
+                    value: other.into(),
+                })
             }
         };
         let year = match cols[3] {
             "2020" => Year::Y2020,
             "2021" => Year::Y2021,
             other => {
-                return Err(CsvError::BadField { line, column: "year", value: other.into() })
+                return Err(CsvError::BadField {
+                    line,
+                    column: "year",
+                    value: other.into(),
+                })
             }
         };
         let city_tier = match cols[5] {
@@ -205,7 +224,11 @@ pub fn from_csv(text: &str) -> Result<Vec<TestRecord>, CsvError> {
             "medium" => CityTier::Medium,
             "small" => CityTier::Small,
             other => {
-                return Err(CsvError::BadField { line, column: "city_tier", value: other.into() })
+                return Err(CsvError::BadField {
+                    line,
+                    column: "city_tier",
+                    value: other.into(),
+                })
             }
         };
         let device_tier = match cols[10] {
@@ -213,7 +236,11 @@ pub fn from_csv(text: &str) -> Result<Vec<TestRecord>, CsvError> {
             "mid" => DeviceTier::Mid,
             "high" => DeviceTier::High,
             other => {
-                return Err(CsvError::BadField { line, column: "device_tier", value: other.into() })
+                return Err(CsvError::BadField {
+                    line,
+                    column: "device_tier",
+                    value: other.into(),
+                })
             }
         };
         let link = match cols[11] {
@@ -260,7 +287,11 @@ pub fn from_csv(text: &str) -> Result<Vec<TestRecord>, CsvError> {
                 })
             }
             other => {
-                return Err(CsvError::BadField { line, column: "link_kind", value: other.into() })
+                return Err(CsvError::BadField {
+                    line,
+                    column: "link_kind",
+                    value: other.into(),
+                })
             }
         };
         let outcome = OutcomeClass::from_label(cols[25]).ok_or_else(|| CsvError::BadField {
@@ -294,7 +325,12 @@ mod tests {
     use mbw_stats::descriptive;
 
     fn sample(tests: usize) -> Vec<TestRecord> {
-        Generator::new(DatasetConfig { seed: 0xC57, tests, year: Year::Y2021 }).generate()
+        Generator::new(DatasetConfig {
+            seed: 0xC57,
+            tests,
+            year: Year::Y2021,
+        })
+        .generate()
     }
 
     #[test]
@@ -303,11 +339,8 @@ mod tests {
         let parsed = from_csv(&to_csv(&records)).expect("roundtrip parses");
         assert_eq!(parsed.len(), records.len());
         // Float columns are rounded in the CSV, so compare aggregates.
-        let m1 = descriptive::mean(
-            &records.iter().map(|r| r.bandwidth_mbps).collect::<Vec<_>>(),
-        );
-        let m2 =
-            descriptive::mean(&parsed.iter().map(|r| r.bandwidth_mbps).collect::<Vec<_>>());
+        let m1 = descriptive::mean(&records.iter().map(|r| r.bandwidth_mbps).collect::<Vec<_>>());
+        let m2 = descriptive::mean(&parsed.iter().map(|r| r.bandwidth_mbps).collect::<Vec<_>>());
         assert!((m1 - m2).abs() < 0.01);
         // Categorical columns roundtrip exactly.
         for (a, b) in records.iter().zip(&parsed) {
@@ -342,7 +375,10 @@ mod tests {
     #[test]
     fn column_count_is_checked() {
         let doc = format!("{HEADER}\n1,2,3\n");
-        assert!(matches!(from_csv(&doc), Err(CsvError::ColumnCount { line: 2, got: 3 })));
+        assert!(matches!(
+            from_csv(&doc),
+            Err(CsvError::ColumnCount { line: 2, got: 3 })
+        ));
     }
 
     #[test]
@@ -353,7 +389,9 @@ mod tests {
         let (header, body) = doc.split_once('\n').expect("header line");
         let doc = format!("{header}\n{}", body.replacen("isp", "xsp", 1));
         match from_csv(&doc) {
-            Err(CsvError::BadField { line: 2, column, .. }) => {
+            Err(CsvError::BadField {
+                line: 2, column, ..
+            }) => {
                 assert_eq!(column, "isp");
             }
             other => panic!("{other:?}"),

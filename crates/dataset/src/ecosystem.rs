@@ -20,10 +20,18 @@ pub const TECH_WEIGHTS: [(crate::types::AccessTech, f64); 4] = [
 /// ISP-4 launched in 2021 with a negligible base).
 pub fn isp_weights(year: Year) -> [(Isp, f64); 4] {
     match year {
-        Year::Y2020 => [(Isp::Isp1, 0.52), (Isp::Isp2, 0.20), (Isp::Isp3, 0.28), (Isp::Isp4, 0.0)],
-        Year::Y2021 => {
-            [(Isp::Isp1, 0.515), (Isp::Isp2, 0.20), (Isp::Isp3, 0.28), (Isp::Isp4, 0.005)]
-        }
+        Year::Y2020 => [
+            (Isp::Isp1, 0.52),
+            (Isp::Isp2, 0.20),
+            (Isp::Isp3, 0.28),
+            (Isp::Isp4, 0.0),
+        ],
+        Year::Y2021 => [
+            (Isp::Isp1, 0.515),
+            (Isp::Isp2, 0.20),
+            (Isp::Isp3, 0.28),
+            (Isp::Isp4, 0.005),
+        ],
     }
 }
 
@@ -59,13 +67,19 @@ pub fn five_g_share(year: Year) -> f64 {
 }
 
 /// City counts per tier (§3.1: 21 mega, 51 medium, 254 small).
-pub const CITY_COUNTS: [(CityTier, u16); 3] =
-    [(CityTier::Mega, 21), (CityTier::Medium, 51), (CityTier::Small, 254)];
+pub const CITY_COUNTS: [(CityTier, u16); 3] = [
+    (CityTier::Mega, 21),
+    (CityTier::Medium, 51),
+    (CityTier::Small, 254),
+];
 
 /// Test volume weight per city tier: mega cities generate
 /// disproportionately many tests (denser population, more BTS-APP users).
-pub const CITY_TIER_TEST_WEIGHTS: [(CityTier, f64); 3] =
-    [(CityTier::Mega, 0.45), (CityTier::Medium, 0.30), (CityTier::Small, 0.25)];
+pub const CITY_TIER_TEST_WEIGHTS: [(CityTier, f64); 3] = [
+    (CityTier::Mega, 0.45),
+    (CityTier::Medium, 0.30),
+    (CityTier::Small, 0.25),
+];
 
 /// Probability a test runs in the urban core, per tier.
 pub fn urban_probability(tier: CityTier) -> f64 {
@@ -275,8 +289,14 @@ mod tests {
         let mut rng = SeededRng::new(1);
         let cities = build_cities(&mut rng);
         assert_eq!(cities.len(), 326);
-        assert_eq!(cities.iter().filter(|c| c.tier == CityTier::Mega).count(), 21);
-        assert_eq!(cities.iter().filter(|c| c.tier == CityTier::Small).count(), 254);
+        assert_eq!(
+            cities.iter().filter(|c| c.tier == CityTier::Mega).count(),
+            21
+        );
+        assert_eq!(
+            cities.iter().filter(|c| c.tier == CityTier::Small).count(),
+            254
+        );
         // Ids are dense and unique.
         for (i, c) in cities.iter().enumerate() {
             assert_eq!(c.id as usize, i);

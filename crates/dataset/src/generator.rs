@@ -26,7 +26,11 @@ pub struct DatasetConfig {
 
 impl Default for DatasetConfig {
     fn default() -> Self {
-        Self { seed: 0xDA7A, tests: 100_000, year: Year::Y2021 }
+        Self {
+            seed: 0xDA7A,
+            tests: 100_000,
+            year: Year::Y2021,
+        }
     }
 }
 
@@ -86,10 +90,9 @@ impl Generator {
             start += *count as usize;
         }
 
-        let city_tier_sampler = WeightedIndex::new(
-            &ecosystem::CITY_TIER_TEST_WEIGHTS.map(|(_, w)| w),
-        )
-        .expect("static weights valid");
+        let city_tier_sampler =
+            WeightedIndex::new(&ecosystem::CITY_TIER_TEST_WEIGHTS.map(|(_, w)| w))
+                .expect("static weights valid");
         let hour_sampler =
             WeightedIndex::new(&ecosystem::HOURLY_TEST_VOLUME).expect("static weights valid");
 
@@ -101,12 +104,10 @@ impl Generator {
         let cellular_isp_sampler =
             WeightedIndex::new(&ecosystem::isp_weights(config.year).map(|(_, w)| w.max(1e-9)))
                 .expect("static weights valid");
-        let wifi_isp_sampler =
-            WeightedIndex::new(&WIFI_ISP_WEIGHTS).expect("static weights valid");
-        let wifi_standard_sampler = WeightedIndex::new(
-            &ecosystem::wifi_standard_weights(config.year).map(|(_, w)| w),
-        )
-        .expect("static weights valid");
+        let wifi_isp_sampler = WeightedIndex::new(&WIFI_ISP_WEIGHTS).expect("static weights valid");
+        let wifi_standard_sampler =
+            WeightedIndex::new(&ecosystem::wifi_standard_weights(config.year).map(|(_, w)| w))
+                .expect("static weights valid");
 
         let plan_samplers = WifiStandard::ALL.map(|s| {
             WeightedIndex::new(&ecosystem::broadband_plan_weights(s, config.year))
@@ -119,7 +120,11 @@ impl Generator {
                 let weights = models::lte_band_weights(isp, config.year);
                 let bands: Vec<LteBandId> = weights.iter().map(|(b, _)| *b).collect();
                 let ws: Vec<f64> = weights.iter().map(|(_, w)| *w).collect();
-                (isp, bands, WeightedIndex::new(&ws).expect("static weights valid"))
+                (
+                    isp,
+                    bands,
+                    WeightedIndex::new(&ws).expect("static weights valid"),
+                )
             })
             .collect();
         let nr_band_tables = Isp::ALL
@@ -128,7 +133,11 @@ impl Generator {
                 let weights = models::nr_band_weights(isp, config.year);
                 let bands: Vec<NrBandId> = weights.iter().map(|(b, _)| *b).collect();
                 let ws: Vec<f64> = weights.iter().map(|(_, w)| *w).collect();
-                (isp, bands, WeightedIndex::new(&ws).expect("static weights valid"))
+                (
+                    isp,
+                    bands,
+                    WeightedIndex::new(&ws).expect("static weights valid"),
+                )
             })
             .collect();
 
@@ -158,7 +167,9 @@ impl Generator {
 
     /// Generate the configured number of records.
     pub fn generate(&mut self) -> Vec<TestRecord> {
-        (0..self.config.tests).map(|_| self.generate_one()).collect()
+        (0..self.config.tests)
+            .map(|_| self.generate_one())
+            .collect()
     }
 
     /// Generate a single record.
@@ -204,8 +215,7 @@ impl Generator {
         let is_wifi = rng.chance(WIFI_SHARE);
         let (tech, isp, link, bandwidth) = if is_wifi {
             let isp = Isp::ALL[self.wifi_isp_sampler.sample(rng)];
-            let (info, bw) =
-                self.draw_wifi(isp, &city, urban, android_version, device_tier, year);
+            let (info, bw) = self.draw_wifi(isp, &city, urban, android_version, device_tier, year);
             (AccessTech::Wifi, isp, LinkInfo::Wifi(info), bw)
         } else {
             let isp = Isp::ALL[self.cellular_isp_sampler.sample(rng)];
@@ -241,9 +251,7 @@ impl Generator {
         };
         let bandwidth = match outcome {
             OutcomeClass::Failed => 0.0,
-            OutcomeClass::Degraded => {
-                bandwidth * self.outcome_rng.uniform_range(0.60, 0.95)
-            }
+            OutcomeClass::Degraded => bandwidth * self.outcome_rng.uniform_range(0.60, 0.95),
             OutcomeClass::Complete => bandwidth,
         };
 
@@ -443,9 +451,7 @@ mod tests {
         Generator::new(DatasetConfig { seed, tests, year }).generate()
     }
 
-    fn bw_of<'a>(
-        records: impl Iterator<Item = &'a TestRecord>,
-    ) -> Vec<f64> {
+    fn bw_of<'a>(records: impl Iterator<Item = &'a TestRecord>) -> Vec<f64> {
         records.map(|r| r.bandwidth_mbps).collect()
     }
 
@@ -466,9 +472,14 @@ mod tests {
         };
         assert!((frac(AccessTech::Wifi) - 0.8917).abs() < 0.01);
         // 5G ≈ 33% of cellular in 2021 (§3.1).
-        let cell: Vec<_> =
-            records.iter().filter(|r| r.tech != AccessTech::Wifi).collect();
-        let five_g = cell.iter().filter(|r| r.tech == AccessTech::Cellular5g).count() as f64
+        let cell: Vec<_> = records
+            .iter()
+            .filter(|r| r.tech != AccessTech::Wifi)
+            .collect();
+        let five_g = cell
+            .iter()
+            .filter(|r| r.tech == AccessTech::Cellular5g)
+            .count() as f64
             / cell.len() as f64;
         assert!((five_g - 0.33).abs() < 0.04, "5G share {five_g}");
     }
@@ -549,8 +560,7 @@ mod tests {
         let records = dataset(500_000, Year::Y2021, 29);
         let mean_at = |lvl: u8| {
             descriptive::mean(&bw_of(records.iter().filter(|r| {
-                r.tech == AccessTech::Cellular5g
-                    && r.cell().map(|c| c.rss_level) == Some(lvl)
+                r.tech == AccessTech::Cellular5g && r.cell().map(|c| c.rss_level) == Some(lvl)
             })))
         };
         let l3 = mean_at(3);

@@ -68,23 +68,50 @@ pub fn lte_band_base(band: LteBandId, year: Year) -> LogNormal {
         // L-Bands (10–15 MHz channels). Note B34 (Fig 5: 47.1 Mbps) —
         // a lightly-loaded TDD band whose per-user baseline rivals the
         // H-Bands despite the narrower channel.
-        LteBandId::B5 => LogNormal { median: 26.0, sigma: 0.6 },
-        LteBandId::B8 => LogNormal { median: 29.0, sigma: 0.6 },
-        LteBandId::B34 => LogNormal { median: 52.0, sigma: 0.6 },
+        LteBandId::B5 => LogNormal {
+            median: 26.0,
+            sigma: 0.6,
+        },
+        LteBandId::B8 => LogNormal {
+            median: 29.0,
+            sigma: 0.6,
+        },
+        LteBandId::B34 => LogNormal {
+            median: 52.0,
+            sigma: 0.6,
+        },
         // H-Bands. B3 carries 55% of all LTE users (Fig 6), so its
         // *base* per-user rate is contention-depressed; its high Fig 5
         // mean comes from the LTE-Advanced share.
-        LteBandId::B28 => LogNormal { median: 13.0, sigma: 0.6 },
-        LteBandId::B3 => LogNormal { median: refarm(27.0, 25.0), sigma: 0.6 },
+        LteBandId::B28 => LogNormal {
+            median: 13.0,
+            sigma: 0.6,
+        },
+        LteBandId::B3 => LogNormal {
+            median: refarm(27.0, 25.0),
+            sigma: 0.6,
+        },
         // B39 serves sparse rural deployments with few users per cell —
         // low contention, so good baseline for those it does serve (§3.2
         // explains its *relative* weakness vs B40 by signal strength; the
         // RSS factor applies that on top).
-        LteBandId::B39 => LogNormal { median: 47.0, sigma: 0.6 },
-        LteBandId::B40 => LogNormal { median: 39.0, sigma: 0.6 },
+        LteBandId::B39 => LogNormal {
+            median: 47.0,
+            sigma: 0.6,
+        },
+        LteBandId::B40 => LogNormal {
+            median: 39.0,
+            sigma: 0.6,
+        },
         // Refarmed: thick spectrum in 2020, thin leftover in 2021.
-        LteBandId::B1 => LogNormal { median: refarm(48.0, 36.0), sigma: 0.6 },
-        LteBandId::B41 => LogNormal { median: refarm(46.0, 39.0), sigma: 0.6 },
+        LteBandId::B1 => LogNormal {
+            median: refarm(48.0, 36.0),
+            sigma: 0.6,
+        },
+        LteBandId::B41 => LogNormal {
+            median: refarm(46.0, 39.0),
+            sigma: 0.6,
+        },
     }
 }
 
@@ -197,14 +224,24 @@ pub fn nr_band_model(band: NrBandId, year: Year) -> Gmm {
             Year::Y2021 => 1.0,
         };
     let triples: &[(f64, f64, f64)] = match band {
-        NrBandId::N78 => &[(0.45, 255.0, 60.0), (0.40, 370.0, 85.0), (0.15, 540.0, 120.0)],
-        NrBandId::N41 => &[(0.50, 245.0, 60.0), (0.35, 355.0, 80.0), (0.15, 495.0, 110.0)],
+        NrBandId::N78 => &[
+            (0.45, 255.0, 60.0),
+            (0.40, 370.0, 85.0),
+            (0.15, 540.0, 120.0),
+        ],
+        NrBandId::N41 => &[
+            (0.50, 245.0, 60.0),
+            (0.35, 355.0, 80.0),
+            (0.15, 495.0, 110.0),
+        ],
         NrBandId::N1 => &[(0.70, 92.0, 24.0), (0.30, 132.0, 34.0)],
         NrBandId::N28 => &[(0.60, 100.0, 26.0), (0.40, 134.0, 34.0)],
         NrBandId::N79 => &[(1.0, 290.0, 70.0)],
     };
-    let scaled: Vec<(f64, f64, f64)> =
-        triples.iter().map(|&(w, m, s)| (w, m * boost, s * boost)).collect();
+    let scaled: Vec<(f64, f64, f64)> = triples
+        .iter()
+        .map(|&(w, m, s)| (w, m * boost, s * boost))
+        .collect();
     Gmm::from_triples(&scaled).expect("static NR models are valid")
 }
 
@@ -283,11 +320,26 @@ pub fn dbm_for_rss(level: u8, rng: &mut SeededRng) -> f64 {
 /// which is what makes WiFi 4 ≈ WiFi 5 over 5 GHz (§3.4).
 pub fn wifi_link_model(standard: WifiStandard, on_5ghz: bool) -> LogNormal {
     match (standard, on_5ghz) {
-        (WifiStandard::Wifi4, false) => LogNormal { median: 36.0, sigma: 0.62 },
-        (WifiStandard::Wifi4, true) => LogNormal { median: 260.0, sigma: 0.60 },
-        (WifiStandard::Wifi5, _) => LogNormal { median: 330.0, sigma: 0.60 },
-        (WifiStandard::Wifi6, false) => LogNormal { median: 76.0, sigma: 0.45 },
-        (WifiStandard::Wifi6, true) => LogNormal { median: 680.0, sigma: 0.45 },
+        (WifiStandard::Wifi4, false) => LogNormal {
+            median: 36.0,
+            sigma: 0.62,
+        },
+        (WifiStandard::Wifi4, true) => LogNormal {
+            median: 260.0,
+            sigma: 0.60,
+        },
+        (WifiStandard::Wifi5, _) => LogNormal {
+            median: 330.0,
+            sigma: 0.60,
+        },
+        (WifiStandard::Wifi6, false) => LogNormal {
+            median: 76.0,
+            sigma: 0.45,
+        },
+        (WifiStandard::Wifi6, true) => LogNormal {
+            median: 680.0,
+            sigma: 0.45,
+        },
     }
 }
 
@@ -428,11 +480,7 @@ pub fn wifi_mac_rate(
 /// Number of other WiFi APs detected during the test (§2's "states of
 /// the other WiFi APs"): dense in urban mega-city housing, sparse in
 /// rural areas.
-pub fn neighbor_ap_count(
-    tier: crate::types::CityTier,
-    urban: bool,
-    rng: &mut SeededRng,
-) -> u16 {
+pub fn neighbor_ap_count(tier: crate::types::CityTier, urban: bool, rng: &mut SeededRng) -> u16 {
     let mean = match (tier, urban) {
         (crate::types::CityTier::Mega, true) => 24.0,
         (crate::types::CityTier::Mega, false) => 8.0,
@@ -460,11 +508,18 @@ mod tests {
 
     #[test]
     fn lognormal_mean_formula() {
-        let ln = LogNormal { median: 22.0, sigma: 1.1 };
+        let ln = LogNormal {
+            median: 22.0,
+            sigma: 1.1,
+        };
         let mut rng = SeededRng::new(1);
         let n = 200_000;
         let mean: f64 = (0..n).map(|_| ln.sample(&mut rng)).sum::<f64>() / n as f64;
-        assert!((mean - ln.mean()).abs() / ln.mean() < 0.03, "{mean} vs {}", ln.mean());
+        assert!(
+            (mean - ln.mean()).abs() / ln.mean() < 0.03,
+            "{mean} vs {}",
+            ln.mean()
+        );
     }
 
     #[test]
@@ -611,7 +666,10 @@ mod tests {
         let peak = nr_hour_factor(3).max(nr_hour_factor(4));
         // …with awake daytime in between.
         let day = nr_hour_factor(15);
-        assert!(trough < day && day < peak, "trough {trough} day {day} peak {peak}");
+        assert!(
+            trough < day && day < peak,
+            "trough {trough} day {day} peak {peak}"
+        );
         for h in 0..24 {
             let f = nr_hour_factor(h);
             assert!(trough <= f + 1e-12, "hour {h} below trough");
@@ -630,10 +688,8 @@ mod tests {
     #[test]
     fn snr_and_dbm_follow_levels() {
         let mut rng = SeededRng::new(5);
-        let mean_snr_l1: f64 =
-            (0..2000).map(|_| snr_for_rss(1, &mut rng)).sum::<f64>() / 2000.0;
-        let mean_snr_l5: f64 =
-            (0..2000).map(|_| snr_for_rss(5, &mut rng)).sum::<f64>() / 2000.0;
+        let mean_snr_l1: f64 = (0..2000).map(|_| snr_for_rss(1, &mut rng)).sum::<f64>() / 2000.0;
+        let mean_snr_l5: f64 = (0..2000).map(|_| snr_for_rss(5, &mut rng)).sum::<f64>() / 2000.0;
         assert!(mean_snr_l5 > mean_snr_l1 + 20.0);
         assert!(dbm_for_rss(5, &mut rng) > dbm_for_rss(1, &mut rng));
     }

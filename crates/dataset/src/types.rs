@@ -157,8 +157,13 @@ pub enum NrBandId {
 
 impl NrBandId {
     /// All bands, in Table 2's spectrum order.
-    pub const ALL: [NrBandId; 5] =
-        [NrBandId::N28, NrBandId::N1, NrBandId::N41, NrBandId::N78, NrBandId::N79];
+    pub const ALL: [NrBandId; 5] = [
+        NrBandId::N28,
+        NrBandId::N1,
+        NrBandId::N41,
+        NrBandId::N78,
+        NrBandId::N79,
+    ];
 
     /// 3GPP-style display name.
     pub fn name(self) -> &'static str {
@@ -185,8 +190,11 @@ pub enum WifiStandard {
 
 impl WifiStandard {
     /// All standards.
-    pub const ALL: [WifiStandard; 3] =
-        [WifiStandard::Wifi4, WifiStandard::Wifi5, WifiStandard::Wifi6];
+    pub const ALL: [WifiStandard; 3] = [
+        WifiStandard::Wifi4,
+        WifiStandard::Wifi5,
+        WifiStandard::Wifi6,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -481,7 +489,11 @@ mod tests {
 
     #[test]
     fn outcome_labels_roundtrip() {
-        for o in [OutcomeClass::Complete, OutcomeClass::Degraded, OutcomeClass::Failed] {
+        for o in [
+            OutcomeClass::Complete,
+            OutcomeClass::Degraded,
+            OutcomeClass::Failed,
+        ] {
             assert_eq!(OutcomeClass::from_label(o.label()), Some(o));
         }
         assert_eq!(OutcomeClass::from_label("bogus"), None);

@@ -77,7 +77,10 @@ mod tests {
     fn catalog_has_336_offers_with_paper_ranges() {
         let cat = synthetic_catalog(1);
         assert_eq!(cat.len(), 336);
-        let min_bw = cat.iter().map(|o| o.bandwidth_mbps).fold(f64::INFINITY, f64::min);
+        let min_bw = cat
+            .iter()
+            .map(|o| o.bandwidth_mbps)
+            .fold(f64::INFINITY, f64::min);
         let max_bw = cat.iter().map(|o| o.bandwidth_mbps).fold(0.0, f64::max);
         assert_eq!(min_bw, 100.0);
         assert_eq!(max_bw, 10000.0);
@@ -100,8 +103,11 @@ mod tests {
     fn bigger_servers_cost_more_in_total_but_less_per_mbps() {
         let cat = synthetic_catalog(3);
         let avg = |tier: f64| {
-            let v: Vec<f64> =
-                cat.iter().filter(|o| o.bandwidth_mbps == tier).map(|o| o.price).collect();
+            let v: Vec<f64> = cat
+                .iter()
+                .filter(|o| o.bandwidth_mbps == tier)
+                .map(|o| o.price)
+                .collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
         // Total price rises with size…

@@ -75,7 +75,10 @@ pub enum SolveError {
 impl std::fmt::Display for SolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SolveError::InsufficientMarket { target_mbps, market_mbps } => write!(
+            SolveError::InsufficientMarket {
+                target_mbps,
+                market_mbps,
+            } => write!(
                 f,
                 "market capacity {market_mbps} Mbps cannot cover target {target_mbps} Mbps"
             ),
@@ -90,8 +93,11 @@ fn validate(problem: &PurchaseProblem) -> Result<Vec<ServerOffer>, SolveError> {
     if !(problem.demand_mbps > 0.0) || !(problem.margin >= 0.0) {
         return Err(SolveError::InvalidProblem);
     }
-    let market: f64 =
-        problem.offers.iter().map(|o| o.bandwidth_mbps * o.available as f64).sum();
+    let market: f64 = problem
+        .offers
+        .iter()
+        .map(|o| o.bandwidth_mbps * o.available as f64)
+        .sum();
     if market < problem.target_mbps() {
         return Err(SolveError::InsufficientMarket {
             target_mbps: problem.target_mbps(),
@@ -132,7 +138,11 @@ pub fn solve_greedy(problem: &PurchaseProblem) -> Result<PurchasePlan, SolveErro
         bandwidth += o.bandwidth_mbps * take as f64;
         remaining -= o.bandwidth_mbps * take as f64;
     }
-    Ok(PurchasePlan { purchases, total_cost: cost, total_bandwidth_mbps: bandwidth })
+    Ok(PurchasePlan {
+        purchases,
+        total_cost: cost,
+        total_bandwidth_mbps: bandwidth,
+    })
 }
 
 /// LP-relaxation lower bound on the cost of covering `remaining` Mbps
@@ -172,7 +182,10 @@ pub fn solve_ilp(problem: &PurchaseProblem) -> Result<PurchasePlan, SolveError> 
     let mut best: Vec<u32> = {
         let mut v = vec![0u32; sorted.len()];
         for (id, n) in &greedy.purchases {
-            let idx = sorted.iter().position(|o| o.id == *id).expect("id from catalog");
+            let idx = sorted
+                .iter()
+                .position(|o| o.id == *id)
+                .expect("id from catalog");
             v[idx] = *n;
         }
         v
@@ -210,7 +223,9 @@ pub fn solve_ilp(problem: &PurchaseProblem) -> Result<PurchasePlan, SolveError> 
             return; // prune
         }
         let o = &sorted[idx];
-        let max_take = o.available.min((remaining / o.bandwidth_mbps).ceil() as u32);
+        let max_take = o
+            .available
+            .min((remaining / o.bandwidth_mbps).ceil() as u32);
         // High-to-low: take as many of the efficient offer as useful first.
         for take in (0..=max_take).rev() {
             current[idx] = take;
@@ -228,7 +243,16 @@ pub fn solve_ilp(problem: &PurchaseProblem) -> Result<PurchasePlan, SolveError> 
         current[idx] = 0;
     }
 
-    dfs(&sorted, 0, target, 0.0, &mut current, &mut best_cost, &mut best, &mut nodes);
+    dfs(
+        &sorted,
+        0,
+        target,
+        0.0,
+        &mut current,
+        &mut best_cost,
+        &mut best,
+        &mut nodes,
+    );
 
     let mut purchases = Vec::new();
     let mut bandwidth = 0.0;
@@ -238,7 +262,11 @@ pub fn solve_ilp(problem: &PurchaseProblem) -> Result<PurchasePlan, SolveError> 
             bandwidth += sorted[idx].bandwidth_mbps * n as f64;
         }
     }
-    Ok(PurchasePlan { purchases, total_cost: best_cost, total_bandwidth_mbps: bandwidth })
+    Ok(PurchasePlan {
+        purchases,
+        total_cost: best_cost,
+        total_bandwidth_mbps: bandwidth,
+    })
 }
 
 #[cfg(test)]
@@ -246,7 +274,12 @@ mod tests {
     use super::*;
 
     fn offer(id: u32, bw: f64, price: f64, avail: u32) -> ServerOffer {
-        ServerOffer { id, bandwidth_mbps: bw, price, available: avail }
+        ServerOffer {
+            id,
+            bandwidth_mbps: bw,
+            price,
+            available: avail,
+        }
     }
 
     #[test]
@@ -320,7 +353,12 @@ mod tests {
             margin: 0.0,
         };
         let plan = solve_ilp(&p).unwrap();
-        let n0 = plan.purchases.iter().find(|(id, _)| *id == 0).map(|(_, n)| *n).unwrap_or(0);
+        let n0 = plan
+            .purchases
+            .iter()
+            .find(|(id, _)| *id == 0)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
         assert!(n0 <= 1);
         assert!(plan.total_bandwidth_mbps >= 1500.0);
     }
@@ -332,12 +370,19 @@ mod tests {
             demand_mbps: 1000.0,
             margin: 0.0,
         };
-        assert!(matches!(solve_ilp(&p), Err(SolveError::InsufficientMarket { .. })));
+        assert!(matches!(
+            solve_ilp(&p),
+            Err(SolveError::InsufficientMarket { .. })
+        ));
     }
 
     #[test]
     fn invalid_problem_is_rejected() {
-        let p = PurchaseProblem { offers: vec![], demand_mbps: 0.0, margin: 0.1 };
+        let p = PurchaseProblem {
+            offers: vec![],
+            demand_mbps: 0.0,
+            margin: 0.1,
+        };
         assert_eq!(solve_ilp(&p).unwrap_err(), SolveError::InvalidProblem);
     }
 
@@ -346,15 +391,25 @@ mod tests {
         // §5.3: a ~1.9 Gbps requirement. On the unrestricted market the
         // ILP exploits economies of scale (few big pipes)…
         let catalog = crate::catalog::synthetic_catalog(11);
-        let p = PurchaseProblem { offers: catalog.clone(), demand_mbps: 1900.0, margin: 0.05 };
+        let p = PurchaseProblem {
+            offers: catalog.clone(),
+            demand_mbps: 1900.0,
+            margin: 0.05,
+        };
         let plan = solve_ilp(&p).unwrap();
         assert!(plan.total_bandwidth_mbps >= 1995.0);
         assert!(plan.total_cost < 400.0, "cost {}", plan.total_cost);
         // …while the placement-constrained budget tier reproduces the
         // paper's ~20 × 100 Mbps fleet.
-        let budget: Vec<ServerOffer> =
-            catalog.into_iter().filter(|o| o.bandwidth_mbps <= 300.0).collect();
-        let p = PurchaseProblem { offers: budget, demand_mbps: 1900.0, margin: 0.05 };
+        let budget: Vec<ServerOffer> = catalog
+            .into_iter()
+            .filter(|o| o.bandwidth_mbps <= 300.0)
+            .collect();
+        let p = PurchaseProblem {
+            offers: budget,
+            demand_mbps: 1900.0,
+            margin: 0.05,
+        };
         let plan = solve_ilp(&p).unwrap();
         assert!(plan.total_bandwidth_mbps >= 1995.0);
         // The paper bought 20 × 100 Mbps; on this synthetic price sheet
@@ -371,7 +426,11 @@ mod tests {
     #[test]
     fn solver_is_fast_on_the_full_catalog() {
         let catalog = crate::catalog::synthetic_catalog(13);
-        let p = PurchaseProblem { offers: catalog, demand_mbps: 50_000.0, margin: 0.08 };
+        let p = PurchaseProblem {
+            offers: catalog,
+            demand_mbps: 50_000.0,
+            margin: 0.08,
+        };
         let start = std::time::Instant::now();
         let plan = solve_ilp(&p).unwrap();
         assert!(plan.total_bandwidth_mbps >= 54_000.0);

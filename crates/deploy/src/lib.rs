@@ -26,7 +26,7 @@ pub mod utilization;
 pub mod workload;
 
 pub use catalog::{synthetic_catalog, ServerOffer};
-pub use ilp::{solve_greedy, solve_ilp, PurchaseProblem, PurchasePlan};
+pub use ilp::{solve_greedy, solve_ilp, PurchasePlan, PurchaseProblem};
 pub use placement::{place, Placement};
 pub use utilization::{replay_month, UtilizationReport};
 pub use workload::WorkloadEstimate;

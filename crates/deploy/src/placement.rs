@@ -8,7 +8,14 @@
 
 /// The eight core IXP cities in the paper's order.
 pub const IXP_CITIES: [&str; 8] = [
-    "Beijing", "Shanghai", "Guangzhou", "Nanjing", "Shenyang", "Wuhan", "Chengdu", "Xi'an",
+    "Beijing",
+    "Shanghai",
+    "Guangzhou",
+    "Nanjing",
+    "Shenyang",
+    "Wuhan",
+    "Chengdu",
+    "Xi'an",
 ];
 
 /// A placement of purchased servers onto IXP domains.
@@ -73,7 +80,13 @@ mod tests {
         // 20 equal servers over 8 domains: counts 3/3/3/3/2/2/2/2.
         let placement = place(&vec![100.0; 20]);
         let counts: Vec<usize> = (0..8u8)
-            .map(|d| placement.assignments.iter().filter(|(_, x)| *x == d).count())
+            .map(|d| {
+                placement
+                    .assignments
+                    .iter()
+                    .filter(|(_, x)| *x == d)
+                    .count()
+            })
             .collect();
         assert!(counts.iter().all(|&c| c == 2 || c == 3), "{counts:?}");
         assert!(placement.imbalance() <= 1.5);

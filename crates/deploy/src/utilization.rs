@@ -122,7 +122,10 @@ pub fn replay_month(config: &ReplayConfig) -> UtilizationReport {
         .map(|&d| d as f64 / config.fleet_mbps)
         .collect();
     let busy_fraction = busy.len() as f64 / seconds as f64;
-    UtilizationReport { busy_samples: busy, busy_fraction }
+    UtilizationReport {
+        busy_samples: busy,
+        busy_fraction,
+    }
 }
 
 /// §5.3 infrastructure-cost comparison: Swiftest's ILP-purchased fleet
@@ -132,8 +135,10 @@ pub fn replay_month(config: &ReplayConfig) -> UtilizationReport {
 pub fn cost_comparison(seed: u64) -> (f64, f64) {
     let catalog = crate::catalog::synthetic_catalog(seed);
     // BTS-APP: 50 × 1 Gbps at the average market price for that tier.
-    let gbps_offers: Vec<&crate::catalog::ServerOffer> =
-        catalog.iter().filter(|o| o.bandwidth_mbps == 1000.0).collect();
+    let gbps_offers: Vec<&crate::catalog::ServerOffer> = catalog
+        .iter()
+        .filter(|o| o.bandwidth_mbps == 1000.0)
+        .collect();
     let avg_gbps_price: f64 =
         gbps_offers.iter().map(|o| o.price).sum::<f64>() / gbps_offers.len() as f64;
     let bts_cost = 50.0 * avg_gbps_price;
@@ -142,8 +147,10 @@ pub fn cost_comparison(seed: u64) -> (f64, f64) {
     // placement requirement (§5.2) needs many small servers rather than
     // two huge pipes, so the purchase is restricted to the
     // placement-friendly end of the market.
-    let budget: Vec<crate::catalog::ServerOffer> =
-        catalog.into_iter().filter(|o| o.bandwidth_mbps <= 300.0).collect();
+    let budget: Vec<crate::catalog::ServerOffer> = catalog
+        .into_iter()
+        .filter(|o| o.bandwidth_mbps <= 300.0)
+        .collect();
     let demand = crate::workload::WorkloadEstimate::swiftest_paper().provisioning_demand_mbps();
     let plan = crate::ilp::solve_ilp(&crate::ilp::PurchaseProblem {
         offers: budget,
@@ -176,7 +183,11 @@ mod tests {
     fn fleet_is_mostly_idle() {
         let report = replay_month(&ReplayConfig::swiftest_paper(27));
         // ~10K × ~1.2 s over 86,400 s ⇒ ~13% busy seconds.
-        assert!((0.05..=0.30).contains(&report.busy_fraction), "{}", report.busy_fraction);
+        assert!(
+            (0.05..=0.30).contains(&report.busy_fraction),
+            "{}",
+            report.busy_fraction
+        );
     }
 
     #[test]
@@ -203,7 +214,10 @@ mod tests {
     fn cost_reduction_is_about_15x() {
         let (bts, swift) = cost_comparison(30);
         let ratio = bts / swift;
-        assert!((8.0..=30.0).contains(&ratio), "ratio {ratio} ({bts} vs {swift})");
+        assert!(
+            (8.0..=30.0).contains(&ratio),
+            "ratio {ratio} ({bts} vs {swift})"
+        );
         // And the fleet is the paper's ~20-budget-server scale in spend.
         assert!(swift < 500.0, "swiftest spend {swift}");
     }

@@ -108,7 +108,10 @@ mod tests {
         let w = WorkloadEstimate::swiftest_paper();
         let demand = w.provisioning_demand_mbps();
         assert!(demand < 2_000.0, "provisioning demand {demand}");
-        assert!(demand > 400.0, "demand too small to justify 20 servers: {demand}");
+        assert!(
+            demand > 400.0,
+            "demand too small to justify 20 servers: {demand}"
+        );
     }
 
     #[test]

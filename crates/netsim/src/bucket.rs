@@ -28,9 +28,20 @@ impl TokenBucket {
     /// # Panics
     /// Panics if `rate_bps` or `burst_bytes` is not positive-finite.
     pub fn new(rate_bps: f64, burst_bytes: f64) -> Self {
-        assert!(rate_bps.is_finite() && rate_bps > 0.0, "rate must be positive");
-        assert!(burst_bytes.is_finite() && burst_bytes > 0.0, "burst must be positive");
-        Self { rate_bps, burst_bytes, tokens: burst_bytes, last_refill: SimTime::ZERO }
+        assert!(
+            rate_bps.is_finite() && rate_bps > 0.0,
+            "rate must be positive"
+        );
+        assert!(
+            burst_bytes.is_finite() && burst_bytes > 0.0,
+            "burst must be positive"
+        );
+        Self {
+            rate_bps,
+            burst_bytes,
+            tokens: burst_bytes,
+            last_refill: SimTime::ZERO,
+        }
     }
 
     /// Configured refill rate in bits/second.
@@ -41,7 +52,10 @@ impl TokenBucket {
     /// Change the refill rate (tokens accrued so far are kept). Used by
     /// probers when escalating to a larger modal bandwidth mid-test.
     pub fn set_rate(&mut self, now: SimTime, rate_bps: f64) {
-        assert!(rate_bps.is_finite() && rate_bps > 0.0, "rate must be positive");
+        assert!(
+            rate_bps.is_finite() && rate_bps > 0.0,
+            "rate must be positive"
+        );
         self.refill(now);
         self.rate_bps = rate_bps;
     }

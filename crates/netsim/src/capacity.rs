@@ -123,7 +123,11 @@ impl DiurnalCapacity {
     pub fn new(nominal: f64, profile: [f64; 24], start_hour: f64) -> Self {
         assert!(nominal > 0.0);
         assert!(profile.iter().all(|&m| m >= 0.0));
-        Self { nominal, profile, start_hour: start_hour.rem_euclid(24.0) }
+        Self {
+            nominal,
+            profile,
+            start_hour: start_hour.rem_euclid(24.0),
+        }
     }
 
     /// The multiplier at a fractional hour-of-day.
@@ -166,7 +170,12 @@ impl ShapedCapacity {
         assert!(high_bps >= low_bps && low_bps >= 0.0);
         assert!(period_secs > 0.0);
         assert!(duty > 0.0 && duty < 1.0);
-        Self { high_bps, low_bps, period: period_secs, duty }
+        Self {
+            high_bps,
+            low_bps,
+            period: period_secs,
+            duty,
+        }
     }
 }
 
@@ -204,7 +213,11 @@ impl<C: CapacityProcess> RampUpCapacity<C> {
     pub fn new(inner: C, ramp_secs: f64, floor_frac: f64) -> Self {
         assert!(ramp_secs > 0.0);
         assert!(floor_frac > 0.0 && floor_frac <= 1.0);
-        Self { inner, ramp_secs, floor_frac }
+        Self {
+            inner,
+            ramp_secs,
+            floor_frac,
+        }
     }
 }
 
@@ -275,8 +288,9 @@ mod tests {
     #[test]
     fn ou_actually_fluctuates() {
         let mut c = OuCapacity::new(100e6, 0.8, 0.15, 3);
-        let caps: Vec<f64> =
-            (0..100).map(|i| c.capacity_at(SimTime::from_millis(i * 100))).collect();
+        let caps: Vec<f64> = (0..100)
+            .map(|i| c.capacity_at(SimTime::from_millis(i * 100)))
+            .collect();
         let distinct = caps.windows(2).filter(|w| w[0] != w[1]).count();
         assert!(distinct > 50);
     }

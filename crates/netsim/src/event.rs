@@ -50,7 +50,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// The time of the most recently popped event (the simulation "now").
@@ -65,7 +69,11 @@ impl<E> EventQueue<E> {
     /// a simulation bug and silently reordering it would corrupt results.
     pub fn schedule(&mut self, at: SimTime, event: E) {
         assert!(at >= self.now, "scheduled event in the past");
-        self.heap.push(Reverse(Entry { at, seq: self.seq, event }));
+        self.heap.push(Reverse(Entry {
+            at,
+            seq: self.seq,
+            event,
+        }));
         self.seq += 1;
     }
 

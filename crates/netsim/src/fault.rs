@@ -154,7 +154,11 @@ impl FaultPlan {
 
     /// Convenience: a single blackout window.
     pub fn blackout(start: SimTime, duration: Duration) -> Self {
-        Self::scripted(vec![FaultWindow { start, duration, kind: FaultKind::Blackout }])
+        Self::scripted(vec![FaultWindow {
+            start,
+            duration,
+            kind: FaultKind::Blackout,
+        }])
     }
 
     /// Draw a deterministic plan over `[0, horizon)` from a seed.
@@ -167,21 +171,22 @@ impl FaultPlan {
         let mut rng = SeededRng::new(seed);
         let horizon_ms = (horizon.as_secs_f64() * 1e3).max(1.0);
         let mut windows = Vec::new();
-        let mut draw = |rng: &mut SeededRng,
-                        count: usize,
-                        dur_ms: (u64, u64),
-                        mut kind_of: Box<dyn FnMut(&mut SeededRng) -> FaultKind>| {
-            for _ in 0..count {
-                let dur = rng.uniform_range(dur_ms.0 as f64, dur_ms.1 as f64);
-                let latest = (horizon_ms - dur).max(0.0);
-                let start = rng.uniform_range(0.0, latest.max(1e-9));
-                windows.push(FaultWindow {
-                    start: SimTime::from_secs_f64(start / 1e3),
-                    duration: Duration::from_secs_f64(dur / 1e3),
-                    kind: kind_of(rng),
-                });
-            }
-        };
+        let mut draw =
+            |rng: &mut SeededRng,
+             count: usize,
+             dur_ms: (u64, u64),
+             mut kind_of: Box<dyn FnMut(&mut SeededRng) -> FaultKind>| {
+                for _ in 0..count {
+                    let dur = rng.uniform_range(dur_ms.0 as f64, dur_ms.1 as f64);
+                    let latest = (horizon_ms - dur).max(0.0);
+                    let start = rng.uniform_range(0.0, latest.max(1e-9));
+                    windows.push(FaultWindow {
+                        start: SimTime::from_secs_f64(start / 1e3),
+                        duration: Duration::from_secs_f64(dur / 1e3),
+                        kind: kind_of(rng),
+                    });
+                }
+            };
         draw(
             &mut rng,
             profile.blackouts,
@@ -202,7 +207,9 @@ impl FaultPlan {
             &mut rng,
             profile.bursts,
             profile.burst_ms,
-            Box::new(move |r| FaultKind::BurstLoss { loss_prob: r.uniform_range(llo, lhi) }),
+            Box::new(move |r| FaultKind::BurstLoss {
+                loss_prob: r.uniform_range(llo, lhi),
+            }),
         );
         let (elo, ehi) = profile.spike_extra_ms;
         draw(
@@ -356,12 +363,16 @@ mod tests {
             FaultWindow {
                 start: ms(0),
                 duration: Duration::from_secs(1),
-                kind: FaultKind::DelaySpike { extra: Duration::from_millis(40) },
+                kind: FaultKind::DelaySpike {
+                    extra: Duration::from_millis(40),
+                },
             },
             FaultWindow {
                 start: ms(500),
                 duration: Duration::from_secs(1),
-                kind: FaultKind::DelaySpike { extra: Duration::from_millis(60) },
+                kind: FaultKind::DelaySpike {
+                    extra: Duration::from_millis(60),
+                },
             },
         ]);
         assert_eq!(p.extra_delay_at(ms(100)), Duration::from_millis(40));

@@ -25,6 +25,12 @@
 //!   for exercising estimators under handover gaps and deep fades.
 //! - [`path`] — the end-to-end path model (access bottleneck + base RTT +
 //!   loss) consumed by the congestion-control and BTS layers.
+//!
+//! Links and paths keep cumulative delivered/dropped/faulted accounting
+//! ([`LinkStats`], [`PathTotals`]) and can publish snapshots into an
+//! `mbw-telemetry` [`mbw_telemetry::Registry`] as labelled gauges, so a
+//! simulated topology is observable through the same `/metrics` pipe as
+//! the real wire stack.
 
 pub mod bucket;
 pub mod capacity;
@@ -36,11 +42,10 @@ pub mod time;
 
 pub use bucket::TokenBucket;
 pub use capacity::{
-    CapacityProcess, ConstantCapacity, DiurnalCapacity, OuCapacity, RampUpCapacity,
-    ShapedCapacity,
+    CapacityProcess, ConstantCapacity, DiurnalCapacity, OuCapacity, RampUpCapacity, ShapedCapacity,
 };
 pub use event::EventQueue;
 pub use fault::{FaultKind, FaultPlan, FaultProfile, FaultWindow};
 pub use link::{Link, LinkConfig, LinkStats};
-pub use path::{PathConfig, PathModel};
+pub use path::{PathConfig, PathModel, PathTotals};
 pub use time::SimTime;

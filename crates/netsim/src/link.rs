@@ -69,6 +69,50 @@ pub struct LinkStats {
     pub delivered_bytes: u64,
 }
 
+impl LinkStats {
+    /// Total packets dropped, regardless of cause.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_queue + self.dropped_loss + self.dropped_fault
+    }
+
+    /// Publish this snapshot into `registry` as labelled gauges
+    /// (`netsim_link_*{link="<label>"}`). Snapshots are set, not added,
+    /// so republishing after more traffic just moves the gauges forward.
+    pub fn publish_to(&self, registry: &mbw_telemetry::Registry, link: &str) {
+        let labels = [("link", link)];
+        let pairs: [(&str, &str, u64); 5] = [
+            (
+                "netsim_link_delivered_packets",
+                "Packets fully delivered",
+                self.delivered,
+            ),
+            (
+                "netsim_link_dropped_queue_packets",
+                "Packets dropped by the full drop-tail queue",
+                self.dropped_queue,
+            ),
+            (
+                "netsim_link_dropped_loss_packets",
+                "Packets dropped by random wireless loss",
+                self.dropped_loss,
+            ),
+            (
+                "netsim_link_dropped_fault_packets",
+                "Packets dropped by injected fault windows (blackouts)",
+                self.dropped_fault,
+            ),
+            (
+                "netsim_link_delivered_bytes",
+                "Bytes delivered",
+                self.delivered_bytes,
+            ),
+        ];
+        for (name, help, value) in pairs {
+            registry.gauge_with(name, help, &labels).set(value as f64);
+        }
+    }
+}
+
 /// A fixed-rate store-and-forward link. Deterministic per seed.
 #[derive(Debug, Clone)]
 pub struct Link {
@@ -219,6 +263,26 @@ mod tests {
     }
 
     #[test]
+    fn stats_publish_as_labelled_gauges() {
+        let mut l = quiet_link(8e6);
+        for _ in 0..5 {
+            let _ = l.send(SimTime::ZERO, 1000);
+        }
+        let registry = mbw_telemetry::Registry::new();
+        l.stats().publish_to(&registry, "uplink");
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("netsim_link_delivered_packets{link=\"uplink\"} 5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("netsim_link_delivered_bytes{link=\"uplink\"} 5000"),
+            "{text}"
+        );
+        assert_eq!(l.stats().dropped_total(), 0);
+    }
+
+    #[test]
     fn queue_overflow_drops() {
         let mut l = Link::new(LinkConfig {
             rate_bps: 8e6,
@@ -248,8 +312,14 @@ mod tests {
         });
         // Bytes still being serialised count against the queue limit, so
         // only two 1000-byte packets fit a 2000-byte queue at t = 0.
-        assert!(matches!(l.send(SimTime::ZERO, 1000), SendOutcome::Delivered(_)));
-        assert!(matches!(l.send(SimTime::ZERO, 1000), SendOutcome::Delivered(_)));
+        assert!(matches!(
+            l.send(SimTime::ZERO, 1000),
+            SendOutcome::Delivered(_)
+        ));
+        assert!(matches!(
+            l.send(SimTime::ZERO, 1000),
+            SendOutcome::Delivered(_)
+        ));
         assert_eq!(l.send(SimTime::ZERO, 1000), SendOutcome::DroppedQueue);
         // After 1 ms one packet has serialised; room again.
         assert!(matches!(
@@ -292,12 +362,26 @@ mod tests {
     #[test]
     fn blackout_window_drops_everything() {
         use crate::fault::FaultPlan;
-        let mut l = quiet_link(8e6)
-            .with_faults(FaultPlan::blackout(SimTime::from_millis(10), Duration::from_millis(20)));
-        assert!(matches!(l.send(SimTime::from_millis(5), 1000), SendOutcome::Delivered(_)));
-        assert_eq!(l.send(SimTime::from_millis(15), 1000), SendOutcome::DroppedFault);
-        assert_eq!(l.send(SimTime::from_millis(29), 1000), SendOutcome::DroppedFault);
-        assert!(matches!(l.send(SimTime::from_millis(31), 1000), SendOutcome::Delivered(_)));
+        let mut l = quiet_link(8e6).with_faults(FaultPlan::blackout(
+            SimTime::from_millis(10),
+            Duration::from_millis(20),
+        ));
+        assert!(matches!(
+            l.send(SimTime::from_millis(5), 1000),
+            SendOutcome::Delivered(_)
+        ));
+        assert_eq!(
+            l.send(SimTime::from_millis(15), 1000),
+            SendOutcome::DroppedFault
+        );
+        assert_eq!(
+            l.send(SimTime::from_millis(29), 1000),
+            SendOutcome::DroppedFault
+        );
+        assert!(matches!(
+            l.send(SimTime::from_millis(31), 1000),
+            SendOutcome::Delivered(_)
+        ));
         assert_eq!(l.stats().dropped_fault, 2);
     }
 
@@ -323,7 +407,9 @@ mod tests {
         let plan = FaultPlan::scripted(vec![FaultWindow {
             start: SimTime::ZERO,
             duration: Duration::from_secs(1),
-            kind: FaultKind::DelaySpike { extra: Duration::from_millis(40) },
+            kind: FaultKind::DelaySpike {
+                extra: Duration::from_millis(40),
+            },
         }]);
         let mut l = quiet_link(8e6).with_faults(plan);
         match l.send(SimTime::ZERO, 1000) {
@@ -359,7 +445,11 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let cfg = LinkConfig { loss_prob: 0.5, seed: 5, ..Default::default() };
+        let cfg = LinkConfig {
+            loss_prob: 0.5,
+            seed: 5,
+            ..Default::default()
+        };
         let mut a = Link::new(cfg.clone());
         let mut b = Link::new(cfg);
         for i in 0..200 {

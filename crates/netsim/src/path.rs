@@ -58,6 +58,53 @@ pub struct FluidSample {
     pub capacity_bps: f64,
 }
 
+/// Cumulative fluid-integration totals observed by a path since its
+/// construction — the per-link delivered/dropped/faulted accounting the
+/// telemetry layer publishes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PathTotals {
+    /// Bytes delivered to the receiver.
+    pub delivered_bytes: f64,
+    /// Bytes lost (overshoot beyond capacity, wireless loss, faults).
+    pub lost_bytes: f64,
+    /// Integration steps evaluated.
+    pub steps: u64,
+    /// Steps in which an injected fault zeroed the link entirely.
+    pub blackout_steps: u64,
+}
+
+impl PathTotals {
+    /// Publish this snapshot into `registry` as labelled gauges
+    /// (`netsim_path_*{path="<label>"}`).
+    pub fn publish_to(&self, registry: &mbw_telemetry::Registry, path: &str) {
+        let labels = [("path", path)];
+        registry
+            .gauge_with(
+                "netsim_path_delivered_bytes",
+                "Bytes delivered end-to-end",
+                &labels,
+            )
+            .set(self.delivered_bytes);
+        registry
+            .gauge_with("netsim_path_lost_bytes", "Bytes lost on the path", &labels)
+            .set(self.lost_bytes);
+        registry
+            .gauge_with(
+                "netsim_path_steps",
+                "Fluid integration steps evaluated",
+                &labels,
+            )
+            .set(self.steps as f64);
+        registry
+            .gauge_with(
+                "netsim_path_blackout_steps",
+                "Integration steps fully inside a blackout window",
+                &labels,
+            )
+            .set(self.blackout_steps as f64);
+    }
+}
+
 /// An end-to-end path with a time-varying bottleneck.
 pub struct PathModel {
     capacity: Box<dyn CapacityProcess>,
@@ -66,6 +113,7 @@ pub struct PathModel {
     buffer_bdp: f64,
     rng: SeededRng,
     faults: FaultPlan,
+    totals: PathTotals,
 }
 
 impl PathModel {
@@ -83,7 +131,13 @@ impl PathModel {
             buffer_bdp: config.buffer_bdp,
             rng: SeededRng::new(config.seed),
             faults: FaultPlan::none(),
+            totals: PathTotals::default(),
         }
+    }
+
+    /// Cumulative delivered/lost accounting since construction.
+    pub fn totals(&self) -> PathTotals {
+        self.totals
     }
 
     /// Attach a fault plan; transient windows modulate capacity, loss,
@@ -170,10 +224,17 @@ impl PathModel {
             let delivered_rate = send_rate_bps.min(cap) * (1.0 - loss);
             let sent = send_rate_bps * dt.as_secs_f64() / 8.0;
             let delivered = delivered_rate * dt.as_secs_f64() / 8.0;
+            let lost = (sent - delivered).max(0.0);
+            self.totals.delivered_bytes += delivered;
+            self.totals.lost_bytes += lost;
+            self.totals.steps += 1;
+            if cap <= 0.0 {
+                self.totals.blackout_steps += 1;
+            }
             out.push(FluidSample {
                 at: t,
                 delivered_bytes: delivered,
-                lost_bytes: (sent - delivered).max(0.0),
+                lost_bytes: lost,
                 capacity_bps: cap,
             });
             t += dt;
@@ -292,8 +353,10 @@ mod tests {
     #[test]
     fn blackout_zeroes_goodput_only_inside_window() {
         use crate::fault::FaultPlan;
-        let mut p = flat_path(100e6)
-            .with_faults(FaultPlan::blackout(SimTime::from_millis(400), Duration::from_millis(200)));
+        let mut p = flat_path(100e6).with_faults(FaultPlan::blackout(
+            SimTime::from_millis(400),
+            Duration::from_millis(200),
+        ));
         let samples = p.integrate_paced(
             SimTime::ZERO,
             Duration::from_secs(1),
@@ -329,6 +392,61 @@ mod tests {
         let in_burst: f64 = samples[..5].iter().map(|s| s.delivered_bytes).sum();
         let clear: f64 = samples[5..].iter().map(|s| s.delivered_bytes).sum();
         assert!((in_burst - clear / 2.0).abs() / clear < 1e-9);
+    }
+
+    #[test]
+    fn totals_accumulate_across_integrations() {
+        let mut p = flat_path(100e6);
+        p.integrate_paced(
+            SimTime::ZERO,
+            Duration::from_secs(1),
+            Duration::from_millis(50),
+            200e6,
+        );
+        p.integrate_paced(
+            SimTime::from_secs(1),
+            Duration::from_secs(1),
+            Duration::from_millis(50),
+            50e6,
+        );
+        let t = p.totals();
+        assert_eq!(t.steps, 40);
+        // Second 1 s under capacity delivers all 50e6/8; first delivers 100e6/8.
+        let want = (100e6 + 50e6) / 8.0;
+        assert!((t.delivered_bytes - want).abs() / want < 1e-9, "{t:?}");
+        assert!(
+            (t.lost_bytes - 100e6 / 8.0).abs() / (100e6 / 8.0) < 1e-9,
+            "{t:?}"
+        );
+        assert_eq!(t.blackout_steps, 0);
+    }
+
+    #[test]
+    fn totals_count_blackout_steps_and_publish() {
+        use crate::fault::FaultPlan;
+        let mut p = flat_path(100e6).with_faults(FaultPlan::blackout(
+            SimTime::from_millis(400),
+            Duration::from_millis(200),
+        ));
+        p.integrate_paced(
+            SimTime::ZERO,
+            Duration::from_secs(1),
+            Duration::from_millis(100),
+            50e6,
+        );
+        let t = p.totals();
+        assert_eq!(t.blackout_steps, 2, "{t:?}");
+        let registry = mbw_telemetry::Registry::new();
+        t.publish_to(&registry, "access");
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("netsim_path_blackout_steps{path=\"access\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("netsim_path_delivered_bytes{path=\"access\"}"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -28,7 +28,14 @@ impl Summary {
     /// Summarise a sample. Returns an all-zero summary for empty input.
     pub fn of(values: &[f64]) -> Self {
         if values.is_empty() {
-            return Self { count: 0, mean: 0.0, std_dev: 0.0, median: 0.0, min: 0.0, max: 0.0 };
+            return Self {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                median: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
         }
         let count = values.len();
         let mean = values.iter().sum::<f64>() / count as f64;
@@ -258,6 +265,9 @@ mod tests {
         assert!((relative_deviation(100.0, 95.0) - 0.05).abs() < 1e-12);
         assert_eq!(relative_deviation(0.0, 0.0), 0.0);
         // Symmetric.
-        assert_eq!(relative_deviation(80.0, 100.0), relative_deviation(100.0, 80.0));
+        assert_eq!(
+            relative_deviation(80.0, 100.0),
+            relative_deviation(100.0, 80.0)
+        );
     }
 }

@@ -123,7 +123,10 @@ impl Gmm {
         }
         let components = components
             .into_iter()
-            .map(|c| GmmComponent { weight: c.weight / total, ..c })
+            .map(|c| GmmComponent {
+                weight: c.weight / total,
+                ..c
+            })
             .collect();
         Ok(Self { components })
     }
@@ -133,7 +136,11 @@ impl Gmm {
         Self::new(
             triples
                 .iter()
-                .map(|&(weight, mean, std_dev)| GmmComponent { weight, mean, std_dev })
+                .map(|&(weight, mean, std_dev)| GmmComponent {
+                    weight,
+                    mean,
+                    std_dev,
+                })
                 .collect(),
         )
     }
@@ -306,7 +313,10 @@ impl Gmm {
         // Heuristic: at least 5 points per component for a meaningful fit.
         let needed = (5 * k).max(2);
         if data.len() < needed {
-            return Err(GmmError::NotEnoughData { needed, got: data.len() });
+            return Err(GmmError::NotEnoughData {
+                needed,
+                got: data.len(),
+            });
         }
         if data.iter().any(|x| !x.is_finite()) {
             return Err(GmmError::InvalidParameters);
@@ -377,7 +387,11 @@ impl Gmm {
         let mut best: Option<(f64, Gmm)> = None;
         let mut last_err = GmmError::NoComponents;
         for k in 1..=max_components {
-            let config = GmmFitConfig { components: k, seed, ..Default::default() };
+            let config = GmmFitConfig {
+                components: k,
+                seed,
+                ..Default::default()
+            };
             match Gmm::fit(data, &config) {
                 Ok(g) => {
                     let bic = g.bic(data);
@@ -448,7 +462,11 @@ fn initial_mixture_from_centers(data: &[f64], centers: &[f64], min_std: f64) -> 
     let components = (0..k)
         .map(|j| {
             let cnt = counts[j].max(1) as f64;
-            let mean = if counts[j] == 0 { centers[j] } else { sums[j] / cnt };
+            let mean = if counts[j] == 0 {
+                centers[j]
+            } else {
+                sums[j] / cnt
+            };
             let var = (sqs[j] / cnt - mean * mean).max(0.0);
             GmmComponent {
                 weight: (counts[j] as f64 / n).max(1e-6),
@@ -467,8 +485,7 @@ mod tests {
     fn tri_modal() -> Gmm {
         // Shaped like the paper's WiFi 5 distribution (Fig 16): modes near
         // the 100/300/500 Mbps broadband plan tiers.
-        Gmm::from_triples(&[(0.5, 100.0, 20.0), (0.3, 300.0, 30.0), (0.2, 500.0, 40.0)])
-            .unwrap()
+        Gmm::from_triples(&[(0.5, 100.0, 20.0), (0.3, 300.0, 30.0), (0.2, 500.0, 40.0)]).unwrap()
     }
 
     #[test]
@@ -535,8 +552,7 @@ mod tests {
         let samples = g.sample_n(&mut rng, 200_000);
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((mean - g.mean()).abs() < 2.0, "mean {mean}");
-        let var =
-            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!((var - g.variance()).abs() / g.variance() < 0.03);
     }
 
@@ -562,8 +578,7 @@ mod tests {
     #[test]
     fn next_larger_mode_picks_most_probable_not_nearest() {
         // Two larger modes; the farther one has the bigger weight.
-        let g = Gmm::from_triples(&[(0.5, 10.0, 1.0), (0.1, 20.0, 1.0), (0.4, 50.0, 1.0)])
-            .unwrap();
+        let g = Gmm::from_triples(&[(0.5, 10.0, 1.0), (0.1, 20.0, 1.0), (0.4, 50.0, 1.0)]).unwrap();
         assert_eq!(g.next_larger_mode(10.0), Some(50.0));
     }
 
@@ -572,7 +587,11 @@ mod tests {
         let g = tri_modal();
         for q in [0.05, 0.25, 0.5, 0.75, 0.95, 0.99] {
             let x = g.quantile(q);
-            assert!((g.cdf(x) - q).abs() < 1e-6, "q={q}: cdf({x}) = {}", g.cdf(x));
+            assert!(
+                (g.cdf(x) - q).abs() < 1e-6,
+                "q={q}: cdf({x}) = {}",
+                g.cdf(x)
+            );
         }
         // Monotone.
         assert!(g.quantile(0.95) > g.quantile(0.5));
@@ -585,7 +604,14 @@ mod tests {
         let truth = Gmm::from_triples(&[(0.6, 50.0, 5.0), (0.4, 200.0, 10.0)]).unwrap();
         let mut rng = SeededRng::new(42);
         let data = truth.sample_n(&mut rng, 5000);
-        let fit = Gmm::fit(&data, &GmmFitConfig { components: 2, ..Default::default() }).unwrap();
+        let fit = Gmm::fit(
+            &data,
+            &GmmFitConfig {
+                components: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let mut means = fit.modes();
         means.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!((means[0] - 50.0).abs() < 2.0, "{means:?}");
@@ -604,8 +630,22 @@ mod tests {
         let truth = tri_modal();
         let mut rng = SeededRng::new(7);
         let data = truth.sample_n(&mut rng, 4000);
-        let k1 = Gmm::fit(&data, &GmmFitConfig { components: 1, ..Default::default() }).unwrap();
-        let k3 = Gmm::fit(&data, &GmmFitConfig { components: 3, ..Default::default() }).unwrap();
+        let k1 = Gmm::fit(
+            &data,
+            &GmmFitConfig {
+                components: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let k3 = Gmm::fit(
+            &data,
+            &GmmFitConfig {
+                components: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(k3.mean_log_likelihood(&data) > k1.mean_log_likelihood(&data));
     }
 
@@ -617,13 +657,23 @@ mod tests {
         let fit = Gmm::fit_auto(&data, 5, 99).unwrap();
         assert!(fit.k() >= 3, "selected k = {}", fit.k());
         // The dominant fitted mode should be near the true dominant mode.
-        assert!((fit.dominant_mode() - 100.0).abs() < 15.0, "{}", fit.dominant_mode());
+        assert!(
+            (fit.dominant_mode() - 100.0).abs() < 15.0,
+            "{}",
+            fit.dominant_mode()
+        );
     }
 
     #[test]
     fn fit_rejects_insufficient_data() {
-        let err = Gmm::fit(&[1.0, 2.0], &GmmFitConfig { components: 3, ..Default::default() })
-            .unwrap_err();
+        let err = Gmm::fit(
+            &[1.0, 2.0],
+            &GmmFitConfig {
+                components: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
         assert!(matches!(err, GmmError::NotEnoughData { .. }));
     }
 
@@ -631,8 +681,14 @@ mod tests {
     fn fit_rejects_non_finite_data() {
         let mut data = vec![1.0; 50];
         data[10] = f64::NAN;
-        let err =
-            Gmm::fit(&data, &GmmFitConfig { components: 2, ..Default::default() }).unwrap_err();
+        let err = Gmm::fit(
+            &data,
+            &GmmFitConfig {
+                components: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
         assert_eq!(err, GmmError::InvalidParameters);
     }
 
@@ -641,7 +697,11 @@ mod tests {
         let truth = tri_modal();
         let mut rng = SeededRng::new(5);
         let data = truth.sample_n(&mut rng, 2000);
-        let cfg = GmmFitConfig { components: 3, seed: 11, ..Default::default() };
+        let cfg = GmmFitConfig {
+            components: 3,
+            seed: 11,
+            ..Default::default()
+        };
         let a = Gmm::fit(&data, &cfg).unwrap();
         let b = Gmm::fit(&data, &cfg).unwrap();
         assert_eq!(a, b);
@@ -650,8 +710,14 @@ mod tests {
     #[test]
     fn fit_handles_identical_points() {
         let data = vec![5.0; 100];
-        let fit =
-            Gmm::fit(&data, &GmmFitConfig { components: 2, ..Default::default() }).unwrap();
+        let fit = Gmm::fit(
+            &data,
+            &GmmFitConfig {
+                components: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!((fit.mean() - 5.0).abs() < 1e-6);
     }
 }

@@ -28,7 +28,12 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(lo < hi, "histogram range must be non-empty");
-        Self { lo, hi, counts: vec![0; bins], total: 0 }
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
     }
 
     /// Build a histogram directly from a sample.
@@ -80,7 +85,11 @@ impl Histogram {
     /// `Σ pdf·width = 1`. Empty histogram yields all-zero densities.
     pub fn pdf(&self) -> Vec<(f64, f64)> {
         let width = self.bin_width();
-        let norm = if self.total == 0 { 0.0 } else { 1.0 / (self.total as f64 * width) };
+        let norm = if self.total == 0 {
+            0.0
+        } else {
+            1.0 / (self.total as f64 * width)
+        };
         self.counts
             .iter()
             .enumerate()
@@ -90,7 +99,11 @@ impl Histogram {
 
     /// Probability mass per bin (sums to 1 for a non-empty histogram).
     pub fn pmf(&self) -> Vec<(f64, f64)> {
-        let norm = if self.total == 0 { 0.0 } else { 1.0 / self.total as f64 };
+        let norm = if self.total == 0 {
+            0.0
+        } else {
+            1.0 / self.total as f64
+        };
         self.counts
             .iter()
             .enumerate()
@@ -157,7 +170,7 @@ impl Ecdf {
         count as f64 / self.sorted.len() as f64
     }
 
-    /// Inverse CDF: smallest sample value with CDF ≥ `q` (q in [0,1]).
+    /// Inverse CDF: smallest sample value with CDF ≥ `q` (q in `[0, 1]`).
     pub fn quantile(&self, q: f64) -> f64 {
         descriptive::percentile_sorted(&self.sorted, q.clamp(0.0, 1.0) * 100.0)
     }
@@ -286,7 +299,9 @@ mod tests {
 
     #[test]
     fn ecdf_series_monotone() {
-        let values: Vec<f64> = (0..500).map(|i| (i as f64 * 0.37).sin() * 50.0 + 60.0).collect();
+        let values: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.37).sin() * 50.0 + 60.0)
+            .collect();
         let e = Ecdf::new(&values);
         let series = e.series(100);
         assert_eq!(series.len(), 100);

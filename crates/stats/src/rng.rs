@@ -50,10 +50,7 @@ impl SeededRng {
     /// Next raw 64-bit output (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -217,8 +214,7 @@ mod tests {
         let mut rng = SeededRng::new(13);
         for target in [0.5, 4.0, 50.0] {
             let n = 50_000;
-            let mean: f64 =
-                (0..n).map(|_| rng.poisson(target) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| rng.poisson(target) as f64).sum::<f64>() / n as f64;
             assert!(
                 (mean - target).abs() < target.max(1.0) * 0.05,
                 "target {target} mean {mean}"

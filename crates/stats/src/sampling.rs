@@ -28,7 +28,9 @@ impl std::fmt::Display for WeightError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WeightError::Empty => write!(f, "no weights supplied"),
-            WeightError::Invalid => write!(f, "weights must be finite, non-negative, with positive sum"),
+            WeightError::Invalid => {
+                write!(f, "weights must be finite, non-negative, with positive sum")
+            }
         }
     }
 }
@@ -42,7 +44,8 @@ impl WeightedIndex {
             return Err(WeightError::Empty);
         }
         let total: f64 = weights.iter().sum();
-        if !total.is_finite() || total <= 0.0 || weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
+        if !total.is_finite() || total <= 0.0 || weights.iter().any(|&w| !w.is_finite() || w < 0.0)
+        {
             return Err(WeightError::Invalid);
         }
         let n = weights.len();
@@ -75,7 +78,11 @@ impl WeightedIndex {
         for &i in small.iter().chain(large.iter()) {
             prob[i] = 1.0;
         }
-        Ok(Self { prob, alias, weights: weights.to_vec() })
+        Ok(Self {
+            prob,
+            alias,
+            weights: weights.to_vec(),
+        })
     }
 
     /// Number of categories.
@@ -125,9 +132,18 @@ mod tests {
     #[test]
     fn rejects_bad_weights() {
         assert_eq!(WeightedIndex::new(&[]).unwrap_err(), WeightError::Empty);
-        assert_eq!(WeightedIndex::new(&[0.0, 0.0]).unwrap_err(), WeightError::Invalid);
-        assert_eq!(WeightedIndex::new(&[1.0, -1.0]).unwrap_err(), WeightError::Invalid);
-        assert_eq!(WeightedIndex::new(&[f64::NAN]).unwrap_err(), WeightError::Invalid);
+        assert_eq!(
+            WeightedIndex::new(&[0.0, 0.0]).unwrap_err(),
+            WeightError::Invalid
+        );
+        assert_eq!(
+            WeightedIndex::new(&[1.0, -1.0]).unwrap_err(),
+            WeightError::Invalid
+        );
+        assert_eq!(
+            WeightedIndex::new(&[f64::NAN]).unwrap_err(),
+            WeightError::Invalid
+        );
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! A minimal HTTP `/metrics` listener.
+//!
+//! One std-thread accept loop, one short-lived handler per connection,
+//! no HTTP library: the endpoint serves exactly one resource (the
+//! registry's Prometheus exposition) to exactly one kind of client (a
+//! scraper), so a hand-rolled responder is smaller than any dependency.
+//! Runs on plain `std::net` so it works identically under tokio, inside
+//! a bench harness, or from a synchronous CLI.
+
+use crate::registry::Registry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running metrics endpoint.
+pub struct MetricsServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (port 0 for ephemeral) and serve `registry` at
+    /// `/metrics` until [`shutdown`](Self::shutdown) or drop.
+    pub fn start(addr: SocketAddr, registry: Registry) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("mbw-metrics".into())
+            .spawn(move || accept_loop(listener, registry, thread_stop))?;
+        Ok(Self {
+            local_addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (scrape `http://<addr>/metrics`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting and join the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: Registry, stop: Arc<AtomicBool>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        // Serve inline: scrapes are rare, tiny, and read-only, so one
+        // at a time is plenty and avoids spawning per connection.
+        let _ = serve_one(stream, &registry);
+    }
+}
+
+fn serve_one(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    // Read until the end of the request head (or the buffer fills —
+    // a scraper's GET fits in one read almost always).
+    let mut buf = [0u8; 4096];
+    let mut used = 0usize;
+    while used < buf.len() && !head_complete(&buf[..used]) {
+        match stream.read(&mut buf[used..]) {
+            Ok(0) => break,
+            Ok(n) => used += n,
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..used]);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = match (method, path.split('?').next().unwrap_or(path)) {
+        ("GET", "/metrics") => ("200 OK", registry.render_prometheus()),
+        ("GET", _) => ("404 Not Found", "not found; try /metrics\n".to_string()),
+        _ => ("405 Method Not Allowed", "GET only\n".to_string()),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+fn head_complete(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_the_registry_at_metrics() {
+        let registry = Registry::new();
+        registry.counter("probe_total", "probes run").add(3);
+        let server =
+            MetricsServer::start("127.0.0.1:0".parse().unwrap(), registry.clone()).unwrap();
+        let response = get(server.local_addr(), "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"), "{response}");
+        assert!(response.contains("probe_total 3"), "{response}");
+        // Counters keep moving between scrapes.
+        registry.counter("probe_total", "probes run").inc();
+        let again = get(server.local_addr(), "/metrics");
+        assert!(again.contains("probe_total 4"), "{again}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_get_404() {
+        let server = MetricsServer::start("127.0.0.1:0".parse().unwrap(), Registry::new()).unwrap();
+        let response = get(server.local_addr(), "/nope");
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let server = MetricsServer::start("127.0.0.1:0".parse().unwrap(), Registry::new()).unwrap();
+        let addr = server.local_addr();
+        server.shutdown();
+        // The port is released: a fresh bind on the same address works.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok());
+    }
+}

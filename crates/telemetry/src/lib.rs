@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! Telemetry substrate: metrics, probe timelines, and exposition.
+//!
+//! The paper's headline results hinge on *why* a bandwidth test
+//! converged — per-chunk arrival dynamics, retries, failovers — not just
+//! the final number (MONROE-Nettest makes the same argument for
+//! dissecting speed-test internals). This crate is the one mechanism
+//! every other layer reports through:
+//!
+//! - [`metrics`] — atomic [`Counter`] / [`Gauge`] handles, cheap to
+//!   clone, lock-free to update.
+//! - [`histogram`] — a log-bucketed [`Histogram`] for quantities that
+//!   span orders of magnitude (window goodput, session bytes).
+//! - [`registry`] — the named [`Registry`] with deterministic Prometheus
+//!   text exposition; get-or-create registration so independent layers
+//!   share series by name.
+//! - [`timeline`] — the per-test [`ProbeTimeline`] recorder: per-chunk
+//!   timestamps, instantaneous-throughput samples, rate escalations, and
+//!   the convergence trajectory, exportable as deterministic JSON.
+//! - [`clock`] — the [`Clock`] abstraction that lets the same recorder
+//!   observe wall-time wire tests and virtual-time `mbw-netsim` runs.
+//! - [`http`] — a dependency-free HTTP listener serving the registry at
+//!   `/metrics` in Prometheus text format.
+//!
+//! No heavy dependencies by design: the whole crate is std +
+//! `parking_lot`, so it can sit under the simulator, the tokio wire
+//! stack, and the CLI without pulling an observability framework into
+//! the hot path.
+
+pub mod clock;
+pub mod histogram;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+pub mod timeline;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use histogram::Histogram;
+pub use http::MetricsServer;
+pub use metrics::{Counter, Gauge};
+pub use registry::Registry;
+pub use timeline::{ProbeTimeline, TimelineEntry, TimelineEvent, TimelineSummary};

@@ -1,0 +1,326 @@
+//! The named metric registry and its Prometheus text exposition.
+//!
+//! A [`Registry`] is a cheap-to-clone handle to a shared, mutex-guarded
+//! metric table. Registration is get-or-create: asking twice for the
+//! same `(name, labels)` returns a handle to the same underlying atomic,
+//! which is what lets the wire server, the pacing tasks, and an HTTP
+//! exporter all talk about `swiftest_tx_bytes_total` without passing
+//! handles around.
+//!
+//! Naming follows the Prometheus conventions used throughout this repo:
+//! `<subsystem>_<quantity>_<unit>[_total]`, e.g.
+//! `swiftest_sessions_started_total`, `netsim_link_delivered_packets`.
+//! The lock is held only during registration and rendering — never on
+//! the increment path (the handles are lock-free atomics).
+
+use crate::histogram::Histogram;
+use crate::metrics::{Counter, Gauge};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Label pairs attached to one metric instance (sorted at registration
+/// so `{a="1",b="2"}` and `{b="2",a="1"}` are the same series).
+pub type Labels = Vec<(String, String)>;
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Slot {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    /// Instances keyed by label set; BTreeMap keeps exposition
+    /// deterministic.
+    instances: BTreeMap<Labels, Slot>,
+}
+
+/// A shared, named metric registry.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    families: Arc<Mutex<BTreeMap<String, Family>>>,
+}
+
+/// Lock the family table, recovering from a poisoned mutex (a panicking
+/// registrant must not take the whole exporter down with it).
+fn lock(m: &Mutex<BTreeMap<String, Family>>) -> MutexGuard<'_, BTreeMap<String, Family>> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn normalise_labels(labels: &[(&str, &str)]) -> Labels {
+    let mut out: Labels = labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Escape a label value for exposition (backslash, quote, newline).
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &Labels) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Render an f64 the way Prometheus text format expects.
+fn render_f64(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        }
+    } else if v.is_nan() {
+        "NaN".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(&self, name: &str, help: &str, labels: &[(&str, &str)], make: Slot) -> Slot {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let labels = normalise_labels(labels);
+        let mut families = lock(&self.families);
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            instances: BTreeMap::new(),
+        });
+        let slot = family.instances.entry(labels).or_insert(make);
+        slot.clone()
+    }
+
+    /// Get-or-create an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Get-or-create a labelled counter.
+    ///
+    /// # Panics
+    /// Panics if `name` is not a legal metric name, or if the series
+    /// already exists with a different metric type.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.slot(name, help, labels, Slot::Counter(Counter::new())) {
+            Slot::Counter(c) => c,
+            other => panic!("{name} already registered as {}", other.type_name()),
+        }
+    }
+
+    /// Get-or-create an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Get-or-create a labelled gauge.
+    ///
+    /// # Panics
+    /// Panics on an illegal name or a type clash with an existing series.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.slot(name, help, labels, Slot::Gauge(Gauge::new())) {
+            Slot::Gauge(g) => g,
+            other => panic!("{name} already registered as {}", other.type_name()),
+        }
+    }
+
+    /// Get-or-create an unlabelled histogram; `proto` supplies the
+    /// bucket ladder on first registration and is discarded afterwards.
+    pub fn histogram(&self, name: &str, help: &str, proto: Histogram) -> Histogram {
+        self.histogram_with(name, help, &[], proto)
+    }
+
+    /// Get-or-create a labelled histogram.
+    ///
+    /// # Panics
+    /// Panics on an illegal name or a type clash with an existing series.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        proto: Histogram,
+    ) -> Histogram {
+        match self.slot(name, help, labels, Slot::Histogram(proto)) {
+            Slot::Histogram(h) => h,
+            other => panic!("{name} already registered as {}", other.type_name()),
+        }
+    }
+
+    /// Render every metric in Prometheus text exposition format
+    /// (`text/plain; version=0.0.4`). Output is deterministic: families
+    /// and series are sorted by name and label set.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let families = lock(&self.families);
+        for (name, family) in families.iter() {
+            let type_name = family
+                .instances
+                .values()
+                .next()
+                .map_or("untyped", Slot::type_name);
+            out.push_str(&format!("# HELP {name} {}\n", family.help));
+            out.push_str(&format!("# TYPE {name} {type_name}\n"));
+            for (labels, slot) in &family.instances {
+                match slot {
+                    Slot::Counter(c) => {
+                        out.push_str(&format!("{name}{} {}\n", render_labels(labels), c.get()));
+                    }
+                    Slot::Gauge(g) => {
+                        out.push_str(&format!(
+                            "{name}{} {}\n",
+                            render_labels(labels),
+                            render_f64(g.get())
+                        ));
+                    }
+                    Slot::Histogram(h) => {
+                        let cumulative = h.cumulative_counts();
+                        for (i, upper) in h
+                            .bounds()
+                            .iter()
+                            .copied()
+                            .chain(std::iter::once(f64::INFINITY))
+                            .enumerate()
+                        {
+                            let mut le = labels.clone();
+                            le.push(("le".into(), render_f64(upper)));
+                            out.push_str(&format!(
+                                "{name}_bucket{} {}\n",
+                                render_labels(&le),
+                                cumulative[i]
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{name}_sum{} {}\n",
+                            render_labels(labels),
+                            render_f64(h.sum())
+                        ));
+                        out.push_str(&format!(
+                            "{name}_count{} {}\n",
+                            render_labels(labels),
+                            h.count()
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_get_or_create() {
+        let r = Registry::new();
+        let a = r.counter("demo_total", "a demo");
+        let b = r.counter("demo_total", "a demo");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn labelled_series_are_distinct() {
+        let r = Registry::new();
+        let wifi = r.counter_with("tests_total", "tests", &[("tech", "wifi")]);
+        let lte = r.counter_with("tests_total", "tests", &[("tech", "4g")]);
+        wifi.add(3);
+        lte.add(1);
+        let text = r.render_prometheus();
+        assert!(text.contains("tests_total{tech=\"wifi\"} 3"), "{text}");
+        assert!(text.contains("tests_total{tech=\"4g\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn exposition_is_valid_prometheus_shape() {
+        let r = Registry::new();
+        r.counter("c_total", "counter help").add(7);
+        r.gauge("g_now", "gauge help").set(1.5);
+        let h = r.histogram(
+            "h_mbps",
+            "histogram help",
+            Histogram::with_bounds(vec![1.0, 8.0]),
+        );
+        h.observe(0.5);
+        h.observe(100.0);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE c_total counter"));
+        assert!(text.contains("c_total 7"));
+        assert!(text.contains("# TYPE g_now gauge"));
+        assert!(text.contains("g_now 1.5"));
+        assert!(text.contains("h_mbps_bucket{le=\"1\"} 1"));
+        assert!(text.contains("h_mbps_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("h_mbps_count 2"));
+        // Every non-comment line is `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(line.split(' ').count() == 2, "bad line {line:?}");
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let r = Registry::new();
+        r.counter_with("z_total", "z", &[("b", "2")]).inc();
+        r.counter_with("z_total", "z", &[("a", "1")]).inc();
+        r.counter("a_total", "a").inc();
+        assert_eq!(r.render_prometheus(), r.render_prometheus());
+        let text = r.render_prometheus();
+        let a_pos = text.find("a_total").unwrap();
+        let z_pos = text.find("z_total").unwrap();
+        assert!(a_pos < z_pos, "families must be name-sorted");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_are_rejected() {
+        Registry::new().counter("1bad name", "nope");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_clashes_are_rejected() {
+        let r = Registry::new();
+        r.counter("clash", "as counter");
+        r.gauge("clash", "as gauge");
+    }
+}

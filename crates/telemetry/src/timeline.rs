@@ -1,0 +1,387 @@
+//! Per-test probe timelines.
+//!
+//! A final bandwidth number says *what* a test concluded; the timeline
+//! says *why*: when each chunk of data arrived, how instantaneous
+//! throughput moved, where the probing rate was escalated, and when the
+//! convergence rule fired (the raw material behind the paper's Figs
+//! 17–26). The recorder is deliberately dumb — an ordered event list
+//! with nanosecond timestamps supplied by the caller (see
+//! [`crate::clock`]) — so a fixed-seed simulated run serialises to
+//! byte-identical JSON every time.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One recorded occurrence in a test's life.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimelineEvent {
+    /// A chunk of test data arrived (one datagram on the wire, one
+    /// integration step in the simulator).
+    Chunk {
+        /// Payload bytes delivered.
+        bytes: u64,
+    },
+    /// One instantaneous-throughput sample (the 50 ms window).
+    Sample {
+        /// Goodput over the window, Mbps.
+        mbps: f64,
+    },
+    /// The prober escalated (or otherwise changed) its probing rate.
+    RateChange {
+        /// New probing rate, Mbps.
+        mbps: f64,
+    },
+    /// A named phase began (`ping`, `probe`, `converge`).
+    Phase {
+        /// Phase name.
+        name: String,
+    },
+    /// The stream went silent past the stall threshold.
+    Stall,
+    /// The client abandoned a server and moved to the next candidate.
+    Failover {
+        /// How many servers have been abandoned so far (1-based).
+        attempt: u32,
+    },
+    /// A retry round (e.g. a dead PING round retried with backoff).
+    Retry {
+        /// Retry round number (1-based).
+        round: u32,
+    },
+    /// The stop rule fired.
+    Converged {
+        /// The converged estimate, Mbps.
+        estimate_mbps: f64,
+    },
+}
+
+impl TimelineEvent {
+    fn kind(&self) -> &'static str {
+        match self {
+            TimelineEvent::Chunk { .. } => "chunk",
+            TimelineEvent::Sample { .. } => "sample",
+            TimelineEvent::RateChange { .. } => "rate_change",
+            TimelineEvent::Phase { .. } => "phase",
+            TimelineEvent::Stall => "stall",
+            TimelineEvent::Failover { .. } => "failover",
+            TimelineEvent::Retry { .. } => "retry",
+            TimelineEvent::Converged { .. } => "converged",
+        }
+    }
+}
+
+/// A timestamped [`TimelineEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEntry {
+    /// Nanoseconds since the test's epoch (wall or simulated).
+    pub at_ns: u64,
+    /// What happened.
+    pub event: TimelineEvent,
+}
+
+/// Closing summary written by [`ProbeTimeline::finish`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineSummary {
+    /// The test's final estimate, Mbps.
+    pub estimate_mbps: f64,
+    /// Completion status (`complete` / `degraded:…` / `failed:…`).
+    pub status: String,
+    /// Total recorded duration, nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// Default cap on recorded events; a 10 s flood at line rate generates
+/// millions of chunks, and the tail of a runaway recorder is noise.
+const DEFAULT_EVENT_LIMIT: usize = 262_144;
+
+/// An ordered per-test event recorder, exportable as JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeTimeline {
+    meta: BTreeMap<String, String>,
+    entries: Vec<TimelineEntry>,
+    limit: usize,
+    dropped: u64,
+    summary: Option<TimelineSummary>,
+}
+
+impl Default for ProbeTimeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProbeTimeline {
+    /// An empty timeline with the default event cap.
+    pub fn new() -> Self {
+        Self {
+            meta: BTreeMap::new(),
+            entries: Vec::new(),
+            limit: DEFAULT_EVENT_LIMIT,
+            dropped: 0,
+            summary: None,
+        }
+    }
+
+    /// Override the event cap (events past it are counted, not stored).
+    pub fn with_event_limit(mut self, limit: usize) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// Attach a metadata key (service kind, technology, seed, server…).
+    pub fn annotate(&mut self, key: &str, value: &str) {
+        self.meta.insert(key.to_string(), value.to_string());
+    }
+
+    /// Record one event at the given timestamp.
+    pub fn record(&mut self, at_ns: u64, event: TimelineEvent) {
+        if self.entries.len() >= self.limit {
+            self.dropped += 1;
+            return;
+        }
+        self.entries.push(TimelineEntry { at_ns, event });
+    }
+
+    /// Record a data-chunk arrival.
+    pub fn record_chunk(&mut self, at_ns: u64, bytes: u64) {
+        self.record(at_ns, TimelineEvent::Chunk { bytes });
+    }
+
+    /// Record an instantaneous-throughput sample.
+    pub fn record_sample(&mut self, at_ns: u64, mbps: f64) {
+        self.record(at_ns, TimelineEvent::Sample { mbps });
+    }
+
+    /// Record a probing-rate change.
+    pub fn record_rate(&mut self, at_ns: u64, mbps: f64) {
+        self.record(at_ns, TimelineEvent::RateChange { mbps });
+    }
+
+    /// Record the start of a named phase.
+    pub fn record_phase(&mut self, at_ns: u64, name: &str) {
+        self.record(
+            at_ns,
+            TimelineEvent::Phase {
+                name: name.to_string(),
+            },
+        );
+    }
+
+    /// Close the timeline with the test's outcome.
+    pub fn finish(&mut self, at_ns: u64, estimate_mbps: f64, status: &str) {
+        self.summary = Some(TimelineSummary {
+            estimate_mbps,
+            status: status.to_string(),
+            duration_ns: at_ns,
+        });
+    }
+
+    /// The recorded events, in order.
+    pub fn entries(&self) -> &[TimelineEntry] {
+        &self.entries
+    }
+
+    /// Attached metadata.
+    pub fn meta(&self) -> &BTreeMap<String, String> {
+        &self.meta
+    }
+
+    /// The closing summary, if [`finish`](Self::finish) was called.
+    pub fn summary(&self) -> Option<&TimelineSummary> {
+        self.summary.as_ref()
+    }
+
+    /// Events dropped by the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The convergence trajectory: every throughput sample in order,
+    /// `(at_ns, mbps)` — the series the stop rule watched.
+    pub fn trajectory(&self) -> Vec<(u64, f64)> {
+        self.entries
+            .iter()
+            .filter_map(|e| match e.event {
+                TimelineEvent::Sample { mbps } => Some((e.at_ns, mbps)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total bytes across recorded chunk events.
+    pub fn chunk_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter_map(|e| match e.event {
+                TimelineEvent::Chunk { bytes } => Some(bytes),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Serialise to a single JSON document.
+    ///
+    /// The output is deterministic: metadata keys are sorted, events keep
+    /// insertion order, and floats use Rust's shortest round-trip
+    /// formatting — a fixed-seed simulated run yields byte-identical
+    /// JSON on every serialisation.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.entries.len() * 48);
+        out.push_str("{\"meta\":{");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(k), json_string(v));
+        }
+        out.push_str("},\"events\":[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"at_ns\":{},\"kind\":\"{}\"",
+                e.at_ns,
+                e.event.kind()
+            );
+            match &e.event {
+                TimelineEvent::Chunk { bytes } => {
+                    let _ = write!(out, ",\"bytes\":{bytes}");
+                }
+                TimelineEvent::Sample { mbps } | TimelineEvent::RateChange { mbps } => {
+                    let _ = write!(out, ",\"mbps\":{}", json_f64(*mbps));
+                }
+                TimelineEvent::Phase { name } => {
+                    let _ = write!(out, ",\"name\":{}", json_string(name));
+                }
+                TimelineEvent::Stall => {}
+                TimelineEvent::Failover { attempt } => {
+                    let _ = write!(out, ",\"attempt\":{attempt}");
+                }
+                TimelineEvent::Retry { round } => {
+                    let _ = write!(out, ",\"round\":{round}");
+                }
+                TimelineEvent::Converged { estimate_mbps } => {
+                    let _ = write!(out, ",\"estimate_mbps\":{}", json_f64(*estimate_mbps));
+                }
+            }
+            out.push('}');
+        }
+        let _ = write!(out, "],\"dropped_events\":{}", self.dropped);
+        if let Some(s) = &self.summary {
+            let _ = write!(
+                out,
+                ",\"summary\":{{\"estimate_mbps\":{},\"status\":{},\"duration_ns\":{}}}",
+                json_f64(s.estimate_mbps),
+                json_string(&s.status),
+                s.duration_ns
+            );
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// JSON-escape a string (quotes, backslashes, control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an f64 as a JSON number (non-finite values become `null`,
+/// which JSON cannot express as a number).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_timeline() -> ProbeTimeline {
+        let mut t = ProbeTimeline::new();
+        t.annotate("kind", "swiftest");
+        t.annotate("tech", "5g");
+        t.record_phase(0, "probe");
+        t.record_chunk(1_000_000, 1400);
+        t.record_sample(50_000_000, 212.5);
+        t.record_rate(50_000_000, 320.0);
+        t.record(
+            60_000_000,
+            TimelineEvent::Converged {
+                estimate_mbps: 212.5,
+            },
+        );
+        t.finish(60_000_000, 212.5, "complete");
+        t
+    }
+
+    #[test]
+    fn json_has_the_expected_shape() {
+        let json = sample_timeline().to_json();
+        assert!(json.starts_with("{\"meta\":{"), "{json}");
+        assert!(json.contains("\"kind\":\"chunk\",\"bytes\":1400"), "{json}");
+        assert!(
+            json.contains("\"kind\":\"sample\",\"mbps\":212.5"),
+            "{json}"
+        );
+        assert!(json.contains("\"status\":\"complete\""), "{json}");
+        assert!(json.contains("\"tech\":\"5g\""), "{json}");
+        // Balanced braces / brackets — a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn serialisation_is_deterministic() {
+        let t = sample_timeline();
+        assert_eq!(t.to_json(), t.to_json());
+        assert_eq!(t.to_json(), sample_timeline().to_json());
+    }
+
+    #[test]
+    fn trajectory_and_chunk_totals() {
+        let t = sample_timeline();
+        assert_eq!(t.trajectory(), vec![(50_000_000, 212.5)]);
+        assert_eq!(t.chunk_bytes(), 1400);
+    }
+
+    #[test]
+    fn event_cap_counts_overflow() {
+        let mut t = ProbeTimeline::new().with_event_limit(2);
+        for i in 0..5 {
+            t.record_chunk(i, 100);
+        }
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert!(t.to_json().contains("\"dropped_events\":3"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut t = ProbeTimeline::new();
+        t.annotate("server", "127.0.0.1:9\"quote\"\n");
+        let json = t.to_json();
+        assert!(json.contains("\\\"quote\\\"\\n"), "{json}");
+    }
+}

@@ -19,6 +19,7 @@ use crate::server::UdpTestServer;
 use mbw_core::estimator::{BandwidthEstimator, ConvergenceEstimator, EstimatorDecision};
 use mbw_core::outcome::{DegradeReason, FailReason, TestStatus};
 use mbw_stats::Gmm;
+use mbw_telemetry::{ProbeTimeline, TimelineEvent};
 use std::net::SocketAddr;
 use std::time::Duration;
 use tokio::net::UdpSocket;
@@ -84,6 +85,12 @@ pub struct WireTestReport {
     pub status: TestStatus,
     /// How many ranked servers were abandoned before this one answered.
     pub failovers: u32,
+    /// Per-event record of the test: phase starts, throughput samples,
+    /// rate escalations, stalls, retries, failovers, convergence. The
+    /// epoch (`at_ns` = 0) is the successful probe's start; selection
+    /// events (retries, failovers) that happened before it are recorded
+    /// at 0, and the PING overhead is in the `ping_ms` metadata key.
+    pub timeline: ProbeTimeline,
 }
 
 /// The Swiftest client.
@@ -108,10 +115,15 @@ impl SwiftestClient {
                 let socket = UdpSocket::bind("127.0.0.1:0").await.ok()?;
                 let nonce = 0x5EED_0000 + i as u64;
                 let t0 = tokio::time::Instant::now();
-                socket.send_to(&Message::Ping { nonce }.encode(), addr).await.ok()?;
+                socket
+                    .send_to(&Message::Ping { nonce }.encode(), addr)
+                    .await
+                    .ok()?;
                 let mut buf = [0u8; 64];
-                let (len, _) =
-                    tokio::time::timeout(timeout, socket.recv_from(&mut buf)).await.ok()?.ok()?;
+                let (len, _) = tokio::time::timeout(timeout, socket.recv_from(&mut buf))
+                    .await
+                    .ok()?
+                    .ok()?;
                 match Message::decode(bytes::Bytes::copy_from_slice(&buf[..len])) {
                     Ok(Message::Pong { nonce: n }) if n == nonce => Some((addr, t0.elapsed())),
                     _ => None,
@@ -135,6 +147,17 @@ impl SwiftestClient {
         &self,
         candidates: &[SocketAddr],
     ) -> Result<(Vec<(SocketAddr, Duration)>, Duration), WireError> {
+        let (ranked, elapsed, _rounds) = self.rank_servers_traced(candidates).await?;
+        Ok((ranked, elapsed))
+    }
+
+    /// [`rank_servers`](Self::rank_servers), additionally reporting how
+    /// many PING rounds it took (1 = no retries) so callers can record
+    /// the retries on a timeline.
+    pub async fn rank_servers_traced(
+        &self,
+        candidates: &[SocketAddr],
+    ) -> Result<(Vec<(SocketAddr, Duration)>, Duration, u32), WireError> {
         let started = tokio::time::Instant::now();
         let rounds = self.config.retry.attempts.max(1);
         for round in 0..rounds {
@@ -144,10 +167,13 @@ impl SwiftestClient {
             let mut live = self.ping_round(candidates).await;
             if !live.is_empty() {
                 live.sort_by_key(|&(_, rtt)| rtt);
-                return Ok((live, started.elapsed()));
+                return Ok((live, started.elapsed(), round + 1));
             }
         }
-        Err(WireError::NoServerReachable { attempted: candidates.len(), rounds })
+        Err(WireError::NoServerReachable {
+            attempted: candidates.len(),
+            rounds,
+        })
     }
 
     /// PING every candidate concurrently; return `(fastest server,
@@ -168,12 +194,22 @@ impl SwiftestClient {
         let session: u64 = std::process::id() as u64 ^ 0xACCE55;
 
         let mut rate_mbps = self.model.dominant_mode().max(1.0);
+        let mut timeline = ProbeTimeline::new();
+        timeline.annotate("prober", "swiftest-wire");
+        timeline.annotate("server", &server.to_string());
+        timeline.record_phase(0, "probe");
+        timeline.record_rate(0, rate_mbps);
         socket
-            .send(&Message::RateRequest { session, rate_bps: (rate_mbps * 1e6) as u64 }.encode())
+            .send(
+                &Message::RateRequest {
+                    session,
+                    rate_bps: (rate_mbps * 1e6) as u64,
+                }
+                .encode(),
+            )
             .await?;
 
-        let mut estimator =
-            ConvergenceEstimator::new(10, self.config.convergence_tolerance, 0);
+        let mut estimator = ConvergenceEstimator::new(10, self.config.convergence_tolerance, 0);
         let started = tokio::time::Instant::now();
         let mut tick = tokio::time::interval(self.config.sample_interval);
         tick.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Skip);
@@ -194,12 +230,15 @@ impl SwiftestClient {
                 _ = tick.tick() => {
                     let bytes_this_window = window_bytes;
                     window_bytes = 0;
+                    let now_ns = started.elapsed().as_nanos() as u64;
                     let mbps = bytes_this_window as f64 * 8.0
                         / self.config.sample_interval.as_secs_f64() / 1e6;
                     samples.push(mbps);
+                    timeline.record_sample(now_ns, mbps);
                     // Stall watchdog: total silence for longer than the
                     // threshold means the server is gone, not slow.
                     if last_rx.elapsed() >= self.config.stall_timeout {
+                        timeline.record(now_ns, TimelineEvent::Stall);
                         if total_bytes == 0 {
                             return Err(WireError::ServerStalled {
                                 server,
@@ -225,6 +264,7 @@ impl SwiftestClient {
                     }
                     if let EstimatorDecision::Done(v) = estimator.push(mbps) {
                         estimate = Some(v);
+                        timeline.record(now_ns, TimelineEvent::Converged { estimate_mbps: v });
                         break 'outer;
                     }
                     if mbps >= rate_mbps * self.config.saturation_margin {
@@ -232,6 +272,7 @@ impl SwiftestClient {
                             .model
                             .next_larger_mode(rate_mbps)
                             .unwrap_or(rate_mbps * self.config.beyond_mode_growth);
+                        timeline.record_rate(now_ns, rate_mbps);
                         let _ = socket
                             .send(
                                 &Message::RateRequest {
@@ -277,15 +318,22 @@ impl SwiftestClient {
         } else {
             TestStatus::Complete
         };
+        let duration = started.elapsed();
+        timeline.finish(
+            duration.as_nanos() as u64,
+            estimate_mbps,
+            &status.to_string(),
+        );
         Ok(WireTestReport {
             estimate_mbps,
-            duration: started.elapsed(),
+            duration,
             ping_time: Duration::ZERO,
             data_bytes: total_bytes,
             samples,
             server,
             status,
             failovers: 0,
+            timeline,
         })
     }
 
@@ -308,6 +356,16 @@ impl SwiftestClient {
                     if failovers > 0 && report.status.is_complete() {
                         report.status = TestStatus::Degraded(DegradeReason::ServerSwitch);
                     }
+                    report
+                        .timeline
+                        .annotate("ping_ms", &format!("{}", ping_time.as_millis()));
+                    for attempt in 1..=failovers {
+                        // Abandoned servers pre-date the successful
+                        // probe's epoch; record them at its origin.
+                        report
+                            .timeline
+                            .record(0, TimelineEvent::Failover { attempt });
+                    }
                     return Ok(report);
                 }
                 Err(e) => {
@@ -319,7 +377,9 @@ impl SwiftestClient {
         // More than one server tried: summarise; one: keep the specific
         // error (e.g. ServerStalled) so the caller sees the real cause.
         if ranked.len() > 1 {
-            Err(WireError::AllServersFailed { attempted: ranked.len() })
+            Err(WireError::AllServersFailed {
+                attempted: ranked.len(),
+            })
         } else {
             Err(last_err.unwrap_or(WireError::AllServersFailed { attempted: 0 }))
         }
@@ -328,13 +388,15 @@ impl SwiftestClient {
     /// Select a server among `candidates` and run the test — the whole
     /// user-visible flow, with failover to the next-best server if the
     /// chosen one dies mid-test.
-    pub async fn measure(
-        &self,
-        candidates: &[SocketAddr],
-    ) -> Result<WireTestReport, WireError> {
-        let (ranked, ping_time) = self.rank_servers(candidates).await?;
+    pub async fn measure(&self, candidates: &[SocketAddr]) -> Result<WireTestReport, WireError> {
+        let (ranked, ping_time, rounds) = self.rank_servers_traced(candidates).await?;
         let order: Vec<SocketAddr> = ranked.iter().map(|&(addr, _)| addr).collect();
-        self.measure_ranked(&order, ping_time).await
+        let mut report = self.measure_ranked(&order, ping_time).await?;
+        for round in 2..=rounds {
+            // Dead PING rounds also pre-date the probe epoch.
+            report.timeline.record(0, TimelineEvent::Retry { round });
+        }
+        Ok(report)
     }
 }
 
@@ -457,6 +519,13 @@ mod tests {
         let report = client.measure_ranked(&order, Duration::ZERO).await.unwrap();
         assert_eq!(report.failovers, 1);
         assert_eq!(report.server, addrs[0]);
+        assert!(
+            report.timeline.entries().iter().any(|e| matches!(
+                e.event,
+                mbw_telemetry::TimelineEvent::Failover { attempt: 1 }
+            )),
+            "failover missing from timeline"
+        );
         assert!(report.status.is_degraded(), "status {:?}", report.status);
         assert!(
             (report.estimate_mbps - 10.0).abs() < 4.0,
@@ -485,6 +554,11 @@ mod tests {
         );
         assert!(report.duration < Duration::from_secs(5));
         assert!(report.data_bytes > 100_000);
+        // The timeline tells the same story as the report.
+        assert!(!report.timeline.trajectory().is_empty());
+        assert!(report.timeline.meta().contains_key("ping_ms"));
+        let summary = report.timeline.summary().expect("finished timeline");
+        assert!((summary.estimate_mbps - report.estimate_mbps).abs() < 1e-9);
         for s in servers {
             s.shutdown().await;
         }
@@ -501,7 +575,10 @@ mod tests {
         let (servers, addrs) = spawn_local_fleet(1, Some(5_000_000)).await.unwrap();
         let client = SwiftestClient::new(
             low_rate_model(),
-            WireTestConfig { convergence_tolerance: 0.13, ..WireTestConfig::default() },
+            WireTestConfig {
+                convergence_tolerance: 0.13,
+                ..WireTestConfig::default()
+            },
         );
         let report = client.measure(&addrs).await.unwrap();
         assert!(

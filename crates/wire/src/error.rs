@@ -139,7 +139,10 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// A policy that never retries.
     pub fn no_retry() -> Self {
-        Self { attempts: 1, ..Self::default() }
+        Self {
+            attempts: 1,
+            ..Self::default()
+        }
     }
 
     /// Backoff before retry number `retry` (0-based): `base × mult^retry`,
@@ -151,7 +154,9 @@ impl RetryPolicy {
 
     /// Worst-case total time spent sleeping between attempts.
     pub fn total_backoff(&self) -> Duration {
-        (0..self.attempts.saturating_sub(1)).map(|i| self.delay(i)).sum()
+        (0..self.attempts.saturating_sub(1))
+            .map(|i| self.delay(i))
+            .sum()
     }
 }
 
@@ -183,7 +188,10 @@ mod tests {
 
     #[test]
     fn errors_display_their_context() {
-        let e = WireError::NoServerReachable { attempted: 3, rounds: 2 };
+        let e = WireError::NoServerReachable {
+            attempted: 3,
+            rounds: 2,
+        };
         let s = e.to_string();
         assert!(s.contains('3') && s.contains('2'), "{s}");
         let e = WireError::AllServersFailed { attempted: 4 };

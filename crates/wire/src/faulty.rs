@@ -166,7 +166,9 @@ impl Shaper {
     }
 
     fn count_forwarded(&self, out: &[(Vec<u8>, Option<Duration>)]) {
-        self.stats.forwarded.fetch_add(out.len() as u64, Ordering::Relaxed);
+        self.stats
+            .forwarded
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
     }
 }
 
@@ -181,10 +183,7 @@ pub struct FaultyLink {
 
 impl FaultyLink {
     /// Start a proxy in front of `upstream` with the given impairments.
-    pub async fn start(
-        upstream: SocketAddr,
-        config: FaultyLinkConfig,
-    ) -> std::io::Result<Self> {
+    pub async fn start(upstream: SocketAddr, config: FaultyLinkConfig) -> std::io::Result<Self> {
         let client_sock = Arc::new(UdpSocket::bind("127.0.0.1:0").await?);
         let upstream_sock = Arc::new(UdpSocket::bind("127.0.0.1:0").await?);
         upstream_sock.connect(upstream).await?;
@@ -201,7 +200,12 @@ impl FaultyLink {
             up_shaper,
             down_shaper,
         ));
-        Ok(Self { local_addr, blackout, stats, task })
+        Ok(Self {
+            local_addr,
+            blackout,
+            stats,
+            task,
+        })
     }
 
     /// The address clients should use as their "server".
@@ -213,6 +217,30 @@ impl FaultyLink {
     /// direction. Models both a radio blackout and a stalled server.
     pub fn set_blackout(&self, on: bool) {
         self.blackout.store(on, Ordering::Relaxed);
+    }
+
+    /// Publish the fault-class breakdown into `registry` as gauges
+    /// labelled `{class=…,link=…}` — one series per impairment kind, so
+    /// a scrape shows *which* fault dominated a chaos run.
+    pub fn publish_to(&self, registry: &mbw_telemetry::Registry, link: &str) {
+        let s = self.stats();
+        for (class, v) in [
+            ("forwarded", s.forwarded),
+            ("dropped", s.dropped),
+            ("duplicated", s.duplicated),
+            ("reordered", s.reordered),
+            ("corrupted", s.corrupted),
+            ("delayed", s.delayed),
+            ("blackout_dropped", s.blackout_dropped),
+        ] {
+            registry
+                .gauge_with(
+                    "swiftest_faulty_packets",
+                    "packets seen by the impairment proxy, by fault class",
+                    &[("class", class), ("link", link)],
+                )
+                .set(v as f64);
+        }
     }
 
     /// Counters so far.
@@ -338,7 +366,9 @@ impl StallServer {
                 if let Ok(Message::Ping { nonce }) =
                     Message::decode(bytes::Bytes::copy_from_slice(&buf[..len]))
                 {
-                    let _ = socket.send_to(&Message::Pong { nonce }.encode(), peer).await;
+                    let _ = socket
+                        .send_to(&Message::Pong { nonce }.encode(), peer)
+                        .await;
                 }
             }
         });
@@ -410,7 +440,10 @@ mod tests {
     async fn corruption_breaks_the_magic_byte() {
         // A corrupting one-way pipe: everything client→server corrupts.
         let mut shaper = Shaper::new(
-            FaultyLinkConfig { corrupt_prob: 1.0, ..Default::default() },
+            FaultyLinkConfig {
+                corrupt_prob: 1.0,
+                ..Default::default()
+            },
             1,
             Arc::new(StatsInner::default()),
         );
@@ -437,7 +470,10 @@ mod tests {
     #[test]
     fn reorder_holds_then_releases() {
         let mut shaper = Shaper::new(
-            FaultyLinkConfig { reorder_prob: 1.0, ..Default::default() },
+            FaultyLinkConfig {
+                reorder_prob: 1.0,
+                ..Default::default()
+            },
             1,
             Arc::new(StatsInner::default()),
         );
@@ -448,6 +484,30 @@ mod tests {
         assert_eq!(second.len(), 2);
         assert_eq!(second[0].0[1], 2);
         assert_eq!(second[1].0[1], 1);
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn fault_breakdown_publishes_labelled_series() {
+        let server = UdpTestServer::start(ServerConfig::default()).await.unwrap();
+        let link = FaultyLink::start(server.local_addr(), FaultyLinkConfig::default())
+            .await
+            .unwrap();
+        link.set_blackout(true);
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        client
+            .send_to(&Message::Ping { nonce: 3 }.encode(), link.local_addr())
+            .await
+            .unwrap();
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        let registry = mbw_telemetry::Registry::new();
+        link.publish_to(&registry, "radio");
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("swiftest_faulty_packets{class=\"blackout_dropped\",link=\"radio\"} 1"),
+            "{text}"
+        );
+        link.shutdown().await;
+        server.shutdown().await;
     }
 
     #[tokio::test(flavor = "multi_thread")]
@@ -469,7 +529,11 @@ mod tests {
         );
         client
             .send_to(
-                &Message::RateRequest { session: 1, rate_bps: 1_000_000 }.encode(),
+                &Message::RateRequest {
+                    session: 1,
+                    rate_bps: 1_000_000,
+                }
+                .encode(),
                 stall.local_addr(),
             )
             .await

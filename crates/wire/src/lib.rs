@@ -15,10 +15,14 @@
 //!   paced sender task per test session, applies mid-test rate changes
 //!   (Swiftest's modal escalation), and can emulate a bottleneck via a
 //!   token-bucket cap (standing in for the client's access link, which
-//!   on localhost does not otherwise exist).
+//!   on localhost does not otherwise exist). Every counter lives in an
+//!   `mbw-telemetry` registry, optionally scraped over HTTP at
+//!   `/metrics` ([`ServerConfig::metrics_addr`]).
 //! - [`client`] — the Swiftest client: PING-based server selection,
 //!   model-guided rate escalation, 50 ms sampling, convergence stop —
 //!   the same logic as `mbw-core`'s simulated prober, but over sockets.
+//!   Each report carries a [`mbw_telemetry::ProbeTimeline`] of samples,
+//!   rate changes, stalls, retries, and failovers.
 //! - [`tcp`] — the flooding baseline over real TCP (a BTS-APP-style
 //!   server that writes forever and a sampling client), used to compare
 //!   against Swiftest on the same emulated link.

@@ -108,13 +108,20 @@ impl Message {
                 buf.put_u64(*session);
                 buf.put_u64(*rate_bps);
             }
-            Message::Data { session, seq, payload } => {
+            Message::Data {
+                session,
+                seq,
+                payload,
+            } => {
                 buf.put_u8(TAG_DATA);
                 buf.put_u64(*session);
                 buf.put_u64(*seq);
                 buf.put_slice(payload);
             }
-            Message::Feedback { session, received_bytes } => {
+            Message::Feedback {
+                session,
+                received_bytes,
+            } => {
                 buf.put_u8(TAG_FEEDBACK);
                 buf.put_u64(*session);
                 buf.put_u64(*received_bytes);
@@ -147,29 +154,45 @@ impl Message {
         match tag {
             TAG_PING => {
                 need(&buf, 8)?;
-                Ok(Message::Ping { nonce: buf.get_u64() })
+                Ok(Message::Ping {
+                    nonce: buf.get_u64(),
+                })
             }
             TAG_PONG => {
                 need(&buf, 8)?;
-                Ok(Message::Pong { nonce: buf.get_u64() })
+                Ok(Message::Pong {
+                    nonce: buf.get_u64(),
+                })
             }
             TAG_RATE => {
                 need(&buf, 16)?;
-                Ok(Message::RateRequest { session: buf.get_u64(), rate_bps: buf.get_u64() })
+                Ok(Message::RateRequest {
+                    session: buf.get_u64(),
+                    rate_bps: buf.get_u64(),
+                })
             }
             TAG_DATA => {
                 need(&buf, 16)?;
                 let session = buf.get_u64();
                 let seq = buf.get_u64();
-                Ok(Message::Data { session, seq, payload: buf })
+                Ok(Message::Data {
+                    session,
+                    seq,
+                    payload: buf,
+                })
             }
             TAG_FEEDBACK => {
                 need(&buf, 16)?;
-                Ok(Message::Feedback { session: buf.get_u64(), received_bytes: buf.get_u64() })
+                Ok(Message::Feedback {
+                    session: buf.get_u64(),
+                    received_bytes: buf.get_u64(),
+                })
             }
             TAG_STOP => {
                 need(&buf, 8)?;
-                Ok(Message::Stop { session: buf.get_u64() })
+                Ok(Message::Stop {
+                    session: buf.get_u64(),
+                })
             }
             other => Err(ProtoError::BadTag(other)),
         }
@@ -177,7 +200,11 @@ impl Message {
 
     /// A standard-size data packet.
     pub fn data_packet(session: u64, seq: u64) -> Message {
-        Message::Data { session, seq, payload: Bytes::from_static(&[0u8; DATA_PAYLOAD]) }
+        Message::Data {
+            session,
+            seq,
+            payload: Bytes::from_static(&[0u8; DATA_PAYLOAD]),
+        }
     }
 }
 
@@ -190,9 +217,15 @@ mod tests {
         let msgs = vec![
             Message::Ping { nonce: 42 },
             Message::Pong { nonce: u64::MAX },
-            Message::RateRequest { session: 7, rate_bps: 300_000_000 },
+            Message::RateRequest {
+                session: 7,
+                rate_bps: 300_000_000,
+            },
             Message::data_packet(7, 12345),
-            Message::Feedback { session: 7, received_bytes: 1 << 30 },
+            Message::Feedback {
+                session: 7,
+                received_bytes: 1 << 30,
+            },
             Message::Stop { session: 7 },
         ];
         for msg in msgs {
@@ -227,7 +260,11 @@ mod tests {
 
     #[test]
     fn rejects_truncation_everywhere() {
-        let full = Message::RateRequest { session: 1, rate_bps: 2 }.encode();
+        let full = Message::RateRequest {
+            session: 1,
+            rate_bps: 2,
+        }
+        .encode();
         for cut in 0..full.len() {
             let sliced = full.slice(0..cut);
             assert!(
@@ -240,7 +277,11 @@ mod tests {
     #[test]
     fn data_payload_survives() {
         let payload = Bytes::from(vec![0xAB; 300]);
-        let msg = Message::Data { session: 1, seq: 2, payload: payload.clone() };
+        let msg = Message::Data {
+            session: 1,
+            seq: 2,
+            payload: payload.clone(),
+        };
         match Message::decode(msg.encode()).unwrap() {
             Message::Data { payload: p, .. } => assert_eq!(p, payload),
             other => panic!("{other:?}"),

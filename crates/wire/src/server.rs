@@ -18,8 +18,14 @@
 //! client that vanishes mid-session is reaped after `idle_timeout`
 //! rather than being paced at until `session_timeout`. Every dropped or
 //! reaped event is visible in [`ServerStats`].
+//!
+//! All counters live in an `mbw-telemetry` [`Registry`]: the serve
+//! loop, every pacing task, and the optional HTTP `/metrics` listener
+//! (enable with [`ServerConfig::metrics_addr`]) share one source of
+//! truth, and [`UdpTestServer::stats`] is just a snapshot of it.
 
 use crate::proto::Message;
+use mbw_telemetry::{Counter, Gauge, Histogram, MetricsServer, Registry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -50,6 +56,9 @@ pub struct ServerConfig {
     /// A session whose client has sent nothing (no feedback, no rate
     /// request) for this long is presumed gone and reaped.
     pub idle_timeout: Duration,
+    /// When set, serve this server's registry at `http://<addr>/metrics`
+    /// in Prometheus text exposition format (port 0 for ephemeral).
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 impl Default for ServerConfig {
@@ -59,19 +68,93 @@ impl Default for ServerConfig {
             emulated_capacity_bps: None,
             session_timeout: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(2),
+            metrics_addr: None,
         }
     }
 }
 
-#[derive(Debug, Default)]
-struct StatsInner {
-    pings: AtomicU64,
-    malformed: AtomicU64,
-    oversized: AtomicU64,
-    recv_errors: AtomicU64,
-    sessions_started: AtomicU64,
-    sessions_reaped: AtomicU64,
-    sessions_refused: AtomicU64,
+/// Registry-backed metric handles, cloned into the serve loop and every
+/// pacing task. Increments are lock-free; the `/metrics` listener and
+/// [`UdpTestServer::stats`] read the same cells.
+#[derive(Clone)]
+struct ServerMetrics {
+    registry: Registry,
+    pings: Counter,
+    malformed: Counter,
+    oversized: Counter,
+    recv_errors: Counter,
+    sessions_started: Counter,
+    sessions_reaped: Counter,
+    sessions_refused: Counter,
+    sessions_active: Gauge,
+    rx_datagrams: Counter,
+    rx_bytes: Counter,
+    tx_datagrams: Counter,
+    tx_bytes: Counter,
+    session_bytes: Histogram,
+    session_seconds: Histogram,
+}
+
+impl ServerMetrics {
+    fn new(registry: Registry) -> Self {
+        Self {
+            pings: registry.counter("swiftest_server_pings_total", "well-formed PINGs answered"),
+            malformed: registry.counter(
+                "swiftest_server_malformed_total",
+                "datagrams that failed to decode (bad magic / tag / truncated)",
+            ),
+            oversized: registry.counter(
+                "swiftest_server_oversized_total",
+                "datagrams at or beyond the receive buffer, dropped unread",
+            ),
+            recv_errors: registry.counter(
+                "swiftest_server_recv_errors_total",
+                "tolerated recv_from errors",
+            ),
+            sessions_started: registry.counter(
+                "swiftest_server_sessions_started_total",
+                "pacing sessions spawned",
+            ),
+            sessions_reaped: registry.counter(
+                "swiftest_server_sessions_reaped_total",
+                "sessions reaped because their client went silent",
+            ),
+            sessions_refused: registry.counter(
+                "swiftest_server_sessions_refused_total",
+                "sessions refused because the table was full",
+            ),
+            sessions_active: registry.gauge(
+                "swiftest_server_sessions_active",
+                "currently paced sessions",
+            ),
+            rx_datagrams: registry
+                .counter("swiftest_server_rx_datagrams_total", "datagrams received"),
+            rx_bytes: registry.counter("swiftest_server_rx_bytes_total", "bytes received"),
+            tx_datagrams: registry.counter(
+                "swiftest_server_tx_datagrams_total",
+                "paced data packets sent",
+            ),
+            tx_bytes: registry.counter("swiftest_server_tx_bytes_total", "paced data bytes sent"),
+            session_bytes: registry.histogram(
+                "swiftest_server_session_bytes",
+                "bytes paced to one session over its lifetime",
+                Histogram::bytes_default(),
+            ),
+            session_seconds: registry.histogram(
+                "swiftest_server_session_seconds",
+                "session lifetime from spawn to close",
+                Histogram::seconds_default(),
+            ),
+            registry,
+        }
+    }
+
+    /// Close the books on one session: histograms plus the active gauge.
+    fn observe_session_end(&self, sent_bytes: u64, lifetime: Duration, active_now: usize) {
+        self.session_bytes.observe(sent_bytes as f64);
+        self.session_seconds.observe(lifetime.as_secs_f64());
+        self.sessions_active.set(active_now as f64);
+    }
 }
 
 /// Counters the server keeps instead of panicking or logging: every
@@ -92,12 +175,22 @@ pub struct ServerStats {
     pub sessions_reaped: u64,
     /// Sessions refused because the table was full.
     pub sessions_refused: u64,
+    /// Datagrams received (all kinds, before decoding).
+    pub rx_datagrams: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+    /// Paced data packets sent.
+    pub tx_datagrams: u64,
+    /// Paced data bytes sent.
+    pub tx_bytes: u64,
 }
 
 struct Session {
     rate_bps: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
     last_seen_ms: Arc<AtomicU64>,
+    sent_bytes: Arc<AtomicU64>,
+    started_ms: u64,
     task: JoinHandle<()>,
 }
 
@@ -107,7 +200,8 @@ type SessionMap = Arc<Mutex<HashMap<(SocketAddr, u64), Session>>>;
 pub struct UdpTestServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    stats: Arc<StatsInner>,
+    metrics: ServerMetrics,
+    exporter: Option<MetricsServer>,
     accept_task: JoinHandle<()>,
 }
 
@@ -117,14 +211,24 @@ impl UdpTestServer {
         let socket = Arc::new(UdpSocket::bind(config.bind).await?);
         let local_addr = socket.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(StatsInner::default());
+        let metrics = ServerMetrics::new(Registry::new());
+        let exporter = match config.metrics_addr {
+            Some(addr) => Some(MetricsServer::start(addr, metrics.registry.clone())?),
+            None => None,
+        };
         let accept_task = tokio::spawn(serve_loop(
             socket,
             config.clone(),
             Arc::clone(&stop),
-            Arc::clone(&stats),
+            metrics.clone(),
         ));
-        Ok(Self { local_addr, stop, stats, accept_task })
+        Ok(Self {
+            local_addr,
+            stop,
+            metrics,
+            exporter,
+            accept_task,
+        })
     }
 
     /// The bound address (connect clients here).
@@ -132,16 +236,32 @@ impl UdpTestServer {
         self.local_addr
     }
 
+    /// Address of the `/metrics` listener, when one was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.exporter.as_ref().map(MetricsServer::local_addr)
+    }
+
+    /// The registry behind every counter this server keeps. Scrape it
+    /// over HTTP via [`ServerConfig::metrics_addr`], or render it
+    /// directly with [`Registry::render_prometheus`].
+    pub fn registry(&self) -> Registry {
+        self.metrics.registry.clone()
+    }
+
     /// Snapshot of the hardening counters.
     pub fn stats(&self) -> ServerStats {
         ServerStats {
-            pings: self.stats.pings.load(Ordering::Relaxed),
-            malformed: self.stats.malformed.load(Ordering::Relaxed),
-            oversized: self.stats.oversized.load(Ordering::Relaxed),
-            recv_errors: self.stats.recv_errors.load(Ordering::Relaxed),
-            sessions_started: self.stats.sessions_started.load(Ordering::Relaxed),
-            sessions_reaped: self.stats.sessions_reaped.load(Ordering::Relaxed),
-            sessions_refused: self.stats.sessions_refused.load(Ordering::Relaxed),
+            pings: self.metrics.pings.get(),
+            malformed: self.metrics.malformed.get(),
+            oversized: self.metrics.oversized.get(),
+            recv_errors: self.metrics.recv_errors.get(),
+            sessions_started: self.metrics.sessions_started.get(),
+            sessions_reaped: self.metrics.sessions_reaped.get(),
+            sessions_refused: self.metrics.sessions_refused.get(),
+            rx_datagrams: self.metrics.rx_datagrams.get(),
+            rx_bytes: self.metrics.rx_bytes.get(),
+            tx_datagrams: self.metrics.tx_datagrams.get(),
+            tx_bytes: self.metrics.tx_bytes.get(),
         }
     }
 
@@ -150,6 +270,9 @@ impl UdpTestServer {
         self.stop.store(true, Ordering::Relaxed);
         self.accept_task.abort();
         let _ = self.accept_task.await;
+        if let Some(exporter) = self.exporter {
+            exporter.shutdown();
+        }
     }
 }
 
@@ -157,7 +280,7 @@ async fn serve_loop(
     socket: Arc<UdpSocket>,
     config: ServerConfig,
     stop: Arc<AtomicBool>,
-    stats: Arc<StatsInner>,
+    metrics: ServerMetrics,
 ) {
     let sessions: SessionMap = Arc::new(Mutex::new(HashMap::new()));
     let epoch = tokio::time::Instant::now();
@@ -176,7 +299,7 @@ async fn serve_loop(
                 // Transient failure (ICMP-surfaced refusals and the
                 // like): count it and keep serving. Only a socket that
                 // does nothing but error is declared dead.
-                stats.recv_errors.fetch_add(1, Ordering::Relaxed);
+                metrics.recv_errors.inc();
                 consecutive_errors += 1;
                 if consecutive_errors >= MAX_CONSECUTIVE_RECV_ERRORS {
                     break;
@@ -185,23 +308,27 @@ async fn serve_loop(
                 continue;
             }
         };
+        metrics.rx_datagrams.inc();
+        metrics.rx_bytes.add(len as u64);
         if len >= buf.len() {
             // A datagram that fills the whole buffer was truncated by
             // the kernel; the largest legal message is far smaller.
-            stats.oversized.fetch_add(1, Ordering::Relaxed);
+            metrics.oversized.inc();
             continue;
         }
         let msg = match Message::decode(bytes::Bytes::copy_from_slice(&buf[..len])) {
             Ok(m) => m,
             Err(_) => {
-                stats.malformed.fetch_add(1, Ordering::Relaxed);
+                metrics.malformed.inc();
                 continue;
             }
         };
         match msg {
             Message::Ping { nonce } => {
-                stats.pings.fetch_add(1, Ordering::Relaxed);
-                let _ = socket.send_to(&Message::Pong { nonce }.encode(), peer).await;
+                metrics.pings.inc();
+                let _ = socket
+                    .send_to(&Message::Pong { nonce }.encode(), peer)
+                    .await;
             }
             Message::RateRequest { session, rate_bps } => {
                 let capped = config
@@ -214,11 +341,12 @@ async fn serve_loop(
                     existing.rate_bps.store(capped, Ordering::Relaxed);
                     existing.last_seen_ms.store(now_ms, Ordering::Relaxed);
                 } else if map.len() >= MAX_SESSIONS {
-                    stats.sessions_refused.fetch_add(1, Ordering::Relaxed);
+                    metrics.sessions_refused.inc();
                 } else {
                     let rate = Arc::new(AtomicU64::new(capped));
                     let s_stop = Arc::new(AtomicBool::new(false));
                     let last_seen_ms = Arc::new(AtomicU64::new(now_ms));
+                    let sent_bytes = Arc::new(AtomicU64::new(0));
                     let task = tokio::spawn(pace_session(PaceParams {
                         socket: Arc::clone(&socket),
                         peer,
@@ -226,17 +354,26 @@ async fn serve_loop(
                         rate_bps: Arc::clone(&rate),
                         stop: Arc::clone(&s_stop),
                         last_seen_ms: Arc::clone(&last_seen_ms),
+                        sent_bytes: Arc::clone(&sent_bytes),
                         epoch,
                         session_timeout: config.session_timeout,
                         idle_timeout: config.idle_timeout,
                         sessions: Arc::clone(&sessions),
-                        stats: Arc::clone(&stats),
+                        metrics: metrics.clone(),
                     }));
-                    stats.sessions_started.fetch_add(1, Ordering::Relaxed);
+                    metrics.sessions_started.inc();
                     map.insert(
                         (peer, session),
-                        Session { rate_bps: rate, stop: s_stop, last_seen_ms, task },
+                        Session {
+                            rate_bps: rate,
+                            stop: s_stop,
+                            last_seen_ms,
+                            sent_bytes,
+                            started_ms: now_ms,
+                            task,
+                        },
                     );
+                    metrics.sessions_active.set(map.len() as f64);
                 }
             }
             Message::Feedback { session, .. } => {
@@ -246,18 +383,31 @@ async fn serve_loop(
                 touch(&sessions, peer, session, epoch.elapsed().as_millis() as u64);
             }
             Message::Stop { session } => {
-                if let Some(s) = sessions.lock().remove(&(peer, session)) {
+                let mut map = sessions.lock();
+                if let Some(s) = map.remove(&(peer, session)) {
                     s.stop.store(true, Ordering::Relaxed);
                     s.task.abort();
+                    let now_ms = epoch.elapsed().as_millis() as u64;
+                    metrics.observe_session_end(
+                        s.sent_bytes.load(Ordering::Relaxed),
+                        Duration::from_millis(now_ms.saturating_sub(s.started_ms)),
+                        map.len(),
+                    );
                 }
             }
             // Unexpected on the server side; ignore.
             Message::Pong { .. } | Message::Data { .. } => {}
         }
     }
+    let now_ms = epoch.elapsed().as_millis() as u64;
     for (_, s) in sessions.lock().drain() {
         s.stop.store(true, Ordering::Relaxed);
         s.task.abort();
+        metrics.observe_session_end(
+            s.sent_bytes.load(Ordering::Relaxed),
+            Duration::from_millis(now_ms.saturating_sub(s.started_ms)),
+            0,
+        );
     }
 }
 
@@ -277,11 +427,12 @@ struct PaceParams {
     rate_bps: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
     last_seen_ms: Arc<AtomicU64>,
+    sent_bytes: Arc<AtomicU64>,
     epoch: tokio::time::Instant,
     session_timeout: Duration,
     idle_timeout: Duration,
     sessions: SessionMap,
-    stats: Arc<StatsInner>,
+    metrics: ServerMetrics,
 }
 
 /// The paced sender: a 5 ms token-bucket tick emitting data packets.
@@ -307,7 +458,7 @@ async fn pace_session(p: PaceParams) {
         let now_ms = p.epoch.elapsed().as_millis() as u64;
         if now_ms.saturating_sub(p.last_seen_ms.load(Ordering::Relaxed)) > idle_ms {
             // The client vanished mid-session: stop pacing at a ghost.
-            p.stats.sessions_reaped.fetch_add(1, Ordering::Relaxed);
+            p.metrics.sessions_reaped.inc();
             break;
         }
         let rate = p.rate_bps.load(Ordering::Relaxed) as f64;
@@ -324,11 +475,23 @@ async fn pace_session(p: PaceParams) {
             if p.socket.send_to(&pkt, p.peer).await.is_err() {
                 break;
             }
+            p.metrics.tx_datagrams.inc();
+            p.metrics.tx_bytes.add(pkt.len() as u64);
+            p.sent_bytes.fetch_add(pkt.len() as u64, Ordering::Relaxed);
         }
     }
     // Self-removal keeps the table bounded when sessions end without a
-    // Stop (timeout / reap). A no-op if Stop already removed us.
-    p.sessions.lock().remove(&(p.peer, p.session));
+    // Stop (timeout / reap). A no-op if Stop already removed us (Stop
+    // observed the session-end histograms; otherwise we do, here).
+    let mut map = p.sessions.lock();
+    if let Some(s) = map.remove(&(p.peer, p.session)) {
+        let now_ms = p.epoch.elapsed().as_millis() as u64;
+        p.metrics.observe_session_end(
+            s.sent_bytes.load(Ordering::Relaxed),
+            Duration::from_millis(now_ms.saturating_sub(s.started_ms)),
+            map.len(),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -363,7 +526,11 @@ mod tests {
         let rate = 20_000_000u64; // 20 Mbps
         client
             .send_to(
-                &Message::RateRequest { session: 1, rate_bps: rate }.encode(),
+                &Message::RateRequest {
+                    session: 1,
+                    rate_bps: rate,
+                }
+                .encode(),
                 server.local_addr(),
             )
             .await
@@ -406,7 +573,11 @@ mod tests {
         let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
         client
             .send_to(
-                &Message::RateRequest { session: 2, rate_bps: 100_000_000 }.encode(),
+                &Message::RateRequest {
+                    session: 2,
+                    rate_bps: 100_000_000,
+                }
+                .encode(),
                 server.local_addr(),
             )
             .await
@@ -435,7 +606,11 @@ mod tests {
         let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
         client
             .send_to(
-                &Message::RateRequest { session: 3, rate_bps: 5_000_000 }.encode(),
+                &Message::RateRequest {
+                    session: 3,
+                    rate_bps: 5_000_000,
+                }
+                .encode(),
                 server.local_addr(),
             )
             .await
@@ -464,7 +639,12 @@ mod tests {
         let server = UdpTestServer::start(ServerConfig::default()).await.unwrap();
         let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
         // Assorted junk: empty, bad magic, truncated, unknown tag.
-        for junk in [&[][..], &[0x00, 0x01][..], &[0xB7][..], &[0xB7, 0x99, 1, 2][..]] {
+        for junk in [
+            &[][..],
+            &[0x00, 0x01][..],
+            &[0xB7][..],
+            &[0xB7, 0x99, 1, 2][..],
+        ] {
             client.send_to(junk, server.local_addr()).await.unwrap();
         }
         // The server must still answer a well-formed ping afterwards.
@@ -472,12 +652,9 @@ mod tests {
             .send_to(&Message::Ping { nonce: 7 }.encode(), server.local_addr())
             .await
             .unwrap();
-        let reply = tokio::time::timeout(
-            Duration::from_millis(500),
-            recv_msg(&client),
-        )
-        .await
-        .expect("server alive after junk");
+        let reply = tokio::time::timeout(Duration::from_millis(500), recv_msg(&client))
+            .await
+            .expect("server alive after junk");
         assert_eq!(reply, Message::Pong { nonce: 7 });
         let stats = server.stats();
         assert!(stats.malformed >= 4, "malformed {}", stats.malformed);
@@ -516,7 +693,11 @@ mod tests {
         let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
         client
             .send_to(
-                &Message::RateRequest { session: 12, rate_bps: 2_000_000 }.encode(),
+                &Message::RateRequest {
+                    session: 12,
+                    rate_bps: 2_000_000,
+                }
+                .encode(),
                 server.local_addr(),
             )
             .await
@@ -560,7 +741,11 @@ mod tests {
         }
         client
             .send_to(
-                &Message::RateRequest { session: 9, rate_bps: 5_000_000 }.encode(),
+                &Message::RateRequest {
+                    session: 9,
+                    rate_bps: 5_000_000,
+                }
+                .encode(),
                 server.local_addr(),
             )
             .await
@@ -569,7 +754,11 @@ mod tests {
         // Escalate the same session to 20 Mbps.
         client
             .send_to(
-                &Message::RateRequest { session: 9, rate_bps: 20_000_000 }.encode(),
+                &Message::RateRequest {
+                    session: 9,
+                    rate_bps: 20_000_000,
+                }
+                .encode(),
                 server.local_addr(),
             )
             .await
@@ -590,12 +779,90 @@ mod tests {
     }
 
     #[tokio::test(flavor = "multi_thread")]
+    async fn metrics_endpoint_serves_prometheus_text() {
+        use std::io::{Read as _, Write as _};
+        let server = UdpTestServer::start(ServerConfig {
+            metrics_addr: Some("127.0.0.1:0".parse().unwrap()),
+            ..Default::default()
+        })
+        .await
+        .unwrap();
+        let metrics_addr = server.metrics_addr().expect("listener configured");
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        client
+            .send_to(&Message::Ping { nonce: 1 }.encode(), server.local_addr())
+            .await
+            .unwrap();
+        let _ = recv_msg(&client).await;
+        // Scrape over plain TCP from a blocking thread.
+        let body = tokio::task::spawn_blocking(move || {
+            let mut s = std::net::TcpStream::connect(metrics_addr).unwrap();
+            write!(s, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        })
+        .await
+        .unwrap();
+        assert!(body.starts_with("HTTP/1.1 200 OK"), "{body}");
+        assert!(body.contains("text/plain; version=0.0.4"), "{body}");
+        assert!(body.contains("swiftest_server_pings_total 1"), "{body}");
+        assert!(
+            body.contains("swiftest_server_rx_datagrams_total 1"),
+            "{body}"
+        );
+        let stats = server.stats();
+        assert_eq!(stats.rx_datagrams, 1);
+        assert!(stats.rx_bytes > 0);
+        server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn sessions_land_in_the_lifetime_histograms() {
+        let server = UdpTestServer::start(ServerConfig::default()).await.unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        client
+            .send_to(
+                &Message::RateRequest {
+                    session: 21,
+                    rate_bps: 4_000_000,
+                }
+                .encode(),
+                server.local_addr(),
+            )
+            .await
+            .unwrap();
+        let _ = recv_msg(&client).await;
+        client
+            .send_to(&Message::Stop { session: 21 }.encode(), server.local_addr())
+            .await
+            .unwrap();
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        let text = server.registry().render_prometheus();
+        assert!(
+            text.contains("swiftest_server_session_seconds_count 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("swiftest_server_session_bytes_count 1"),
+            "{text}"
+        );
+        let stats = server.stats();
+        assert!(stats.tx_datagrams > 0 && stats.tx_bytes > 0, "{stats:?}");
+        server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
     async fn data_packets_carry_increasing_seq() {
         let server = UdpTestServer::start(ServerConfig::default()).await.unwrap();
         let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
         client
             .send_to(
-                &Message::RateRequest { session: 4, rate_bps: 8_000_000 }.encode(),
+                &Message::RateRequest {
+                    session: 4,
+                    rate_bps: 8_000_000,
+                }
+                .encode(),
                 server.local_addr(),
             )
             .await

@@ -46,7 +46,11 @@ impl TcpFloodServer {
                 tokio::spawn(flood_connection(stream, rate_cap_bps, stop3));
             }
         });
-        Ok(Self { local_addr, stop, accept_task })
+        Ok(Self {
+            local_addr,
+            stop,
+            accept_task,
+        })
     }
 
     /// The bound address.
@@ -62,11 +66,7 @@ impl TcpFloodServer {
     }
 }
 
-async fn flood_connection(
-    mut stream: TcpStream,
-    rate_cap_bps: Option<u64>,
-    stop: Arc<AtomicBool>,
-) {
+async fn flood_connection(mut stream: TcpStream, rate_cap_bps: Option<u64>, stop: Arc<AtomicBool>) {
     let chunk = vec![0u8; CHUNK];
     match rate_cap_bps {
         None => {
@@ -209,7 +209,9 @@ pub async fn run_flood_test_multi(
     let mut readers: Vec<tokio::task::JoinHandle<()>> = Vec::new();
 
     let spawn_reader = |window: Arc<AtomicU64>, total: Arc<AtomicU64>| async move {
-        let Ok(mut stream) = TcpStream::connect(server).await else { return };
+        let Ok(mut stream) = TcpStream::connect(server).await else {
+            return;
+        };
         let mut buf = vec![0u8; 64 * 1024];
         loop {
             match stream.read(&mut buf).await {
@@ -221,7 +223,10 @@ pub async fn run_flood_test_multi(
             }
         }
     };
-    readers.push(tokio::spawn(spawn_reader(Arc::clone(&window), Arc::clone(&total))));
+    readers.push(tokio::spawn(spawn_reader(
+        Arc::clone(&window),
+        Arc::clone(&total),
+    )));
 
     let (g, gs, dl, dh) = config.grouping;
     let mut estimator = GroupedTrimmedMean::new(g, gs, dl, dh);
@@ -241,8 +246,10 @@ pub async fn run_flood_test_multi(
         while next_threshold < thresholds_mbps.len() && mbps >= thresholds_mbps[next_threshold] {
             next_threshold += 1;
             if readers.len() < max_connections {
-                readers
-                    .push(tokio::spawn(spawn_reader(Arc::clone(&window), Arc::clone(&total))));
+                readers.push(tokio::spawn(spawn_reader(
+                    Arc::clone(&window),
+                    Arc::clone(&total),
+                )));
             }
         }
         if let EstimatorDecision::Done(v) = estimator.push(mbps) {
@@ -273,7 +280,10 @@ mod tests {
         let server = TcpFloodServer::start(Some(10_000_000)).await.unwrap();
         let report = run_flood_test_multi(
             server.local_addr(),
-            &FloodClientConfig { duration: std::time::Duration::from_secs(3), ..FloodClientConfig::quick() },
+            &FloodClientConfig {
+                duration: std::time::Duration::from_secs(3),
+                ..FloodClientConfig::quick()
+            },
             &[8.0, 16.0, 24.0],
             4,
         )
@@ -329,11 +339,18 @@ mod tests {
         let server = TcpFloodServer::start(None).await.unwrap();
         let report = run_flood_test(
             server.local_addr(),
-            &FloodClientConfig { duration: Duration::from_millis(500), ..FloodClientConfig::quick() },
+            &FloodClientConfig {
+                duration: Duration::from_millis(500),
+                ..FloodClientConfig::quick()
+            },
         )
         .await
         .unwrap();
-        assert!(report.estimate_mbps > 100.0, "loopback {:.0}", report.estimate_mbps);
+        assert!(
+            report.estimate_mbps > 100.0,
+            "loopback {:.0}",
+            report.estimate_mbps
+        );
         server.shutdown().await;
     }
 
@@ -344,8 +361,9 @@ mod tests {
         // emulated link, Swiftest UDP vs TCP flooding.
         let cap = 20_000_000u64;
         let tcp = TcpFloodServer::start(Some(cap)).await.unwrap();
-        let (udp_servers, udp_addrs) =
-            crate::client::spawn_local_fleet(1, Some(cap)).await.unwrap();
+        let (udp_servers, udp_addrs) = crate::client::spawn_local_fleet(1, Some(cap))
+            .await
+            .unwrap();
 
         // Production-length flooding (10 s): the comparison the paper
         // makes. Swiftest is hard-capped at 4.5 s, so even a
@@ -353,15 +371,12 @@ mod tests {
         let flood = run_flood_test(tcp.local_addr(), &FloodClientConfig::default())
             .await
             .unwrap();
-        let model =
-            mbw_stats::Gmm::from_triples(&[(0.6, 10.0, 2.0), (0.4, 30.0, 5.0)]).unwrap();
-        let swift = crate::client::SwiftestClient::new(
-            model,
-            crate::client::WireTestConfig::default(),
-        )
-        .measure(&udp_addrs)
-        .await
-        .unwrap();
+        let model = mbw_stats::Gmm::from_triples(&[(0.6, 10.0, 2.0), (0.4, 30.0, 5.0)]).unwrap();
+        let swift =
+            crate::client::SwiftestClient::new(model, crate::client::WireTestConfig::default())
+                .measure(&udp_addrs)
+                .await
+                .unwrap();
 
         assert!(
             swift.data_bytes < flood.data_bytes,
@@ -370,8 +385,16 @@ mod tests {
             flood.data_bytes
         );
         // Both land near the link rate.
-        assert!((flood.estimate_mbps - 20.0).abs() < 7.0, "{}", flood.estimate_mbps);
-        assert!((swift.estimate_mbps - 20.0).abs() < 7.0, "{}", swift.estimate_mbps);
+        assert!(
+            (flood.estimate_mbps - 20.0).abs() < 7.0,
+            "{}",
+            flood.estimate_mbps
+        );
+        assert!(
+            (swift.estimate_mbps - 20.0).abs() < 7.0,
+            "{}",
+            swift.estimate_mbps
+        );
 
         tcp.shutdown().await;
         for s in udp_servers {

@@ -16,10 +16,18 @@ fn main() {
         .unwrap_or(200_000);
 
     eprintln!("generating {tests} records per year...");
-    let y2020 =
-        Generator::new(DatasetConfig { seed: 0xD5, tests, year: Year::Y2020 }).generate();
-    let y2021 =
-        Generator::new(DatasetConfig { seed: 0xD5, tests, year: Year::Y2021 }).generate();
+    let y2020 = Generator::new(DatasetConfig {
+        seed: 0xD5,
+        tests,
+        year: Year::Y2020,
+    })
+    .generate();
+    let y2021 = Generator::new(DatasetConfig {
+        seed: 0xD5,
+        tests,
+        year: Year::Y2021,
+    })
+    .generate();
 
     println!("{}", overview::fig01(&y2020, &y2021).render());
     println!("{}", cellular::fig04(&y2021).render());

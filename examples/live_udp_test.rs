@@ -47,7 +47,10 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tcp = TcpFloodServer::start(Some(cap_bps)).await?;
     let flood = run_flood_test(
         tcp.local_addr(),
-        &FloodClientConfig { duration: std::time::Duration::from_secs(5), ..FloodClientConfig::quick() },
+        &FloodClientConfig {
+            duration: std::time::Duration::from_secs(5),
+            ..FloodClientConfig::quick()
+        },
     )
     .await?;
     println!("\nTCP flooding baseline (5 s):");

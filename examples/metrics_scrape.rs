@@ -1,0 +1,53 @@
+//! Scraping a live server's `/metrics` endpoint.
+//!
+//! Starts a UDP test server with its Prometheus exporter enabled, runs
+//! one bandwidth test against it, then scrapes `/metrics` over plain
+//! HTTP and prints the exposition — the same text a Prometheus scraper
+//! (or `curl`) would see against `swiftest serve --metrics-addr`.
+//!
+//! ```text
+//! cargo run --release --example metrics_scrape
+//! ```
+
+use mobile_bandwidth::stats::Gmm;
+use mobile_bandwidth::wire::server::{ServerConfig, UdpTestServer};
+use mobile_bandwidth::wire::{SwiftestClient, WireTestConfig};
+use std::io::{Read, Write};
+
+#[tokio::main]
+async fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = UdpTestServer::start(ServerConfig {
+        emulated_capacity_bps: Some(20_000_000),
+        metrics_addr: Some("127.0.0.1:0".parse()?),
+        ..Default::default()
+    })
+    .await?;
+    let addr = server.local_addr();
+    let metrics_addr = server.metrics_addr().expect("exporter enabled");
+    println!("server on {addr}, metrics on http://{metrics_addr}/metrics\n");
+
+    // Exercise the server so the counters have something to say.
+    let model = Gmm::from_triples(&[(0.6, 12.0, 2.0), (0.4, 30.0, 5.0)])?;
+    let client = SwiftestClient::new(model, WireTestConfig::default());
+    let report = client.measure(&[addr]).await?;
+    println!(
+        "measured {:.1} Mbps over the emulated 20 Mbps link\n",
+        report.estimate_mbps
+    );
+
+    // Scrape exactly as Prometheus would: one GET over a TCP socket.
+    let body = tokio::task::spawn_blocking(move || -> std::io::Result<String> {
+        let mut sock = std::net::TcpStream::connect(metrics_addr)?;
+        write!(sock, "GET /metrics HTTP/1.1\r\nHost: swiftest\r\n\r\n")?;
+        let mut response = String::new();
+        sock.read_to_string(&mut response)?;
+        Ok(response)
+    })
+    .await??;
+    let text = body.split("\r\n\r\n").nth(1).unwrap_or(&body);
+    println!("--- /metrics ---");
+    print!("{text}");
+
+    server.shutdown().await;
+    Ok(())
+}

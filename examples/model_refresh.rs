@@ -14,17 +14,24 @@ use mobile_bandwidth::core::{AccessScenario, TechClass};
 use mobile_bandwidth::stats::{descriptive, Gmm};
 
 fn probe_quality(model: &Gmm, n: usize, seed: u64) -> (f64, f64) {
-    let scenario =
-        AccessScenario { model: model.clone(), ..AccessScenario::default_for(TechClass::Nr) };
+    let scenario = AccessScenario {
+        model: model.clone(),
+        ..AccessScenario::default_for(TechClass::Nr)
+    };
     let mut durations = Vec::new();
     let mut accuracy = Vec::new();
     for i in 0..n {
         let drawn = scenario.draw(seed.wrapping_add(i as u64 * 61));
         let mut est = ConvergenceEstimator::swiftest();
-        let r = run_swiftest(drawn.build(), model, &mut est, &SwiftestConfig::default(), seed ^ i as u64);
+        let r = run_swiftest(
+            drawn.build(),
+            model,
+            &mut est,
+            &SwiftestConfig::default(),
+            seed ^ i as u64,
+        );
         durations.push(r.duration.as_secs_f64());
-        accuracy
-            .push(1.0 - descriptive::relative_deviation(r.estimate_mbps, drawn.truth_mbps));
+        accuracy.push(1.0 - descriptive::relative_deviation(r.estimate_mbps, drawn.truth_mbps));
     }
     (descriptive::mean(&durations), descriptive::mean(&accuracy))
 }
@@ -51,7 +58,10 @@ fn main() {
 
     for generation in 1..=3u64 {
         model = mbw_bench_shim::refresh(&model, per_gen, generation);
-        describe(&format!("generation {generation} (refit from {per_gen} tests)"), &model);
+        describe(
+            &format!("generation {generation} (refit from {per_gen} tests)"),
+            &model,
+        );
         let (d, a) = probe_quality(&model, 60, generation * 1000 + 7);
         println!("  probing: {d:.2} s mean test, {a:.3} mean accuracy\n");
     }
@@ -65,8 +75,10 @@ mod mbw_bench_shim {
     use mobile_bandwidth::stats::SeededRng;
 
     pub fn refresh(model: &Gmm, n: usize, seed: u64) -> Gmm {
-        let scenario =
-            AccessScenario { model: model.clone(), ..AccessScenario::default_for(TechClass::Nr) };
+        let scenario = AccessScenario {
+            model: model.clone(),
+            ..AccessScenario::default_for(TechClass::Nr)
+        };
         let mut rng = SeededRng::new(seed);
         let mut bw = Vec::with_capacity(n);
         for i in 0..n {

@@ -36,7 +36,11 @@ fn main() {
         .into_iter()
         .filter(|o| o.bandwidth_mbps <= 300.0)
         .collect();
-    let problem = PurchaseProblem { offers: catalog, demand_mbps: demand, margin: 0.08 };
+    let problem = PurchaseProblem {
+        offers: catalog,
+        demand_mbps: demand,
+        margin: 0.08,
+    };
     let greedy = solve_greedy(&problem).expect("market covers demand");
     let plan = solve_ilp(&problem).expect("market covers demand");
     println!("purchase plan (branch-and-bound ILP):");
@@ -64,7 +68,11 @@ fn main() {
     let placement = place(&fleet);
     println!("\nplacement (capacity per IXP domain):");
     for (d, city) in IXP_CITIES.iter().enumerate() {
-        println!("  {:<10} {:>7.0} Mbps", city, placement.domain_capacity(d as u8).max(0.0));
+        println!(
+            "  {:<10} {:>7.0} Mbps",
+            city,
+            placement.domain_capacity(d as u8).max(0.0)
+        );
     }
 
     // 4. Utilisation replay.

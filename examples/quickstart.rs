@@ -34,7 +34,10 @@ fn main() {
     let bts = harness.run(BtsKind::BtsApp, seed);
     println!("\nBTS-APP (production flooding) on the same population:");
     println!("  bandwidth   {:>8.1} Mbps", bts.estimate_mbps);
-    println!("  test time   {:>8.2} s", bts.total_duration().as_secs_f64());
+    println!(
+        "  test time   {:>8.2} s",
+        bts.total_duration().as_secs_f64()
+    );
     println!("  data usage  {:>8.1} MB", bts.data_bytes / 1e6);
 
     println!(

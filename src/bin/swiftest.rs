@@ -1,11 +1,21 @@
 //! `swiftest` — the bandwidth-testing CLI.
 //!
 //! ```text
-//! swiftest serve [--capacity <mbps>] [--port <port>]   run a UDP test server
-//! swiftest measure <host:port> [<host:port>...]        run a real test against servers
-//! swiftest simulate [4g|5g|wifi] [seed]                run a simulated test
+//! swiftest serve [--capacity <mbps>] [--port <port>] [--metrics-addr <addr>]
+//!                                                      run a UDP test server
+//! swiftest measure [--json] [--trace-json <path>] <host:port> [<host:port>...]
+//!                                                      run a real test against servers
+//! swiftest simulate [--json] [--trace-json <path>] [4g|5g|wifi] [seed]
+//!                                                      run a simulated test
 //! swiftest bench [4g|5g|wifi] [n]                      simulated Swiftest-vs-BTS-APP summary
 //! ```
+//!
+//! `--json` switches the final report from the human table to one JSON
+//! object on stdout; `--trace-json <path>` writes the test's full
+//! [`ProbeTimeline`](mobile_bandwidth::telemetry::ProbeTimeline) (every
+//! sample, rate change, stall, and the convergence point) to `path`.
+//! `--metrics-addr` exposes the server's registry at
+//! `http://<addr>/metrics` in Prometheus text format.
 
 use mobile_bandwidth::core::{BtsKind, TechClass, TestHarness};
 use mobile_bandwidth::stats::descriptive;
@@ -15,9 +25,9 @@ use std::net::SocketAddr;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  swiftest serve [--capacity <mbps>] [--port <port>]\n  \
-         swiftest measure <host:port> [<host:port>...]\n  \
-         swiftest simulate [4g|5g|wifi] [seed]\n  \
+        "usage:\n  swiftest serve [--capacity <mbps>] [--port <port>] [--metrics-addr <addr>]\n  \
+         swiftest measure [--json] [--trace-json <path>] <host:port> [<host:port>...]\n  \
+         swiftest simulate [--json] [--trace-json <path>] [4g|5g|wifi] [seed]\n  \
          swiftest bench [4g|5g|wifi] [n]"
     );
     std::process::exit(2);
@@ -30,6 +40,55 @@ fn parse_tech(s: Option<&String>) -> TechClass {
         Some("wifi") => TechClass::Wifi,
         Some(_) => usage(),
     }
+}
+
+/// Output options shared by `measure` and `simulate`, split off the
+/// front of the argument list.
+struct OutputOpts {
+    json: bool,
+    trace_path: Option<String>,
+}
+
+fn split_output_opts(args: &[String]) -> (OutputOpts, Vec<String>) {
+    let mut opts = OutputOpts {
+        json: false,
+        trace_path: None,
+    };
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--trace-json" => {
+                opts.trace_path = Some(it.next().cloned().unwrap_or_else(|| usage()));
+            }
+            _ => rest.push(a.clone()),
+        }
+    }
+    (opts, rest)
+}
+
+fn write_trace(path: &str, timeline: &mobile_bandwidth::telemetry::ProbeTimeline) {
+    if let Err(e) = std::fs::write(path, timeline.to_json()) {
+        eprintln!("failed to write trace to {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Minimal JSON string escaping for the report values we print.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn main() {
@@ -46,15 +105,29 @@ fn main() {
 fn serve(args: &[String]) {
     let mut capacity: Option<u64> = None;
     let mut port: u16 = 7777;
+    let mut metrics_addr: Option<SocketAddr> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--capacity" => {
-                let v: f64 = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                let v: f64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 capacity = Some((v * 1e6) as u64);
             }
             "--port" => {
-                port = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                port = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--metrics-addr" => {
+                metrics_addr = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
             }
             _ => usage(),
         }
@@ -65,6 +138,7 @@ fn serve(args: &[String]) {
             bind: format!("0.0.0.0:{port}").parse().expect("valid bind"),
             emulated_capacity_bps: capacity,
             session_timeout: std::time::Duration::from_secs(30),
+            metrics_addr,
             ..Default::default()
         })
         .await
@@ -73,6 +147,9 @@ fn serve(args: &[String]) {
         if let Some(cap) = capacity {
             println!("emulated access capacity: {:.0} Mbps", cap as f64 / 1e6);
         }
+        if let Some(addr) = server.metrics_addr() {
+            println!("metrics on http://{addr}/metrics");
+        }
         println!("press Ctrl-C to stop");
         tokio::signal::ctrl_c().await.ok();
         server.shutdown().await;
@@ -80,10 +157,11 @@ fn serve(args: &[String]) {
 }
 
 fn measure(args: &[String]) {
-    if args.is_empty() {
+    let (opts, rest) = split_output_opts(args);
+    if rest.is_empty() {
         usage();
     }
-    let addrs: Vec<SocketAddr> = args
+    let addrs: Vec<SocketAddr> = rest
         .iter()
         .map(|a| a.parse().unwrap_or_else(|_| usage()))
         .collect();
@@ -93,17 +171,34 @@ fn measure(args: &[String]) {
         let client = SwiftestClient::new(model, WireTestConfig::default());
         match client.measure(&addrs).await {
             Ok(report) => {
-                println!("bandwidth   {:>8.1} Mbps", report.estimate_mbps);
-                println!(
-                    "test time   {:>8.2} s (+{:.2} s server selection)",
-                    report.duration.as_secs_f64(),
-                    report.ping_time.as_secs_f64()
-                );
-                println!("data usage  {:>8.2} MB", report.data_bytes as f64 / 1e6);
-                println!("server      {}", report.server);
-                println!("status      {}", report.status);
-                if report.failovers > 0 {
-                    println!("failovers   {:>8}", report.failovers);
+                if let Some(path) = &opts.trace_path {
+                    write_trace(path, &report.timeline);
+                }
+                if opts.json {
+                    println!(
+                        "{{\"estimate_mbps\":{},\"duration_s\":{},\"ping_s\":{},\
+                         \"data_bytes\":{},\"server\":{},\"status\":{},\"failovers\":{}}}",
+                        report.estimate_mbps,
+                        report.duration.as_secs_f64(),
+                        report.ping_time.as_secs_f64(),
+                        report.data_bytes,
+                        json_str(&report.server.to_string()),
+                        json_str(&report.status.to_string()),
+                        report.failovers
+                    );
+                } else {
+                    println!("bandwidth   {:>8.1} Mbps", report.estimate_mbps);
+                    println!(
+                        "test time   {:>8.2} s (+{:.2} s server selection)",
+                        report.duration.as_secs_f64(),
+                        report.ping_time.as_secs_f64()
+                    );
+                    println!("data usage  {:>8.2} MB", report.data_bytes as f64 / 1e6);
+                    println!("server      {}", report.server);
+                    println!("status      {}", report.status);
+                    if report.failovers > 0 {
+                        println!("failovers   {:>8}", report.failovers);
+                    }
                 }
             }
             Err(e) => {
@@ -115,14 +210,35 @@ fn measure(args: &[String]) {
 }
 
 fn simulate(args: &[String]) {
-    let tech = parse_tech(args.first());
-    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let (opts, rest) = split_output_opts(args);
+    let tech = parse_tech(rest.first());
+    let seed: u64 = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(42);
     let harness = TestHarness::new(tech);
     let o = harness.run(BtsKind::Swiftest, seed);
-    println!("{} link (simulated, seed {seed})", tech.name());
-    println!("bandwidth   {:>8.1} Mbps (ground truth {:.1})", o.estimate_mbps, o.truth_mbps);
-    println!("test time   {:>8.2} s", o.total_duration().as_secs_f64());
-    println!("data usage  {:>8.2} MB", o.data_bytes / 1e6);
+    if let Some(path) = &opts.trace_path {
+        write_trace(path, &o.timeline);
+    }
+    if opts.json {
+        println!(
+            "{{\"kind\":{},\"tech\":{},\"seed\":{seed},\"estimate_mbps\":{},\
+             \"truth_mbps\":{},\"duration_s\":{},\"data_bytes\":{},\"status\":{}}}",
+            json_str(o.kind.name()),
+            json_str(tech.name()),
+            o.estimate_mbps,
+            o.truth_mbps,
+            o.total_duration().as_secs_f64(),
+            o.data_bytes,
+            json_str(&o.status.to_string())
+        );
+    } else {
+        println!("{} link (simulated, seed {seed})", tech.name());
+        println!(
+            "bandwidth   {:>8.1} Mbps (ground truth {:.1})",
+            o.estimate_mbps, o.truth_mbps
+        );
+        println!("test time   {:>8.2} s", o.total_duration().as_secs_f64());
+        println!("data usage  {:>8.2} MB", o.data_bytes / 1e6);
+    }
 }
 
 fn bench(args: &[String]) {
@@ -138,8 +254,14 @@ fn bench(args: &[String]) {
         ratios.push(pair.second.data_bytes / pair.first.data_bytes.max(1.0));
         deviations.push(pair.deviation());
     }
-    println!("{} × {n} back-to-back pairs (Swiftest vs BTS-APP)", tech.name());
-    println!("mean test time      {:.2} s (BTS-APP: ~10.2 s)", descriptive::mean(&durations));
+    println!(
+        "{} × {n} back-to-back pairs (Swiftest vs BTS-APP)",
+        tech.name()
+    );
+    println!(
+        "mean test time      {:.2} s (BTS-APP: ~10.2 s)",
+        descriptive::mean(&durations)
+    );
     println!("mean data reduction {:.1}x", descriptive::mean(&ratios));
     println!(
         "deviation           mean {:.1}%  median {:.1}%",

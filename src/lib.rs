@@ -23,6 +23,7 @@
 //! | [`core`] | `mbw-core` | **Swiftest** + BTS-APP / FAST / FastBTS, probers, estimators, harness |
 //! | [`deploy`] | `mbw-deploy` | ILP server purchasing, IXP placement, Fig 26 utilisation replay |
 //! | [`wire`] | `mbw-wire` | the real tokio UDP probing protocol + TCP flooding baseline |
+//! | [`telemetry`] | `mbw-telemetry` | counters/gauges/histograms, Prometheus `/metrics`, probe timelines |
 //!
 //! ## Quickstart
 //!
@@ -47,4 +48,5 @@ pub use mbw_dataset as dataset;
 pub use mbw_deploy as deploy;
 pub use mbw_netsim as netsim;
 pub use mbw_stats as stats;
+pub use mbw_telemetry as telemetry;
 pub use mbw_wire as wire;

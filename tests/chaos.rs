@@ -18,9 +18,7 @@
 use mobile_bandwidth::core::estimator::ConvergenceEstimator;
 use mobile_bandwidth::core::probe::{run_swiftest, SwiftestConfig};
 use mobile_bandwidth::core::{AccessScenario, FaultInjection, FluctuationClass, TechClass};
-use mobile_bandwidth::netsim::{
-    FaultKind, FaultPlan, FaultWindow, PathConfig, PathModel, SimTime,
-};
+use mobile_bandwidth::netsim::{FaultKind, FaultPlan, FaultWindow, PathConfig, PathModel, SimTime};
 use mobile_bandwidth::stats::Gmm;
 use mobile_bandwidth::wire::{
     FaultyLink, FaultyLinkConfig, ServerConfig, StallServer, SwiftestClient, UdpTestServer,
@@ -42,7 +40,10 @@ fn net_lock() -> &'static tokio::sync::Mutex<()> {
 }
 
 fn flat_path(mbps: f64, rtt_ms: u64) -> PathModel {
-    PathModel::new(PathConfig::constant(mbps * 1e6, Duration::from_millis(rtt_ms)))
+    PathModel::new(PathConfig::constant(
+        mbps * 1e6,
+        Duration::from_millis(rtt_ms),
+    ))
 }
 
 /// Low modal ladder (8 → 24 → 48 Mbps) so loopback pacing is reliable.
@@ -62,15 +63,33 @@ fn sim_mid_test_blackout_terminates_degraded_within_deadline() {
         .map(|seed| scenario.draw(seed))
         .find(|d| d.class == FluctuationClass::Stable)
         .expect("stable draws dominate the mix")
-        .with_faults(FaultInjection::Blackout { start_ms: 300, duration_ms: 500 });
+        .with_faults(FaultInjection::Blackout {
+            start_ms: 300,
+            duration_ms: 500,
+        });
     let mut est = ConvergenceEstimator::swiftest();
-    let r = run_swiftest(drawn.build(), &scenario.model, &mut est, &SwiftestConfig::default(), 1);
-    assert!(r.duration <= SIM_DEADLINE, "blackout run overran: {:?}", r.duration);
+    let r = run_swiftest(
+        drawn.build(),
+        &scenario.model,
+        &mut est,
+        &SwiftestConfig::default(),
+        1,
+    );
+    assert!(
+        r.duration <= SIM_DEADLINE,
+        "blackout run overran: {:?}",
+        r.duration
+    );
     assert!(r.status.is_degraded(), "status {:?}", r.status);
     // The partial estimate must not be wildly off: zero windows are
     // excluded from convergence, so the estimate tracks the live phases.
     let dev = (r.estimate_mbps - drawn.truth_mbps).abs() / drawn.truth_mbps;
-    assert!(dev < 0.3, "estimate {:.1} vs truth {:.1}", r.estimate_mbps, drawn.truth_mbps);
+    assert!(
+        dev < 0.3,
+        "estimate {:.1} vs truth {:.1}",
+        r.estimate_mbps,
+        drawn.truth_mbps
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -89,7 +108,11 @@ fn sim_burst_loss_keeps_the_estimate_usable() {
     let r = run_swiftest(path, &model, &mut est, &SwiftestConfig::default(), 2);
     assert!(r.duration <= SIM_DEADLINE, "{:?}", r.duration);
     assert!(r.status.is_usable(), "status {:?}", r.status);
-    assert!((r.estimate_mbps - 100.0).abs() < 25.0, "estimate {:.1}", r.estimate_mbps);
+    assert!(
+        (r.estimate_mbps - 100.0).abs() < 25.0,
+        "estimate {:.1}",
+        r.estimate_mbps
+    );
 }
 
 #[test]
@@ -106,7 +129,11 @@ fn sim_capacity_collapse_recovers() {
     let r = run_swiftest(path, &model, &mut est, &SwiftestConfig::default(), 3);
     assert!(r.duration <= SIM_DEADLINE, "{:?}", r.duration);
     assert!(r.status.is_usable(), "status {:?}", r.status);
-    assert!((r.estimate_mbps - 80.0).abs() < 20.0, "estimate {:.1}", r.estimate_mbps);
+    assert!(
+        (r.estimate_mbps - 80.0).abs() < 20.0,
+        "estimate {:.1}",
+        r.estimate_mbps
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -119,16 +146,28 @@ fn sim_chaos_campaign_is_bounded_and_deterministic() {
     let run = |seed: u64| {
         let drawn = scenario.draw(seed);
         let mut est = ConvergenceEstimator::swiftest();
-        run_swiftest(drawn.build(), &scenario.model, &mut est, &SwiftestConfig::default(), seed)
+        run_swiftest(
+            drawn.build(),
+            &scenario.model,
+            &mut est,
+            &SwiftestConfig::default(),
+            seed,
+        )
     };
     let mut imperfect = 0;
     for seed in 0..25u64 {
         let a = run(seed);
         let b = run(seed);
         assert!(a.duration <= SIM_DEADLINE, "seed {seed}: {:?}", a.duration);
-        assert_eq!(a.estimate_mbps, b.estimate_mbps, "seed {seed} not deterministic");
+        assert_eq!(
+            a.estimate_mbps, b.estimate_mbps,
+            "seed {seed} not deterministic"
+        );
         assert_eq!(a.status, b.status, "seed {seed} status not deterministic");
-        assert_eq!(a.duration, b.duration, "seed {seed} duration not deterministic");
+        assert_eq!(
+            a.duration, b.duration,
+            "seed {seed} duration not deterministic"
+        );
         if !a.status.is_complete() {
             imperfect += 1;
         }
@@ -208,11 +247,10 @@ async fn wire_lossy_link_still_measures() {
         links.push(link);
     }
     let client = SwiftestClient::new(wire_model(), WireTestConfig::default());
-    let report =
-        tokio::time::timeout(WIRE_DEADLINE, client.measure_ranked(&order, Duration::ZERO))
-            .await
-            .expect("test must finish inside the deadline")
-            .expect("a lossy link must not fail the test");
+    let report = tokio::time::timeout(WIRE_DEADLINE, client.measure_ranked(&order, Duration::ZERO))
+        .await
+        .expect("test must finish inside the deadline")
+        .expect("a lossy link must not fail the test");
     assert!(
         report.estimate_mbps > 2.0 && report.estimate_mbps < 20.0,
         "estimate {:.1} Mbps through a lossy link",
@@ -256,7 +294,11 @@ async fn wire_stalling_server_fails_over_and_flags_degraded() {
     assert_eq!(report.failovers, 1);
     assert_eq!(report.server, live.local_addr());
     assert!(report.status.is_degraded(), "status {:?}", report.status);
-    assert!(report.estimate_mbps > 2.0, "estimate {:.1}", report.estimate_mbps);
+    assert!(
+        report.estimate_mbps > 2.0,
+        "estimate {:.1}",
+        report.estimate_mbps
+    );
     stall.shutdown().await;
     live.shutdown().await;
 }
@@ -283,14 +325,21 @@ async fn wire_garbage_blast_does_not_disturb_a_running_test() {
 
     // Attack traffic: wrong magic, bare magic, bad tag, truncated PING,
     // and an oversized frame — all while the legitimate test runs.
-    let attacker = tokio::net::UdpSocket::bind("127.0.0.1:0").await.expect("bind");
+    let attacker = tokio::net::UdpSocket::bind("127.0.0.1:0")
+        .await
+        .expect("bind");
     let wrong_magic = [0x00u8, 0x01, 0x02];
     let bare_magic = [0xB7u8];
     let bad_tag = [0xB7u8, 0xFF, 0, 0];
     let truncated_ping = [0xB7u8, 0x01];
     let oversized = [0xB7u8; 4096];
-    let frames: [&[u8]; 5] =
-        [&wrong_magic, &bare_magic, &bad_tag, &truncated_ping, &oversized];
+    let frames: [&[u8]; 5] = [
+        &wrong_magic,
+        &bare_magic,
+        &bad_tag,
+        &truncated_ping,
+        &oversized,
+    ];
     for _ in 0..40 {
         for f in frames {
             let _ = attacker.send_to(f, addr).await;
@@ -311,7 +360,15 @@ async fn wire_garbage_blast_does_not_disturb_a_running_test() {
         report.estimate_mbps
     );
     let stats = server.stats();
-    assert!(stats.malformed >= 50, "malformed counted: {}", stats.malformed);
-    assert!(stats.oversized >= 10, "oversized counted: {}", stats.oversized);
+    assert!(
+        stats.malformed >= 50,
+        "malformed counted: {}",
+        stats.malformed
+    );
+    assert!(
+        stats.oversized >= 10,
+        "oversized counted: {}",
+        stats.oversized
+    );
     server.shutdown().await;
 }

@@ -19,7 +19,11 @@ fn run(
     FlowSim::run(
         PathModel::new(cfg),
         alg.build(),
-        FlowConfig { max_duration: Duration::from_secs(8), seed: seed ^ 0xCC, ..Default::default() },
+        FlowConfig {
+            max_duration: Duration::from_secs(8),
+            seed: seed ^ 0xCC,
+            ..Default::default()
+        },
     )
 }
 

@@ -54,8 +54,7 @@ fn dataset_fitted_model_drives_fast_accurate_probing() {
             i,
         );
         durations.push(r.duration.as_secs_f64());
-        accuracy
-            .push(1.0 - descriptive::relative_deviation(r.estimate_mbps, drawn.truth_mbps));
+        accuracy.push(1.0 - descriptive::relative_deviation(r.estimate_mbps, drawn.truth_mbps));
     }
     let mean_duration = descriptive::mean(&durations);
     let mean_accuracy = descriptive::mean(&accuracy);
@@ -63,7 +62,10 @@ fn dataset_fitted_model_drives_fast_accurate_probing() {
         mean_duration < 2.0,
         "fitted model keeps tests around a second: {mean_duration}"
     );
-    assert!(mean_accuracy > 0.85, "fitted model stays accurate: {mean_accuracy}");
+    assert!(
+        mean_accuracy > 0.85,
+        "fitted model stays accurate: {mean_accuracy}"
+    );
 }
 
 #[test]

@@ -18,7 +18,9 @@ fn feed(est: &mut dyn BandwidthEstimator, samples: &[f64]) -> Option<f64> {
 
 /// On/off traffic shaping: 500 ms at 100 Mbps, 500 ms at 20 Mbps.
 fn shaped_stream(n: usize) -> Vec<f64> {
-    (0..n).map(|i| if (i / 10) % 2 == 0 { 100.0 } else { 20.0 }).collect()
+    (0..n)
+        .map(|i| if (i / 10) % 2 == 0 { 100.0 } else { 20.0 })
+        .collect()
 }
 
 #[test]
@@ -49,7 +51,10 @@ fn grouped_trimmed_mean_absorbs_shaping_into_an_average() {
     // windows.
     let mut est = GroupedTrimmedMean::bts_app();
     let v = feed(&mut est, &shaped_stream(200)).expect("200 samples complete");
-    assert!(v > 25.0 && v < 95.0, "trimmed mean {v} should sit between the levels");
+    assert!(
+        v > 25.0 && v < 95.0,
+        "trimmed mean {v} should sit between the levels"
+    );
 }
 
 #[test]
@@ -68,10 +73,13 @@ fn sudden_capacity_drop_moves_the_convergence_window() {
 fn crucial_interval_picks_the_majority_plateau() {
     // Interleaved 1/3 at 200, 2/3 at 60 (a flapping dual-carrier link):
     // density×quantity favours the bigger cluster.
-    let samples: Vec<f64> =
-        (0..60).map(|i| if i % 3 == 0 { 200.0 } else { 60.0 }).collect();
+    let samples: Vec<f64> = (0..60)
+        .map(|i| if i % 3 == 0 { 200.0 } else { 60.0 })
+        .collect();
     let mut est = CrucialIntervalEstimator::fastbts();
-    let v = feed(&mut est, &samples).or_else(|| est.finalize()).expect("samples present");
+    let v = feed(&mut est, &samples)
+        .or_else(|| est.finalize())
+        .expect("samples present");
     assert!((v - 60.0).abs() < 10.0, "crucial interval {v}");
 }
 
@@ -80,7 +88,9 @@ fn single_spike_does_not_move_any_estimator() {
     let mut base = vec![100.0; 30];
     base[15] = 900.0; // one spurious spike
     let mut grouped = GroupedTrimmedMean::new(6, 5, 1, 1);
-    let g = feed(&mut grouped, &base).or_else(|| grouped.finalize()).unwrap();
+    let g = feed(&mut grouped, &base)
+        .or_else(|| grouped.finalize())
+        .unwrap();
     assert!((g - 100.0).abs() < 8.0, "grouped {g}");
 
     let mut conv = ConvergenceEstimator::swiftest();
@@ -98,7 +108,9 @@ fn zero_bandwidth_streams_are_survivable() {
     // without NaN or panic.
     let zeros = vec![0.0; 200];
     let mut grouped = GroupedTrimmedMean::bts_app();
-    let g = feed(&mut grouped, &zeros).or_else(|| grouped.finalize()).unwrap();
+    let g = feed(&mut grouped, &zeros)
+        .or_else(|| grouped.finalize())
+        .unwrap();
     assert_eq!(g, 0.0);
     let mut conv = ConvergenceEstimator::swiftest();
     // max == 0 → the 3% rule cannot fire; finalize reports 0.
@@ -112,5 +124,9 @@ fn slowly_draining_link_is_not_mistaken_for_convergence() {
     // the 3% tolerance, so the estimator must keep waiting.
     let samples: Vec<f64> = (0..100).map(|i| 300.0 * 0.99f64.powi(i)).collect();
     let mut est = ConvergenceEstimator::swiftest();
-    assert_eq!(feed(&mut est, &samples), None, "decay mistaken for convergence");
+    assert_eq!(
+        feed(&mut est, &samples),
+        None,
+        "decay mistaken for convergence"
+    );
 }

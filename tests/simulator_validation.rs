@@ -6,9 +6,7 @@
 //! overlap, which is what licenses using the cheap fluid model for the
 //! evaluation figures.
 
-use mobile_bandwidth::netsim::{
-    Link, LinkConfig, PathConfig, PathModel, SimTime, TokenBucket,
-};
+use mobile_bandwidth::netsim::{Link, LinkConfig, PathConfig, PathModel, SimTime, TokenBucket};
 use std::time::Duration;
 
 /// Send a paced stream through the packet-level link and measure

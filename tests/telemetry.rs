@@ -1,0 +1,60 @@
+//! Cross-crate observability: harness runs produce deterministic probe
+//! timelines, and simulator counters land in a registry that renders
+//! valid Prometheus text.
+
+use mobile_bandwidth::core::{BtsKind, TechClass, TestHarness};
+use mobile_bandwidth::netsim::{Link, LinkConfig, SimTime};
+use mobile_bandwidth::telemetry::Registry;
+
+#[test]
+fn fixed_seed_harness_timelines_serialise_byte_identically() {
+    for tech in TechClass::ALL {
+        let h = TestHarness::new(tech);
+        let a = h.run(BtsKind::Swiftest, 1234).timeline.to_json();
+        let b = h.run(BtsKind::Swiftest, 1234).timeline.to_json();
+        assert_eq!(a, b, "{}: timeline JSON not reproducible", tech.name());
+        assert!(
+            a.contains("\"kind\":\"sample\""),
+            "{}: no samples recorded",
+            tech.name()
+        );
+        assert!(
+            a.contains("\"summary\""),
+            "{}: timeline never finished",
+            tech.name()
+        );
+    }
+}
+
+#[test]
+fn timeline_meta_identifies_the_run() {
+    let h = TestHarness::new(TechClass::Lte);
+    let o = h.run(BtsKind::Swiftest, 9);
+    let meta = o.timeline.meta();
+    assert_eq!(meta.get("kind").map(String::as_str), Some("Swiftest"));
+    assert_eq!(meta.get("tech").map(String::as_str), Some("4G"));
+    assert_eq!(meta.get("prober").map(String::as_str), Some("swiftest-udp"));
+    assert!(meta.contains_key("run_seed") && meta.contains_key("truth_mbps"));
+}
+
+#[test]
+fn simulator_counters_render_as_prometheus_text() {
+    let registry = Registry::new();
+    let mut link = Link::new(LinkConfig {
+        rate_bps: 100e6,
+        ..Default::default()
+    });
+    for i in 0..50 {
+        link.send(SimTime::from_millis(i * 10), 1500);
+    }
+    link.stats().publish_to(&registry, "downlink");
+    let text = registry.render_prometheus();
+    assert!(
+        text.contains("# TYPE netsim_link_delivered_packets gauge"),
+        "{text}"
+    );
+    assert!(text.contains("{link=\"downlink\"}"), "{text}");
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        assert_eq!(line.split(' ').count(), 2, "bad exposition line {line:?}");
+    }
+}

@@ -3,6 +3,7 @@
 
 use mobile_bandwidth::stats::Gmm;
 use mobile_bandwidth::wire::client::spawn_local_fleet;
+use mobile_bandwidth::wire::server::{ServerConfig, UdpTestServer};
 use mobile_bandwidth::wire::{SwiftestClient, WireTestConfig};
 use std::time::Duration;
 
@@ -42,10 +43,73 @@ async fn two_sequential_tests_agree() {
     tokio::time::sleep(Duration::from_millis(200)).await;
     let b = client.measure(&addrs).await.expect("second test");
     let dev = (a.estimate_mbps - b.estimate_mbps).abs() / a.estimate_mbps.max(b.estimate_mbps);
-    assert!(dev < 0.25, "deviation {dev:.2} ({} vs {})", a.estimate_mbps, b.estimate_mbps);
+    assert!(
+        dev < 0.25,
+        "deviation {dev:.2} ({} vs {})",
+        a.estimate_mbps,
+        b.estimate_mbps
+    );
     for s in servers {
         s.shutdown().await;
     }
+}
+
+#[tokio::test(flavor = "multi_thread")]
+async fn metrics_scrape_during_a_live_test_shows_the_session() {
+    use std::io::{Read as _, Write as _};
+    let server = UdpTestServer::start(ServerConfig {
+        emulated_capacity_bps: Some(10_000_000),
+        metrics_addr: Some("127.0.0.1:0".parse().unwrap()),
+        ..Default::default()
+    })
+    .await
+    .expect("server");
+    let addr = server.local_addr();
+    let metrics_addr = server.metrics_addr().expect("metrics listener");
+
+    // Run the test in the background and scrape mid-flight.
+    let probe = tokio::spawn(async move {
+        let client = SwiftestClient::new(ladder(), WireTestConfig::default());
+        client.measure(&[addr]).await
+    });
+    // 300 ms in: convergence needs ten 50 ms samples, so the session is
+    // necessarily still live when the scrape lands.
+    tokio::time::sleep(Duration::from_millis(300)).await;
+    let body = tokio::task::spawn_blocking(move || {
+        let mut s = std::net::TcpStream::connect(metrics_addr).expect("connect scraper");
+        write!(s, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").expect("send request");
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read response");
+        out
+    })
+    .await
+    .expect("join scraper");
+    let report = probe.await.expect("join probe").expect("test runs");
+    assert!(report.estimate_mbps > 1.0);
+
+    // Valid Prometheus text exposition, captured while the session was
+    // live: content type, HELP/TYPE comments, `name value` samples.
+    assert!(body.starts_with("HTTP/1.1 200 OK"), "{body}");
+    assert!(body.contains("text/plain; version=0.0.4"), "{body}");
+    let text = body.split("\r\n\r\n").nth(1).expect("response body");
+    for line in text
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        assert_eq!(line.split(' ').count(), 2, "bad exposition line {line:?}");
+    }
+    let value = |name: &str| -> f64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && l.split(' ').next() == Some(name))
+            .and_then(|l| l.split(' ').nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("metric {name} missing:\n{text}"))
+    };
+    assert!(value("swiftest_server_sessions_started_total") >= 1.0);
+    assert!(value("swiftest_server_sessions_active") >= 1.0);
+    assert!(value("swiftest_server_tx_bytes_total") > 0.0);
+    assert!(value("swiftest_server_rx_datagrams_total") > 0.0);
+    server.shutdown().await;
 }
 
 #[tokio::test(flavor = "multi_thread")]
