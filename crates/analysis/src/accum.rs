@@ -1,0 +1,94 @@
+//! The single-pass figure-accumulator framework.
+//!
+//! Every figure in this crate is expressed as a [`FigureAccumulator`]:
+//! a small state machine that folds one [`RecordView`] at a time
+//! (`observe`), combines with a sibling that consumed a later shard of
+//! the population (`merge`), and produces the finished figure
+//! (`finish`). The legacy per-figure functions are thin drivers over
+//! these accumulators, and [`crate::sweep`] runs *all* of them in one
+//! fused parallel pass — so the per-figure and fused paths are
+//! byte-identical by construction.
+//!
+//! ## Determinism contract
+//!
+//! `merge` must behave as if `other`'s records had been observed after
+//! `self`'s, in order. Accumulators therefore collect per-stratum
+//! sample vectors (concatenated on merge) and defer every
+//! floating-point reduction to `finish`, where the exact legacy
+//! arithmetic runs over the exact legacy sample order. Counters and
+//! hash sets are order-independent and may fold eagerly.
+
+use mbw_dataset::{AccessTech, Isp, RecordView, TestRecord};
+
+/// A mergeable single-pass figure computation.
+pub trait FigureAccumulator: Sized + Send {
+    /// The finished figure produced by [`FigureAccumulator::finish`].
+    type Output;
+
+    /// Fold one record into the accumulator.
+    fn observe(&mut self, r: &RecordView<'_>);
+
+    /// Fold in a sibling accumulator whose records come *after* this
+    /// accumulator's records in population order.
+    fn merge(&mut self, other: Self);
+
+    /// Produce the finished figure.
+    fn finish(self) -> Self::Output;
+}
+
+/// Drive an accumulator over a row-major population — the legacy
+/// single-threaded path shared by every per-figure function.
+pub fn run<A: FigureAccumulator>(mut acc: A, records: &[TestRecord]) -> A::Output {
+    for r in records {
+        acc.observe(&RecordView::from(r));
+    }
+    acc.finish()
+}
+
+/// Stable index of a technology among the figure triplet 4G/5G/WiFi,
+/// or `None` for 3G (which most figures exclude).
+pub fn tech3_index(tech: AccessTech) -> Option<usize> {
+    match tech {
+        AccessTech::Cellular4g => Some(0),
+        AccessTech::Cellular5g => Some(1),
+        AccessTech::Wifi => Some(2),
+        AccessTech::Cellular3g => None,
+    }
+}
+
+/// The triplet order used by [`tech3_index`].
+pub const TECH3: [AccessTech; 3] = [
+    AccessTech::Cellular4g,
+    AccessTech::Cellular5g,
+    AccessTech::Wifi,
+];
+
+/// Stable index of an ISP in [`Isp::ALL`] order.
+pub fn isp_index(isp: Isp) -> usize {
+    match isp {
+        Isp::Isp1 => 0,
+        Isp::Isp2 => 1,
+        Isp::Isp3 => 2,
+        Isp::Isp4 => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tech3_index_matches_order() {
+        for (i, &t) in TECH3.iter().enumerate() {
+            assert_eq!(tech3_index(t), Some(i));
+        }
+        assert_eq!(tech3_index(AccessTech::Cellular3g), None);
+    }
+
+    #[test]
+    fn isp_index_matches_all_order() {
+        for (i, &isp) in Isp::ALL.iter().enumerate() {
+            assert_eq!(isp_index(isp), i);
+        }
+    }
+}

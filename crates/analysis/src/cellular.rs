@@ -5,9 +5,10 @@
 //! counts (Fig 9), the diurnal pattern (Fig 10), and the RSS analyses
 //! (Figs 11–12) including the counter-intuitive level-5 dip.
 
-use crate::{tech_bandwidths, Render};
+use crate::accum::{self, FigureAccumulator};
+use crate::Render;
 use mbw_dataset::bands;
-use mbw_dataset::{AccessTech, LteBandId, NrBandId, TestRecord};
+use mbw_dataset::{AccessTech, LteBandId, NrBandId, RecordView, TestRecord};
 use mbw_stats::descriptive::{fraction_above, fraction_below, mean, median};
 use mbw_stats::Ecdf;
 use std::fmt::Write as _;
@@ -71,16 +72,47 @@ pub struct Fig04 {
     pub mean_above_300: f64,
 }
 
+/// Accumulator behind [`fig04`].
+#[derive(Debug, Clone, Default)]
+pub struct Fig04Acc {
+    bw: Vec<f64>,
+}
+
+impl Fig04Acc {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FigureAccumulator for Fig04Acc {
+    type Output = Fig04;
+
+    fn observe(&mut self, r: &RecordView<'_>) {
+        if r.tech == AccessTech::Cellular4g {
+            self.bw.push(r.bandwidth_mbps);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.bw.extend(other.bw);
+    }
+
+    fn finish(self) -> Fig04 {
+        let bw = self.bw;
+        let fast: Vec<f64> = bw.iter().copied().filter(|&b| b > 300.0).collect();
+        Fig04 {
+            below_10: fraction_below(&bw, 10.0),
+            above_300: fraction_above(&bw, 300.0),
+            mean_above_300: mean(&fast),
+            cdf: CdfFigure::new("Fig 4: bandwidth distribution for 4G access", &bw),
+        }
+    }
+}
+
 /// Compute Fig 4 from the 2021 population.
 pub fn fig04(records: &[TestRecord]) -> Fig04 {
-    let bw = tech_bandwidths(records, AccessTech::Cellular4g);
-    let fast: Vec<f64> = bw.iter().copied().filter(|&b| b > 300.0).collect();
-    Fig04 {
-        below_10: fraction_below(&bw, 10.0),
-        above_300: fraction_above(&bw, 300.0),
-        mean_above_300: mean(&fast),
-        cdf: CdfFigure::new("Fig 4: bandwidth distribution for 4G access", &bw),
-    }
+    accum::run(Fig04Acc::new(), records)
 }
 
 impl Render for Fig04 {
@@ -106,40 +138,77 @@ pub struct LteBandFigure {
     pub band3_share: f64,
 }
 
+/// Accumulator behind [`fig05_06`] — one sample vector per Table 1 band.
+#[derive(Debug, Clone)]
+pub struct LteBandAcc {
+    per_band: Vec<Vec<f64>>,
+}
+
+impl LteBandAcc {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self {
+            per_band: vec![Vec::new(); bands::LTE_BANDS.len()],
+        }
+    }
+}
+
+impl Default for LteBandAcc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FigureAccumulator for LteBandAcc {
+    type Output = LteBandFigure;
+
+    fn observe(&mut self, r: &RecordView<'_>) {
+        let Some(id) = r.lte_band() else { return };
+        if let Some(i) = bands::LTE_BANDS.iter().position(|b| b.id == id) {
+            self.per_band[i].push(r.bandwidth_mbps);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (a, b) in self.per_band.iter_mut().zip(other.per_band) {
+            a.extend(b);
+        }
+    }
+
+    fn finish(self) -> LteBandFigure {
+        let mut rows = Vec::new();
+        let mut total = 0usize;
+        let mut h_count = 0usize;
+        let mut b3_count = 0usize;
+        for (info, bw) in bands::LTE_BANDS.iter().zip(&self.per_band) {
+            total += bw.len();
+            if info.is_h_band() {
+                h_count += bw.len();
+            }
+            if info.id == LteBandId::B3 {
+                b3_count = bw.len();
+            }
+            rows.push((info.id, info.is_h_band(), mean(bw), bw.len()));
+        }
+        LteBandFigure {
+            rows,
+            h_band_share: if total == 0 {
+                0.0
+            } else {
+                h_count as f64 / total as f64
+            },
+            band3_share: if total == 0 {
+                0.0
+            } else {
+                b3_count as f64 / total as f64
+            },
+        }
+    }
+}
+
 /// Compute Figs 5 and 6 together (they share the stratification).
 pub fn fig05_06(records: &[TestRecord]) -> LteBandFigure {
-    let mut rows = Vec::new();
-    let mut total = 0usize;
-    let mut h_count = 0usize;
-    let mut b3_count = 0usize;
-    for info in &bands::LTE_BANDS {
-        let bw: Vec<f64> = records
-            .iter()
-            .filter(|r| r.lte_band() == Some(info.id))
-            .map(|r| r.bandwidth_mbps)
-            .collect();
-        total += bw.len();
-        if info.is_h_band() {
-            h_count += bw.len();
-        }
-        if info.id == LteBandId::B3 {
-            b3_count = bw.len();
-        }
-        rows.push((info.id, info.is_h_band(), mean(&bw), bw.len()));
-    }
-    LteBandFigure {
-        rows,
-        h_band_share: if total == 0 {
-            0.0
-        } else {
-            h_count as f64 / total as f64
-        },
-        band3_share: if total == 0 {
-            0.0
-        } else {
-            b3_count as f64 / total as f64
-        },
-    }
+    accum::run(LteBandAcc::new(), records)
 }
 
 impl Render for LteBandFigure {
@@ -170,10 +239,40 @@ impl Render for LteBandFigure {
     }
 }
 
+/// Accumulator behind [`fig07`] — the 5G bandwidth CDF.
+#[derive(Debug, Clone, Default)]
+pub struct Fig07Acc {
+    bw: Vec<f64>,
+}
+
+impl Fig07Acc {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FigureAccumulator for Fig07Acc {
+    type Output = CdfFigure;
+
+    fn observe(&mut self, r: &RecordView<'_>) {
+        if r.tech == AccessTech::Cellular5g {
+            self.bw.push(r.bandwidth_mbps);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.bw.extend(other.bw);
+    }
+
+    fn finish(self) -> CdfFigure {
+        CdfFigure::new("Fig 7: bandwidth distribution for 5G access", &self.bw)
+    }
+}
+
 /// Fig 7: 5G bandwidth distribution.
 pub fn fig07(records: &[TestRecord]) -> CdfFigure {
-    let bw = tech_bandwidths(records, AccessTech::Cellular5g);
-    CdfFigure::new("Fig 7: bandwidth distribution for 5G access", &bw)
+    accum::run(Fig07Acc::new(), records)
 }
 
 /// Figs 8–9: per-NR-band mean bandwidth and test counts.
@@ -183,21 +282,57 @@ pub struct NrBandFigure {
     pub rows: Vec<(NrBandId, bool, f64, usize)>,
 }
 
+/// Accumulator behind [`fig08_09`] — one sample vector per Table 2 band.
+#[derive(Debug, Clone)]
+pub struct NrBandAcc {
+    per_band: Vec<Vec<f64>>,
+}
+
+impl NrBandAcc {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self {
+            per_band: vec![Vec::new(); bands::NR_BANDS.len()],
+        }
+    }
+}
+
+impl Default for NrBandAcc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FigureAccumulator for NrBandAcc {
+    type Output = NrBandFigure;
+
+    fn observe(&mut self, r: &RecordView<'_>) {
+        let Some(id) = r.nr_band() else { return };
+        if let Some(i) = bands::NR_BANDS.iter().position(|b| b.id == id) {
+            self.per_band[i].push(r.bandwidth_mbps);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (a, b) in self.per_band.iter_mut().zip(other.per_band) {
+            a.extend(b);
+        }
+    }
+
+    fn finish(self) -> NrBandFigure {
+        let rows = bands::NR_BANDS
+            .iter()
+            .zip(&self.per_band)
+            .map(|(info, bw)| (info.id, info.refarmed_from.is_some(), mean(bw), bw.len()))
+            .collect();
+        NrBandFigure { rows }
+    }
+}
+
 /// Compute Figs 8 and 9. N79 rows remain (the paper keeps the bar but
 /// excludes it from analysis — three tests total).
 pub fn fig08_09(records: &[TestRecord]) -> NrBandFigure {
-    let rows = bands::NR_BANDS
-        .iter()
-        .map(|info| {
-            let bw: Vec<f64> = records
-                .iter()
-                .filter(|r| r.nr_band() == Some(info.id))
-                .map(|r| r.bandwidth_mbps)
-                .collect();
-            (info.id, info.refarmed_from.is_some(), mean(&bw), bw.len())
-        })
-        .collect();
-    NrBandFigure { rows }
+    accum::run(NrBandAcc::new(), records)
 }
 
 impl Render for NrBandFigure {
@@ -229,19 +364,56 @@ pub struct Fig10 {
     pub rows: Vec<(u8, usize, f64)>,
 }
 
+/// Accumulator behind [`fig10`] — one 5G sample vector per hour of day.
+#[derive(Debug, Clone)]
+pub struct Fig10Acc {
+    hours: [Vec<f64>; 24],
+}
+
+impl Fig10Acc {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self {
+            hours: std::array::from_fn(|_| Vec::new()),
+        }
+    }
+}
+
+impl Default for Fig10Acc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FigureAccumulator for Fig10Acc {
+    type Output = Fig10;
+
+    fn observe(&mut self, r: &RecordView<'_>) {
+        if r.tech == AccessTech::Cellular5g && (r.hour as usize) < 24 {
+            self.hours[r.hour as usize].push(r.bandwidth_mbps);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (a, b) in self.hours.iter_mut().zip(other.hours) {
+            a.extend(b);
+        }
+    }
+
+    fn finish(self) -> Fig10 {
+        let rows = self
+            .hours
+            .iter()
+            .enumerate()
+            .map(|(h, bw)| (h as u8, bw.len(), mean(bw)))
+            .collect();
+        Fig10 { rows }
+    }
+}
+
 /// Compute Fig 10.
 pub fn fig10(records: &[TestRecord]) -> Fig10 {
-    let rows = (0u8..24)
-        .map(|h| {
-            let bw: Vec<f64> = records
-                .iter()
-                .filter(|r| r.tech == AccessTech::Cellular5g && r.hour == h)
-                .map(|r| r.bandwidth_mbps)
-                .collect();
-            (h, bw.len(), mean(&bw))
-        })
-        .collect();
-    Fig10 { rows }
+    accum::run(Fig10Acc::new(), records)
 }
 
 impl Fig10 {
@@ -287,22 +459,63 @@ pub struct RssFigure {
     pub rows: Vec<(u8, f64, f64, f64)>,
 }
 
+/// Accumulator behind [`fig11_12`] — per-RSS-level SNR and bandwidth
+/// sample vectors over the 5G population.
+#[derive(Debug, Clone, Default)]
+pub struct RssAcc {
+    snr: [Vec<f64>; 5],
+    bw: [Vec<f64>; 5],
+}
+
+impl RssAcc {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FigureAccumulator for RssAcc {
+    type Output = RssFigure;
+
+    fn observe(&mut self, r: &RecordView<'_>) {
+        if r.tech != AccessTech::Cellular5g {
+            return;
+        }
+        let Some(cell) = r.cell() else { return };
+        if (1..=5).contains(&cell.rss_level) {
+            let i = (cell.rss_level - 1) as usize;
+            self.snr[i].push(cell.snr_db);
+            self.bw[i].push(r.bandwidth_mbps);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (a, b) in self.snr.iter_mut().zip(other.snr) {
+            a.extend(b);
+        }
+        for (a, b) in self.bw.iter_mut().zip(other.bw) {
+            a.extend(b);
+        }
+    }
+
+    fn finish(self) -> RssFigure {
+        let rows = (0..5)
+            .map(|i| {
+                (
+                    i as u8 + 1,
+                    mean(&self.snr[i]),
+                    mean(&self.bw[i]),
+                    median(&self.bw[i]),
+                )
+            })
+            .collect();
+        RssFigure { rows }
+    }
+}
+
 /// Compute Figs 11 and 12 over the 5G population.
 pub fn fig11_12(records: &[TestRecord]) -> RssFigure {
-    let rows = (1u8..=5)
-        .map(|level| {
-            let tests: Vec<&TestRecord> = records
-                .iter()
-                .filter(|r| {
-                    r.tech == AccessTech::Cellular5g && r.cell().map(|c| c.rss_level) == Some(level)
-                })
-                .collect();
-            let snr: Vec<f64> = tests.iter().map(|r| r.cell().unwrap().snr_db).collect();
-            let bw: Vec<f64> = tests.iter().map(|r| r.bandwidth_mbps).collect();
-            (level, mean(&snr), mean(&bw), median(&bw))
-        })
-        .collect();
-    RssFigure { rows }
+    accum::run(RssAcc::new(), records)
 }
 
 impl Render for RssFigure {
@@ -320,23 +533,51 @@ impl Render for RssFigure {
     }
 }
 
+/// Accumulator behind [`lte_rss_means`] — per-RSS-level bandwidth over
+/// plain (non-LTE-A) 4G tests.
+#[derive(Debug, Clone, Default)]
+pub struct LteRssAcc {
+    bw: [Vec<f64>; 5],
+}
+
+impl LteRssAcc {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FigureAccumulator for LteRssAcc {
+    type Output = Vec<(u8, f64)>;
+
+    fn observe(&mut self, r: &RecordView<'_>) {
+        if r.tech != AccessTech::Cellular4g {
+            return;
+        }
+        let Some(cell) = r.cell() else { return };
+        if cell.lte_advanced {
+            return;
+        }
+        if (1..=5).contains(&cell.rss_level) {
+            self.bw[(cell.rss_level - 1) as usize].push(r.bandwidth_mbps);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (a, b) in self.bw.iter_mut().zip(other.bw) {
+            a.extend(b);
+        }
+    }
+
+    fn finish(self) -> Vec<(u8, f64)> {
+        (0..5).map(|i| (i as u8 + 1, mean(&self.bw[i]))).collect()
+    }
+}
+
 /// 4G RSS cross-check (§3.3: unlike 5G, RSS and 4G bandwidth stay
 /// positively correlated).
 pub fn lte_rss_means(records: &[TestRecord]) -> Vec<(u8, f64)> {
-    (1u8..=5)
-        .map(|level| {
-            let bw: Vec<f64> = records
-                .iter()
-                .filter(|r| {
-                    r.tech == AccessTech::Cellular4g
-                        && r.cell().map(|c| c.rss_level) == Some(level)
-                        && !r.cell().map(|c| c.lte_advanced).unwrap_or(false)
-                })
-                .map(|r| r.bandwidth_mbps)
-                .collect();
-            (level, mean(&bw))
-        })
-        .collect()
+    accum::run(LteRssAcc::new(), records)
 }
 
 #[cfg(test)]
@@ -499,6 +740,37 @@ mod tests {
                 "4G RSS-bandwidth must stay positive: {rows:?}"
             );
         }
+    }
+
+    #[test]
+    fn split_and_merge_matches_single_pass() {
+        let records = y2021(60_000, 221);
+        let (a, b) = records.split_at(records.len() / 3);
+        fn halves<A: FigureAccumulator + Clone>(
+            acc: A,
+            a: &[TestRecord],
+            b: &[TestRecord],
+        ) -> A::Output {
+            let mut left = acc.clone();
+            let mut right = acc;
+            for r in a {
+                left.observe(&r.into());
+            }
+            for r in b {
+                right.observe(&r.into());
+            }
+            left.merge(right);
+            left.finish()
+        }
+        let merged = halves(LteBandAcc::new(), a, b);
+        let single = fig05_06(&records);
+        assert_eq!(merged.rows, single.rows);
+        let merged = halves(RssAcc::new(), a, b);
+        let single = fig11_12(&records);
+        assert_eq!(merged.rows, single.rows);
+        let merged = halves(Fig10Acc::new(), a, b);
+        let single = fig10(&records);
+        assert_eq!(merged.rows, single.rows);
     }
 
     #[test]

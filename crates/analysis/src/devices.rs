@@ -4,8 +4,9 @@
 //! for the same access technology is ≤23 Mbps". Higher-end phones are
 //! faster only because they run newer OSes.
 
+use crate::accum::{self, FigureAccumulator};
 use crate::Render;
-use mbw_dataset::{AccessTech, DeviceTier, TestRecord};
+use mbw_dataset::{AccessTech, DeviceTier, RecordView, TestRecord};
 use mbw_stats::descriptive::{mean, std_dev};
 use std::fmt::Write as _;
 
@@ -26,48 +27,98 @@ pub struct HardwareIllusion {
 /// Minimum tests per (version, tier) stratum to include it.
 const MIN_STRATUM: usize = 80;
 
-/// Decompose the hardware effect for one technology.
-pub fn hardware_illusion(records: &[TestRecord], tech: AccessTech) -> HardwareIllusion {
-    let of_tier = |tier: DeviceTier| {
-        let bw: Vec<f64> = records
-            .iter()
-            .filter(|r| r.tech == tech && r.device_tier == tier)
-            .map(|r| r.bandwidth_mbps)
-            .collect();
-        mean(&bw)
-    };
-    let unconditional = (
-        of_tier(DeviceTier::Low),
-        of_tier(DeviceTier::Mid),
-        of_tier(DeviceTier::High),
-    );
+/// Lowest Android version the decomposition stratifies on.
+const MIN_VERSION: u8 = 5;
+/// Number of Android versions (5–12) covered.
+const VERSIONS: usize = 8;
 
-    let mut within = Vec::new();
-    for version in 5u8..=12 {
-        let tier_means: Vec<f64> = DeviceTier::ALL
-            .iter()
-            .filter_map(|&tier| {
-                let bw: Vec<f64> = records
-                    .iter()
-                    .filter(|r| {
-                        r.tech == tech && r.android_version == version && r.device_tier == tier
-                    })
-                    .map(|r| r.bandwidth_mbps)
-                    .collect();
-                (bw.len() >= MIN_STRATUM).then(|| mean(&bw))
-            })
-            .collect();
-        if tier_means.len() == 3 {
-            within.push((version, std_dev(&tier_means)));
+fn tier_index(tier: DeviceTier) -> usize {
+    DeviceTier::ALL
+        .iter()
+        .position(|&t| t == tier)
+        .expect("tier in ALL")
+}
+
+/// Accumulator behind [`hardware_illusion`] for one technology.
+#[derive(Debug, Clone)]
+pub struct HardwareIllusionAcc {
+    tech: AccessTech,
+    /// Per-tier samples, [`DeviceTier::ALL`] order.
+    tiers: [Vec<f64>; 3],
+    /// `[version - 5][tier]` samples.
+    strata: Vec<[Vec<f64>; 3]>,
+}
+
+impl HardwareIllusionAcc {
+    /// Fresh accumulator for `tech`.
+    pub fn new(tech: AccessTech) -> Self {
+        Self {
+            tech,
+            tiers: Default::default(),
+            strata: (0..VERSIONS).map(|_| Default::default()).collect(),
         }
     }
-    let max_within_std = within.iter().map(|(_, s)| *s).fold(0.0, f64::max);
-    HardwareIllusion {
-        tech,
-        unconditional,
-        within_version_std: within,
-        max_within_std,
+}
+
+impl FigureAccumulator for HardwareIllusionAcc {
+    type Output = HardwareIllusion;
+
+    fn observe(&mut self, r: &RecordView<'_>) {
+        if r.tech != self.tech {
+            return;
+        }
+        let tier = tier_index(r.device_tier);
+        self.tiers[tier].push(r.bandwidth_mbps);
+        if (MIN_VERSION..MIN_VERSION + VERSIONS as u8).contains(&r.android_version) {
+            self.strata[(r.android_version - MIN_VERSION) as usize][tier].push(r.bandwidth_mbps);
+        }
     }
+
+    fn merge(&mut self, other: Self) {
+        for (a, b) in self.tiers.iter_mut().zip(other.tiers) {
+            a.extend(b);
+        }
+        for (mine, theirs) in self.strata.iter_mut().zip(other.strata) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                a.extend(b);
+            }
+        }
+    }
+
+    fn finish(self) -> HardwareIllusion {
+        let of_tier = |tier: DeviceTier| mean(&self.tiers[tier_index(tier)]);
+        let unconditional = (
+            of_tier(DeviceTier::Low),
+            of_tier(DeviceTier::Mid),
+            of_tier(DeviceTier::High),
+        );
+
+        let mut within = Vec::new();
+        for (i, stratum) in self.strata.iter().enumerate() {
+            let tier_means: Vec<f64> = DeviceTier::ALL
+                .iter()
+                .filter_map(|&tier| {
+                    let bw = &stratum[tier_index(tier)];
+                    (bw.len() >= MIN_STRATUM).then(|| mean(bw))
+                })
+                .collect();
+            if tier_means.len() == 3 {
+                within.push((MIN_VERSION + i as u8, std_dev(&tier_means)));
+            }
+        }
+        let max_within_std = within.iter().map(|(_, s)| *s).fold(0.0, f64::max);
+        HardwareIllusion {
+            tech: self.tech,
+            unconditional,
+            within_version_std: within,
+            max_within_std,
+        }
+    }
+}
+
+/// Decompose the hardware effect for one technology.
+pub fn hardware_illusion(records: &[TestRecord], tech: AccessTech) -> HardwareIllusion {
+    accum::run(HardwareIllusionAcc::new(tech), records)
 }
 
 impl Render for HardwareIllusion {
@@ -140,6 +191,26 @@ mod tests {
                 h.max_within_std
             );
         }
+    }
+
+    #[test]
+    fn merged_halves_match_single_pass() {
+        let recs = records();
+        let recs = &recs[..120_000];
+        let (a, b) = recs.split_at(recs.len() / 2);
+        let mut left = HardwareIllusionAcc::new(AccessTech::Wifi);
+        let mut right = HardwareIllusionAcc::new(AccessTech::Wifi);
+        for r in a {
+            left.observe(&r.into());
+        }
+        for r in b {
+            right.observe(&r.into());
+        }
+        left.merge(right);
+        let merged = left.finish();
+        let single = hardware_illusion(recs, AccessTech::Wifi);
+        assert_eq!(merged.unconditional, single.unconditional);
+        assert_eq!(merged.within_version_std, single.within_version_std);
     }
 
     #[test]

@@ -2,10 +2,12 @@
 //! same-user-group declines that do not get their own figure but anchor
 //! the paper's narrative.
 
+use crate::accum::{self, FigureAccumulator};
 use crate::Render;
-use mbw_dataset::{AccessTech, TestRecord};
+use mbw_dataset::{AccessTech, CityTier, Isp, RecordView, TestRecord};
 use mbw_stats::descriptive::mean;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
 use std::fmt::Write as _;
 
 /// Per-city mean bandwidth ranges (§3.1: 4G 28–119 Mbps, 5G 113–428,
@@ -22,67 +24,104 @@ pub struct SpatialDisparity {
 /// Minimum per-city sample size for a city to count in the ranges.
 const MIN_CITY_TESTS: usize = 50;
 
-/// Compute the spatial-disparity summary.
-pub fn spatial_disparity(records: &[TestRecord]) -> SpatialDisparity {
-    let mut per_city: HashMap<(u16, AccessTech), Vec<f64>> = HashMap::new();
-    for r in records {
-        per_city
+/// Accumulator behind [`spatial_disparity`] — per-(city, tech) sample
+/// vectors plus the national 4G/5G vectors for the balance baseline.
+#[derive(Debug, Clone, Default)]
+pub struct SpatialAcc {
+    per_city: HashMap<(u16, AccessTech), Vec<f64>>,
+    nat4: Vec<f64>,
+    nat5: Vec<f64>,
+}
+
+impl SpatialAcc {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FigureAccumulator for SpatialAcc {
+    type Output = SpatialDisparity;
+
+    fn observe(&mut self, r: &RecordView<'_>) {
+        self.per_city
             .entry((r.city_id, r.tech))
             .or_default()
             .push(r.bandwidth_mbps);
-    }
-    let techs = [
-        AccessTech::Cellular4g,
-        AccessTech::Cellular5g,
-        AccessTech::Wifi,
-    ];
-    let mut ranges = Vec::new();
-    let mut city_means: HashMap<AccessTech, HashMap<u16, f64>> = HashMap::new();
-    for &tech in &techs {
-        let mut lo = f64::INFINITY;
-        let mut hi = 0.0f64;
-        let mut count = 0usize;
-        for ((city, t), bw) in &per_city {
-            if *t != tech || bw.len() < MIN_CITY_TESTS {
-                continue;
-            }
-            let m = mean(bw);
-            city_means.entry(tech).or_default().insert(*city, m);
-            lo = lo.min(m);
-            hi = hi.max(m);
-            count += 1;
+        match r.tech {
+            AccessTech::Cellular4g => self.nat4.push(r.bandwidth_mbps),
+            AccessTech::Cellular5g => self.nat5.push(r.bandwidth_mbps),
+            _ => {}
         }
-        if count == 0 {
-            lo = 0.0;
-        }
-        ranges.push((tech, lo, hi, count));
     }
 
-    // Unbalanced development: city above national 4G mean but below
-    // national 5G mean, or vice versa.
-    let nat4 = mean(&crate::tech_bandwidths(records, AccessTech::Cellular4g));
-    let nat5 = mean(&crate::tech_bandwidths(records, AccessTech::Cellular5g));
-    let empty = HashMap::new();
-    let m4 = city_means.get(&AccessTech::Cellular4g).unwrap_or(&empty);
-    let m5 = city_means.get(&AccessTech::Cellular5g).unwrap_or(&empty);
-    let mut both = 0usize;
-    let mut unbalanced = 0usize;
-    for (city, &c4) in m4 {
-        if let Some(&c5) = m5.get(city) {
-            both += 1;
-            if (c4 > nat4) != (c5 > nat5) {
-                unbalanced += 1;
+    fn merge(&mut self, other: Self) {
+        for (key, bw) in other.per_city {
+            self.per_city.entry(key).or_default().extend(bw);
+        }
+        self.nat4.extend(other.nat4);
+        self.nat5.extend(other.nat5);
+    }
+
+    fn finish(self) -> SpatialDisparity {
+        let techs = [
+            AccessTech::Cellular4g,
+            AccessTech::Cellular5g,
+            AccessTech::Wifi,
+        ];
+        let mut ranges = Vec::new();
+        let mut city_means: HashMap<AccessTech, HashMap<u16, f64>> = HashMap::new();
+        for &tech in &techs {
+            let mut lo = f64::INFINITY;
+            let mut hi = 0.0f64;
+            let mut count = 0usize;
+            for ((city, t), bw) in &self.per_city {
+                if *t != tech || bw.len() < MIN_CITY_TESTS {
+                    continue;
+                }
+                let m = mean(bw);
+                city_means.entry(tech).or_default().insert(*city, m);
+                lo = lo.min(m);
+                hi = hi.max(m);
+                count += 1;
+            }
+            if count == 0 {
+                lo = 0.0;
+            }
+            ranges.push((tech, lo, hi, count));
+        }
+
+        // Unbalanced development: city above national 4G mean but below
+        // national 5G mean, or vice versa.
+        let nat4 = mean(&self.nat4);
+        let nat5 = mean(&self.nat5);
+        let empty = HashMap::new();
+        let m4 = city_means.get(&AccessTech::Cellular4g).unwrap_or(&empty);
+        let m5 = city_means.get(&AccessTech::Cellular5g).unwrap_or(&empty);
+        let mut both = 0usize;
+        let mut unbalanced = 0usize;
+        for (city, &c4) in m4 {
+            if let Some(&c5) = m5.get(city) {
+                both += 1;
+                if (c4 > nat4) != (c5 > nat5) {
+                    unbalanced += 1;
+                }
             }
         }
+        SpatialDisparity {
+            ranges,
+            unbalanced_share: if both == 0 {
+                0.0
+            } else {
+                unbalanced as f64 / both as f64
+            },
+        }
     }
-    SpatialDisparity {
-        ranges,
-        unbalanced_share: if both == 0 {
-            0.0
-        } else {
-            unbalanced as f64 / both as f64
-        },
-    }
+}
+
+/// Compute the spatial-disparity summary.
+pub fn spatial_disparity(records: &[TestRecord]) -> SpatialDisparity {
+    accum::run(SpatialAcc::new(), records)
 }
 
 impl Render for SpatialDisparity {
@@ -116,20 +155,50 @@ pub struct UrbanRuralGap {
     pub nr_ratio: f64,
 }
 
+/// Accumulator behind [`urban_rural_gap`] — the four (tech, locale)
+/// sample vectors.
+#[derive(Debug, Clone, Default)]
+pub struct UrbanRuralAcc {
+    /// `[4G urban, 4G rural, 5G urban, 5G rural]`.
+    cells: [Vec<f64>; 4],
+}
+
+impl UrbanRuralAcc {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FigureAccumulator for UrbanRuralAcc {
+    type Output = UrbanRuralGap;
+
+    fn observe(&mut self, r: &RecordView<'_>) {
+        let base = match r.tech {
+            AccessTech::Cellular4g => 0,
+            AccessTech::Cellular5g => 2,
+            _ => return,
+        };
+        self.cells[base + usize::from(!r.urban)].push(r.bandwidth_mbps);
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (a, b) in self.cells.iter_mut().zip(other.cells) {
+            a.extend(b);
+        }
+    }
+
+    fn finish(self) -> UrbanRuralGap {
+        UrbanRuralGap {
+            lte_ratio: mean(&self.cells[0]) / mean(&self.cells[1]),
+            nr_ratio: mean(&self.cells[2]) / mean(&self.cells[3]),
+        }
+    }
+}
+
 /// Compute the urban/rural comparison.
 pub fn urban_rural_gap(records: &[TestRecord]) -> UrbanRuralGap {
-    let of = |tech: AccessTech, urban: bool| {
-        let bw: Vec<f64> = records
-            .iter()
-            .filter(|r| r.tech == tech && r.urban == urban)
-            .map(|r| r.bandwidth_mbps)
-            .collect();
-        mean(&bw)
-    };
-    UrbanRuralGap {
-        lte_ratio: of(AccessTech::Cellular4g, true) / of(AccessTech::Cellular4g, false),
-        nr_ratio: of(AccessTech::Cellular5g, true) / of(AccessTech::Cellular5g, false),
-    }
+    accum::run(UrbanRuralAcc::new(), records)
 }
 
 impl Render for UrbanRuralGap {
@@ -151,55 +220,111 @@ pub struct SameGroupDecline {
     pub groups: Vec<(usize, u16, f64, f64)>,
 }
 
+/// Minimum per-year group size for a (ISP, city, tech) group to count.
+const MIN_GROUP_TESTS: usize = 30;
+
+/// Accumulator behind [`same_group_decline`]. Two-population: the 2020
+/// side is folded in via [`SameGroupAcc::observe_baseline`], the 2021
+/// side via the trait's `observe` (which also records which cities are
+/// mega-tier — the paper fixes the city list from the current year).
+#[derive(Debug, Clone, Default)]
+pub struct SameGroupAcc {
+    /// Mega-tier cities seen in the current-year population.
+    mega: BTreeSet<u16>,
+    /// `(isp index < 3, city, tech index 0=4G/1=5G)` → `(2020, 2021)`
+    /// bandwidth samples. Collected for every city; restricted to mega
+    /// cities in `finish`.
+    groups: HashMap<(usize, u16, usize), (Vec<f64>, Vec<f64>)>,
+}
+
+fn big_isp_index(isp: Isp) -> Option<usize> {
+    Isp::ALL[..3].iter().position(|&x| x == isp)
+}
+
+fn group_tech_index(tech: AccessTech) -> Option<usize> {
+    match tech {
+        AccessTech::Cellular4g => Some(0),
+        AccessTech::Cellular5g => Some(1),
+        _ => None,
+    }
+}
+
+impl SameGroupAcc {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn group_key(r: &RecordView<'_>) -> Option<(usize, u16, usize)> {
+        Some((big_isp_index(r.isp)?, r.city_id, group_tech_index(r.tech)?))
+    }
+
+    /// Fold one 2020 (baseline) record in.
+    pub fn observe_baseline(&mut self, r: &RecordView<'_>) {
+        if let Some(key) = Self::group_key(r) {
+            self.groups.entry(key).or_default().0.push(r.bandwidth_mbps);
+        }
+    }
+}
+
+impl FigureAccumulator for SameGroupAcc {
+    type Output = SameGroupDecline;
+
+    fn observe(&mut self, r: &RecordView<'_>) {
+        if r.city_tier == CityTier::Mega {
+            self.mega.insert(r.city_id);
+        }
+        if let Some(key) = Self::group_key(r) {
+            self.groups.entry(key).or_default().1.push(r.bandwidth_mbps);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.mega.extend(other.mega);
+        for (key, (y20, y21)) in other.groups {
+            let entry = self.groups.entry(key).or_default();
+            entry.0.extend(y20);
+            entry.1.extend(y21);
+        }
+    }
+
+    fn finish(self) -> SameGroupDecline {
+        let decline = |i: usize, city: u16, tech: usize| -> Option<f64> {
+            let (y20, y21) = self.groups.get(&(i, city, tech))?;
+            if y20.len() < MIN_GROUP_TESTS || y21.len() < MIN_GROUP_TESTS {
+                return None;
+            }
+            Some(1.0 - mean(y21) / mean(y20))
+        };
+        let mut groups = Vec::new();
+        for i in 0..3 {
+            for &city in &self.mega {
+                let Some(d4) = decline(i, city, 0) else {
+                    continue;
+                };
+                let Some(d5) = decline(i, city, 1) else {
+                    continue;
+                };
+                groups.push((i + 1, city, d4, d5));
+            }
+        }
+        SameGroupDecline { groups }
+    }
+}
+
 /// Compare fixed (ISP, mega-city) groups across the two populations.
 pub fn same_group_decline(
     records_2020: &[TestRecord],
     records_2021: &[TestRecord],
 ) -> SameGroupDecline {
-    use mbw_dataset::CityTier;
-    let group_mean =
-        |records: &[TestRecord], isp: mbw_dataset::Isp, city: u16, tech: AccessTech| {
-            let bw: Vec<f64> = records
-                .iter()
-                .filter(|r| r.isp == isp && r.city_id == city && r.tech == tech)
-                .map(|r| r.bandwidth_mbps)
-                .collect();
-            if bw.len() < 30 {
-                None
-            } else {
-                Some(mean(&bw))
-            }
-        };
-    let mega_cities: Vec<u16> = {
-        let mut seen = std::collections::BTreeSet::new();
-        for r in records_2021 {
-            if r.city_tier == CityTier::Mega {
-                seen.insert(r.city_id);
-            }
-        }
-        seen.into_iter().collect()
-    };
-    let mut groups = Vec::new();
-    for (i, &isp) in mbw_dataset::Isp::ALL[..3].iter().enumerate() {
-        for &city in &mega_cities {
-            let d4 = match (
-                group_mean(records_2020, isp, city, AccessTech::Cellular4g),
-                group_mean(records_2021, isp, city, AccessTech::Cellular4g),
-            ) {
-                (Some(a), Some(b)) => 1.0 - b / a,
-                _ => continue,
-            };
-            let d5 = match (
-                group_mean(records_2020, isp, city, AccessTech::Cellular5g),
-                group_mean(records_2021, isp, city, AccessTech::Cellular5g),
-            ) {
-                (Some(a), Some(b)) => 1.0 - b / a,
-                _ => continue,
-            };
-            groups.push((i + 1, city, d4, d5));
-        }
+    let mut acc = SameGroupAcc::new();
+    for r in records_2020 {
+        acc.observe_baseline(&RecordView::from(r));
     }
-    SameGroupDecline { groups }
+    for r in records_2021 {
+        acc.observe(&RecordView::from(r));
+    }
+    acc.finish()
 }
 
 impl Render for SameGroupDecline {
@@ -231,48 +356,108 @@ pub struct DatasetSummary {
     /// Distinct cities observed.
     pub distinct_cities: usize,
     /// `(isp, share of tests)`.
-    pub isp_shares: Vec<(mbw_dataset::Isp, f64)>,
+    pub isp_shares: Vec<(Isp, f64)>,
 }
 
-/// Compute the §3.1 summary.
-pub fn dataset_summary(records: &[TestRecord]) -> DatasetSummary {
-    use std::collections::HashSet;
-    let techs = [
-        AccessTech::Cellular3g,
-        AccessTech::Cellular4g,
-        AccessTech::Cellular5g,
-        AccessTech::Wifi,
-    ];
-    let tech_counts = techs
-        .iter()
-        .map(|&t| (t, records.iter().filter(|r| r.tech == t).count()))
-        .collect();
-    let distinct_bs: HashSet<u32> = records
-        .iter()
-        .filter_map(|r| r.cell().map(|c| c.bs_id))
-        .collect();
-    let distinct_aps: HashSet<u32> = records
-        .iter()
-        .filter_map(|r| r.wifi().map(|w| w.ap_id))
-        .collect();
-    let distinct_cities: HashSet<u16> = records.iter().map(|r| r.city_id).collect();
-    let isp_shares = mbw_dataset::Isp::ALL
-        .iter()
-        .map(|&isp| {
-            (
-                isp,
-                records.iter().filter(|r| r.isp == isp).count() as f64
-                    / records.len().max(1) as f64,
-            )
-        })
-        .collect();
-    DatasetSummary {
-        tech_counts,
-        distinct_bs: distinct_bs.len(),
-        distinct_aps: distinct_aps.len(),
-        distinct_cities: distinct_cities.len(),
-        isp_shares,
+/// Error for summary statistics requested over zero records: shares of
+/// an empty population are undefined, and silently reporting 0% (the
+/// old `max(1)` behaviour) hid upstream pipeline bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyPopulation;
+
+impl fmt::Display for EmptyPopulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("population is empty: summary shares are undefined over zero records")
     }
+}
+
+impl std::error::Error for EmptyPopulation {}
+
+/// The tech order of [`DatasetSummary::tech_counts`].
+const SUMMARY_TECHS: [AccessTech; 4] = [
+    AccessTech::Cellular3g,
+    AccessTech::Cellular4g,
+    AccessTech::Cellular5g,
+    AccessTech::Wifi,
+];
+
+/// Accumulator behind [`dataset_summary`] — pure counters and identity
+/// sets, all order-independent.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetSummaryAcc {
+    total: usize,
+    tech_counts: [usize; 4],
+    isp_counts: [usize; 4],
+    bs: HashSet<u32>,
+    aps: HashSet<u32>,
+    cities: HashSet<u16>,
+}
+
+impl DatasetSummaryAcc {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FigureAccumulator for DatasetSummaryAcc {
+    type Output = Result<DatasetSummary, EmptyPopulation>;
+
+    fn observe(&mut self, r: &RecordView<'_>) {
+        self.total += 1;
+        if let Some(i) = SUMMARY_TECHS.iter().position(|&t| t == r.tech) {
+            self.tech_counts[i] += 1;
+        }
+        self.isp_counts[accum::isp_index(r.isp)] += 1;
+        if let Some(c) = r.cell() {
+            self.bs.insert(c.bs_id);
+        }
+        if let Some(w) = r.wifi() {
+            self.aps.insert(w.ap_id);
+        }
+        self.cities.insert(r.city_id);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.total += other.total;
+        for (a, b) in self.tech_counts.iter_mut().zip(other.tech_counts) {
+            *a += b;
+        }
+        for (a, b) in self.isp_counts.iter_mut().zip(other.isp_counts) {
+            *a += b;
+        }
+        self.bs.extend(other.bs);
+        self.aps.extend(other.aps);
+        self.cities.extend(other.cities);
+    }
+
+    fn finish(self) -> Result<DatasetSummary, EmptyPopulation> {
+        if self.total == 0 {
+            return Err(EmptyPopulation);
+        }
+        let tech_counts = SUMMARY_TECHS
+            .iter()
+            .zip(self.tech_counts)
+            .map(|(&t, n)| (t, n))
+            .collect();
+        let isp_shares = Isp::ALL
+            .iter()
+            .zip(self.isp_counts)
+            .map(|(&isp, n)| (isp, n as f64 / self.total as f64))
+            .collect();
+        Ok(DatasetSummary {
+            tech_counts,
+            distinct_bs: self.bs.len(),
+            distinct_aps: self.aps.len(),
+            distinct_cities: self.cities.len(),
+            isp_shares,
+        })
+    }
+}
+
+/// Compute the §3.1 summary, or [`EmptyPopulation`] for zero records.
+pub fn dataset_summary(records: &[TestRecord]) -> Result<DatasetSummary, EmptyPopulation> {
+    accum::run(DatasetSummaryAcc::new(), records)
 }
 
 impl Render for DatasetSummary {
@@ -293,6 +478,15 @@ impl Render for DatasetSummary {
     }
 }
 
+impl Render for Result<DatasetSummary, EmptyPopulation> {
+    fn render(&self) -> String {
+        match self {
+            Ok(summary) => summary.render(),
+            Err(e) => format!("Dataset summary (§3.1)\n  error: {e}\n"),
+        }
+    }
+}
+
 /// Correlation summary backing the §3 prose: RSS↔SNR positive
 /// everywhere; RSS↔bandwidth positive for 4G but broken at level 5 for
 /// 5G; 5G hourly bandwidth anticorrelated with test volume while 4G's
@@ -309,56 +503,107 @@ pub struct Correlations {
     pub hourly_volume_bw_4g: f64,
 }
 
+/// Accumulator behind [`correlations`].
+#[derive(Debug, Clone)]
+pub struct CorrelationsAcc {
+    /// RSS level and SNR for 5G tests with cell context.
+    x5: Vec<f64>,
+    snr5: Vec<f64>,
+    /// RSS level and bandwidth for non-LTE-A 4G tests with cell context.
+    x4: Vec<f64>,
+    y4: Vec<f64>,
+    /// Per-hour bandwidth samples, all 5G / 4G tests.
+    hours5: [Vec<f64>; 24],
+    hours4: [Vec<f64>; 24],
+}
+
+impl CorrelationsAcc {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self {
+            x5: Vec::new(),
+            snr5: Vec::new(),
+            x4: Vec::new(),
+            y4: Vec::new(),
+            hours5: std::array::from_fn(|_| Vec::new()),
+            hours4: std::array::from_fn(|_| Vec::new()),
+        }
+    }
+}
+
+impl Default for CorrelationsAcc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FigureAccumulator for CorrelationsAcc {
+    type Output = Correlations;
+
+    fn observe(&mut self, r: &RecordView<'_>) {
+        match r.tech {
+            AccessTech::Cellular5g => {
+                if let Some(c) = r.cell() {
+                    self.x5.push(c.rss_level as f64);
+                    self.snr5.push(c.snr_db);
+                }
+                if (r.hour as usize) < 24 {
+                    self.hours5[r.hour as usize].push(r.bandwidth_mbps);
+                }
+            }
+            AccessTech::Cellular4g => {
+                if let Some(c) = r.cell() {
+                    if !c.lte_advanced {
+                        self.x4.push(c.rss_level as f64);
+                        self.y4.push(r.bandwidth_mbps);
+                    }
+                }
+                if (r.hour as usize) < 24 {
+                    self.hours4[r.hour as usize].push(r.bandwidth_mbps);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.x5.extend(other.x5);
+        self.snr5.extend(other.snr5);
+        self.x4.extend(other.x4);
+        self.y4.extend(other.y4);
+        for (a, b) in self.hours5.iter_mut().zip(other.hours5) {
+            a.extend(b);
+        }
+        for (a, b) in self.hours4.iter_mut().zip(other.hours4) {
+            a.extend(b);
+        }
+    }
+
+    fn finish(self) -> Correlations {
+        use mbw_stats::descriptive::pearson;
+        let hourly = |hours: &[Vec<f64>; 24]| {
+            let mut volume = Vec::new();
+            let mut bw = Vec::new();
+            for v in hours {
+                if !v.is_empty() {
+                    volume.push(v.len() as f64);
+                    bw.push(mean(v));
+                }
+            }
+            pearson(&volume, &bw).unwrap_or(0.0)
+        };
+        Correlations {
+            rss_snr_5g: mean_pearson(&self.x5, &self.snr5),
+            rss_bw_4g: mean_pearson(&self.x4, &self.y4),
+            hourly_volume_bw_5g: hourly(&self.hours5),
+            hourly_volume_bw_4g: hourly(&self.hours4),
+        }
+    }
+}
+
 /// Compute the §3 correlation summary.
 pub fn correlations(records: &[TestRecord]) -> Correlations {
-    use mbw_stats::descriptive::pearson;
-    let cell_xy = |tech: AccessTech, skip_ltea: bool| {
-        let mut xs = Vec::new();
-        let mut ys = Vec::new();
-        for r in records.iter().filter(|r| r.tech == tech) {
-            if let Some(c) = r.cell() {
-                if skip_ltea && c.lte_advanced {
-                    continue;
-                }
-                xs.push(c.rss_level as f64);
-                ys.push(r.bandwidth_mbps);
-            }
-        }
-        (xs, ys)
-    };
-    let (x5, _) = cell_xy(AccessTech::Cellular5g, false);
-    let snr5: Vec<f64> = records
-        .iter()
-        .filter(|r| r.tech == AccessTech::Cellular5g)
-        .filter_map(|r| r.cell().map(|c| c.snr_db))
-        .collect();
-    let rss_snr_5g = mean_pearson(&x5, &snr5);
-
-    let (x4, y4) = cell_xy(AccessTech::Cellular4g, true);
-    let rss_bw_4g = mean_pearson(&x4, &y4);
-
-    let hourly = |tech: AccessTech| {
-        let mut volume = Vec::new();
-        let mut bw = Vec::new();
-        for h in 0u8..24 {
-            let v: Vec<f64> = records
-                .iter()
-                .filter(|r| r.tech == tech && r.hour == h)
-                .map(|r| r.bandwidth_mbps)
-                .collect();
-            if !v.is_empty() {
-                volume.push(v.len() as f64);
-                bw.push(mean(&v));
-            }
-        }
-        pearson(&volume, &bw).unwrap_or(0.0)
-    };
-    Correlations {
-        rss_snr_5g,
-        rss_bw_4g,
-        hourly_volume_bw_5g: hourly(AccessTech::Cellular5g),
-        hourly_volume_bw_4g: hourly(AccessTech::Cellular4g),
-    }
+    accum::run(CorrelationsAcc::new(), records)
 }
 
 fn mean_pearson(xs: &[f64], ys: &[f64]) -> f64 {
@@ -435,9 +680,34 @@ mod tests {
     }
 
     #[test]
+    fn same_group_merge_matches_single_pass() {
+        let y20 = pop(Year::Y2020, 120_000, 515);
+        let y21 = pop(Year::Y2021, 120_000, 515);
+        let single = same_group_decline(&y20, &y21);
+        let mut a = SameGroupAcc::new();
+        let mut b = SameGroupAcc::new();
+        let (y20a, y20b) = y20.split_at(y20.len() / 2);
+        let (y21a, y21b) = y21.split_at(y21.len() / 2);
+        for r in y20a {
+            a.observe_baseline(&r.into());
+        }
+        for r in y21a {
+            a.observe(&r.into());
+        }
+        for r in y20b {
+            b.observe_baseline(&r.into());
+        }
+        for r in y21b {
+            b.observe(&r.into());
+        }
+        a.merge(b);
+        assert_eq!(a.finish().groups, single.groups);
+    }
+
+    #[test]
     fn dataset_summary_proportions() {
         let records = pop(Year::Y2021, 150_000, 511);
-        let s = dataset_summary(&records);
+        let s = dataset_summary(&records).expect("non-empty population");
         let total: usize = s.tech_counts.iter().map(|(_, n)| n).sum();
         assert_eq!(total, records.len());
         // §3.1 proportions: WiFi ≈ 89%, 4G ≈ 6.9%, 5G ≈ 3.8%, 3G tiny.
@@ -452,10 +722,17 @@ mod tests {
         let isp1 = s
             .isp_shares
             .iter()
-            .find(|(i, _)| *i == mbw_dataset::Isp::Isp1)
+            .find(|(i, _)| *i == Isp::Isp1)
             .unwrap()
             .1;
         assert!((0.3..0.5).contains(&isp1), "ISP-1 share {isp1}");
+    }
+
+    #[test]
+    fn dataset_summary_rejects_empty_population() {
+        let err = dataset_summary(&[]).expect_err("empty population must error");
+        assert_eq!(err, EmptyPopulation);
+        assert!(err.to_string().contains("empty"));
     }
 
     #[test]

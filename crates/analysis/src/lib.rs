@@ -1,11 +1,15 @@
 #![warn(missing_docs)]
 //! Analysis pipeline: every measurement figure and table of the paper.
 //!
-//! Each function takes `&[TestRecord]` (plus a second population where
-//! the figure compares years) and returns a typed result carrying exactly
-//! the rows/series the paper plots, with a `render()` method producing
-//! the text table the `figures` binary prints. The module names follow
-//! the paper's figure numbers:
+//! Each figure is built twice over the same code: a per-figure function
+//! taking `&[TestRecord]` (plus a second population where the figure
+//! compares years), and a [`accum::FigureAccumulator`] that
+//! [`sweep::sweep`] folds together with every *other* figure's
+//! accumulator in one fused pass over the population — single-threaded
+//! or sharded across threads with deterministic, thread-count-
+//! independent results. The per-figure functions are thin drivers over
+//! the accumulators, so both paths are byte-identical. The module names
+//! follow the paper's figure numbers:
 //!
 //! | module | contents |
 //! |---|---|
@@ -16,28 +20,33 @@
 //! | [`general`] | §3.1 prose statistics (spatial disparity, urban/rural gaps) |
 //! | [`tables`] | Tables 1–2 rendering |
 //! | [`robustness`] | test-outcome (complete/degraded/failed) rates per technology |
+//! | [`accum`] | the [`accum::FigureAccumulator`] trait behind every figure |
+//! | [`sweep`] | the fused single-pass (optionally parallel) figure sweep |
 
+pub mod accum;
 pub mod cellular;
 pub mod devices;
 pub mod general;
 pub mod overview;
 pub mod pdfs;
 pub mod robustness;
+pub mod sweep;
 pub mod tables;
 pub mod wifi;
 
-use mbw_dataset::{AccessTech, TestRecord};
+use mbw_dataset::columnar::{bandwidths_where, views};
+use mbw_dataset::{AccessTech, RecordView, TestRecord};
 
-/// Bandwidths of all records matching a predicate.
-pub fn bandwidths<'a, F>(records: &'a [TestRecord], pred: F) -> Vec<f64>
+pub use accum::FigureAccumulator;
+pub use sweep::{sweep, sweep_datasets, sweep_records, FigureSet, MeasurementFigures};
+
+/// Bandwidths of all records matching a predicate over [`RecordView`]s
+/// (the shared replacement for per-call-site `bw_of` closures).
+pub fn bandwidths<F>(records: &[TestRecord], pred: F) -> Vec<f64>
 where
-    F: Fn(&TestRecord) -> bool + 'a,
+    F: Fn(&RecordView<'_>) -> bool,
 {
-    records
-        .iter()
-        .filter(|r| pred(r))
-        .map(|r| r.bandwidth_mbps)
-        .collect()
+    bandwidths_where(views(records), pred)
 }
 
 /// Bandwidths of one access technology.

@@ -8,8 +8,9 @@
 //!   spread-out 5G (ISP-4's 700 MHz economy band; ISP-3's favourable N78
 //!   range and wired investment).
 
-use crate::{tech_bandwidths, Render};
-use mbw_dataset::{AccessTech, Isp, TestRecord};
+use crate::accum::{self, FigureAccumulator, TECH3};
+use crate::Render;
+use mbw_dataset::{AccessTech, Isp, RecordView, TestRecord};
 use mbw_stats::descriptive::mean;
 use std::fmt::Write as _;
 
@@ -23,35 +24,81 @@ pub struct Fig01 {
     pub overall_cellular: (f64, f64),
 }
 
+/// Accumulator behind [`fig01`]. The only two-population overview
+/// figure: the 2020 side is folded in via
+/// [`Fig01Acc::observe_baseline`], the 2021 side via the trait's
+/// `observe`.
+#[derive(Debug, Clone, Default)]
+pub struct Fig01Acc {
+    tech_y20: [Vec<f64>; 3],
+    tech_y21: [Vec<f64>; 3],
+    cell_y20: Vec<f64>,
+    cell_y21: Vec<f64>,
+}
+
+impl Fig01Acc {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one 2020 (baseline) record in.
+    pub fn observe_baseline(&mut self, r: &RecordView<'_>) {
+        if let Some(i) = accum::tech3_index(r.tech) {
+            self.tech_y20[i].push(r.bandwidth_mbps);
+        }
+        if r.tech != AccessTech::Wifi {
+            self.cell_y20.push(r.bandwidth_mbps);
+        }
+    }
+}
+
+impl FigureAccumulator for Fig01Acc {
+    type Output = Fig01;
+
+    fn observe(&mut self, r: &RecordView<'_>) {
+        if let Some(i) = accum::tech3_index(r.tech) {
+            self.tech_y21[i].push(r.bandwidth_mbps);
+        }
+        if r.tech != AccessTech::Wifi {
+            self.cell_y21.push(r.bandwidth_mbps);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (a, b) in self.tech_y20.iter_mut().zip(other.tech_y20) {
+            a.extend(b);
+        }
+        for (a, b) in self.tech_y21.iter_mut().zip(other.tech_y21) {
+            a.extend(b);
+        }
+        self.cell_y20.extend(other.cell_y20);
+        self.cell_y21.extend(other.cell_y21);
+    }
+
+    fn finish(self) -> Fig01 {
+        let rows = TECH3
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, mean(&self.tech_y20[i]), mean(&self.tech_y21[i])))
+            .collect();
+        Fig01 {
+            rows,
+            overall_cellular: (mean(&self.cell_y20), mean(&self.cell_y21)),
+        }
+    }
+}
+
 /// Compute Fig 1 from the two yearly populations.
 pub fn fig01(records_2020: &[TestRecord], records_2021: &[TestRecord]) -> Fig01 {
-    let techs = [
-        AccessTech::Cellular4g,
-        AccessTech::Cellular5g,
-        AccessTech::Wifi,
-    ];
-    let rows = techs
-        .iter()
-        .map(|&t| {
-            (
-                t,
-                mean(&tech_bandwidths(records_2020, t)),
-                mean(&tech_bandwidths(records_2021, t)),
-            )
-        })
-        .collect();
-    let cellular = |records: &[TestRecord]| {
-        let bw: Vec<f64> = records
-            .iter()
-            .filter(|r| r.tech != AccessTech::Wifi)
-            .map(|r| r.bandwidth_mbps)
-            .collect();
-        mean(&bw)
-    };
-    Fig01 {
-        rows,
-        overall_cellular: (cellular(records_2020), cellular(records_2021)),
+    let mut acc = Fig01Acc::new();
+    for r in records_2020 {
+        acc.observe_baseline(&RecordView::from(r));
     }
+    for r in records_2021 {
+        acc.observe(&RecordView::from(r));
+    }
+    acc.finish()
 }
 
 impl Render for Fig01 {
@@ -77,27 +124,68 @@ pub struct Fig02 {
     pub rows: Vec<(u8, f64, f64, f64)>,
 }
 
+/// Lowest Android version Fig 2 stratifies on.
+const MIN_VERSION: u8 = 5;
+/// Number of Android versions (5–12) Fig 2 covers.
+const VERSIONS: usize = 8;
+
+/// Accumulator behind [`fig02`].
+#[derive(Debug, Clone, Default)]
+pub struct Fig02Acc {
+    /// `[version - 5][tech3]` sample vectors.
+    cells: Vec<[Vec<f64>; 3]>,
+}
+
+impl Fig02Acc {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self {
+            cells: (0..VERSIONS).map(|_| Default::default()).collect(),
+        }
+    }
+}
+
+impl FigureAccumulator for Fig02Acc {
+    type Output = Fig02;
+
+    fn observe(&mut self, r: &RecordView<'_>) {
+        let Some(t) = accum::tech3_index(r.tech) else {
+            return;
+        };
+        if (MIN_VERSION..MIN_VERSION + VERSIONS as u8).contains(&r.android_version) {
+            self.cells[(r.android_version - MIN_VERSION) as usize][t].push(r.bandwidth_mbps);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (mine, theirs) in self.cells.iter_mut().zip(other.cells) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                a.extend(b);
+            }
+        }
+    }
+
+    fn finish(self) -> Fig02 {
+        let rows = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                (
+                    MIN_VERSION + i as u8,
+                    mean(&cell[0]),
+                    mean(&cell[1]),
+                    mean(&cell[2]),
+                )
+            })
+            .collect();
+        Fig02 { rows }
+    }
+}
+
 /// Compute Fig 2.
 pub fn fig02(records: &[TestRecord]) -> Fig02 {
-    let rows = (5u8..=12)
-        .map(|v| {
-            let of = |tech: AccessTech| {
-                let bw: Vec<f64> = records
-                    .iter()
-                    .filter(|r| r.tech == tech && r.android_version == v)
-                    .map(|r| r.bandwidth_mbps)
-                    .collect();
-                mean(&bw)
-            };
-            (
-                v,
-                of(AccessTech::Cellular4g),
-                of(AccessTech::Cellular5g),
-                of(AccessTech::Wifi),
-            )
-        })
-        .collect();
-    Fig02 { rows }
+    accum::run(Fig02Acc::new(), records)
 }
 
 impl Render for Fig02 {
@@ -122,28 +210,53 @@ pub struct Fig03 {
     pub rows: Vec<(Isp, f64, f64, f64)>,
 }
 
+/// Accumulator behind [`fig03`].
+#[derive(Debug, Clone, Default)]
+pub struct Fig03Acc {
+    /// `[isp][tech3]` sample vectors.
+    cells: [[Vec<f64>; 3]; 4],
+}
+
+impl Fig03Acc {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FigureAccumulator for Fig03Acc {
+    type Output = Fig03;
+
+    fn observe(&mut self, r: &RecordView<'_>) {
+        if let Some(t) = accum::tech3_index(r.tech) {
+            self.cells[accum::isp_index(r.isp)][t].push(r.bandwidth_mbps);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (mine, theirs) in self.cells.iter_mut().zip(other.cells) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                a.extend(b);
+            }
+        }
+    }
+
+    fn finish(self) -> Fig03 {
+        let rows = Isp::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &isp)| {
+                let cell = &self.cells[i];
+                (isp, mean(&cell[0]), mean(&cell[1]), mean(&cell[2]))
+            })
+            .collect();
+        Fig03 { rows }
+    }
+}
+
 /// Compute Fig 3.
 pub fn fig03(records: &[TestRecord]) -> Fig03 {
-    let rows = Isp::ALL
-        .iter()
-        .map(|&isp| {
-            let of = |tech: AccessTech| {
-                let bw: Vec<f64> = records
-                    .iter()
-                    .filter(|r| r.tech == tech && r.isp == isp)
-                    .map(|r| r.bandwidth_mbps)
-                    .collect();
-                mean(&bw)
-            };
-            (
-                isp,
-                of(AccessTech::Cellular4g),
-                of(AccessTech::Cellular5g),
-                of(AccessTech::Wifi),
-            )
-        })
-        .collect();
-    Fig03 { rows }
+    accum::run(Fig03Acc::new(), records)
 }
 
 impl Render for Fig03 {
@@ -205,6 +318,31 @@ mod tests {
             "overall cellular should rise: {:?}",
             fig.overall_cellular
         );
+    }
+
+    #[test]
+    fn fig01_merge_matches_single_pass() {
+        let (y20, y21) = populations();
+        let single = fig01(&y20, &y21);
+        // Split both populations in two and merge the halves.
+        let mut a = Fig01Acc::new();
+        let mut b = Fig01Acc::new();
+        let (y20a, y20b) = y20.split_at(y20.len() / 2);
+        let (y21a, y21b) = y21.split_at(y21.len() / 3);
+        for r in y20a {
+            a.observe_baseline(&r.into());
+        }
+        for r in y21a {
+            a.observe(&r.into());
+        }
+        for r in y20b {
+            b.observe_baseline(&r.into());
+        }
+        for r in y21b {
+            b.observe(&r.into());
+        }
+        a.merge(b);
+        assert_eq!(a.finish(), single);
     }
 
     #[test]

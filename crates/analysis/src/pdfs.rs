@@ -6,8 +6,9 @@
 //! module produces the histogram PDF and the GMM fitted from samples —
 //! the exact model Swiftest loads.
 
-use crate::{tech_bandwidths, Render};
-use mbw_dataset::{AccessTech, TestRecord, WifiStandard};
+use crate::accum::{self, FigureAccumulator};
+use crate::Render;
+use mbw_dataset::{AccessTech, RecordView, TestRecord, WifiStandard};
 use mbw_stats::{Gmm, Histogram};
 use std::fmt::Write as _;
 
@@ -42,26 +43,94 @@ fn pdf_figure(title: &'static str, bw: Vec<f64>, hi: f64, seed: u64) -> PdfFigur
     }
 }
 
+/// Which population a [`PdfAcc`] collects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PdfFilter {
+    Wifi5,
+    Tech(AccessTech),
+}
+
+/// Accumulator behind Figs 16, 18 and 19 — the filtered bandwidth
+/// vector; the histogram/GMM fit runs in `finish`.
+#[derive(Debug, Clone)]
+pub struct PdfAcc {
+    title: &'static str,
+    filter: PdfFilter,
+    hi: f64,
+    seed: u64,
+    bw: Vec<f64>,
+}
+
+impl PdfAcc {
+    /// Accumulator for [`fig16`] (WiFi 5 PDF).
+    pub fn fig16() -> Self {
+        Self {
+            title: "Fig 16: WiFi 5 bandwidth PDF",
+            filter: PdfFilter::Wifi5,
+            hi: 1000.0,
+            seed: 16,
+            bw: Vec::new(),
+        }
+    }
+
+    /// Accumulator for [`fig18`] (4G PDF).
+    pub fn fig18() -> Self {
+        Self {
+            title: "Fig 18: 4G bandwidth PDF",
+            filter: PdfFilter::Tech(AccessTech::Cellular4g),
+            hi: 500.0,
+            seed: 18,
+            bw: Vec::new(),
+        }
+    }
+
+    /// Accumulator for [`fig19`] (5G PDF).
+    pub fn fig19() -> Self {
+        Self {
+            title: "Fig 19: 5G bandwidth PDF",
+            filter: PdfFilter::Tech(AccessTech::Cellular5g),
+            hi: 1000.0,
+            seed: 19,
+            bw: Vec::new(),
+        }
+    }
+}
+
+impl FigureAccumulator for PdfAcc {
+    type Output = PdfFigure;
+
+    fn observe(&mut self, r: &RecordView<'_>) {
+        let matches = match self.filter {
+            PdfFilter::Wifi5 => r.wifi().map(|w| w.standard) == Some(WifiStandard::Wifi5),
+            PdfFilter::Tech(t) => r.tech == t,
+        };
+        if matches {
+            self.bw.push(r.bandwidth_mbps);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.bw.extend(other.bw);
+    }
+
+    fn finish(self) -> PdfFigure {
+        pdf_figure(self.title, self.bw, self.hi, self.seed)
+    }
+}
+
 /// Fig 16: WiFi 5 bandwidth PDF (modes at the 100/300/500 Mbps plans).
 pub fn fig16(records: &[TestRecord]) -> PdfFigure {
-    let bw: Vec<f64> = records
-        .iter()
-        .filter(|r| r.wifi().map(|w| w.standard) == Some(WifiStandard::Wifi5))
-        .map(|r| r.bandwidth_mbps)
-        .collect();
-    pdf_figure("Fig 16: WiFi 5 bandwidth PDF", bw, 1000.0, 16)
+    accum::run(PdfAcc::fig16(), records)
 }
 
 /// Fig 18: 4G bandwidth PDF.
 pub fn fig18(records: &[TestRecord]) -> PdfFigure {
-    let bw = tech_bandwidths(records, AccessTech::Cellular4g);
-    pdf_figure("Fig 18: 4G bandwidth PDF", bw, 500.0, 18)
+    accum::run(PdfAcc::fig18(), records)
 }
 
 /// Fig 19: 5G bandwidth PDF.
 pub fn fig19(records: &[TestRecord]) -> PdfFigure {
-    let bw = tech_bandwidths(records, AccessTech::Cellular5g);
-    pdf_figure("Fig 19: 5G bandwidth PDF", bw, 1000.0, 19)
+    accum::run(PdfAcc::fig19(), records)
 }
 
 impl Render for PdfFigure {
@@ -142,6 +211,25 @@ mod tests {
             .map(|(_, d)| d * fig.histogram.bin_width())
             .sum();
         assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_halves_match_single_pass() {
+        let records = y2021(90_000, 409);
+        let (a, b) = records.split_at(records.len() / 2);
+        let mut left = PdfAcc::fig19();
+        let mut right = PdfAcc::fig19();
+        for r in a {
+            left.observe(&r.into());
+        }
+        for r in b {
+            right.observe(&r.into());
+        }
+        left.merge(right);
+        let merged = left.finish();
+        let single = fig19(&records);
+        assert_eq!(merged.n, single.n);
+        assert_eq!(merged.histogram.pdf(), single.histogram.pdf());
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! via [`OutcomeClass`]), so the analysis side can report failure rates
 //! per technology and the modelling side can decide what to exclude.
 
+use crate::accum::{self, FigureAccumulator};
 use crate::Render;
-use mbw_dataset::{AccessTech, OutcomeClass, TestRecord};
+use mbw_dataset::{AccessTech, OutcomeClass, RecordView, TestRecord};
 use std::fmt::Write as _;
 
 /// Per-technology outcome tallies.
@@ -34,21 +35,25 @@ pub struct OutcomeRates {
     pub overall: OutcomeRow,
 }
 
-fn tally(records: &[TestRecord], tech: Option<AccessTech>) -> OutcomeRow {
-    let mut counts = [0u64; 3];
-    let mut total = 0u64;
-    for r in records {
-        if tech.is_some_and(|t| r.tech != t) {
-            continue;
-        }
-        total += 1;
-        let slot = match r.outcome {
-            OutcomeClass::Complete => 0,
-            OutcomeClass::Degraded => 1,
-            OutcomeClass::Failed => 2,
-        };
-        counts[slot] += 1;
+/// The per-technology tally order: the three figure technologies first
+/// (they become rows), 3G last (it only feeds the pooled totals).
+const TALLY_TECHS: [AccessTech; 4] = [
+    AccessTech::Cellular4g,
+    AccessTech::Cellular5g,
+    AccessTech::Wifi,
+    AccessTech::Cellular3g,
+];
+
+fn outcome_slot(outcome: OutcomeClass) -> usize {
+    match outcome {
+        OutcomeClass::Complete => 0,
+        OutcomeClass::Degraded => 1,
+        OutcomeClass::Failed => 2,
     }
+}
+
+fn row_from(tech: AccessTech, counts: [u64; 3]) -> OutcomeRow {
+    let total: u64 = counts.iter().sum();
     let frac = |c: u64| {
         if total == 0 {
             0.0
@@ -57,7 +62,7 @@ fn tally(records: &[TestRecord], tech: Option<AccessTech>) -> OutcomeRow {
         }
     };
     OutcomeRow {
-        tech: tech.unwrap_or(AccessTech::Wifi),
+        tech,
         total,
         complete: frac(counts[0]),
         degraded: frac(counts[1]),
@@ -65,22 +70,61 @@ fn tally(records: &[TestRecord], tech: Option<AccessTech>) -> OutcomeRow {
     }
 }
 
+/// Accumulator behind [`outcome_rates`] — pure counters, fully
+/// order-independent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OutcomeRatesAcc {
+    /// `[tech in TALLY_TECHS order][outcome slot]`.
+    counts: [[u64; 3]; 4],
+}
+
+impl OutcomeRatesAcc {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FigureAccumulator for OutcomeRatesAcc {
+    type Output = OutcomeRates;
+
+    fn observe(&mut self, r: &RecordView<'_>) {
+        if let Some(i) = TALLY_TECHS.iter().position(|&t| t == r.tech) {
+            self.counts[i][outcome_slot(r.outcome)] += 1;
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                *a += b;
+            }
+        }
+    }
+
+    fn finish(self) -> OutcomeRates {
+        let rows = TALLY_TECHS[..3]
+            .iter()
+            .zip(self.counts)
+            .map(|(&t, counts)| row_from(t, counts))
+            .filter(|row| row.total > 0)
+            .collect();
+        let mut pooled = [0u64; 3];
+        for counts in self.counts {
+            for (a, b) in pooled.iter_mut().zip(counts) {
+                *a += b;
+            }
+        }
+        OutcomeRates {
+            rows,
+            overall: row_from(AccessTech::Wifi, pooled),
+        }
+    }
+}
+
 /// Compute outcome rates per technology and pooled.
 pub fn outcome_rates(records: &[TestRecord]) -> OutcomeRates {
-    let techs = [
-        AccessTech::Cellular4g,
-        AccessTech::Cellular5g,
-        AccessTech::Wifi,
-    ];
-    let rows = techs
-        .iter()
-        .map(|&t| tally(records, Some(t)))
-        .filter(|row| row.total > 0)
-        .collect();
-    OutcomeRates {
-        rows,
-        overall: tally(records, None),
-    }
+    accum::run(OutcomeRatesAcc::new(), records)
 }
 
 impl Render for OutcomeRates {
@@ -158,6 +202,19 @@ mod tests {
         let text = rates.render();
         assert!(text.contains("complete"), "{text}");
         assert!(text.lines().count() >= 5, "{text}");
+
+        // Merged shards agree exactly with the single pass.
+        let (a, b) = records.split_at(records.len() / 2);
+        let mut left = OutcomeRatesAcc::new();
+        let mut right = OutcomeRatesAcc::new();
+        for r in a {
+            left.observe(&r.into());
+        }
+        for r in b {
+            right.observe(&r.into());
+        }
+        left.merge(right);
+        assert_eq!(left.finish(), rates);
     }
 
     #[test]

@@ -1,0 +1,518 @@
+//! The fused single-pass figure sweep.
+//!
+//! [`FigureSet`] bundles one accumulator per paper figure; [`sweep`]
+//! drives the whole set over the two yearly populations in **one pass
+//! per population** — instead of the legacy one-pass-per-figure — and
+//! optionally shards that pass across threads with crossbeam scoped
+//! workers. Each worker folds a contiguous chunk of the population into
+//! its own [`FigureSet`]; chunks are merged back in population order,
+//! so the result is byte-identical to the single-threaded pass (see the
+//! determinism contract in [`crate::accum`]) and independent of the
+//! thread count.
+//!
+//! Populations can be row-major slices (`&[TestRecord]`) or columnar
+//! [`Dataset`]s — both implement [`RecordSource`], and the figure code
+//! only ever sees [`RecordView`]s.
+
+use crate::accum::FigureAccumulator;
+use crate::cellular::{
+    CdfFigure, Fig04, Fig04Acc, Fig07Acc, Fig10, Fig10Acc, LteBandAcc, LteBandFigure, LteRssAcc,
+    NrBandAcc, NrBandFigure, RssAcc, RssFigure,
+};
+use crate::devices::{HardwareIllusion, HardwareIllusionAcc};
+use crate::general::{
+    Correlations, CorrelationsAcc, DatasetSummary, DatasetSummaryAcc, EmptyPopulation,
+    SameGroupAcc, SameGroupDecline, SpatialAcc, SpatialDisparity, UrbanRuralAcc, UrbanRuralGap,
+};
+use crate::overview::{Fig01, Fig01Acc, Fig02, Fig02Acc, Fig03, Fig03Acc};
+use crate::pdfs::{PdfAcc, PdfFigure};
+use crate::robustness::{OutcomeRates, OutcomeRatesAcc};
+use crate::tables::{Table1, Table2};
+use crate::wifi::{SlowPlanAcc, WifiAcc, WifiCdfFigure};
+use crate::Render;
+use mbw_dataset::{AccessTech, Dataset, RecordView, TestRecord};
+use std::ops::Range;
+
+/// A population the sweep can walk: row-major slices and columnar
+/// datasets both qualify, and both hand the figure code [`RecordView`]s.
+pub trait RecordSource: Sync {
+    /// Number of records.
+    fn len(&self) -> usize;
+
+    /// Whether the population is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visit `range` in order.
+    fn for_each_in<F: FnMut(&RecordView<'_>)>(&self, range: Range<usize>, f: F);
+}
+
+impl RecordSource for [TestRecord] {
+    fn len(&self) -> usize {
+        <[TestRecord]>::len(self)
+    }
+
+    fn for_each_in<F: FnMut(&RecordView<'_>)>(&self, range: Range<usize>, mut f: F) {
+        for r in &self[range] {
+            f(&RecordView::from(r));
+        }
+    }
+}
+
+impl RecordSource for Dataset {
+    fn len(&self) -> usize {
+        Dataset::len(self)
+    }
+
+    fn for_each_in<F: FnMut(&RecordView<'_>)>(&self, range: Range<usize>, mut f: F) {
+        for i in range {
+            f(&self.view(i));
+        }
+    }
+}
+
+/// One accumulator per measurement figure — the state of a fused sweep.
+#[derive(Debug)]
+pub struct FigureSet {
+    fig01: Fig01Acc,
+    fig02: Fig02Acc,
+    fig03: Fig03Acc,
+    fig04: Fig04Acc,
+    fig05_06: LteBandAcc,
+    fig07: Fig07Acc,
+    fig08_09: NrBandAcc,
+    fig10: Fig10Acc,
+    fig11_12: RssAcc,
+    lte_rss: LteRssAcc,
+    fig13: WifiAcc,
+    fig14: WifiAcc,
+    fig15: WifiAcc,
+    slow_plan: SlowPlanAcc,
+    fig16: PdfAcc,
+    fig18: PdfAcc,
+    fig19: PdfAcc,
+    spatial: SpatialAcc,
+    urban_rural: UrbanRuralAcc,
+    same_group: SameGroupAcc,
+    correlations: CorrelationsAcc,
+    summary: DatasetSummaryAcc,
+    devices: [HardwareIllusionAcc; 3],
+    outcomes: OutcomeRatesAcc,
+}
+
+impl FigureSet {
+    /// A fresh set of empty accumulators.
+    pub fn new() -> Self {
+        Self {
+            fig01: Fig01Acc::new(),
+            fig02: Fig02Acc::new(),
+            fig03: Fig03Acc::new(),
+            fig04: Fig04Acc::new(),
+            fig05_06: LteBandAcc::new(),
+            fig07: Fig07Acc::new(),
+            fig08_09: NrBandAcc::new(),
+            fig10: Fig10Acc::new(),
+            fig11_12: RssAcc::new(),
+            lte_rss: LteRssAcc::new(),
+            fig13: WifiAcc::fig13(),
+            fig14: WifiAcc::fig14(),
+            fig15: WifiAcc::fig15(),
+            slow_plan: SlowPlanAcc::new(),
+            fig16: PdfAcc::fig16(),
+            fig18: PdfAcc::fig18(),
+            fig19: PdfAcc::fig19(),
+            spatial: SpatialAcc::new(),
+            urban_rural: UrbanRuralAcc::new(),
+            same_group: SameGroupAcc::new(),
+            correlations: CorrelationsAcc::new(),
+            summary: DatasetSummaryAcc::new(),
+            devices: [
+                HardwareIllusionAcc::new(AccessTech::Cellular4g),
+                HardwareIllusionAcc::new(AccessTech::Cellular5g),
+                HardwareIllusionAcc::new(AccessTech::Wifi),
+            ],
+            outcomes: OutcomeRatesAcc::new(),
+        }
+    }
+
+    /// Fold one record of the *baseline* (2020) population. Only the
+    /// two year-over-year figures consume the baseline.
+    pub fn observe_baseline(&mut self, r: &RecordView<'_>) {
+        self.fig01.observe_baseline(r);
+        self.same_group.observe_baseline(r);
+    }
+
+    /// Fold one record of the *current* (2021) population into every
+    /// accumulator.
+    pub fn observe(&mut self, r: &RecordView<'_>) {
+        self.fig01.observe(r);
+        self.fig02.observe(r);
+        self.fig03.observe(r);
+        self.fig04.observe(r);
+        self.fig05_06.observe(r);
+        self.fig07.observe(r);
+        self.fig08_09.observe(r);
+        self.fig10.observe(r);
+        self.fig11_12.observe(r);
+        self.lte_rss.observe(r);
+        self.fig13.observe(r);
+        self.fig14.observe(r);
+        self.fig15.observe(r);
+        self.slow_plan.observe(r);
+        self.fig16.observe(r);
+        self.fig18.observe(r);
+        self.fig19.observe(r);
+        self.spatial.observe(r);
+        self.urban_rural.observe(r);
+        self.same_group.observe(r);
+        self.correlations.observe(r);
+        self.summary.observe(r);
+        for d in &mut self.devices {
+            d.observe(r);
+        }
+        self.outcomes.observe(r);
+    }
+
+    /// Fold in a sibling set whose records come after this set's.
+    pub fn merge(&mut self, other: Self) {
+        self.fig01.merge(other.fig01);
+        self.fig02.merge(other.fig02);
+        self.fig03.merge(other.fig03);
+        self.fig04.merge(other.fig04);
+        self.fig05_06.merge(other.fig05_06);
+        self.fig07.merge(other.fig07);
+        self.fig08_09.merge(other.fig08_09);
+        self.fig10.merge(other.fig10);
+        self.fig11_12.merge(other.fig11_12);
+        self.lte_rss.merge(other.lte_rss);
+        self.fig13.merge(other.fig13);
+        self.fig14.merge(other.fig14);
+        self.fig15.merge(other.fig15);
+        self.slow_plan.merge(other.slow_plan);
+        self.fig16.merge(other.fig16);
+        self.fig18.merge(other.fig18);
+        self.fig19.merge(other.fig19);
+        self.spatial.merge(other.spatial);
+        self.urban_rural.merge(other.urban_rural);
+        self.same_group.merge(other.same_group);
+        self.correlations.merge(other.correlations);
+        self.summary.merge(other.summary);
+        let [d4, d5, dw] = other.devices;
+        let [s4, s5, sw] = &mut self.devices;
+        s4.merge(d4);
+        s5.merge(d5);
+        sw.merge(dw);
+        self.outcomes.merge(other.outcomes);
+    }
+
+    /// Produce every finished figure.
+    pub fn finish(self) -> MeasurementFigures {
+        let [d4, d5, dw] = self.devices;
+        MeasurementFigures {
+            table1: Table1,
+            table2: Table2,
+            fig01: self.fig01.finish(),
+            fig02: self.fig02.finish(),
+            fig03: self.fig03.finish(),
+            fig04: self.fig04.finish(),
+            fig05_06: self.fig05_06.finish(),
+            fig07: self.fig07.finish(),
+            fig08_09: self.fig08_09.finish(),
+            fig10: self.fig10.finish(),
+            fig11_12: self.fig11_12.finish(),
+            lte_rss: self.lte_rss.finish(),
+            fig13: self.fig13.finish(),
+            fig14: self.fig14.finish(),
+            fig15: self.fig15.finish(),
+            slow_plan_shares: self.slow_plan.finish(),
+            fig16: self.fig16.finish(),
+            fig18: self.fig18.finish(),
+            fig19: self.fig19.finish(),
+            spatial: self.spatial.finish(),
+            urban_rural: self.urban_rural.finish(),
+            same_group: self.same_group.finish(),
+            correlations: self.correlations.finish(),
+            summary: self.summary.finish(),
+            devices: [d4.finish(), d5.finish(), dw.finish()],
+            outcomes: self.outcomes.finish(),
+        }
+    }
+}
+
+impl Default for FigureSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Every measurement figure of the paper, produced by one fused sweep.
+#[derive(Debug, Clone)]
+pub struct MeasurementFigures {
+    /// Table 1 (static band data).
+    pub table1: Table1,
+    /// Table 2 (static band data).
+    pub table2: Table2,
+    /// Fig 1: year-over-year technology means.
+    pub fig01: Fig01,
+    /// Fig 2: per-Android-version means.
+    pub fig02: Fig02,
+    /// Fig 3: per-ISP means.
+    pub fig03: Fig03,
+    /// Fig 4: 4G bandwidth CDF with tail fractions.
+    pub fig04: Fig04,
+    /// Figs 5–6: per-LTE-band means and counts.
+    pub fig05_06: LteBandFigure,
+    /// Fig 7: 5G bandwidth CDF.
+    pub fig07: CdfFigure,
+    /// Figs 8–9: per-NR-band means and counts.
+    pub fig08_09: NrBandFigure,
+    /// Fig 10: 5G diurnal pattern.
+    pub fig10: Fig10,
+    /// Figs 11–12: 5G RSS level vs SNR and bandwidth.
+    pub fig11_12: RssFigure,
+    /// §3.3 cross-check: 4G per-RSS-level means.
+    pub lte_rss: Vec<(u8, f64)>,
+    /// Fig 13: WiFi CDFs, all bands.
+    pub fig13: WifiCdfFigure,
+    /// Fig 14: WiFi CDFs, 2.4 GHz.
+    pub fig14: WifiCdfFigure,
+    /// Fig 15: WiFi CDFs, 5 GHz.
+    pub fig15: WifiCdfFigure,
+    /// §3.4: share of WiFi users on ≤200 Mbps plans (overall, WiFi 6).
+    pub slow_plan_shares: (f64, f64),
+    /// Fig 16: WiFi 5 bandwidth PDF.
+    pub fig16: PdfFigure,
+    /// Fig 18: 4G bandwidth PDF.
+    pub fig18: PdfFigure,
+    /// Fig 19: 5G bandwidth PDF.
+    pub fig19: PdfFigure,
+    /// §3.1 spatial disparity.
+    pub spatial: SpatialDisparity,
+    /// §3.1 urban/rural gaps.
+    pub urban_rural: UrbanRuralGap,
+    /// §3.1 same-user-group decline.
+    pub same_group: SameGroupDecline,
+    /// §3 correlation summary.
+    pub correlations: Correlations,
+    /// §3.1 dataset summary (error on an empty population).
+    pub summary: Result<DatasetSummary, EmptyPopulation>,
+    /// Hardware-illusion decomposition for 4G, 5G, WiFi.
+    pub devices: [HardwareIllusion; 3],
+    /// Test-outcome rates per technology.
+    pub outcomes: OutcomeRates,
+}
+
+/// Every id [`MeasurementFigures::render`] understands, in paper order.
+pub const SWEEP_IDS: [&str; 24] = [
+    "table1",
+    "table2",
+    "fig01",
+    "fig02",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig18",
+    "fig19",
+    "general",
+    "devices",
+    "summary",
+    "robustness",
+];
+
+impl MeasurementFigures {
+    /// Render one figure by the same ids the `figures` binary uses
+    /// (`table1`, `fig01` … `fig19`, `general`, `devices`, `summary`,
+    /// `robustness`). Returns `None` for unknown ids.
+    pub fn render(&self, id: &str) -> Option<String> {
+        Some(match id {
+            "table1" => self.table1.render(),
+            "table2" => self.table2.render(),
+            "fig01" => self.fig01.render(),
+            "fig02" => self.fig02.render(),
+            "fig03" => self.fig03.render(),
+            "fig04" => self.fig04.render(),
+            "fig05" | "fig06" => self.fig05_06.render(),
+            "fig07" => self.fig07.render(),
+            "fig08" | "fig09" => self.fig08_09.render(),
+            "fig10" => self.fig10.render(),
+            "fig11" | "fig12" => self.fig11_12.render(),
+            "fig13" => self.fig13.render(),
+            "fig14" => self.fig14.render(),
+            "fig15" => self.fig15.render(),
+            "fig16" => self.fig16.render(),
+            "fig18" => self.fig18.render(),
+            "fig19" => self.fig19.render(),
+            "general" => {
+                let mut s = self.spatial.render();
+                s.push_str(&self.urban_rural.render());
+                s.push_str(&self.same_group.render());
+                s.push_str(&self.correlations.render());
+                s
+            }
+            "devices" => {
+                let mut s = String::new();
+                for d in &self.devices {
+                    s.push_str(&d.render());
+                }
+                s
+            }
+            "summary" => self.summary.render(),
+            "robustness" => self.outcomes.render(),
+            _ => return None,
+        })
+    }
+}
+
+/// Split `len` items into `parts` contiguous chunks; chunk `i` of the
+/// split (earlier chunks absorb the remainder, so sizes differ by at
+/// most one).
+fn chunk_range(len: usize, parts: usize, i: usize) -> Range<usize> {
+    let base = len / parts;
+    let rem = len % parts;
+    let start = i * base + i.min(rem);
+    let size = base + usize::from(i < rem);
+    start..start + size
+}
+
+/// Run the fused sweep over the two populations.
+///
+/// `threads <= 1` runs in-place; otherwise the populations are split
+/// into `threads` contiguous chunk pairs, folded concurrently, and
+/// merged back in population order — the result is identical for every
+/// thread count.
+pub fn sweep<S: RecordSource + ?Sized>(
+    baseline: &S,
+    current: &S,
+    threads: usize,
+) -> MeasurementFigures {
+    let parts = threads.min(baseline.len().max(current.len()).max(1)).max(1);
+    if parts == 1 {
+        let mut set = FigureSet::new();
+        baseline.for_each_in(0..baseline.len(), |r| set.observe_baseline(r));
+        current.for_each_in(0..current.len(), |r| set.observe(r));
+        return set.finish();
+    }
+
+    let mut sets: Vec<Option<FigureSet>> = (0..parts).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (i, slot) in sets.iter_mut().enumerate() {
+            let b_range = chunk_range(baseline.len(), parts, i);
+            let c_range = chunk_range(current.len(), parts, i);
+            scope.spawn(move |_| {
+                let mut set = FigureSet::new();
+                baseline.for_each_in(b_range, |r| set.observe_baseline(r));
+                current.for_each_in(c_range, |r| set.observe(r));
+                *slot = Some(set);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    let mut sets = sets.into_iter().map(|s| s.expect("worker completed"));
+    let mut first = sets.next().expect("at least one chunk");
+    for set in sets {
+        first.merge(set);
+    }
+    first.finish()
+}
+
+/// [`sweep`] over row-major populations.
+pub fn sweep_records(
+    records_2020: &[TestRecord],
+    records_2021: &[TestRecord],
+    threads: usize,
+) -> MeasurementFigures {
+    sweep(records_2020, records_2021, threads)
+}
+
+/// [`sweep`] over columnar populations.
+pub fn sweep_datasets(baseline: &Dataset, current: &Dataset, threads: usize) -> MeasurementFigures {
+    sweep(baseline, current, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbw_dataset::{DatasetConfig, Generator, Year};
+
+    fn pops(tests: usize, seed: u64) -> (Vec<TestRecord>, Vec<TestRecord>) {
+        let make = |year| Generator::new(DatasetConfig { seed, tests, year }).generate();
+        (make(Year::Y2020), make(Year::Y2021))
+    }
+
+    #[test]
+    fn chunk_ranges_cover_everything_once() {
+        for len in [0usize, 1, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 8] {
+                let mut next = 0;
+                for i in 0..parts {
+                    let r = chunk_range(len, parts, i);
+                    assert_eq!(r.start, next, "len {len} parts {parts} chunk {i}");
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+            }
+        }
+    }
+
+    #[test]
+    fn every_sweep_id_renders() {
+        let (y20, y21) = pops(30_000, 901);
+        let figs = sweep_records(&y20, &y21, 1);
+        for id in SWEEP_IDS {
+            let text = figs.render(id).unwrap_or_else(|| panic!("unknown id {id}"));
+            assert!(text.len() > 20, "{id} rendered almost nothing");
+        }
+        assert!(figs.render("fig99").is_none());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_any_figure() {
+        let (y20, y21) = pops(40_000, 903);
+        let single = sweep_records(&y20, &y21, 1);
+        for threads in [2usize, 4, 7] {
+            let multi = sweep_records(&y20, &y21, threads);
+            for id in SWEEP_IDS {
+                assert_eq!(
+                    single.render(id),
+                    multi.render(id),
+                    "{id} differs at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_source_matches_row_major() {
+        let (y20, y21) = pops(25_000, 907);
+        let row = sweep_records(&y20, &y21, 2);
+        let col = sweep_datasets(
+            &Dataset::from_records(&y20),
+            &Dataset::from_records(&y21),
+            2,
+        );
+        for id in SWEEP_IDS {
+            assert_eq!(row.render(id), col.render(id), "{id} differs");
+        }
+    }
+
+    #[test]
+    fn empty_population_reports_typed_summary_error() {
+        let figs = sweep_records(&[], &[], 4);
+        assert!(figs.summary.is_err());
+        assert!(figs.render("summary").unwrap().contains("empty"));
+        assert!(figs.render("table1").is_some());
+    }
+}

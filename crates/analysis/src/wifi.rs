@@ -6,8 +6,9 @@
 //! comes from WiFi 4 users sitting on 2.4 GHz, and the remaining gap to
 //! advertised speeds comes from the wired plans behind the APs.
 
+use crate::accum::{self, FigureAccumulator};
 use crate::Render;
-use mbw_dataset::{TestRecord, WifiStandard};
+use mbw_dataset::{RecordView, TestRecord, WifiStandard};
 use mbw_stats::Ecdf;
 use std::fmt::Write as _;
 
@@ -36,75 +37,106 @@ pub struct CdfSummary {
     pub share: f64,
 }
 
-fn wifi_series(
+/// Accumulator behind Figs 13–15 — per-standard bandwidth vectors over
+/// one radio-band filter.
+#[derive(Debug, Clone)]
+pub struct WifiAcc {
     title: &'static str,
-    records: &[TestRecord],
-    band_filter: Option<bool>, // Some(true)=5 GHz only, Some(false)=2.4 only
-) -> WifiCdfFigure {
-    let total: usize = records
-        .iter()
-        .filter(|r| {
-            r.wifi()
-                .map_or(false, |w| band_filter.map_or(true, |g5| w.on_5ghz == g5))
-        })
-        .count();
-    let mut series = Vec::new();
-    for std in WifiStandard::ALL {
-        if band_filter == Some(false) && !std.supports_24ghz() {
-            continue; // WiFi 5 has no 2.4 GHz presence
+    /// `Some(true)` = 5 GHz only, `Some(false)` = 2.4 GHz only.
+    band_filter: Option<bool>,
+    /// WiFi tests matching the band filter, any standard.
+    total: usize,
+    per_std: Vec<Vec<f64>>,
+}
+
+impl WifiAcc {
+    fn new(title: &'static str, band_filter: Option<bool>) -> Self {
+        Self {
+            title,
+            band_filter,
+            total: 0,
+            per_std: vec![Vec::new(); WifiStandard::ALL.len()],
         }
-        let bw: Vec<f64> = records
-            .iter()
-            .filter(|r| {
-                r.wifi().map_or(false, |w| {
-                    w.standard == std && band_filter.map_or(true, |g5| w.on_5ghz == g5)
-                })
-            })
-            .map(|r| r.bandwidth_mbps)
-            .collect();
-        if bw.is_empty() {
-            continue;
-        }
-        let ecdf = Ecdf::new(&bw);
-        series.push((
-            std,
-            CdfSummary {
-                mean: ecdf.mean(),
-                median: ecdf.median(),
-                max: ecdf.max(),
-                share: bw.len() as f64 / total.max(1) as f64,
-                ecdf,
-            },
-        ));
     }
-    WifiCdfFigure { title, series }
+
+    /// Accumulator for [`fig13`] (all bands).
+    pub fn fig13() -> Self {
+        Self::new("Fig 13: WiFi bandwidth distribution (all bands)", None)
+    }
+
+    /// Accumulator for [`fig14`] (2.4 GHz).
+    pub fn fig14() -> Self {
+        Self::new("Fig 14: WiFi bandwidth distribution (2.4 GHz)", Some(false))
+    }
+
+    /// Accumulator for [`fig15`] (5 GHz).
+    pub fn fig15() -> Self {
+        Self::new("Fig 15: WiFi bandwidth distribution (5 GHz)", Some(true))
+    }
+}
+
+impl FigureAccumulator for WifiAcc {
+    type Output = WifiCdfFigure;
+
+    fn observe(&mut self, r: &RecordView<'_>) {
+        let Some(w) = r.wifi() else { return };
+        if !self.band_filter.map_or(true, |g5| w.on_5ghz == g5) {
+            return;
+        }
+        self.total += 1;
+        if let Some(i) = WifiStandard::ALL.iter().position(|&s| s == w.standard) {
+            self.per_std[i].push(r.bandwidth_mbps);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.total += other.total;
+        for (a, b) in self.per_std.iter_mut().zip(other.per_std) {
+            a.extend(b);
+        }
+    }
+
+    fn finish(self) -> WifiCdfFigure {
+        let mut series = Vec::new();
+        for (std, bw) in WifiStandard::ALL.into_iter().zip(&self.per_std) {
+            if self.band_filter == Some(false) && !std.supports_24ghz() {
+                continue; // WiFi 5 has no 2.4 GHz presence
+            }
+            if bw.is_empty() {
+                continue;
+            }
+            let ecdf = Ecdf::new(bw);
+            series.push((
+                std,
+                CdfSummary {
+                    mean: ecdf.mean(),
+                    median: ecdf.median(),
+                    max: ecdf.max(),
+                    share: bw.len() as f64 / self.total.max(1) as f64,
+                    ecdf,
+                },
+            ));
+        }
+        WifiCdfFigure {
+            title: self.title,
+            series,
+        }
+    }
 }
 
 /// Fig 13: all WiFi tests, per standard.
 pub fn fig13(records: &[TestRecord]) -> WifiCdfFigure {
-    wifi_series(
-        "Fig 13: WiFi bandwidth distribution (all bands)",
-        records,
-        None,
-    )
+    accum::run(WifiAcc::fig13(), records)
 }
 
 /// Fig 14: the 2.4 GHz subset (WiFi 4 and 6 only).
 pub fn fig14(records: &[TestRecord]) -> WifiCdfFigure {
-    wifi_series(
-        "Fig 14: WiFi bandwidth distribution (2.4 GHz)",
-        records,
-        Some(false),
-    )
+    accum::run(WifiAcc::fig14(), records)
 }
 
 /// Fig 15: the 5 GHz subset.
 pub fn fig15(records: &[TestRecord]) -> WifiCdfFigure {
-    wifi_series(
-        "Fig 15: WiFi bandwidth distribution (5 GHz)",
-        records,
-        Some(true),
-    )
+    accum::run(WifiAcc::fig15(), records)
 }
 
 impl WifiCdfFigure {
@@ -138,19 +170,55 @@ impl Render for WifiCdfFigure {
     }
 }
 
+/// Accumulator behind [`slow_plan_shares`] — order-independent counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlowPlanAcc {
+    wifi_total: usize,
+    slow: usize,
+    w6_total: usize,
+    w6_slow: usize,
+}
+
+impl SlowPlanAcc {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FigureAccumulator for SlowPlanAcc {
+    type Output = (f64, f64);
+
+    fn observe(&mut self, r: &RecordView<'_>) {
+        let Some(w) = r.wifi() else { return };
+        let slow = w.plan_mbps <= 200.0;
+        self.wifi_total += 1;
+        self.slow += slow as usize;
+        if w.standard == WifiStandard::Wifi6 {
+            self.w6_total += 1;
+            self.w6_slow += slow as usize;
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.wifi_total += other.wifi_total;
+        self.slow += other.slow;
+        self.w6_total += other.w6_total;
+        self.w6_slow += other.w6_slow;
+    }
+
+    fn finish(self) -> (f64, f64) {
+        (
+            self.slow as f64 / self.wifi_total.max(1) as f64,
+            self.w6_slow as f64 / self.w6_total.max(1) as f64,
+        )
+    }
+}
+
 /// §3.4's wired-bottleneck statistic: share of WiFi users on plans
 /// ≤ 200 Mbps, overall and for WiFi 6.
 pub fn slow_plan_shares(records: &[TestRecord]) -> (f64, f64) {
-    let wifi: Vec<_> = records.iter().filter_map(|r| r.wifi()).collect();
-    let overall =
-        wifi.iter().filter(|w| w.plan_mbps <= 200.0).count() as f64 / wifi.len().max(1) as f64;
-    let w6: Vec<_> = wifi
-        .iter()
-        .filter(|w| w.standard == WifiStandard::Wifi6)
-        .collect();
-    let w6_slow =
-        w6.iter().filter(|w| w.plan_mbps <= 200.0).count() as f64 / w6.len().max(1) as f64;
-    (overall, w6_slow)
+    accum::run(SlowPlanAcc::new(), records)
 }
 
 #[cfg(test)]
@@ -219,6 +287,32 @@ mod tests {
         let (overall, w6) = slow_plan_shares(&records);
         assert!((overall - 0.64).abs() < 0.06, "overall {overall}");
         assert!((w6 - 0.39).abs() < 0.06, "wifi6 {w6}");
+    }
+
+    #[test]
+    fn merged_halves_match_single_pass() {
+        let records = y2021(80_000, 317);
+        let (a, b) = records.split_at(records.len() / 2);
+        for make in [WifiAcc::fig13, WifiAcc::fig14, WifiAcc::fig15] {
+            let mut left = make();
+            let mut right = make();
+            for r in a {
+                left.observe(&r.into());
+            }
+            for r in b {
+                right.observe(&r.into());
+            }
+            left.merge(right);
+            let merged = left.finish();
+            let single = accum::run(make(), &records);
+            assert_eq!(merged.series.len(), single.series.len());
+            for ((s1, c1), (s2, c2)) in merged.series.iter().zip(&single.series) {
+                assert_eq!(s1, s2);
+                assert_eq!(c1.mean, c2.mean);
+                assert_eq!(c1.median, c2.median);
+                assert_eq!(c1.share, c2.share);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! The fused single-pass sweep is byte-identical to the legacy
+//! one-pass-per-figure pipeline on a 100k-record population, for every
+//! figure id and for any worker thread count.
+
+use mbw_analysis::sweep::{sweep_records, SWEEP_IDS};
+use mbw_analysis::{cellular, devices, general, overview, pdfs, robustness, tables, wifi, Render};
+use mbw_dataset::{AccessTech, DatasetConfig, Generator, TestRecord, Year};
+
+fn pops(tests: usize, seed: u64) -> (Vec<TestRecord>, Vec<TestRecord>) {
+    let make = |year| Generator::new(DatasetConfig { seed, tests, year }).generate();
+    (make(Year::Y2020), make(Year::Y2021))
+}
+
+/// The pre-sweep pipeline: one figure function per id, each walking the
+/// population on its own.
+fn legacy_render(id: &str, y20: &[TestRecord], y21: &[TestRecord]) -> String {
+    match id {
+        "table1" => tables::Table1.render(),
+        "table2" => tables::Table2.render(),
+        "fig01" => overview::fig01(y20, y21).render(),
+        "fig02" => overview::fig02(y21).render(),
+        "fig03" => overview::fig03(y21).render(),
+        "fig04" => cellular::fig04(y21).render(),
+        "fig05" | "fig06" => cellular::fig05_06(y21).render(),
+        "fig07" => cellular::fig07(y21).render(),
+        "fig08" | "fig09" => cellular::fig08_09(y21).render(),
+        "fig10" => cellular::fig10(y21).render(),
+        "fig11" | "fig12" => cellular::fig11_12(y21).render(),
+        "fig13" => wifi::fig13(y21).render(),
+        "fig14" => wifi::fig14(y21).render(),
+        "fig15" => wifi::fig15(y21).render(),
+        "fig16" => pdfs::fig16(y21).render(),
+        "fig18" => pdfs::fig18(y21).render(),
+        "fig19" => pdfs::fig19(y21).render(),
+        "general" => {
+            let mut s = general::spatial_disparity(y21).render();
+            s.push_str(&general::urban_rural_gap(y21).render());
+            s.push_str(&general::same_group_decline(y20, y21).render());
+            s.push_str(&general::correlations(y21).render());
+            s
+        }
+        "devices" => {
+            let mut s = String::new();
+            for tech in [
+                AccessTech::Cellular4g,
+                AccessTech::Cellular5g,
+                AccessTech::Wifi,
+            ] {
+                s.push_str(&devices::hardware_illusion(y21, tech).render());
+            }
+            s
+        }
+        "summary" => general::dataset_summary(y21).render(),
+        "robustness" => robustness::outcome_rates(y21).render(),
+        other => panic!("no legacy mapping for {other}"),
+    }
+}
+
+#[test]
+fn fused_sweep_reproduces_every_legacy_figure_at_100k() {
+    let (y20, y21) = pops(100_000, 0x100E);
+    let legacy: Vec<(&str, String)> = SWEEP_IDS
+        .iter()
+        .map(|&id| (id, legacy_render(id, &y20, &y21)))
+        .collect();
+
+    for threads in [1usize, 4] {
+        let figs = sweep_records(&y20, &y21, threads);
+        for (id, expected) in &legacy {
+            let fused = figs.render(id).unwrap_or_else(|| panic!("unknown id {id}"));
+            assert_eq!(
+                &fused, expected,
+                "{id} diverged from the legacy pipeline at {threads} thread(s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_also_matches_on_skewed_chunk_boundaries() {
+    // A population size that doesn't divide evenly across workers, so
+    // merge order and remainder handling are both exercised.
+    let (y20, y21) = pops(10_007, 0xB0B);
+    let legacy = legacy_render("general", &y20, &y21);
+    for threads in [3usize, 5, 13] {
+        let figs = sweep_records(&y20, &y21, threads);
+        assert_eq!(
+            figs.render("general").unwrap(),
+            legacy,
+            "general diverged at {threads} threads"
+        );
+    }
+}

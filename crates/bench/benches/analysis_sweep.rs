@@ -1,0 +1,114 @@
+//! Fused-sweep vs legacy per-figure analysis throughput at paper scale.
+//!
+//! Generates the two yearly populations (1M records each by default —
+//! override with `ANALYSIS_SWEEP_RECORDS`), then times three ways of
+//! producing every measurement figure:
+//!
+//! - `legacy` — the one-pass-per-figure functions, each distinct
+//!   computation run once (how the pipeline worked before the sweep);
+//! - `fused_1t` — the fused single-pass sweep, one worker;
+//! - `fused_nt` — the fused sweep sharded across all available cores.
+//!
+//! Each variant runs `ANALYSIS_SWEEP_ITERS` times (default 3) and the
+//! best wall time is kept (standard for throughput measurement). The
+//! result — times, records/s, and speedups — is written to
+//! `BENCH_analysis.json` and printed to stdout.
+
+use mbw_analysis::{robustness, Render};
+use mbw_bench::measurement::{self, Populations};
+use mbw_dataset::ShardPlan;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Ids covering every *distinct* legacy computation exactly once
+/// (fig05/fig06, fig08/fig09, fig11/fig12 share a pass, so one id each).
+const DISTINCT_LEGACY_IDS: [&str; 20] = [
+    "table1", "table2", "fig01", "fig02", "fig03", "fig04", "fig05", "fig07", "fig08", "fig10",
+    "fig11", "fig13", "fig14", "fig15", "fig16", "fig18", "fig19", "general", "devices", "summary",
+];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Best-of-`iters` wall time of `f`.
+fn time_best<T>(iters: usize, mut f: impl FnMut() -> T) -> Duration {
+    (0..iters.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed()
+        })
+        .min()
+        .expect("at least one iteration")
+}
+
+fn legacy_all(pops: &Populations) -> usize {
+    let mut rendered = 0;
+    for id in DISTINCT_LEGACY_IDS {
+        rendered += measurement::render_measurement(id, pops)
+            .expect("known id")
+            .len();
+    }
+    // The legacy path has no sweep renderer for the outcome tally; call
+    // the figure function directly so both paths cover the same set.
+    rendered + robustness::outcome_rates(&pops.y2021).render().len()
+}
+
+fn main() {
+    let records = env_usize("ANALYSIS_SWEEP_RECORDS", 1_000_000);
+    let iters = env_usize("ANALYSIS_SWEEP_ITERS", 3);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    eprintln!("generating {records} records per year ({threads} threads)...");
+    let pops = measurement::populations_with(records, 0xBE7C, ShardPlan::threads(threads));
+    let analyzed = pops.y2020.len() + pops.y2021.len();
+
+    eprintln!("timing legacy per-figure pipeline ({iters} iters)...");
+    let legacy = time_best(iters, || legacy_all(&pops));
+    eprintln!("timing fused sweep, 1 worker...");
+    let fused_1t = time_best(iters, || measurement::measurement_figures(&pops, 1));
+    eprintln!("timing fused sweep, {threads} workers...");
+    let fused_nt = time_best(iters, || measurement::measurement_figures(&pops, threads));
+
+    let rps = |d: Duration| analyzed as f64 / d.as_secs_f64().max(f64::MIN_POSITIVE);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"records_per_year\": {records},");
+    let _ = writeln!(json, "  \"records_analyzed\": {analyzed},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"iterations\": {iters},");
+    let _ = writeln!(json, "  \"legacy_seconds\": {},", legacy.as_secs_f64());
+    let _ = writeln!(json, "  \"fused_1t_seconds\": {},", fused_1t.as_secs_f64());
+    let _ = writeln!(json, "  \"fused_nt_seconds\": {},", fused_nt.as_secs_f64());
+    let _ = writeln!(json, "  \"legacy_records_per_second\": {},", rps(legacy));
+    let _ = writeln!(
+        json,
+        "  \"fused_1t_records_per_second\": {},",
+        rps(fused_1t)
+    );
+    let _ = writeln!(
+        json,
+        "  \"fused_nt_records_per_second\": {},",
+        rps(fused_nt)
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_fused_1t_vs_legacy\": {},",
+        legacy.as_secs_f64() / fused_1t.as_secs_f64().max(f64::MIN_POSITIVE)
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_fused_nt_vs_legacy\": {}",
+        legacy.as_secs_f64() / fused_nt.as_secs_f64().max(f64::MIN_POSITIVE)
+    );
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_analysis.json", &json).expect("write BENCH_analysis.json");
+    println!("{json}");
+}

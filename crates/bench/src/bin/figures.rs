@@ -1,17 +1,29 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! figures               # everything, full-size populations
-//! figures fig04 fig17   # selected experiments
-//! figures --quick       # everything, small populations (CI-sized)
+//! figures                          # everything, full-size populations
+//! figures fig04 fig17              # selected experiments
+//! figures --quick                  # everything, small populations (CI-sized)
+//! figures --records 2000000 \
+//!         --threads 8              # paper-scale dataset, 8 workers
+//! figures --out smoke-t4 ...       # write reports somewhere else
 //! ```
 //!
 //! Each experiment's text report is printed and written to
-//! `results/<id>.txt`.
+//! `<out>/<id>.txt` (default `results/`). The measurement figures are
+//! produced by the fused single-pass sweep: one pass per population
+//! regardless of how many figures are requested, sharded over
+//! `--threads` workers with byte-identical output for every thread
+//! count.
 
 use mbw_bench::{ablation, bts_eval, deploy_eval, fig17, measurement};
+use mbw_dataset::csv::CsvWriter;
+use mbw_dataset::{RecordView, ShardPlan};
+use mbw_telemetry::{PipelineMetrics, Registry};
 use std::fs;
-use std::path::Path;
+use std::io::BufWriter;
+use std::path::PathBuf;
+use std::time::Instant;
 
 struct Sizes {
     dataset: usize,
@@ -41,10 +53,11 @@ const ALL_IDS: [&str; 28] = [
 ];
 
 /// Extra (non-figure) reports.
-const EXTRA_IDS: [&str; 10] = [
+const EXTRA_IDS: [&str; 11] = [
     "general",
     "summary",
     "devices",
+    "robustness",
     "cost",
     "ablation_init",
     "ablation_converge",
@@ -54,51 +67,141 @@ const EXTRA_IDS: [&str; 10] = [
     "export_csv",
 ];
 
+/// How many rows `export_csv` writes (streamed, never materialised).
+const EXPORT_ROWS: usize = 10_000;
+
+struct Options {
+    quick: bool,
+    records: Option<usize>,
+    threads: usize,
+    out_dir: PathBuf,
+    selected: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        quick: false,
+        records: None,
+        threads: 1,
+        out_dir: PathBuf::from("results"),
+        selected: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--records" => {
+                let v = value("--records");
+                opts.records = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--records: not a record count: {v}");
+                    std::process::exit(2);
+                }));
+            }
+            "--threads" => {
+                let v = value("--threads");
+                let threads: usize = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads: not a thread count: {v}");
+                    std::process::exit(2);
+                });
+                opts.threads = threads.max(1);
+            }
+            "--out" => opts.out_dir = PathBuf::from(value("--out")),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+            other => opts.selected.push(other.to_string()),
+        }
+    }
+    opts
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let sizes = if quick { QUICK } else { FULL };
-    let selected: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .collect();
-    let ids: Vec<String> = if selected.is_empty() {
+    let opts = parse_args();
+    let sizes = if opts.quick { QUICK } else { FULL };
+    let dataset = opts.records.unwrap_or(sizes.dataset);
+    let ids: Vec<String> = if opts.selected.is_empty() {
         ALL_IDS
             .iter()
             .chain(EXTRA_IDS.iter())
             .map(|s| s.to_string())
             .collect()
     } else {
-        selected
+        opts.selected.clone()
     };
 
-    let out_dir = Path::new("results");
-    fs::create_dir_all(out_dir).expect("create results/");
+    fs::create_dir_all(&opts.out_dir).expect("create output dir");
 
-    // The measurement populations are shared by figs 1–16/18–19.
-    let needs_dataset = ids.iter().any(|id| {
-        measurement::MEASUREMENT_IDS.contains(&id.as_str())
-            || measurement::PDF_IDS.contains(&id.as_str())
-            || matches!(id.as_str(), "devices" | "export_csv" | "summary")
-    });
+    let registry = Registry::new();
+    let metrics = PipelineMetrics::register(&registry);
+
+    // The measurement populations are shared by figs 1–16/18–19; all
+    // those figures come out of one fused sweep.
+    let is_sweep_id = |id: &str| mbw_analysis::sweep::SWEEP_IDS.contains(&id);
+    let needs_dataset = ids.iter().any(|id| is_sweep_id(id) || id == "export_csv");
+    let needs_sweep = ids.iter().any(|id| is_sweep_id(id.as_str()));
     let pops = needs_dataset.then(|| {
-        eprintln!("generating {} records per year...", sizes.dataset);
-        measurement::populations(sizes.dataset, 0xDA7A)
+        eprintln!(
+            "generating {dataset} records per year ({} threads)...",
+            opts.threads
+        );
+        let t0 = Instant::now();
+        let pops = measurement::populations_with(dataset, 0xDA7A, ShardPlan::threads(opts.threads));
+        let elapsed = t0.elapsed();
+        let produced = (pops.y2020.len() + pops.y2021.len()) as u64;
+        metrics.observe_generated(produced, elapsed);
+        eprintln!(
+            "generated {produced} records in {elapsed:.2?} ({:.0} records/s)",
+            produced as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE)
+        );
+        pops
+    });
+    let figures = needs_sweep.then(|| {
+        let pops = pops.as_ref().expect("generated above");
+        let t0 = Instant::now();
+        let figs = measurement::measurement_figures(pops, opts.threads);
+        let elapsed = t0.elapsed();
+        let analyzed = (pops.y2020.len() + pops.y2021.len()) as u64;
+        metrics.observe_analyzed(analyzed, elapsed);
+        eprintln!(
+            "fused sweep over {analyzed} records in {elapsed:.2?} ({:.0} records/s)",
+            analyzed as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE)
+        );
+        figs
     });
 
     // Figs 23–25 share one run.
     let mut fig23_25_cache: Option<bts_eval::Fig23to25> = None;
 
     for id in &ids {
-        let text = match id.as_str() {
-            m if measurement::MEASUREMENT_IDS.contains(&m)
-                || measurement::PDF_IDS.contains(&m)
-                || matches!(m, "devices" | "export_csv" | "summary") =>
-            {
-                measurement::render_measurement(m, pops.as_ref().expect("generated above"))
-                    .expect("known measurement id")
+        if id == "export_csv" {
+            let pops = pops.as_ref().expect("generated above");
+            let path = opts.out_dir.join("export_csv.csv");
+            let file = fs::File::create(&path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
+            let mut writer = CsvWriter::new(BufWriter::new(file)).expect("write csv header");
+            let rows = pops.y2021.len().min(EXPORT_ROWS);
+            for r in &pops.y2021[..rows] {
+                writer
+                    .write_view(&RecordView::from(r))
+                    .expect("write csv row");
             }
+            writer.into_inner().expect("flush csv");
+            println!("──── {id} ─────────────────────────────────────────");
+            println!("({rows} rows written to {path:?})");
+            continue;
+        }
+        let text = match id.as_str() {
+            m if is_sweep_id(m) => figures
+                .as_ref()
+                .expect("swept above")
+                .render(m)
+                .expect("known measurement id"),
             "fig17" => fig17::fig17(sizes.fig17_paths, 0x17).render(),
             "fig20" => bts_eval::fig20(sizes.bts_tests, 0x20).render(),
             "fig21" => bts_eval::fig21(sizes.bts_tests, 0x21).render(),
@@ -129,14 +232,17 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        let ext = if id == "export_csv" { "csv" } else { "txt" };
-        let path = out_dir.join(format!("{id}.{ext}"));
+        let path = opts.out_dir.join(format!("{id}.txt"));
         fs::write(&path, &text).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
         println!("──── {id} ─────────────────────────────────────────");
-        if id == "export_csv" {
-            println!("({} rows written to {path:?})", text.lines().count() - 1);
-        } else {
-            println!("{text}");
-        }
+        println!("{text}");
+    }
+
+    if metrics.generated_total() > 0 {
+        eprintln!(
+            "pipeline totals: {} records generated, {} analyzed",
+            metrics.generated_total(),
+            metrics.analyzed_total()
+        );
     }
 }

@@ -20,6 +20,8 @@ use mbw_dataset::{
     Year,
 };
 use mbw_stats::{Gmm, SeededRng};
+use mbw_telemetry::PipelineMetrics;
+use std::time::Instant;
 
 /// Run `n` simulated Swiftest tests with the given model and wrap each
 /// result in the record the collection plugin would upload.
@@ -88,15 +90,51 @@ pub fn collect_records(tech: TechClass, model: &Gmm, n: usize, seed: u64) -> Vec
     records
 }
 
-/// One model-refresh iteration: collect → fit → return the new model.
-pub fn refresh_model(tech: TechClass, model: &Gmm, n: usize, seed: u64) -> Option<Gmm> {
+/// [`collect_records`], reporting the batch size and wall time to the
+/// pipeline's `records_generated_total` counter and throughput gauge.
+pub fn collect_records_metered(
+    tech: TechClass,
+    model: &Gmm,
+    n: usize,
+    seed: u64,
+    metrics: &PipelineMetrics,
+) -> Vec<TestRecord> {
+    let t0 = Instant::now();
     let records = collect_records(tech, model, n, seed);
+    metrics.observe_generated(records.len() as u64, t0.elapsed());
+    records
+}
+
+/// Fit the refreshed model from a collected batch.
+fn fit_refresh(records: &[TestRecord], seed: u64) -> Option<Gmm> {
     let bw: Vec<f64> = records
         .iter()
         .map(|r| r.bandwidth_mbps)
         .filter(|&b| b > 0.0)
         .collect();
     Gmm::fit_auto(&bw, 5, seed ^ 0xF17).ok()
+}
+
+/// One model-refresh iteration: collect → fit → return the new model.
+pub fn refresh_model(tech: TechClass, model: &Gmm, n: usize, seed: u64) -> Option<Gmm> {
+    let records = collect_records(tech, model, n, seed);
+    fit_refresh(&records, seed)
+}
+
+/// [`refresh_model`], reporting both pipeline stages to `metrics`: the
+/// collection batch as generated records, the fit as analyzed records.
+pub fn refresh_model_metered(
+    tech: TechClass,
+    model: &Gmm,
+    n: usize,
+    seed: u64,
+    metrics: &PipelineMetrics,
+) -> Option<Gmm> {
+    let records = collect_records_metered(tech, model, n, seed, metrics);
+    let t0 = Instant::now();
+    let fit = fit_refresh(&records, seed);
+    metrics.observe_analyzed(records.len() as u64, t0.elapsed());
+    fit
 }
 
 #[cfg(test)]
@@ -148,6 +186,23 @@ mod tests {
         );
         assert!(r.estimate_mbps > 0.0);
         assert!(r.duration.as_secs_f64() < 4.6);
+    }
+
+    #[test]
+    fn metered_refresh_reports_both_pipeline_stages() {
+        use mbw_telemetry::Registry;
+        let registry = Registry::new();
+        let metrics = PipelineMetrics::register(&registry);
+        let initial = TechClass::Nr.default_model();
+        let refreshed = refresh_model_metered(TechClass::Nr, &initial, 200, 5150, &metrics);
+        assert!(refreshed.is_some());
+        assert_eq!(metrics.generated_total(), 200);
+        assert_eq!(metrics.analyzed_total(), 200);
+        // Metered and unmetered refreshes are the same computation.
+        let plain = refresh_model(TechClass::Nr, &initial, 200, 5150).expect("fit");
+        let metered = refreshed.expect("fit");
+        assert_eq!(plain.mean(), metered.mean());
+        assert_eq!(plain.k(), metered.k());
     }
 
     #[test]

@@ -1,10 +1,20 @@
 //! Tables 1–2 and Figs 1–16 over the synthetic measurement dataset.
 //!
-//! A thin orchestration layer: generate the two yearly populations once
-//! and hand them to the `mbw-analysis` figure functions.
+//! A thin orchestration layer with two render paths:
+//!
+//! - [`populations`] / [`populations_with`] generate the two yearly
+//!   populations through the sharded parallel generator — the output is
+//!   a pure function of `(seed, tests, shard size)`, never of the
+//!   worker thread count.
+//! - [`measurement_figures`] folds both populations through the fused
+//!   single-pass sweep (`mbw_analysis::sweep`), producing every figure
+//!   at once; [`render_measurement`] is the legacy one-pass-per-figure
+//!   path, kept as the reference the sweep is tested against.
 
-use mbw_analysis::{cellular, devices, general, overview, pdfs, tables, wifi, Render};
-use mbw_dataset::{DatasetConfig, Generator, TestRecord, Year};
+use mbw_analysis::{
+    cellular, devices, general, overview, pdfs, tables, wifi, MeasurementFigures, Render,
+};
+use mbw_dataset::{generate_sharded, DatasetConfig, ShardPlan, TestRecord, Year};
 
 /// The two yearly populations every measurement figure consumes.
 pub struct Populations {
@@ -14,26 +24,33 @@ pub struct Populations {
     pub y2021: Vec<TestRecord>,
 }
 
-/// Generate both populations with `tests` records each.
-pub fn populations(tests: usize, seed: u64) -> Populations {
+/// Generate both populations with `tests` records each under an
+/// explicit shard plan. Only the plan's shard size affects the records;
+/// its thread count affects wall time alone.
+pub fn populations_with(tests: usize, seed: u64, plan: ShardPlan) -> Populations {
+    let make = |year| generate_sharded(DatasetConfig { seed, tests, year }, plan);
     Populations {
-        y2020: Generator::new(DatasetConfig {
-            seed,
-            tests,
-            year: Year::Y2020,
-        })
-        .generate(),
-        y2021: Generator::new(DatasetConfig {
-            seed,
-            tests,
-            year: Year::Y2021,
-        })
-        .generate(),
+        y2020: make(Year::Y2020),
+        y2021: make(Year::Y2021),
     }
 }
 
+/// Generate both populations with `tests` records each (default shard
+/// size, one worker).
+pub fn populations(tests: usize, seed: u64) -> Populations {
+    populations_with(tests, seed, ShardPlan::default())
+}
+
+/// Compute every measurement figure in one fused pass per population,
+/// sharded over `threads` workers. Byte-identical to the legacy
+/// per-figure path for every thread count.
+pub fn measurement_figures(pops: &Populations, threads: usize) -> MeasurementFigures {
+    mbw_analysis::sweep_records(&pops.y2020, &pops.y2021, threads)
+}
+
 /// Render one measurement experiment by id (`table1`, `table2`,
-/// `fig01` … `fig16`, `general`). Returns `None` for unknown ids.
+/// `fig01` … `fig16`, `general`) with the legacy one-pass-per-figure
+/// pipeline. Returns `None` for unknown ids.
 pub fn render_measurement(id: &str, pops: &Populations) -> Option<String> {
     let y20 = &pops.y2020;
     let y21 = &pops.y2021;
@@ -110,5 +127,30 @@ mod tests {
         assert_eq!(pops.y2021.len(), 2_000);
         assert!(pops.y2020.iter().all(|r| r.year == Year::Y2020));
         assert!(pops.y2021.iter().all(|r| r.year == Year::Y2021));
+    }
+
+    #[test]
+    fn sharded_populations_are_thread_count_independent() {
+        let single = populations_with(3_000, 79, ShardPlan::new(512, 1));
+        let multi = populations_with(3_000, 79, ShardPlan::new(512, 4));
+        assert_eq!(single.y2020, multi.y2020);
+        assert_eq!(single.y2021, multi.y2021);
+    }
+
+    #[test]
+    fn fused_sweep_matches_legacy_renderer() {
+        let pops = populations(25_000, 80);
+        let figs = measurement_figures(&pops, 2);
+        for id in MEASUREMENT_IDS
+            .iter()
+            .chain(PDF_IDS.iter())
+            .chain(["devices", "summary"].iter())
+        {
+            assert_eq!(
+                figs.render(id).unwrap_or_else(|| panic!("unknown id {id}")),
+                render_measurement(id, &pops).expect("legacy renders"),
+                "{id} diverged between fused sweep and legacy path"
+            );
+        }
     }
 }

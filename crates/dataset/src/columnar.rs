@@ -1,0 +1,353 @@
+//! Columnar (struct-of-arrays) storage for measurement records.
+//!
+//! [`Dataset`] stores each [`TestRecord`] field in its own column so a
+//! paper-scale sweep (millions of records) walks tightly packed arrays
+//! instead of 100+-byte row structs: the bandwidth column alone is what
+//! most figures touch, and it is 8 bytes per record here. [`RecordView`]
+//! is the cheap row cursor over the columns — a `Copy` bundle of scalar
+//! fields plus a borrow of the link context — and is the type every
+//! figure accumulator observes, so row-major slices (`&[TestRecord]`)
+//! and columnar datasets feed the exact same analysis code.
+
+use crate::types::*;
+
+/// A borrowed, cheap view of one record.
+///
+/// All scalar fields are copied out (they are at most 8 bytes each);
+/// the variant-sized link context stays behind a reference. Built
+/// either from a [`Dataset`] row via [`Dataset::view`] or from a
+/// `&TestRecord` via `From`.
+#[derive(Debug, Clone, Copy)]
+pub struct RecordView<'a> {
+    /// Measured downlink bandwidth in Mbps.
+    pub bandwidth_mbps: f64,
+    /// Access technology of the test.
+    pub tech: AccessTech,
+    /// Mobile/fixed ISP serving the test.
+    pub isp: Isp,
+    /// Measurement year.
+    pub year: Year,
+    /// City the test ran in.
+    pub city_id: u16,
+    /// Tier of that city.
+    pub city_tier: CityTier,
+    /// Urban (vs rural) test location.
+    pub urban: bool,
+    /// Local hour of day, `0..24`.
+    pub hour: u8,
+    /// Android major version of the device.
+    pub android_version: u8,
+    /// Anonymised device model id.
+    pub device_model: u16,
+    /// Hardware tier of the device.
+    pub device_tier: DeviceTier,
+    /// Cellular or WiFi link context.
+    pub link: &'a LinkInfo,
+    /// Test outcome classification.
+    pub outcome: OutcomeClass,
+}
+
+impl<'a> RecordView<'a> {
+    /// Cellular context, if this is a cellular test.
+    pub fn cell(&self) -> Option<&'a CellInfo> {
+        match self.link {
+            LinkInfo::Cell(c) => Some(c),
+            LinkInfo::Wifi(_) => None,
+        }
+    }
+
+    /// WiFi context, if this is a WiFi test.
+    pub fn wifi(&self) -> Option<&'a WifiInfo> {
+        match self.link {
+            LinkInfo::Wifi(w) => Some(w),
+            LinkInfo::Cell(_) => None,
+        }
+    }
+
+    /// LTE band, if this is a 4G test.
+    pub fn lte_band(&self) -> Option<LteBandId> {
+        match self.cell()?.band {
+            CellBand::Lte(b) => Some(b),
+            CellBand::Nr(_) => None,
+        }
+    }
+
+    /// NR band, if this is a 5G test.
+    pub fn nr_band(&self) -> Option<NrBandId> {
+        match self.cell()?.band {
+            CellBand::Nr(b) => Some(b),
+            CellBand::Lte(_) => None,
+        }
+    }
+
+    /// Materialise an owned row.
+    pub fn to_record(&self) -> TestRecord {
+        TestRecord {
+            bandwidth_mbps: self.bandwidth_mbps,
+            tech: self.tech,
+            isp: self.isp,
+            year: self.year,
+            city_id: self.city_id,
+            city_tier: self.city_tier,
+            urban: self.urban,
+            hour: self.hour,
+            android_version: self.android_version,
+            device_model: self.device_model,
+            device_tier: self.device_tier,
+            link: *self.link,
+            outcome: self.outcome,
+        }
+    }
+}
+
+impl<'a> From<&'a TestRecord> for RecordView<'a> {
+    fn from(r: &'a TestRecord) -> Self {
+        Self {
+            bandwidth_mbps: r.bandwidth_mbps,
+            tech: r.tech,
+            isp: r.isp,
+            year: r.year,
+            city_id: r.city_id,
+            city_tier: r.city_tier,
+            urban: r.urban,
+            hour: r.hour,
+            android_version: r.android_version,
+            device_model: r.device_model,
+            device_tier: r.device_tier,
+            link: &r.link,
+            outcome: r.outcome,
+        }
+    }
+}
+
+/// Struct-of-arrays record storage.
+///
+/// Column `i` of every array belongs to the same logical record; the
+/// invariant that all columns share one length is maintained by
+/// construction (records only enter via [`Dataset::push`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    bandwidth_mbps: Vec<f64>,
+    tech: Vec<AccessTech>,
+    isp: Vec<Isp>,
+    year: Vec<Year>,
+    city_id: Vec<u16>,
+    city_tier: Vec<CityTier>,
+    urban: Vec<bool>,
+    hour: Vec<u8>,
+    android_version: Vec<u8>,
+    device_model: Vec<u16>,
+    device_tier: Vec<DeviceTier>,
+    link: Vec<LinkInfo>,
+    outcome: Vec<OutcomeClass>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty dataset with room for `n` records per column.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            bandwidth_mbps: Vec::with_capacity(n),
+            tech: Vec::with_capacity(n),
+            isp: Vec::with_capacity(n),
+            year: Vec::with_capacity(n),
+            city_id: Vec::with_capacity(n),
+            city_tier: Vec::with_capacity(n),
+            urban: Vec::with_capacity(n),
+            hour: Vec::with_capacity(n),
+            android_version: Vec::with_capacity(n),
+            device_model: Vec::with_capacity(n),
+            device_tier: Vec::with_capacity(n),
+            link: Vec::with_capacity(n),
+            outcome: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.bandwidth_mbps.len()
+    }
+
+    /// Whether the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.bandwidth_mbps.is_empty()
+    }
+
+    /// Append one record, scattering its fields into the columns.
+    pub fn push(&mut self, r: &TestRecord) {
+        self.bandwidth_mbps.push(r.bandwidth_mbps);
+        self.tech.push(r.tech);
+        self.isp.push(r.isp);
+        self.year.push(r.year);
+        self.city_id.push(r.city_id);
+        self.city_tier.push(r.city_tier);
+        self.urban.push(r.urban);
+        self.hour.push(r.hour);
+        self.android_version.push(r.android_version);
+        self.device_model.push(r.device_model);
+        self.device_tier.push(r.device_tier);
+        self.link.push(r.link);
+        self.outcome.push(r.outcome);
+    }
+
+    /// Move every record of `other` onto the end of `self`, preserving
+    /// order. Used to concatenate per-shard datasets.
+    pub fn append(&mut self, mut other: Dataset) {
+        self.bandwidth_mbps.append(&mut other.bandwidth_mbps);
+        self.tech.append(&mut other.tech);
+        self.isp.append(&mut other.isp);
+        self.year.append(&mut other.year);
+        self.city_id.append(&mut other.city_id);
+        self.city_tier.append(&mut other.city_tier);
+        self.urban.append(&mut other.urban);
+        self.hour.append(&mut other.hour);
+        self.android_version.append(&mut other.android_version);
+        self.device_model.append(&mut other.device_model);
+        self.device_tier.append(&mut other.device_tier);
+        self.link.append(&mut other.link);
+        self.outcome.append(&mut other.outcome);
+    }
+
+    /// View of record `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn view(&self, i: usize) -> RecordView<'_> {
+        RecordView {
+            bandwidth_mbps: self.bandwidth_mbps[i],
+            tech: self.tech[i],
+            isp: self.isp[i],
+            year: self.year[i],
+            city_id: self.city_id[i],
+            city_tier: self.city_tier[i],
+            urban: self.urban[i],
+            hour: self.hour[i],
+            android_version: self.android_version[i],
+            device_model: self.device_model[i],
+            device_tier: self.device_tier[i],
+            link: &self.link[i],
+            outcome: self.outcome[i],
+        }
+    }
+
+    /// Iterate over record views in order.
+    pub fn iter(&self) -> impl Iterator<Item = RecordView<'_>> {
+        (0..self.len()).map(move |i| self.view(i))
+    }
+
+    /// Gather a row-major slice into columns.
+    pub fn from_records(records: &[TestRecord]) -> Self {
+        let mut ds = Self::with_capacity(records.len());
+        for r in records {
+            ds.push(r);
+        }
+        ds
+    }
+
+    /// Materialise owned rows (the inverse of [`Dataset::from_records`]).
+    pub fn to_records(&self) -> Vec<TestRecord> {
+        self.iter().map(|v| v.to_record()).collect()
+    }
+
+    /// The raw bandwidth column (the one most figures reduce over).
+    pub fn bandwidths(&self) -> &[f64] {
+        &self.bandwidth_mbps
+    }
+
+    /// The raw access-technology column.
+    pub fn techs(&self) -> &[AccessTech] {
+        &self.tech
+    }
+
+    /// The raw outcome column.
+    pub fn outcomes(&self) -> &[OutcomeClass] {
+        &self.outcome
+    }
+}
+
+/// Iterate [`RecordView`]s over a row-major slice, so slice-based and
+/// columnar callers share the same downstream code.
+pub fn views(records: &[TestRecord]) -> impl Iterator<Item = RecordView<'_>> {
+    records.iter().map(RecordView::from)
+}
+
+/// The bandwidth column of every record matching `pred` — the shared
+/// replacement for ad-hoc per-call-site `bw_of` closures.
+pub fn bandwidths_where<'a, I, P>(records: I, pred: P) -> Vec<f64>
+where
+    I: IntoIterator<Item = RecordView<'a>>,
+    P: Fn(&RecordView<'a>) -> bool,
+{
+    records
+        .into_iter()
+        .filter(|r| pred(r))
+        .map(|r| r.bandwidth_mbps)
+        .collect()
+}
+
+impl FromIterator<TestRecord> for Dataset {
+    fn from_iter<I: IntoIterator<Item = TestRecord>>(iter: I) -> Self {
+        let mut ds = Dataset::new();
+        for r in iter {
+            ds.push(&r);
+        }
+        ds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{DatasetConfig, Generator};
+
+    fn sample(n: usize) -> Vec<TestRecord> {
+        Generator::new(DatasetConfig {
+            tests: n,
+            ..DatasetConfig::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn round_trips_rows() {
+        let records = sample(500);
+        let ds = Dataset::from_records(&records);
+        assert_eq!(ds.len(), records.len());
+        assert_eq!(ds.to_records(), records);
+    }
+
+    #[test]
+    fn views_match_rows() {
+        let records = sample(200);
+        let ds = Dataset::from_records(&records);
+        for (i, r) in records.iter().enumerate() {
+            let v = ds.view(i);
+            assert_eq!(v.to_record(), *r);
+            assert_eq!(v.cell().is_some(), r.cell().is_some());
+            assert_eq!(v.lte_band(), r.lte_band());
+            assert_eq!(v.nr_band(), r.nr_band());
+        }
+    }
+
+    #[test]
+    fn append_preserves_order() {
+        let records = sample(300);
+        let (a, b) = records.split_at(120);
+        let mut ds = Dataset::from_records(a);
+        ds.append(Dataset::from_records(b));
+        assert_eq!(ds.to_records(), records);
+    }
+
+    #[test]
+    fn columns_expose_raw_data() {
+        let records = sample(100);
+        let ds = Dataset::from_records(&records);
+        assert_eq!(ds.bandwidths().len(), 100);
+        assert_eq!(ds.techs()[7], records[7].tech);
+        assert_eq!(ds.outcomes()[42], records[42].outcome);
+    }
+}

@@ -4,8 +4,18 @@
 //! module does the same for the synthetic population, with no
 //! serialisation dependency: one header line, one row per record, cell
 //! and WiFi context flattened into a sparse column set.
+//!
+//! Two access styles share one row codec:
+//! - [`to_csv`] / [`from_csv`] materialise whole documents in memory —
+//!   convenient for small exports and tests.
+//! - [`CsvWriter`] / [`CsvReader`] stream rows through any
+//!   `io::Write` / `io::BufRead`, so a 10M-record file is processed at
+//!   constant memory (one row buffered at a time).
 
+use crate::columnar::RecordView;
 use crate::types::*;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
 
 /// The CSV header, in column order.
 pub const HEADER: &str = "bandwidth_mbps,tech,isp,year,city_id,city_tier,urban,hour,\
@@ -58,6 +68,46 @@ impl std::fmt::Display for CsvError {
 
 impl std::error::Error for CsvError {}
 
+/// Errors from the streaming reader: either the underlying transport
+/// failed or a row failed to parse.
+#[derive(Debug)]
+pub enum CsvStreamError {
+    /// The underlying reader returned an I/O error.
+    Io(io::Error),
+    /// A line was read but did not parse.
+    Parse(CsvError),
+}
+
+impl std::fmt::Display for CsvStreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvStreamError::Io(e) => write!(f, "csv stream i/o error: {e}"),
+            CsvStreamError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvStreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvStreamError::Io(e) => Some(e),
+            CsvStreamError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for CsvStreamError {
+    fn from(e: io::Error) -> Self {
+        CsvStreamError::Io(e)
+    }
+}
+
+impl From<CsvError> for CsvStreamError {
+    fn from(e: CsvError) -> Self {
+        CsvStreamError::Parse(e)
+    }
+}
+
 fn tech_str(t: AccessTech) -> &'static str {
     match t {
         AccessTech::Cellular3g => "3g",
@@ -83,68 +133,119 @@ fn band_str(b: CellBand) -> &'static str {
     }
 }
 
+/// Append one record's CSV row (with trailing newline) to `out`.
+fn write_row(out: &mut String, r: &RecordView<'_>) {
+    let tier = match r.city_tier {
+        CityTier::Mega => "mega",
+        CityTier::Medium => "medium",
+        CityTier::Small => "small",
+    };
+    let dtier = match r.device_tier {
+        DeviceTier::Low => "low",
+        DeviceTier::Mid => "mid",
+        DeviceTier::High => "high",
+    };
+    let year = match r.year {
+        Year::Y2020 => "2020",
+        Year::Y2021 => "2021",
+    };
+    let _ = write!(
+        out,
+        "{:.3},{},{},{},{},{},{},{},{},{},{}",
+        r.bandwidth_mbps,
+        tech_str(r.tech),
+        isp_str(r.isp),
+        year,
+        r.city_id,
+        tier,
+        r.urban as u8,
+        r.hour,
+        r.android_version,
+        r.device_model,
+        dtier
+    );
+    let outcome = r.outcome.label();
+    match r.link {
+        LinkInfo::Cell(c) => {
+            let _ = write!(
+                out,
+                ",cell,{},{},{:.1},{:.1},{},{},{},,,,,,,{outcome}\n",
+                band_str(c.band),
+                c.rss_level,
+                c.rss_dbm,
+                c.snr_db,
+                c.bs_id,
+                c.arfcn,
+                c.lte_advanced as u8
+            );
+        }
+        LinkInfo::Wifi(w) => {
+            let std = match w.standard {
+                WifiStandard::Wifi4 => "wifi4",
+                WifiStandard::Wifi5 => "wifi5",
+                WifiStandard::Wifi6 => "wifi6",
+            };
+            let _ = write!(
+                out,
+                ",wifi,,,,,,,,{},{},{:.0},{},{:.1},{},{outcome}\n",
+                std, w.on_5ghz as u8, w.plan_mbps, w.ap_id, w.mac_rate_mbps, w.neighbor_aps
+            );
+        }
+    }
+}
+
 /// Serialise records to CSV (header included).
 pub fn to_csv(records: &[TestRecord]) -> String {
     let mut out = String::with_capacity(records.len() * 96 + HEADER.len() + 1);
     out.push_str(HEADER);
     out.push('\n');
     for r in records {
-        let tier = match r.city_tier {
-            CityTier::Mega => "mega",
-            CityTier::Medium => "medium",
-            CityTier::Small => "small",
-        };
-        let dtier = match r.device_tier {
-            DeviceTier::Low => "low",
-            DeviceTier::Mid => "mid",
-            DeviceTier::High => "high",
-        };
-        let year = match r.year {
-            Year::Y2020 => "2020",
-            Year::Y2021 => "2021",
-        };
-        let common = format!(
-            "{:.3},{},{},{},{},{},{},{},{},{},{}",
-            r.bandwidth_mbps,
-            tech_str(r.tech),
-            isp_str(r.isp),
-            year,
-            r.city_id,
-            tier,
-            r.urban as u8,
-            r.hour,
-            r.android_version,
-            r.device_model,
-            dtier
-        );
-        let outcome = r.outcome.label();
-        match &r.link {
-            LinkInfo::Cell(c) => {
-                out.push_str(&format!(
-                    "{common},cell,{},{},{:.1},{:.1},{},{},{},,,,,,,{outcome}\n",
-                    band_str(c.band),
-                    c.rss_level,
-                    c.rss_dbm,
-                    c.snr_db,
-                    c.bs_id,
-                    c.arfcn,
-                    c.lte_advanced as u8
-                ));
-            }
-            LinkInfo::Wifi(w) => {
-                let std = match w.standard {
-                    WifiStandard::Wifi4 => "wifi4",
-                    WifiStandard::Wifi5 => "wifi5",
-                    WifiStandard::Wifi6 => "wifi6",
-                };
-                out.push_str(&format!(
-                    "{common},wifi,,,,,,,,{},{},{:.0},{},{:.1},{},{outcome}\n",
-                    std, w.on_5ghz as u8, w.plan_mbps, w.ap_id, w.mac_rate_mbps, w.neighbor_aps
-                ));
-            }
-        }
+        write_row(&mut out, &RecordView::from(r));
     }
     out
+}
+
+/// Streaming CSV serialiser: writes the header on construction, then
+/// one row per [`CsvWriter::write_view`] / [`CsvWriter::write_record`]
+/// call, buffering a single row at a time.
+pub struct CsvWriter<W: Write> {
+    out: W,
+    row: String,
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Wrap `out` and emit the header line.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        out.write_all(HEADER.as_bytes())?;
+        out.write_all(b"\n")?;
+        Ok(Self {
+            out,
+            row: String::with_capacity(128),
+        })
+    }
+
+    /// Write one record from a view.
+    pub fn write_view(&mut self, r: &RecordView<'_>) -> io::Result<()> {
+        self.row.clear();
+        write_row(&mut self.row, r);
+        self.out.write_all(self.row.as_bytes())
+    }
+
+    /// Write one owned record.
+    pub fn write_record(&mut self, r: &TestRecord) -> io::Result<()> {
+        self.write_view(&RecordView::from(r))
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
 }
 
 fn parse<T: std::str::FromStr>(s: &str, line: usize, column: &'static str) -> Result<T, CsvError> {
@@ -163,6 +264,149 @@ fn parse_nr_band(s: &str) -> Option<NrBandId> {
     NrBandId::ALL.into_iter().find(|b| b.name() == s)
 }
 
+/// Parse one data row (`line` is its 1-based line number, for errors).
+fn parse_row(raw: &str, line: usize) -> Result<TestRecord, CsvError> {
+    let cols: Vec<&str> = raw.split(',').collect();
+    if cols.len() != COLUMNS {
+        return Err(CsvError::ColumnCount {
+            line,
+            got: cols.len(),
+        });
+    }
+    let tech = match cols[1] {
+        "3g" => AccessTech::Cellular3g,
+        "4g" => AccessTech::Cellular4g,
+        "5g" => AccessTech::Cellular5g,
+        "wifi" => AccessTech::Wifi,
+        other => {
+            return Err(CsvError::BadField {
+                line,
+                column: "tech",
+                value: other.into(),
+            })
+        }
+    };
+    let isp = match cols[2] {
+        "isp1" => Isp::Isp1,
+        "isp2" => Isp::Isp2,
+        "isp3" => Isp::Isp3,
+        "isp4" => Isp::Isp4,
+        other => {
+            return Err(CsvError::BadField {
+                line,
+                column: "isp",
+                value: other.into(),
+            })
+        }
+    };
+    let year = match cols[3] {
+        "2020" => Year::Y2020,
+        "2021" => Year::Y2021,
+        other => {
+            return Err(CsvError::BadField {
+                line,
+                column: "year",
+                value: other.into(),
+            })
+        }
+    };
+    let city_tier = match cols[5] {
+        "mega" => CityTier::Mega,
+        "medium" => CityTier::Medium,
+        "small" => CityTier::Small,
+        other => {
+            return Err(CsvError::BadField {
+                line,
+                column: "city_tier",
+                value: other.into(),
+            })
+        }
+    };
+    let device_tier = match cols[10] {
+        "low" => DeviceTier::Low,
+        "mid" => DeviceTier::Mid,
+        "high" => DeviceTier::High,
+        other => {
+            return Err(CsvError::BadField {
+                line,
+                column: "device_tier",
+                value: other.into(),
+            })
+        }
+    };
+    let link = match cols[11] {
+        "cell" => {
+            let band_name = cols[12];
+            let band = parse_lte_band(band_name)
+                .map(CellBand::Lte)
+                .or_else(|| parse_nr_band(band_name).map(CellBand::Nr))
+                .ok_or_else(|| CsvError::BadField {
+                    line,
+                    column: "band",
+                    value: band_name.into(),
+                })?;
+            LinkInfo::Cell(CellInfo {
+                band,
+                rss_level: parse(cols[13], line, "rss_level")?,
+                rss_dbm: parse(cols[14], line, "rss_dbm")?,
+                snr_db: parse(cols[15], line, "snr_db")?,
+                bs_id: parse(cols[16], line, "bs_id")?,
+                arfcn: parse(cols[17], line, "arfcn")?,
+                lte_advanced: cols[18] == "1",
+            })
+        }
+        "wifi" => {
+            let standard = match cols[19] {
+                "wifi4" => WifiStandard::Wifi4,
+                "wifi5" => WifiStandard::Wifi5,
+                "wifi6" => WifiStandard::Wifi6,
+                other => {
+                    return Err(CsvError::BadField {
+                        line,
+                        column: "wifi_standard",
+                        value: other.into(),
+                    })
+                }
+            };
+            LinkInfo::Wifi(WifiInfo {
+                standard,
+                on_5ghz: cols[20] == "1",
+                plan_mbps: parse(cols[21], line, "plan_mbps")?,
+                ap_id: parse(cols[22], line, "ap_id")?,
+                mac_rate_mbps: parse(cols[23], line, "mac_rate_mbps")?,
+                neighbor_aps: parse(cols[24], line, "neighbor_aps")?,
+            })
+        }
+        other => {
+            return Err(CsvError::BadField {
+                line,
+                column: "link_kind",
+                value: other.into(),
+            })
+        }
+    };
+    let outcome = OutcomeClass::from_label(cols[25]).ok_or_else(|| CsvError::BadField {
+        line,
+        column: "outcome",
+        value: cols[25].into(),
+    })?;
+    Ok(TestRecord {
+        bandwidth_mbps: parse(cols[0], line, "bandwidth_mbps")?,
+        tech,
+        isp,
+        year,
+        city_id: parse(cols[4], line, "city_id")?,
+        city_tier,
+        urban: cols[6] == "1",
+        hour: parse(cols[7], line, "hour")?,
+        android_version: parse(cols[8], line, "android_version")?,
+        device_model: parse(cols[9], line, "device_model")?,
+        device_tier,
+        link,
+        outcome,
+    })
+}
+
 /// Parse a CSV document produced by [`to_csv`].
 pub fn from_csv(text: &str) -> Result<Vec<TestRecord>, CsvError> {
     let mut lines = text.lines();
@@ -175,147 +419,71 @@ pub fn from_csv(text: &str) -> Result<Vec<TestRecord>, CsvError> {
         if raw.trim().is_empty() {
             continue;
         }
-        let cols: Vec<&str> = raw.split(',').collect();
-        if cols.len() != COLUMNS {
-            return Err(CsvError::ColumnCount {
-                line,
-                got: cols.len(),
-            });
-        }
-        let tech = match cols[1] {
-            "3g" => AccessTech::Cellular3g,
-            "4g" => AccessTech::Cellular4g,
-            "5g" => AccessTech::Cellular5g,
-            "wifi" => AccessTech::Wifi,
-            other => {
-                return Err(CsvError::BadField {
-                    line,
-                    column: "tech",
-                    value: other.into(),
-                })
-            }
-        };
-        let isp = match cols[2] {
-            "isp1" => Isp::Isp1,
-            "isp2" => Isp::Isp2,
-            "isp3" => Isp::Isp3,
-            "isp4" => Isp::Isp4,
-            other => {
-                return Err(CsvError::BadField {
-                    line,
-                    column: "isp",
-                    value: other.into(),
-                })
-            }
-        };
-        let year = match cols[3] {
-            "2020" => Year::Y2020,
-            "2021" => Year::Y2021,
-            other => {
-                return Err(CsvError::BadField {
-                    line,
-                    column: "year",
-                    value: other.into(),
-                })
-            }
-        };
-        let city_tier = match cols[5] {
-            "mega" => CityTier::Mega,
-            "medium" => CityTier::Medium,
-            "small" => CityTier::Small,
-            other => {
-                return Err(CsvError::BadField {
-                    line,
-                    column: "city_tier",
-                    value: other.into(),
-                })
-            }
-        };
-        let device_tier = match cols[10] {
-            "low" => DeviceTier::Low,
-            "mid" => DeviceTier::Mid,
-            "high" => DeviceTier::High,
-            other => {
-                return Err(CsvError::BadField {
-                    line,
-                    column: "device_tier",
-                    value: other.into(),
-                })
-            }
-        };
-        let link = match cols[11] {
-            "cell" => {
-                let band_name = cols[12];
-                let band = parse_lte_band(band_name)
-                    .map(CellBand::Lte)
-                    .or_else(|| parse_nr_band(band_name).map(CellBand::Nr))
-                    .ok_or_else(|| CsvError::BadField {
-                        line,
-                        column: "band",
-                        value: band_name.into(),
-                    })?;
-                LinkInfo::Cell(CellInfo {
-                    band,
-                    rss_level: parse(cols[13], line, "rss_level")?,
-                    rss_dbm: parse(cols[14], line, "rss_dbm")?,
-                    snr_db: parse(cols[15], line, "snr_db")?,
-                    bs_id: parse(cols[16], line, "bs_id")?,
-                    arfcn: parse(cols[17], line, "arfcn")?,
-                    lte_advanced: cols[18] == "1",
-                })
-            }
-            "wifi" => {
-                let standard = match cols[19] {
-                    "wifi4" => WifiStandard::Wifi4,
-                    "wifi5" => WifiStandard::Wifi5,
-                    "wifi6" => WifiStandard::Wifi6,
-                    other => {
-                        return Err(CsvError::BadField {
-                            line,
-                            column: "wifi_standard",
-                            value: other.into(),
-                        })
-                    }
-                };
-                LinkInfo::Wifi(WifiInfo {
-                    standard,
-                    on_5ghz: cols[20] == "1",
-                    plan_mbps: parse(cols[21], line, "plan_mbps")?,
-                    ap_id: parse(cols[22], line, "ap_id")?,
-                    mac_rate_mbps: parse(cols[23], line, "mac_rate_mbps")?,
-                    neighbor_aps: parse(cols[24], line, "neighbor_aps")?,
-                })
-            }
-            other => {
-                return Err(CsvError::BadField {
-                    line,
-                    column: "link_kind",
-                    value: other.into(),
-                })
-            }
-        };
-        let outcome = OutcomeClass::from_label(cols[25]).ok_or_else(|| CsvError::BadField {
-            line,
-            column: "outcome",
-            value: cols[25].into(),
-        })?;
-        records.push(TestRecord {
-            bandwidth_mbps: parse(cols[0], line, "bandwidth_mbps")?,
-            tech,
-            isp,
-            year,
-            city_id: parse(cols[4], line, "city_id")?,
-            city_tier,
-            urban: cols[6] == "1",
-            hour: parse(cols[7], line, "hour")?,
-            android_version: parse(cols[8], line, "android_version")?,
-            device_model: parse(cols[9], line, "device_model")?,
-            device_tier,
-            link,
-            outcome,
-        });
+        records.push(parse_row(raw, line)?);
     }
     Ok(records)
+}
+
+/// Streaming CSV parser: validates the header on construction, then
+/// yields one record per data line, buffering a single line at a time.
+///
+/// Empty lines are skipped (as in [`from_csv`]); error line numbers
+/// are physical 1-based line numbers including the header. Parse
+/// errors are per-row — iteration continues so the caller decides
+/// whether to tolerate them — but an I/O error ends the stream: the
+/// transport is gone, and retrying the same read would yield errors
+/// forever.
+pub struct CsvReader<R: BufRead> {
+    input: R,
+    line_buf: String,
+    /// Physical line number of the most recently read line.
+    line: usize,
+    /// Set once the underlying reader fails; the iterator is fused.
+    failed: bool,
+}
+
+impl<R: BufRead> CsvReader<R> {
+    /// Wrap `input` and consume + validate the header line.
+    pub fn new(mut input: R) -> Result<Self, CsvStreamError> {
+        let mut header = String::new();
+        input.read_line(&mut header)?;
+        if header.trim_end_matches(['\n', '\r']).trim() != HEADER {
+            return Err(CsvError::BadHeader.into());
+        }
+        Ok(Self {
+            input,
+            line_buf: String::with_capacity(128),
+            line: 1,
+            failed: false,
+        })
+    }
+}
+
+impl<R: BufRead> Iterator for CsvReader<R> {
+    type Item = Result<TestRecord, CsvStreamError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            self.line_buf.clear();
+            match self.input.read_line(&mut self.line_buf) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e.into()));
+                }
+            }
+            self.line += 1;
+            let raw = self.line_buf.trim_end_matches(['\n', '\r']);
+            if raw.trim().is_empty() {
+                continue;
+            }
+            return Some(parse_row(raw, self.line).map_err(CsvStreamError::from));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -368,8 +536,34 @@ mod tests {
     }
 
     #[test]
+    fn streaming_writer_matches_document_writer() {
+        let records = sample(500);
+        let mut writer = CsvWriter::new(Vec::new()).expect("header written");
+        for r in &records {
+            writer.write_record(r).expect("row written");
+        }
+        let bytes = writer.into_inner().expect("flushes");
+        assert_eq!(String::from_utf8(bytes).unwrap(), to_csv(&records));
+    }
+
+    #[test]
+    fn streaming_reader_matches_document_parser() {
+        let records = sample(500);
+        let doc = to_csv(&records);
+        let streamed: Vec<TestRecord> = CsvReader::new(doc.as_bytes())
+            .expect("header ok")
+            .map(|r| r.expect("row parses"))
+            .collect();
+        assert_eq!(streamed, from_csv(&doc).unwrap());
+    }
+
+    #[test]
     fn header_mismatch_is_an_error() {
         assert_eq!(from_csv("foo,bar\n1,2\n"), Err(CsvError::BadHeader));
+        assert!(matches!(
+            CsvReader::new("foo,bar\n1,2\n".as_bytes()),
+            Err(CsvStreamError::Parse(CsvError::BadHeader))
+        ));
     }
 
     #[test]
@@ -403,6 +597,8 @@ mod tests {
         let records = sample(3);
         let doc = format!("{}\n\n", to_csv(&records));
         assert_eq!(from_csv(&doc).unwrap().len(), 3);
+        let streamed = CsvReader::new(doc.as_bytes()).expect("header ok");
+        assert_eq!(streamed.count(), 3);
     }
 
     #[test]

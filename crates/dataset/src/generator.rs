@@ -55,6 +55,10 @@ const CELL_OUTCOME_RATES: (f64, f64) = (0.005, 0.030);
 /// strong, ISP-4 has almost no fixed footprint.
 const WIFI_ISP_WEIGHTS: [f64; 4] = [0.38, 0.24, 0.36, 0.02];
 
+/// Salt mixed into the master seed before deriving per-shard RNG
+/// streams, so shard 0 never replays the sequential generator.
+const SHARD_STREAM_SALT: u64 = 0x5AAD_F00D_0C0F_FEE5;
+
 /// The dataset generator. Construction precomputes every categorical
 /// sampler so each record is O(1).
 pub struct Generator {
@@ -158,6 +162,26 @@ impl Generator {
             lte_band_tables,
             nr_band_tables,
         }
+    }
+
+    /// Build a generator for logical shard `shard` of a sharded run
+    /// (see [`crate::parallel`]).
+    ///
+    /// Shares the city table and every categorical sampler with
+    /// [`Generator::new`] — they depend only on the master seed — but
+    /// draws records and outcomes from streams derived from
+    /// `(config.seed, shard)`. A shard's output is therefore a pure
+    /// function of the configuration and its shard index, never of
+    /// which thread runs it or how many sibling shards exist.
+    pub fn for_shard(config: DatasetConfig, shard: u64) -> Self {
+        let mut gen = Self::new(config);
+        // The salt keeps shard streams disjoint from the sequential
+        // streams `new` forks off the unsalted master seed.
+        let mut base = SeededRng::new(config.seed ^ SHARD_STREAM_SALT);
+        let mut stream = base.fork(shard.wrapping_add(1));
+        gen.rng = stream.fork(2);
+        gen.outcome_rng = stream.fork(3);
+        gen
     }
 
     /// The per-city random-effects table (ids match `TestRecord.city_id`).
@@ -445,14 +469,11 @@ impl Generator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::columnar::{bandwidths_where, views, RecordView};
     use mbw_stats::descriptive;
 
     fn dataset(tests: usize, year: Year, seed: u64) -> Vec<TestRecord> {
         Generator::new(DatasetConfig { seed, tests, year }).generate()
-    }
-
-    fn bw_of<'a>(records: impl Iterator<Item = &'a TestRecord>) -> Vec<f64> {
-        records.map(|r| r.bandwidth_mbps).collect()
     }
 
     #[test]
@@ -487,7 +508,7 @@ mod tests {
     #[test]
     fn four_g_population_matches_fig4() {
         let records = dataset(400_000, Year::Y2021, 11);
-        let bw = bw_of(records.iter().filter(|r| r.tech == AccessTech::Cellular4g));
+        let bw = bandwidths_where(views(&records), |r| r.tech == AccessTech::Cellular4g);
         assert!(bw.len() > 10_000);
         let mean = descriptive::mean(&bw);
         let median = descriptive::median(&bw);
@@ -503,7 +524,7 @@ mod tests {
     #[test]
     fn five_g_population_matches_fig7() {
         let records = dataset(400_000, Year::Y2021, 13);
-        let bw = bw_of(records.iter().filter(|r| r.tech == AccessTech::Cellular5g));
+        let bw = bandwidths_where(views(&records), |r| r.tech == AccessTech::Cellular5g);
         let mean = descriptive::mean(&bw);
         let median = descriptive::median(&bw);
         assert!((mean - 303.0).abs() < 30.0, "mean {mean}");
@@ -514,11 +535,7 @@ mod tests {
     fn wifi_population_matches_fig13() {
         let records = dataset(300_000, Year::Y2021, 17);
         let of_std = |s: WifiStandard| {
-            bw_of(
-                records
-                    .iter()
-                    .filter(|r| r.wifi().map(|w| w.standard) == Some(s)),
-            )
+            bandwidths_where(views(&records), |r| r.wifi().map(|w| w.standard) == Some(s))
         };
         let m4 = descriptive::mean(&of_std(WifiStandard::Wifi4));
         let m5 = descriptive::mean(&of_std(WifiStandard::Wifi5));
@@ -534,7 +551,7 @@ mod tests {
         let y20 = dataset(250_000, Year::Y2020, 19);
         let y21 = dataset(250_000, Year::Y2021, 19);
         let mean_of = |rs: &[TestRecord], t: AccessTech| {
-            descriptive::mean(&bw_of(rs.iter().filter(|r| r.tech == t)))
+            descriptive::mean(&bandwidths_where(views(rs), |r| r.tech == t))
         };
         let g4_20 = mean_of(&y20, AccessTech::Cellular4g);
         let g4_21 = mean_of(&y21, AccessTech::Cellular4g);
@@ -559,9 +576,9 @@ mod tests {
     fn rss_level5_5g_dips_below_level4() {
         let records = dataset(500_000, Year::Y2021, 29);
         let mean_at = |lvl: u8| {
-            descriptive::mean(&bw_of(records.iter().filter(|r| {
+            descriptive::mean(&bandwidths_where(views(&records), |r: &RecordView<'_>| {
                 r.tech == AccessTech::Cellular5g && r.cell().map(|c| c.rss_level) == Some(lvl)
-            })))
+            }))
         };
         let l3 = mean_at(3);
         let l4 = mean_at(4);

@@ -31,16 +31,26 @@
 //! - [`models`] — the per-technology / per-band bandwidth models and the
 //!   contextual multipliers.
 //! - [`generator`] — the seeded record generator.
+//! - [`parallel`] — sharded, thread-count-independent parallel
+//!   generation (owned rows, columnar, or streaming).
+//! - [`columnar`] — struct-of-arrays [`Dataset`] storage and the
+//!   [`RecordView`] row cursor the analysis layer consumes.
 
 pub mod bands;
+pub mod columnar;
 pub mod csv;
 pub mod ecosystem;
 pub mod generator;
 pub mod models;
+pub mod parallel;
 pub mod types;
 
 pub use bands::{LteBandInfo, NrBandInfo, LTE_BANDS, NR_BANDS};
+pub use columnar::{Dataset, RecordView};
 pub use generator::{DatasetConfig, Generator};
+pub use parallel::{
+    for_each_record, generate_dataset, generate_sharded, ShardPlan, DEFAULT_SHARD_SIZE,
+};
 pub use types::{
     AccessTech, CellInfo, CityTier, DeviceTier, Isp, LinkInfo, LteBandId, NrBandId, OutcomeClass,
     TestRecord, WifiInfo, WifiStandard, Year,

@@ -1,0 +1,261 @@
+//! Sharded, deterministic parallel generation.
+//!
+//! The record stream is partitioned into fixed-size logical *shards*.
+//! Each shard owns an independent RNG stream derived from
+//! `(master seed, shard index)` (see [`Generator::for_shard`]), and
+//! shard outputs are concatenated in shard order. The partition is a
+//! pure function of `(tests, shard_size)`, so the generated population
+//! is **byte-identical for any worker thread count** — threads only
+//! decide which core runs which shard, never what the shard contains.
+//!
+//! Three drivers share the same shard plan:
+//! [`generate_sharded`] collects rows, [`generate_dataset`] scatters
+//! straight into a columnar [`Dataset`], and [`for_each_record`]
+//! streams records through a callback without materialising them.
+
+use crate::columnar::Dataset;
+use crate::generator::{DatasetConfig, Generator};
+use crate::types::TestRecord;
+
+/// Default records per logical shard. Large enough to amortise the
+/// per-shard sampler construction, small enough to load-balance a
+/// multi-million-record run across any realistic core count.
+pub const DEFAULT_SHARD_SIZE: usize = 65_536;
+
+/// How a generation run is split into shards and spread over threads.
+///
+/// `shard_size` determines the *content* of the output (it fixes the
+/// shard partition and therefore the per-shard RNG streams);
+/// `threads` determines only how fast it is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    shard_size: usize,
+    threads: usize,
+}
+
+impl Default for ShardPlan {
+    fn default() -> Self {
+        Self {
+            shard_size: DEFAULT_SHARD_SIZE,
+            threads: 1,
+        }
+    }
+}
+
+impl ShardPlan {
+    /// A plan with the default shard size and the given worker count.
+    pub fn threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// A fully explicit plan. Small shard sizes are allowed (tests use
+    /// them to exercise many shards cheaply).
+    ///
+    /// # Panics
+    /// Panics if `shard_size` is zero.
+    pub fn new(shard_size: usize, threads: usize) -> Self {
+        assert!(shard_size > 0, "shard size must be positive");
+        Self {
+            shard_size,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Records per logical shard.
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// Worker threads the drivers will use (at least 1).
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of logical shards a run of `tests` records splits into.
+    pub fn shard_count(&self, tests: usize) -> usize {
+        (tests + self.shard_size - 1) / self.shard_size
+    }
+
+    /// The `(shard index, start record, record count)` partition for a
+    /// run of `tests` records.
+    fn shards(&self, tests: usize) -> Vec<(u64, usize, usize)> {
+        (0..self.shard_count(tests))
+            .map(|s| {
+                let start = s * self.shard_size;
+                let len = self.shard_size.min(tests - start);
+                (s as u64, start, len)
+            })
+            .collect()
+    }
+}
+
+/// Run `work` once per shard and return the results in shard order.
+/// With more than one thread, shards are assigned to workers in
+/// contiguous chunks via crossbeam scoped threads; the output order is
+/// the shard order regardless.
+fn run_shards<T, F>(config: DatasetConfig, plan: ShardPlan, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64, usize, usize) -> T + Sync,
+{
+    let specs = plan.shards(config.tests);
+    if plan.threads <= 1 || specs.len() <= 1 {
+        return specs
+            .into_iter()
+            .map(|(shard, start, len)| work(shard, start, len))
+            .collect();
+    }
+
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(specs.len(), || None);
+    let workers = plan.threads.min(specs.len());
+    let per_worker = (specs.len() + workers - 1) / workers;
+    let work = &work;
+
+    crossbeam::thread::scope(|scope| {
+        for (chunk, slots) in specs.chunks(per_worker).zip(out.chunks_mut(per_worker)) {
+            scope.spawn(move |_| {
+                for (&(shard, start, len), slot) in chunk.iter().zip(slots.iter_mut()) {
+                    *slot = Some(work(shard, start, len));
+                }
+            });
+        }
+    })
+    .expect("generation worker panicked");
+
+    out.into_iter()
+        .map(|slot| slot.expect("every shard produced output"))
+        .collect()
+}
+
+/// Generate `config.tests` records as owned rows, sharded per `plan`.
+///
+/// The output depends on `(config, plan.shard_size())` only — never on
+/// `plan.thread_count()`.
+pub fn generate_sharded(config: DatasetConfig, plan: ShardPlan) -> Vec<TestRecord> {
+    let chunks = run_shards(config, plan, |shard, _start, len| {
+        let mut gen = Generator::for_shard(config, shard);
+        (0..len).map(|_| gen.generate_one()).collect::<Vec<_>>()
+    });
+    let mut all = Vec::with_capacity(config.tests);
+    for chunk in chunks {
+        all.extend(chunk);
+    }
+    all
+}
+
+/// Generate straight into columnar storage, sharded per `plan`.
+/// Record-for-record identical to [`generate_sharded`].
+pub fn generate_dataset(config: DatasetConfig, plan: ShardPlan) -> Dataset {
+    let chunks = run_shards(config, plan, |shard, _start, len| {
+        let mut gen = Generator::for_shard(config, shard);
+        let mut ds = Dataset::with_capacity(len);
+        for _ in 0..len {
+            ds.push(&gen.generate_one());
+        }
+        ds
+    });
+    let mut all = Dataset::with_capacity(config.tests);
+    for chunk in chunks {
+        all.append(chunk);
+    }
+    all
+}
+
+/// Stream every record through `f` without materialising the
+/// population; `f` receives the record's global index.
+///
+/// The record at a given index is identical to [`generate_sharded`]'s.
+/// With one thread, calls arrive strictly in index order; with more,
+/// order is only guaranteed *within* a shard, so `f` must be safe to
+/// call concurrently (it is `Sync` and taken by `&self`-style ref).
+pub fn for_each_record<F>(config: DatasetConfig, plan: ShardPlan, f: F)
+where
+    F: Fn(usize, &TestRecord) + Sync,
+{
+    run_shards(config, plan, |shard, start, len| {
+        let mut gen = Generator::for_shard(config, shard);
+        for i in 0..len {
+            f(start + i, &gen.generate_one());
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    fn config(tests: usize) -> DatasetConfig {
+        DatasetConfig {
+            seed: 0x51AD,
+            tests,
+            ..DatasetConfig::default()
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_output() {
+        let cfg = config(5_000);
+        let baseline = generate_sharded(cfg, ShardPlan::new(1_024, 1));
+        for threads in [2, 3, 8] {
+            let run = generate_sharded(cfg, ShardPlan::new(1_024, threads));
+            assert_eq!(run, baseline, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn dataset_driver_matches_row_driver() {
+        let cfg = config(3_000);
+        let plan = ShardPlan::new(512, 4);
+        let rows = generate_sharded(cfg, plan);
+        let ds = generate_dataset(cfg, plan);
+        assert_eq!(ds.to_records(), rows);
+    }
+
+    #[test]
+    fn streaming_driver_yields_same_records() {
+        let cfg = config(2_000);
+        let plan = ShardPlan::new(512, 4);
+        let rows = generate_sharded(cfg, plan);
+        let seen = Mutex::new(vec![None; cfg.tests]);
+        for_each_record(cfg, plan, |i, r| {
+            seen.lock().unwrap()[i] = Some(*r);
+        });
+        let seen: Vec<TestRecord> = seen
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("every index visited"))
+            .collect();
+        assert_eq!(seen, rows);
+    }
+
+    #[test]
+    fn shards_match_standalone_shard_generators() {
+        let cfg = config(2_300);
+        let plan = ShardPlan::new(1_000, 1);
+        let rows = generate_sharded(cfg, plan);
+        let mut manual = Vec::new();
+        for (shard, start, len) in plan.shards(cfg.tests) {
+            assert_eq!(start, manual.len());
+            let mut gen = Generator::for_shard(cfg, shard);
+            manual.extend((0..len).map(|_| gen.generate_one()));
+        }
+        assert_eq!(manual, rows);
+    }
+
+    #[test]
+    fn shard_plan_partition_is_exact() {
+        let plan = ShardPlan::new(1_000, 2);
+        assert_eq!(plan.shard_count(0), 0);
+        assert_eq!(plan.shard_count(999), 1);
+        assert_eq!(plan.shard_count(1_000), 1);
+        assert_eq!(plan.shard_count(1_001), 2);
+        let total: usize = plan.shards(2_300).iter().map(|&(_, _, n)| n).sum();
+        assert_eq!(total, 2_300);
+    }
+}

@@ -1,0 +1,171 @@
+//! Streaming CSV behaviour: constant-memory round-trips at paper scale
+//! and precise error reporting on malformed input.
+
+use mbw_dataset::csv::{from_csv, to_csv, CsvError, CsvReader, CsvStreamError, CsvWriter};
+use mbw_dataset::{DatasetConfig, Generator, Year};
+use std::io::{BufReader, BufWriter, Read};
+use std::thread;
+
+/// Full paper scale in release; scaled down in debug builds where the
+/// row codec is ~20× slower (`cargo test --release` runs the 1M case).
+const ROUNDTRIP_RECORDS: usize = if cfg!(debug_assertions) {
+    150_000
+} else {
+    1_000_000
+};
+
+#[test]
+fn million_record_roundtrip_through_bounded_pipe() {
+    // Producer and consumer are coupled through an OS pipe whose kernel
+    // buffer holds ~64 KiB — a few hundred rows. Neither side ever
+    // materialises the document, so memory stays constant no matter how
+    // many records flow through; if either side buffered the whole
+    // stream the test would still pass, but the pipe guarantees the
+    // *writer* can never run more than the buffer ahead of the reader.
+    let tests = ROUNDTRIP_RECORDS;
+    let config = DatasetConfig {
+        seed: 0x1A7E57,
+        tests,
+        year: Year::Y2021,
+    };
+    let (reader, writer) = std::io::pipe().expect("anonymous pipe");
+
+    let producer = thread::spawn(move || {
+        let mut generator = Generator::new(config);
+        let mut out = CsvWriter::new(BufWriter::new(writer)).expect("header written");
+        let mut sum = 0.0f64;
+        for _ in 0..tests {
+            let record = generator.generate_one();
+            sum += record.bandwidth_mbps;
+            out.write_record(&record).expect("row written");
+        }
+        out.into_inner().expect("flushes");
+        sum
+    });
+
+    let mut count = 0usize;
+    let mut sum = 0.0f64;
+    for parsed in CsvReader::new(BufReader::new(reader)).expect("header ok") {
+        let record = parsed.expect("row parses");
+        count += 1;
+        sum += record.bandwidth_mbps;
+    }
+    let written_sum = producer.join().expect("producer thread");
+
+    assert_eq!(count, tests);
+    // Bandwidth is serialised at 3 decimals, so each row contributes at
+    // most 5e-4 of rounding error to the sum.
+    assert!(
+        (sum - written_sum).abs() <= tests as f64 * 5e-4,
+        "parsed sum {sum} drifted from written sum {written_sum}"
+    );
+}
+
+fn sample_doc(tests: usize) -> String {
+    to_csv(
+        &Generator::new(DatasetConfig {
+            seed: 0xBAD,
+            tests,
+            year: Year::Y2021,
+        })
+        .generate(),
+    )
+}
+
+#[test]
+fn malformed_row_is_reported_with_its_line_number() {
+    let doc = sample_doc(3);
+    // Corrupt the tech column of the second data row (physical line 3).
+    let mut lines: Vec<String> = doc.lines().map(str::to_string).collect();
+    for tech in ["3g", "4g", "5g", "wifi"] {
+        // The first occurrence of the tech token on a row is the tech
+        // column itself.
+        lines[2] = lines[2].replacen(tech, "9g", 1);
+    }
+    let doc = lines.join("\n");
+
+    let results: Vec<_> = CsvReader::new(doc.as_bytes()).expect("header ok").collect();
+    assert_eq!(results.len(), 3);
+    assert!(results[0].is_ok());
+    match &results[1] {
+        Err(CsvStreamError::Parse(CsvError::BadField { line: 3, .. })) => {}
+        other => panic!("expected BadField at line 3, got {other:?}"),
+    }
+    // The reader keeps going after a bad row: the caller decides.
+    assert!(results[2].is_ok());
+}
+
+#[test]
+fn truncated_file_yields_a_column_count_error() {
+    let doc = sample_doc(2);
+    // Cut the document mid-way through the final row, as an interrupted
+    // download would.
+    let cut = doc.len() - doc.lines().last().unwrap().len() / 2;
+    let truncated = &doc[..cut];
+
+    let results: Vec<_> = CsvReader::new(truncated.as_bytes())
+        .expect("header ok")
+        .collect();
+    assert_eq!(results.len(), 2);
+    assert!(results[0].is_ok());
+    assert!(
+        matches!(
+            &results[1],
+            Err(CsvStreamError::Parse(
+                CsvError::ColumnCount { line: 3, .. } | CsvError::BadField { line: 3, .. }
+            ))
+        ),
+        "expected a parse error on the truncated row, got {:?}",
+        results[1]
+    );
+    // The document parser rejects the same input outright.
+    assert!(from_csv(truncated).is_err());
+}
+
+/// A reader that fails with an I/O error after yielding its prefix.
+struct FailingReader<'a> {
+    data: &'a [u8],
+}
+
+impl Read for FailingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.data.is_empty() {
+            return Err(std::io::Error::other("link dropped"));
+        }
+        let n = self.data.len().min(buf.len());
+        buf[..n].copy_from_slice(&self.data[..n]);
+        self.data = &self.data[n..];
+        Ok(n)
+    }
+}
+
+#[test]
+fn transport_errors_surface_as_io_and_fuse_the_stream() {
+    // The underlying reader fails *forever* once its prefix is served;
+    // the stream must report one Io error and then end, not retry the
+    // dead transport indefinitely.
+    let doc = sample_doc(1);
+    let reader = BufReader::new(FailingReader {
+        data: doc.as_bytes(),
+    });
+    let results: Vec<_> = CsvReader::new(reader).expect("header ok").collect();
+    assert_eq!(
+        results.len(),
+        2,
+        "one row, one error, then fused: {results:?}"
+    );
+    assert!(results[0].is_ok());
+    assert!(
+        matches!(&results[1], Err(CsvStreamError::Io(_))),
+        "expected an Io error, got {:?}",
+        results[1]
+    );
+}
+
+#[test]
+fn bad_header_is_rejected_before_any_rows() {
+    let err = CsvReader::new("not,a,header\n".as_bytes())
+        .err()
+        .expect("rejected");
+    assert!(matches!(err, CsvStreamError::Parse(CsvError::BadHeader)));
+}

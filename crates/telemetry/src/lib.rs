@@ -21,6 +21,9 @@
 //!   observe wall-time wire tests and virtual-time `mbw-netsim` runs.
 //! - [`http`] — a dependency-free HTTP listener serving the registry at
 //!   `/metrics` in Prometheus text format.
+//! - [`pipeline`] — shared counters and throughput gauges for the
+//!   record-generation and figure-analysis stages of the measurement
+//!   pipeline.
 //!
 //! No heavy dependencies by design: the whole crate is std +
 //! `parking_lot`, so it can sit under the simulator, the tokio wire
@@ -31,6 +34,7 @@ pub mod clock;
 pub mod histogram;
 pub mod http;
 pub mod metrics;
+pub mod pipeline;
 pub mod registry;
 pub mod timeline;
 
@@ -38,5 +42,6 @@ pub use clock::{Clock, ManualClock, WallClock};
 pub use histogram::Histogram;
 pub use http::MetricsServer;
 pub use metrics::{Counter, Gauge};
+pub use pipeline::PipelineMetrics;
 pub use registry::Registry;
 pub use timeline::{ProbeTimeline, TimelineEntry, TimelineEvent, TimelineSummary};

@@ -1,0 +1,137 @@
+//! Measurement-pipeline metrics: generation and analysis throughput.
+//!
+//! The paper-scale pipeline moves millions of records through two
+//! stages — sharded generation (`mbw-dataset::parallel`) and the fused
+//! figure sweep (`mbw-analysis::sweep`). [`PipelineMetrics`] gives both
+//! stages one shared vocabulary in the registry:
+//!
+//! - `records_generated_total` / `records_analyzed_total` — monotonic
+//!   counters of records that left each stage;
+//! - `pipeline_records_per_second{stage=...}` — the most recent
+//!   throughput observation per stage.
+//!
+//! Handles are cheap clones of registry series; both stages can hold a
+//! `PipelineMetrics` built from the same [`Registry`] and their updates
+//! land on the same series.
+
+use crate::metrics::{Counter, Gauge};
+use crate::registry::Registry;
+use std::time::Duration;
+
+/// Metric handles for one pipeline (generation + analysis stages).
+#[derive(Debug, Clone)]
+pub struct PipelineMetrics {
+    generated: Counter,
+    analyzed: Counter,
+    generate_rate: Gauge,
+    analyze_rate: Gauge,
+}
+
+impl PipelineMetrics {
+    /// Register (or re-attach to) the pipeline series in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            generated: registry.counter(
+                "records_generated_total",
+                "Measurement records produced by the dataset generator",
+            ),
+            analyzed: registry.counter(
+                "records_analyzed_total",
+                "Measurement records folded into the analysis sweep",
+            ),
+            generate_rate: registry.gauge_with(
+                "pipeline_records_per_second",
+                "Most recent records-per-second throughput per pipeline stage",
+                &[("stage", "generate")],
+            ),
+            analyze_rate: registry.gauge_with(
+                "pipeline_records_per_second",
+                "Most recent records-per-second throughput per pipeline stage",
+                &[("stage", "analyze")],
+            ),
+        }
+    }
+
+    /// Record that the generation stage produced `records` in `elapsed`.
+    pub fn observe_generated(&self, records: u64, elapsed: Duration) {
+        self.generated.add(records);
+        self.generate_rate.set(rate(records, elapsed));
+    }
+
+    /// Record that the analysis stage consumed `records` in `elapsed`.
+    pub fn observe_analyzed(&self, records: u64, elapsed: Duration) {
+        self.analyzed.add(records);
+        self.analyze_rate.set(rate(records, elapsed));
+    }
+
+    /// Total records generated so far.
+    pub fn generated_total(&self) -> u64 {
+        self.generated.get()
+    }
+
+    /// Total records analyzed so far.
+    pub fn analyzed_total(&self) -> u64 {
+        self.analyzed.get()
+    }
+}
+
+fn rate(records: u64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        records as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_rates_overwrite() {
+        let registry = Registry::new();
+        let metrics = PipelineMetrics::register(&registry);
+        metrics.observe_generated(1_000, Duration::from_millis(500));
+        metrics.observe_generated(1_000, Duration::from_millis(250));
+        metrics.observe_analyzed(2_000, Duration::from_secs(1));
+        assert_eq!(metrics.generated_total(), 2_000);
+        assert_eq!(metrics.analyzed_total(), 2_000);
+
+        let text = registry.render_prometheus();
+        assert!(text.contains("records_generated_total 2000"), "{text}");
+        assert!(text.contains("records_analyzed_total 2000"), "{text}");
+        // Rate gauges carry the latest observation, labelled per stage.
+        assert!(
+            text.contains("pipeline_records_per_second{stage=\"generate\"} 4000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pipeline_records_per_second{stage=\"analyze\"} 2000"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn zero_elapsed_reports_zero_rate_not_infinity() {
+        let registry = Registry::new();
+        let metrics = PipelineMetrics::register(&registry);
+        metrics.observe_generated(500, Duration::ZERO);
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("pipeline_records_per_second{stage=\"generate\"} 0"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn both_stages_share_series_across_handles() {
+        let registry = Registry::new();
+        let a = PipelineMetrics::register(&registry);
+        let b = PipelineMetrics::register(&registry);
+        a.observe_generated(10, Duration::from_secs(1));
+        b.observe_generated(5, Duration::from_secs(1));
+        assert_eq!(a.generated_total(), 15);
+        assert_eq!(b.generated_total(), 15);
+    }
+}
