@@ -5,7 +5,7 @@
 //! (`observe`), combines with a sibling that consumed a later shard of
 //! the population (`merge`), and produces the finished figure
 //! (`finish`). The legacy per-figure functions are thin drivers over
-//! these accumulators, and [`crate::sweep`] runs *all* of them in one
+//! these accumulators, and [`mod@crate::sweep`] runs *all* of them in one
 //! fused parallel pass — so the per-figure and fused paths are
 //! byte-identical by construction.
 //!
@@ -20,13 +20,18 @@
 
 use mbw_dataset::{AccessTech, Isp, RecordView, TestRecord};
 
-/// A mergeable single-pass figure computation.
-pub trait FigureAccumulator: Sized + Send {
+/// A mergeable single-pass figure computation over records of type `R`.
+///
+/// The measurement figures in this crate consume [`RecordView`]s; the
+/// evaluation figures in `mbw-bench` implement the same contract over
+/// campaign trial views, so both halves of the paper share one
+/// plan → execute → reduce shape.
+pub trait FigureAccumulator<R: ?Sized>: Sized + Send {
     /// The finished figure produced by [`FigureAccumulator::finish`].
     type Output;
 
     /// Fold one record into the accumulator.
-    fn observe(&mut self, r: &RecordView<'_>);
+    fn observe(&mut self, r: &R);
 
     /// Fold in a sibling accumulator whose records come *after* this
     /// accumulator's records in population order.
@@ -38,7 +43,10 @@ pub trait FigureAccumulator: Sized + Send {
 
 /// Drive an accumulator over a row-major population — the legacy
 /// single-threaded path shared by every per-figure function.
-pub fn run<A: FigureAccumulator>(mut acc: A, records: &[TestRecord]) -> A::Output {
+pub fn run<A, O>(mut acc: A, records: &[TestRecord]) -> O
+where
+    A: for<'a> FigureAccumulator<RecordView<'a>, Output = O>,
+{
     for r in records {
         acc.observe(&RecordView::from(r));
     }

@@ -85,10 +85,10 @@ impl Fig04Acc {
     }
 }
 
-impl FigureAccumulator for Fig04Acc {
+impl<'a> FigureAccumulator<RecordView<'a>> for Fig04Acc {
     type Output = Fig04;
 
-    fn observe(&mut self, r: &RecordView<'_>) {
+    fn observe(&mut self, r: &RecordView<'a>) {
         if r.tech == AccessTech::Cellular4g {
             self.bw.push(r.bandwidth_mbps);
         }
@@ -159,10 +159,10 @@ impl Default for LteBandAcc {
     }
 }
 
-impl FigureAccumulator for LteBandAcc {
+impl<'a> FigureAccumulator<RecordView<'a>> for LteBandAcc {
     type Output = LteBandFigure;
 
-    fn observe(&mut self, r: &RecordView<'_>) {
+    fn observe(&mut self, r: &RecordView<'a>) {
         let Some(id) = r.lte_band() else { return };
         if let Some(i) = bands::LTE_BANDS.iter().position(|b| b.id == id) {
             self.per_band[i].push(r.bandwidth_mbps);
@@ -252,10 +252,10 @@ impl Fig07Acc {
     }
 }
 
-impl FigureAccumulator for Fig07Acc {
+impl<'a> FigureAccumulator<RecordView<'a>> for Fig07Acc {
     type Output = CdfFigure;
 
-    fn observe(&mut self, r: &RecordView<'_>) {
+    fn observe(&mut self, r: &RecordView<'a>) {
         if r.tech == AccessTech::Cellular5g {
             self.bw.push(r.bandwidth_mbps);
         }
@@ -303,10 +303,10 @@ impl Default for NrBandAcc {
     }
 }
 
-impl FigureAccumulator for NrBandAcc {
+impl<'a> FigureAccumulator<RecordView<'a>> for NrBandAcc {
     type Output = NrBandFigure;
 
-    fn observe(&mut self, r: &RecordView<'_>) {
+    fn observe(&mut self, r: &RecordView<'a>) {
         let Some(id) = r.nr_band() else { return };
         if let Some(i) = bands::NR_BANDS.iter().position(|b| b.id == id) {
             self.per_band[i].push(r.bandwidth_mbps);
@@ -385,10 +385,10 @@ impl Default for Fig10Acc {
     }
 }
 
-impl FigureAccumulator for Fig10Acc {
+impl<'a> FigureAccumulator<RecordView<'a>> for Fig10Acc {
     type Output = Fig10;
 
-    fn observe(&mut self, r: &RecordView<'_>) {
+    fn observe(&mut self, r: &RecordView<'a>) {
         if r.tech == AccessTech::Cellular5g && (r.hour as usize) < 24 {
             self.hours[r.hour as usize].push(r.bandwidth_mbps);
         }
@@ -474,10 +474,10 @@ impl RssAcc {
     }
 }
 
-impl FigureAccumulator for RssAcc {
+impl<'a> FigureAccumulator<RecordView<'a>> for RssAcc {
     type Output = RssFigure;
 
-    fn observe(&mut self, r: &RecordView<'_>) {
+    fn observe(&mut self, r: &RecordView<'a>) {
         if r.tech != AccessTech::Cellular5g {
             return;
         }
@@ -547,10 +547,10 @@ impl LteRssAcc {
     }
 }
 
-impl FigureAccumulator for LteRssAcc {
+impl<'a> FigureAccumulator<RecordView<'a>> for LteRssAcc {
     type Output = Vec<(u8, f64)>;
 
-    fn observe(&mut self, r: &RecordView<'_>) {
+    fn observe(&mut self, r: &RecordView<'a>) {
         if r.tech != AccessTech::Cellular4g {
             return;
         }
@@ -746,11 +746,10 @@ mod tests {
     fn split_and_merge_matches_single_pass() {
         let records = y2021(60_000, 221);
         let (a, b) = records.split_at(records.len() / 3);
-        fn halves<A: FigureAccumulator + Clone>(
-            acc: A,
-            a: &[TestRecord],
-            b: &[TestRecord],
-        ) -> A::Output {
+        fn halves<A, O>(acc: A, a: &[TestRecord], b: &[TestRecord]) -> O
+        where
+            A: for<'r> FigureAccumulator<RecordView<'r>, Output = O> + Clone,
+        {
             let mut left = acc.clone();
             let mut right = acc;
             for r in a {

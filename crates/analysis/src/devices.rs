@@ -60,10 +60,10 @@ impl HardwareIllusionAcc {
     }
 }
 
-impl FigureAccumulator for HardwareIllusionAcc {
+impl<'a> FigureAccumulator<RecordView<'a>> for HardwareIllusionAcc {
     type Output = HardwareIllusion;
 
-    fn observe(&mut self, r: &RecordView<'_>) {
+    fn observe(&mut self, r: &RecordView<'a>) {
         if r.tech != self.tech {
             return;
         }

@@ -40,10 +40,10 @@ impl SpatialAcc {
     }
 }
 
-impl FigureAccumulator for SpatialAcc {
+impl<'a> FigureAccumulator<RecordView<'a>> for SpatialAcc {
     type Output = SpatialDisparity;
 
-    fn observe(&mut self, r: &RecordView<'_>) {
+    fn observe(&mut self, r: &RecordView<'a>) {
         self.per_city
             .entry((r.city_id, r.tech))
             .or_default()
@@ -170,10 +170,10 @@ impl UrbanRuralAcc {
     }
 }
 
-impl FigureAccumulator for UrbanRuralAcc {
+impl<'a> FigureAccumulator<RecordView<'a>> for UrbanRuralAcc {
     type Output = UrbanRuralGap;
 
-    fn observe(&mut self, r: &RecordView<'_>) {
+    fn observe(&mut self, r: &RecordView<'a>) {
         let base = match r.tech {
             AccessTech::Cellular4g => 0,
             AccessTech::Cellular5g => 2,
@@ -267,10 +267,10 @@ impl SameGroupAcc {
     }
 }
 
-impl FigureAccumulator for SameGroupAcc {
+impl<'a> FigureAccumulator<RecordView<'a>> for SameGroupAcc {
     type Output = SameGroupDecline;
 
-    fn observe(&mut self, r: &RecordView<'_>) {
+    fn observe(&mut self, r: &RecordView<'a>) {
         if r.city_tier == CityTier::Mega {
             self.mega.insert(r.city_id);
         }
@@ -400,10 +400,10 @@ impl DatasetSummaryAcc {
     }
 }
 
-impl FigureAccumulator for DatasetSummaryAcc {
+impl<'a> FigureAccumulator<RecordView<'a>> for DatasetSummaryAcc {
     type Output = Result<DatasetSummary, EmptyPopulation>;
 
-    fn observe(&mut self, r: &RecordView<'_>) {
+    fn observe(&mut self, r: &RecordView<'a>) {
         self.total += 1;
         if let Some(i) = SUMMARY_TECHS.iter().position(|&t| t == r.tech) {
             self.tech_counts[i] += 1;
@@ -537,10 +537,10 @@ impl Default for CorrelationsAcc {
     }
 }
 
-impl FigureAccumulator for CorrelationsAcc {
+impl<'a> FigureAccumulator<RecordView<'a>> for CorrelationsAcc {
     type Output = Correlations;
 
-    fn observe(&mut self, r: &RecordView<'_>) {
+    fn observe(&mut self, r: &RecordView<'a>) {
         match r.tech {
             AccessTech::Cellular5g => {
                 if let Some(c) = r.cell() {

@@ -21,7 +21,7 @@
 //! | [`tables`] | Tables 1–2 rendering |
 //! | [`robustness`] | test-outcome (complete/degraded/failed) rates per technology |
 //! | [`accum`] | the [`accum::FigureAccumulator`] trait behind every figure |
-//! | [`sweep`] | the fused single-pass (optionally parallel) figure sweep |
+//! | [`mod@sweep`] | the fused single-pass (optionally parallel) figure sweep |
 
 pub mod accum;
 pub mod cellular;

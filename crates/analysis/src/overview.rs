@@ -53,10 +53,10 @@ impl Fig01Acc {
     }
 }
 
-impl FigureAccumulator for Fig01Acc {
+impl<'a> FigureAccumulator<RecordView<'a>> for Fig01Acc {
     type Output = Fig01;
 
-    fn observe(&mut self, r: &RecordView<'_>) {
+    fn observe(&mut self, r: &RecordView<'a>) {
         if let Some(i) = accum::tech3_index(r.tech) {
             self.tech_y21[i].push(r.bandwidth_mbps);
         }
@@ -145,10 +145,10 @@ impl Fig02Acc {
     }
 }
 
-impl FigureAccumulator for Fig02Acc {
+impl<'a> FigureAccumulator<RecordView<'a>> for Fig02Acc {
     type Output = Fig02;
 
-    fn observe(&mut self, r: &RecordView<'_>) {
+    fn observe(&mut self, r: &RecordView<'a>) {
         let Some(t) = accum::tech3_index(r.tech) else {
             return;
         };
@@ -224,10 +224,10 @@ impl Fig03Acc {
     }
 }
 
-impl FigureAccumulator for Fig03Acc {
+impl<'a> FigureAccumulator<RecordView<'a>> for Fig03Acc {
     type Output = Fig03;
 
-    fn observe(&mut self, r: &RecordView<'_>) {
+    fn observe(&mut self, r: &RecordView<'a>) {
         if let Some(t) = accum::tech3_index(r.tech) {
             self.cells[accum::isp_index(r.isp)][t].push(r.bandwidth_mbps);
         }

@@ -96,10 +96,10 @@ impl PdfAcc {
     }
 }
 
-impl FigureAccumulator for PdfAcc {
+impl<'a> FigureAccumulator<RecordView<'a>> for PdfAcc {
     type Output = PdfFigure;
 
-    fn observe(&mut self, r: &RecordView<'_>) {
+    fn observe(&mut self, r: &RecordView<'a>) {
         let matches = match self.filter {
             PdfFilter::Wifi5 => r.wifi().map(|w| w.standard) == Some(WifiStandard::Wifi5),
             PdfFilter::Tech(t) => r.tech == t,

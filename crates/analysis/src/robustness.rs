@@ -85,10 +85,10 @@ impl OutcomeRatesAcc {
     }
 }
 
-impl FigureAccumulator for OutcomeRatesAcc {
+impl<'a> FigureAccumulator<RecordView<'a>> for OutcomeRatesAcc {
     type Output = OutcomeRates;
 
-    fn observe(&mut self, r: &RecordView<'_>) {
+    fn observe(&mut self, r: &RecordView<'a>) {
         if let Some(i) = TALLY_TECHS.iter().position(|&t| t == r.tech) {
             self.counts[i][outcome_slot(r.outcome)] += 1;
         }

@@ -12,10 +12,10 @@ pub struct Table1;
 
 // The tables are static band data; their accumulators exist so the
 // fused sweep can treat every figure id uniformly.
-impl FigureAccumulator for Table1 {
+impl<'a> FigureAccumulator<RecordView<'a>> for Table1 {
     type Output = Table1;
 
-    fn observe(&mut self, _r: &RecordView<'_>) {}
+    fn observe(&mut self, _r: &RecordView<'a>) {}
 
     fn merge(&mut self, _other: Self) {}
 
@@ -24,10 +24,10 @@ impl FigureAccumulator for Table1 {
     }
 }
 
-impl FigureAccumulator for Table2 {
+impl<'a> FigureAccumulator<RecordView<'a>> for Table2 {
     type Output = Table2;
 
-    fn observe(&mut self, _r: &RecordView<'_>) {}
+    fn observe(&mut self, _r: &RecordView<'a>) {}
 
     fn merge(&mut self, _other: Self) {}
 

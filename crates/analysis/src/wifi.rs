@@ -75,10 +75,10 @@ impl WifiAcc {
     }
 }
 
-impl FigureAccumulator for WifiAcc {
+impl<'a> FigureAccumulator<RecordView<'a>> for WifiAcc {
     type Output = WifiCdfFigure;
 
-    fn observe(&mut self, r: &RecordView<'_>) {
+    fn observe(&mut self, r: &RecordView<'a>) {
         let Some(w) = r.wifi() else { return };
         if !self.band_filter.map_or(true, |g5| w.on_5ghz == g5) {
             return;
@@ -186,10 +186,10 @@ impl SlowPlanAcc {
     }
 }
 
-impl FigureAccumulator for SlowPlanAcc {
+impl<'a> FigureAccumulator<RecordView<'a>> for SlowPlanAcc {
     type Output = (f64, f64);
 
-    fn observe(&mut self, r: &RecordView<'_>) {
+    fn observe(&mut self, r: &RecordView<'a>) {
         let Some(w) = r.wifi() else { return };
         let slow = w.plan_mbps <= 200.0;
         self.wifi_total += 1;

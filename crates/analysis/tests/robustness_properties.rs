@@ -37,7 +37,10 @@ proptest! {
         for row in &rates.rows {
             row_total += row.total;
         }
-        prop_assert_eq!(row_total, rates.overall.total);
+        // 3G records feed the pooled totals but get no row of their own
+        // (`TALLY_TECHS` keeps the three figure technologies as rows),
+        // so the rows account for *at most* the pooled total.
+        prop_assert!(row_total <= rates.overall.total);
         prop_assert_eq!(rates.overall.total, tests as u64);
     }
 }

@@ -1,0 +1,154 @@
+//! Parallel campaign vs serial execution of the Swiftest evaluation.
+//!
+//! Plans the full evaluation campaign (every id the fused sweep serves
+//! — the shared pairs, test groups, ramp cells, ablation variants, and
+//! mmWave links; `EVAL_CAMPAIGN_TRIALS` trials per series, default 40),
+//! then times three ways of producing the figures:
+//!
+//! - `legacy` — one run per figure, each planning and executing its own
+//!   trials (how the pipeline worked before the campaign, including the
+//!   duplicated back-to-back pairs across Figs 20–22);
+//! - `campaign_1t` — the fused plan → execute → reduce pipeline, one
+//!   worker;
+//! - `campaign_nt` — the same pipeline with the executor sharded across
+//!   all available cores.
+//!
+//! Each variant runs `EVAL_CAMPAIGN_ITERS` times (default 3) and the
+//! best wall time is kept. The result — times, trials/s, and speedups —
+//! is written to `BENCH_swiftest.json` and printed to stdout.
+
+use mbw_bench::eval_sweep::{plan_for, reduce, EvalFigureSet, EVAL_SWEEP_IDS};
+use mbw_bench::{ablation, bts_eval, fig17};
+use mbw_core::{run_campaign, EvalCounts};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 0xBE57;
+const COST_SEED: u64 = 0xC0;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Best-of-`iters` wall time of `f`.
+fn time_best<T>(iters: usize, mut f: impl FnMut() -> T) -> Duration {
+    (0..iters.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed()
+        })
+        .min()
+        .expect("at least one iteration")
+}
+
+/// One run per figure, each executing its own trials (serially, as the
+/// per-figure entry points always did).
+fn legacy_all(c: &EvalCounts) -> usize {
+    let mut rendered = 0;
+    rendered += fig17::fig17(c.ramp_paths, SEED).expect("ok").render().len();
+    rendered += bts_eval::fig20(c.tests, SEED).expect("ok").render().len();
+    rendered += bts_eval::fig21(c.tests, SEED).expect("ok").render().len();
+    rendered += bts_eval::fig22(c.tests, SEED).expect("ok").render().len();
+    rendered += bts_eval::fig23_25(c.groups, SEED)
+        .expect("ok")
+        .render()
+        .len();
+    for table in [
+        ablation::ablation_init(c.ablation, SEED),
+        ablation::ablation_converge(c.ablation, SEED),
+        ablation::ablation_escalate(c.ablation, SEED),
+    ] {
+        rendered += ablation::render_variants("t", &table.expect("ok")).len();
+    }
+    rendered += bts_eval::mmwave_report(c.mmwave, SEED)
+        .expect("ok")
+        .render()
+        .len();
+    rendered
+}
+
+fn campaign_all(c: &EvalCounts, threads: usize) -> usize {
+    let plan = plan_for(&EVAL_SWEEP_IDS, c, SEED);
+    let pool = run_campaign(&plan, threads);
+    let figs = reduce(EvalFigureSet::new(COST_SEED), &pool);
+    EVAL_SWEEP_IDS
+        .iter()
+        .map(|&id| figs.render(id).expect("known id").expect("planned").len())
+        .sum()
+}
+
+fn main() {
+    let trials = env_usize("EVAL_CAMPAIGN_TRIALS", 40);
+    let iters = env_usize("EVAL_CAMPAIGN_ITERS", 3);
+    let threads = env_usize(
+        "EVAL_CAMPAIGN_THREADS",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    )
+    .max(1);
+
+    let counts = EvalCounts::uniform(trials);
+    let plan = plan_for(&EVAL_SWEEP_IDS, &counts, SEED);
+    let planned = plan.len();
+    eprintln!("campaign plan: {planned} deduplicated trials ({trials} per series)");
+
+    eprintln!("timing legacy per-figure pipeline ({iters} iters)...");
+    let legacy = time_best(iters, || legacy_all(&counts));
+    eprintln!("timing fused campaign, 1 worker...");
+    let campaign_1t = time_best(iters, || campaign_all(&counts, 1));
+    eprintln!("timing fused campaign, {threads} workers...");
+    let campaign_nt = time_best(iters, || campaign_all(&counts, threads));
+
+    let tps = |d: Duration| planned as f64 / d.as_secs_f64().max(f64::MIN_POSITIVE);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"trials_per_series\": {trials},");
+    let _ = writeln!(json, "  \"planned_trials\": {planned},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"iterations\": {iters},");
+    let _ = writeln!(json, "  \"legacy_seconds\": {},", legacy.as_secs_f64());
+    let _ = writeln!(
+        json,
+        "  \"campaign_1t_seconds\": {},",
+        campaign_1t.as_secs_f64()
+    );
+    let _ = writeln!(
+        json,
+        "  \"campaign_nt_seconds\": {},",
+        campaign_nt.as_secs_f64()
+    );
+    let _ = writeln!(
+        json,
+        "  \"campaign_1t_trials_per_second\": {},",
+        tps(campaign_1t)
+    );
+    let _ = writeln!(
+        json,
+        "  \"campaign_nt_trials_per_second\": {},",
+        tps(campaign_nt)
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_campaign_1t_vs_legacy\": {},",
+        legacy.as_secs_f64() / campaign_1t.as_secs_f64().max(f64::MIN_POSITIVE)
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_campaign_nt_vs_legacy\": {},",
+        legacy.as_secs_f64() / campaign_nt.as_secs_f64().max(f64::MIN_POSITIVE)
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_campaign_nt_vs_1t\": {}",
+        campaign_1t.as_secs_f64() / campaign_nt.as_secs_f64().max(f64::MIN_POSITIVE)
+    );
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_swiftest.json", &json).expect("write BENCH_swiftest.json");
+    println!("{json}");
+}

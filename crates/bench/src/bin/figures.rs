@@ -6,6 +6,7 @@
 //! figures --quick                  # everything, small populations (CI-sized)
 //! figures --records 2000000 \
 //!         --threads 8              # paper-scale dataset, 8 workers
+//! figures --trials 40 fig20        # 40 campaign trials per series
 //! figures --out smoke-t4 ...       # write reports somewhere else
 //! ```
 //!
@@ -14,12 +15,17 @@
 //! produced by the fused single-pass sweep: one pass per population
 //! regardless of how many figures are requested, sharded over
 //! `--threads` workers with byte-identical output for every thread
-//! count.
+//! count. The evaluation figures (17, 20–25, ablations, mmWave, cost)
+//! are produced the same way from one shared trial campaign: the union
+//! of trials the requested figures need is planned once, executed over
+//! `--threads` workers, and reduced in a single pass — byte-identical
+//! for every thread count.
 
-use mbw_bench::{ablation, bts_eval, deploy_eval, fig17, measurement};
+use mbw_bench::{bts_eval, deploy_eval, eval_sweep, measurement};
+use mbw_core::{run_campaign_metered, EvalCounts};
 use mbw_dataset::csv::CsvWriter;
 use mbw_dataset::{RecordView, ShardPlan};
-use mbw_telemetry::{PipelineMetrics, Registry};
+use mbw_telemetry::{CampaignMetrics, PipelineMetrics, Registry};
 use std::fs;
 use std::io::BufWriter;
 use std::path::PathBuf;
@@ -44,6 +50,11 @@ const QUICK: Sizes = Sizes {
     bts_tests: 30,
     replay_days: 5,
 };
+
+/// Campaign seed for the shared evaluation pool.
+const EVAL_SEED: u64 = 0x5EED;
+/// Server-catalog seed for the cost report.
+const COST_SEED: u64 = 0xC0;
 
 /// Every experiment id, in paper order.
 const ALL_IDS: [&str; 28] = [
@@ -73,6 +84,7 @@ const EXPORT_ROWS: usize = 10_000;
 struct Options {
     quick: bool,
     records: Option<usize>,
+    trials: Option<usize>,
     threads: usize,
     out_dir: PathBuf,
     selected: Vec<String>,
@@ -82,6 +94,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         quick: false,
         records: None,
+        trials: None,
         threads: 1,
         out_dir: PathBuf::from("results"),
         selected: Vec::new(),
@@ -100,6 +113,13 @@ fn parse_args() -> Options {
                 let v = value("--records");
                 opts.records = Some(v.parse().unwrap_or_else(|_| {
                     eprintln!("--records: not a record count: {v}");
+                    std::process::exit(2);
+                }));
+            }
+            "--trials" => {
+                let v = value("--trials");
+                opts.trials = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--trials: not a trial count: {v}");
                     std::process::exit(2);
                 }));
             }
@@ -176,8 +196,38 @@ fn main() {
         figs
     });
 
-    // Figs 23–25 share one run.
-    let mut fig23_25_cache: Option<bts_eval::Fig23to25> = None;
+    // The evaluation figures all come out of one shared trial campaign:
+    // plan the union, execute it once, reduce every figure in a pass.
+    let is_eval_id = |id: &str| eval_sweep::EVAL_SWEEP_IDS.contains(&id);
+    let eval_ids: Vec<&str> = ids
+        .iter()
+        .map(String::as_str)
+        .filter(|id| is_eval_id(id))
+        .collect();
+    let eval_figures = (!eval_ids.is_empty()).then(|| {
+        let counts = match opts.trials {
+            Some(n) => EvalCounts::uniform(n),
+            None => EvalCounts {
+                tests: sizes.bts_tests,
+                groups: sizes.bts_tests.min(80),
+                ramp_paths: sizes.fig17_paths,
+                ablation: sizes.bts_tests.min(60),
+                mmwave: sizes.bts_tests.min(80),
+            },
+        };
+        let plan = eval_sweep::plan_for(&eval_ids, &counts, EVAL_SEED);
+        let campaign_metrics = CampaignMetrics::register(&registry);
+        let t0 = Instant::now();
+        let pool = run_campaign_metered(&plan, opts.threads, Some(&campaign_metrics));
+        let elapsed = t0.elapsed();
+        eprintln!(
+            "campaign: {} trials ({} outcome rows) in {elapsed:.2?} ({} threads)",
+            pool.len(),
+            pool.outcome_rows(),
+            opts.threads
+        );
+        eval_sweep::reduce(eval_sweep::EvalFigureSet::new(COST_SEED), &pool)
+    });
 
     for id in &ids {
         if id == "export_csv" {
@@ -202,31 +252,18 @@ fn main() {
                 .expect("swept above")
                 .render(m)
                 .expect("known measurement id"),
-            "fig17" => fig17::fig17(sizes.fig17_paths, 0x17).render(),
-            "fig20" => bts_eval::fig20(sizes.bts_tests, 0x20).render(),
-            "fig21" => bts_eval::fig21(sizes.bts_tests, 0x21).render(),
-            "fig22" => bts_eval::fig22(sizes.bts_tests, 0x22).render(),
-            "fig23" | "fig24" | "fig25" => fig23_25_cache
-                .get_or_insert_with(|| bts_eval::fig23_25(sizes.bts_tests.min(80), 0x23))
-                .render(),
-            "fig26" => deploy_eval::fig26(sizes.replay_days, 0x26).render(),
-            "cost" => deploy_eval::cost_report(0xC0).render(),
-            "ablation_init" => ablation::render_variants(
-                "Ablation: initial probing rate",
-                &ablation::ablation_init(sizes.bts_tests.min(60), 0xAB1),
-            ),
-            "ablation_converge" => ablation::render_variants(
-                "Ablation: convergence rule",
-                &ablation::ablation_converge(sizes.bts_tests.min(60), 0xAB2),
-            ),
-            "ablation_escalate" => ablation::render_variants(
-                "Ablation: escalation policy",
-                &ablation::ablation_escalate(sizes.bts_tests.min(60), 0xAB3),
-            ),
+            e if is_eval_id(e) => eval_figures
+                .as_ref()
+                .expect("campaign ran above")
+                .render(e)
+                .expect("known evaluation id")
+                .unwrap_or_else(|err| format!("{err}\n")),
+            "fig26" => deploy_eval::fig26(sizes.replay_days, 0x26)
+                .map(|f| f.render())
+                .unwrap_or_else(|err| format!("{err}\n")),
             "tcp_variant" => {
                 bts_eval::tcp_variant_comparison(sizes.bts_tests.min(60), 0x7C9).render()
             }
-            "mmwave" => bts_eval::mmwave_report(sizes.bts_tests.min(80), 0x33A),
             other => {
                 eprintln!("unknown experiment id: {other}");
                 std::process::exit(2);

@@ -13,7 +13,7 @@
 use mbw_core::estimator::ConvergenceEstimator;
 use mbw_core::outcome::TestStatus;
 use mbw_core::probe::{run_swiftest, SwiftestConfig};
-use mbw_core::{AccessScenario, TechClass};
+use mbw_core::{trial_seed, AccessScenario, TechClass};
 use mbw_dataset::types::CellBand;
 use mbw_dataset::{
     AccessTech, CellInfo, CityTier, DeviceTier, Isp, LinkInfo, NrBandId, OutcomeClass, TestRecord,
@@ -37,14 +37,17 @@ pub fn collect_records(tech: TechClass, model: &Gmm, n: usize, seed: u64) -> Vec
     let mut rng = SeededRng::new(seed ^ 0xC011EC7);
     let mut records = Vec::with_capacity(n);
     for i in 0..n {
-        let drawn = scenario.draw(seed.wrapping_add(i as u64 * 53));
+        // Per-test seed stream, same derivation as the campaign's
+        // trials (no stride arithmetic that could collide across i).
+        let s = trial_seed(seed, 0xC011 | ((tech as u64) << 16), i as u64);
+        let drawn = scenario.draw(s);
         let mut est = ConvergenceEstimator::swiftest();
         let result = run_swiftest(
             drawn.build(),
             model,
             &mut est,
             &SwiftestConfig::default(),
-            seed ^ i as u64,
+            s ^ 0x51AB,
         );
         // Context a plugin would read off the modem: RSS consistent with
         // the link quality (quantile of truth within the population).

@@ -2,19 +2,20 @@
 //!
 //! The paper configured Cubic / Reno / BBR on production servers and
 //! measured slow-start duration with `tcp_probe` across access
-//! bandwidths. Here each data point runs the round-based flow simulation
-//! over paths drawn with realistic RTTs, spurious wireless loss, and a
-//! radio-scheduler ramp; the metric is the time until the 50 ms goodput
-//! samples first reach 90% of the link's nominal rate.
+//! bandwidths. Here each data point is a `Ramp` campaign trial: the
+//! round-based flow simulation over paths drawn with realistic RTTs,
+//! spurious wireless loss, and a radio-scheduler ramp; the metric is
+//! the time until the 50 ms goodput samples first reach 90% of the
+//! link's nominal rate. All `(bandwidth, algorithm)` cells share one
+//! seed stream (common random numbers), as the legacy per-figure sweep
+//! arranged by reusing one stride sequence.
 
-use mbw_congestion::{CcAlgorithm, FlowConfig, FlowSim};
-use mbw_netsim::{ConstantCapacity, PathConfig, PathModel, RampUpCapacity};
-use mbw_stats::{descriptive, SeededRng};
+use mbw_analysis::accum::FigureAccumulator;
+use mbw_congestion::CcAlgorithm;
+pub use mbw_core::campaign::BANDWIDTH_BINS;
+use mbw_core::{run_campaign, CampaignPlan, EmptyCampaign, TrialKind, TrialView};
+use mbw_stats::descriptive;
 use std::fmt::Write as _;
-use std::time::Duration;
-
-/// The paper's x-axis bins (Mbps).
-pub const BANDWIDTH_BINS: [f64; 6] = [100.0, 300.0, 500.0, 700.0, 900.0, 1100.0];
 
 /// Fig 17 data.
 #[derive(Debug, Clone)]
@@ -54,55 +55,89 @@ impl Fig17 {
     }
 }
 
-/// Time for one flow to first reach `frac` of nominal on a drawn path;
-/// `cap_secs` when it never does within the run.
-fn ramp_time(alg: CcAlgorithm, mbps: f64, seed: u64, cap_secs: f64) -> f64 {
-    let mut rng = SeededRng::new(seed);
-    // Cellular-test path: tens-of-ms RTT, spurious loss, radio ramp.
-    let rtt = rng.uniform_range(0.025, 0.075);
-    // Cellular link-layer retransmission hides most wireless corruption
-    // from TCP; the residual spurious-loss rate is tiny but non-zero.
-    let loss = 10f64.powf(rng.uniform_range(-6.0, -4.6));
-    // The per-UE scheduler grant ramps in rate steps: reaching a 1 Gbps
-    // grant takes longer than a 100 Mbps one (CQI/AMC adaptation + BSR
-    // ramp), so the ramp duration scales sub-linearly with rate.
-    let ramp = rng.uniform_range(0.5, 1.1) * (mbps / 300.0).powf(0.4);
-    let capacity = RampUpCapacity::new(ConstantCapacity(mbps * 1e6), ramp, 0.15);
-    let path = PathModel::new(PathConfig {
-        capacity: Box::new(capacity),
-        base_rtt: Duration::from_secs_f64(rtt),
-        loss_prob: loss,
-        buffer_bdp: 1.0,
-        seed,
-    });
-    let trace = FlowSim::run(
-        path,
-        alg.build(),
-        FlowConfig {
-            max_duration: Duration::from_secs_f64(cap_secs),
-            seed: seed ^ 0xF16,
-            ..Default::default()
-        },
-    );
-    trace
-        .time_to_fraction(mbps * 1e6, 0.90)
-        .map(|d| d.as_secs_f64())
-        .unwrap_or(cap_secs)
+fn alg_index(alg: CcAlgorithm) -> usize {
+    CcAlgorithm::ALL
+        .iter()
+        .position(|&a| a == alg)
+        .expect("algorithm in ALL")
+}
+
+/// Streaming reducer for Fig 17: collects ramp times per
+/// `(bandwidth bin, algorithm)` cell from the campaign pool.
+#[derive(Debug, Clone)]
+pub struct Fig17Acc {
+    /// `cells[bin * 3 + alg]`, each in pool order.
+    cells: Vec<Vec<f64>>,
+}
+
+impl Fig17Acc {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            cells: vec![Vec::new(); BANDWIDTH_BINS.len() * CcAlgorithm::ALL.len()],
+        }
+    }
+}
+
+impl Default for Fig17Acc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> FigureAccumulator<TrialView<'a>> for Fig17Acc {
+    type Output = Result<Fig17, EmptyCampaign>;
+
+    fn observe(&mut self, r: &TrialView<'a>) {
+        if let TrialKind::Ramp(alg, bin) = r.spec().kind {
+            self.cells[bin as usize * CcAlgorithm::ALL.len() + alg_index(alg)]
+                .push(r.solo().duration_s);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (mine, theirs) in self.cells.iter_mut().zip(other.cells) {
+            mine.extend(theirs);
+        }
+    }
+
+    fn finish(self) -> Self::Output {
+        if self.cells.iter().all(|c| c.is_empty()) {
+            return Err(EmptyCampaign);
+        }
+        let mut rows = Vec::new();
+        for (b, &bin) in BANDWIDTH_BINS.iter().enumerate() {
+            for (a, &alg) in CcAlgorithm::ALL.iter().enumerate() {
+                rows.push((
+                    bin,
+                    alg,
+                    descriptive::mean(&self.cells[b * CcAlgorithm::ALL.len() + a]),
+                ));
+            }
+        }
+        Ok(Fig17 { rows })
+    }
+}
+
+/// Add the Fig 17 trials to `plan`.
+pub fn plan_fig17(plan: &mut CampaignPlan, paths_per_point: usize) {
+    for alg in CcAlgorithm::ALL {
+        for bin in 0..BANDWIDTH_BINS.len() {
+            plan.push_series(
+                TrialKind::Ramp(alg, bin as u8),
+                mbw_core::campaign::RAMP_SCENARIO,
+                paths_per_point,
+            );
+        }
+    }
 }
 
 /// Run the full sweep with `paths_per_point` drawn paths per cell.
-pub fn fig17(paths_per_point: usize, seed: u64) -> Fig17 {
-    let cap = 12.0;
-    let mut rows = Vec::new();
-    for &bin in &BANDWIDTH_BINS {
-        for alg in CcAlgorithm::ALL {
-            let times: Vec<f64> = (0..paths_per_point)
-                .map(|i| ramp_time(alg, bin, seed.wrapping_add(i as u64 * 131), cap))
-                .collect();
-            rows.push((bin, alg, descriptive::mean(&times)));
-        }
-    }
-    Fig17 { rows }
+pub fn fig17(paths_per_point: usize, seed: u64) -> Result<Fig17, EmptyCampaign> {
+    let mut plan = CampaignPlan::new(seed);
+    plan_fig17(&mut plan, paths_per_point);
+    let pool = run_campaign(&plan, 1);
+    crate::eval_sweep::reduce(Fig17Acc::new(), &pool)
 }
 
 #[cfg(test)]
@@ -111,7 +146,7 @@ mod tests {
 
     #[test]
     fn fig17_shape_matches_paper() {
-        let fig = fig17(12, 1700);
+        let fig = fig17(12, 1700).expect("non-empty campaign");
         // 1. Ramp time grows with bandwidth for every algorithm.
         for alg in CcAlgorithm::ALL {
             let low = fig.cell(100.0, alg).unwrap();
@@ -139,21 +174,23 @@ mod tests {
 
     #[test]
     fn render_mentions_all_algorithms() {
-        let fig = fig17(3, 3);
+        let fig = fig17(3, 3).expect("non-empty campaign");
         let text = fig.render();
         for name in ["Cubic", "Reno", "BBR"] {
-            assert!(text.contains(name));
+            assert!(text.contains(name), "missing {name}");
         }
-        assert!(text.lines().count() >= BANDWIDTH_BINS.len() + 2);
+        assert!(text.lines().count() >= 1 + 1 + BANDWIDTH_BINS.len());
     }
 
     #[test]
-    fn deterministic() {
-        let a = fig17(4, 9);
-        let b = fig17(4, 9);
-        assert_eq!(a.rows.len(), b.rows.len());
-        for (x, y) in a.rows.iter().zip(&b.rows) {
-            assert_eq!(x.2, y.2);
-        }
+    fn deterministic_for_fixed_seed() {
+        let a = fig17(3, 99).expect("non-empty");
+        let b = fig17(3, 99).expect("non-empty");
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn empty_plan_is_a_typed_error() {
+        assert_eq!(fig17(0, 1).unwrap_err(), EmptyCampaign);
     }
 }

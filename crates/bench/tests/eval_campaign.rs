@@ -1,0 +1,140 @@
+//! The fused evaluation campaign is byte-identical to the legacy
+//! one-run-per-figure pipeline for every evaluation figure id, and the
+//! executed pool is byte-identical for any worker thread count.
+//!
+//! This mirrors `sweep_equivalence.rs` (the measurement half's
+//! guarantee) for the Swiftest evaluation half. The equivalence holds
+//! by construction — per-trial seeds are structural, derived from what
+//! a trial *is* rather than where it sits in the plan — and these
+//! tests keep that construction honest.
+
+use mbw_bench::eval_sweep::{plan_for, reduce, EvalFigureSet, EVAL_SWEEP_IDS};
+use mbw_bench::{ablation, bts_eval, deploy_eval, fig17};
+use mbw_core::{run_campaign, trial_seed, CampaignPlan, EvalCounts};
+use proptest::prelude::*;
+
+const SEED: u64 = 0xE7A1;
+const COST_SEED: u64 = 0xC0;
+
+fn counts() -> EvalCounts {
+    EvalCounts::uniform(10)
+}
+
+/// The pre-campaign pipeline: one figure function per id, each running
+/// its own trials.
+fn legacy_render(id: &str, c: &EvalCounts) -> String {
+    match id {
+        "fig17" => fig17::fig17(c.ramp_paths, SEED).expect("ok").render(),
+        "fig20" => bts_eval::fig20(c.tests, SEED).expect("ok").render(),
+        "fig21" => bts_eval::fig21(c.tests, SEED).expect("ok").render(),
+        "fig22" => bts_eval::fig22(c.tests, SEED).expect("ok").render(),
+        "fig23" | "fig24" | "fig25" => bts_eval::fig23_25(c.groups, SEED).expect("ok").render(),
+        "ablation_init" => ablation::render_variants(
+            "Ablation: initial probing rate",
+            &ablation::ablation_init(c.ablation, SEED).expect("ok"),
+        ),
+        "ablation_converge" => ablation::render_variants(
+            "Ablation: convergence rule",
+            &ablation::ablation_converge(c.ablation, SEED).expect("ok"),
+        ),
+        "ablation_escalate" => ablation::render_variants(
+            "Ablation: escalation policy",
+            &ablation::ablation_escalate(c.ablation, SEED).expect("ok"),
+        ),
+        "mmwave" => bts_eval::mmwave_report(c.mmwave, SEED)
+            .expect("ok")
+            .render(),
+        "cost" => {
+            // Legacy shape: estimate the workload from a pairs-only run,
+            // then purchase for it.
+            let mut plan = CampaignPlan::new(SEED);
+            bts_eval::plan_pairs(&mut plan, c.tests);
+            let pool = run_campaign(&plan, 1);
+            let w = reduce(deploy_eval::WorkloadAcc::default(), &pool).expect("ok");
+            deploy_eval::cost_report_with(&w, COST_SEED).render()
+        }
+        other => panic!("no legacy mapping for {other}"),
+    }
+}
+
+#[test]
+fn fused_campaign_reproduces_every_legacy_figure() {
+    let c = counts();
+    let legacy: Vec<(&str, String)> = EVAL_SWEEP_IDS
+        .iter()
+        .map(|&id| (id, legacy_render(id, &c)))
+        .collect();
+
+    let plan = plan_for(&EVAL_SWEEP_IDS, &c, SEED);
+    for threads in [1usize, 4] {
+        let pool = run_campaign(&plan, threads);
+        let figs = reduce(EvalFigureSet::new(COST_SEED), &pool);
+        for (id, expected) in &legacy {
+            let fused = figs
+                .render(id)
+                .unwrap_or_else(|| panic!("unknown id {id}"))
+                .unwrap_or_else(|e| panic!("{id}: {e}"));
+            assert_eq!(
+                &fused, expected,
+                "{id} diverged from the legacy pipeline at {threads} thread(s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn pool_is_byte_identical_for_any_thread_count() {
+    let plan = plan_for(&EVAL_SWEEP_IDS, &counts(), 0xDE7);
+    let serial = run_campaign(&plan, 1);
+    for threads in [2usize, 8] {
+        let parallel = run_campaign(&plan, threads);
+        assert_eq!(serial, parallel, "pool diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn trial_count_does_not_disturb_the_shared_prefix() {
+    // Growing a series appends trials; the existing ones keep their
+    // structural seeds, so figures over the common prefix agree.
+    let mut small = CampaignPlan::new(77);
+    bts_eval::plan_pairs(&mut small, 6);
+    let mut large = CampaignPlan::new(77);
+    bts_eval::plan_pairs(&mut large, 9);
+    let small_pool = run_campaign(&small, 1);
+    let large_pool = run_campaign(&large, 2);
+    for (i, spec) in small.specs().iter().enumerate() {
+        let j = large
+            .specs()
+            .iter()
+            .position(|s| s == spec)
+            .expect("prefix spec present in the larger plan");
+        assert_eq!(
+            small_pool.view(i).outcome(0),
+            large_pool.view(j).outcome(0),
+            "trial {spec:?} changed when the plan grew"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Distinct trial indices never collide within a series, and the
+    /// figure series used by the evaluation never collide with each
+    /// other — the property the old `seed.wrapping_add(i * 17)` strides
+    /// could not guarantee.
+    #[test]
+    fn per_trial_seed_streams_never_collide(
+        campaign_seed in any::<u64>(),
+        series_a in 0u64..0x700,
+        series_b in 0u64..0x700,
+        i in 0u64..512,
+        j in 0u64..512,
+    ) {
+        prop_assume!(series_a != series_b || i != j);
+        prop_assert_ne!(
+            trial_seed(campaign_seed, series_a, i),
+            trial_seed(campaign_seed, series_b, j)
+        );
+    }
+}

@@ -1,0 +1,1042 @@
+//! The evaluation campaign: plan → execute (§5.3, Figs 17–26).
+//!
+//! The evaluation half of the paper runs thousands of simulated trials
+//! — single tests, back-to-back pairs, four-service test groups, TCP
+//! ramp-up measurements, and design-ablation variants. This module
+//! turns that into a three-stage pipeline:
+//!
+//! 1. **Plan** ([`CampaignPlan`]): enumerate [`TrialSpec`]s — the
+//!    deduplicated union of every trial the requested figures need.
+//!    Each spec owns a deterministic RNG stream derived from
+//!    `(campaign seed, series, index)` by [`trial_seed`], so a trial's
+//!    outcome depends only on its *identity*, never on its position in
+//!    the plan or on which figures requested it. Shared work (the
+//!    back-to-back BTS-APP references of Figs 20–22) therefore runs
+//!    once and feeds every consumer byte-identically.
+//! 2. **Execute** ([`run_campaign`]): a work-stealing thread pool runs
+//!    the trials against per-scenario [`TestHarness`]es (scenarios are
+//!    immutable, so one harness serves every worker) and assembles a
+//!    columnar [`TrialPool`] in plan order — byte-identical for any
+//!    thread count.
+//! 3. **Reduce** (in `mbw-bench`): figure accumulators fold the shared
+//!    pool into Figs 17–26 in one pass.
+//!
+//! The `trial_seed` scheme replaces the ad-hoc `seed.wrapping_add(i *
+//! stride)` derivations the per-figure loops used: a splitmix64-style
+//! bijective mixer guarantees distinct indices in a series can never
+//! collide, while distinct series decorrelate fully instead of sharing
+//! arithmetic progressions.
+
+use crate::estimator::ConvergenceEstimator;
+use crate::harness::TestHarness;
+use crate::model::TechClass;
+use crate::probe::{self, BtsKind, SwiftestConfig};
+use crate::scenario::AccessScenario;
+use mbw_congestion::{CcAlgorithm, FlowConfig, FlowSim};
+use mbw_netsim::{ConstantCapacity, PathConfig, PathModel, RampUpCapacity};
+use mbw_stats::{Gmm, SeededRng};
+use mbw_telemetry::CampaignMetrics;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::time::{Duration, Instant};
+
+/// Finalizer of the splitmix64 generator: a bijective mixer on `u64`.
+fn mix64(mut z: u64) -> u64 {
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z
+}
+
+/// The seed of trial `index` within `series` of the campaign.
+///
+/// Bijective in `index` for a fixed `(campaign_seed, series)`: two
+/// distinct indices in one series can never share a seed.
+pub fn trial_seed(campaign_seed: u64, series: u64, index: u64) -> u64 {
+    mix64(index ^ mix64(campaign_seed ^ mix64(series)))
+}
+
+/// Which access population a trial draws its link from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioId {
+    /// The calibrated default scenario of one technology class.
+    Tech(TechClass),
+    /// The §7 mmWave 5G extension scenario.
+    Mmwave,
+}
+
+impl ScenarioId {
+    /// Every scenario the evaluation draws from.
+    pub const ALL: [ScenarioId; 4] = [
+        ScenarioId::Tech(TechClass::Lte),
+        ScenarioId::Tech(TechClass::Nr),
+        ScenarioId::Tech(TechClass::Wifi),
+        ScenarioId::Mmwave,
+    ];
+
+    fn tag(self) -> u64 {
+        match self {
+            ScenarioId::Tech(TechClass::Lte) => 0,
+            ScenarioId::Tech(TechClass::Nr) => 1,
+            ScenarioId::Tech(TechClass::Wifi) => 2,
+            ScenarioId::Mmwave => 3,
+        }
+    }
+
+    /// Materialise the scenario.
+    pub fn scenario(self) -> AccessScenario {
+        match self {
+            ScenarioId::Tech(t) => AccessScenario::default_for(t),
+            ScenarioId::Mmwave => AccessScenario::mmwave(),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioId::Tech(t) => t.name(),
+            ScenarioId::Mmwave => "mmWave",
+        }
+    }
+}
+
+/// A Swiftest design variant (the DESIGN.md ablations).
+///
+/// [`VariantId::PaperDefault`] is the paper's configuration and is
+/// *shared* by all three ablation tables — under structural seeding it
+/// runs once per campaign no matter how many tables reference it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VariantId {
+    /// GMM prior, 10-sample/3% convergence, modal escalation.
+    PaperDefault,
+    /// Single Gaussian at the population mean instead of the GMM.
+    PopulationMean,
+    /// No prior: start at 1 Mbps and grow (application slow start).
+    BlindRampup,
+    /// Looser convergence: 5-sample window, 5% tolerance.
+    ConvergeLoose,
+    /// Stricter convergence: 20-sample window, 1% tolerance.
+    ConvergeStrict,
+    /// Fixed ×1.25 growth instead of modal jumps.
+    EscalateFixed,
+}
+
+/// One variant's resolved probing configuration.
+#[derive(Debug, Clone)]
+pub struct VariantSetup {
+    /// The bandwidth prior handed to the prober.
+    pub model: Gmm,
+    /// Convergence window (samples).
+    pub window: usize,
+    /// Convergence tolerance (fraction).
+    pub tolerance: f64,
+    /// Prober configuration.
+    pub config: SwiftestConfig,
+}
+
+impl VariantId {
+    /// Every variant the ablation tables use.
+    pub const ALL: [VariantId; 6] = [
+        VariantId::PaperDefault,
+        VariantId::PopulationMean,
+        VariantId::BlindRampup,
+        VariantId::ConvergeLoose,
+        VariantId::ConvergeStrict,
+        VariantId::EscalateFixed,
+    ];
+
+    fn tag(self) -> u64 {
+        match self {
+            VariantId::PaperDefault => 0,
+            VariantId::PopulationMean => 1,
+            VariantId::BlindRampup => 2,
+            VariantId::ConvergeLoose => 3,
+            VariantId::ConvergeStrict => 4,
+            VariantId::EscalateFixed => 5,
+        }
+    }
+
+    /// Canonical label (ablation tables may re-label the shared
+    /// paper-default row per table).
+    pub fn label(self) -> &'static str {
+        match self {
+            VariantId::PaperDefault => "paper-default",
+            VariantId::PopulationMean => "population-mean",
+            VariantId::BlindRampup => "blind-rampup",
+            VariantId::ConvergeLoose => "w5-t5% (loose)",
+            VariantId::ConvergeStrict => "w20-t1% (strict)",
+            VariantId::EscalateFixed => "fixed-1.25x",
+        }
+    }
+
+    /// Resolve the variant to a concrete probing setup. All variants
+    /// ablate the 5G (NR) configuration, as in DESIGN.md.
+    pub fn setup(self) -> VariantSetup {
+        let full = TechClass::Nr.default_model();
+        let default = SwiftestConfig::default();
+        let (model, window, tolerance, config) = match self {
+            VariantId::PaperDefault => (full, 10, 0.03, default),
+            VariantId::PopulationMean => (
+                Gmm::from_triples(&[(1.0, full.mean(), full.variance().sqrt())]).expect("valid"),
+                10,
+                0.03,
+                default,
+            ),
+            VariantId::BlindRampup => (
+                Gmm::from_triples(&[(1.0, 1.0, 0.2)]).expect("valid"),
+                10,
+                0.03,
+                default,
+            ),
+            VariantId::ConvergeLoose => (full, 5, 0.05, default),
+            VariantId::ConvergeStrict => (full, 20, 0.01, default),
+            VariantId::EscalateFixed => (
+                Gmm::from_triples(&[(1.0, full.dominant_mode(), 1.0)]).expect("valid"),
+                10,
+                0.03,
+                SwiftestConfig {
+                    beyond_mode_growth: 1.25,
+                    ..SwiftestConfig::default()
+                },
+            ),
+        };
+        VariantSetup {
+            model,
+            window,
+            tolerance,
+            config,
+        }
+    }
+}
+
+fn bts_tag(kind: BtsKind) -> u64 {
+    match kind {
+        BtsKind::BtsApp => 0,
+        BtsKind::Fast => 1,
+        BtsKind::FastBts => 2,
+        BtsKind::Swiftest => 3,
+    }
+}
+
+/// What one trial runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrialKind {
+    /// One service on a freshly drawn link (1 outcome row).
+    Single(BtsKind),
+    /// A back-to-back pair on one drawn link, rows in argument order
+    /// (2 outcome rows).
+    Pair(BtsKind, BtsKind),
+    /// The §5.3 benchmark-study group: all four services on one drawn
+    /// link, rows `[BTS-APP, FAST, FastBTS, Swiftest]` (4 outcome
+    /// rows).
+    Group,
+    /// A Fig 17 TCP ramp-up measurement: `(algorithm, bandwidth-bin
+    /// index into [`BANDWIDTH_BINS`])` (1 outcome row; the ramp time
+    /// lands in `duration_s`).
+    Ramp(CcAlgorithm, u8),
+    /// One Swiftest design-variant run (1 outcome row).
+    Variant(VariantId),
+}
+
+impl TrialKind {
+    /// Outcome rows this trial produces.
+    pub fn outcomes(self) -> usize {
+        match self {
+            TrialKind::Single(_) | TrialKind::Ramp(..) | TrialKind::Variant(_) => 1,
+            TrialKind::Pair(..) => 2,
+            TrialKind::Group => 4,
+        }
+    }
+
+    /// Telemetry label (one of
+    /// [`mbw_telemetry::campaign::TRIAL_KIND_LABELS`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            TrialKind::Single(_) => "single",
+            TrialKind::Pair(..) => "pair",
+            TrialKind::Group => "group",
+            TrialKind::Ramp(..) => "ramp",
+            TrialKind::Variant(_) => "variant",
+        }
+    }
+
+    /// The seed-series code. Ramp cells deliberately share one code:
+    /// every `(bandwidth, algorithm)` cell then sees the *same* path
+    /// draws (common random numbers), which is what makes Fig 17's
+    /// cross-cell comparisons low-variance — the legacy sweep had the
+    /// same property by reusing one stride sequence for all cells.
+    fn seed_code(self) -> u64 {
+        match self {
+            TrialKind::Single(k) => 0x100 + bts_tag(k),
+            TrialKind::Pair(a, b) => 0x200 + bts_tag(a) * 16 + bts_tag(b),
+            TrialKind::Group => 0x300,
+            TrialKind::Ramp(..) => 0x400,
+            TrialKind::Variant(v) => 0x500 + v.tag(),
+        }
+    }
+}
+
+/// One planned trial: what to run, on which population, and which
+/// index of its series' RNG stream to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrialSpec {
+    /// What runs.
+    pub kind: TrialKind,
+    /// Which population the link is drawn from.
+    pub scenario: ScenarioId,
+    /// Position within the series (selects the RNG stream element).
+    pub index: u32,
+}
+
+impl TrialSpec {
+    /// The series this spec's RNG stream belongs to.
+    pub fn series(&self) -> u64 {
+        (self.kind.seed_code() << 8) | self.scenario.tag()
+    }
+
+    /// The trial's seed — a pure function of the campaign seed and the
+    /// spec's identity, independent of plan composition.
+    pub fn seed(&self, campaign_seed: u64) -> u64 {
+        trial_seed(campaign_seed, self.series(), u64::from(self.index))
+    }
+}
+
+/// Trial counts for [`CampaignPlan::evaluation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalCounts {
+    /// Back-to-back pairs per technology (Figs 20–22 + workload).
+    pub tests: usize,
+    /// Four-service test groups per technology (Figs 23–25).
+    pub groups: usize,
+    /// Paths per Fig 17 `(bandwidth, algorithm)` cell.
+    pub ramp_paths: usize,
+    /// Runs per ablation variant.
+    pub ablation: usize,
+    /// mmWave Swiftest runs (§7).
+    pub mmwave: usize,
+}
+
+impl EvalCounts {
+    /// Paper-scale counts (the `figures` binary's full mode).
+    pub fn full() -> Self {
+        Self {
+            tests: 150,
+            groups: 80,
+            ramp_paths: 24,
+            ablation: 60,
+            mmwave: 80,
+        }
+    }
+
+    /// Smoke-test counts (the `figures` binary's quick mode).
+    pub fn quick() -> Self {
+        Self {
+            tests: 30,
+            groups: 30,
+            ramp_paths: 6,
+            ablation: 25,
+            mmwave: 30,
+        }
+    }
+
+    /// Uniform sizing from one `--trials` knob: `n` per series, except
+    /// ramp cells (18 of them; each path simulates up to 12 s of flow
+    /// time) which get `n / 6`, floored at 4.
+    pub fn uniform(n: usize) -> Self {
+        Self {
+            tests: n,
+            groups: n,
+            ramp_paths: (n / 6).max(4),
+            ablation: n,
+            mmwave: n,
+        }
+    }
+}
+
+/// The scenario tag ramp trials are planned under. Ramp trials draw
+/// their own path parameters (they model wired-ish production-server
+/// paths, not an access scenario), so this is a fixed convention that
+/// keeps all ramp series in one seed stream.
+pub const RAMP_SCENARIO: ScenarioId = ScenarioId::Tech(TechClass::Nr);
+
+/// A deduplicated, ordered set of trials to execute.
+#[derive(Debug, Clone)]
+pub struct CampaignPlan {
+    campaign_seed: u64,
+    specs: Vec<TrialSpec>,
+    seen: HashSet<TrialSpec>,
+}
+
+impl CampaignPlan {
+    /// An empty plan under `campaign_seed`.
+    pub fn new(campaign_seed: u64) -> Self {
+        Self {
+            campaign_seed,
+            specs: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// The campaign seed every trial seed derives from.
+    pub fn campaign_seed(&self) -> u64 {
+        self.campaign_seed
+    }
+
+    /// The planned trials, in insertion order.
+    pub fn specs(&self) -> &[TrialSpec] {
+        &self.specs
+    }
+
+    /// Number of planned trials.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the plan holds no trials.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Add one trial; returns `false` (and keeps the plan unchanged)
+    /// if an identical spec is already planned.
+    pub fn push(&mut self, spec: TrialSpec) -> bool {
+        if self.seen.insert(spec) {
+            self.specs.push(spec);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Add trials `0..n` of one series (deduplicated).
+    pub fn push_series(&mut self, kind: TrialKind, scenario: ScenarioId, n: usize) {
+        for index in 0..n {
+            self.push(TrialSpec {
+                kind,
+                scenario,
+                index: index as u32,
+            });
+        }
+    }
+
+    /// The full evaluation campaign: the union of every trial Figs
+    /// 17–26, the ablation tables, and the §7 mmWave report need.
+    pub fn evaluation(counts: &EvalCounts, campaign_seed: u64) -> Self {
+        let mut plan = Self::new(campaign_seed);
+        // Figs 20–22 share one back-to-back series per technology: the
+        // BTS-APP reference runs once and feeds duration, data-usage,
+        // and deviation figures alike.
+        for tech in TechClass::ALL {
+            plan.push_series(
+                TrialKind::Pair(BtsKind::Swiftest, BtsKind::BtsApp),
+                ScenarioId::Tech(tech),
+                counts.tests,
+            );
+        }
+        for tech in TechClass::ALL {
+            plan.push_series(TrialKind::Group, ScenarioId::Tech(tech), counts.groups);
+        }
+        for alg in CcAlgorithm::ALL {
+            for bin in 0..BANDWIDTH_BINS.len() {
+                plan.push_series(
+                    TrialKind::Ramp(alg, bin as u8),
+                    RAMP_SCENARIO,
+                    counts.ramp_paths,
+                );
+            }
+        }
+        for variant in VariantId::ALL {
+            plan.push_series(
+                TrialKind::Variant(variant),
+                ScenarioId::Tech(TechClass::Nr),
+                counts.ablation,
+            );
+        }
+        plan.push_series(
+            TrialKind::Single(BtsKind::Swiftest),
+            ScenarioId::Mmwave,
+            counts.mmwave,
+        );
+        plan
+    }
+}
+
+/// One outcome row of an executed trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialOutcome {
+    /// Probing time, seconds (for ramp trials: the ramp-up time).
+    pub duration_s: f64,
+    /// Server-selection (PING) overhead, seconds.
+    pub ping_s: f64,
+    /// Bytes pulled through the access link.
+    pub data_bytes: f64,
+    /// Reported bandwidth, Mbps.
+    pub estimate_mbps: f64,
+    /// The drawn link's nominal capacity, Mbps (for ramp trials: the
+    /// bandwidth bin).
+    pub truth_mbps: f64,
+    /// Whether the run converged (for ramp trials: whether the flow
+    /// reached 90% of nominal within the cap).
+    pub complete: bool,
+}
+
+impl TrialOutcome {
+    /// Probing plus selection time — the user-visible test duration.
+    pub fn total_s(&self) -> f64 {
+        self.duration_s + self.ping_s
+    }
+
+    /// Accuracy against a reference estimate: `1 − deviation`.
+    pub fn accuracy_vs(&self, reference_mbps: f64) -> f64 {
+        1.0 - mbw_stats::descriptive::relative_deviation(self.estimate_mbps, reference_mbps)
+    }
+}
+
+impl From<&crate::harness::TestOutcome> for TrialOutcome {
+    fn from(o: &crate::harness::TestOutcome) -> Self {
+        Self {
+            duration_s: o.duration.as_secs_f64(),
+            ping_s: o.ping_overhead.as_secs_f64(),
+            data_bytes: o.data_bytes,
+            estimate_mbps: o.estimate_mbps,
+            truth_mbps: o.truth_mbps,
+            complete: o.status.is_complete(),
+        }
+    }
+}
+
+/// Columnar outcomes of an executed campaign, in plan order.
+///
+/// Struct-of-arrays: one row per outcome, with `offsets` mapping trial
+/// `i` to its row range (`offsets[i]..offsets[i + 1]`). Equality is
+/// exact — the determinism tests compare whole pools byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialPool {
+    campaign_seed: u64,
+    specs: Vec<TrialSpec>,
+    offsets: Vec<u32>,
+    duration_s: Vec<f64>,
+    ping_s: Vec<f64>,
+    data_bytes: Vec<f64>,
+    estimate_mbps: Vec<f64>,
+    truth_mbps: Vec<f64>,
+    complete: Vec<bool>,
+}
+
+impl TrialPool {
+    fn with_capacity(campaign_seed: u64, trials: usize, rows: usize) -> Self {
+        Self {
+            campaign_seed,
+            specs: Vec::with_capacity(trials),
+            offsets: {
+                let mut o = Vec::with_capacity(trials + 1);
+                o.push(0);
+                o
+            },
+            duration_s: Vec::with_capacity(rows),
+            ping_s: Vec::with_capacity(rows),
+            data_bytes: Vec::with_capacity(rows),
+            estimate_mbps: Vec::with_capacity(rows),
+            truth_mbps: Vec::with_capacity(rows),
+            complete: Vec::with_capacity(rows),
+        }
+    }
+
+    fn push(&mut self, spec: TrialSpec, rows: &[TrialOutcome]) {
+        self.specs.push(spec);
+        for r in rows {
+            self.duration_s.push(r.duration_s);
+            self.ping_s.push(r.ping_s);
+            self.data_bytes.push(r.data_bytes);
+            self.estimate_mbps.push(r.estimate_mbps);
+            self.truth_mbps.push(r.truth_mbps);
+            self.complete.push(r.complete);
+        }
+        self.offsets.push(self.duration_s.len() as u32);
+    }
+
+    /// The campaign seed the pool was executed under.
+    pub fn campaign_seed(&self) -> u64 {
+        self.campaign_seed
+    }
+
+    /// Number of executed trials.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the pool holds no trials.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Total outcome rows across all trials.
+    pub fn outcome_rows(&self) -> usize {
+        self.duration_s.len()
+    }
+
+    /// View of trial `i`.
+    pub fn view(&self, i: usize) -> TrialView<'_> {
+        assert!(i < self.specs.len(), "trial {i} out of range");
+        TrialView {
+            pool: self,
+            trial: i,
+        }
+    }
+
+    /// Iterate over all trials in plan order.
+    pub fn iter(&self) -> impl Iterator<Item = TrialView<'_>> {
+        (0..self.specs.len()).map(move |i| self.view(i))
+    }
+}
+
+/// One trial's spec plus its outcome rows, borrowed from the pool.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialView<'a> {
+    pool: &'a TrialPool,
+    trial: usize,
+}
+
+impl TrialView<'_> {
+    /// The trial's spec.
+    pub fn spec(&self) -> TrialSpec {
+        self.pool.specs[self.trial]
+    }
+
+    /// Number of outcome rows.
+    pub fn outcomes(&self) -> usize {
+        (self.pool.offsets[self.trial + 1] - self.pool.offsets[self.trial]) as usize
+    }
+
+    /// Outcome row `k` (0-based within the trial).
+    pub fn outcome(&self, k: usize) -> TrialOutcome {
+        assert!(k < self.outcomes(), "outcome {k} out of range");
+        let at = self.pool.offsets[self.trial] as usize + k;
+        TrialOutcome {
+            duration_s: self.pool.duration_s[at],
+            ping_s: self.pool.ping_s[at],
+            data_bytes: self.pool.data_bytes[at],
+            estimate_mbps: self.pool.estimate_mbps[at],
+            truth_mbps: self.pool.truth_mbps[at],
+            complete: self.pool.complete[at],
+        }
+    }
+
+    /// The only outcome of a single-outcome trial.
+    pub fn solo(&self) -> TrialOutcome {
+        debug_assert_eq!(self.outcomes(), 1);
+        self.outcome(0)
+    }
+}
+
+/// A figure was asked of a campaign that planned none of its trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyCampaign;
+
+impl std::fmt::Display for EmptyCampaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("the campaign planned no trials for this figure")
+    }
+}
+
+impl std::error::Error for EmptyCampaign {}
+
+/// The Fig 17 x-axis bins (Mbps).
+pub const BANDWIDTH_BINS: [f64; 6] = [100.0, 300.0, 500.0, 700.0, 900.0, 1100.0];
+
+/// Cap on one ramp measurement, seconds of simulated flow time.
+pub const RAMP_CAP_SECS: f64 = 12.0;
+
+/// Time for one flow to first reach 90% of nominal on a drawn path;
+/// `cap_secs` when it never does within the run (Fig 17's metric).
+pub fn ramp_time(alg: CcAlgorithm, mbps: f64, seed: u64, cap_secs: f64) -> f64 {
+    let mut rng = SeededRng::new(seed);
+    // Cellular-test path: tens-of-ms RTT, spurious loss, radio ramp.
+    let rtt = rng.uniform_range(0.025, 0.075);
+    // Cellular link-layer retransmission hides most wireless corruption
+    // from TCP; the residual spurious-loss rate is tiny but non-zero.
+    let loss = 10f64.powf(rng.uniform_range(-6.0, -4.6));
+    // The per-UE scheduler grant ramps in rate steps: reaching a 1 Gbps
+    // grant takes longer than a 100 Mbps one (CQI/AMC adaptation + BSR
+    // ramp), so the ramp duration scales sub-linearly with rate.
+    let ramp = rng.uniform_range(0.5, 1.1) * (mbps / 300.0).powf(0.4);
+    let capacity = RampUpCapacity::new(ConstantCapacity(mbps * 1e6), ramp, 0.15);
+    let path = PathModel::new(PathConfig {
+        capacity: Box::new(capacity),
+        base_rtt: Duration::from_secs_f64(rtt),
+        loss_prob: loss,
+        buffer_bdp: 1.0,
+        seed,
+    });
+    let trace = FlowSim::run(
+        path,
+        alg.build(),
+        FlowConfig {
+            max_duration: Duration::from_secs_f64(cap_secs),
+            seed: seed ^ 0xF16,
+            ..Default::default()
+        },
+    );
+    trace
+        .time_to_fraction(mbps * 1e6, 0.90)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(cap_secs)
+}
+
+/// Shared execution context: one immutable harness per scenario, used
+/// concurrently by every worker.
+struct ExecContext {
+    harnesses: [TestHarness; 4],
+}
+
+impl ExecContext {
+    fn new() -> Self {
+        Self {
+            harnesses: ScenarioId::ALL.map(|id| TestHarness::with_scenario(id.scenario())),
+        }
+    }
+
+    fn harness(&self, id: ScenarioId) -> &TestHarness {
+        &self.harnesses[id.tag() as usize]
+    }
+
+    fn execute(&self, spec: &TrialSpec, campaign_seed: u64) -> Vec<TrialOutcome> {
+        let seed = spec.seed(campaign_seed);
+        match spec.kind {
+            TrialKind::Single(kind) => {
+                vec![(&self.harness(spec.scenario).run(kind, seed)).into()]
+            }
+            TrialKind::Pair(a, b) => {
+                let pair = self.harness(spec.scenario).back_to_back(a, b, seed);
+                vec![(&pair.first).into(), (&pair.second).into()]
+            }
+            TrialKind::Group => {
+                let group = self.harness(spec.scenario).test_group(seed);
+                group.outcomes.iter().map(TrialOutcome::from).collect()
+            }
+            TrialKind::Ramp(alg, bin) => {
+                let mbps = BANDWIDTH_BINS[bin as usize];
+                let t = ramp_time(alg, mbps, seed, RAMP_CAP_SECS);
+                vec![TrialOutcome {
+                    duration_s: t,
+                    ping_s: 0.0,
+                    data_bytes: 0.0,
+                    estimate_mbps: 0.0,
+                    truth_mbps: mbps,
+                    complete: t < RAMP_CAP_SECS,
+                }]
+            }
+            TrialKind::Variant(variant) => {
+                let setup = variant.setup();
+                let drawn = self.harness(spec.scenario).scenario().draw(seed);
+                let mut est = ConvergenceEstimator::new(setup.window, setup.tolerance, 0);
+                // Same draw/run seed split as `TestHarness::run`.
+                let r = probe::run_swiftest(
+                    drawn.build(),
+                    &setup.model,
+                    &mut est,
+                    &setup.config,
+                    seed ^ 0x51AB,
+                );
+                vec![TrialOutcome {
+                    duration_s: r.duration.as_secs_f64(),
+                    ping_s: 0.0,
+                    data_bytes: r.data_bytes,
+                    estimate_mbps: r.estimate_mbps,
+                    truth_mbps: drawn.truth_mbps,
+                    complete: r.status.is_complete(),
+                }]
+            }
+        }
+    }
+}
+
+fn execute_one(
+    ctx: &ExecContext,
+    spec: &TrialSpec,
+    campaign_seed: u64,
+    metrics: Option<&CampaignMetrics>,
+) -> Vec<TrialOutcome> {
+    let started = Instant::now();
+    let rows = ctx.execute(spec, campaign_seed);
+    if let Some(m) = metrics {
+        m.observe_trial(spec.kind.label(), rows.len() as u64, started.elapsed());
+    }
+    rows
+}
+
+/// Execute the plan on `threads` workers (≤ 1 means serial).
+///
+/// The pool is byte-identical for any thread count: each trial's seed
+/// is a pure function of its spec, and the pool is assembled in plan
+/// order regardless of completion order.
+pub fn run_campaign(plan: &CampaignPlan, threads: usize) -> TrialPool {
+    run_campaign_metered(plan, threads, None)
+}
+
+/// [`run_campaign`], reporting per-trial and whole-campaign telemetry.
+pub fn run_campaign_metered(
+    plan: &CampaignPlan,
+    threads: usize,
+    metrics: Option<&CampaignMetrics>,
+) -> TrialPool {
+    let started = Instant::now();
+    let ctx = ExecContext::new();
+    let n = plan.specs().len();
+    let campaign_seed = plan.campaign_seed();
+
+    let mut results: Vec<(usize, Vec<TrialOutcome>)> = if threads <= 1 || n <= 1 {
+        plan.specs()
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| (i, execute_one(&ctx, spec, campaign_seed, metrics)))
+            .collect()
+    } else {
+        // Work stealing via a shared cursor: workers grab the next
+        // unclaimed trial, so long trials (10 s BTS-APP floods) don't
+        // stall a statically striped shard.
+        type WorkerRows = Vec<(usize, Vec<TrialOutcome>)>;
+        let workers = threads.min(n);
+        let cursor = AtomicUsize::new(0);
+        let mut locals: Vec<Option<WorkerRows>> = (0..workers).map(|_| None).collect();
+        let (ctx_ref, cursor_ref, specs) = (&ctx, &cursor, plan.specs());
+        crossbeam::thread::scope(|scope| {
+            for slot in locals.iter_mut() {
+                scope.spawn(move |_| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = cursor_ref.fetch_add(1, AtomicOrdering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        mine.push((i, execute_one(ctx_ref, &specs[i], campaign_seed, metrics)));
+                    }
+                    *slot = Some(mine);
+                });
+            }
+        })
+        .expect("campaign worker panicked");
+        let mut all: Vec<(usize, Vec<TrialOutcome>)> = locals
+            .into_iter()
+            .flat_map(|local| local.expect("worker wrote its slot"))
+            .collect();
+        all.sort_unstable_by_key(|&(i, _)| i);
+        all
+    };
+
+    let rows = results.iter().map(|(_, r)| r.len()).sum();
+    let mut pool = TrialPool::with_capacity(campaign_seed, n, rows);
+    for (i, trial_rows) in results.drain(..) {
+        pool.push(plan.specs()[i], &trial_rows);
+    }
+    if let Some(m) = metrics {
+        m.observe_campaign(n as u64, started.elapsed());
+    }
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tiny_counts() -> EvalCounts {
+        EvalCounts {
+            tests: 3,
+            groups: 2,
+            ramp_paths: 2,
+            ablation: 2,
+            mmwave: 2,
+        }
+    }
+
+    #[test]
+    fn evaluation_plan_has_unique_specs_and_seeds() {
+        let plan = CampaignPlan::evaluation(&EvalCounts::quick(), 0xC0FFEE);
+        let specs: HashSet<_> = plan.specs().iter().copied().collect();
+        assert_eq!(specs.len(), plan.len());
+        // Per-series uniqueness is guaranteed by bijectivity; across
+        // series a collision would need a 64-bit birthday hit. Ramp
+        // trials are excluded: their cells share one stream on purpose
+        // (common random numbers across Fig 17 cells).
+        let seeds: HashSet<_> = plan
+            .specs()
+            .iter()
+            .filter(|s| !matches!(s.kind, TrialKind::Ramp(..)))
+            .map(|s| s.seed(0xC0FFEE))
+            .collect();
+        let non_ramp = plan
+            .specs()
+            .iter()
+            .filter(|s| !matches!(s.kind, TrialKind::Ramp(..)))
+            .count();
+        assert_eq!(seeds.len(), non_ramp);
+    }
+
+    #[test]
+    fn pushing_a_series_twice_adds_nothing() {
+        let mut plan = CampaignPlan::new(1);
+        plan.push_series(TrialKind::Group, ScenarioId::Tech(TechClass::Lte), 5);
+        let before = plan.len();
+        plan.push_series(TrialKind::Group, ScenarioId::Tech(TechClass::Lte), 5);
+        assert_eq!(plan.len(), before);
+        // A longer re-push only appends the new tail.
+        plan.push_series(TrialKind::Group, ScenarioId::Tech(TechClass::Lte), 7);
+        assert_eq!(plan.len(), 7);
+    }
+
+    #[test]
+    fn ramp_cells_share_their_seed_stream() {
+        // Common random numbers across Fig 17 cells: same index, same
+        // seed, whatever the (algorithm, bin).
+        let a = TrialSpec {
+            kind: TrialKind::Ramp(CcAlgorithm::Cubic, 0),
+            scenario: RAMP_SCENARIO,
+            index: 7,
+        };
+        let b = TrialSpec {
+            kind: TrialKind::Ramp(CcAlgorithm::Bbr, 5),
+            scenario: RAMP_SCENARIO,
+            index: 7,
+        };
+        assert_eq!(a.seed(99), b.seed(99));
+        assert_ne!(a.seed(99), a.seed(100));
+    }
+
+    #[test]
+    fn trial_outcome_is_independent_of_plan_composition() {
+        // The same spec must produce the same rows whether it runs in a
+        // solo plan or inside the full evaluation union — the property
+        // that makes fused and per-figure reductions agree.
+        let seed = 0x5EED;
+        let mut solo = CampaignPlan::new(seed);
+        solo.push_series(TrialKind::Group, ScenarioId::Tech(TechClass::Wifi), 2);
+        let solo_pool = run_campaign(&solo, 1);
+
+        let union = CampaignPlan::evaluation(&tiny_counts(), seed);
+        let union_pool = run_campaign(&union, 1);
+
+        let spec = solo.specs()[1];
+        let in_union = union_pool
+            .iter()
+            .find(|v| v.spec() == spec)
+            .expect("union plan contains the group trial");
+        let in_solo = solo_pool.view(1);
+        assert_eq!(in_solo.outcomes(), in_union.outcomes());
+        for k in 0..in_solo.outcomes() {
+            assert_eq!(in_solo.outcome(k), in_union.outcome(k));
+        }
+    }
+
+    #[test]
+    fn pool_is_identical_for_any_thread_count() {
+        let plan = CampaignPlan::evaluation(&tiny_counts(), 0xD0);
+        let serial = run_campaign(&plan, 1);
+        assert_eq!(serial.len(), plan.len());
+        for threads in [2, 8] {
+            let parallel = run_campaign(&plan, threads);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn group_trials_produce_four_rows_pairs_two() {
+        let mut plan = CampaignPlan::new(3);
+        plan.push(TrialSpec {
+            kind: TrialKind::Group,
+            scenario: ScenarioId::Tech(TechClass::Lte),
+            index: 0,
+        });
+        plan.push(TrialSpec {
+            kind: TrialKind::Pair(BtsKind::Swiftest, BtsKind::BtsApp),
+            scenario: ScenarioId::Tech(TechClass::Lte),
+            index: 0,
+        });
+        let pool = run_campaign(&plan, 1);
+        assert_eq!(pool.view(0).outcomes(), 4);
+        assert_eq!(pool.view(1).outcomes(), 2);
+        assert_eq!(pool.outcome_rows(), 6);
+        // The pair's rows land in argument order: Swiftest converges in
+        // about a second; BTS-APP floods for ten.
+        let swift = pool.view(1).outcome(0);
+        let bts = pool.view(1).outcome(1);
+        assert!(swift.duration_s < 5.0, "{}", swift.duration_s);
+        assert!(bts.duration_s > 9.0, "{}", bts.duration_s);
+    }
+
+    #[test]
+    fn variant_trials_run_the_ablation_configs() {
+        let mut plan = CampaignPlan::new(0xAB);
+        for v in VariantId::ALL {
+            plan.push_series(TrialKind::Variant(v), ScenarioId::Tech(TechClass::Nr), 1);
+        }
+        let pool = run_campaign(&plan, 1);
+        for view in pool.iter() {
+            let o = view.solo();
+            assert!(o.estimate_mbps > 0.0, "{:?}", view.spec());
+            assert!(o.truth_mbps > 0.0);
+            assert_eq!(o.ping_s, 0.0);
+        }
+    }
+
+    #[test]
+    fn ramp_trials_report_bin_and_cap() {
+        let mut plan = CampaignPlan::new(0x17);
+        plan.push_series(TrialKind::Ramp(CcAlgorithm::Cubic, 3), RAMP_SCENARIO, 2);
+        let pool = run_campaign(&plan, 1);
+        for view in pool.iter() {
+            let o = view.solo();
+            assert_eq!(o.truth_mbps, BANDWIDTH_BINS[3]);
+            assert!(o.duration_s > 0.0 && o.duration_s <= RAMP_CAP_SECS);
+        }
+    }
+
+    #[test]
+    fn metered_run_counts_trials_and_rows() {
+        let registry = mbw_telemetry::Registry::new();
+        let metrics = CampaignMetrics::register(&registry);
+        let plan = CampaignPlan::evaluation(&tiny_counts(), 0x7E1);
+        let pool = run_campaign_metered(&plan, 2, Some(&metrics));
+        assert_eq!(metrics.trials_total(), plan.len() as u64);
+        assert_eq!(metrics.outcomes_total(), pool.outcome_rows() as u64);
+        let text = registry.render_prometheus();
+        assert!(text.contains("campaign_trials_per_second"), "{text}");
+    }
+
+    #[test]
+    fn empty_campaign_renders_a_message() {
+        let text = EmptyCampaign.to_string();
+        assert!(text.contains("no trials"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn distinct_indices_never_collide(
+            campaign in any::<u64>(),
+            series in any::<u64>(),
+            a in any::<u32>(),
+            b in any::<u32>(),
+        ) {
+            prop_assume!(a != b);
+            prop_assert_ne!(
+                trial_seed(campaign, series, u64::from(a)),
+                trial_seed(campaign, series, u64::from(b))
+            );
+        }
+
+        #[test]
+        fn trial_seed_depends_on_every_component(
+            campaign in any::<u64>(),
+            series in any::<u64>(),
+            index in any::<u32>(),
+        ) {
+            let base = trial_seed(campaign, series, u64::from(index));
+            prop_assert_ne!(base, trial_seed(campaign ^ 1, series, u64::from(index)));
+            prop_assert_ne!(base, trial_seed(campaign, series ^ 1, u64::from(index)));
+        }
+    }
+}

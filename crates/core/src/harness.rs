@@ -75,6 +75,27 @@ impl BackToBack {
     }
 }
 
+/// A §5.3 benchmark-study test group: all four services run on the
+/// same drawn link, BTS-APP first as the accuracy reference.
+#[derive(Debug, Clone)]
+pub struct TestGroup {
+    /// Outcomes in [`BtsKind::ALL`] order:
+    /// `[BTS-APP, FAST, FastBTS, Swiftest]`.
+    pub outcomes: [TestOutcome; 4],
+}
+
+impl TestGroup {
+    /// The BTS-APP reference outcome.
+    pub fn reference(&self) -> &TestOutcome {
+        &self.outcomes[0]
+    }
+
+    /// The three contenders (FAST, FastBTS, Swiftest).
+    pub fn contenders(&self) -> &[TestOutcome] {
+        &self.outcomes[1..]
+    }
+}
+
 /// Test harness for one technology class.
 pub struct TestHarness {
     scenario: AccessScenario,
@@ -191,6 +212,24 @@ impl TestHarness {
             std::mem::swap(&mut first, &mut second);
         }
         BackToBack { first, second }
+    }
+
+    /// Run the full benchmark-study group (§5.3): BTS-APP as the
+    /// reference plus the three contenders, all on one drawn link with
+    /// distinct run seeds.
+    pub fn test_group(&self, seed: u64) -> TestGroup {
+        let drawn = self.scenario.draw(seed);
+        let reference = self.run_on(BtsKind::BtsApp, &drawn, seed ^ 0x0EF);
+        let mut k = 0u64;
+        let [fast, fastbts, swiftest] =
+            [BtsKind::Fast, BtsKind::FastBts, BtsKind::Swiftest].map(|kind| {
+                let o = self.run_on(kind, &drawn, seed ^ (0xA11 + k));
+                k += 1;
+                o
+            });
+        TestGroup {
+            outcomes: [reference, fast, fastbts, swiftest],
+        }
     }
 }
 

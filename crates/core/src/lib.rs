@@ -34,10 +34,15 @@
 //! - [`probe`] — the probers: TCP flooding (with progressive connection
 //!   addition) and Swiftest's paced UDP prober.
 //! - [`server`] — test-server pool, PING-based selection.
-//! - [`harness`] — one-call test execution and back-to-back comparisons,
-//!   producing the duration / data-usage / accuracy numbers of Figs
-//!   20–25.
+//! - [`harness`] — one-call test execution, back-to-back comparisons,
+//!   and four-service test groups, producing the duration / data-usage
+//!   / accuracy numbers of Figs 20–25.
+//! - [`campaign`] — the evaluation campaign pipeline: plan the
+//!   deduplicated trial union of Figs 17–26 with structural per-trial
+//!   RNG streams, execute it on a work-stealing thread pool, and hand
+//!   the columnar outcome pool to the figure reducers.
 
+pub mod campaign;
 pub mod estimator;
 pub mod harness;
 pub mod model;
@@ -47,11 +52,15 @@ pub mod scenario;
 pub mod server;
 pub mod tcp_variant;
 
+pub use campaign::{
+    run_campaign, run_campaign_metered, trial_seed, CampaignPlan, EmptyCampaign, EvalCounts,
+    ScenarioId, TrialKind, TrialOutcome, TrialPool, TrialSpec, TrialView, VariantId,
+};
 pub use estimator::{
     BandwidthEstimator, ConvergenceEstimator, CrucialIntervalEstimator, EstimatorDecision,
     GroupedTrimmedMean, SpeedtestTrim,
 };
-pub use harness::{BackToBack, TestHarness, TestOutcome};
+pub use harness::{BackToBack, TestGroup, TestHarness, TestOutcome};
 pub use model::TechClass;
 pub use outcome::{DegradeReason, FailReason, TestStatus};
 pub use probe::{BtsKind, FloodingConfig, SwiftestConfig};

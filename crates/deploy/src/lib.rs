@@ -28,5 +28,5 @@ pub mod workload;
 pub use catalog::{synthetic_catalog, ServerOffer};
 pub use ilp::{solve_greedy, solve_ilp, PurchasePlan, PurchaseProblem};
 pub use placement::{place, Placement};
-pub use utilization::{replay_month, UtilizationReport};
+pub use utilization::{replay_month, replay_seconds, UtilizationReport};
 pub use workload::WorkloadEstimate;

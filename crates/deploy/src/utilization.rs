@@ -87,16 +87,22 @@ impl UtilizationReport {
     }
 }
 
-/// Run the replay.
-pub fn replay_month(config: &ReplayConfig) -> UtilizationReport {
+/// Run the replay and return the *per-second* demand fraction for
+/// every second of the replayed window, idle seconds included.
+///
+/// This is the raw sample stream [`replay_month`] summarises; exposing
+/// it lets a streaming reducer (the Fig 26 accumulator in `mbw-bench`)
+/// fold utilisation statistics in one pass without re-running the
+/// replay.
+pub fn replay_seconds(config: &ReplayConfig) -> Vec<f64> {
     let mut rng = SeededRng::new(config.seed);
     let seconds = config.days as usize * 86_400;
     let mut demand = vec![0.0f32; seconds + 64];
 
     let hourly_total: f64 = HOURLY.iter().sum();
     for day in 0..config.days as usize {
-        for hour in 0..24 {
-            let expected = config.tests_per_day * HOURLY[hour] / hourly_total;
+        for (hour, weight) in HOURLY.iter().enumerate() {
+            let expected = config.tests_per_day * weight / hourly_total;
             let arrivals = rng.poisson(expected);
             for _ in 0..arrivals {
                 let start = day * 86_400 + hour * 3_600 + rng.index(3_600);
@@ -115,12 +121,18 @@ pub fn replay_month(config: &ReplayConfig) -> UtilizationReport {
         }
     }
 
-    let busy: Vec<f64> = demand
+    demand
         .iter()
         .take(seconds)
-        .filter(|&&d| d > 0.0)
         .map(|&d| d as f64 / config.fleet_mbps)
-        .collect();
+        .collect()
+}
+
+/// Run the replay.
+pub fn replay_month(config: &ReplayConfig) -> UtilizationReport {
+    let samples = replay_seconds(config);
+    let seconds = samples.len();
+    let busy: Vec<f64> = samples.into_iter().filter(|&d| d > 0.0).collect();
     let busy_fraction = busy.len() as f64 / seconds as f64;
     UtilizationReport {
         busy_samples: busy,

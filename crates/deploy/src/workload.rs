@@ -60,6 +60,29 @@ impl WorkloadEstimate {
         }
     }
 
+    /// Build the estimate from *observed* test outcomes — the
+    /// durations and reported bandwidths of a batch of Swiftest trials
+    /// (the evaluation campaign's pool). Empirical counterpart of
+    /// [`WorkloadEstimate::from_population`]: mean duration and
+    /// mean/p95 bandwidth come straight from the samples.
+    ///
+    /// # Panics
+    /// Panics on empty sample slices.
+    pub fn from_samples(tests_per_day: f64, durations_s: &[f64], bandwidths_mbps: &[f64]) -> Self {
+        assert!(
+            !durations_s.is_empty() && !bandwidths_mbps.is_empty(),
+            "workload estimation needs at least one observed test"
+        );
+        Self {
+            tests_per_day,
+            mean_duration_s: mbw_stats::descriptive::mean(durations_s),
+            mean_bandwidth_mbps: mbw_stats::descriptive::mean(bandwidths_mbps),
+            peak_factor: 2.0,
+            burst_factor: 6.0,
+            p95_bandwidth_mbps: mbw_stats::descriptive::percentile(bandwidths_mbps, 95.0),
+        }
+    }
+
     /// Mean number of concurrently running tests (Little's law).
     pub fn mean_concurrency(&self) -> f64 {
         self.tests_per_day / 86_400.0 * self.mean_duration_s

@@ -1,0 +1,153 @@
+//! Campaign-executor metrics: trial throughput and per-kind latency.
+//!
+//! The Swiftest evaluation half runs as a *campaign* — a planned set of
+//! simulated trials executed by a work-stealing thread pool
+//! (`mbw-core::campaign`). [`CampaignMetrics`] gives the executor the
+//! same registry vocabulary [`PipelineMetrics`](crate::PipelineMetrics)
+//! gives the dataset pipeline:
+//!
+//! - `campaign_trials_total` / `campaign_outcomes_total` — monotonic
+//!   counters of trials executed and outcome rows they produced;
+//! - `campaign_trials_per_second` — the most recent campaign's
+//!   throughput observation;
+//! - `campaign_trial_seconds{kind=...}` — wall-time histograms per
+//!   trial kind (single / pair / group / ramp / variant).
+//!
+//! Handles are cheap clones of registry series and safe to share across
+//! worker threads: every worker observes into the same series.
+
+use crate::histogram::Histogram;
+use crate::metrics::{Counter, Gauge};
+use crate::registry::Registry;
+use std::time::Duration;
+
+/// The trial-kind labels the executor reports under.
+pub const TRIAL_KIND_LABELS: [&str; 5] = ["single", "pair", "group", "ramp", "variant"];
+
+/// Metric handles for one evaluation campaign executor.
+#[derive(Debug, Clone)]
+pub struct CampaignMetrics {
+    trials: Counter,
+    outcomes: Counter,
+    rate: Gauge,
+    kind_seconds: [Histogram; 5],
+}
+
+impl CampaignMetrics {
+    /// Register (or re-attach to) the campaign series in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        let kind_seconds = TRIAL_KIND_LABELS.map(|kind| {
+            registry.histogram_with(
+                "campaign_trial_seconds",
+                "Wall time per executed trial, by trial kind",
+                &[("kind", kind)],
+                Histogram::exponential(1e-4, 4.0, 10),
+            )
+        });
+        Self {
+            trials: registry.counter(
+                "campaign_trials_total",
+                "Evaluation trials executed by the campaign executor",
+            ),
+            outcomes: registry.counter(
+                "campaign_outcomes_total",
+                "Outcome rows produced by executed trials",
+            ),
+            rate: registry.gauge(
+                "campaign_trials_per_second",
+                "Most recent campaign's trial throughput",
+            ),
+            kind_seconds,
+        }
+    }
+
+    /// Record one executed trial of kind `kind` (one of
+    /// [`TRIAL_KIND_LABELS`]) that produced `outcomes` rows in
+    /// `elapsed` wall time.
+    pub fn observe_trial(&self, kind: &str, outcomes: u64, elapsed: Duration) {
+        self.trials.inc();
+        self.outcomes.add(outcomes);
+        if let Some(i) = TRIAL_KIND_LABELS.iter().position(|k| *k == kind) {
+            self.kind_seconds[i].observe(elapsed.as_secs_f64());
+        }
+    }
+
+    /// Record a whole campaign: `trials` executed in `elapsed` wall
+    /// time (sets the throughput gauge).
+    pub fn observe_campaign(&self, trials: u64, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        self.rate.set(if secs > 0.0 {
+            trials as f64 / secs
+        } else {
+            0.0
+        });
+    }
+
+    /// Total trials executed so far.
+    pub fn trials_total(&self) -> u64 {
+        self.trials.get()
+    }
+
+    /// Total outcome rows produced so far.
+    pub fn outcomes_total(&self) -> u64 {
+        self.outcomes.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trials_and_outcomes_accumulate() {
+        let registry = Registry::new();
+        let m = CampaignMetrics::register(&registry);
+        m.observe_trial("single", 1, Duration::from_millis(2));
+        m.observe_trial("group", 4, Duration::from_millis(9));
+        m.observe_trial("group", 4, Duration::from_millis(7));
+        assert_eq!(m.trials_total(), 3);
+        assert_eq!(m.outcomes_total(), 9);
+    }
+
+    #[test]
+    fn throughput_gauge_reports_last_campaign() {
+        let registry = Registry::new();
+        let m = CampaignMetrics::register(&registry);
+        m.observe_campaign(100, Duration::from_secs(4));
+        let text = registry.render_prometheus();
+        assert!(text.contains("campaign_trials_per_second 25"), "{text}");
+    }
+
+    #[test]
+    fn zero_elapsed_reports_zero_rate() {
+        let registry = Registry::new();
+        let m = CampaignMetrics::register(&registry);
+        m.observe_campaign(50, Duration::ZERO);
+        let text = registry.render_prometheus();
+        assert!(text.contains("campaign_trials_per_second 0"), "{text}");
+    }
+
+    #[test]
+    fn kind_histograms_are_labelled() {
+        let registry = Registry::new();
+        let m = CampaignMetrics::register(&registry);
+        m.observe_trial("pair", 2, Duration::from_millis(5));
+        m.observe_trial("not-a-kind", 1, Duration::from_millis(5));
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("campaign_trial_seconds_count{kind=\"pair\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn handles_reattach_to_the_same_series() {
+        let registry = Registry::new();
+        let a = CampaignMetrics::register(&registry);
+        let b = CampaignMetrics::register(&registry);
+        a.observe_trial("ramp", 1, Duration::from_millis(1));
+        b.observe_trial("ramp", 1, Duration::from_millis(1));
+        assert_eq!(a.trials_total(), 2);
+        assert_eq!(b.trials_total(), 2);
+    }
+}

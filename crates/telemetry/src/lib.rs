@@ -30,6 +30,7 @@
 //! stack, and the CLI without pulling an observability framework into
 //! the hot path.
 
+pub mod campaign;
 pub mod clock;
 pub mod histogram;
 pub mod http;
@@ -38,6 +39,7 @@ pub mod pipeline;
 pub mod registry;
 pub mod timeline;
 
+pub use campaign::CampaignMetrics;
 pub use clock::{Clock, ManualClock, WallClock};
 pub use histogram::Histogram;
 pub use http::MetricsServer;
