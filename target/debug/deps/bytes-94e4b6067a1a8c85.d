@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-94e4b6067a1a8c85.d: /tmp/vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-94e4b6067a1a8c85.rlib: /tmp/vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-94e4b6067a1a8c85.rmeta: /tmp/vendor/bytes/src/lib.rs
+
+/tmp/vendor/bytes/src/lib.rs:

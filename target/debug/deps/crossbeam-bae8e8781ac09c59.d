@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-bae8e8781ac09c59.d: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-bae8e8781ac09c59.rlib: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-bae8e8781ac09c59.rmeta: /tmp/vendor/crossbeam/src/lib.rs
+
+/tmp/vendor/crossbeam/src/lib.rs:

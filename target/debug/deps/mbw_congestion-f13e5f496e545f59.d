@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mbw_congestion-f13e5f496e545f59.d: crates/congestion/src/lib.rs crates/congestion/src/bbr.rs crates/congestion/src/control.rs crates/congestion/src/cubic.rs crates/congestion/src/flow.rs crates/congestion/src/multi.rs crates/congestion/src/packet.rs crates/congestion/src/reno.rs
+
+/root/repo/target/debug/deps/libmbw_congestion-f13e5f496e545f59.rlib: crates/congestion/src/lib.rs crates/congestion/src/bbr.rs crates/congestion/src/control.rs crates/congestion/src/cubic.rs crates/congestion/src/flow.rs crates/congestion/src/multi.rs crates/congestion/src/packet.rs crates/congestion/src/reno.rs
+
+/root/repo/target/debug/deps/libmbw_congestion-f13e5f496e545f59.rmeta: crates/congestion/src/lib.rs crates/congestion/src/bbr.rs crates/congestion/src/control.rs crates/congestion/src/cubic.rs crates/congestion/src/flow.rs crates/congestion/src/multi.rs crates/congestion/src/packet.rs crates/congestion/src/reno.rs
+
+crates/congestion/src/lib.rs:
+crates/congestion/src/bbr.rs:
+crates/congestion/src/control.rs:
+crates/congestion/src/cubic.rs:
+crates/congestion/src/flow.rs:
+crates/congestion/src/multi.rs:
+crates/congestion/src/packet.rs:
+crates/congestion/src/reno.rs:

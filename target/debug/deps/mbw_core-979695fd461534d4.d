@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mbw_core-979695fd461534d4.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/estimator.rs crates/core/src/harness.rs crates/core/src/model.rs crates/core/src/outcome.rs crates/core/src/probe.rs crates/core/src/scenario.rs crates/core/src/server.rs crates/core/src/tcp_variant.rs
+
+/root/repo/target/debug/deps/libmbw_core-979695fd461534d4.rlib: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/estimator.rs crates/core/src/harness.rs crates/core/src/model.rs crates/core/src/outcome.rs crates/core/src/probe.rs crates/core/src/scenario.rs crates/core/src/server.rs crates/core/src/tcp_variant.rs
+
+/root/repo/target/debug/deps/libmbw_core-979695fd461534d4.rmeta: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/estimator.rs crates/core/src/harness.rs crates/core/src/model.rs crates/core/src/outcome.rs crates/core/src/probe.rs crates/core/src/scenario.rs crates/core/src/server.rs crates/core/src/tcp_variant.rs
+
+crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
+crates/core/src/estimator.rs:
+crates/core/src/harness.rs:
+crates/core/src/model.rs:
+crates/core/src/outcome.rs:
+crates/core/src/probe.rs:
+crates/core/src/scenario.rs:
+crates/core/src/server.rs:
+crates/core/src/tcp_variant.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mbw_dataset-a6a9f6af75e980d8.d: crates/dataset/src/lib.rs crates/dataset/src/bands.rs crates/dataset/src/columnar.rs crates/dataset/src/csv.rs crates/dataset/src/ecosystem.rs crates/dataset/src/generator.rs crates/dataset/src/models.rs crates/dataset/src/parallel.rs crates/dataset/src/types.rs
+
+/root/repo/target/debug/deps/libmbw_dataset-a6a9f6af75e980d8.rlib: crates/dataset/src/lib.rs crates/dataset/src/bands.rs crates/dataset/src/columnar.rs crates/dataset/src/csv.rs crates/dataset/src/ecosystem.rs crates/dataset/src/generator.rs crates/dataset/src/models.rs crates/dataset/src/parallel.rs crates/dataset/src/types.rs
+
+/root/repo/target/debug/deps/libmbw_dataset-a6a9f6af75e980d8.rmeta: crates/dataset/src/lib.rs crates/dataset/src/bands.rs crates/dataset/src/columnar.rs crates/dataset/src/csv.rs crates/dataset/src/ecosystem.rs crates/dataset/src/generator.rs crates/dataset/src/models.rs crates/dataset/src/parallel.rs crates/dataset/src/types.rs
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/bands.rs:
+crates/dataset/src/columnar.rs:
+crates/dataset/src/csv.rs:
+crates/dataset/src/ecosystem.rs:
+crates/dataset/src/generator.rs:
+crates/dataset/src/models.rs:
+crates/dataset/src/parallel.rs:
+crates/dataset/src/types.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mbw_netsim-b2a30393bd153799.d: crates/netsim/src/lib.rs crates/netsim/src/bucket.rs crates/netsim/src/capacity.rs crates/netsim/src/event.rs crates/netsim/src/fault.rs crates/netsim/src/link.rs crates/netsim/src/path.rs crates/netsim/src/time.rs
+
+/root/repo/target/debug/deps/libmbw_netsim-b2a30393bd153799.rlib: crates/netsim/src/lib.rs crates/netsim/src/bucket.rs crates/netsim/src/capacity.rs crates/netsim/src/event.rs crates/netsim/src/fault.rs crates/netsim/src/link.rs crates/netsim/src/path.rs crates/netsim/src/time.rs
+
+/root/repo/target/debug/deps/libmbw_netsim-b2a30393bd153799.rmeta: crates/netsim/src/lib.rs crates/netsim/src/bucket.rs crates/netsim/src/capacity.rs crates/netsim/src/event.rs crates/netsim/src/fault.rs crates/netsim/src/link.rs crates/netsim/src/path.rs crates/netsim/src/time.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/bucket.rs:
+crates/netsim/src/capacity.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/fault.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/path.rs:
+crates/netsim/src/time.rs:

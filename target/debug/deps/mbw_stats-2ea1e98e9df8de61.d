@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mbw_stats-2ea1e98e9df8de61.d: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/gmm.rs crates/stats/src/histogram.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/special.rs
+
+/root/repo/target/debug/deps/libmbw_stats-2ea1e98e9df8de61.rlib: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/gmm.rs crates/stats/src/histogram.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/special.rs
+
+/root/repo/target/debug/deps/libmbw_stats-2ea1e98e9df8de61.rmeta: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/gmm.rs crates/stats/src/histogram.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/special.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/gmm.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/sampling.rs:
+crates/stats/src/special.rs:

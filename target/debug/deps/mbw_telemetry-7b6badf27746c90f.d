@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mbw_telemetry-7b6badf27746c90f.d: crates/telemetry/src/lib.rs crates/telemetry/src/campaign.rs crates/telemetry/src/clock.rs crates/telemetry/src/histogram.rs crates/telemetry/src/http.rs crates/telemetry/src/metrics.rs crates/telemetry/src/pipeline.rs crates/telemetry/src/registry.rs crates/telemetry/src/timeline.rs
+
+/root/repo/target/debug/deps/libmbw_telemetry-7b6badf27746c90f.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/campaign.rs crates/telemetry/src/clock.rs crates/telemetry/src/histogram.rs crates/telemetry/src/http.rs crates/telemetry/src/metrics.rs crates/telemetry/src/pipeline.rs crates/telemetry/src/registry.rs crates/telemetry/src/timeline.rs
+
+/root/repo/target/debug/deps/libmbw_telemetry-7b6badf27746c90f.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/campaign.rs crates/telemetry/src/clock.rs crates/telemetry/src/histogram.rs crates/telemetry/src/http.rs crates/telemetry/src/metrics.rs crates/telemetry/src/pipeline.rs crates/telemetry/src/registry.rs crates/telemetry/src/timeline.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/campaign.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/http.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/pipeline.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/timeline.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mbw_wire-dd016458edb85953.d: crates/wire/src/lib.rs crates/wire/src/client.rs crates/wire/src/error.rs crates/wire/src/faulty.rs crates/wire/src/proto.rs crates/wire/src/server.rs crates/wire/src/tcp.rs
+
+/root/repo/target/debug/deps/libmbw_wire-dd016458edb85953.rlib: crates/wire/src/lib.rs crates/wire/src/client.rs crates/wire/src/error.rs crates/wire/src/faulty.rs crates/wire/src/proto.rs crates/wire/src/server.rs crates/wire/src/tcp.rs
+
+/root/repo/target/debug/deps/libmbw_wire-dd016458edb85953.rmeta: crates/wire/src/lib.rs crates/wire/src/client.rs crates/wire/src/error.rs crates/wire/src/faulty.rs crates/wire/src/proto.rs crates/wire/src/server.rs crates/wire/src/tcp.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/client.rs:
+crates/wire/src/error.rs:
+crates/wire/src/faulty.rs:
+crates/wire/src/proto.rs:
+crates/wire/src/server.rs:
+crates/wire/src/tcp.rs:

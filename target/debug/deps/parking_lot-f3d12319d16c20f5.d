@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-f3d12319d16c20f5.d: /tmp/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-f3d12319d16c20f5.rlib: /tmp/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-f3d12319d16c20f5.rmeta: /tmp/vendor/parking_lot/src/lib.rs
+
+/tmp/vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-f3ffe786a228d927.d: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f3ffe786a228d927.rlib: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f3ffe786a228d927.rmeta: /tmp/vendor/serde/src/lib.rs
+
+/tmp/vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-a44461bfdec7192d.d: /tmp/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-a44461bfdec7192d.so: /tmp/vendor/serde_derive/src/lib.rs
+
+/tmp/vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tokio-23db0cb7bfd30bfd.d: /tmp/vendor/tokio/src/lib.rs
+
+/root/repo/target/debug/deps/libtokio-23db0cb7bfd30bfd.rlib: /tmp/vendor/tokio/src/lib.rs
+
+/root/repo/target/debug/deps/libtokio-23db0cb7bfd30bfd.rmeta: /tmp/vendor/tokio/src/lib.rs
+
+/tmp/vendor/tokio/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-bf8e1aa180b723a1.d: /tmp/vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-bf8e1aa180b723a1.rlib: /tmp/vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-bf8e1aa180b723a1.rmeta: /tmp/vendor/bytes/src/lib.rs
+
+/tmp/vendor/bytes/src/lib.rs:

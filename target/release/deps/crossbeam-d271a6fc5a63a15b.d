@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-d271a6fc5a63a15b.d: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-d271a6fc5a63a15b.rlib: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-d271a6fc5a63a15b.rmeta: /tmp/vendor/crossbeam/src/lib.rs
+
+/tmp/vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mbw_congestion-5ecc9bf44f6cf0c1.d: crates/congestion/src/lib.rs crates/congestion/src/bbr.rs crates/congestion/src/control.rs crates/congestion/src/cubic.rs crates/congestion/src/flow.rs crates/congestion/src/multi.rs crates/congestion/src/packet.rs crates/congestion/src/reno.rs
+
+/root/repo/target/release/deps/libmbw_congestion-5ecc9bf44f6cf0c1.rlib: crates/congestion/src/lib.rs crates/congestion/src/bbr.rs crates/congestion/src/control.rs crates/congestion/src/cubic.rs crates/congestion/src/flow.rs crates/congestion/src/multi.rs crates/congestion/src/packet.rs crates/congestion/src/reno.rs
+
+/root/repo/target/release/deps/libmbw_congestion-5ecc9bf44f6cf0c1.rmeta: crates/congestion/src/lib.rs crates/congestion/src/bbr.rs crates/congestion/src/control.rs crates/congestion/src/cubic.rs crates/congestion/src/flow.rs crates/congestion/src/multi.rs crates/congestion/src/packet.rs crates/congestion/src/reno.rs
+
+crates/congestion/src/lib.rs:
+crates/congestion/src/bbr.rs:
+crates/congestion/src/control.rs:
+crates/congestion/src/cubic.rs:
+crates/congestion/src/flow.rs:
+crates/congestion/src/multi.rs:
+crates/congestion/src/packet.rs:
+crates/congestion/src/reno.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mbw_core-1ab1781e1b16810e.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/estimator.rs crates/core/src/harness.rs crates/core/src/model.rs crates/core/src/outcome.rs crates/core/src/probe.rs crates/core/src/scenario.rs crates/core/src/server.rs crates/core/src/tcp_variant.rs
+
+/root/repo/target/release/deps/libmbw_core-1ab1781e1b16810e.rlib: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/estimator.rs crates/core/src/harness.rs crates/core/src/model.rs crates/core/src/outcome.rs crates/core/src/probe.rs crates/core/src/scenario.rs crates/core/src/server.rs crates/core/src/tcp_variant.rs
+
+/root/repo/target/release/deps/libmbw_core-1ab1781e1b16810e.rmeta: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/estimator.rs crates/core/src/harness.rs crates/core/src/model.rs crates/core/src/outcome.rs crates/core/src/probe.rs crates/core/src/scenario.rs crates/core/src/server.rs crates/core/src/tcp_variant.rs
+
+crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
+crates/core/src/estimator.rs:
+crates/core/src/harness.rs:
+crates/core/src/model.rs:
+crates/core/src/outcome.rs:
+crates/core/src/probe.rs:
+crates/core/src/scenario.rs:
+crates/core/src/server.rs:
+crates/core/src/tcp_variant.rs:

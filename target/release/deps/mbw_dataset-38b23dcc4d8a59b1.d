@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mbw_dataset-38b23dcc4d8a59b1.d: crates/dataset/src/lib.rs crates/dataset/src/bands.rs crates/dataset/src/columnar.rs crates/dataset/src/csv.rs crates/dataset/src/ecosystem.rs crates/dataset/src/generator.rs crates/dataset/src/models.rs crates/dataset/src/parallel.rs crates/dataset/src/types.rs
+
+/root/repo/target/release/deps/libmbw_dataset-38b23dcc4d8a59b1.rlib: crates/dataset/src/lib.rs crates/dataset/src/bands.rs crates/dataset/src/columnar.rs crates/dataset/src/csv.rs crates/dataset/src/ecosystem.rs crates/dataset/src/generator.rs crates/dataset/src/models.rs crates/dataset/src/parallel.rs crates/dataset/src/types.rs
+
+/root/repo/target/release/deps/libmbw_dataset-38b23dcc4d8a59b1.rmeta: crates/dataset/src/lib.rs crates/dataset/src/bands.rs crates/dataset/src/columnar.rs crates/dataset/src/csv.rs crates/dataset/src/ecosystem.rs crates/dataset/src/generator.rs crates/dataset/src/models.rs crates/dataset/src/parallel.rs crates/dataset/src/types.rs
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/bands.rs:
+crates/dataset/src/columnar.rs:
+crates/dataset/src/csv.rs:
+crates/dataset/src/ecosystem.rs:
+crates/dataset/src/generator.rs:
+crates/dataset/src/models.rs:
+crates/dataset/src/parallel.rs:
+crates/dataset/src/types.rs:

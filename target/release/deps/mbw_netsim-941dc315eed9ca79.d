@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mbw_netsim-941dc315eed9ca79.d: crates/netsim/src/lib.rs crates/netsim/src/bucket.rs crates/netsim/src/capacity.rs crates/netsim/src/event.rs crates/netsim/src/fault.rs crates/netsim/src/link.rs crates/netsim/src/path.rs crates/netsim/src/time.rs
+
+/root/repo/target/release/deps/libmbw_netsim-941dc315eed9ca79.rlib: crates/netsim/src/lib.rs crates/netsim/src/bucket.rs crates/netsim/src/capacity.rs crates/netsim/src/event.rs crates/netsim/src/fault.rs crates/netsim/src/link.rs crates/netsim/src/path.rs crates/netsim/src/time.rs
+
+/root/repo/target/release/deps/libmbw_netsim-941dc315eed9ca79.rmeta: crates/netsim/src/lib.rs crates/netsim/src/bucket.rs crates/netsim/src/capacity.rs crates/netsim/src/event.rs crates/netsim/src/fault.rs crates/netsim/src/link.rs crates/netsim/src/path.rs crates/netsim/src/time.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/bucket.rs:
+crates/netsim/src/capacity.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/fault.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/path.rs:
+crates/netsim/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mbw_stats-1b04a8108b3b0c89.d: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/gmm.rs crates/stats/src/histogram.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/special.rs
+
+/root/repo/target/release/deps/libmbw_stats-1b04a8108b3b0c89.rlib: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/gmm.rs crates/stats/src/histogram.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/special.rs
+
+/root/repo/target/release/deps/libmbw_stats-1b04a8108b3b0c89.rmeta: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/gmm.rs crates/stats/src/histogram.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/special.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/gmm.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/sampling.rs:
+crates/stats/src/special.rs:

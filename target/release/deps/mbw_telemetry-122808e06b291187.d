@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mbw_telemetry-122808e06b291187.d: crates/telemetry/src/lib.rs crates/telemetry/src/campaign.rs crates/telemetry/src/clock.rs crates/telemetry/src/histogram.rs crates/telemetry/src/http.rs crates/telemetry/src/metrics.rs crates/telemetry/src/pipeline.rs crates/telemetry/src/registry.rs crates/telemetry/src/timeline.rs
+
+/root/repo/target/release/deps/libmbw_telemetry-122808e06b291187.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/campaign.rs crates/telemetry/src/clock.rs crates/telemetry/src/histogram.rs crates/telemetry/src/http.rs crates/telemetry/src/metrics.rs crates/telemetry/src/pipeline.rs crates/telemetry/src/registry.rs crates/telemetry/src/timeline.rs
+
+/root/repo/target/release/deps/libmbw_telemetry-122808e06b291187.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/campaign.rs crates/telemetry/src/clock.rs crates/telemetry/src/histogram.rs crates/telemetry/src/http.rs crates/telemetry/src/metrics.rs crates/telemetry/src/pipeline.rs crates/telemetry/src/registry.rs crates/telemetry/src/timeline.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/campaign.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/http.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/pipeline.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/timeline.rs:

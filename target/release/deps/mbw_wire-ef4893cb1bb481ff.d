@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mbw_wire-ef4893cb1bb481ff.d: crates/wire/src/lib.rs crates/wire/src/client.rs crates/wire/src/error.rs crates/wire/src/faulty.rs crates/wire/src/proto.rs crates/wire/src/server.rs crates/wire/src/tcp.rs
+
+/root/repo/target/release/deps/libmbw_wire-ef4893cb1bb481ff.rlib: crates/wire/src/lib.rs crates/wire/src/client.rs crates/wire/src/error.rs crates/wire/src/faulty.rs crates/wire/src/proto.rs crates/wire/src/server.rs crates/wire/src/tcp.rs
+
+/root/repo/target/release/deps/libmbw_wire-ef4893cb1bb481ff.rmeta: crates/wire/src/lib.rs crates/wire/src/client.rs crates/wire/src/error.rs crates/wire/src/faulty.rs crates/wire/src/proto.rs crates/wire/src/server.rs crates/wire/src/tcp.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/client.rs:
+crates/wire/src/error.rs:
+crates/wire/src/faulty.rs:
+crates/wire/src/proto.rs:
+crates/wire/src/server.rs:
+crates/wire/src/tcp.rs:

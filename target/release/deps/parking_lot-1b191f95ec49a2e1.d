@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-1b191f95ec49a2e1.d: /tmp/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-1b191f95ec49a2e1.rlib: /tmp/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-1b191f95ec49a2e1.rmeta: /tmp/vendor/parking_lot/src/lib.rs
+
+/tmp/vendor/parking_lot/src/lib.rs:

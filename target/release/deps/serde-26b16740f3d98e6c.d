@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-26b16740f3d98e6c.d: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-26b16740f3d98e6c.rlib: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-26b16740f3d98e6c.rmeta: /tmp/vendor/serde/src/lib.rs
+
+/tmp/vendor/serde/src/lib.rs:

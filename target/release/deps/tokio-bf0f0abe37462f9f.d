@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tokio-bf0f0abe37462f9f.d: /tmp/vendor/tokio/src/lib.rs
+
+/root/repo/target/release/deps/libtokio-bf0f0abe37462f9f.rlib: /tmp/vendor/tokio/src/lib.rs
+
+/root/repo/target/release/deps/libtokio-bf0f0abe37462f9f.rmeta: /tmp/vendor/tokio/src/lib.rs
+
+/tmp/vendor/tokio/src/lib.rs:
