@@ -22,6 +22,7 @@
 //! | [`robustness`] | test-outcome (complete/degraded/failed) rates per technology |
 //! | [`accum`] | the [`accum::FigureAccumulator`] trait behind every figure |
 //! | [`mod@sweep`] | the fused single-pass (optionally parallel) figure sweep |
+//! | [`mod@stream`] | the streaming generate→analyze engine: no materialised population |
 
 pub mod accum;
 pub mod cellular;
@@ -30,6 +31,7 @@ pub mod general;
 pub mod overview;
 pub mod pdfs;
 pub mod robustness;
+pub mod stream;
 pub mod sweep;
 pub mod tables;
 pub mod wifi;
@@ -38,6 +40,7 @@ use mbw_dataset::columnar::{bandwidths_where, views};
 use mbw_dataset::{AccessTech, RecordView, TestRecord};
 
 pub use accum::FigureAccumulator;
+pub use stream::{stream_figures, stream_figures_timed, StreamTimings};
 pub use sweep::{sweep, sweep_datasets, sweep_records, FigureSet, MeasurementFigures};
 
 /// Bandwidths of all records matching a predicate over [`RecordView`]s

@@ -1,0 +1,262 @@
+//! Streaming fused generate→analyze engine.
+//!
+//! [`stream_figures`] fuses the two pipeline halves: per-shard record
+//! generation (`mbw_dataset::parallel`) feeds straight into per-worker
+//! [`FigureSet`] accumulators, so the populations are **never
+//! materialised** — peak memory is one [`BATCH`]-record buffer per
+//! worker instead of two full `Vec<TestRecord>`s, and generation
+//! overlaps analysis on every core.
+//!
+//! # Determinism contract
+//!
+//! The work list is the baseline population's shards followed by the
+//! current population's shards, in shard order. Workers take
+//! *contiguous* chunks of that list, fold each shard's records into
+//! their private [`FigureSet`] in generation order, and the per-worker
+//! sets are merged back in work-list order. Because
+//! [`FigureSet::merge`] is exactly observe-concatenation (see
+//! [`crate::accum`]) and shard content is a pure function of
+//! `(config, shard_size)` (see `mbw_dataset::parallel`), the finished
+//! [`MeasurementFigures`] are byte-identical to the two-phase
+//! materialize-then-sweep path for **any** thread count.
+
+use crate::sweep::{FigureSet, MeasurementFigures};
+use mbw_dataset::{DatasetConfig, Generator, ShardPlan, TestRecord};
+use std::time::{Duration, Instant};
+
+/// Records generated per buffer refill. Large enough to amortise the
+/// two timestamp reads per refill, small enough that a worker's
+/// resident buffer stays under ~300 KiB.
+pub const BATCH: usize = 4_096;
+
+/// Per-stage wall/CPU breakdown of one streaming run.
+///
+/// `generate` and `observe` are summed across workers (CPU seconds, so
+/// they can exceed `wall` on multi-core runs); `merge` and `finish`
+/// happen once, on the calling thread, after the workers join.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamTimings {
+    /// Time spent drawing records from the generators.
+    pub generate: Duration,
+    /// Time spent folding records into the accumulators.
+    pub observe: Duration,
+    /// Time spent merging per-worker figure sets.
+    pub merge: Duration,
+    /// Time spent finishing accumulators into figures (GMM fits live
+    /// here — routinely the largest single-threaded stage).
+    pub finish: Duration,
+    /// End-to-end wall clock of the whole run.
+    pub wall: Duration,
+    /// Total records generated and analyzed (both populations).
+    pub records: usize,
+}
+
+impl StreamTimings {
+    /// End-to-end records per second (both populations over `wall`).
+    pub fn records_per_second(&self) -> f64 {
+        self.records as f64 / self.wall.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Wall clock of the thread-parallel phase: everything before the
+    /// workers join (`wall` minus the single-threaded `merge` and
+    /// `finish` tail). This is the portion whose duration shrinks with
+    /// the worker count — `finish` runs once on the calling thread and
+    /// its inner parallelism (GMM `fit_auto`) is independent of the
+    /// streaming plan's thread count — so thread-scaling comparisons
+    /// must be made on this number, not on `wall`.
+    pub fn parallel_wall(&self) -> Duration {
+        self.wall
+            .saturating_sub(self.merge)
+            .saturating_sub(self.finish)
+    }
+
+    /// Records per second through the thread-parallel phase
+    /// (generate + observe) alone. See [`Self::parallel_wall`].
+    pub fn parallel_records_per_second(&self) -> f64 {
+        self.records as f64 / self.parallel_wall().as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// One shard of one population on the streaming work list.
+#[derive(Clone, Copy)]
+struct Unit {
+    config: DatasetConfig,
+    shard: u64,
+    len: usize,
+    baseline: bool,
+}
+
+fn work_list(baseline: DatasetConfig, current: DatasetConfig, plan: ShardPlan) -> Vec<Unit> {
+    let mut units =
+        Vec::with_capacity(plan.shard_count(baseline.tests) + plan.shard_count(current.tests));
+    for (config, is_baseline) in [(baseline, true), (current, false)] {
+        for spec in plan.shard_specs(config.tests) {
+            units.push(Unit {
+                config,
+                shard: spec.shard,
+                len: spec.len,
+                baseline: is_baseline,
+            });
+        }
+    }
+    units
+}
+
+struct WorkerOut {
+    set: FigureSet,
+    generate_nanos: u64,
+    observe_nanos: u64,
+}
+
+/// Fold a contiguous run of units into one fresh figure set, reusing a
+/// single batch buffer across every shard in the run.
+fn fold_units(units: &[Unit]) -> WorkerOut {
+    let mut set = FigureSet::new();
+    let mut buf: Vec<TestRecord> = Vec::with_capacity(BATCH);
+    let mut generate_nanos = 0u64;
+    let mut observe_nanos = 0u64;
+    for unit in units {
+        let mut gen = Generator::for_shard(unit.config, unit.shard);
+        let mut remaining = unit.len;
+        while remaining > 0 {
+            let take = remaining.min(BATCH);
+            let t0 = Instant::now();
+            buf.clear();
+            buf.extend((0..take).map(|_| gen.generate_one()));
+            let t1 = Instant::now();
+            if unit.baseline {
+                set.observe_baseline_records(&buf);
+            } else {
+                set.observe_records(&buf);
+            }
+            observe_nanos += t1.elapsed().as_nanos() as u64;
+            generate_nanos += (t1 - t0).as_nanos() as u64;
+            remaining -= take;
+        }
+    }
+    WorkerOut {
+        set,
+        generate_nanos,
+        observe_nanos,
+    }
+}
+
+/// Run the streaming fused engine and report per-stage timings.
+///
+/// `plan.thread_count()` sets the worker count; `plan.shard_size()`
+/// fixes the output (it must match the plan used by any two-phase run
+/// being compared against — both default to
+/// [`mbw_dataset::DEFAULT_SHARD_SIZE`]).
+pub fn stream_figures_timed(
+    baseline: DatasetConfig,
+    current: DatasetConfig,
+    plan: ShardPlan,
+) -> (MeasurementFigures, StreamTimings) {
+    let wall_start = Instant::now();
+    let units = work_list(baseline, current, plan);
+    let threads = plan.thread_count();
+
+    let outs: Vec<WorkerOut> = if threads <= 1 || units.len() <= 1 {
+        vec![fold_units(&units)]
+    } else {
+        let workers = threads.min(units.len());
+        let per_worker = units.len().div_ceil(workers);
+        let mut slots: Vec<Option<WorkerOut>> = Vec::new();
+        slots.resize_with(workers, || None);
+        crossbeam::thread::scope(|scope| {
+            for (chunk, slot) in units.chunks(per_worker).zip(slots.iter_mut()) {
+                scope.spawn(move |_| *slot = Some(fold_units(chunk)));
+            }
+        })
+        .expect("stream worker panicked");
+        slots.into_iter().flatten().collect()
+    };
+
+    let mut outs = outs.into_iter();
+    let first = outs.next().expect("at least one worker ran");
+    let mut set = first.set;
+    let mut generate_nanos = first.generate_nanos;
+    let mut observe_nanos = first.observe_nanos;
+    let merge_start = Instant::now();
+    for out in outs {
+        generate_nanos += out.generate_nanos;
+        observe_nanos += out.observe_nanos;
+        set.merge(out.set);
+    }
+    let merge = merge_start.elapsed();
+
+    let finish_start = Instant::now();
+    let figures = set.finish();
+    let finish = finish_start.elapsed();
+
+    let timings = StreamTimings {
+        generate: Duration::from_nanos(generate_nanos),
+        observe: Duration::from_nanos(observe_nanos),
+        merge,
+        finish,
+        wall: wall_start.elapsed(),
+        records: baseline.tests + current.tests,
+    };
+    (figures, timings)
+}
+
+/// [`stream_figures_timed`] without the timing report.
+pub fn stream_figures(
+    baseline: DatasetConfig,
+    current: DatasetConfig,
+    plan: ShardPlan,
+) -> MeasurementFigures {
+    stream_figures_timed(baseline, current, plan).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{sweep_records, SWEEP_IDS};
+    use mbw_dataset::{generate_sharded, Year};
+
+    fn configs(tests: usize, seed: u64) -> (DatasetConfig, DatasetConfig) {
+        let cfg = |year| DatasetConfig { seed, tests, year };
+        (cfg(Year::Y2020), cfg(Year::Y2021))
+    }
+
+    #[test]
+    fn streaming_matches_two_phase_and_is_thread_count_independent() {
+        let (b, c) = configs(20_000, 0x57AB);
+        let plan_1t = ShardPlan::new(1_024, 1);
+        let y20 = generate_sharded(b, plan_1t);
+        let y21 = generate_sharded(c, plan_1t);
+        let two_phase = sweep_records(&y20, &y21, 1);
+        for threads in [1usize, 2, 8] {
+            let figs = stream_figures(b, c, ShardPlan::new(1_024, threads));
+            for id in SWEEP_IDS {
+                assert_eq!(
+                    two_phase.render(id),
+                    figs.render(id),
+                    "{id} differs at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn timings_cover_the_run() {
+        let (b, c) = configs(5_000, 7);
+        let (figs, t) = stream_figures_timed(b, c, ShardPlan::new(512, 4));
+        assert_eq!(t.records, 10_000);
+        assert!(t.records_per_second() > 0.0);
+        assert!(t.wall >= t.merge + t.finish);
+        assert_eq!(t.parallel_wall(), t.wall - t.merge - t.finish);
+        assert!(t.parallel_records_per_second() >= t.records_per_second());
+        assert!(figs.summary.is_ok());
+    }
+
+    #[test]
+    fn empty_populations_stream_cleanly() {
+        let (b, c) = configs(0, 1);
+        let (figs, t) = stream_figures_timed(b, c, ShardPlan::threads(4));
+        assert_eq!(t.records, 0);
+        assert!(figs.summary.is_err());
+        assert!(figs.render("table1").is_some());
+    }
+}

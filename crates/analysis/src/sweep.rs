@@ -174,6 +174,24 @@ impl FigureSet {
         self.outcomes.observe(r);
     }
 
+    /// Fold a batch of baseline records, in slice order. Equivalent to
+    /// calling [`Self::observe_baseline`] per record, but monomorphised
+    /// over `&[TestRecord]` so the streaming engine skips the
+    /// per-record dispatch through [`RecordSource`].
+    pub fn observe_baseline_records(&mut self, records: &[TestRecord]) {
+        for r in records {
+            self.observe_baseline(&RecordView::from(r));
+        }
+    }
+
+    /// Fold a batch of current records, in slice order (batch sibling
+    /// of [`Self::observe`]).
+    pub fn observe_records(&mut self, records: &[TestRecord]) {
+        for r in records {
+            self.observe(&RecordView::from(r));
+        }
+    }
+
     /// Fold in a sibling set whose records come after this set's.
     pub fn merge(&mut self, other: Self) {
         self.fig01.merge(other.fig01);

@@ -1,0 +1,79 @@
+//! Byte-equivalence of the streaming fused generate→analyze engine
+//! against the materialize-then-sweep path.
+//!
+//! The streaming engine's whole value rests on one claim: fusing the
+//! two pipeline halves changes *when* records exist, never *what* the
+//! figures say. These tests pin that claim — first at the fixed seed
+//! and the thread counts the issue calls out (1, 2, 8), then under
+//! proptest over seeds, thread counts, and shard sizes.
+
+use mbw_analysis::stream::stream_figures;
+use mbw_analysis::sweep::{sweep_records, MeasurementFigures, SWEEP_IDS};
+use mbw_dataset::{generate_sharded, DatasetConfig, ShardPlan, Year};
+use proptest::prelude::*;
+
+fn configs(tests: usize, seed: u64) -> (DatasetConfig, DatasetConfig) {
+    let cfg = |year| DatasetConfig { seed, tests, year };
+    (cfg(Year::Y2020), cfg(Year::Y2021))
+}
+
+/// The two-phase reference: materialise both populations (single
+/// worker), then run the fused sweep over the rows.
+fn two_phase(baseline: DatasetConfig, current: DatasetConfig, shard: usize) -> MeasurementFigures {
+    let plan = ShardPlan::new(shard, 1);
+    let y20 = generate_sharded(baseline, plan);
+    let y21 = generate_sharded(current, plan);
+    sweep_records(&y20, &y21, 1)
+}
+
+fn assert_all_figures_equal(a: &MeasurementFigures, b: &MeasurementFigures, context: &str) {
+    for id in SWEEP_IDS {
+        assert_eq!(a.render(id), b.render(id), "{id} diverged ({context})");
+    }
+}
+
+#[test]
+fn streaming_is_byte_identical_at_1_2_and_8_threads() {
+    let (b, c) = configs(30_000, 0xF00D);
+    let shard = 4_096; // ~8 shards per population
+    let reference = two_phase(b, c, shard);
+    for threads in [1usize, 2, 8] {
+        let streamed = stream_figures(b, c, ShardPlan::new(shard, threads));
+        assert_all_figures_equal(&reference, &streamed, &format!("threads={threads}"));
+    }
+}
+
+#[test]
+fn unbalanced_populations_stream_identically() {
+    // Different sizes per year, a ragged final shard, more workers than
+    // shards on the smaller population.
+    let (mut b, mut c) = configs(0, 0xBA1A);
+    b.tests = 3_000;
+    c.tests = 10_500;
+    let shard = 2_048;
+    let reference = two_phase(b, c, shard);
+    let streamed = stream_figures(b, c, ShardPlan::new(shard, 8));
+    assert_all_figures_equal(&reference, &streamed, "unbalanced populations");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn streaming_equals_two_phase_for_any_seed_threads_and_shards(
+        seed in 0u64..u64::MAX,
+        threads in 1usize..9,
+        shard_pow in 9u32..12, // shards of 512..2048 records
+        tests in 3_000usize..8_000,
+    ) {
+        let shard = 1usize << shard_pow;
+        let (b, c) = configs(tests, seed);
+        let reference = two_phase(b, c, shard);
+        let streamed = stream_figures(b, c, ShardPlan::new(shard, threads));
+        assert_all_figures_equal(
+            &reference,
+            &streamed,
+            &format!("seed={seed:#x} threads={threads} shard={shard} tests={tests}"),
+        );
+    }
+}

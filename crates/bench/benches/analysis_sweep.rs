@@ -1,24 +1,38 @@
-//! Fused-sweep vs legacy per-figure analysis throughput at paper scale.
+//! Measurement-pipeline throughput at paper scale: legacy per-figure,
+//! fused materialize-then-sweep, and the streaming fused engine.
 //!
-//! Generates the two yearly populations (1M records each by default —
-//! override with `ANALYSIS_SWEEP_RECORDS`), then times three ways of
-//! producing every measurement figure:
+//! Times five ways of producing every measurement figure over the two
+//! yearly populations (1M records each by default — override with
+//! `ANALYSIS_SWEEP_RECORDS`):
 //!
-//! - `legacy` — the one-pass-per-figure functions, each distinct
-//!   computation run once (how the pipeline worked before the sweep);
-//! - `fused_1t` — the fused single-pass sweep, one worker;
-//! - `fused_nt` — the fused sweep sharded across all available cores.
+//! - `legacy_1t` — the one-pass-per-figure functions over materialised
+//!   populations, each distinct computation run once (how the pipeline
+//!   worked before the sweep);
+//! - `fused_1t` / `fused_nt` — the fused single-pass sweep over
+//!   materialised populations, one worker vs all available cores
+//!   (analysis only, comparable to the legacy number);
+//! - `streaming_1t` / `streaming_nt` — the streaming fused
+//!   generate→analyze engine (`mbw_analysis::stream`): end-to-end from
+//!   nothing to every figure, populations never materialised, with a
+//!   per-stage breakdown (generate / observe / merge / finish).
+//!
+//! Generation is also timed on its own so the materialize-then-sweep
+//! end-to-end number (`generate_nt + fused_nt`) is comparable to the
+//! streaming end-to-end numbers.
 //!
 //! Each variant runs `ANALYSIS_SWEEP_ITERS` times (default 3) and the
-//! best wall time is kept (standard for throughput measurement). The
-//! result — times, records/s, and speedups — is written to
-//! `BENCH_analysis.json` and printed to stdout.
+//! best wall time is kept (standard for throughput measurement). Every
+//! measurement records the worker threads it actually used;
+//! `threads_detected` is the machine's available parallelism. The
+//! result is written to `BENCH_analysis.json` at the repo root and
+//! printed to stdout.
 
-use mbw_analysis::{robustness, Render};
+use mbw_analysis::{robustness, Render, StreamTimings};
 use mbw_bench::measurement::{self, Populations};
 use mbw_dataset::ShardPlan;
 use std::fmt::Write as _;
 use std::hint::black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Ids covering every *distinct* legacy computation exactly once
@@ -27,6 +41,8 @@ const DISTINCT_LEGACY_IDS: [&str; 20] = [
     "table1", "table2", "fig01", "fig02", "fig03", "fig04", "fig05", "fig07", "fig08", "fig10",
     "fig11", "fig13", "fig14", "fig15", "fig16", "fig18", "fig19", "general", "devices", "summary",
 ];
+
+const SEED: u64 = 0xBE7C;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -47,6 +63,19 @@ fn time_best<T>(iters: usize, mut f: impl FnMut() -> T) -> Duration {
         .expect("at least one iteration")
 }
 
+/// Best-of-`iters` streaming run (by end-to-end wall time), keeping the
+/// winning run's stage breakdown.
+fn stream_best(iters: usize, records: usize, plan: ShardPlan) -> StreamTimings {
+    (0..iters.max(1))
+        .map(|_| {
+            let (figs, timings) = measurement::stream_measurement_figures(records, SEED, plan);
+            black_box(figs);
+            timings
+        })
+        .min_by_key(|t| t.wall)
+        .expect("at least one iteration")
+}
+
 fn legacy_all(pops: &Populations) -> usize {
     let mut rendered = 0;
     for id in DISTINCT_LEGACY_IDS {
@@ -59,56 +88,137 @@ fn legacy_all(pops: &Populations) -> usize {
     rendered + robustness::outcome_rates(&pops.y2021).render().len()
 }
 
+/// `BENCH_analysis.json` lives at the repo root no matter where the
+/// bench is invoked from.
+fn output_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_analysis.json")
+}
+
+fn measurement_json(name: &str, threads: usize, analyzed: usize, wall: Duration) -> String {
+    format!(
+        "    \"{name}\": {{ \"threads\": {threads}, \"seconds\": {}, \"records_per_second\": {} }}",
+        wall.as_secs_f64(),
+        analyzed as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE)
+    )
+}
+
+fn streaming_json(name: &str, threads: usize, t: &StreamTimings) -> String {
+    format!(
+        "    \"{name}\": {{ \"threads\": {threads}, \"seconds\": {}, \"records_per_second\": {}, \
+         \"stages\": {{ \"generate_cpu_seconds\": {}, \"observe_cpu_seconds\": {}, \
+         \"merge_seconds\": {}, \"finish_seconds\": {} }} }}",
+        t.wall.as_secs_f64(),
+        t.records_per_second(),
+        t.generate.as_secs_f64(),
+        t.observe.as_secs_f64(),
+        t.merge.as_secs_f64(),
+        t.finish.as_secs_f64()
+    )
+}
+
 fn main() {
     let records = env_usize("ANALYSIS_SWEEP_RECORDS", 1_000_000);
     let iters = env_usize("ANALYSIS_SWEEP_ITERS", 3);
-    let threads = std::thread::available_parallelism()
+    let threads = env_usize(
+        "ANALYSIS_SWEEP_THREADS",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    )
+    .max(1);
+    let detected = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let plan_nt = ShardPlan::threads(threads);
+    let analyzed = 2 * records;
 
-    eprintln!("generating {records} records per year ({threads} threads)...");
-    let pops = measurement::populations_with(records, 0xBE7C, ShardPlan::threads(threads));
-    let analyzed = pops.y2020.len() + pops.y2021.len();
+    eprintln!("timing sharded generation, {threads} workers ({iters} iters)...");
+    let generate_nt = time_best(iters, || {
+        measurement::populations_with(records, SEED, plan_nt)
+    });
+    let pops = measurement::populations_with(records, SEED, plan_nt);
 
-    eprintln!("timing legacy per-figure pipeline ({iters} iters)...");
+    eprintln!("timing legacy per-figure pipeline...");
     let legacy = time_best(iters, || legacy_all(&pops));
     eprintln!("timing fused sweep, 1 worker...");
     let fused_1t = time_best(iters, || measurement::measurement_figures(&pops, 1));
     eprintln!("timing fused sweep, {threads} workers...");
     let fused_nt = time_best(iters, || measurement::measurement_figures(&pops, threads));
+    drop(pops);
 
-    let rps = |d: Duration| analyzed as f64 / d.as_secs_f64().max(f64::MIN_POSITIVE);
+    eprintln!("timing streaming engine, 1 worker...");
+    let stream_1t = stream_best(iters, records, ShardPlan::threads(1));
+    eprintln!("timing streaming engine, {threads} workers...");
+    let stream_nt = stream_best(iters, records, plan_nt);
+
+    let materialize_nt = generate_nt + fused_nt;
+    let secs = |d: Duration| d.as_secs_f64().max(f64::MIN_POSITIVE);
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"records_per_year\": {records},");
     let _ = writeln!(json, "  \"records_analyzed\": {analyzed},");
-    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"threads_detected\": {detected},");
     let _ = writeln!(json, "  \"iterations\": {iters},");
-    let _ = writeln!(json, "  \"legacy_seconds\": {},", legacy.as_secs_f64());
-    let _ = writeln!(json, "  \"fused_1t_seconds\": {},", fused_1t.as_secs_f64());
-    let _ = writeln!(json, "  \"fused_nt_seconds\": {},", fused_nt.as_secs_f64());
-    let _ = writeln!(json, "  \"legacy_records_per_second\": {},", rps(legacy));
+    let _ = writeln!(json, "  \"measurements\": {{");
     let _ = writeln!(
         json,
-        "  \"fused_1t_records_per_second\": {},",
-        rps(fused_1t)
+        "{},",
+        measurement_json("generate_nt", threads, analyzed, generate_nt)
     );
     let _ = writeln!(
         json,
-        "  \"fused_nt_records_per_second\": {},",
-        rps(fused_nt)
+        "{},",
+        measurement_json("legacy_1t", 1, analyzed, legacy)
     );
+    let _ = writeln!(
+        json,
+        "{},",
+        measurement_json("fused_1t", 1, analyzed, fused_1t)
+    );
+    let _ = writeln!(
+        json,
+        "{},",
+        measurement_json("fused_nt", threads, analyzed, fused_nt)
+    );
+    let _ = writeln!(
+        json,
+        "{},",
+        measurement_json(
+            "materialize_then_sweep_nt",
+            threads,
+            analyzed,
+            materialize_nt
+        )
+    );
+    let _ = writeln!(json, "{},", streaming_json("streaming_1t", 1, &stream_1t));
+    let _ = writeln!(
+        json,
+        "{}",
+        streaming_json("streaming_nt", threads, &stream_nt)
+    );
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(
         json,
         "  \"speedup_fused_1t_vs_legacy\": {},",
-        legacy.as_secs_f64() / fused_1t.as_secs_f64().max(f64::MIN_POSITIVE)
+        secs(legacy) / secs(fused_1t)
     );
     let _ = writeln!(
         json,
-        "  \"speedup_fused_nt_vs_legacy\": {}",
-        legacy.as_secs_f64() / fused_nt.as_secs_f64().max(f64::MIN_POSITIVE)
+        "  \"speedup_fused_nt_vs_legacy\": {},",
+        secs(legacy) / secs(fused_nt)
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_streaming_nt_vs_materialize_nt\": {},",
+        secs(materialize_nt) / secs(stream_nt.wall)
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_streaming_nt_vs_streaming_1t\": {}",
+        secs(stream_1t.wall) / secs(stream_nt.wall)
     );
     json.push_str("}\n");
 
-    std::fs::write("BENCH_analysis.json", &json).expect("write BENCH_analysis.json");
+    let path = output_path();
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
     println!("{json}");
 }

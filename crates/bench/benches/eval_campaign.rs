@@ -5,23 +5,28 @@
 //! mmWave links; `EVAL_CAMPAIGN_TRIALS` trials per series, default 40),
 //! then times three ways of producing the figures:
 //!
-//! - `legacy` — one run per figure, each planning and executing its own
-//!   trials (how the pipeline worked before the campaign, including the
-//!   duplicated back-to-back pairs across Figs 20–22);
+//! - `legacy_1t` — one run per figure, each planning and executing its
+//!   own trials (how the pipeline worked before the campaign, including
+//!   the duplicated back-to-back pairs across Figs 20–22);
 //! - `campaign_1t` — the fused plan → execute → reduce pipeline, one
 //!   worker;
 //! - `campaign_nt` — the same pipeline with the executor sharded across
 //!   all available cores.
 //!
-//! Each variant runs `EVAL_CAMPAIGN_ITERS` times (default 3) and the
-//! best wall time is kept. The result — times, trials/s, and speedups —
-//! is written to `BENCH_swiftest.json` and printed to stdout.
+//! The campaign measurements carry a per-stage breakdown (plan /
+//! execute / reduce) from the winning iteration, and every measurement
+//! records the worker threads it actually used; `threads_detected` is
+//! the machine's available parallelism. Each variant runs
+//! `EVAL_CAMPAIGN_ITERS` times (default 3) and the best wall time is
+//! kept. The result is written to `BENCH_swiftest.json` at the repo
+//! root and printed to stdout.
 
 use mbw_bench::eval_sweep::{plan_for, reduce, EvalFigureSet, EVAL_SWEEP_IDS};
 use mbw_bench::{ablation, bts_eval, fig17};
 use mbw_core::{run_campaign, EvalCounts};
 use std::fmt::Write as _;
 use std::hint::black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 const SEED: u64 = 0xBE57;
@@ -44,6 +49,15 @@ fn time_best<T>(iters: usize, mut f: impl FnMut() -> T) -> Duration {
         })
         .min()
         .expect("at least one iteration")
+}
+
+/// One campaign run's stage breakdown (wall time per stage).
+#[derive(Clone, Copy)]
+struct CampaignTimings {
+    plan: Duration,
+    execute: Duration,
+    reduce: Duration,
+    wall: Duration,
 }
 
 /// One run per figure, each executing its own trials (serially, as the
@@ -72,14 +86,55 @@ fn legacy_all(c: &EvalCounts) -> usize {
     rendered
 }
 
-fn campaign_all(c: &EvalCounts, threads: usize) -> usize {
+/// One fused plan → execute → reduce run, stage-timed.
+fn campaign_all(c: &EvalCounts, threads: usize) -> CampaignTimings {
+    let t0 = Instant::now();
     let plan = plan_for(&EVAL_SWEEP_IDS, c, SEED);
+    let plan_elapsed = t0.elapsed();
+    let t1 = Instant::now();
     let pool = run_campaign(&plan, threads);
+    let execute = t1.elapsed();
+    let t2 = Instant::now();
     let figs = reduce(EvalFigureSet::new(COST_SEED), &pool);
-    EVAL_SWEEP_IDS
+    let reduce_elapsed = t2.elapsed();
+    let rendered: usize = EVAL_SWEEP_IDS
         .iter()
         .map(|&id| figs.render(id).expect("known id").expect("planned").len())
-        .sum()
+        .sum();
+    black_box(rendered);
+    CampaignTimings {
+        plan: plan_elapsed,
+        execute,
+        reduce: reduce_elapsed,
+        wall: t0.elapsed(),
+    }
+}
+
+/// Best-of-`iters` campaign run by whole-pipeline wall time, keeping
+/// the winning run's stage breakdown.
+fn campaign_best(iters: usize, c: &EvalCounts, threads: usize) -> CampaignTimings {
+    (0..iters.max(1))
+        .map(|_| campaign_all(c, threads))
+        .min_by_key(|t| t.wall)
+        .expect("at least one iteration")
+}
+
+/// `BENCH_swiftest.json` lives at the repo root no matter where the
+/// bench is invoked from.
+fn output_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_swiftest.json")
+}
+
+fn campaign_json(name: &str, threads: usize, planned: usize, t: &CampaignTimings) -> String {
+    format!(
+        "    \"{name}\": {{ \"threads\": {threads}, \"seconds\": {}, \"trials_per_second\": {}, \
+         \"stages\": {{ \"plan_seconds\": {}, \"execute_seconds\": {}, \"reduce_seconds\": {} }} }}",
+        t.wall.as_secs_f64(),
+        planned as f64 / t.wall.as_secs_f64().max(f64::MIN_POSITIVE),
+        t.plan.as_secs_f64(),
+        t.execute.as_secs_f64(),
+        t.reduce.as_secs_f64()
+    )
 }
 
 fn main() {
@@ -92,6 +147,9 @@ fn main() {
             .unwrap_or(1),
     )
     .max(1);
+    let detected = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let counts = EvalCounts::uniform(trials);
     let plan = plan_for(&EVAL_SWEEP_IDS, &counts, SEED);
@@ -101,54 +159,52 @@ fn main() {
     eprintln!("timing legacy per-figure pipeline ({iters} iters)...");
     let legacy = time_best(iters, || legacy_all(&counts));
     eprintln!("timing fused campaign, 1 worker...");
-    let campaign_1t = time_best(iters, || campaign_all(&counts, 1));
+    let campaign_1t = campaign_best(iters, &counts, 1);
     eprintln!("timing fused campaign, {threads} workers...");
-    let campaign_nt = time_best(iters, || campaign_all(&counts, threads));
+    let campaign_nt = campaign_best(iters, &counts, threads);
 
-    let tps = |d: Duration| planned as f64 / d.as_secs_f64().max(f64::MIN_POSITIVE);
+    let secs = |d: Duration| d.as_secs_f64().max(f64::MIN_POSITIVE);
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"trials_per_series\": {trials},");
     let _ = writeln!(json, "  \"planned_trials\": {planned},");
-    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"threads_detected\": {detected},");
     let _ = writeln!(json, "  \"iterations\": {iters},");
-    let _ = writeln!(json, "  \"legacy_seconds\": {},", legacy.as_secs_f64());
+    let _ = writeln!(json, "  \"measurements\": {{");
     let _ = writeln!(
         json,
-        "  \"campaign_1t_seconds\": {},",
-        campaign_1t.as_secs_f64()
+        "    \"legacy_1t\": {{ \"threads\": 1, \"seconds\": {}, \"trials_per_second\": {} }},",
+        legacy.as_secs_f64(),
+        planned as f64 / secs(legacy)
     );
     let _ = writeln!(
         json,
-        "  \"campaign_nt_seconds\": {},",
-        campaign_nt.as_secs_f64()
+        "{},",
+        campaign_json("campaign_1t", 1, planned, &campaign_1t)
     );
     let _ = writeln!(
         json,
-        "  \"campaign_1t_trials_per_second\": {},",
-        tps(campaign_1t)
+        "{}",
+        campaign_json("campaign_nt", threads, planned, &campaign_nt)
     );
-    let _ = writeln!(
-        json,
-        "  \"campaign_nt_trials_per_second\": {},",
-        tps(campaign_nt)
-    );
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(
         json,
         "  \"speedup_campaign_1t_vs_legacy\": {},",
-        legacy.as_secs_f64() / campaign_1t.as_secs_f64().max(f64::MIN_POSITIVE)
+        secs(legacy) / secs(campaign_1t.wall)
     );
     let _ = writeln!(
         json,
         "  \"speedup_campaign_nt_vs_legacy\": {},",
-        legacy.as_secs_f64() / campaign_nt.as_secs_f64().max(f64::MIN_POSITIVE)
+        secs(legacy) / secs(campaign_nt.wall)
     );
     let _ = writeln!(
         json,
         "  \"speedup_campaign_nt_vs_1t\": {}",
-        campaign_1t.as_secs_f64() / campaign_nt.as_secs_f64().max(f64::MIN_POSITIVE)
+        secs(campaign_1t.wall) / secs(campaign_nt.wall)
     );
     json.push_str("}\n");
 
-    std::fs::write("BENCH_swiftest.json", &json).expect("write BENCH_swiftest.json");
+    let path = output_path();
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
     println!("{json}");
 }

@@ -8,26 +8,32 @@
 //!         --threads 8              # paper-scale dataset, 8 workers
 //! figures --trials 40 fig20        # 40 campaign trials per series
 //! figures --out smoke-t4 ...       # write reports somewhere else
+//! figures --metrics-addr 127.0.0.1:9091 ...  # expose /metrics
 //! ```
 //!
 //! Each experiment's text report is printed and written to
 //! `<out>/<id>.txt` (default `results/`). The measurement figures are
-//! produced by the fused single-pass sweep: one pass per population
-//! regardless of how many figures are requested, sharded over
-//! `--threads` workers with byte-identical output for every thread
-//! count. The evaluation figures (17, 20–25, ablations, mmWave, cost)
-//! are produced the same way from one shared trial campaign: the union
-//! of trials the requested figures need is planned once, executed over
-//! `--threads` workers, and reduced in a single pass — byte-identical
-//! for every thread count.
+//! produced by the *streaming* fused engine (`mbw_analysis::stream`):
+//! per-shard generation feeds straight into the figure accumulators, so
+//! the populations are never materialised, generation overlaps analysis
+//! across `--threads` workers, and the output is byte-identical for
+//! every thread count. The evaluation figures (17, 20–25, ablations,
+//! mmWave, cost) are produced the same way from one shared trial
+//! campaign: the union of trials the requested figures need is planned
+//! once, executed over `--threads` workers, and reduced in a single
+//! pass — byte-identical for every thread count. With `--metrics-addr`
+//! the per-stage timings (generate / observe / merge / finish and plan
+//! / execute / reduce) are scrapable at `/metrics` while the run is in
+//! flight.
 
 use mbw_bench::{bts_eval, deploy_eval, eval_sweep, measurement};
 use mbw_core::{run_campaign_metered, EvalCounts};
 use mbw_dataset::csv::CsvWriter;
-use mbw_dataset::{RecordView, ShardPlan};
-use mbw_telemetry::{CampaignMetrics, PipelineMetrics, Registry};
+use mbw_dataset::{generate_sharded, DatasetConfig, RecordView, ShardPlan, Year};
+use mbw_telemetry::{CampaignMetrics, MetricsServer, PipelineMetrics, Registry};
 use std::fs;
 use std::io::BufWriter;
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -87,6 +93,7 @@ struct Options {
     trials: Option<usize>,
     threads: usize,
     out_dir: PathBuf,
+    metrics_addr: Option<SocketAddr>,
     selected: Vec<String>,
 }
 
@@ -97,6 +104,7 @@ fn parse_args() -> Options {
         trials: None,
         threads: 1,
         out_dir: PathBuf::from("results"),
+        metrics_addr: None,
         selected: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -132,6 +140,13 @@ fn parse_args() -> Options {
                 opts.threads = threads.max(1);
             }
             "--out" => opts.out_dir = PathBuf::from(value("--out")),
+            "--metrics-addr" => {
+                let v = value("--metrics-addr");
+                opts.metrics_addr = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--metrics-addr: not a socket address: {v}");
+                    std::process::exit(2);
+                }));
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown flag: {other}");
                 std::process::exit(2);
@@ -160,38 +175,49 @@ fn main() {
 
     let registry = Registry::new();
     let metrics = PipelineMetrics::register(&registry);
+    let server = opts.metrics_addr.map(|addr| {
+        let server = MetricsServer::start(addr, registry.clone()).unwrap_or_else(|e| {
+            eprintln!("--metrics-addr {addr}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("metrics exposed at http://{}/metrics", server.local_addr());
+        server
+    });
 
-    // The measurement populations are shared by figs 1–16/18–19; all
-    // those figures come out of one fused sweep.
+    // Figs 1–16/18–19 all come out of one streaming fused
+    // generate→analyze run: the populations are never materialised.
     let is_sweep_id = |id: &str| mbw_analysis::sweep::SWEEP_IDS.contains(&id);
-    let needs_dataset = ids.iter().any(|id| is_sweep_id(id) || id == "export_csv");
     let needs_sweep = ids.iter().any(|id| is_sweep_id(id.as_str()));
-    let pops = needs_dataset.then(|| {
+    let figures = needs_sweep.then(|| {
         eprintln!(
-            "generating {dataset} records per year ({} threads)...",
+            "streaming {dataset} records per year through the fused engine ({} threads)...",
             opts.threads
         );
-        let t0 = Instant::now();
-        let pops = measurement::populations_with(dataset, 0xDA7A, ShardPlan::threads(opts.threads));
-        let elapsed = t0.elapsed();
-        let produced = (pops.y2020.len() + pops.y2021.len()) as u64;
-        metrics.observe_generated(produced, elapsed);
-        eprintln!(
-            "generated {produced} records in {elapsed:.2?} ({:.0} records/s)",
-            produced as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE)
+        let (figs, t) = measurement::stream_measurement_figures(
+            dataset,
+            0xDA7A,
+            ShardPlan::threads(opts.threads),
         );
-        pops
-    });
-    let figures = needs_sweep.then(|| {
-        let pops = pops.as_ref().expect("generated above");
-        let t0 = Instant::now();
-        let figs = measurement::measurement_figures(pops, opts.threads);
-        let elapsed = t0.elapsed();
-        let analyzed = (pops.y2020.len() + pops.y2021.len()) as u64;
-        metrics.observe_analyzed(analyzed, elapsed);
+        let records = t.records as u64;
+        // The rate gauges report actual pipeline throughput, so they
+        // get wall clock; the per-stage series below carry the CPU
+        // breakdown (generate/observe are summed across workers).
+        metrics.observe_generated(records, t.wall);
+        metrics.observe_analyzed(records, t.wall);
+        metrics.observe_stage("generate", records, t.generate);
+        metrics.observe_stage("observe", records, t.observe);
+        metrics.observe_stage("merge", records, t.merge);
+        metrics.observe_stage("finish", records, t.finish);
         eprintln!(
-            "fused sweep over {analyzed} records in {elapsed:.2?} ({:.0} records/s)",
-            analyzed as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE)
+            "streamed {} records in {:.2?} ({:.0} records/s end-to-end)",
+            t.records,
+            t.wall,
+            t.records_per_second()
+        );
+        eprintln!(
+            "  stages: generate {:.2?} + observe {:.2?} (cpu, summed over workers) \
+             | merge {:.2?} | finish {:.2?}",
+            t.generate, t.observe, t.merge, t.finish
         );
         figs
     });
@@ -215,28 +241,51 @@ fn main() {
                 mmwave: sizes.bts_tests.min(80),
             },
         };
-        let plan = eval_sweep::plan_for(&eval_ids, &counts, EVAL_SEED);
         let campaign_metrics = CampaignMetrics::register(&registry);
-        let t0 = Instant::now();
+        let plan_start = Instant::now();
+        let plan = eval_sweep::plan_for(&eval_ids, &counts, EVAL_SEED);
+        let plan_elapsed = plan_start.elapsed();
+        campaign_metrics.observe_stage("plan", plan.len() as u64, plan_elapsed);
+        let exec_start = Instant::now();
         let pool = run_campaign_metered(&plan, opts.threads, Some(&campaign_metrics));
-        let elapsed = t0.elapsed();
+        let exec_elapsed = exec_start.elapsed();
+        campaign_metrics.observe_stage("execute", pool.len() as u64, exec_elapsed);
         eprintln!(
-            "campaign: {} trials ({} outcome rows) in {elapsed:.2?} ({} threads)",
+            "campaign: {} trials ({} outcome rows) in {exec_elapsed:.2?} ({} threads)",
             pool.len(),
             pool.outcome_rows(),
             opts.threads
         );
-        eval_sweep::reduce(eval_sweep::EvalFigureSet::new(COST_SEED), &pool)
+        let reduce_start = Instant::now();
+        let reduced = eval_sweep::reduce(eval_sweep::EvalFigureSet::new(COST_SEED), &pool);
+        let reduce_elapsed = reduce_start.elapsed();
+        campaign_metrics.observe_stage("reduce", pool.len() as u64, reduce_elapsed);
+        eprintln!(
+            "  stages: plan {plan_elapsed:.2?} | execute {exec_elapsed:.2?} \
+             | reduce {reduce_elapsed:.2?}"
+        );
+        reduced
     });
 
     for id in &ids {
         if id == "export_csv" {
-            let pops = pops.as_ref().expect("generated above");
+            // Shard streams are prefix-stable: the first N records of a
+            // sharded run don't depend on the total test count, so
+            // exporting is a fresh small generation rather than a slice
+            // of a materialised population — same bytes either way.
+            let rows = dataset.min(EXPORT_ROWS);
+            let export = generate_sharded(
+                DatasetConfig {
+                    seed: 0xDA7A,
+                    tests: rows,
+                    year: Year::Y2021,
+                },
+                ShardPlan::threads(opts.threads),
+            );
             let path = opts.out_dir.join("export_csv.csv");
             let file = fs::File::create(&path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
             let mut writer = CsvWriter::new(BufWriter::new(file)).expect("write csv header");
-            let rows = pops.y2021.len().min(EXPORT_ROWS);
-            for r in &pops.y2021[..rows] {
+            for r in &export {
                 writer
                     .write_view(&RecordView::from(r))
                     .expect("write csv row");
@@ -281,5 +330,8 @@ fn main() {
             metrics.generated_total(),
             metrics.analyzed_total()
         );
+    }
+    if let Some(server) = server {
+        server.shutdown();
     }
 }

@@ -12,7 +12,8 @@
 //!   path, kept as the reference the sweep is tested against.
 
 use mbw_analysis::{
-    cellular, devices, general, overview, pdfs, tables, wifi, MeasurementFigures, Render,
+    cellular, devices, general, overview, pdfs, stream, tables, wifi, MeasurementFigures, Render,
+    StreamTimings,
 };
 use mbw_dataset::{generate_sharded, DatasetConfig, ShardPlan, TestRecord, Year};
 
@@ -46,6 +47,21 @@ pub fn populations(tests: usize, seed: u64) -> Populations {
 /// per-figure path for every thread count.
 pub fn measurement_figures(pops: &Populations, threads: usize) -> MeasurementFigures {
     mbw_analysis::sweep_records(&pops.y2020, &pops.y2021, threads)
+}
+
+/// Compute every measurement figure through the streaming fused
+/// generate→analyze engine (`mbw_analysis::stream`): both populations
+/// of `tests` records flow shard-by-shard from the generator straight
+/// into the figure accumulators without ever being materialised.
+/// Byte-identical to [`populations_with`] + [`measurement_figures`]
+/// under the same shard plan, for every thread count.
+pub fn stream_measurement_figures(
+    tests: usize,
+    seed: u64,
+    plan: ShardPlan,
+) -> (MeasurementFigures, StreamTimings) {
+    let cfg = |year| DatasetConfig { seed, tests, year };
+    stream::stream_figures_timed(cfg(Year::Y2020), cfg(Year::Y2021), plan)
 }
 
 /// Render one measurement experiment by id (`table1`, `table2`,
@@ -135,6 +151,18 @@ mod tests {
         let multi = populations_with(3_000, 79, ShardPlan::new(512, 4));
         assert_eq!(single.y2020, multi.y2020);
         assert_eq!(single.y2021, multi.y2021);
+    }
+
+    #[test]
+    fn streaming_path_matches_materialize_then_sweep() {
+        let plan = ShardPlan::new(1_024, 2);
+        let pops = populations_with(12_000, 81, plan);
+        let figs = measurement_figures(&pops, 2);
+        let (streamed, timings) = stream_measurement_figures(12_000, 81, plan);
+        assert_eq!(timings.records, 24_000);
+        for id in mbw_analysis::sweep::SWEEP_IDS {
+            assert_eq!(figs.render(id), streamed.render(id), "{id} diverged");
+        }
     }
 
     #[test]

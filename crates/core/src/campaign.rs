@@ -482,7 +482,27 @@ pub struct TrialOutcome {
     pub complete: bool,
 }
 
+/// The most outcome rows any [`TrialKind`] produces (a [`TrialKind::
+/// Group`]'s four services) — the size of the fixed per-worker scratch
+/// buffer the executor writes rows into instead of allocating a `Vec`
+/// per trial.
+pub const MAX_TRIAL_ROWS: usize = 4;
+
+/// Trials a worker claims per cursor bump (see
+/// [`run_campaign_metered`]'s work-stealing loop).
+const CLAIM_BATCH: usize = 4;
+
 impl TrialOutcome {
+    /// All-zero placeholder for fixed-size scratch buffers.
+    const ZERO: TrialOutcome = TrialOutcome {
+        duration_s: 0.0,
+        ping_s: 0.0,
+        data_bytes: 0.0,
+        estimate_mbps: 0.0,
+        truth_mbps: 0.0,
+        complete: false,
+    };
+
     /// Probing plus selection time — the user-visible test duration.
     pub fn total_s(&self) -> f64 {
         self.duration_s + self.ping_s
@@ -702,31 +722,46 @@ impl ExecContext {
         &self.harnesses[id.tag() as usize]
     }
 
-    fn execute(&self, spec: &TrialSpec, campaign_seed: u64) -> Vec<TrialOutcome> {
+    /// Execute one trial into a caller-owned scratch buffer, returning
+    /// the number of rows written. The executor's hot path — no
+    /// allocation per trial.
+    fn execute_into(
+        &self,
+        spec: &TrialSpec,
+        campaign_seed: u64,
+        out: &mut [TrialOutcome; MAX_TRIAL_ROWS],
+    ) -> usize {
         let seed = spec.seed(campaign_seed);
         match spec.kind {
             TrialKind::Single(kind) => {
-                vec![(&self.harness(spec.scenario).run(kind, seed)).into()]
+                out[0] = (&self.harness(spec.scenario).run(kind, seed)).into();
+                1
             }
             TrialKind::Pair(a, b) => {
                 let pair = self.harness(spec.scenario).back_to_back(a, b, seed);
-                vec![(&pair.first).into(), (&pair.second).into()]
+                out[0] = (&pair.first).into();
+                out[1] = (&pair.second).into();
+                2
             }
             TrialKind::Group => {
                 let group = self.harness(spec.scenario).test_group(seed);
-                group.outcomes.iter().map(TrialOutcome::from).collect()
+                for (slot, o) in out.iter_mut().zip(group.outcomes.iter()) {
+                    *slot = o.into();
+                }
+                group.outcomes.len()
             }
             TrialKind::Ramp(alg, bin) => {
                 let mbps = BANDWIDTH_BINS[bin as usize];
                 let t = ramp_time(alg, mbps, seed, RAMP_CAP_SECS);
-                vec![TrialOutcome {
+                out[0] = TrialOutcome {
                     duration_s: t,
                     ping_s: 0.0,
                     data_bytes: 0.0,
                     estimate_mbps: 0.0,
                     truth_mbps: mbps,
                     complete: t < RAMP_CAP_SECS,
-                }]
+                };
+                1
             }
             TrialKind::Variant(variant) => {
                 let setup = variant.setup();
@@ -740,14 +775,15 @@ impl ExecContext {
                     &setup.config,
                     seed ^ 0x51AB,
                 );
-                vec![TrialOutcome {
+                out[0] = TrialOutcome {
                     duration_s: r.duration.as_secs_f64(),
                     ping_s: 0.0,
                     data_bytes: r.data_bytes,
                     estimate_mbps: r.estimate_mbps,
                     truth_mbps: drawn.truth_mbps,
                     complete: r.status.is_complete(),
-                }]
+                };
+                1
             }
         }
     }
@@ -758,11 +794,12 @@ fn execute_one(
     spec: &TrialSpec,
     campaign_seed: u64,
     metrics: Option<&CampaignMetrics>,
-) -> Vec<TrialOutcome> {
+    out: &mut [TrialOutcome; MAX_TRIAL_ROWS],
+) -> usize {
     let started = Instant::now();
-    let rows = ctx.execute(spec, campaign_seed);
+    let rows = ctx.execute_into(spec, campaign_seed, out);
     if let Some(m) = metrics {
-        m.observe_trial(spec.kind.label(), rows.len() as u64, started.elapsed());
+        m.observe_trial(spec.kind.label(), rows as u64, started.elapsed());
     }
     rows
 }
@@ -786,51 +823,63 @@ pub fn run_campaign_metered(
     let ctx = ExecContext::new();
     let n = plan.specs().len();
     let campaign_seed = plan.campaign_seed();
+    let rows_total: usize = plan.specs().iter().map(|s| s.kind.outcomes()).sum();
+    let mut pool = TrialPool::with_capacity(campaign_seed, n, rows_total);
 
-    let mut results: Vec<(usize, Vec<TrialOutcome>)> = if threads <= 1 || n <= 1 {
-        plan.specs()
-            .iter()
-            .enumerate()
-            .map(|(i, spec)| (i, execute_one(&ctx, spec, campaign_seed, metrics)))
-            .collect()
+    if threads <= 1 || n <= 1 {
+        let mut out = [TrialOutcome::ZERO; MAX_TRIAL_ROWS];
+        for spec in plan.specs() {
+            let rows = execute_one(&ctx, spec, campaign_seed, metrics, &mut out);
+            pool.push(*spec, &out[..rows]);
+        }
     } else {
-        // Work stealing via a shared cursor: workers grab the next
-        // unclaimed trial, so long trials (10 s BTS-APP floods) don't
-        // stall a statically striped shard.
-        type WorkerRows = Vec<(usize, Vec<TrialOutcome>)>;
+        // Work stealing via a shared cursor, CLAIM_BATCH trials per
+        // claim: batching cuts cursor traffic (one contended RMW per
+        // batch instead of per trial) while staying fine-grained enough
+        // that long trials (10 s BTS-APP floods) can't stall a
+        // statically striped shard. Each executed trial is a Copy
+        // record in a worker-local vec — no per-trial heap allocation.
+        type Executed = (u32, u8, [TrialOutcome; MAX_TRIAL_ROWS]);
         let workers = threads.min(n);
         let cursor = AtomicUsize::new(0);
-        let mut locals: Vec<Option<WorkerRows>> = (0..workers).map(|_| None).collect();
+        let mut locals: Vec<Option<Vec<Executed>>> = (0..workers).map(|_| None).collect();
         let (ctx_ref, cursor_ref, specs) = (&ctx, &cursor, plan.specs());
         crossbeam::thread::scope(|scope| {
             for slot in locals.iter_mut() {
                 scope.spawn(move |_| {
-                    let mut mine = Vec::new();
+                    let mut mine: Vec<Executed> = Vec::with_capacity(n / workers + CLAIM_BATCH);
+                    let mut out = [TrialOutcome::ZERO; MAX_TRIAL_ROWS];
                     loop {
-                        let i = cursor_ref.fetch_add(1, AtomicOrdering::Relaxed);
-                        if i >= n {
+                        let start = cursor_ref.fetch_add(CLAIM_BATCH, AtomicOrdering::Relaxed);
+                        if start >= n {
                             break;
                         }
-                        mine.push((i, execute_one(ctx_ref, &specs[i], campaign_seed, metrics)));
+                        let end = (start + CLAIM_BATCH).min(n);
+                        for (i, spec) in specs.iter().enumerate().take(end).skip(start) {
+                            let rows = execute_one(ctx_ref, spec, campaign_seed, metrics, &mut out);
+                            mine.push((i as u32, rows as u8, out));
+                        }
                     }
                     *slot = Some(mine);
                 });
             }
         })
         .expect("campaign worker panicked");
-        let mut all: Vec<(usize, Vec<TrialOutcome>)> = locals
-            .into_iter()
-            .flat_map(|local| local.expect("worker wrote its slot"))
-            .collect();
-        all.sort_unstable_by_key(|&(i, _)| i);
-        all
-    };
-
-    let rows = results.iter().map(|(_, r)| r.len()).sum();
-    let mut pool = TrialPool::with_capacity(campaign_seed, n, rows);
-    for (i, trial_rows) in results.drain(..) {
-        pool.push(plan.specs()[i], &trial_rows);
+        // Reassemble in plan order by scattering into a slot per trial
+        // (O(n), no sort); the pool push below then walks the slots in
+        // order, so the result is byte-identical to the serial path.
+        let mut by_trial: Vec<Option<(u8, [TrialOutcome; MAX_TRIAL_ROWS])>> = vec![None; n];
+        for local in locals {
+            for (i, rows, outs) in local.expect("worker wrote its slot") {
+                by_trial[i as usize] = Some((rows, outs));
+            }
+        }
+        for (spec, entry) in plan.specs().iter().zip(by_trial) {
+            let (rows, outs) = entry.expect("every trial executed");
+            pool.push(*spec, &outs[..rows as usize]);
+        }
     }
+
     if let Some(m) = metrics {
         m.observe_campaign(n as u64, started.elapsed());
     }

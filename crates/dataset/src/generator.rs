@@ -59,6 +59,37 @@ const WIFI_ISP_WEIGHTS: [f64; 4] = [0.38, 0.24, 0.36, 0.02];
 /// streams, so shard 0 never replays the sequential generator.
 const SHARD_STREAM_SALT: u64 = 0x5AAD_F00D_0C0F_FEE5;
 
+/// Per-band 4G draw constants, precomputed at generator build so the
+/// per-record path takes no logarithms and re-derives no probabilities.
+/// Every field holds exactly the value the corresponding `models` call
+/// would return, so the draws are bit-identical to the unhoisted form.
+#[derive(Clone, Copy)]
+struct LteBandDraw {
+    /// `lte_band_base(band, year)` with `ln(median)` taken once.
+    base: models::LogNormalSampler,
+    /// `lte_advanced_prob(band, urban)`, indexed by `urban as usize`.
+    adv_prob: [f64; 2],
+}
+
+/// One ISP's 4G band-selection table: parallel `bands[i]` / `draws[i]`
+/// arrays addressed by the weighted draw.
+struct LteBandTable {
+    isp: Isp,
+    bands: Vec<LteBandId>,
+    sampler: WeightedIndex,
+    draws: Vec<LteBandDraw>,
+}
+
+/// One ISP's 5G band-selection table; `models[i]` is the prebuilt
+/// `nr_band_model(bands[i], year)` mixture (the per-call form allocates
+/// a fresh `Gmm` per record).
+struct NrBandTable {
+    isp: Isp,
+    bands: Vec<NrBandId>,
+    sampler: WeightedIndex,
+    models: Vec<mbw_stats::Gmm>,
+}
+
 /// The dataset generator. Construction precomputes every categorical
 /// sampler so each record is O(1).
 pub struct Generator {
@@ -77,8 +108,16 @@ pub struct Generator {
     wifi_isp_sampler: WeightedIndex,
     wifi_standard_sampler: WeightedIndex,
     plan_samplers: [WeightedIndex; 3],
-    lte_band_tables: Vec<(Isp, Vec<LteBandId>, WeightedIndex)>,
-    nr_band_tables: Vec<(Isp, Vec<NrBandId>, WeightedIndex)>,
+    lte_band_tables: Vec<LteBandTable>,
+    nr_band_tables: Vec<NrBandTable>,
+    /// `wifi_link_model(standard, on_5ghz)` with `ln(median)` hoisted,
+    /// indexed `[standard index][on_5ghz as usize]`.
+    wifi_link_samplers: [[models::LogNormalSampler; 2]; 3],
+    /// `lte_hour_factor(h)` / `nr_hour_factor(h)` per hour of day.
+    lte_hour_table: [f64; 24],
+    nr_hour_table: [f64; 24],
+    /// `lte_year_factor(config.year)`.
+    lte_year_factor: f64,
 }
 
 impl Generator {
@@ -124,11 +163,22 @@ impl Generator {
                 let weights = models::lte_band_weights(isp, config.year);
                 let bands: Vec<LteBandId> = weights.iter().map(|(b, _)| *b).collect();
                 let ws: Vec<f64> = weights.iter().map(|(_, w)| *w).collect();
-                (
+                let draws = bands
+                    .iter()
+                    .map(|&band| LteBandDraw {
+                        base: models::lte_band_base(band, config.year).sampler(),
+                        adv_prob: [
+                            models::lte_advanced_prob(band, false),
+                            models::lte_advanced_prob(band, true),
+                        ],
+                    })
+                    .collect();
+                LteBandTable {
                     isp,
                     bands,
-                    WeightedIndex::new(&ws).expect("static weights valid"),
-                )
+                    sampler: WeightedIndex::new(&ws).expect("static weights valid"),
+                    draws,
+                }
             })
             .collect();
         let nr_band_tables = Isp::ALL
@@ -137,13 +187,25 @@ impl Generator {
                 let weights = models::nr_band_weights(isp, config.year);
                 let bands: Vec<NrBandId> = weights.iter().map(|(b, _)| *b).collect();
                 let ws: Vec<f64> = weights.iter().map(|(_, w)| *w).collect();
-                (
+                let band_models = bands
+                    .iter()
+                    .map(|&band| models::nr_band_model(band, config.year))
+                    .collect();
+                NrBandTable {
                     isp,
                     bands,
-                    WeightedIndex::new(&ws).expect("static weights valid"),
-                )
+                    sampler: WeightedIndex::new(&ws).expect("static weights valid"),
+                    models: band_models,
+                }
             })
             .collect();
+
+        let wifi_link_samplers = WifiStandard::ALL.map(|s| {
+            [
+                models::wifi_link_model(s, false).sampler(),
+                models::wifi_link_model(s, true).sampler(),
+            ]
+        });
 
         Self {
             config,
@@ -161,6 +223,10 @@ impl Generator {
             plan_samplers,
             lte_band_tables,
             nr_band_tables,
+            wifi_link_samplers,
+            lte_hour_table: models::lte_hour_table(),
+            nr_hour_table: models::nr_hour_table(),
+            lte_year_factor: models::lte_year_factor(config.year),
         }
     }
 
@@ -212,15 +278,12 @@ impl Generator {
         // Device tier first; the Android version is tier-conditioned —
         // high-end devices ship (and get updated to) newer versions,
         // which is the mechanism behind §3.1's "hardware illusion".
-        let mut tier_u = rng.uniform();
+        let tier_u = rng.uniform();
         let device_tier = {
             let w = ecosystem::DEVICE_TIER_WEIGHTS;
             if tier_u < w[0] {
                 DeviceTier::Low
-            } else if {
-                tier_u -= w[0];
-                tier_u < w[1]
-            } {
+            } else if tier_u - w[0] < w[1] {
                 DeviceTier::Mid
             } else {
                 DeviceTier::High
@@ -249,11 +312,11 @@ impl Generator {
                 (AccessTech::Cellular3g, isp, LinkInfo::Cell(info), bw)
             } else if self.rng.chance(models::nr_share_of_cellular(isp, year)) {
                 let (info, bw) =
-                    self.draw_5g(isp, &city, urban, hour, android_version, device_tier, year);
+                    self.draw_5g(isp, &city, urban, hour, android_version, device_tier);
                 (AccessTech::Cellular5g, isp, LinkInfo::Cell(info), bw)
             } else {
                 let (info, bw) =
-                    self.draw_4g(isp, &city, urban, hour, android_version, device_tier, year);
+                    self.draw_4g(isp, &city, urban, hour, android_version, device_tier);
                 (AccessTech::Cellular4g, isp, LinkInfo::Cell(info), bw)
             }
         };
@@ -330,17 +393,17 @@ impl Generator {
         hour: u8,
         android: u8,
         tier: DeviceTier,
-        year: Year,
     ) -> (CellInfo, f64) {
-        let (bands, sampler) = self
+        let table = self
             .lte_band_tables
             .iter()
-            .find(|(i, _, _)| *i == isp)
-            .map(|(_, b, s)| (b, s))
+            .find(|t| t.isp == isp)
             .expect("every ISP tabulated");
-        let band = bands[sampler.sample(&mut self.rng)];
+        let band_idx = table.sampler.sample(&mut self.rng);
+        let band = table.bands[band_idx];
+        let draw = table.draws[band_idx];
         let level = self.draw_rss(urban);
-        let lte_advanced = self.rng.chance(models::lte_advanced_prob(band, urban));
+        let lte_advanced = self.rng.chance(draw.adv_prob[urban as usize]);
 
         let bw = if lte_advanced {
             // Carrier aggregation dominates every other effect (§3.2).
@@ -350,11 +413,10 @@ impl Generator {
             // the 26.3%-below-10-Mbps tail of Fig 4.
             models::lte_degraded_draw(&mut self.rng) * models::measurement_noise(&mut self.rng)
         } else {
-            let base = models::lte_band_base(band, year).sample(&mut self.rng)
-                * models::lte_year_factor(year);
+            let base = draw.base.sample(&mut self.rng) * self.lte_year_factor;
             base * city.lte_factor
                 * models::urban_factor(false, urban)
-                * models::lte_hour_factor(hour)
+                * self.lte_hour_table[hour as usize % 24]
                 * ecosystem::android_version_factor(android)
                 * models::device_tier_factor(tier)
                 * models::LTE_RSS_FACTOR[(level as usize - 1).min(4)]
@@ -381,18 +443,18 @@ impl Generator {
         hour: u8,
         android: u8,
         tier: DeviceTier,
-        year: Year,
     ) -> (CellInfo, f64) {
-        let (bands, sampler) = self
+        let table_idx = self
             .nr_band_tables
             .iter()
-            .find(|(i, _, _)| *i == isp)
-            .map(|(_, b, s)| (b, s))
+            .position(|t| t.isp == isp)
             .expect("every ISP tabulated");
-        let band = bands[sampler.sample(&mut self.rng)];
+        let band_idx = self.nr_band_tables[table_idx].sampler.sample(&mut self.rng);
+        let band = self.nr_band_tables[table_idx].bands[band_idx];
         let level = self.draw_rss(urban);
 
-        let base = models::nr_band_model(band, year).sample_at_least(&mut self.rng, 5.0);
+        let base =
+            self.nr_band_tables[table_idx].models[band_idx].sample_at_least(&mut self.rng, 5.0);
         let mut rss_factor = models::NR_RSS_FACTOR[(level as usize - 1).min(4)];
         // §3.3: excellent-RSS tests cluster in crowded urban areas where
         // dense gNodeBs suffer cross-region coverage, interference, load
@@ -404,7 +466,7 @@ impl Generator {
         let bw = base
             * city.nr_factor
             * models::urban_factor(true, urban)
-            * models::nr_hour_factor(hour)
+            * self.nr_hour_table[hour as usize % 24]
             * ecosystem::android_version_factor(android)
             * models::device_tier_factor(tier)
             * models::nr_isp_factor(isp)
@@ -443,7 +505,7 @@ impl Generator {
         let plan = ecosystem::BROADBAND_PLANS[plan_idx];
         let on_5ghz = self.rng.chance(models::p_5ghz(standard, plan));
 
-        let link = models::wifi_link_model(standard, on_5ghz).sample(&mut self.rng);
+        let link = self.wifi_link_samplers[std_idx][on_5ghz as usize].sample(&mut self.rng);
         // The wired side: plan × delivery efficiency × infrastructure
         // quality (ISP investment, city wiring).
         let infra = (models::wifi_isp_factor(isp) * city.wifi_factor).clamp(0.50, 1.40);

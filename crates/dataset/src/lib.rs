@@ -49,7 +49,7 @@ pub use bands::{LteBandInfo, NrBandInfo, LTE_BANDS, NR_BANDS};
 pub use columnar::{Dataset, RecordView};
 pub use generator::{DatasetConfig, Generator};
 pub use parallel::{
-    for_each_record, generate_dataset, generate_sharded, ShardPlan, DEFAULT_SHARD_SIZE,
+    for_each_record, generate_dataset, generate_sharded, ShardPlan, ShardSpec, DEFAULT_SHARD_SIZE,
 };
 pub use types::{
     AccessTech, CellInfo, CityTier, DeviceTier, Isp, LinkInfo, LteBandId, NrBandId, OutcomeClass,

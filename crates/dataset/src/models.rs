@@ -46,6 +46,34 @@ impl LogNormal {
     pub fn mean(&self) -> f64 {
         self.median * (self.sigma * self.sigma / 2.0).exp()
     }
+
+    /// Precompute the sampling form (`ln median` taken once) for hot
+    /// loops that draw from the same model millions of times.
+    pub fn sampler(&self) -> LogNormalSampler {
+        LogNormalSampler {
+            ln_median: self.median.ln(),
+            sigma: self.sigma,
+        }
+    }
+}
+
+/// A [`LogNormal`] with `ln(median)` precomputed. `sample` consumes the
+/// RNG exactly like `LogNormal::sample` and produces bit-identical
+/// draws — the logarithm is simply taken at table-build time instead of
+/// per record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormalSampler {
+    /// `ln(median)` = μ of the underlying normal.
+    pub ln_median: f64,
+    /// σ of the underlying normal.
+    pub sigma: f64,
+}
+
+impl LogNormalSampler {
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut SeededRng) -> f64 {
+        rng.log_normal(self.ln_median, self.sigma)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -435,6 +463,19 @@ pub fn lte_hour_factor(hour: u8) -> f64 {
     let volume = crate::ecosystem::HOURLY_TEST_VOLUME[hour as usize % 24];
     let mean: f64 = crate::ecosystem::HOURLY_TEST_VOLUME.iter().sum::<f64>() / 24.0;
     (volume / mean).powf(0.05).clamp(0.93, 1.06)
+}
+
+/// All 24 [`nr_hour_factor`] values as a lookup table, for hot loops
+/// that would otherwise re-derive the load curve per record.
+pub fn nr_hour_table() -> [f64; 24] {
+    std::array::from_fn(|h| nr_hour_factor(h as u8))
+}
+
+/// All 24 [`lte_hour_factor`] values as a lookup table — the per-call
+/// form re-sums the 24-entry volume array and takes a `powf` every
+/// time.
+pub fn lte_hour_table() -> [f64; 24] {
+    std::array::from_fn(|h| lte_hour_factor(h as u8))
 }
 
 /// Bandwidth multiplier per device hardware tier. Deliberately tiny:

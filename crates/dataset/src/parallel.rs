@@ -76,20 +76,44 @@ impl ShardPlan {
 
     /// Number of logical shards a run of `tests` records splits into.
     pub fn shard_count(&self, tests: usize) -> usize {
-        (tests + self.shard_size - 1) / self.shard_size
+        tests.div_ceil(self.shard_size)
     }
 
-    /// The `(shard index, start record, record count)` partition for a
-    /// run of `tests` records.
-    fn shards(&self, tests: usize) -> Vec<(u64, usize, usize)> {
+    /// The shard partition for a run of `tests` records, in shard
+    /// order. A pure function of `(tests, shard_size)` — thread count
+    /// never appears, which is what makes every driver's output
+    /// thread-count independent.
+    pub fn shard_specs(&self, tests: usize) -> Vec<ShardSpec> {
         (0..self.shard_count(tests))
             .map(|s| {
                 let start = s * self.shard_size;
                 let len = self.shard_size.min(tests - start);
-                (s as u64, start, len)
+                ShardSpec {
+                    shard: s as u64,
+                    start,
+                    len,
+                }
             })
             .collect()
     }
+
+    fn shards(&self, tests: usize) -> Vec<(u64, usize, usize)> {
+        self.shard_specs(tests)
+            .into_iter()
+            .map(|s| (s.shard, s.start, s.len))
+            .collect()
+    }
+}
+
+/// One logical shard of a generation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Shard index — selects the per-shard RNG streams.
+    pub shard: u64,
+    /// Global index of the shard's first record.
+    pub start: usize,
+    /// Records in the shard.
+    pub len: usize,
 }
 
 /// Run `work` once per shard and return the results in shard order.
@@ -112,7 +136,7 @@ where
     let mut out: Vec<Option<T>> = Vec::new();
     out.resize_with(specs.len(), || None);
     let workers = plan.threads.min(specs.len());
-    let per_worker = (specs.len() + workers - 1) / workers;
+    let per_worker = specs.len().div_ceil(workers);
     let work = &work;
 
     crossbeam::thread::scope(|scope| {

@@ -117,7 +117,12 @@ impl Gmm {
             return Err(GmmError::InvalidParameters);
         }
         for c in &components {
-            if !(c.weight >= 0.0) || !c.mean.is_finite() || !(c.std_dev > 0.0) {
+            if c.weight.is_nan()
+                || c.weight < 0.0
+                || !c.mean.is_finite()
+                || c.std_dev.is_nan()
+                || c.std_dev <= 0.0
+            {
                 return Err(GmmError::InvalidParameters);
             }
         }
@@ -286,7 +291,19 @@ impl Gmm {
         if data.is_empty() {
             return 0.0;
         }
-        data.iter().map(|&x| self.log_pdf(x)).sum::<f64>() / data.len() as f64
+        // Hoist the per-component constants (`ln w`, `ln σ`) out of the
+        // data loop and reuse one scratch buffer; the per-sample
+        // arithmetic and summation order match `log_pdf` exactly, so the
+        // result is bit-identical to the naive per-sample call.
+        let consts = ComponentLogConsts::of(&self.components);
+        let mut logs = vec![0.0f64; self.components.len()];
+        data.iter()
+            .map(|&x| {
+                consts.fill_logs(&self.components, x, &mut logs);
+                log_sum_exp(&logs)
+            })
+            .sum::<f64>()
+            / data.len() as f64
     }
 
     /// Bayesian information criterion for this mixture on `data`
@@ -333,16 +350,18 @@ impl Gmm {
 
         let n = data.len();
         let mut resp = vec![0.0f64; n * k]; // responsibilities, row-major
+        let mut logs = vec![0.0f64; k]; // per-sample scratch, reused
         let mut prev_ll = f64::NEG_INFINITY;
         for _ in 0..config.max_iters {
-            // E-step.
+            // E-step. `ln w` and `ln σ` are invariant across the sample
+            // loop, so they are hoisted per iteration; the per-sample
+            // arithmetic matches `log_pdf` term for term, keeping the fit
+            // bit-identical to the unhoisted form while dropping two `ln`
+            // calls and a heap allocation per sample.
+            let consts = ComponentLogConsts::of(&mix.components);
             let mut ll_sum = 0.0;
             for (i, &x) in data.iter().enumerate() {
-                let logs: Vec<f64> = mix
-                    .components
-                    .iter()
-                    .map(|c| c.weight.max(f64::MIN_POSITIVE).ln() + c.log_pdf(x))
-                    .collect();
+                consts.fill_logs(&mix.components, x, &mut logs);
                 let norm = log_sum_exp(&logs);
                 ll_sum += norm;
                 for (j, &l) in logs.iter().enumerate() {
@@ -384,18 +403,44 @@ impl Gmm {
         if max_components == 0 {
             return Err(GmmError::NoComponents);
         }
-        let mut best: Option<(f64, Gmm)> = None;
-        let mut last_err = GmmError::NoComponents;
-        for k in 1..=max_components {
+        // The candidate fits are independent (each starts from its own
+        // `SeededRng::new(seed)`), so on large inputs they run on scoped
+        // threads. Results are folded in `k` order afterwards, which
+        // keeps the BIC tie-break (first/lowest `k` wins) — and thus the
+        // selected mixture — identical to the sequential loop. Small
+        // inputs (per-trial fits in the eval half) stay sequential; the
+        // thread spawn would cost more than the fit.
+        let fit_k = |k: usize| {
             let config = GmmFitConfig {
                 components: k,
                 seed,
                 ..Default::default()
             };
-            match Gmm::fit(data, &config) {
-                Ok(g) => {
-                    let bic = g.bic(data);
-                    if best.as_ref().map_or(true, |(b, _)| bic < *b) {
+            Gmm::fit(data, &config).map(|g| {
+                let bic = g.bic(data);
+                (bic, g)
+            })
+        };
+        let fits: Vec<Result<(f64, Gmm), GmmError>> =
+            if data.len() >= PARALLEL_FIT_MIN_SAMPLES && max_components > 1 {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (1..=max_components)
+                        .map(|k| scope.spawn(move || fit_k(k)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("gmm fit worker panicked"))
+                        .collect()
+                })
+            } else {
+                (1..=max_components).map(fit_k).collect()
+            };
+        let mut best: Option<(f64, Gmm)> = None;
+        let mut last_err = GmmError::NoComponents;
+        for fit in fits {
+            match fit {
+                Ok((bic, g)) => {
+                    if best.as_ref().is_none_or(|(b, _)| bic < *b) {
                         best = Some((bic, g));
                     }
                 }
@@ -403,6 +448,42 @@ impl Gmm {
             }
         }
         best.map(|(_, g)| g).ok_or(last_err)
+    }
+}
+
+/// Sample count above which [`Gmm::fit_auto`] fans its candidate fits
+/// out over scoped threads. Figure-scale fits (tens of thousands of
+/// samples) clear this easily; per-trial fits in the eval half do not.
+const PARALLEL_FIT_MIN_SAMPLES: usize = 10_000;
+
+/// Per-component constants of the weighted log-density, hoisted out of
+/// per-sample loops: `ln wⱼ` and `ln σⱼ`. `fill_logs` evaluates
+/// `ln wⱼ + log_pdfⱼ(x)` with exactly the operation order of
+/// `GmmComponent::log_pdf`, so hoisting never changes a bit of the
+/// result — only how often the logarithms are taken.
+struct ComponentLogConsts {
+    ln_weight: Vec<f64>,
+    ln_std: Vec<f64>,
+}
+
+impl ComponentLogConsts {
+    fn of(components: &[GmmComponent]) -> Self {
+        Self {
+            ln_weight: components
+                .iter()
+                .map(|c| c.weight.max(f64::MIN_POSITIVE).ln())
+                .collect(),
+            ln_std: components.iter().map(|c| c.std_dev.ln()).collect(),
+        }
+    }
+
+    fn fill_logs(&self, components: &[GmmComponent], x: f64, logs: &mut [f64]) {
+        let half_ln_2pi = 0.5 * (2.0 * std::f64::consts::PI).ln();
+        for (j, c) in components.iter().enumerate() {
+            let z = (x - c.mean) / c.std_dev;
+            let log_pdf = -0.5 * z * z - self.ln_std[j] - half_ln_2pi;
+            logs[j] = self.ln_weight[j] + log_pdf;
+        }
     }
 }
 

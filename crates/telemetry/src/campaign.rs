@@ -11,7 +11,11 @@
 //! - `campaign_trials_per_second` — the most recent campaign's
 //!   throughput observation;
 //! - `campaign_trial_seconds{kind=...}` — wall-time histograms per
-//!   trial kind (single / pair / group / ramp / variant).
+//!   trial kind (single / pair / group / ramp / variant);
+//! - `campaign_stage_seconds{stage=...}` — duration histograms for the
+//!   campaign's three stages (plan / execute / reduce);
+//! - `campaign_stage_trials_per_second{stage=...}` — the most recent
+//!   campaign's per-stage trial throughput.
 //!
 //! Handles are cheap clones of registry series and safe to share across
 //! worker threads: every worker observes into the same series.
@@ -24,6 +28,9 @@ use std::time::Duration;
 /// The trial-kind labels the executor reports under.
 pub const TRIAL_KIND_LABELS: [&str; 5] = ["single", "pair", "group", "ramp", "variant"];
 
+/// The campaign's stage labels, in execution order.
+pub const CAMPAIGN_STAGE_LABELS: [&str; 3] = ["plan", "execute", "reduce"];
+
 /// Metric handles for one evaluation campaign executor.
 #[derive(Debug, Clone)]
 pub struct CampaignMetrics {
@@ -31,6 +38,8 @@ pub struct CampaignMetrics {
     outcomes: Counter,
     rate: Gauge,
     kind_seconds: [Histogram; 5],
+    stage_seconds: [Histogram; 3],
+    stage_rate: [Gauge; 3],
 }
 
 impl CampaignMetrics {
@@ -58,6 +67,36 @@ impl CampaignMetrics {
                 "Most recent campaign's trial throughput",
             ),
             kind_seconds,
+            stage_seconds: CAMPAIGN_STAGE_LABELS.map(|stage| {
+                registry.histogram_with(
+                    "campaign_stage_seconds",
+                    "Time spent in each campaign stage per run",
+                    &[("stage", stage)],
+                    Histogram::exponential(1e-3, 4.0, 10),
+                )
+            }),
+            stage_rate: CAMPAIGN_STAGE_LABELS.map(|stage| {
+                registry.gauge_with(
+                    "campaign_stage_trials_per_second",
+                    "Most recent campaign's trials-per-second per stage",
+                    &[("stage", stage)],
+                )
+            }),
+        }
+    }
+
+    /// Record one campaign stage (one of [`CAMPAIGN_STAGE_LABELS`])
+    /// that handled `trials` in `elapsed`. Unknown stage labels are
+    /// ignored.
+    pub fn observe_stage(&self, stage: &str, trials: u64, elapsed: Duration) {
+        if let Some(i) = CAMPAIGN_STAGE_LABELS.iter().position(|s| *s == stage) {
+            self.stage_seconds[i].observe(elapsed.as_secs_f64());
+            let secs = elapsed.as_secs_f64();
+            self.stage_rate[i].set(if secs > 0.0 {
+                trials as f64 / secs
+            } else {
+                0.0
+            });
         }
     }
 
@@ -136,6 +175,23 @@ mod tests {
         let text = registry.render_prometheus();
         assert!(
             text.contains("campaign_trial_seconds_count{kind=\"pair\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn stage_observations_land_on_labelled_series() {
+        let registry = Registry::new();
+        let m = CampaignMetrics::register(&registry);
+        m.observe_stage("execute", 100, Duration::from_secs(2));
+        m.observe_stage("not-a-stage", 1, Duration::from_secs(1));
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("campaign_stage_seconds_count{stage=\"execute\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("campaign_stage_trials_per_second{stage=\"execute\"} 50"),
             "{text}"
         );
     }

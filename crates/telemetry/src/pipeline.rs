@@ -8,15 +8,29 @@
 //! - `records_generated_total` / `records_analyzed_total` — monotonic
 //!   counters of records that left each stage;
 //! - `pipeline_records_per_second{stage=...}` — the most recent
-//!   throughput observation per stage.
+//!   throughput observation per stage, over **wall clock**: this is the
+//!   rate at which the pipeline actually moved records;
+//! - `pipeline_stage_seconds{stage=...}` — duration histograms for the
+//!   streaming engine's four stages (generate / observe / merge /
+//!   finish, see `mbw-analysis::stream`). The generate and observe
+//!   stages run inside the workers, so callers feed them **CPU seconds
+//!   summed across workers** (they can exceed the run's wall time);
+//! - `pipeline_stage_records_per_second{stage=...}` — the most recent
+//!   per-stage throughput of a streaming run, in the same time base as
+//!   `pipeline_stage_seconds` (records per CPU-second for generate /
+//!   observe, per wall-second for merge / finish).
 //!
 //! Handles are cheap clones of registry series; both stages can hold a
 //! `PipelineMetrics` built from the same [`Registry`] and their updates
 //! land on the same series.
 
+use crate::histogram::Histogram;
 use crate::metrics::{Counter, Gauge};
 use crate::registry::Registry;
 use std::time::Duration;
+
+/// The streaming engine's stage labels, in pipeline order.
+pub const PIPELINE_STAGE_LABELS: [&str; 4] = ["generate", "observe", "merge", "finish"];
 
 /// Metric handles for one pipeline (generation + analysis stages).
 #[derive(Debug, Clone)]
@@ -25,6 +39,8 @@ pub struct PipelineMetrics {
     analyzed: Counter,
     generate_rate: Gauge,
     analyze_rate: Gauge,
+    stage_seconds: [Histogram; 4],
+    stage_rate: [Gauge; 4],
 }
 
 impl PipelineMetrics {
@@ -49,6 +65,31 @@ impl PipelineMetrics {
                 "Most recent records-per-second throughput per pipeline stage",
                 &[("stage", "analyze")],
             ),
+            stage_seconds: PIPELINE_STAGE_LABELS.map(|stage| {
+                registry.histogram_with(
+                    "pipeline_stage_seconds",
+                    "Time spent in each streaming-engine stage per run",
+                    &[("stage", stage)],
+                    Histogram::exponential(1e-3, 4.0, 10),
+                )
+            }),
+            stage_rate: PIPELINE_STAGE_LABELS.map(|stage| {
+                registry.gauge_with(
+                    "pipeline_stage_records_per_second",
+                    "Most recent streaming run's records-per-second per stage",
+                    &[("stage", stage)],
+                )
+            }),
+        }
+    }
+
+    /// Record one streaming-engine stage (one of
+    /// [`PIPELINE_STAGE_LABELS`]) that moved `records` in `elapsed`.
+    /// Unknown stage labels are ignored.
+    pub fn observe_stage(&self, stage: &str, records: u64, elapsed: Duration) {
+        if let Some(i) = PIPELINE_STAGE_LABELS.iter().position(|s| *s == stage) {
+            self.stage_seconds[i].observe(elapsed.as_secs_f64());
+            self.stage_rate[i].set(rate(records, elapsed));
         }
     }
 
@@ -108,6 +149,28 @@ mod tests {
         );
         assert!(
             text.contains("pipeline_records_per_second{stage=\"analyze\"} 2000"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn stage_observations_land_on_labelled_series() {
+        let registry = Registry::new();
+        let metrics = PipelineMetrics::register(&registry);
+        metrics.observe_stage("generate", 10_000, Duration::from_secs(2));
+        metrics.observe_stage("finish", 10_000, Duration::from_millis(500));
+        metrics.observe_stage("not-a-stage", 1, Duration::from_secs(1));
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("pipeline_stage_seconds_count{stage=\"generate\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pipeline_stage_records_per_second{stage=\"generate\"} 5000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pipeline_stage_records_per_second{stage=\"finish\"} 20000"),
             "{text}"
         );
     }
