@@ -9,6 +9,9 @@
 //! figures --trials 40 fig20        # 40 campaign trials per series
 //! figures --out smoke-t4 ...       # write reports somewhere else
 //! figures --metrics-addr 127.0.0.1:9091 ...  # expose /metrics
+//! figures service                  # the service load harness
+//! figures --clients 40000 --sockets 8 service   # sized explicitly
+//! figures --no-chaos service       # skip the blackout in the soak
 //! ```
 //!
 //! Each experiment's text report is printed and written to
@@ -26,7 +29,7 @@
 //! / execute / reduce) are scrapable at `/metrics` while the run is in
 //! flight.
 
-use mbw_bench::{bts_eval, deploy_eval, eval_sweep, measurement};
+use mbw_bench::{bts_eval, deploy_eval, eval_sweep, load, measurement};
 use mbw_core::{run_campaign_metered, EvalCounts};
 use mbw_dataset::csv::CsvWriter;
 use mbw_dataset::{generate_sharded, DatasetConfig, RecordView, ShardPlan, Year};
@@ -70,7 +73,7 @@ const ALL_IDS: [&str; 28] = [
 ];
 
 /// Extra (non-figure) reports.
-const EXTRA_IDS: [&str; 11] = [
+const EXTRA_IDS: [&str; 12] = [
     "general",
     "summary",
     "devices",
@@ -81,6 +84,7 @@ const EXTRA_IDS: [&str; 11] = [
     "ablation_escalate",
     "tcp_variant",
     "mmwave",
+    "service",
     "export_csv",
 ];
 
@@ -94,6 +98,9 @@ struct Options {
     threads: usize,
     out_dir: PathBuf,
     metrics_addr: Option<SocketAddr>,
+    clients: Option<usize>,
+    sockets: Option<usize>,
+    no_chaos: bool,
     selected: Vec<String>,
 }
 
@@ -105,6 +112,9 @@ fn parse_args() -> Options {
         threads: 1,
         out_dir: PathBuf::from("results"),
         metrics_addr: None,
+        clients: None,
+        sockets: None,
+        no_chaos: false,
         selected: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -140,6 +150,21 @@ fn parse_args() -> Options {
                 opts.threads = threads.max(1);
             }
             "--out" => opts.out_dir = PathBuf::from(value("--out")),
+            "--clients" => {
+                let v = value("--clients");
+                opts.clients = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--clients: not a client count: {v}");
+                    std::process::exit(2);
+                }));
+            }
+            "--sockets" => {
+                let v = value("--sockets");
+                opts.sockets = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--sockets: not a socket count: {v}");
+                    std::process::exit(2);
+                }));
+            }
+            "--no-chaos" => opts.no_chaos = true,
             "--metrics-addr" => {
                 let v = value("--metrics-addr");
                 opts.metrics_addr = Some(v.parse().unwrap_or_else(|_| {
@@ -293,6 +318,50 @@ fn main() {
             writer.into_inner().expect("flush csv");
             println!("──── {id} ─────────────────────────────────────────");
             println!("({rows} rows written to {path:?})");
+            continue;
+        }
+        if id == "service" {
+            // The service load harness: virtual clients through the
+            // real admission controller, then a socket chaos soak. Its
+            // counters land in the shared registry (scrapable via
+            // --metrics-addr) and its numbers in BENCH_service.json.
+            let mut cfg = if opts.quick {
+                load::LoadConfig::smoke(opts.out_dir.join("service.reslog"))
+            } else {
+                load::LoadConfig::full(opts.out_dir.join("service.reslog"))
+            };
+            cfg.threads = opts.threads.max(cfg.threads.min(2));
+            if let Some(clients) = opts.clients {
+                cfg.clients = clients;
+                cfg.target_inflight = (clients / 3).max(4);
+            }
+            if let Some(sockets) = opts.sockets {
+                cfg.sockets = sockets;
+            }
+            if opts.no_chaos {
+                cfg.chaos = false;
+            }
+            eprintln!(
+                "service load: {} virtual clients (target {} inflight), {} socket clients{}...",
+                cfg.clients,
+                cfg.target_inflight,
+                cfg.sockets,
+                if cfg.chaos { " under chaos" } else { "" }
+            );
+            let report = load::run_load(&cfg, &registry)
+                .unwrap_or_else(|e| panic!("service load harness: {e}"));
+            let json_path = opts.out_dir.join("BENCH_service.json");
+            fs::write(&json_path, report.to_json())
+                .unwrap_or_else(|e| panic!("write {json_path:?}: {e}"));
+            let text = report.render();
+            let path = opts.out_dir.join(format!("{id}.txt"));
+            fs::write(&path, &text).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+            println!("──── {id} ─────────────────────────────────────────");
+            println!("{text}");
+            if !report.zero_loss() {
+                eprintln!("service: accepted-session loss detected");
+                std::process::exit(1);
+            }
             continue;
         }
         let text = match id.as_str() {

@@ -144,6 +144,38 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// Estimate the `q`-quantile (`0.0 ≤ q ≤ 1.0`) by linear
+    /// interpolation inside the bucket the rank falls into — the same
+    /// estimate `histogram_quantile` would compute from the exposition.
+    /// Returns `None` while the histogram is empty. A rank landing in
+    /// the +Inf bucket reports the last finite bound (the estimate is
+    /// clamped, exactly as Prometheus clamps it).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * total as f64;
+        let counts = self.bucket_counts();
+        let bounds = &self.inner.bounds;
+        let mut below = 0.0f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let here = c as f64;
+            if below + here >= rank && c > 0 {
+                let upper = bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                if !upper.is_finite() {
+                    return Some(*bounds.last().expect("at least one bound"));
+                }
+                let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+                let frac = ((rank - below) / here).clamp(0.0, 1.0);
+                return Some(lower + frac * (upper - lower));
+            }
+            below += here;
+        }
+        Some(*bounds.last().expect("at least one bound"))
+    }
 }
 
 #[cfg(test)]
@@ -193,5 +225,28 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_bounds_panic() {
         let _ = Histogram::with_bounds(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let h = Histogram::with_bounds(vec![1.0, 2.0, 4.0]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantile");
+        for v in [0.5, 1.5, 1.6, 3.0] {
+            h.observe(v);
+        }
+        // Rank 2 of 4 falls in the (1, 2] bucket.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((1.0..=2.0).contains(&p50), "p50 {p50}");
+        // The top of the distribution sits in the (2, 4] bucket.
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((2.0..=4.0).contains(&p99), "p99 {p99}");
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn quantile_clamps_overflow_to_last_bound() {
+        let h = Histogram::with_bounds(vec![1.0, 2.0]);
+        h.observe(100.0); // +Inf bucket
+        assert_eq!(h.quantile(0.99), Some(2.0));
     }
 }

@@ -24,6 +24,10 @@
 //! - [`pipeline`] — shared counters and throughput gauges for the
 //!   record-generation and figure-analysis stages of the measurement
 //!   pipeline.
+//! - [`service`] — the Swiftest-as-a-service vocabulary: admission
+//!   grants/rejections by typed reason, shed-state transitions,
+//!   inflight/peak session gauges, and completion-latency histograms,
+//!   shared by the wire server and the load harness.
 //!
 //! No heavy dependencies by design: the whole crate is std +
 //! `parking_lot`, so it can sit under the simulator, the tokio wire
@@ -37,6 +41,7 @@ pub mod http;
 pub mod metrics;
 pub mod pipeline;
 pub mod registry;
+pub mod service;
 pub mod timeline;
 
 pub use campaign::CampaignMetrics;
@@ -46,4 +51,5 @@ pub use http::MetricsServer;
 pub use metrics::{Counter, Gauge};
 pub use pipeline::PipelineMetrics;
 pub use registry::Registry;
+pub use service::ServiceMetrics;
 pub use timeline::{ProbeTimeline, TimelineEntry, TimelineEvent, TimelineSummary};

@@ -1,0 +1,262 @@
+//! Service-layer metrics: session admission, overload shedding, and
+//! test-completion latency for the long-running Swiftest BTS service.
+//!
+//! The wire server's admission controller and the `mbw-bench` load
+//! harness both report through [`ServiceMetrics`], so a scrape of
+//! `/metrics` reads the same vocabulary whether the sessions are real
+//! loopback sockets or tens of thousands of simulated clients:
+//!
+//! - `swiftest_service_admitted_total` / `swiftest_service_rejected_total{reason=...}`
+//!   — admission outcomes, rejections broken down by typed reason
+//!   (`bad_token` / `capacity` / `rate_limited` / `overloaded` /
+//!   `draining`);
+//! - `swiftest_service_sessions_inflight` / `swiftest_service_peak_inflight`
+//!   — live and high-water concurrent admitted sessions;
+//! - `swiftest_service_shed_state` — the load-shedding state machine's
+//!   current state (0 = normal, 1 = shedding, 2 = drain);
+//! - `swiftest_service_shed_transitions_total{to=...}` — state-machine
+//!   transitions; `to="normal"` counts recoveries;
+//! - `swiftest_service_completed_total` / `swiftest_service_degraded_total`
+//!   / `swiftest_service_failed_total` — how admitted sessions ended;
+//! - `swiftest_service_completion_seconds` — test-completion latency
+//!   histogram (admission to final estimate), the series p50/p99 are
+//!   scraped from;
+//! - `swiftest_service_log_records_total` — results-log records
+//!   appended (the zero-accepted-session-loss invariant is
+//!   `admitted_total == log_records_total` after a drain).
+
+use crate::histogram::Histogram;
+use crate::metrics::{Counter, Gauge};
+use crate::registry::Registry;
+use std::time::Duration;
+
+/// The typed rejection-reason labels, in wire-protocol order.
+pub const REJECT_REASON_LABELS: [&str; 5] = [
+    "bad_token",
+    "capacity",
+    "rate_limited",
+    "overloaded",
+    "draining",
+];
+
+/// The shed-state labels, indexed by the state gauge's value.
+pub const SHED_STATE_LABELS: [&str; 3] = ["normal", "shedding", "drain"];
+
+/// Metric handles for one Swiftest service instance (server or load
+/// harness). Cheap to clone; all clones share the same series.
+#[derive(Debug, Clone)]
+pub struct ServiceMetrics {
+    admitted: Counter,
+    rejected: [Counter; 5],
+    inflight: Gauge,
+    peak_inflight: Gauge,
+    shed_state: Gauge,
+    shed_transitions: [Counter; 3],
+    completed: Counter,
+    degraded: Counter,
+    failed: Counter,
+    completion_seconds: Histogram,
+    log_records: Counter,
+}
+
+impl ServiceMetrics {
+    /// Register (or re-attach to) the service series in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            admitted: registry.counter(
+                "swiftest_service_admitted_total",
+                "Sessions granted admission",
+            ),
+            rejected: REJECT_REASON_LABELS.map(|reason| {
+                registry.counter_with(
+                    "swiftest_service_rejected_total",
+                    "Sessions rejected at admission, by typed reason",
+                    &[("reason", reason)],
+                )
+            }),
+            inflight: registry.gauge(
+                "swiftest_service_sessions_inflight",
+                "Currently admitted, unfinished sessions",
+            ),
+            peak_inflight: registry.gauge(
+                "swiftest_service_peak_inflight",
+                "High-water mark of concurrent admitted sessions",
+            ),
+            shed_state: registry.gauge(
+                "swiftest_service_shed_state",
+                "Load-shedding state (0 = normal, 1 = shedding, 2 = drain)",
+            ),
+            shed_transitions: SHED_STATE_LABELS.map(|to| {
+                registry.counter_with(
+                    "swiftest_service_shed_transitions_total",
+                    "Shedding state-machine transitions; to=\"normal\" counts recoveries",
+                    &[("to", to)],
+                )
+            }),
+            completed: registry.counter(
+                "swiftest_service_completed_total",
+                "Admitted sessions that finished with a converged estimate",
+            ),
+            degraded: registry.counter(
+                "swiftest_service_degraded_total",
+                "Admitted sessions that finished with a partial (degraded) estimate",
+            ),
+            failed: registry.counter(
+                "swiftest_service_failed_total",
+                "Admitted sessions that produced no usable estimate",
+            ),
+            completion_seconds: registry.histogram(
+                "swiftest_service_completion_seconds",
+                "Test-completion latency, admission to final estimate",
+                Histogram::seconds_default(),
+            ),
+            log_records: registry.counter(
+                "swiftest_service_log_records_total",
+                "Records appended to the results log",
+            ),
+        }
+    }
+
+    /// Record one admission grant and the resulting inflight count.
+    pub fn observe_admitted(&self, inflight_now: usize) {
+        self.admitted.inc();
+        self.set_inflight(inflight_now);
+    }
+
+    /// Record one typed rejection. `reason` indexes
+    /// [`REJECT_REASON_LABELS`]; out-of-range indices are ignored.
+    pub fn observe_rejected(&self, reason: usize) {
+        if let Some(c) = self.rejected.get(reason) {
+            c.inc();
+        }
+    }
+
+    /// Update the inflight gauge (and the peak, monotonically).
+    pub fn set_inflight(&self, inflight_now: usize) {
+        let v = inflight_now as f64;
+        self.inflight.set(v);
+        if v > self.peak_inflight.get() {
+            self.peak_inflight.set(v);
+        }
+    }
+
+    /// Record a shed-state transition into state `to` (an index into
+    /// [`SHED_STATE_LABELS`]); out-of-range indices are ignored.
+    pub fn observe_shed_transition(&self, to: usize) {
+        if let Some(c) = self.shed_transitions.get(to) {
+            c.inc();
+            self.shed_state.set(to as f64);
+        }
+    }
+
+    /// Record one finished admitted session: its completion latency and
+    /// how it ended (`complete` = converged, `usable` = at least a
+    /// partial estimate).
+    pub fn observe_session_end(&self, latency: Duration, complete: bool, usable: bool) {
+        self.completion_seconds.observe(latency.as_secs_f64());
+        if complete {
+            self.completed.inc();
+        } else if usable {
+            self.degraded.inc();
+        } else {
+            self.failed.inc();
+        }
+    }
+
+    /// Record `n` results-log appends.
+    pub fn observe_log_records(&self, n: u64) {
+        self.log_records.add(n);
+    }
+
+    /// Sessions granted admission so far.
+    pub fn admitted_total(&self) -> u64 {
+        self.admitted.get()
+    }
+
+    /// Total typed rejections so far, across every reason.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected.iter().map(Counter::get).sum()
+    }
+
+    /// Finished admitted sessions so far (complete + degraded + failed).
+    pub fn finished_total(&self) -> u64 {
+        self.completed.get() + self.degraded.get() + self.failed.get()
+    }
+
+    /// Results-log records appended so far.
+    pub fn log_records_total(&self) -> u64 {
+        self.log_records.get()
+    }
+
+    /// The completion-latency histogram (for quantile scrapes).
+    pub fn completion_seconds(&self) -> &Histogram {
+        &self.completion_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_counters_and_peak_track() {
+        let r = Registry::new();
+        let m = ServiceMetrics::register(&r);
+        m.observe_admitted(1);
+        m.observe_admitted(2);
+        m.set_inflight(1);
+        m.observe_rejected(0);
+        m.observe_rejected(3);
+        m.observe_rejected(99); // ignored
+        assert_eq!(m.admitted_total(), 2);
+        assert_eq!(m.rejected_total(), 2);
+        let text = r.render_prometheus();
+        assert!(text.contains("swiftest_service_peak_inflight 2"), "{text}");
+        assert!(
+            text.contains("swiftest_service_sessions_inflight 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("swiftest_service_rejected_total{reason=\"bad_token\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("swiftest_service_rejected_total{reason=\"overloaded\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn shed_transitions_and_session_ends_are_typed() {
+        let r = Registry::new();
+        let m = ServiceMetrics::register(&r);
+        m.observe_shed_transition(1);
+        m.observe_shed_transition(0);
+        m.observe_session_end(Duration::from_millis(800), true, true);
+        m.observe_session_end(Duration::from_millis(4500), false, true);
+        m.observe_session_end(Duration::from_millis(100), false, false);
+        m.observe_log_records(3);
+        assert_eq!(m.finished_total(), 3);
+        assert_eq!(m.log_records_total(), 3);
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("swiftest_service_shed_transitions_total{to=\"shedding\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("swiftest_service_shed_transitions_total{to=\"normal\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("swiftest_service_shed_state 0"), "{text}");
+        assert!(
+            text.contains("swiftest_service_completed_total 1"),
+            "{text}"
+        );
+        assert!(text.contains("swiftest_service_degraded_total 1"), "{text}");
+        assert!(text.contains("swiftest_service_failed_total 1"), "{text}");
+        assert!(
+            m.completion_seconds().quantile(0.5).is_some(),
+            "latency histogram populated"
+        );
+    }
+}

@@ -1,0 +1,507 @@
+//! Session admission control for the long-running Swiftest service.
+//!
+//! A BTS serving a metro area is not a lab harness: clients arrive in
+//! bursts, tenants misbehave, and the server must keep in-flight tests
+//! accurate instead of admitting everyone into a congested collapse.
+//! This module is the policy layer that decides, per `Hello`, whether a
+//! session may start:
+//!
+//! - **Authentication** — each tenant holds a shared-secret token;
+//!   unknown (tenant, token) pairs are rejected `BadToken`.
+//! - **Rate limiting** — a per-tenant token bucket caps session starts
+//!   per second with a configurable burst; empty bucket rejects
+//!   `RateLimited`.
+//! - **Bounded admission queue** — a granted `Hello` becomes a
+//!   *pending ticket* the client must claim with its `RateRequest`
+//!   within a TTL. The pending set is bounded; when it is full new
+//!   `Hello`s are rejected `Capacity`, so a SYN-flood of handshakes
+//!   cannot grow server state without bound.
+//! - **Load shedding** — a hysteresis state machine (Normal →
+//!   Shedding → Normal) driven by the live inflight-session count:
+//!   above `shed_enter · max_sessions` new sessions are rejected
+//!   `Overloaded` until the count falls below `shed_exit ·
+//!   max_sessions`. Shedding protects the pacing accuracy of tests
+//!   already running — the paper's estimates are only meaningful if
+//!   the emulated capacity is not oversubscribed.
+//! - **Drain** — a sticky terminal state for graceful shutdown: every
+//!   new `Hello` is rejected `Draining` while in-flight sessions run
+//!   to completion.
+//!
+//! The controller is *time-parameterized*: every method takes an
+//! explicit `now: Duration` (time since an arbitrary epoch). The real
+//! server feeds it `Instant::now() - epoch`; the `mbw-bench` load
+//! harness feeds it virtual time, so tens of thousands of simulated
+//! clients exercise the exact policy code that gates real sockets.
+
+use crate::proto::RejectReason;
+use mbw_telemetry::ServiceMetrics;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// One tenant's credentials and rate-limit budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantConfig {
+    /// Tenant identifier carried in `Hello`.
+    pub tenant: u64,
+    /// Shared-secret token the tenant must present.
+    pub token: u64,
+    /// Sustained session starts per second (token-bucket refill rate).
+    pub sessions_per_sec: f64,
+    /// Burst allowance (token-bucket depth).
+    pub burst: f64,
+}
+
+impl TenantConfig {
+    /// A tenant with sane service defaults: 50 session starts/s
+    /// sustained, bursts of 100.
+    pub fn new(tenant: u64, token: u64) -> Self {
+        TenantConfig {
+            tenant,
+            token,
+            sessions_per_sec: 50.0,
+            burst: 100.0,
+        }
+    }
+}
+
+/// Admission policy knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionConfig {
+    /// Known tenants. Empty means *open admission*: any (tenant, token)
+    /// authenticates and shares one default rate budget per tenant id.
+    pub tenants: Vec<TenantConfig>,
+    /// Hard cap on concurrently admitted (claimed or pending) sessions.
+    pub max_sessions: usize,
+    /// Bound on granted-but-unclaimed tickets (the admission queue).
+    pub queue_depth: usize,
+    /// How long a granted ticket may sit unclaimed before it expires.
+    pub pending_ttl: Duration,
+    /// Fraction of `max_sessions` at which shedding engages.
+    pub shed_enter: f64,
+    /// Fraction of `max_sessions` at which shedding disengages
+    /// (strictly below `shed_enter` for hysteresis).
+    pub shed_exit: f64,
+}
+
+impl AdmissionConfig {
+    /// Open admission (no tenant list) with the given session cap.
+    pub fn open(max_sessions: usize) -> Self {
+        AdmissionConfig {
+            tenants: Vec::new(),
+            max_sessions,
+            queue_depth: max_sessions.div_ceil(4).max(8),
+            pending_ttl: Duration::from_secs(2),
+            shed_enter: 0.90,
+            shed_exit: 0.75,
+        }
+    }
+
+    /// Same policy, restricted to the given tenants.
+    pub fn with_tenants(mut self, tenants: Vec<TenantConfig>) -> Self {
+        self.tenants = tenants;
+        self
+    }
+
+    fn inflight_limit(&self) -> usize {
+        self.max_sessions.max(1)
+    }
+
+    fn shed_enter_at(&self) -> usize {
+        ((self.inflight_limit() as f64) * self.shed_enter.clamp(0.0, 1.0)).ceil() as usize
+    }
+
+    fn shed_exit_at(&self) -> usize {
+        ((self.inflight_limit() as f64) * self.shed_exit.clamp(0.0, 1.0)).floor() as usize
+    }
+}
+
+/// The load-shedding state machine's states, in telemetry label order
+/// (`mbw_telemetry::service::SHED_STATE_LABELS`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedState {
+    /// Admitting normally.
+    Normal,
+    /// Above the high-water mark: rejecting new sessions `Overloaded`
+    /// to protect in-flight tests.
+    Shedding,
+    /// Graceful shutdown: rejecting everything `Draining`; sticky.
+    Drain,
+}
+
+impl ShedState {
+    /// Index into `SHED_STATE_LABELS`.
+    pub fn label_index(self) -> usize {
+        match self {
+            ShedState::Normal => 0,
+            ShedState::Shedding => 1,
+            ShedState::Drain => 2,
+        }
+    }
+}
+
+/// Outcome of an admission request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Granted: a pending ticket now awaits the session's claim.
+    Granted,
+    /// Rejected, with the typed reason to put on the wire.
+    Rejected(RejectReason),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    refill_per_sec: f64,
+    depth: f64,
+    last: Duration,
+}
+
+impl Bucket {
+    fn take(&mut self, now: Duration) -> bool {
+        let dt = now.saturating_sub(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * self.refill_per_sec).min(self.depth);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The admission decision engine. Single-owner, interior state only —
+/// the server wraps it in its session-map mutex; the load harness owns
+/// it outright.
+#[derive(Debug)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    metrics: ServiceMetrics,
+    state: ShedState,
+    /// Granted tickets not yet claimed: session id → (grant time, tenant).
+    pending: HashMap<u64, (Duration, u64)>,
+    /// Sessions that claimed their ticket and are running.
+    inflight: usize,
+    buckets: HashMap<u64, Bucket>,
+}
+
+impl AdmissionController {
+    /// Build a controller reporting through `metrics`.
+    pub fn new(config: AdmissionConfig, metrics: ServiceMetrics) -> Self {
+        AdmissionController {
+            config,
+            metrics,
+            state: ShedState::Normal,
+            pending: HashMap::new(),
+            inflight: 0,
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// Current shed state.
+    pub fn state(&self) -> ShedState {
+        self.state
+    }
+
+    /// Claimed, still-running sessions.
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// Granted-but-unclaimed tickets.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The policy in force.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Decide a `Hello{tenant, token, session}` arriving at `now`.
+    pub fn request(&mut self, tenant: u64, token: u64, session: u64, now: Duration) -> Admission {
+        self.expire_pending(now);
+        if self.state == ShedState::Drain {
+            return self.reject(RejectReason::Draining);
+        }
+        if !self.authenticate(tenant, token) {
+            return self.reject(RejectReason::BadToken);
+        }
+        self.step_shedding();
+        if self.state == ShedState::Shedding {
+            return self.reject(RejectReason::Overloaded);
+        }
+        if self.pending.contains_key(&session) {
+            // Re-sent Hello for an already-granted ticket (the first
+            // Admit was lost): refresh the grant, charge nothing.
+            self.pending.insert(session, (now, tenant));
+            return Admission::Granted;
+        }
+        if self.pending.len() >= self.config.queue_depth
+            || self.pending.len() + self.inflight >= self.config.inflight_limit()
+        {
+            return self.reject(RejectReason::Capacity);
+        }
+        if !self.bucket_for(tenant).take(now) {
+            return self.reject(RejectReason::RateLimited);
+        }
+        self.pending.insert(session, (now, tenant));
+        self.metrics.observe_admitted(self.inflight);
+        Admission::Granted
+    }
+
+    /// Claim a granted ticket when the session's `RateRequest` arrives,
+    /// returning the tenant that was granted it. `None` means there is
+    /// no live ticket (expired, never granted, or already claimed) — on
+    /// a server that enforces admission, such a session is refused.
+    pub fn claim(&mut self, session: u64, now: Duration) -> Option<u64> {
+        self.expire_pending(now);
+        if let Some((_, tenant)) = self.pending.remove(&session) {
+            self.inflight += 1;
+            self.metrics.set_inflight(self.inflight);
+            self.step_shedding();
+            Some(tenant)
+        } else {
+            None
+        }
+    }
+
+    /// Release one claimed session (it stopped, timed out, or its
+    /// socket died).
+    pub fn release(&mut self, _session: u64) {
+        self.inflight = self.inflight.saturating_sub(1);
+        self.metrics.set_inflight(self.inflight);
+        self.step_shedding();
+    }
+
+    /// Enter the sticky Drain state: all further `Hello`s are rejected
+    /// `Draining`; in-flight sessions run to completion.
+    pub fn begin_drain(&mut self) {
+        if self.state != ShedState::Drain {
+            self.transition(ShedState::Drain);
+            self.pending.clear();
+        }
+    }
+
+    /// True once draining and nothing is left in flight.
+    pub fn drained(&self) -> bool {
+        self.state == ShedState::Drain && self.inflight == 0
+    }
+
+    fn authenticate(&self, tenant: u64, token: u64) -> bool {
+        if self.config.tenants.is_empty() {
+            return true;
+        }
+        self.config
+            .tenants
+            .iter()
+            .any(|t| t.tenant == tenant && t.token == token)
+    }
+
+    fn bucket_for(&mut self, tenant: u64) -> &mut Bucket {
+        let (rate, depth) = self
+            .config
+            .tenants
+            .iter()
+            .find(|t| t.tenant == tenant)
+            .map(|t| (t.sessions_per_sec, t.burst))
+            .unwrap_or((50.0, 100.0));
+        self.buckets.entry(tenant).or_insert(Bucket {
+            tokens: depth,
+            refill_per_sec: rate.max(0.0),
+            depth: depth.max(1.0),
+            last: Duration::ZERO,
+        })
+    }
+
+    fn expire_pending(&mut self, now: Duration) {
+        let ttl = self.config.pending_ttl;
+        self.pending
+            .retain(|_, (granted, _)| now.saturating_sub(*granted) <= ttl);
+    }
+
+    /// Hysteresis: engage shedding above the high-water mark, recover
+    /// only once load falls below the (lower) exit mark. Drain is
+    /// sticky and never left.
+    fn step_shedding(&mut self) {
+        match self.state {
+            ShedState::Drain => {}
+            ShedState::Normal => {
+                if self.inflight >= self.config.shed_enter_at() {
+                    self.transition(ShedState::Shedding);
+                }
+            }
+            ShedState::Shedding => {
+                if self.inflight <= self.config.shed_exit_at() {
+                    self.transition(ShedState::Normal);
+                }
+            }
+        }
+    }
+
+    fn transition(&mut self, to: ShedState) {
+        self.state = to;
+        self.metrics.observe_shed_transition(to.label_index());
+    }
+
+    fn reject(&self, reason: RejectReason) -> Admission {
+        self.metrics.observe_rejected(reason.label_index());
+        Admission::Rejected(reason)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbw_telemetry::Registry;
+
+    fn controller(config: AdmissionConfig) -> AdmissionController {
+        let registry = Registry::new();
+        AdmissionController::new(config, ServiceMetrics::register(&registry))
+    }
+
+    fn t(secs: f64) -> Duration {
+        Duration::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn open_admission_grants_and_claims() {
+        let mut c = controller(AdmissionConfig::open(16));
+        assert_eq!(c.request(1, 0, 100, t(0.0)), Admission::Granted);
+        assert_eq!(c.pending(), 1);
+        assert_eq!(c.claim(100, t(0.1)), Some(1));
+        assert_eq!(c.inflight(), 1);
+        assert_eq!(c.pending(), 0);
+        assert!(c.claim(100, t(0.2)).is_none(), "ticket is single-use");
+        c.release(100);
+        assert_eq!(c.inflight(), 0);
+    }
+
+    #[test]
+    fn bad_token_rejected_when_tenants_configured() {
+        let cfg = AdmissionConfig::open(16).with_tenants(vec![TenantConfig::new(7, 0x5EC12E7)]);
+        let mut c = controller(cfg);
+        assert_eq!(
+            c.request(7, 0xBAD, 1, t(0.0)),
+            Admission::Rejected(RejectReason::BadToken)
+        );
+        assert_eq!(
+            c.request(8, 0x5EC12E7, 2, t(0.0)),
+            Admission::Rejected(RejectReason::BadToken)
+        );
+        assert_eq!(c.request(7, 0x5EC12E7, 3, t(0.0)), Admission::Granted);
+    }
+
+    #[test]
+    fn rate_limit_exhausts_and_refills() {
+        let mut tenant = TenantConfig::new(1, 42);
+        tenant.sessions_per_sec = 10.0;
+        tenant.burst = 2.0;
+        let cfg = AdmissionConfig::open(1024).with_tenants(vec![tenant]);
+        let mut c = controller(cfg);
+        assert_eq!(c.request(1, 42, 1, t(0.0)), Admission::Granted);
+        assert_eq!(c.request(1, 42, 2, t(0.0)), Admission::Granted);
+        assert_eq!(
+            c.request(1, 42, 3, t(0.0)),
+            Admission::Rejected(RejectReason::RateLimited),
+            "burst of 2 exhausted"
+        );
+        // 0.1 s at 10/s refills one token.
+        assert_eq!(c.request(1, 42, 4, t(0.11)), Admission::Granted);
+    }
+
+    #[test]
+    fn queue_depth_bounds_unclaimed_tickets() {
+        let mut cfg = AdmissionConfig::open(1024);
+        cfg.queue_depth = 3;
+        let mut c = controller(cfg);
+        for session in 0..3 {
+            assert_eq!(c.request(1, 0, session, t(0.0)), Admission::Granted);
+        }
+        assert_eq!(
+            c.request(1, 0, 99, t(0.0)),
+            Admission::Rejected(RejectReason::Capacity)
+        );
+        // Claiming one frees a queue slot.
+        assert_eq!(c.claim(0, t(0.1)), Some(1));
+        assert_eq!(c.request(1, 0, 99, t(0.2)), Admission::Granted);
+    }
+
+    #[test]
+    fn pending_tickets_expire_after_ttl() {
+        let mut cfg = AdmissionConfig::open(16);
+        cfg.pending_ttl = Duration::from_millis(500);
+        let mut c = controller(cfg);
+        assert_eq!(c.request(1, 0, 5, t(0.0)), Admission::Granted);
+        assert!(
+            c.claim(5, t(1.0)).is_none(),
+            "ticket expired before the claim"
+        );
+        assert_eq!(c.inflight(), 0);
+    }
+
+    #[test]
+    fn shedding_engages_high_and_recovers_low() {
+        let mut cfg = AdmissionConfig::open(10);
+        cfg.shed_enter = 0.8; // sheds at 8
+        cfg.shed_exit = 0.5; // recovers at 5
+        cfg.queue_depth = 16;
+        let mut c = controller(cfg);
+        for session in 0..8u64 {
+            assert_eq!(c.request(1, 0, session, t(0.0)), Admission::Granted);
+            assert_eq!(c.claim(session, t(0.0)), Some(1));
+        }
+        assert_eq!(c.state(), ShedState::Shedding);
+        assert_eq!(
+            c.request(1, 0, 100, t(0.1)),
+            Admission::Rejected(RejectReason::Overloaded)
+        );
+        // Dropping to 6 inflight is not enough (hysteresis)...
+        c.release(0);
+        c.release(1);
+        assert_eq!(c.state(), ShedState::Shedding);
+        // ...but 5 crosses the exit mark.
+        c.release(2);
+        assert_eq!(c.state(), ShedState::Normal);
+        assert_eq!(c.request(1, 0, 100, t(0.2)), Admission::Granted);
+    }
+
+    #[test]
+    fn drain_is_sticky_and_completes_when_empty() {
+        let mut c = controller(AdmissionConfig::open(16));
+        assert_eq!(c.request(1, 0, 1, t(0.0)), Admission::Granted);
+        assert_eq!(c.claim(1, t(0.0)), Some(1));
+        c.begin_drain();
+        assert_eq!(c.state(), ShedState::Drain);
+        assert!(!c.drained(), "one session still in flight");
+        assert_eq!(
+            c.request(1, 0, 2, t(0.1)),
+            Admission::Rejected(RejectReason::Draining)
+        );
+        c.release(1);
+        assert!(c.drained());
+        // Still draining — release does not resurrect admission.
+        assert_eq!(
+            c.request(1, 0, 3, t(0.2)),
+            Admission::Rejected(RejectReason::Draining)
+        );
+    }
+
+    #[test]
+    fn resent_hello_refreshes_without_double_charge() {
+        let mut tenant = TenantConfig::new(1, 9);
+        tenant.burst = 1.0;
+        tenant.sessions_per_sec = 0.0;
+        let cfg = AdmissionConfig::open(16).with_tenants(vec![tenant]);
+        let mut c = controller(cfg);
+        assert_eq!(c.request(1, 9, 5, t(0.0)), Admission::Granted);
+        // Same session retries its Hello (lost Admit): granted again
+        // even though the bucket is empty.
+        assert_eq!(c.request(1, 9, 5, t(0.1)), Admission::Granted);
+        // A *different* session is out of tokens.
+        assert_eq!(
+            c.request(1, 9, 6, t(0.1)),
+            Admission::Rejected(RejectReason::RateLimited)
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Crash-test helper: append deterministic records to a results log
+//! until killed.
+//!
+//! ```text
+//! logwriter <path> [count]
+//! ```
+//!
+//! The kill−9 integration test (`tests/service_robustness.rs`) spawns
+//! this binary, SIGKILLs it mid-append, and asserts that recovery
+//! yields a byte-identical prefix of the deterministic record sequence
+//! ([`mbw_wire::resultslog::sample_record`]). Records start from the
+//! index recovery reports, so repeated crash/restart cycles extend one
+//! continuous sequence.
+
+use mbw_wire::resultslog::{sample_record, ResultsLog};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().unwrap_or_else(|| {
+        eprintln!("usage: logwriter <path> [count]");
+        std::process::exit(2);
+    });
+    let count: u64 = args
+        .next()
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("logwriter: not a count: {s}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(u64::MAX);
+    let (mut log, recovery) = ResultsLog::open(&path).unwrap_or_else(|e| {
+        eprintln!("logwriter: open {path}: {e}");
+        std::process::exit(1);
+    });
+    let start = recovery.records.len() as u64;
+    for i in start..start.saturating_add(count) {
+        log.append(&sample_record(i)).unwrap_or_else(|e| {
+            eprintln!("logwriter: append: {e}");
+            std::process::exit(1);
+        });
+    }
+}

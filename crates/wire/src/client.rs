@@ -13,7 +13,7 @@
 //! the partial estimate flagged Degraded; feedback losses are tolerated
 //! outright. Every report carries a [`TestStatus`] confidence flag.
 
-use crate::error::{RetryPolicy, WireError};
+use crate::error::{RetryPolicy, TestPhase, WireError};
 use crate::proto::Message;
 use crate::server::UdpTestServer;
 use mbw_core::estimator::{BandwidthEstimator, ConvergenceEstimator, EstimatorDecision};
@@ -21,8 +21,26 @@ use mbw_core::outcome::{DegradeReason, FailReason, TestStatus};
 use mbw_stats::Gmm;
 use mbw_telemetry::{ProbeTimeline, TimelineEvent};
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use tokio::net::UdpSocket;
+
+/// Distinguishes concurrent sessions from one process; the admission
+/// controller keys pending tickets by session id alone.
+static NEXT_SESSION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_session_id() -> u64 {
+    (u64::from(std::process::id()) << 32) | NEXT_SESSION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Credentials for the HELLO/ADMIT admission handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionAuth {
+    /// Tenant identifier.
+    pub tenant: u64,
+    /// The tenant's shared-secret token.
+    pub token: u64,
+}
 
 /// Client configuration.
 #[derive(Debug, Clone)]
@@ -49,6 +67,11 @@ pub struct WireTestConfig {
     /// the server stalled. Shorter than ten sample windows, so a silent
     /// stream can never satisfy the convergence rule first.
     pub stall_timeout: Duration,
+    /// Credentials for the HELLO/ADMIT handshake. `None` skips the
+    /// handshake entirely (the pre-service flow).
+    pub auth: Option<SessionAuth>,
+    /// Per-attempt wait for the server's ADMIT/REJECT answer.
+    pub handshake_timeout: Duration,
 }
 
 impl Default for WireTestConfig {
@@ -62,6 +85,8 @@ impl Default for WireTestConfig {
             convergence_tolerance: 0.05,
             retry: RetryPolicy::default(),
             stall_timeout: Duration::from_millis(400),
+            auth: None,
+            handshake_timeout: Duration::from_millis(500),
         }
     }
 }
@@ -160,9 +185,13 @@ impl SwiftestClient {
     ) -> Result<(Vec<(SocketAddr, Duration)>, Duration, u32), WireError> {
         let started = tokio::time::Instant::now();
         let rounds = self.config.retry.attempts.max(1);
+        // Decorrelated jitter, not the fixed exponential ladder: a
+        // blackout cuts off whole fleets at once, and identical delays
+        // would bring every client back in the same synchronized wave.
+        let mut backoff = self.config.retry.backoff(fresh_session_id());
         for round in 0..rounds {
             if round > 0 {
-                tokio::time::sleep(self.config.retry.delay(round - 1)).await;
+                tokio::time::sleep(backoff.next_delay()).await;
             }
             let mut live = self.ping_round(candidates).await;
             if !live.is_empty() {
@@ -187,16 +216,72 @@ impl SwiftestClient {
         Ok((addr, rtt, elapsed))
     }
 
+    /// The HELLO/ADMIT handshake: retries with decorrelated jitter when
+    /// the answer is lost, errors typed `Rejected` when the server says
+    /// no, and `Deadline(Admission)` when it never answers.
+    async fn admit_session(
+        &self,
+        socket: &UdpSocket,
+        server: SocketAddr,
+        auth: SessionAuth,
+        session: u64,
+    ) -> Result<(), WireError> {
+        let attempts = self.config.retry.attempts.max(1);
+        let mut backoff = self.config.retry.backoff(session ^ auth.tenant);
+        let hello = Message::Hello {
+            tenant: auth.tenant,
+            token: auth.token,
+            session,
+        }
+        .encode();
+        for attempt in 1..=attempts {
+            socket.send(&hello).await?;
+            let wait = tokio::time::Instant::now() + self.config.handshake_timeout;
+            let mut buf = [0u8; 64];
+            loop {
+                let left = wait.saturating_duration_since(tokio::time::Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                let Ok(Ok(len)) = tokio::time::timeout(left, socket.recv(&mut buf)).await else {
+                    break;
+                };
+                match Message::decode(bytes::Bytes::copy_from_slice(&buf[..len])) {
+                    Ok(Message::Admit { session: s }) if s == session => return Ok(()),
+                    Ok(Message::Reject { session: s, reason }) if s == session => {
+                        return Err(WireError::Rejected { server, reason });
+                    }
+                    // Anything else (stray data, old pongs) is not ours.
+                    _ => {}
+                }
+            }
+            if attempt < attempts {
+                tokio::time::sleep(backoff.next_delay()).await;
+            }
+        }
+        Err(WireError::Deadline {
+            phase: TestPhase::Admission,
+            after: self.config.handshake_timeout,
+        })
+    }
+
     /// Run one full test against the chosen server.
     pub async fn run_test(&self, server: SocketAddr) -> Result<WireTestReport, WireError> {
         let socket = UdpSocket::bind("127.0.0.1:0").await?;
         socket.connect(server).await?;
-        let session: u64 = std::process::id() as u64 ^ 0xACCE55;
+        let session = fresh_session_id();
+
+        if let Some(auth) = self.config.auth {
+            self.admit_session(&socket, server, auth, session).await?;
+        }
 
         let mut rate_mbps = self.model.dominant_mode().max(1.0);
         let mut timeline = ProbeTimeline::new();
         timeline.annotate("prober", "swiftest-wire");
         timeline.annotate("server", &server.to_string());
+        if let Some(auth) = self.config.auth {
+            timeline.annotate("tenant", &auth.tenant.to_string());
+        }
         timeline.record_phase(0, "probe");
         timeline.record_rate(0, rate_mbps);
         socket
@@ -559,6 +644,94 @@ mod tests {
         assert!(report.timeline.meta().contains_key("ping_ms"));
         let summary = report.timeline.summary().expect("finished timeline");
         assert!((summary.estimate_mbps - report.estimate_mbps).abs() < 1e-9);
+        for s in servers {
+            s.shutdown().await;
+        }
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn authenticated_client_handshakes_and_measures() {
+        use crate::admission::{AdmissionConfig, TenantConfig};
+        let _net = crate::net_test_lock().lock().await;
+        let server = UdpTestServer::start(crate::server::ServerConfig {
+            emulated_capacity_bps: Some(10_000_000),
+            admission: Some(
+                AdmissionConfig::open(8).with_tenants(vec![TenantConfig::new(7, 0x5EC12E7)]),
+            ),
+            ..Default::default()
+        })
+        .await
+        .unwrap();
+        let client = SwiftestClient::new(
+            low_rate_model(),
+            WireTestConfig {
+                auth: Some(SessionAuth {
+                    tenant: 7,
+                    token: 0x5EC12E7,
+                }),
+                ..WireTestConfig::default()
+            },
+        );
+        let report = client.measure(&[server.local_addr()]).await.unwrap();
+        assert!(
+            (report.estimate_mbps - 10.0).abs() < 4.0,
+            "estimate {:.1}",
+            report.estimate_mbps
+        );
+        let metrics = server.service_metrics();
+        assert_eq!(metrics.admitted_total(), 1);
+        server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn wrong_token_is_a_typed_rejection() {
+        use crate::admission::{AdmissionConfig, TenantConfig};
+        let server = UdpTestServer::start(crate::server::ServerConfig {
+            admission: Some(
+                AdmissionConfig::open(8).with_tenants(vec![TenantConfig::new(7, 0x5EC12E7)]),
+            ),
+            ..Default::default()
+        })
+        .await
+        .unwrap();
+        let client = SwiftestClient::new(
+            low_rate_model(),
+            WireTestConfig {
+                auth: Some(SessionAuth {
+                    tenant: 7,
+                    token: 0xBAD,
+                }),
+                ..WireTestConfig::default()
+            },
+        );
+        let err = client.run_test(server.local_addr()).await.unwrap_err();
+        match err {
+            WireError::Rejected { reason, .. } => {
+                assert_eq!(reason, crate::proto::RejectReason::BadToken)
+            }
+            other => panic!("expected Rejected, got {other}"),
+        }
+        server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn auth_client_still_works_against_a_plain_server() {
+        // Lab servers run without an admission controller; they answer
+        // HELLO with ADMIT so authenticated clients interoperate.
+        let _net = crate::net_test_lock().lock().await;
+        let (servers, addrs) = spawn_local_fleet(1, Some(10_000_000)).await.unwrap();
+        let client = SwiftestClient::new(
+            low_rate_model(),
+            WireTestConfig {
+                auth: Some(SessionAuth {
+                    tenant: 1,
+                    token: 0,
+                }),
+                ..WireTestConfig::default()
+            },
+        );
+        let report = client.measure(&addrs).await.unwrap();
+        assert!(report.estimate_mbps > 5.0, "{:.1}", report.estimate_mbps);
         for s in servers {
             s.shutdown().await;
         }

@@ -8,7 +8,7 @@
 //! mid-probe stall fails over to the next-best server, a feedback loss
 //! is tolerated outright.
 
-use crate::proto::ProtoError;
+use crate::proto::{ProtoError, RejectReason};
 use std::net::SocketAddr;
 use std::time::Duration;
 
@@ -17,6 +17,8 @@ use std::time::Duration;
 pub enum TestPhase {
     /// Server selection (PING / PONG).
     Ping,
+    /// The admission handshake (HELLO / ADMIT).
+    Admission,
     /// Paced data probing.
     Probe,
     /// Client feedback on the reverse path.
@@ -27,6 +29,7 @@ impl std::fmt::Display for TestPhase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
             TestPhase::Ping => "ping",
+            TestPhase::Admission => "admission",
             TestPhase::Probe => "probe",
             TestPhase::Feedback => "feedback",
         })
@@ -66,6 +69,13 @@ pub enum WireError {
         /// The deadline that was exceeded.
         after: Duration,
     },
+    /// The server refused the session at admission.
+    Rejected {
+        /// The server that said no.
+        server: SocketAddr,
+        /// Its typed reason.
+        reason: RejectReason,
+    },
 }
 
 impl From<std::io::Error> for WireError {
@@ -97,6 +107,9 @@ impl std::fmt::Display for WireError {
             }
             WireError::Deadline { phase, after } => {
                 write!(f, "{phase} phase exceeded its {after:?} deadline")
+            }
+            WireError::Rejected { server, reason } => {
+                write!(f, "server {server} rejected the session: {reason}")
             }
         }
     }
@@ -158,6 +171,66 @@ impl RetryPolicy {
             .map(|i| self.delay(i))
             .sum()
     }
+
+    /// A stateful decorrelated-jitter sequence under this policy,
+    /// seeded so tests stay deterministic. Prefer this over [`delay`]
+    /// wherever many clients might retry at once.
+    ///
+    /// [`delay`]: RetryPolicy::delay
+    pub fn backoff(&self, seed: u64) -> Backoff {
+        Backoff::new(*self, seed)
+    }
+}
+
+/// Decorrelated-jitter backoff: `sleep = min(max, uniform(base, prev × 3))`.
+///
+/// The fixed exponential ladder in [`RetryPolicy::delay`] has a fleet
+/// problem: when a server blackout cuts off N clients at once, they all
+/// compute the *same* delays and re-arrive in synchronized waves that
+/// re-overload the recovering server. Decorrelated jitter spreads each
+/// retry uniformly, so the retry storm decays instead of marching in
+/// step. The RNG is a seeded xorshift64*: deterministic per seed (tests
+/// and simulations replay), different across seeds (real clients
+/// desynchronize).
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    prev: Duration,
+    rng_state: u64,
+}
+
+impl Backoff {
+    /// Start a sequence under `policy`. `seed` decorrelates this client
+    /// from its neighbours; any value (including 0) is valid.
+    pub fn new(policy: RetryPolicy, seed: u64) -> Self {
+        Backoff {
+            policy,
+            prev: policy.base_delay,
+            rng_state: seed | 1, // xorshift must not start at 0
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64* — tiny, seedable, plenty for jitter.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// The next delay: uniform in `[base, prev × 3]`, clamped to the
+    /// policy's `max_delay`.
+    pub fn next_delay(&mut self) -> Duration {
+        let base = self.policy.base_delay.as_secs_f64();
+        let max = self.policy.max_delay.as_secs_f64();
+        let hi = (self.prev.as_secs_f64() * 3.0).clamp(base, max);
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let chosen = base + unit * (hi - base);
+        self.prev = Duration::from_secs_f64(chosen);
+        self.prev
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +257,51 @@ mod tests {
         let p = RetryPolicy::no_retry();
         assert_eq!(p.attempts, 1);
         assert_eq!(p.total_backoff(), Duration::ZERO);
+    }
+
+    #[test]
+    fn jittered_backoff_stays_in_bounds_and_decorrelates() {
+        let p = RetryPolicy {
+            attempts: 8,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(1),
+            multiplier: 2.0,
+        };
+        let mut b = p.backoff(7);
+        let mut prev = p.base_delay;
+        for _ in 0..64 {
+            let d = b.next_delay();
+            assert!(d >= p.base_delay, "below base: {d:?}");
+            assert!(d <= p.max_delay, "above cap: {d:?}");
+            // Each draw is bounded by 3× the previous one.
+            assert!(
+                d.as_secs_f64() <= (prev.as_secs_f64() * 3.0).max(p.base_delay.as_secs_f64()),
+                "jumped past 3×prev"
+            );
+            prev = d;
+        }
+        // Deterministic per seed...
+        let seq_a: Vec<_> = (0..8).map(|_| p.backoff(7).next_delay()).collect();
+        let seq_b: Vec<_> = (0..8).map(|_| p.backoff(7).next_delay()).collect();
+        assert_eq!(seq_a, seq_b);
+        // ...and different seeds desynchronize: across many seeds the
+        // third delay must not collapse onto one value (that is the
+        // retry-storm failure mode this exists to break).
+        let third = |seed: u64| {
+            let mut b = p.backoff(seed);
+            b.next_delay();
+            b.next_delay();
+            b.next_delay()
+        };
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..32u64 {
+            distinct.insert(third(seed).as_nanos());
+        }
+        assert!(
+            distinct.len() > 16,
+            "only {} distinct delays",
+            distinct.len()
+        );
     }
 
     #[test]

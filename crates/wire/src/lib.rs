@@ -33,17 +33,28 @@
 //!   seeded UDP impairment proxy: drop / duplicate / reorder / corrupt /
 //!   delay / blackout) and [`faulty::StallServer`] (answers pings,
 //!   never paces data).
+//! - [`admission`] — the service-hardening policy layer: token-auth
+//!   session handshake, per-tenant rate limits, a bounded admission
+//!   queue, hysteresis load shedding, and graceful drain — the
+//!   [`AdmissionController`] behind [`ServerConfig::admission`].
+//! - [`resultslog`] — the crash-safe append-only results log
+//!   ([`ResultsLog`]): framed + checksummed records that survive
+//!   `kill -9`, with torn-tail truncation on recovery.
 
+pub mod admission;
 pub mod client;
 pub mod error;
 pub mod faulty;
 pub mod proto;
+pub mod resultslog;
 pub mod server;
 pub mod tcp;
 
-pub use client::{SwiftestClient, WireTestConfig, WireTestReport};
-pub use error::{RetryPolicy, TestPhase, WireError};
+pub use admission::{Admission, AdmissionConfig, AdmissionController, ShedState, TenantConfig};
+pub use client::{SessionAuth, SwiftestClient, WireTestConfig, WireTestReport};
+pub use error::{Backoff, RetryPolicy, TestPhase, WireError};
 pub use faulty::{FaultyLink, FaultyLinkConfig, FaultyLinkStats, StallServer};
+pub use resultslog::{LogRecovery, ResultRecord, ResultsLog, TornReason};
 
 /// Serialises bulk-traffic tests within this crate's test binary:
 /// several loopback floods running in parallel distort each other's
@@ -53,6 +64,6 @@ pub fn net_test_lock() -> &'static tokio::sync::Mutex<()> {
     static LOCK: std::sync::OnceLock<tokio::sync::Mutex<()>> = std::sync::OnceLock::new();
     LOCK.get_or_init(|| tokio::sync::Mutex::new(()))
 }
-pub use proto::{Message, ProtoError};
+pub use proto::{Message, ProtoError, RejectReason};
 pub use server::{ServerConfig, ServerStats, UdpTestServer};
 pub use tcp::{FloodClientConfig, FloodReport, TcpFloodServer};

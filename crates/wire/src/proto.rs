@@ -15,6 +15,80 @@ pub const MAGIC: u8 = 0xB7;
 /// this keeps datagrams comfortably under a 1500-byte MTU.
 pub const DATA_PAYLOAD: usize = 1200;
 
+/// Why the server turned a session away at admission.
+///
+/// Carried in [`Message::Reject`] as one byte; the variants mirror the
+/// labels the service publishes under
+/// `swiftest_service_rejected_total{reason=...}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// The (tenant, token) pair is unknown — or the session skipped the
+    /// handshake entirely on a server that requires one.
+    BadToken,
+    /// The session table or the admission queue is full.
+    Capacity,
+    /// The tenant's token bucket is empty: too many session starts per
+    /// second.
+    RateLimited,
+    /// The server is shedding load to protect in-flight tests.
+    Overloaded,
+    /// The server is draining for shutdown and takes no new work.
+    Draining,
+}
+
+impl RejectReason {
+    /// Wire byte for this reason.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            RejectReason::BadToken => 1,
+            RejectReason::Capacity => 2,
+            RejectReason::RateLimited => 3,
+            RejectReason::Overloaded => 4,
+            RejectReason::Draining => 5,
+        }
+    }
+
+    /// Parse the wire byte.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(RejectReason::BadToken),
+            2 => Some(RejectReason::Capacity),
+            3 => Some(RejectReason::RateLimited),
+            4 => Some(RejectReason::Overloaded),
+            5 => Some(RejectReason::Draining),
+            _ => None,
+        }
+    }
+
+    /// Index into the telemetry label set
+    /// (`mbw_telemetry::service::REJECT_REASON_LABELS`).
+    pub fn label_index(self) -> usize {
+        self.as_u8() as usize - 1
+    }
+
+    /// Whether a client may sensibly retry the same server after
+    /// backing off (rate limiting and shedding are transient; a bad
+    /// token is not).
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            RejectReason::RateLimited | RejectReason::Overloaded | RejectReason::Capacity
+        )
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RejectReason::BadToken => "bad token",
+            RejectReason::Capacity => "at capacity",
+            RejectReason::RateLimited => "rate limited",
+            RejectReason::Overloaded => "overloaded",
+            RejectReason::Draining => "draining",
+        })
+    }
+}
+
 /// A protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
@@ -57,6 +131,30 @@ pub enum Message {
         /// Session.
         session: u64,
     },
+    /// Admission handshake: request a session ticket before probing
+    /// (client → server). Servers without admission control ignore it;
+    /// servers with it answer [`Message::Admit`] or [`Message::Reject`].
+    Hello {
+        /// Tenant identifier (who is asking).
+        tenant: u64,
+        /// Tenant's shared-secret token.
+        token: u64,
+        /// Client-chosen session identifier the ticket is for.
+        session: u64,
+    },
+    /// Admission granted: the session may send its `RateRequest`
+    /// (server → client).
+    Admit {
+        /// The admitted session.
+        session: u64,
+    },
+    /// Admission denied, with a typed reason (server → client).
+    Reject {
+        /// The rejected session.
+        session: u64,
+        /// Why the server turned it away.
+        reason: RejectReason,
+    },
 }
 
 /// Decode errors.
@@ -68,6 +166,8 @@ pub enum ProtoError {
     BadMagic(u8),
     /// Unknown message tag.
     BadTag(u8),
+    /// A `Reject` carried an unknown reason byte.
+    BadReason(u8),
 }
 
 impl std::fmt::Display for ProtoError {
@@ -76,6 +176,7 @@ impl std::fmt::Display for ProtoError {
             ProtoError::Truncated => write!(f, "truncated datagram"),
             ProtoError::BadMagic(b) => write!(f, "bad magic byte 0x{b:02x}"),
             ProtoError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            ProtoError::BadReason(b) => write!(f, "unknown reject reason {b}"),
         }
     }
 }
@@ -88,6 +189,9 @@ const TAG_RATE: u8 = 3;
 const TAG_DATA: u8 = 4;
 const TAG_FEEDBACK: u8 = 5;
 const TAG_STOP: u8 = 6;
+const TAG_HELLO: u8 = 7;
+const TAG_ADMIT: u8 = 8;
+const TAG_REJECT: u8 = 9;
 
 impl Message {
     /// Serialise into a fresh buffer.
@@ -129,6 +233,25 @@ impl Message {
             Message::Stop { session } => {
                 buf.put_u8(TAG_STOP);
                 buf.put_u64(*session);
+            }
+            Message::Hello {
+                tenant,
+                token,
+                session,
+            } => {
+                buf.put_u8(TAG_HELLO);
+                buf.put_u64(*tenant);
+                buf.put_u64(*token);
+                buf.put_u64(*session);
+            }
+            Message::Admit { session } => {
+                buf.put_u8(TAG_ADMIT);
+                buf.put_u64(*session);
+            }
+            Message::Reject { session, reason } => {
+                buf.put_u8(TAG_REJECT);
+                buf.put_u64(*session);
+                buf.put_u8(reason.as_u8());
             }
         }
         buf.freeze()
@@ -194,6 +317,27 @@ impl Message {
                     session: buf.get_u64(),
                 })
             }
+            TAG_HELLO => {
+                need(&buf, 24)?;
+                Ok(Message::Hello {
+                    tenant: buf.get_u64(),
+                    token: buf.get_u64(),
+                    session: buf.get_u64(),
+                })
+            }
+            TAG_ADMIT => {
+                need(&buf, 8)?;
+                Ok(Message::Admit {
+                    session: buf.get_u64(),
+                })
+            }
+            TAG_REJECT => {
+                need(&buf, 9)?;
+                let session = buf.get_u64();
+                let byte = buf.get_u8();
+                let reason = RejectReason::from_u8(byte).ok_or(ProtoError::BadReason(byte))?;
+                Ok(Message::Reject { session, reason })
+            }
             other => Err(ProtoError::BadTag(other)),
         }
     }
@@ -227,6 +371,16 @@ mod tests {
                 received_bytes: 1 << 30,
             },
             Message::Stop { session: 7 },
+            Message::Hello {
+                tenant: 3,
+                token: 0xDEAD_BEEF_CAFE_F00D,
+                session: 7,
+            },
+            Message::Admit { session: 7 },
+            Message::Reject {
+                session: 7,
+                reason: RejectReason::RateLimited,
+            },
         ];
         for msg in msgs {
             let decoded = Message::decode(msg.encode()).expect("roundtrip");
@@ -275,6 +429,27 @@ mod tests {
     }
 
     #[test]
+    fn reject_reasons_roundtrip_and_unknown_bytes_fail() {
+        for reason in [
+            RejectReason::BadToken,
+            RejectReason::Capacity,
+            RejectReason::RateLimited,
+            RejectReason::Overloaded,
+            RejectReason::Draining,
+        ] {
+            assert_eq!(RejectReason::from_u8(reason.as_u8()), Some(reason));
+            let msg = Message::Reject { session: 9, reason };
+            assert_eq!(Message::decode(msg.encode()), Ok(msg));
+        }
+        let mut raw = BytesMut::new();
+        raw.put_u8(MAGIC);
+        raw.put_u8(TAG_REJECT);
+        raw.put_u64(9);
+        raw.put_u8(0); // reserved, never a valid reason
+        assert_eq!(Message::decode(raw.freeze()), Err(ProtoError::BadReason(0)));
+    }
+
+    #[test]
     fn data_payload_survives() {
         let payload = Bytes::from(vec![0xAB; 300]);
         let msg = Message::Data {
@@ -311,7 +486,7 @@ mod proptests {
         /// per-variant field parsing.
         #[test]
         fn decode_never_panics_past_a_valid_header(
-            tag in 0u8..=8,
+            tag in 0u8..=12,
             body in proptest::collection::vec(any::<u8>(), 0..64),
         ) {
             let mut raw = Vec::with_capacity(2 + body.len());
@@ -326,7 +501,7 @@ mod proptests {
         /// and never a bogus `Ok`.
         #[test]
         fn truncations_of_valid_encodings_fail_cleanly(
-            which in 0usize..6,
+            which in 0usize..9,
             session in any::<u64>(),
             value in any::<u64>(),
         ) {
@@ -340,7 +515,13 @@ mod proptests {
                     payload: Bytes::from(vec![0u8; 32]),
                 },
                 4 => Message::Feedback { session, received_bytes: value },
-                _ => Message::Stop { session },
+                5 => Message::Stop { session },
+                6 => Message::Hello { tenant: value, token: value.rotate_left(17), session },
+                7 => Message::Admit { session },
+                _ => Message::Reject {
+                    session,
+                    reason: RejectReason::from_u8(1 + (value % 5) as u8).unwrap(),
+                },
             };
             let wire = msg.encode();
             // `Data` accepts any payload length (it is opaque padding),
@@ -363,6 +544,12 @@ mod proptests {
                 Message::RateRequest { session, rate_bps: value },
                 Message::Feedback { session, received_bytes: value },
                 Message::Stop { session },
+                Message::Hello { tenant: session, token: value, session },
+                Message::Admit { session },
+                Message::Reject {
+                    session,
+                    reason: RejectReason::from_u8(1 + (value % 5) as u8).unwrap(),
+                },
             ] {
                 prop_assert_eq!(Message::decode(msg.encode()), Ok(msg));
             }

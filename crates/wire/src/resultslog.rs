@@ -1,0 +1,508 @@
+//! Crash-safe append-only results log.
+//!
+//! A long-running BTS must not lose completed measurements to a power
+//! cut or a `kill -9`: the paper's longitudinal analysis depends on
+//! every finished test being on disk. This module writes one framed,
+//! checksummed record per finished session:
+//!
+//! ```text
+//! | magic u32 (0x4D42574C "MBWL") | len u16 | crc32 u32 | payload |
+//! ```
+//!
+//! The payload is fixed-width big-endian and mirrors the columnar
+//! `TrialOutcome` row the analysis pipeline already consumes (tenant,
+//! session, start time, duration, ping RTT, bytes delivered, estimate,
+//! ground truth, completion flag). The CRC (IEEE 802.3, computed over
+//! `len` + payload) makes torn and bit-flipped frames detectable.
+//!
+//! Recovery on open scans from the start; the first frame that fails
+//! magic/length/checksum validation marks the torn tail, which is
+//! truncated away so the file is again a clean prefix of valid frames.
+//! Everything before the tear replays byte-identically — re-encoding
+//! the recovered records reproduces the retained bytes exactly, which
+//! is what the kill−9 integration test asserts.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Frame magic: "MBWL" big-endian.
+pub const LOG_MAGIC: u32 = 0x4D42_574C;
+
+/// Fixed payload width: 3×u64 + 5×f64 + 1 flag byte.
+pub const RECORD_PAYLOAD_LEN: usize = 65;
+
+/// Full frame width on disk.
+pub const RECORD_FRAME_LEN: usize = 4 + 2 + 4 + RECORD_PAYLOAD_LEN;
+
+/// One finished session, as persisted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResultRecord {
+    /// Tenant that ran the test (0 when admission is open).
+    pub tenant: u64,
+    /// Wire session identifier.
+    pub session: u64,
+    /// Session start, milliseconds since the server's epoch.
+    pub started_ms: u64,
+    /// Test duration, seconds.
+    pub duration_s: f64,
+    /// Measured ping RTT, seconds (0 when unknown).
+    pub ping_s: f64,
+    /// Payload bytes delivered to the client.
+    pub data_bytes: f64,
+    /// The bandwidth estimate, Mbps.
+    pub estimate_mbps: f64,
+    /// Ground-truth capacity when known (simulation), else 0.
+    pub truth_mbps: f64,
+    /// Whether the test ran to convergence.
+    pub complete: bool,
+}
+
+impl ResultRecord {
+    /// Serialise the fixed-width payload.
+    pub fn encode_payload(&self) -> [u8; RECORD_PAYLOAD_LEN] {
+        let mut out = [0u8; RECORD_PAYLOAD_LEN];
+        let mut at = 0usize;
+        for v in [self.tenant, self.session, self.started_ms] {
+            out[at..at + 8].copy_from_slice(&v.to_be_bytes());
+            at += 8;
+        }
+        for v in [
+            self.duration_s,
+            self.ping_s,
+            self.data_bytes,
+            self.estimate_mbps,
+            self.truth_mbps,
+        ] {
+            out[at..at + 8].copy_from_slice(&v.to_be_bytes());
+            at += 8;
+        }
+        out[at] = u8::from(self.complete);
+        out
+    }
+
+    /// Parse a fixed-width payload (`None` on wrong length or a flag
+    /// byte that is neither 0 nor 1).
+    pub fn decode_payload(payload: &[u8]) -> Option<ResultRecord> {
+        if payload.len() != RECORD_PAYLOAD_LEN {
+            return None;
+        }
+        let u64_at = |i: usize| u64::from_be_bytes(payload[i..i + 8].try_into().unwrap());
+        let f64_at = |i: usize| f64::from_be_bytes(payload[i..i + 8].try_into().unwrap());
+        let complete = match payload[64] {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        Some(ResultRecord {
+            tenant: u64_at(0),
+            session: u64_at(8),
+            started_ms: u64_at(16),
+            duration_s: f64_at(24),
+            ping_s: f64_at(32),
+            data_bytes: f64_at(40),
+            estimate_mbps: f64_at(48),
+            truth_mbps: f64_at(56),
+            complete,
+        })
+    }
+
+    /// Serialise the full frame (magic, length, checksum, payload).
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut frame = Vec::with_capacity(RECORD_FRAME_LEN);
+        frame.extend_from_slice(&LOG_MAGIC.to_be_bytes());
+        let len = payload.len() as u16;
+        frame.extend_from_slice(&len.to_be_bytes());
+        let mut crc = Crc32::new();
+        crc.update(&len.to_be_bytes());
+        crc.update(&payload);
+        frame.extend_from_slice(&crc.finish().to_be_bytes());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+}
+
+/// The deterministic record for index `i`, shared by the `logwriter`
+/// helper binary and the kill−9 integration test so the test can
+/// verify the recovered prefix record-for-record.
+#[doc(hidden)]
+pub fn sample_record(i: u64) -> ResultRecord {
+    ResultRecord {
+        tenant: i % 7,
+        session: i,
+        started_ms: i.wrapping_mul(13),
+        duration_s: 0.5 + (i as f64) * 1e-3,
+        ping_s: 0.02 + ((i % 40) as f64) * 1e-3,
+        data_bytes: 1.0e6 + i as f64,
+        estimate_mbps: 50.0 + ((i % 100) as f64),
+        truth_mbps: 52.5,
+        complete: i % 5 != 0,
+    }
+}
+
+/// Why the recovery scan stopped before end-of-file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TornReason {
+    /// Fewer bytes than a frame header (torn mid-header).
+    ShortFrame,
+    /// Frame does not start with [`LOG_MAGIC`].
+    BadMagic,
+    /// Declared payload length is not [`RECORD_PAYLOAD_LEN`].
+    BadLength,
+    /// Checksum mismatch (torn or corrupted payload).
+    BadChecksum,
+}
+
+impl std::fmt::Display for TornReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TornReason::ShortFrame => "short frame",
+            TornReason::BadMagic => "bad magic",
+            TornReason::BadLength => "bad length",
+            TornReason::BadChecksum => "bad checksum",
+        })
+    }
+}
+
+/// What [`ResultsLog::open`] found and did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogRecovery {
+    /// Records recovered from the valid prefix, in append order.
+    pub records: Vec<ResultRecord>,
+    /// Bytes retained (the valid prefix length).
+    pub valid_bytes: u64,
+    /// Bytes truncated away as the torn tail.
+    pub truncated_bytes: u64,
+    /// Why the scan stopped, when it stopped before a clean EOF.
+    pub torn: Option<TornReason>,
+}
+
+impl LogRecovery {
+    /// True when the file was already a clean sequence of valid frames.
+    pub fn clean(&self) -> bool {
+        self.torn.is_none() && self.truncated_bytes == 0
+    }
+}
+
+/// The append-only log writer.
+#[derive(Debug)]
+pub struct ResultsLog {
+    file: File,
+    path: PathBuf,
+    appended: u64,
+}
+
+impl ResultsLog {
+    /// Open (creating if absent) the log at `path`, recover the valid
+    /// prefix, and truncate any torn tail so subsequent appends extend
+    /// a clean file.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(ResultsLog, LogRecovery)> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let recovery = scan(&bytes);
+        if recovery.truncated_bytes > 0 {
+            file.set_len(recovery.valid_bytes)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(recovery.valid_bytes))?;
+        Ok((
+            ResultsLog {
+                file,
+                path,
+                appended: 0,
+            },
+            recovery,
+        ))
+    }
+
+    /// Append one record and flush it to the OS.
+    pub fn append(&mut self, record: &ResultRecord) -> io::Result<()> {
+        self.file.write_all(&record.encode_frame())?;
+        self.file.flush()?;
+        self.appended += 1;
+        Ok(())
+    }
+
+    /// Force appended frames to stable storage (fsync).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Records appended through this handle (not counting recovered
+    /// history).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Re-read every valid record currently on disk (recovered history
+    /// plus this handle's appends). Purely diagnostic; does not move
+    /// the append cursor.
+    pub fn read_all(path: impl AsRef<Path>) -> io::Result<LogRecovery> {
+        let bytes = std::fs::read(path)?;
+        Ok(scan(&bytes))
+    }
+}
+
+/// Scan `bytes` for the longest valid prefix of frames.
+fn scan(bytes: &[u8]) -> LogRecovery {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    let mut torn = None;
+    while at < bytes.len() {
+        let rest = &bytes[at..];
+        if rest.len() < 10 {
+            torn = Some(TornReason::ShortFrame);
+            break;
+        }
+        let magic = u32::from_be_bytes(rest[0..4].try_into().unwrap());
+        if magic != LOG_MAGIC {
+            torn = Some(TornReason::BadMagic);
+            break;
+        }
+        let len = u16::from_be_bytes(rest[4..6].try_into().unwrap()) as usize;
+        if len != RECORD_PAYLOAD_LEN {
+            torn = Some(TornReason::BadLength);
+            break;
+        }
+        if rest.len() < 10 + len {
+            torn = Some(TornReason::ShortFrame);
+            break;
+        }
+        let stored_crc = u32::from_be_bytes(rest[6..10].try_into().unwrap());
+        let payload = &rest[10..10 + len];
+        let mut crc = Crc32::new();
+        crc.update(&rest[4..6]);
+        crc.update(payload);
+        if crc.finish() != stored_crc {
+            torn = Some(TornReason::BadChecksum);
+            break;
+        }
+        match ResultRecord::decode_payload(payload) {
+            Some(record) => records.push(record),
+            None => {
+                torn = Some(TornReason::BadLength);
+                break;
+            }
+        }
+        at += 10 + len;
+    }
+    LogRecovery {
+        records,
+        valid_bytes: at as u64,
+        truncated_bytes: (bytes.len() - at) as u64,
+        torn,
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF) — the same
+/// polynomial gzip and Ethernet use. Bitwise, no lookup table: the log
+/// writes one 65-byte payload per finished *test*, so table-free code
+/// wins on clarity.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Start a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feed bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u32::from(b);
+            for _ in 0..8 {
+                let mask = (self.state & 1).wrapping_neg();
+                self.state = (self.state >> 1) ^ (0xEDB8_8320 & mask);
+            }
+        }
+    }
+
+    /// Finish and return the digest.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+
+    /// One-shot convenience.
+    pub fn checksum(bytes: &[u8]) -> u32 {
+        let mut crc = Crc32::new();
+        crc.update(bytes);
+        crc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(session: u64) -> ResultRecord {
+        ResultRecord {
+            tenant: 3,
+            session,
+            started_ms: 1_000 + session,
+            duration_s: 4.2,
+            ping_s: 0.032,
+            data_bytes: 1.8e7,
+            estimate_mbps: 87.5,
+            truth_mbps: 92.0,
+            complete: session % 2 == 0,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mbw-resultslog-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE check value.
+        assert_eq!(Crc32::checksum(b"123456789"), 0xCBF4_3926);
+        assert_eq!(Crc32::checksum(b""), 0);
+    }
+
+    #[test]
+    fn payload_roundtrips_byte_identically() {
+        let r = record(7);
+        let payload = r.encode_payload();
+        let back = ResultRecord::decode_payload(&payload).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.encode_payload(), payload);
+    }
+
+    #[test]
+    fn append_then_reopen_replays_in_order() {
+        let path = tmp("replay");
+        {
+            let (mut log, recovery) = ResultsLog::open(&path).unwrap();
+            assert!(recovery.clean());
+            assert!(recovery.records.is_empty());
+            for s in 0..5 {
+                log.append(&record(s)).unwrap();
+            }
+            log.sync().unwrap();
+        }
+        let (_log, recovery) = ResultsLog::open(&path).unwrap();
+        assert!(recovery.clean());
+        assert_eq!(recovery.records.len(), 5);
+        for (i, r) in recovery.records.iter().enumerate() {
+            assert_eq!(*r, record(i as u64));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_recovers_to_longest_valid_prefix() {
+        let path = tmp("torn");
+        {
+            let (mut log, _) = ResultsLog::open(&path).unwrap();
+            for s in 0..4 {
+                log.append(&record(s)).unwrap();
+            }
+        }
+        // Tear the last frame: chop 20 bytes off the file.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 20]).unwrap();
+        let (mut log, recovery) = ResultsLog::open(&path).unwrap();
+        assert_eq!(recovery.records.len(), 3);
+        assert_eq!(recovery.torn, Some(TornReason::ShortFrame));
+        assert_eq!(recovery.valid_bytes, (3 * RECORD_FRAME_LEN) as u64);
+        assert_eq!(recovery.truncated_bytes, (RECORD_FRAME_LEN - 20) as u64);
+        // The torn tail is gone from disk and appends extend cleanly.
+        log.append(&record(99)).unwrap();
+        let after = ResultsLog::read_all(&path).unwrap();
+        assert!(after.clean());
+        assert_eq!(after.records.len(), 4);
+        assert_eq!(after.records[3], record(99));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_is_caught_by_the_checksum() {
+        let path = tmp("flip");
+        {
+            let (mut log, _) = ResultsLog::open(&path).unwrap();
+            for s in 0..3 {
+                log.append(&record(s)).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload bit in the second frame.
+        bytes[RECORD_FRAME_LEN + 30] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_log, recovery) = ResultsLog::open(&path).unwrap();
+        assert_eq!(recovery.records.len(), 1);
+        assert_eq!(recovery.torn, Some(TornReason::BadChecksum));
+        assert_eq!(
+            recovery.truncated_bytes,
+            (2 * RECORD_FRAME_LEN) as u64,
+            "everything from the corrupt frame on is dropped"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn zero_length_and_garbage_files_recover() {
+        let path = tmp("zero");
+        std::fs::write(&path, b"").unwrap();
+        let (_log, recovery) = ResultsLog::open(&path).unwrap();
+        assert!(recovery.clean());
+        assert!(recovery.records.is_empty());
+        drop(_log);
+        std::fs::write(&path, b"not a log at all, definitely prose").unwrap();
+        let (_log, recovery) = ResultsLog::open(&path).unwrap();
+        assert!(recovery.records.is_empty());
+        assert_eq!(recovery.torn, Some(TornReason::BadMagic));
+        assert_eq!(recovery.valid_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recovered_prefix_reencodes_byte_identically() {
+        let path = tmp("ident");
+        {
+            let (mut log, _) = ResultsLog::open(&path).unwrap();
+            for s in 0..6 {
+                log.append(&record(s)).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 7); // torn mid-frame
+        std::fs::write(&path, &bytes).unwrap();
+        let (_log, recovery) = ResultsLog::open(&path).unwrap();
+        let reencoded: Vec<u8> = recovery
+            .records
+            .iter()
+            .flat_map(|r| r.encode_frame())
+            .collect();
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(
+            reencoded, on_disk,
+            "recovered records replay byte-identically"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}

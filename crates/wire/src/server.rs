@@ -23,12 +23,31 @@
 //! loop, every pacing task, and the optional HTTP `/metrics` listener
 //! (enable with [`ServerConfig::metrics_addr`]) share one source of
 //! truth, and [`UdpTestServer::stats`] is just a snapshot of it.
+//!
+//! Running *as a service* (long-lived, multi-tenant) adds three
+//! optional layers, all off by default so a bare lab server behaves
+//! exactly as before:
+//!
+//! - [`ServerConfig::admission`] turns on the HELLO/ADMIT/REJECT
+//!   handshake: sessions must present a ticket before `RateRequest`
+//!   starts pacing, and the [`AdmissionController`] applies token
+//!   auth, per-tenant rate limits, a bounded pending queue, and
+//!   hysteresis load shedding (see `crate::admission`).
+//! - [`ServerConfig::results_log`] persists every finished session to
+//!   a crash-safe append-only log (see `crate::resultslog`); recovery
+//!   state from startup is exposed via [`UdpTestServer::log_recovery`].
+//! - [`UdpTestServer::drain`] performs a graceful shutdown: new
+//!   sessions are rejected `Draining` while in-flight tests run to
+//!   completion, bounded by a deadline.
 
-use crate::proto::Message;
-use mbw_telemetry::{Counter, Gauge, Histogram, MetricsServer, Registry};
+use crate::admission::{Admission, AdmissionConfig, AdmissionController};
+use crate::proto::{Message, RejectReason};
+use crate::resultslog::{LogRecovery, ResultRecord, ResultsLog};
+use mbw_telemetry::{Counter, Gauge, Histogram, MetricsServer, Registry, ServiceMetrics};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -59,6 +78,17 @@ pub struct ServerConfig {
     /// When set, serve this server's registry at `http://<addr>/metrics`
     /// in Prometheus text exposition format (port 0 for ephemeral).
     pub metrics_addr: Option<SocketAddr>,
+    /// When set, require the HELLO/ADMIT handshake and enforce this
+    /// admission policy. `None` (the default) admits every
+    /// `RateRequest` directly, as a lab server always did.
+    pub admission: Option<AdmissionConfig>,
+    /// When set, append every finished session to the crash-safe
+    /// results log at this path (created if absent; recovered and
+    /// tail-truncated if torn).
+    pub results_log: Option<PathBuf>,
+    /// How long [`UdpTestServer::drain`] waits for in-flight sessions
+    /// before giving up and aborting the stragglers.
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +99,9 @@ impl Default for ServerConfig {
             session_timeout: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(2),
             metrics_addr: None,
+            admission: None,
+            results_log: None,
+            drain_deadline: Duration::from_secs(5),
         }
     }
 }
@@ -191,16 +224,73 @@ struct Session {
     last_seen_ms: Arc<AtomicU64>,
     sent_bytes: Arc<AtomicU64>,
     started_ms: u64,
+    tenant: u64,
     task: JoinHandle<()>,
 }
 
 type SessionMap = Arc<Mutex<HashMap<(SocketAddr, u64), Session>>>;
 
+/// The optional service layers, bundled so the serve loop, the pacing
+/// tasks, and the drain path all close sessions through one place.
+#[derive(Clone)]
+struct ServiceHooks {
+    service: ServiceMetrics,
+    admission: Option<Arc<Mutex<AdmissionController>>>,
+    log: Option<Arc<Mutex<ResultsLog>>>,
+    /// Emulated access capacity in Mbps, recorded as ground truth.
+    truth_mbps: f64,
+}
+
+impl ServiceHooks {
+    /// Close the books on one finished session: release its admission
+    /// slot, record its outcome, and append it to the results log.
+    /// `complete` = the client ended it deliberately (Stop), as opposed
+    /// to being reaped or timed out.
+    fn finish_session(&self, key: (SocketAddr, u64), s: &Session, now_ms: u64, complete: bool) {
+        if let Some(admission) = &self.admission {
+            admission.lock().release(key.1);
+        }
+        let duration = Duration::from_millis(now_ms.saturating_sub(s.started_ms));
+        let sent = s.sent_bytes.load(Ordering::Relaxed);
+        self.service
+            .observe_session_end(duration, complete, sent > 0);
+        if let Some(log) = &self.log {
+            let secs = duration.as_secs_f64();
+            let record = ResultRecord {
+                tenant: s.tenant,
+                session: key.1,
+                started_ms: s.started_ms,
+                duration_s: secs,
+                ping_s: 0.0,
+                data_bytes: sent as f64,
+                estimate_mbps: if secs > 0.0 {
+                    sent as f64 * 8.0 / secs / 1e6
+                } else {
+                    0.0
+                },
+                truth_mbps: self.truth_mbps,
+                complete,
+            };
+            let mut log = log.lock();
+            if log.append(&record).is_ok() && log.sync().is_ok() {
+                self.service.observe_log_records(1);
+            }
+        }
+    }
+}
+
 /// A running UDP test server.
 pub struct UdpTestServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
     metrics: ServerMetrics,
+    service: ServiceMetrics,
+    sessions: SessionMap,
+    hooks: ServiceHooks,
+    log_recovery: Option<LogRecovery>,
+    drain_deadline: Duration,
+    epoch: tokio::time::Instant,
     exporter: Option<MetricsServer>,
     accept_task: JoinHandle<()>,
 }
@@ -211,21 +301,57 @@ impl UdpTestServer {
         let socket = Arc::new(UdpSocket::bind(config.bind).await?);
         let local_addr = socket.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let draining = Arc::new(AtomicBool::new(false));
         let metrics = ServerMetrics::new(Registry::new());
+        let service = ServiceMetrics::register(&metrics.registry);
         let exporter = match config.metrics_addr {
             Some(addr) => Some(MetricsServer::start(addr, metrics.registry.clone())?),
             None => None,
         };
-        let accept_task = tokio::spawn(serve_loop(
+        let admission = config.admission.clone().map(|policy| {
+            Arc::new(Mutex::new(AdmissionController::new(
+                policy,
+                service.clone(),
+            )))
+        });
+        let (log, log_recovery) = match &config.results_log {
+            Some(path) => {
+                let (log, recovery) = ResultsLog::open(path)?;
+                (Some(Arc::new(Mutex::new(log))), Some(recovery))
+            }
+            None => (None, None),
+        };
+        let hooks = ServiceHooks {
+            service: service.clone(),
+            admission,
+            log,
+            truth_mbps: config
+                .emulated_capacity_bps
+                .map_or(0.0, |bps| bps as f64 / 1e6),
+        };
+        let sessions: SessionMap = Arc::new(Mutex::new(HashMap::new()));
+        let epoch = tokio::time::Instant::now();
+        let accept_task = tokio::spawn(serve_loop(ServeParams {
             socket,
-            config.clone(),
-            Arc::clone(&stop),
-            metrics.clone(),
-        ));
+            config: config.clone(),
+            stop: Arc::clone(&stop),
+            draining: Arc::clone(&draining),
+            metrics: metrics.clone(),
+            hooks: hooks.clone(),
+            sessions: Arc::clone(&sessions),
+            epoch,
+        }));
         Ok(Self {
             local_addr,
             stop,
+            draining,
             metrics,
+            service,
+            sessions,
+            hooks,
+            log_recovery,
+            drain_deadline: config.drain_deadline,
+            epoch,
             exporter,
             accept_task,
         })
@@ -265,25 +391,116 @@ impl UdpTestServer {
         }
     }
 
+    /// What the results log recovered at startup, when one is
+    /// configured: replayed records plus any torn tail that was
+    /// truncated away.
+    pub fn log_recovery(&self) -> Option<&LogRecovery> {
+        self.log_recovery.as_ref()
+    }
+
+    /// The service-layer metric handles (admission, shedding,
+    /// completion latency) this server reports through.
+    pub fn service_metrics(&self) -> ServiceMetrics {
+        self.service.clone()
+    }
+
+    /// Currently paced sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Stop admitting new sessions (reject `Draining`) while letting
+    /// in-flight tests run. Idempotent; [`drain`] calls it first.
+    ///
+    /// [`drain`]: UdpTestServer::drain
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Relaxed);
+        if let Some(admission) = &self.hooks.admission {
+            admission.lock().begin_drain();
+        }
+    }
+
+    /// Graceful shutdown: reject new work, wait for in-flight sessions
+    /// to finish (bounded by [`ServerConfig::drain_deadline`]), then
+    /// stop. Returns `true` when every session completed before the
+    /// deadline — the zero-accepted-session-loss case; stragglers past
+    /// the deadline are aborted and logged as incomplete.
+    pub async fn drain(self) -> bool {
+        self.begin_drain();
+        let deadline = self.epoch.elapsed() + self.drain_deadline;
+        let clean = loop {
+            if self.sessions.lock().is_empty() {
+                break true;
+            }
+            if self.epoch.elapsed() >= deadline {
+                break false;
+            }
+            tokio::time::sleep(Duration::from_millis(20)).await;
+        };
+        if !clean {
+            let now_ms = self.epoch.elapsed().as_millis() as u64;
+            let mut map = self.sessions.lock();
+            for (key, s) in map.drain() {
+                s.stop.store(true, Ordering::Relaxed);
+                s.task.abort();
+                self.hooks.finish_session(key, &s, now_ms, false);
+            }
+            self.metrics.sessions_active.set(0.0);
+        }
+        self.shutdown().await;
+        clean
+    }
+
     /// Stop the server and all its sessions.
     pub async fn shutdown(self) {
         self.stop.store(true, Ordering::Relaxed);
         self.accept_task.abort();
         let _ = self.accept_task.await;
+        // The accept task may have been cancelled inside `recv_from`,
+        // before its own cleanup ran: close whatever is left so pacing
+        // tasks stop and every session is accounted for.
+        let now_ms = self.epoch.elapsed().as_millis() as u64;
+        let mut map = self.sessions.lock();
+        for (key, s) in map.drain() {
+            s.stop.store(true, Ordering::Relaxed);
+            s.task.abort();
+            self.hooks.finish_session(key, &s, now_ms, false);
+        }
+        self.metrics.sessions_active.set(0.0);
+        drop(map);
         if let Some(exporter) = self.exporter {
             exporter.shutdown();
         }
     }
 }
 
-async fn serve_loop(
+/// Everything the serve loop needs, bundled to keep the spawn site
+/// readable.
+struct ServeParams {
     socket: Arc<UdpSocket>,
     config: ServerConfig,
     stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
     metrics: ServerMetrics,
-) {
-    let sessions: SessionMap = Arc::new(Mutex::new(HashMap::new()));
-    let epoch = tokio::time::Instant::now();
+    hooks: ServiceHooks,
+    sessions: SessionMap,
+    epoch: tokio::time::Instant,
+}
+
+async fn serve_loop(params: ServeParams) {
+    let ServeParams {
+        socket,
+        config,
+        stop,
+        draining,
+        metrics,
+        hooks,
+        sessions,
+        epoch,
+    } = params;
+    // With admission enforced, a RateRequest is only honoured when it
+    // claims a granted ticket.
+    let enforce_admission = hooks.admission.is_some();
     let mut buf = vec![0u8; 2048];
     let mut consecutive_errors = 0u32;
     loop {
@@ -330,6 +547,31 @@ async fn serve_loop(
                     .send_to(&Message::Pong { nonce }.encode(), peer)
                     .await;
             }
+            Message::Hello {
+                tenant,
+                token,
+                session,
+            } => {
+                // A server without admission control admits everyone,
+                // so auth-configured clients work against lab servers.
+                let reply = match &hooks.admission {
+                    None if draining.load(Ordering::Relaxed) => Message::Reject {
+                        session,
+                        reason: RejectReason::Draining,
+                    },
+                    None => Message::Admit { session },
+                    Some(admission) => {
+                        match admission
+                            .lock()
+                            .request(tenant, token, session, epoch.elapsed())
+                        {
+                            Admission::Granted => Message::Admit { session },
+                            Admission::Rejected(reason) => Message::Reject { session, reason },
+                        }
+                    }
+                };
+                let _ = socket.send_to(&reply.encode(), peer).await;
+            }
             Message::RateRequest { session, rate_bps } => {
                 let capped = config
                     .emulated_capacity_bps
@@ -340,9 +582,45 @@ async fn serve_loop(
                     // Mid-test escalation: only the pacing rate changes.
                     existing.rate_bps.store(capped, Ordering::Relaxed);
                     existing.last_seen_ms.store(now_ms, Ordering::Relaxed);
+                } else if draining.load(Ordering::Relaxed) {
+                    metrics.sessions_refused.inc();
+                    drop(map);
+                    let reject = Message::Reject {
+                        session,
+                        reason: RejectReason::Draining,
+                    };
+                    let _ = socket.send_to(&reject.encode(), peer).await;
                 } else if map.len() >= MAX_SESSIONS {
                     metrics.sessions_refused.inc();
                 } else {
+                    // Enforced admission: the RateRequest must claim a
+                    // live ticket; gate-crashers are told why.
+                    let tenant = if enforce_admission {
+                        let claimed = hooks
+                            .admission
+                            .as_ref()
+                            .expect("enforce_admission implies a controller")
+                            .lock()
+                            .claim(session, epoch.elapsed());
+                        match claimed {
+                            Some(tenant) => tenant,
+                            None => {
+                                metrics.sessions_refused.inc();
+                                hooks
+                                    .service
+                                    .observe_rejected(RejectReason::BadToken.label_index());
+                                drop(map);
+                                let reject = Message::Reject {
+                                    session,
+                                    reason: RejectReason::BadToken,
+                                };
+                                let _ = socket.send_to(&reject.encode(), peer).await;
+                                continue;
+                            }
+                        }
+                    } else {
+                        0
+                    };
                     let rate = Arc::new(AtomicU64::new(capped));
                     let s_stop = Arc::new(AtomicBool::new(false));
                     let last_seen_ms = Arc::new(AtomicU64::new(now_ms));
@@ -360,6 +638,7 @@ async fn serve_loop(
                         idle_timeout: config.idle_timeout,
                         sessions: Arc::clone(&sessions),
                         metrics: metrics.clone(),
+                        hooks: hooks.clone(),
                     }));
                     metrics.sessions_started.inc();
                     map.insert(
@@ -370,6 +649,7 @@ async fn serve_loop(
                             last_seen_ms,
                             sent_bytes,
                             started_ms: now_ms,
+                            tenant,
                             task,
                         },
                     );
@@ -393,14 +673,18 @@ async fn serve_loop(
                         Duration::from_millis(now_ms.saturating_sub(s.started_ms)),
                         map.len(),
                     );
+                    hooks.finish_session((peer, session), &s, now_ms, true);
                 }
             }
             // Unexpected on the server side; ignore.
-            Message::Pong { .. } | Message::Data { .. } => {}
+            Message::Pong { .. }
+            | Message::Data { .. }
+            | Message::Admit { .. }
+            | Message::Reject { .. } => {}
         }
     }
     let now_ms = epoch.elapsed().as_millis() as u64;
-    for (_, s) in sessions.lock().drain() {
+    for (key, s) in sessions.lock().drain() {
         s.stop.store(true, Ordering::Relaxed);
         s.task.abort();
         metrics.observe_session_end(
@@ -408,6 +692,7 @@ async fn serve_loop(
             Duration::from_millis(now_ms.saturating_sub(s.started_ms)),
             0,
         );
+        hooks.finish_session(key, &s, now_ms, false);
     }
 }
 
@@ -433,6 +718,7 @@ struct PaceParams {
     idle_timeout: Duration,
     sessions: SessionMap,
     metrics: ServerMetrics,
+    hooks: ServiceHooks,
 }
 
 /// The paced sender: a 5 ms token-bucket tick emitting data packets.
@@ -491,6 +777,8 @@ async fn pace_session(p: PaceParams) {
             Duration::from_millis(now_ms.saturating_sub(s.started_ms)),
             map.len(),
         );
+        p.hooks
+            .finish_session((p.peer, p.session), &s, now_ms, false);
     }
 }
 
@@ -850,6 +1138,228 @@ mod tests {
         let stats = server.stats();
         assert!(stats.tx_datagrams > 0 && stats.tx_bytes > 0, "{stats:?}");
         server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn admission_handshake_gates_sessions() {
+        use crate::admission::{AdmissionConfig, TenantConfig};
+        let server = UdpTestServer::start(ServerConfig {
+            admission: Some(
+                AdmissionConfig::open(8).with_tenants(vec![TenantConfig::new(3, 0xC0FFEE)]),
+            ),
+            ..Default::default()
+        })
+        .await
+        .unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        // Wrong token → typed reject.
+        client
+            .send_to(
+                &Message::Hello {
+                    tenant: 3,
+                    token: 0xBAD,
+                    session: 1,
+                }
+                .encode(),
+                server.local_addr(),
+            )
+            .await
+            .unwrap();
+        assert_eq!(
+            recv_msg(&client).await,
+            Message::Reject {
+                session: 1,
+                reason: crate::proto::RejectReason::BadToken
+            }
+        );
+        // Gate-crashing RateRequest without a ticket → refused.
+        client
+            .send_to(
+                &Message::RateRequest {
+                    session: 2,
+                    rate_bps: 1_000_000,
+                }
+                .encode(),
+                server.local_addr(),
+            )
+            .await
+            .unwrap();
+        assert_eq!(
+            recv_msg(&client).await,
+            Message::Reject {
+                session: 2,
+                reason: crate::proto::RejectReason::BadToken
+            }
+        );
+        // Proper handshake → admitted, and the session paces.
+        client
+            .send_to(
+                &Message::Hello {
+                    tenant: 3,
+                    token: 0xC0FFEE,
+                    session: 5,
+                }
+                .encode(),
+                server.local_addr(),
+            )
+            .await
+            .unwrap();
+        assert_eq!(recv_msg(&client).await, Message::Admit { session: 5 });
+        client
+            .send_to(
+                &Message::RateRequest {
+                    session: 5,
+                    rate_bps: 4_000_000,
+                }
+                .encode(),
+                server.local_addr(),
+            )
+            .await
+            .unwrap();
+        assert!(matches!(
+            recv_msg(&client).await,
+            Message::Data { session: 5, .. }
+        ));
+        client
+            .send_to(&Message::Stop { session: 5 }.encode(), server.local_addr())
+            .await
+            .unwrap();
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        let service = server.service_metrics();
+        assert_eq!(service.admitted_total(), 1);
+        assert!(
+            service.rejected_total() >= 2,
+            "{}",
+            service.rejected_total()
+        );
+        server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn server_without_admission_still_answers_hello() {
+        let server = UdpTestServer::start(ServerConfig::default()).await.unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        client
+            .send_to(
+                &Message::Hello {
+                    tenant: 1,
+                    token: 2,
+                    session: 3,
+                }
+                .encode(),
+                server.local_addr(),
+            )
+            .await
+            .unwrap();
+        assert_eq!(recv_msg(&client).await, Message::Admit { session: 3 });
+        server.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn drain_finishes_inflight_and_rejects_new() {
+        let _net = crate::net_test_lock().lock().await;
+        let dir = std::env::temp_dir();
+        let log_path = dir.join(format!("mbw-server-drain-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&log_path);
+        let server = UdpTestServer::start(ServerConfig {
+            results_log: Some(log_path.clone()),
+            drain_deadline: Duration::from_secs(3),
+            ..Default::default()
+        })
+        .await
+        .unwrap();
+        assert!(server.log_recovery().unwrap().clean());
+        let addr = server.local_addr();
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        client
+            .send_to(
+                &Message::RateRequest {
+                    session: 1,
+                    rate_bps: 2_000_000,
+                }
+                .encode(),
+                addr,
+            )
+            .await
+            .unwrap();
+        let _ = recv_msg(&client).await;
+        server.begin_drain();
+        // New sessions are now refused...
+        let late = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        late.send_to(
+            &Message::RateRequest {
+                session: 9,
+                rate_bps: 1_000_000,
+            }
+            .encode(),
+            addr,
+        )
+        .await
+        .unwrap();
+        assert_eq!(
+            recv_msg(&late).await,
+            Message::Reject {
+                session: 9,
+                reason: crate::proto::RejectReason::Draining
+            }
+        );
+        // ...while the in-flight one finishes normally.
+        client
+            .send_to(&Message::Stop { session: 1 }.encode(), addr)
+            .await
+            .unwrap();
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        let clean = server.drain().await;
+        assert!(clean, "in-flight session should finish before deadline");
+        let recovery = crate::resultslog::ResultsLog::read_all(&log_path).unwrap();
+        assert!(recovery.clean());
+        assert_eq!(recovery.records.len(), 1, "exactly one finished session");
+        assert_eq!(recovery.records[0].session, 1);
+        assert!(recovery.records[0].complete);
+        std::fs::remove_file(&log_path).unwrap();
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn results_log_survives_restart() {
+        let _net = crate::net_test_lock().lock().await;
+        let dir = std::env::temp_dir();
+        let log_path = dir.join(format!("mbw-server-restart-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&log_path);
+        let config = ServerConfig {
+            results_log: Some(log_path.clone()),
+            ..Default::default()
+        };
+        for round in 0..2u64 {
+            let server = UdpTestServer::start(config.clone()).await.unwrap();
+            let recovered = server.log_recovery().unwrap().records.len();
+            assert_eq!(recovered, round as usize, "round {round}");
+            let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+            client
+                .send_to(
+                    &Message::RateRequest {
+                        session: round,
+                        rate_bps: 2_000_000,
+                    }
+                    .encode(),
+                    server.local_addr(),
+                )
+                .await
+                .unwrap();
+            let _ = recv_msg(&client).await;
+            client
+                .send_to(
+                    &Message::Stop { session: round }.encode(),
+                    server.local_addr(),
+                )
+                .await
+                .unwrap();
+            tokio::time::sleep(Duration::from_millis(100)).await;
+            server.shutdown().await;
+        }
+        let recovery = crate::resultslog::ResultsLog::read_all(&log_path).unwrap();
+        assert!(recovery.clean());
+        assert_eq!(recovery.records.len(), 2);
+        std::fs::remove_file(&log_path).unwrap();
     }
 
     #[tokio::test(flavor = "multi_thread")]

@@ -2,12 +2,16 @@
 //!
 //! ```text
 //! swiftest serve [--capacity <mbps>] [--port <port>] [--metrics-addr <addr>]
+//!                [--max-sessions <n>] [--token <tenant>:<token>]...
+//!                [--results-log <path>] [--drain-secs <s>]
 //!                                                      run a UDP test server
-//! swiftest measure [--json] [--trace-json <path>] <host:port> [<host:port>...]
-//!                                                      run a real test against servers
+//! swiftest measure [--json] [--trace-json <path>] [--auth <tenant>:<token>]
+//!                  <host:port> [<host:port>...]        run a real test against servers
 //! swiftest simulate [--json] [--trace-json <path>] [4g|5g|wifi] [seed]
 //!                                                      run a simulated test
 //! swiftest bench [4g|5g|wifi] [n]                      simulated Swiftest-vs-BTS-APP summary
+//! swiftest load [--clients <n>] [--sockets <n>] [--no-chaos] [--out <dir>]
+//!                                                      the service load harness
 //! ```
 //!
 //! `--json` switches the final report from the human table to one JSON
@@ -16,21 +20,55 @@
 //! sample, rate change, stall, and the convergence point) to `path`.
 //! `--metrics-addr` exposes the server's registry at
 //! `http://<addr>/metrics` in Prometheus text format.
+//!
+//! Service hardening (`serve`): `--max-sessions` enables the admission
+//! controller (HELLO/ADMIT handshake, bounded queue, overload
+//! shedding); `--token tenant:token` (repeatable) restricts admission
+//! to those tenants; `--results-log` appends every finished session to
+//! a crash-safe checksummed log (recovered, tail-truncated, and
+//! replayed on restart). On SIGTERM or Ctrl-C the server drains
+//! gracefully: new sessions are rejected `Draining` while in-flight
+//! tests run to completion, bounded by `--drain-secs`.
 
+use mobile_bandwidth::bench::load::{run_load, LoadConfig};
 use mobile_bandwidth::core::{BtsKind, TechClass, TestHarness};
 use mobile_bandwidth::stats::descriptive;
+use mobile_bandwidth::telemetry::Registry;
+use mobile_bandwidth::wire::admission::{AdmissionConfig, TenantConfig};
+use mobile_bandwidth::wire::client::SessionAuth;
 use mobile_bandwidth::wire::server::{ServerConfig, UdpTestServer};
 use mobile_bandwidth::wire::{SwiftestClient, WireTestConfig};
 use std::net::SocketAddr;
+use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  swiftest serve [--capacity <mbps>] [--port <port>] [--metrics-addr <addr>]\n  \
-         swiftest measure [--json] [--trace-json <path>] <host:port> [<host:port>...]\n  \
+        "usage:\n  swiftest serve [--capacity <mbps>] [--port <port>] [--metrics-addr <addr>]\n    \
+         [--max-sessions <n>] [--token <tenant>:<token>]... [--results-log <path>] [--drain-secs <s>]\n  \
+         swiftest measure [--json] [--trace-json <path>] [--auth <tenant>:<token>] <host:port> [<host:port>...]\n  \
          swiftest simulate [--json] [--trace-json <path>] [4g|5g|wifi] [seed]\n  \
-         swiftest bench [4g|5g|wifi] [n]"
+         swiftest bench [4g|5g|wifi] [n]\n  \
+         swiftest load [--clients <n>] [--sockets <n>] [--no-chaos] [--out <dir>]"
     );
     std::process::exit(2);
+}
+
+/// Parse a `tenant:token` pair (`token` decimal or `0x…` hex).
+fn parse_tenant_pair(s: &str) -> (u64, u64) {
+    let parse_u64 = |v: &str| {
+        if let Some(hex) = v.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            v.parse().ok()
+        }
+    };
+    let Some((tenant, token)) = s.split_once(':') else {
+        usage();
+    };
+    match (parse_u64(tenant), parse_u64(token)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => usage(),
+    }
 }
 
 fn parse_tech(s: Option<&String>) -> TechClass {
@@ -98,6 +136,7 @@ fn main() {
         Some("measure") => measure(&args[1..]),
         Some("simulate") => simulate(&args[1..]),
         Some("bench") => bench(&args[1..]),
+        Some("load") => load(&args[1..]),
         _ => usage(),
     }
 }
@@ -106,6 +145,10 @@ fn serve(args: &[String]) {
     let mut capacity: Option<u64> = None;
     let mut port: u16 = 7777;
     let mut metrics_addr: Option<SocketAddr> = None;
+    let mut max_sessions: Option<usize> = None;
+    let mut tenants: Vec<TenantConfig> = Vec::new();
+    let mut results_log: Option<PathBuf> = None;
+    let mut drain_secs: u64 = 10;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -129,9 +172,37 @@ fn serve(args: &[String]) {
                         .unwrap_or_else(|| usage()),
                 );
             }
+            "--max-sessions" => {
+                max_sessions = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--token" => {
+                let (tenant, token) =
+                    parse_tenant_pair(it.next().map(String::as_str).unwrap_or_else(|| usage()));
+                tenants.push(TenantConfig::new(tenant, token));
+            }
+            "--results-log" => {
+                results_log = Some(PathBuf::from(it.next().cloned().unwrap_or_else(|| usage())));
+            }
+            "--drain-secs" => {
+                drain_secs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
     }
+    // Any admission knob turns the handshake on; tokens without an
+    // explicit cap get a sane default.
+    let admission = if max_sessions.is_some() || !tenants.is_empty() {
+        Some(AdmissionConfig::open(max_sessions.unwrap_or(256)).with_tenants(tenants))
+    } else {
+        None
+    };
     let runtime = tokio::runtime::Runtime::new().expect("tokio runtime");
     runtime.block_on(async {
         let server = UdpTestServer::start(ServerConfig {
@@ -139,6 +210,9 @@ fn serve(args: &[String]) {
             emulated_capacity_bps: capacity,
             session_timeout: std::time::Duration::from_secs(30),
             metrics_addr,
+            admission: admission.clone(),
+            results_log,
+            drain_deadline: std::time::Duration::from_secs(drain_secs),
             ..Default::default()
         })
         .await
@@ -150,25 +224,145 @@ fn serve(args: &[String]) {
         if let Some(addr) = server.metrics_addr() {
             println!("metrics on http://{addr}/metrics");
         }
-        println!("press Ctrl-C to stop");
-        tokio::signal::ctrl_c().await.ok();
-        server.shutdown().await;
+        if let Some(cfg) = &admission {
+            println!(
+                "admission: max {} sessions, {} tenant token(s)",
+                cfg.max_sessions,
+                cfg.tenants.len()
+            );
+        }
+        if let Some(rec) = server.log_recovery() {
+            println!(
+                "results log: {} record(s) replayed{}",
+                rec.records.len(),
+                if rec.clean() {
+                    String::new()
+                } else {
+                    format!(", {} torn byte(s) truncated", rec.truncated_bytes)
+                }
+            );
+        }
+        println!("SIGTERM or Ctrl-C drains gracefully ({drain_secs} s deadline)");
+
+        // Graceful shutdown: reject new sessions `Draining`, let
+        // in-flight tests finish, abort stragglers at the deadline.
+        wait_for_shutdown_signal().await;
+        let inflight = server.active_sessions();
+        if inflight > 0 {
+            println!("draining {inflight} in-flight session(s)...");
+        }
+        server.begin_drain();
+        if server.drain().await {
+            println!("drained cleanly");
+        } else {
+            eprintln!("drain deadline hit; stragglers logged incomplete");
+        }
     });
+}
+
+/// Resolve on SIGTERM (unix) or Ctrl-C, whichever lands first.
+async fn wait_for_shutdown_signal() {
+    #[cfg(unix)]
+    {
+        let mut sigterm = tokio::signal::unix::signal(tokio::signal::unix::SignalKind::terminate())
+            .expect("install SIGTERM handler");
+        tokio::select! {
+            _ = sigterm.recv() => {}
+            _ = tokio::signal::ctrl_c() => {}
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        tokio::signal::ctrl_c().await.ok();
+    }
+}
+
+fn load(args: &[String]) {
+    let mut out_dir = PathBuf::from("results");
+    let mut clients: Option<usize> = None;
+    let mut sockets: Option<usize> = None;
+    let mut no_chaos = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--clients" => {
+                clients = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--sockets" => {
+                sockets = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--no-chaos" => no_chaos = true,
+            "--out" => out_dir = PathBuf::from(it.next().cloned().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let mut cfg = LoadConfig::full(out_dir.join("service.reslog"));
+    if let Some(n) = clients {
+        cfg.clients = n;
+        cfg.target_inflight = (n / 3).max(4);
+    }
+    if let Some(n) = sockets {
+        cfg.sockets = n;
+    }
+    if no_chaos {
+        cfg.chaos = false;
+    }
+    let registry = Registry::new();
+    let report = run_load(&cfg, &registry).unwrap_or_else(|e| {
+        eprintln!("load harness failed: {e}");
+        std::process::exit(1);
+    });
+    let json_path = out_dir.join("BENCH_service.json");
+    std::fs::write(&json_path, report.to_json())
+        .unwrap_or_else(|e| panic!("write {json_path:?}: {e}"));
+    print!("{}", report.render());
+    println!("report written to {json_path:?}");
+    if !report.zero_loss() {
+        eprintln!("accepted-session loss detected");
+        std::process::exit(1);
+    }
 }
 
 fn measure(args: &[String]) {
     let (opts, rest) = split_output_opts(args);
-    if rest.is_empty() {
+    let mut auth: Option<SessionAuth> = None;
+    let mut addrs_raw: Vec<&String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if a == "--auth" {
+            let (tenant, token) =
+                parse_tenant_pair(it.next().map(String::as_str).unwrap_or_else(|| usage()));
+            auth = Some(SessionAuth { tenant, token });
+        } else {
+            addrs_raw.push(a);
+        }
+    }
+    if addrs_raw.is_empty() {
         usage();
     }
-    let addrs: Vec<SocketAddr> = rest
+    let addrs: Vec<SocketAddr> = addrs_raw
         .iter()
         .map(|a| a.parse().unwrap_or_else(|_| usage()))
         .collect();
     let model = TechClass::Wifi.default_model();
     let runtime = tokio::runtime::Runtime::new().expect("tokio runtime");
     runtime.block_on(async {
-        let client = SwiftestClient::new(model, WireTestConfig::default());
+        let client = SwiftestClient::new(
+            model,
+            WireTestConfig {
+                auth,
+                ..WireTestConfig::default()
+            },
+        );
         match client.measure(&addrs).await {
             Ok(report) => {
                 if let Some(path) = &opts.trace_path {

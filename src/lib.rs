@@ -42,6 +42,7 @@
 //! planning, dataset analysis, and a live localhost UDP test).
 
 pub use mbw_analysis as analysis;
+pub use mbw_bench as bench;
 pub use mbw_congestion as congestion;
 pub use mbw_core as core;
 pub use mbw_dataset as dataset;

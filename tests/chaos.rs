@@ -1,7 +1,7 @@
 //! Chaos suite: fault injection against both the simulated harness and
 //! the real-socket wire stack.
 //!
-//! Four fault classes, each exercised end to end:
+//! Five fault classes, each exercised end to end:
 //!
 //! 1. **Blackout** — `FaultPlan`/`FaultInjection` windows in the
 //!    simulator; `FaultyLink::set_blackout` on real sockets.
@@ -11,6 +11,10 @@
 //!    PINGs but never paces a byte.
 //! 4. **Malformed datagrams** — garbage, truncated, and oversized frames
 //!    blasted at a serving `UdpTestServer` mid-test.
+//! 5. **Server restart mid-session** — the serving instance dies hard
+//!    and comes back on the same address with the same results log; the
+//!    client rides failover onto the restarted server, and the log ends
+//!    with exactly one complete record for the completed test.
 //!
 //! Every test is deadline-bounded (nothing may hang), nothing may panic,
 //! and the simulated campaigns are bit-deterministic under a fixed seed.
@@ -21,8 +25,8 @@ use mobile_bandwidth::core::{AccessScenario, FaultInjection, FluctuationClass, T
 use mobile_bandwidth::netsim::{FaultKind, FaultPlan, FaultWindow, PathConfig, PathModel, SimTime};
 use mobile_bandwidth::stats::Gmm;
 use mobile_bandwidth::wire::{
-    FaultyLink, FaultyLinkConfig, ServerConfig, StallServer, SwiftestClient, UdpTestServer,
-    WireTestConfig,
+    AdmissionConfig, FaultyLink, FaultyLinkConfig, ResultsLog, ServerConfig, SessionAuth,
+    StallServer, SwiftestClient, TenantConfig, UdpTestServer, WireTestConfig,
 };
 use std::sync::OnceLock;
 use std::time::Duration;
@@ -301,6 +305,99 @@ async fn wire_stalling_server_fails_over_and_flags_degraded() {
     );
     stall.shutdown().await;
     live.shutdown().await;
+}
+
+// ---------------------------------------------------------------------
+// Fault class 5: server restart mid-session, real sockets.
+// ---------------------------------------------------------------------
+
+#[tokio::test(flavor = "multi_thread")]
+async fn wire_server_restart_mid_session_fails_over_to_the_restarted_server() {
+    let _net = net_lock().lock().await;
+    let mut log_path = std::env::temp_dir();
+    log_path.push(format!("mbw-chaos-restart-{}.reslog", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+
+    let admission =
+        || Some(AdmissionConfig::open(16).with_tenants(vec![TenantConfig::new(7, 0x5EC12E7)]));
+    let first = UdpTestServer::start(ServerConfig {
+        emulated_capacity_bps: Some(10_000_000),
+        admission: admission(),
+        results_log: Some(log_path.clone()),
+        ..Default::default()
+    })
+    .await
+    .expect("first server");
+    let addr = first.local_addr();
+
+    let task = tokio::spawn(async move {
+        let client = SwiftestClient::new(
+            wire_model(),
+            WireTestConfig {
+                auth: Some(SessionAuth {
+                    tenant: 7,
+                    token: 0x5EC12E7,
+                }),
+                ..WireTestConfig::default()
+            },
+        );
+        // The same address twice: the "next-best server" after the
+        // restart is the restarted instance itself.
+        client.measure_ranked(&[addr, addr], Duration::ZERO).await
+    });
+
+    // Mid-probe, take the server down hard and bring a fresh instance
+    // up on the same address with the same results log.
+    tokio::time::sleep(Duration::from_millis(300)).await;
+    first.shutdown().await;
+    let second = UdpTestServer::start(ServerConfig {
+        bind: addr,
+        emulated_capacity_bps: Some(10_000_000),
+        admission: admission(),
+        results_log: Some(log_path.clone()),
+        ..Default::default()
+    })
+    .await
+    .expect("restarted server on the same address");
+    // Restart recovery must replay the aborted session the first
+    // instance logged on shutdown.
+    let replayed = second.log_recovery().expect("log configured");
+    assert_eq!(replayed.records.len(), 1, "{replayed:?}");
+    assert!(
+        !replayed.records[0].complete,
+        "aborted session logged complete"
+    );
+    assert!(replayed.clean(), "shutdown left a torn log: {replayed:?}");
+
+    let report = tokio::time::timeout(WIRE_DEADLINE, task)
+        .await
+        .expect("failover must finish inside the deadline")
+        .expect("join")
+        .expect("the restarted server should rescue the test");
+    assert_eq!(report.failovers, 1);
+    assert_eq!(report.server, addr);
+    assert!(report.status.is_degraded(), "status {:?}", report.status);
+    assert!(
+        report.estimate_mbps > 2.0,
+        "estimate {:.1}",
+        report.estimate_mbps
+    );
+
+    second.shutdown().await;
+    // The completed test left exactly one complete record; the aborted
+    // first half is on file as incomplete.
+    let recovery = ResultsLog::read_all(&log_path).expect("read results log");
+    assert!(recovery.clean(), "{recovery:?}");
+    let complete: Vec<_> = recovery.records.iter().filter(|r| r.complete).collect();
+    assert_eq!(
+        complete.len(),
+        1,
+        "expected exactly one complete record: {:?}",
+        recovery.records
+    );
+    assert_eq!(complete[0].tenant, 7);
+    assert!(complete[0].estimate_mbps > 2.0);
+    let _ = std::fs::remove_file(&log_path);
 }
 
 // ---------------------------------------------------------------------
