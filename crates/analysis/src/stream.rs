@@ -22,6 +22,7 @@
 
 use crate::sweep::{FigureSet, MeasurementFigures};
 use mbw_dataset::{DatasetConfig, Generator, ShardPlan, TestRecord};
+use mbw_telemetry::trace::{self, ArgValue};
 use std::time::{Duration, Instant};
 
 /// Records generated per buffer refill. Large enough to amortise the
@@ -111,11 +112,14 @@ struct WorkerOut {
 /// Fold a contiguous run of units into one fresh figure set, reusing a
 /// single batch buffer across every shard in the run.
 fn fold_units(units: &[Unit]) -> WorkerOut {
+    let tracer = trace::active();
+    let mut spans = tracer.local();
     let mut set = FigureSet::new();
     let mut buf: Vec<TestRecord> = Vec::with_capacity(BATCH);
     let mut generate_nanos = 0u64;
     let mut observe_nanos = 0u64;
     for unit in units {
+        let shard_span = spans.begin();
         let mut gen = Generator::for_shard(unit.config, unit.shard);
         let mut remaining = unit.len;
         while remaining > 0 {
@@ -132,6 +136,19 @@ fn fold_units(units: &[Unit]) -> WorkerOut {
             observe_nanos += t1.elapsed().as_nanos() as u64;
             generate_nanos += (t1 - t0).as_nanos() as u64;
             remaining -= take;
+        }
+        if shard_span.id != 0 {
+            spans.end_with(
+                shard_span,
+                0,
+                "stream.shard",
+                "stream",
+                vec![
+                    ("shard", ArgValue::U64(unit.shard)),
+                    ("records", ArgValue::from(unit.len)),
+                    ("baseline", ArgValue::U64(u64::from(unit.baseline))),
+                ],
+            );
         }
     }
     WorkerOut {
@@ -153,6 +170,9 @@ pub fn stream_figures_timed(
     plan: ShardPlan,
 ) -> (MeasurementFigures, StreamTimings) {
     let wall_start = Instant::now();
+    let tracer = trace::active();
+    let mut spans = tracer.local();
+    let run_span = spans.begin();
     let units = work_list(baseline, current, plan);
     let threads = plan.thread_count();
 
@@ -163,9 +183,14 @@ pub fn stream_figures_timed(
         let per_worker = units.len().div_ceil(workers);
         let mut slots: Vec<Option<WorkerOut>> = Vec::new();
         slots.resize_with(workers, || None);
+        // Spawned workers do not inherit the caller's trace scope, so
+        // each one re-`scope`s the captured tracer around its fold.
+        let tracer_ref = &tracer;
         crossbeam::thread::scope(|scope| {
             for (chunk, slot) in units.chunks(per_worker).zip(slots.iter_mut()) {
-                scope.spawn(move |_| *slot = Some(fold_units(chunk)));
+                scope.spawn(move |_| {
+                    *slot = Some(trace::scope(tracer_ref, || fold_units(chunk)));
+                });
             }
         })
         .expect("stream worker panicked");
@@ -177,6 +202,7 @@ pub fn stream_figures_timed(
     let mut set = first.set;
     let mut generate_nanos = first.generate_nanos;
     let mut observe_nanos = first.observe_nanos;
+    let merge_span = spans.begin();
     let merge_start = Instant::now();
     for out in outs {
         generate_nanos += out.generate_nanos;
@@ -184,10 +210,13 @@ pub fn stream_figures_timed(
         set.merge(out.set);
     }
     let merge = merge_start.elapsed();
+    spans.end(merge_span, run_span.id, "stream.merge", "stream");
 
+    let finish_span = spans.begin();
     let finish_start = Instant::now();
     let figures = set.finish();
     let finish = finish_start.elapsed();
+    spans.end(finish_span, run_span.id, "stream.finish", "stream");
 
     let timings = StreamTimings {
         generate: Duration::from_nanos(generate_nanos),
@@ -197,6 +226,18 @@ pub fn stream_figures_timed(
         wall: wall_start.elapsed(),
         records: baseline.tests + current.tests,
     };
+    if run_span.id != 0 {
+        spans.end_with(
+            run_span,
+            0,
+            "stream.run",
+            "stream",
+            vec![
+                ("records", ArgValue::from(timings.records)),
+                ("threads", ArgValue::from(threads)),
+            ],
+        );
+    }
     (figures, timings)
 }
 
@@ -249,6 +290,58 @@ mod tests {
         assert_eq!(t.parallel_wall(), t.wall - t.merge - t.finish);
         assert!(t.parallel_records_per_second() >= t.records_per_second());
         assert!(figs.summary.is_ok());
+    }
+
+    #[test]
+    fn trace_attributes_the_finish_tail_per_figure() {
+        use mbw_telemetry::{Tracer, WallClock};
+        use std::sync::Arc;
+
+        let tracer = Tracer::new(Arc::new(WallClock::new()), 0xF1);
+        let (b, c) = configs(20_000, 0xBEEF);
+        let (figs, t) = trace::scope(&tracer, || {
+            stream_figures_timed(b, c, ShardPlan::new(1_024, 4))
+        });
+        assert!(figs.summary.is_ok());
+
+        let spans = tracer.spans();
+        let count = |n: &str| spans.iter().filter(|s| s.name == n).count();
+        assert!(count("stream.shard") > 0, "worker shards were not traced");
+        assert_eq!(count("stream.merge"), 1);
+        assert_eq!(count("stream.finish"), 1);
+        assert_eq!(count("stream.run"), 1);
+        assert_eq!(count("sweep.finish"), 1);
+
+        let root = spans.iter().find(|s| s.name == "sweep.finish").unwrap();
+        let per_figure: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name.starts_with("finish."))
+            .collect();
+        assert_eq!(per_figure.len(), 24, "one finish span per figure field");
+        for s in &per_figure {
+            assert_eq!(s.parent, root.id, "{} not parented to sweep.finish", s.name);
+        }
+
+        // The per-figure spans nest inside the root and account for
+        // (essentially) the whole measured finish stage: the only
+        // untimed work is struct assembly, nanoseconds of it.
+        let sum: u64 = per_figure.iter().map(|s| s.dur_ns).sum();
+        assert!(sum <= root.dur_ns, "children exceed the sweep.finish root");
+        let stage = t.finish.as_nanos() as u64;
+        assert!(
+            sum as f64 >= stage as f64 * 0.95 - 2e6,
+            "finish spans ({sum} ns) attribute too little of the finish stage ({stage} ns)"
+        );
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let (b, c) = configs(2_000, 3);
+        let (figs, _) = stream_figures_timed(b, c, ShardPlan::new(512, 2));
+        assert!(figs.summary.is_ok());
+        let ambient = trace::active();
+        assert!(!ambient.enabled());
+        assert!(ambient.spans().is_empty());
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::tables::{Table1, Table2};
 use crate::wifi::{SlowPlanAcc, WifiAcc, WifiCdfFigure};
 use crate::Render;
 use mbw_dataset::{AccessTech, Dataset, RecordView, TestRecord};
+use mbw_telemetry::trace;
 use std::ops::Range;
 
 /// A population the sweep can walk: row-major slices and columnar
@@ -225,36 +226,55 @@ impl FigureSet {
     }
 
     /// Produce every finished figure.
+    ///
+    /// Under an active [`trace::Tracer`] scope each per-figure finish
+    /// is recorded as a `finish.{field}` span parented to one
+    /// `sweep.finish` root — this is where the single-threaded tail of
+    /// a streaming run lives (GMM fits most of all), so the spans
+    /// attribute exactly which figure the tail is spent on.
     pub fn finish(self) -> MeasurementFigures {
+        let tracer = trace::active();
+        let mut spans = tracer.local();
+        let all = spans.begin();
+        macro_rules! timed {
+            ($name:literal, $e:expr) => {{
+                let span = spans.begin();
+                let value = $e;
+                spans.end(span, all.id, concat!("finish.", $name), "sweep");
+                value
+            }};
+        }
         let [d4, d5, dw] = self.devices;
-        MeasurementFigures {
+        let figures = MeasurementFigures {
             table1: Table1,
             table2: Table2,
-            fig01: self.fig01.finish(),
-            fig02: self.fig02.finish(),
-            fig03: self.fig03.finish(),
-            fig04: self.fig04.finish(),
-            fig05_06: self.fig05_06.finish(),
-            fig07: self.fig07.finish(),
-            fig08_09: self.fig08_09.finish(),
-            fig10: self.fig10.finish(),
-            fig11_12: self.fig11_12.finish(),
-            lte_rss: self.lte_rss.finish(),
-            fig13: self.fig13.finish(),
-            fig14: self.fig14.finish(),
-            fig15: self.fig15.finish(),
-            slow_plan_shares: self.slow_plan.finish(),
-            fig16: self.fig16.finish(),
-            fig18: self.fig18.finish(),
-            fig19: self.fig19.finish(),
-            spatial: self.spatial.finish(),
-            urban_rural: self.urban_rural.finish(),
-            same_group: self.same_group.finish(),
-            correlations: self.correlations.finish(),
-            summary: self.summary.finish(),
-            devices: [d4.finish(), d5.finish(), dw.finish()],
-            outcomes: self.outcomes.finish(),
-        }
+            fig01: timed!("fig01", self.fig01.finish()),
+            fig02: timed!("fig02", self.fig02.finish()),
+            fig03: timed!("fig03", self.fig03.finish()),
+            fig04: timed!("fig04", self.fig04.finish()),
+            fig05_06: timed!("fig05_06", self.fig05_06.finish()),
+            fig07: timed!("fig07", self.fig07.finish()),
+            fig08_09: timed!("fig08_09", self.fig08_09.finish()),
+            fig10: timed!("fig10", self.fig10.finish()),
+            fig11_12: timed!("fig11_12", self.fig11_12.finish()),
+            lte_rss: timed!("lte_rss", self.lte_rss.finish()),
+            fig13: timed!("fig13", self.fig13.finish()),
+            fig14: timed!("fig14", self.fig14.finish()),
+            fig15: timed!("fig15", self.fig15.finish()),
+            slow_plan_shares: timed!("slow_plan", self.slow_plan.finish()),
+            fig16: timed!("fig16", self.fig16.finish()),
+            fig18: timed!("fig18", self.fig18.finish()),
+            fig19: timed!("fig19", self.fig19.finish()),
+            spatial: timed!("spatial", self.spatial.finish()),
+            urban_rural: timed!("urban_rural", self.urban_rural.finish()),
+            same_group: timed!("same_group", self.same_group.finish()),
+            correlations: timed!("correlations", self.correlations.finish()),
+            summary: timed!("summary", self.summary.finish()),
+            devices: timed!("devices", [d4.finish(), d5.finish(), dw.finish()]),
+            outcomes: timed!("robustness", self.outcomes.finish()),
+        };
+        spans.end(all, 0, "sweep.finish", "sweep");
+        figures
     }
 }
 

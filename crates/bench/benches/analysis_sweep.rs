@@ -51,6 +51,16 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Which machine class produced these numbers (`MBW_RUNNER_CLASS`,
+/// e.g. `ci-shared`, `bare-metal`). Throughput is not comparable
+/// across runner classes, so the report carries its provenance.
+fn runner_class() -> String {
+    std::env::var("MBW_RUNNER_CLASS")
+        .unwrap_or_else(|_| "unclassified-dev".into())
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+}
+
 /// Best-of-`iters` wall time of `f`.
 fn time_best<T>(iters: usize, mut f: impl FnMut() -> T) -> Duration {
     (0..iters.max(1))
@@ -158,6 +168,8 @@ fn main() {
     let _ = writeln!(json, "  \"records_analyzed\": {analyzed},");
     let _ = writeln!(json, "  \"threads_detected\": {detected},");
     let _ = writeln!(json, "  \"iterations\": {iters},");
+    let _ = writeln!(json, "  \"runner_class\": \"{}\",", runner_class());
+    let _ = writeln!(json, "  \"wall_clock_source\": \"std::time::Instant\",");
     let _ = writeln!(json, "  \"measurements\": {{");
     let _ = writeln!(
         json,

@@ -9,6 +9,7 @@
 //! figures --trials 40 fig20        # 40 campaign trials per series
 //! figures --out smoke-t4 ...       # write reports somewhere else
 //! figures --metrics-addr 127.0.0.1:9091 ...  # expose /metrics
+//! figures --trace-out trace.json ...         # Perfetto-ready span trace
 //! figures service                  # the service load harness
 //! figures --clients 40000 --sockets 8 service   # sized explicitly
 //! figures --no-chaos service       # skip the blackout in the soak
@@ -27,17 +28,25 @@
 //! pass — byte-identical for every thread count. With `--metrics-addr`
 //! the per-stage timings (generate / observe / merge / finish and plan
 //! / execute / reduce) are scrapable at `/metrics` while the run is in
-//! flight.
+//! flight. With `--trace-out PATH` the whole run is span-traced: the
+//! causal tree (streaming shards, merge, per-figure finish, GMM fits,
+//! campaign batches) is written to `PATH` as Chrome trace-event JSON
+//! (load it at <https://ui.perfetto.dev>), a text self-profile with
+//! slow-span budget violations lands next to it at
+//! `PATH.profile.txt`, and per-span-name duration histograms join the
+//! registry as `trace_span_seconds`.
 
 use mbw_bench::{bts_eval, deploy_eval, eval_sweep, load, measurement};
 use mbw_core::{run_campaign_metered, EvalCounts};
 use mbw_dataset::csv::CsvWriter;
 use mbw_dataset::{generate_sharded, DatasetConfig, RecordView, ShardPlan, Year};
-use mbw_telemetry::{CampaignMetrics, MetricsServer, PipelineMetrics, Registry};
+use mbw_telemetry::trace;
+use mbw_telemetry::{CampaignMetrics, MetricsServer, PipelineMetrics, Registry, Tracer, WallClock};
 use std::fs;
 use std::io::BufWriter;
 use std::net::SocketAddr;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Sizes {
@@ -98,6 +107,7 @@ struct Options {
     threads: usize,
     out_dir: PathBuf,
     metrics_addr: Option<SocketAddr>,
+    trace_out: Option<PathBuf>,
     clients: Option<usize>,
     sockets: Option<usize>,
     no_chaos: bool,
@@ -112,6 +122,7 @@ fn parse_args() -> Options {
         threads: 1,
         out_dir: PathBuf::from("results"),
         metrics_addr: None,
+        trace_out: None,
         clients: None,
         sockets: None,
         no_chaos: false,
@@ -165,6 +176,7 @@ fn parse_args() -> Options {
                 }));
             }
             "--no-chaos" => opts.no_chaos = true,
+            "--trace-out" => opts.trace_out = Some(PathBuf::from(value("--trace-out"))),
             "--metrics-addr" => {
                 let v = value("--metrics-addr");
                 opts.metrics_addr = Some(v.parse().unwrap_or_else(|_| {
@@ -184,6 +196,43 @@ fn parse_args() -> Options {
 
 fn main() {
     let opts = parse_args();
+    // One wall-clock tracer scoped around the whole run; every layer
+    // (streaming engine, GMM fits, campaign executor) picks it up via
+    // `trace::active()`. Disabled (all no-ops) without `--trace-out`.
+    let tracer = if opts.trace_out.is_some() {
+        Tracer::new(Arc::new(WallClock::new()), 0xF165)
+    } else {
+        Tracer::disabled()
+    };
+    trace::scope(&tracer, || run(&opts));
+    if let Some(path) = &opts.trace_out {
+        write_trace(&tracer, path);
+    }
+}
+
+/// Write the Chrome trace-event JSON to `path` and the text
+/// self-profile (slow-span budget violations first) to
+/// `path.profile.txt`.
+fn write_trace(tracer: &Tracer, path: &Path) {
+    let spans = tracer.spans();
+    fs::write(path, trace::export_chrome_json(&spans))
+        .unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    let budgets = trace::SpanBudgets::default_profile();
+    let mut profile_path = path.as_os_str().to_owned();
+    profile_path.push(".profile.txt");
+    let profile_path = PathBuf::from(profile_path);
+    fs::write(&profile_path, trace::self_profile(&spans, &budgets, 20))
+        .unwrap_or_else(|e| panic!("write {profile_path:?}: {e}"));
+    eprintln!(
+        "trace: {} spans -> {} (profile: {}, {} dropped by the span limit)",
+        spans.len(),
+        path.display(),
+        profile_path.display(),
+        tracer.dropped()
+    );
+}
+
+fn run(opts: &Options) {
     let sizes = if opts.quick { QUICK } else { FULL };
     let dataset = opts.records.unwrap_or(sizes.dataset);
     let ids: Vec<String> = if opts.selected.is_empty() {
@@ -399,6 +448,13 @@ fn main() {
             metrics.generated_total(),
             metrics.analyzed_total()
         );
+    }
+    // Fold span durations into the shared registry so a scrape sees
+    // `trace_span_seconds{name=...}` next to the stage gauges.
+    let ambient = trace::active();
+    if ambient.enabled() {
+        let spans = ambient.spans();
+        trace::publish_spans(&registry, &spans, &trace::SpanBudgets::default_profile());
     }
     if let Some(server) = server {
         server.shutdown();

@@ -31,6 +31,7 @@ use mbw_core::estimator::ConvergenceEstimator;
 use mbw_core::probe::{run_swiftest, SwiftestConfig};
 use mbw_core::{AccessScenario, TechClass};
 use mbw_stats::{Gmm, SeededRng};
+use mbw_telemetry::trace;
 use mbw_telemetry::{Registry, ServiceMetrics};
 use mbw_wire::admission::{Admission, AdmissionConfig, AdmissionController, ShedState};
 use mbw_wire::client::{SessionAuth, SwiftestClient, WireTestConfig};
@@ -478,6 +479,10 @@ fn run_socket_phase(cfg: &LoadConfig, report: &mut LoadReport) -> std::io::Resul
         .enable_all()
         .build()?;
     let sock_log = cfg.results_log.with_extension("sock");
+    // Under an active trace scope the soak's server and clients share
+    // the ambient tracer, so client probe spans and server session
+    // spans land in one joined trace.
+    let tracer = trace::active();
     rt.block_on(async {
         let server = UdpTestServer::start(ServerConfig {
             emulated_capacity_bps: Some(10_000_000),
@@ -486,6 +491,7 @@ fn run_socket_phase(cfg: &LoadConfig, report: &mut LoadReport) -> std::io::Resul
             ),
             results_log: Some(sock_log),
             drain_deadline: Duration::from_secs(5),
+            tracer: tracer.clone(),
             ..Default::default()
         })
         .await?;
@@ -523,6 +529,7 @@ fn run_socket_phase(cfg: &LoadConfig, report: &mut LoadReport) -> std::io::Resul
                         // end to end.
                         token: if i == 0 { 0xBAD } else { LOAD_TOKEN },
                     }),
+                    tracer: tracer.clone(),
                     ..WireTestConfig::default()
                 },
             );

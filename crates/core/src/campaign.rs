@@ -35,6 +35,7 @@ use crate::scenario::AccessScenario;
 use mbw_congestion::{CcAlgorithm, FlowConfig, FlowSim};
 use mbw_netsim::{ConstantCapacity, PathConfig, PathModel, RampUpCapacity};
 use mbw_stats::{Gmm, SeededRng};
+use mbw_telemetry::trace::{self, ArgValue};
 use mbw_telemetry::CampaignMetrics;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
@@ -820,6 +821,9 @@ pub fn run_campaign_metered(
     metrics: Option<&CampaignMetrics>,
 ) -> TrialPool {
     let started = Instant::now();
+    let tracer = trace::active();
+    let mut spans = tracer.local();
+    let exec_span = spans.begin();
     let ctx = ExecContext::new();
     let n = plan.specs().len();
     let campaign_seed = plan.campaign_seed();
@@ -827,10 +831,20 @@ pub fn run_campaign_metered(
     let mut pool = TrialPool::with_capacity(campaign_seed, n, rows_total);
 
     if threads <= 1 || n <= 1 {
+        let batch_span = spans.begin();
         let mut out = [TrialOutcome::ZERO; MAX_TRIAL_ROWS];
         for spec in plan.specs() {
             let rows = execute_one(&ctx, spec, campaign_seed, metrics, &mut out);
             pool.push(*spec, &out[..rows]);
+        }
+        if batch_span.id != 0 {
+            spans.end_with(
+                batch_span,
+                exec_span.id,
+                "campaign.batch",
+                "campaign",
+                vec![("start", ArgValue::U64(0)), ("trials", ArgValue::from(n))],
+            );
         }
     } else {
         // Work stealing via a shared cursor, CLAIM_BATCH trials per
@@ -844,23 +858,45 @@ pub fn run_campaign_metered(
         let cursor = AtomicUsize::new(0);
         let mut locals: Vec<Option<Vec<Executed>>> = (0..workers).map(|_| None).collect();
         let (ctx_ref, cursor_ref, specs) = (&ctx, &cursor, plan.specs());
+        // Spawned workers do not inherit the caller's trace scope; each
+        // re-`scope`s the captured tracer and records one
+        // `campaign.batch` span per claimed batch.
+        let tracer_ref = &tracer;
+        let exec_span_id = exec_span.id;
         crossbeam::thread::scope(|scope| {
             for slot in locals.iter_mut() {
                 scope.spawn(move |_| {
-                    let mut mine: Vec<Executed> = Vec::with_capacity(n / workers + CLAIM_BATCH);
-                    let mut out = [TrialOutcome::ZERO; MAX_TRIAL_ROWS];
-                    loop {
-                        let start = cursor_ref.fetch_add(CLAIM_BATCH, AtomicOrdering::Relaxed);
-                        if start >= n {
-                            break;
+                    trace::scope(tracer_ref, || {
+                        let mut worker_spans = tracer_ref.local();
+                        let mut mine: Vec<Executed> = Vec::with_capacity(n / workers + CLAIM_BATCH);
+                        let mut out = [TrialOutcome::ZERO; MAX_TRIAL_ROWS];
+                        loop {
+                            let start = cursor_ref.fetch_add(CLAIM_BATCH, AtomicOrdering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            let end = (start + CLAIM_BATCH).min(n);
+                            let batch_span = worker_spans.begin();
+                            for (i, spec) in specs.iter().enumerate().take(end).skip(start) {
+                                let rows =
+                                    execute_one(ctx_ref, spec, campaign_seed, metrics, &mut out);
+                                mine.push((i as u32, rows as u8, out));
+                            }
+                            if batch_span.id != 0 {
+                                worker_spans.end_with(
+                                    batch_span,
+                                    exec_span_id,
+                                    "campaign.batch",
+                                    "campaign",
+                                    vec![
+                                        ("start", ArgValue::from(start)),
+                                        ("trials", ArgValue::from(end - start)),
+                                    ],
+                                );
+                            }
                         }
-                        let end = (start + CLAIM_BATCH).min(n);
-                        for (i, spec) in specs.iter().enumerate().take(end).skip(start) {
-                            let rows = execute_one(ctx_ref, spec, campaign_seed, metrics, &mut out);
-                            mine.push((i as u32, rows as u8, out));
-                        }
-                    }
-                    *slot = Some(mine);
+                        *slot = Some(mine);
+                    });
                 });
             }
         })
@@ -882,6 +918,18 @@ pub fn run_campaign_metered(
 
     if let Some(m) = metrics {
         m.observe_campaign(n as u64, started.elapsed());
+    }
+    if exec_span.id != 0 {
+        spans.end_with(
+            exec_span,
+            0,
+            "campaign.execute",
+            "campaign",
+            vec![
+                ("trials", ArgValue::from(n)),
+                ("threads", ArgValue::from(threads)),
+            ],
+        );
     }
     pool
 }
@@ -988,6 +1036,44 @@ mod tests {
             let parallel = run_campaign(&plan, threads);
             assert_eq!(serial, parallel, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn campaign_batches_are_traced_across_workers() {
+        use mbw_telemetry::{Tracer, WallClock};
+        use std::sync::Arc;
+
+        let plan = CampaignPlan::evaluation(&tiny_counts(), 0xCA);
+        let tracer = Tracer::new(Arc::new(WallClock::new()), 0xCA);
+        let traced = trace::scope(&tracer, || run_campaign(&plan, 4));
+        assert_eq!(traced, run_campaign(&plan, 4), "tracing changed the pool");
+
+        let spans = tracer.spans();
+        let exec: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "campaign.execute")
+            .collect();
+        assert_eq!(exec.len(), 1);
+        let batches: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "campaign.batch")
+            .collect();
+        assert_eq!(batches.len(), plan.len().div_ceil(CLAIM_BATCH));
+        let mut covered: usize = 0;
+        for b in &batches {
+            assert_eq!(b.parent, exec[0].id, "batch not parented to execute");
+            let trials = b
+                .args
+                .iter()
+                .find(|(k, _)| *k == "trials")
+                .map(|(_, v)| match v {
+                    ArgValue::U64(n) => *n as usize,
+                    _ => 0,
+                })
+                .unwrap();
+            covered += trials;
+        }
+        assert_eq!(covered, plan.len(), "batch spans cover every trial");
     }
 
     #[test]

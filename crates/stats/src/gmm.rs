@@ -20,6 +20,7 @@
 
 use crate::rng::SeededRng;
 use crate::special::{log_sum_exp, standard_normal_cdf};
+use mbw_telemetry::trace::{self, ArgValue};
 
 /// One Gaussian component of a mixture.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -352,7 +353,13 @@ impl Gmm {
         let mut resp = vec![0.0f64; n * k]; // responsibilities, row-major
         let mut logs = vec![0.0f64; k]; // per-sample scratch, reused
         let mut prev_ll = f64::NEG_INFINITY;
+        let tracer = trace::active();
+        let mut spans = tracer.local();
+        let fit_span = spans.begin();
+        let mut iters = 0u64;
         for _ in 0..config.max_iters {
+            let iter_span = spans.begin();
+            iters += 1;
             // E-step. `ln w` and `ln σ` are invariant across the sample
             // loop, so they are hoisted per iteration; the per-sample
             // arithmetic matches `log_pdf` term for term, keeping the fit
@@ -386,10 +393,26 @@ impl Gmm {
                 };
             }
 
+            // Per-iteration spans carry no args so a disabled tracer pays
+            // only the `id == 0` branch, never an allocation.
+            spans.end(iter_span, fit_span.id, "gmm.em_iter", "gmm");
             if (ll - prev_ll).abs() < config.tolerance {
                 break;
             }
             prev_ll = ll;
+        }
+        if fit_span.id != 0 {
+            spans.end_with(
+                fit_span,
+                0,
+                "gmm.fit",
+                "gmm",
+                vec![
+                    ("components", ArgValue::from(k)),
+                    ("samples", ArgValue::from(n)),
+                    ("iters", ArgValue::U64(iters)),
+                ],
+            );
         }
         // Renormalise weights (guards against drift from the nj floor).
         Gmm::new(mix.components)
@@ -410,15 +433,39 @@ impl Gmm {
         // selected mixture — identical to the sequential loop. Small
         // inputs (per-trial fits in the eval half) stay sequential; the
         // thread spawn would cost more than the fit.
+        let tracer = trace::active();
+        let mut auto_spans = tracer.local();
+        let auto_span = auto_spans.begin();
+        // Spawned workers do not inherit the caller's trace scope, so the
+        // candidate closure re-`scope`s the captured tracer before fitting;
+        // on the sequential path the nested scope is a no-op.
         let fit_k = |k: usize| {
-            let config = GmmFitConfig {
-                components: k,
-                seed,
-                ..Default::default()
-            };
-            Gmm::fit(data, &config).map(|g| {
-                let bic = g.bic(data);
-                (bic, g)
+            trace::scope(&tracer, || {
+                let mut spans = tracer.local();
+                let cand_span = spans.begin();
+                let config = GmmFitConfig {
+                    components: k,
+                    seed,
+                    ..Default::default()
+                };
+                let result = Gmm::fit(data, &config).map(|g| {
+                    let bic = g.bic(data);
+                    (bic, g)
+                });
+                if cand_span.id != 0 {
+                    let bic = match &result {
+                        Ok((bic, _)) => *bic,
+                        Err(_) => f64::NAN,
+                    };
+                    spans.end_with(
+                        cand_span,
+                        0,
+                        "gmm.fit_candidate",
+                        "gmm",
+                        vec![("k", ArgValue::from(k)), ("bic", ArgValue::F64(bic))],
+                    );
+                }
+                result
             })
         };
         let fits: Vec<Result<(f64, Gmm), GmmError>> =
@@ -446,6 +493,18 @@ impl Gmm {
                 }
                 Err(e) => last_err = e,
             }
+        }
+        if auto_span.id != 0 {
+            auto_spans.end_with(
+                auto_span,
+                0,
+                "gmm.fit_auto",
+                "gmm",
+                vec![
+                    ("max_components", ArgValue::from(max_components)),
+                    ("samples", ArgValue::from(data.len())),
+                ],
+            );
         }
         best.map(|(_, g)| g).ok_or(last_err)
     }

@@ -28,6 +28,10 @@
 //!   grants/rejections by typed reason, shed-state transitions,
 //!   inflight/peak session gauges, and completion-latency histograms,
 //!   shared by the wire server and the load harness.
+//! - [`trace`] — the causal span [`Tracer`]: thread-local ring buffers
+//!   draining into a lock-free collector, exported as Perfetto-loadable
+//!   Chrome trace JSON, a text self-profile with slow-span budgets, and
+//!   span-duration series in the registry.
 //!
 //! No heavy dependencies by design: the whole crate is std +
 //! `parking_lot`, so it can sit under the simulator, the tokio wire
@@ -43,6 +47,7 @@ pub mod pipeline;
 pub mod registry;
 pub mod service;
 pub mod timeline;
+pub mod trace;
 
 pub use campaign::CampaignMetrics;
 pub use clock::{Clock, ManualClock, WallClock};
@@ -53,3 +58,4 @@ pub use pipeline::PipelineMetrics;
 pub use registry::Registry;
 pub use service::ServiceMetrics;
 pub use timeline::{ProbeTimeline, TimelineEntry, TimelineEvent, TimelineSummary};
+pub use trace::{LocalTracer, OpenSpan, SpanBudgets, SpanRecord, Tracer};

@@ -84,6 +84,12 @@ fn escape_label(v: &str) -> String {
         .replace('\n', "\\n")
 }
 
+/// Escape HELP text for exposition. The text-format spec escapes only
+/// backslash and newline here — quotes are legal in help text.
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
 fn render_labels(labels: &Labels) -> String {
     if labels.is_empty() {
         return String::new();
@@ -196,7 +202,7 @@ impl Registry {
                 .values()
                 .next()
                 .map_or("untyped", Slot::type_name);
-            out.push_str(&format!("# HELP {name} {}\n", family.help));
+            out.push_str(&format!("# HELP {name} {}\n", escape_help(&family.help)));
             out.push_str(&format!("# TYPE {name} {type_name}\n"));
             for (labels, slot) in &family.instances {
                 match slot {
@@ -314,6 +320,71 @@ mod tests {
     #[should_panic(expected = "invalid metric name")]
     fn bad_names_are_rejected() {
         Registry::new().counter("1bad name", "nope");
+    }
+
+    #[test]
+    fn label_values_are_escaped_per_spec() {
+        let r = Registry::new();
+        r.counter_with("esc_total", "esc", &[("path", "C:\\tmp\ntail \"q\"")])
+            .inc();
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("esc_total{path=\"C:\\\\tmp\\ntail \\\"q\\\"\"} 1"),
+            "{text}"
+        );
+        // The raw newline in the label value must not split the series
+        // line: exactly HELP + TYPE + one series line.
+        assert_eq!(text.lines().count(), 3, "{text}");
+    }
+
+    #[test]
+    fn help_text_is_escaped_per_spec() {
+        let r = Registry::new();
+        r.counter("multi_total", "first line\nsecond \\ line").inc();
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("# HELP multi_total first line\\nsecond \\\\ line\n"),
+            "{text}"
+        );
+        // The newline in the help text must not split the comment line.
+        assert_eq!(text.lines().filter(|l| l.starts_with("# HELP")).count(), 1);
+    }
+
+    #[test]
+    fn help_and_type_render_once_per_family_with_interleaved_series() {
+        // Register labelled series of two families in interleaved order;
+        // exposition must still group each family under exactly one
+        // HELP/TYPE pair.
+        let r = Registry::new();
+        r.counter_with("a_total", "a", &[("t", "2")]).inc();
+        r.counter_with("b_total", "b", &[("t", "1")]).inc();
+        r.counter_with("a_total", "a", &[("t", "1")]).inc();
+        r.counter_with("b_total", "b", &[("t", "2")]).inc();
+        r.counter_with("a_total", "a", &[("t", "3")]).inc();
+        let text = r.render_prometheus();
+        for family in ["a_total", "b_total"] {
+            let help = format!("# HELP {family} ");
+            let typ = format!("# TYPE {family} ");
+            assert_eq!(
+                text.matches(&help).count(),
+                1,
+                "HELP for {family} must appear once:\n{text}"
+            );
+            assert_eq!(
+                text.matches(&typ).count(),
+                1,
+                "TYPE for {family} must appear once:\n{text}"
+            );
+        }
+        // Every series line of a family sits contiguously after its
+        // TYPE line (no re-interleaving).
+        let lines: Vec<&str> = text.lines().collect();
+        let first_b = lines.iter().position(|l| l.starts_with("b_total")).unwrap();
+        let last_a = lines
+            .iter()
+            .rposition(|l| l.starts_with("a_total"))
+            .unwrap();
+        assert!(last_a < first_b, "{text}");
     }
 
     #[test]

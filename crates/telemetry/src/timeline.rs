@@ -181,6 +181,42 @@ impl ProbeTimeline {
         &self.entries
     }
 
+    /// Fold another timeline into this one: entries are appended (the
+    /// cap still applies, overflow is counted), metadata keys are
+    /// union-merged (existing keys win), drop counts add, and the later
+    /// summary (by recorded duration) is kept. Call
+    /// [`canonicalize`](Self::canonicalize) afterwards to restore the
+    /// deterministic export order — per-thread recorders merged in any
+    /// order then serialise byte-identically.
+    pub fn merge_from(&mut self, other: &ProbeTimeline) {
+        for (k, v) in &other.meta {
+            self.meta.entry(k.clone()).or_insert_with(|| v.clone());
+        }
+        for e in &other.entries {
+            self.record(e.at_ns, e.event.clone());
+        }
+        self.dropped += other.dropped;
+        match (&self.summary, &other.summary) {
+            (None, Some(s)) => self.summary = Some(s.clone()),
+            (Some(mine), Some(theirs)) if theirs.duration_ns > mine.duration_ns => {
+                self.summary = Some(theirs.clone());
+            }
+            _ => {}
+        }
+    }
+
+    /// Sort entries into a canonical total order: by timestamp, ties
+    /// broken by the entry's rendered JSON. Any interleaving of a fixed
+    /// event set becomes the same sequence, so [`to_json`](Self::to_json)
+    /// is byte-stable no matter which thread recorded what first.
+    pub fn canonicalize(&mut self) {
+        self.entries.sort_by(|a, b| {
+            a.at_ns
+                .cmp(&b.at_ns)
+                .then_with(|| entry_json(a).cmp(&entry_json(b)))
+        });
+    }
+
     /// Attached metadata.
     pub fn meta(&self) -> &BTreeMap<String, String> {
         &self.meta
@@ -239,34 +275,7 @@ impl ProbeTimeline {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(
-                out,
-                "{{\"at_ns\":{},\"kind\":\"{}\"",
-                e.at_ns,
-                e.event.kind()
-            );
-            match &e.event {
-                TimelineEvent::Chunk { bytes } => {
-                    let _ = write!(out, ",\"bytes\":{bytes}");
-                }
-                TimelineEvent::Sample { mbps } | TimelineEvent::RateChange { mbps } => {
-                    let _ = write!(out, ",\"mbps\":{}", json_f64(*mbps));
-                }
-                TimelineEvent::Phase { name } => {
-                    let _ = write!(out, ",\"name\":{}", json_string(name));
-                }
-                TimelineEvent::Stall => {}
-                TimelineEvent::Failover { attempt } => {
-                    let _ = write!(out, ",\"attempt\":{attempt}");
-                }
-                TimelineEvent::Retry { round } => {
-                    let _ = write!(out, ",\"round\":{round}");
-                }
-                TimelineEvent::Converged { estimate_mbps } => {
-                    let _ = write!(out, ",\"estimate_mbps\":{}", json_f64(*estimate_mbps));
-                }
-            }
-            out.push('}');
+            out.push_str(&entry_json(e));
         }
         let _ = write!(out, "],\"dropped_events\":{}", self.dropped);
         if let Some(s) = &self.summary {
@@ -281,6 +290,42 @@ impl ProbeTimeline {
         out.push('}');
         out
     }
+}
+
+/// One entry's JSON object — shared by serialisation and the canonical
+/// sort (the rendered form is the tie-break key, giving a total order
+/// over arbitrary thread interleavings).
+fn entry_json(e: &TimelineEntry) -> String {
+    let mut out = String::with_capacity(48);
+    let _ = write!(
+        out,
+        "{{\"at_ns\":{},\"kind\":\"{}\"",
+        e.at_ns,
+        e.event.kind()
+    );
+    match &e.event {
+        TimelineEvent::Chunk { bytes } => {
+            let _ = write!(out, ",\"bytes\":{bytes}");
+        }
+        TimelineEvent::Sample { mbps } | TimelineEvent::RateChange { mbps } => {
+            let _ = write!(out, ",\"mbps\":{}", json_f64(*mbps));
+        }
+        TimelineEvent::Phase { name } => {
+            let _ = write!(out, ",\"name\":{}", json_string(name));
+        }
+        TimelineEvent::Stall => {}
+        TimelineEvent::Failover { attempt } => {
+            let _ = write!(out, ",\"attempt\":{attempt}");
+        }
+        TimelineEvent::Retry { round } => {
+            let _ = write!(out, ",\"round\":{round}");
+        }
+        TimelineEvent::Converged { estimate_mbps } => {
+            let _ = write!(out, ",\"estimate_mbps\":{}", json_f64(*estimate_mbps));
+        }
+    }
+    out.push('}');
+    out
 }
 
 /// JSON-escape a string (quotes, backslashes, control characters).
@@ -383,5 +428,76 @@ mod tests {
         t.annotate("server", "127.0.0.1:9\"quote\"\n");
         let json = t.to_json();
         assert!(json.contains("\\\"quote\\\"\\n"), "{json}");
+    }
+
+    #[test]
+    fn merged_recorders_canonicalize_to_stable_json() {
+        // Two per-thread recorders see disjoint slices of one event
+        // set; merging them in either order must export identically.
+        let mut a = ProbeTimeline::new();
+        a.annotate("kind", "swiftest");
+        a.record_chunk(10, 100);
+        a.record_sample(30, 5.0);
+        let mut b = ProbeTimeline::new();
+        b.annotate("tech", "lte");
+        b.record_rate(10, 8.0);
+        b.record_chunk(20, 200);
+
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        ab.canonicalize();
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        ba.canonicalize();
+        assert_eq!(ab.to_json(), ba.to_json());
+        assert_eq!(ab.entries().len(), 4);
+        // Meta unions from both sides.
+        assert!(ab.to_json().contains("\"kind\":\"swiftest\""));
+        assert!(ab.to_json().contains("\"tech\":\"lte\""));
+    }
+
+    #[test]
+    fn canonicalize_orders_equal_timestamps_totally() {
+        // Same at_ns, different events: the rendered JSON breaks the
+        // tie the same way regardless of insertion order.
+        let mut x = ProbeTimeline::new();
+        x.record_chunk(5, 1);
+        x.record_sample(5, 2.0);
+        x.record(5, TimelineEvent::Stall);
+        let mut y = ProbeTimeline::new();
+        y.record(5, TimelineEvent::Stall);
+        y.record_sample(5, 2.0);
+        y.record_chunk(5, 1);
+        x.canonicalize();
+        y.canonicalize();
+        assert_eq!(x.to_json(), y.to_json());
+    }
+
+    #[test]
+    fn merge_respects_the_event_cap_and_sums_drops() {
+        let mut a = ProbeTimeline::new().with_event_limit(3);
+        a.record_chunk(1, 1);
+        a.record_chunk(2, 2);
+        let mut b = ProbeTimeline::new();
+        b.record_chunk(3, 3);
+        b.record_chunk(4, 4);
+        a.merge_from(&b);
+        assert_eq!(a.entries().len(), 3);
+        assert_eq!(a.dropped(), 1);
+    }
+
+    #[test]
+    fn merge_keeps_the_longer_summary() {
+        let mut a = ProbeTimeline::new();
+        a.finish(100, 1.0, "complete");
+        let mut b = ProbeTimeline::new();
+        b.finish(500, 2.0, "complete");
+        a.merge_from(&b);
+        assert_eq!(a.summary().unwrap().duration_ns, 500);
+        // And the reverse keeps its own longer summary.
+        let mut c = ProbeTimeline::new();
+        c.finish(900, 3.0, "complete");
+        c.merge_from(&ProbeTimeline::new());
+        assert_eq!(c.summary().unwrap().duration_ns, 900);
     }
 }

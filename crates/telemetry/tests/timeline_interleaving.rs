@@ -1,0 +1,92 @@
+//! Property tests: `ProbeTimeline` export determinism under
+//! multi-threaded recording.
+//!
+//! Events recorded concurrently land on per-thread recorders in an
+//! arbitrary interleaving; merging those recorders and canonicalizing
+//! must serialise the *set* of events byte-identically no matter how
+//! they were partitioned or in which order the recorders merged.
+
+use mbw_telemetry::{ProbeTimeline, TimelineEvent};
+use proptest::prelude::*;
+
+/// An arbitrary timeline event.
+fn arb_event() -> impl Strategy<Value = TimelineEvent> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(|bytes| TimelineEvent::Chunk { bytes }),
+        (0.0f64..2000.0).prop_map(|mbps| TimelineEvent::Sample { mbps }),
+        (0.0f64..2000.0).prop_map(|mbps| TimelineEvent::RateChange { mbps }),
+        "[a-z]{1,8}".prop_map(|name| TimelineEvent::Phase { name }),
+        Just(TimelineEvent::Stall),
+        (1u32..5).prop_map(|attempt| TimelineEvent::Failover { attempt }),
+        (1u32..5).prop_map(|round| TimelineEvent::Retry { round }),
+        (0.0f64..2000.0).prop_map(|estimate_mbps| TimelineEvent::Converged { estimate_mbps }),
+    ]
+}
+
+/// A fixed event set: `(at_ns, event)` pairs.
+fn arb_events() -> impl Strategy<Value = Vec<(u64, TimelineEvent)>> {
+    prop::collection::vec(((0u64..1_000), arb_event()), 0..40)
+}
+
+/// The canonical serialisation of an event set: all events on one
+/// recorder, canonicalized.
+fn reference_json(events: &[(u64, TimelineEvent)]) -> String {
+    let mut t = ProbeTimeline::new();
+    for (at, e) in events {
+        t.record(*at, e.clone());
+    }
+    t.canonicalize();
+    t.to_json()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Partition a fixed event set across up to four simulated
+    /// recording threads (arbitrary assignment, arbitrary merge
+    /// order): the merged, canonicalized JSON is byte-identical to the
+    /// single-recorder reference.
+    #[test]
+    fn interleaved_recording_exports_byte_stable_json(
+        events in arb_events(),
+        assignment in prop::collection::vec(0usize..4, 0..40),
+        merge_order in Just(()).prop_flat_map(|_| any::<u64>()),
+    ) {
+        let reference = reference_json(&events);
+
+        // Scatter events across four per-thread recorders.
+        let mut threads: Vec<ProbeTimeline> = (0..4).map(|_| ProbeTimeline::new()).collect();
+        for (i, (at, e)) in events.iter().enumerate() {
+            let slot = assignment.get(i).copied().unwrap_or(i % 4);
+            threads[slot].record(*at, e.clone());
+        }
+
+        // Merge in a seed-derived order.
+        let mut order: Vec<usize> = (0..4).collect();
+        let mut seed = merge_order | 1;
+        for i in (1..4).rev() {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (seed >> 33) as usize % (i + 1));
+        }
+        let mut merged = ProbeTimeline::new();
+        for idx in order {
+            merged.merge_from(&threads[idx]);
+        }
+        merged.canonicalize();
+        prop_assert_eq!(merged.to_json(), reference);
+    }
+
+    /// Canonicalization is idempotent and insertion-order independent
+    /// on a single recorder.
+    #[test]
+    fn canonicalize_is_idempotent(events in arb_events()) {
+        let mut t = ProbeTimeline::new();
+        for (at, e) in &events {
+            t.record(*at, e.clone());
+        }
+        t.canonicalize();
+        let once = t.to_json();
+        t.canonicalize();
+        prop_assert_eq!(t.to_json(), once);
+    }
+}

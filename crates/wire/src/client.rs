@@ -19,7 +19,8 @@ use crate::server::UdpTestServer;
 use mbw_core::estimator::{BandwidthEstimator, ConvergenceEstimator, EstimatorDecision};
 use mbw_core::outcome::{DegradeReason, FailReason, TestStatus};
 use mbw_stats::Gmm;
-use mbw_telemetry::{ProbeTimeline, TimelineEvent};
+use mbw_telemetry::trace::ArgValue;
+use mbw_telemetry::{ProbeTimeline, TimelineEvent, Tracer};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -72,6 +73,10 @@ pub struct WireTestConfig {
     pub auth: Option<SessionAuth>,
     /// Per-attempt wait for the server's ADMIT/REJECT answer.
     pub handshake_timeout: Duration,
+    /// Span tracer for the test. Disabled by default; when enabled, the
+    /// client records admission/probe spans and propagates its trace id
+    /// inside HELLO so the server's spans join the same trace.
+    pub tracer: Tracer,
 }
 
 impl Default for WireTestConfig {
@@ -87,6 +92,7 @@ impl Default for WireTestConfig {
             stall_timeout: Duration::from_millis(400),
             auth: None,
             handshake_timeout: Duration::from_millis(500),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -184,6 +190,8 @@ impl SwiftestClient {
         candidates: &[SocketAddr],
     ) -> Result<(Vec<(SocketAddr, Duration)>, Duration, u32), WireError> {
         let started = tokio::time::Instant::now();
+        let mut spans = self.config.tracer.local();
+        let rank_span = spans.begin();
         let rounds = self.config.retry.attempts.max(1);
         // Decorrelated jitter, not the fixed exponential ladder: a
         // blackout cuts off whole fleets at once, and identical delays
@@ -196,9 +204,31 @@ impl SwiftestClient {
             let mut live = self.ping_round(candidates).await;
             if !live.is_empty() {
                 live.sort_by_key(|&(_, rtt)| rtt);
+                spans.end_with(
+                    rank_span,
+                    0,
+                    "client.rank",
+                    "wire",
+                    vec![
+                        ("candidates", ArgValue::U64(candidates.len() as u64)),
+                        ("alive", ArgValue::U64(live.len() as u64)),
+                        ("rounds", ArgValue::U64(u64::from(round + 1))),
+                    ],
+                );
                 return Ok((live, started.elapsed(), round + 1));
             }
         }
+        spans.end_with(
+            rank_span,
+            0,
+            "client.rank",
+            "wire",
+            vec![
+                ("candidates", ArgValue::U64(candidates.len() as u64)),
+                ("alive", ArgValue::U64(0)),
+                ("rounds", ArgValue::U64(u64::from(rounds))),
+            ],
+        );
         Err(WireError::NoServerReachable {
             attempted: candidates.len(),
             rounds,
@@ -232,6 +262,7 @@ impl SwiftestClient {
             tenant: auth.tenant,
             token: auth.token,
             session,
+            trace: self.config.tracer.trace_id(),
         }
         .encode();
         for attempt in 1..=attempts {
@@ -265,14 +296,80 @@ impl SwiftestClient {
         })
     }
 
+    /// Trace propagation without credentials: one best-effort anonymous
+    /// HELLO carrying the trace id. Servers answer ADMIT (lab) or
+    /// REJECT (enforced admission); either way the reply is consumed so
+    /// it cannot pollute the probe's byte counting, and silence is
+    /// tolerated — a server that ignores HELLO only costs one
+    /// handshake timeout, never the test.
+    async fn propagate_trace(&self, socket: &UdpSocket, session: u64) {
+        let hello = Message::Hello {
+            tenant: 0,
+            token: 0,
+            session,
+            trace: self.config.tracer.trace_id(),
+        }
+        .encode();
+        if socket.send(&hello).await.is_err() {
+            return;
+        }
+        let wait = tokio::time::Instant::now() + self.config.handshake_timeout;
+        let mut buf = [0u8; 64];
+        loop {
+            let left = wait.saturating_duration_since(tokio::time::Instant::now());
+            if left.is_zero() {
+                return;
+            }
+            let Ok(Ok(len)) = tokio::time::timeout(left, socket.recv(&mut buf)).await else {
+                return;
+            };
+            match Message::decode(bytes::Bytes::copy_from_slice(&buf[..len])) {
+                Ok(Message::Admit { session: s }) | Ok(Message::Reject { session: s, .. })
+                    if s == session =>
+                {
+                    return;
+                }
+                _ => {}
+            }
+        }
+    }
+
     /// Run one full test against the chosen server.
     pub async fn run_test(&self, server: SocketAddr) -> Result<WireTestReport, WireError> {
         let socket = UdpSocket::bind("127.0.0.1:0").await?;
         socket.connect(server).await?;
         let session = fresh_session_id();
 
+        let mut spans = self.config.tracer.local();
+        let test_span = spans.begin();
+
         if let Some(auth) = self.config.auth {
-            self.admit_session(&socket, server, auth, session).await?;
+            let admit_span = spans.begin();
+            let admitted = self.admit_session(&socket, server, auth, session).await;
+            spans.end_with(
+                admit_span,
+                test_span.id,
+                "client.admit",
+                "wire",
+                vec![
+                    ("session", ArgValue::U64(session)),
+                    ("ok", ArgValue::U64(admitted.is_ok() as u64)),
+                ],
+            );
+            if let Err(e) = admitted {
+                spans.end_with(
+                    test_span,
+                    0,
+                    "client.run_test",
+                    "wire",
+                    vec![("session", ArgValue::U64(session))],
+                );
+                return Err(e);
+            }
+        } else if self.config.tracer.enabled() {
+            let hello_span = spans.begin();
+            self.propagate_trace(&socket, session).await;
+            spans.end(hello_span, test_span.id, "client.hello", "wire");
         }
 
         let mut rate_mbps = self.model.dominant_mode().max(1.0);
@@ -284,6 +381,7 @@ impl SwiftestClient {
         }
         timeline.record_phase(0, "probe");
         timeline.record_rate(0, rate_mbps);
+        let probe_span = spans.begin();
         socket
             .send(
                 &Message::RateRequest {
@@ -392,6 +490,28 @@ impl SwiftestClient {
         let _ = socket.send(&Message::Stop { session }.encode()).await;
 
         let estimate_mbps = estimate.or_else(|| estimator.finalize()).unwrap_or(0.0);
+        spans.end_with(
+            probe_span,
+            test_span.id,
+            "client.probe",
+            "wire",
+            vec![
+                ("session", ArgValue::U64(session)),
+                ("bytes", ArgValue::U64(total_bytes)),
+                ("samples", ArgValue::U64(samples.len() as u64)),
+                ("estimate_mbps", ArgValue::F64(estimate_mbps)),
+            ],
+        );
+        spans.end_with(
+            test_span,
+            0,
+            "client.run_test",
+            "wire",
+            vec![
+                ("session", ArgValue::U64(session)),
+                ("server", ArgValue::Text(server.to_string())),
+            ],
+        );
         let status = if estimate_mbps <= 0.0 {
             TestStatus::Failed(FailReason::NoData)
         } else if let Some(reason) = degraded {
@@ -735,6 +855,149 @@ mod tests {
         for s in servers {
             s.shutdown().await;
         }
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn loopback_trace_joins_client_and_server_spans() {
+        use std::sync::Arc;
+        let _net = crate::net_test_lock().lock().await;
+        let clock = Arc::new(mbw_telemetry::WallClock::new());
+        let client_tracer = Tracer::new(clock.clone(), 0xC11E);
+        let server_tracer = Tracer::new(clock, 0x5E17);
+        let server = UdpTestServer::start(crate::server::ServerConfig {
+            emulated_capacity_bps: Some(10_000_000),
+            tracer: server_tracer.clone(),
+            ..Default::default()
+        })
+        .await
+        .unwrap();
+        let client = SwiftestClient::new(
+            low_rate_model(),
+            WireTestConfig {
+                tracer: client_tracer.clone(),
+                ..WireTestConfig::default()
+            },
+        );
+        let report = client.measure(&[server.local_addr()]).await.unwrap();
+        assert!(report.estimate_mbps > 3.0, "{:.1}", report.estimate_mbps);
+        // Let the server process the Stop, then flush its serve loop by
+        // shutting down (aborting the loop drops its recording handle).
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        server.shutdown().await;
+
+        let client_spans = client_tracer.spans();
+        for name in [
+            "client.rank",
+            "client.hello",
+            "client.probe",
+            "client.run_test",
+        ] {
+            assert!(
+                client_spans.iter().any(|s| s.name == name),
+                "missing client span {name}: {client_spans:?}"
+            );
+        }
+        assert!(client_spans.iter().all(|s| s.trace == 0xC11E));
+        // The server recorded its spans under the *client's* trace id.
+        let server_spans = server_tracer.spans();
+        let joined: Vec<_> = server_spans.iter().filter(|s| s.trace == 0xC11E).collect();
+        for name in ["server.hello", "server.session"] {
+            assert!(
+                joined.iter().any(|s| s.name == name),
+                "missing joined span {name}: {server_spans:?}"
+            );
+        }
+        // The probe nests under the whole test.
+        let test_span = client_spans
+            .iter()
+            .find(|s| s.name == "client.run_test")
+            .unwrap();
+        let probe = client_spans
+            .iter()
+            .find(|s| s.name == "client.probe")
+            .unwrap();
+        assert_eq!(probe.parent, test_span.id);
+        assert!(probe.dur_ns <= test_span.dur_ns);
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn traced_hello_interops_with_a_pre_trace_server() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let _net = crate::net_test_lock().lock().await;
+        // Emulate a *pre-trace* server: its HELLO decoder reads exactly
+        // the original 24 body bytes and ignores anything after them,
+        // which is how the old `Message::decode` behaved. A tracing
+        // client's 8 extra trailing bytes must be ignored gracefully —
+        // interop must not fail.
+        let sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let addr = sock.local_addr().unwrap();
+        let hello_len = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&hello_len);
+        let legacy = tokio::spawn(async move {
+            let mut buf = [0u8; 2048];
+            let mut active: Option<(SocketAddr, u64)> = None;
+            let mut tick = tokio::time::interval(Duration::from_millis(2));
+            tick.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Skip);
+            loop {
+                tokio::select! {
+                    _ = tick.tick() => {
+                        if let Some((peer, session)) = active {
+                            let _ = sock
+                                .send_to(&Message::data_packet(session, 0).encode(), peer)
+                                .await;
+                        }
+                    }
+                    received = sock.recv_from(&mut buf) => {
+                        let Ok((len, peer)) = received else { break };
+                        if len < 2 || buf[0] != crate::proto::MAGIC {
+                            continue;
+                        }
+                        match buf[1] {
+                            // HELLO: parse tenant/token/session from the
+                            // first 24 body bytes only; trailing bytes
+                            // (the trace id) are invisible to this server.
+                            7 if len >= 26 => {
+                                seen.store(len as u64, Ordering::Relaxed);
+                                let session =
+                                    u64::from_be_bytes(buf[18..26].try_into().unwrap());
+                                let mut admit = vec![crate::proto::MAGIC, 8];
+                                admit.extend_from_slice(&session.to_be_bytes());
+                                let _ = sock.send_to(&admit, peer).await;
+                            }
+                            // RateRequest starts the paced stream.
+                            3 if len >= 18 => {
+                                let session =
+                                    u64::from_be_bytes(buf[2..10].try_into().unwrap());
+                                active = Some((peer, session));
+                            }
+                            // Stop ends it.
+                            6 => active = None,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        });
+        let tracer = Tracer::new(Arc::new(mbw_telemetry::WallClock::new()), 0xABCD);
+        let client = SwiftestClient::new(
+            low_rate_model(),
+            WireTestConfig {
+                auth: Some(SessionAuth {
+                    tenant: 1,
+                    token: 2,
+                }),
+                tracer,
+                convergence_tolerance: 0.2,
+                ..WireTestConfig::default()
+            },
+        );
+        let report = client.run_test(addr).await.expect("interop must not fail");
+        assert!(report.estimate_mbps > 1.0, "{:.1}", report.estimate_mbps);
+        // The HELLO on the wire carried the trace field (2 header + 24
+        // body + 8 trace bytes) and the legacy parser ignored it.
+        assert_eq!(hello_len.load(Ordering::Relaxed), 34);
+        legacy.abort();
     }
 
     #[tokio::test(flavor = "multi_thread")]

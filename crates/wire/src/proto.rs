@@ -141,6 +141,11 @@ pub enum Message {
         token: u64,
         /// Client-chosen session identifier the ticket is for.
         session: u64,
+        /// Trace context: the client's trace identifier, or `0` for
+        /// "not tracing". Encoded as an optional trailing field so
+        /// pre-trace decoders (which read only the first 24 body
+        /// bytes) interoperate unchanged.
+        trace: u64,
     },
     /// Admission granted: the session may send its `RateRequest`
     /// (server → client).
@@ -238,11 +243,18 @@ impl Message {
                 tenant,
                 token,
                 session,
+                trace,
             } => {
                 buf.put_u8(TAG_HELLO);
                 buf.put_u64(*tenant);
                 buf.put_u64(*token);
                 buf.put_u64(*session);
+                // Optional trailing trace context: omitted when zero so
+                // a non-tracing client's HELLO is byte-identical to the
+                // pre-trace wire format.
+                if *trace != 0 {
+                    buf.put_u64(*trace);
+                }
             }
             Message::Admit { session } => {
                 buf.put_u8(TAG_ADMIT);
@@ -319,10 +331,22 @@ impl Message {
             }
             TAG_HELLO => {
                 need(&buf, 24)?;
+                let tenant = buf.get_u64();
+                let token = buf.get_u64();
+                let session = buf.get_u64();
+                // Optional trailing trace context; absent (or short) on
+                // datagrams from pre-trace encoders, which is fine —
+                // it defaults to "not tracing".
+                let trace = if buf.remaining() >= 8 {
+                    buf.get_u64()
+                } else {
+                    0
+                };
                 Ok(Message::Hello {
-                    tenant: buf.get_u64(),
-                    token: buf.get_u64(),
-                    session: buf.get_u64(),
+                    tenant,
+                    token,
+                    session,
+                    trace,
                 })
             }
             TAG_ADMIT => {
@@ -375,6 +399,13 @@ mod tests {
                 tenant: 3,
                 token: 0xDEAD_BEEF_CAFE_F00D,
                 session: 7,
+                trace: 0,
+            },
+            Message::Hello {
+                tenant: 3,
+                token: 0xDEAD_BEEF_CAFE_F00D,
+                session: 7,
+                trace: 0x5EED_5EED_5EED_5EED,
             },
             Message::Admit { session: 7 },
             Message::Reject {
@@ -450,6 +481,35 @@ mod tests {
     }
 
     #[test]
+    fn hello_trace_context_is_backward_compatible() {
+        // Not tracing: the encoding is the pre-trace 24-byte body.
+        let plain = Message::Hello {
+            tenant: 1,
+            token: 2,
+            session: 3,
+            trace: 0,
+        };
+        assert_eq!(plain.encode().len(), 2 + 24);
+
+        // Tracing: eight extra trailing bytes that roundtrip.
+        let traced = Message::Hello {
+            tenant: 1,
+            token: 2,
+            session: 3,
+            trace: 0xABCD,
+        };
+        let wire = traced.encode();
+        assert_eq!(wire.len(), 2 + 32);
+        assert_eq!(Message::decode(wire.clone()), Ok(traced));
+
+        // A pre-trace decoder reads only the first 24 body bytes; a
+        // pre-trace *encoder* emits exactly those. Simulate its
+        // datagram by truncating ours: the trace defaults to zero.
+        let legacy = wire.slice(0..2 + 24);
+        assert_eq!(Message::decode(legacy), Ok(plain));
+    }
+
+    #[test]
     fn data_payload_survives() {
         let payload = Bytes::from(vec![0xAB; 300]);
         let msg = Message::Data {
@@ -516,7 +576,12 @@ mod proptests {
                 },
                 4 => Message::Feedback { session, received_bytes: value },
                 5 => Message::Stop { session },
-                6 => Message::Hello { tenant: value, token: value.rotate_left(17), session },
+                6 => Message::Hello {
+                    tenant: value,
+                    token: value.rotate_left(17),
+                    session,
+                    trace: 0,
+                },
                 7 => Message::Admit { session },
                 _ => Message::Reject {
                     session,
@@ -544,7 +609,7 @@ mod proptests {
                 Message::RateRequest { session, rate_bps: value },
                 Message::Feedback { session, received_bytes: value },
                 Message::Stop { session },
-                Message::Hello { tenant: session, token: value, session },
+                Message::Hello { tenant: session, token: value, session, trace: value },
                 Message::Admit { session },
                 Message::Reject {
                     session,

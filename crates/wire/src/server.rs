@@ -43,7 +43,8 @@
 use crate::admission::{Admission, AdmissionConfig, AdmissionController};
 use crate::proto::{Message, RejectReason};
 use crate::resultslog::{LogRecovery, ResultRecord, ResultsLog};
-use mbw_telemetry::{Counter, Gauge, Histogram, MetricsServer, Registry, ServiceMetrics};
+use mbw_telemetry::trace::{ArgValue, SpanRecord};
+use mbw_telemetry::{Counter, Gauge, Histogram, MetricsServer, Registry, ServiceMetrics, Tracer};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -61,6 +62,12 @@ const MAX_SESSIONS: usize = 256;
 /// Consecutive `recv_from` failures after which the serve loop declares
 /// the socket dead and exits instead of spinning.
 const MAX_CONSECUTIVE_RECV_ERRORS: u32 = 16;
+
+/// Cap on remembered HELLO trace hints awaiting their `RateRequest`.
+/// A hint is eight bytes of attacker-controllable state, so the map is
+/// bounded like the session table; overflow drops the hint, never the
+/// session.
+const MAX_TRACE_HINTS: usize = 1024;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -89,6 +96,11 @@ pub struct ServerConfig {
     /// How long [`UdpTestServer::drain`] waits for in-flight sessions
     /// before giving up and aborting the stragglers.
     pub drain_deadline: Duration,
+    /// Span tracer for service-side spans (admission decisions, session
+    /// lifetimes, results-log appends). Disabled by default. Spans for
+    /// a session whose HELLO carried a trace id are recorded under the
+    /// *client's* id, so both exports join into one trace.
+    pub tracer: Tracer,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +114,7 @@ impl Default for ServerConfig {
             admission: None,
             results_log: None,
             drain_deadline: Duration::from_secs(5),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -225,6 +238,10 @@ struct Session {
     sent_bytes: Arc<AtomicU64>,
     started_ms: u64,
     tenant: u64,
+    /// The client's trace id from its HELLO (0 = untraced session).
+    trace: u64,
+    /// Session start on the tracer's clock, for the lifetime span.
+    started_ns: u64,
     task: JoinHandle<()>,
 }
 
@@ -237,6 +254,7 @@ struct ServiceHooks {
     service: ServiceMetrics,
     admission: Option<Arc<Mutex<AdmissionController>>>,
     log: Option<Arc<Mutex<ResultsLog>>>,
+    tracer: Tracer,
     /// Emulated access capacity in Mbps, recorded as ground truth.
     truth_mbps: f64,
 }
@@ -254,6 +272,10 @@ impl ServiceHooks {
         let sent = s.sent_bytes.load(Ordering::Relaxed);
         self.service
             .observe_session_end(duration, complete, sent > 0);
+        // Spans for traced sessions are recorded under the *client's*
+        // trace id (carried in its HELLO), joining the two exports.
+        let mut spans = self.tracer.local();
+        let traced = s.trace != 0 && spans.enabled();
         if let Some(log) = &self.log {
             let secs = duration.as_secs_f64();
             let record = ResultRecord {
@@ -271,10 +293,47 @@ impl ServiceHooks {
                 truth_mbps: self.truth_mbps,
                 complete,
             };
-            let mut log = log.lock();
-            if log.append(&record).is_ok() && log.sync().is_ok() {
+            let append_span = spans.begin();
+            let appended = {
+                let mut log = log.lock();
+                log.append(&record).is_ok() && log.sync().is_ok()
+            };
+            if appended {
                 self.service.observe_log_records(1);
             }
+            if traced {
+                let dur_ns = spans.now_ns().saturating_sub(append_span.start_ns);
+                spans.record(SpanRecord {
+                    trace: s.trace,
+                    id: append_span.id,
+                    parent: 0,
+                    name: "server.resultslog.append".into(),
+                    cat: "service",
+                    start_ns: append_span.start_ns,
+                    dur_ns,
+                    tid: 0,
+                    args: vec![("session", ArgValue::U64(key.1))],
+                });
+            }
+        }
+        if traced {
+            let end_ns = spans.now_ns();
+            spans.record(SpanRecord {
+                trace: s.trace,
+                id: 0,
+                parent: 0,
+                name: "server.session".into(),
+                cat: "service",
+                start_ns: s.started_ns,
+                dur_ns: end_ns.saturating_sub(s.started_ns),
+                tid: 0,
+                args: vec![
+                    ("session", ArgValue::U64(key.1)),
+                    ("tenant", ArgValue::U64(s.tenant)),
+                    ("bytes", ArgValue::U64(sent)),
+                    ("complete", ArgValue::U64(u64::from(complete))),
+                ],
+            });
         }
     }
 }
@@ -325,6 +384,7 @@ impl UdpTestServer {
             service: service.clone(),
             admission,
             log,
+            tracer: config.tracer.clone(),
             truth_mbps: config
                 .emulated_capacity_bps
                 .map_or(0.0, |bps| bps as f64 / 1e6),
@@ -402,6 +462,13 @@ impl UdpTestServer {
     /// completion latency) this server reports through.
     pub fn service_metrics(&self) -> ServiceMetrics {
         self.service.clone()
+    }
+
+    /// The tracer this server records service spans through (disabled
+    /// unless [`ServerConfig::tracer`] was set). Export its spans after
+    /// shutdown for the server half of a joined trace.
+    pub fn tracer(&self) -> Tracer {
+        self.hooks.tracer.clone()
     }
 
     /// Currently paced sessions.
@@ -503,6 +570,11 @@ async fn serve_loop(params: ServeParams) {
     let enforce_admission = hooks.admission.is_some();
     let mut buf = vec![0u8; 2048];
     let mut consecutive_errors = 0u32;
+    // One recording handle for the whole loop (owned by the task, so
+    // runtime thread migration is fine), plus the bounded map of trace
+    // ids seen in HELLO and waiting for their RateRequest.
+    let mut span_local = hooks.tracer.local();
+    let mut trace_hints: HashMap<(SocketAddr, u64), u64> = HashMap::new();
     loop {
         if stop.load(Ordering::Relaxed) {
             break;
@@ -551,7 +623,9 @@ async fn serve_loop(params: ServeParams) {
                 tenant,
                 token,
                 session,
+                trace,
             } => {
+                let hello_span = span_local.begin();
                 // A server without admission control admits everyone,
                 // so auth-configured clients work against lab servers.
                 let reply = match &hooks.admission {
@@ -570,6 +644,30 @@ async fn serve_loop(params: ServeParams) {
                         }
                     }
                 };
+                let admitted = matches!(reply, Message::Admit { .. });
+                if admitted && trace != 0 && trace_hints.len() < MAX_TRACE_HINTS {
+                    trace_hints.insert((peer, session), trace);
+                }
+                if trace != 0 {
+                    // Recorded under the *client's* trace id so the
+                    // admission decision lands in its trace.
+                    let dur_ns = span_local.now_ns().saturating_sub(hello_span.start_ns);
+                    span_local.record(SpanRecord {
+                        trace,
+                        id: hello_span.id,
+                        parent: 0,
+                        name: "server.hello".into(),
+                        cat: "service",
+                        start_ns: hello_span.start_ns,
+                        dur_ns,
+                        tid: 0,
+                        args: vec![
+                            ("tenant", ArgValue::U64(tenant)),
+                            ("session", ArgValue::U64(session)),
+                            ("admitted", ArgValue::U64(u64::from(admitted))),
+                        ],
+                    });
+                }
                 let _ = socket.send_to(&reply.encode(), peer).await;
             }
             Message::RateRequest { session, rate_bps } => {
@@ -650,6 +748,8 @@ async fn serve_loop(params: ServeParams) {
                             sent_bytes,
                             started_ms: now_ms,
                             tenant,
+                            trace: trace_hints.remove(&(peer, session)).unwrap_or(0),
+                            started_ns: hooks.tracer.now_ns(),
                             task,
                         },
                     );
@@ -1159,6 +1259,7 @@ mod tests {
                     tenant: 3,
                     token: 0xBAD,
                     session: 1,
+                    trace: 0,
                 }
                 .encode(),
                 server.local_addr(),
@@ -1198,6 +1299,7 @@ mod tests {
                     tenant: 3,
                     token: 0xC0FFEE,
                     session: 5,
+                    trace: 0,
                 }
                 .encode(),
                 server.local_addr(),
@@ -1245,6 +1347,7 @@ mod tests {
                     tenant: 1,
                     token: 2,
                     session: 3,
+                    trace: 0,
                 }
                 .encode(),
                 server.local_addr(),

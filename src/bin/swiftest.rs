@@ -3,15 +3,16 @@
 //! ```text
 //! swiftest serve [--capacity <mbps>] [--port <port>] [--metrics-addr <addr>]
 //!                [--max-sessions <n>] [--token <tenant>:<token>]...
-//!                [--results-log <path>] [--drain-secs <s>]
+//!                [--results-log <path>] [--drain-secs <s>] [--trace-out <path>]
 //!                                                      run a UDP test server
-//! swiftest measure [--json] [--trace-json <path>] [--auth <tenant>:<token>]
+//! swiftest measure [--json] [--trace-json <path>] [--trace-out <path>]
+//!                  [--auth <tenant>:<token>]
 //!                  <host:port> [<host:port>...]        run a real test against servers
 //! swiftest simulate [--json] [--trace-json <path>] [4g|5g|wifi] [seed]
 //!                                                      run a simulated test
 //! swiftest bench [4g|5g|wifi] [n]                      simulated Swiftest-vs-BTS-APP summary
 //! swiftest load [--clients <n>] [--sockets <n>] [--no-chaos] [--out <dir>]
-//!                                                      the service load harness
+//!               [--trace-out <path>]                   the service load harness
 //! ```
 //!
 //! `--json` switches the final report from the human table to one JSON
@@ -20,6 +21,14 @@
 //! sample, rate change, stall, and the convergence point) to `path`.
 //! `--metrics-addr` exposes the server's registry at
 //! `http://<addr>/metrics` in Prometheus text format.
+//!
+//! `--trace-out <path>` (on `serve`, `measure`, and `load`) records
+//! causal spans — client phases, retries, failovers; server admission,
+//! sessions, results-log appends — and writes them to `path` as Chrome
+//! trace-event JSON (open it at <https://ui.perfetto.dev>) plus a text
+//! self-profile at `path.profile.txt`. A tracing `measure` sends its
+//! trace id in the HELLO, so a tracing server attributes its own spans
+//! to the client's trace and the two files join into one tree.
 //!
 //! Service hardening (`serve`): `--max-sessions` enables the admission
 //! controller (HELLO/ADMIT handshake, bounded queue, overload
@@ -33,22 +42,25 @@
 use mobile_bandwidth::bench::load::{run_load, LoadConfig};
 use mobile_bandwidth::core::{BtsKind, TechClass, TestHarness};
 use mobile_bandwidth::stats::descriptive;
-use mobile_bandwidth::telemetry::Registry;
+use mobile_bandwidth::telemetry::{trace, Registry, Tracer, WallClock};
 use mobile_bandwidth::wire::admission::{AdmissionConfig, TenantConfig};
 use mobile_bandwidth::wire::client::SessionAuth;
 use mobile_bandwidth::wire::server::{ServerConfig, UdpTestServer};
 use mobile_bandwidth::wire::{SwiftestClient, WireTestConfig};
 use std::net::SocketAddr;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  swiftest serve [--capacity <mbps>] [--port <port>] [--metrics-addr <addr>]\n    \
-         [--max-sessions <n>] [--token <tenant>:<token>]... [--results-log <path>] [--drain-secs <s>]\n  \
-         swiftest measure [--json] [--trace-json <path>] [--auth <tenant>:<token>] <host:port> [<host:port>...]\n  \
+         [--max-sessions <n>] [--token <tenant>:<token>]... [--results-log <path>] [--drain-secs <s>]\n    \
+         [--trace-out <path>]\n  \
+         swiftest measure [--json] [--trace-json <path>] [--trace-out <path>] [--auth <tenant>:<token>]\n    \
+         <host:port> [<host:port>...]\n  \
          swiftest simulate [--json] [--trace-json <path>] [4g|5g|wifi] [seed]\n  \
          swiftest bench [4g|5g|wifi] [n]\n  \
-         swiftest load [--clients <n>] [--sockets <n>] [--no-chaos] [--out <dir>]"
+         swiftest load [--clients <n>] [--sockets <n>] [--no-chaos] [--out <dir>] [--trace-out <path>]"
     );
     std::process::exit(2);
 }
@@ -113,6 +125,36 @@ fn write_trace(path: &str, timeline: &mobile_bandwidth::telemetry::ProbeTimeline
     }
 }
 
+/// The `--trace-out` span tracer: wall clock, enabled only when a path
+/// was given (disabled tracers are all no-ops on the hot path).
+fn span_tracer(trace_out: Option<&String>, trace_id: u64) -> Tracer {
+    if trace_out.is_some() {
+        Tracer::new(Arc::new(WallClock::new()), trace_id)
+    } else {
+        Tracer::disabled()
+    }
+}
+
+/// Write the recorded spans as Chrome trace-event JSON to `path` and
+/// the text self-profile (slow spans first) to `path.profile.txt`.
+fn export_span_trace(tracer: &Tracer, path: &str) {
+    let spans = tracer.spans();
+    if let Err(e) = std::fs::write(path, trace::export_chrome_json(&spans)) {
+        eprintln!("failed to write span trace to {path}: {e}");
+        std::process::exit(1);
+    }
+    let budgets = trace::SpanBudgets::default_profile();
+    let profile_path = format!("{path}.profile.txt");
+    if let Err(e) = std::fs::write(&profile_path, trace::self_profile(&spans, &budgets, 20)) {
+        eprintln!("failed to write span profile to {profile_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "span trace: {} spans -> {path} (profile: {profile_path})",
+        spans.len()
+    );
+}
+
 /// Minimal JSON string escaping for the report values we print.
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -149,6 +191,7 @@ fn serve(args: &[String]) {
     let mut tenants: Vec<TenantConfig> = Vec::new();
     let mut results_log: Option<PathBuf> = None;
     let mut drain_secs: u64 = 10;
+    let mut trace_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -193,6 +236,9 @@ fn serve(args: &[String]) {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--trace-out" => {
+                trace_out = Some(it.next().cloned().unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
     }
@@ -203,6 +249,10 @@ fn serve(args: &[String]) {
     } else {
         None
     };
+    // Server spans are attributed to the trace ids clients send in
+    // their HELLOs, so a traced serve only fills up when traced
+    // measures run against it.
+    let tracer = span_tracer(trace_out.as_ref(), 0x5E17_0000);
     let runtime = tokio::runtime::Runtime::new().expect("tokio runtime");
     runtime.block_on(async {
         let server = UdpTestServer::start(ServerConfig {
@@ -213,6 +263,7 @@ fn serve(args: &[String]) {
             admission: admission.clone(),
             results_log,
             drain_deadline: std::time::Duration::from_secs(drain_secs),
+            tracer: tracer.clone(),
             ..Default::default()
         })
         .await
@@ -258,6 +309,12 @@ fn serve(args: &[String]) {
             eprintln!("drain deadline hit; stragglers logged incomplete");
         }
     });
+    // `drain` ends in `shutdown`, which aborts the serve loop and so
+    // flushes its span buffer; the export below sees every span.
+    drop(runtime);
+    if let Some(path) = &trace_out {
+        export_span_trace(&tracer, path);
+    }
 }
 
 /// Resolve on SIGTERM (unix) or Ctrl-C, whichever lands first.
@@ -282,6 +339,7 @@ fn load(args: &[String]) {
     let mut clients: Option<usize> = None;
     let mut sockets: Option<usize> = None;
     let mut no_chaos = false;
+    let mut trace_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -301,6 +359,9 @@ fn load(args: &[String]) {
             }
             "--no-chaos" => no_chaos = true,
             "--out" => out_dir = PathBuf::from(it.next().cloned().unwrap_or_else(|| usage())),
+            "--trace-out" => {
+                trace_out = Some(it.next().cloned().unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
     }
@@ -317,10 +378,16 @@ fn load(args: &[String]) {
         cfg.chaos = false;
     }
     let registry = Registry::new();
-    let report = run_load(&cfg, &registry).unwrap_or_else(|e| {
+    // The socket soak picks the scoped tracer up ambiently, joining
+    // client and server spans of the loopback sessions in one trace.
+    let tracer = span_tracer(trace_out.as_ref(), 0x10AD_0000);
+    let report = trace::scope(&tracer, || run_load(&cfg, &registry)).unwrap_or_else(|e| {
         eprintln!("load harness failed: {e}");
         std::process::exit(1);
     });
+    if let Some(path) = &trace_out {
+        export_span_trace(&tracer, path);
+    }
     let json_path = out_dir.join("BENCH_service.json");
     std::fs::write(&json_path, report.to_json())
         .unwrap_or_else(|e| panic!("write {json_path:?}: {e}"));
@@ -335,6 +402,7 @@ fn load(args: &[String]) {
 fn measure(args: &[String]) {
     let (opts, rest) = split_output_opts(args);
     let mut auth: Option<SessionAuth> = None;
+    let mut trace_out: Option<String> = None;
     let mut addrs_raw: Vec<&String> = Vec::new();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -342,6 +410,8 @@ fn measure(args: &[String]) {
             let (tenant, token) =
                 parse_tenant_pair(it.next().map(String::as_str).unwrap_or_else(|| usage()));
             auth = Some(SessionAuth { tenant, token });
+        } else if a == "--trace-out" {
+            trace_out = Some(it.next().cloned().unwrap_or_else(|| usage()));
         } else {
             addrs_raw.push(a);
         }
@@ -354,12 +424,19 @@ fn measure(args: &[String]) {
         .map(|a| a.parse().unwrap_or_else(|_| usage()))
         .collect();
     let model = TechClass::Wifi.default_model();
+    // The trace id rides the HELLO to the server, so a tracing server
+    // joins its admission/session spans to this measure's trace.
+    let tracer = span_tracer(
+        trace_out.as_ref(),
+        0xC11E_0000 | u64::from(std::process::id()),
+    );
     let runtime = tokio::runtime::Runtime::new().expect("tokio runtime");
     runtime.block_on(async {
         let client = SwiftestClient::new(
             model,
             WireTestConfig {
                 auth,
+                tracer: tracer.clone(),
                 ..WireTestConfig::default()
             },
         );
@@ -401,6 +478,9 @@ fn measure(args: &[String]) {
             }
         }
     });
+    if let Some(path) = &trace_out {
+        export_span_trace(&tracer, path);
+    }
 }
 
 fn simulate(args: &[String]) {
