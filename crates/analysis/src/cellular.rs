@@ -590,6 +590,7 @@ mod tests {
             seed,
             tests,
             year: Year::Y2021,
+            ..Default::default()
         })
         .generate()
     }

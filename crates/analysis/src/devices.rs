@@ -153,6 +153,7 @@ mod tests {
             seed: 601,
             tests: 600_000,
             year: Year::Y2021,
+            ..Default::default()
         })
         .generate()
     }

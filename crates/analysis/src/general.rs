@@ -626,7 +626,13 @@ mod tests {
     use mbw_dataset::{DatasetConfig, Generator, Year};
 
     fn pop(year: Year, tests: usize, seed: u64) -> Vec<TestRecord> {
-        Generator::new(DatasetConfig { seed, tests, year }).generate()
+        Generator::new(DatasetConfig {
+            seed,
+            tests,
+            year,
+            ..Default::default()
+        })
+        .generate()
     }
 
     #[test]

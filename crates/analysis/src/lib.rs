@@ -23,9 +23,11 @@
 //! | [`accum`] | the [`accum::FigureAccumulator`] trait behind every figure |
 //! | [`mod@sweep`] | the fused single-pass (optionally parallel) figure sweep |
 //! | [`mod@stream`] | the streaming generate→analyze engine: no materialised population |
+//! | [`compare`] | cross-ecosystem comparison reports over multiple profiles |
 
 pub mod accum;
 pub mod cellular;
+pub mod compare;
 pub mod devices;
 pub mod general;
 pub mod overview;
@@ -40,6 +42,7 @@ use mbw_dataset::columnar::{bandwidths_where, views};
 use mbw_dataset::{AccessTech, RecordView, TestRecord};
 
 pub use accum::FigureAccumulator;
+pub use compare::{comparison_report, comparison_section, ProfileFigures};
 pub use stream::{stream_figures, stream_figures_timed, StreamTimings};
 pub use sweep::{sweep, sweep_datasets, sweep_records, FigureSet, MeasurementFigures};
 

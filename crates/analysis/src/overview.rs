@@ -287,12 +287,14 @@ mod tests {
             seed: 101,
             tests: 150_000,
             year: Year::Y2020,
+            ..Default::default()
         })
         .generate();
         let y21 = Generator::new(DatasetConfig {
             seed: 101,
             tests: 150_000,
             year: Year::Y2021,
+            ..Default::default()
         })
         .generate();
         (y20, y21)

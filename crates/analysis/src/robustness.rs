@@ -170,6 +170,7 @@ mod tests {
             seed: 0x0C0,
             tests: 120_000,
             year: Year::Y2021,
+            ..Default::default()
         })
         .generate();
         let rates = outcome_rates(&records);

@@ -21,7 +21,7 @@
 //! materialize-then-sweep path for **any** thread count.
 
 use crate::sweep::{FigureSet, MeasurementFigures};
-use mbw_dataset::{DatasetConfig, Generator, ShardPlan, TestRecord};
+use mbw_dataset::{DatasetConfig, EcosystemProfile, Generator, ShardPlan, TestRecord};
 use mbw_telemetry::trace::{self, ArgValue};
 use std::time::{Duration, Instant};
 
@@ -214,7 +214,13 @@ pub fn stream_figures_timed(
 
     let finish_span = spans.begin();
     let finish_start = Instant::now();
-    let figures = set.finish();
+    let mut figures = set.finish();
+    // Figures for any ecosystem other than the paper's own carry the
+    // profile name; paper-china stays untagged so its rendered output
+    // is byte-identical to the pre-profile pipeline.
+    if current.profile.name != EcosystemProfile::paper_china().name {
+        figures = figures.with_profile_tag(current.profile.name);
+    }
     let finish = finish_start.elapsed();
     spans.end(finish_span, run_span.id, "stream.finish", "stream");
 
@@ -257,7 +263,12 @@ mod tests {
     use mbw_dataset::{generate_sharded, Year};
 
     fn configs(tests: usize, seed: u64) -> (DatasetConfig, DatasetConfig) {
-        let cfg = |year| DatasetConfig { seed, tests, year };
+        let cfg = |year| DatasetConfig {
+            seed,
+            tests,
+            year,
+            ..Default::default()
+        };
         (cfg(Year::Y2020), cfg(Year::Y2021))
     }
 
@@ -332,6 +343,32 @@ mod tests {
             sum as f64 >= stage as f64 * 0.95 - 2e6,
             "finish spans ({sum} ns) attribute too little of the finish stage ({stage} ns)"
         );
+    }
+
+    #[test]
+    fn non_paper_profiles_stream_tagged_figures() {
+        let profile = EcosystemProfile::europe_ran();
+        let cfg = |year| DatasetConfig {
+            seed: 0xE0,
+            tests: 4_000,
+            year,
+            profile,
+        };
+        let (figs, _) =
+            stream_figures_timed(cfg(Year::Y2020), cfg(Year::Y2021), ShardPlan::new(512, 2));
+        for id in SWEEP_IDS {
+            assert!(
+                figs.render(id)
+                    .unwrap()
+                    .starts_with("profile: europe-ran\n"),
+                "{id} untagged"
+            );
+        }
+        // The paper's own profile stays untagged.
+        let (china, _) = configs(2_000, 5);
+        let (figs, _) = stream_figures_timed(china, china, ShardPlan::new(512, 1));
+        assert!(figs.profile_tag.is_none());
+        assert!(!figs.render("fig01").unwrap().starts_with("profile:"));
     }
 
     #[test]

@@ -272,6 +272,7 @@ impl FigureSet {
             summary: timed!("summary", self.summary.finish()),
             devices: timed!("devices", [d4.finish(), d5.finish(), dw.finish()]),
             outcomes: timed!("robustness", self.outcomes.finish()),
+            profile_tag: None,
         };
         spans.end(all, 0, "sweep.finish", "sweep");
         figures
@@ -339,6 +340,11 @@ pub struct MeasurementFigures {
     pub devices: [HardwareIllusion; 3],
     /// Test-outcome rates per technology.
     pub outcomes: OutcomeRates,
+    /// Ecosystem-profile tag prepended to every rendered figure, or
+    /// `None` for untagged output (the paper's own ecosystem). Keeping
+    /// the default untagged preserves byte-identical paper-china
+    /// figures across the profile refactor.
+    pub profile_tag: Option<&'static str>,
 }
 
 /// Every id [`MeasurementFigures::render`] understands, in paper order.
@@ -370,11 +376,20 @@ pub const SWEEP_IDS: [&str; 24] = [
 ];
 
 impl MeasurementFigures {
+    /// Tag every rendered figure with the named ecosystem profile (see
+    /// [`mbw_dataset::profile::EcosystemProfile`]). The streaming
+    /// engine applies this for every profile except the paper's own, so
+    /// cross-ecosystem figure output is self-describing.
+    pub fn with_profile_tag(mut self, name: &'static str) -> Self {
+        self.profile_tag = Some(name);
+        self
+    }
+
     /// Render one figure by the same ids the `figures` binary uses
     /// (`table1`, `fig01` … `fig19`, `general`, `devices`, `summary`,
     /// `robustness`). Returns `None` for unknown ids.
     pub fn render(&self, id: &str) -> Option<String> {
-        Some(match id {
+        let body = match id {
             "table1" => self.table1.render(),
             "table2" => self.table2.render(),
             "fig01" => self.fig01.render(),
@@ -409,6 +424,10 @@ impl MeasurementFigures {
             "summary" => self.summary.render(),
             "robustness" => self.outcomes.render(),
             _ => return None,
+        };
+        Some(match self.profile_tag {
+            Some(profile) => format!("profile: {profile}\n{body}"),
+            None => body,
         })
     }
 }
@@ -486,7 +505,15 @@ mod tests {
     use mbw_dataset::{DatasetConfig, Generator, Year};
 
     fn pops(tests: usize, seed: u64) -> (Vec<TestRecord>, Vec<TestRecord>) {
-        let make = |year| Generator::new(DatasetConfig { seed, tests, year }).generate();
+        let make = |year| {
+            Generator::new(DatasetConfig {
+                seed,
+                tests,
+                year,
+                ..Default::default()
+            })
+            .generate()
+        };
         (make(Year::Y2020), make(Year::Y2021))
     }
 
@@ -544,6 +571,25 @@ mod tests {
         for id in SWEEP_IDS {
             assert_eq!(row.render(id), col.render(id), "{id} differs");
         }
+    }
+
+    #[test]
+    fn profile_tag_prepends_every_rendered_figure() {
+        let (y20, y21) = pops(5_000, 909);
+        let figs = sweep_records(&y20, &y21, 1);
+        let untagged = figs.render("fig04").unwrap();
+        let tagged = figs.with_profile_tag("europe-ran");
+        for id in SWEEP_IDS {
+            let text = tagged.render(id).unwrap();
+            assert!(
+                text.starts_with("profile: europe-ran\n"),
+                "{id} missing tag"
+            );
+        }
+        assert_eq!(
+            tagged.render("fig04").unwrap(),
+            format!("profile: europe-ran\n{untagged}")
+        );
     }
 
     #[test]

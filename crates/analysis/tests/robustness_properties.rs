@@ -11,7 +11,15 @@ use mbw_dataset::{AccessTech, DatasetConfig, Generator, Year};
 use proptest::prelude::*;
 
 fn rates_for(seed: u64, tests: usize, year: Year) -> mbw_analysis::robustness::OutcomeRates {
-    outcome_rates(&Generator::new(DatasetConfig { seed, tests, year }).generate())
+    outcome_rates(
+        &Generator::new(DatasetConfig {
+            seed,
+            tests,
+            year,
+            ..Default::default()
+        })
+        .generate(),
+    )
 }
 
 proptest! {

@@ -13,7 +13,12 @@ use mbw_dataset::{generate_sharded, DatasetConfig, ShardPlan, Year};
 use proptest::prelude::*;
 
 fn configs(tests: usize, seed: u64) -> (DatasetConfig, DatasetConfig) {
-    let cfg = |year| DatasetConfig { seed, tests, year };
+    let cfg = |year| DatasetConfig {
+        seed,
+        tests,
+        year,
+        ..Default::default()
+    };
     (cfg(Year::Y2020), cfg(Year::Y2021))
 }
 

@@ -7,7 +7,15 @@ use mbw_analysis::{cellular, devices, general, overview, pdfs, robustness, table
 use mbw_dataset::{AccessTech, DatasetConfig, Generator, TestRecord, Year};
 
 fn pops(tests: usize, seed: u64) -> (Vec<TestRecord>, Vec<TestRecord>) {
-    let make = |year| Generator::new(DatasetConfig { seed, tests, year }).generate();
+    let make = |year| {
+        Generator::new(DatasetConfig {
+            seed,
+            tests,
+            year,
+            ..Default::default()
+        })
+        .generate()
+    };
     (make(Year::Y2020), make(Year::Y2021))
 }
 

@@ -170,6 +170,11 @@ fn main() {
     let _ = writeln!(json, "  \"iterations\": {iters},");
     let _ = writeln!(json, "  \"runner_class\": \"{}\",", runner_class());
     let _ = writeln!(json, "  \"wall_clock_source\": \"std::time::Instant\",");
+    let _ = writeln!(
+        json,
+        "  \"profile\": \"{}\",",
+        mbw_dataset::EcosystemProfile::paper_china().name
+    );
     let _ = writeln!(json, "  \"measurements\": {{");
     let _ = writeln!(
         json,

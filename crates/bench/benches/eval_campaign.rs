@@ -181,6 +181,7 @@ fn main() {
     let _ = writeln!(json, "  \"iterations\": {iters},");
     let _ = writeln!(json, "  \"runner_class\": \"{}\",", runner_class());
     let _ = writeln!(json, "  \"wall_clock_source\": \"std::time::Instant\",");
+    let _ = writeln!(json, "  \"profile\": \"{}\",", plan.profile().name);
     let _ = writeln!(json, "  \"measurements\": {{");
     let _ = writeln!(
         json,

@@ -136,6 +136,7 @@ fn bench_dataset(c: &mut Criterion) {
                 seed: 0xBE7,
                 tests: 10_000,
                 year: Year::Y2021,
+                ..Default::default()
             });
             black_box(generator.generate().len())
         })

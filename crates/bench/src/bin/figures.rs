@@ -13,6 +13,8 @@
 //! figures service                  # the service load harness
 //! figures --clients 40000 --sockets 8 service   # sized explicitly
 //! figures --no-chaos service       # skip the blackout in the soak
+//! figures --profile europe-ran     # everything under one ecosystem
+//! figures --profiles all           # cross-ecosystem comparison report
 //! ```
 //!
 //! Each experiment's text report is printed and written to
@@ -36,10 +38,11 @@
 //! `PATH.profile.txt`, and per-span-name duration histograms join the
 //! registry as `trace_span_seconds`.
 
+use mbw_analysis::ProfileFigures;
 use mbw_bench::{bts_eval, deploy_eval, eval_sweep, load, measurement};
-use mbw_core::{run_campaign_metered, EvalCounts};
+use mbw_core::{run_campaign_metered, EvalCounts, ProfileDim};
 use mbw_dataset::csv::CsvWriter;
-use mbw_dataset::{generate_sharded, DatasetConfig, RecordView, ShardPlan, Year};
+use mbw_dataset::{generate_sharded, DatasetConfig, EcosystemProfile, RecordView, ShardPlan, Year};
 use mbw_telemetry::trace;
 use mbw_telemetry::{CampaignMetrics, MetricsServer, PipelineMetrics, Registry, Tracer, WallClock};
 use std::fs;
@@ -111,6 +114,8 @@ struct Options {
     clients: Option<usize>,
     sockets: Option<usize>,
     no_chaos: bool,
+    profile: &'static EcosystemProfile,
+    all_profiles: bool,
     selected: Vec<String>,
 }
 
@@ -126,6 +131,8 @@ fn parse_args() -> Options {
         clients: None,
         sockets: None,
         no_chaos: false,
+        profile: EcosystemProfile::paper_china(),
+        all_profiles: false,
         selected: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -176,6 +183,21 @@ fn parse_args() -> Options {
                 }));
             }
             "--no-chaos" => opts.no_chaos = true,
+            "--profile" => {
+                let v = value("--profile");
+                opts.profile = EcosystemProfile::by_name(&v).unwrap_or_else(|e| {
+                    eprintln!("--profile: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--profiles" => {
+                let v = value("--profiles");
+                if v != "all" {
+                    eprintln!("--profiles: only \"all\" is supported (use --profile {v} for one)");
+                    std::process::exit(2);
+                }
+                opts.all_profiles = true;
+            }
             "--trace-out" => opts.trace_out = Some(PathBuf::from(value("--trace-out"))),
             "--metrics-addr" => {
                 let v = value("--metrics-addr");
@@ -261,13 +283,28 @@ fn run(opts: &Options) {
     // Figs 1–16/18–19 all come out of one streaming fused
     // generate→analyze run: the populations are never materialised.
     let is_sweep_id = |id: &str| mbw_analysis::sweep::SWEEP_IDS.contains(&id);
+
+    // --profiles all: run that sweep once per built-in ecosystem and
+    // lay the figures side by side in one comparison report. The
+    // evaluation campaign is out of scope here — the cross-ecosystem
+    // report covers the measurement figures.
+    if opts.all_profiles {
+        run_all_profiles(opts, dataset, &metrics);
+        if let Some(server) = server {
+            server.shutdown();
+        }
+        return;
+    }
+
     let needs_sweep = ids.iter().any(|id| is_sweep_id(id.as_str()));
     let figures = needs_sweep.then(|| {
         eprintln!(
-            "streaming {dataset} records per year through the fused engine ({} threads)...",
-            opts.threads
+            "streaming {dataset} records per year through the fused engine \
+             ({} threads, profile {})...",
+            opts.threads, opts.profile.name
         );
-        let (figs, t) = measurement::stream_measurement_figures(
+        let (figs, t) = measurement::stream_measurement_figures_for(
+            opts.profile,
             dataset,
             0xDA7A,
             ShardPlan::threads(opts.threads),
@@ -317,7 +354,11 @@ fn run(opts: &Options) {
         };
         let campaign_metrics = CampaignMetrics::register(&registry);
         let plan_start = Instant::now();
-        let plan = eval_sweep::plan_for(&eval_ids, &counts, EVAL_SEED);
+        let mut plan = eval_sweep::plan_for(&eval_ids, &counts, EVAL_SEED);
+        // The campaign's profile dimension mirrors the dataset profile
+        // by name; trial seeds don't depend on it, so per-profile
+        // campaigns stay CRN-paired.
+        plan.set_profile(ProfileDim::by_name(opts.profile.name).unwrap_or_default());
         let plan_elapsed = plan_start.elapsed();
         campaign_metrics.observe_stage("plan", plan.len() as u64, plan_elapsed);
         let exec_start = Instant::now();
@@ -353,12 +394,14 @@ fn run(opts: &Options) {
                     seed: 0xDA7A,
                     tests: rows,
                     year: Year::Y2021,
+                    profile: opts.profile,
                 },
                 ShardPlan::threads(opts.threads),
             );
             let path = opts.out_dir.join("export_csv.csv");
             let file = fs::File::create(&path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
-            let mut writer = CsvWriter::new(BufWriter::new(file)).expect("write csv header");
+            let mut writer = CsvWriter::with_profile(BufWriter::new(file), opts.profile.name)
+                .expect("write csv header");
             for r in &export {
                 writer
                     .write_view(&RecordView::from(r))
@@ -459,4 +502,62 @@ fn run(opts: &Options) {
     if let Some(server) = server {
         server.shutdown();
     }
+}
+
+/// `--profiles all`: stream the measurement sweep once per built-in
+/// ecosystem, write each profile's figures under
+/// `<out>/profiles/<name>/`, and emit the side-by-side
+/// `profile_comparison.txt` report.
+fn run_all_profiles(opts: &Options, dataset: usize, metrics: &PipelineMetrics) {
+    let is_sweep_id = |id: &str| mbw_analysis::sweep::SWEEP_IDS.contains(&id);
+    let sweep_ids: Vec<&str> = if opts.selected.is_empty() {
+        mbw_analysis::sweep::SWEEP_IDS.to_vec()
+    } else {
+        let picked: Vec<&str> = opts
+            .selected
+            .iter()
+            .map(String::as_str)
+            .filter(|id| is_sweep_id(id))
+            .collect();
+        if picked.is_empty() {
+            eprintln!("--profiles all: none of the selected ids are measurement figures");
+            std::process::exit(2);
+        }
+        picked
+    };
+    let runs: Vec<ProfileFigures> = EcosystemProfile::all_builtins()
+        .into_iter()
+        .map(|profile| {
+            eprintln!(
+                "streaming {dataset} records per year under profile {} ({} threads)...",
+                profile.name, opts.threads
+            );
+            let (figures, t) = measurement::stream_measurement_figures_for(
+                profile,
+                dataset,
+                0xDA7A,
+                ShardPlan::threads(opts.threads),
+            );
+            metrics.observe_generated(t.records as u64, t.wall);
+            metrics.observe_analyzed(t.records as u64, t.wall);
+            ProfileFigures {
+                profile: profile.name,
+                figures,
+            }
+        })
+        .collect();
+    for run in &runs {
+        let dir = opts.out_dir.join("profiles").join(run.profile);
+        fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("create {dir:?}: {e}"));
+        for id in &sweep_ids {
+            let text = run.figures.render(id).expect("known measurement id");
+            let path = dir.join(format!("{id}.txt"));
+            fs::write(&path, &text).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        }
+    }
+    let report = mbw_analysis::comparison_report(&runs, &sweep_ids);
+    let path = opts.out_dir.join("profile_comparison.txt");
+    fs::write(&path, &report).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    println!("──── profile_comparison ───────────────────────────");
+    println!("{report}");
 }

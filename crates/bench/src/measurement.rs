@@ -15,7 +15,7 @@ use mbw_analysis::{
     cellular, devices, general, overview, pdfs, stream, tables, wifi, MeasurementFigures, Render,
     StreamTimings,
 };
-use mbw_dataset::{generate_sharded, DatasetConfig, ShardPlan, TestRecord, Year};
+use mbw_dataset::{generate_sharded, DatasetConfig, EcosystemProfile, ShardPlan, TestRecord, Year};
 
 /// The two yearly populations every measurement figure consumes.
 pub struct Populations {
@@ -29,7 +29,17 @@ pub struct Populations {
 /// explicit shard plan. Only the plan's shard size affects the records;
 /// its thread count affects wall time alone.
 pub fn populations_with(tests: usize, seed: u64, plan: ShardPlan) -> Populations {
-    let make = |year| generate_sharded(DatasetConfig { seed, tests, year }, plan);
+    let make = |year| {
+        generate_sharded(
+            DatasetConfig {
+                seed,
+                tests,
+                year,
+                ..Default::default()
+            },
+            plan,
+        )
+    };
     Populations {
         y2020: make(Year::Y2020),
         y2021: make(Year::Y2021),
@@ -60,7 +70,25 @@ pub fn stream_measurement_figures(
     seed: u64,
     plan: ShardPlan,
 ) -> (MeasurementFigures, StreamTimings) {
-    let cfg = |year| DatasetConfig { seed, tests, year };
+    stream_measurement_figures_for(EcosystemProfile::paper_china(), tests, seed, plan)
+}
+
+/// [`stream_measurement_figures`] under an explicit ecosystem profile.
+/// Figures for any profile other than the paper's own come back tagged
+/// with the profile name (see
+/// [`MeasurementFigures::with_profile_tag`]).
+pub fn stream_measurement_figures_for(
+    profile: &'static EcosystemProfile,
+    tests: usize,
+    seed: u64,
+    plan: ShardPlan,
+) -> (MeasurementFigures, StreamTimings) {
+    let cfg = |year| DatasetConfig {
+        seed,
+        tests,
+        year,
+        profile,
+    };
     stream::stream_figures_timed(cfg(Year::Y2020), cfg(Year::Y2021), plan)
 }
 
@@ -163,6 +191,18 @@ mod tests {
         for id in mbw_analysis::sweep::SWEEP_IDS {
             assert_eq!(figs.render(id), streamed.render(id), "{id} diverged");
         }
+    }
+
+    #[test]
+    fn profiled_streaming_is_tagged_and_distinct() {
+        let plan = ShardPlan::new(1_024, 2);
+        let (china, _) = stream_measurement_figures(8_000, 82, plan);
+        let (eu, _) =
+            stream_measurement_figures_for(EcosystemProfile::europe_ran(), 8_000, 82, plan);
+        let eu_fig04 = eu.render("fig04").unwrap();
+        assert!(eu_fig04.starts_with("profile: europe-ran\n"));
+        assert_ne!(china.render("fig04").unwrap(), eu_fig04);
+        assert!(!china.render("fig04").unwrap().starts_with("profile:"));
     }
 
     #[test]

@@ -103,6 +103,149 @@ impl ScenarioId {
     }
 }
 
+/// The ecosystem-profile dimension of a campaign plan.
+///
+/// The measurement half swaps whole
+/// [`mbw_dataset::profile::EcosystemProfile`]s; the evaluation half
+/// needs only what reaches a drawn path — the per-technology capacity
+/// populations and the RTT regime — so a profile appears here as a set
+/// of scale factors applied to the calibrated default scenarios.
+///
+/// Trial seeds are a pure function of the campaign seed and the trial's
+/// identity ([`TrialSpec::seed`]) and do **not** include the profile:
+/// running the same plan under two profiles reuses the exact same path
+/// draws (common random numbers), so cross-ecosystem comparisons of
+/// Figs 17–26 are paired, not independent. The neutral
+/// [`ProfileDim::PAPER_CHINA`] leaves every scenario bit-identical to
+/// the pre-profile pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileDim {
+    /// Profile name (matches the `mbw-dataset` built-in names).
+    pub name: &'static str,
+    /// Capacity scale on the 4G population model.
+    pub lte_scale: f64,
+    /// Capacity scale on the sub-6 GHz 5G population model.
+    pub nr_scale: f64,
+    /// Capacity scale on the WiFi population model.
+    pub wifi_scale: f64,
+    /// Capacity scale on the §7 mmWave population model.
+    pub mmwave_scale: f64,
+    /// Scale on every scenario's RTT draw range.
+    pub rtt_scale: f64,
+}
+
+impl ProfileDim {
+    /// The paper's own ecosystem: the neutral dimension (all scales 1).
+    pub const PAPER_CHINA: Self = Self {
+        name: "paper-china",
+        lte_scale: 1.0,
+        nr_scale: 1.0,
+        wifi_scale: 1.0,
+        mmwave_scale: 1.0,
+        rtt_scale: 1.0,
+    };
+
+    /// ERRANT-style European multi-operator RAN: solid LTE, early-stage
+    /// NR, longer paths to the measurement servers.
+    pub const EUROPE_RAN: Self = Self {
+        name: "europe-ran",
+        lte_scale: 0.85,
+        nr_scale: 0.70,
+        wifi_scale: 0.95,
+        mmwave_scale: 0.90,
+        rtt_scale: 1.25,
+    };
+
+    /// AmiGos-style developing-market network: low-band LTE, nascent
+    /// 5G, DSL-class broadband, distant servers.
+    pub const DEVELOPING_MARKET: Self = Self {
+        name: "developing-market",
+        lte_scale: 0.55,
+        nr_scale: 0.35,
+        wifi_scale: 0.60,
+        mmwave_scale: 0.50,
+        rtt_scale: 1.80,
+    };
+
+    /// mmWave-dense metropolitan deployment: wide contiguous spectrum
+    /// everywhere and edge-class RTTs.
+    pub const MMWAVE_METRO: Self = Self {
+        name: "mmwave-metro",
+        lte_scale: 1.10,
+        nr_scale: 1.60,
+        wifi_scale: 1.30,
+        mmwave_scale: 1.40,
+        rtt_scale: 0.70,
+    };
+
+    /// Every built-in profile dimension, paper first.
+    pub const ALL: [Self; 4] = [
+        Self::PAPER_CHINA,
+        Self::EUROPE_RAN,
+        Self::DEVELOPING_MARKET,
+        Self::MMWAVE_METRO,
+    ];
+
+    /// Resolve a built-in dimension by name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name == name)
+    }
+
+    /// Whether this dimension changes nothing (every scale is 1).
+    pub fn is_neutral(&self) -> bool {
+        [
+            self.lte_scale,
+            self.nr_scale,
+            self.wifi_scale,
+            self.mmwave_scale,
+            self.rtt_scale,
+        ]
+        .iter()
+        .all(|&s| s == 1.0)
+    }
+
+    /// The capacity scale this dimension applies to one scenario.
+    pub fn tech_scale(&self, id: ScenarioId) -> f64 {
+        match id {
+            ScenarioId::Tech(TechClass::Lte) => self.lte_scale,
+            ScenarioId::Tech(TechClass::Nr) => self.nr_scale,
+            ScenarioId::Tech(TechClass::Wifi) => self.wifi_scale,
+            ScenarioId::Mmwave => self.mmwave_scale,
+        }
+    }
+
+    /// Apply the dimension to a materialised scenario.
+    ///
+    /// A neutral dimension returns the scenario untouched — not merely
+    /// rescaled by 1 — so the default campaign remains bit-identical to
+    /// the pre-profile pipeline (`Gmm` reconstruction renormalises its
+    /// weights, which could otherwise flip low bits).
+    pub fn scale_scenario(&self, id: ScenarioId, mut scenario: AccessScenario) -> AccessScenario {
+        if self.is_neutral() {
+            return scenario;
+        }
+        let s = self.tech_scale(id);
+        let triples: Vec<(f64, f64, f64)> = scenario
+            .model
+            .components()
+            .iter()
+            .map(|c| (c.weight, c.mean * s, c.std_dev * s))
+            .collect();
+        scenario.model = Gmm::from_triples(&triples).expect("scaled model valid");
+        scenario.rtt_range = (
+            scenario.rtt_range.0 * self.rtt_scale,
+            scenario.rtt_range.1 * self.rtt_scale,
+        );
+        scenario
+    }
+}
+
+impl Default for ProfileDim {
+    fn default() -> Self {
+        Self::PAPER_CHINA
+    }
+}
+
 /// A Swiftest design variant (the DESIGN.md ablations).
 ///
 /// [`VariantId::PaperDefault`] is the paper's configuration and is
@@ -368,21 +511,35 @@ pub struct CampaignPlan {
     campaign_seed: u64,
     specs: Vec<TrialSpec>,
     seen: HashSet<TrialSpec>,
+    profile: ProfileDim,
 }
 
 impl CampaignPlan {
-    /// An empty plan under `campaign_seed`.
+    /// An empty plan under `campaign_seed` (paper-china profile).
     pub fn new(campaign_seed: u64) -> Self {
         Self {
             campaign_seed,
             specs: Vec::new(),
             seen: HashSet::new(),
+            profile: ProfileDim::PAPER_CHINA,
         }
     }
 
     /// The campaign seed every trial seed derives from.
     pub fn campaign_seed(&self) -> u64 {
         self.campaign_seed
+    }
+
+    /// The plan's ecosystem-profile dimension.
+    pub fn profile(&self) -> ProfileDim {
+        self.profile
+    }
+
+    /// Run the plan's trials under a different ecosystem profile. Trial
+    /// seeds are unchanged — the same paths are drawn, rescaled — so
+    /// per-profile campaigns are CRN-paired (see [`ProfileDim`]).
+    pub fn set_profile(&mut self, profile: ProfileDim) {
+        self.profile = profile;
     }
 
     /// The planned trials, in insertion order.
@@ -713,9 +870,10 @@ struct ExecContext {
 }
 
 impl ExecContext {
-    fn new() -> Self {
+    fn new(profile: ProfileDim) -> Self {
         Self {
-            harnesses: ScenarioId::ALL.map(|id| TestHarness::with_scenario(id.scenario())),
+            harnesses: ScenarioId::ALL
+                .map(|id| TestHarness::with_scenario(profile.scale_scenario(id, id.scenario()))),
         }
     }
 
@@ -824,7 +982,7 @@ pub fn run_campaign_metered(
     let tracer = trace::active();
     let mut spans = tracer.local();
     let exec_span = spans.begin();
-    let ctx = ExecContext::new();
+    let ctx = ExecContext::new(plan.profile());
     let n = plan.specs().len();
     let campaign_seed = plan.campaign_seed();
     let rows_total: usize = plan.specs().iter().map(|s| s.kind.outcomes()).sum();
@@ -970,6 +1128,64 @@ mod tests {
             .filter(|s| !matches!(s.kind, TrialKind::Ramp(..)))
             .count();
         assert_eq!(seeds.len(), non_ramp);
+    }
+
+    #[test]
+    fn neutral_profile_campaign_is_bit_identical_to_default() {
+        let mut plan = CampaignPlan::evaluation(&tiny_counts(), 0x9A9A);
+        let default_pool = run_campaign(&plan, 1);
+        plan.set_profile(ProfileDim::PAPER_CHINA);
+        let neutral_pool = run_campaign(&plan, 1);
+        assert_eq!(default_pool.len(), neutral_pool.len());
+        for (a, b) in default_pool.iter().zip(neutral_pool.iter()) {
+            assert_eq!(a.spec(), b.spec());
+            assert_eq!(a.outcomes(), b.outcomes());
+            for k in 0..a.outcomes() {
+                assert_eq!(a.outcome(k), b.outcome(k));
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_are_crn_paired_and_change_outcomes() {
+        // Same plan, same trial seeds, different ecosystem: specs line
+        // up one-to-one (common random numbers) while the measured
+        // estimates shift with the scaled populations.
+        let mut plan = CampaignPlan::evaluation(&tiny_counts(), 0x9B9B);
+        let china = run_campaign(&plan, 1);
+        plan.set_profile(ProfileDim::DEVELOPING_MARKET);
+        assert_eq!(plan.profile().name, "developing-market");
+        let developing = run_campaign(&plan, 1);
+
+        assert_eq!(china.len(), developing.len());
+        let mut shifted = 0usize;
+        for (a, b) in china.iter().zip(developing.iter()) {
+            assert_eq!(a.spec(), b.spec(), "CRN pairing broke: specs diverge");
+            for k in 0..a.outcomes() {
+                if a.outcome(k).estimate_mbps != b.outcome(k).estimate_mbps {
+                    shifted += 1;
+                }
+            }
+        }
+        assert!(shifted > 0, "a 0.35-0.6x ecosystem moved no estimate");
+
+        // The capacity populations themselves scale as configured.
+        let id = ScenarioId::Tech(TechClass::Nr);
+        let base = id.scenario();
+        let scaled = ProfileDim::DEVELOPING_MARKET.scale_scenario(id, id.scenario());
+        assert!((scaled.model.mean() / base.model.mean() - 0.35).abs() < 1e-9);
+        assert!((scaled.rtt_range.1 / base.rtt_range.1 - 1.80).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_dims_resolve_by_name() {
+        for dim in ProfileDim::ALL {
+            assert_eq!(ProfileDim::by_name(dim.name), Some(dim));
+        }
+        assert_eq!(ProfileDim::by_name("atlantis"), None);
+        assert!(ProfileDim::PAPER_CHINA.is_neutral());
+        assert!(!ProfileDim::EUROPE_RAN.is_neutral());
+        assert_eq!(ProfileDim::default(), ProfileDim::PAPER_CHINA);
     }
 
     #[test]

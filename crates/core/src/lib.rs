@@ -54,7 +54,7 @@ pub mod tcp_variant;
 
 pub use campaign::{
     run_campaign, run_campaign_metered, trial_seed, CampaignPlan, EmptyCampaign, EvalCounts,
-    ScenarioId, TrialKind, TrialOutcome, TrialPool, TrialSpec, TrialView, VariantId,
+    ProfileDim, ScenarioId, TrialKind, TrialOutcome, TrialPool, TrialSpec, TrialView, VariantId,
 };
 pub use estimator::{
     BandwidthEstimator, ConvergenceEstimator, CrucialIntervalEstimator, EstimatorDecision,

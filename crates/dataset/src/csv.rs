@@ -11,8 +11,15 @@
 //! - [`CsvWriter`] / [`CsvReader`] stream rows through any
 //!   `io::Write` / `io::BufRead`, so a 10M-record file is processed at
 //!   constant memory (one row buffered at a time).
+//!
+//! The trailing `profile` column records which [`EcosystemProfile`]
+//! generated the rows — pure provenance, like the BENCH JSON
+//! `runner_class` field. Records
+//! themselves are profile-agnostic, so the parser validates the column
+//! is present but does not store it.
 
 use crate::columnar::RecordView;
+use crate::profile::EcosystemProfile;
 use crate::types::*;
 use std::fmt::Write as _;
 use std::io::{self, BufRead, Write};
@@ -20,10 +27,11 @@ use std::io::{self, BufRead, Write};
 /// The CSV header, in column order.
 pub const HEADER: &str = "bandwidth_mbps,tech,isp,year,city_id,city_tier,urban,hour,\
 android_version,device_model,device_tier,link_kind,band,rss_level,rss_dbm,snr_db,bs_id,\
-arfcn,lte_advanced,wifi_standard,on_5ghz,plan_mbps,ap_id,mac_rate_mbps,neighbor_aps,outcome";
+arfcn,lte_advanced,wifi_standard,on_5ghz,plan_mbps,ap_id,mac_rate_mbps,neighbor_aps,outcome,\
+profile";
 
 /// Number of columns in [`HEADER`].
-pub const COLUMNS: usize = 26;
+pub const COLUMNS: usize = 27;
 
 /// Errors from CSV parsing.
 #[derive(Debug, Clone, PartialEq)]
@@ -133,8 +141,9 @@ fn band_str(b: CellBand) -> &'static str {
     }
 }
 
-/// Append one record's CSV row (with trailing newline) to `out`.
-fn write_row(out: &mut String, r: &RecordView<'_>) {
+/// Append one record's CSV row (with trailing newline) to `out`,
+/// stamped with the generating profile's name as provenance.
+fn write_row(out: &mut String, r: &RecordView<'_>, profile: &str) {
     let tier = match r.city_tier {
         CityTier::Mega => "mega",
         CityTier::Medium => "medium",
@@ -169,7 +178,7 @@ fn write_row(out: &mut String, r: &RecordView<'_>) {
         LinkInfo::Cell(c) => {
             let _ = write!(
                 out,
-                ",cell,{},{},{:.1},{:.1},{},{},{},,,,,,,{outcome}\n",
+                ",cell,{},{},{:.1},{:.1},{},{},{},,,,,,,{outcome},{profile}\n",
                 band_str(c.band),
                 c.rss_level,
                 c.rss_dbm,
@@ -187,20 +196,27 @@ fn write_row(out: &mut String, r: &RecordView<'_>) {
             };
             let _ = write!(
                 out,
-                ",wifi,,,,,,,,{},{},{:.0},{},{:.1},{},{outcome}\n",
+                ",wifi,,,,,,,,{},{},{:.0},{},{:.1},{},{outcome},{profile}\n",
                 std, w.on_5ghz as u8, w.plan_mbps, w.ap_id, w.mac_rate_mbps, w.neighbor_aps
             );
         }
     }
 }
 
-/// Serialise records to CSV (header included).
+/// Serialise records to CSV (header included), stamped with the
+/// default paper profile.
 pub fn to_csv(records: &[TestRecord]) -> String {
+    to_csv_with_profile(records, EcosystemProfile::paper_china().name)
+}
+
+/// Serialise records to CSV (header included), stamping every row's
+/// `profile` column with `profile`.
+pub fn to_csv_with_profile(records: &[TestRecord], profile: &str) -> String {
     let mut out = String::with_capacity(records.len() * 96 + HEADER.len() + 1);
     out.push_str(HEADER);
     out.push('\n');
     for r in records {
-        write_row(&mut out, &RecordView::from(r));
+        write_row(&mut out, &RecordView::from(r), profile);
     }
     out
 }
@@ -211,23 +227,32 @@ pub fn to_csv(records: &[TestRecord]) -> String {
 pub struct CsvWriter<W: Write> {
     out: W,
     row: String,
+    profile: String,
 }
 
 impl<W: Write> CsvWriter<W> {
-    /// Wrap `out` and emit the header line.
-    pub fn new(mut out: W) -> io::Result<Self> {
+    /// Wrap `out` and emit the header line; rows carry the default
+    /// paper profile in their `profile` column.
+    pub fn new(out: W) -> io::Result<Self> {
+        Self::with_profile(out, EcosystemProfile::paper_china().name)
+    }
+
+    /// Wrap `out` and emit the header line; every row's `profile`
+    /// column records `profile` as generation provenance.
+    pub fn with_profile(mut out: W, profile: &str) -> io::Result<Self> {
         out.write_all(HEADER.as_bytes())?;
         out.write_all(b"\n")?;
         Ok(Self {
             out,
             row: String::with_capacity(128),
+            profile: profile.to_string(),
         })
     }
 
     /// Write one record from a view.
     pub fn write_view(&mut self, r: &RecordView<'_>) -> io::Result<()> {
         self.row.clear();
-        write_row(&mut self.row, r);
+        write_row(&mut self.row, r, &self.profile);
         self.out.write_all(self.row.as_bytes())
     }
 
@@ -390,6 +415,8 @@ fn parse_row(raw: &str, line: usize) -> Result<TestRecord, CsvError> {
         column: "outcome",
         value: cols[25].into(),
     })?;
+    // cols[26] is the profile provenance stamp: validated by the column
+    // count above, not stored (records are profile-agnostic).
     Ok(TestRecord {
         bandwidth_mbps: parse(cols[0], line, "bandwidth_mbps")?,
         tech,
@@ -497,6 +524,7 @@ mod tests {
             seed: 0xC57,
             tests,
             year: Year::Y2021,
+            ..Default::default()
         })
         .generate()
     }
@@ -599,6 +627,32 @@ mod tests {
         assert_eq!(from_csv(&doc).unwrap().len(), 3);
         let streamed = CsvReader::new(doc.as_bytes()).expect("header ok");
         assert_eq!(streamed.count(), 3);
+    }
+
+    #[test]
+    fn profile_column_is_provenance() {
+        let records = sample(50);
+        // Default writers stamp the paper profile...
+        for row in to_csv(&records).lines().skip(1) {
+            assert!(row.ends_with(",paper-china"), "row missing stamp: {row}");
+        }
+        // ...explicit writers stamp their own profile...
+        let mut writer = CsvWriter::with_profile(Vec::new(), "europe-ran").expect("header");
+        for r in &records {
+            writer.write_record(r).expect("row written");
+        }
+        let doc = String::from_utf8(writer.into_inner().expect("flushes")).unwrap();
+        assert_eq!(doc, to_csv_with_profile(&records, "europe-ran"));
+        for row in doc.lines().skip(1) {
+            assert!(row.ends_with(",europe-ran"), "row missing stamp: {row}");
+        }
+        // ...and the stamp is dropped on parse: both documents decode
+        // to identical records (floats are rounded by the codec, so
+        // compare parse-to-parse rather than to the originals).
+        assert_eq!(
+            from_csv(&doc).expect("parses"),
+            from_csv(&to_csv(&records)).expect("parses")
+        );
     }
 
     #[test]

@@ -1,14 +1,21 @@
 //! The seeded record generator.
 //!
-//! Draws [`TestRecord`]s from the ecosystem and bandwidth models. The
-//! pipeline per record mirrors how a real test acquires its context:
-//! pick *who* (ISP, device, OS), *where* (city, urban/rural), *when*
-//! (hour of a typical day), *what* (technology, band / WiFi standard and
-//! plan), then *how fast* (the calibrated bandwidth draw with contextual
-//! multipliers).
+//! Draws [`TestRecord`]s from an [`EcosystemProfile`]'s bandwidth and
+//! ecosystem tables. The pipeline per record mirrors how a real test
+//! acquires its context: pick *who* (ISP, device, OS), *where* (city,
+//! urban/rural), *when* (hour of a typical day), *what* (technology,
+//! band / WiFi standard and plan), then *how fast* (the calibrated
+//! bandwidth draw with contextual multipliers).
+//!
+//! The generator reads **only** the profile: swapping
+//! `config.profile` swaps the ecosystem while the draw pipeline — and
+//! its seed/shard determinism — stays fixed. The default profile is
+//! [`EcosystemProfile::paper_china`], whose output is byte-identical
+//! to the pre-profile pipeline.
 
-use crate::ecosystem::{self, City};
+use crate::ecosystem::City;
 use crate::models;
+use crate::profile::EcosystemProfile;
 use crate::types::*;
 use mbw_stats::sampling::WeightedIndex;
 use mbw_stats::SeededRng;
@@ -22,6 +29,8 @@ pub struct DatasetConfig {
     pub tests: usize,
     /// Measurement year being simulated.
     pub year: Year,
+    /// The ecosystem being simulated.
+    pub profile: &'static EcosystemProfile,
 }
 
 impl Default for DatasetConfig {
@@ -30,61 +39,46 @@ impl Default for DatasetConfig {
             seed: 0xDA7A,
             tests: 100_000,
             year: Year::Y2021,
+            profile: EcosystemProfile::paper_china(),
         }
     }
 }
-
-/// Number of distinct base stations (§3.1: 2,041,586) and WiFi APs
-/// (4,473,362) for id anonymisation.
-const BS_POPULATION: u32 = 2_041_586;
-const AP_POPULATION: u32 = 4_473_362;
-
-/// Share of cellular tests still on 3G (§3.1: 21,051 of ~2.56M).
-const THREE_G_SHARE: f64 = 0.0082;
-
-/// WiFi share of all tests (§3.1: 21,077,214 / 23,636,352).
-const WIFI_SHARE: f64 = 0.8917;
-
-/// Test-outcome rates `(failed, degraded)` per access family. Indoor
-/// WiFi tests rarely die; cellular campaigns lose a visible slice to
-/// radio blackouts, handovers, and mid-test stalls.
-const WIFI_OUTCOME_RATES: (f64, f64) = (0.002, 0.012);
-const CELL_OUTCOME_RATES: (f64, f64) = (0.005, 0.030);
-
-/// Fixed-broadband (WiFi) ISP market shares; ISP-3's wireline arm is
-/// strong, ISP-4 has almost no fixed footprint.
-const WIFI_ISP_WEIGHTS: [f64; 4] = [0.38, 0.24, 0.36, 0.02];
 
 /// Salt mixed into the master seed before deriving per-shard RNG
 /// streams, so shard 0 never replays the sequential generator.
 const SHARD_STREAM_SALT: u64 = 0x5AAD_F00D_0C0F_FEE5;
 
+/// Build a categorical sampler over profile weights. The profile was
+/// validated at construction ([`EcosystemProfile::validate`]), so this
+/// is the single place generator setup converts weights to samplers.
+fn sampler(ws: &[f64]) -> WeightedIndex {
+    WeightedIndex::new(ws).expect("profile weights validated at construction")
+}
+
 /// Per-band 4G draw constants, precomputed at generator build so the
 /// per-record path takes no logarithms and re-derives no probabilities.
-/// Every field holds exactly the value the corresponding `models` call
-/// would return, so the draws are bit-identical to the unhoisted form.
+/// Every field holds exactly the value the corresponding profile entry
+/// yields, so the draws are bit-identical to the unhoisted form.
 #[derive(Clone, Copy)]
 struct LteBandDraw {
-    /// `lte_band_base(band, year)` with `ln(median)` taken once.
+    /// The band's base model with `ln(median)` taken once.
     base: models::LogNormalSampler,
-    /// `lte_advanced_prob(band, urban)`, indexed by `urban as usize`.
+    /// LTE-Advanced probability, indexed by `urban as usize`.
     adv_prob: [f64; 2],
 }
 
-/// One ISP's 4G band-selection table: parallel `bands[i]` / `draws[i]`
-/// arrays addressed by the weighted draw.
+/// One ISP's 4G band-selection table (indexed by `Isp as usize`):
+/// parallel `bands[i]` / `draws[i]` arrays addressed by the weighted
+/// draw.
 struct LteBandTable {
-    isp: Isp,
     bands: Vec<LteBandId>,
     sampler: WeightedIndex,
     draws: Vec<LteBandDraw>,
 }
 
-/// One ISP's 5G band-selection table; `models[i]` is the prebuilt
-/// `nr_band_model(bands[i], year)` mixture (the per-call form allocates
-/// a fresh `Gmm` per record).
+/// One ISP's 5G band-selection table (indexed by `Isp as usize`);
+/// `models[i]` is the profile's prebuilt mixture for `bands[i]`.
 struct NrBandTable {
-    isp: Isp,
     bands: Vec<NrBandId>,
     sampler: WeightedIndex,
     models: Vec<mbw_stats::Gmm>,
@@ -94,6 +88,7 @@ struct NrBandTable {
 /// sampler so each record is O(1).
 pub struct Generator {
     config: DatasetConfig,
+    profile: &'static EcosystemProfile,
     rng: SeededRng,
     /// Independent stream for test-outcome draws: re-rating outcomes can
     /// never perturb the calibrated bandwidth/context draws in `rng`.
@@ -110,105 +105,79 @@ pub struct Generator {
     plan_samplers: [WeightedIndex; 3],
     lte_band_tables: Vec<LteBandTable>,
     nr_band_tables: Vec<NrBandTable>,
-    /// `wifi_link_model(standard, on_5ghz)` with `ln(median)` hoisted,
-    /// indexed `[standard index][on_5ghz as usize]`.
+    /// The degraded-LTE model with `ln(median)` hoisted.
+    lte_degraded_sampler: models::LogNormalSampler,
+    /// Air-link models with `ln(median)` hoisted, indexed
+    /// `[standard index][on_5ghz as usize]`.
     wifi_link_samplers: [[models::LogNormalSampler; 2]; 3],
-    /// `lte_hour_factor(h)` / `nr_hour_factor(h)` per hour of day.
+    /// Hour-of-day multiplier tables from the profile.
     lte_hour_table: [f64; 24],
     nr_hour_table: [f64; 24],
-    /// `lte_year_factor(config.year)`.
+    /// `profile.lte_year_factor` at `config.year`.
     lte_year_factor: f64,
 }
 
 impl Generator {
     /// Build a generator for the given configuration.
     pub fn new(config: DatasetConfig) -> Self {
+        let profile = config.profile;
         let mut rng = SeededRng::new(config.seed);
-        let cities = ecosystem::build_cities(&mut rng.fork(1));
+        let cities = profile.build_cities(&mut rng.fork(1));
 
         let mut tier_ranges = [(0usize, 0usize); 3];
         let mut start = 0usize;
-        for (i, (_, count)) in ecosystem::CITY_COUNTS.iter().enumerate() {
-            tier_ranges[i] = (start, start + *count as usize);
-            start += *count as usize;
+        for (i, spec) in profile.city_tiers.iter().enumerate() {
+            tier_ranges[i] = (start, start + spec.count as usize);
+            start += spec.count as usize;
         }
 
-        let city_tier_sampler =
-            WeightedIndex::new(&ecosystem::CITY_TIER_TEST_WEIGHTS.map(|(_, w)| w))
-                .expect("static weights valid");
-        let hour_sampler =
-            WeightedIndex::new(&ecosystem::HOURLY_TEST_VOLUME).expect("static weights valid");
+        let city_tier_sampler = sampler(&profile.city_tiers.map(|t| t.test_weight));
+        let hour_sampler = sampler(&profile.hourly_test_volume);
 
-        let android = ecosystem::android_version_weights(config.year);
-        let android_sampler =
-            WeightedIndex::new(&android.map(|(_, w)| w)).expect("static weights valid");
+        let android = profile.android_versions.at(config.year);
+        let android_sampler = sampler(&android.map(|(_, w)| w));
         let android_versions = android.map(|(v, _)| v).to_vec();
 
-        let cellular_isp_sampler =
-            WeightedIndex::new(&ecosystem::isp_weights(config.year).map(|(_, w)| w.max(1e-9)))
-                .expect("static weights valid");
-        let wifi_isp_sampler = WeightedIndex::new(&WIFI_ISP_WEIGHTS).expect("static weights valid");
-        let wifi_standard_sampler =
-            WeightedIndex::new(&ecosystem::wifi_standard_weights(config.year).map(|(_, w)| w))
-                .expect("static weights valid");
+        // True-zero weights pass straight through: an absent ISP gets
+        // no phantom probability mass and is never drawn.
+        let cellular_isp_sampler = sampler(&profile.cellular_isp_weights.at(config.year));
+        let wifi_isp_sampler = sampler(&profile.wifi_isp_weights);
+        let wifi_standard_sampler = sampler(&profile.wifi_standard_weights.at(config.year));
 
-        let plan_samplers = WifiStandard::ALL.map(|s| {
-            WeightedIndex::new(&ecosystem::broadband_plan_weights(s, config.year))
-                .expect("static weights valid")
-        });
+        let plan_samplers = profile.plan_weights.get(config.year).map(|ws| sampler(&ws));
 
-        let lte_band_tables = Isp::ALL
+        let lte_band_tables = profile
+            .lte_bands
+            .get(config.year)
             .iter()
-            .map(|&isp| {
-                let weights = models::lte_band_weights(isp, config.year);
-                let bands: Vec<LteBandId> = weights.iter().map(|(b, _)| *b).collect();
-                let ws: Vec<f64> = weights.iter().map(|(_, w)| *w).collect();
-                let draws = bands
+            .map(|entries| LteBandTable {
+                bands: entries.iter().map(|e| e.band).collect(),
+                sampler: sampler(&entries.iter().map(|e| e.weight).collect::<Vec<_>>()),
+                draws: entries
                     .iter()
-                    .map(|&band| LteBandDraw {
-                        base: models::lte_band_base(band, config.year).sampler(),
-                        adv_prob: [
-                            models::lte_advanced_prob(band, false),
-                            models::lte_advanced_prob(band, true),
-                        ],
+                    .map(|e| LteBandDraw {
+                        base: e.base.sampler(),
+                        adv_prob: e.adv_prob,
                     })
-                    .collect();
-                LteBandTable {
-                    isp,
-                    bands,
-                    sampler: WeightedIndex::new(&ws).expect("static weights valid"),
-                    draws,
-                }
+                    .collect(),
             })
             .collect();
-        let nr_band_tables = Isp::ALL
+        let nr_band_tables = profile
+            .nr_bands
+            .get(config.year)
             .iter()
-            .map(|&isp| {
-                let weights = models::nr_band_weights(isp, config.year);
-                let bands: Vec<NrBandId> = weights.iter().map(|(b, _)| *b).collect();
-                let ws: Vec<f64> = weights.iter().map(|(_, w)| *w).collect();
-                let band_models = bands
-                    .iter()
-                    .map(|&band| models::nr_band_model(band, config.year))
-                    .collect();
-                NrBandTable {
-                    isp,
-                    bands,
-                    sampler: WeightedIndex::new(&ws).expect("static weights valid"),
-                    models: band_models,
-                }
+            .map(|entries| NrBandTable {
+                bands: entries.iter().map(|e| e.band).collect(),
+                sampler: sampler(&entries.iter().map(|e| e.weight).collect::<Vec<_>>()),
+                models: entries.iter().map(|e| e.model.clone()).collect(),
             })
             .collect();
 
-        let wifi_link_samplers = WifiStandard::ALL.map(|s| {
-            [
-                models::wifi_link_model(s, false).sampler(),
-                models::wifi_link_model(s, true).sampler(),
-            ]
-        });
+        let wifi_link_samplers = profile.wifi_link.map(|pair| pair.map(|m| m.sampler()));
 
         Self {
             config,
+            profile,
             rng: rng.fork(2),
             outcome_rng: rng.fork(3),
             cities,
@@ -223,10 +192,11 @@ impl Generator {
             plan_samplers,
             lte_band_tables,
             nr_band_tables,
+            lte_degraded_sampler: profile.lte_degraded.sampler(),
             wifi_link_samplers,
-            lte_hour_table: models::lte_hour_table(),
-            nr_hour_table: models::nr_hour_table(),
-            lte_year_factor: models::lte_year_factor(config.year),
+            lte_hour_table: profile.lte_hour_table,
+            nr_hour_table: profile.nr_hour_table,
+            lte_year_factor: profile.lte_year_factor.at(config.year),
         }
     }
 
@@ -234,10 +204,10 @@ impl Generator {
     /// (see [`crate::parallel`]).
     ///
     /// Shares the city table and every categorical sampler with
-    /// [`Generator::new`] — they depend only on the master seed — but
-    /// draws records and outcomes from streams derived from
-    /// `(config.seed, shard)`. A shard's output is therefore a pure
-    /// function of the configuration and its shard index, never of
+    /// [`Generator::new`] — they depend only on the master seed and the
+    /// profile — but draws records and outcomes from streams derived
+    /// from `(config.seed, shard)`. A shard's output is therefore a
+    /// pure function of the configuration and its shard index, never of
     /// which thread runs it or how many sibling shards exist.
     pub fn for_shard(config: DatasetConfig, shard: u64) -> Self {
         let mut gen = Self::new(config);
@@ -265,13 +235,14 @@ impl Generator {
     /// Generate a single record.
     pub fn generate_one(&mut self) -> TestRecord {
         let year = self.config.year;
+        let profile = self.profile;
         let rng = &mut self.rng;
 
         // Where.
         let tier_idx = self.city_tier_sampler.sample(rng);
         let (lo, hi) = self.tier_ranges[tier_idx];
         let city = self.cities[lo + rng.index(hi - lo)];
-        let urban = rng.chance(ecosystem::urban_probability(city.tier));
+        let urban = rng.chance(profile.city_tiers[city.tier as usize].urban_probability);
 
         // When / on what device.
         let hour = self.hour_sampler.sample(rng) as u8;
@@ -280,7 +251,7 @@ impl Generator {
         // which is the mechanism behind §3.1's "hardware illusion".
         let tier_u = rng.uniform();
         let device_tier = {
-            let w = ecosystem::DEVICE_TIER_WEIGHTS;
+            let w = profile.device_tier_weights;
             if tier_u < w[0] {
                 DeviceTier::Low
             } else if tier_u - w[0] < w[1] {
@@ -296,21 +267,24 @@ impl Generator {
             DeviceTier::Mid => d1,
             DeviceTier::High => d1.max(d2),
         };
-        let device_model = rng.index(ecosystem::DEVICE_MODELS as usize) as u16;
+        let device_model = rng.index(profile.device_models as usize) as u16;
 
         // What.
-        let is_wifi = rng.chance(WIFI_SHARE);
+        let is_wifi = rng.chance(profile.wifi_share.at(year));
         let (tech, isp, link, bandwidth) = if is_wifi {
             let isp = Isp::ALL[self.wifi_isp_sampler.sample(rng)];
-            let (info, bw) = self.draw_wifi(isp, &city, urban, android_version, device_tier, year);
+            let (info, bw) = self.draw_wifi(isp, &city, urban, android_version, device_tier);
             (AccessTech::Wifi, isp, LinkInfo::Wifi(info), bw)
         } else {
             let isp = Isp::ALL[self.cellular_isp_sampler.sample(rng)];
-            if self.rng.chance(THREE_G_SHARE) && isp != Isp::Isp4 {
+            if self.rng.chance(profile.three_g_share.at(year)) && isp != Isp::Isp4 {
                 let bw = models::cellular_3g_draw(&mut self.rng);
                 let info = self.cell_context_3g(urban);
                 (AccessTech::Cellular3g, isp, LinkInfo::Cell(info), bw)
-            } else if self.rng.chance(models::nr_share_of_cellular(isp, year)) {
+            } else if self
+                .rng
+                .chance(profile.nr_share_of_cellular.get(year)[isp as usize])
+            {
                 let (info, bw) =
                     self.draw_5g(isp, &city, urban, hour, android_version, device_tier);
                 (AccessTech::Cellular5g, isp, LinkInfo::Cell(info), bw)
@@ -325,8 +299,8 @@ impl Generator {
         // stream. A failed test reports no bandwidth; a degraded test
         // terminated early, so its partial estimate sits below truth.
         let (p_fail, p_degrade) = match tech {
-            AccessTech::Wifi => WIFI_OUTCOME_RATES,
-            _ => CELL_OUTCOME_RATES,
+            AccessTech::Wifi => profile.wifi_outcome_rates,
+            _ => profile.cell_outcome_rates,
         };
         let u = self.outcome_rng.uniform();
         let outcome = if u < p_fail {
@@ -359,8 +333,14 @@ impl Generator {
         }
     }
 
+    /// Bandwidth multiplier for an Android version (profile table,
+    /// versions 5–12).
+    fn android_factor(&self, version: u8) -> f64 {
+        self.profile.android_factor[(version.clamp(5, 12) - 5) as usize]
+    }
+
     fn draw_rss(&mut self, urban: bool) -> u8 {
-        let w = ecosystem::rss_level_weights(urban);
+        let w = self.profile.rss_level_weights[urban as usize];
         let mut u = self.rng.uniform();
         for (i, &p) in w.iter().enumerate() {
             u -= p;
@@ -373,13 +353,15 @@ impl Generator {
 
     fn cell_context_3g(&mut self, urban: bool) -> CellInfo {
         let level = self.draw_rss(urban);
+        let snr_mean = self.profile.snr_by_rss[(level as usize - 1).min(4)];
+        let bs_population = self.profile.bs_population;
         let info = crate::bands::lte_band(LteBandId::B8);
         CellInfo {
             band: CellBand::Lte(LteBandId::B8), // legacy carriers ride low bands
             rss_level: level,
             rss_dbm: models::dbm_for_rss(level, &mut self.rng),
-            snr_db: models::snr_for_rss(level, &mut self.rng),
-            bs_id: (self.rng.next_u64() % BS_POPULATION as u64) as u32,
+            snr_db: models::snr_for_rss_from(snr_mean, &mut self.rng),
+            bs_id: (self.rng.next_u64() % bs_population as u64) as u32,
             arfcn: models::arfcn_for(info.dl_mhz, info.max_channel_mhz, &mut self.rng),
             lte_advanced: false,
         }
@@ -394,11 +376,8 @@ impl Generator {
         android: u8,
         tier: DeviceTier,
     ) -> (CellInfo, f64) {
-        let table = self
-            .lte_band_tables
-            .iter()
-            .find(|t| t.isp == isp)
-            .expect("every ISP tabulated");
+        let profile = self.profile;
+        let table = &self.lte_band_tables[isp as usize];
         let band_idx = table.sampler.sample(&mut self.rng);
         let band = table.bands[band_idx];
         let draw = table.draws[band_idx];
@@ -407,32 +386,38 @@ impl Generator {
 
         let bw = if lte_advanced {
             // Carrier aggregation dominates every other effect (§3.2).
-            models::lte_advanced_draw(&mut self.rng) * models::measurement_noise(&mut self.rng)
-        } else if self.rng.chance(models::LTE_DEGRADED.0) {
+            models::lte_advanced_draw_from(
+                profile.lte_advanced,
+                profile.lte_max_mbps,
+                &mut self.rng,
+            ) * models::measurement_noise(&mut self.rng)
+        } else if self.rng.chance(profile.lte_degraded_prob) {
             // Cell-edge / congested sessions collapse regardless of band —
             // the 26.3%-below-10-Mbps tail of Fig 4.
-            models::lte_degraded_draw(&mut self.rng) * models::measurement_noise(&mut self.rng)
+            self.lte_degraded_sampler.sample(&mut self.rng)
+                * models::measurement_noise(&mut self.rng)
         } else {
             let base = draw.base.sample(&mut self.rng) * self.lte_year_factor;
             base * city.lte_factor
-                * models::urban_factor(false, urban)
+                * profile.urban_factor[0][urban as usize]
                 * self.lte_hour_table[hour as usize % 24]
-                * ecosystem::android_version_factor(android)
-                * models::device_tier_factor(tier)
-                * models::LTE_RSS_FACTOR[(level as usize - 1).min(4)]
+                * self.android_factor(android)
+                * profile.device_tier_factor[tier as usize]
+                * profile.lte_rss_factor[(level as usize - 1).min(4)]
                 * models::measurement_noise(&mut self.rng)
         };
+        let snr_mean = profile.snr_by_rss[(level as usize - 1).min(4)];
         let band_info = crate::bands::lte_band(band);
         let info = CellInfo {
             band: CellBand::Lte(band),
             rss_level: level,
             rss_dbm: models::dbm_for_rss(level, &mut self.rng),
-            snr_db: models::snr_for_rss(level, &mut self.rng),
-            bs_id: (self.rng.next_u64() % BS_POPULATION as u64) as u32,
+            snr_db: models::snr_for_rss_from(snr_mean, &mut self.rng),
+            bs_id: (self.rng.next_u64() % profile.bs_population as u64) as u32,
             arfcn: models::arfcn_for(band_info.dl_mhz, band_info.max_channel_mhz, &mut self.rng),
             lte_advanced,
         };
-        (info, bw.clamp(0.1, models::LTE_MAX_MBPS))
+        (info, bw.clamp(0.1, profile.lte_max_mbps))
     }
 
     fn draw_5g(
@@ -444,42 +429,40 @@ impl Generator {
         android: u8,
         tier: DeviceTier,
     ) -> (CellInfo, f64) {
-        let table_idx = self
-            .nr_band_tables
-            .iter()
-            .position(|t| t.isp == isp)
-            .expect("every ISP tabulated");
+        let profile = self.profile;
+        let table_idx = isp as usize;
         let band_idx = self.nr_band_tables[table_idx].sampler.sample(&mut self.rng);
         let band = self.nr_band_tables[table_idx].bands[band_idx];
         let level = self.draw_rss(urban);
 
         let base =
             self.nr_band_tables[table_idx].models[band_idx].sample_at_least(&mut self.rng, 5.0);
-        let mut rss_factor = models::NR_RSS_FACTOR[(level as usize - 1).min(4)];
+        let mut rss_factor = profile.nr_rss_factor[(level as usize - 1).min(4)];
         // §3.3: excellent-RSS tests cluster in crowded urban areas where
         // dense gNodeBs suffer cross-region coverage, interference, load
         // balancing and handover pathologies.
-        let (p_interf, interf_mult) = models::NR_URBAN_INTERFERENCE;
+        let (p_interf, interf_mult) = profile.nr_urban_interference;
         if level == 5 && urban && self.rng.chance(p_interf) {
             rss_factor *= interf_mult;
         }
         let bw = base
             * city.nr_factor
-            * models::urban_factor(true, urban)
+            * profile.urban_factor[1][urban as usize]
             * self.nr_hour_table[hour as usize % 24]
-            * ecosystem::android_version_factor(android)
-            * models::device_tier_factor(tier)
-            * models::nr_isp_factor(isp)
+            * self.android_factor(android)
+            * profile.device_tier_factor[tier as usize]
+            * profile.nr_isp_factor[isp as usize]
             * rss_factor
             * models::measurement_noise(&mut self.rng);
 
+        let snr_mean = profile.snr_by_rss[(level as usize - 1).min(4)];
         let band_info = crate::bands::nr_band(band);
         let info = CellInfo {
             band: CellBand::Nr(band),
             rss_level: level,
             rss_dbm: models::dbm_for_rss(level, &mut self.rng),
-            snr_db: models::snr_for_rss(level, &mut self.rng),
-            bs_id: (self.rng.next_u64() % BS_POPULATION as u64) as u32,
+            snr_db: models::snr_for_rss_from(snr_mean, &mut self.rng),
+            bs_id: (self.rng.next_u64() % profile.bs_population as u64) as u32,
             arfcn: models::arfcn_for(
                 band_info.dl_mhz,
                 band_info.contiguous_mhz.min(band_info.max_channel_mhz),
@@ -487,7 +470,7 @@ impl Generator {
             ),
             lte_advanced: false,
         };
-        (info, bw.clamp(1.0, models::NR_MAX_MBPS))
+        (info, bw.clamp(1.0, profile.nr_max_mbps))
     }
 
     fn draw_wifi(
@@ -497,34 +480,41 @@ impl Generator {
         urban: bool,
         android: u8,
         tier: DeviceTier,
-        year: Year,
     ) -> (WifiInfo, f64) {
+        let profile = self.profile;
         let std_idx = self.wifi_standard_sampler.sample(&mut self.rng);
         let standard = WifiStandard::ALL[std_idx];
         let plan_idx = self.plan_samplers[std_idx].sample(&mut self.rng);
-        let plan = ecosystem::BROADBAND_PLANS[plan_idx];
-        let on_5ghz = self.rng.chance(models::p_5ghz(standard, plan));
+        let plan = profile.broadband_plans[plan_idx];
+        let on_5ghz = self.rng.chance(profile.p_5ghz[std_idx][plan_idx]);
 
         let link = self.wifi_link_samplers[std_idx][on_5ghz as usize].sample(&mut self.rng);
         // The wired side: plan × delivery efficiency × infrastructure
         // quality (ISP investment, city wiring).
-        let infra = (models::wifi_isp_factor(isp) * city.wifi_factor).clamp(0.50, 1.40);
-        let wired = plan * models::plan_efficiency(&mut self.rng) * infra;
+        let infra = (profile.wifi_isp_factor[isp as usize] * city.wifi_factor).clamp(0.50, 1.40);
+        let wired =
+            plan * models::plan_efficiency_from(profile.plan_efficiency, &mut self.rng) * infra;
         let bw = link.min(wired)
-            * ecosystem::android_version_factor(android)
-            * models::device_tier_factor(tier)
+            * self.android_factor(android)
+            * profile.device_tier_factor[tier as usize]
             * models::measurement_noise(&mut self.rng);
 
         let info = WifiInfo {
             standard,
             on_5ghz,
             plan_mbps: plan,
-            ap_id: (self.rng.next_u64() % AP_POPULATION as u64) as u32,
-            mac_rate_mbps: models::wifi_mac_rate(standard, on_5ghz, link, &mut self.rng),
-            neighbor_aps: models::neighbor_ap_count(city.tier, urban, &mut self.rng),
+            ap_id: (self.rng.next_u64() % profile.ap_population as u64) as u32,
+            mac_rate_mbps: models::wifi_mac_rate_from(
+                profile.wifi_phy_max[std_idx][on_5ghz as usize],
+                link,
+                &mut self.rng,
+            ),
+            neighbor_aps: models::neighbor_ap_count_from(
+                profile.neighbor_ap_mean[city.tier as usize][urban as usize],
+                &mut self.rng,
+            ),
         };
-        let _ = year;
-        (info, bw.clamp(0.5, models::WIFI_MAX_MBPS))
+        (info, bw.clamp(0.5, profile.wifi_max_mbps))
     }
 }
 
@@ -535,7 +525,13 @@ mod tests {
     use mbw_stats::descriptive;
 
     fn dataset(tests: usize, year: Year, seed: u64) -> Vec<TestRecord> {
-        Generator::new(DatasetConfig { seed, tests, year }).generate()
+        Generator::new(DatasetConfig {
+            seed,
+            tests,
+            year,
+            ..DatasetConfig::default()
+        })
+        .generate()
     }
 
     #[test]
@@ -699,5 +695,40 @@ mod tests {
                 assert!((1..=5).contains(&c.rss_level));
             }
         }
+    }
+
+    #[test]
+    fn profiles_produce_distinct_populations() {
+        let mk = |profile| {
+            Generator::new(DatasetConfig {
+                seed: 7,
+                tests: 2_000,
+                year: Year::Y2021,
+                profile,
+            })
+            .generate()
+        };
+        let china = mk(EcosystemProfile::paper_china());
+        for p in [
+            EcosystemProfile::europe_ran(),
+            EcosystemProfile::developing_market(),
+            EcosystemProfile::mmwave_metro(),
+        ] {
+            assert_ne!(china, mk(p), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn zero_weight_isp_is_never_drawn() {
+        // developing-market has ISP-4 at a true-zero weight on both the
+        // cellular and fixed sides in 2020.
+        let records = Generator::new(DatasetConfig {
+            seed: 3,
+            tests: 30_000,
+            year: Year::Y2020,
+            profile: EcosystemProfile::developing_market(),
+        })
+        .generate();
+        assert!(records.iter().all(|r| r.isp != Isp::Isp4));
     }
 }

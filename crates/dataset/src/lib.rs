@@ -30,7 +30,12 @@
 //!   broadband plans, diurnal profiles, RSS distributions.
 //! - [`models`] — the per-technology / per-band bandwidth models and the
 //!   contextual multipliers.
-//! - [`generator`] — the seeded record generator.
+//! - [`profile`] — the [`EcosystemProfile`] data structure: every
+//!   calibration table above as a first-class value, with four built-in
+//!   ecosystems (`paper-china`, `europe-ran`, `developing-market`,
+//!   `mmwave-metro`).
+//! - [`generator`] — the seeded record generator, parameterized by a
+//!   profile.
 //! - [`parallel`] — sharded, thread-count-independent parallel
 //!   generation (owned rows, columnar, or streaming).
 //! - [`columnar`] — struct-of-arrays [`Dataset`] storage and the
@@ -43,6 +48,7 @@ pub mod ecosystem;
 pub mod generator;
 pub mod models;
 pub mod parallel;
+pub mod profile;
 pub mod types;
 
 pub use bands::{LteBandInfo, NrBandInfo, LTE_BANDS, NR_BANDS};
@@ -51,6 +57,7 @@ pub use generator::{DatasetConfig, Generator};
 pub use parallel::{
     for_each_record, generate_dataset, generate_sharded, ShardPlan, ShardSpec, DEFAULT_SHARD_SIZE,
 };
+pub use profile::{EcosystemProfile, ProfileError};
 pub use types::{
     AccessTech, CellInfo, CityTier, DeviceTier, Isp, LinkInfo, LteBandId, NrBandId, OutcomeClass,
     TestRecord, WifiInfo, WifiStandard, Year,

@@ -188,10 +188,21 @@ pub fn lte_advanced_prob(band: LteBandId, urban: bool) -> f64 {
     }
 }
 
+/// `(mean, σ, floor)` of the LTE-Advanced draw (§3.2, mean 403 Mbps);
+/// the ceiling is the technology cap.
+pub const LTE_ADVANCED_DRAW: (f64, f64, f64) = (395.0, 95.0, 300.0);
+
 /// LTE-Advanced bandwidth draw: carrier aggregation + enhanced MIMO
 /// yields 300+ Mbps, peaking at 813 Mbps (§3.2, mean 403 Mbps).
 pub fn lte_advanced_draw(rng: &mut SeededRng) -> f64 {
-    rng.normal(395.0, 95.0).clamp(300.0, LTE_MAX_MBPS)
+    lte_advanced_draw_from(LTE_ADVANCED_DRAW, LTE_MAX_MBPS, rng)
+}
+
+/// [`lte_advanced_draw`] from explicit `(mean, σ, floor)` parameters
+/// and ceiling — the profile-driven form.
+pub fn lte_advanced_draw_from(params: (f64, f64, f64), cap: f64, rng: &mut SeededRng) -> f64 {
+    let (mean, sd, floor) = params;
+    rng.normal(mean, sd).clamp(floor, cap)
 }
 
 /// Per-ISP LTE band selection weights, calibrated to Fig 6: Band 3
@@ -321,7 +332,14 @@ pub const NR_URBAN_INTERFERENCE: (f64, f64) = (0.85, 0.62);
 
 /// Draw an SNR (dB) for a given RSS level (Fig 11).
 pub fn snr_for_rss(level: u8, rng: &mut SeededRng) -> f64 {
-    let mean = crate::ecosystem::SNR_BY_RSS[(level as usize - 1).min(4)];
+    snr_for_rss_from(
+        crate::ecosystem::SNR_BY_RSS[(level as usize - 1).min(4)],
+        rng,
+    )
+}
+
+/// [`snr_for_rss`] from an explicit mean — the profile-driven form.
+pub fn snr_for_rss_from(mean: f64, rng: &mut SeededRng) -> f64 {
     rng.normal(mean, 3.5).clamp(0.0, 45.0)
 }
 
@@ -395,12 +413,22 @@ pub fn p_5ghz(standard: WifiStandard, plan_mbps: f64) -> f64 {
     }
 }
 
+/// `(mean, σ, lo, hi)` of the wired-plan delivery-efficiency draw.
+pub const PLAN_EFFICIENCY: (f64, f64, f64, f64) = (0.99, 0.05, 0.75, 1.10);
+
 /// Efficiency of the wired plan as observed through a WiFi test:
 /// slightly under the sold figure, occasionally over-provisioned.
 /// Centred at 1.0 so the WiFi PDF's modes land on the plan values
 /// (Fig 16: 100 / 300 / 500 Mbps for WiFi 5).
 pub fn plan_efficiency(rng: &mut SeededRng) -> f64 {
-    rng.normal(0.99, 0.05).clamp(0.75, 1.10)
+    plan_efficiency_from(PLAN_EFFICIENCY, rng)
+}
+
+/// [`plan_efficiency`] from explicit `(mean, σ, lo, hi)` parameters —
+/// the profile-driven form.
+pub fn plan_efficiency_from(params: (f64, f64, f64, f64), rng: &mut SeededRng) -> f64 {
+    let (mean, sd, lo, hi) = params;
+    rng.normal(mean, sd).clamp(lo, hi)
 }
 
 /// WiFi bandwidth multiplier per wired ISP: ISP-3's heavier
@@ -500,6 +528,17 @@ pub fn arfcn_for(dl_mhz: (f64, f64), max_channel_mhz: f64, rng: &mut SeededRng) 
     (rng.uniform_range(lo, hi) * 10.0).round() as u32
 }
 
+/// PHY maximum rate (Mbps) per (standard, radio band).
+pub fn wifi_phy_max(standard: WifiStandard, on_5ghz: bool) -> f64 {
+    match (standard, on_5ghz) {
+        (WifiStandard::Wifi4, false) => 300.0,
+        (WifiStandard::Wifi4, true) => 450.0,
+        (WifiStandard::Wifi5, _) => 1733.0,
+        (WifiStandard::Wifi6, false) => 574.0,
+        (WifiStandard::Wifi6, true) => 2402.0,
+    }
+}
+
 /// Negotiated MAC-layer rate for a WiFi association: some headroom over
 /// the achievable link rate, capped at the standard's PHY maximum.
 pub fn wifi_mac_rate(
@@ -508,28 +547,37 @@ pub fn wifi_mac_rate(
     link_mbps: f64,
     rng: &mut SeededRng,
 ) -> f64 {
-    let phy_max = match (standard, on_5ghz) {
-        (WifiStandard::Wifi4, false) => 300.0,
-        (WifiStandard::Wifi4, true) => 450.0,
-        (WifiStandard::Wifi5, _) => 1733.0,
-        (WifiStandard::Wifi6, false) => 574.0,
-        (WifiStandard::Wifi6, true) => 2402.0,
-    };
+    wifi_mac_rate_from(wifi_phy_max(standard, on_5ghz), link_mbps, rng)
+}
+
+/// [`wifi_mac_rate`] from an explicit PHY maximum — the profile-driven
+/// form.
+pub fn wifi_mac_rate_from(phy_max: f64, link_mbps: f64, rng: &mut SeededRng) -> f64 {
     (link_mbps * rng.uniform_range(1.3, 2.2)).clamp(link_mbps.min(phy_max), phy_max)
 }
 
-/// Number of other WiFi APs detected during the test (§2's "states of
-/// the other WiFi APs"): dense in urban mega-city housing, sparse in
-/// rural areas.
-pub fn neighbor_ap_count(tier: crate::types::CityTier, urban: bool, rng: &mut SeededRng) -> u16 {
-    let mean = match (tier, urban) {
+/// Mean neighbouring-AP count per (tier, urban) context.
+pub fn neighbor_ap_mean(tier: crate::types::CityTier, urban: bool) -> f64 {
+    match (tier, urban) {
         (crate::types::CityTier::Mega, true) => 24.0,
         (crate::types::CityTier::Mega, false) => 8.0,
         (crate::types::CityTier::Medium, true) => 15.0,
         (crate::types::CityTier::Medium, false) => 5.0,
         (crate::types::CityTier::Small, true) => 9.0,
         (crate::types::CityTier::Small, false) => 3.0,
-    };
+    }
+}
+
+/// Number of other WiFi APs detected during the test (§2's "states of
+/// the other WiFi APs"): dense in urban mega-city housing, sparse in
+/// rural areas.
+pub fn neighbor_ap_count(tier: crate::types::CityTier, urban: bool, rng: &mut SeededRng) -> u16 {
+    neighbor_ap_count_from(neighbor_ap_mean(tier, urban), rng)
+}
+
+/// [`neighbor_ap_count`] from an explicit mean — the profile-driven
+/// form.
+pub fn neighbor_ap_count_from(mean: f64, rng: &mut SeededRng) -> u16 {
     rng.poisson(mean).min(120) as u16
 }
 

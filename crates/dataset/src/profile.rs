@@ -1,0 +1,1647 @@
+//! Pluggable ecosystem profiles.
+//!
+//! An [`EcosystemProfile`] is the complete parameterisation of one
+//! access-network ecosystem — technology mix, ISP shares by year, city
+//! tiers and weights, WiFi-standard mix, band models, broadband plan
+//! caps, and the RSS/device/Android effect tables. The generator reads
+//! *only* the profile: the paper's Chinese ecosystem is no longer baked
+//! into the draw path as constants but assembled as the
+//! [`EcosystemProfile::paper_china`] value (from the calibrated tables
+//! in [`crate::ecosystem`] and [`crate::models`], so every `f64` is
+//! bit-identical to the pre-profile pipeline).
+//!
+//! Three contrasting built-ins ship alongside the paper baseline:
+//!
+//! - [`EcosystemProfile::europe_ran`] — an ERRANT-style European
+//!   multi-operator RAN: four comparable operators, milder refarming,
+//!   higher-plan broadband, and a balanced WiFi 4/5/6 mix.
+//! - [`EcosystemProfile::developing_market`] — an AmiGos-style
+//!   developing market: sparse 5G, WiFi-4-heavy households on thin
+//!   broadband plans, low-band LTE, older Android.
+//! - [`EcosystemProfile::mmwave_metro`] — an mmWave-dense metropolis:
+//!   small geography, N79 mmWave carrying most 5G, multi-gigabit plans
+//!   and WiFi 6.
+//!
+//! Profiles are validated once at construction ([`EcosystemProfile::
+//! validate`]); the registry lookup ([`EcosystemProfile::by_name`])
+//! returns a typed [`ProfileError`] instead of panicking.
+
+use crate::ecosystem::{self, City};
+use crate::models::{self, LogNormal};
+use crate::types::{CityTier, Isp, LteBandId, NrBandId, WifiStandard, Year};
+use mbw_stats::{Gmm, SeededRng};
+use std::sync::OnceLock;
+
+/// A value that differs between the two measurement years.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerYear<T> {
+    /// The 2020 value.
+    pub y2020: T,
+    /// The 2021 value.
+    pub y2021: T,
+}
+
+impl<T> PerYear<T> {
+    /// The value for `year`, by reference.
+    pub fn get(&self, year: Year) -> &T {
+        match year {
+            Year::Y2020 => &self.y2020,
+            Year::Y2021 => &self.y2021,
+        }
+    }
+}
+
+impl<T: Copy> PerYear<T> {
+    /// The value for `year`, by copy.
+    pub fn at(&self, year: Year) -> T {
+        *self.get(year)
+    }
+}
+
+impl<T: Clone> PerYear<T> {
+    /// Both years share one value.
+    pub fn same(v: T) -> Self {
+        Self {
+            y2020: v.clone(),
+            y2021: v,
+        }
+    }
+}
+
+/// Build a [`PerYear`] by evaluating `f` for each year.
+fn per_year<T>(mut f: impl FnMut(Year) -> T) -> PerYear<T> {
+    PerYear {
+        y2020: f(Year::Y2020),
+        y2021: f(Year::Y2021),
+    }
+}
+
+/// One city tier of a profile: how many cities, how much test volume
+/// they attract, and the tier means of the per-city random effects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CityTierSpec {
+    /// The tier this row describes (rows must be in `CityTier::ALL`
+    /// order so `tier as usize` indexes the table).
+    pub tier: CityTier,
+    /// Number of cities in the tier.
+    pub count: u16,
+    /// Share of all tests run in this tier.
+    pub test_weight: f64,
+    /// Probability a test in this tier runs in the urban core.
+    pub urban_probability: f64,
+    /// Tier mean of the per-city LTE factor.
+    pub lte_mu: f64,
+    /// Tier mean of the per-city NR factor.
+    pub nr_mu: f64,
+    /// Tier mean of the per-city WiFi factor.
+    pub wifi_mu: f64,
+}
+
+/// Shape of a per-city random effect: log-normal σ and the clamp range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CityFactorModel {
+    /// σ of the underlying normal.
+    pub sigma: f64,
+    /// Lower clamp on the drawn factor.
+    pub lo: f64,
+    /// Upper clamp on the drawn factor.
+    pub hi: f64,
+}
+
+/// One row of an ISP's LTE band-selection table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LteBandEntry {
+    /// The band.
+    pub band: LteBandId,
+    /// Selection weight within the ISP's table.
+    pub weight: f64,
+    /// Base (non-LTE-Advanced) bandwidth model.
+    pub base: LogNormal,
+    /// LTE-Advanced probability, indexed by `urban as usize`.
+    pub adv_prob: [f64; 2],
+}
+
+/// One row of an ISP's NR band-selection table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NrBandEntry {
+    /// The band.
+    pub band: NrBandId,
+    /// Selection weight within the ISP's table.
+    pub weight: f64,
+    /// Per-band bandwidth mixture.
+    pub model: Gmm,
+}
+
+/// Errors from profile validation or registry lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// [`EcosystemProfile::by_name`] got a name not in the registry.
+    UnknownProfile(String),
+    /// A weight table does not normalise to 1.
+    BadWeights {
+        /// Which table failed.
+        table: String,
+        /// The sum it actually had.
+        sum: f64,
+    },
+    /// An ISP's band-selection table is empty.
+    EmptyBandTable {
+        /// Which table is empty.
+        table: String,
+    },
+    /// A field holds an out-of-range or non-finite value.
+    InvalidValue {
+        /// Which field failed.
+        field: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::UnknownProfile(name) => {
+                write!(f, "unknown ecosystem profile {name:?} (known: ")?;
+                for (i, p) in EcosystemProfile::all_builtins().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", p.name)?;
+                }
+                write!(f, ")")
+            }
+            ProfileError::BadWeights { table, sum } => {
+                write!(f, "weights in {table} sum to {sum}, expected 1")
+            }
+            ProfileError::EmptyBandTable { table } => {
+                write!(f, "band table {table} is empty")
+            }
+            ProfileError::InvalidValue { field, detail } => {
+                write!(f, "invalid {field}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// The complete parameterisation of one access-network ecosystem.
+///
+/// A profile is pure data: the generator composes records exclusively
+/// from these tables, so swapping the profile swaps the ecosystem while
+/// the draw pipeline (and its determinism guarantees) stay fixed.
+#[derive(Clone)]
+pub struct EcosystemProfile {
+    /// Registry name (`figures --profile <name>`).
+    pub name: &'static str,
+    /// One-line description for reports.
+    pub description: &'static str,
+
+    // -- populations -------------------------------------------------
+    /// Number of distinct base stations (id anonymisation space).
+    pub bs_population: u32,
+    /// Number of distinct WiFi APs.
+    pub ap_population: u32,
+    /// Number of distinct device models.
+    pub device_models: u16,
+
+    // -- technology mix ----------------------------------------------
+    /// WiFi share of all tests.
+    pub wifi_share: PerYear<f64>,
+    /// Share of cellular tests still on 3G.
+    pub three_g_share: PerYear<f64>,
+    /// Cellular ISP market shares, indexed by `Isp as usize`.
+    pub cellular_isp_weights: PerYear<[f64; 4]>,
+    /// Fixed-broadband (WiFi) ISP market shares.
+    pub wifi_isp_weights: [f64; 4],
+    /// 5G share of each ISP's cellular tests, indexed by `Isp as usize`.
+    pub nr_share_of_cellular: PerYear<[f64; 4]>,
+
+    // -- geography ---------------------------------------------------
+    /// City tiers in `CityTier::ALL` order.
+    pub city_tiers: [CityTierSpec; 3],
+    /// Per-city LTE random-effect shape.
+    pub city_lte: CityFactorModel,
+    /// Per-city NR random-effect shape.
+    pub city_nr: CityFactorModel,
+    /// Per-city WiFi random-effect shape.
+    pub city_wifi: CityFactorModel,
+
+    // -- time of day -------------------------------------------------
+    /// Hourly test-volume profile (unnormalised weights).
+    pub hourly_test_volume: [f64; 24],
+    /// Hour-of-day LTE bandwidth multiplier table.
+    pub lte_hour_table: [f64; 24],
+    /// Hour-of-day NR bandwidth multiplier table.
+    pub nr_hour_table: [f64; 24],
+
+    // -- devices -----------------------------------------------------
+    /// Android version mix, `(version, weight)` rows for versions 5–12.
+    pub android_versions: PerYear<[(u8, f64); 8]>,
+    /// Bandwidth multiplier per Android version (index `version - 5`,
+    /// clamped to the 5–12 range).
+    pub android_factor: [f64; 8],
+    /// Device hardware-tier mix (low / mid / high end).
+    pub device_tier_weights: [f64; 3],
+    /// Bandwidth multiplier per device tier.
+    pub device_tier_factor: [f64; 3],
+
+    // -- signal ------------------------------------------------------
+    /// RSS level distribution (levels 1–5), indexed by `urban as usize`.
+    pub rss_level_weights: [[f64; 5]; 2],
+    /// Mean SNR (dB) per RSS level.
+    pub snr_by_rss: [f64; 5],
+    /// LTE bandwidth multiplier per RSS level.
+    pub lte_rss_factor: [f64; 5],
+    /// NR bandwidth multiplier per RSS level (before interference).
+    pub nr_rss_factor: [f64; 5],
+    /// `(probability, multiplier)` of the dense-urban level-5 5G
+    /// interference penalty.
+    pub nr_urban_interference: (f64, f64),
+    /// Urban-core multiplier, indexed `[tech_is_5g as usize][urban as
+    /// usize]`.
+    pub urban_factor: [[f64; 2]; 2],
+
+    // -- 4G ----------------------------------------------------------
+    /// Per-ISP LTE band tables, indexed by `Isp as usize`.
+    pub lte_bands: PerYear<[Vec<LteBandEntry>; 4]>,
+    /// Probability an LTE session is cell-edge/congested-degraded.
+    pub lte_degraded_prob: f64,
+    /// Bandwidth model of a degraded LTE session.
+    pub lte_degraded: LogNormal,
+    /// `(mean, σ, floor)` of the LTE-Advanced draw (ceiling is
+    /// [`EcosystemProfile::lte_max_mbps`]).
+    pub lte_advanced: (f64, f64, f64),
+    /// Year-level LTE load factor.
+    pub lte_year_factor: PerYear<f64>,
+    /// Hard cap on any single 4G result.
+    pub lte_max_mbps: f64,
+
+    // -- 5G ----------------------------------------------------------
+    /// Per-ISP NR band tables, indexed by `Isp as usize`.
+    pub nr_bands: PerYear<[Vec<NrBandEntry>; 4]>,
+    /// 5G bandwidth multiplier per ISP beyond band effects.
+    pub nr_isp_factor: [f64; 4],
+    /// Hard cap on any single 5G result.
+    pub nr_max_mbps: f64,
+
+    // -- WiFi --------------------------------------------------------
+    /// WiFi-standard mix, indexed by `WifiStandard as usize`.
+    pub wifi_standard_weights: PerYear<[f64; 3]>,
+    /// Fixed-broadband plan tiers (Mbps).
+    pub broadband_plans: [f64; 6],
+    /// Plan mix per WiFi standard, indexed `[standard][plan]`.
+    pub plan_weights: PerYear<[[f64; 6]; 3]>,
+    /// Probability of associating on 5 GHz, indexed `[standard][plan]`.
+    pub p_5ghz: [[f64; 6]; 3],
+    /// Air-link capability model, indexed `[standard][on_5ghz as usize]`.
+    pub wifi_link: [[LogNormal; 2]; 3],
+    /// PHY maximum rate (Mbps), indexed `[standard][on_5ghz as usize]`.
+    pub wifi_phy_max: [[f64; 2]; 3],
+    /// `(mean, σ, lo, hi)` of the wired-plan delivery efficiency draw.
+    pub plan_efficiency: (f64, f64, f64, f64),
+    /// WiFi bandwidth multiplier per wired ISP.
+    pub wifi_isp_factor: [f64; 4],
+    /// Mean neighbouring-AP count, indexed `[tier][urban as usize]`.
+    pub neighbor_ap_mean: [[f64; 2]; 3],
+    /// Hard cap on any single WiFi result.
+    pub wifi_max_mbps: f64,
+
+    // -- outcomes ----------------------------------------------------
+    /// `(failed, degraded)` outcome rates for WiFi tests.
+    pub wifi_outcome_rates: (f64, f64),
+    /// `(failed, degraded)` outcome rates for cellular tests.
+    pub cell_outcome_rates: (f64, f64),
+}
+
+impl std::fmt::Debug for EcosystemProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EcosystemProfile({})", self.name)
+    }
+}
+
+/// Derive the 24-hour LTE multiplier table from an hourly test-volume
+/// profile: bandwidth is mildly *positively* tied to load (§3.3).
+pub fn lte_hour_table_from(volume: &[f64; 24]) -> [f64; 24] {
+    let mean: f64 = volume.iter().sum::<f64>() / 24.0;
+    std::array::from_fn(|h| (volume[h] / mean).powf(0.05).clamp(0.93, 1.06))
+}
+
+/// Derive the 24-hour NR multiplier table from hourly volume and a
+/// base-station capacity (sleeping) profile: capacity × the sub-linear
+/// contention share.
+pub fn nr_hour_table_from(volume: &[f64; 24], capacity: &[f64; 24]) -> [f64; 24] {
+    let mean: f64 = volume.iter().sum::<f64>() / 24.0;
+    std::array::from_fn(|h| capacity[h] * ((mean / volume[h]).powf(0.18)).clamp(0.9, 1.2))
+}
+
+// ---------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------
+
+fn check_dist(table: &str, ws: &[f64]) -> Result<(), ProfileError> {
+    if ws.iter().any(|w| !w.is_finite() || *w < 0.0) {
+        return Err(ProfileError::InvalidValue {
+            field: table.to_string(),
+            detail: "negative or non-finite weight".to_string(),
+        });
+    }
+    let sum: f64 = ws.iter().sum();
+    if (sum - 1.0).abs() > 1e-6 {
+        return Err(ProfileError::BadWeights {
+            table: table.to_string(),
+            sum,
+        });
+    }
+    Ok(())
+}
+
+fn check_prob(field: &str, p: f64) -> Result<(), ProfileError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(ProfileError::InvalidValue {
+            field: field.to_string(),
+            detail: format!("{p} is not a probability"),
+        });
+    }
+    Ok(())
+}
+
+fn check_positive(field: &str, v: f64) -> Result<(), ProfileError> {
+    if !v.is_finite() || v <= 0.0 {
+        return Err(ProfileError::InvalidValue {
+            field: field.to_string(),
+            detail: format!("{v} is not positive"),
+        });
+    }
+    Ok(())
+}
+
+impl EcosystemProfile {
+    /// Validate every table once, so generator setup can index and
+    /// sample without re-checking (and without scattered `expect`s).
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        if self.bs_population == 0 || self.ap_population == 0 || self.device_models == 0 {
+            return Err(ProfileError::InvalidValue {
+                field: "populations".to_string(),
+                detail: "bs/ap/device populations must be non-zero".to_string(),
+            });
+        }
+        for year in [Year::Y2020, Year::Y2021] {
+            let tag = |t: &str| format!("{t} ({year:?})");
+            check_prob(&tag("wifi_share"), self.wifi_share.at(year))?;
+            check_prob(&tag("three_g_share"), self.three_g_share.at(year))?;
+            check_dist(
+                &tag("cellular_isp_weights"),
+                &self.cellular_isp_weights.at(year),
+            )?;
+            for (i, &s) in self.nr_share_of_cellular.get(year).iter().enumerate() {
+                check_prob(&tag(&format!("nr_share_of_cellular[{i}]")), s)?;
+            }
+            check_dist(
+                &tag("android_versions"),
+                &self.android_versions.get(year).map(|(_, w)| w),
+            )?;
+            check_dist(
+                &tag("wifi_standard_weights"),
+                &self.wifi_standard_weights.at(year),
+            )?;
+            for (s, ws) in self.plan_weights.get(year).iter().enumerate() {
+                check_dist(&tag(&format!("plan_weights[{s}]")), ws)?;
+            }
+            for (i, entries) in self.lte_bands.get(year).iter().enumerate() {
+                let table = format!("lte_bands[{}] ({year:?})", Isp::ALL[i].name());
+                if entries.is_empty() {
+                    return Err(ProfileError::EmptyBandTable { table });
+                }
+                let ws: Vec<f64> = entries.iter().map(|e| e.weight).collect();
+                check_dist(&table, &ws)?;
+                for e in entries {
+                    check_positive(&format!("{table} median"), e.base.median)?;
+                    check_prob(&format!("{table} adv_prob"), e.adv_prob[0])?;
+                    check_prob(&format!("{table} adv_prob"), e.adv_prob[1])?;
+                }
+            }
+            for (i, entries) in self.nr_bands.get(year).iter().enumerate() {
+                let table = format!("nr_bands[{}] ({year:?})", Isp::ALL[i].name());
+                if entries.is_empty() {
+                    return Err(ProfileError::EmptyBandTable { table });
+                }
+                let ws: Vec<f64> = entries.iter().map(|e| e.weight).collect();
+                check_dist(&table, &ws)?;
+            }
+            check_positive(&tag("lte_year_factor"), self.lte_year_factor.at(year))?;
+        }
+        check_dist("wifi_isp_weights", &self.wifi_isp_weights)?;
+        check_dist(
+            "city_tiers test_weight",
+            &self.city_tiers.map(|t| t.test_weight),
+        )?;
+        for (i, spec) in self.city_tiers.iter().enumerate() {
+            if spec.tier != CityTier::ALL[i] {
+                return Err(ProfileError::InvalidValue {
+                    field: format!("city_tiers[{i}]"),
+                    detail: format!("expected {:?}, got {:?}", CityTier::ALL[i], spec.tier),
+                });
+            }
+            if spec.count == 0 {
+                return Err(ProfileError::InvalidValue {
+                    field: format!("city_tiers[{i}] count"),
+                    detail: "tier has no cities".to_string(),
+                });
+            }
+            check_prob(
+                &format!("city_tiers[{i}] urban_probability"),
+                spec.urban_probability,
+            )?;
+        }
+        for v in self.hourly_test_volume {
+            check_positive("hourly_test_volume", v)?;
+        }
+        for t in [&self.lte_hour_table, &self.nr_hour_table] {
+            for &v in t {
+                check_positive("hour table", v)?;
+            }
+        }
+        check_dist("device_tier_weights", &self.device_tier_weights)?;
+        check_dist("rss_level_weights (rural)", &self.rss_level_weights[0])?;
+        check_dist("rss_level_weights (urban)", &self.rss_level_weights[1])?;
+        check_prob("nr_urban_interference.0", self.nr_urban_interference.0)?;
+        check_positive("nr_urban_interference.1", self.nr_urban_interference.1)?;
+        check_prob("lte_degraded_prob", self.lte_degraded_prob)?;
+        check_positive("lte_degraded median", self.lte_degraded.median)?;
+        check_positive("lte_max_mbps", self.lte_max_mbps)?;
+        check_positive("nr_max_mbps", self.nr_max_mbps)?;
+        check_positive("wifi_max_mbps", self.wifi_max_mbps)?;
+        for p in self.broadband_plans {
+            check_positive("broadband_plans", p)?;
+        }
+        for row in &self.p_5ghz {
+            for &p in row {
+                check_prob("p_5ghz", p)?;
+            }
+        }
+        for (fail, degrade, tag) in [
+            (self.wifi_outcome_rates.0, self.wifi_outcome_rates.1, "wifi"),
+            (self.cell_outcome_rates.0, self.cell_outcome_rates.1, "cell"),
+        ] {
+            check_prob(&format!("{tag}_outcome_rates.failed"), fail)?;
+            check_prob(&format!("{tag}_outcome_rates.degraded"), degrade)?;
+            if fail + degrade > 1.0 {
+                return Err(ProfileError::InvalidValue {
+                    field: format!("{tag}_outcome_rates"),
+                    detail: "failed + degraded exceeds 1".to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Build the per-city random-effects table. Draw order matches the
+    /// pre-profile `ecosystem::build_cities` exactly, so the paper-China
+    /// profile reproduces the same cities bit-for-bit.
+    pub fn build_cities(&self, rng: &mut SeededRng) -> Vec<City> {
+        let mut cities = Vec::new();
+        let mut id = 0u16;
+        for spec in &self.city_tiers {
+            for _ in 0..spec.count {
+                cities.push(City {
+                    id,
+                    tier: spec.tier,
+                    lte_factor: (rng.log_normal(0.0, self.city_lte.sigma) * spec.lte_mu)
+                        .clamp(self.city_lte.lo, self.city_lte.hi),
+                    nr_factor: (rng.log_normal(0.0, self.city_nr.sigma) * spec.nr_mu)
+                        .clamp(self.city_nr.lo, self.city_nr.hi),
+                    wifi_factor: (rng.log_normal(0.0, self.city_wifi.sigma) * spec.wifi_mu)
+                        .clamp(self.city_wifi.lo, self.city_wifi.hi),
+                });
+                id += 1;
+            }
+        }
+        cities
+    }
+
+    /// The paper's Chinese ecosystem, assembled from the calibrated
+    /// tables in [`crate::ecosystem`] and [`crate::models`] — the
+    /// generated records are byte-identical to the pre-profile
+    /// pipeline at any thread count.
+    pub fn paper_china() -> &'static Self {
+        static P: OnceLock<EcosystemProfile> = OnceLock::new();
+        P.get_or_init(|| {
+            let p = build_paper_china();
+            p.validate().expect("built-in paper-china profile valid");
+            p
+        })
+    }
+
+    /// ERRANT-style European multi-operator RAN.
+    pub fn europe_ran() -> &'static Self {
+        static P: OnceLock<EcosystemProfile> = OnceLock::new();
+        P.get_or_init(|| {
+            let p = build_europe_ran();
+            p.validate().expect("built-in europe-ran profile valid");
+            p
+        })
+    }
+
+    /// AmiGos-style developing-market access network.
+    pub fn developing_market() -> &'static Self {
+        static P: OnceLock<EcosystemProfile> = OnceLock::new();
+        P.get_or_init(|| {
+            let p = build_developing_market();
+            p.validate()
+                .expect("built-in developing-market profile valid");
+            p
+        })
+    }
+
+    /// mmWave-dense metropolitan deployment.
+    pub fn mmwave_metro() -> &'static Self {
+        static P: OnceLock<EcosystemProfile> = OnceLock::new();
+        P.get_or_init(|| {
+            let p = build_mmwave_metro();
+            p.validate().expect("built-in mmwave-metro profile valid");
+            p
+        })
+    }
+
+    /// All built-in profiles, paper baseline first.
+    pub fn all_builtins() -> [&'static Self; 4] {
+        [
+            Self::paper_china(),
+            Self::europe_ran(),
+            Self::developing_market(),
+            Self::mmwave_metro(),
+        ]
+    }
+
+    /// Registry lookup by name.
+    pub fn by_name(name: &str) -> Result<&'static Self, ProfileError> {
+        Self::all_builtins()
+            .into_iter()
+            .find(|p| p.name == name)
+            .ok_or_else(|| ProfileError::UnknownProfile(name.to_string()))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Built-in: paper-china
+// ---------------------------------------------------------------------
+
+fn build_paper_china() -> EcosystemProfile {
+    let city_tiers = std::array::from_fn(|i| {
+        let (tier, count) = ecosystem::CITY_COUNTS[i];
+        let (_, test_weight) = ecosystem::CITY_TIER_TEST_WEIGHTS[i];
+        // Tier means as in `ecosystem::build_cities`.
+        let (lte_mu, nr_mu, wifi_mu) = match tier {
+            CityTier::Mega => (1.02, 1.05, 1.10),
+            CityTier::Medium => (1.00, 1.00, 1.00),
+            CityTier::Small => (0.92, 0.88, 0.85),
+        };
+        CityTierSpec {
+            tier,
+            count,
+            test_weight,
+            urban_probability: ecosystem::urban_probability(tier),
+            lte_mu,
+            nr_mu,
+            wifi_mu,
+        }
+    });
+    EcosystemProfile {
+        name: "paper-china",
+        description: "the paper's Chinese ecosystem (Aug-Nov 2021 BTS-APP population)",
+        // §3.1: 2,041,586 base stations, 4,473,362 APs, 2,381 models.
+        bs_population: 2_041_586,
+        ap_population: 4_473_362,
+        device_models: ecosystem::DEVICE_MODELS,
+        // §3.1: 21,077,214 / 23,636,352 tests are WiFi.
+        wifi_share: PerYear::same(0.8917),
+        // §3.1: 21,051 of ~2.56M cellular tests still on 3G.
+        three_g_share: PerYear::same(0.0082),
+        cellular_isp_weights: per_year(|y| ecosystem::isp_weights(y).map(|(_, w)| w)),
+        // ISP-3's wireline arm is strong; ISP-4 has almost no fixed
+        // footprint.
+        wifi_isp_weights: [0.38, 0.24, 0.36, 0.02],
+        nr_share_of_cellular: per_year(|y| {
+            Isp::ALL.map(|isp| models::nr_share_of_cellular(isp, y))
+        }),
+        city_tiers,
+        city_lte: CityFactorModel {
+            sigma: 0.28,
+            lo: 0.45,
+            hi: 2.4,
+        },
+        city_nr: CityFactorModel {
+            sigma: 0.25,
+            lo: 0.37,
+            hi: 1.45,
+        },
+        city_wifi: CityFactorModel {
+            sigma: 0.32,
+            lo: 0.45,
+            hi: 2.2,
+        },
+        hourly_test_volume: ecosystem::HOURLY_TEST_VOLUME,
+        lte_hour_table: models::lte_hour_table(),
+        nr_hour_table: models::nr_hour_table(),
+        android_versions: per_year(ecosystem::android_version_weights),
+        android_factor: std::array::from_fn(|i| ecosystem::android_version_factor(5 + i as u8)),
+        device_tier_weights: ecosystem::DEVICE_TIER_WEIGHTS,
+        device_tier_factor: crate::types::DeviceTier::ALL.map(models::device_tier_factor),
+        rss_level_weights: [
+            ecosystem::rss_level_weights(false),
+            ecosystem::rss_level_weights(true),
+        ],
+        snr_by_rss: ecosystem::SNR_BY_RSS,
+        lte_rss_factor: models::LTE_RSS_FACTOR,
+        nr_rss_factor: models::NR_RSS_FACTOR,
+        nr_urban_interference: models::NR_URBAN_INTERFERENCE,
+        urban_factor: [
+            [
+                models::urban_factor(false, false),
+                models::urban_factor(false, true),
+            ],
+            [
+                models::urban_factor(true, false),
+                models::urban_factor(true, true),
+            ],
+        ],
+        lte_bands: per_year(|y| {
+            Isp::ALL.map(|isp| {
+                models::lte_band_weights(isp, y)
+                    .into_iter()
+                    .map(|(band, weight)| LteBandEntry {
+                        band,
+                        weight,
+                        base: models::lte_band_base(band, y),
+                        adv_prob: [
+                            models::lte_advanced_prob(band, false),
+                            models::lte_advanced_prob(band, true),
+                        ],
+                    })
+                    .collect()
+            })
+        }),
+        lte_degraded_prob: models::LTE_DEGRADED.0,
+        lte_degraded: LogNormal {
+            median: models::LTE_DEGRADED.1,
+            sigma: models::LTE_DEGRADED.2,
+        },
+        lte_advanced: models::LTE_ADVANCED_DRAW,
+        lte_year_factor: per_year(models::lte_year_factor),
+        lte_max_mbps: models::LTE_MAX_MBPS,
+        nr_bands: per_year(|y| {
+            Isp::ALL.map(|isp| {
+                models::nr_band_weights(isp, y)
+                    .into_iter()
+                    .map(|(band, weight)| NrBandEntry {
+                        band,
+                        weight,
+                        model: models::nr_band_model(band, y),
+                    })
+                    .collect()
+            })
+        }),
+        nr_isp_factor: Isp::ALL.map(models::nr_isp_factor),
+        nr_max_mbps: models::NR_MAX_MBPS,
+        wifi_standard_weights: per_year(|y| ecosystem::wifi_standard_weights(y).map(|(_, w)| w)),
+        broadband_plans: ecosystem::BROADBAND_PLANS,
+        plan_weights: per_year(|y| {
+            WifiStandard::ALL.map(|s| ecosystem::broadband_plan_weights(s, y))
+        }),
+        p_5ghz: std::array::from_fn(|s| {
+            std::array::from_fn(|p| {
+                models::p_5ghz(WifiStandard::ALL[s], ecosystem::BROADBAND_PLANS[p])
+            })
+        }),
+        wifi_link: WifiStandard::ALL.map(|s| {
+            [
+                models::wifi_link_model(s, false),
+                models::wifi_link_model(s, true),
+            ]
+        }),
+        wifi_phy_max: WifiStandard::ALL.map(|s| {
+            [
+                models::wifi_phy_max(s, false),
+                models::wifi_phy_max(s, true),
+            ]
+        }),
+        plan_efficiency: models::PLAN_EFFICIENCY,
+        wifi_isp_factor: Isp::ALL.map(models::wifi_isp_factor),
+        neighbor_ap_mean: CityTier::ALL.map(|t| {
+            [
+                models::neighbor_ap_mean(t, false),
+                models::neighbor_ap_mean(t, true),
+            ]
+        }),
+        wifi_max_mbps: models::WIFI_MAX_MBPS,
+        wifi_outcome_rates: (0.002, 0.012),
+        cell_outcome_rates: (0.005, 0.030),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Built-in: europe-ran
+// ---------------------------------------------------------------------
+
+fn build_europe_ran() -> EcosystemProfile {
+    use LteBandId::*;
+    use NrBandId::*;
+    let lte = |year: Year| -> [Vec<LteBandEntry>; 4] {
+        // Milder refarming than China: 2021 medians are ~8% below 2020.
+        let m = match year {
+            Year::Y2020 => 1.08,
+            Year::Y2021 => 1.0,
+        };
+        let e = |band, weight, median: f64, sigma, adv: [f64; 2]| LteBandEntry {
+            band,
+            weight,
+            base: LogNormal {
+                median: median * m,
+                sigma,
+            },
+            adv_prob: adv,
+        };
+        [
+            vec![
+                e(B3, 0.38, 28.0, 0.55, [0.07, 0.09]),
+                e(B1, 0.26, 32.0, 0.55, [0.07, 0.09]),
+                e(B8, 0.22, 22.0, 0.60, [0.0, 0.0]),
+                e(B40, 0.14, 35.0, 0.55, [0.04, 0.05]),
+            ],
+            vec![
+                e(B3, 0.35, 27.0, 0.55, [0.06, 0.08]),
+                e(B1, 0.30, 31.0, 0.55, [0.05, 0.07]),
+                e(B8, 0.20, 21.0, 0.60, [0.0, 0.0]),
+                e(B28, 0.15, 16.0, 0.60, [0.0, 0.0]),
+            ],
+            vec![
+                e(B3, 0.40, 26.0, 0.55, [0.06, 0.08]),
+                e(B1, 0.28, 30.0, 0.55, [0.05, 0.07]),
+                e(B5, 0.18, 18.0, 0.60, [0.0, 0.0]),
+                e(B8, 0.14, 20.0, 0.60, [0.0, 0.0]),
+            ],
+            vec![
+                e(B3, 0.52, 24.0, 0.55, [0.04, 0.06]),
+                e(B28, 0.48, 15.0, 0.60, [0.0, 0.0]),
+            ],
+        ]
+    };
+    let nr = |year: Year| -> [Vec<NrBandEntry>; 4] {
+        let boost = match year {
+            Year::Y2020 => 1.05,
+            Year::Y2021 => 1.0,
+        };
+        let g = |band, weight, triples: &[(f64, f64, f64)]| NrBandEntry {
+            band,
+            weight,
+            model: Gmm::from_triples(
+                &triples
+                    .iter()
+                    .map(|&(w, mn, sd)| (w, mn * boost, sd * boost))
+                    .collect::<Vec<_>>(),
+            )
+            .expect("static NR model valid"),
+        };
+        let n78: &[(f64, f64, f64)] = &[
+            (0.50, 190.0, 50.0),
+            (0.35, 310.0, 75.0),
+            (0.15, 460.0, 100.0),
+        ];
+        let n1: &[(f64, f64, f64)] = &[(0.70, 80.0, 22.0), (0.30, 120.0, 30.0)];
+        let n28: &[(f64, f64, f64)] = &[(0.65, 85.0, 24.0), (0.35, 120.0, 30.0)];
+        [
+            vec![g(N78, 0.80, n78), g(N1, 0.20, n1)],
+            vec![g(N78, 0.85, n78), g(N1, 0.15, n1)],
+            vec![g(N78, 0.75, n78), g(N28, 0.25, n28)],
+            vec![g(N78, 0.70, n78), g(N28, 0.30, n28)],
+        ]
+    };
+    let volume = [
+        120.0, 70.0, 45.0, 35.0, 35.0, 50.0, 100.0, 210.0, 320.0, 380.0, 400.0, 420.0, //
+        430.0, 410.0, 400.0, 420.0, 450.0, 500.0, 560.0, 620.0, 560.0, 420.0, 300.0, 190.0,
+    ];
+    // Mild night-time energy saving: 22:00-08:00 capacity dips a bit.
+    let capacity = std::array::from_fn(|h| if !(8..22).contains(&h) { 0.94 } else { 1.0 });
+    EcosystemProfile {
+        name: "europe-ran",
+        description: "ERRANT-style European multi-operator RAN",
+        bs_population: 480_000,
+        ap_population: 1_900_000,
+        device_models: 1650,
+        wifi_share: PerYear {
+            y2020: 0.78,
+            y2021: 0.80,
+        },
+        three_g_share: PerYear {
+            y2020: 0.04,
+            y2021: 0.03,
+        },
+        cellular_isp_weights: PerYear {
+            y2020: [0.34, 0.31, 0.25, 0.10],
+            y2021: [0.33, 0.30, 0.25, 0.12],
+        },
+        wifi_isp_weights: [0.36, 0.30, 0.24, 0.10],
+        nr_share_of_cellular: PerYear {
+            y2020: [0.08, 0.088, 0.072, 0.096],
+            y2021: [0.20, 0.22, 0.18, 0.24],
+        },
+        city_tiers: [
+            CityTierSpec {
+                tier: CityTier::Mega,
+                count: 8,
+                test_weight: 0.40,
+                urban_probability: 0.82,
+                lte_mu: 1.04,
+                nr_mu: 1.06,
+                wifi_mu: 1.05,
+            },
+            CityTierSpec {
+                tier: CityTier::Medium,
+                count: 40,
+                test_weight: 0.35,
+                urban_probability: 0.68,
+                lte_mu: 1.00,
+                nr_mu: 1.00,
+                wifi_mu: 1.00,
+            },
+            CityTierSpec {
+                tier: CityTier::Small,
+                count: 130,
+                test_weight: 0.25,
+                urban_probability: 0.52,
+                lte_mu: 0.90,
+                nr_mu: 0.85,
+                wifi_mu: 0.88,
+            },
+        ],
+        city_lte: CityFactorModel {
+            sigma: 0.28,
+            lo: 0.45,
+            hi: 2.4,
+        },
+        city_nr: CityFactorModel {
+            sigma: 0.25,
+            lo: 0.37,
+            hi: 1.45,
+        },
+        city_wifi: CityFactorModel {
+            sigma: 0.32,
+            lo: 0.45,
+            hi: 2.2,
+        },
+        hourly_test_volume: volume,
+        lte_hour_table: lte_hour_table_from(&volume),
+        nr_hour_table: nr_hour_table_from(&volume, &capacity),
+        android_versions: PerYear {
+            y2020: [
+                (5, 0.02),
+                (6, 0.03),
+                (7, 0.06),
+                (8, 0.12),
+                (9, 0.22),
+                (10, 0.33),
+                (11, 0.20),
+                (12, 0.02),
+            ],
+            y2021: [
+                (5, 0.01),
+                (6, 0.02),
+                (7, 0.03),
+                (8, 0.06),
+                (9, 0.12),
+                (10, 0.24),
+                (11, 0.34),
+                (12, 0.18),
+            ],
+        },
+        android_factor: std::array::from_fn(|i| ecosystem::android_version_factor(5 + i as u8)),
+        device_tier_weights: [0.25, 0.45, 0.30],
+        device_tier_factor: crate::types::DeviceTier::ALL.map(models::device_tier_factor),
+        rss_level_weights: [
+            [0.12, 0.24, 0.30, 0.24, 0.10],
+            [0.05, 0.12, 0.24, 0.33, 0.26],
+        ],
+        snr_by_rss: ecosystem::SNR_BY_RSS,
+        lte_rss_factor: models::LTE_RSS_FACTOR,
+        nr_rss_factor: models::NR_RSS_FACTOR,
+        nr_urban_interference: (0.55, 0.72),
+        urban_factor: [[1.0, 1.0], [1.10 / 1.30, 1.10]],
+        lte_bands: per_year(lte),
+        lte_degraded_prob: 0.20,
+        lte_degraded: LogNormal {
+            median: 6.0,
+            sigma: 0.55,
+        },
+        lte_advanced: (360.0, 90.0, 280.0),
+        lte_year_factor: PerYear {
+            y2020: 1.10,
+            y2021: 1.0,
+        },
+        lte_max_mbps: 600.0,
+        nr_bands: per_year(nr),
+        nr_isp_factor: [1.0, 1.0, 1.02, 0.96],
+        nr_max_mbps: 900.0,
+        wifi_standard_weights: PerYear {
+            y2020: [0.45, 0.45, 0.10],
+            y2021: [0.35, 0.45, 0.20],
+        },
+        broadband_plans: [50.0, 100.0, 250.0, 500.0, 750.0, 1000.0],
+        plan_weights: PerYear::same([
+            [0.30, 0.30, 0.20, 0.12, 0.05, 0.03],
+            [0.08, 0.22, 0.30, 0.22, 0.12, 0.06],
+            [0.03, 0.12, 0.25, 0.25, 0.20, 0.15],
+        ]),
+        p_5ghz: [[0.05, 0.08, 0.15, 0.25, 0.33, 0.40], [1.0; 6], [0.96; 6]],
+        wifi_link: [
+            [
+                LogNormal {
+                    median: 32.0,
+                    sigma: 0.62,
+                },
+                LogNormal {
+                    median: 240.0,
+                    sigma: 0.60,
+                },
+            ],
+            [
+                LogNormal {
+                    median: 310.0,
+                    sigma: 0.60,
+                },
+                LogNormal {
+                    median: 310.0,
+                    sigma: 0.60,
+                },
+            ],
+            [
+                LogNormal {
+                    median: 70.0,
+                    sigma: 0.45,
+                },
+                LogNormal {
+                    median: 620.0,
+                    sigma: 0.45,
+                },
+            ],
+        ],
+        wifi_phy_max: WifiStandard::ALL.map(|s| {
+            [
+                models::wifi_phy_max(s, false),
+                models::wifi_phy_max(s, true),
+            ]
+        }),
+        plan_efficiency: (0.97, 0.06, 0.70, 1.10),
+        wifi_isp_factor: [1.0, 0.97, 1.05, 0.92],
+        neighbor_ap_mean: [[6.0, 18.0], [4.0, 12.0], [2.0, 7.0]],
+        wifi_max_mbps: 1100.0,
+        wifi_outcome_rates: (0.003, 0.015),
+        cell_outcome_rates: (0.006, 0.028),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Built-in: developing-market
+// ---------------------------------------------------------------------
+
+fn build_developing_market() -> EcosystemProfile {
+    use LteBandId::*;
+    use NrBandId::*;
+    let lte = |year: Year| -> [Vec<LteBandEntry>; 4] {
+        let m = match year {
+            Year::Y2020 => 1.05,
+            Year::Y2021 => 1.0,
+        };
+        let e = |band, weight, median: f64, sigma, adv: [f64; 2]| LteBandEntry {
+            band,
+            weight,
+            base: LogNormal {
+                median: median * m,
+                sigma,
+            },
+            adv_prob: adv,
+        };
+        [
+            vec![
+                e(B8, 0.34, 11.0, 0.65, [0.0, 0.0]),
+                e(B3, 0.30, 14.0, 0.60, [0.01, 0.015]),
+                e(B5, 0.20, 9.0, 0.65, [0.0, 0.0]),
+                e(B28, 0.16, 8.0, 0.65, [0.0, 0.0]),
+            ],
+            vec![
+                e(B8, 0.30, 10.0, 0.65, [0.0, 0.0]),
+                e(B3, 0.38, 13.0, 0.60, [0.01, 0.015]),
+                e(B28, 0.32, 8.0, 0.65, [0.0, 0.0]),
+            ],
+            vec![
+                e(B8, 0.40, 10.0, 0.65, [0.0, 0.0]),
+                e(B5, 0.28, 9.0, 0.65, [0.0, 0.0]),
+                e(B3, 0.32, 12.0, 0.60, [0.01, 0.015]),
+            ],
+            vec![e(B28, 1.0, 9.0, 0.65, [0.0, 0.0])],
+        ]
+    };
+    let nr = |_year: Year| -> [Vec<NrBandEntry>; 4] {
+        let g = |band, weight, triples: &[(f64, f64, f64)]| NrBandEntry {
+            band,
+            weight,
+            model: Gmm::from_triples(triples).expect("static NR model valid"),
+        };
+        let n78: &[(f64, f64, f64)] = &[(0.6, 95.0, 30.0), (0.4, 170.0, 50.0)];
+        let n1: &[(f64, f64, f64)] = &[(0.7, 55.0, 16.0), (0.3, 85.0, 24.0)];
+        let n28: &[(f64, f64, f64)] = &[(0.7, 60.0, 18.0), (0.3, 95.0, 26.0)];
+        [
+            vec![g(N78, 1.0, n78)],
+            vec![g(N78, 0.8, n78), g(N1, 0.2, n1)],
+            vec![g(N78, 1.0, n78)],
+            vec![g(N28, 1.0, n28)],
+        ]
+    };
+    let volume = [
+        90.0, 55.0, 35.0, 25.0, 25.0, 35.0, 70.0, 130.0, 200.0, 260.0, 300.0, 330.0, //
+        340.0, 330.0, 340.0, 360.0, 390.0, 430.0, 480.0, 540.0, 560.0, 480.0, 330.0, 180.0,
+    ];
+    // No coordinated sleeping strategy.
+    let capacity = [1.0; 24];
+    EcosystemProfile {
+        name: "developing-market",
+        description: "AmiGos-style developing-market access network",
+        bs_population: 310_000,
+        ap_population: 520_000,
+        device_models: 940,
+        wifi_share: PerYear {
+            y2020: 0.45,
+            y2021: 0.48,
+        },
+        three_g_share: PerYear {
+            y2020: 0.10,
+            y2021: 0.07,
+        },
+        // ISP-4 absent in 2020: a true-zero weight the sampler must
+        // accept and never draw.
+        cellular_isp_weights: PerYear {
+            y2020: [0.46, 0.34, 0.20, 0.0],
+            y2021: [0.45, 0.34, 0.20, 0.01],
+        },
+        wifi_isp_weights: [0.42, 0.33, 0.25, 0.0],
+        nr_share_of_cellular: PerYear {
+            y2020: [0.004, 0.006, 0.003, 1.0],
+            y2021: [0.015, 0.02, 0.01, 1.0],
+        },
+        city_tiers: [
+            CityTierSpec {
+                tier: CityTier::Mega,
+                count: 6,
+                test_weight: 0.28,
+                urban_probability: 0.72,
+                lte_mu: 1.06,
+                nr_mu: 1.10,
+                wifi_mu: 1.12,
+            },
+            CityTierSpec {
+                tier: CityTier::Medium,
+                count: 34,
+                test_weight: 0.30,
+                urban_probability: 0.52,
+                lte_mu: 1.00,
+                nr_mu: 1.00,
+                wifi_mu: 1.00,
+            },
+            CityTierSpec {
+                tier: CityTier::Small,
+                count: 240,
+                test_weight: 0.42,
+                urban_probability: 0.38,
+                lte_mu: 0.85,
+                nr_mu: 0.78,
+                wifi_mu: 0.80,
+            },
+        ],
+        city_lte: CityFactorModel {
+            sigma: 0.32,
+            lo: 0.40,
+            hi: 2.4,
+        },
+        city_nr: CityFactorModel {
+            sigma: 0.30,
+            lo: 0.35,
+            hi: 1.6,
+        },
+        city_wifi: CityFactorModel {
+            sigma: 0.36,
+            lo: 0.40,
+            hi: 2.2,
+        },
+        hourly_test_volume: volume,
+        lte_hour_table: lte_hour_table_from(&volume),
+        nr_hour_table: nr_hour_table_from(&volume, &capacity),
+        android_versions: PerYear {
+            y2020: [
+                (5, 0.10),
+                (6, 0.13),
+                (7, 0.17),
+                (8, 0.21),
+                (9, 0.20),
+                (10, 0.13),
+                (11, 0.06),
+                (12, 0.00),
+            ],
+            y2021: [
+                (5, 0.06),
+                (6, 0.09),
+                (7, 0.13),
+                (8, 0.18),
+                (9, 0.21),
+                (10, 0.18),
+                (11, 0.11),
+                (12, 0.04),
+            ],
+        },
+        android_factor: std::array::from_fn(|i| ecosystem::android_version_factor(5 + i as u8)),
+        device_tier_weights: [0.55, 0.35, 0.10],
+        device_tier_factor: crate::types::DeviceTier::ALL.map(models::device_tier_factor),
+        rss_level_weights: [
+            [0.18, 0.28, 0.28, 0.18, 0.08],
+            [0.08, 0.18, 0.28, 0.28, 0.18],
+        ],
+        snr_by_rss: ecosystem::SNR_BY_RSS,
+        lte_rss_factor: models::LTE_RSS_FACTOR,
+        nr_rss_factor: models::NR_RSS_FACTOR,
+        nr_urban_interference: (0.35, 0.75),
+        urban_factor: [[1.0, 1.0], [1.08 / 1.25, 1.08]],
+        lte_bands: per_year(lte),
+        lte_degraded_prob: 0.32,
+        lte_degraded: LogNormal {
+            median: 3.2,
+            sigma: 0.60,
+        },
+        lte_advanced: (180.0, 60.0, 120.0),
+        lte_year_factor: PerYear {
+            y2020: 1.05,
+            y2021: 1.0,
+        },
+        lte_max_mbps: 260.0,
+        nr_bands: per_year(nr),
+        nr_isp_factor: [1.0, 0.97, 0.95, 0.92],
+        nr_max_mbps: 420.0,
+        wifi_standard_weights: PerYear {
+            y2020: [0.86, 0.13, 0.01],
+            y2021: [0.78, 0.18, 0.04],
+        },
+        broadband_plans: [5.0, 10.0, 20.0, 50.0, 100.0, 200.0],
+        plan_weights: PerYear::same([
+            [0.30, 0.30, 0.22, 0.12, 0.05, 0.01],
+            [0.10, 0.20, 0.28, 0.24, 0.13, 0.05],
+            [0.04, 0.10, 0.22, 0.30, 0.22, 0.12],
+        ]),
+        p_5ghz: [[0.01, 0.02, 0.04, 0.08, 0.14, 0.20], [1.0; 6], [0.90; 6]],
+        wifi_link: [
+            [
+                LogNormal {
+                    median: 20.0,
+                    sigma: 0.65,
+                },
+                LogNormal {
+                    median: 150.0,
+                    sigma: 0.60,
+                },
+            ],
+            [
+                LogNormal {
+                    median: 210.0,
+                    sigma: 0.60,
+                },
+                LogNormal {
+                    median: 210.0,
+                    sigma: 0.60,
+                },
+            ],
+            [
+                LogNormal {
+                    median: 55.0,
+                    sigma: 0.50,
+                },
+                LogNormal {
+                    median: 420.0,
+                    sigma: 0.50,
+                },
+            ],
+        ],
+        wifi_phy_max: WifiStandard::ALL.map(|s| {
+            [
+                models::wifi_phy_max(s, false),
+                models::wifi_phy_max(s, true),
+            ]
+        }),
+        plan_efficiency: (0.92, 0.08, 0.55, 1.05),
+        wifi_isp_factor: [1.0, 0.95, 1.02, 0.88],
+        neighbor_ap_mean: [[4.0, 14.0], [2.0, 8.0], [1.0, 4.0]],
+        wifi_max_mbps: 450.0,
+        wifi_outcome_rates: (0.006, 0.025),
+        cell_outcome_rates: (0.014, 0.065),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Built-in: mmwave-metro
+// ---------------------------------------------------------------------
+
+fn build_mmwave_metro() -> EcosystemProfile {
+    use LteBandId::*;
+    use NrBandId::*;
+    let lte = |year: Year| -> [Vec<LteBandEntry>; 4] {
+        let m = match year {
+            Year::Y2020 => 1.02,
+            Year::Y2021 => 1.0,
+        };
+        let e = |band, weight, median: f64, sigma, adv: [f64; 2]| LteBandEntry {
+            band,
+            weight,
+            base: LogNormal {
+                median: median * m,
+                sigma,
+            },
+            adv_prob: adv,
+        };
+        [
+            vec![
+                e(B3, 0.45, 34.0, 0.55, [0.10, 0.12]),
+                e(B1, 0.35, 38.0, 0.55, [0.10, 0.12]),
+                e(B40, 0.20, 40.0, 0.50, [0.06, 0.08]),
+            ],
+            vec![
+                e(B3, 0.55, 33.0, 0.55, [0.10, 0.12]),
+                e(B1, 0.45, 37.0, 0.55, [0.10, 0.12]),
+            ],
+            vec![
+                e(B3, 0.60, 35.0, 0.55, [0.10, 0.12]),
+                e(B1, 0.40, 36.0, 0.55, [0.10, 0.12]),
+            ],
+            vec![e(B28, 1.0, 20.0, 0.60, [0.0, 0.0])],
+        ]
+    };
+    let nr = |year: Year| -> [Vec<NrBandEntry>; 4] {
+        let boost = match year {
+            // 2020 mmWave coverage was patchier: more cell-edge time.
+            Year::Y2020 => 0.92,
+            Year::Y2021 => 1.0,
+        };
+        let g = |band, weight, triples: &[(f64, f64, f64)]| NrBandEntry {
+            band,
+            weight,
+            model: Gmm::from_triples(
+                &triples
+                    .iter()
+                    .map(|&(w, mn, sd)| (w, mn * boost, sd * boost))
+                    .collect::<Vec<_>>(),
+            )
+            .expect("static NR model valid"),
+        };
+        // Dense urban mmWave: beamformed multi-gigabit when line-of-sight
+        // holds, sharp fall-off otherwise — a wide three-mode mixture.
+        let mmwave: &[(f64, f64, f64)] = &[
+            (0.30, 900.0, 250.0),
+            (0.45, 1600.0, 400.0),
+            (0.25, 2600.0, 600.0),
+        ];
+        let n41: &[(f64, f64, f64)] = &[(0.5, 280.0, 70.0), (0.5, 430.0, 100.0)];
+        let n78a: &[(f64, f64, f64)] = &[
+            (0.45, 290.0, 70.0),
+            (0.40, 420.0, 95.0),
+            (0.15, 600.0, 130.0),
+        ];
+        let n28: &[(f64, f64, f64)] = &[(0.6, 120.0, 30.0), (0.4, 180.0, 45.0)];
+        [
+            vec![g(N41, 0.30, n41), g(N79, 0.70, mmwave)],
+            vec![g(N78, 0.35, n78a), g(N79, 0.65, mmwave)],
+            vec![g(N78, 0.40, n78a), g(N79, 0.60, mmwave)],
+            vec![g(N28, 0.20, n28), g(N79, 0.80, mmwave)],
+        ]
+    };
+    let volume = [
+        200.0, 120.0, 80.0, 60.0, 60.0, 80.0, 160.0, 320.0, 480.0, 520.0, 480.0, 460.0, //
+        470.0, 450.0, 440.0, 460.0, 500.0, 560.0, 640.0, 700.0, 650.0, 520.0, 420.0, 300.0,
+    ];
+    // Aggressive night-time sleeping in the dense grid.
+    let capacity = std::array::from_fn(|h| if !(7..23).contains(&h) { 0.88 } else { 1.0 });
+    EcosystemProfile {
+        name: "mmwave-metro",
+        description: "mmWave-dense metropolitan deployment",
+        bs_population: 900_000,
+        ap_population: 2_600_000,
+        device_models: 2050,
+        wifi_share: PerYear {
+            y2020: 0.72,
+            y2021: 0.74,
+        },
+        three_g_share: PerYear {
+            y2020: 0.001,
+            y2021: 0.0005,
+        },
+        cellular_isp_weights: PerYear {
+            y2020: [0.40, 0.32, 0.28, 0.0],
+            y2021: [0.38, 0.31, 0.27, 0.04],
+        },
+        wifi_isp_weights: [0.34, 0.30, 0.28, 0.08],
+        nr_share_of_cellular: PerYear {
+            y2020: [0.42, 0.50, 0.46, 1.0],
+            y2021: [0.62, 0.72, 0.68, 1.0],
+        },
+        city_tiers: [
+            CityTierSpec {
+                tier: CityTier::Mega,
+                count: 12,
+                test_weight: 0.62,
+                urban_probability: 0.95,
+                lte_mu: 1.05,
+                nr_mu: 1.10,
+                wifi_mu: 1.08,
+            },
+            CityTierSpec {
+                tier: CityTier::Medium,
+                count: 10,
+                test_weight: 0.26,
+                urban_probability: 0.88,
+                lte_mu: 1.00,
+                nr_mu: 1.00,
+                wifi_mu: 1.00,
+            },
+            CityTierSpec {
+                tier: CityTier::Small,
+                count: 8,
+                test_weight: 0.12,
+                urban_probability: 0.80,
+                lte_mu: 0.95,
+                nr_mu: 0.92,
+                wifi_mu: 0.94,
+            },
+        ],
+        city_lte: CityFactorModel {
+            sigma: 0.22,
+            lo: 0.55,
+            hi: 2.0,
+        },
+        city_nr: CityFactorModel {
+            sigma: 0.24,
+            lo: 0.45,
+            hi: 1.6,
+        },
+        city_wifi: CityFactorModel {
+            sigma: 0.26,
+            lo: 0.55,
+            hi: 2.0,
+        },
+        hourly_test_volume: volume,
+        lte_hour_table: lte_hour_table_from(&volume),
+        nr_hour_table: nr_hour_table_from(&volume, &capacity),
+        android_versions: PerYear {
+            y2020: [
+                (5, 0.01),
+                (6, 0.02),
+                (7, 0.04),
+                (8, 0.08),
+                (9, 0.15),
+                (10, 0.30),
+                (11, 0.32),
+                (12, 0.08),
+            ],
+            y2021: [
+                (5, 0.00),
+                (6, 0.01),
+                (7, 0.02),
+                (8, 0.04),
+                (9, 0.09),
+                (10, 0.20),
+                (11, 0.36),
+                (12, 0.28),
+            ],
+        },
+        android_factor: std::array::from_fn(|i| ecosystem::android_version_factor(5 + i as u8)),
+        device_tier_weights: [0.18, 0.42, 0.40],
+        device_tier_factor: crate::types::DeviceTier::ALL.map(models::device_tier_factor),
+        rss_level_weights: [
+            [0.06, 0.16, 0.28, 0.30, 0.20],
+            [0.03, 0.08, 0.20, 0.35, 0.34],
+        ],
+        snr_by_rss: ecosystem::SNR_BY_RSS,
+        lte_rss_factor: models::LTE_RSS_FACTOR,
+        nr_rss_factor: models::NR_RSS_FACTOR,
+        // Beam collisions in the dense grid: the level-5 dip is sharper.
+        nr_urban_interference: (0.92, 0.58),
+        urban_factor: [[1.0, 1.0], [1.08 / 1.20, 1.08]],
+        lte_bands: per_year(lte),
+        lte_degraded_prob: 0.15,
+        lte_degraded: LogNormal {
+            median: 8.0,
+            sigma: 0.50,
+        },
+        lte_advanced: (430.0, 100.0, 320.0),
+        lte_year_factor: PerYear {
+            y2020: 1.05,
+            y2021: 1.0,
+        },
+        lte_max_mbps: 813.0,
+        nr_bands: per_year(nr),
+        nr_isp_factor: [1.0, 1.02, 1.0, 1.05],
+        nr_max_mbps: 4200.0,
+        wifi_standard_weights: PerYear {
+            y2020: [0.18, 0.42, 0.40],
+            y2021: [0.10, 0.30, 0.60],
+        },
+        broadband_plans: [100.0, 200.0, 300.0, 500.0, 1000.0, 2000.0],
+        plan_weights: PerYear::same([
+            [0.30, 0.30, 0.20, 0.12, 0.06, 0.02],
+            [0.10, 0.20, 0.25, 0.25, 0.15, 0.05],
+            [0.02, 0.06, 0.14, 0.28, 0.30, 0.20],
+        ]),
+        p_5ghz: [[0.10, 0.15, 0.22, 0.30, 0.40, 0.50], [1.0; 6], [0.99; 6]],
+        wifi_link: [
+            [
+                LogNormal {
+                    median: 40.0,
+                    sigma: 0.60,
+                },
+                LogNormal {
+                    median: 280.0,
+                    sigma: 0.55,
+                },
+            ],
+            [
+                LogNormal {
+                    median: 360.0,
+                    sigma: 0.55,
+                },
+                LogNormal {
+                    median: 360.0,
+                    sigma: 0.55,
+                },
+            ],
+            [
+                LogNormal {
+                    median: 85.0,
+                    sigma: 0.45,
+                },
+                LogNormal {
+                    median: 980.0,
+                    sigma: 0.45,
+                },
+            ],
+        ],
+        // WiFi 6E/7-class APs on 5 GHz raise the WiFi-6 ceiling.
+        wifi_phy_max: [[300.0, 450.0], [1733.0, 1733.0], [574.0, 4804.0]],
+        plan_efficiency: (1.0, 0.04, 0.80, 1.12),
+        wifi_isp_factor: [1.0, 0.98, 1.04, 0.95],
+        neighbor_ap_mean: [[14.0, 32.0], [9.0, 22.0], [6.0, 14.0]],
+        wifi_max_mbps: 2300.0,
+        wifi_outcome_rates: (0.002, 0.010),
+        cell_outcome_rates: (0.006, 0.035),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_validate_and_resolve_by_name() {
+        for p in EcosystemProfile::all_builtins() {
+            p.validate().expect(p.name);
+            let found = EcosystemProfile::by_name(p.name).expect("registry hit");
+            assert_eq!(found.name, p.name);
+        }
+    }
+
+    #[test]
+    fn builtin_names_are_unique() {
+        let names: Vec<&str> = EcosystemProfile::all_builtins()
+            .iter()
+            .map(|p| p.name)
+            .collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "{names:?}");
+    }
+
+    #[test]
+    fn unknown_name_is_a_typed_error() {
+        let err = EcosystemProfile::by_name("atlantis").unwrap_err();
+        assert_eq!(err, ProfileError::UnknownProfile("atlantis".to_string()));
+        assert!(err.to_string().contains("paper-china"));
+    }
+
+    #[test]
+    fn paper_china_tables_match_their_sources() {
+        let p = EcosystemProfile::paper_china();
+        for year in [Year::Y2020, Year::Y2021] {
+            assert_eq!(
+                p.cellular_isp_weights.at(year),
+                ecosystem::isp_weights(year).map(|(_, w)| w)
+            );
+            assert_eq!(
+                p.wifi_standard_weights.at(year),
+                ecosystem::wifi_standard_weights(year).map(|(_, w)| w)
+            );
+            assert_eq!(p.lte_year_factor.at(year), models::lte_year_factor(year));
+            for isp in Isp::ALL {
+                let entries = &p.lte_bands.get(year)[isp as usize];
+                let want = models::lte_band_weights(isp, year);
+                assert_eq!(entries.len(), want.len());
+                for (e, (band, weight)) in entries.iter().zip(want) {
+                    assert_eq!(e.band, band);
+                    assert_eq!(e.weight, weight);
+                    assert_eq!(e.base, models::lte_band_base(band, year));
+                }
+                let share = p.nr_share_of_cellular.get(year)[isp as usize];
+                assert_eq!(share, models::nr_share_of_cellular(isp, year));
+            }
+        }
+        assert_eq!(p.hourly_test_volume, ecosystem::HOURLY_TEST_VOLUME);
+        assert_eq!(p.lte_hour_table, models::lte_hour_table());
+        assert_eq!(p.nr_hour_table, models::nr_hour_table());
+        assert_eq!(p.snr_by_rss, ecosystem::SNR_BY_RSS);
+        assert_eq!(p.broadband_plans, ecosystem::BROADBAND_PLANS);
+        assert_eq!(p.device_models, ecosystem::DEVICE_MODELS);
+    }
+
+    #[test]
+    fn paper_china_builds_identical_cities() {
+        let p = EcosystemProfile::paper_china();
+        for seed in [1u64, 0xDA7A, 99] {
+            let mut a = SeededRng::new(seed);
+            let mut b = SeededRng::new(seed);
+            let ours = p.build_cities(&mut a);
+            let reference = ecosystem::build_cities(&mut b);
+            assert_eq!(ours.len(), reference.len());
+            for (x, y) in ours.iter().zip(&reference) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.tier, y.tier);
+                assert_eq!(x.lte_factor.to_bits(), y.lte_factor.to_bits());
+                assert_eq!(x.nr_factor.to_bits(), y.nr_factor.to_bits());
+                assert_eq!(x.wifi_factor.to_bits(), y.wifi_factor.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn derived_hour_tables_match_the_paper_formulas() {
+        assert_eq!(
+            lte_hour_table_from(&ecosystem::HOURLY_TEST_VOLUME),
+            models::lte_hour_table()
+        );
+        assert_eq!(
+            nr_hour_table_from(
+                &ecosystem::HOURLY_TEST_VOLUME,
+                &ecosystem::NR_HOURLY_CAPACITY
+            ),
+            models::nr_hour_table()
+        );
+    }
+
+    #[test]
+    fn broken_weights_are_rejected() {
+        let mut p = EcosystemProfile::paper_china().clone();
+        p.wifi_isp_weights = [0.5, 0.5, 0.5, 0.5];
+        assert!(matches!(
+            p.validate(),
+            Err(ProfileError::BadWeights { table, .. }) if table == "wifi_isp_weights"
+        ));
+    }
+
+    #[test]
+    fn empty_band_table_is_rejected() {
+        let mut p = EcosystemProfile::paper_china().clone();
+        p.nr_bands.y2021[2].clear();
+        assert!(matches!(
+            p.validate(),
+            Err(ProfileError::EmptyBandTable { table }) if table.contains("ISP-3")
+        ));
+    }
+
+    #[test]
+    fn out_of_range_probability_is_rejected() {
+        let mut p = EcosystemProfile::paper_china().clone();
+        p.wifi_share.y2021 = 1.4;
+        assert!(matches!(
+            p.validate(),
+            Err(ProfileError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn developing_market_has_a_true_zero_isp() {
+        let p = EcosystemProfile::developing_market();
+        assert_eq!(p.cellular_isp_weights.y2020[3], 0.0);
+        assert_eq!(p.wifi_isp_weights[3], 0.0);
+        p.validate().expect("zero weights are valid");
+    }
+
+    #[test]
+    fn debug_prints_only_the_name() {
+        assert_eq!(
+            format!("{:?}", EcosystemProfile::paper_china()),
+            "EcosystemProfile(paper-china)"
+        );
+    }
+}

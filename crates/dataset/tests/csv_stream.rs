@@ -27,6 +27,7 @@ fn million_record_roundtrip_through_bounded_pipe() {
         seed: 0x1A7E57,
         tests,
         year: Year::Y2021,
+        ..Default::default()
     };
     let (reader, writer) = std::io::pipe().expect("anonymous pipe");
 
@@ -67,6 +68,7 @@ fn sample_doc(tests: usize) -> String {
             seed: 0xBAD,
             tests,
             year: Year::Y2021,
+            ..Default::default()
         })
         .generate(),
     )

@@ -9,7 +9,12 @@ use mbw_dataset::{generate_dataset, generate_sharded, DatasetConfig, Generator, 
 use proptest::prelude::*;
 
 fn cfg(tests: usize, seed: u64, year: Year) -> DatasetConfig {
-    DatasetConfig { seed, tests, year }
+    DatasetConfig {
+        seed,
+        tests,
+        year,
+        ..Default::default()
+    }
 }
 
 #[test]

@@ -1,0 +1,609 @@
+//! Byte-equality contract for the profile refactor.
+//!
+//! `reference` below is the record generator exactly as it existed
+//! before [`mbw_dataset::profile::EcosystemProfile`] was introduced —
+//! hard-coded constants, the `w.max(1e-9)` zero-weight workaround, and
+//! all — kept verbatim so the contract "`paper_china()` generates
+//! byte-identical records" is checked against the real pre-refactor
+//! code, not against a remembered hash that would break on a libm
+//! change. The thread-count property then pins the other direction:
+//! every built-in profile is shard-deterministic.
+
+use mbw_dataset::profile::EcosystemProfile;
+use mbw_dataset::{generate_sharded, DatasetConfig, Generator, ShardPlan, TestRecord, Year};
+use proptest::prelude::*;
+
+#[allow(dead_code)]
+mod reference {
+    use mbw_dataset::ecosystem::{self, City};
+    use mbw_dataset::models;
+    use mbw_dataset::types::*;
+    use mbw_stats::sampling::WeightedIndex;
+    use mbw_stats::SeededRng;
+
+    /// Generator configuration.
+    #[derive(Debug, Clone, Copy)]
+    pub struct RefConfig {
+        /// Master seed; everything derives from it.
+        pub seed: u64,
+        /// Number of records to generate.
+        pub tests: usize,
+        /// Measurement year being simulated.
+        pub year: Year,
+    }
+
+    impl Default for RefConfig {
+        fn default() -> Self {
+            Self {
+                seed: 0xDA7A,
+                tests: 100_000,
+                year: Year::Y2021,
+            }
+        }
+    }
+
+    /// Number of distinct base stations (§3.1: 2,041,586) and WiFi APs
+    /// (4,473,362) for id anonymisation.
+    const BS_POPULATION: u32 = 2_041_586;
+    const AP_POPULATION: u32 = 4_473_362;
+
+    /// Share of cellular tests still on 3G (§3.1: 21,051 of ~2.56M).
+    const THREE_G_SHARE: f64 = 0.0082;
+
+    /// WiFi share of all tests (§3.1: 21,077,214 / 23,636,352).
+    const WIFI_SHARE: f64 = 0.8917;
+
+    /// Test-outcome rates `(failed, degraded)` per access family. Indoor
+    /// WiFi tests rarely die; cellular campaigns lose a visible slice to
+    /// radio blackouts, handovers, and mid-test stalls.
+    const WIFI_OUTCOME_RATES: (f64, f64) = (0.002, 0.012);
+    const CELL_OUTCOME_RATES: (f64, f64) = (0.005, 0.030);
+
+    /// Fixed-broadband (WiFi) ISP market shares; ISP-3's wireline arm is
+    /// strong, ISP-4 has almost no fixed footprint.
+    const WIFI_ISP_WEIGHTS: [f64; 4] = [0.38, 0.24, 0.36, 0.02];
+
+    /// Salt mixed into the master seed before deriving per-shard RNG
+    /// streams, so shard 0 never replays the sequential generator.
+    const SHARD_STREAM_SALT: u64 = 0x5AAD_F00D_0C0F_FEE5;
+
+    /// Per-band 4G draw constants, precomputed at generator build so the
+    /// per-record path takes no logarithms and re-derives no probabilities.
+    /// Every field holds exactly the value the corresponding `models` call
+    /// would return, so the draws are bit-identical to the unhoisted form.
+    #[derive(Clone, Copy)]
+    struct LteBandDraw {
+        /// `lte_band_base(band, year)` with `ln(median)` taken once.
+        base: models::LogNormalSampler,
+        /// `lte_advanced_prob(band, urban)`, indexed by `urban as usize`.
+        adv_prob: [f64; 2],
+    }
+
+    /// One ISP's 4G band-selection table: parallel `bands[i]` / `draws[i]`
+    /// arrays addressed by the weighted draw.
+    struct LteBandTable {
+        isp: Isp,
+        bands: Vec<LteBandId>,
+        sampler: WeightedIndex,
+        draws: Vec<LteBandDraw>,
+    }
+
+    /// One ISP's 5G band-selection table; `models[i]` is the prebuilt
+    /// `nr_band_model(bands[i], year)` mixture (the per-call form allocates
+    /// a fresh `Gmm` per record).
+    struct NrBandTable {
+        isp: Isp,
+        bands: Vec<NrBandId>,
+        sampler: WeightedIndex,
+        models: Vec<mbw_stats::Gmm>,
+    }
+
+    /// The dataset generator. Construction precomputes every categorical
+    /// sampler so each record is O(1).
+    pub struct RefGenerator {
+        config: RefConfig,
+        rng: SeededRng,
+        /// Independent stream for test-outcome draws: re-rating outcomes can
+        /// never perturb the calibrated bandwidth/context draws in `rng`.
+        outcome_rng: SeededRng,
+        cities: Vec<City>,
+        city_tier_sampler: WeightedIndex,
+        tier_ranges: [(usize, usize); 3],
+        hour_sampler: WeightedIndex,
+        android_sampler: WeightedIndex,
+        android_versions: Vec<u8>,
+        cellular_isp_sampler: WeightedIndex,
+        wifi_isp_sampler: WeightedIndex,
+        wifi_standard_sampler: WeightedIndex,
+        plan_samplers: [WeightedIndex; 3],
+        lte_band_tables: Vec<LteBandTable>,
+        nr_band_tables: Vec<NrBandTable>,
+        /// `wifi_link_model(standard, on_5ghz)` with `ln(median)` hoisted,
+        /// indexed `[standard index][on_5ghz as usize]`.
+        wifi_link_samplers: [[models::LogNormalSampler; 2]; 3],
+        /// `lte_hour_factor(h)` / `nr_hour_factor(h)` per hour of day.
+        lte_hour_table: [f64; 24],
+        nr_hour_table: [f64; 24],
+        /// `lte_year_factor(config.year)`.
+        lte_year_factor: f64,
+    }
+
+    impl RefGenerator {
+        /// Build a generator for the given configuration.
+        pub fn new(config: RefConfig) -> Self {
+            let mut rng = SeededRng::new(config.seed);
+            let cities = ecosystem::build_cities(&mut rng.fork(1));
+
+            let mut tier_ranges = [(0usize, 0usize); 3];
+            let mut start = 0usize;
+            for (i, (_, count)) in ecosystem::CITY_COUNTS.iter().enumerate() {
+                tier_ranges[i] = (start, start + *count as usize);
+                start += *count as usize;
+            }
+
+            let city_tier_sampler =
+                WeightedIndex::new(&ecosystem::CITY_TIER_TEST_WEIGHTS.map(|(_, w)| w))
+                    .expect("static weights valid");
+            let hour_sampler =
+                WeightedIndex::new(&ecosystem::HOURLY_TEST_VOLUME).expect("static weights valid");
+
+            let android = ecosystem::android_version_weights(config.year);
+            let android_sampler =
+                WeightedIndex::new(&android.map(|(_, w)| w)).expect("static weights valid");
+            let android_versions = android.map(|(v, _)| v).to_vec();
+
+            let cellular_isp_sampler =
+                WeightedIndex::new(&ecosystem::isp_weights(config.year).map(|(_, w)| w.max(1e-9)))
+                    .expect("static weights valid");
+            let wifi_isp_sampler =
+                WeightedIndex::new(&WIFI_ISP_WEIGHTS).expect("static weights valid");
+            let wifi_standard_sampler =
+                WeightedIndex::new(&ecosystem::wifi_standard_weights(config.year).map(|(_, w)| w))
+                    .expect("static weights valid");
+
+            let plan_samplers = WifiStandard::ALL.map(|s| {
+                WeightedIndex::new(&ecosystem::broadband_plan_weights(s, config.year))
+                    .expect("static weights valid")
+            });
+
+            let lte_band_tables = Isp::ALL
+                .iter()
+                .map(|&isp| {
+                    let weights = models::lte_band_weights(isp, config.year);
+                    let bands: Vec<LteBandId> = weights.iter().map(|(b, _)| *b).collect();
+                    let ws: Vec<f64> = weights.iter().map(|(_, w)| *w).collect();
+                    let draws = bands
+                        .iter()
+                        .map(|&band| LteBandDraw {
+                            base: models::lte_band_base(band, config.year).sampler(),
+                            adv_prob: [
+                                models::lte_advanced_prob(band, false),
+                                models::lte_advanced_prob(band, true),
+                            ],
+                        })
+                        .collect();
+                    LteBandTable {
+                        isp,
+                        bands,
+                        sampler: WeightedIndex::new(&ws).expect("static weights valid"),
+                        draws,
+                    }
+                })
+                .collect();
+            let nr_band_tables = Isp::ALL
+                .iter()
+                .map(|&isp| {
+                    let weights = models::nr_band_weights(isp, config.year);
+                    let bands: Vec<NrBandId> = weights.iter().map(|(b, _)| *b).collect();
+                    let ws: Vec<f64> = weights.iter().map(|(_, w)| *w).collect();
+                    let band_models = bands
+                        .iter()
+                        .map(|&band| models::nr_band_model(band, config.year))
+                        .collect();
+                    NrBandTable {
+                        isp,
+                        bands,
+                        sampler: WeightedIndex::new(&ws).expect("static weights valid"),
+                        models: band_models,
+                    }
+                })
+                .collect();
+
+            let wifi_link_samplers = WifiStandard::ALL.map(|s| {
+                [
+                    models::wifi_link_model(s, false).sampler(),
+                    models::wifi_link_model(s, true).sampler(),
+                ]
+            });
+
+            Self {
+                config,
+                rng: rng.fork(2),
+                outcome_rng: rng.fork(3),
+                cities,
+                city_tier_sampler,
+                tier_ranges,
+                hour_sampler,
+                android_sampler,
+                android_versions,
+                cellular_isp_sampler,
+                wifi_isp_sampler,
+                wifi_standard_sampler,
+                plan_samplers,
+                lte_band_tables,
+                nr_band_tables,
+                wifi_link_samplers,
+                lte_hour_table: models::lte_hour_table(),
+                nr_hour_table: models::nr_hour_table(),
+                lte_year_factor: models::lte_year_factor(config.year),
+            }
+        }
+
+        /// Build a generator for logical shard `shard` of a sharded run
+        /// (see [`crate::parallel`]).
+        ///
+        /// Shares the city table and every categorical sampler with
+        /// [`Generator::new`] — they depend only on the master seed — but
+        /// draws records and outcomes from streams derived from
+        /// `(config.seed, shard)`. A shard's output is therefore a pure
+        /// function of the configuration and its shard index, never of
+        /// which thread runs it or how many sibling shards exist.
+        pub fn for_shard(config: RefConfig, shard: u64) -> Self {
+            let mut gen = Self::new(config);
+            // The salt keeps shard streams disjoint from the sequential
+            // streams `new` forks off the unsalted master seed.
+            let mut base = SeededRng::new(config.seed ^ SHARD_STREAM_SALT);
+            let mut stream = base.fork(shard.wrapping_add(1));
+            gen.rng = stream.fork(2);
+            gen.outcome_rng = stream.fork(3);
+            gen
+        }
+
+        /// The per-city random-effects table (ids match `TestRecord.city_id`).
+        pub fn cities(&self) -> &[City] {
+            &self.cities
+        }
+
+        /// Generate the configured number of records.
+        pub fn generate(&mut self) -> Vec<TestRecord> {
+            (0..self.config.tests)
+                .map(|_| self.generate_one())
+                .collect()
+        }
+
+        /// Generate a single record.
+        pub fn generate_one(&mut self) -> TestRecord {
+            let year = self.config.year;
+            let rng = &mut self.rng;
+
+            // Where.
+            let tier_idx = self.city_tier_sampler.sample(rng);
+            let (lo, hi) = self.tier_ranges[tier_idx];
+            let city = self.cities[lo + rng.index(hi - lo)];
+            let urban = rng.chance(ecosystem::urban_probability(city.tier));
+
+            // When / on what device.
+            let hour = self.hour_sampler.sample(rng) as u8;
+            // Device tier first; the Android version is tier-conditioned —
+            // high-end devices ship (and get updated to) newer versions,
+            // which is the mechanism behind §3.1's "hardware illusion".
+            let tier_u = rng.uniform();
+            let device_tier = {
+                let w = ecosystem::DEVICE_TIER_WEIGHTS;
+                if tier_u < w[0] {
+                    DeviceTier::Low
+                } else if tier_u - w[0] < w[1] {
+                    DeviceTier::Mid
+                } else {
+                    DeviceTier::High
+                }
+            };
+            let d1 = self.android_versions[self.android_sampler.sample(rng)];
+            let d2 = self.android_versions[self.android_sampler.sample(rng)];
+            let android_version = match device_tier {
+                DeviceTier::Low => d1.min(d2),
+                DeviceTier::Mid => d1,
+                DeviceTier::High => d1.max(d2),
+            };
+            let device_model = rng.index(ecosystem::DEVICE_MODELS as usize) as u16;
+
+            // What.
+            let is_wifi = rng.chance(WIFI_SHARE);
+            let (tech, isp, link, bandwidth) = if is_wifi {
+                let isp = Isp::ALL[self.wifi_isp_sampler.sample(rng)];
+                let (info, bw) =
+                    self.draw_wifi(isp, &city, urban, android_version, device_tier, year);
+                (AccessTech::Wifi, isp, LinkInfo::Wifi(info), bw)
+            } else {
+                let isp = Isp::ALL[self.cellular_isp_sampler.sample(rng)];
+                if self.rng.chance(THREE_G_SHARE) && isp != Isp::Isp4 {
+                    let bw = models::cellular_3g_draw(&mut self.rng);
+                    let info = self.cell_context_3g(urban);
+                    (AccessTech::Cellular3g, isp, LinkInfo::Cell(info), bw)
+                } else if self.rng.chance(models::nr_share_of_cellular(isp, year)) {
+                    let (info, bw) =
+                        self.draw_5g(isp, &city, urban, hour, android_version, device_tier);
+                    (AccessTech::Cellular5g, isp, LinkInfo::Cell(info), bw)
+                } else {
+                    let (info, bw) =
+                        self.draw_4g(isp, &city, urban, hour, android_version, device_tier);
+                    (AccessTech::Cellular4g, isp, LinkInfo::Cell(info), bw)
+                }
+            };
+
+            // How the test ended — drawn from the independent outcome
+            // stream. A failed test reports no bandwidth; a degraded test
+            // terminated early, so its partial estimate sits below truth.
+            let (p_fail, p_degrade) = match tech {
+                AccessTech::Wifi => WIFI_OUTCOME_RATES,
+                _ => CELL_OUTCOME_RATES,
+            };
+            let u = self.outcome_rng.uniform();
+            let outcome = if u < p_fail {
+                OutcomeClass::Failed
+            } else if u < p_fail + p_degrade {
+                OutcomeClass::Degraded
+            } else {
+                OutcomeClass::Complete
+            };
+            let bandwidth = match outcome {
+                OutcomeClass::Failed => 0.0,
+                OutcomeClass::Degraded => bandwidth * self.outcome_rng.uniform_range(0.60, 0.95),
+                OutcomeClass::Complete => bandwidth,
+            };
+
+            TestRecord {
+                bandwidth_mbps: bandwidth,
+                tech,
+                isp,
+                year,
+                city_id: city.id,
+                city_tier: city.tier,
+                urban,
+                hour,
+                android_version,
+                device_model,
+                device_tier,
+                link,
+                outcome,
+            }
+        }
+
+        fn draw_rss(&mut self, urban: bool) -> u8 {
+            let w = ecosystem::rss_level_weights(urban);
+            let mut u = self.rng.uniform();
+            for (i, &p) in w.iter().enumerate() {
+                u -= p;
+                if u < 0.0 {
+                    return (i + 1) as u8;
+                }
+            }
+            5
+        }
+
+        fn cell_context_3g(&mut self, urban: bool) -> CellInfo {
+            let level = self.draw_rss(urban);
+            let info = mbw_dataset::bands::lte_band(LteBandId::B8);
+            CellInfo {
+                band: CellBand::Lte(LteBandId::B8), // legacy carriers ride low bands
+                rss_level: level,
+                rss_dbm: models::dbm_for_rss(level, &mut self.rng),
+                snr_db: models::snr_for_rss(level, &mut self.rng),
+                bs_id: (self.rng.next_u64() % BS_POPULATION as u64) as u32,
+                arfcn: models::arfcn_for(info.dl_mhz, info.max_channel_mhz, &mut self.rng),
+                lte_advanced: false,
+            }
+        }
+
+        fn draw_4g(
+            &mut self,
+            isp: Isp,
+            city: &City,
+            urban: bool,
+            hour: u8,
+            android: u8,
+            tier: DeviceTier,
+        ) -> (CellInfo, f64) {
+            let table = self
+                .lte_band_tables
+                .iter()
+                .find(|t| t.isp == isp)
+                .expect("every ISP tabulated");
+            let band_idx = table.sampler.sample(&mut self.rng);
+            let band = table.bands[band_idx];
+            let draw = table.draws[band_idx];
+            let level = self.draw_rss(urban);
+            let lte_advanced = self.rng.chance(draw.adv_prob[urban as usize]);
+
+            let bw = if lte_advanced {
+                // Carrier aggregation dominates every other effect (§3.2).
+                models::lte_advanced_draw(&mut self.rng) * models::measurement_noise(&mut self.rng)
+            } else if self.rng.chance(models::LTE_DEGRADED.0) {
+                // Cell-edge / congested sessions collapse regardless of band —
+                // the 26.3%-below-10-Mbps tail of Fig 4.
+                models::lte_degraded_draw(&mut self.rng) * models::measurement_noise(&mut self.rng)
+            } else {
+                let base = draw.base.sample(&mut self.rng) * self.lte_year_factor;
+                base * city.lte_factor
+                    * models::urban_factor(false, urban)
+                    * self.lte_hour_table[hour as usize % 24]
+                    * ecosystem::android_version_factor(android)
+                    * models::device_tier_factor(tier)
+                    * models::LTE_RSS_FACTOR[(level as usize - 1).min(4)]
+                    * models::measurement_noise(&mut self.rng)
+            };
+            let band_info = mbw_dataset::bands::lte_band(band);
+            let info = CellInfo {
+                band: CellBand::Lte(band),
+                rss_level: level,
+                rss_dbm: models::dbm_for_rss(level, &mut self.rng),
+                snr_db: models::snr_for_rss(level, &mut self.rng),
+                bs_id: (self.rng.next_u64() % BS_POPULATION as u64) as u32,
+                arfcn: models::arfcn_for(
+                    band_info.dl_mhz,
+                    band_info.max_channel_mhz,
+                    &mut self.rng,
+                ),
+                lte_advanced,
+            };
+            (info, bw.clamp(0.1, models::LTE_MAX_MBPS))
+        }
+
+        fn draw_5g(
+            &mut self,
+            isp: Isp,
+            city: &City,
+            urban: bool,
+            hour: u8,
+            android: u8,
+            tier: DeviceTier,
+        ) -> (CellInfo, f64) {
+            let table_idx = self
+                .nr_band_tables
+                .iter()
+                .position(|t| t.isp == isp)
+                .expect("every ISP tabulated");
+            let band_idx = self.nr_band_tables[table_idx].sampler.sample(&mut self.rng);
+            let band = self.nr_band_tables[table_idx].bands[band_idx];
+            let level = self.draw_rss(urban);
+
+            let base =
+                self.nr_band_tables[table_idx].models[band_idx].sample_at_least(&mut self.rng, 5.0);
+            let mut rss_factor = models::NR_RSS_FACTOR[(level as usize - 1).min(4)];
+            // §3.3: excellent-RSS tests cluster in crowded urban areas where
+            // dense gNodeBs suffer cross-region coverage, interference, load
+            // balancing and handover pathologies.
+            let (p_interf, interf_mult) = models::NR_URBAN_INTERFERENCE;
+            if level == 5 && urban && self.rng.chance(p_interf) {
+                rss_factor *= interf_mult;
+            }
+            let bw = base
+                * city.nr_factor
+                * models::urban_factor(true, urban)
+                * self.nr_hour_table[hour as usize % 24]
+                * ecosystem::android_version_factor(android)
+                * models::device_tier_factor(tier)
+                * models::nr_isp_factor(isp)
+                * rss_factor
+                * models::measurement_noise(&mut self.rng);
+
+            let band_info = mbw_dataset::bands::nr_band(band);
+            let info = CellInfo {
+                band: CellBand::Nr(band),
+                rss_level: level,
+                rss_dbm: models::dbm_for_rss(level, &mut self.rng),
+                snr_db: models::snr_for_rss(level, &mut self.rng),
+                bs_id: (self.rng.next_u64() % BS_POPULATION as u64) as u32,
+                arfcn: models::arfcn_for(
+                    band_info.dl_mhz,
+                    band_info.contiguous_mhz.min(band_info.max_channel_mhz),
+                    &mut self.rng,
+                ),
+                lte_advanced: false,
+            };
+            (info, bw.clamp(1.0, models::NR_MAX_MBPS))
+        }
+
+        fn draw_wifi(
+            &mut self,
+            isp: Isp,
+            city: &City,
+            urban: bool,
+            android: u8,
+            tier: DeviceTier,
+            year: Year,
+        ) -> (WifiInfo, f64) {
+            let std_idx = self.wifi_standard_sampler.sample(&mut self.rng);
+            let standard = WifiStandard::ALL[std_idx];
+            let plan_idx = self.plan_samplers[std_idx].sample(&mut self.rng);
+            let plan = ecosystem::BROADBAND_PLANS[plan_idx];
+            let on_5ghz = self.rng.chance(models::p_5ghz(standard, plan));
+
+            let link = self.wifi_link_samplers[std_idx][on_5ghz as usize].sample(&mut self.rng);
+            // The wired side: plan × delivery efficiency × infrastructure
+            // quality (ISP investment, city wiring).
+            let infra = (models::wifi_isp_factor(isp) * city.wifi_factor).clamp(0.50, 1.40);
+            let wired = plan * models::plan_efficiency(&mut self.rng) * infra;
+            let bw = link.min(wired)
+                * ecosystem::android_version_factor(android)
+                * models::device_tier_factor(tier)
+                * models::measurement_noise(&mut self.rng);
+
+            let info = WifiInfo {
+                standard,
+                on_5ghz,
+                plan_mbps: plan,
+                ap_id: (self.rng.next_u64() % AP_POPULATION as u64) as u32,
+                mac_rate_mbps: models::wifi_mac_rate(standard, on_5ghz, link, &mut self.rng),
+                neighbor_aps: models::neighbor_ap_count(city.tier, urban, &mut self.rng),
+            };
+            let _ = year;
+            (info, bw.clamp(0.5, models::WIFI_MAX_MBPS))
+        }
+    }
+}
+
+/// Concatenate the reference generator's shards exactly the way
+/// `mbw_dataset::parallel` lays them out.
+fn reference_sharded(cfg: reference::RefConfig, shard_size: usize) -> Vec<TestRecord> {
+    let mut out = Vec::with_capacity(cfg.tests);
+    let mut shard = 0u64;
+    let mut start = 0usize;
+    while start < cfg.tests {
+        let len = shard_size.min(cfg.tests - start);
+        let mut gen = reference::RefGenerator::for_shard(cfg, shard);
+        for _ in 0..len {
+            out.push(gen.generate_one());
+        }
+        shard += 1;
+        start += len;
+    }
+    out
+}
+
+#[test]
+fn paper_china_matches_the_pre_profile_generator_byte_for_byte() {
+    for year in [Year::Y2020, Year::Y2021] {
+        for seed in [0xDA7A_u64, 9] {
+            let tests = 6_000;
+            let old_cfg = reference::RefConfig { seed, tests, year };
+            let new_cfg = DatasetConfig {
+                seed,
+                tests,
+                year,
+                ..Default::default()
+            };
+
+            let old = reference::RefGenerator::new(old_cfg).generate();
+            let new = Generator::new(new_cfg).generate();
+            assert_eq!(old, new, "sequential {year:?} seed {seed:#x}");
+
+            let old_sharded = reference_sharded(old_cfg, 1_024);
+            let new_sharded = generate_sharded(new_cfg, ShardPlan::new(1_024, 3));
+            assert_eq!(old_sharded, new_sharded, "sharded {year:?} seed {seed:#x}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every built-in profile generates the same records no matter how
+    /// many threads carve up the shards.
+    #[test]
+    fn any_builtin_is_thread_count_invariant(
+        which in 0usize..4,
+        seed in any::<u64>(),
+        tests in 500usize..2_500,
+    ) {
+        let profile = EcosystemProfile::all_builtins()[which];
+        for year in [Year::Y2020, Year::Y2021] {
+            let cfg = DatasetConfig { seed, tests, year, profile };
+            let one = generate_sharded(cfg, ShardPlan::new(512, 1));
+            let two = generate_sharded(cfg, ShardPlan::new(512, 2));
+            let eight = generate_sharded(cfg, ShardPlan::new(512, 8));
+            prop_assert_eq!(&one, &two, "1 vs 2 threads ({})", profile.name);
+            prop_assert_eq!(&one, &eight, "1 vs 8 threads ({})", profile.name);
+        }
+    }
+}

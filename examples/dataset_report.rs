@@ -20,12 +20,14 @@ fn main() {
         seed: 0xD5,
         tests,
         year: Year::Y2020,
+        ..Default::default()
     })
     .generate();
     let y2021 = Generator::new(DatasetConfig {
         seed: 0xD5,
         tests,
         year: Year::Y2021,
+        ..Default::default()
     })
     .generate();
 

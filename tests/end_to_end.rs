@@ -20,6 +20,7 @@ fn fitted_5g_model() -> Gmm {
         seed: 0xE2E,
         tests: 200_000,
         year: Year::Y2021,
+        ..Default::default()
     })
     .generate();
     let bw: Vec<f64> = records
