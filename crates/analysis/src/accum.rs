@@ -53,6 +53,25 @@ where
     acc.finish()
 }
 
+/// Decode a `Vec<Vec<f64>>` whose outer length is an accumulator
+/// invariant (one inner vector per band/stratum/variant), rejecting any
+/// other outer length — a merge that zips slots would silently drop
+/// samples otherwise.
+pub fn decode_fixed_outer(
+    dec: &mut mbw_frame::Dec<'_>,
+    expected: usize,
+    what: &'static str,
+) -> Result<Vec<Vec<f64>>, mbw_frame::CodecError> {
+    let outer: Vec<Vec<f64>> = mbw_frame::Codec::decode(dec)?;
+    if outer.len() != expected {
+        return Err(mbw_frame::CodecError::BadLen {
+            what,
+            len: outer.len() as u64,
+        });
+    }
+    Ok(outer)
+}
+
 /// Stable index of a technology among the figure triplet 4G/5G/WiFi,
 /// or `None` for 3G (which most figures exclude).
 pub fn tech3_index(tech: AccessTech) -> Option<usize> {

@@ -9,6 +9,7 @@ use crate::accum::{self, FigureAccumulator};
 use crate::Render;
 use mbw_dataset::bands;
 use mbw_dataset::{AccessTech, LteBandId, NrBandId, RecordView, TestRecord};
+use mbw_frame::{Codec, CodecError, Dec, Enc};
 use mbw_stats::descriptive::{fraction_above, fraction_below, mean, median};
 use mbw_stats::Ecdf;
 use std::fmt::Write as _;
@@ -110,6 +111,18 @@ impl<'a> FigureAccumulator<RecordView<'a>> for Fig04Acc {
     }
 }
 
+impl Codec for Fig04Acc {
+    fn encode(&self, enc: &mut Enc) {
+        self.bw.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            bw: Codec::decode(dec)?,
+        })
+    }
+}
+
 /// Compute Fig 4 from the 2021 population.
 pub fn fig04(records: &[TestRecord]) -> Fig04 {
     accum::run(Fig04Acc::new(), records)
@@ -206,6 +219,18 @@ impl<'a> FigureAccumulator<RecordView<'a>> for LteBandAcc {
     }
 }
 
+impl Codec for LteBandAcc {
+    fn encode(&self, enc: &mut Enc) {
+        self.per_band.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            per_band: accum::decode_fixed_outer(dec, bands::LTE_BANDS.len(), "LTE band slots")?,
+        })
+    }
+}
+
 /// Compute Figs 5 and 6 together (they share the stratification).
 pub fn fig05_06(records: &[TestRecord]) -> LteBandFigure {
     accum::run(LteBandAcc::new(), records)
@@ -270,6 +295,18 @@ impl<'a> FigureAccumulator<RecordView<'a>> for Fig07Acc {
     }
 }
 
+impl Codec for Fig07Acc {
+    fn encode(&self, enc: &mut Enc) {
+        self.bw.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            bw: Codec::decode(dec)?,
+        })
+    }
+}
+
 /// Fig 7: 5G bandwidth distribution.
 pub fn fig07(records: &[TestRecord]) -> CdfFigure {
     accum::run(Fig07Acc::new(), records)
@@ -326,6 +363,18 @@ impl<'a> FigureAccumulator<RecordView<'a>> for NrBandAcc {
             .map(|(info, bw)| (info.id, info.refarmed_from.is_some(), mean(bw), bw.len()))
             .collect();
         NrBandFigure { rows }
+    }
+}
+
+impl Codec for NrBandAcc {
+    fn encode(&self, enc: &mut Enc) {
+        self.per_band.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            per_band: accum::decode_fixed_outer(dec, bands::NR_BANDS.len(), "NR band slots")?,
+        })
     }
 }
 
@@ -408,6 +457,18 @@ impl<'a> FigureAccumulator<RecordView<'a>> for Fig10Acc {
             .map(|(h, bw)| (h as u8, bw.len(), mean(bw)))
             .collect();
         Fig10 { rows }
+    }
+}
+
+impl Codec for Fig10Acc {
+    fn encode(&self, enc: &mut Enc) {
+        self.hours.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            hours: Codec::decode(dec)?,
+        })
     }
 }
 
@@ -513,6 +574,20 @@ impl<'a> FigureAccumulator<RecordView<'a>> for RssAcc {
     }
 }
 
+impl Codec for RssAcc {
+    fn encode(&self, enc: &mut Enc) {
+        self.snr.encode(enc);
+        self.bw.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            snr: Codec::decode(dec)?,
+            bw: Codec::decode(dec)?,
+        })
+    }
+}
+
 /// Compute Figs 11 and 12 over the 5G population.
 pub fn fig11_12(records: &[TestRecord]) -> RssFigure {
     accum::run(RssAcc::new(), records)
@@ -571,6 +646,18 @@ impl<'a> FigureAccumulator<RecordView<'a>> for LteRssAcc {
 
     fn finish(self) -> Vec<(u8, f64)> {
         (0..5).map(|i| (i as u8 + 1, mean(&self.bw[i]))).collect()
+    }
+}
+
+impl Codec for LteRssAcc {
+    fn encode(&self, enc: &mut Enc) {
+        self.bw.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            bw: Codec::decode(dec)?,
+        })
     }
 }
 

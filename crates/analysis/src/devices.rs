@@ -7,6 +7,7 @@
 use crate::accum::{self, FigureAccumulator};
 use crate::Render;
 use mbw_dataset::{AccessTech, DeviceTier, RecordView, TestRecord};
+use mbw_frame::{Codec, CodecError, Dec, Enc};
 use mbw_stats::descriptive::{mean, std_dev};
 use std::fmt::Write as _;
 
@@ -113,6 +114,34 @@ impl<'a> FigureAccumulator<RecordView<'a>> for HardwareIllusionAcc {
             within_version_std: within,
             max_within_std,
         }
+    }
+}
+
+impl Codec for HardwareIllusionAcc {
+    fn encode(&self, enc: &mut Enc) {
+        self.tech.encode(enc);
+        self.tiers.encode(enc);
+        self.strata.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let tech = Codec::decode(dec)?;
+        let tiers = Codec::decode(dec)?;
+        let strata: Vec<[Vec<f64>; 3]> = Codec::decode(dec)?;
+        // The stratum count is an accumulator invariant (one slot per
+        // Android version); merge zips slots, so a wrong length would
+        // silently drop samples.
+        if strata.len() != VERSIONS {
+            return Err(CodecError::BadLen {
+                what: "android version strata",
+                len: strata.len() as u64,
+            });
+        }
+        Ok(Self {
+            tech,
+            tiers,
+            strata,
+        })
     }
 }
 

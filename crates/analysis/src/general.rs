@@ -5,6 +5,7 @@
 use crate::accum::{self, FigureAccumulator};
 use crate::Render;
 use mbw_dataset::{AccessTech, CityTier, Isp, RecordView, TestRecord};
+use mbw_frame::{Codec, CodecError, Dec, Enc};
 use mbw_stats::descriptive::mean;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
@@ -119,6 +120,22 @@ impl<'a> FigureAccumulator<RecordView<'a>> for SpatialAcc {
     }
 }
 
+impl Codec for SpatialAcc {
+    fn encode(&self, enc: &mut Enc) {
+        self.per_city.encode(enc);
+        self.nat4.encode(enc);
+        self.nat5.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            per_city: Codec::decode(dec)?,
+            nat4: Codec::decode(dec)?,
+            nat5: Codec::decode(dec)?,
+        })
+    }
+}
+
 /// Compute the spatial-disparity summary.
 pub fn spatial_disparity(records: &[TestRecord]) -> SpatialDisparity {
     accum::run(SpatialAcc::new(), records)
@@ -193,6 +210,18 @@ impl<'a> FigureAccumulator<RecordView<'a>> for UrbanRuralAcc {
             lte_ratio: mean(&self.cells[0]) / mean(&self.cells[1]),
             nr_ratio: mean(&self.cells[2]) / mean(&self.cells[3]),
         }
+    }
+}
+
+impl Codec for UrbanRuralAcc {
+    fn encode(&self, enc: &mut Enc) {
+        self.cells.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            cells: Codec::decode(dec)?,
+        })
     }
 }
 
@@ -309,6 +338,20 @@ impl<'a> FigureAccumulator<RecordView<'a>> for SameGroupAcc {
             }
         }
         SameGroupDecline { groups }
+    }
+}
+
+impl Codec for SameGroupAcc {
+    fn encode(&self, enc: &mut Enc) {
+        self.mega.encode(enc);
+        self.groups.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            mega: Codec::decode(dec)?,
+            groups: Codec::decode(dec)?,
+        })
     }
 }
 
@@ -451,6 +494,28 @@ impl<'a> FigureAccumulator<RecordView<'a>> for DatasetSummaryAcc {
             distinct_aps: self.aps.len(),
             distinct_cities: self.cities.len(),
             isp_shares,
+        })
+    }
+}
+
+impl Codec for DatasetSummaryAcc {
+    fn encode(&self, enc: &mut Enc) {
+        self.total.encode(enc);
+        self.tech_counts.encode(enc);
+        self.isp_counts.encode(enc);
+        self.bs.encode(enc);
+        self.aps.encode(enc);
+        self.cities.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            total: Codec::decode(dec)?,
+            tech_counts: Codec::decode(dec)?,
+            isp_counts: Codec::decode(dec)?,
+            bs: Codec::decode(dec)?,
+            aps: Codec::decode(dec)?,
+            cities: Codec::decode(dec)?,
         })
     }
 }
@@ -598,6 +663,28 @@ impl<'a> FigureAccumulator<RecordView<'a>> for CorrelationsAcc {
             hourly_volume_bw_5g: hourly(&self.hours5),
             hourly_volume_bw_4g: hourly(&self.hours4),
         }
+    }
+}
+
+impl Codec for CorrelationsAcc {
+    fn encode(&self, enc: &mut Enc) {
+        self.x5.encode(enc);
+        self.snr5.encode(enc);
+        self.x4.encode(enc);
+        self.y4.encode(enc);
+        self.hours5.encode(enc);
+        self.hours4.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            x5: Codec::decode(dec)?,
+            snr5: Codec::decode(dec)?,
+            x4: Codec::decode(dec)?,
+            y4: Codec::decode(dec)?,
+            hours5: Codec::decode(dec)?,
+            hours4: Codec::decode(dec)?,
+        })
     }
 }
 

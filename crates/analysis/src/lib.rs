@@ -43,7 +43,9 @@ use mbw_dataset::{AccessTech, RecordView, TestRecord};
 
 pub use accum::FigureAccumulator;
 pub use compare::{comparison_report, comparison_section, ProfileFigures};
-pub use stream::{stream_figures, stream_figures_timed, StreamTimings};
+pub use stream::{
+    stream_figures, stream_figures_timed, stream_partial, stream_unit_count, StreamTimings,
+};
 pub use sweep::{sweep, sweep_datasets, sweep_records, FigureSet, MeasurementFigures};
 
 /// Bandwidths of all records matching a predicate over [`RecordView`]s

@@ -11,6 +11,7 @@
 use crate::accum::{self, FigureAccumulator, TECH3};
 use crate::Render;
 use mbw_dataset::{AccessTech, Isp, RecordView, TestRecord};
+use mbw_frame::{Codec, CodecError, Dec, Enc};
 use mbw_stats::descriptive::mean;
 use std::fmt::Write as _;
 
@@ -86,6 +87,24 @@ impl<'a> FigureAccumulator<RecordView<'a>> for Fig01Acc {
             rows,
             overall_cellular: (mean(&self.cell_y20), mean(&self.cell_y21)),
         }
+    }
+}
+
+impl Codec for Fig01Acc {
+    fn encode(&self, enc: &mut Enc) {
+        self.tech_y20.encode(enc);
+        self.tech_y21.encode(enc);
+        self.cell_y20.encode(enc);
+        self.cell_y21.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            tech_y20: Codec::decode(dec)?,
+            tech_y21: Codec::decode(dec)?,
+            cell_y20: Codec::decode(dec)?,
+            cell_y21: Codec::decode(dec)?,
+        })
     }
 }
 
@@ -183,6 +202,23 @@ impl<'a> FigureAccumulator<RecordView<'a>> for Fig02Acc {
     }
 }
 
+impl Codec for Fig02Acc {
+    fn encode(&self, enc: &mut Enc) {
+        self.cells.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let cells: Vec<[Vec<f64>; 3]> = Codec::decode(dec)?;
+        if cells.len() != VERSIONS {
+            return Err(CodecError::BadLen {
+                what: "fig02 version cells",
+                len: cells.len() as u64,
+            });
+        }
+        Ok(Self { cells })
+    }
+}
+
 /// Compute Fig 2.
 pub fn fig02(records: &[TestRecord]) -> Fig02 {
     accum::run(Fig02Acc::new(), records)
@@ -251,6 +287,18 @@ impl<'a> FigureAccumulator<RecordView<'a>> for Fig03Acc {
             })
             .collect();
         Fig03 { rows }
+    }
+}
+
+impl Codec for Fig03Acc {
+    fn encode(&self, enc: &mut Enc) {
+        self.cells.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            cells: Codec::decode(dec)?,
+        })
     }
 }
 

@@ -9,6 +9,7 @@
 use crate::accum::{self, FigureAccumulator};
 use crate::Render;
 use mbw_dataset::{AccessTech, RecordView, TestRecord, WifiStandard};
+use mbw_frame::{Codec, CodecError, Dec, Enc};
 use mbw_stats::{Gmm, Histogram};
 use std::fmt::Write as _;
 
@@ -115,6 +116,36 @@ impl<'a> FigureAccumulator<RecordView<'a>> for PdfAcc {
 
     fn finish(self) -> PdfFigure {
         pdf_figure(self.title, self.bw, self.hi, self.seed)
+    }
+}
+
+impl Codec for PdfAcc {
+    fn encode(&self, enc: &mut Enc) {
+        // Title/filter/range/seed are structural — which of Figs
+        // 16/18/19 this is — so they travel as one tag.
+        enc.put_u8(match self.filter {
+            PdfFilter::Wifi5 => 0,
+            PdfFilter::Tech(AccessTech::Cellular4g) => 1,
+            PdfFilter::Tech(AccessTech::Cellular5g) => 2,
+            PdfFilter::Tech(_) => unreachable!("no PDF figure for this tech"),
+        });
+        self.bw.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let mut acc = match dec.u8()? {
+            0 => PdfAcc::fig16(),
+            1 => PdfAcc::fig18(),
+            2 => PdfAcc::fig19(),
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "pdf figure",
+                    tag: u64::from(tag),
+                })
+            }
+        };
+        acc.bw = Codec::decode(dec)?;
+        Ok(acc)
     }
 }
 

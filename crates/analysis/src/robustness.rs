@@ -9,6 +9,7 @@
 use crate::accum::{self, FigureAccumulator};
 use crate::Render;
 use mbw_dataset::{AccessTech, OutcomeClass, RecordView, TestRecord};
+use mbw_frame::{Codec, CodecError, Dec, Enc};
 use std::fmt::Write as _;
 
 /// Per-technology outcome tallies.
@@ -119,6 +120,18 @@ impl<'a> FigureAccumulator<RecordView<'a>> for OutcomeRatesAcc {
             rows,
             overall: row_from(AccessTech::Wifi, pooled),
         }
+    }
+}
+
+impl Codec for OutcomeRatesAcc {
+    fn encode(&self, enc: &mut Enc) {
+        self.counts.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            counts: Codec::decode(dec)?,
+        })
     }
 }
 

@@ -158,6 +158,117 @@ fn fold_units(units: &[Unit]) -> WorkerOut {
     }
 }
 
+/// Fold a unit list with up to `threads` workers, returning the
+/// per-worker outputs in work-list order.
+fn fold_list(units: &[Unit], threads: usize, tracer: &trace::Tracer) -> Vec<WorkerOut> {
+    if threads <= 1 || units.len() <= 1 {
+        return vec![fold_units(units)];
+    }
+    let workers = threads.min(units.len());
+    let per_worker = units.len().div_ceil(workers);
+    let mut slots: Vec<Option<WorkerOut>> = Vec::new();
+    slots.resize_with(workers, || None);
+    // Spawned workers do not inherit the caller's trace scope, so
+    // each one re-`scope`s the captured tracer around its fold.
+    crossbeam::thread::scope(|scope| {
+        for (chunk, slot) in units.chunks(per_worker).zip(slots.iter_mut()) {
+            scope.spawn(move |_| {
+                *slot = Some(trace::scope(tracer, || fold_units(chunk)));
+            });
+        }
+    })
+    .expect("stream worker panicked");
+    slots.into_iter().flatten().collect()
+}
+
+/// Number of units on the streaming work list for these populations —
+/// the domain over which distributed slice assignments
+/// (`mbw_dataset::SliceAssignment`) are expressed. Baseline shards come
+/// first, then current shards, matching the fold order of
+/// [`stream_figures_timed`].
+pub fn stream_unit_count(
+    baseline: DatasetConfig,
+    current: DatasetConfig,
+    plan: ShardPlan,
+) -> usize {
+    plan.shard_count(baseline.tests) + plan.shard_count(current.tests)
+}
+
+/// Fold work-list units `start .. start + len` into one partial
+/// [`FigureSet`] without finishing it — the shard-runner's half of the
+/// distributed plan→execute→reduce pipeline.
+///
+/// The work list is deterministic and [`FigureSet::merge`] is
+/// observe-concatenation, so merging the partial sets of a contiguous
+/// partition of `0 .. stream_unit_count(..)` in slice order rebuilds
+/// exactly the set one [`stream_figures_timed`] run would have built —
+/// and therefore byte-identical finished figures. `timings.finish` is
+/// zero: finishing belongs to the reduce side.
+///
+/// # Panics
+///
+/// If `start + len` exceeds the unit count; distributed callers
+/// validate slice assignments against [`stream_unit_count`] first.
+pub fn stream_partial(
+    baseline: DatasetConfig,
+    current: DatasetConfig,
+    plan: ShardPlan,
+    start: usize,
+    len: usize,
+) -> (FigureSet, StreamTimings) {
+    let wall_start = Instant::now();
+    let tracer = trace::active();
+    let mut spans = tracer.local();
+    let run_span = spans.begin();
+    let units = work_list(baseline, current, plan);
+    assert!(
+        start <= units.len() && len <= units.len() - start,
+        "slice {start}+{len} out of range for {} stream units",
+        units.len()
+    );
+    let units = &units[start..start + len];
+    let records: usize = units.iter().map(|u| u.len).sum();
+
+    let outs = fold_list(units, plan.thread_count(), &tracer);
+    let mut outs = outs.into_iter();
+    let first = outs.next().expect("at least one worker ran");
+    let mut set = first.set;
+    let mut generate_nanos = first.generate_nanos;
+    let mut observe_nanos = first.observe_nanos;
+    let merge_span = spans.begin();
+    let merge_start = Instant::now();
+    for out in outs {
+        generate_nanos += out.generate_nanos;
+        observe_nanos += out.observe_nanos;
+        set.merge(out.set);
+    }
+    let merge = merge_start.elapsed();
+    spans.end(merge_span, run_span.id, "stream.merge", "stream");
+
+    let timings = StreamTimings {
+        generate: Duration::from_nanos(generate_nanos),
+        observe: Duration::from_nanos(observe_nanos),
+        merge,
+        finish: Duration::ZERO,
+        wall: wall_start.elapsed(),
+        records,
+    };
+    if run_span.id != 0 {
+        spans.end_with(
+            run_span,
+            0,
+            "stream.partial",
+            "stream",
+            vec![
+                ("start", ArgValue::from(start)),
+                ("units", ArgValue::from(len)),
+                ("records", ArgValue::from(records)),
+            ],
+        );
+    }
+    (set, timings)
+}
+
 /// Run the streaming fused engine and report per-stage timings.
 ///
 /// `plan.thread_count()` sets the worker count; `plan.shard_size()`
@@ -176,27 +287,7 @@ pub fn stream_figures_timed(
     let units = work_list(baseline, current, plan);
     let threads = plan.thread_count();
 
-    let outs: Vec<WorkerOut> = if threads <= 1 || units.len() <= 1 {
-        vec![fold_units(&units)]
-    } else {
-        let workers = threads.min(units.len());
-        let per_worker = units.len().div_ceil(workers);
-        let mut slots: Vec<Option<WorkerOut>> = Vec::new();
-        slots.resize_with(workers, || None);
-        // Spawned workers do not inherit the caller's trace scope, so
-        // each one re-`scope`s the captured tracer around its fold.
-        let tracer_ref = &tracer;
-        crossbeam::thread::scope(|scope| {
-            for (chunk, slot) in units.chunks(per_worker).zip(slots.iter_mut()) {
-                scope.spawn(move |_| {
-                    *slot = Some(trace::scope(tracer_ref, || fold_units(chunk)));
-                });
-            }
-        })
-        .expect("stream worker panicked");
-        slots.into_iter().flatten().collect()
-    };
-
+    let outs = fold_list(&units, threads, &tracer);
     let mut outs = outs.into_iter();
     let first = outs.next().expect("at least one worker ran");
     let mut set = first.set;
@@ -388,5 +479,89 @@ mod tests {
         assert_eq!(t.records, 0);
         assert!(figs.summary.is_err());
         assert!(figs.render("table1").is_some());
+    }
+
+    #[test]
+    fn unit_count_matches_the_work_list() {
+        let (b, c) = configs(3_000, 11);
+        let plan = ShardPlan::new(256, 1);
+        assert_eq!(stream_unit_count(b, c, plan), work_list(b, c, plan).len());
+    }
+
+    #[test]
+    fn partial_slices_merge_to_the_full_set() {
+        use crate::sweep::FigureSet;
+        use mbw_frame::Codec;
+
+        let (b, c) = configs(3_000, 0xD157);
+        let plan = ShardPlan::new(256, 2);
+        let n = stream_unit_count(b, c, plan);
+        assert!(n >= 4, "want a few units, got {n}");
+
+        let (whole, t) = stream_partial(b, c, plan, 0, n);
+        assert_eq!(t.records, 6_000);
+        assert_eq!(t.finish, Duration::ZERO);
+        let whole_bytes = whole.to_bytes();
+
+        for bounds in [vec![0, n / 2, n], vec![0, n / 3, 2 * n / 3, n]] {
+            let mut merged: Option<FigureSet> = None;
+            for w in bounds.windows(2) {
+                let (part, pt) = stream_partial(b, c, plan, w[0], w[1] - w[0]);
+                assert_eq!(pt.finish, Duration::ZERO);
+                merged = Some(match merged {
+                    None => part,
+                    Some(mut m) => {
+                        m.merge(part);
+                        m
+                    }
+                });
+            }
+            assert_eq!(
+                merged.unwrap().to_bytes(),
+                whole_bytes,
+                "split {bounds:?} is not byte-identical"
+            );
+        }
+
+        // Finishing the rebuilt set reproduces the one-process figures.
+        let figs = stream_figures(b, c, plan);
+        let rebuilt = whole.finish();
+        for id in SWEEP_IDS {
+            assert_eq!(figs.render(id), rebuilt.render(id), "{id} differs");
+        }
+    }
+
+    #[test]
+    fn figure_set_codec_roundtrips_mid_stream_state() {
+        use mbw_frame::Codec;
+
+        let (b, c) = configs(2_000, 0x0DEC);
+        let plan = ShardPlan::new(256, 1);
+        let n = stream_unit_count(b, c, plan);
+        let (set, _) = stream_partial(b, c, plan, 0, n.div_ceil(2));
+        let bytes = set.to_bytes();
+        let back = crate::sweep::FigureSet::from_bytes(&bytes).expect("roundtrip decodes");
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+        /// Any 2-way split point over the unit range reduces
+        /// byte-identically to the unsplit fold.
+        #[test]
+        fn any_split_point_is_byte_identical(raw in 0usize..1_000) {
+            use mbw_frame::Codec;
+
+            let (b, c) = configs(1_500, 0x5117);
+            let plan = ShardPlan::new(256, 2);
+            let n = stream_unit_count(b, c, plan);
+            let cut = raw % (n + 1);
+            let (whole, _) = stream_partial(b, c, plan, 0, n);
+            let (mut left, _) = stream_partial(b, c, plan, 0, cut);
+            let (right, _) = stream_partial(b, c, plan, cut, n - cut);
+            left.merge(right);
+            proptest::prop_assert_eq!(left.to_bytes(), whole.to_bytes());
+        }
     }
 }

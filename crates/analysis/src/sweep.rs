@@ -285,6 +285,65 @@ impl Default for FigureSet {
     }
 }
 
+impl mbw_frame::Codec for FigureSet {
+    fn encode(&self, enc: &mut mbw_frame::Enc) {
+        self.fig01.encode(enc);
+        self.fig02.encode(enc);
+        self.fig03.encode(enc);
+        self.fig04.encode(enc);
+        self.fig05_06.encode(enc);
+        self.fig07.encode(enc);
+        self.fig08_09.encode(enc);
+        self.fig10.encode(enc);
+        self.fig11_12.encode(enc);
+        self.lte_rss.encode(enc);
+        self.fig13.encode(enc);
+        self.fig14.encode(enc);
+        self.fig15.encode(enc);
+        self.slow_plan.encode(enc);
+        self.fig16.encode(enc);
+        self.fig18.encode(enc);
+        self.fig19.encode(enc);
+        self.spatial.encode(enc);
+        self.urban_rural.encode(enc);
+        self.same_group.encode(enc);
+        self.correlations.encode(enc);
+        self.summary.encode(enc);
+        self.devices.encode(enc);
+        self.outcomes.encode(enc);
+    }
+
+    fn decode(dec: &mut mbw_frame::Dec<'_>) -> Result<Self, mbw_frame::CodecError> {
+        use mbw_frame::Codec;
+        Ok(Self {
+            fig01: Codec::decode(dec)?,
+            fig02: Codec::decode(dec)?,
+            fig03: Codec::decode(dec)?,
+            fig04: Codec::decode(dec)?,
+            fig05_06: Codec::decode(dec)?,
+            fig07: Codec::decode(dec)?,
+            fig08_09: Codec::decode(dec)?,
+            fig10: Codec::decode(dec)?,
+            fig11_12: Codec::decode(dec)?,
+            lte_rss: Codec::decode(dec)?,
+            fig13: Codec::decode(dec)?,
+            fig14: Codec::decode(dec)?,
+            fig15: Codec::decode(dec)?,
+            slow_plan: Codec::decode(dec)?,
+            fig16: Codec::decode(dec)?,
+            fig18: Codec::decode(dec)?,
+            fig19: Codec::decode(dec)?,
+            spatial: Codec::decode(dec)?,
+            urban_rural: Codec::decode(dec)?,
+            same_group: Codec::decode(dec)?,
+            correlations: Codec::decode(dec)?,
+            summary: Codec::decode(dec)?,
+            devices: Codec::decode(dec)?,
+            outcomes: Codec::decode(dec)?,
+        })
+    }
+}
+
 /// Every measurement figure of the paper, produced by one fused sweep.
 #[derive(Debug, Clone)]
 pub struct MeasurementFigures {

@@ -9,6 +9,7 @@
 use crate::accum::{self, FigureAccumulator};
 use crate::Render;
 use mbw_dataset::{RecordView, TestRecord, WifiStandard};
+use mbw_frame::{Codec, CodecError, Dec, Enc};
 use mbw_stats::Ecdf;
 use std::fmt::Write as _;
 
@@ -124,6 +125,37 @@ impl<'a> FigureAccumulator<RecordView<'a>> for WifiAcc {
     }
 }
 
+impl Codec for WifiAcc {
+    fn encode(&self, enc: &mut Enc) {
+        // The title/filter pair is structural — which of Figs 13–15 the
+        // accumulator is — so it travels as a tag, not as data.
+        enc.put_u8(match self.band_filter {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        });
+        enc.put_usize(self.total);
+        self.per_std.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let mut acc = match dec.u8()? {
+            0 => WifiAcc::fig13(),
+            1 => WifiAcc::fig14(),
+            2 => WifiAcc::fig15(),
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "wifi figure",
+                    tag: u64::from(tag),
+                })
+            }
+        };
+        acc.total = dec.usize_()?;
+        acc.per_std = accum::decode_fixed_outer(dec, WifiStandard::ALL.len(), "wifi standards")?;
+        Ok(acc)
+    }
+}
+
 /// Fig 13: all WiFi tests, per standard.
 pub fn fig13(records: &[TestRecord]) -> WifiCdfFigure {
     accum::run(WifiAcc::fig13(), records)
@@ -212,6 +244,24 @@ impl<'a> FigureAccumulator<RecordView<'a>> for SlowPlanAcc {
             self.slow as f64 / self.wifi_total.max(1) as f64,
             self.w6_slow as f64 / self.w6_total.max(1) as f64,
         )
+    }
+}
+
+impl Codec for SlowPlanAcc {
+    fn encode(&self, enc: &mut Enc) {
+        enc.put_usize(self.wifi_total);
+        enc.put_usize(self.slow);
+        enc.put_usize(self.w6_total);
+        enc.put_usize(self.w6_slow);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            wifi_total: dec.usize_()?,
+            slow: dec.usize_()?,
+            w6_total: dec.usize_()?,
+            w6_slow: dec.usize_()?,
+        })
     }
 }
 

@@ -28,7 +28,9 @@
 //! printed to stdout.
 
 use mbw_analysis::{robustness, Render, StreamTimings};
+use mbw_bench::distributed::{self, DistConfig};
 use mbw_bench::measurement::{self, Populations};
+use mbw_core::EvalCounts;
 use mbw_dataset::ShardPlan;
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -161,6 +163,38 @@ fn main() {
     eprintln!("timing streaming engine, {threads} workers...");
     let stream_nt = stream_best(iters, records, plan_nt);
 
+    // The distributed pipeline: a 4-way shard split through the real
+    // plan → execute → reduce path (snapshots on disk and all), with
+    // the shards executed back to back in this one process. The
+    // reported wall time is the slowest shard plus the reduce — what a
+    // perfectly parallel 4-process fan-out would cost.
+    eprintln!("timing distributed 4-way split + reduce...");
+    let dist_dir = std::env::temp_dir().join(format!("mbw-bench-dist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dist_dir);
+    let dist_cfg = DistConfig {
+        profile: mbw_dataset::EcosystemProfile::paper_china(),
+        records,
+        counts: EvalCounts::quick(),
+        shards: 4,
+    };
+    let dist_plans =
+        distributed::write_plans(&dist_cfg, &dist_dir.join("plans")).expect("write shard plans");
+    let dist_parts_dir = dist_dir.join("parts");
+    for plan in &dist_plans {
+        distributed::run_shard_file(plan, &dist_parts_dir, threads).expect("run shard");
+    }
+    let dist_parts = distributed::collect_parts(&dist_parts_dir).expect("collect parts");
+    let dist = distributed::reduce_parts(&dist_parts).expect("reduce parts");
+    black_box(&dist.figures);
+    let _ = std::fs::remove_dir_all(&dist_dir);
+    let dist_snapshot_bytes: u64 = dist.parts.iter().map(|p| p.snapshot_bytes).sum();
+    let dist_reduce_seconds = dist.merge_seconds + dist.finish_seconds;
+    let dist_max_execute = dist
+        .parts
+        .iter()
+        .map(|p| p.execute_seconds)
+        .fold(0.0, f64::max);
+
     let materialize_nt = generate_nt + fused_nt;
     let secs = |d: Duration| d.as_secs_f64().max(f64::MIN_POSITIVE);
     let mut json = String::from("{\n");
@@ -212,6 +246,31 @@ fn main() {
         "{}",
         streaming_json("streaming_nt", threads, &stream_nt)
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"distributed\": {{");
+    let _ = writeln!(json, "    \"shards\": {},", dist_cfg.shards);
+    let _ = writeln!(json, "    \"threads_per_shard\": {threads},");
+    let _ = writeln!(json, "    \"eval_counts\": \"quick\",");
+    let _ = writeln!(
+        json,
+        "    \"wall_seconds\": {},",
+        dist_max_execute + dist_reduce_seconds
+    );
+    let per_shard: Vec<String> = dist
+        .parts
+        .iter()
+        .map(|p| p.execute_seconds.to_string())
+        .collect();
+    let _ = writeln!(
+        json,
+        "    \"per_shard_execute_seconds\": [{}],",
+        per_shard.join(", ")
+    );
+    let _ = writeln!(json, "    \"reduce_seconds\": {dist_reduce_seconds},");
+    let _ = writeln!(json, "    \"snapshot_bytes\": {dist_snapshot_bytes},");
+    let _ = writeln!(json, "    \"runner_class\": \"{}\",", runner_class());
+    let _ = writeln!(json, "    \"wall_clock_source\": \"std::time::Instant\",");
+    let _ = writeln!(json, "    \"profile\": \"{}\"", dist_cfg.profile.name);
     let _ = writeln!(json, "  }},");
     let _ = writeln!(
         json,

@@ -123,6 +123,23 @@ impl Default for AblationAcc {
     }
 }
 
+impl mbw_frame::Codec for AblationAcc {
+    fn encode(&self, enc: &mut mbw_frame::Enc) {
+        self.time.encode(enc);
+        self.data.encode(enc);
+        self.acc.encode(enc);
+    }
+
+    fn decode(dec: &mut mbw_frame::Dec<'_>) -> Result<Self, mbw_frame::CodecError> {
+        let n = VariantId::ALL.len();
+        Ok(Self {
+            time: mbw_analysis::accum::decode_fixed_outer(dec, n, "ablation time cells")?,
+            data: mbw_analysis::accum::decode_fixed_outer(dec, n, "ablation data cells")?,
+            acc: mbw_analysis::accum::decode_fixed_outer(dec, n, "ablation accuracy cells")?,
+        })
+    }
+}
+
 impl<'a> FigureAccumulator<TrialView<'a>> for AblationAcc {
     type Output = Result<AblationTables, EmptyCampaign>;
 

@@ -15,6 +15,11 @@
 //! figures --no-chaos service       # skip the blackout in the soak
 //! figures --profile europe-ran     # everything under one ecosystem
 //! figures --profiles all           # cross-ecosystem comparison report
+//!
+//! # the distributed pipeline (see DESIGN.md, "Distributed reduction"):
+//! figures shard-plan --shards 4 --out plans/       # write 4 plan files
+//! figures shard-runner --plan plans/shard-00-of-04.plan --out parts/
+//! figures reduce --parts parts/ --out results/     # merge + finish
 //! ```
 //!
 //! Each experiment's text report is printed and written to
@@ -37,8 +42,17 @@
 //! slow-span budget violations lands next to it at
 //! `PATH.profile.txt`, and per-span-name duration histograms join the
 //! registry as `trace_span_seconds`.
+//!
+//! The `shard-plan` / `shard-runner` / `reduce` subcommands split the
+//! same pipeline across independent processes: each runner executes a
+//! contiguous slice of both work domains and writes its unfinished
+//! accumulator state as an atomic snapshot; the reducer validates the
+//! parts' provenance and merges them byte-identically to what one
+//! process would have produced. A killed runner leaves no torn part
+//! behind, and re-running it skips shards whose parts already exist.
 
 use mbw_analysis::ProfileFigures;
+use mbw_bench::distributed::{self, ShardRun, COST_SEED, EVAL_SEED, MEASUREMENT_SEED};
 use mbw_bench::{bts_eval, deploy_eval, eval_sweep, load, measurement};
 use mbw_core::{run_campaign_metered, EvalCounts, ProfileDim};
 use mbw_dataset::csv::CsvWriter;
@@ -72,11 +86,6 @@ const QUICK: Sizes = Sizes {
     replay_days: 5,
 };
 
-/// Campaign seed for the shared evaluation pool.
-const EVAL_SEED: u64 = 0x5EED;
-/// Server-catalog seed for the cost report.
-const COST_SEED: u64 = 0xC0;
-
 /// Every experiment id, in paper order.
 const ALL_IDS: [&str; 28] = [
     "table1", "table2", "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
@@ -103,6 +112,70 @@ const EXTRA_IDS: [&str; 12] = [
 /// How many rows `export_csv` writes (streamed, never materialised).
 const EXPORT_ROWS: usize = 10_000;
 
+/// A file or directory the binary could not produce. Every I/O failure
+/// on an output path surfaces as one of these — naming the operation
+/// and the offending path — instead of a panic.
+struct OutputError {
+    op: &'static str,
+    path: PathBuf,
+    source: std::io::Error,
+}
+
+impl std::fmt::Display for OutputError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot {} {}: {}",
+            self.op,
+            self.path.display(),
+            self.source
+        )
+    }
+}
+
+/// Why a run failed (printed as `figures: <error>`, exit code 1).
+enum CliError {
+    Output(OutputError),
+    Dist(distributed::DistError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Output(e) => e.fmt(f),
+            CliError::Dist(e) => e.fmt(f),
+        }
+    }
+}
+
+impl From<OutputError> for CliError {
+    fn from(e: OutputError) -> Self {
+        CliError::Output(e)
+    }
+}
+
+impl From<distributed::DistError> for CliError {
+    fn from(e: distributed::DistError) -> Self {
+        CliError::Dist(e)
+    }
+}
+
+fn write_file(path: &Path, contents: &[u8]) -> Result<(), OutputError> {
+    fs::write(path, contents).map_err(|source| OutputError {
+        op: "write",
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+fn ensure_dir(path: &Path) -> Result<(), OutputError> {
+    fs::create_dir_all(path).map_err(|source| OutputError {
+        op: "create directory",
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
 struct Options {
     quick: bool,
     records: Option<usize>,
@@ -116,6 +189,9 @@ struct Options {
     no_chaos: bool,
     profile: &'static EcosystemProfile,
     all_profiles: bool,
+    shards: Option<u32>,
+    plan: Option<PathBuf>,
+    parts: Option<PathBuf>,
     selected: Vec<String>,
 }
 
@@ -133,6 +209,9 @@ fn parse_args() -> Options {
         no_chaos: false,
         profile: EcosystemProfile::paper_china(),
         all_profiles: false,
+        shards: None,
+        plan: None,
+        parts: None,
         selected: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -198,6 +277,20 @@ fn parse_args() -> Options {
                 }
                 opts.all_profiles = true;
             }
+            "--shards" => {
+                let v = value("--shards");
+                let shards: u32 = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--shards: not a shard count: {v}");
+                    std::process::exit(2);
+                });
+                if shards == 0 {
+                    eprintln!("--shards: must be at least 1");
+                    std::process::exit(2);
+                }
+                opts.shards = Some(shards);
+            }
+            "--plan" => opts.plan = Some(PathBuf::from(value("--plan"))),
+            "--parts" => opts.parts = Some(PathBuf::from(value("--parts"))),
             "--trace-out" => opts.trace_out = Some(PathBuf::from(value("--trace-out"))),
             "--metrics-addr" => {
                 let v = value("--metrics-addr");
@@ -219,32 +312,38 @@ fn parse_args() -> Options {
 fn main() {
     let opts = parse_args();
     // One wall-clock tracer scoped around the whole run; every layer
-    // (streaming engine, GMM fits, campaign executor) picks it up via
-    // `trace::active()`. Disabled (all no-ops) without `--trace-out`.
+    // (streaming engine, GMM fits, campaign executor, shard runner)
+    // picks it up via `trace::active()`. Disabled without `--trace-out`.
     let tracer = if opts.trace_out.is_some() {
         Tracer::new(Arc::new(WallClock::new()), 0xF165)
     } else {
         Tracer::disabled()
     };
-    trace::scope(&tracer, || run(&opts));
-    if let Some(path) = &opts.trace_out {
-        write_trace(&tracer, path);
+    let result = trace::scope(&tracer, || run(&opts));
+    let traced = match &opts.trace_out {
+        Some(path) => write_trace(&tracer, path).map_err(CliError::Output),
+        None => Ok(()),
+    };
+    if let Err(e) = result.and(traced) {
+        eprintln!("figures: {e}");
+        std::process::exit(1);
     }
 }
 
 /// Write the Chrome trace-event JSON to `path` and the text
 /// self-profile (slow-span budget violations first) to
 /// `path.profile.txt`.
-fn write_trace(tracer: &Tracer, path: &Path) {
+fn write_trace(tracer: &Tracer, path: &Path) -> Result<(), OutputError> {
     let spans = tracer.spans();
-    fs::write(path, trace::export_chrome_json(&spans))
-        .unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    write_file(path, trace::export_chrome_json(&spans).as_bytes())?;
     let budgets = trace::SpanBudgets::default_profile();
     let mut profile_path = path.as_os_str().to_owned();
     profile_path.push(".profile.txt");
     let profile_path = PathBuf::from(profile_path);
-    fs::write(&profile_path, trace::self_profile(&spans, &budgets, 20))
-        .unwrap_or_else(|e| panic!("write {profile_path:?}: {e}"));
+    write_file(
+        &profile_path,
+        trace::self_profile(&spans, &budgets, 20).as_bytes(),
+    )?;
     eprintln!(
         "trace: {} spans -> {} (profile: {}, {} dropped by the span limit)",
         spans.len(),
@@ -252,9 +351,33 @@ fn write_trace(tracer: &Tracer, path: &Path) {
         profile_path.display(),
         tracer.dropped()
     );
+    Ok(())
 }
 
-fn run(opts: &Options) {
+/// The evaluation-campaign trial counts a run uses: `--trials` wins,
+/// otherwise the quick/full defaults. The distributed planner and the
+/// in-process run share this so their plan hashes agree.
+fn eval_counts(opts: &Options, sizes: &Sizes) -> EvalCounts {
+    match opts.trials {
+        Some(n) => EvalCounts::uniform(n),
+        None => EvalCounts {
+            tests: sizes.bts_tests,
+            groups: sizes.bts_tests.min(80),
+            ramp_paths: sizes.fig17_paths,
+            ablation: sizes.bts_tests.min(60),
+            mmwave: sizes.bts_tests.min(80),
+        },
+    }
+}
+
+fn run(opts: &Options) -> Result<(), CliError> {
+    match opts.selected.first().map(String::as_str) {
+        Some("shard-plan") => return run_shard_plan(opts),
+        Some("shard-runner") => return run_shard_runner(opts),
+        Some("reduce") => return run_reduce(opts),
+        _ => {}
+    }
+
     let sizes = if opts.quick { QUICK } else { FULL };
     let dataset = opts.records.unwrap_or(sizes.dataset);
     let ids: Vec<String> = if opts.selected.is_empty() {
@@ -267,7 +390,7 @@ fn run(opts: &Options) {
         opts.selected.clone()
     };
 
-    fs::create_dir_all(&opts.out_dir).expect("create output dir");
+    ensure_dir(&opts.out_dir)?;
 
     let registry = Registry::new();
     let metrics = PipelineMetrics::register(&registry);
@@ -289,11 +412,11 @@ fn run(opts: &Options) {
     // evaluation campaign is out of scope here — the cross-ecosystem
     // report covers the measurement figures.
     if opts.all_profiles {
-        run_all_profiles(opts, dataset, &metrics);
+        run_all_profiles(opts, dataset, &metrics)?;
         if let Some(server) = server {
             server.shutdown();
         }
-        return;
+        return Ok(());
     }
 
     let needs_sweep = ids.iter().any(|id| is_sweep_id(id.as_str()));
@@ -306,7 +429,7 @@ fn run(opts: &Options) {
         let (figs, t) = measurement::stream_measurement_figures_for(
             opts.profile,
             dataset,
-            0xDA7A,
+            MEASUREMENT_SEED,
             ShardPlan::threads(opts.threads),
         );
         let records = t.records as u64;
@@ -342,16 +465,7 @@ fn run(opts: &Options) {
         .filter(|id| is_eval_id(id))
         .collect();
     let eval_figures = (!eval_ids.is_empty()).then(|| {
-        let counts = match opts.trials {
-            Some(n) => EvalCounts::uniform(n),
-            None => EvalCounts {
-                tests: sizes.bts_tests,
-                groups: sizes.bts_tests.min(80),
-                ramp_paths: sizes.fig17_paths,
-                ablation: sizes.bts_tests.min(60),
-                mmwave: sizes.bts_tests.min(80),
-            },
-        };
+        let counts = eval_counts(opts, &sizes);
         let campaign_metrics = CampaignMetrics::register(&registry);
         let plan_start = Instant::now();
         let mut plan = eval_sweep::plan_for(&eval_ids, &counts, EVAL_SEED);
@@ -391,7 +505,7 @@ fn run(opts: &Options) {
             let rows = dataset.min(EXPORT_ROWS);
             let export = generate_sharded(
                 DatasetConfig {
-                    seed: 0xDA7A,
+                    seed: MEASUREMENT_SEED,
                     tests: rows,
                     year: Year::Y2021,
                     profile: opts.profile,
@@ -399,15 +513,22 @@ fn run(opts: &Options) {
                 ShardPlan::threads(opts.threads),
             );
             let path = opts.out_dir.join("export_csv.csv");
-            let file = fs::File::create(&path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
+            let csv_err = |source| OutputError {
+                op: "write CSV to",
+                path: path.clone(),
+                source,
+            };
+            let file = fs::File::create(&path).map_err(|source| OutputError {
+                op: "create",
+                path: path.clone(),
+                source,
+            })?;
             let mut writer = CsvWriter::with_profile(BufWriter::new(file), opts.profile.name)
-                .expect("write csv header");
+                .map_err(csv_err)?;
             for r in &export {
-                writer
-                    .write_view(&RecordView::from(r))
-                    .expect("write csv row");
+                writer.write_view(&RecordView::from(r)).map_err(csv_err)?;
             }
-            writer.into_inner().expect("flush csv");
+            writer.into_inner().map_err(csv_err)?;
             println!("──── {id} ─────────────────────────────────────────");
             println!("({rows} rows written to {path:?})");
             continue;
@@ -443,11 +564,9 @@ fn run(opts: &Options) {
             let report = load::run_load(&cfg, &registry)
                 .unwrap_or_else(|e| panic!("service load harness: {e}"));
             let json_path = opts.out_dir.join("BENCH_service.json");
-            fs::write(&json_path, report.to_json())
-                .unwrap_or_else(|e| panic!("write {json_path:?}: {e}"));
+            write_file(&json_path, report.to_json().as_bytes())?;
             let text = report.render();
-            let path = opts.out_dir.join(format!("{id}.txt"));
-            fs::write(&path, &text).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+            write_file(&opts.out_dir.join(format!("{id}.txt")), text.as_bytes())?;
             println!("──── {id} ─────────────────────────────────────────");
             println!("{text}");
             if !report.zero_loss() {
@@ -479,8 +598,7 @@ fn run(opts: &Options) {
                 std::process::exit(2);
             }
         };
-        let path = opts.out_dir.join(format!("{id}.txt"));
-        fs::write(&path, &text).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        write_file(&opts.out_dir.join(format!("{id}.txt")), text.as_bytes())?;
         println!("──── {id} ─────────────────────────────────────────");
         println!("{text}");
     }
@@ -502,13 +620,125 @@ fn run(opts: &Options) {
     if let Some(server) = server {
         server.shutdown();
     }
+    Ok(())
+}
+
+/// The distributed run parameters shared by `shard-plan` and the
+/// equivalence contract: everything except `shards` mirrors what a
+/// plain `figures` run with the same flags would use.
+fn dist_config(opts: &Options, shards: u32) -> distributed::DistConfig {
+    let sizes = if opts.quick { QUICK } else { FULL };
+    distributed::DistConfig {
+        profile: opts.profile,
+        records: opts.records.unwrap_or(sizes.dataset),
+        counts: eval_counts(opts, &sizes),
+        shards,
+    }
+}
+
+/// `figures shard-plan --shards K --out DIR`: write one plan snapshot
+/// per shard and print the paths (one per line, shard order) so a
+/// driver can hand them to `shard-runner` processes.
+fn run_shard_plan(opts: &Options) -> Result<(), CliError> {
+    let Some(shards) = opts.shards else {
+        eprintln!("shard-plan needs --shards K");
+        std::process::exit(2);
+    };
+    let cfg = dist_config(opts, shards);
+    let paths = distributed::write_plans(&cfg, &opts.out_dir)?;
+    eprintln!(
+        "planned {} shards of {} records + {} trials under profile {} (plan hash {:#018x})",
+        paths.len(),
+        cfg.records,
+        distributed::full_eval_plan(&cfg.counts, cfg.profile).len(),
+        cfg.profile.name,
+        distributed::plan_hash(&cfg),
+    );
+    for path in &paths {
+        println!("{}", path.display());
+    }
+    Ok(())
+}
+
+/// `figures shard-runner --plan FILE --out DIR`: execute one shard's
+/// assignment and write its partial-state snapshot atomically. If a
+/// valid part for the same plan already exists the shard is skipped, so
+/// re-running an interrupted fan-out resumes where it left off.
+fn run_shard_runner(opts: &Options) -> Result<(), CliError> {
+    let Some(plan) = &opts.plan else {
+        eprintln!("shard-runner needs --plan FILE");
+        std::process::exit(2);
+    };
+    match distributed::run_shard_file(plan, &opts.out_dir, opts.threads)? {
+        ShardRun::Ran(path) => eprintln!("shard executed -> {}", path.display()),
+        ShardRun::Skipped(path) => eprintln!(
+            "skipping shard: a valid part for this plan already exists at {}",
+            path.display()
+        ),
+    }
+    Ok(())
+}
+
+/// `figures reduce --parts DIR --out OUTDIR [ids…]`: merge every part
+/// snapshot in DIR and write the finished figure reports — byte-
+/// identical to a single-process `figures` run with the same
+/// parameters. With no ids, every measurement and evaluation figure the
+/// distributed pipeline covers is written.
+fn run_reduce(opts: &Options) -> Result<(), CliError> {
+    let Some(parts_dir) = &opts.parts else {
+        eprintln!("reduce needs --parts DIR");
+        std::process::exit(2);
+    };
+    let paths = distributed::collect_parts(parts_dir)?;
+    let reduced = distributed::reduce_parts(&paths)?;
+    ensure_dir(&opts.out_dir)?;
+    let ids: Vec<&str> = if opts.selected.len() > 1 {
+        opts.selected[1..].iter().map(String::as_str).collect()
+    } else {
+        mbw_analysis::sweep::SWEEP_IDS
+            .iter()
+            .chain(eval_sweep::EVAL_SWEEP_IDS.iter())
+            .copied()
+            .collect()
+    };
+    for id in &ids {
+        let text = if let Some(text) = reduced.figures.render(id) {
+            text
+        } else if let Some(result) = reduced.eval.render(id) {
+            result.unwrap_or_else(|err| format!("{err}\n"))
+        } else {
+            eprintln!("unknown experiment id for reduce: {id}");
+            std::process::exit(2);
+        };
+        write_file(&opts.out_dir.join(format!("{id}.txt")), text.as_bytes())?;
+        println!("──── {id} ─────────────────────────────────────────");
+        println!("{text}");
+    }
+    for part in &reduced.parts {
+        eprintln!(
+            "  shard {:02}: execute {:.2}s, {} snapshot bytes",
+            part.shard_index, part.execute_seconds, part.snapshot_bytes
+        );
+    }
+    eprintln!(
+        "reduce: {} parts merged in {:.2}s, finished in {:.2}s (profile {})",
+        reduced.parts.len(),
+        reduced.merge_seconds,
+        reduced.finish_seconds,
+        reduced.profile.name
+    );
+    Ok(())
 }
 
 /// `--profiles all`: stream the measurement sweep once per built-in
 /// ecosystem, write each profile's figures under
 /// `<out>/profiles/<name>/`, and emit the side-by-side
 /// `profile_comparison.txt` report.
-fn run_all_profiles(opts: &Options, dataset: usize, metrics: &PipelineMetrics) {
+fn run_all_profiles(
+    opts: &Options,
+    dataset: usize,
+    metrics: &PipelineMetrics,
+) -> Result<(), CliError> {
     let is_sweep_id = |id: &str| mbw_analysis::sweep::SWEEP_IDS.contains(&id);
     let sweep_ids: Vec<&str> = if opts.selected.is_empty() {
         mbw_analysis::sweep::SWEEP_IDS.to_vec()
@@ -535,7 +765,7 @@ fn run_all_profiles(opts: &Options, dataset: usize, metrics: &PipelineMetrics) {
             let (figures, t) = measurement::stream_measurement_figures_for(
                 profile,
                 dataset,
-                0xDA7A,
+                MEASUREMENT_SEED,
                 ShardPlan::threads(opts.threads),
             );
             metrics.observe_generated(t.records as u64, t.wall);
@@ -548,16 +778,18 @@ fn run_all_profiles(opts: &Options, dataset: usize, metrics: &PipelineMetrics) {
         .collect();
     for run in &runs {
         let dir = opts.out_dir.join("profiles").join(run.profile);
-        fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("create {dir:?}: {e}"));
+        ensure_dir(&dir)?;
         for id in &sweep_ids {
             let text = run.figures.render(id).expect("known measurement id");
-            let path = dir.join(format!("{id}.txt"));
-            fs::write(&path, &text).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+            write_file(&dir.join(format!("{id}.txt")), text.as_bytes())?;
         }
     }
     let report = mbw_analysis::comparison_report(&runs, &sweep_ids);
-    let path = opts.out_dir.join("profile_comparison.txt");
-    fs::write(&path, &report).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    write_file(
+        &opts.out_dir.join("profile_comparison.txt"),
+        report.as_bytes(),
+    )?;
     println!("──── profile_comparison ───────────────────────────");
     println!("{report}");
+    Ok(())
 }

@@ -14,6 +14,7 @@ use mbw_core::{
     run_campaign, trial_seed, BackToBack, BtsKind, CampaignPlan, EmptyCampaign, ScenarioId,
     TechClass, TestHarness, TrialKind, TrialOutcome, TrialView,
 };
+use mbw_frame::{Codec, CodecError, Dec, Enc};
 use mbw_stats::{descriptive, Ecdf};
 use std::fmt::Write as _;
 
@@ -70,6 +71,20 @@ pub struct Fig20 {
 pub struct Fig20Acc {
     durations: [Vec<f64>; 3],
     totals: [Vec<f64>; 3],
+}
+
+impl Codec for Fig20Acc {
+    fn encode(&self, enc: &mut Enc) {
+        self.durations.encode(enc);
+        self.totals.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            durations: Codec::decode(dec)?,
+            totals: Codec::decode(dec)?,
+        })
+    }
 }
 
 impl<'a> FigureAccumulator<TrialView<'a>> for Fig20Acc {
@@ -170,6 +185,20 @@ pub struct Fig21Acc {
     swift: [Vec<f64>; 3],
 }
 
+impl Codec for Fig21Acc {
+    fn encode(&self, enc: &mut Enc) {
+        self.bts.encode(enc);
+        self.swift.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            bts: Codec::decode(dec)?,
+            swift: Codec::decode(dec)?,
+        })
+    }
+}
+
 impl<'a> FigureAccumulator<TrialView<'a>> for Fig21Acc {
     type Output = Result<Fig21, EmptyCampaign>;
 
@@ -253,6 +282,18 @@ pub struct Fig22 {
 #[derive(Debug, Clone, Default)]
 pub struct Fig22Acc {
     devs: [Vec<f64>; 3],
+}
+
+impl Codec for Fig22Acc {
+    fn encode(&self, enc: &mut Enc) {
+        self.devs.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            devs: Codec::decode(dec)?,
+        })
+    }
 }
 
 impl<'a> FigureAccumulator<TrialView<'a>> for Fig22Acc {
@@ -356,6 +397,22 @@ pub struct Fig23to25Acc {
     time: [[Vec<f64>; 3]; 3],
     data: [[Vec<f64>; 3]; 3],
     acc: [[Vec<f64>; 3]; 3],
+}
+
+impl Codec for Fig23to25Acc {
+    fn encode(&self, enc: &mut Enc) {
+        self.time.encode(enc);
+        self.data.encode(enc);
+        self.acc.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            time: Codec::decode(dec)?,
+            data: Codec::decode(dec)?,
+            acc: Codec::decode(dec)?,
+        })
+    }
 }
 
 impl<'a> FigureAccumulator<TrialView<'a>> for Fig23to25Acc {
@@ -556,6 +613,20 @@ pub struct MmwaveReport {
 pub struct MmwaveAcc {
     durations: Vec<f64>,
     acc: Vec<f64>,
+}
+
+impl Codec for MmwaveAcc {
+    fn encode(&self, enc: &mut Enc) {
+        self.durations.encode(enc);
+        self.acc.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            durations: Codec::decode(dec)?,
+            acc: Codec::decode(dec)?,
+        })
+    }
 }
 
 impl<'a> FigureAccumulator<TrialView<'a>> for MmwaveAcc {

@@ -113,6 +113,20 @@ pub struct WorkloadAcc {
     bandwidths_mbps: Vec<f64>,
 }
 
+impl mbw_frame::Codec for WorkloadAcc {
+    fn encode(&self, enc: &mut mbw_frame::Enc) {
+        self.durations_s.encode(enc);
+        self.bandwidths_mbps.encode(enc);
+    }
+
+    fn decode(dec: &mut mbw_frame::Dec<'_>) -> Result<Self, mbw_frame::CodecError> {
+        Ok(Self {
+            durations_s: mbw_frame::Codec::decode(dec)?,
+            bandwidths_mbps: mbw_frame::Codec::decode(dec)?,
+        })
+    }
+}
+
 impl<'a> FigureAccumulator<TrialView<'a>> for WorkloadAcc {
     type Output = Result<WorkloadEstimate, EmptyCampaign>;
 

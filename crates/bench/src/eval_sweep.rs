@@ -188,6 +188,35 @@ impl EvalFigureSet {
     }
 }
 
+impl mbw_frame::Codec for EvalFigureSet {
+    fn encode(&self, enc: &mut mbw_frame::Enc) {
+        self.fig17.encode(enc);
+        self.fig20.encode(enc);
+        self.fig21.encode(enc);
+        self.fig22.encode(enc);
+        self.fig23_25.encode(enc);
+        self.ablations.encode(enc);
+        self.mmwave.encode(enc);
+        self.workload.encode(enc);
+        enc.put_u64(self.cost_seed);
+    }
+
+    fn decode(dec: &mut mbw_frame::Dec<'_>) -> Result<Self, mbw_frame::CodecError> {
+        use mbw_frame::Codec;
+        Ok(Self {
+            fig17: Codec::decode(dec)?,
+            fig20: Codec::decode(dec)?,
+            fig21: Codec::decode(dec)?,
+            fig22: Codec::decode(dec)?,
+            fig23_25: Codec::decode(dec)?,
+            ablations: Codec::decode(dec)?,
+            mmwave: Codec::decode(dec)?,
+            workload: Codec::decode(dec)?,
+            cost_seed: dec.u64()?,
+        })
+    }
+}
+
 impl<'a> FigureAccumulator<TrialView<'a>> for EvalFigureSet {
     type Output = EvalFigures;
 
@@ -267,6 +296,44 @@ mod tests {
             assert!(!text.is_empty(), "{id}");
         }
         assert!(figs.render("fig04").is_none());
+    }
+
+    #[test]
+    fn eval_set_codec_roundtrips_mid_pool_state() {
+        use mbw_frame::Codec;
+        let counts = EvalCounts::uniform(4);
+        let plan = plan_for(&EVAL_SWEEP_IDS, &counts, 9);
+        let pool = run_campaign(&plan, 1);
+        let cut = pool.iter().count() / 2;
+        let mut acc = EvalFigureSet::new(0xC0);
+        // Observe only a prefix of the pool so the snapshot captures
+        // genuinely partial state, then roundtrip it through the wire
+        // format. Merge is observe-concatenation, so the split must be
+        // prefix/suffix, not interleaved.
+        for view in pool.iter().take(cut) {
+            acc.observe(&view);
+        }
+        let bytes = acc.to_bytes();
+        let back = EvalFigureSet::from_bytes(&bytes).expect("decodes");
+        assert_eq!(bytes, back.to_bytes());
+        // And the decoded prefix merges with the suffix to the full run.
+        let mut rest = EvalFigureSet::new(0xC0);
+        for view in pool.iter().skip(cut) {
+            rest.observe(&view);
+        }
+        let mut merged = back;
+        merged.merge(rest);
+        let mut whole = EvalFigureSet::new(0xC0);
+        for view in pool.iter() {
+            whole.observe(&view);
+        }
+        for id in EVAL_SWEEP_IDS {
+            assert_eq!(
+                merged.clone().finish().render(id),
+                whole.clone().finish().render(id),
+                "{id}"
+            );
+        }
     }
 
     #[test]

@@ -85,6 +85,22 @@ impl Default for Fig17Acc {
     }
 }
 
+impl mbw_frame::Codec for Fig17Acc {
+    fn encode(&self, enc: &mut mbw_frame::Enc) {
+        self.cells.encode(enc);
+    }
+
+    fn decode(dec: &mut mbw_frame::Dec<'_>) -> Result<Self, mbw_frame::CodecError> {
+        Ok(Self {
+            cells: mbw_analysis::accum::decode_fixed_outer(
+                dec,
+                BANDWIDTH_BINS.len() * CcAlgorithm::ALL.len(),
+                "fig17 cells",
+            )?,
+        })
+    }
+}
+
 impl<'a> FigureAccumulator<TrialView<'a>> for Fig17Acc {
     type Output = Result<Fig17, EmptyCampaign>;
 

@@ -33,6 +33,7 @@ use crate::model::TechClass;
 use crate::probe::{self, BtsKind, SwiftestConfig};
 use crate::scenario::AccessScenario;
 use mbw_congestion::{CcAlgorithm, FlowConfig, FlowSim};
+use mbw_frame::{Codec, CodecError, Dec, Enc};
 use mbw_netsim::{ConstantCapacity, PathConfig, PathModel, RampUpCapacity};
 use mbw_stats::{Gmm, SeededRng};
 use mbw_telemetry::trace::{self, ArgValue};
@@ -447,6 +448,138 @@ impl TrialSpec {
     }
 }
 
+fn bts_from_tag(tag: u8) -> Result<BtsKind, CodecError> {
+    Ok(match tag {
+        0 => BtsKind::BtsApp,
+        1 => BtsKind::Fast,
+        2 => BtsKind::FastBts,
+        3 => BtsKind::Swiftest,
+        _ => {
+            return Err(CodecError::BadTag {
+                what: "bts kind",
+                tag: u64::from(tag),
+            })
+        }
+    })
+}
+
+impl Codec for ScenarioId {
+    fn encode(&self, enc: &mut Enc) {
+        enc.put_u8(self.tag() as u8);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        // `ALL` is in tag order, so the tag doubles as the index.
+        let tag = dec.u8()?;
+        ScenarioId::ALL
+            .get(tag as usize)
+            .copied()
+            .ok_or(CodecError::BadTag {
+                what: "scenario",
+                tag: u64::from(tag),
+            })
+    }
+}
+
+impl Codec for VariantId {
+    fn encode(&self, enc: &mut Enc) {
+        enc.put_u8(self.tag() as u8);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let tag = dec.u8()?;
+        VariantId::ALL
+            .get(tag as usize)
+            .copied()
+            .ok_or(CodecError::BadTag {
+                what: "variant",
+                tag: u64::from(tag),
+            })
+    }
+}
+
+impl Codec for TrialKind {
+    fn encode(&self, enc: &mut Enc) {
+        match *self {
+            TrialKind::Single(k) => {
+                enc.put_u8(0);
+                enc.put_u8(bts_tag(k) as u8);
+            }
+            TrialKind::Pair(a, b) => {
+                enc.put_u8(1);
+                enc.put_u8(bts_tag(a) as u8);
+                enc.put_u8(bts_tag(b) as u8);
+            }
+            TrialKind::Group => enc.put_u8(2),
+            TrialKind::Ramp(alg, bin) => {
+                enc.put_u8(3);
+                let alg_tag = CcAlgorithm::ALL
+                    .iter()
+                    .position(|&a| a == alg)
+                    .expect("algorithm in ALL");
+                enc.put_u8(alg_tag as u8);
+                enc.put_u8(bin);
+            }
+            TrialKind::Variant(v) => {
+                enc.put_u8(4);
+                v.encode(enc);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        match dec.u8()? {
+            0 => Ok(TrialKind::Single(bts_from_tag(dec.u8()?)?)),
+            1 => {
+                let a = bts_from_tag(dec.u8()?)?;
+                let b = bts_from_tag(dec.u8()?)?;
+                Ok(TrialKind::Pair(a, b))
+            }
+            2 => Ok(TrialKind::Group),
+            3 => {
+                let alg_tag = dec.u8()?;
+                let alg =
+                    CcAlgorithm::ALL
+                        .get(alg_tag as usize)
+                        .copied()
+                        .ok_or(CodecError::BadTag {
+                            what: "congestion algorithm",
+                            tag: u64::from(alg_tag),
+                        })?;
+                let bin = dec.u8()?;
+                if usize::from(bin) >= BANDWIDTH_BINS.len() {
+                    return Err(CodecError::BadTag {
+                        what: "bandwidth bin",
+                        tag: u64::from(bin),
+                    });
+                }
+                Ok(TrialKind::Ramp(alg, bin))
+            }
+            4 => Ok(TrialKind::Variant(Codec::decode(dec)?)),
+            tag => Err(CodecError::BadTag {
+                what: "trial kind",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+impl Codec for TrialSpec {
+    fn encode(&self, enc: &mut Enc) {
+        self.kind.encode(enc);
+        self.scenario.encode(enc);
+        enc.put_u32(self.index);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            kind: Codec::decode(dec)?,
+            scenario: Codec::decode(dec)?,
+            index: dec.u32()?,
+        })
+    }
+}
+
 /// Trial counts for [`CampaignPlan::evaluation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvalCounts {
@@ -767,6 +900,126 @@ impl TrialPool {
     /// Iterate over all trials in plan order.
     pub fn iter(&self) -> impl Iterator<Item = TrialView<'_>> {
         (0..self.specs.len()).map(move |i| self.view(i))
+    }
+
+    /// Concatenate `other`'s trials after this pool's, in order — the
+    /// reduce step of a distributed campaign. Because every trial's
+    /// outcome is a pure function of `(campaign_seed, spec)`, appending
+    /// the pools of a plan's contiguous slices in slice order rebuilds
+    /// exactly the pool one [`run_campaign`] over the whole plan
+    /// produces. Pools from different campaigns are rejected.
+    pub fn append(&mut self, other: TrialPool) -> Result<(), CampaignMismatch> {
+        if self.campaign_seed != other.campaign_seed {
+            return Err(CampaignMismatch {
+                ours: self.campaign_seed,
+                theirs: other.campaign_seed,
+            });
+        }
+        let base = self.duration_s.len() as u32;
+        self.specs.extend(other.specs);
+        self.offsets
+            .extend(other.offsets.into_iter().skip(1).map(|o| base + o));
+        self.duration_s.extend(other.duration_s);
+        self.ping_s.extend(other.ping_s);
+        self.data_bytes.extend(other.data_bytes);
+        self.estimate_mbps.extend(other.estimate_mbps);
+        self.truth_mbps.extend(other.truth_mbps);
+        self.complete.extend(other.complete);
+        Ok(())
+    }
+}
+
+/// Two [`TrialPool`]s from different campaigns cannot be concatenated:
+/// their trial outcomes were drawn from different seed streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignMismatch {
+    /// The receiving pool's campaign seed.
+    pub ours: u64,
+    /// The appended pool's campaign seed.
+    pub theirs: u64,
+}
+
+impl std::fmt::Display for CampaignMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "campaign seed mismatch: pool executed under {:#x}, appended pool under {:#x}",
+            self.ours, self.theirs
+        )
+    }
+}
+
+impl std::error::Error for CampaignMismatch {}
+
+impl Codec for TrialPool {
+    fn encode(&self, enc: &mut Enc) {
+        enc.put_u64(self.campaign_seed);
+        self.specs.encode(enc);
+        self.offsets.encode(enc);
+        self.duration_s.encode(enc);
+        self.ping_s.encode(enc);
+        self.data_bytes.encode(enc);
+        self.estimate_mbps.encode(enc);
+        self.truth_mbps.encode(enc);
+        self.complete.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let campaign_seed = dec.u64()?;
+        let specs: Vec<TrialSpec> = Codec::decode(dec)?;
+        let offsets: Vec<u32> = Codec::decode(dec)?;
+        let duration_s: Vec<f64> = Codec::decode(dec)?;
+        let ping_s: Vec<f64> = Codec::decode(dec)?;
+        let data_bytes: Vec<f64> = Codec::decode(dec)?;
+        let estimate_mbps: Vec<f64> = Codec::decode(dec)?;
+        let truth_mbps: Vec<f64> = Codec::decode(dec)?;
+        let complete: Vec<bool> = Codec::decode(dec)?;
+
+        // Structural invariants the columnar views index by: offsets
+        // start at 0, advance by exactly each trial's outcome count,
+        // and every column covers the same row range.
+        if offsets.len() != specs.len() + 1 || offsets.first() != Some(&0) {
+            return Err(CodecError::BadLen {
+                what: "trial pool offsets",
+                len: offsets.len() as u64,
+            });
+        }
+        for (i, spec) in specs.iter().enumerate() {
+            let rows = offsets[i + 1].wrapping_sub(offsets[i]);
+            if offsets[i + 1] < offsets[i] || rows as usize != spec.kind.outcomes() {
+                return Err(CodecError::BadLen {
+                    what: "trial outcome rows",
+                    len: u64::from(rows),
+                });
+            }
+        }
+        let rows = offsets[specs.len()] as usize;
+        for len in [
+            duration_s.len(),
+            ping_s.len(),
+            data_bytes.len(),
+            estimate_mbps.len(),
+            truth_mbps.len(),
+            complete.len(),
+        ] {
+            if len != rows {
+                return Err(CodecError::BadLen {
+                    what: "trial pool columns",
+                    len: len as u64,
+                });
+            }
+        }
+        Ok(Self {
+            campaign_seed,
+            specs,
+            offsets,
+            duration_s,
+            ping_s,
+            data_bytes,
+            estimate_mbps,
+            truth_mbps,
+            complete,
+        })
     }
 }
 
@@ -1362,6 +1615,116 @@ mod tests {
         assert!(text.contains("no trials"));
     }
 
+    #[test]
+    fn sliced_sub_plans_append_to_the_full_pool() {
+        // The distributed executor's core property: running contiguous
+        // slices of a plan as independent sub-campaigns and appending
+        // the pools in slice order equals one whole-plan run exactly
+        // (structural seeds make outcomes position-independent).
+        let plan = CampaignPlan::evaluation(&tiny_counts(), 0xFA57);
+        let full = run_campaign(&plan, 2);
+        for parts in [2usize, 3] {
+            let mut merged: Option<TrialPool> = None;
+            let per = plan.len().div_ceil(parts);
+            for chunk in plan.specs().chunks(per) {
+                let mut sub = CampaignPlan::new(plan.campaign_seed());
+                for &spec in chunk {
+                    assert!(sub.push(spec));
+                }
+                let pool = run_campaign(&sub, 2);
+                merged = Some(match merged {
+                    None => pool,
+                    Some(mut m) => {
+                        m.append(pool).expect("same campaign");
+                        m
+                    }
+                });
+            }
+            assert_eq!(merged.unwrap(), full, "{parts}-way split diverged");
+        }
+    }
+
+    #[test]
+    fn append_rejects_a_foreign_campaign() {
+        let mut plan = CampaignPlan::new(1);
+        plan.push_series(TrialKind::Group, ScenarioId::Tech(TechClass::Lte), 1);
+        let mut a = run_campaign(&plan, 1);
+        let mut other = CampaignPlan::new(2);
+        other.push_series(TrialKind::Group, ScenarioId::Tech(TechClass::Lte), 1);
+        let b = run_campaign(&other, 1);
+        let err = a.append(b).expect_err("different campaign seeds");
+        assert_eq!(err, CampaignMismatch { ours: 1, theirs: 2 });
+        assert!(err.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn pool_codec_roundtrips_exactly() {
+        let plan = CampaignPlan::evaluation(&tiny_counts(), 0x0EC0);
+        let pool = run_campaign(&plan, 1);
+        let bytes = pool.to_bytes();
+        let back = TrialPool::from_bytes(&bytes).expect("roundtrip decodes");
+        assert_eq!(back, pool);
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn pool_decode_rejects_inconsistent_offsets() {
+        // Offsets claiming rows that the columns do not hold.
+        let mut enc = Enc::new();
+        enc.put_u64(7);
+        vec![TrialSpec {
+            kind: TrialKind::Group,
+            scenario: ScenarioId::Mmwave,
+            index: 0,
+        }]
+        .encode(&mut enc);
+        vec![0u32, 4].encode(&mut enc);
+        for _ in 0..5 {
+            Vec::<f64>::new().encode(&mut enc);
+        }
+        Vec::<bool>::new().encode(&mut enc);
+        let err = TrialPool::from_bytes(&enc.into_bytes()).expect_err("columns too short");
+        assert!(matches!(
+            err,
+            CodecError::BadLen {
+                what: "trial pool columns",
+                ..
+            }
+        ));
+
+        // Offsets whose step disagrees with the trial kind.
+        let mut enc = Enc::new();
+        enc.put_u64(7);
+        vec![TrialSpec {
+            kind: TrialKind::Group,
+            scenario: ScenarioId::Mmwave,
+            index: 0,
+        }]
+        .encode(&mut enc);
+        vec![0u32, 1].encode(&mut enc);
+        for _ in 0..5 {
+            vec![0.0f64].encode(&mut enc);
+        }
+        vec![true].encode(&mut enc);
+        let err = TrialPool::from_bytes(&enc.into_bytes()).expect_err("group needs 4 rows");
+        assert!(matches!(
+            err,
+            CodecError::BadLen {
+                what: "trial outcome rows",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn spec_codec_roundtrips_every_kind() {
+        let plan = CampaignPlan::evaluation(&EvalCounts::quick(), 3);
+        for &spec in plan.specs() {
+            let bytes = spec.to_bytes();
+            assert_eq!(TrialSpec::from_bytes(&bytes).unwrap(), spec);
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -1388,6 +1751,11 @@ mod tests {
             let base = trial_seed(campaign, series, u64::from(index));
             prop_assert_ne!(base, trial_seed(campaign ^ 1, series, u64::from(index)));
             prop_assert_ne!(base, trial_seed(campaign, series ^ 1, u64::from(index)));
+        }
+
+        #[test]
+        fn pool_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = TrialPool::from_bytes(&bytes);
         }
     }
 }

@@ -53,8 +53,9 @@ pub mod server;
 pub mod tcp_variant;
 
 pub use campaign::{
-    run_campaign, run_campaign_metered, trial_seed, CampaignPlan, EmptyCampaign, EvalCounts,
-    ProfileDim, ScenarioId, TrialKind, TrialOutcome, TrialPool, TrialSpec, TrialView, VariantId,
+    run_campaign, run_campaign_metered, trial_seed, CampaignMismatch, CampaignPlan, EmptyCampaign,
+    EvalCounts, ProfileDim, ScenarioId, TrialKind, TrialOutcome, TrialPool, TrialSpec, TrialView,
+    VariantId,
 };
 pub use estimator::{
     BandwidthEstimator, ConvergenceEstimator, CrucialIntervalEstimator, EstimatorDecision,

@@ -55,7 +55,8 @@ pub use bands::{LteBandInfo, NrBandInfo, LTE_BANDS, NR_BANDS};
 pub use columnar::{Dataset, RecordView};
 pub use generator::{DatasetConfig, Generator};
 pub use parallel::{
-    for_each_record, generate_dataset, generate_sharded, ShardPlan, ShardSpec, DEFAULT_SHARD_SIZE,
+    for_each_record, generate_dataset, generate_sharded, validate_partition, PartitionError,
+    ShardPlan, ShardSpec, SliceAssignment, DEFAULT_SHARD_SIZE,
 };
 pub use profile::{EcosystemProfile, ProfileError};
 pub use types::{

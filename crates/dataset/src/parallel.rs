@@ -16,6 +16,7 @@
 use crate::columnar::Dataset;
 use crate::generator::{DatasetConfig, Generator};
 use crate::types::TestRecord;
+use mbw_frame::{Codec, CodecError, Dec, Enc};
 
 /// Default records per logical shard. Large enough to amortise the
 /// per-shard sampler construction, small enough to load-balance a
@@ -114,6 +115,226 @@ pub struct ShardSpec {
     pub start: usize,
     /// Records in the shard.
     pub len: usize,
+}
+
+impl Codec for ShardPlan {
+    fn encode(&self, enc: &mut Enc) {
+        enc.put_usize(self.shard_size);
+        enc.put_usize(self.threads);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let shard_size = dec.usize_()?;
+        let threads = dec.usize_()?;
+        if shard_size == 0 {
+            return Err(CodecError::BadLen {
+                what: "shard size",
+                len: 0,
+            });
+        }
+        Ok(ShardPlan::new(shard_size, threads.max(1)))
+    }
+}
+
+impl Codec for ShardSpec {
+    fn encode(&self, enc: &mut Enc) {
+        enc.put_u64(self.shard);
+        enc.put_usize(self.start);
+        enc.put_usize(self.len);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(ShardSpec {
+            shard: dec.u64()?,
+            start: dec.usize_()?,
+            len: dec.usize_()?,
+        })
+    }
+}
+
+/// One shard-runner's contiguous slice of a distributed run's work
+/// list.
+///
+/// A k-way split of `total` work units produces `of == k` assignments
+/// whose slices partition `0..total` exactly. Each assignment travels
+/// inside a snapshot (plan files and partial-state files both embed
+/// one), so a reducer can verify that the partial files it was handed
+/// reassemble the whole run — no gaps, no overlaps, no strays from a
+/// different split — before any merging happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceAssignment {
+    /// This slice's position in the split, `0..of`.
+    pub index: u32,
+    /// How many slices the run was split into.
+    pub of: u32,
+    /// First work unit of the slice.
+    pub start: u64,
+    /// Work units in the slice (may be zero when `total < of`).
+    pub len: u64,
+    /// Total work units in the whole run.
+    pub total: u64,
+}
+
+impl SliceAssignment {
+    /// Split `total` work units into `parts` contiguous, near-even
+    /// slices (sizes differ by at most one; earlier slices get the
+    /// remainder). A pure function of `(total, parts)`.
+    pub fn split(total: u64, parts: u32) -> Vec<SliceAssignment> {
+        let parts = parts.max(1);
+        let base = total / u64::from(parts);
+        let extra = total % u64::from(parts);
+        let mut start = 0u64;
+        (0..parts)
+            .map(|index| {
+                let len = base + u64::from(u64::from(index) < extra);
+                let slice = SliceAssignment {
+                    index,
+                    of: parts,
+                    start,
+                    len,
+                    total,
+                };
+                start += len;
+                slice
+            })
+            .collect()
+    }
+
+    /// One past the slice's last work unit.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+}
+
+impl Codec for SliceAssignment {
+    fn encode(&self, enc: &mut Enc) {
+        enc.put_u32(self.index);
+        enc.put_u32(self.of);
+        enc.put_u64(self.start);
+        enc.put_u64(self.len);
+        enc.put_u64(self.total);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let slice = SliceAssignment {
+            index: dec.u32()?,
+            of: dec.u32()?,
+            start: dec.u64()?,
+            len: dec.u64()?,
+            total: dec.u64()?,
+        };
+        if slice.of == 0 || slice.index >= slice.of || slice.end() > slice.total {
+            return Err(CodecError::BadLen {
+                what: "slice assignment",
+                len: slice.len,
+            });
+        }
+        Ok(slice)
+    }
+}
+
+/// Why a set of slice assignments is not an exact k-way partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionError {
+    /// Fewer or more slices than the split declared.
+    WrongCount {
+        /// Slices the split declared (`of`).
+        declared: u32,
+        /// Slices actually present.
+        got: usize,
+    },
+    /// Two slices declare different split widths or run totals.
+    MixedSplit {
+        /// The offending slice's `index`.
+        index: u32,
+    },
+    /// A slice index appears twice or out of `0..of`.
+    BadIndex {
+        /// The offending index.
+        index: u32,
+    },
+    /// A slice does not start where the previous one ended.
+    Gap {
+        /// The offending slice's `index`.
+        index: u32,
+        /// Where it should have started.
+        expected_start: u64,
+    },
+    /// The slices do not end exactly at the run total.
+    BadTotal {
+        /// Work units the slices cover.
+        covered: u64,
+        /// Work units the run declares.
+        total: u64,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::WrongCount { declared, got } => {
+                write!(f, "split declares {declared} slices but {got} were given")
+            }
+            PartitionError::MixedSplit { index } => {
+                write!(f, "slice {index} belongs to a different split")
+            }
+            PartitionError::BadIndex { index } => write!(f, "bad or duplicate slice index {index}"),
+            PartitionError::Gap {
+                index,
+                expected_start,
+            } => write!(f, "slice {index} does not start at {expected_start}"),
+            PartitionError::BadTotal { covered, total } => {
+                write!(f, "slices cover {covered} of {total} work units")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Check that `slices` (sorted by caller in `index` order) exactly
+/// partition `0..total` of one `of`-way split: indexes are `0..of` in
+/// order, every slice agrees on `of` and `total`, consecutive slices
+/// are contiguous, and the last slice ends at `total`.
+pub fn validate_partition(slices: &[SliceAssignment]) -> Result<(), PartitionError> {
+    let first = match slices.first() {
+        Some(first) => first,
+        None => {
+            return Err(PartitionError::WrongCount {
+                declared: 0,
+                got: 0,
+            })
+        }
+    };
+    if slices.len() != first.of as usize {
+        return Err(PartitionError::WrongCount {
+            declared: first.of,
+            got: slices.len(),
+        });
+    }
+    let mut expected_start = 0u64;
+    for (i, slice) in slices.iter().enumerate() {
+        if slice.of != first.of || slice.total != first.total {
+            return Err(PartitionError::MixedSplit { index: slice.index });
+        }
+        if slice.index as usize != i {
+            return Err(PartitionError::BadIndex { index: slice.index });
+        }
+        if slice.start != expected_start {
+            return Err(PartitionError::Gap {
+                index: slice.index,
+                expected_start,
+            });
+        }
+        expected_start = slice.end();
+    }
+    if expected_start != first.total {
+        return Err(PartitionError::BadTotal {
+            covered: expected_start,
+            total: first.total,
+        });
+    }
+    Ok(())
 }
 
 /// Run `work` once per shard and return the results in shard order.
@@ -281,5 +502,89 @@ mod tests {
         assert_eq!(plan.shard_count(1_001), 2);
         let total: usize = plan.shards(2_300).iter().map(|&(_, _, n)| n).sum();
         assert_eq!(total, 2_300);
+    }
+
+    #[test]
+    fn slice_split_partitions_exactly() {
+        for (total, parts) in [(10u64, 4u32), (0, 3), (7, 7), (100, 1), (5, 8)] {
+            let slices = SliceAssignment::split(total, parts);
+            assert_eq!(slices.len(), parts as usize);
+            validate_partition(&slices).unwrap();
+            let max = slices.iter().map(|s| s.len).max().unwrap();
+            let min = slices.iter().map(|s| s.len).min().unwrap();
+            assert!(max - min <= 1, "near-even: {total}/{parts}");
+        }
+    }
+
+    #[test]
+    fn partition_validation_rejects_mismatches() {
+        let mut slices = SliceAssignment::split(100, 4);
+        slices.remove(2);
+        assert!(matches!(
+            validate_partition(&slices),
+            Err(PartitionError::WrongCount {
+                declared: 4,
+                got: 3
+            })
+        ));
+
+        let mut slices = SliceAssignment::split(100, 4);
+        slices[1].total = 99;
+        assert!(matches!(
+            validate_partition(&slices),
+            Err(PartitionError::MixedSplit { index: 1 })
+        ));
+
+        let mut slices = SliceAssignment::split(100, 4);
+        slices[2].start += 1;
+        assert!(matches!(
+            validate_partition(&slices),
+            Err(PartitionError::Gap { index: 2, .. })
+        ));
+
+        let mut slices = SliceAssignment::split(100, 4);
+        slices[3].len -= 1;
+        assert!(matches!(
+            validate_partition(&slices),
+            Err(PartitionError::BadTotal {
+                covered: 99,
+                total: 100
+            })
+        ));
+    }
+
+    #[test]
+    fn plan_and_slice_codecs_roundtrip() {
+        let plan = ShardPlan::new(1_024, 6);
+        assert_eq!(ShardPlan::from_bytes(&plan.to_bytes()).unwrap(), plan);
+
+        let spec = ShardSpec {
+            shard: 9,
+            start: 9_216,
+            len: 1_024,
+        };
+        assert_eq!(ShardSpec::from_bytes(&spec.to_bytes()).unwrap(), spec);
+
+        for slice in SliceAssignment::split(1_000_003, 4) {
+            assert_eq!(
+                SliceAssignment::from_bytes(&slice.to_bytes()).unwrap(),
+                slice
+            );
+        }
+
+        // Decoding enforces the structural invariants.
+        let mut zero_shard = Enc::new();
+        zero_shard.put_usize(0);
+        zero_shard.put_usize(4);
+        assert!(ShardPlan::from_bytes(&zero_shard.into_bytes()).is_err());
+
+        let bad_slice = SliceAssignment {
+            index: 5,
+            of: 4,
+            start: 0,
+            len: 10,
+            total: 40,
+        };
+        assert!(SliceAssignment::from_bytes(&bad_slice.to_bytes()).is_err());
     }
 }

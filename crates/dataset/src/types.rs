@@ -17,7 +17,7 @@ pub enum Year {
 }
 
 /// Access technology of one test.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum AccessTech {
     /// Legacy 3G (0.09% of tests; kept for the §3.1 totals).
     Cellular3g,
@@ -37,6 +37,30 @@ impl AccessTech {
             AccessTech::Cellular4g => "4G",
             AccessTech::Cellular5g => "5G",
             AccessTech::Wifi => "WiFi",
+        }
+    }
+}
+
+impl mbw_frame::Codec for AccessTech {
+    fn encode(&self, enc: &mut mbw_frame::Enc) {
+        enc.put_u8(match self {
+            AccessTech::Cellular3g => 0,
+            AccessTech::Cellular4g => 1,
+            AccessTech::Cellular5g => 2,
+            AccessTech::Wifi => 3,
+        });
+    }
+
+    fn decode(dec: &mut mbw_frame::Dec<'_>) -> Result<Self, mbw_frame::CodecError> {
+        match dec.u8()? {
+            0 => Ok(AccessTech::Cellular3g),
+            1 => Ok(AccessTech::Cellular4g),
+            2 => Ok(AccessTech::Cellular5g),
+            3 => Ok(AccessTech::Wifi),
+            tag => Err(mbw_frame::CodecError::BadTag {
+                what: "access tech",
+                tag: u64::from(tag),
+            }),
         }
     }
 }

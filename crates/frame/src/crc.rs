@@ -1,0 +1,67 @@
+//! CRC-32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF) — the same
+//! polynomial gzip and Ethernet use. Bitwise, no lookup table: the
+//! results log writes one 65-byte payload per finished *test* and a
+//! snapshot is checksummed once per shard, so table-free code wins on
+//! clarity.
+
+/// Streaming CRC-32 digest.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Start a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feed bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u32::from(b);
+            for _ in 0..8 {
+                let mask = (self.state & 1).wrapping_neg();
+                self.state = (self.state >> 1) ^ (0xEDB8_8320 & mask);
+            }
+        }
+    }
+
+    /// Finish and return the digest.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+
+    /// One-shot convenience.
+    pub fn checksum(bytes: &[u8]) -> u32 {
+        let mut crc = Crc32::new();
+        crc.update(bytes);
+        crc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE check value.
+        assert_eq!(Crc32::checksum(b"123456789"), 0xCBF4_3926);
+        assert_eq!(Crc32::checksum(b""), 0);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let mut crc = Crc32::new();
+        crc.update(b"1234");
+        crc.update(b"56789");
+        assert_eq!(crc.finish(), Crc32::checksum(b"123456789"));
+    }
+}

@@ -21,13 +21,19 @@
 //! Everything before the tear replays byte-identically — re-encoding
 //! the recovered records reproduces the retained bytes exactly, which
 //! is what the kill−9 integration test asserts.
+//!
+//! The framing itself (magic/len/crc layout, CRC-32, torn-prefix scan)
+//! now lives in `mbw-frame` as [`Framing::RESULTS_LOG`], shared with
+//! the snapshot format; this module keeps the fixed-width payload
+//! codec and the file lifecycle, and its on-disk bytes are frozen by
+//! `log_bytes_are_frozen` below — extraction changed no byte.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-/// Frame magic: "MBWL" big-endian.
-pub const LOG_MAGIC: u32 = 0x4D42_574C;
+use mbw_frame::Framing;
+pub use mbw_frame::{Crc32, TornReason, LOG_MAGIC};
 
 /// Fixed payload width: 3×u64 + 5×f64 + 1 flag byte.
 pub const RECORD_PAYLOAD_LEN: usize = 65;
@@ -109,17 +115,7 @@ impl ResultRecord {
 
     /// Serialise the full frame (magic, length, checksum, payload).
     pub fn encode_frame(&self) -> Vec<u8> {
-        let payload = self.encode_payload();
-        let mut frame = Vec::with_capacity(RECORD_FRAME_LEN);
-        frame.extend_from_slice(&LOG_MAGIC.to_be_bytes());
-        let len = payload.len() as u16;
-        frame.extend_from_slice(&len.to_be_bytes());
-        let mut crc = Crc32::new();
-        crc.update(&len.to_be_bytes());
-        crc.update(&payload);
-        frame.extend_from_slice(&crc.finish().to_be_bytes());
-        frame.extend_from_slice(&payload);
-        frame
+        Framing::RESULTS_LOG.frame(&self.encode_payload())
     }
 }
 
@@ -138,30 +134,6 @@ pub fn sample_record(i: u64) -> ResultRecord {
         estimate_mbps: 50.0 + ((i % 100) as f64),
         truth_mbps: 52.5,
         complete: i % 5 != 0,
-    }
-}
-
-/// Why the recovery scan stopped before end-of-file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TornReason {
-    /// Fewer bytes than a frame header (torn mid-header).
-    ShortFrame,
-    /// Frame does not start with [`LOG_MAGIC`].
-    BadMagic,
-    /// Declared payload length is not [`RECORD_PAYLOAD_LEN`].
-    BadLength,
-    /// Checksum mismatch (torn or corrupted payload).
-    BadChecksum,
-}
-
-impl std::fmt::Display for TornReason {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            TornReason::ShortFrame => "short frame",
-            TornReason::BadMagic => "bad magic",
-            TornReason::BadLength => "bad length",
-            TornReason::BadChecksum => "bad checksum",
-        })
     }
 }
 
@@ -257,98 +229,33 @@ impl ResultsLog {
 }
 
 /// Scan `bytes` for the longest valid prefix of frames.
+///
+/// Frame validation (magic/length/checksum, longest-valid-prefix)
+/// delegates to the shared [`Framing::RESULTS_LOG`] scanner; payload
+/// decoding stays here. A frame whose checksum passes but whose payload
+/// is not a valid record (impossible flag byte) marks the torn tail
+/// with [`TornReason::BadLength`], exactly as the pre-extraction
+/// scanner did.
 fn scan(bytes: &[u8]) -> LogRecovery {
-    let mut records = Vec::new();
-    let mut at = 0usize;
-    let mut torn = None;
-    while at < bytes.len() {
-        let rest = &bytes[at..];
-        if rest.len() < 10 {
-            torn = Some(TornReason::ShortFrame);
-            break;
-        }
-        let magic = u32::from_be_bytes(rest[0..4].try_into().unwrap());
-        if magic != LOG_MAGIC {
-            torn = Some(TornReason::BadMagic);
-            break;
-        }
-        let len = u16::from_be_bytes(rest[4..6].try_into().unwrap()) as usize;
-        if len != RECORD_PAYLOAD_LEN {
-            torn = Some(TornReason::BadLength);
-            break;
-        }
-        if rest.len() < 10 + len {
-            torn = Some(TornReason::ShortFrame);
-            break;
-        }
-        let stored_crc = u32::from_be_bytes(rest[6..10].try_into().unwrap());
-        let payload = &rest[10..10 + len];
-        let mut crc = Crc32::new();
-        crc.update(&rest[4..6]);
-        crc.update(payload);
-        if crc.finish() != stored_crc {
-            torn = Some(TornReason::BadChecksum);
-            break;
-        }
+    let frames = Framing::RESULTS_LOG.scan(bytes, Some(RECORD_PAYLOAD_LEN));
+    let mut records = Vec::with_capacity(frames.payloads.len());
+    let mut valid_bytes = frames.valid_bytes;
+    let mut torn = frames.torn;
+    for payload in &frames.payloads {
         match ResultRecord::decode_payload(payload) {
             Some(record) => records.push(record),
             None => {
+                valid_bytes = (records.len() * RECORD_FRAME_LEN) as u64;
                 torn = Some(TornReason::BadLength);
                 break;
             }
         }
-        at += 10 + len;
     }
     LogRecovery {
         records,
-        valid_bytes: at as u64,
-        truncated_bytes: (bytes.len() - at) as u64,
+        valid_bytes,
+        truncated_bytes: bytes.len() as u64 - valid_bytes,
         torn,
-    }
-}
-
-/// CRC-32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF) — the same
-/// polynomial gzip and Ethernet use. Bitwise, no lookup table: the log
-/// writes one 65-byte payload per finished *test*, so table-free code
-/// wins on clarity.
-#[derive(Debug, Clone)]
-pub struct Crc32 {
-    state: u32,
-}
-
-impl Default for Crc32 {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Crc32 {
-    /// Start a fresh checksum.
-    pub fn new() -> Self {
-        Crc32 { state: 0xFFFF_FFFF }
-    }
-
-    /// Feed bytes.
-    pub fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.state ^= u32::from(b);
-            for _ in 0..8 {
-                let mask = (self.state & 1).wrapping_neg();
-                self.state = (self.state >> 1) ^ (0xEDB8_8320 & mask);
-            }
-        }
-    }
-
-    /// Finish and return the digest.
-    pub fn finish(&self) -> u32 {
-        !self.state
-    }
-
-    /// One-shot convenience.
-    pub fn checksum(bytes: &[u8]) -> u32 {
-        let mut crc = Crc32::new();
-        crc.update(bytes);
-        crc.finish()
     }
 }
 
@@ -382,6 +289,38 @@ mod tests {
         // The canonical IEEE check value.
         assert_eq!(Crc32::checksum(b"123456789"), 0xCBF4_3926);
         assert_eq!(Crc32::checksum(b""), 0);
+    }
+
+    /// The on-disk byte layout is frozen: extracting the framing into
+    /// `mbw-frame` must not change a single byte of an existing log.
+    /// The expected hex was captured from the pre-extraction encoder
+    /// for `sample_record(0..3)`.
+    #[test]
+    fn log_bytes_are_frozen() {
+        const FROZEN_HEX: &str = "\
+            4d42574c0041dc2bd55d00000000000000000000000000000000000000000000\
+            00003fe00000000000003f947ae147ae147b412e848000000000404900000000\
+            0000404a400000000000004d42574c00418f5a2cae0000000000000001000000\
+            0000000001000000000000000d3fe0083126e978d53f95810624dd2f1b412e84\
+            82000000004049800000000000404a400000000000014d42574c004122d7c21c\
+            00000000000000020000000000000002000000000000001a3fe010624dd2f1aa\
+            3f96872b020c49ba412e848400000000404a000000000000404a400000000000\
+            01";
+        let frozen: Vec<u8> = (0..FROZEN_HEX.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&FROZEN_HEX[i..i + 2], 16).unwrap())
+            .collect();
+        let encoded: Vec<u8> = (0..3)
+            .flat_map(|i| sample_record(i).encode_frame())
+            .collect();
+        assert_eq!(encoded, frozen, "results log bytes changed on disk");
+        // And the frozen bytes still decode to the same records.
+        let recovery = scan(&frozen);
+        assert!(recovery.clean());
+        assert_eq!(recovery.records.len(), 3);
+        for (i, r) in recovery.records.iter().enumerate() {
+            assert_eq!(*r, sample_record(i as u64));
+        }
     }
 
     #[test]
