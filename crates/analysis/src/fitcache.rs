@@ -1,0 +1,276 @@
+//! Memoized GMM fits, keyed by accumulator content.
+//!
+//! A PDF figure's fitted mixture is a pure function of its accumulator's
+//! sufficient statistics, so once a fit has converged for a given bin
+//! population there is no reason to ever run EM on it again. The
+//! [`FitCache`] maps `fnv1a64(accumulator Codec bytes)` — covering the
+//! figure tag and every bin count — to the converged component triples.
+//! CI smoke runs, `--trials` reruns and `--profiles all` sweeps hit the
+//! same keys and skip the refit entirely.
+//!
+//! Trust model: cached triples are *data*, not truth. Every lookup
+//! re-validates through [`Gmm::from_triples`]; an entry that fails
+//! validation is rejected with a typed [`FitCacheError::Poisoned`],
+//! evicted and counted — the caller refits from its own statistics and
+//! overwrites. A cache can therefore go stale or corrupt without ever
+//! changing figure output, only costing the memoization.
+//!
+//! Persistence uses the MBWS snapshot container (kind
+//! [`FIT_CACHE_KIND`]): torn or truncated files surface as snapshot
+//! decode errors, and writes are atomic (tmp + fsync + rename).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use mbw_frame::{read_snapshot, write_snapshot, Codec, CodecError, SnapshotError, SnapshotHeader};
+use mbw_stats::gmm::GmmError;
+use mbw_stats::Gmm;
+
+/// Snapshot kind for a persisted fit cache.
+pub const FIT_CACHE_KIND: &str = "mbw.fit-cache";
+
+/// Why a cache file or entry was not usable.
+#[derive(Debug)]
+pub enum FitCacheError {
+    /// The snapshot file could not be read or decoded.
+    Snapshot(SnapshotError),
+    /// The snapshot is valid MBWS but holds something else.
+    WrongKind {
+        /// The kind found in the header.
+        found: String,
+    },
+    /// The snapshot body did not decode as a fit-cache table.
+    Body(CodecError),
+    /// A cached entry failed mixture validation — poisoned or corrupt;
+    /// the entry has been evicted and the caller must refit.
+    Poisoned {
+        /// The cache key of the rejected entry.
+        key: u64,
+        /// What [`Gmm::from_triples`] objected to.
+        source: GmmError,
+    },
+}
+
+impl std::fmt::Display for FitCacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitCacheError::Snapshot(e) => write!(f, "fit cache snapshot: {e}"),
+            FitCacheError::WrongKind { found } => {
+                write!(
+                    f,
+                    "fit cache snapshot has kind {found:?}, want {FIT_CACHE_KIND:?}"
+                )
+            }
+            FitCacheError::Body(e) => write!(f, "fit cache body: {e}"),
+            FitCacheError::Poisoned { key, source } => {
+                write!(f, "poisoned fit cache entry {key:#018x}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitCacheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FitCacheError::Snapshot(e) => Some(e),
+            FitCacheError::Body(e) => Some(e),
+            FitCacheError::Poisoned { source, .. } => Some(source),
+            FitCacheError::WrongKind { .. } => None,
+        }
+    }
+}
+
+/// A concurrent map from accumulator-content keys to converged mixture
+/// component `(weight, mean, std_dev)` triples, with hit/miss/reject
+/// counters. Shared by reference across the parallel finish jobs.
+#[derive(Debug, Default)]
+pub struct FitCache {
+    entries: Mutex<BTreeMap<u64, Vec<(f64, f64, f64)>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejected: AtomicU64,
+    dirty: AtomicBool,
+}
+
+impl FitCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a converged fit.
+    ///
+    /// `Ok(Some(_))` is a validated hit; `Ok(None)` a plain miss. `Err`
+    /// means the entry existed but failed [`Gmm::from_triples`]
+    /// validation — it has been evicted and counted as rejected, and the
+    /// caller must refit (and may re-[`insert`](Self::insert)).
+    pub fn lookup(&self, key: u64) -> Result<Option<Gmm>, FitCacheError> {
+        let mut entries = self.lock();
+        let Some(triples) = entries.get(&key) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        };
+        match Gmm::from_triples(triples) {
+            Ok(gmm) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(gmm))
+            }
+            Err(source) => {
+                entries.remove(&key);
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                self.dirty.store(true, Ordering::Relaxed);
+                Err(FitCacheError::Poisoned { key, source })
+            }
+        }
+    }
+
+    /// Record a converged fit for `key`, overwriting any prior entry.
+    pub fn insert(&self, key: u64, gmm: &Gmm) {
+        let triples: Vec<(f64, f64, f64)> = gmm
+            .components()
+            .iter()
+            .map(|c| (c.weight, c.mean, c.std_dev))
+            .collect();
+        self.lock().insert(key, triples);
+        self.dirty.store(true, Ordering::Relaxed);
+    }
+
+    /// Validated hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Plain misses (no entry) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries rejected as poisoned/corrupt so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Number of stored fits.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache holds no fits.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Whether the in-memory table has diverged from what was loaded —
+    /// i.e. whether a [`save`](Self::save) would change the file.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty.load(Ordering::Relaxed)
+    }
+
+    /// Load a cache from an MBWS snapshot written by
+    /// [`save`](Self::save). Entries are content-keyed, so a cache is
+    /// reusable across seeds, profiles and trials — the header's
+    /// provenance fields record only who wrote it last.
+    pub fn load(path: &Path) -> Result<Self, FitCacheError> {
+        let (header, body) = read_snapshot(path).map_err(FitCacheError::Snapshot)?;
+        if header.kind != FIT_CACHE_KIND {
+            return Err(FitCacheError::WrongKind { found: header.kind });
+        }
+        let pairs: Vec<(u64, Vec<(f64, f64, f64)>)> =
+            Codec::from_bytes(&body).map_err(FitCacheError::Body)?;
+        Ok(Self {
+            entries: Mutex::new(pairs.into_iter().collect()),
+            ..Self::default()
+        })
+    }
+
+    /// Persist the cache atomically. `seed` and `profile` are provenance
+    /// only (see [`load`](Self::load)). Clears the dirty flag.
+    pub fn save(&self, path: &Path, seed: u64, profile: &str) -> Result<(), FitCacheError> {
+        let pairs: Vec<(u64, Vec<(f64, f64, f64)>)> =
+            self.lock().iter().map(|(k, v)| (*k, v.clone())).collect();
+        let header = SnapshotHeader {
+            kind: FIT_CACHE_KIND.to_string(),
+            seed,
+            profile: profile.to_string(),
+            plan_hash: 0,
+            shard_index: 0,
+            shard_count: 1,
+        };
+        write_snapshot(path, &header, &pairs.to_bytes()).map_err(FitCacheError::Snapshot)?;
+        self.dirty.store(false, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, Vec<(f64, f64, f64)>>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> Gmm {
+        Gmm::from_triples(&[(0.6, 100.0, 20.0), (0.4, 300.0, 30.0)]).unwrap()
+    }
+
+    #[test]
+    fn miss_then_hit_roundtrips_the_mixture() {
+        let cache = FitCache::new();
+        assert!(cache.lookup(7).unwrap().is_none());
+        cache.insert(7, &model());
+        let got = cache.lookup(7).unwrap().expect("hit");
+        assert_eq!(got.components(), model().components());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn poisoned_entry_is_rejected_evicted_and_counted() {
+        let cache = FitCache::new();
+        cache.lock().insert(9, vec![(1.0, 50.0, -1.0)]); // σ < 0: invalid
+        let err = cache.lookup(9).unwrap_err();
+        assert!(matches!(err, FitCacheError::Poisoned { key: 9, .. }));
+        assert_eq!(cache.rejected(), 1);
+        // Evicted: the next lookup is a plain miss, never a repeat trust.
+        assert!(cache.lookup(9).unwrap().is_none());
+    }
+
+    #[test]
+    fn save_load_preserves_entries_and_checks_kind() {
+        let dir = std::env::temp_dir().join(format!("mbw-fitcache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.mbws");
+        let cache = FitCache::new();
+        cache.insert(3, &model());
+        assert!(cache.is_dirty());
+        cache.save(&path, 42, "paper-china").unwrap();
+        assert!(!cache.is_dirty());
+        let loaded = FitCache::load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(
+            loaded.lookup(3).unwrap().unwrap().components(),
+            model().components()
+        );
+
+        // A snapshot of a different kind is refused.
+        let other = dir.join("other.mbws");
+        let header = SnapshotHeader {
+            kind: "mbw.figures-partial".to_string(),
+            seed: 1,
+            profile: "p".to_string(),
+            plan_hash: 0,
+            shard_index: 0,
+            shard_count: 1,
+        };
+        write_snapshot(&other, &header, b"").unwrap();
+        assert!(matches!(
+            FitCache::load(&other),
+            Err(FitCacheError::WrongKind { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

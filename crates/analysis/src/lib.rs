@@ -24,11 +24,13 @@
 //! | [`mod@sweep`] | the fused single-pass (optionally parallel) figure sweep |
 //! | [`mod@stream`] | the streaming generate→analyze engine: no materialised population |
 //! | [`compare`] | cross-ecosystem comparison reports over multiple profiles |
+//! | [`fitcache`] | memoized GMM fits keyed by accumulator content |
 
 pub mod accum;
 pub mod cellular;
 pub mod compare;
 pub mod devices;
+pub mod fitcache;
 pub mod general;
 pub mod overview;
 pub mod pdfs;
@@ -43,10 +45,14 @@ use mbw_dataset::{AccessTech, RecordView, TestRecord};
 
 pub use accum::FigureAccumulator;
 pub use compare::{comparison_report, comparison_section, ProfileFigures};
+pub use fitcache::{FitCache, FitCacheError};
 pub use stream::{
-    stream_figures, stream_figures_timed, stream_partial, stream_unit_count, StreamTimings,
+    stream_figures, stream_figures_cached, stream_figures_timed, stream_partial, stream_unit_count,
+    StreamTimings,
 };
-pub use sweep::{sweep, sweep_datasets, sweep_records, FigureSet, MeasurementFigures};
+pub use sweep::{
+    sweep, sweep_datasets, sweep_records, FigureSet, FinishOptions, FinishStats, MeasurementFigures,
+};
 
 /// Bandwidths of all records matching a predicate over [`RecordView`]s
 /// (the shared replacement for per-call-site `bw_of` closures).

@@ -3,14 +3,22 @@
 //! These three figures motivate Swiftest's data-driven probing (§5.1):
 //! for a given access technology, the bandwidth population "follows a
 //! multi-modal Gaussian distribution" that is stable over weeks. This
-//! module produces the histogram PDF and the GMM fitted from samples —
-//! the exact model Swiftest loads.
+//! module produces the histogram PDF and the GMM fitted from the
+//! accumulated data — the exact model Swiftest loads.
+//!
+//! The accumulator carries *sufficient statistics only*: the linear
+//! histogram the figure renders plus a log-bucketed [`LogBins`] the
+//! binned EM fits ([`Gmm::fit_binned`]). No raw samples are retained, so
+//! accumulator state is O(bins) regardless of record count, merges are
+//! exact integer adds (thread-count and distributed-reduce invariant),
+//! and `finish` costs O(bins × k × iters) instead of O(records).
 
 use crate::accum::{self, FigureAccumulator};
+use crate::fitcache::FitCache;
 use crate::Render;
 use mbw_dataset::{AccessTech, RecordView, TestRecord, WifiStandard};
-use mbw_frame::{Codec, CodecError, Dec, Enc};
-use mbw_stats::{Gmm, Histogram};
+use mbw_frame::{fnv1a64, Codec, CodecError, Dec, Enc};
+use mbw_stats::{Gmm, Histogram, LogBins, PoolCtx};
 use std::fmt::Write as _;
 
 /// A PDF figure: histogram density plus the fitted mixture.
@@ -20,28 +28,10 @@ pub struct PdfFigure {
     pub title: &'static str,
     /// Histogram over the plotted range.
     pub histogram: Histogram,
-    /// GMM fitted from the same samples (BIC-selected k ≤ 5).
+    /// GMM fitted from the same population (BIC-selected k ≤ 5).
     pub fit: Option<Gmm>,
     /// Number of samples.
     pub n: usize,
-}
-
-fn pdf_figure(title: &'static str, bw: Vec<f64>, hi: f64, seed: u64) -> PdfFigure {
-    let histogram = Histogram::from_values(0.0, hi, 50, &bw);
-    // Fitting millions of points is wasteful; the mixture stabilises with
-    // a few tens of thousands.
-    let sample: Vec<f64> = if bw.len() > 40_000 {
-        bw.iter().step_by(bw.len() / 40_000).copied().collect()
-    } else {
-        bw.clone()
-    };
-    let fit = Gmm::fit_auto(&sample, 5, seed).ok();
-    PdfFigure {
-        title,
-        histogram,
-        fit,
-        n: bw.len(),
-    }
 }
 
 /// Which population a [`PdfAcc`] collects.
@@ -51,48 +41,102 @@ enum PdfFilter {
     Tech(AccessTech),
 }
 
-/// Accumulator behind Figs 16, 18 and 19 — the filtered bandwidth
-/// vector; the histogram/GMM fit runs in `finish`.
+/// Bins of the rendered linear histogram (matches the paper's figures).
+const RENDER_BINS: usize = 50;
+
+/// BIC model-selection cap shared by all three PDF figures.
+const MAX_COMPONENTS: usize = 5;
+
+/// Accumulator behind Figs 16, 18 and 19: the rendered linear histogram
+/// plus the log-bucketed fit statistics; the binned GMM fit runs in
+/// `finish`.
 #[derive(Debug, Clone)]
 pub struct PdfAcc {
     title: &'static str,
     filter: PdfFilter,
     hi: f64,
     seed: u64,
-    bw: Vec<f64>,
+    hist: Histogram,
+    logbins: LogBins,
 }
 
 impl PdfAcc {
+    fn new(title: &'static str, filter: PdfFilter, hi: f64, seed: u64) -> Self {
+        Self {
+            title,
+            filter,
+            hi,
+            seed,
+            hist: Histogram::new(0.0, hi, RENDER_BINS),
+            logbins: LogBins::for_range(hi),
+        }
+    }
+
     /// Accumulator for [`fig16`] (WiFi 5 PDF).
     pub fn fig16() -> Self {
-        Self {
-            title: "Fig 16: WiFi 5 bandwidth PDF",
-            filter: PdfFilter::Wifi5,
-            hi: 1000.0,
-            seed: 16,
-            bw: Vec::new(),
-        }
+        Self::new("Fig 16: WiFi 5 bandwidth PDF", PdfFilter::Wifi5, 1000.0, 16)
     }
 
     /// Accumulator for [`fig18`] (4G PDF).
     pub fn fig18() -> Self {
-        Self {
-            title: "Fig 18: 4G bandwidth PDF",
-            filter: PdfFilter::Tech(AccessTech::Cellular4g),
-            hi: 500.0,
-            seed: 18,
-            bw: Vec::new(),
-        }
+        Self::new(
+            "Fig 18: 4G bandwidth PDF",
+            PdfFilter::Tech(AccessTech::Cellular4g),
+            500.0,
+            18,
+        )
     }
 
     /// Accumulator for [`fig19`] (5G PDF).
     pub fn fig19() -> Self {
-        Self {
-            title: "Fig 19: 5G bandwidth PDF",
-            filter: PdfFilter::Tech(AccessTech::Cellular5g),
-            hi: 1000.0,
-            seed: 19,
-            bw: Vec::new(),
+        Self::new(
+            "Fig 19: 5G bandwidth PDF",
+            PdfFilter::Tech(AccessTech::Cellular5g),
+            1000.0,
+            19,
+        )
+    }
+
+    /// The cache key for this accumulator's converged fit: `fnv1a64` over
+    /// the `Codec` bytes, which cover the figure tag and every bin count
+    /// — any observation that could change the fit changes the key.
+    pub fn fit_key(&self) -> u64 {
+        fnv1a64(&self.to_bytes())
+    }
+
+    /// Finish with an explicit pool context and optional fit cache.
+    ///
+    /// A cached mixture is only accepted after re-validation through
+    /// [`Gmm::from_triples`]; a poisoned entry is rejected with a typed
+    /// error inside the cache (counted, never trusted) and the fit is
+    /// recomputed from the accumulator's own statistics.
+    pub fn finish_on(self, ctx: &PoolCtx<'_, '_>, cache: Option<&FitCache>) -> PdfFigure {
+        let n = self.hist.total() as usize;
+        let fit = match cache {
+            None => Gmm::fit_auto_binned(&self.logbins, MAX_COMPONENTS, self.seed, ctx).ok(),
+            Some(cache) => {
+                let key = self.fit_key();
+                match cache.lookup(key) {
+                    Ok(Some(gmm)) => Some(gmm),
+                    // Miss — or a corrupt entry, already rejected and
+                    // counted by the cache: refit and overwrite.
+                    Ok(None) | Err(_) => {
+                        let fit =
+                            Gmm::fit_auto_binned(&self.logbins, MAX_COMPONENTS, self.seed, ctx)
+                                .ok();
+                        if let Some(gmm) = &fit {
+                            cache.insert(key, gmm);
+                        }
+                        fit
+                    }
+                }
+            }
+        };
+        PdfFigure {
+            title: self.title,
+            histogram: self.hist,
+            fit,
+            n,
         }
     }
 }
@@ -106,30 +150,34 @@ impl<'a> FigureAccumulator<RecordView<'a>> for PdfAcc {
             PdfFilter::Tech(t) => r.tech == t,
         };
         if matches {
-            self.bw.push(r.bandwidth_mbps);
+            self.hist.add(r.bandwidth_mbps);
+            self.logbins.add(r.bandwidth_mbps);
         }
     }
 
     fn merge(&mut self, other: Self) {
-        self.bw.extend(other.bw);
+        self.hist.merge(&other.hist);
+        self.logbins.merge(&other.logbins);
     }
 
     fn finish(self) -> PdfFigure {
-        pdf_figure(self.title, self.bw, self.hi, self.seed)
+        self.finish_on(&PoolCtx::serial(), None)
     }
 }
 
 impl Codec for PdfAcc {
     fn encode(&self, enc: &mut Enc) {
         // Title/filter/range/seed are structural — which of Figs
-        // 16/18/19 this is — so they travel as one tag.
+        // 16/18/19 this is — so they travel as one tag. The two count
+        // vectors are the complete mergeable state.
         enc.put_u8(match self.filter {
             PdfFilter::Wifi5 => 0,
             PdfFilter::Tech(AccessTech::Cellular4g) => 1,
             PdfFilter::Tech(AccessTech::Cellular5g) => 2,
             PdfFilter::Tech(_) => unreachable!("no PDF figure for this tech"),
         });
-        self.bw.encode(enc);
+        self.hist.counts().to_vec().encode(enc);
+        self.logbins.counts().to_vec().encode(enc);
     }
 
     fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
@@ -144,7 +192,22 @@ impl Codec for PdfAcc {
                 })
             }
         };
-        acc.bw = Codec::decode(dec)?;
+        let hist: Vec<u64> = Codec::decode(dec)?;
+        let logbins: Vec<u64> = Codec::decode(dec)?;
+        if hist.len() != acc.hist.bins() {
+            return Err(CodecError::BadLen {
+                what: "pdf histogram counts",
+                len: hist.len() as u64,
+            });
+        }
+        if logbins.len() != acc.logbins.counts().len() {
+            return Err(CodecError::BadLen {
+                what: "pdf log-bin counts",
+                len: logbins.len() as u64,
+            });
+        }
+        acc.hist = Histogram::from_counts(0.0, acc.hi, hist);
+        acc.logbins = LogBins::from_counts(acc.hi / 1e4, acc.hi, logbins);
         Ok(acc)
     }
 }

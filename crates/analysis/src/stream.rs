@@ -20,7 +20,8 @@
 //! [`MeasurementFigures`] are byte-identical to the two-phase
 //! materialize-then-sweep path for **any** thread count.
 
-use crate::sweep::{FigureSet, MeasurementFigures};
+use crate::fitcache::FitCache;
+use crate::sweep::{FigureSet, FinishOptions, MeasurementFigures};
 use mbw_dataset::{DatasetConfig, EcosystemProfile, Generator, ShardPlan, TestRecord};
 use mbw_telemetry::trace::{self, ArgValue};
 use std::time::{Duration, Instant};
@@ -43,9 +44,14 @@ pub struct StreamTimings {
     pub observe: Duration,
     /// Time spent merging per-worker figure sets.
     pub merge: Duration,
-    /// Time spent finishing accumulators into figures (GMM fits live
-    /// here — routinely the largest single-threaded stage).
+    /// Wall-clock time of the finish stage (GMM fits live here). The
+    /// finish runs on a work pool of the plan's threads, so this
+    /// shrinks with the thread count while [`Self::finish_cpu`] stays
+    /// roughly constant.
     pub finish: Duration,
+    /// Summed per-figure CPU time across the finish pool's threads;
+    /// `finish_cpu / finish` is the finish-stage parallel efficiency.
+    pub finish_cpu: Duration,
     /// End-to-end wall clock of the whole run.
     pub wall: Duration,
     /// Total records generated and analyzed (both populations).
@@ -58,13 +64,12 @@ impl StreamTimings {
         self.records as f64 / self.wall.as_secs_f64().max(f64::MIN_POSITIVE)
     }
 
-    /// Wall clock of the thread-parallel phase: everything before the
-    /// workers join (`wall` minus the single-threaded `merge` and
-    /// `finish` tail). This is the portion whose duration shrinks with
-    /// the worker count — `finish` runs once on the calling thread and
-    /// its inner parallelism (GMM `fit_auto`) is independent of the
-    /// streaming plan's thread count — so thread-scaling comparisons
-    /// must be made on this number, not on `wall`.
+    /// Wall clock of the streaming phase: everything before the
+    /// workers join (`wall` minus the `merge` and `finish` tail).
+    /// `finish` now scales on its own work pool and is gated
+    /// separately (see [`Self::finish_cpu`]); generate/observe
+    /// thread-scaling comparisons are made on this number so the two
+    /// stages' speedups stay independently attributable.
     pub fn parallel_wall(&self) -> Duration {
         self.wall
             .saturating_sub(self.merge)
@@ -250,6 +255,7 @@ pub fn stream_partial(
         observe: Duration::from_nanos(observe_nanos),
         merge,
         finish: Duration::ZERO,
+        finish_cpu: Duration::ZERO,
         wall: wall_start.elapsed(),
         records,
     };
@@ -271,14 +277,27 @@ pub fn stream_partial(
 
 /// Run the streaming fused engine and report per-stage timings.
 ///
-/// `plan.thread_count()` sets the worker count; `plan.shard_size()`
-/// fixes the output (it must match the plan used by any two-phase run
-/// being compared against — both default to
+/// `plan.thread_count()` sets the worker count for both the streaming
+/// fold *and* the finish work pool; `plan.shard_size()` fixes the
+/// output (it must match the plan used by any two-phase run being
+/// compared against — both default to
 /// [`mbw_dataset::DEFAULT_SHARD_SIZE`]).
 pub fn stream_figures_timed(
     baseline: DatasetConfig,
     current: DatasetConfig,
     plan: ShardPlan,
+) -> (MeasurementFigures, StreamTimings) {
+    stream_figures_cached(baseline, current, plan, None)
+}
+
+/// [`stream_figures_timed`] with an optional GMM fit cache consulted
+/// (and fed) by the finish stage. Cached fits reproduce the uncached
+/// figures byte-for-byte — the cache only skips converged EM reruns.
+pub fn stream_figures_cached(
+    baseline: DatasetConfig,
+    current: DatasetConfig,
+    plan: ShardPlan,
+    cache: Option<&FitCache>,
 ) -> (MeasurementFigures, StreamTimings) {
     let wall_start = Instant::now();
     let tracer = trace::active();
@@ -305,7 +324,7 @@ pub fn stream_figures_timed(
 
     let finish_span = spans.begin();
     let finish_start = Instant::now();
-    let mut figures = set.finish();
+    let (mut figures, fstats) = set.finish_with(FinishOptions { threads, cache });
     // Figures for any ecosystem other than the paper's own carry the
     // profile name; paper-china stays untagged so its rendered output
     // is byte-identical to the pre-profile pipeline.
@@ -320,6 +339,7 @@ pub fn stream_figures_timed(
         observe: Duration::from_nanos(observe_nanos),
         merge,
         finish,
+        finish_cpu: fstats.cpu,
         wall: wall_start.elapsed(),
         records: baseline.tests + current.tests,
     };
@@ -424,16 +444,82 @@ mod tests {
             assert_eq!(s.parent, root.id, "{} not parented to sweep.finish", s.name);
         }
 
-        // The per-figure spans nest inside the root and account for
-        // (essentially) the whole measured finish stage: the only
-        // untimed work is struct assembly, nanoseconds of it.
+        // With the finish pool the per-figure spans may overlap, so
+        // their summed duration can exceed the root's wall time (that
+        // gap *is* the parallel speedup) — but each child must still
+        // nest inside the root's window, and together they still
+        // account for (essentially) the whole measured finish stage:
+        // the only untimed work is struct assembly, nanoseconds of it.
+        let root_end = root.start_ns + root.dur_ns;
+        for s in &per_figure {
+            assert!(
+                s.start_ns >= root.start_ns && s.start_ns + s.dur_ns <= root_end,
+                "{} [{}, {}) escapes the sweep.finish window [{}, {})",
+                s.name,
+                s.start_ns,
+                s.start_ns + s.dur_ns,
+                root.start_ns,
+                root_end
+            );
+        }
         let sum: u64 = per_figure.iter().map(|s| s.dur_ns).sum();
-        assert!(sum <= root.dur_ns, "children exceed the sweep.finish root");
         let stage = t.finish.as_nanos() as u64;
         assert!(
             sum as f64 >= stage as f64 * 0.95 - 2e6,
             "finish spans ({sum} ns) attribute too little of the finish stage ({stage} ns)"
         );
+    }
+
+    #[test]
+    fn parallel_finish_is_byte_identical_to_serial() {
+        use crate::sweep::FinishOptions;
+        use mbw_frame::Codec;
+
+        let (b, c) = configs(20_000, 0xF00D);
+        let plan = ShardPlan::new(1_024, 1);
+        let n = stream_unit_count(b, c, plan);
+        let (set, _) = stream_partial(b, c, plan, 0, n);
+        let bytes = set.to_bytes();
+        let finish_at = |threads: usize| {
+            let set = FigureSet::from_bytes(&bytes).expect("state decodes");
+            set.finish_with(FinishOptions::threads(threads)).0
+        };
+        let serial = finish_at(1);
+        for threads in [2usize, 8] {
+            let multi = finish_at(threads);
+            for id in SWEEP_IDS {
+                assert_eq!(
+                    serial.render(id),
+                    multi.render(id),
+                    "{id} differs at {threads} finish threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_fit_cache_reproduces_cold_figures() {
+        use crate::fitcache::FitCache;
+
+        let (b, c) = configs(20_000, 0xCACE);
+        let plan = ShardPlan::new(1_024, 2);
+        let (cold, _) = stream_figures_timed(b, c, plan);
+        let cache = FitCache::new();
+        let (first, _) = stream_figures_cached(b, c, plan, Some(&cache));
+        let misses_after_cold = cache.misses();
+        assert!(misses_after_cold >= 3, "three GMM figures should miss");
+        assert!(!cache.is_empty());
+        let (warm, _) = stream_figures_cached(b, c, plan, Some(&cache));
+        assert_eq!(cache.misses(), misses_after_cold, "warm run refit a figure");
+        assert!(cache.hits() >= 3, "warm run should hit every GMM figure");
+        for id in SWEEP_IDS {
+            assert_eq!(cold.render(id), first.render(id), "{id} differs cold");
+            assert_eq!(
+                cold.render(id),
+                warm.render(id),
+                "{id} differs under a warm cache"
+            );
+        }
     }
 
     #[test]
@@ -562,6 +648,32 @@ mod tests {
             let (right, _) = stream_partial(b, c, plan, cut, n - cut);
             left.merge(right);
             proptest::prop_assert_eq!(left.to_bytes(), whole.to_bytes());
+        }
+
+        /// The finish pool never changes a figure: for any population
+        /// seed, finishing the same encoded state at 1 and 4 threads
+        /// renders identically.
+        #[test]
+        fn parallel_finish_matches_serial_for_any_seed(seed in 0u64..1_000_000) {
+            use crate::sweep::FinishOptions;
+            use mbw_frame::Codec;
+
+            let (b, c) = configs(1_500, seed);
+            let plan = ShardPlan::new(256, 1);
+            let n = stream_unit_count(b, c, plan);
+            let (set, _) = stream_partial(b, c, plan, 0, n);
+            let bytes = set.to_bytes();
+            let serial = FigureSet::from_bytes(&bytes)
+                .expect("state decodes")
+                .finish_with(FinishOptions::threads(1))
+                .0;
+            let multi = FigureSet::from_bytes(&bytes)
+                .expect("state decodes")
+                .finish_with(FinishOptions::threads(4))
+                .0;
+            for id in SWEEP_IDS {
+                proptest::prop_assert_eq!(serial.render(id), multi.render(id), "{} differs", id);
+            }
         }
     }
 }

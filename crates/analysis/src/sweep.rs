@@ -20,6 +20,7 @@ use crate::cellular::{
     NrBandAcc, NrBandFigure, RssAcc, RssFigure,
 };
 use crate::devices::{HardwareIllusion, HardwareIllusionAcc};
+use crate::fitcache::FitCache;
 use crate::general::{
     Correlations, CorrelationsAcc, DatasetSummary, DatasetSummaryAcc, EmptyPopulation,
     SameGroupAcc, SameGroupDecline, SpatialAcc, SpatialDisparity, UrbanRuralAcc, UrbanRuralGap,
@@ -31,8 +32,11 @@ use crate::tables::{Table1, Table2};
 use crate::wifi::{SlowPlanAcc, WifiAcc, WifiCdfFigure};
 use crate::Render;
 use mbw_dataset::{AccessTech, Dataset, RecordView, TestRecord};
-use mbw_telemetry::trace;
+use mbw_stats::pool;
+use mbw_telemetry::trace::{self, ArgValue};
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// A population the sweep can walk: row-major slices and columnar
 /// datasets both qualify, and both hand the figure code [`RecordView`]s.
@@ -225,58 +229,257 @@ impl FigureSet {
         self.outcomes.merge(other.outcomes);
     }
 
-    /// Produce every finished figure.
+    /// Produce every finished figure, serially and uncached — shorthand
+    /// for [`Self::finish_with`] at one thread.
+    pub fn finish(self) -> MeasurementFigures {
+        self.finish_with(FinishOptions::default()).0
+    }
+
+    /// Produce every finished figure on a finish work pool.
+    ///
+    /// The 24 per-figure finishes are independent pure functions of
+    /// their accumulators, so they run as one batch on a
+    /// [`mbw_stats::pool`] of `opts.threads` threads; the GMM figures
+    /// additionally fan their BIC candidate fits onto the *same* pool
+    /// (help-while-waiting, so nothing oversubscribes). Results are
+    /// byte-identical at every thread count.
     ///
     /// Under an active [`trace::Tracer`] scope each per-figure finish
     /// is recorded as a `finish.{field}` span parented to one
-    /// `sweep.finish` root — this is where the single-threaded tail of
-    /// a streaming run lives (GMM fits most of all), so the spans
-    /// attribute exactly which figure the tail is spent on.
-    pub fn finish(self) -> MeasurementFigures {
+    /// `sweep.finish` root — with the pool, child spans may overlap and
+    /// their summed duration can exceed the root's wall time; that gap
+    /// *is* the parallel speedup. With a fit cache a `finish.cache`
+    /// span records hit/miss counts for this finish.
+    pub fn finish_with(self, opts: FinishOptions<'_>) -> (MeasurementFigures, FinishStats) {
+        let start = Instant::now();
         let tracer = trace::active();
         let mut spans = tracer.local();
         let all = spans.begin();
-        macro_rules! timed {
-            ($name:literal, $e:expr) => {{
-                let span = spans.begin();
-                let value = $e;
-                spans.end(span, all.id, concat!("finish.", $name), "sweep");
-                value
-            }};
+        let root_id = all.id;
+        let cpu_ns = AtomicU64::new(0);
+        let cache = opts.cache;
+        let counts0 = cache.map_or((0, 0), |c| (c.hits(), c.misses()));
+
+        let Self {
+            fig01,
+            fig02,
+            fig03,
+            fig04,
+            fig05_06,
+            fig07,
+            fig08_09,
+            fig10,
+            fig11_12,
+            lte_rss,
+            fig13,
+            fig14,
+            fig15,
+            slow_plan,
+            fig16,
+            fig18,
+            fig19,
+            spatial,
+            urban_rural,
+            same_group,
+            correlations,
+            summary,
+            devices,
+            outcomes,
+        } = self;
+        let [d4, d5, dw] = devices;
+
+        let mut o_fig01 = None;
+        let mut o_fig02 = None;
+        let mut o_fig03 = None;
+        let mut o_fig04 = None;
+        let mut o_fig05_06 = None;
+        let mut o_fig07 = None;
+        let mut o_fig08_09 = None;
+        let mut o_fig10 = None;
+        let mut o_fig11_12 = None;
+        let mut o_lte_rss = None;
+        let mut o_fig13 = None;
+        let mut o_fig14 = None;
+        let mut o_fig15 = None;
+        let mut o_slow_plan = None;
+        let mut o_fig16 = None;
+        let mut o_fig18 = None;
+        let mut o_fig19 = None;
+        let mut o_spatial = None;
+        let mut o_urban_rural = None;
+        let mut o_same_group = None;
+        let mut o_correlations = None;
+        let mut o_summary = None;
+        let mut o_devices = None;
+        let mut o_outcomes = None;
+
+        {
+            let tracer = &tracer;
+            let cpu_ns = &cpu_ns;
+            let mut tasks: Vec<pool::Task<'_, ()>> = Vec::with_capacity(24);
+            // One pool job per figure: re-enter the tracer scope (jobs
+            // may run on worker threads), finish, time it, park the
+            // result in this frame's slot. `pdf_job!` additionally
+            // hands the job the pool context (nested candidate fan-out)
+            // and the fit cache.
+            macro_rules! job {
+                ($name:literal, $slot:ident, $body:expr) => {{
+                    let slot = &mut $slot;
+                    tasks.push(Box::new(move |_ctx| {
+                        let t0 = Instant::now();
+                        let value = trace::scope(tracer, || {
+                            let mut spans = tracer.local();
+                            let span = spans.begin();
+                            let value = $body;
+                            spans.end(span, root_id, concat!("finish.", $name), "sweep");
+                            value
+                        });
+                        *slot = Some(value);
+                        cpu_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    }));
+                }};
+            }
+            macro_rules! pdf_job {
+                ($name:literal, $slot:ident, $acc:ident) => {{
+                    let slot = &mut $slot;
+                    tasks.push(Box::new(move |ctx| {
+                        let t0 = Instant::now();
+                        let value = trace::scope(tracer, || {
+                            let mut spans = tracer.local();
+                            let span = spans.begin();
+                            let value = $acc.finish_on(ctx, cache);
+                            spans.end(span, root_id, concat!("finish.", $name), "sweep");
+                            value
+                        });
+                        *slot = Some(value);
+                        cpu_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    }));
+                }};
+            }
+            job!("fig01", o_fig01, fig01.finish());
+            job!("fig02", o_fig02, fig02.finish());
+            job!("fig03", o_fig03, fig03.finish());
+            job!("fig04", o_fig04, fig04.finish());
+            job!("fig05_06", o_fig05_06, fig05_06.finish());
+            job!("fig07", o_fig07, fig07.finish());
+            job!("fig08_09", o_fig08_09, fig08_09.finish());
+            job!("fig10", o_fig10, fig10.finish());
+            job!("fig11_12", o_fig11_12, fig11_12.finish());
+            job!("lte_rss", o_lte_rss, lte_rss.finish());
+            job!("fig13", o_fig13, fig13.finish());
+            job!("fig14", o_fig14, fig14.finish());
+            job!("fig15", o_fig15, fig15.finish());
+            job!("slow_plan", o_slow_plan, slow_plan.finish());
+            pdf_job!("fig16", o_fig16, fig16);
+            pdf_job!("fig18", o_fig18, fig18);
+            pdf_job!("fig19", o_fig19, fig19);
+            job!("spatial", o_spatial, spatial.finish());
+            job!("urban_rural", o_urban_rural, urban_rural.finish());
+            job!("same_group", o_same_group, same_group.finish());
+            job!("correlations", o_correlations, correlations.finish());
+            job!("summary", o_summary, summary.finish());
+            job!(
+                "devices",
+                o_devices,
+                [d4.finish(), d5.finish(), dw.finish()]
+            );
+            job!("robustness", o_outcomes, outcomes.finish());
+            pool::run(opts.threads, tasks);
         }
-        let [d4, d5, dw] = self.devices;
+
         let figures = MeasurementFigures {
             table1: Table1,
             table2: Table2,
-            fig01: timed!("fig01", self.fig01.finish()),
-            fig02: timed!("fig02", self.fig02.finish()),
-            fig03: timed!("fig03", self.fig03.finish()),
-            fig04: timed!("fig04", self.fig04.finish()),
-            fig05_06: timed!("fig05_06", self.fig05_06.finish()),
-            fig07: timed!("fig07", self.fig07.finish()),
-            fig08_09: timed!("fig08_09", self.fig08_09.finish()),
-            fig10: timed!("fig10", self.fig10.finish()),
-            fig11_12: timed!("fig11_12", self.fig11_12.finish()),
-            lte_rss: timed!("lte_rss", self.lte_rss.finish()),
-            fig13: timed!("fig13", self.fig13.finish()),
-            fig14: timed!("fig14", self.fig14.finish()),
-            fig15: timed!("fig15", self.fig15.finish()),
-            slow_plan_shares: timed!("slow_plan", self.slow_plan.finish()),
-            fig16: timed!("fig16", self.fig16.finish()),
-            fig18: timed!("fig18", self.fig18.finish()),
-            fig19: timed!("fig19", self.fig19.finish()),
-            spatial: timed!("spatial", self.spatial.finish()),
-            urban_rural: timed!("urban_rural", self.urban_rural.finish()),
-            same_group: timed!("same_group", self.same_group.finish()),
-            correlations: timed!("correlations", self.correlations.finish()),
-            summary: timed!("summary", self.summary.finish()),
-            devices: timed!("devices", [d4.finish(), d5.finish(), dw.finish()]),
-            outcomes: timed!("robustness", self.outcomes.finish()),
+            fig01: o_fig01.expect("finish job ran"),
+            fig02: o_fig02.expect("finish job ran"),
+            fig03: o_fig03.expect("finish job ran"),
+            fig04: o_fig04.expect("finish job ran"),
+            fig05_06: o_fig05_06.expect("finish job ran"),
+            fig07: o_fig07.expect("finish job ran"),
+            fig08_09: o_fig08_09.expect("finish job ran"),
+            fig10: o_fig10.expect("finish job ran"),
+            fig11_12: o_fig11_12.expect("finish job ran"),
+            lte_rss: o_lte_rss.expect("finish job ran"),
+            fig13: o_fig13.expect("finish job ran"),
+            fig14: o_fig14.expect("finish job ran"),
+            fig15: o_fig15.expect("finish job ran"),
+            slow_plan_shares: o_slow_plan.expect("finish job ran"),
+            fig16: o_fig16.expect("finish job ran"),
+            fig18: o_fig18.expect("finish job ran"),
+            fig19: o_fig19.expect("finish job ran"),
+            spatial: o_spatial.expect("finish job ran"),
+            urban_rural: o_urban_rural.expect("finish job ran"),
+            same_group: o_same_group.expect("finish job ran"),
+            correlations: o_correlations.expect("finish job ran"),
+            summary: o_summary.expect("finish job ran"),
+            devices: o_devices.expect("finish job ran"),
+            outcomes: o_outcomes.expect("finish job ran"),
             profile_tag: None,
         };
+
+        let stats = FinishStats {
+            wall: start.elapsed(),
+            cpu: Duration::from_nanos(cpu_ns.load(Ordering::Relaxed)),
+            cache_hits: cache.map_or(0, |c| c.hits() - counts0.0),
+            cache_misses: cache.map_or(0, |c| c.misses() - counts0.1),
+        };
+        if let Some(cache) = cache {
+            let span = spans.begin();
+            spans.end_with(
+                span,
+                root_id,
+                "finish.cache",
+                "sweep",
+                vec![
+                    ("hits", ArgValue::from(stats.cache_hits)),
+                    ("misses", ArgValue::from(stats.cache_misses)),
+                    ("rejected", ArgValue::from(cache.rejected())),
+                ],
+            );
+        }
         spans.end(all, 0, "sweep.finish", "sweep");
-        figures
+        (figures, stats)
     }
+}
+
+/// How [`FigureSet::finish_with`] should run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FinishOptions<'a> {
+    /// Pool width for the figure fan-out (and the nested BIC candidate
+    /// races). `0` and `1` both mean serial on the calling thread.
+    pub threads: usize,
+    /// Memoized GMM fits to consult and feed; `None` fits everything.
+    pub cache: Option<&'a FitCache>,
+}
+
+impl<'a> FinishOptions<'a> {
+    /// Parallel finish across `threads`, no cache.
+    pub fn threads(threads: usize) -> Self {
+        Self {
+            threads,
+            cache: None,
+        }
+    }
+
+    /// Use `cache` for the GMM figures.
+    pub fn with_cache(mut self, cache: &'a FitCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+}
+
+/// What one [`FigureSet::finish_with`] spent and saved.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FinishStats {
+    /// Wall-clock time of the whole finish stage.
+    pub wall: Duration,
+    /// Summed per-job CPU time across pool threads; `cpu / wall` is the
+    /// finish-stage parallel efficiency.
+    pub cpu: Duration,
+    /// Validated fit-cache hits during this finish.
+    pub cache_hits: u64,
+    /// Fit-cache misses during this finish.
+    pub cache_misses: u64,
 }
 
 impl Default for FigureSet {

@@ -24,8 +24,15 @@
 //! best wall time is kept (standard for throughput measurement). Every
 //! measurement records the worker threads it actually used;
 //! `threads_detected` is the machine's available parallelism. The
-//! result is written to `BENCH_analysis.json` at the repo root and
-//! printed to stdout.
+//! streaming stage breakdown reports the finish stage twice — wall
+//! time (`finish_wall_seconds`) and summed per-job CPU time
+//! (`finish_cpu_seconds`) — so the finish pool's parallel speedup is
+//! visible. On a single-core runner the `_nt` variants would be
+//! byte-for-byte reruns of `_1t`, so they are not re-timed: they carry
+//! the `_1t` numbers plus a `degenerate_duplicate_of` marker, and the
+//! nt-vs-1t speedup ratios are `null` instead of scheduler noise below
+//! 1.0. The result is written to `BENCH_analysis.json` at the repo
+//! root and printed to stdout.
 
 use mbw_analysis::{robustness, Render, StreamTimings};
 use mbw_bench::distributed::{self, DistConfig};
@@ -106,25 +113,42 @@ fn output_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_analysis.json")
 }
 
-fn measurement_json(name: &str, threads: usize, analyzed: usize, wall: Duration) -> String {
+/// The `degenerate_duplicate_of` JSON fragment for an `_nt` entry that
+/// was not re-timed because only one core is available.
+fn dup_marker(dup: Option<&str>) -> String {
+    dup.map(|of| format!(", \"degenerate_duplicate_of\": \"{of}\""))
+        .unwrap_or_default()
+}
+
+fn measurement_json(
+    name: &str,
+    threads: usize,
+    analyzed: usize,
+    wall: Duration,
+    dup: Option<&str>,
+) -> String {
     format!(
-        "    \"{name}\": {{ \"threads\": {threads}, \"seconds\": {}, \"records_per_second\": {} }}",
+        "    \"{name}\": {{ \"threads\": {threads}, \"seconds\": {}, \
+         \"records_per_second\": {}{} }}",
         wall.as_secs_f64(),
-        analyzed as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE)
+        analyzed as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE),
+        dup_marker(dup)
     )
 }
 
-fn streaming_json(name: &str, threads: usize, t: &StreamTimings) -> String {
+fn streaming_json(name: &str, threads: usize, t: &StreamTimings, dup: Option<&str>) -> String {
     format!(
         "    \"{name}\": {{ \"threads\": {threads}, \"seconds\": {}, \"records_per_second\": {}, \
          \"stages\": {{ \"generate_cpu_seconds\": {}, \"observe_cpu_seconds\": {}, \
-         \"merge_seconds\": {}, \"finish_seconds\": {} }} }}",
+         \"merge_seconds\": {}, \"finish_wall_seconds\": {}, \"finish_cpu_seconds\": {} }}{} }}",
         t.wall.as_secs_f64(),
         t.records_per_second(),
         t.generate.as_secs_f64(),
         t.observe.as_secs_f64(),
         t.merge.as_secs_f64(),
-        t.finish.as_secs_f64()
+        t.finish.as_secs_f64(),
+        t.finish_cpu.as_secs_f64(),
+        dup_marker(dup)
     )
 }
 
@@ -143,6 +167,11 @@ fn main() {
         .unwrap_or(1);
     let plan_nt = ShardPlan::threads(threads);
     let analyzed = 2 * records;
+    // One core (or an explicit 1-thread override) makes every `_nt`
+    // variant a byte-for-byte rerun of its `_1t` sibling: don't re-time
+    // it, mark it as a degenerate duplicate, and report the nt-vs-1t
+    // speedups as null rather than scheduler noise below 1.0.
+    let degenerate = threads == 1;
 
     eprintln!("timing sharded generation, {threads} workers ({iters} iters)...");
     let generate_nt = time_best(iters, || {
@@ -154,14 +183,24 @@ fn main() {
     let legacy = time_best(iters, || legacy_all(&pops));
     eprintln!("timing fused sweep, 1 worker...");
     let fused_1t = time_best(iters, || measurement::measurement_figures(&pops, 1));
-    eprintln!("timing fused sweep, {threads} workers...");
-    let fused_nt = time_best(iters, || measurement::measurement_figures(&pops, threads));
+    let fused_nt = if degenerate {
+        eprintln!("fused sweep, {threads} workers: degenerate duplicate of fused_1t");
+        fused_1t
+    } else {
+        eprintln!("timing fused sweep, {threads} workers...");
+        time_best(iters, || measurement::measurement_figures(&pops, threads))
+    };
     drop(pops);
 
     eprintln!("timing streaming engine, 1 worker...");
     let stream_1t = stream_best(iters, records, ShardPlan::threads(1));
-    eprintln!("timing streaming engine, {threads} workers...");
-    let stream_nt = stream_best(iters, records, plan_nt);
+    let stream_nt = if degenerate {
+        eprintln!("streaming engine, {threads} workers: degenerate duplicate of streaming_1t");
+        stream_1t
+    } else {
+        eprintln!("timing streaming engine, {threads} workers...");
+        stream_best(iters, records, plan_nt)
+    };
 
     // The distributed pipeline: a 4-way shard split through the real
     // plan → execute → reduce path (snapshots on disk and all), with
@@ -184,7 +223,7 @@ fn main() {
         distributed::run_shard_file(plan, &dist_parts_dir, threads).expect("run shard");
     }
     let dist_parts = distributed::collect_parts(&dist_parts_dir).expect("collect parts");
-    let dist = distributed::reduce_parts(&dist_parts).expect("reduce parts");
+    let dist = distributed::reduce_parts(&dist_parts, threads).expect("reduce parts");
     black_box(&dist.figures);
     let _ = std::fs::remove_dir_all(&dist_dir);
     let dist_snapshot_bytes: u64 = dist.parts.iter().map(|p| p.snapshot_bytes).sum();
@@ -201,6 +240,7 @@ fn main() {
     let _ = writeln!(json, "  \"records_per_year\": {records},");
     let _ = writeln!(json, "  \"records_analyzed\": {analyzed},");
     let _ = writeln!(json, "  \"threads_detected\": {detected},");
+    let _ = writeln!(json, "  \"degenerate_parallelism\": {degenerate},");
     let _ = writeln!(json, "  \"iterations\": {iters},");
     let _ = writeln!(json, "  \"runner_class\": \"{}\",", runner_class());
     let _ = writeln!(json, "  \"wall_clock_source\": \"std::time::Instant\",");
@@ -210,25 +250,26 @@ fn main() {
         mbw_dataset::EcosystemProfile::paper_china().name
     );
     let _ = writeln!(json, "  \"measurements\": {{");
+    let dup = |of: &'static str| degenerate.then_some(of);
     let _ = writeln!(
         json,
         "{},",
-        measurement_json("generate_nt", threads, analyzed, generate_nt)
+        measurement_json("generate_nt", threads, analyzed, generate_nt, None)
     );
     let _ = writeln!(
         json,
         "{},",
-        measurement_json("legacy_1t", 1, analyzed, legacy)
+        measurement_json("legacy_1t", 1, analyzed, legacy, None)
     );
     let _ = writeln!(
         json,
         "{},",
-        measurement_json("fused_1t", 1, analyzed, fused_1t)
+        measurement_json("fused_1t", 1, analyzed, fused_1t, None)
     );
     let _ = writeln!(
         json,
         "{},",
-        measurement_json("fused_nt", threads, analyzed, fused_nt)
+        measurement_json("fused_nt", threads, analyzed, fused_nt, dup("fused_1t"))
     );
     let _ = writeln!(
         json,
@@ -237,14 +278,19 @@ fn main() {
             "materialize_then_sweep_nt",
             threads,
             analyzed,
-            materialize_nt
+            materialize_nt,
+            None
         )
     );
-    let _ = writeln!(json, "{},", streaming_json("streaming_1t", 1, &stream_1t));
+    let _ = writeln!(
+        json,
+        "{},",
+        streaming_json("streaming_1t", 1, &stream_1t, None)
+    );
     let _ = writeln!(
         json,
         "{}",
-        streaming_json("streaming_nt", threads, &stream_nt)
+        streaming_json("streaming_nt", threads, &stream_nt, dup("streaming_1t"))
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"distributed\": {{");
@@ -287,10 +333,24 @@ fn main() {
         "  \"speedup_streaming_nt_vs_materialize_nt\": {},",
         secs(materialize_nt) / secs(stream_nt.wall)
     );
+    // nt-vs-1t parallel speedups are undefined on one core: the nt
+    // runs are duplicates, so a ratio would be pure scheduler noise.
+    let nt_vs_1t = |num: f64, den: f64| {
+        if degenerate {
+            "null".to_string()
+        } else {
+            (num / den).to_string()
+        }
+    };
     let _ = writeln!(
         json,
-        "  \"speedup_streaming_nt_vs_streaming_1t\": {}",
-        secs(stream_1t.wall) / secs(stream_nt.wall)
+        "  \"speedup_streaming_nt_vs_streaming_1t\": {},",
+        nt_vs_1t(secs(stream_1t.wall), secs(stream_nt.wall))
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_finish_nt_vs_finish_1t\": {}",
+        nt_vs_1t(secs(stream_1t.finish), secs(stream_nt.finish))
     );
     json.push_str("}\n");
 

@@ -15,6 +15,7 @@
 //! figures --no-chaos service       # skip the blackout in the soak
 //! figures --profile europe-ran     # everything under one ecosystem
 //! figures --profiles all           # cross-ecosystem comparison report
+//! figures --fit-cache fits.mbws    # memoize GMM fits across runs
 //!
 //! # the distributed pipeline (see DESIGN.md, "Distributed reduction"):
 //! figures shard-plan --shards 4 --out plans/       # write 4 plan files
@@ -35,7 +36,12 @@
 //! pass — byte-identical for every thread count. With `--metrics-addr`
 //! the per-stage timings (generate / observe / merge / finish and plan
 //! / execute / reduce) are scrapable at `/metrics` while the run is in
-//! flight. With `--trace-out PATH` the whole run is span-traced: the
+//! flight. With `--fit-cache PATH` the finish stage's GMM fits are
+//! memoized in an MBWS snapshot at `PATH`: a warm rerun (same records,
+//! seed, and profile) serves every converged fit from the cache —
+//! byte-identical figures, no EM reruns — and the file is rewritten
+//! only when new fits were learned. With `--trace-out PATH` the whole
+//! run is span-traced: the
 //! causal tree (streaming shards, merge, per-figure finish, GMM fits,
 //! campaign batches) is written to `PATH` as Chrome trace-event JSON
 //! (load it at <https://ui.perfetto.dev>), a text self-profile with
@@ -192,6 +198,7 @@ struct Options {
     shards: Option<u32>,
     plan: Option<PathBuf>,
     parts: Option<PathBuf>,
+    fit_cache: Option<PathBuf>,
     selected: Vec<String>,
 }
 
@@ -212,6 +219,7 @@ fn parse_args() -> Options {
         shards: None,
         plan: None,
         parts: None,
+        fit_cache: None,
         selected: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -291,6 +299,7 @@ fn parse_args() -> Options {
             }
             "--plan" => opts.plan = Some(PathBuf::from(value("--plan"))),
             "--parts" => opts.parts = Some(PathBuf::from(value("--parts"))),
+            "--fit-cache" => opts.fit_cache = Some(PathBuf::from(value("--fit-cache"))),
             "--trace-out" => opts.trace_out = Some(PathBuf::from(value("--trace-out"))),
             "--metrics-addr" => {
                 let v = value("--metrics-addr");
@@ -407,12 +416,19 @@ fn run(opts: &Options) -> Result<(), CliError> {
     // generate→analyze run: the populations are never materialised.
     let is_sweep_id = |id: &str| mbw_analysis::sweep::SWEEP_IDS.contains(&id);
 
+    // --fit-cache: memoized GMM fits keyed by accumulator content, so a
+    // warm rerun (or the next profile in a sweep that repeats one)
+    // skips every converged EM refit. Content keys make staleness
+    // impossible: any change to the data produces a different key.
+    let fit_cache = opts.fit_cache.as_deref().map(load_fit_cache);
+
     // --profiles all: run that sweep once per built-in ecosystem and
     // lay the figures side by side in one comparison report. The
     // evaluation campaign is out of scope here — the cross-ecosystem
     // report covers the measurement figures.
     if opts.all_profiles {
-        run_all_profiles(opts, dataset, &metrics)?;
+        run_all_profiles(opts, dataset, &metrics, fit_cache.as_ref())?;
+        save_fit_cache(opts, fit_cache.as_ref(), &metrics);
         if let Some(server) = server {
             server.shutdown();
         }
@@ -426,22 +442,25 @@ fn run(opts: &Options) -> Result<(), CliError> {
              ({} threads, profile {})...",
             opts.threads, opts.profile.name
         );
-        let (figs, t) = measurement::stream_measurement_figures_for(
+        let (figs, t) = measurement::stream_measurement_figures_cached(
             opts.profile,
             dataset,
             MEASUREMENT_SEED,
             ShardPlan::threads(opts.threads),
+            fit_cache.as_ref(),
         );
         let records = t.records as u64;
         // The rate gauges report actual pipeline throughput, so they
         // get wall clock; the per-stage series below carry the CPU
-        // breakdown (generate/observe are summed across workers).
+        // breakdown (generate/observe/finish_cpu are summed across
+        // workers, finish is the stage's wall time).
         metrics.observe_generated(records, t.wall);
         metrics.observe_analyzed(records, t.wall);
         metrics.observe_stage("generate", records, t.generate);
         metrics.observe_stage("observe", records, t.observe);
         metrics.observe_stage("merge", records, t.merge);
         metrics.observe_stage("finish", records, t.finish);
+        metrics.observe_stage("finish_cpu", records, t.finish_cpu);
         eprintln!(
             "streamed {} records in {:.2?} ({:.0} records/s end-to-end)",
             t.records,
@@ -450,8 +469,8 @@ fn run(opts: &Options) -> Result<(), CliError> {
         );
         eprintln!(
             "  stages: generate {:.2?} + observe {:.2?} (cpu, summed over workers) \
-             | merge {:.2?} | finish {:.2?}",
-            t.generate, t.observe, t.merge, t.finish
+             | merge {:.2?} | finish {:.2?} wall / {:.2?} cpu",
+            t.generate, t.observe, t.merge, t.finish, t.finish_cpu
         );
         figs
     });
@@ -486,7 +505,11 @@ fn run(opts: &Options) -> Result<(), CliError> {
             opts.threads
         );
         let reduce_start = Instant::now();
-        let reduced = eval_sweep::reduce(eval_sweep::EvalFigureSet::new(COST_SEED), &pool);
+        let reduced = eval_sweep::reduce_with(
+            eval_sweep::EvalFigureSet::new(COST_SEED),
+            &pool,
+            opts.threads,
+        );
         let reduce_elapsed = reduce_start.elapsed();
         campaign_metrics.observe_stage("reduce", pool.len() as u64, reduce_elapsed);
         eprintln!(
@@ -603,6 +626,7 @@ fn run(opts: &Options) -> Result<(), CliError> {
         println!("{text}");
     }
 
+    save_fit_cache(opts, fit_cache.as_ref(), &metrics);
     if metrics.generated_total() > 0 {
         eprintln!(
             "pipeline totals: {} records generated, {} analyzed",
@@ -621,6 +645,58 @@ fn run(opts: &Options) -> Result<(), CliError> {
         server.shutdown();
     }
     Ok(())
+}
+
+/// Load the GMM fit cache at `path`, or start a fresh one when the
+/// file does not exist yet (first run) or cannot be read (a stale or
+/// corrupt snapshot is reported and ignored, never trusted).
+fn load_fit_cache(path: &Path) -> mbw_analysis::FitCache {
+    if !path.exists() {
+        eprintln!("fit cache: starting fresh (no file at {})", path.display());
+        return mbw_analysis::FitCache::new();
+    }
+    match mbw_analysis::FitCache::load(path) {
+        Ok(cache) => {
+            eprintln!(
+                "fit cache: loaded {} entries from {}",
+                cache.len(),
+                path.display()
+            );
+            cache
+        }
+        Err(e) => {
+            eprintln!("fit cache: ignoring {}: {e}", path.display());
+            mbw_analysis::FitCache::new()
+        }
+    }
+}
+
+/// Report the run's fit-cache outcomes (stderr + registry counters) and
+/// persist the cache back to `--fit-cache` when it learned new fits or
+/// evicted poisoned entries. A clean warm run leaves the file untouched.
+fn save_fit_cache(
+    opts: &Options,
+    cache: Option<&mbw_analysis::FitCache>,
+    metrics: &PipelineMetrics,
+) {
+    let (Some(path), Some(cache)) = (opts.fit_cache.as_deref(), cache) else {
+        return;
+    };
+    metrics.observe_fit_cache(cache.hits(), cache.misses());
+    eprintln!(
+        "fit cache: {} hits, {} misses, {} poisoned entries rejected ({} entries)",
+        cache.hits(),
+        cache.misses(),
+        cache.rejected(),
+        cache.len()
+    );
+    if !cache.is_dirty() {
+        return;
+    }
+    match cache.save(path, MEASUREMENT_SEED, opts.profile.name) {
+        Ok(()) => eprintln!("fit cache: saved to {}", path.display()),
+        Err(e) => eprintln!("fit cache: cannot save {}: {e}", path.display()),
+    }
 }
 
 /// The distributed run parameters shared by `shard-plan` and the
@@ -690,7 +766,7 @@ fn run_reduce(opts: &Options) -> Result<(), CliError> {
         std::process::exit(2);
     };
     let paths = distributed::collect_parts(parts_dir)?;
-    let reduced = distributed::reduce_parts(&paths)?;
+    let reduced = distributed::reduce_parts(&paths, opts.threads)?;
     ensure_dir(&opts.out_dir)?;
     let ids: Vec<&str> = if opts.selected.len() > 1 {
         opts.selected[1..].iter().map(String::as_str).collect()
@@ -738,6 +814,7 @@ fn run_all_profiles(
     opts: &Options,
     dataset: usize,
     metrics: &PipelineMetrics,
+    fit_cache: Option<&mbw_analysis::FitCache>,
 ) -> Result<(), CliError> {
     let is_sweep_id = |id: &str| mbw_analysis::sweep::SWEEP_IDS.contains(&id);
     let sweep_ids: Vec<&str> = if opts.selected.is_empty() {
@@ -762,11 +839,12 @@ fn run_all_profiles(
                 "streaming {dataset} records per year under profile {} ({} threads)...",
                 profile.name, opts.threads
             );
-            let (figures, t) = measurement::stream_measurement_figures_for(
+            let (figures, t) = measurement::stream_measurement_figures_cached(
                 profile,
                 dataset,
                 MEASUREMENT_SEED,
                 ShardPlan::threads(opts.threads),
+                fit_cache,
             );
             metrics.observe_generated(t.records as u64, t.wall);
             metrics.observe_analyzed(t.records as u64, t.wall);

@@ -563,14 +563,16 @@ impl std::fmt::Debug for Reduced {
 }
 
 /// Merge `k` part snapshots into the finished figures, byte-identical
-/// to the single-process run that the parts partition.
+/// to the single-process run that the parts partition. The finish
+/// stage fans out on a work pool of `threads` (1 = serial; the output
+/// is identical either way).
 ///
 /// Validation happens before any merging: every part must carry the
 /// same plan hash, seed, profile, and shard count; each body must
 /// re-hash to its header's plan hash; and the slices must form an exact
 /// partition of both work domains. Any mismatch is a typed
 /// [`DistError`] naming the offending file.
-pub fn reduce_parts(paths: &[PathBuf]) -> Result<Reduced, DistError> {
+pub fn reduce_parts(paths: &[PathBuf], threads: usize) -> Result<Reduced, DistError> {
     let tracer = trace::active();
     let mut spans = tracer.local();
     let span = spans.begin();
@@ -678,13 +680,14 @@ pub fn reduce_parts(paths: &[PathBuf]) -> Result<Reduced, DistError> {
     let merge_seconds = merge_start.elapsed().as_secs_f64();
 
     let finish_start = Instant::now();
-    let mut figures = figure_set.finish();
+    let (mut figures, _) =
+        figure_set.finish_with(mbw_analysis::sweep::FinishOptions::threads(threads));
     // Exactly the tagging rule of the single-process streaming run:
     // every ecosystem but the paper's own renders self-describing.
     if profile.name != EcosystemProfile::paper_china().name {
         figures = figures.with_profile_tag(profile.name);
     }
-    let eval = eval_set.finish();
+    let eval = eval_set.finish_with(threads);
     let finish_seconds = finish_start.elapsed().as_secs_f64();
 
     if span.id != 0 {
@@ -804,7 +807,7 @@ mod tests {
 
         let parts = collect_parts(&parts_dir).unwrap();
         assert_eq!(parts.len(), 2);
-        let reduced = reduce_parts(&parts).unwrap();
+        let reduced = reduce_parts(&parts, 2).unwrap();
         let (figures, eval) = single_process(&cfg);
         for id in SWEEP_IDS {
             assert_eq!(figures.render(id), reduced.figures.render(id), "{id}");
@@ -816,7 +819,7 @@ mod tests {
         assert!(reduced.parts.iter().all(|p| p.snapshot_bytes > 0));
 
         // A strict subset of the parts is not a partition.
-        let err = reduce_parts(&parts[..1]).unwrap_err();
+        let err = reduce_parts(&parts[..1], 1).unwrap_err();
         assert!(
             matches!(
                 err,
@@ -835,7 +838,7 @@ mod tests {
         part.job.records += 1;
         let forged = parts_dir.join("shard-01-of-02-forged.part");
         write_snapshot(&forged, &head, &part.to_bytes()).unwrap();
-        let err = reduce_parts(&[parts[0].clone(), forged]).unwrap_err();
+        let err = reduce_parts(&[parts[0].clone(), forged], 1).unwrap_err();
         assert!(matches!(err, DistError::Provenance { .. }), "{err}");
 
         let _ = std::fs::remove_dir_all(&dir);
@@ -853,7 +856,7 @@ mod tests {
         let a = run_shard_file(&small_plans[0], &dir.join("parts-a"), 1).unwrap();
         let b = run_shard_file(&bigger_plans[1], &dir.join("parts-b"), 1).unwrap();
 
-        let err = reduce_parts(&[a.path().to_path_buf(), b.path().to_path_buf()]).unwrap_err();
+        let err = reduce_parts(&[a.path().to_path_buf(), b.path().to_path_buf()], 1).unwrap_err();
         assert!(matches!(err, DistError::Provenance { .. }), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }

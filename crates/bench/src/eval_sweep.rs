@@ -33,6 +33,8 @@ use crate::fig17::{Fig17, Fig17Acc};
 use mbw_analysis::accum::FigureAccumulator;
 use mbw_core::{CampaignPlan, EmptyCampaign, EvalCounts, TrialPool, TrialView, VariantId};
 use mbw_deploy::WorkloadEstimate;
+use mbw_stats::pool;
+use mbw_telemetry::trace;
 
 /// Figure ids the fused evaluation sweep can serve from one pool.
 pub const EVAL_SWEEP_IDS: [&str; 12] = [
@@ -59,6 +61,17 @@ where
         acc.observe(&view);
     }
     acc.finish()
+}
+
+/// Fold the full evaluation figure set over every trial of `pool`,
+/// then finish it on a work pool of `threads` (see
+/// [`EvalFigureSet::finish_with`]). Byte-identical to [`reduce`] at
+/// any thread count.
+pub fn reduce_with(mut set: EvalFigureSet, pool: &TrialPool, threads: usize) -> EvalFigures {
+    for view in pool.iter() {
+        set.observe(&view);
+    }
+    set.finish_with(threads)
 }
 
 /// Plan the union of trials the requested figure ids need. Unknown ids
@@ -186,6 +199,80 @@ impl EvalFigureSet {
             cost_seed,
         }
     }
+
+    /// Finish every evaluation figure on a work pool of `threads`
+    /// (sibling of [`mbw_analysis::FigureSet::finish_with`]): the eight
+    /// per-field finishes are independent pure reductions, so they run
+    /// as one batch and the result is byte-identical at any thread
+    /// count. Each finish is traced as a `finish.{field}` span under an
+    /// `eval.finish` root.
+    pub fn finish_with(self, threads: usize) -> EvalFigures {
+        let tracer = trace::active();
+        let mut spans = tracer.local();
+        let all = spans.begin();
+        let root_id = all.id;
+        let Self {
+            fig17,
+            fig20,
+            fig21,
+            fig22,
+            fig23_25,
+            ablations,
+            mmwave,
+            workload,
+            cost_seed,
+        } = self;
+
+        let mut o_fig17 = None;
+        let mut o_fig20 = None;
+        let mut o_fig21 = None;
+        let mut o_fig22 = None;
+        let mut o_fig23_25 = None;
+        let mut o_ablations = None;
+        let mut o_mmwave = None;
+        let mut o_workload = None;
+        {
+            let tracer = &tracer;
+            let mut tasks: Vec<pool::Task<'_, ()>> = Vec::with_capacity(8);
+            macro_rules! job {
+                ($name:literal, $slot:ident, $acc:ident) => {{
+                    let slot = &mut $slot;
+                    tasks.push(Box::new(move |_ctx| {
+                        let value = trace::scope(tracer, || {
+                            let mut spans = tracer.local();
+                            let span = spans.begin();
+                            let value = $acc.finish();
+                            spans.end(span, root_id, concat!("finish.", $name), "eval");
+                            value
+                        });
+                        *slot = Some(value);
+                    }));
+                }};
+            }
+            job!("fig17", o_fig17, fig17);
+            job!("fig20", o_fig20, fig20);
+            job!("fig21", o_fig21, fig21);
+            job!("fig22", o_fig22, fig22);
+            job!("fig23_25", o_fig23_25, fig23_25);
+            job!("ablations", o_ablations, ablations);
+            job!("mmwave", o_mmwave, mmwave);
+            job!("workload", o_workload, workload);
+            pool::run(threads, tasks);
+        }
+        let figures = EvalFigures {
+            fig17: o_fig17.expect("finish job ran"),
+            fig20: o_fig20.expect("finish job ran"),
+            fig21: o_fig21.expect("finish job ran"),
+            fig22: o_fig22.expect("finish job ran"),
+            fig23_25: o_fig23_25.expect("finish job ran"),
+            ablations: o_ablations.expect("finish job ran"),
+            mmwave: o_mmwave.expect("finish job ran"),
+            workload: o_workload.expect("finish job ran"),
+            cost_seed,
+        };
+        spans.end(all, 0, "eval.finish", "eval");
+        figures
+    }
 }
 
 impl mbw_frame::Codec for EvalFigureSet {
@@ -243,17 +330,7 @@ impl<'a> FigureAccumulator<TrialView<'a>> for EvalFigureSet {
     }
 
     fn finish(self) -> Self::Output {
-        EvalFigures {
-            fig17: self.fig17.finish(),
-            fig20: self.fig20.finish(),
-            fig21: self.fig21.finish(),
-            fig22: self.fig22.finish(),
-            fig23_25: self.fig23_25.finish(),
-            ablations: self.ablations.finish(),
-            mmwave: self.mmwave.finish(),
-            workload: self.workload.finish(),
-            cost_seed: self.cost_seed,
-        }
+        self.finish_with(1)
     }
 }
 
@@ -333,6 +410,28 @@ mod tests {
                 whole.clone().finish().render(id),
                 "{id}"
             );
+        }
+    }
+
+    #[test]
+    fn parallel_eval_finish_matches_serial() {
+        let counts = EvalCounts::uniform(6);
+        let plan = plan_for(&EVAL_SWEEP_IDS, &counts, 42);
+        let pool = run_campaign(&plan, 2);
+        let mut acc = EvalFigureSet::new(0xC0);
+        for view in pool.iter() {
+            acc.observe(&view);
+        }
+        let serial = acc.clone().finish_with(1);
+        for threads in [2usize, 8] {
+            let multi = acc.clone().finish_with(threads);
+            for id in EVAL_SWEEP_IDS {
+                assert_eq!(
+                    serial.render(id),
+                    multi.render(id),
+                    "{id} differs at {threads} finish threads"
+                );
+            }
         }
     }
 

@@ -83,13 +83,27 @@ pub fn stream_measurement_figures_for(
     seed: u64,
     plan: ShardPlan,
 ) -> (MeasurementFigures, StreamTimings) {
+    stream_measurement_figures_cached(profile, tests, seed, plan, None)
+}
+
+/// [`stream_measurement_figures_for`] with an optional GMM fit cache
+/// consulted (and fed) by the finish stage. Warm cache hits skip
+/// converged EM refits but reproduce the uncached figures
+/// byte-for-byte.
+pub fn stream_measurement_figures_cached(
+    profile: &'static EcosystemProfile,
+    tests: usize,
+    seed: u64,
+    plan: ShardPlan,
+    cache: Option<&mbw_analysis::FitCache>,
+) -> (MeasurementFigures, StreamTimings) {
     let cfg = |year| DatasetConfig {
         seed,
         tests,
         year,
         profile,
     };
-    stream::stream_figures_timed(cfg(Year::Y2020), cfg(Year::Y2021), plan)
+    stream::stream_figures_cached(cfg(Year::Y2020), cfg(Year::Y2021), plan, cache)
 }
 
 /// Render one measurement experiment by id (`table1`, `table2`,

@@ -14,10 +14,17 @@
 //!   truth models),
 //! - density/CDF evaluation and seeded sampling,
 //! - EM fitting from raw samples with k-means++ initialisation,
+//! - *binned* EM fitting from log-bucketed sufficient statistics
+//!   ([`Gmm::fit_binned`]), whose E/M steps iterate weighted histogram
+//!   bins instead of raw samples — `O(bins · k · iters)` per fit no matter
+//!   how many records the accumulator saw,
 //! - BIC-based selection of the number of components
-//!   ([`Gmm::fit_auto`]), used when refreshing the model from fresh
-//!   measurement data "periodically" as the paper prescribes.
+//!   ([`Gmm::fit_auto`] / [`Gmm::fit_auto_binned`]), used when refreshing
+//!   the model from fresh measurement data "periodically" as the paper
+//!   prescribes; candidate fits race on the shared [`crate::pool`].
 
+use crate::histogram::LogBins;
+use crate::pool::{self, PoolCtx};
 use crate::rng::SeededRng;
 use crate::special::{log_sum_exp, standard_normal_cdf};
 use mbw_telemetry::trace::{self, ArgValue};
@@ -427,10 +434,10 @@ impl Gmm {
             return Err(GmmError::NoComponents);
         }
         // The candidate fits are independent (each starts from its own
-        // `SeededRng::new(seed)`), so on large inputs they run on scoped
-        // threads. Results are folded in `k` order afterwards, which
-        // keeps the BIC tie-break (first/lowest `k` wins) — and thus the
-        // selected mixture — identical to the sequential loop. Small
+        // `SeededRng::new(seed)`), so on large inputs they race on the
+        // shared work pool. Results are folded in `k` order afterwards,
+        // which keeps the BIC tie-break (first/lowest `k` wins) — and thus
+        // the selected mixture — identical to the sequential loop. Small
         // inputs (per-trial fits in the eval half) stay sequential; the
         // thread spawn would cost more than the fit.
         let tracer = trace::active();
@@ -470,15 +477,13 @@ impl Gmm {
         };
         let fits: Vec<Result<(f64, Gmm), GmmError>> =
             if data.len() >= PARALLEL_FIT_MIN_SAMPLES && max_components > 1 {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = (1..=max_components)
-                        .map(|k| scope.spawn(move || fit_k(k)))
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("gmm fit worker panicked"))
-                        .collect()
-                })
+                let fit_k = &fit_k;
+                let tasks: Vec<pool::Task<'_, Result<(f64, Gmm), GmmError>>> = (1..=max_components)
+                    .map(|k| -> pool::Task<'_, Result<(f64, Gmm), GmmError>> {
+                        Box::new(move |_ctx| fit_k(k))
+                    })
+                    .collect();
+                pool::run(max_components, tasks)
             } else {
                 (1..=max_components).map(fit_k).collect()
             };
@@ -507,6 +512,102 @@ impl Gmm {
             );
         }
         best.map(|(_, g)| g).ok_or(last_err)
+    }
+
+    /// Fit a mixture with EM over the *binned* sufficient statistics of a
+    /// [`LogBins`] histogram instead of raw samples.
+    ///
+    /// Each occupied bin contributes its geometric-mean representative
+    /// weighted by its count, so one E/M step costs `O(bins · k)` no
+    /// matter how many records were observed. Relative to a raw-sample
+    /// [`Gmm::fit`] on the same data, fitted means and standard deviations
+    /// differ by at most the bin's relative width (about 2% at the
+    /// default 512 bins over four decades); within one binning the fit is
+    /// exactly deterministic, and because `LogBins` merges by exact
+    /// integer addition the result is invariant under thread count and
+    /// distributed reduction.
+    pub fn fit_binned(bins: &LogBins, config: &GmmFitConfig) -> Result<Self, GmmError> {
+        let points = bins.weighted_points();
+        fit_weighted(&points, bins.total(), config, bins.bins())
+    }
+
+    /// Binned analogue of [`Gmm::fit_auto`]: fit `1..=max_components`
+    /// candidates with [`Gmm::fit_binned`] and keep the lowest
+    /// [`Gmm::bic_binned`]. Candidates race on `ctx`'s work pool when one
+    /// is available (inside a parallel finish), or run sequentially under
+    /// [`PoolCtx::serial`] — the fold happens in `k` order either way, so
+    /// the selected mixture is identical.
+    pub fn fit_auto_binned<'env>(
+        bins: &LogBins,
+        max_components: usize,
+        seed: u64,
+        ctx: &PoolCtx<'_, 'env>,
+    ) -> Result<Self, GmmError> {
+        if max_components == 0 {
+            return Err(GmmError::NoComponents);
+        }
+        let tracer = trace::active();
+        let mut auto_spans = tracer.local();
+        let auto_span = auto_spans.begin();
+        let points = bins.weighted_points();
+        let total = bins.total();
+        let occupied = points.len();
+        let log_bins = bins.bins();
+        let fits: Vec<Result<(f64, Gmm), GmmError>> = if ctx.is_parallel() && max_components > 1 {
+            // Pool subtasks may outlive this stack frame's borrows, so each
+            // candidate owns a clone of the (at most bins+1 entry) weighted
+            // point list and of the tracer handle.
+            let tasks: Vec<Box<dyn FnOnce() -> Result<(f64, Gmm), GmmError> + Send + 'env>> = (1
+                ..=max_components)
+                .map(
+                    |k| -> Box<dyn FnOnce() -> Result<(f64, Gmm), GmmError> + Send + 'env> {
+                        let points = points.clone();
+                        let tracer = tracer.clone();
+                        Box::new(move || {
+                            binned_candidate(k, &points, total, log_bins, seed, &tracer)
+                        })
+                    },
+                )
+                .collect();
+            ctx.fork_join(tasks)
+        } else {
+            (1..=max_components)
+                .map(|k| binned_candidate(k, &points, total, log_bins, seed, &tracer))
+                .collect()
+        };
+        let mut best: Option<(f64, Gmm)> = None;
+        let mut last_err = GmmError::NoComponents;
+        for fit in fits {
+            match fit {
+                Ok((bic, g)) => {
+                    if best.as_ref().is_none_or(|(b, _)| bic < *b) {
+                        best = Some((bic, g));
+                    }
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        if auto_span.id != 0 {
+            auto_spans.end_with(
+                auto_span,
+                0,
+                "gmm.fit_auto",
+                "gmm",
+                vec![
+                    ("max_components", ArgValue::from(max_components)),
+                    ("bins", ArgValue::from(occupied)),
+                    ("records", ArgValue::U64(total)),
+                ],
+            );
+        }
+        best.map(|(_, g)| g).ok_or(last_err)
+    }
+
+    /// BIC of this mixture against binned data (lower is better), using
+    /// the weighted bin log-likelihood and the *true* observation count
+    /// for the complexity penalty.
+    pub fn bic_binned(&self, bins: &LogBins) -> f64 {
+        bic_weighted(self, &bins.weighted_points(), bins.total())
     }
 }
 
@@ -610,6 +711,248 @@ fn initial_mixture_from_centers(data: &[f64], centers: &[f64], min_std: f64) -> 
             let var = (sqs[j] / cnt - mean * mean).max(0.0);
             GmmComponent {
                 weight: (counts[j] as f64 / n).max(1e-6),
+                mean,
+                std_dev: var.sqrt().max(min_std),
+            }
+        })
+        .collect();
+    Gmm::new(components).expect("initial mixture is valid by construction")
+}
+
+/// One BIC candidate of [`Gmm::fit_auto_binned`]: fit `k` components on
+/// the weighted bins and score them. Re-`scope`s the tracer so candidate
+/// spans attach to the right trace even when run on a pool worker.
+fn binned_candidate(
+    k: usize,
+    points: &[(f64, f64)],
+    total: u64,
+    log_bins: usize,
+    seed: u64,
+    tracer: &trace::Tracer,
+) -> Result<(f64, Gmm), GmmError> {
+    trace::scope(tracer, || {
+        let mut spans = tracer.local();
+        let cand_span = spans.begin();
+        let config = GmmFitConfig {
+            components: k,
+            seed,
+            ..Default::default()
+        };
+        let result = fit_weighted(points, total, &config, log_bins)
+            .map(|g| (bic_weighted(&g, points, total), g));
+        if cand_span.id != 0 {
+            let bic = match &result {
+                Ok((bic, _)) => *bic,
+                Err(_) => f64::NAN,
+            };
+            spans.end_with(
+                cand_span,
+                0,
+                "gmm.fit_candidate",
+                "gmm",
+                vec![("k", ArgValue::from(k)), ("bic", ArgValue::F64(bic))],
+            );
+        }
+        result
+    })
+}
+
+/// Weighted EM over `(representative, count)` pairs — the engine behind
+/// [`Gmm::fit_binned`]. `total` is the true observation count (used for
+/// the data-sufficiency check and the mixture weights); `log_bins` is the
+/// histogram's bin budget, recorded on the `gmm.fit_binned` span.
+fn fit_weighted(
+    points: &[(f64, f64)],
+    total: u64,
+    config: &GmmFitConfig,
+    log_bins: usize,
+) -> Result<Gmm, GmmError> {
+    let k = config.components;
+    if k == 0 {
+        return Err(GmmError::NoComponents);
+    }
+    // Same heuristic as the raw fit: 5 *observations* (not bins) per
+    // component.
+    let needed = (5 * k).max(2);
+    if (total as usize) < needed {
+        return Err(GmmError::NotEnoughData {
+            needed,
+            got: total as usize,
+        });
+    }
+    let lo = points.iter().map(|&(x, _)| x).fold(f64::INFINITY, f64::min);
+    let hi = points
+        .iter()
+        .map(|&(x, _)| x)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let range = (hi - lo).max(f64::MIN_POSITIVE);
+    let min_std = range * config.min_std_frac;
+
+    let mut rng = SeededRng::new(config.seed);
+    let centers = weighted_kmeans_pp_centers(points, k, &mut rng);
+    let mut mix = weighted_initial_mixture(points, &centers, min_std);
+
+    let total_w = total as f64;
+    let b = points.len();
+    let mut resp = vec![0.0f64; b * k]; // weighted responsibilities, row-major
+    let mut logs = vec![0.0f64; k];
+    let mut prev_ll = f64::NEG_INFINITY;
+    let tracer = trace::active();
+    let mut spans = tracer.local();
+    let fit_span = spans.begin();
+    let mut iters = 0u64;
+    for _ in 0..config.max_iters {
+        let iter_span = spans.begin();
+        iters += 1;
+        // E-step over occupied bins: identical arithmetic to the raw-sample
+        // E-step, with every per-sample term scaled by the bin count.
+        let consts = ComponentLogConsts::of(&mix.components);
+        let mut ll_sum = 0.0;
+        for (i, &(x, w)) in points.iter().enumerate() {
+            consts.fill_logs(&mix.components, x, &mut logs);
+            let norm = log_sum_exp(&logs);
+            ll_sum += w * norm;
+            for (j, &l) in logs.iter().enumerate() {
+                resp[i * k + j] = w * (l - norm).exp();
+            }
+        }
+        let ll = ll_sum / total_w;
+
+        // M-step.
+        for j in 0..k {
+            let nj: f64 = (0..b).map(|i| resp[i * k + j]).sum();
+            let nj = nj.max(1e-12);
+            let mean = (0..b).map(|i| resp[i * k + j] * points[i].0).sum::<f64>() / nj;
+            let var = (0..b)
+                .map(|i| resp[i * k + j] * (points[i].0 - mean).powi(2))
+                .sum::<f64>()
+                / nj;
+            mix.components[j] = GmmComponent {
+                weight: nj / total_w,
+                mean,
+                std_dev: var.sqrt().max(min_std),
+            };
+        }
+
+        spans.end(iter_span, fit_span.id, "gmm.em_iter", "gmm");
+        if (ll - prev_ll).abs() < config.tolerance {
+            break;
+        }
+        prev_ll = ll;
+    }
+    if fit_span.id != 0 {
+        spans.end_with(
+            fit_span,
+            0,
+            "gmm.fit_binned",
+            "gmm",
+            vec![
+                ("components", ArgValue::from(k)),
+                ("bins", ArgValue::from(b)),
+                ("log_bins", ArgValue::from(log_bins)),
+                ("records", ArgValue::U64(total)),
+                ("iters", ArgValue::U64(iters)),
+            ],
+        );
+    }
+    Gmm::new(mix.components)
+}
+
+/// BIC of `g` against weighted bins: the weighted log-likelihood with the
+/// true observation count in the complexity penalty, mirroring
+/// [`Gmm::bic`].
+fn bic_weighted(g: &Gmm, points: &[(f64, f64)], total: u64) -> f64 {
+    let n = total.max(1) as f64;
+    let consts = ComponentLogConsts::of(g.components());
+    let mut logs = vec![0.0f64; g.k()];
+    let ll: f64 = points
+        .iter()
+        .map(|&(x, w)| {
+            consts.fill_logs(g.components(), x, &mut logs);
+            w * log_sum_exp(&logs)
+        })
+        .sum();
+    let params = (3 * g.k() - 1) as f64;
+    params * n.ln() - 2.0 * ll
+}
+
+/// k-means++ seeding over weighted points: the first centre is drawn by
+/// bin mass, subsequent centres proportionally to `w · d²` from the
+/// nearest chosen centre — the weighted analogue of `kmeans_pp_centers`.
+fn weighted_kmeans_pp_centers(points: &[(f64, f64)], k: usize, rng: &mut SeededRng) -> Vec<f64> {
+    let mut centers = Vec::with_capacity(k);
+    let total_w: f64 = points.iter().map(|&(_, w)| w).sum();
+    let mut target = rng.uniform() * total_w;
+    let mut first = points.len() - 1;
+    for (i, &(_, w)) in points.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            first = i;
+            break;
+        }
+    }
+    centers.push(points[first].0);
+    while centers.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|&(x, w)| {
+                w * centers
+                    .iter()
+                    .map(|&c| (x - c).powi(2))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            // All mass coincides with existing centres; duplicate one.
+            centers.push(centers[0]);
+            continue;
+        }
+        let mut target = rng.uniform() * total;
+        let mut chosen = points.len() - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            target -= d;
+            if target <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centers.push(points[chosen].0);
+    }
+    centers
+}
+
+/// Hard-assign weighted points to the nearest centre and build the
+/// initial mixture, mirroring `initial_mixture_from_centers`.
+fn weighted_initial_mixture(points: &[(f64, f64)], centers: &[f64], min_std: f64) -> Gmm {
+    let k = centers.len();
+    let mut sums = vec![0.0; k];
+    let mut sqs = vec![0.0; k];
+    let mut wsum = vec![0.0f64; k];
+    for &(x, w) in points {
+        let (j, _) = centers
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| (j, (x - c).abs()))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .expect("at least one centre");
+        sums[j] += w * x;
+        sqs[j] += w * x * x;
+        wsum[j] += w;
+    }
+    let n: f64 = wsum.iter().sum();
+    let components = (0..k)
+        .map(|j| {
+            // Bin counts are integers, so a non-empty cluster has mass ≥ 1.
+            let cnt = wsum[j].max(1.0);
+            let mean = if wsum[j] == 0.0 {
+                centers[j]
+            } else {
+                sums[j] / cnt
+            };
+            let var = (sqs[j] / cnt - mean * mean).max(0.0);
+            GmmComponent {
+                weight: (wsum[j] / n).max(1e-6),
                 mean,
                 std_dev: var.sqrt().max(min_std),
             }
@@ -845,6 +1188,147 @@ mod tests {
         let a = Gmm::fit(&data, &cfg).unwrap();
         let b = Gmm::fit(&data, &cfg).unwrap();
         assert_eq!(a, b);
+    }
+
+    fn logbins_of(data: &[f64], hi: f64) -> LogBins {
+        let mut lb = LogBins::for_range(hi);
+        for &v in data {
+            lb.add(v);
+        }
+        lb
+    }
+
+    #[test]
+    fn fit_binned_agrees_with_raw_fit_within_bin_tolerance() {
+        // Accuracy contract: with the default 512 bins over four decades,
+        // the binned representatives sit within ~1% of the raw samples, so
+        // fitted means should land within a few percent of the raw fit's
+        // (and of the truth) on a well-separated mixture.
+        let truth = Gmm::from_triples(&[(0.6, 50.0, 5.0), (0.4, 200.0, 10.0)]).unwrap();
+        let mut rng = SeededRng::new(42);
+        let data = truth.sample_n(&mut rng, 20_000);
+        let cfg = GmmFitConfig {
+            components: 2,
+            ..Default::default()
+        };
+        let raw = Gmm::fit(&data, &cfg).unwrap();
+        let binned = Gmm::fit_binned(&logbins_of(&data, 500.0), &cfg).unwrap();
+        let raw_modes = raw.modes();
+        let binned_modes = binned.modes();
+        for (r, b) in raw_modes.iter().zip(&binned_modes) {
+            assert!(
+                (r - b).abs() / r < 0.03,
+                "raw modes {raw_modes:?} vs binned {binned_modes:?}"
+            );
+        }
+        for (rc, bc) in raw.components().iter().zip(binned.components()) {
+            assert!(
+                (rc.weight - bc.weight).abs() < 0.05,
+                "weights {} vs {}",
+                rc.weight,
+                bc.weight
+            );
+        }
+    }
+
+    #[test]
+    fn fit_binned_is_exactly_deterministic() {
+        let truth = tri_modal();
+        let mut rng = SeededRng::new(77);
+        let data = truth.sample_n(&mut rng, 30_000);
+        let lb = logbins_of(&data, 1000.0);
+        let cfg = GmmFitConfig {
+            components: 3,
+            seed: 16,
+            ..Default::default()
+        };
+        let a = Gmm::fit_binned(&lb, &cfg).unwrap();
+        let b = Gmm::fit_binned(&lb, &cfg).unwrap();
+        assert_eq!(a, b);
+        // And invariant under how the histogram was assembled (merge vs
+        // single pass) — counts are exact integer sums.
+        let mut left = logbins_of(&data[..9_311], 1000.0);
+        let right = logbins_of(&data[9_311..], 1000.0);
+        left.merge(&right);
+        assert_eq!(Gmm::fit_binned(&left, &cfg).unwrap(), a);
+    }
+
+    #[test]
+    fn fit_auto_binned_matches_serial_on_a_pool() {
+        let truth = tri_modal();
+        let mut rng = SeededRng::new(13);
+        let data = truth.sample_n(&mut rng, 25_000);
+        let lb = logbins_of(&data, 1000.0);
+        let serial = Gmm::fit_auto_binned(&lb, 5, 99, &PoolCtx::serial()).unwrap();
+        assert!(serial.k() >= 3, "selected k = {}", serial.k());
+        // The same fit racing candidates on a real pool must select the
+        // same mixture bit-for-bit.
+        for threads in [2, 8] {
+            let tasks: Vec<pool::Task<'_, Gmm>> = (0..2)
+                .map(|_| -> pool::Task<'_, Gmm> {
+                    let lb = lb.clone();
+                    Box::new(move |ctx| Gmm::fit_auto_binned(&lb, 5, 99, ctx).unwrap())
+                })
+                .collect();
+            for got in pool::run(threads, tasks) {
+                assert_eq!(got, serial);
+            }
+        }
+    }
+
+    #[test]
+    fn fit_binned_rejects_insufficient_data() {
+        let lb = logbins_of(&[10.0, 20.0], 100.0);
+        let err = Gmm::fit_binned(
+            &lb,
+            &GmmFitConfig {
+                components: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, GmmError::NotEnoughData { .. }));
+    }
+
+    #[test]
+    fn fit_binned_handles_single_occupied_bin() {
+        let lb = logbins_of(&vec![5.0; 100], 100.0);
+        let fit = Gmm::fit_binned(
+            &lb,
+            &GmmFitConfig {
+                components: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Everything sits in one bin; the fit collapses onto its
+        // representative (within the bin's relative width).
+        assert!((fit.mean() / 5.0 - 1.0).abs() < 0.02, "{}", fit.mean());
+    }
+
+    #[test]
+    fn bic_binned_prefers_the_right_model_class() {
+        let truth = Gmm::from_triples(&[(0.5, 30.0, 3.0), (0.5, 300.0, 20.0)]).unwrap();
+        let mut rng = SeededRng::new(21);
+        let data = truth.sample_n(&mut rng, 15_000);
+        let lb = logbins_of(&data, 1000.0);
+        let k1 = Gmm::fit_binned(
+            &lb,
+            &GmmFitConfig {
+                components: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let k2 = Gmm::fit_binned(
+            &lb,
+            &GmmFitConfig {
+                components: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(k2.bic_binned(&lb) < k1.bic_binned(&lb));
     }
 
     #[test]

@@ -111,6 +111,47 @@ impl Histogram {
             .collect()
     }
 
+    /// Rebuild a histogram from a previously captured count vector, e.g.
+    /// when decoding accumulator state from a snapshot.
+    ///
+    /// # Panics
+    /// Panics if `counts` is empty or `lo >= hi`.
+    pub fn from_counts(lo: f64, hi: f64, counts: Vec<u64>) -> Self {
+        assert!(!counts.is_empty(), "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        let total = counts.iter().sum();
+        Self {
+            lo,
+            hi,
+            counts,
+            total,
+        }
+    }
+
+    /// Raw per-bin counts, in bin order.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Fold another histogram with the same shape into this one.
+    ///
+    /// Counts are exact integer sums, so merging is associative and
+    /// commutative: any merge order yields the same histogram as observing
+    /// the concatenated sample.
+    ///
+    /// # Panics
+    /// Panics if the two histograms differ in range or bin count.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "cannot merge histograms of different shape"
+        );
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+    }
+
     /// Indices of local maxima of the count series that exceed
     /// `min_fraction` of the total mass — a quick peak detector used to
     /// sanity-check GMM mode recovery against the raw data.
@@ -221,6 +262,146 @@ impl Ecdf {
     }
 }
 
+/// A log-bucketed histogram carrying the sufficient statistics for binned
+/// GMM fitting ([`crate::gmm::Gmm::fit_binned`]).
+///
+/// Bin edges are geometrically spaced over `(lo, hi)`: edge `i` sits at
+/// `lo · r^i` with `r = (hi/lo)^(1/bins)`, so every bin has the same
+/// *relative* width `r - 1`. An extra underflow bin (index 0) absorbs
+/// values `<= lo` (including zero and negatives), and values `>= hi` clamp
+/// into the last log bin. Each bin is represented by the geometric mean of
+/// its edges, which bounds the representative-vs-sample relative error by
+/// `sqrt(r) - 1` — about 0.9% at the default 512 bins over four decades.
+///
+/// Counts are `u64` and merge by exact integer addition, so `LogBins` is
+/// order-invariant under merge: shard-parallel and distributed reductions
+/// produce bit-identical state, which is what makes the binned fit
+/// thread-count- and reduce-invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogBins {
+    lo: f64,
+    hi: f64,
+    /// `counts[0]` is the underflow bin; `counts[1..]` are the log bins.
+    counts: Vec<u64>,
+    total: u64,
+}
+
+/// Default number of log bins used by the analysis accumulators.
+pub const DEFAULT_LOG_BINS: usize = 512;
+
+impl LogBins {
+    /// Create a log-bucketed histogram with `bins` geometric bins over
+    /// `(lo, hi)` plus one underflow bin.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0`, `lo <= 0`, or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "log histogram needs at least one bin");
+        assert!(lo > 0.0, "log histogram needs a positive lower bound");
+        assert!(lo < hi, "log histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins + 1],
+            total: 0,
+        }
+    }
+
+    /// The standard shape the analysis accumulators use for a figure whose
+    /// rendered range tops out at `hi` Mbps: four decades of dynamic range
+    /// (`lo = hi / 10⁴`) across [`DEFAULT_LOG_BINS`] bins.
+    pub fn for_range(hi: f64) -> Self {
+        Self::new(hi / 1e4, hi, DEFAULT_LOG_BINS)
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, value: f64) {
+        let bins = self.counts.len() - 1;
+        let idx = if !(value > self.lo) {
+            0
+        } else {
+            let frac = (value / self.lo).ln() / (self.hi / self.lo).ln();
+            let i = (frac * bins as f64).floor().max(0.0) as usize;
+            1 + i.min(bins - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of log bins (excluding the underflow bin).
+    pub fn bins(&self) -> usize {
+        self.counts.len() - 1
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw per-bin counts (underflow bin first), in bin order.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Representative value for bin `i` of [`Self::counts`]: the geometric
+    /// mean of the bin's edges, or `lo · r^(-1/2)` for the underflow bin.
+    pub fn representative(&self, i: usize) -> f64 {
+        let bins = (self.counts.len() - 1) as f64;
+        let r = (self.hi / self.lo).powf(1.0 / bins);
+        if i == 0 {
+            self.lo / r.sqrt()
+        } else {
+            self.lo * r.powf(i as f64 - 0.5)
+        }
+    }
+
+    /// The occupied bins as `(representative, count)` pairs in bin order —
+    /// the weighted sample the binned EM iterates.
+    pub fn weighted_points(&self) -> Vec<(f64, f64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (self.representative(i), c as f64))
+            .collect()
+    }
+
+    /// Rebuild from a previously captured count vector (underflow bin
+    /// first). Inverse of [`Self::counts`] given the same `lo`/`hi`.
+    ///
+    /// # Panics
+    /// Panics if `counts` has fewer than two entries, `lo <= 0`, or
+    /// `lo >= hi`.
+    pub fn from_counts(lo: f64, hi: f64, counts: Vec<u64>) -> Self {
+        assert!(counts.len() >= 2, "log histogram needs at least one bin");
+        assert!(lo > 0.0, "log histogram needs a positive lower bound");
+        assert!(lo < hi, "log histogram range must be non-empty");
+        let total = counts.iter().sum();
+        Self {
+            lo,
+            hi,
+            counts,
+            total,
+        }
+    }
+
+    /// Fold another log histogram with the same shape into this one.
+    /// Exact integer addition: associative, commutative, order-invariant.
+    ///
+    /// # Panics
+    /// Panics if the two histograms differ in range or bin count.
+    pub fn merge(&mut self, other: &LogBins) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "cannot merge log histograms of different shape"
+        );
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +490,86 @@ mod tests {
             assert!(w[1].1 >= w[0].1);
         }
         assert!((series.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_equals_concatenated_observe() {
+        let all: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.773).sin() * 40.0 + 50.0)
+            .collect();
+        let whole = Histogram::from_values(0.0, 100.0, 25, &all);
+        let mut left = Histogram::from_values(0.0, 100.0, 25, &all[..201]);
+        let right = Histogram::from_values(0.0, 100.0, 25, &all[201..]);
+        left.merge(&right);
+        assert_eq!(left.counts(), whole.counts());
+        assert_eq!(left.total(), whole.total());
+    }
+
+    #[test]
+    fn histogram_from_counts_roundtrips() {
+        let h = Histogram::from_values(0.0, 10.0, 5, &[1.0, 3.0, 3.5, 9.0]);
+        let back = Histogram::from_counts(0.0, 10.0, h.counts().to_vec());
+        assert_eq!(back.counts(), h.counts());
+        assert_eq!(back.total(), h.total());
+        assert_eq!(back.bin_center(2), h.bin_center(2));
+    }
+
+    #[test]
+    fn logbins_places_values_in_relative_buckets() {
+        let mut lb = LogBins::new(0.1, 1000.0, 512);
+        lb.add(0.0); // underflow
+        lb.add(-3.0); // underflow
+        lb.add(0.05); // underflow
+        lb.add(50.0);
+        lb.add(5000.0); // clamps into last bin
+        assert_eq!(lb.counts()[0], 3);
+        assert_eq!(lb.total(), 5);
+        assert_eq!(lb.counts()[lb.bins()], 1);
+        // The representative of an interior value's bin is within one
+        // relative bin width of the value itself.
+        let pts = lb.weighted_points();
+        let (rep, _) = pts
+            .iter()
+            .find(|&&(x, _)| (x / 50.0 - 1.0).abs() < 0.02)
+            .copied()
+            .expect("50 Mbps bin present");
+        assert!(rep > 0.0);
+    }
+
+    #[test]
+    fn logbins_merge_is_order_invariant() {
+        let vals: Vec<f64> = (0..400)
+            .map(|i| 0.2 + (i as f64 * 0.37).cos().abs() * 400.0)
+            .collect();
+        let mut whole = LogBins::for_range(1000.0);
+        for &v in &vals {
+            whole.add(v);
+        }
+        let mut a = LogBins::for_range(1000.0);
+        let mut b = LogBins::for_range(1000.0);
+        for (i, &v) in vals.iter().enumerate() {
+            if i % 3 == 0 {
+                a.add(v);
+            } else {
+                b.add(v);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, whole);
+        assert_eq!(ba, whole);
+    }
+
+    #[test]
+    fn logbins_from_counts_roundtrips() {
+        let mut lb = LogBins::for_range(500.0);
+        for v in [0.0, 0.3, 12.0, 480.0, 9000.0] {
+            lb.add(v);
+        }
+        let back = LogBins::from_counts(500.0 / 1e4, 500.0, lb.counts().to_vec());
+        assert_eq!(back, lb);
     }
 
     #[test]

@@ -18,8 +18,12 @@
 //!   and BIC-based selection of the number of components.
 //! - [`descriptive`] — means, medians, percentiles, trimmed means, and the
 //!   [`descriptive::Summary`] used throughout the analysis pipeline.
-//! - [`histogram`] — fixed-bin histograms, normalised PDFs, and empirical
-//!   CDFs matching the paper's figure style.
+//! - [`histogram`] — fixed-bin histograms, normalised PDFs, empirical
+//!   CDFs matching the paper's figure style, and the log-bucketed
+//!   [`histogram::LogBins`] sufficient statistics the binned EM consumes.
+//! - [`pool`] — a scoped batch work pool with help-while-waiting
+//!   fork/join, shared by the figure-finish fan-out and the BIC candidate
+//!   races inside it.
 //! - [`sampling`] — seeded random draws (normal, log-normal, categorical)
 //!   built on a deterministic [`rng`] so every experiment is reproducible.
 //! - [`special`] — the special functions (erf, log-sum-exp) the rest of the
@@ -28,11 +32,13 @@
 pub mod descriptive;
 pub mod gmm;
 pub mod histogram;
+pub mod pool;
 pub mod rng;
 pub mod sampling;
 pub mod special;
 
 pub use descriptive::Summary;
 pub use gmm::{Gmm, GmmComponent, GmmFitConfig};
-pub use histogram::{Ecdf, Histogram};
+pub use histogram::{Ecdf, Histogram, LogBins};
+pub use pool::PoolCtx;
 pub use rng::SeededRng;

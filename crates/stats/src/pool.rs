@@ -1,0 +1,329 @@
+//! A scoped batch work pool for the finish stage.
+//!
+//! The streaming sweep ends with a fan-out of independent, deterministic
+//! jobs: 24 measurement-figure finishes, 9 eval-figure finishes, and up to
+//! `max_components` BIC candidate fits inside every `fit_auto`. This module
+//! runs such a batch across a bounded set of scoped threads while letting a
+//! job that forks subtasks ([`PoolCtx::fork_join`]) *help* execute queued
+//! work while it waits — so nested fan-outs (figure finish → candidate
+//! fits) share one set of threads instead of oversubscribing the machine,
+//! and a pool can never deadlock on its own subtasks.
+//!
+//! Determinism: [`run`] returns results in task order, and `fork_join`
+//! returns subtask results in subtask order, regardless of which thread
+//! executed what. Jobs are expected to be pure functions of their inputs,
+//! so a pool at any thread count — including the `threads <= 1` serial
+//! path, which never spawns — produces byte-identical results.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// A job submitted to [`run`]: receives a [`PoolCtx`] so it can fan out
+/// nested subtasks onto the same pool.
+pub type Task<'env, T> = Box<dyn FnOnce(&PoolCtx<'_, 'env>) -> T + Send + 'env>;
+
+type Job<'env> = Box<dyn FnOnce(&PoolCtx<'_, 'env>) + Send + 'env>;
+
+struct QueueState<'env> {
+    jobs: VecDeque<Job<'env>>,
+    shutdown: bool,
+}
+
+struct Shared<'env> {
+    queue: Mutex<QueueState<'env>>,
+    work_cv: Condvar,
+}
+
+impl<'env> Shared<'env> {
+    fn lock(&self) -> MutexGuard<'_, QueueState<'env>> {
+        // A poisoned queue means a job panicked; the panic is already
+        // propagating via the scope join, so keep draining rather than
+        // turning one panic into a deadlock.
+        self.queue
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Join state for one fan-out: result slots plus a count of unfinished
+/// subtasks, signalled on completion.
+struct JoinState<T> {
+    state: Mutex<(Vec<Option<T>>, usize)>,
+    done_cv: Condvar,
+}
+
+/// Decrements the join counter even if the subtask panicked, so the
+/// waiting parent always wakes up (and then surfaces the missing result as
+/// its own panic instead of hanging the pool).
+struct CompleteOnDrop<'a, T> {
+    join: &'a JoinState<T>,
+    index: usize,
+    value: Option<T>,
+}
+
+impl<T> Drop for CompleteOnDrop<'_, T> {
+    fn drop(&mut self) {
+        let mut state = self
+            .join
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        state.0[self.index] = self.value.take();
+        state.1 -= 1;
+        if state.1 == 0 {
+            self.join.done_cv.notify_all();
+        }
+    }
+}
+
+/// Execution context handed to every pool job.
+///
+/// Outside a pool (or on the `threads <= 1` serial path) use
+/// [`PoolCtx::serial`], whose [`fork_join`](PoolCtx::fork_join) runs
+/// subtasks inline in order — same results, no threads.
+pub struct PoolCtx<'pool, 'env> {
+    shared: Option<&'pool Shared<'env>>,
+}
+
+impl<'pool, 'env> PoolCtx<'pool, 'env> {
+    /// A context that executes everything inline on the calling thread.
+    pub fn serial() -> Self {
+        PoolCtx { shared: None }
+    }
+
+    /// Whether fan-outs through this context may run on other threads.
+    pub fn is_parallel(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Run `tasks` to completion and return their results in task order.
+    ///
+    /// On a pool, subtasks are pushed onto the shared queue and the caller
+    /// *helps*: it executes queued jobs (its own subtasks or anyone
+    /// else's) while waiting, and only sleeps when the queue is empty and
+    /// some of its subtasks are still running on other workers.
+    pub fn fork_join<T: Send + 'env>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'env>>,
+    ) -> Vec<T> {
+        match self.shared {
+            None => tasks.into_iter().map(|task| task()).collect(),
+            Some(shared) => enqueue_and_help(
+                shared,
+                tasks
+                    .into_iter()
+                    .map(|task| -> Task<'env, T> { Box::new(move |_ctx| task()) })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Push `tasks` onto the pool queue, help drain the queue until every one
+/// of them has completed, and return their results in task order.
+fn enqueue_and_help<'env, T: Send + 'env>(
+    shared: &Shared<'env>,
+    tasks: Vec<Task<'env, T>>,
+) -> Vec<T> {
+    let n = tasks.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let join = Arc::new(JoinState {
+        state: Mutex::new(((0..n).map(|_| None).collect(), n)),
+        done_cv: Condvar::new(),
+    });
+    {
+        let mut q = shared.lock();
+        for (index, task) in tasks.into_iter().enumerate() {
+            let join = Arc::clone(&join);
+            q.jobs.push_back(Box::new(move |ctx| {
+                let mut complete = CompleteOnDrop {
+                    join: &join,
+                    index,
+                    value: None,
+                };
+                complete.value = Some(task(ctx));
+            }));
+        }
+    }
+    shared.work_cv.notify_all();
+    let ctx = PoolCtx {
+        shared: Some(shared),
+    };
+    loop {
+        let job = shared.lock().jobs.pop_front();
+        match job {
+            Some(job) => job(&ctx),
+            None => {
+                let state = join
+                    .state
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                if state.1 == 0 {
+                    break;
+                }
+                // Our remaining subtasks are running on other workers (the
+                // queue was empty, and we enqueued them before helping), so
+                // waiting on done_cv cannot deadlock.
+                drop(join.done_cv.wait(state).unwrap_or_else(|p| p.into_inner()));
+            }
+        }
+    }
+    let mut state = join
+        .state
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    state
+        .0
+        .iter_mut()
+        .map(|slot| slot.take().expect("pool task panicked"))
+        .collect()
+}
+
+fn worker_loop<'env>(shared: &Shared<'env>) {
+    let ctx = PoolCtx {
+        shared: Some(shared),
+    };
+    loop {
+        let job = {
+            let mut q = shared.lock();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break Some(job);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                q = shared
+                    .work_cv
+                    .wait(q)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        };
+        match job {
+            Some(job) => job(&ctx),
+            None => return,
+        }
+    }
+}
+
+/// Tells idle workers to exit once the queue drains, even if the batch
+/// owner is unwinding from a panic — otherwise the scope join would hang.
+struct ShutdownOnDrop<'a, 'env> {
+    shared: &'a Shared<'env>,
+}
+
+impl Drop for ShutdownOnDrop<'_, '_> {
+    fn drop(&mut self) {
+        self.shared.lock().shutdown = true;
+        self.shared.work_cv.notify_all();
+    }
+}
+
+/// Run a batch of independent tasks across at most `threads` threads
+/// (including the calling thread) and return their results in task order.
+///
+/// `threads <= 1` — or a batch of one — runs everything inline on the
+/// calling thread with a serial [`PoolCtx`]; the results are identical.
+pub fn run<'env, T: Send + 'env>(threads: usize, tasks: Vec<Task<'env, T>>) -> Vec<T> {
+    if threads <= 1 || tasks.len() <= 1 {
+        let ctx = PoolCtx::serial();
+        return tasks.into_iter().map(|task| task(&ctx)).collect();
+    }
+    let shared = Shared {
+        queue: Mutex::new(QueueState {
+            jobs: VecDeque::new(),
+            shutdown: false,
+        }),
+        work_cv: Condvar::new(),
+    };
+    std::thread::scope(|scope| {
+        let _shutdown = ShutdownOnDrop { shared: &shared };
+        for _ in 0..threads - 1 {
+            scope.spawn(|| worker_loop(&shared));
+        }
+        enqueue_and_help(&shared, tasks)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_task_order() {
+        let tasks: Vec<Task<'_, usize>> = (0..32)
+            .map(|i| -> Task<'_, usize> { Box::new(move |_ctx| i * i) })
+            .collect();
+        let got = run(4, tasks);
+        let want: Vec<usize> = (0..32).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let work = |threads: usize| {
+            let tasks: Vec<Task<'_, u64>> = (0..20u64)
+                .map(|i| -> Task<'_, u64> {
+                    Box::new(move |_ctx| (0..1000).map(|j| (i * 31 + j) % 97).sum())
+                })
+                .collect();
+            run(threads, tasks)
+        };
+        assert_eq!(work(1), work(2));
+        assert_eq!(work(1), work(8));
+    }
+
+    #[test]
+    fn nested_fork_join_helps_while_waiting() {
+        let tasks: Vec<Task<'_, u64>> = (0..8u64)
+            .map(|i| -> Task<'_, u64> {
+                Box::new(move |ctx| {
+                    let subs: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..5u64)
+                        .map(|k| -> Box<dyn FnOnce() -> u64 + Send> {
+                            Box::new(move || i * 100 + k)
+                        })
+                        .collect();
+                    ctx.fork_join(subs).into_iter().sum()
+                })
+            })
+            .collect();
+        // 2 threads, 8 parents each forking 5 subtasks: parents must help
+        // drain the queue or this would deadlock.
+        let got = run(2, tasks);
+        let want: Vec<u64> = (0..8u64)
+            .map(|i| (0..5u64).map(|k| i * 100 + k).sum())
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn serial_ctx_runs_inline() {
+        let ctx = PoolCtx::serial();
+        assert!(!ctx.is_parallel());
+        let subs: Vec<Box<dyn FnOnce() -> i32 + Send>> = (0..4)
+            .map(|i| -> Box<dyn FnOnce() -> i32 + Send> { Box::new(move || i + 1) })
+            .collect();
+        assert_eq!(ctx.fork_join(subs), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let tasks: Vec<Task<'_, ()>> = Vec::new();
+        assert!(run(4, tasks).is_empty());
+    }
+
+    #[test]
+    fn tasks_can_borrow_caller_state() {
+        let data: Vec<u64> = (0..1000).collect();
+        let slice = &data[..];
+        let tasks: Vec<Task<'_, u64>> = (0..4)
+            .map(|i| -> Task<'_, u64> {
+                Box::new(move |_ctx| slice.iter().skip(i).step_by(4).sum())
+            })
+            .collect();
+        let parts = run(3, tasks);
+        assert_eq!(parts.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+}

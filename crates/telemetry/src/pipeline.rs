@@ -11,14 +11,20 @@
 //!   throughput observation per stage, over **wall clock**: this is the
 //!   rate at which the pipeline actually moved records;
 //! - `pipeline_stage_seconds{stage=...}` — duration histograms for the
-//!   streaming engine's four stages (generate / observe / merge /
-//!   finish, see `mbw-analysis::stream`). The generate and observe
+//!   streaming engine's stages (generate / observe / merge / finish /
+//!   finish_cpu, see `mbw-analysis::stream`). The generate and observe
 //!   stages run inside the workers, so callers feed them **CPU seconds
-//!   summed across workers** (they can exceed the run's wall time);
+//!   summed across workers** (they can exceed the run's wall time).
+//!   The finish stage reports both its wall time (`finish`) and its
+//!   summed per-job CPU time (`finish_cpu`) — their ratio is the
+//!   parallel efficiency of the finish work pool;
 //! - `pipeline_stage_records_per_second{stage=...}` — the most recent
 //!   per-stage throughput of a streaming run, in the same time base as
 //!   `pipeline_stage_seconds` (records per CPU-second for generate /
-//!   observe, per wall-second for merge / finish).
+//!   observe / finish_cpu, per wall-second for merge / finish);
+//! - `fit_cache_hits_total` / `fit_cache_misses_total` — monotonic
+//!   counters of GMM fit-cache lookups served from (or missing in) the
+//!   memoized fit store (`mbw-analysis::fitcache`).
 //!
 //! Handles are cheap clones of registry series; both stages can hold a
 //! `PipelineMetrics` built from the same [`Registry`] and their updates
@@ -29,8 +35,11 @@ use crate::metrics::{Counter, Gauge};
 use crate::registry::Registry;
 use std::time::Duration;
 
-/// The streaming engine's stage labels, in pipeline order.
-pub const PIPELINE_STAGE_LABELS: [&str; 4] = ["generate", "observe", "merge", "finish"];
+/// The streaming engine's stage labels, in pipeline order. `finish` is
+/// the finish stage's wall time; `finish_cpu` is the same stage's CPU
+/// time summed over the finish pool's jobs.
+pub const PIPELINE_STAGE_LABELS: [&str; 5] =
+    ["generate", "observe", "merge", "finish", "finish_cpu"];
 
 /// Metric handles for one pipeline (generation + analysis stages).
 #[derive(Debug, Clone)]
@@ -39,8 +48,10 @@ pub struct PipelineMetrics {
     analyzed: Counter,
     generate_rate: Gauge,
     analyze_rate: Gauge,
-    stage_seconds: [Histogram; 4],
-    stage_rate: [Gauge; 4],
+    stage_seconds: [Histogram; 5],
+    stage_rate: [Gauge; 5],
+    fit_cache_hits: Counter,
+    fit_cache_misses: Counter,
 }
 
 impl PipelineMetrics {
@@ -80,6 +91,14 @@ impl PipelineMetrics {
                     &[("stage", stage)],
                 )
             }),
+            fit_cache_hits: registry.counter(
+                "fit_cache_hits_total",
+                "GMM fit-cache lookups served from the memoized fit store",
+            ),
+            fit_cache_misses: registry.counter(
+                "fit_cache_misses_total",
+                "GMM fit-cache lookups that required a fresh EM fit",
+            ),
         }
     }
 
@@ -103,6 +122,22 @@ impl PipelineMetrics {
     pub fn observe_analyzed(&self, records: u64, elapsed: Duration) {
         self.analyzed.add(records);
         self.analyze_rate.set(rate(records, elapsed));
+    }
+
+    /// Record one finish stage's GMM fit-cache outcome counts.
+    pub fn observe_fit_cache(&self, hits: u64, misses: u64) {
+        self.fit_cache_hits.add(hits);
+        self.fit_cache_misses.add(misses);
+    }
+
+    /// Total fit-cache hits so far.
+    pub fn fit_cache_hits_total(&self) -> u64 {
+        self.fit_cache_hits.get()
+    }
+
+    /// Total fit-cache misses so far.
+    pub fn fit_cache_misses_total(&self) -> u64 {
+        self.fit_cache_misses.get()
     }
 
     /// Total records generated so far.
@@ -173,6 +208,24 @@ mod tests {
             text.contains("pipeline_stage_records_per_second{stage=\"finish\"} 20000"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn finish_cpu_stage_and_fit_cache_counters_register() {
+        let registry = Registry::new();
+        let metrics = PipelineMetrics::register(&registry);
+        metrics.observe_stage("finish_cpu", 10_000, Duration::from_secs(2));
+        metrics.observe_fit_cache(3, 1);
+        metrics.observe_fit_cache(2, 0);
+        assert_eq!(metrics.fit_cache_hits_total(), 5);
+        assert_eq!(metrics.fit_cache_misses_total(), 1);
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("pipeline_stage_records_per_second{stage=\"finish_cpu\"} 5000"),
+            "{text}"
+        );
+        assert!(text.contains("fit_cache_hits_total 5"), "{text}");
+        assert!(text.contains("fit_cache_misses_total 1"), "{text}");
     }
 
     #[test]
